@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the figure/table regenerators: per-workload
+/// simulation scales (large enough for stable shapes, small enough to
+/// simulate in seconds; override with LIMECC_SCALE=<multiplier> or
+/// --paper for Table 3 sizes), and text-table formatting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_BENCH_BENCHUTIL_H
+#define LIMECC_BENCH_BENCHUTIL_H
+
+#include "workloads/Driver.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace lime::bench {
+
+/// Default simulation scale per workload (fraction of Table 3 size).
+/// The n^2 workloads get the smallest factors.
+inline double baseScale(const std::string &Id) {
+  if (Id == "nbody_sp" || Id == "nbody_dp")
+    return 0.2;
+  if (Id == "mosaic")
+    return 0.30; // library > 64KB: exercises the constant fallback
+  if (Id == "cp")
+    return 0.04;
+  if (Id == "mriq")
+    return 0.05;
+  if (Id == "rpes")
+    return 0.008;
+  if (Id == "crypt")
+    return 0.02;
+  return 0.02; // series
+}
+
+/// Applies the LIMECC_SCALE multiplier / --paper override.
+inline double benchScale(const std::string &Id, int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::string(Argv[I]) == "--paper")
+      return 1.0;
+  double Mult = 1.0;
+  if (const char *Env = std::getenv("LIMECC_SCALE"))
+    Mult = std::atof(Env);
+  if (Mult <= 0)
+    Mult = 1.0;
+  return baseScale(Id) * Mult;
+}
+
+inline void hr(char C = '-', unsigned N = 76) {
+  for (unsigned I = 0; I < N; ++I)
+    std::putchar(C);
+  std::putchar('\n');
+}
+
+} // namespace lime::bench
+
+#endif // LIMECC_BENCH_BENCHUTIL_H

@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 7(b): end-to-end speedup of each benchmark on
+/// the GTX 580 and HD 5970 (all communication and runtime overhead
+/// included), normalized to the Lime-on-bytecode baseline. The paper
+/// reports 12x-431x, with the smallest gains for the non-floating-
+/// point / simple-float benchmarks (JG-Crypt, Mosaic, N-Body) and the
+/// largest for the transcendental-heavy ones, and double precision
+/// 2-3x slower than single on the GTX 580 (~1.5x on the HD 5970).
+///
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchUtil.h"
+
+using namespace lime;
+using namespace lime::wl;
+using namespace lime::bench;
+
+int main(int argc, char **argv) {
+  std::printf("Figure 7(b): end-to-end GPU speedup vs Lime bytecode "
+              "(includes overhead)\n");
+  hr('=');
+  std::printf("%-20s %14s | %12s %12s\n", "Benchmark", "baseline(ms)",
+              "GTX580", "HD5970");
+  hr();
+
+  double MinSp = 1e30;
+  double MaxSp = 0.0;
+  for (const Workload &W : workloadRegistry()) {
+    double Scale = benchScale(W.Id, argc, argv);
+    RunOutcome Base = runWorkload(W, RunMode::LimeBytecode, Scale);
+    if (!Base.ok()) {
+      std::printf("%-20s ERROR %s\n", W.Name.c_str(), Base.Error.c_str());
+      return 1;
+    }
+    std::printf("%-20s %14.2f |", W.Name.c_str(), Base.EndToEndNs / 1e6);
+    for (const char *Dev : {"gtx580", "hd5970"}) {
+      rt::OffloadConfig OC;
+      OC.DeviceName = Dev;
+      RunOutcome G = runWorkload(W, RunMode::Offloaded, Scale, OC);
+      if (!G.ok()) {
+        std::printf(" ERROR(%s: %s)", Dev, G.Error.c_str());
+        continue;
+      }
+      double Sp = Base.EndToEndNs / G.EndToEndNs;
+      MinSp = std::min(MinSp, Sp);
+      MaxSp = std::max(MaxSp, Sp);
+      std::printf(" %11.1fx", Sp);
+    }
+    std::printf("\n");
+  }
+  hr();
+  std::printf("speedup range: %.0fx - %.0fx   (paper: 12x - 431x)\n", MinSp,
+              MaxSp);
+  std::printf("note: double-precision rows should land 2-3x below their\n"
+              "single-precision siblings on the GTX 580, ~1.5-2x on the "
+              "HD 5970 (paper §5.1)\n");
+  return 0;
+}

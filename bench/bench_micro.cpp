@@ -1,0 +1,156 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks of the toolchain itself (real
+/// wall-clock, not simulated time): Lime frontend, GPU compilation,
+/// OpenCL build, VM dispatch throughput, and the wire format.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/GpuCompiler.h"
+#include "lime/parser/Parser.h"
+#include "lime/sema/Sema.h"
+#include "ocl/CL.h"
+#include "runtime/Serializer.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lime;
+
+namespace {
+
+const std::string &nbodySource() {
+  static const std::string Src = wl::makeNBody(false).LimeSource;
+  return Src;
+}
+
+void BM_LimeParse(benchmark::State &State) {
+  for (auto _ : State) {
+    ASTContext Ctx;
+    DiagnosticEngine Diags;
+    Parser P(nbodySource(), Ctx, Diags);
+    benchmark::DoNotOptimize(P.parseProgram());
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(nbodySource().size()));
+}
+BENCHMARK(BM_LimeParse);
+
+void BM_LimeParseAndCheck(benchmark::State &State) {
+  for (auto _ : State) {
+    ASTContext Ctx;
+    DiagnosticEngine Diags;
+    Parser P(nbodySource(), Ctx, Diags);
+    Program *Prog = P.parseProgram();
+    Sema S(Ctx, Diags);
+    benchmark::DoNotOptimize(S.check(Prog));
+  }
+}
+BENCHMARK(BM_LimeParseAndCheck);
+
+void BM_GpuCompile(benchmark::State &State) {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  Parser P(nbodySource(), Ctx, Diags);
+  Program *Prog = P.parseProgram();
+  Sema S(Ctx, Diags);
+  S.check(Prog);
+  MethodDecl *W = Prog->findClass("NBody")->findMethod("computeForces");
+  for (auto _ : State) {
+    GpuCompiler GC(Prog, Ctx.types());
+    benchmark::DoNotOptimize(
+        GC.compile(W, MemoryConfig::localNoConflictVector()));
+  }
+}
+BENCHMARK(BM_GpuCompile);
+
+void BM_OclBuild(benchmark::State &State) {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  Parser P(nbodySource(), Ctx, Diags);
+  Program *Prog = P.parseProgram();
+  Sema S(Ctx, Diags);
+  S.check(Prog);
+  MethodDecl *W = Prog->findClass("NBody")->findMethod("computeForces");
+  GpuCompiler GC(Prog, Ctx.types());
+  CompiledKernel K = GC.compile(W, MemoryConfig::best());
+  for (auto _ : State) {
+    ocl::ClContext Cl("gtx580");
+    std::string Err = Cl.buildProgram(K.Source);
+    if (!Err.empty())
+      State.SkipWithError("build failed");
+  }
+}
+BENCHMARK(BM_OclBuild);
+
+void BM_VmDispatch(benchmark::State &State) {
+  ocl::ClContext Cl("gtx580");
+  std::string Err = Cl.buildProgram(R"(
+    __kernel void k(__global float* out, __global const float* in, int n) {
+      int i = get_global_id(0);
+      if (i < n) out[i] = in[i] * 2.0f + 1.0f;
+    }
+  )");
+  if (!Err.empty()) {
+    State.SkipWithError("build failed");
+    return;
+  }
+  const unsigned N = 4096;
+  std::vector<float> In(N, 1.5f);
+  ocl::ClBuffer BIn = Cl.createBuffer(N * 4);
+  ocl::ClBuffer BOut = Cl.createBuffer(N * 4);
+  Cl.enqueueWrite(BIn, In.data(), N * 4);
+  for (auto _ : State) {
+    Err = Cl.enqueueKernel("k",
+                           {ocl::LaunchArg::buffer(BOut.Offset, BOut.Space),
+                            ocl::LaunchArg::buffer(BIn.Offset, BIn.Space),
+                            ocl::LaunchArg::i32(N)},
+                           {N, 1}, {128, 1});
+    if (!Err.empty())
+      State.SkipWithError("launch failed");
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * N);
+}
+BENCHMARK(BM_VmDispatch);
+
+void BM_WireSerialize(benchmark::State &State) {
+  TypeContext Types;
+  std::vector<float> Data(1 << State.range(0), 0.5f);
+  RtValue V = wl::makeFloatMatrix(Types, Data, 4);
+  rt::WireFormat Wire(true);
+  for (auto _ : State) {
+    rt::MarshalCost Cost;
+    benchmark::DoNotOptimize(Wire.serialize(V, Cost));
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Data.size() * 4));
+}
+BENCHMARK(BM_WireSerialize)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_WireDeserialize(benchmark::State &State) {
+  TypeContext Types;
+  std::vector<float> Data(1 << 14, 0.5f);
+  RtValue V = wl::makeFloatMatrix(Types, Data, 4);
+  rt::WireFormat Wire(true);
+  rt::MarshalCost C0;
+  std::vector<uint8_t> Bytes = Wire.serialize(V, C0);
+  const ArrayType *RowTy = Types.getArrayType(Types.floatType(), true, 4);
+  const ArrayType *MatTy = Types.getArrayType(RowTy, true, 0);
+  for (auto _ : State) {
+    rt::MarshalCost Cost;
+    benchmark::DoNotOptimize(Wire.deserialize(Bytes, MatTy, Cost));
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Bytes.size()));
+}
+BENCHMARK(BM_WireDeserialize);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mosaic demo: match reference-image tiles against a tile library on
+/// the device, then verify against the evaluator and report match
+/// quality — the workload where the compiled code famously beats the
+/// hand-tuned kernel (§5.2).
+///
+///   $ ./examples/mosaic_demo
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Driver.h"
+
+#include <cstdio>
+
+using namespace lime;
+using namespace lime::wl;
+
+int main() {
+  const Workload &W = workloadById("mosaic");
+  const double Scale = 0.15;
+
+  // Evaluator oracle and device run.
+  RunOutcome Base = runWorkload(W, RunMode::LimeBytecode, Scale);
+  rt::OffloadConfig OC;
+  OC.DeviceName = "gtx580";
+  RunOutcome Gpu = runWorkload(W, RunMode::Offloaded, Scale, OC);
+  if (!Base.ok() || !Gpu.ok()) {
+    std::printf("failed: %s%s\n", Base.Error.c_str(), Gpu.Error.c_str());
+    return 1;
+  }
+
+  const auto &A = Base.Result.array()->Elems;
+  const auto &B = Gpu.Result.array()->Elems;
+  size_t Agree = 0;
+  for (size_t I = 0; I != A.size() && I != B.size(); ++I)
+    if (A[I].asIntegral() == B[I].asIntegral())
+      ++Agree;
+  std::printf("matched %zu tiles; evaluator and device agree on %zu "
+              "(%.1f%%)\n",
+              A.size(), Agree, 100.0 * Agree / A.size());
+  std::printf("first matches: ");
+  for (size_t I = 0; I != 10 && I != B.size(); ++I)
+    std::printf("%lld ", static_cast<long long>(B[I].asIntegral()));
+  std::printf("\n\n");
+
+  std::printf("end-to-end: baseline %.2f ms, device %.2f ms (%.1fx)\n",
+              Base.EndToEndNs / 1e6, Gpu.EndToEndNs / 1e6,
+              Base.EndToEndNs / Gpu.EndToEndNs);
+
+  // The §5.2 comparison: generated (best config) vs hand-tuned.
+  GeneratedKernelRun Gen =
+      runGeneratedKernel(W, "gtx580", MemoryConfig::best(), Scale, 64);
+  HandTunedResult Hand = runHandTunedKernel(W, "gtx580", Scale, 64);
+  if (Gen.ok() && Hand.ok())
+    std::printf("kernel-only: generated %.0f ns vs hand-tuned %.0f ns — "
+                "the compiler %s the human (%.2fx)\n",
+                Gen.KernelNs, Hand.KernelNs,
+                Gen.KernelNs < Hand.KernelNs ? "beats" : "trails",
+                Hand.KernelNs / Gen.KernelNs);
+  return 0;
+}

@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/GpuCompiler.h"
+
+#include "compiler/OpenCLEmitter.h"
+
+using namespace lime;
+
+GpuCompiler::GpuCompiler(Program *P, TypeContext &Types)
+    : TheProgram(P), Types(Types) {}
+
+IdentifyResult GpuCompiler::identify(MethodDecl *Worker) {
+  KernelAnalysis KA(TheProgram, Types);
+  return KA.identify(Worker);
+}
+
+CompiledKernel GpuCompiler::compile(MethodDecl *Worker,
+                                    const MemoryConfig &Config) {
+  CompiledKernel Out;
+  KernelAnalysis KA(TheProgram, Types);
+  IdentifyResult R = KA.identify(Worker);
+  if (!R.Offloadable) {
+    Out.Error = R.Reason;
+    return Out;
+  }
+  KA.optimize(R.Plan, Config);
+
+  DiagnosticEngine Diags;
+  OpenCLEmitter Emitter(R.Plan, Diags);
+  Out.Source = Emitter.emit();
+  if (Diags.hasErrors()) {
+    Out.Error = Diags.dump();
+    return Out;
+  }
+  Out.Plan = std::move(R.Plan);
+  Out.Ok = true;
+  return Out;
+}

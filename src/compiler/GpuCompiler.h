@@ -1,0 +1,52 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Facade over the GPU compilation pipeline (paper §4): kernel
+/// identification -> memory optimization -> OpenCL code generation.
+/// The runtime's offload manager calls compile() per filter and
+/// memory configuration; benchmarks call it once per Figure 8 bar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_COMPILER_GPUCOMPILER_H
+#define LIMECC_COMPILER_GPUCOMPILER_H
+
+#include "compiler/KernelAnalysis.h"
+#include "compiler/KernelPlan.h"
+
+#include <string>
+
+namespace lime {
+
+/// A fully compiled kernel: the plan (host-side orchestration data)
+/// plus the OpenCL source text.
+struct CompiledKernel {
+  bool Ok = false;
+  std::string Error;
+  KernelPlan Plan;
+  std::string Source;
+};
+
+class GpuCompiler {
+public:
+  GpuCompiler(Program *P, TypeContext &Types);
+
+  /// Identification only (for tests and diagnostics).
+  IdentifyResult identify(MethodDecl *Worker);
+
+  /// Full pipeline for one filter and configuration.
+  CompiledKernel compile(MethodDecl *Worker, const MemoryConfig &Config);
+
+private:
+  Program *TheProgram;
+  TypeContext &Types;
+};
+
+} // namespace lime
+
+#endif // LIMECC_COMPILER_GPUCOMPILER_H

@@ -1,0 +1,811 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/KernelAnalysis.h"
+
+#include "support/StringUtils.h"
+
+#include <functional>
+#include <set>
+
+using namespace lime;
+
+const char *lime::memSpaceName(MemSpace S) {
+  switch (S) {
+  case MemSpace::Global:
+    return "global";
+  case MemSpace::Constant:
+    return "constant";
+  case MemSpace::Image:
+    return "image";
+  case MemSpace::LocalTiled:
+    return "local";
+  }
+  lime_unreachable("bad memory space");
+}
+
+std::string MemoryConfig::str() const {
+  std::vector<std::string> Parts;
+  if (AllowLocal)
+    Parts.push_back(RemoveBankConflicts ? "local+noconflict" : "local");
+  if (AllowConstant)
+    Parts.push_back("constant");
+  if (AllowImage)
+    Parts.push_back("texture");
+  if (Parts.empty())
+    Parts.push_back("global");
+  if (Vectorize)
+    Parts.push_back("vector");
+  return joinStrings(Parts, "+");
+}
+
+unsigned KernelArray::rowBytes() const {
+  return rowScalars() * Scalar->sizeInBytes();
+}
+
+//===----------------------------------------------------------------------===//
+// AST walking helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void walkExpr(Expr *E, const std::function<void(Expr *)> &F);
+
+void walkChildren(Expr *E, const std::function<void(Expr *)> &F) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::FloatLit:
+  case Expr::Kind::BoolLit:
+  case Expr::Kind::NameRef:
+  case Expr::Kind::NewObject:
+  case Expr::Kind::Task:
+    return;
+  case Expr::Kind::FieldAccess:
+    walkExpr(cast<FieldAccessExpr>(E)->base(), F);
+    return;
+  case Expr::Kind::ArrayIndex:
+    walkExpr(cast<ArrayIndexExpr>(E)->base(), F);
+    walkExpr(cast<ArrayIndexExpr>(E)->index(), F);
+    return;
+  case Expr::Kind::ArrayLength:
+    walkExpr(cast<ArrayLengthExpr>(E)->base(), F);
+    return;
+  case Expr::Kind::Call: {
+    auto *C = cast<CallExpr>(E);
+    if (C->base())
+      walkExpr(C->base(), F);
+    for (Expr *A : C->args())
+      walkExpr(A, F);
+    return;
+  }
+  case Expr::Kind::NewArray: {
+    auto *N = cast<NewArrayExpr>(E);
+    for (Expr *S : N->sizes())
+      walkExpr(S, F);
+    for (Expr *I : N->inits())
+      walkExpr(I, F);
+    return;
+  }
+  case Expr::Kind::Unary:
+    walkExpr(cast<UnaryExpr>(E)->sub(), F);
+    return;
+  case Expr::Kind::Binary:
+    walkExpr(cast<BinaryExpr>(E)->lhs(), F);
+    walkExpr(cast<BinaryExpr>(E)->rhs(), F);
+    return;
+  case Expr::Kind::Assign:
+    walkExpr(cast<AssignExpr>(E)->target(), F);
+    walkExpr(cast<AssignExpr>(E)->value(), F);
+    return;
+  case Expr::Kind::Cast:
+    walkExpr(cast<CastExpr>(E)->sub(), F);
+    return;
+  case Expr::Kind::Conditional:
+    walkExpr(cast<ConditionalExpr>(E)->cond(), F);
+    walkExpr(cast<ConditionalExpr>(E)->thenExpr(), F);
+    walkExpr(cast<ConditionalExpr>(E)->elseExpr(), F);
+    return;
+  case Expr::Kind::Map: {
+    auto *M = cast<MapExpr>(E);
+    for (Expr *A : M->extraArgs())
+      walkExpr(A, F);
+    walkExpr(M->source(), F);
+    return;
+  }
+  case Expr::Kind::Reduce:
+    walkExpr(cast<ReduceExpr>(E)->source(), F);
+    return;
+  case Expr::Kind::Connect:
+    walkExpr(cast<ConnectExpr>(E)->upstream(), F);
+    walkExpr(cast<ConnectExpr>(E)->downstream(), F);
+    return;
+  }
+}
+
+void walkExpr(Expr *E, const std::function<void(Expr *)> &F) {
+  if (!E)
+    return;
+  F(E);
+  walkChildren(E, F);
+}
+
+void walkStmt(Stmt *S, const std::function<void(Stmt *)> &SF,
+              const std::function<void(Expr *)> &EF) {
+  if (!S)
+    return;
+  if (SF)
+    SF(S);
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    for (Stmt *Sub : cast<BlockStmt>(S)->stmts())
+      walkStmt(Sub, SF, EF);
+    return;
+  case Stmt::Kind::VarDecl:
+    if (EF)
+      walkExpr(cast<VarDeclStmt>(S)->init(), EF);
+    return;
+  case Stmt::Kind::Expr:
+    if (EF)
+      walkExpr(cast<ExprStmt>(S)->expr(), EF);
+    return;
+  case Stmt::Kind::If: {
+    auto *If = cast<IfStmt>(S);
+    if (EF)
+      walkExpr(If->cond(), EF);
+    walkStmt(If->thenStmt(), SF, EF);
+    walkStmt(If->elseStmt(), SF, EF);
+    return;
+  }
+  case Stmt::Kind::While: {
+    auto *W = cast<WhileStmt>(S);
+    if (EF)
+      walkExpr(W->cond(), EF);
+    walkStmt(W->body(), SF, EF);
+    return;
+  }
+  case Stmt::Kind::For: {
+    auto *F = cast<ForStmt>(S);
+    walkStmt(F->init(), SF, EF);
+    if (EF) {
+      walkExpr(F->cond(), EF);
+      walkExpr(F->update(), EF);
+    }
+    walkStmt(F->body(), SF, EF);
+    return;
+  }
+  case Stmt::Kind::Return:
+    if (EF)
+      walkExpr(cast<ReturnStmt>(S)->value(), EF);
+    return;
+  case Stmt::Kind::ThrowUnderflow:
+    return;
+  case Stmt::Kind::Finish:
+    if (EF)
+      walkExpr(cast<FinishStmt>(S)->graph(), EF);
+    return;
+  }
+}
+
+/// Is \p E a NameRef resolved to \p P?
+bool refersToParam(const Expr *E, const ParamDecl *P) {
+  const auto *N = dyn_cast<NameRefExpr>(E);
+  return N && N->resolution() == NameRefExpr::Resolution::Param &&
+         N->param() == P;
+}
+
+/// Decomposes an array parameter's Lime type into (scalar, inner
+/// bound); returns false for shapes outside the kernel subset
+/// (only the outermost dimension may be unbounded).
+bool decomposeArrayType(const Type *T, const PrimitiveType *&Scalar,
+                        unsigned &InnerBound) {
+  const auto *AT = dyn_cast<ArrayType>(T);
+  if (!AT)
+    return false;
+  if (const auto *Inner = dyn_cast<ArrayType>(AT->element())) {
+    if (Inner->rank() != 1 || Inner->bound() == 0)
+      return false;
+    Scalar = dyn_cast<PrimitiveType>(Inner->element());
+    InnerBound = Inner->bound();
+    return Scalar != nullptr;
+  }
+  Scalar = dyn_cast<PrimitiveType>(AT->element());
+  InnerBound = 0;
+  return Scalar != nullptr;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Identification (§4.1)
+//===----------------------------------------------------------------------===//
+
+KernelAnalysis::KernelAnalysis(Program *P, TypeContext &Types)
+    : TheProgram(P), Types(Types) {}
+
+IdentifyResult KernelAnalysis::identify(MethodDecl *Worker) {
+  IdentifyResult R;
+  KernelPlan &Plan = R.Plan;
+  Plan.Worker = Worker;
+  Plan.KernelName = Worker->parent()->name() + "_" + Worker->name();
+
+  auto Reject = [&](std::string Why) {
+    R.Offloadable = false;
+    R.Reason = std::move(Why);
+    return R;
+  };
+
+  // The filter contract (§3.1/§4.1): static local worker, one value
+  // input. Sema enforced this at task creation; re-verify since the
+  // compiler can be driven directly.
+  if (!Worker->isStatic() || !Worker->isLocal())
+    return Reject("worker is not an isolated filter (static local)");
+  if (Worker->params().empty())
+    return Reject("sources produce data on the host; nothing to offload");
+
+  // The body must be a single `return <map or reduce>;`.
+  const auto &Stmts = Worker->body()->stmts();
+  if (Stmts.size() != 1 || !isa<ReturnStmt>(Stmts[0]))
+    return Reject("worker body is not a single return of a map/reduce "
+                  "expression");
+  Expr *Ret = cast<ReturnStmt>(Stmts[0])->value();
+  if (!Ret)
+    return Reject("worker returns nothing");
+
+  const MapExpr *Map = nullptr;
+  if (auto *M = dyn_cast<MapExpr>(Ret)) {
+    Plan.Kind = KernelKind::Map;
+    Map = M;
+  } else if (auto *Red = dyn_cast<ReduceExpr>(Ret)) {
+    Plan.Kind = KernelKind::Reduce;
+    if (Red->combiner() == ReduceExpr::Combiner::Method)
+      return Reject("method combiners are not offloaded (operator "
+                    "reductions only)");
+    Plan.Combiner = Red->combiner();
+    if (auto *M = dyn_cast<MapExpr>(Red->source()))
+      Map = M; // fused map-reduce
+    else if (!refersToParam(Red->source(), Worker->params()[0]))
+      return Reject("reduce source must be the worker input or a map "
+                    "over it");
+  } else {
+    return Reject("worker result is not a map or reduce expression");
+  }
+
+  if (Map) {
+    Plan.MapFn = Map->method();
+    if (!Plan.MapFn->isStatic() || !Plan.MapFn->isLocal())
+      return Reject("map function must be static and local (§4.1 "
+                    "invariant a)");
+    std::string Reason;
+    if (!classifyMapOperands(Plan, Map, Reason))
+      return Reject(Reason);
+    if (!analyzeMapFunction(Plan, Reason))
+      return Reject(Reason);
+  } else {
+    // Pure operator reduction over the input array.
+    const ParamDecl *In = Worker->params()[0];
+    const PrimitiveType *Scalar;
+    unsigned InnerBound;
+    if (!decomposeArrayType(In->type(), Scalar, InnerBound) ||
+        InnerBound != 0)
+      return Reject("operator reduction needs a flat array of scalars");
+    KernelArray A;
+    A.WorkerParam = In;
+    A.CName = "in0";
+    A.Scalar = Scalar;
+    A.IsMapSource = true;
+    Plan.Arrays.push_back(A);
+    Plan.OutScalars = 1;
+    Plan.OutScalarType = Scalar;
+  }
+
+  if (Plan.Kind == KernelKind::Reduce) {
+    const auto *PT = dyn_cast<PrimitiveType>(
+        Plan.MapFn ? Plan.MapFn->returnType()
+                   : static_cast<const Type *>(Plan.OutScalarType));
+    if (!PT || !PT->isNumeric())
+      return Reject("parallel reduction needs a scalar numeric element");
+    if (Plan.MapFn) {
+      // The fused map runs as an OpenCL helper function inside the
+      // reduction loop, so all of its parameters must be scalars
+      // (OpenCL 1.0 has no address-space-generic pointers).
+      for (ParamDecl *P : Plan.MapFn->params())
+        if (!isa<PrimitiveType>(P->type()))
+          return Reject("fused map-reduce supports scalar map functions "
+                        "only; stage the map as its own filter instead");
+    }
+    Plan.OutScalars = 1;
+    Plan.OutScalarType = PT;
+  }
+
+  // Output array entry.
+  {
+    KernelArray Out;
+    Out.CName = "out";
+    Out.Scalar = Plan.OutScalarType;
+    Out.InnerBound = Plan.OutScalars > 1 ? Plan.OutScalars : 0;
+    Out.IsOutput = true;
+    Plan.Arrays.push_back(Out);
+  }
+
+  R.Offloadable = true;
+  return R;
+}
+
+bool KernelAnalysis::classifyMapOperands(KernelPlan &Plan, const MapExpr *Map,
+                                         std::string &Reason) {
+  MethodDecl *Fn = Plan.MapFn;
+  const ParamDecl *WorkerIn = Plan.Worker->params()[0];
+
+  if (!refersToParam(Map->source(), WorkerIn)) {
+    Reason = "map source must be the worker's input parameter";
+    return false;
+  }
+
+  // The map source array.
+  const PrimitiveType *SrcScalar;
+  unsigned SrcInner;
+  if (!decomposeArrayType(WorkerIn->type(), SrcScalar, SrcInner)) {
+    Reason = "map source shape outside the kernel subset (outer dim "
+             "unbounded, inner dims bounded)";
+    return false;
+  }
+  {
+    KernelArray Src;
+    Src.WorkerParam = WorkerIn;
+    Src.MapParam = Fn->params()[0];
+    Src.CName = "in0";
+    Src.Scalar = SrcScalar;
+    Src.InnerBound = SrcInner;
+    Src.IsMapSource = true;
+    Plan.Arrays.push_back(Src);
+  }
+  Plan.ElemParam = Fn->params()[0];
+
+  // Extra arguments: worker-parameter references become buffers or
+  // forwarded scalars.
+  for (size_t I = 0, N = Map->extraArgs().size(); I != N; ++I) {
+    Expr *Arg = Map->extraArgs()[I];
+    const ParamDecl *FnParam = Fn->params()[I + 1];
+    const auto *ArgName = dyn_cast<NameRefExpr>(Arg);
+    if (!ArgName ||
+        ArgName->resolution() != NameRefExpr::Resolution::Param) {
+      Reason = "map extra arguments must be worker parameters";
+      return false;
+    }
+    const ParamDecl *WP = ArgName->param();
+    if (isa<ArrayType>(FnParam->type())) {
+      // Same worker array bound to several mapped params shares one
+      // buffer.
+      int Existing = -1;
+      for (size_t AI = 0; AI != Plan.Arrays.size(); ++AI)
+        if (Plan.Arrays[AI].WorkerParam == WP)
+          Existing = static_cast<int>(AI);
+      if (Existing < 0) {
+        const PrimitiveType *Scalar;
+        unsigned Inner;
+        if (!decomposeArrayType(FnParam->type(), Scalar, Inner)) {
+          Reason = "array argument shape outside the kernel subset";
+          return false;
+        }
+        KernelArray A;
+        A.WorkerParam = WP;
+        A.MapParam = FnParam;
+        A.CName = formatString("arr%zu", Plan.Arrays.size());
+        A.Scalar = Scalar;
+        A.InnerBound = Inner;
+        Plan.Arrays.push_back(A);
+        Existing = static_cast<int>(Plan.Arrays.size()) - 1;
+      }
+      Plan.ParamToArray[FnParam] = Existing;
+    } else if (const auto *PT =
+                   dyn_cast<PrimitiveType>(FnParam->type())) {
+      KernelScalar S;
+      S.MapParam = FnParam;
+      S.WorkerParam = WP;
+      S.CName = "s_" + FnParam->name();
+      S.Scalar = PT;
+      Plan.Scalars.push_back(S);
+      Plan.ParamToScalar[FnParam] =
+          static_cast<int>(Plan.Scalars.size()) - 1;
+    } else {
+      Reason = "unsupported map argument type " + FnParam->type()->str();
+      return false;
+    }
+  }
+
+  // The element parameter also resolves to the source array.
+  Plan.ParamToArray[Plan.ElemParam] = 0;
+
+  // Result shape.
+  const Type *Ret = Fn->returnType();
+  if (const auto *PT = dyn_cast<PrimitiveType>(Ret)) {
+    Plan.OutScalars = 1;
+    Plan.OutScalarType = PT;
+  } else if (const auto *AT = dyn_cast<ArrayType>(Ret);
+             AT && AT->rank() == 1 && AT->bound() != 0 &&
+             isa<PrimitiveType>(AT->element())) {
+    Plan.OutScalars = AT->bound();
+    Plan.OutScalarType = cast<PrimitiveType>(AT->element());
+  } else {
+    Reason = "map function must return a scalar or a bounded 1-D value "
+             "array";
+    return false;
+  }
+  return true;
+}
+
+bool KernelAnalysis::collectHelpers(KernelPlan &Plan, MethodDecl *M,
+                                    std::string &Reason) {
+  bool OK = true;
+  std::string LocalReason;
+  walkStmt(
+      M->body(), nullptr,
+      [&](Expr *E) {
+        if (!OK)
+          return;
+        if (isa<MapExpr, ReduceExpr, TaskExpr, ConnectExpr, NewObjectExpr>(
+                E)) {
+          OK = false;
+          LocalReason = "nested map/reduce/task expressions are not "
+                        "offloadable";
+          return;
+        }
+        auto *C = dyn_cast<CallExpr>(E);
+        if (!C || C->builtin() != BuiltinFn::None)
+          return;
+        MethodDecl *Callee = C->method();
+        if (!Callee) {
+          OK = false;
+          LocalReason = "unresolved call in kernel code";
+          return;
+        }
+        if (!Callee->isStatic() || !Callee->isLocal()) {
+          OK = false;
+          LocalReason = "kernel code may only call static local methods";
+          return;
+        }
+        for (ParamDecl *P : Callee->params())
+          if (!isa<PrimitiveType>(P->type())) {
+            OK = false;
+            LocalReason = "helper methods must take scalar parameters "
+                          "(no address-space-generic pointers in "
+                          "OpenCL 1.0)";
+            return;
+          }
+        // Helper bodies need exactly one return, at the end (the
+        // OpenCL inliner's restriction).
+        unsigned Returns = 0;
+        walkStmt(Callee->body(), [&](Stmt *S) {
+          if (isa<ReturnStmt>(S))
+            ++Returns;
+        }, nullptr);
+        const auto &Body = Callee->body()->stmts();
+        bool TrailingReturn =
+            !Body.empty() && isa<ReturnStmt>(Body.back());
+        if (Returns != 1 || !TrailingReturn) {
+          OK = false;
+          LocalReason = "helper '" + Callee->name() +
+                        "' must have exactly one trailing return";
+          return;
+        }
+        bool Known = false;
+        for (MethodDecl *H : Plan.Helpers)
+          if (H == Callee)
+            Known = true;
+        if (Callee == Plan.MapFn) {
+          OK = false;
+          LocalReason = "recursive kernel code is not legal OpenCL";
+          return;
+        }
+        if (!Known) {
+          Plan.Helpers.push_back(Callee);
+          if (Plan.Helpers.size() > 64) {
+            OK = false;
+            LocalReason = "helper call graph too large (recursion?)";
+            return;
+          }
+          if (!collectHelpers(Plan, Callee, LocalReason))
+            OK = false;
+        }
+      });
+  if (!OK)
+    Reason = LocalReason;
+  return OK;
+}
+
+bool KernelAnalysis::collectPrivateArrays(KernelPlan &Plan,
+                                          std::string &Reason) {
+  bool OK = true;
+  std::string LocalReason;
+  auto ScanMethod = [&](MethodDecl *M) {
+    walkStmt(M->body(),
+             [&](Stmt *S) {
+               if (!OK)
+                 return;
+               auto *D = dyn_cast<VarDeclStmt>(S);
+               if (!D || !D->init())
+                 return;
+               auto *NA = dyn_cast<NewArrayExpr>(D->init());
+               if (!NA)
+                 return;
+               const auto *AT = dyn_cast<ArrayType>(D->type());
+               if (!AT || AT->rank() != 1) {
+                 OK = false;
+                 LocalReason = "only 1-D in-kernel scratch arrays are "
+                               "supported";
+                 return;
+               }
+               unsigned Count = 0;
+               if (!NA->inits().empty()) {
+                 Count = static_cast<unsigned>(NA->inits().size());
+               } else if (NA->sizes().size() == 1) {
+                 if (auto *L = dyn_cast<IntLitExpr>(NA->sizes()[0])) {
+                   Count = static_cast<unsigned>(L->value());
+                 } else {
+                   OK = false;
+                   LocalReason = "in-kernel array sizes must be "
+                                 "compile-time constants (private "
+                                 "memory, §4.2.1)";
+                   return;
+                 }
+               }
+               Plan.PrivateArrays.push_back({D, Count});
+             },
+             nullptr);
+  };
+  ScanMethod(Plan.MapFn);
+  for (MethodDecl *H : Plan.Helpers)
+    ScanMethod(H);
+  if (!OK)
+    Reason = LocalReason;
+  return OK;
+}
+
+void KernelAnalysis::findTilingCandidate(KernelPlan &Plan) {
+  // Fig. 5(c): a top-level sequential loop `for (j = 0; j <
+  // X.length; j++)` sweeping a whole shared array X that is only
+  // accessed as X[j].
+  for (Stmt *S : Plan.MapFn->body()->stmts()) {
+    auto *For = dyn_cast<ForStmt>(S);
+    if (!For || !For->init() || !For->cond())
+      continue;
+    auto *Init = dyn_cast<VarDeclStmt>(For->init());
+    if (!Init)
+      continue;
+    auto *Cond = dyn_cast<BinaryExpr>(For->cond());
+    if (!Cond || Cond->op() != BinaryOp::Lt)
+      continue;
+    auto *CondVar = dyn_cast<NameRefExpr>(Cond->lhs());
+    if (!CondVar || CondVar->local() != Init)
+      continue;
+    auto *Len = dyn_cast<ArrayLengthExpr>(Cond->rhs());
+    if (!Len)
+      continue;
+    auto *ArrRef = dyn_cast<NameRefExpr>(Len->base());
+    if (!ArrRef || ArrRef->resolution() != NameRefExpr::Resolution::Param)
+      continue;
+    auto It = Plan.ParamToArray.find(ArrRef->param());
+    if (It == Plan.ParamToArray.end())
+      continue;
+    int ArrayIdx = It->second;
+    if (Plan.Arrays[static_cast<size_t>(ArrayIdx)].IsMapSource &&
+        ArrRef->param() == Plan.ElemParam)
+      continue;
+
+    // Every access to X must be X[<loop var>].
+    bool AllByLoopVar = true;
+    const ParamDecl *XParam = ArrRef->param();
+    walkStmt(For->body(), nullptr, [&](Expr *E) {
+      auto *Idx = dyn_cast<ArrayIndexExpr>(E);
+      if (!Idx)
+        return;
+      if (!refersToParam(Idx->base(), XParam))
+        return;
+      auto *IV = dyn_cast<NameRefExpr>(Idx->index());
+      if (!IV || IV->local() != Init)
+        AllByLoopVar = false;
+    });
+    // X must not be touched outside the loop: compare use counts in
+    // the whole body against uses inside the loop (body + bound).
+    unsigned Total = 0;
+    unsigned Inside = 0;
+    walkStmt(Plan.MapFn->body(), nullptr, [&](Expr *E) {
+      if (refersToParam(E, XParam))
+        ++Total;
+    });
+    walkStmt(For->body(), nullptr, [&](Expr *E) {
+      if (refersToParam(E, XParam))
+        ++Inside;
+    });
+    walkExpr(For->cond(), [&](Expr *E) {
+      if (refersToParam(E, XParam))
+        ++Inside;
+    });
+    bool UsedOutside = Total != Inside;
+
+    if (AllByLoopVar && !UsedOutside) {
+      Plan.TiledLoop = For;
+      Plan.TiledArrayIndex = ArrayIdx;
+      return;
+    }
+  }
+}
+
+bool KernelAnalysis::isUniformlyIndexed(const KernelPlan &Plan,
+                                        const ParamDecl *Param) {
+  // Taint: values derived from the map element differ per work-item;
+  // an array indexed only by untainted expressions is read uniformly
+  // (broadcast) — the Fig. 5(g) constant-memory idiom.
+  std::set<const void *> Tainted;
+  Tainted.insert(Plan.ElemParam);
+
+  // Propagate to fixpoint through declarations and assignments.
+  bool Changed = true;
+  auto ExprTainted = [&](Expr *E) {
+    bool T = false;
+    walkExpr(E, [&](Expr *Sub) {
+      if (auto *N = dyn_cast<NameRefExpr>(Sub)) {
+        const void *Key = nullptr;
+        if (N->resolution() == NameRefExpr::Resolution::Param)
+          Key = N->param();
+        else if (N->resolution() == NameRefExpr::Resolution::Local)
+          Key = N->local();
+        if (Key && Tainted.count(Key))
+          T = true;
+      }
+    });
+    return T;
+  };
+  while (Changed) {
+    Changed = false;
+    walkStmt(Plan.MapFn->body(),
+             [&](Stmt *S) {
+               auto *D = dyn_cast<VarDeclStmt>(S);
+               if (!D || !D->init())
+                 return;
+               if (!Tainted.count(D) && ExprTainted(D->init())) {
+                 Tainted.insert(D);
+                 Changed = true;
+               }
+             },
+             [&](Expr *E) {
+               auto *A = dyn_cast<AssignExpr>(E);
+               if (!A)
+                 return;
+               auto *N = dyn_cast<NameRefExpr>(A->target());
+               if (!N || N->resolution() != NameRefExpr::Resolution::Local)
+                 return;
+               if (!Tainted.count(N->local()) && ExprTainted(A->value())) {
+                 Tainted.insert(N->local());
+                 Changed = true;
+               }
+             });
+  }
+
+  bool Uniform = true;
+  walkStmt(Plan.MapFn->body(), nullptr, [&](Expr *E) {
+    auto *Idx = dyn_cast<ArrayIndexExpr>(E);
+    if (!Idx)
+      return;
+    // Outer access X[...] or inner access X[..][...].
+    Expr *Base = Idx->base();
+    bool OnParam = refersToParam(Base, Param);
+    if (auto *InnerBase = dyn_cast<ArrayIndexExpr>(Base))
+      OnParam = OnParam || refersToParam(InnerBase->base(), Param);
+    if (!OnParam)
+      return;
+    if (ExprTainted(Idx->index()))
+      Uniform = false;
+  });
+  return Uniform;
+}
+
+bool KernelAnalysis::innerIndicesConstant(const KernelPlan &Plan,
+                                          const ParamDecl *Param) {
+  bool AllConstant = true;
+  auto Check = [&](MethodDecl *M) {
+    walkStmt(M->body(), nullptr, [&](Expr *E) {
+      auto *Idx = dyn_cast<ArrayIndexExpr>(E);
+      if (!Idx)
+        return;
+      // Inner access pattern X[outer][inner] — the inner index must
+      // be a literal for the vectorizer to know the component
+      // statically (§4.2.2). The element parameter's row accesses
+      // elem[inner] count too.
+      if (auto *BaseIdx = dyn_cast<ArrayIndexExpr>(Idx->base())) {
+        if (refersToParam(BaseIdx->base(), Param) &&
+            !isa<IntLitExpr>(Idx->index()))
+          AllConstant = false;
+        return;
+      }
+      if (Param == Plan.ElemParam && refersToParam(Idx->base(), Param) &&
+          isa<ArrayType>(Param->type()) &&
+          cast<ArrayType>(Param->type())->rank() == 1 &&
+          !isa<IntLitExpr>(Idx->index()))
+        AllConstant = false;
+    });
+  };
+  Check(Plan.MapFn);
+  return AllConstant;
+}
+
+bool KernelAnalysis::analyzeMapFunction(KernelPlan &Plan,
+                                        std::string &Reason) {
+  if (!collectHelpers(Plan, Plan.MapFn, Reason))
+    return false;
+  if (!collectPrivateArrays(Plan, Reason))
+    return false;
+  findTilingCandidate(Plan);
+
+  // Eligibility facts per array.
+  for (KernelArray &A : Plan.Arrays) {
+    if (A.IsOutput)
+      continue;
+    const ParamDecl *MP = A.MapParam;
+    if (!MP)
+      continue;
+    A.UniformlyIndexed = !A.IsMapSource && isUniformlyIndexed(Plan, MP);
+    A.InnerIndexConstant = innerIndicesConstant(Plan, MP);
+    // Fig. 5(e): read-only float/int arrays whose rows fill whole
+    // texels (inner bound 4) or flat scalar arrays.
+    bool ScalarOK = A.Scalar->prim() == PrimitiveType::Prim::Float ||
+                    A.Scalar->prim() == PrimitiveType::Prim::Int;
+    A.ImageEligible =
+        ScalarOK && (A.InnerBound == 4 ||
+                     (A.InnerBound == 0 && !A.IsMapSource));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Memory optimization (§4.2.1) and vectorization (§4.2.2)
+//===----------------------------------------------------------------------===//
+
+void KernelAnalysis::optimize(KernelPlan &Plan, const MemoryConfig &Config) {
+  Plan.Config = Config;
+  for (size_t I = 0; I != Plan.Arrays.size(); ++I) {
+    KernelArray &A = Plan.Arrays[I];
+    if (A.IsOutput) {
+      A.Space = MemSpace::Global;
+      A.Vectorized = Config.Vectorize &&
+                     (A.InnerBound == 2 || A.InnerBound == 4 ||
+                      A.InnerBound == 8 || A.InnerBound == 16);
+      continue;
+    }
+
+    bool Tiled = Config.AllowLocal &&
+                 static_cast<int>(I) == Plan.TiledArrayIndex;
+    bool Img = Config.AllowImage && A.ImageEligible;
+    bool Const = Config.AllowConstant && A.UniformlyIndexed;
+
+    if (Tiled)
+      A.Space = MemSpace::LocalTiled;
+    else if (Img)
+      A.Space = MemSpace::Image;
+    else if (Const)
+      A.Space = MemSpace::Constant;
+    else
+      A.Space = MemSpace::Global;
+
+    // OpenCL 1.0 allows widths 2/4/8/16 (§4.2.2); the emitter
+    // implements the 2 and 4 forms the benchmarks use.
+    bool VecWidthOK = A.InnerBound == 2 || A.InnerBound == 4;
+    A.Vectorized = Config.Vectorize && VecWidthOK && A.InnerIndexConstant &&
+                   A.Space != MemSpace::Image;
+
+    if (A.Space == MemSpace::LocalTiled) {
+      A.RowStride = A.rowScalars();
+      if (Config.RemoveBankConflicts && A.rowScalars() > 1)
+        A.RowStride += 1; // pad one word per row (§4.2.1)
+      unsigned RowBytes = A.RowStride * A.Scalar->sizeInBytes();
+      unsigned Budget = Config.LocalTileBudgetBytes;
+      A.TileRows = std::min(512u, std::max(16u, Budget / RowBytes));
+      // Padded rows defeat contiguous vector loads of the tile
+      // itself; the global->local fill may still vectorize.
+    }
+  }
+}

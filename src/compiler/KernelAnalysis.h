@@ -1,0 +1,86 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Kernel identification (§4.1) and the memory optimizer (§4.2.1).
+///
+/// Identification relies only on the type-system invariants sema has
+/// already verified — the mapped function is static local (pure), its
+/// arguments are deeply-immutable values — so no alias or dependence
+/// analysis appears anywhere in this file; that absence is the
+/// paper's thesis.
+///
+/// The optimizer is the pattern matcher of Figure 5:
+///  (a) arrays allocated inside the mapped function with small static
+///      size -> private memory;
+///  (c) a sequential loop sweeping a whole shared array -> local
+///      tiling (plus bank-conflict padding when enabled);
+///  (e) read-only arrays with a 4-element innermost dimension or flat
+///      scalar layout -> image (texture) memory;
+///  (g) arrays indexed uniformly across work-items -> constant
+///      memory;
+///  and §4.2.2's vectorizer marks bounded innermost dimensions of
+///  width 2/4/8/16 accessed at constant offsets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_COMPILER_KERNELANALYSIS_H
+#define LIMECC_COMPILER_KERNELANALYSIS_H
+
+#include "compiler/KernelPlan.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+
+namespace lime {
+
+/// Outcome of identification: a plan, or the human-readable reason
+/// the filter stays on the host (the runtime then runs it in the
+/// evaluator, exactly like the paper's system keeps non-offloadable
+/// tasks in the JVM).
+struct IdentifyResult {
+  bool Offloadable = false;
+  std::string Reason;
+  KernelPlan Plan;
+};
+
+class KernelAnalysis {
+public:
+  KernelAnalysis(Program *P, TypeContext &Types);
+
+  /// Identifies the data-parallel kernel inside filter \p Worker.
+  IdentifyResult identify(MethodDecl *Worker);
+
+  /// Applies \p Config to the identified plan: assigns memory spaces,
+  /// padding and vectorization flags.
+  void optimize(KernelPlan &Plan, const MemoryConfig &Config);
+
+private:
+  // Identification pieces.
+  bool analyzeMapFunction(KernelPlan &Plan, std::string &Reason);
+  bool classifyMapOperands(KernelPlan &Plan, const MapExpr *Map,
+                           std::string &Reason);
+  bool collectHelpers(KernelPlan &Plan, MethodDecl *M, std::string &Reason);
+  bool collectPrivateArrays(KernelPlan &Plan, std::string &Reason);
+  void findTilingCandidate(KernelPlan &Plan);
+
+  /// True when every index applied to \p Param's array inside the
+  /// mapped function is independent of the map element (the Fig. 5(g)
+  /// uniform-access test for constant memory).
+  bool isUniformlyIndexed(const KernelPlan &Plan, const ParamDecl *Param);
+
+  /// True when the inner dimension of \p Param is always indexed by
+  /// integer literals (vectorization legality, §4.2.2).
+  bool innerIndicesConstant(const KernelPlan &Plan, const ParamDecl *Param);
+
+  Program *TheProgram;
+  TypeContext &Types;
+};
+
+} // namespace lime
+
+#endif // LIMECC_COMPILER_KERNELANALYSIS_H

@@ -1,0 +1,224 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data structures describing how a Lime filter compiles to a GPU
+/// kernel: the identification result (§4.1 — which map/reduce drives
+/// the kernel, which arrays flow in), the memory optimizer's
+/// placement decisions (§4.2.1 — global / private / local+tiling /
+/// constant / image, bank-conflict padding), the vectorizer's choices
+/// (§4.2.2), and the host plan the runtime uses to orchestrate
+/// buffers, transfers and the launch (§4.3).
+///
+/// MemoryConfig's switches mirror the paper's evaluation axes: each
+/// optimization "can be enabled and disabled so that it is possible
+/// to perform an automated exploration of the memory mapping" — the
+/// eight bars per benchmark in Figure 8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_COMPILER_KERNELPLAN_H
+#define LIMECC_COMPILER_KERNELPLAN_H
+
+#include "lime/ast/AST.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lime {
+
+/// Where the optimizer places an array (paper §2, §4.2.1).
+enum class MemSpace : uint8_t { Global, Constant, Image, LocalTiled };
+
+const char *memSpaceName(MemSpace S);
+
+/// Optimization switches (one Figure 8 bar = one configuration).
+struct MemoryConfig {
+  bool AllowPrivate = true;  // private scratch for in-kernel arrays
+  bool AllowLocal = false;   // local-memory tiling of shared arrays
+  bool RemoveBankConflicts = false; // pad local tiles
+  bool AllowConstant = false;
+  bool AllowImage = false;
+  bool Vectorize = false;
+
+  /// Private-array size threshold in bytes ("extremely small
+  /// capacity", §4.2.1).
+  unsigned PrivateBytesLimit = 512;
+
+  /// Local-memory budget for one tile (the offload manager sets this
+  /// from the target's scratchpad size; 8KB suits every Table 2
+  /// device as a default).
+  unsigned LocalTileBudgetBytes = 8 * 1024;
+
+  std::string str() const;
+
+  // The named configurations of Figure 8.
+  static MemoryConfig global() { return MemoryConfig(); }
+  static MemoryConfig globalVector() {
+    MemoryConfig C;
+    C.Vectorize = true;
+    return C;
+  }
+  static MemoryConfig local() {
+    MemoryConfig C;
+    C.AllowLocal = true;
+    return C;
+  }
+  static MemoryConfig localNoConflict() {
+    MemoryConfig C;
+    C.AllowLocal = true;
+    C.RemoveBankConflicts = true;
+    return C;
+  }
+  static MemoryConfig localNoConflictVector() {
+    MemoryConfig C;
+    C.AllowLocal = true;
+    C.RemoveBankConflicts = true;
+    C.Vectorize = true;
+    return C;
+  }
+  static MemoryConfig constant() {
+    MemoryConfig C;
+    C.AllowConstant = true;
+    return C;
+  }
+  static MemoryConfig constantVector() {
+    MemoryConfig C;
+    C.AllowConstant = true;
+    C.Vectorize = true;
+    return C;
+  }
+  static MemoryConfig texture() {
+    MemoryConfig C;
+    C.AllowImage = true;
+    return C;
+  }
+  /// Everything on: what the production compiler would pick before
+  /// auto-tuning.
+  static MemoryConfig best() {
+    MemoryConfig C;
+    C.AllowLocal = true;
+    C.RemoveBankConflicts = true;
+    C.AllowConstant = true;
+    C.Vectorize = true;
+    return C;
+  }
+};
+
+/// One array visible to the kernel.
+struct KernelArray {
+  /// Parameter of the *mapped function* this array binds to; null
+  /// for the output array.
+  const ParamDecl *MapParam = nullptr;
+  /// Parameter of the *worker* supplying the data (the runtime
+  /// serializes this value into the buffer).
+  const ParamDecl *WorkerParam = nullptr;
+
+  std::string CName;                 // C identifier in the kernel
+  const PrimitiveType *Scalar = nullptr;
+  /// Bound of the inner dimension (elements are rows of this many
+  /// scalars); 0 when elements are scalars.
+  unsigned InnerBound = 0;
+  bool IsMapSource = false;
+  bool IsOutput = false;
+
+  // Eligibility facts computed during identification.
+  bool UniformlyIndexed = false; // Fig. 5(g) constant-memory test
+  bool InnerIndexConstant = false; // vectorization legality (§4.2.2)
+  bool ImageEligible = false;      // Fig. 5(e) texture test
+
+  // Optimizer decisions.
+  MemSpace Space = MemSpace::Global;
+  bool Vectorized = false;
+  /// Local tiling (only with Space == LocalTiled): row stride in
+  /// scalars (InnerBound, +1 when padded) and rows per tile.
+  unsigned RowStride = 0;
+  unsigned TileRows = 0;
+
+  unsigned rowScalars() const { return InnerBound ? InnerBound : 1; }
+  unsigned rowBytes() const;
+};
+
+/// A scalar argument forwarded from the worker to the kernel.
+struct KernelScalar {
+  const ParamDecl *MapParam = nullptr;
+  const ParamDecl *WorkerParam = nullptr;
+  std::string CName;
+  const PrimitiveType *Scalar = nullptr;
+};
+
+/// What drives the parallelism.
+enum class KernelKind : uint8_t {
+  Map,       // out[i] = f(src[i], extras...)
+  Reduce,    // out = combine(!) over src (optionally f-mapped)
+};
+
+/// A private (in-kernel) array the optimizer placed (§4.2.1 Fig 5a-b).
+struct PrivateArray {
+  const VarDeclStmt *Decl = nullptr;
+  unsigned Scalars = 0; // total scalar slots (static)
+};
+
+/// The identified-and-optimized kernel.
+struct KernelPlan {
+  KernelKind Kind = KernelKind::Map;
+  std::string KernelName;
+
+  /// The worker (filter) this kernel offloads and the mapped /
+  /// reduced source code.
+  MethodDecl *Worker = nullptr;
+  MethodDecl *MapFn = nullptr; // null for pure operator reductions
+  ReduceExpr::Combiner Combiner = ReduceExpr::Combiner::Add; // Reduce only
+
+  std::vector<KernelArray> Arrays;
+  std::vector<KernelScalar> Scalars;
+  std::vector<PrivateArray> PrivateArrays;
+
+  /// The mapped function's element parameter, and the resolution of
+  /// its remaining parameters to plan arrays/scalars (several mapped
+  /// parameters may alias one array — N-Body passes `positions` both
+  /// as the element and as the whole array).
+  const ParamDecl *ElemParam = nullptr;
+  std::map<const ParamDecl *, int> ParamToArray;
+  std::map<const ParamDecl *, int> ParamToScalar;
+
+  /// Loop statement (inside MapFn's body) selected for local tiling;
+  /// null when no tiling applies.
+  const ForStmt *TiledLoop = nullptr;
+  /// The KernelArray index tiled by that loop.
+  int TiledArrayIndex = -1;
+
+  /// Helper methods called from the map function (emitted as OpenCL
+  /// helper functions, in call order).
+  std::vector<MethodDecl *> Helpers;
+
+  /// Output element: scalars per produced element (rows of the out
+  /// array; 1 for scalar results).
+  unsigned OutScalars = 1;
+  const PrimitiveType *OutScalarType = nullptr;
+
+  MemoryConfig Config;
+
+  const KernelArray *mapSource() const {
+    for (const KernelArray &A : Arrays)
+      if (A.IsMapSource)
+        return &A;
+    return nullptr;
+  }
+  const KernelArray *output() const {
+    for (const KernelArray &A : Arrays)
+      if (A.IsOutput)
+        return &A;
+    return nullptr;
+  }
+};
+
+} // namespace lime
+
+#endif // LIMECC_COMPILER_KERNELPLAN_H

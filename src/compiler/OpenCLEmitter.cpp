@@ -1,0 +1,1074 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/OpenCLEmitter.h"
+
+#include "support/StringUtils.h"
+
+using namespace lime;
+
+OpenCLEmitter::OpenCLEmitter(const KernelPlan &Plan, DiagnosticEngine &Diags)
+    : Plan(Plan), Diags(Diags) {}
+
+void OpenCLEmitter::errorAt(SourceLocation Loc, const std::string &Msg) {
+  Diags.error(Loc, "[emit] " + Msg);
+}
+
+void OpenCLEmitter::line(const std::string &Text) {
+  Out.append(Indent * 2, ' ');
+  Out += Text;
+  Out += '\n';
+}
+
+void OpenCLEmitter::open(const std::string &Text) {
+  line(Text);
+  ++Indent;
+}
+
+void OpenCLEmitter::close(const std::string &Text) {
+  --Indent;
+  line(Text);
+}
+
+std::string OpenCLEmitter::freshName(const std::string &Hint) {
+  return formatString("v%u_%s", NameCounter++, Hint.c_str());
+}
+
+std::string OpenCLEmitter::cTypeFor(const Type *T) {
+  const auto *PT = dyn_cast<PrimitiveType>(T);
+  if (!PT) {
+    errorAt(SourceLocation(), "non-scalar type in kernel code: " + T->str());
+    return "int";
+  }
+  switch (PT->prim()) {
+  case PrimitiveType::Prim::Void:
+    return "void";
+  case PrimitiveType::Prim::Boolean:
+    return "int";
+  case PrimitiveType::Prim::Byte:
+    return "char";
+  case PrimitiveType::Prim::Int:
+    return "int";
+  case PrimitiveType::Prim::Long:
+    return "long";
+  case PrimitiveType::Prim::Float:
+    return "float";
+  case PrimitiveType::Prim::Double:
+    return "double";
+  }
+  lime_unreachable("bad prim");
+}
+
+/// Renders a floating literal so it parses as the intended type.
+static std::string floatLiteral(double V, bool Single) {
+  std::string S = formatString("%.17g", V);
+  if (S.find('.') == std::string::npos && S.find('e') == std::string::npos &&
+      S.find("inf") == std::string::npos)
+    S += ".0";
+  if (Single)
+    S += "f";
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Access paths
+//===----------------------------------------------------------------------===//
+
+int OpenCLEmitter::arrayIndexOfBase(Expr *Base) {
+  auto *N = dyn_cast<NameRefExpr>(Base);
+  if (!N || N->resolution() != NameRefExpr::Resolution::Param)
+    return -1;
+  auto It = Plan.ParamToArray.find(N->param());
+  return It == Plan.ParamToArray.end() ? -1 : It->second;
+}
+
+std::string OpenCLEmitter::emitScalarArrayAccess(int ArrayIndex,
+                                                 const std::string &Outer) {
+  const KernelArray &A = Plan.Arrays[static_cast<size_t>(ArrayIndex)];
+  if (A.Space == MemSpace::Image)
+    return formatString("__fetch1_%s(img_%s, smp_%s, (%s))", A.CName.c_str(),
+                        A.CName.c_str(), A.CName.c_str(), Outer.c_str());
+  return formatString("%s[%s]", A.CName.c_str(), Outer.c_str());
+}
+
+std::string OpenCLEmitter::emitElementAccess(int ArrayIndex,
+                                             const std::string &Outer,
+                                             Expr *InnerIdx, bool OnTile) {
+  const KernelArray &A = Plan.Arrays[static_cast<size_t>(ArrayIndex)];
+  std::string Inner = emitExpr(InnerIdx);
+
+  if (OnTile)
+    return formatString("tile_%s[(%s) * %u + (%s)]", A.CName.c_str(),
+                        Outer.c_str(), A.RowStride, Inner.c_str());
+
+  if (A.Space == MemSpace::Image) {
+    // Whole-texel rows: fetch then select the component. Constant
+    // inner indices use the component accessor directly.
+    std::string Fetch = formatString(
+        "read_imagef(img_%s, smp_%s, (int2)((%s) %% %u, (%s) / %u))",
+        A.CName.c_str(), A.CName.c_str(), Outer.c_str(), ImageRowTexels,
+        Outer.c_str(), ImageRowTexels);
+    if (auto *Lit = dyn_cast<IntLitExpr>(InnerIdx)) {
+      static const char *Comp[4] = {"x", "y", "z", "w"};
+      long long C = Lit->value();
+      if (C >= 0 && C < 4)
+        return Fetch + "." + Comp[C];
+    }
+    errorAt(InnerIdx->loc(), "image rows need constant component indices");
+    return Fetch + ".x";
+  }
+
+  return formatString("%s[(%s) * %u + (%s)]", A.CName.c_str(), Outer.c_str(),
+                      A.InnerBound, Inner.c_str());
+}
+
+std::string OpenCLEmitter::rowAccess(const RowView &V, Expr *InnerIdx) {
+  if (!V.CompVars.empty()) {
+    if (auto *Lit = dyn_cast<IntLitExpr>(InnerIdx);
+        Lit && Lit->value() >= 0 &&
+        Lit->value() < static_cast<long long>(V.CompVars.size()))
+      return V.CompVars[static_cast<size_t>(Lit->value())];
+    // Dynamic index against a promoted row: fall through to memory.
+    return emitElementAccess(V.ArrayIndex, V.OuterIndex, InnerIdx, V.OnTile);
+  }
+  if (!V.CacheVar.empty()) {
+    if (auto *Lit = dyn_cast<IntLitExpr>(InnerIdx)) {
+      static const char *Comp[4] = {"x", "y", "z", "w"};
+      if (Lit->value() >= 0 && Lit->value() < 4)
+        return V.CacheVar + "." + Comp[Lit->value()];
+    }
+    errorAt(InnerIdx->loc(),
+            "vectorized rows need constant component indices");
+    return V.CacheVar + ".x";
+  }
+  return emitElementAccess(V.ArrayIndex, V.OuterIndex, InnerIdx, V.OnTile);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+std::string OpenCLEmitter::emitExpr(Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return std::to_string(cast<IntLitExpr>(E)->value());
+  case Expr::Kind::FloatLit: {
+    auto *L = cast<FloatLitExpr>(E);
+    return floatLiteral(L->value(), L->isSingle());
+  }
+  case Expr::Kind::BoolLit:
+    return cast<BoolLitExpr>(E)->value() ? "1" : "0";
+
+  case Expr::Kind::NameRef: {
+    auto *N = cast<NameRefExpr>(E);
+    switch (N->resolution()) {
+    case NameRefExpr::Resolution::Local: {
+      auto It = Names.find(N->local());
+      if (It != Names.end())
+        return It->second;
+      errorAt(N->loc(), "unbound local '" + N->name() + "' in kernel code");
+      return "0";
+    }
+    case NameRefExpr::Resolution::Param: {
+      auto It = Names.find(N->param());
+      if (It != Names.end())
+        return It->second;
+      errorAt(N->loc(), "array parameter '" + N->name() +
+                            "' used as a value in kernel code");
+      return "0";
+    }
+    case NameRefExpr::Resolution::Field: {
+      FieldDecl *F = N->field();
+      if (F->isStatic() && F->isFinal() && F->init()) {
+        if (auto *IL = dyn_cast<IntLitExpr>(F->init()))
+          return std::to_string(IL->value());
+        if (auto *FL = dyn_cast<FloatLitExpr>(F->init()))
+          return floatLiteral(FL->value(), FL->isSingle());
+      }
+      errorAt(N->loc(), "only literal-initialized final statics are "
+                        "available in kernel code");
+      return "0";
+    }
+    default:
+      errorAt(N->loc(), "unsupported name in kernel code");
+      return "0";
+    }
+  }
+
+  case Expr::Kind::FieldAccess: {
+    auto *FA = cast<FieldAccessExpr>(E);
+    FieldDecl *F = FA->field();
+    if (F && F->isStatic() && F->isFinal() && F->init()) {
+      if (auto *IL = dyn_cast<IntLitExpr>(F->init()))
+        return std::to_string(IL->value());
+      if (auto *FL = dyn_cast<FloatLitExpr>(F->init()))
+        return floatLiteral(FL->value(), FL->isSingle());
+    }
+    errorAt(E->loc(), "field access in kernel code");
+    return "0";
+  }
+
+  case Expr::Kind::ArrayLength: {
+    auto *AL = cast<ArrayLengthExpr>(E);
+    if (auto *N = dyn_cast<NameRefExpr>(AL->base())) {
+      if (N->resolution() == NameRefExpr::Resolution::Param) {
+        if (N->param() == Plan.ElemParam &&
+            isa<ArrayType>(Plan.ElemParam->type()))
+          return std::to_string(
+              cast<ArrayType>(Plan.ElemParam->type())->bound());
+        auto It = Plan.ParamToArray.find(N->param());
+        if (It != Plan.ParamToArray.end())
+          return "args.len_" +
+                 Plan.Arrays[static_cast<size_t>(It->second)].CName;
+      }
+      if (N->resolution() == NameRefExpr::Resolution::Local) {
+        auto PIt = PrivateSizes.find(N->local());
+        if (PIt != PrivateSizes.end())
+          return std::to_string(PIt->second);
+        auto RIt = RowViews.find(N->local());
+        if (RIt != RowViews.end())
+          return std::to_string(
+              Plan.Arrays[static_cast<size_t>(RIt->second.ArrayIndex)]
+                  .rowScalars());
+      }
+    }
+    errorAt(E->loc(), "unsupported .length in kernel code");
+    return "0";
+  }
+
+  case Expr::Kind::ArrayIndex: {
+    auto *AI = cast<ArrayIndexExpr>(E);
+    Expr *Base = AI->base();
+
+    // X[o][c] — inner access on a mapped array.
+    if (auto *Outer = dyn_cast<ArrayIndexExpr>(Base)) {
+      int Arr = arrayIndexOfBase(Outer->base());
+      if (Arr >= 0) {
+        bool OnTile = false;
+        std::string OuterIdx;
+        if (Arr == Plan.TiledArrayIndex && TileLoopVar &&
+            Plan.Arrays[static_cast<size_t>(Arr)].Space ==
+                MemSpace::LocalTiled) {
+          OnTile = true;
+          OuterIdx = TileLocalIdxName;
+        } else {
+          OuterIdx = emitExpr(Outer->index());
+        }
+        return emitElementAccess(Arr, OuterIdx, AI->index(), OnTile);
+      }
+    }
+
+    if (auto *N = dyn_cast<NameRefExpr>(Base)) {
+      // Element-parameter row: p[c].
+      if (N->resolution() == NameRefExpr::Resolution::Param &&
+          N->param() == Plan.ElemParam &&
+          isa<ArrayType>(Plan.ElemParam->type())) {
+        auto It = RowViews.find(nullptr); // elem view keyed by null
+        if (It != RowViews.end())
+          return rowAccess(It->second, AI->index());
+      }
+      // Whole mapped array with scalar elements: X[o].
+      int Arr = arrayIndexOfBase(N);
+      if (Arr >= 0) {
+        const KernelArray &A = Plan.Arrays[static_cast<size_t>(Arr)];
+        if (A.InnerBound == 0) {
+          if (Arr == Plan.TiledArrayIndex && TileLoopVar &&
+              A.Space == MemSpace::LocalTiled)
+            return formatString("tile_%s[%s]", A.CName.c_str(),
+                                TileLocalIdxName.c_str());
+          return emitScalarArrayAccess(Arr, emitExpr(AI->index()));
+        }
+        errorAt(AI->loc(), "row value used outside a row binding "
+                           "(bind it: 'float[[4]] q = X[j];')");
+        return "0";
+      }
+      // Row view local: q[c].
+      if (N->resolution() == NameRefExpr::Resolution::Local) {
+        auto RIt = RowViews.find(N->local());
+        if (RIt != RowViews.end())
+          return rowAccess(RIt->second, AI->index());
+        // Private array access.
+        auto It = Names.find(N->local());
+        if (It != Names.end())
+          return formatString("%s[%s]", It->second.c_str(),
+                              emitExpr(AI->index()).c_str());
+      }
+    }
+    errorAt(E->loc(), "unsupported array access shape in kernel code");
+    return "0";
+  }
+
+  case Expr::Kind::Call: {
+    auto *C = cast<CallExpr>(E);
+    std::vector<std::string> Args;
+    for (Expr *A : C->args())
+      Args.push_back(emitExpr(A));
+    if (C->builtin() != BuiltinFn::None) {
+      bool FloatArgs = true;
+      for (Expr *A : C->args()) {
+        const auto *PT = dyn_cast<PrimitiveType>(A->type());
+        if (!PT || !PT->isFloating())
+          FloatArgs = false;
+      }
+      const char *Fn = nullptr;
+      switch (C->builtin()) {
+      case BuiltinFn::Sqrt:
+        Fn = "sqrt";
+        break;
+      case BuiltinFn::Sin:
+        Fn = "sin";
+        break;
+      case BuiltinFn::Cos:
+        Fn = "cos";
+        break;
+      case BuiltinFn::Tan:
+        Fn = "tan";
+        break;
+      case BuiltinFn::Exp:
+        Fn = "exp";
+        break;
+      case BuiltinFn::Log:
+        Fn = "log";
+        break;
+      case BuiltinFn::Pow:
+        Fn = "pow";
+        break;
+      case BuiltinFn::Abs:
+        Fn = FloatArgs ? "fabs" : "abs";
+        break;
+      case BuiltinFn::Min:
+        Fn = FloatArgs ? "fmin" : "min";
+        break;
+      case BuiltinFn::Max:
+        Fn = FloatArgs ? "fmax" : "max";
+        break;
+      case BuiltinFn::Floor:
+        Fn = "floor";
+        break;
+      case BuiltinFn::None:
+        break;
+      }
+      return std::string(Fn) + "(" + joinStrings(Args, ", ") + ")";
+    }
+    MethodDecl *M = C->method();
+    return M->parent()->name() + "_" + M->name() + "(" +
+           joinStrings(Args, ", ") + ")";
+  }
+
+  case Expr::Kind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    const char *Op = U->op() == UnaryOp::Neg   ? "-"
+                     : U->op() == UnaryOp::Not ? "!"
+                                               : "~";
+    return std::string(Op) + "(" + emitExpr(U->sub()) + ")";
+  }
+
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    const char *Op = "+";
+    switch (B->op()) {
+    case BinaryOp::Add:
+      Op = "+";
+      break;
+    case BinaryOp::Sub:
+      Op = "-";
+      break;
+    case BinaryOp::Mul:
+      Op = "*";
+      break;
+    case BinaryOp::Div:
+      Op = "/";
+      break;
+    case BinaryOp::Rem:
+      Op = "%";
+      break;
+    case BinaryOp::Shl:
+      Op = "<<";
+      break;
+    case BinaryOp::Shr:
+      Op = ">>";
+      break;
+    case BinaryOp::BitAnd:
+      Op = "&";
+      break;
+    case BinaryOp::BitOr:
+      Op = "|";
+      break;
+    case BinaryOp::BitXor:
+      Op = "^";
+      break;
+    case BinaryOp::Lt:
+      Op = "<";
+      break;
+    case BinaryOp::Le:
+      Op = "<=";
+      break;
+    case BinaryOp::Gt:
+      Op = ">";
+      break;
+    case BinaryOp::Ge:
+      Op = ">=";
+      break;
+    case BinaryOp::Eq:
+      Op = "==";
+      break;
+    case BinaryOp::Ne:
+      Op = "!=";
+      break;
+    case BinaryOp::LogicalAnd:
+      Op = "&&";
+      break;
+    case BinaryOp::LogicalOr:
+      Op = "||";
+      break;
+    }
+    return "(" + emitExpr(B->lhs()) + " " + Op + " " + emitExpr(B->rhs()) +
+           ")";
+  }
+
+  case Expr::Kind::Assign: {
+    auto *A = cast<AssignExpr>(E);
+    std::string Target = emitExpr(A->target());
+    std::string Value = emitExpr(A->value());
+    const char *Op;
+    switch (A->op()) {
+    case AssignExpr::Op::None:
+      Op = "=";
+      break;
+    case AssignExpr::Op::Add:
+      Op = "+=";
+      break;
+    case AssignExpr::Op::Sub:
+      Op = "-=";
+      break;
+    case AssignExpr::Op::Mul:
+      Op = "*=";
+      break;
+    case AssignExpr::Op::Div:
+      Op = "/=";
+      break;
+    case AssignExpr::Op::Rem:
+      Op = "%=";
+      break;
+    case AssignExpr::Op::BitAnd:
+      Op = "&=";
+      break;
+    case AssignExpr::Op::BitOr:
+      Op = "|=";
+      break;
+    case AssignExpr::Op::BitXor:
+      Op = "^=";
+      break;
+    default:
+      Op = "=";
+      break;
+    }
+    return Target + " " + Op + " " + Value;
+  }
+
+  case Expr::Kind::Cast: {
+    auto *C = cast<CastExpr>(E);
+    if (C->isFreezeOrThaw()) {
+      errorAt(E->loc(), "array freeze casts are only supported in return "
+                        "position");
+      return "0";
+    }
+    return "(" + cTypeFor(C->type()) + ")(" + emitExpr(C->sub()) + ")";
+  }
+
+  case Expr::Kind::Conditional: {
+    auto *C = cast<ConditionalExpr>(E);
+    return "((" + emitExpr(C->cond()) + ") ? (" + emitExpr(C->thenExpr()) +
+           ") : (" + emitExpr(C->elseExpr()) + "))";
+  }
+
+  default:
+    errorAt(E->loc(), "expression kind not available in kernel code");
+    return "0";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void OpenCLEmitter::emitVarDecl(VarDeclStmt *D) {
+  // Private scratch array (Fig. 5(a-b)).
+  if (auto *NA = dyn_cast_if_present<NewArrayExpr>(D->init())) {
+    const auto *AT = cast<ArrayType>(D->type());
+    std::string Name = freshName(D->name());
+    Names[D] = Name;
+    unsigned Size = 0;
+    if (!NA->inits().empty())
+      Size = static_cast<unsigned>(NA->inits().size());
+    else if (auto *L = dyn_cast<IntLitExpr>(NA->sizes()[0]))
+      Size = static_cast<unsigned>(L->value());
+    PrivateSizes[D] = Size;
+    line(formatString("%s %s[%u];", cTypeFor(AT->element()).c_str(),
+                      Name.c_str(), Size));
+    if (!NA->inits().empty()) {
+      for (size_t I = 0; I != NA->inits().size(); ++I)
+        line(formatString("%s[%zu] = %s;", Name.c_str(), I,
+                          emitExpr(NA->inits()[I]).c_str()));
+    } else {
+      // Lime zero-initializes.
+      line(formatString("for (int zi_ = 0; zi_ < %u; zi_++) %s[zi_] = 0;",
+                        Size, Name.c_str()));
+    }
+    return;
+  }
+
+  // Row binding: `float[[4]] q = X[j];` (also via assignable-compatible
+  // bounded types).
+  if (D->init() && isa<ArrayType>(D->type())) {
+    auto *AI = dyn_cast<ArrayIndexExpr>(D->init());
+    int Arr = AI ? arrayIndexOfBase(AI->base()) : -1;
+    if (Arr < 0) {
+      errorAt(D->loc(), "array-typed locals must bind a row of a mapped "
+                        "array");
+      return;
+    }
+    const KernelArray &A = Plan.Arrays[static_cast<size_t>(Arr)];
+    RowView V;
+    V.ArrayIndex = Arr;
+    bool Tiled = Arr == Plan.TiledArrayIndex && TileLoopVar &&
+                 A.Space == MemSpace::LocalTiled;
+    if (Tiled) {
+      V.OnTile = true;
+      V.OuterIndex = TileLocalIdxName;
+      // Promote the components out of the tile when the indices are
+      // constant — one local read per component.
+      if (A.InnerIndexConstant && A.InnerBound <= 16) {
+        std::string CT = cTypeFor(A.Scalar);
+        for (unsigned C2 = 0; C2 != A.InnerBound; ++C2) {
+          std::string CompName = freshName(D->name() + std::to_string(C2));
+          line(formatString("%s %s = tile_%s[(%s) * %u + %u];", CT.c_str(),
+                            CompName.c_str(), A.CName.c_str(),
+                            TileLocalIdxName.c_str(), A.RowStride, C2));
+          V.CompVars.push_back(CompName);
+        }
+      }
+      RowViews[D] = V;
+      return;
+    }
+    std::string Outer = emitExpr(AI->index());
+    if (A.Space == MemSpace::Image && A.InnerBound == 4) {
+      std::string Name = freshName(D->name());
+      line(formatString(
+          "float4 %s = read_imagef(img_%s, smp_%s, (int2)((%s) %% %u, "
+          "(%s) / %u));",
+          Name.c_str(), A.CName.c_str(), A.CName.c_str(), Outer.c_str(),
+          ImageRowTexels, Outer.c_str(), ImageRowTexels));
+      V.CacheVar = Name;
+    } else if (A.Vectorized && A.InnerBound == 4 &&
+               A.Space != MemSpace::LocalTiled) {
+      std::string Name = freshName(D->name());
+      line(formatString("float4 %s = vload4(%s, %s);", Name.c_str(),
+                        Outer.c_str(), A.CName.c_str()));
+      V.CacheVar = Name;
+    } else if (A.InnerIndexConstant && A.InnerBound <= 16) {
+      // Scalar promotion: constant component indices mean each
+      // component loads exactly once into a register.
+      std::string IdxName = freshName(D->name() + "_o");
+      line(formatString("int %s = %s;", IdxName.c_str(), Outer.c_str()));
+      V.OuterIndex = IdxName;
+      std::string CT = cTypeFor(A.Scalar);
+      for (unsigned C2 = 0; C2 != A.InnerBound; ++C2) {
+        std::string CompName = freshName(D->name() + std::to_string(C2));
+        line(formatString("%s %s = %s[(%s) * %u + %u];", CT.c_str(),
+                          CompName.c_str(), A.CName.c_str(), IdxName.c_str(),
+                          A.InnerBound, C2));
+        V.CompVars.push_back(CompName);
+      }
+    } else {
+      // Bind the index once so re-emission stays pure.
+      std::string IdxName = freshName(D->name() + "_o");
+      line(formatString("int %s = %s;", IdxName.c_str(), Outer.c_str()));
+      V.OuterIndex = IdxName;
+    }
+    RowViews[D] = V;
+    return;
+  }
+
+  std::string Name = freshName(D->name());
+  Names[D] = Name;
+  if (D->init())
+    line(formatString("%s %s = %s;", cTypeFor(D->type()).c_str(),
+                      Name.c_str(), emitExpr(D->init()).c_str()));
+  else
+    line(formatString("%s %s = 0;", cTypeFor(D->type()).c_str(),
+                      Name.c_str()));
+}
+
+void OpenCLEmitter::emitStmt(Stmt *S) {
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    open("{");
+    for (Stmt *Sub : cast<BlockStmt>(S)->stmts())
+      emitStmt(Sub);
+    close();
+    return;
+
+  case Stmt::Kind::VarDecl:
+    emitVarDecl(cast<VarDeclStmt>(S));
+    return;
+
+  case Stmt::Kind::Expr:
+    line(emitExpr(cast<ExprStmt>(S)->expr()) + ";");
+    return;
+
+  case Stmt::Kind::If: {
+    auto *If = cast<IfStmt>(S);
+    open("if (" + emitExpr(If->cond()) + ") {");
+    emitStmt(If->thenStmt());
+    if (If->elseStmt()) {
+      --Indent;
+      line("} else {");
+      ++Indent;
+      emitStmt(If->elseStmt());
+    }
+    close();
+    return;
+  }
+
+  case Stmt::Kind::While: {
+    auto *W = cast<WhileStmt>(S);
+    open("while (" + emitExpr(W->cond()) + ") {");
+    emitStmt(W->body());
+    close();
+    return;
+  }
+
+  case Stmt::Kind::For: {
+    auto *F = cast<ForStmt>(S);
+    // Tiled loops are handled by emitTiledLoop from emitMapKernel;
+    // reaching one here means the optimizer chose not to tile it.
+    std::string Init;
+    if (auto *D = dyn_cast_if_present<VarDeclStmt>(F->init())) {
+      std::string Name = freshName(D->name());
+      Names[D] = Name;
+      Init = formatString("%s %s = %s", cTypeFor(D->type()).c_str(),
+                          Name.c_str(),
+                          D->init() ? emitExpr(D->init()).c_str() : "0");
+    } else if (auto *ES = dyn_cast_if_present<ExprStmt>(F->init())) {
+      Init = emitExpr(ES->expr());
+    }
+    std::string Cond = F->cond() ? emitExpr(F->cond()) : "1";
+    std::string Step = F->update() ? emitExpr(F->update()) : "";
+    open("for (" + Init + "; " + Cond + "; " + Step + ") {");
+    emitStmt(F->body());
+    close();
+    return;
+  }
+
+  case Stmt::Kind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    if (EmittingHelper) {
+      line("return " + (R->value() ? emitExpr(R->value()) : "") + ";");
+      return;
+    }
+    errorAt(S->loc(), "unexpected return position in kernel body");
+    return;
+  }
+
+  case Stmt::Kind::ThrowUnderflow:
+  case Stmt::Kind::Finish:
+    errorAt(S->loc(), "statement not available in kernel code");
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Top-level pieces
+//===----------------------------------------------------------------------===//
+
+void OpenCLEmitter::emitHelpers() {
+  // Emit in reverse discovery order so callees precede callers.
+  std::vector<MethodDecl *> Ordered(Plan.Helpers.rbegin(),
+                                    Plan.Helpers.rend());
+  if (Plan.Kind == KernelKind::Reduce && Plan.MapFn)
+    Ordered.push_back(Plan.MapFn);
+  for (MethodDecl *H : Ordered) {
+    std::vector<std::string> Params;
+    for (ParamDecl *P : H->params()) {
+      std::string Name = freshName(P->name());
+      Names[P] = Name;
+      Params.push_back(cTypeFor(P->type()) + " " + Name);
+    }
+    EmittingHelper = true;
+    open(cTypeFor(H->returnType()) + " " + H->parent()->name() + "_" +
+         H->name() + "(" + joinStrings(Params, ", ") + ") {");
+    for (Stmt *S : H->body()->stmts())
+      emitStmt(S);
+    close();
+    EmittingHelper = false;
+    line("");
+  }
+}
+
+void OpenCLEmitter::emitArgsStruct() {
+  open("typedef struct {");
+  line("int n;");
+  for (const KernelArray &A : Plan.Arrays)
+    if (!A.IsOutput)
+      line("int len_" + A.CName + ";");
+  close("} " + Plan.KernelName + "_args;");
+  line("");
+}
+
+void OpenCLEmitter::emitKernelSignature() {
+  std::vector<std::string> Params;
+  const KernelArray *OutArr = Plan.output();
+  Params.push_back("__global " + std::string(cTypeFor(OutArr->Scalar)) +
+                   "* out");
+  for (const KernelArray &A : Plan.Arrays) {
+    if (A.IsOutput)
+      continue;
+    switch (A.Space) {
+    case MemSpace::Image:
+      Params.push_back("__read_only image2d_t img_" + A.CName);
+      Params.push_back("sampler_t smp_" + A.CName);
+      break;
+    case MemSpace::Constant:
+      Params.push_back("__constant " + cTypeFor(A.Scalar) + "* " + A.CName);
+      break;
+    case MemSpace::Global:
+    case MemSpace::LocalTiled:
+      // Tiled arrays still arrive through global memory; the kernel
+      // stages them into the local tile.
+      Params.push_back("__global const " + cTypeFor(A.Scalar) + "* " +
+                       A.CName);
+      break;
+    }
+  }
+  for (const KernelScalar &S : Plan.Scalars) {
+    Params.push_back(cTypeFor(S.Scalar) + " " + S.CName);
+    Names[S.MapParam] = S.CName;
+  }
+  Params.push_back(Plan.KernelName + "_args args");
+  if (Plan.Kind == KernelKind::Reduce)
+    Params.push_back("__local " + std::string(cTypeFor(Plan.OutScalarType)) +
+                     "* scratch");
+  open("__kernel void " + Plan.KernelName + "(" + joinStrings(Params, ", ") +
+       ") {");
+}
+
+/// Emits the image-fetch helper for flat scalar arrays in texture
+/// memory (index folded to 2-D, component selected by i & 3).
+static std::string fetch1Helper(const KernelArray &A,
+                                const std::string &CType) {
+  return formatString(
+      "%s __fetch1_%s(__read_only image2d_t img, sampler_t smp, int i) {\n"
+      "  int t = i >> 2;\n"
+      "  float4 v = read_imagef(img, smp, (int2)(t %% %u, t / %u));\n"
+      "  int c = i & 3;\n"
+      "  return (%s)(c == 0 ? v.x : (c == 1 ? v.y : (c == 2 ? v.z : "
+      "v.w)));\n"
+      "}\n",
+      CType.c_str(), A.CName.c_str(), ImageRowTexels, ImageRowTexels,
+      CType.c_str());
+}
+
+void OpenCLEmitter::emitTiledLoop(const ForStmt *Loop) {
+  const KernelArray &A =
+      Plan.Arrays[static_cast<size_t>(Plan.TiledArrayIndex)];
+  auto *Init = cast<VarDeclStmt>(Loop->init());
+
+  line(formatString("for (int jt = 0; jt < args.len_%s; jt += %u) {",
+                    A.CName.c_str(), A.TileRows));
+  ++Indent;
+  line(formatString("int cnt = min(%u, args.len_%s - jt);", A.TileRows,
+                    A.CName.c_str()));
+  line("barrier(CLK_LOCAL_MEM_FENCE);");
+
+  // Cooperative fill.
+  open("for (int t = lid; t < cnt; t += lsize) {");
+  if (A.InnerBound == 0) {
+    line(formatString("tile_%s[t] = %s[jt + t];", A.CName.c_str(),
+                      A.CName.c_str()));
+  } else if (A.Vectorized && A.InnerBound == 4 && A.RowStride == 4) {
+    line(formatString("vstore4(vload4(jt + t, %s), t, tile_%s);",
+                      A.CName.c_str(), A.CName.c_str()));
+  } else if (A.Vectorized && A.InnerBound == 4) {
+    // Padded rows: vector load from global, scalar stores locally.
+    line(formatString("float4 tv = vload4(jt + t, %s);", A.CName.c_str()));
+    line(formatString("tile_%s[t * %u + 0] = tv.x;", A.CName.c_str(),
+                      A.RowStride));
+    line(formatString("tile_%s[t * %u + 1] = tv.y;", A.CName.c_str(),
+                      A.RowStride));
+    line(formatString("tile_%s[t * %u + 2] = tv.z;", A.CName.c_str(),
+                      A.RowStride));
+    line(formatString("tile_%s[t * %u + 3] = tv.w;", A.CName.c_str(),
+                      A.RowStride));
+  } else {
+    for (unsigned C = 0; C != A.InnerBound; ++C)
+      line(formatString("tile_%s[t * %u + %u] = %s[(jt + t) * %u + %u];",
+                        A.CName.c_str(), A.RowStride, C, A.CName.c_str(),
+                        A.InnerBound, C));
+  }
+  close();
+  line("barrier(CLK_LOCAL_MEM_FENCE);");
+
+  // Guarded compute sweep over the staged tile.
+  open("if (i < args.n) {");
+  std::string JLoc = freshName("j_loc");
+  TileLocalIdxName = JLoc;
+  TileLoopVar = Init;
+  open(formatString("for (int %s = 0; %s < cnt; %s++) {", JLoc.c_str(),
+                    JLoc.c_str(), JLoc.c_str()));
+  std::string JName = freshName(Init->name());
+  Names[Init] = JName;
+  line(formatString("int %s = jt + %s;", JName.c_str(), JLoc.c_str()));
+  emitStmt(Loop->body());
+  close();
+  close();
+  TileLoopVar = nullptr;
+
+  --Indent;
+  line("}");
+}
+
+void OpenCLEmitter::emitMapKernel() {
+  const KernelArray *Src = Plan.mapSource();
+  bool Tiled = Plan.TiledLoop && Plan.TiledArrayIndex >= 0 &&
+               Plan.Arrays[static_cast<size_t>(Plan.TiledArrayIndex)].Space ==
+                   MemSpace::LocalTiled;
+
+  // Local tile declarations.
+  if (Tiled) {
+    const KernelArray &A =
+        Plan.Arrays[static_cast<size_t>(Plan.TiledArrayIndex)];
+    line("int lid = get_local_id(0);");
+    line("int lsize = get_local_size(0);");
+    line(formatString("__local %s tile_%s[%u];",
+                      cTypeFor(A.Scalar).c_str(), A.CName.c_str(),
+                      A.TileRows * A.RowStride));
+  }
+
+  std::string IndexVar;
+  if (Tiled) {
+    line("int gsize = get_global_size(0);");
+    open("for (int i0 = 0; i0 < args.n; i0 += gsize) {");
+    line("int i = i0 + get_global_id(0);");
+    line("int i_c = i < args.n ? i : 0;");
+    IndexVar = "i_c";
+  } else {
+    open("for (int i = get_global_id(0); i < args.n; "
+         "i += get_global_size(0)) {");
+    IndexVar = "i";
+  }
+
+  // Element binding.
+  const ParamDecl *Elem = Plan.ElemParam;
+  if (const auto *ElemArr = dyn_cast<ArrayType>(Elem->type())) {
+    (void)ElemArr;
+    RowView V;
+    V.ArrayIndex = 0;
+    if (Src->Space == MemSpace::Image && Src->InnerBound == 4) {
+      std::string Name = freshName("p_" + Elem->name());
+      line(formatString(
+          "float4 %s = read_imagef(img_%s, smp_%s, (int2)((%s) %% %u, "
+          "(%s) / %u));",
+          Name.c_str(), Src->CName.c_str(), Src->CName.c_str(),
+          IndexVar.c_str(), ImageRowTexels, IndexVar.c_str(),
+          ImageRowTexels));
+      V.CacheVar = Name;
+    } else if (Src->Vectorized && Src->InnerBound == 4) {
+      std::string Name = freshName("p_" + Elem->name());
+      line(formatString("float4 %s = vload4(%s, %s);", Name.c_str(),
+                        IndexVar.c_str(), Src->CName.c_str()));
+      V.CacheVar = Name;
+    } else {
+      V.OuterIndex = IndexVar;
+      if (Src->InnerIndexConstant && Src->InnerBound <= 16) {
+        // Promote element components into registers once.
+        std::string CT = cTypeFor(Src->Scalar);
+        for (unsigned C2 = 0; C2 != Src->InnerBound; ++C2) {
+          std::string CompName = freshName("p" + std::to_string(C2));
+          line(formatString("%s %s = %s[(%s) * %u + %u];", CT.c_str(),
+                            CompName.c_str(), Src->CName.c_str(),
+                            IndexVar.c_str(), Src->InnerBound, C2));
+          V.CompVars.push_back(CompName);
+        }
+      }
+    }
+    RowViews[nullptr] = V;
+  } else {
+    std::string Name = freshName("p_" + Elem->name());
+    Names[Elem] = Name;
+    line(formatString("%s %s = %s;", cTypeFor(Elem->type()).c_str(),
+                      Name.c_str(),
+                      emitScalarArrayAccess(0, IndexVar).c_str()));
+  }
+
+  // Body: statements before / the tiled loop / statements after; the
+  // final return becomes the output store.
+  const auto &Body = Plan.MapFn->body()->stmts();
+  auto EmitReturnStore = [&](ReturnStmt *R) {
+    Expr *V = R->value();
+    const KernelArray *OutArr = Plan.output();
+    unsigned Rw = Plan.OutScalars;
+    if (Rw == 1) {
+      line(formatString("out[i] = %s;", emitExpr(V).c_str()));
+      return;
+    }
+    if (auto *NA = dyn_cast<NewArrayExpr>(V); NA && !NA->inits().empty()) {
+      if (OutArr->Vectorized && Rw == 4) {
+        line(formatString(
+            "vstore4((float4)(%s, %s, %s, %s), i, out);",
+            emitExpr(NA->inits()[0]).c_str(),
+            emitExpr(NA->inits()[1]).c_str(),
+            emitExpr(NA->inits()[2]).c_str(),
+            emitExpr(NA->inits()[3]).c_str()));
+        return;
+      }
+      for (unsigned C = 0; C != Rw; ++C)
+        line(formatString("out[i * %u + %u] = %s;", Rw, C,
+                          emitExpr(NA->inits()[C]).c_str()));
+      return;
+    }
+    // `return (float[[R]]) localArr;` or a bare row-typed local.
+    Expr *Val = V;
+    if (auto *Cast = dyn_cast<CastExpr>(V))
+      Val = Cast->sub();
+    if (auto *N = dyn_cast<NameRefExpr>(Val);
+        N && N->resolution() == NameRefExpr::Resolution::Local &&
+        Names.count(N->local())) {
+      const std::string &Arr = Names[N->local()];
+      for (unsigned C = 0; C != Rw; ++C)
+        line(formatString("out[i * %u + %u] = %s[%u];", Rw, C, Arr.c_str(),
+                          C));
+      return;
+    }
+    errorAt(V->loc(), "unsupported map result shape (literal value "
+                      "array or frozen scratch array expected)");
+  };
+
+  bool GuardOpen = false;
+  auto EnsureGuard = [&](bool Want) {
+    if (!Tiled)
+      return;
+    if (Want && !GuardOpen) {
+      open("if (i < args.n) {");
+      GuardOpen = true;
+    } else if (!Want && GuardOpen) {
+      close();
+      GuardOpen = false;
+    }
+  };
+
+  bool AfterTile = false;
+  for (Stmt *S : Body) {
+    if (auto *R = dyn_cast<ReturnStmt>(S)) {
+      EnsureGuard(true);
+      EmitReturnStore(R);
+      continue;
+    }
+    if (Tiled && S == Plan.TiledLoop) {
+      EnsureGuard(false);
+      emitTiledLoop(cast<ForStmt>(S));
+      AfterTile = true;
+      continue;
+    }
+    // Pre-tile statements run unguarded (they only touch scalars and
+    // the clamped element); post-tile statements run guarded.
+    EnsureGuard(AfterTile);
+    emitStmt(S);
+  }
+  EnsureGuard(false);
+
+  close(); // grid-stride loop
+}
+
+void OpenCLEmitter::emitReduceKernel() {
+  std::string T = cTypeFor(Plan.OutScalarType);
+  bool IsFloat = Plan.OutScalarType->isFloating();
+
+  std::string Identity;
+  switch (Plan.Combiner) {
+  case ReduceExpr::Combiner::Add:
+    Identity = IsFloat ? "0.0f" : "0";
+    break;
+  case ReduceExpr::Combiner::Mul:
+    Identity = IsFloat ? "1.0f" : "1";
+    break;
+  case ReduceExpr::Combiner::Min:
+    Identity = IsFloat ? "3.402823e38f" : "2147483647";
+    break;
+  case ReduceExpr::Combiner::Max:
+    Identity = IsFloat ? "-3.402823e38f" : "-2147483647";
+    break;
+  case ReduceExpr::Combiner::Method:
+    lime_unreachable("method combiners rejected at identification");
+  }
+  auto Combine = [&](const std::string &A, const std::string &B) {
+    switch (Plan.Combiner) {
+    case ReduceExpr::Combiner::Add:
+      return "(" + A + ") + (" + B + ")";
+    case ReduceExpr::Combiner::Mul:
+      return "(" + A + ") * (" + B + ")";
+    case ReduceExpr::Combiner::Min:
+      return (IsFloat ? "fmin(" : "min(") + A + ", " + B + ")";
+    case ReduceExpr::Combiner::Max:
+      return (IsFloat ? "fmax(" : "max(") + A + ", " + B + ")";
+    case ReduceExpr::Combiner::Method:
+      break;
+    }
+    lime_unreachable("bad combiner");
+  };
+
+  line("int lid = get_local_id(0);");
+  line("int lsize = get_local_size(0);");
+  line(T + " acc = " + Identity + ";");
+  open("for (int i = get_global_id(0); i < args.n; "
+       "i += get_global_size(0)) {");
+  std::string ElemExpr = emitScalarArrayAccess(0, "i");
+  if (Plan.MapFn) {
+    std::vector<std::string> Args;
+    Args.push_back(ElemExpr);
+    for (const KernelScalar &S : Plan.Scalars)
+      Args.push_back(S.CName);
+    ElemExpr = Plan.MapFn->parent()->name() + "_" + Plan.MapFn->name() +
+               "(" + joinStrings(Args, ", ") + ")";
+  }
+  line("acc = " + Combine("acc", ElemExpr) + ";");
+  close();
+  line("scratch[lid] = acc;");
+  line("barrier(CLK_LOCAL_MEM_FENCE);");
+  open("for (int s = lsize >> 1; s > 0; s >>= 1) {");
+  line("if (lid < s) scratch[lid] = " +
+       Combine("scratch[lid]", "scratch[lid + s]") + ";");
+  line("barrier(CLK_LOCAL_MEM_FENCE);");
+  close();
+  line("if (lid == 0) out[get_group_id(0)] = scratch[0];");
+}
+
+std::string OpenCLEmitter::emit() {
+  Out.clear();
+  Names.clear();
+  RowViews.clear();
+  PrivateSizes.clear();
+
+  line("// Generated by limecc from Lime filter " +
+       Plan.Worker->qualifiedName() + " (" + Plan.Config.str() + ")");
+  line("");
+
+  // Image fetch helpers for flat arrays in texture memory.
+  for (const KernelArray &A : Plan.Arrays)
+    if (!A.IsOutput && A.Space == MemSpace::Image && A.InnerBound == 0)
+      Out += fetch1Helper(A, cTypeFor(A.Scalar)) + "\n";
+
+  emitHelpers();
+  emitArgsStruct();
+  emitKernelSignature();
+  if (Plan.Kind == KernelKind::Map)
+    emitMapKernel();
+  else
+    emitReduceKernel();
+  close(); // kernel
+  return Out;
+}

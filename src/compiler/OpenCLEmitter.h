@@ -1,0 +1,118 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OpenCL-C code generation from an optimized KernelPlan (paper §4.2,
+/// Fig. 4). The emitted kernel follows the paper's robust shape: a
+/// grid-stride loop assigns elements to threads so the code "executes
+/// correctly independent of the number of threads", and a by-value
+/// bookkeeping record carries array lengths (Fig. 4(b)).
+///
+/// The memory plan drives the shapes:
+///  - LocalTiled arrays become a tiling transformation with barriers
+///    and a cooperative fill loop (Fig. 5(d)), padded rows when bank
+///    conflicts are removed;
+///  - Constant arrays become __constant pointers;
+///  - Image arrays become image2d_t + sampler pairs with read_imagef
+///    fetches (1-D indices folded to 2-D coordinates, §4.2.1);
+///  - Vectorized rows load/store via vload4/vstore4 (§4.2.2).
+///
+/// Reductions emit the classic two-stage shape: grid-stride
+/// accumulation, local-memory tree, one partial per work-group
+/// (stage two runs on the host).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_COMPILER_OPENCLEMITTER_H
+#define LIMECC_COMPILER_OPENCLEMITTER_H
+
+#include "compiler/KernelPlan.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <string>
+
+namespace lime {
+
+/// Fixed width of simulated images; 1-D indices fold modulo this
+/// (the paper folds against the device's maximum image width).
+constexpr unsigned ImageRowTexels = 2048;
+
+class OpenCLEmitter {
+public:
+  OpenCLEmitter(const KernelPlan &Plan, DiagnosticEngine &Diags);
+
+  /// Emits the complete OpenCL translation unit. Check Diags.
+  std::string emit();
+
+private:
+  // Layout of one array access: the emitted strings for base-offset
+  // arithmetic depend on the array's space and vectorization.
+  struct RowView {
+    int ArrayIndex = -1;      // plan array
+    std::string OuterIndex;   // emitted outer index expression
+    std::string CacheVar;     // non-empty when cached in a floatN var
+    /// Per-component scalar register cache (rows with constant inner
+    /// indices load each component once — ordinary scalar promotion).
+    std::vector<std::string> CompVars;
+    bool OnTile = false;      // indexes the local tile instead
+  };
+
+  void emitHelpers();
+  void emitArgsStruct();
+  void emitKernelSignature();
+  void emitMapKernel();
+  void emitReduceKernel();
+  void emitTiledLoop(const ForStmt *Loop);
+
+  // Statement / expression translation.
+  void emitStmt(Stmt *S);
+  void emitVarDecl(VarDeclStmt *D);
+  std::string emitExpr(Expr *E);
+  std::string emitElementAccess(int ArrayIndex, const std::string &Outer,
+                                Expr *InnerIdx, bool OnTile);
+  std::string emitScalarArrayAccess(int ArrayIndex, const std::string &Outer);
+  /// Access through a bound row view (register caches first).
+  std::string rowAccess(const RowView &V, Expr *InnerIdx);
+
+  /// Resolves `X[outer]` to a plan array when X is a mapped array
+  /// parameter; -1 otherwise.
+  int arrayIndexOfBase(Expr *Base);
+
+  std::string cTypeFor(const Type *T);
+  std::string freshName(const std::string &Hint);
+
+  void line(const std::string &Text);
+  void open(const std::string &Text);
+  void close(const std::string &Text = "}");
+
+  void errorAt(SourceLocation Loc, const std::string &Msg);
+
+  const KernelPlan &Plan;
+  DiagnosticEngine &Diags;
+
+  std::string Out;
+  unsigned Indent = 0;
+  unsigned NameCounter = 0;
+
+  /// Emission names for locals/params; row views for locals bound to
+  /// array rows.
+  std::map<const void *, std::string> Names;
+  std::map<const VarDeclStmt *, RowView> RowViews;
+  /// Locals that are private arrays.
+  std::map<const VarDeclStmt *, unsigned> PrivateSizes;
+
+  /// Whether we are inside the tiled loop (X[j] goes to the tile).
+  const VarDeclStmt *TileLoopVar = nullptr;
+  std::string TileLocalIdxName;
+
+  bool EmittingHelper = false;
+};
+
+} // namespace lime
+
+#endif // LIMECC_COMPILER_OPENCLEMITTER_H

@@ -1,0 +1,37 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lime/ast/AST.h"
+
+using namespace lime;
+
+std::string MethodDecl::qualifiedName() const {
+  if (!Parent)
+    return Name;
+  return Parent->name() + "." + Name;
+}
+
+FieldDecl *ClassDecl::findField(const std::string &FieldName) const {
+  for (FieldDecl *F : Fields)
+    if (F->name() == FieldName)
+      return F;
+  return nullptr;
+}
+
+MethodDecl *ClassDecl::findMethod(const std::string &MethodName) const {
+  for (MethodDecl *M : Methods)
+    if (M->name() == MethodName)
+      return M;
+  return nullptr;
+}
+
+ClassDecl *Program::findClass(const std::string &ClassName) const {
+  for (ClassDecl *C : Classes)
+    if (C->name() == ClassName)
+      return C;
+  return nullptr;
+}

@@ -1,0 +1,908 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax tree for the Lime subset (paper §3). Three node
+/// hierarchies — Expr, Stmt, Decl — each use LLVM-style RTTI via a
+/// Kind enum and classof(). Nodes are owned by an ASTContext arena and
+/// passed around as raw pointers.
+///
+/// Sema (lime/sema) decorates nodes in place: every Expr receives a
+/// canonical Type, names receive their resolved declarations, and
+/// calls receive their MethodDecl or builtin identity. Downstream
+/// consumers (the bytecode-baseline evaluator and the GPU compiler)
+/// rely only on those resolved facts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_LIME_AST_AST_H
+#define LIMECC_LIME_AST_AST_H
+
+#include "lime/ast/Type.h"
+#include "support/Casting.h"
+#include "support/SourceLocation.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lime {
+
+class ClassDecl;
+class MethodDecl;
+class FieldDecl;
+class VarDeclStmt;
+class ParamDecl;
+class BlockStmt;
+
+//===----------------------------------------------------------------------===//
+// Syntactic type references
+//===----------------------------------------------------------------------===//
+
+/// A type as written in source, before sema resolves it to a canonical
+/// Type. `Name` is a primitive keyword or class name; `Dims` lists
+/// array dimensions outermost-first, each knowing whether it belongs
+/// to a value array ([[..]]) and its bound (0 = unbounded).
+struct TypeNode {
+  SourceLocation Loc;
+  std::string Name;
+
+  struct Dim {
+    bool IsValue = false;
+    unsigned Bound = 0;
+  };
+  std::vector<Dim> Dims;
+
+  bool isArray() const { return !Dims.empty(); }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Built-in math operations recognized on the `Math` class. The GPU
+/// backend maps these to OpenCL builtins; the baseline evaluator gives
+/// them JVM-like (slow, double-precision) cost, which is the mechanism
+/// behind the paper's transcendental-heavy speedups (§5.1).
+enum class BuiltinFn : uint8_t {
+  None,
+  Sqrt,
+  Sin,
+  Cos,
+  Tan,
+  Exp,
+  Log,
+  Pow,
+  Abs,
+  Min,
+  Max,
+  Floor
+};
+
+class Expr {
+public:
+  enum class Kind : uint8_t {
+    IntLit,
+    FloatLit,
+    BoolLit,
+    NameRef,
+    FieldAccess,
+    ArrayIndex,
+    ArrayLength,
+    Call,
+    NewArray,
+    NewObject,
+    Unary,
+    Binary,
+    Assign,
+    Cast,
+    Conditional,
+    Map,
+    Reduce,
+    Task,
+    Connect
+  };
+
+  Kind kind() const { return TheKind; }
+  SourceLocation loc() const { return Loc; }
+
+  /// Canonical type; null until sema runs.
+  const Type *type() const { return Ty; }
+  void setType(const Type *T) { Ty = T; }
+
+  virtual ~Expr() = default;
+
+protected:
+  Expr(Kind K, SourceLocation Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLocation Loc;
+  const Type *Ty = nullptr;
+};
+
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(SourceLocation Loc, long long Value, bool IsLong)
+      : Expr(Kind::IntLit, Loc), Value(Value), IsLong(IsLong) {}
+
+  long long value() const { return Value; }
+  bool isLong() const { return IsLong; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLit; }
+
+private:
+  long long Value;
+  bool IsLong;
+};
+
+class FloatLitExpr : public Expr {
+public:
+  FloatLitExpr(SourceLocation Loc, double Value, bool IsSingle)
+      : Expr(Kind::FloatLit, Loc), Value(Value), IsSingle(IsSingle) {}
+
+  double value() const { return Value; }
+  bool isSingle() const { return IsSingle; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::FloatLit; }
+
+private:
+  double Value;
+  bool IsSingle;
+};
+
+class BoolLitExpr : public Expr {
+public:
+  BoolLitExpr(SourceLocation Loc, bool Value)
+      : Expr(Kind::BoolLit, Loc), Value(Value) {}
+
+  bool value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::BoolLit; }
+
+private:
+  bool Value;
+};
+
+/// An identifier use. Sema resolves it to a local variable, a method
+/// parameter, a field of the enclosing class, or a class name.
+class NameRefExpr : public Expr {
+public:
+  enum class Resolution : uint8_t { Unresolved, Local, Param, Field, Class };
+
+  NameRefExpr(SourceLocation Loc, std::string Name)
+      : Expr(Kind::NameRef, Loc), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  Resolution resolution() const { return Res; }
+  VarDeclStmt *local() const { return Local; }
+  ParamDecl *param() const { return Param; }
+  FieldDecl *field() const { return Field; }
+  ClassDecl *classDecl() const { return Class; }
+
+  void resolveToLocal(VarDeclStmt *D) {
+    Res = Resolution::Local;
+    Local = D;
+  }
+  void resolveToParam(ParamDecl *D) {
+    Res = Resolution::Param;
+    Param = D;
+  }
+  void resolveToField(FieldDecl *D) {
+    Res = Resolution::Field;
+    Field = D;
+  }
+  void resolveToClass(ClassDecl *D) {
+    Res = Resolution::Class;
+    Class = D;
+  }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::NameRef; }
+
+private:
+  std::string Name;
+  Resolution Res = Resolution::Unresolved;
+  VarDeclStmt *Local = nullptr;
+  ParamDecl *Param = nullptr;
+  FieldDecl *Field = nullptr;
+  ClassDecl *Class = nullptr;
+};
+
+/// `base.name` where name is a field (static fields are reached via a
+/// class-name base).
+class FieldAccessExpr : public Expr {
+public:
+  FieldAccessExpr(SourceLocation Loc, Expr *Base, std::string Name)
+      : Expr(Kind::FieldAccess, Loc), Base(Base), Name(std::move(Name)) {}
+
+  Expr *base() const { return Base; }
+  const std::string &name() const { return Name; }
+
+  FieldDecl *field() const { return Field; }
+  void resolveToField(FieldDecl *D) { Field = D; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::FieldAccess; }
+
+private:
+  Expr *Base;
+  std::string Name;
+  FieldDecl *Field = nullptr;
+};
+
+class ArrayIndexExpr : public Expr {
+public:
+  ArrayIndexExpr(SourceLocation Loc, Expr *Base, Expr *Index)
+      : Expr(Kind::ArrayIndex, Loc), Base(Base), Index(Index) {}
+
+  Expr *base() const { return Base; }
+  Expr *index() const { return Index; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::ArrayIndex; }
+
+private:
+  Expr *Base;
+  Expr *Index;
+};
+
+/// `arr.length`.
+class ArrayLengthExpr : public Expr {
+public:
+  ArrayLengthExpr(SourceLocation Loc, Expr *Base)
+      : Expr(Kind::ArrayLength, Loc), Base(Base) {}
+
+  Expr *base() const { return Base; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::ArrayLength; }
+
+private:
+  Expr *Base;
+};
+
+/// A method invocation `f(args)`, `obj.m(args)`, or `C.m(args)`.
+class CallExpr : public Expr {
+public:
+  CallExpr(SourceLocation Loc, Expr *Base, std::string Callee,
+           std::vector<Expr *> Args)
+      : Expr(Kind::Call, Loc), Base(Base), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  /// Receiver or class-name expression; null for unqualified calls.
+  Expr *base() const { return Base; }
+  const std::string &callee() const { return Callee; }
+  const std::vector<Expr *> &args() const { return Args; }
+
+  MethodDecl *method() const { return Method; }
+  void resolveToMethod(MethodDecl *M) { Method = M; }
+
+  BuiltinFn builtin() const { return Builtin; }
+  void resolveToBuiltin(BuiltinFn B) { Builtin = B; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Call; }
+
+private:
+  Expr *Base;
+  std::string Callee;
+  std::vector<Expr *> Args;
+  MethodDecl *Method = nullptr;
+  BuiltinFn Builtin = BuiltinFn::None;
+};
+
+/// `new T[n]`, `new T[n][m]`, `new T[]{...}`; also the frozen value
+/// forms produced by casts are typed at sema time. Either Sizes or
+/// Inits is non-empty.
+class NewArrayExpr : public Expr {
+public:
+  NewArrayExpr(SourceLocation Loc, TypeNode ElementType,
+               std::vector<Expr *> Sizes, std::vector<Expr *> Inits)
+      : Expr(Kind::NewArray, Loc), ElementType(std::move(ElementType)),
+        Sizes(std::move(Sizes)), Inits(std::move(Inits)) {}
+
+  const TypeNode &elementType() const { return ElementType; }
+  const std::vector<Expr *> &sizes() const { return Sizes; }
+  const std::vector<Expr *> &inits() const { return Inits; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::NewArray; }
+
+private:
+  TypeNode ElementType;
+  std::vector<Expr *> Sizes;
+  std::vector<Expr *> Inits;
+};
+
+/// `new C()` — only no-argument constructors exist in the subset; the
+/// object's fields start at their initializers. Used for stateful
+/// (instance) task workers.
+class NewObjectExpr : public Expr {
+public:
+  NewObjectExpr(SourceLocation Loc, std::string ClassName)
+      : Expr(Kind::NewObject, Loc), ClassName(std::move(ClassName)) {}
+
+  const std::string &className() const { return ClassName; }
+
+  ClassDecl *classDecl() const { return Class; }
+  void resolveToClass(ClassDecl *D) { Class = D; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::NewObject; }
+
+private:
+  std::string ClassName;
+  ClassDecl *Class = nullptr;
+};
+
+enum class UnaryOp : uint8_t { Neg, Not, BitNot };
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(SourceLocation Loc, UnaryOp Op, Expr *Sub)
+      : Expr(Kind::Unary, Loc), Op(Op), Sub(Sub) {}
+
+  UnaryOp op() const { return Op; }
+  Expr *sub() const { return Sub; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  UnaryOp Op;
+  Expr *Sub;
+};
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  BitAnd,
+  BitOr,
+  BitXor,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  LogicalAnd,
+  LogicalOr
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(SourceLocation Loc, BinaryOp Op, Expr *LHS, Expr *RHS)
+      : Expr(Kind::Binary, Loc), Op(Op), LHS(LHS), RHS(RHS) {}
+
+  BinaryOp op() const { return Op; }
+  Expr *lhs() const { return LHS; }
+  Expr *rhs() const { return RHS; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinaryOp Op;
+  Expr *LHS;
+  Expr *RHS;
+};
+
+/// Assignment and compound assignment; `i++` desugars to `i += 1`.
+/// The target must be a local, parameter, mutable field, or an element
+/// of a mutable (non-value) array — sema enforces immutability here.
+class AssignExpr : public Expr {
+public:
+  enum class Op : uint8_t { None, Add, Sub, Mul, Div, Rem, BitAnd, BitOr, BitXor, Shl, Shr };
+
+  AssignExpr(SourceLocation Loc, Op TheOp, Expr *Target, Expr *Value)
+      : Expr(Kind::Assign, Loc), TheOp(TheOp), Target(Target), Value(Value) {}
+
+  Op op() const { return TheOp; }
+  Expr *target() const { return Target; }
+  Expr *value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Assign; }
+
+private:
+  Op TheOp;
+  Expr *Target;
+  Expr *Value;
+};
+
+/// `(T) e`. Numeric conversions, plus Lime's array freeze/thaw: a cast
+/// between the mutable and value flavors of a structurally identical
+/// array type deep-copies (paper §5.1's "array conversion" overhead).
+class CastExpr : public Expr {
+public:
+  CastExpr(SourceLocation Loc, TypeNode TargetType, Expr *Sub)
+      : Expr(Kind::Cast, Loc), TargetType(std::move(TargetType)), Sub(Sub) {}
+
+  const TypeNode &targetType() const { return TargetType; }
+  Expr *sub() const { return Sub; }
+
+  /// Set by sema when this cast converts array valueness.
+  bool isFreezeOrThaw() const { return FreezeOrThaw; }
+  void setFreezeOrThaw(bool V) { FreezeOrThaw = V; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Cast; }
+
+private:
+  TypeNode TargetType;
+  Expr *Sub;
+  bool FreezeOrThaw = false;
+};
+
+class ConditionalExpr : public Expr {
+public:
+  ConditionalExpr(SourceLocation Loc, Expr *Cond, Expr *Then, Expr *Else)
+      : Expr(Kind::Conditional, Loc), Cond(Cond), Then(Then), Else(Else) {}
+
+  Expr *cond() const { return Cond; }
+  Expr *thenExpr() const { return Then; }
+  Expr *elseExpr() const { return Else; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Conditional; }
+
+private:
+  Expr *Cond;
+  Expr *Then;
+  Expr *Else;
+};
+
+/// The map operator `f(extra...) @ src` (paper §3.2): applies f with
+/// each element of src prepended to the extra arguments, producing the
+/// array of results. Data-parallel when f is static local and every
+/// argument is a value — the invariant the GPU compiler checks (§4.1).
+class MapExpr : public Expr {
+public:
+  MapExpr(SourceLocation Loc, std::string ClassName, std::string MethodName,
+          std::vector<Expr *> ExtraArgs, Expr *Source)
+      : Expr(Kind::Map, Loc), ClassName(std::move(ClassName)),
+        MethodName(std::move(MethodName)), ExtraArgs(std::move(ExtraArgs)),
+        Source(Source) {}
+
+  /// Empty when the mapped method is unqualified (enclosing class).
+  const std::string &className() const { return ClassName; }
+  const std::string &methodName() const { return MethodName; }
+  const std::vector<Expr *> &extraArgs() const { return ExtraArgs; }
+  Expr *source() const { return Source; }
+
+  MethodDecl *method() const { return Method; }
+  void resolveToMethod(MethodDecl *M) { Method = M; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Map; }
+
+private:
+  std::string ClassName;
+  std::string MethodName;
+  std::vector<Expr *> ExtraArgs;
+  Expr *Source;
+  MethodDecl *Method = nullptr;
+};
+
+/// The reduce operator `op ! src` / `C.m ! src` (paper §3.2): combines
+/// the elements of src with an associative combinator (T,T)→T.
+class ReduceExpr : public Expr {
+public:
+  enum class Combiner : uint8_t { Add, Mul, Min, Max, Method };
+
+  ReduceExpr(SourceLocation Loc, Combiner C, std::string ClassName,
+             std::string MethodName, Expr *Source)
+      : Expr(Kind::Reduce, Loc), TheCombiner(C),
+        ClassName(std::move(ClassName)), MethodName(std::move(MethodName)),
+        Source(Source) {}
+
+  Combiner combiner() const { return TheCombiner; }
+  const std::string &className() const { return ClassName; }
+  const std::string &methodName() const { return MethodName; }
+  Expr *source() const { return Source; }
+
+  MethodDecl *method() const { return Method; }
+  void resolveToMethod(MethodDecl *M) { Method = M; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Reduce; }
+
+private:
+  Combiner TheCombiner;
+  std::string ClassName;
+  std::string MethodName;
+  Expr *Source;
+  MethodDecl *Method = nullptr;
+};
+
+/// The task operator (paper §3.1): `task C.m` makes a pure filter from
+/// a static worker; `task new C().m` makes a stateful task whose
+/// worker is an instance method. Zero-parameter workers are sources;
+/// void workers are sinks.
+///
+/// Extension over the paper's surface syntax: `task C.m(extra...)`
+/// binds the worker's trailing parameters at graph-construction time.
+/// Full Lime routes auxiliary data through tuple-typed ports; bound
+/// arguments give multi-input filters (MRI-Q's k-space table, Mosaic's
+/// tile library) the same capability in the subset.
+class TaskExpr : public Expr {
+public:
+  TaskExpr(SourceLocation Loc, std::string ClassName, std::string MethodName,
+           bool IsInstance, std::vector<Expr *> BoundArgs)
+      : Expr(Kind::Task, Loc), ClassName(std::move(ClassName)),
+        MethodName(std::move(MethodName)), IsInstance(IsInstance),
+        BoundArgs(std::move(BoundArgs)) {}
+
+  const std::string &className() const { return ClassName; }
+  const std::string &methodName() const { return MethodName; }
+  bool isInstance() const { return IsInstance; }
+  const std::vector<Expr *> &boundArgs() const { return BoundArgs; }
+
+  MethodDecl *worker() const { return Worker; }
+  void resolveToWorker(MethodDecl *M) { Worker = M; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Task; }
+
+private:
+  std::string ClassName;
+  std::string MethodName;
+  bool IsInstance;
+  std::vector<Expr *> BoundArgs;
+  MethodDecl *Worker = nullptr;
+};
+
+/// The connect operator `a => b` (paper §3.1): composes task graphs
+/// when the upstream output type equals the downstream input type.
+class ConnectExpr : public Expr {
+public:
+  ConnectExpr(SourceLocation Loc, Expr *Upstream, Expr *Downstream)
+      : Expr(Kind::Connect, Loc), Upstream(Upstream), Downstream(Downstream) {}
+
+  Expr *upstream() const { return Upstream; }
+  Expr *downstream() const { return Downstream; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Connect; }
+
+private:
+  Expr *Upstream;
+  Expr *Downstream;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt {
+public:
+  enum class Kind : uint8_t {
+    Block,
+    VarDecl,
+    Expr,
+    If,
+    While,
+    For,
+    Return,
+    ThrowUnderflow,
+    Finish
+  };
+
+  Kind kind() const { return TheKind; }
+  SourceLocation loc() const { return Loc; }
+  virtual ~Stmt() = default;
+
+protected:
+  Stmt(Kind K, SourceLocation Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLocation Loc;
+};
+
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(SourceLocation Loc, std::vector<Stmt *> Stmts)
+      : Stmt(Kind::Block, Loc), Stmts(std::move(Stmts)) {}
+
+  const std::vector<Stmt *> &stmts() const { return Stmts; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Block; }
+
+private:
+  std::vector<Stmt *> Stmts;
+};
+
+/// A local variable declaration; doubles as the declaration object
+/// NameRefExpr resolves to.
+class VarDeclStmt : public Stmt {
+public:
+  VarDeclStmt(SourceLocation Loc, std::string Name, TypeNode DeclType,
+              Expr *Init)
+      : Stmt(Kind::VarDecl, Loc), Name(std::move(Name)),
+        DeclType(std::move(DeclType)), Init(Init) {}
+
+  const std::string &name() const { return Name; }
+  const TypeNode &declType() const { return DeclType; }
+  Expr *init() const { return Init; }
+
+  const Type *type() const { return Ty; }
+  void setType(const Type *T) { Ty = T; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::VarDecl; }
+
+private:
+  std::string Name;
+  TypeNode DeclType;
+  Expr *Init;
+  const Type *Ty = nullptr;
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(SourceLocation Loc, Expr *E) : Stmt(Kind::Expr, Loc), TheExpr(E) {}
+
+  Expr *expr() const { return TheExpr; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Expr; }
+
+private:
+  Expr *TheExpr;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(SourceLocation Loc, Expr *Cond, Stmt *Then, Stmt *Else)
+      : Stmt(Kind::If, Loc), Cond(Cond), Then(Then), Else(Else) {}
+
+  Expr *cond() const { return Cond; }
+  Stmt *thenStmt() const { return Then; }
+  Stmt *elseStmt() const { return Else; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  Expr *Cond;
+  Stmt *Then;
+  Stmt *Else;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(SourceLocation Loc, Expr *Cond, Stmt *Body)
+      : Stmt(Kind::While, Loc), Cond(Cond), Body(Body) {}
+
+  Expr *cond() const { return Cond; }
+  Stmt *body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+private:
+  Expr *Cond;
+  Stmt *Body;
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(SourceLocation Loc, Stmt *Init, Expr *Cond, Expr *Update, Stmt *Body)
+      : Stmt(Kind::For, Loc), Init(Init), Cond(Cond), Update(Update),
+        Body(Body) {}
+
+  Stmt *init() const { return Init; }
+  Expr *cond() const { return Cond; }
+  Expr *update() const { return Update; }
+  Stmt *body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::For; }
+
+private:
+  Stmt *Init;
+  Expr *Cond;
+  Expr *Update;
+  Stmt *Body;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(SourceLocation Loc, Expr *Value)
+      : Stmt(Kind::Return, Loc), Value(Value) {}
+
+  Expr *value() const { return Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
+
+private:
+  Expr *Value;
+};
+
+/// `throw Underflow;` — a source signals end of stream (paper §3.1).
+class ThrowUnderflowStmt : public Stmt {
+public:
+  explicit ThrowUnderflowStmt(SourceLocation Loc)
+      : Stmt(Kind::ThrowUnderflow, Loc) {}
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == Kind::ThrowUnderflow;
+  }
+};
+
+/// `finish g;` — runs a task graph to completion (paper §3, line 4 of
+/// Fig. 2; a statement rather than a method in our subset).
+class FinishStmt : public Stmt {
+public:
+  FinishStmt(SourceLocation Loc, Expr *Graph)
+      : Stmt(Kind::Finish, Loc), Graph(Graph) {}
+
+  Expr *graph() const { return Graph; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Finish; }
+
+private:
+  Expr *Graph;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+class ParamDecl {
+public:
+  ParamDecl(SourceLocation Loc, std::string Name, TypeNode DeclType)
+      : Loc(Loc), Name(std::move(Name)), DeclType(std::move(DeclType)) {}
+
+  SourceLocation loc() const { return Loc; }
+  const std::string &name() const { return Name; }
+  const TypeNode &declType() const { return DeclType; }
+
+  const Type *type() const { return Ty; }
+  void setType(const Type *T) { Ty = T; }
+
+private:
+  SourceLocation Loc;
+  std::string Name;
+  TypeNode DeclType;
+  const Type *Ty = nullptr;
+};
+
+class FieldDecl {
+public:
+  FieldDecl(SourceLocation Loc, std::string Name, TypeNode DeclType,
+            bool IsStatic, bool IsFinal, Expr *Init)
+      : Loc(Loc), Name(std::move(Name)), DeclType(std::move(DeclType)),
+        IsStatic(IsStatic), IsFinal(IsFinal), Init(Init) {}
+
+  SourceLocation loc() const { return Loc; }
+  const std::string &name() const { return Name; }
+  const TypeNode &declType() const { return DeclType; }
+  bool isStatic() const { return IsStatic; }
+  bool isFinal() const { return IsFinal; }
+  Expr *init() const { return Init; }
+
+  const Type *type() const { return Ty; }
+  void setType(const Type *T) { Ty = T; }
+
+  ClassDecl *parent() const { return Parent; }
+  void setParent(ClassDecl *C) { Parent = C; }
+
+private:
+  SourceLocation Loc;
+  std::string Name;
+  TypeNode DeclType;
+  bool IsStatic;
+  bool IsFinal;
+  Expr *Init;
+  const Type *Ty = nullptr;
+  ClassDecl *Parent = nullptr;
+};
+
+class MethodDecl {
+public:
+  MethodDecl(SourceLocation Loc, std::string Name, TypeNode RetType,
+             std::vector<ParamDecl *> Params, bool IsStatic, bool IsLocal,
+             BlockStmt *Body)
+      : Loc(Loc), Name(std::move(Name)), RetType(std::move(RetType)),
+        Params(std::move(Params)), IsStatic(IsStatic), IsLocal(IsLocal),
+        Body(Body) {}
+
+  SourceLocation loc() const { return Loc; }
+  const std::string &name() const { return Name; }
+  const TypeNode &retTypeNode() const { return RetType; }
+  const std::vector<ParamDecl *> &params() const { return Params; }
+  bool isStatic() const { return IsStatic; }
+
+  /// The paper's isolation qualifier: local methods may only call
+  /// local methods and may not touch mutable global state (§3.1).
+  bool isLocal() const { return IsLocal; }
+  BlockStmt *body() const { return Body; }
+
+  const Type *returnType() const { return RetTy; }
+  void setReturnType(const Type *T) { RetTy = T; }
+
+  ClassDecl *parent() const { return Parent; }
+  void setParent(ClassDecl *C) { Parent = C; }
+
+  /// Full name for diagnostics and codegen symbols ("NBody.computeForces").
+  std::string qualifiedName() const;
+
+private:
+  SourceLocation Loc;
+  std::string Name;
+  TypeNode RetType;
+  std::vector<ParamDecl *> Params;
+  bool IsStatic;
+  bool IsLocal;
+  BlockStmt *Body;
+  const Type *RetTy = nullptr;
+  ClassDecl *Parent = nullptr;
+};
+
+class ClassDecl {
+public:
+  ClassDecl(SourceLocation Loc, std::string Name, bool IsValue)
+      : Loc(Loc), Name(std::move(Name)), IsValue(IsValue) {}
+
+  SourceLocation loc() const { return Loc; }
+  const std::string &name() const { return Name; }
+  bool isValueClass() const { return IsValue; }
+
+  void addField(FieldDecl *F) {
+    F->setParent(this);
+    Fields.push_back(F);
+  }
+  void addMethod(MethodDecl *M) {
+    M->setParent(this);
+    Methods.push_back(M);
+  }
+
+  const std::vector<FieldDecl *> &fields() const { return Fields; }
+  const std::vector<MethodDecl *> &methods() const { return Methods; }
+
+  FieldDecl *findField(const std::string &Name) const;
+  MethodDecl *findMethod(const std::string &Name) const;
+
+private:
+  SourceLocation Loc;
+  std::string Name;
+  bool IsValue;
+  std::vector<FieldDecl *> Fields;
+  std::vector<MethodDecl *> Methods;
+};
+
+/// A whole compilation unit.
+class Program {
+public:
+  void addClass(ClassDecl *C) { Classes.push_back(C); }
+  const std::vector<ClassDecl *> &classes() const { return Classes; }
+
+  ClassDecl *findClass(const std::string &Name) const;
+
+private:
+  std::vector<ClassDecl *> Classes;
+};
+
+//===----------------------------------------------------------------------===//
+// ASTContext
+//===----------------------------------------------------------------------===//
+
+/// Arena owning every AST node plus the TypeContext of one
+/// compilation. All node pointers stay valid for the context lifetime.
+class ASTContext {
+public:
+  TypeContext &types() { return Types; }
+  const TypeContext &types() const { return Types; }
+
+  template <typename T, typename... Args> T *make(Args &&...A) {
+    auto Owned = std::make_unique<T>(std::forward<Args>(A)...);
+    T *Raw = Owned.get();
+    Nodes.push_back(NodeOwner(Owned.release(), &destroy<T>));
+    return Raw;
+  }
+
+private:
+  template <typename T> static void destroy(void *P) {
+    delete static_cast<T *>(P);
+  }
+
+  using NodeOwner = std::unique_ptr<void, void (*)(void *)>;
+  std::vector<NodeOwner> Nodes;
+  TypeContext Types;
+};
+
+} // namespace lime
+
+#endif // LIMECC_LIME_AST_AST_H

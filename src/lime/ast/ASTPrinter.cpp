@@ -1,0 +1,422 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lime/ast/ASTPrinter.h"
+
+#include "support/StringUtils.h"
+
+using namespace lime;
+
+namespace {
+
+class Printer {
+public:
+  explicit Printer(const ASTPrintOptions &Opts) : Opts(Opts) {}
+
+  std::string take() { return std::move(Out); }
+
+  void program(const Program *P) {
+    for (const ClassDecl *C : P->classes()) {
+      classDecl(C);
+      line("");
+    }
+  }
+
+  void classDecl(const ClassDecl *C) {
+    line(std::string(C->isValueClass() ? "value " : "") + "class " +
+         C->name() + " {");
+    ++Depth;
+    for (const FieldDecl *F : C->fields()) {
+      std::string S;
+      if (F->isStatic())
+        S += "static ";
+      if (F->isFinal())
+        S += "final ";
+      S += typeName(F->type(), F->declType()) + " " + F->name();
+      if (F->init())
+        S += " = " + expr(F->init());
+      line(S + ";");
+    }
+    if (!C->fields().empty() && !C->methods().empty())
+      line("");
+    for (size_t I = 0; I != C->methods().size(); ++I) {
+      if (I)
+        line("");
+      method(C->methods()[I]);
+    }
+    --Depth;
+    line("}");
+  }
+
+  void method(const MethodDecl *M) {
+    std::string Sig;
+    if (M->isStatic())
+      Sig += "static ";
+    if (M->isLocal())
+      Sig += "local ";
+    Sig += typeName(M->returnType(), M->retTypeNode()) + " " + M->name() +
+           "(";
+    for (size_t I = 0; I != M->params().size(); ++I) {
+      const ParamDecl *P = M->params()[I];
+      if (I)
+        Sig += ", ";
+      Sig += typeName(P->type(), P->declType()) + " " + P->name();
+    }
+    Sig += ") {";
+    line(Sig);
+    ++Depth;
+    for (const Stmt *S : M->body()->stmts())
+      stmt(S);
+    --Depth;
+    line("}");
+  }
+
+  void stmt(const Stmt *S) {
+    switch (S->kind()) {
+    case Stmt::Kind::Block: {
+      line("{");
+      ++Depth;
+      for (const Stmt *Sub : cast<BlockStmt>(S)->stmts())
+        stmt(Sub);
+      --Depth;
+      line("}");
+      return;
+    }
+    case Stmt::Kind::VarDecl: {
+      const auto *D = cast<VarDeclStmt>(S);
+      std::string T = typeName(D->type(), D->declType());
+      if (D->init())
+        line(T + " " + D->name() + " = " + expr(D->init()) + ";");
+      else
+        line(T + " " + D->name() + ";");
+      return;
+    }
+    case Stmt::Kind::Expr:
+      line(expr(cast<ExprStmt>(S)->expr()) + ";");
+      return;
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(S);
+      line("if (" + expr(If->cond()) + ") {");
+      ++Depth;
+      stmtBody(If->thenStmt());
+      --Depth;
+      if (If->elseStmt()) {
+        line("} else {");
+        ++Depth;
+        stmtBody(If->elseStmt());
+        --Depth;
+      }
+      line("}");
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      line("while (" + expr(W->cond()) + ") {");
+      ++Depth;
+      stmtBody(W->body());
+      --Depth;
+      line("}");
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      std::string Init;
+      if (const auto *D = dyn_cast_if_present<VarDeclStmt>(F->init())) {
+        Init = typeName(D->type(), D->declType()) + " " + D->name();
+        if (D->init())
+          Init += " = " + expr(D->init());
+      } else if (const auto *E = dyn_cast_if_present<ExprStmt>(F->init())) {
+        Init = expr(E->expr());
+      }
+      line("for (" + Init + "; " + (F->cond() ? expr(F->cond()) : "") +
+           "; " + (F->update() ? expr(F->update()) : "") + ") {");
+      ++Depth;
+      stmtBody(F->body());
+      --Depth;
+      line("}");
+      return;
+    }
+    case Stmt::Kind::Return:
+      line(cast<ReturnStmt>(S)->value()
+               ? "return " + expr(cast<ReturnStmt>(S)->value()) + ";"
+               : "return;");
+      return;
+    case Stmt::Kind::ThrowUnderflow:
+      line("throw Underflow;");
+      return;
+    case Stmt::Kind::Finish:
+      line("finish " + expr(cast<FinishStmt>(S)->graph()) + ";");
+      return;
+    }
+  }
+
+  std::string expr(const Expr *E) {
+    std::string S = exprNoAnnot(E);
+    if (Opts.ShowTypes && E->type())
+      S += " /*: " + E->type()->str() + " */";
+    return S;
+  }
+
+private:
+  /// Bodies of control statements print their children directly when
+  /// the body is a block (braces come from the parent).
+  void stmtBody(const Stmt *S) {
+    if (const auto *B = dyn_cast<BlockStmt>(S)) {
+      for (const Stmt *Sub : B->stmts())
+        stmt(Sub);
+      return;
+    }
+    stmt(S);
+  }
+
+  std::string exprNoAnnot(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLit: {
+      const auto *L = cast<IntLitExpr>(E);
+      return std::to_string(L->value()) + (L->isLong() ? "L" : "");
+    }
+    case Expr::Kind::FloatLit: {
+      const auto *L = cast<FloatLitExpr>(E);
+      std::string S = formatString("%g", L->value());
+      if (S.find('.') == std::string::npos &&
+          S.find('e') == std::string::npos)
+        S += ".0";
+      return S + (L->isSingle() ? "f" : "");
+    }
+    case Expr::Kind::BoolLit:
+      return cast<BoolLitExpr>(E)->value() ? "true" : "false";
+    case Expr::Kind::NameRef:
+      return cast<NameRefExpr>(E)->name();
+    case Expr::Kind::FieldAccess: {
+      const auto *F = cast<FieldAccessExpr>(E);
+      return exprNoAnnot(F->base()) + "." + F->name();
+    }
+    case Expr::Kind::ArrayIndex: {
+      const auto *A = cast<ArrayIndexExpr>(E);
+      return exprNoAnnot(A->base()) + "[" + exprNoAnnot(A->index()) + "]";
+    }
+    case Expr::Kind::ArrayLength:
+      return exprNoAnnot(cast<ArrayLengthExpr>(E)->base()) + ".length";
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      std::string S;
+      if (C->base())
+        S += exprNoAnnot(C->base()) + ".";
+      S += C->callee() + "(";
+      for (size_t I = 0; I != C->args().size(); ++I) {
+        if (I)
+          S += ", ";
+        S += exprNoAnnot(C->args()[I]);
+      }
+      return S + ")";
+    }
+    case Expr::Kind::NewArray: {
+      const auto *N = cast<NewArrayExpr>(E);
+      std::string S = "new " + N->elementType().Name;
+      bool ValueDims = false;
+      for (const TypeNode::Dim &D : N->elementType().Dims)
+        ValueDims = ValueDims || D.IsValue;
+      if (ValueDims) {
+        S += "[";
+        for (const TypeNode::Dim &D : N->elementType().Dims) {
+          S += "[";
+          if (D.Bound)
+            S += std::to_string(D.Bound);
+          S += "]";
+        }
+        S += "]";
+      } else {
+        size_t SizeIdx = 0;
+        for (size_t I = 0; I != N->elementType().Dims.size(); ++I) {
+          S += "[";
+          if (SizeIdx < N->sizes().size())
+            S += exprNoAnnot(N->sizes()[SizeIdx++]);
+          S += "]";
+        }
+      }
+      if (!N->inits().empty()) {
+        S += "{";
+        for (size_t I = 0; I != N->inits().size(); ++I) {
+          if (I)
+            S += ", ";
+          S += exprNoAnnot(N->inits()[I]);
+        }
+        S += "}";
+      }
+      return S;
+    }
+    case Expr::Kind::NewObject:
+      return "new " + cast<NewObjectExpr>(E)->className() + "()";
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      const char *Op = U->op() == UnaryOp::Neg   ? "-"
+                       : U->op() == UnaryOp::Not ? "!"
+                                                 : "~";
+      return std::string(Op) + parenthesized(U->sub());
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      static const char *Names[] = {"+",  "-",  "*", "/", "%",  "<<",
+                                    ">>", "&",  "|", "^", "<",  "<=",
+                                    ">",  ">=", "==", "!=", "&&", "||"};
+      return parenthesized(B->lhs()) + " " +
+             Names[static_cast<int>(B->op())] + " " +
+             parenthesized(B->rhs());
+    }
+    case Expr::Kind::Assign: {
+      const auto *A = cast<AssignExpr>(E);
+      static const char *Names[] = {"=",  "+=", "-=", "*=", "/=", "%=",
+                                    "&=", "|=", "^=", "<<=", ">>="};
+      return exprNoAnnot(A->target()) + " " +
+             Names[static_cast<int>(A->op())] + " " +
+             exprNoAnnot(A->value());
+    }
+    case Expr::Kind::Cast: {
+      const auto *C = cast<CastExpr>(E);
+      return "(" + typeName(C->type(), C->targetType()) + ") " +
+             parenthesized(C->sub());
+    }
+    case Expr::Kind::Conditional: {
+      const auto *C = cast<ConditionalExpr>(E);
+      return parenthesized(C->cond()) + " ? " +
+             parenthesized(C->thenExpr()) + " : " +
+             parenthesized(C->elseExpr());
+    }
+    case Expr::Kind::Map: {
+      const auto *M = cast<MapExpr>(E);
+      std::string S = M->className().empty()
+                          ? M->methodName()
+                          : M->className() + "." + M->methodName();
+      if (!M->extraArgs().empty()) {
+        S += "(";
+        for (size_t I = 0; I != M->extraArgs().size(); ++I) {
+          if (I)
+            S += ", ";
+          S += exprNoAnnot(M->extraArgs()[I]);
+        }
+        S += ")";
+      }
+      return S + " @ " + parenthesized(M->source());
+    }
+    case Expr::Kind::Reduce: {
+      const auto *R = cast<ReduceExpr>(E);
+      std::string Comb;
+      switch (R->combiner()) {
+      case ReduceExpr::Combiner::Add:
+        Comb = "+";
+        break;
+      case ReduceExpr::Combiner::Mul:
+        Comb = "*";
+        break;
+      case ReduceExpr::Combiner::Min:
+        Comb = "min";
+        break;
+      case ReduceExpr::Combiner::Max:
+        Comb = "max";
+        break;
+      case ReduceExpr::Combiner::Method:
+        Comb = R->className().empty()
+                   ? R->methodName()
+                   : R->className() + "." + R->methodName();
+        break;
+      }
+      return Comb + " ! " + parenthesized(R->source());
+    }
+    case Expr::Kind::Task: {
+      const auto *T = cast<TaskExpr>(E);
+      std::string S = "task ";
+      if (T->isInstance())
+        S += "new " + T->className() + "().";
+      else
+        S += T->className() + ".";
+      S += T->methodName();
+      if (!T->boundArgs().empty()) {
+        S += "(";
+        for (size_t I = 0; I != T->boundArgs().size(); ++I) {
+          if (I)
+            S += ", ";
+          S += exprNoAnnot(T->boundArgs()[I]);
+        }
+        S += ")";
+      }
+      return S;
+    }
+    case Expr::Kind::Connect: {
+      const auto *C = cast<ConnectExpr>(E);
+      return exprNoAnnot(C->upstream()) + " => " +
+             exprNoAnnot(C->downstream());
+    }
+    }
+    lime_unreachable("bad expression kind");
+  }
+
+  std::string parenthesized(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::FloatLit:
+    case Expr::Kind::BoolLit:
+    case Expr::Kind::NameRef:
+    case Expr::Kind::FieldAccess:
+    case Expr::Kind::ArrayIndex:
+    case Expr::Kind::ArrayLength:
+    case Expr::Kind::Call:
+      return exprNoAnnot(E);
+    default:
+      return "(" + exprNoAnnot(E) + ")";
+    }
+  }
+
+  /// Prefers the resolved canonical spelling; falls back to the
+  /// syntactic TypeNode for unchecked trees.
+  std::string typeName(const Type *T, const TypeNode &Node) {
+    if (T)
+      return T->str();
+    std::string S = Node.Name;
+    for (const TypeNode::Dim &D : Node.Dims) {
+      if (D.IsValue) {
+        S += "[[";
+        if (D.Bound)
+          S += std::to_string(D.Bound);
+        S += "]]"; // approximate for multi-dim unchecked trees
+      } else {
+        S += "[]";
+      }
+    }
+    return S;
+  }
+
+  void line(const std::string &Text) {
+    Out.append(Depth * Opts.IndentWidth, ' ');
+    Out += Text;
+    Out += '\n';
+  }
+
+  const ASTPrintOptions &Opts;
+  std::string Out;
+  unsigned Depth = 0;
+};
+
+} // namespace
+
+std::string lime::printProgram(const Program *P,
+                               const ASTPrintOptions &Opts) {
+  Printer Pr(Opts);
+  Pr.program(P);
+  return Pr.take();
+}
+
+std::string lime::printClass(const ClassDecl *C,
+                             const ASTPrintOptions &Opts) {
+  Printer Pr(Opts);
+  Pr.classDecl(C);
+  return Pr.take();
+}
+
+std::string lime::printExpr(const Expr *E, const ASTPrintOptions &Opts) {
+  Printer Pr(Opts);
+  return Pr.expr(E);
+}

@@ -1,0 +1,41 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-printer for typed Lime ASTs. Output is valid Lime surface
+/// syntax (modulo formatting), so it doubles as a source formatter;
+/// with annotations enabled, every expression carries its inferred
+/// type — the `limec --dump-ast` view.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_LIME_AST_ASTPRINTER_H
+#define LIMECC_LIME_AST_ASTPRINTER_H
+
+#include "lime/ast/AST.h"
+
+#include <string>
+
+namespace lime {
+
+struct ASTPrintOptions {
+  /// Append `/*: type */` after typed expressions.
+  bool ShowTypes = false;
+  unsigned IndentWidth = 2;
+};
+
+/// Renders a whole program / single declarations / expressions.
+std::string printProgram(const Program *P,
+                         const ASTPrintOptions &Opts = ASTPrintOptions());
+std::string printClass(const ClassDecl *C,
+                       const ASTPrintOptions &Opts = ASTPrintOptions());
+std::string printExpr(const Expr *E,
+                      const ASTPrintOptions &Opts = ASTPrintOptions());
+
+} // namespace lime
+
+#endif // LIMECC_LIME_AST_ASTPRINTER_H

@@ -1,0 +1,199 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lime/ast/Type.h"
+
+#include <map>
+#include <tuple>
+
+using namespace lime;
+
+bool Type::isValue() const {
+  switch (TheKind) {
+  case Kind::Primitive:
+    return true;
+  case Kind::Array:
+    return cast<ArrayType>(this)->isValueArray();
+  case Kind::Class:
+    return cast<ClassType>(this)->isValueClass();
+  case Kind::Task:
+  case Kind::Error:
+    return false;
+  }
+  lime_unreachable("bad type kind");
+}
+
+std::string PrimitiveType::str() const {
+  switch (ThePrim) {
+  case Prim::Void:
+    return "void";
+  case Prim::Boolean:
+    return "boolean";
+  case Prim::Byte:
+    return "byte";
+  case Prim::Int:
+    return "int";
+  case Prim::Long:
+    return "long";
+  case Prim::Float:
+    return "float";
+  case Prim::Double:
+    return "double";
+  }
+  lime_unreachable("bad primitive kind");
+}
+
+unsigned PrimitiveType::sizeInBytes() const {
+  switch (ThePrim) {
+  case Prim::Void:
+    return 0;
+  case Prim::Boolean:
+  case Prim::Byte:
+    return 1;
+  case Prim::Int:
+  case Prim::Float:
+    return 4;
+  case Prim::Long:
+  case Prim::Double:
+    return 8;
+  }
+  lime_unreachable("bad primitive kind");
+}
+
+unsigned ArrayType::rank() const {
+  unsigned R = 1;
+  for (const Type *E = Element; const auto *AE = dyn_cast<ArrayType>(E);
+       E = AE->element())
+    ++R;
+  return R;
+}
+
+const Type *ArrayType::scalarElement() const {
+  const Type *E = Element;
+  while (const auto *AE = dyn_cast<ArrayType>(E))
+    E = AE->element();
+  return E;
+}
+
+unsigned ArrayType::innermostBound() const {
+  const ArrayType *A = this;
+  while (const auto *AE = dyn_cast<ArrayType>(A->element()))
+    A = AE;
+  return A->bound();
+}
+
+std::string ArrayType::str() const {
+  // Collect the dimension chain so value arrays print in Lime's
+  // double-bracket form: float[[][4]].
+  std::vector<unsigned> Bounds;
+  const Type *E = this;
+  const ArrayType *A;
+  while ((A = dyn_cast<ArrayType>(E))) {
+    Bounds.push_back(A->bound());
+    E = A->element();
+  }
+  std::string Out = E->str();
+  if (IsValueArray) {
+    Out += "[";
+    for (unsigned B : Bounds) {
+      Out += "[";
+      if (B)
+        Out += std::to_string(B);
+      Out += "]";
+    }
+    Out += "]";
+    return Out;
+  }
+  for (unsigned B : Bounds) {
+    Out += "[";
+    if (B)
+      Out += std::to_string(B);
+    Out += "]";
+  }
+  return Out;
+}
+
+std::string ClassType::str() const { return Name; }
+
+std::string TaskType::str() const {
+  return "task(" + In->str() + " => " + Out->str() + ")";
+}
+
+namespace {
+using ArrayKey = std::tuple<const Type *, bool, unsigned>;
+using TaskKey = std::pair<const Type *, const Type *>;
+} // namespace
+
+struct TypeContext::Impl {
+  std::map<ArrayKey, std::unique_ptr<ArrayType>> Arrays;
+  std::map<ClassDecl *, std::unique_ptr<ClassType>> Classes;
+  std::map<TaskKey, std::unique_ptr<TaskType>> Tasks;
+  std::vector<std::unique_ptr<Type>> Singletons;
+
+  template <typename T, typename... Args> const T *make(Args &&...A) {
+    auto Owned = std::unique_ptr<T>(new T(std::forward<Args>(A)...));
+    const T *Raw = Owned.get();
+    Singletons.push_back(std::move(Owned));
+    return Raw;
+  }
+};
+
+TypeContext::TypeContext() : TheImpl(std::make_unique<Impl>()) {
+  using P = PrimitiveType::Prim;
+  VoidTy = TheImpl->make<PrimitiveType>(P::Void);
+  BooleanTy = TheImpl->make<PrimitiveType>(P::Boolean);
+  ByteTy = TheImpl->make<PrimitiveType>(P::Byte);
+  IntTy = TheImpl->make<PrimitiveType>(P::Int);
+  LongTy = TheImpl->make<PrimitiveType>(P::Long);
+  FloatTy = TheImpl->make<PrimitiveType>(P::Float);
+  DoubleTy = TheImpl->make<PrimitiveType>(P::Double);
+  ErrorTy = TheImpl->make<ErrorType>();
+}
+
+TypeContext::~TypeContext() = default;
+
+const ArrayType *TypeContext::getArrayType(const Type *Element,
+                                           bool IsValueArray, unsigned Bound) {
+  ArrayKey Key(Element, IsValueArray, Bound);
+  auto &Slot = TheImpl->Arrays[Key];
+  if (!Slot)
+    Slot.reset(new ArrayType(Element, IsValueArray, Bound));
+  return Slot.get();
+}
+
+const ArrayType *
+TypeContext::getArrayType(const Type *Scalar, bool IsValueArray,
+                          const std::vector<unsigned> &Bounds) {
+  assert(!Bounds.empty() && "array needs at least one dimension");
+  const Type *T = Scalar;
+  for (auto It = Bounds.rbegin(), E = Bounds.rend(); It != E; ++It)
+    T = getArrayType(T, IsValueArray, *It);
+  return cast<ArrayType>(T);
+}
+
+const ClassType *TypeContext::getClassType(ClassDecl *Decl, bool IsValueClass,
+                                           const std::string &Name) {
+  auto &Slot = TheImpl->Classes[Decl];
+  if (!Slot)
+    Slot.reset(new ClassType(Decl, IsValueClass, Name));
+  return Slot.get();
+}
+
+const TaskType *TypeContext::getTaskType(const Type *In, const Type *Out) {
+  auto &Slot = TheImpl->Tasks[TaskKey(In, Out)];
+  if (!Slot)
+    Slot.reset(new TaskType(In, Out));
+  return Slot.get();
+}
+
+const ArrayType *TypeContext::withValueness(const ArrayType *T,
+                                            bool IsValueArray) {
+  const Type *Elem = T->element();
+  if (const auto *AE = dyn_cast<ArrayType>(Elem))
+    Elem = withValueness(AE, IsValueArray);
+  return getArrayType(Elem, IsValueArray, T->bound());
+}

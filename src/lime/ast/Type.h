@@ -1,0 +1,232 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Lime type system. The paper's central claim is that two type
+/// qualities — *immutability* (value types) and *isolation* (local
+/// methods) — supply the invariants the GPU compiler needs instead of
+/// alias/dependence analysis. Types here therefore carry those facts
+/// explicitly: array types know whether they are immutable ("value
+/// arrays", written float[[][4]]) and whether each dimension is bounded
+/// to a compile-time constant, which later enables vectorization and
+/// image-memory mapping (paper §4.2).
+///
+/// Types are canonicalized: TypeContext::get* returns one unique
+/// object per structural type, so pointer equality is type equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_LIME_AST_TYPE_H
+#define LIMECC_LIME_AST_TYPE_H
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lime {
+
+class ClassDecl;
+
+/// Root of the Lime type hierarchy.
+class Type {
+public:
+  enum class Kind : uint8_t { Primitive, Array, Class, Task, Error };
+
+  Kind kind() const { return TheKind; }
+  virtual ~Type() = default;
+
+  /// Human-readable spelling, matching Lime surface syntax where
+  /// possible (e.g. "float[[][4]]").
+  virtual std::string str() const = 0;
+
+  /// True for value (deeply immutable) types: primitives, value
+  /// arrays, and value classes. Mutable Java arrays are not values.
+  bool isValue() const;
+
+  bool isError() const { return TheKind == Kind::Error; }
+
+protected:
+  explicit Type(Kind K) : TheKind(K) {}
+
+private:
+  Kind TheKind;
+};
+
+/// Built-in scalar types (plus void).
+class PrimitiveType : public Type {
+public:
+  enum class Prim : uint8_t { Void, Boolean, Byte, Int, Long, Float, Double };
+
+  Prim prim() const { return ThePrim; }
+  std::string str() const override;
+
+  bool isVoid() const { return ThePrim == Prim::Void; }
+  bool isBoolean() const { return ThePrim == Prim::Boolean; }
+  bool isInteger() const {
+    return ThePrim == Prim::Byte || ThePrim == Prim::Int ||
+           ThePrim == Prim::Long;
+  }
+  bool isFloating() const {
+    return ThePrim == Prim::Float || ThePrim == Prim::Double;
+  }
+  bool isNumeric() const { return isInteger() || isFloating(); }
+
+  /// Size of one element in bytes on the simulated wire/device.
+  unsigned sizeInBytes() const;
+
+  static bool classof(const Type *T) { return T->kind() == Kind::Primitive; }
+
+private:
+  friend class TypeContext;
+  explicit PrimitiveType(Prim P) : Type(Kind::Primitive), ThePrim(P) {}
+  Prim ThePrim;
+};
+
+/// Array types. `IsValueArray` distinguishes Lime value arrays
+/// (float[[]]) from mutable Java arrays (float[]). `Bound` is the
+/// compile-time length of this dimension, or 0 when unbounded. The
+/// element type of a multidimensional array is itself an ArrayType;
+/// all dimensions of a value array are value arrays.
+class ArrayType : public Type {
+public:
+  const Type *element() const { return Element; }
+  bool isValueArray() const { return IsValueArray; }
+  unsigned bound() const { return Bound; }
+  bool isBounded() const { return Bound != 0; }
+
+  /// Number of array dimensions (1 for float[], 2 for float[][4]...).
+  unsigned rank() const;
+
+  /// The scalar type at the bottom of the dimension chain.
+  const Type *scalarElement() const;
+
+  /// The innermost dimension's bound (0 if unbounded); for the
+  /// vectorizer, which targets bounded last dimensions of 2/4/8/16.
+  unsigned innermostBound() const;
+
+  std::string str() const override;
+
+  static bool classof(const Type *T) { return T->kind() == Kind::Array; }
+
+private:
+  friend class TypeContext;
+  ArrayType(const Type *Element, bool IsValueArray, unsigned Bound)
+      : Type(Kind::Array), Element(Element), IsValueArray(IsValueArray),
+        Bound(Bound) {}
+
+  const Type *Element;
+  bool IsValueArray;
+  unsigned Bound;
+};
+
+/// A user-declared class; `value` classes are deeply immutable.
+class ClassType : public Type {
+public:
+  ClassDecl *decl() const { return Decl; }
+  bool isValueClass() const { return IsValueClass; }
+  std::string str() const override;
+
+  static bool classof(const Type *T) { return T->kind() == Kind::Class; }
+
+private:
+  friend class TypeContext;
+  ClassType(ClassDecl *Decl, bool IsValueClass, std::string Name)
+      : Type(Kind::Class), Decl(Decl), IsValueClass(IsValueClass),
+        Name(std::move(Name)) {}
+
+  ClassDecl *Decl;
+  bool IsValueClass;
+  std::string Name;
+};
+
+/// The type of a task-graph fragment: data of type In flows in and
+/// data of type Out flows out. Sources have In = void; sinks have
+/// Out = void. `task C.m => task C.n` typechecks when Out(m) == In(n).
+class TaskType : public Type {
+public:
+  const Type *input() const { return In; }
+  const Type *output() const { return Out; }
+  std::string str() const override;
+
+  static bool classof(const Type *T) { return T->kind() == Kind::Task; }
+
+private:
+  friend class TypeContext;
+  TaskType(const Type *In, const Type *Out)
+      : Type(Kind::Task), In(In), Out(Out) {}
+
+  const Type *In;
+  const Type *Out;
+};
+
+/// Placeholder produced after a reported type error; silences
+/// cascading diagnostics.
+class ErrorType : public Type {
+public:
+  std::string str() const override { return "<error>"; }
+  static bool classof(const Type *T) { return T->kind() == Kind::Error; }
+
+private:
+  friend class TypeContext;
+  ErrorType() : Type(Kind::Error) {}
+};
+
+/// Owns and canonicalizes all types of one compilation.
+class TypeContext {
+public:
+  TypeContext();
+  ~TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  const PrimitiveType *voidType() const { return VoidTy; }
+  const PrimitiveType *booleanType() const { return BooleanTy; }
+  const PrimitiveType *byteType() const { return ByteTy; }
+  const PrimitiveType *intType() const { return IntTy; }
+  const PrimitiveType *longType() const { return LongTy; }
+  const PrimitiveType *floatType() const { return FloatTy; }
+  const PrimitiveType *doubleType() const { return DoubleTy; }
+  const ErrorType *errorType() const { return ErrorTy; }
+
+  /// Canonical array type; \p Bound 0 means unbounded.
+  const ArrayType *getArrayType(const Type *Element, bool IsValueArray,
+                                unsigned Bound);
+
+  /// Builds a multi-dimensional array from outermost to innermost
+  /// bounds, e.g. {0, 4} value → float[[][4]].
+  const ArrayType *getArrayType(const Type *Scalar, bool IsValueArray,
+                                const std::vector<unsigned> &Bounds);
+
+  const ClassType *getClassType(ClassDecl *Decl, bool IsValueClass,
+                                const std::string &Name);
+
+  const TaskType *getTaskType(const Type *In, const Type *Out);
+
+  /// Converts between the value/mutable flavors of a structurally
+  /// identical array type (used to type freeze/thaw casts).
+  const ArrayType *withValueness(const ArrayType *T, bool IsValueArray);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> TheImpl;
+
+  const PrimitiveType *VoidTy;
+  const PrimitiveType *BooleanTy;
+  const PrimitiveType *ByteTy;
+  const PrimitiveType *IntTy;
+  const PrimitiveType *LongTy;
+  const PrimitiveType *FloatTy;
+  const PrimitiveType *DoubleTy;
+  const ErrorType *ErrorTy;
+};
+
+} // namespace lime
+
+#endif // LIMECC_LIME_AST_TYPE_H

@@ -1,0 +1,1232 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lime/interp/Interp.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace lime;
+
+GraphExecutor::~GraphExecutor() = default;
+
+Interp::Interp(Program *P, TypeContext &Types) : TheProgram(P), Types(Types) {}
+
+void Interp::trap(SourceLocation Loc, const std::string &Msg) {
+  if (Trapped)
+    return;
+  Trapped = true;
+  TrapMessage = Loc.str() + ": " + Msg;
+}
+
+//===----------------------------------------------------------------------===//
+// Cost helpers
+//===----------------------------------------------------------------------===//
+
+void Interp::chargeAlu(const Type *T) {
+  ++Acc.AluOps;
+  const auto *PT = dyn_cast<PrimitiveType>(T);
+  if (PT && PT->prim() == PrimitiveType::Prim::Double)
+    Acc.Ns += Cost.NsDoubleOp;
+  else if (PT && PT->prim() == PrimitiveType::Prim::Float)
+    Acc.Ns += Cost.NsFloatOp;
+  else
+    Acc.Ns += Cost.NsIntOp;
+}
+
+double Interp::arrayAccessFactor(const RtArray &A) const {
+  if (!Cost.LimeBytecodeMode)
+    return 1.0;
+  double Factor = 1.0;
+  if (A.Immutable)
+    Factor *= Cost.ValueArrayAccessFactor;
+  const auto *PT = dyn_cast_if_present<PrimitiveType>(A.ElementType);
+  if (PT && PT->prim() == PrimitiveType::Prim::Byte)
+    Factor *= Cost.ByteArrayAccessFactor;
+  return Factor;
+}
+
+void Interp::chargeArrayAccess(const RtArray &A, bool IsStore) {
+  ++Acc.MemOps;
+  double Base = IsStore ? Cost.NsArrayStore : Cost.NsArrayLoad;
+  Acc.Ns += Base * arrayAccessFactor(A);
+}
+
+//===----------------------------------------------------------------------===//
+// Statics and instances
+//===----------------------------------------------------------------------===//
+
+void Interp::ensureStaticsInitialized(ClassDecl *C) {
+  auto [It, Inserted] = StaticsReady.emplace(C, true);
+  if (!Inserted)
+    return;
+  Env E;
+  for (FieldDecl *F : C->fields()) {
+    if (!F->isStatic())
+      continue;
+    if (F->init())
+      Statics[F] = evalExpr(F->init(), E).convertTo(F->type());
+    else
+      Statics[F] = zeroValueFor(F->type());
+  }
+}
+
+RtValue Interp::getStaticField(FieldDecl *F) {
+  ensureStaticsInitialized(F->parent());
+  return Statics[F];
+}
+
+void Interp::setStaticField(FieldDecl *F, RtValue V) {
+  ensureStaticsInitialized(F->parent());
+  Statics[F] = std::move(V);
+}
+
+std::shared_ptr<RtObject> Interp::instantiate(ClassDecl *C) {
+  auto Obj = std::make_shared<RtObject>();
+  Obj->Class = C;
+  Obj->Fields.resize(C->fields().size());
+  Env E;
+  E.This = Obj;
+  Acc.Ns += Cost.NsAllocBase;
+  for (size_t I = 0, N = C->fields().size(); I != N; ++I) {
+    FieldDecl *F = C->fields()[I];
+    if (F->isStatic())
+      continue;
+    if (F->init())
+      Obj->Fields[I] = evalExpr(F->init(), E).convertTo(F->type());
+    else
+      Obj->Fields[I] = zeroValueFor(F->type());
+  }
+  return Obj;
+}
+
+static size_t fieldIndex(const FieldDecl *F) {
+  const auto &Fields = F->parent()->fields();
+  for (size_t I = 0, N = Fields.size(); I != N; ++I)
+    if (Fields[I] == F)
+      return I;
+  lime_unreachable("field not in its own class");
+}
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+ExecResult Interp::callStatic(const std::string &Cls,
+                              const std::string &Method,
+                              std::vector<RtValue> Args) {
+  ClassDecl *C = TheProgram->findClass(Cls);
+  if (!C)
+    return {RtValue(), false, true, "unknown class " + Cls};
+  MethodDecl *M = C->findMethod(Method);
+  if (!M || !M->isStatic())
+    return {RtValue(), false, true, "unknown static method " + Cls + "." +
+                                        Method};
+  return callMethod(M, nullptr, std::move(Args));
+}
+
+ExecResult Interp::callMethod(MethodDecl *M,
+                              std::shared_ptr<RtObject> Instance,
+                              std::vector<RtValue> Args) {
+  Trapped = false;
+  TrapMessage.clear();
+  UnderflowSignal = false;
+
+  if (Args.size() != M->params().size())
+    return {RtValue(), false, true,
+            "arity mismatch calling " + M->qualifiedName()};
+
+  Env E;
+  E.This = std::move(Instance);
+  E.Method = M;
+  for (size_t I = 0, N = Args.size(); I != N; ++I)
+    E.Vars[M->params()[I]] = Args[I].convertTo(M->params()[I]->type());
+
+  Acc.Ns += Cost.NsCall;
+  ++Acc.Calls;
+  ++CallDepth;
+  Flow F = execBlock(M->body(), E);
+  --CallDepth;
+
+  ExecResult R;
+  R.Trapped = Trapped;
+  R.TrapMessage = TrapMessage;
+  R.Underflow = (F == Flow::Underflow);
+  if (F == Flow::Returned)
+    R.Value = E.ReturnValue;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+Interp::Flow Interp::execBlock(BlockStmt *B, Env &E) {
+  for (Stmt *S : B->stmts()) {
+    Flow F = execStmt(S, E);
+    if (F != Flow::Normal || Trapped)
+      return F;
+  }
+  return Flow::Normal;
+}
+
+Interp::Flow Interp::execStmt(Stmt *S, Env &E) {
+  if (Trapped)
+    return Flow::Normal;
+
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    return execBlock(cast<BlockStmt>(S), E);
+
+  case Stmt::Kind::VarDecl: {
+    auto *D = cast<VarDeclStmt>(S);
+    RtValue V = D->init() ? evalExpr(D->init(), E).convertTo(D->type())
+                          : zeroValueFor(D->type());
+    E.Vars[D] = std::move(V);
+    Acc.Ns += Cost.NsLocalOp;
+    return Flow::Normal;
+  }
+
+  case Stmt::Kind::Expr:
+    evalExpr(cast<ExprStmt>(S)->expr(), E);
+    return Flow::Normal;
+
+  case Stmt::Kind::If: {
+    auto *If = cast<IfStmt>(S);
+    RtValue C = evalExpr(If->cond(), E);
+    Acc.Ns += Cost.NsBranch;
+    if (Trapped)
+      return Flow::Normal;
+    if (C.asBool())
+      return execStmt(If->thenStmt(), E);
+    if (If->elseStmt())
+      return execStmt(If->elseStmt(), E);
+    return Flow::Normal;
+  }
+
+  case Stmt::Kind::While: {
+    auto *W = cast<WhileStmt>(S);
+    while (true) {
+      RtValue C = evalExpr(W->cond(), E);
+      Acc.Ns += Cost.NsBranch;
+      if (Trapped || !C.asBool())
+        return Flow::Normal;
+      Flow F = execStmt(W->body(), E);
+      if (F != Flow::Normal || Trapped)
+        return F;
+    }
+  }
+
+  case Stmt::Kind::For: {
+    auto *F = cast<ForStmt>(S);
+    if (F->init()) {
+      Flow Fl = execStmt(F->init(), E);
+      if (Fl != Flow::Normal || Trapped)
+        return Fl;
+    }
+    while (true) {
+      if (F->cond()) {
+        RtValue C = evalExpr(F->cond(), E);
+        Acc.Ns += Cost.NsBranch;
+        if (Trapped || !C.asBool())
+          return Flow::Normal;
+      }
+      Flow Fl = execStmt(F->body(), E);
+      if (Fl != Flow::Normal || Trapped)
+        return Fl;
+      if (F->update())
+        evalExpr(F->update(), E);
+      if (Trapped)
+        return Flow::Normal;
+    }
+  }
+
+  case Stmt::Kind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    if (R->value()) {
+      RtValue V = evalExpr(R->value(), E);
+      if (E.Method)
+        V = V.convertTo(E.Method->returnType());
+      E.ReturnValue = std::move(V);
+    }
+    return Flow::Returned;
+  }
+
+  case Stmt::Kind::ThrowUnderflow:
+    return Flow::Underflow;
+
+  case Stmt::Kind::Finish: {
+    auto *F = cast<FinishStmt>(S);
+    RtValue G = evalExpr(F->graph(), E);
+    if (Trapped)
+      return Flow::Normal;
+    if (!GraphExec) {
+      trap(F->loc(), "no graph executor installed for 'finish'");
+      return Flow::Normal;
+    }
+    std::string Err = GraphExec->run(*G.graph());
+    if (!Err.empty())
+      trap(F->loc(), "finish failed: " + Err);
+    return Flow::Normal;
+  }
+  }
+  lime_unreachable("bad statement kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+RtValue Interp::evalExpr(Expr *E, Env &Env) {
+  if (Trapped)
+    return RtValue();
+
+  switch (E->kind()) {
+  case Expr::Kind::IntLit: {
+    auto *L = cast<IntLitExpr>(E);
+    return L->isLong() ? RtValue::makeLong(L->value())
+                       : RtValue::makeInt(static_cast<int32_t>(L->value()));
+  }
+  case Expr::Kind::FloatLit: {
+    auto *L = cast<FloatLitExpr>(E);
+    return L->isSingle() ? RtValue::makeFloat(static_cast<float>(L->value()))
+                         : RtValue::makeDouble(L->value());
+  }
+  case Expr::Kind::BoolLit:
+    return RtValue::makeBool(cast<BoolLitExpr>(E)->value());
+
+  case Expr::Kind::NameRef: {
+    auto *N = cast<NameRefExpr>(E);
+    switch (N->resolution()) {
+    case NameRefExpr::Resolution::Local: {
+      Acc.Ns += Cost.NsLocalOp;
+      auto It = Env.Vars.find(N->local());
+      assert(It != Env.Vars.end() && "local not bound");
+      return It->second;
+    }
+    case NameRefExpr::Resolution::Param: {
+      Acc.Ns += Cost.NsLocalOp;
+      auto It = Env.Vars.find(N->param());
+      assert(It != Env.Vars.end() && "param not bound");
+      return It->second;
+    }
+    case NameRefExpr::Resolution::Field: {
+      FieldDecl *F = N->field();
+      Acc.Ns += Cost.NsFieldAccess;
+      if (F->isStatic())
+        return getStaticField(F);
+      if (!Env.This) {
+        trap(N->loc(), "instance field read without a receiver");
+        return RtValue();
+      }
+      return Env.This->Fields[fieldIndex(F)];
+    }
+    default:
+      trap(N->loc(), "unresolved name '" + N->name() + "'");
+      return RtValue();
+    }
+  }
+
+  case Expr::Kind::FieldAccess: {
+    auto *FA = cast<FieldAccessExpr>(E);
+    FieldDecl *F = FA->field();
+    assert(F && "unresolved field access");
+    Acc.Ns += Cost.NsFieldAccess;
+    if (F->isStatic())
+      return getStaticField(F);
+    RtValue Base = evalExpr(FA->base(), Env);
+    if (Trapped)
+      return RtValue();
+    return Base.object()->Fields[fieldIndex(F)];
+  }
+
+  case Expr::Kind::ArrayIndex: {
+    auto *AI = cast<ArrayIndexExpr>(E);
+    RtValue Base = evalExpr(AI->base(), Env);
+    RtValue Idx = evalExpr(AI->index(), Env);
+    if (Trapped)
+      return RtValue();
+    const RtArray &A = *Base.array();
+    int64_t I = Idx.asIntegral();
+    chargeArrayAccess(A, /*IsStore=*/false);
+    if (I < 0 || static_cast<size_t>(I) >= A.Elems.size()) {
+      trap(AI->loc(), formatString("index %lld out of bounds for length %zu",
+                                   static_cast<long long>(I),
+                                   A.Elems.size()));
+      return RtValue();
+    }
+    return A.Elems[static_cast<size_t>(I)];
+  }
+
+  case Expr::Kind::ArrayLength: {
+    auto *AL = cast<ArrayLengthExpr>(E);
+    RtValue Base = evalExpr(AL->base(), Env);
+    if (Trapped)
+      return RtValue();
+    Acc.Ns += Cost.NsFieldAccess;
+    return RtValue::makeInt(static_cast<int32_t>(Base.array()->Elems.size()));
+  }
+
+  case Expr::Kind::Call:
+    return evalCall(cast<CallExpr>(E), Env);
+
+  case Expr::Kind::NewArray:
+    return evalNewArray(cast<NewArrayExpr>(E), Env);
+
+  case Expr::Kind::NewObject: {
+    auto *NO = cast<NewObjectExpr>(E);
+    return RtValue::makeObject(instantiate(NO->classDecl()));
+  }
+
+  case Expr::Kind::Unary:
+    return evalUnary(cast<UnaryExpr>(E), Env);
+  case Expr::Kind::Binary:
+    return evalBinary(cast<BinaryExpr>(E), Env);
+  case Expr::Kind::Assign:
+    return evalAssign(cast<AssignExpr>(E), Env);
+  case Expr::Kind::Cast:
+    return evalCast(cast<CastExpr>(E), Env);
+
+  case Expr::Kind::Conditional: {
+    auto *C = cast<ConditionalExpr>(E);
+    RtValue Cond = evalExpr(C->cond(), Env);
+    Acc.Ns += Cost.NsBranch;
+    if (Trapped)
+      return RtValue();
+    RtValue V = Cond.asBool() ? evalExpr(C->thenExpr(), Env)
+                              : evalExpr(C->elseExpr(), Env);
+    return V.convertTo(E->type());
+  }
+
+  case Expr::Kind::Map:
+    return evalMap(cast<MapExpr>(E), Env);
+  case Expr::Kind::Reduce:
+    return evalReduce(cast<ReduceExpr>(E), Env);
+  case Expr::Kind::Task:
+    return evalTask(cast<TaskExpr>(E), Env);
+
+  case Expr::Kind::Connect: {
+    auto *C = cast<ConnectExpr>(E);
+    RtValue Up = evalExpr(C->upstream(), Env);
+    RtValue Down = evalExpr(C->downstream(), Env);
+    if (Trapped)
+      return RtValue();
+    auto G = std::make_shared<RtGraph>();
+    G->Nodes = Up.graph()->Nodes;
+    for (const RtTaskNode &N : Down.graph()->Nodes)
+      G->Nodes.push_back(N);
+    return RtValue::makeGraph(std::move(G));
+  }
+  }
+  lime_unreachable("bad expression kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Arithmetic
+//===----------------------------------------------------------------------===//
+
+static bool isDoubleTy(const Type *T) {
+  const auto *P = dyn_cast<PrimitiveType>(T);
+  return P && P->prim() == PrimitiveType::Prim::Double;
+}
+static bool isFloatTy(const Type *T) {
+  const auto *P = dyn_cast<PrimitiveType>(T);
+  return P && P->prim() == PrimitiveType::Prim::Float;
+}
+static bool isLongTy(const Type *T) {
+  const auto *P = dyn_cast<PrimitiveType>(T);
+  return P && P->prim() == PrimitiveType::Prim::Long;
+}
+
+RtValue Interp::evalUnary(UnaryExpr *E, Env &Env) {
+  RtValue V = evalExpr(E->sub(), Env);
+  if (Trapped)
+    return RtValue();
+  chargeAlu(E->type());
+  switch (E->op()) {
+  case UnaryOp::Neg:
+    if (isDoubleTy(E->type()))
+      return RtValue::makeDouble(-V.asNumber());
+    if (isFloatTy(E->type()))
+      return RtValue::makeFloat(-static_cast<float>(V.asNumber()));
+    if (isLongTy(E->type()))
+      return RtValue::makeLong(-V.asIntegral());
+    return RtValue::makeInt(static_cast<int32_t>(-V.asIntegral()));
+  case UnaryOp::Not:
+    return RtValue::makeBool(!V.asBool());
+  case UnaryOp::BitNot:
+    if (isLongTy(E->type()))
+      return RtValue::makeLong(~V.asIntegral());
+    return RtValue::makeInt(static_cast<int32_t>(~V.asIntegral()));
+  }
+  lime_unreachable("bad unary op");
+}
+
+RtValue Interp::evalBinary(BinaryExpr *E, Env &Env) {
+  RtValue L = evalExpr(E->lhs(), Env);
+
+  // Short-circuit logical operators.
+  if (E->op() == BinaryOp::LogicalAnd) {
+    if (Trapped)
+      return RtValue();
+    Acc.Ns += Cost.NsBranch;
+    if (!L.asBool())
+      return RtValue::makeBool(false);
+    RtValue R = evalExpr(E->rhs(), Env);
+    return Trapped ? RtValue() : RtValue::makeBool(R.asBool());
+  }
+  if (E->op() == BinaryOp::LogicalOr) {
+    if (Trapped)
+      return RtValue();
+    Acc.Ns += Cost.NsBranch;
+    if (L.asBool())
+      return RtValue::makeBool(true);
+    RtValue R = evalExpr(E->rhs(), Env);
+    return Trapped ? RtValue() : RtValue::makeBool(R.asBool());
+  }
+
+  RtValue R = evalExpr(E->rhs(), Env);
+  if (Trapped)
+    return RtValue();
+
+  switch (E->op()) {
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+  case BinaryOp::Rem: {
+    const Type *T = E->type();
+    bool IsDiv = E->op() == BinaryOp::Div || E->op() == BinaryOp::Rem;
+    Acc.Ns += IsDiv ? Cost.NsDiv : 0.0;
+    chargeAlu(T);
+    if (isDoubleTy(T) || isFloatTy(T)) {
+      double A = L.asNumber();
+      double B = R.asNumber();
+      double Res;
+      switch (E->op()) {
+      case BinaryOp::Add:
+        Res = A + B;
+        break;
+      case BinaryOp::Sub:
+        Res = A - B;
+        break;
+      case BinaryOp::Mul:
+        Res = A * B;
+        break;
+      case BinaryOp::Div:
+        Res = A / B;
+        break;
+      default:
+        Res = std::fmod(A, B);
+        break;
+      }
+      if (isFloatTy(T)) {
+        // Round to binary32 after every operation, with binary32
+        // operands, to match device single-precision arithmetic.
+        float FA = static_cast<float>(A);
+        float FB = static_cast<float>(B);
+        float FRes;
+        switch (E->op()) {
+        case BinaryOp::Add:
+          FRes = FA + FB;
+          break;
+        case BinaryOp::Sub:
+          FRes = FA - FB;
+          break;
+        case BinaryOp::Mul:
+          FRes = FA * FB;
+          break;
+        case BinaryOp::Div:
+          FRes = FA / FB;
+          break;
+        default:
+          FRes = std::fmod(FA, FB);
+          break;
+        }
+        return RtValue::makeFloat(FRes);
+      }
+      return RtValue::makeDouble(Res);
+    }
+    int64_t A = L.asIntegral();
+    int64_t B = R.asIntegral();
+    if ((E->op() == BinaryOp::Div || E->op() == BinaryOp::Rem) && B == 0) {
+      trap(E->loc(), "integer division by zero");
+      return RtValue();
+    }
+    int64_t Res;
+    switch (E->op()) {
+    case BinaryOp::Add:
+      Res = A + B;
+      break;
+    case BinaryOp::Sub:
+      Res = A - B;
+      break;
+    case BinaryOp::Mul:
+      Res = A * B;
+      break;
+    case BinaryOp::Div:
+      Res = A / B;
+      break;
+    default:
+      Res = A % B;
+      break;
+    }
+    if (isLongTy(T))
+      return RtValue::makeLong(Res);
+    return RtValue::makeInt(static_cast<int32_t>(Res));
+  }
+
+  case BinaryOp::Shl:
+  case BinaryOp::Shr: {
+    chargeAlu(E->type());
+    int64_t A = L.asIntegral();
+    int64_t B = R.asIntegral();
+    if (isLongTy(E->type())) {
+      unsigned Sh = static_cast<unsigned>(B) & 63;
+      int64_t Res = E->op() == BinaryOp::Shl
+                        ? static_cast<int64_t>(static_cast<uint64_t>(A) << Sh)
+                        : (A >> Sh);
+      return RtValue::makeLong(Res);
+    }
+    unsigned Sh = static_cast<unsigned>(B) & 31;
+    int32_t A32 = static_cast<int32_t>(A);
+    int32_t Res = E->op() == BinaryOp::Shl
+                      ? static_cast<int32_t>(static_cast<uint32_t>(A32) << Sh)
+                      : (A32 >> Sh);
+    return RtValue::makeInt(Res);
+  }
+
+  case BinaryOp::BitAnd:
+  case BinaryOp::BitOr:
+  case BinaryOp::BitXor: {
+    chargeAlu(E->type());
+    if (E->type() == Types.booleanType()) {
+      bool A = L.asBool();
+      bool B = R.asBool();
+      bool Res = E->op() == BinaryOp::BitAnd   ? (A && B)
+                 : E->op() == BinaryOp::BitOr ? (A || B)
+                                               : (A != B);
+      return RtValue::makeBool(Res);
+    }
+    int64_t A = L.asIntegral();
+    int64_t B = R.asIntegral();
+    int64_t Res = E->op() == BinaryOp::BitAnd   ? (A & B)
+                  : E->op() == BinaryOp::BitOr ? (A | B)
+                                                : (A ^ B);
+    if (isLongTy(E->type()))
+      return RtValue::makeLong(Res);
+    return RtValue::makeInt(static_cast<int32_t>(Res));
+  }
+
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+  case BinaryOp::Eq:
+  case BinaryOp::Ne: {
+    chargeAlu(Types.intType());
+    bool Res;
+    if (L.kind() == RtValue::Kind::Bool && R.kind() == RtValue::Kind::Bool) {
+      bool A = L.asBool();
+      bool B = R.asBool();
+      Res = E->op() == BinaryOp::Eq ? (A == B) : (A != B);
+    } else if (L.isInteger() && R.isInteger()) {
+      int64_t A = L.asIntegral();
+      int64_t B = R.asIntegral();
+      switch (E->op()) {
+      case BinaryOp::Lt:
+        Res = A < B;
+        break;
+      case BinaryOp::Le:
+        Res = A <= B;
+        break;
+      case BinaryOp::Gt:
+        Res = A > B;
+        break;
+      case BinaryOp::Ge:
+        Res = A >= B;
+        break;
+      case BinaryOp::Eq:
+        Res = A == B;
+        break;
+      default:
+        Res = A != B;
+        break;
+      }
+    } else {
+      double A = L.asNumber();
+      double B = R.asNumber();
+      switch (E->op()) {
+      case BinaryOp::Lt:
+        Res = A < B;
+        break;
+      case BinaryOp::Le:
+        Res = A <= B;
+        break;
+      case BinaryOp::Gt:
+        Res = A > B;
+        break;
+      case BinaryOp::Ge:
+        Res = A >= B;
+        break;
+      case BinaryOp::Eq:
+        Res = A == B;
+        break;
+      default:
+        Res = A != B;
+        break;
+      }
+    }
+    return RtValue::makeBool(Res);
+  }
+
+  case BinaryOp::LogicalAnd:
+  case BinaryOp::LogicalOr:
+    lime_unreachable("handled above");
+  }
+  lime_unreachable("bad binary op");
+}
+
+//===----------------------------------------------------------------------===//
+// Assignment
+//===----------------------------------------------------------------------===//
+
+RtValue Interp::loadTarget(Expr *Target, Env &Env) { return evalExpr(Target, Env); }
+
+void Interp::storeTarget(Expr *Target, const RtValue &V, Env &Env) {
+  if (Trapped)
+    return;
+  if (auto *N = dyn_cast<NameRefExpr>(Target)) {
+    switch (N->resolution()) {
+    case NameRefExpr::Resolution::Local:
+      Acc.Ns += Cost.NsLocalOp;
+      Env.Vars[N->local()] = V.convertTo(N->local()->type());
+      return;
+    case NameRefExpr::Resolution::Param:
+      Acc.Ns += Cost.NsLocalOp;
+      Env.Vars[N->param()] = V.convertTo(N->param()->type());
+      return;
+    case NameRefExpr::Resolution::Field: {
+      FieldDecl *F = N->field();
+      Acc.Ns += Cost.NsFieldAccess;
+      if (F->isStatic()) {
+        setStaticField(F, V.convertTo(F->type()));
+        return;
+      }
+      if (!Env.This) {
+        trap(N->loc(), "instance field write without a receiver");
+        return;
+      }
+      Env.This->Fields[fieldIndex(F)] = V.convertTo(F->type());
+      return;
+    }
+    default:
+      trap(N->loc(), "cannot store to unresolved name");
+      return;
+    }
+  }
+  if (auto *AI = dyn_cast<ArrayIndexExpr>(Target)) {
+    RtValue Base = evalExpr(AI->base(), Env);
+    RtValue Idx = evalExpr(AI->index(), Env);
+    if (Trapped)
+      return;
+    RtArray &A = *Base.array();
+    if (A.Immutable) {
+      trap(AI->loc(), "store into immutable value array");
+      return;
+    }
+    int64_t I = Idx.asIntegral();
+    chargeArrayAccess(A, /*IsStore=*/true);
+    if (I < 0 || static_cast<size_t>(I) >= A.Elems.size()) {
+      trap(AI->loc(), formatString("index %lld out of bounds for length %zu",
+                                   static_cast<long long>(I),
+                                   A.Elems.size()));
+      return;
+    }
+    A.Elems[static_cast<size_t>(I)] = V.convertTo(A.ElementType);
+    return;
+  }
+  if (auto *FA = dyn_cast<FieldAccessExpr>(Target)) {
+    FieldDecl *F = FA->field();
+    Acc.Ns += Cost.NsFieldAccess;
+    if (F->isStatic()) {
+      setStaticField(F, V.convertTo(F->type()));
+      return;
+    }
+    RtValue Base = evalExpr(FA->base(), Env);
+    if (Trapped)
+      return;
+    Base.object()->Fields[fieldIndex(F)] = V.convertTo(F->type());
+    return;
+  }
+  trap(Target->loc(), "invalid assignment target");
+}
+
+RtValue Interp::evalAssign(AssignExpr *E, Env &Env) {
+  RtValue V = evalExpr(E->value(), Env);
+  if (Trapped)
+    return RtValue();
+
+  if (E->op() != AssignExpr::Op::None) {
+    RtValue Old = loadTarget(E->target(), Env);
+    if (Trapped)
+      return RtValue();
+    const Type *T = E->target()->type();
+    chargeAlu(T);
+    if (isDoubleTy(T)) {
+      double A = Old.asNumber();
+      double B = V.asNumber();
+      double Res;
+      switch (E->op()) {
+      case AssignExpr::Op::Add:
+        Res = A + B;
+        break;
+      case AssignExpr::Op::Sub:
+        Res = A - B;
+        break;
+      case AssignExpr::Op::Mul:
+        Res = A * B;
+        break;
+      case AssignExpr::Op::Div:
+        Res = A / B;
+        break;
+      default:
+        Res = std::fmod(A, B);
+        break;
+      }
+      V = RtValue::makeDouble(Res);
+    } else if (isFloatTy(T)) {
+      float A = static_cast<float>(Old.asNumber());
+      float B = static_cast<float>(V.asNumber());
+      float Res;
+      switch (E->op()) {
+      case AssignExpr::Op::Add:
+        Res = A + B;
+        break;
+      case AssignExpr::Op::Sub:
+        Res = A - B;
+        break;
+      case AssignExpr::Op::Mul:
+        Res = A * B;
+        break;
+      case AssignExpr::Op::Div:
+        Res = A / B;
+        break;
+      default:
+        Res = std::fmod(A, B);
+        break;
+      }
+      V = RtValue::makeFloat(Res);
+    } else {
+      int64_t A = Old.asIntegral();
+      int64_t B = V.asIntegral();
+      if ((E->op() == AssignExpr::Op::Div || E->op() == AssignExpr::Op::Rem) &&
+          B == 0) {
+        trap(E->loc(), "integer division by zero");
+        return RtValue();
+      }
+      int64_t Res;
+      switch (E->op()) {
+      case AssignExpr::Op::Add:
+        Res = A + B;
+        break;
+      case AssignExpr::Op::Sub:
+        Res = A - B;
+        break;
+      case AssignExpr::Op::Mul:
+        Res = A * B;
+        break;
+      case AssignExpr::Op::Div:
+        Res = A / B;
+        break;
+      case AssignExpr::Op::Rem:
+        Res = A % B;
+        break;
+      case AssignExpr::Op::BitAnd:
+        Res = A & B;
+        break;
+      case AssignExpr::Op::BitOr:
+        Res = A | B;
+        break;
+      case AssignExpr::Op::BitXor:
+        Res = A ^ B;
+        break;
+      case AssignExpr::Op::Shl:
+        Res = A << (B & 63);
+        break;
+      case AssignExpr::Op::Shr:
+        Res = A >> (B & 63);
+        break;
+      default:
+        Res = 0;
+        break;
+      }
+      V = isLongTy(T) ? RtValue::makeLong(Res)
+                      : RtValue::makeInt(static_cast<int32_t>(Res));
+    }
+  }
+
+  storeTarget(E->target(), V, Env);
+  return V.convertTo(E->target()->type());
+}
+
+//===----------------------------------------------------------------------===//
+// Calls, builtins, allocation
+//===----------------------------------------------------------------------===//
+
+RtValue Interp::evalBuiltin(CallExpr *E, Env &Env) {
+  std::vector<RtValue> Args;
+  Args.reserve(E->args().size());
+  for (Expr *A : E->args()) {
+    Args.push_back(evalExpr(A, Env));
+    if (Trapped)
+      return RtValue();
+  }
+
+  BuiltinFn B = E->builtin();
+  double X = Args[0].asNumber();
+  double Y = Args.size() > 1 ? Args[1].asNumber() : 0.0;
+  double Res = 0.0;
+
+  switch (B) {
+  case BuiltinFn::Sqrt:
+    Acc.Ns += Cost.NsSqrt;
+    Res = std::sqrt(X);
+    break;
+  case BuiltinFn::Sin:
+  case BuiltinFn::Cos:
+  case BuiltinFn::Tan:
+  case BuiltinFn::Exp:
+  case BuiltinFn::Log:
+  case BuiltinFn::Pow:
+    Acc.Ns += Cost.NsTranscendental;
+    ++Acc.Transcendentals;
+    switch (B) {
+    case BuiltinFn::Sin:
+      Res = std::sin(X);
+      break;
+    case BuiltinFn::Cos:
+      Res = std::cos(X);
+      break;
+    case BuiltinFn::Tan:
+      Res = std::tan(X);
+      break;
+    case BuiltinFn::Exp:
+      Res = std::exp(X);
+      break;
+    case BuiltinFn::Log:
+      Res = std::log(X);
+      break;
+    default:
+      Res = std::pow(X, Y);
+      break;
+    }
+    break;
+  case BuiltinFn::Abs:
+    chargeAlu(E->type());
+    Res = std::fabs(X);
+    break;
+  case BuiltinFn::Min:
+    chargeAlu(E->type());
+    Res = std::min(X, Y);
+    break;
+  case BuiltinFn::Max:
+    chargeAlu(E->type());
+    Res = std::max(X, Y);
+    break;
+  case BuiltinFn::Floor:
+    chargeAlu(E->type());
+    Res = std::floor(X);
+    break;
+  case BuiltinFn::None:
+    lime_unreachable("builtin call without builtin");
+  }
+
+  return RtValue::makeDouble(Res).convertTo(E->type());
+}
+
+RtValue Interp::evalCall(CallExpr *E, Env &Env) {
+  if (E->builtin() != BuiltinFn::None)
+    return evalBuiltin(E, Env);
+
+  MethodDecl *M = E->method();
+  assert(M && "unresolved call survived sema");
+
+  std::shared_ptr<RtObject> Receiver;
+  if (!M->isStatic()) {
+    if (E->base()) {
+      RtValue Base = evalExpr(E->base(), Env);
+      if (Trapped)
+        return RtValue();
+      Receiver = Base.object();
+    } else {
+      Receiver = Env.This;
+    }
+  }
+
+  std::vector<RtValue> Args;
+  Args.reserve(E->args().size());
+  for (Expr *A : E->args()) {
+    Args.push_back(evalExpr(A, Env));
+    if (Trapped)
+      return RtValue();
+  }
+
+  if (CallDepth >= MaxCallDepth) {
+    trap(E->loc(), "call depth limit exceeded (runaway recursion?)");
+    return RtValue();
+  }
+
+  // Inline frame: reuse the trap state, keep the accumulated cost.
+  Interp::Env Frame;
+  Frame.This = std::move(Receiver);
+  Frame.Method = M;
+  for (size_t I = 0, N = Args.size(); I != N; ++I)
+    Frame.Vars[M->params()[I]] = Args[I].convertTo(M->params()[I]->type());
+  Acc.Ns += Cost.NsCall;
+  ++Acc.Calls;
+  ++CallDepth;
+  Flow F = execBlock(M->body(), Frame);
+  --CallDepth;
+  if (F == Flow::Underflow) {
+    // Underflow propagates out of nested calls up to the task runner.
+    UnderflowSignal = true;
+    trap(E->loc(), "Underflow escaped a non-worker call");
+    return RtValue();
+  }
+  return Frame.ReturnValue;
+}
+
+RtValue Interp::evalNewArray(NewArrayExpr *E, Env &Env) {
+  const auto *AT = cast<ArrayType>(E->type());
+
+  if (!E->inits().empty()) {
+    auto Arr = std::make_shared<RtArray>();
+    Arr->ElementType = AT->element();
+    Arr->Immutable = AT->isValueArray();
+    Arr->Elems.reserve(E->inits().size());
+    for (Expr *Init : E->inits()) {
+      RtValue V = evalExpr(Init, Env);
+      if (Trapped)
+        return RtValue();
+      Arr->Elems.push_back(V.convertTo(AT->element()));
+    }
+    Acc.Ns += Cost.NsAllocBase +
+              Cost.NsAllocPerByte * static_cast<double>(E->inits().size()) * 4;
+    return RtValue::makeArray(std::move(Arr));
+  }
+
+  std::vector<long long> Sizes;
+  Sizes.reserve(E->sizes().size());
+  for (Expr *S : E->sizes()) {
+    RtValue V = evalExpr(S, Env);
+    if (Trapped)
+      return RtValue();
+    long long L = V.asIntegral();
+    if (L < 0) {
+      trap(S->loc(), "negative array size");
+      return RtValue();
+    }
+    Sizes.push_back(L);
+  }
+  RtValue V = zeroValueFor(AT, Sizes);
+  uint64_t Bytes = flatByteSize(V);
+  Acc.Ns += Cost.NsAllocBase + Cost.NsAllocPerByte * static_cast<double>(Bytes);
+  Acc.AllocBytes += Bytes;
+  return V;
+}
+
+/// Verifies that \p V structurally fits array type \p T (bounded
+/// dimensions match); returns an error string or empty.
+static std::string checkShape(const RtValue &V, const ArrayType *T) {
+  const RtArray &A = *V.array();
+  if (T->bound() != 0 && A.Elems.size() != T->bound())
+    return formatString("freeze cast: dimension has %zu elements but the "
+                        "bound is %u",
+                        A.Elems.size(), T->bound());
+  if (const auto *ET = dyn_cast<ArrayType>(T->element()))
+    for (const RtValue &E : A.Elems) {
+      std::string Err = checkShape(E, ET);
+      if (!Err.empty())
+        return Err;
+    }
+  return "";
+}
+
+RtValue Interp::evalCast(CastExpr *E, Env &Env) {
+  RtValue V = evalExpr(E->sub(), Env);
+  if (Trapped)
+    return RtValue();
+  if (!E->isFreezeOrThaw()) {
+    chargeAlu(E->type());
+    return V.convertTo(E->type());
+  }
+  // Array freeze/thaw: deep copy with shape check. This is the
+  // Java↔Lime array conversion whose cost §5.1 discusses.
+  const auto *AT = cast<ArrayType>(E->type());
+  std::string Err = checkShape(V, AT);
+  if (!Err.empty()) {
+    trap(E->loc(), Err);
+    return RtValue();
+  }
+  uint64_t Bytes = flatByteSize(V);
+  Acc.Ns += Cost.NsAllocBase + (Cost.NsAllocPerByte + Cost.NsArrayLoad +
+                                Cost.NsArrayStore) *
+                                   static_cast<double>(Bytes) / 4.0;
+  Acc.AllocBytes += Bytes;
+  return deepCopy(V, AT->isValueArray());
+}
+
+//===----------------------------------------------------------------------===//
+// Map, reduce, task
+//===----------------------------------------------------------------------===//
+
+RtValue Interp::evalMap(MapExpr *E, Env &Env) {
+  MethodDecl *M = E->method();
+  assert(M && "unresolved map");
+
+  RtValue Src = evalExpr(E->source(), Env);
+  if (Trapped)
+    return RtValue();
+  std::vector<RtValue> Extra;
+  Extra.reserve(E->extraArgs().size());
+  for (Expr *A : E->extraArgs()) {
+    Extra.push_back(evalExpr(A, Env));
+    if (Trapped)
+      return RtValue();
+  }
+
+  const RtArray &In = *Src.array();
+  auto Out = std::make_shared<RtArray>();
+  Out->ElementType = M->returnType();
+  Out->Immutable = true;
+  Out->Elems.reserve(In.Elems.size());
+
+  std::shared_ptr<RtObject> Receiver = M->isStatic() ? nullptr : Env.This;
+  for (const RtValue &Elem : In.Elems) {
+    chargeArrayAccess(In, /*IsStore=*/false);
+    Interp::Env Frame;
+    Frame.This = Receiver;
+    Frame.Method = M;
+    Frame.Vars[M->params()[0]] = Elem.convertTo(M->params()[0]->type());
+    for (size_t I = 0, N = Extra.size(); I != N; ++I)
+      Frame.Vars[M->params()[I + 1]] = Extra[I];
+    Acc.Ns += Cost.NsCall;
+    ++Acc.Calls;
+    ++CallDepth;
+    Flow F = execBlock(M->body(), Frame);
+    --CallDepth;
+    if (Trapped)
+      return RtValue();
+    if (F != Flow::Returned) {
+      trap(E->loc(), "map function did not return a value");
+      return RtValue();
+    }
+    Out->Elems.push_back(Frame.ReturnValue);
+  }
+  return RtValue::makeArray(std::move(Out));
+}
+
+RtValue Interp::evalReduce(ReduceExpr *E, Env &Env) {
+  RtValue Src = evalExpr(E->source(), Env);
+  if (Trapped)
+    return RtValue();
+  const RtArray &In = *Src.array();
+  if (In.Elems.empty()) {
+    trap(E->loc(), "reduce over an empty array");
+    return RtValue();
+  }
+
+  RtValue Accum = In.Elems[0];
+  chargeArrayAccess(In, /*IsStore=*/false);
+
+  for (size_t I = 1, N = In.Elems.size(); I != N; ++I) {
+    chargeArrayAccess(In, /*IsStore=*/false);
+    const RtValue &Elem = In.Elems[I];
+    if (E->combiner() == ReduceExpr::Combiner::Method) {
+      MethodDecl *M = E->method();
+      Interp::Env Frame;
+      Frame.This = M->isStatic() ? nullptr : Env.This;
+      Frame.Method = M;
+      Frame.Vars[M->params()[0]] = Accum;
+      Frame.Vars[M->params()[1]] = Elem;
+      Acc.Ns += Cost.NsCall;
+      ++Acc.Calls;
+      ++CallDepth;
+      Flow F = execBlock(M->body(), Frame);
+      --CallDepth;
+      if (Trapped)
+        return RtValue();
+      if (F != Flow::Returned) {
+        trap(E->loc(), "reduce combiner did not return a value");
+        return RtValue();
+      }
+      Accum = Frame.ReturnValue;
+      continue;
+    }
+    chargeAlu(E->type());
+    const Type *T = E->type();
+    if (isDoubleTy(T) || isFloatTy(T)) {
+      double A = Accum.asNumber();
+      double B = Elem.asNumber();
+      double Res;
+      switch (E->combiner()) {
+      case ReduceExpr::Combiner::Add:
+        Res = A + B;
+        break;
+      case ReduceExpr::Combiner::Mul:
+        Res = A * B;
+        break;
+      case ReduceExpr::Combiner::Min:
+        Res = std::min(A, B);
+        break;
+      default:
+        Res = std::max(A, B);
+        break;
+      }
+      Accum = isFloatTy(T) ? RtValue::makeFloat(static_cast<float>(Res))
+                           : RtValue::makeDouble(Res);
+    } else {
+      int64_t A = Accum.asIntegral();
+      int64_t B = Elem.asIntegral();
+      int64_t Res;
+      switch (E->combiner()) {
+      case ReduceExpr::Combiner::Add:
+        Res = A + B;
+        break;
+      case ReduceExpr::Combiner::Mul:
+        Res = A * B;
+        break;
+      case ReduceExpr::Combiner::Min:
+        Res = std::min(A, B);
+        break;
+      default:
+        Res = std::max(A, B);
+        break;
+      }
+      Accum = RtValue::makeLong(Res).convertTo(T);
+    }
+  }
+  return Accum;
+}
+
+RtValue Interp::evalTask(TaskExpr *E, Env &Env) {
+  auto G = std::make_shared<RtGraph>();
+  RtTaskNode Node;
+  Node.Worker = E->worker();
+  if (E->isInstance())
+    Node.Instance = instantiate(TheProgram->findClass(E->className()));
+  for (Expr *Arg : E->boundArgs()) {
+    RtValue V = evalExpr(Arg, Env);
+    if (Trapped)
+      return RtValue();
+    Node.BoundArgs.push_back(std::move(V));
+  }
+  G->Nodes.push_back(std::move(Node));
+  return RtValue::makeGraph(std::move(G));
+}

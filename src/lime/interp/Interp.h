@@ -1,0 +1,154 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tree-walking evaluator for type-checked Lime programs. It plays
+/// three roles in the reproduction:
+///
+///  1. The *bytecode baseline* of Figure 7 — every speedup the paper
+///     reports is relative to the Lime program running entirely in a
+///     JVM, which this evaluator models via JavaCostModel.
+///  2. The *host-side executor* — non-offloaded tasks (sources, sinks,
+///     stateful accumulators) run here while filters run on the
+///     simulated device, mirroring the paper's JVM/OpenCL split (§4).
+///  3. The *oracle* for tests — compiled kernels must agree with the
+///     evaluator's results.
+///
+/// The evaluator never throws: runtime faults (index out of bounds,
+/// integer division by zero...) set a trap that unwinds evaluation,
+/// and `throw Underflow` surfaces as ExecResult::Underflow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_LIME_INTERP_INTERP_H
+#define LIMECC_LIME_INTERP_INTERP_H
+
+#include "lime/ast/AST.h"
+#include "lime/interp/CostModel.h"
+#include "lime/interp/Value.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lime {
+
+/// Outcome of invoking a method through the evaluator.
+struct ExecResult {
+  RtValue Value;
+  bool Underflow = false;
+  bool Trapped = false;
+  std::string TrapMessage;
+
+  bool ok() const { return !Trapped; }
+};
+
+/// Hook through which `finish` statements hand a constructed task
+/// graph to the runtime (src/runtime implements this on top of the
+/// evaluator and the OpenCL substrate).
+class GraphExecutor {
+public:
+  virtual ~GraphExecutor();
+
+  /// Runs \p Graph to completion; returns an error message, or empty
+  /// on success.
+  virtual std::string run(const RtGraph &Graph) = 0;
+};
+
+class Interp {
+public:
+  Interp(Program *P, TypeContext &Types);
+
+  /// Cost accounting. The model may be swapped (e.g. PureJava vs
+  /// LimeBytecode) between runs; costs accumulate until reset.
+  void setCostModel(const JavaCostModel &M) { Cost = M; }
+  const JavaCostModel &costModel() const { return Cost; }
+  CostAccumulator &costs() { return Acc; }
+  double simTimeNs() const { return Acc.Ns; }
+
+  void setGraphExecutor(GraphExecutor *E) { GraphExec = E; }
+
+  /// Invokes `Cls.Method(Args)`; the method must be static.
+  ExecResult callStatic(const std::string &Cls, const std::string &Method,
+                        std::vector<RtValue> Args);
+
+  /// Invokes \p M on \p Instance (null for static methods).
+  ExecResult callMethod(MethodDecl *M, std::shared_ptr<RtObject> Instance,
+                        std::vector<RtValue> Args);
+
+  /// Creates an instance of \p C with field initializers applied.
+  std::shared_ptr<RtObject> instantiate(ClassDecl *C);
+
+  /// Static field storage (initialized on first touch of the class).
+  RtValue getStaticField(FieldDecl *F);
+  void setStaticField(FieldDecl *F, RtValue V);
+
+  Program *program() const { return TheProgram; }
+  TypeContext &types() { return Types; }
+
+private:
+  struct Env {
+    std::map<const void *, RtValue> Vars; // VarDeclStmt* / ParamDecl*
+    std::shared_ptr<RtObject> This;
+    MethodDecl *Method = nullptr;
+    RtValue ReturnValue;
+  };
+
+  enum class Flow : uint8_t { Normal, Returned, Underflow };
+
+  Flow execStmt(Stmt *S, Env &E);
+  Flow execBlock(BlockStmt *B, Env &E);
+
+  RtValue evalExpr(Expr *E, Env &Env);
+  RtValue evalBinary(BinaryExpr *E, Env &Env);
+  RtValue evalUnary(UnaryExpr *E, Env &Env);
+  RtValue evalAssign(AssignExpr *E, Env &Env);
+  RtValue evalCall(CallExpr *E, Env &Env);
+  RtValue evalBuiltin(CallExpr *E, Env &Env);
+  RtValue evalNewArray(NewArrayExpr *E, Env &Env);
+  RtValue evalCast(CastExpr *E, Env &Env);
+  RtValue evalMap(MapExpr *E, Env &Env);
+  RtValue evalReduce(ReduceExpr *E, Env &Env);
+  RtValue evalTask(TaskExpr *E, Env &Env);
+
+  /// Reads the current value of an assignable target.
+  RtValue loadTarget(Expr *Target, Env &Env);
+  /// Writes \p V to an assignable target (conversion applied).
+  void storeTarget(Expr *Target, const RtValue &V, Env &Env);
+
+  void trap(SourceLocation Loc, const std::string &Msg);
+  bool trapped() const { return Trapped; }
+
+  void ensureStaticsInitialized(ClassDecl *C);
+
+  // Cost helpers.
+  void chargeAlu(const Type *T);
+  void chargeArrayAccess(const RtArray &A, bool IsStore);
+  double arrayAccessFactor(const RtArray &A) const;
+
+  Program *TheProgram;
+  TypeContext &Types;
+  JavaCostModel Cost;
+  CostAccumulator Acc;
+  GraphExecutor *GraphExec = nullptr;
+
+  std::map<FieldDecl *, RtValue> Statics;
+  std::map<ClassDecl *, bool> StaticsReady;
+
+  bool Trapped = false;
+  std::string TrapMessage;
+  bool UnderflowSignal = false;
+
+  /// Recursion guard (the subset permits recursion; runaway depth
+  /// traps instead of crashing).
+  unsigned CallDepth = 0;
+  static constexpr unsigned MaxCallDepth = 2000;
+};
+
+} // namespace lime
+
+#endif // LIMECC_LIME_INTERP_INTERP_H

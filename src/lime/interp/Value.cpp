@@ -1,0 +1,204 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lime/interp/Value.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace lime;
+
+RtValue::Kind lime::scalarKindFor(const PrimitiveType *T) {
+  using Prim = PrimitiveType::Prim;
+  switch (T->prim()) {
+  case Prim::Void:
+    return RtValue::Kind::Unit;
+  case Prim::Boolean:
+    return RtValue::Kind::Bool;
+  case Prim::Byte:
+    return RtValue::Kind::Byte;
+  case Prim::Int:
+    return RtValue::Kind::Int;
+  case Prim::Long:
+    return RtValue::Kind::Long;
+  case Prim::Float:
+    return RtValue::Kind::Float;
+  case Prim::Double:
+    return RtValue::Kind::Double;
+  }
+  lime_unreachable("bad primitive");
+}
+
+RtValue RtValue::convertTo(const Type *To) const {
+  const auto *PT = dyn_cast<PrimitiveType>(To);
+  if (!PT || !isNumeric())
+    return *this;
+  using Prim = PrimitiveType::Prim;
+  switch (PT->prim()) {
+  case Prim::Byte:
+    return makeByte(static_cast<int8_t>(
+        isInteger() ? Scalar.I : static_cast<int64_t>(Scalar.D)));
+  case Prim::Int:
+    return makeInt(static_cast<int32_t>(
+        isInteger() ? Scalar.I : static_cast<int64_t>(Scalar.D)));
+  case Prim::Long:
+    return makeLong(isInteger() ? Scalar.I : static_cast<int64_t>(Scalar.D));
+  case Prim::Float:
+    return makeFloat(static_cast<float>(asNumber()));
+  case Prim::Double:
+    return makeDouble(asNumber());
+  case Prim::Boolean:
+  case Prim::Void:
+    return *this;
+  }
+  lime_unreachable("bad primitive");
+}
+
+bool RtValue::equals(const RtValue &RHS) const {
+  if (TheKind != RHS.TheKind)
+    return false;
+  switch (TheKind) {
+  case Kind::Unit:
+    return true;
+  case Kind::Bool:
+  case Kind::Byte:
+  case Kind::Int:
+  case Kind::Long:
+    return Scalar.I == RHS.Scalar.I;
+  case Kind::Float:
+  case Kind::Double:
+    return Scalar.D == RHS.Scalar.D;
+  case Kind::Array: {
+    const RtArray &A = *Arr;
+    const RtArray &B = *RHS.Arr;
+    if (A.Elems.size() != B.Elems.size())
+      return false;
+    for (size_t I = 0, E = A.Elems.size(); I != E; ++I)
+      if (!A.Elems[I].equals(B.Elems[I]))
+        return false;
+    return true;
+  }
+  case Kind::Object:
+    return Obj == RHS.Obj;
+  case Kind::Graph:
+    return Gr == RHS.Gr;
+  }
+  lime_unreachable("bad value kind");
+}
+
+std::string RtValue::str() const {
+  switch (TheKind) {
+  case Kind::Unit:
+    return "unit";
+  case Kind::Bool:
+    return Scalar.I ? "true" : "false";
+  case Kind::Byte:
+  case Kind::Int:
+  case Kind::Long:
+    return std::to_string(Scalar.I);
+  case Kind::Float:
+    return formatString("%gf", Scalar.D);
+  case Kind::Double:
+    return formatString("%g", Scalar.D);
+  case Kind::Array: {
+    std::string Out = Arr->Immutable ? "[[" : "[";
+    for (size_t I = 0, E = Arr->Elems.size(); I != E; ++I) {
+      if (I)
+        Out += ", ";
+      if (I == 8) {
+        Out += formatString("... (%zu elems)", Arr->Elems.size());
+        break;
+      }
+      Out += Arr->Elems[I].str();
+    }
+    Out += Arr->Immutable ? "]]" : "]";
+    return Out;
+  }
+  case Kind::Object:
+    return "<" + Obj->Class->name() + " instance>";
+  case Kind::Graph:
+    return formatString("<task graph, %zu nodes>", Gr->Nodes.size());
+  }
+  lime_unreachable("bad value kind");
+}
+
+RtValue lime::zeroValueFor(const Type *T, const std::vector<long long> &Sizes,
+                           unsigned SizeIndex) {
+  if (const auto *PT = dyn_cast<PrimitiveType>(T)) {
+    switch (scalarKindFor(PT)) {
+    case RtValue::Kind::Unit:
+      return RtValue::makeUnit();
+    case RtValue::Kind::Bool:
+      return RtValue::makeBool(false);
+    case RtValue::Kind::Byte:
+      return RtValue::makeByte(0);
+    case RtValue::Kind::Int:
+      return RtValue::makeInt(0);
+    case RtValue::Kind::Long:
+      return RtValue::makeLong(0);
+    case RtValue::Kind::Float:
+      return RtValue::makeFloat(0.0f);
+    case RtValue::Kind::Double:
+      return RtValue::makeDouble(0.0);
+    default:
+      lime_unreachable("non-scalar kind for primitive");
+    }
+  }
+  if (const auto *AT = dyn_cast<ArrayType>(T)) {
+    auto Arr = std::make_shared<RtArray>();
+    Arr->ElementType = AT->element();
+    Arr->Immutable = false; // callers freeze after filling
+    size_t Len = AT->bound();
+    if (Len == 0 && SizeIndex < Sizes.size())
+      Len = static_cast<size_t>(Sizes[SizeIndex]);
+    Arr->Elems.reserve(Len);
+    for (size_t I = 0; I != Len; ++I)
+      Arr->Elems.push_back(zeroValueFor(AT->element(), Sizes, SizeIndex + 1));
+    return RtValue::makeArray(std::move(Arr));
+  }
+  return RtValue::makeUnit();
+}
+
+RtValue lime::deepCopy(const RtValue &V, bool Freeze) {
+  if (!V.isArray())
+    return V;
+  const RtArray &Src = *V.array();
+  auto Copy = std::make_shared<RtArray>();
+  Copy->ElementType = Src.ElementType;
+  Copy->Immutable = Freeze;
+  Copy->Elems.reserve(Src.Elems.size());
+  for (const RtValue &E : Src.Elems)
+    Copy->Elems.push_back(deepCopy(E, Freeze));
+  return RtValue::makeArray(std::move(Copy));
+}
+
+uint64_t lime::flatByteSize(const RtValue &V) {
+  switch (V.kind()) {
+  case RtValue::Kind::Unit:
+    return 0;
+  case RtValue::Kind::Bool:
+  case RtValue::Kind::Byte:
+    return 1;
+  case RtValue::Kind::Int:
+  case RtValue::Kind::Float:
+    return 4;
+  case RtValue::Kind::Long:
+  case RtValue::Kind::Double:
+    return 8;
+  case RtValue::Kind::Array: {
+    uint64_t Total = 0;
+    for (const RtValue &E : V.array()->Elems)
+      Total += flatByteSize(E);
+    return Total;
+  }
+  case RtValue::Kind::Object:
+  case RtValue::Kind::Graph:
+    return 0;
+  }
+  lime_unreachable("bad value kind");
+}

@@ -1,0 +1,225 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamically-typed runtime values for the Lime evaluator and the
+/// task-graph runtime. Scalars carry their precise primitive kind so
+/// float arithmetic rounds to binary32 exactly as it would in a JVM or
+/// on the device; arrays are reference values with an immutability
+/// flag (frozen arrays are Lime value arrays); objects hold instance
+/// fields for stateful task workers; graph values describe task
+/// pipelines built by the `task` and `=>` operators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_LIME_INTERP_VALUE_H
+#define LIMECC_LIME_INTERP_VALUE_H
+
+#include "lime/ast/AST.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace lime {
+
+class RtValue;
+
+/// Array storage: element type descriptor plus the elements.
+struct RtArray {
+  const Type *ElementType = nullptr;
+  bool Immutable = false;
+  std::vector<RtValue> Elems;
+};
+
+/// Instance storage for `new C()`; fields are indexed by the position
+/// of the FieldDecl within its class.
+struct RtObject {
+  ClassDecl *Class = nullptr;
+  std::vector<RtValue> Fields;
+};
+
+/// One node of a task graph under construction: the worker method,
+/// (for stateful tasks) the receiver instance, and any arguments
+/// bound at task creation (`task C.m(extra...)`) that fill the
+/// worker's trailing parameters.
+struct RtTaskNode {
+  MethodDecl *Worker = nullptr;
+  std::shared_ptr<RtObject> Instance; // null for static (filter) workers
+  std::vector<RtValue> BoundArgs;
+};
+
+/// A linear pipeline of task nodes (the subset's graphs are pipelines,
+/// like every graph in the paper's evaluation).
+struct RtGraph {
+  std::vector<RtTaskNode> Nodes;
+};
+
+/// A tagged runtime value. Copying is cheap: scalars by value,
+/// aggregates by reference.
+class RtValue {
+public:
+  enum class Kind : uint8_t {
+    Unit,
+    Bool,
+    Byte,
+    Int,
+    Long,
+    Float,
+    Double,
+    Array,
+    Object,
+    Graph
+  };
+
+  RtValue() : TheKind(Kind::Unit) { Scalar.I = 0; }
+
+  static RtValue makeUnit() { return RtValue(); }
+  static RtValue makeBool(bool B) {
+    RtValue V;
+    V.TheKind = Kind::Bool;
+    V.Scalar.I = B;
+    return V;
+  }
+  static RtValue makeByte(int8_t B) {
+    RtValue V;
+    V.TheKind = Kind::Byte;
+    V.Scalar.I = B;
+    return V;
+  }
+  static RtValue makeInt(int32_t I) {
+    RtValue V;
+    V.TheKind = Kind::Int;
+    V.Scalar.I = I;
+    return V;
+  }
+  static RtValue makeLong(int64_t I) {
+    RtValue V;
+    V.TheKind = Kind::Long;
+    V.Scalar.I = I;
+    return V;
+  }
+  static RtValue makeFloat(float F) {
+    RtValue V;
+    V.TheKind = Kind::Float;
+    V.Scalar.D = F;
+    return V;
+  }
+  static RtValue makeDouble(double D) {
+    RtValue V;
+    V.TheKind = Kind::Double;
+    V.Scalar.D = D;
+    return V;
+  }
+  static RtValue makeArray(std::shared_ptr<RtArray> A) {
+    RtValue V;
+    V.TheKind = Kind::Array;
+    V.Arr = std::move(A);
+    return V;
+  }
+  static RtValue makeObject(std::shared_ptr<RtObject> O) {
+    RtValue V;
+    V.TheKind = Kind::Object;
+    V.Obj = std::move(O);
+    return V;
+  }
+  static RtValue makeGraph(std::shared_ptr<RtGraph> G) {
+    RtValue V;
+    V.TheKind = Kind::Graph;
+    V.Gr = std::move(G);
+    return V;
+  }
+
+  Kind kind() const { return TheKind; }
+  bool isUnit() const { return TheKind == Kind::Unit; }
+  bool isArray() const { return TheKind == Kind::Array; }
+  bool isNumeric() const {
+    return TheKind == Kind::Byte || TheKind == Kind::Int ||
+           TheKind == Kind::Long || TheKind == Kind::Float ||
+           TheKind == Kind::Double;
+  }
+  bool isInteger() const {
+    return TheKind == Kind::Byte || TheKind == Kind::Int ||
+           TheKind == Kind::Long;
+  }
+  bool isFloating() const {
+    return TheKind == Kind::Float || TheKind == Kind::Double;
+  }
+
+  bool asBool() const {
+    assert(TheKind == Kind::Bool && "not a bool");
+    return Scalar.I != 0;
+  }
+  /// Integral payload widened to 64 bits (Byte/Int/Long).
+  int64_t asIntegral() const {
+    assert(isInteger() && "not an integer");
+    return Scalar.I;
+  }
+  /// Numeric payload as double (any numeric kind).
+  double asNumber() const {
+    assert(isNumeric() && "not numeric");
+    return isInteger() ? static_cast<double>(Scalar.I) : Scalar.D;
+  }
+  double rawFloating() const {
+    assert(isFloating() && "not floating");
+    return Scalar.D;
+  }
+
+  const std::shared_ptr<RtArray> &array() const {
+    assert(TheKind == Kind::Array && "not an array");
+    return Arr;
+  }
+  const std::shared_ptr<RtObject> &object() const {
+    assert(TheKind == Kind::Object && "not an object");
+    return Obj;
+  }
+  const std::shared_ptr<RtGraph> &graph() const {
+    assert(TheKind == Kind::Graph && "not a graph");
+    return Gr;
+  }
+
+  /// Converts this numeric value to the kind matching \p To
+  /// (truncating / rounding like Java primitive conversions). Returns
+  /// *this unchanged for non-numeric targets.
+  RtValue convertTo(const Type *To) const;
+
+  /// Structural equality (deep for arrays); used by tests.
+  bool equals(const RtValue &RHS) const;
+
+  /// Debug rendering ("3", "2.5f", "[1, 2, 3]").
+  std::string str() const;
+
+private:
+  Kind TheKind;
+  union {
+    int64_t I;
+    double D;
+  } Scalar;
+  std::shared_ptr<RtArray> Arr;
+  std::shared_ptr<RtObject> Obj;
+  std::shared_ptr<RtGraph> Gr;
+};
+
+/// Returns the RtValue kind that stores scalars of primitive \p T.
+RtValue::Kind scalarKindFor(const PrimitiveType *T);
+
+/// Allocates a default-initialized (zeroed) value of \p T; arrays use
+/// \p Sizes for their leading unbounded dimensions (bounded value
+/// dimensions take their static bound).
+RtValue zeroValueFor(const Type *T, const std::vector<long long> &Sizes = {},
+                     unsigned SizeIndex = 0);
+
+/// Deep copy; \p Freeze selects the immutability of all copied arrays.
+RtValue deepCopy(const RtValue &V, bool Freeze);
+
+/// Total payload bytes of a value when serialized flat (scalar
+/// elements only); the marshaling cost model uses this.
+uint64_t flatByteSize(const RtValue &V);
+
+} // namespace lime
+
+#endif // LIMECC_LIME_INTERP_VALUE_H

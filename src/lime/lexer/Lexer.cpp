@@ -1,0 +1,428 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lime/lexer/Lexer.h"
+
+#include "support/Casting.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace lime;
+
+const char *lime::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::LongLiteral:
+    return "long literal";
+  case TokenKind::FloatLiteral:
+    return "float literal";
+  case TokenKind::DoubleLiteral:
+    return "double literal";
+  case TokenKind::KwClass:
+    return "'class'";
+  case TokenKind::KwStatic:
+    return "'static'";
+  case TokenKind::KwLocal:
+    return "'local'";
+  case TokenKind::KwValue:
+    return "'value'";
+  case TokenKind::KwFinal:
+    return "'final'";
+  case TokenKind::KwTask:
+    return "'task'";
+  case TokenKind::KwFinish:
+    return "'finish'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwThrow:
+    return "'throw'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwBoolean:
+    return "'boolean'";
+  case TokenKind::KwByte:
+    return "'byte'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwLong:
+    return "'long'";
+  case TokenKind::KwFloat:
+    return "'float'";
+  case TokenKind::KwDouble:
+    return "'double'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::At:
+    return "'@'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  case TokenKind::PlusEq:
+    return "'+='";
+  case TokenKind::MinusEq:
+    return "'-='";
+  case TokenKind::StarEq:
+    return "'*='";
+  case TokenKind::SlashEq:
+    return "'/='";
+  case TokenKind::PercentEq:
+    return "'%='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Tilde:
+    return "'~'";
+  case TokenKind::Shl:
+    return "'<<'";
+  case TokenKind::Shr:
+    return "'>>'";
+  case TokenKind::Arrow:
+    return "'=>'";
+  }
+  lime_unreachable("bad token kind");
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  while (true) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLocation Start(Line, Column);
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLocation Loc, std::string Text) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLocation Loc) {
+  size_t Start = Pos;
+  bool SawDot = false;
+  bool SawExp = false;
+  // Hex integers.
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      advance();
+    std::string Text(Source.substr(Start, Pos - Start));
+    Token T = makeToken(TokenKind::IntLiteral, Loc, Text);
+    T.IntValue = std::strtoll(Text.c_str(), nullptr, 16);
+    if (peek() == 'L' || peek() == 'l') {
+      advance();
+      T.Kind = TokenKind::LongLiteral;
+    }
+    return T;
+  }
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    SawDot = true;
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    char Sign = peek(1);
+    if (std::isdigit(static_cast<unsigned char>(Sign)) ||
+        ((Sign == '+' || Sign == '-') &&
+         std::isdigit(static_cast<unsigned char>(peek(2))))) {
+      SawExp = true;
+      advance();
+      if (peek() == '+' || peek() == '-')
+        advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+  }
+  std::string Text(Source.substr(Start, Pos - Start));
+  bool IsFloaty = SawDot || SawExp;
+  if (peek() == 'f' || peek() == 'F') {
+    advance();
+    Token T = makeToken(TokenKind::FloatLiteral, Loc, Text);
+    T.FloatValue = std::strtod(Text.c_str(), nullptr);
+    return T;
+  }
+  if (peek() == 'd' || peek() == 'D') {
+    advance();
+    Token T = makeToken(TokenKind::DoubleLiteral, Loc, Text);
+    T.FloatValue = std::strtod(Text.c_str(), nullptr);
+    return T;
+  }
+  if (peek() == 'L' || peek() == 'l') {
+    advance();
+    Token T = makeToken(TokenKind::LongLiteral, Loc, Text);
+    T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+    return T;
+  }
+  if (IsFloaty) {
+    Token T = makeToken(TokenKind::DoubleLiteral, Loc, Text);
+    T.FloatValue = std::strtod(Text.c_str(), nullptr);
+    return T;
+  }
+  Token T = makeToken(TokenKind::IntLiteral, Loc, Text);
+  T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+  return T;
+}
+
+Token Lexer::lexIdentifier(SourceLocation Loc) {
+  static const std::map<std::string, TokenKind, std::less<>> Keywords = {
+      {"class", TokenKind::KwClass},     {"static", TokenKind::KwStatic},
+      {"local", TokenKind::KwLocal},     {"value", TokenKind::KwValue},
+      {"final", TokenKind::KwFinal},     {"task", TokenKind::KwTask},
+      {"finish", TokenKind::KwFinish},   {"new", TokenKind::KwNew},
+      {"if", TokenKind::KwIf},           {"else", TokenKind::KwElse},
+      {"for", TokenKind::KwFor},         {"while", TokenKind::KwWhile},
+      {"return", TokenKind::KwReturn},   {"throw", TokenKind::KwThrow},
+      {"true", TokenKind::KwTrue},       {"false", TokenKind::KwFalse},
+      {"void", TokenKind::KwVoid},       {"boolean", TokenKind::KwBoolean},
+      {"byte", TokenKind::KwByte},       {"int", TokenKind::KwInt},
+      {"long", TokenKind::KwLong},       {"float", TokenKind::KwFloat},
+      {"double", TokenKind::KwDouble}};
+
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string Text(Source.substr(Start, Pos - Start));
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end())
+    return makeToken(It->second, Loc, Text);
+  return makeToken(TokenKind::Identifier, Loc, std::move(Text));
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLocation Loc(Line, Column);
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokenKind::Eof, Loc, "");
+
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Loc);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier(Loc);
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Loc, "(");
+  case ')':
+    return makeToken(TokenKind::RParen, Loc, ")");
+  case '{':
+    return makeToken(TokenKind::LBrace, Loc, "{");
+  case '}':
+    return makeToken(TokenKind::RBrace, Loc, "}");
+  case '[':
+    return makeToken(TokenKind::LBracket, Loc, "[");
+  case ']':
+    return makeToken(TokenKind::RBracket, Loc, "]");
+  case ';':
+    return makeToken(TokenKind::Semi, Loc, ";");
+  case ',':
+    return makeToken(TokenKind::Comma, Loc, ",");
+  case '.':
+    return makeToken(TokenKind::Dot, Loc, ".");
+  case '@':
+    return makeToken(TokenKind::At, Loc, "@");
+  case '?':
+    return makeToken(TokenKind::Question, Loc, "?");
+  case ':':
+    return makeToken(TokenKind::Colon, Loc, ":");
+  case '~':
+    return makeToken(TokenKind::Tilde, Loc, "~");
+  case '!':
+    if (match('='))
+      return makeToken(TokenKind::NotEq, Loc, "!=");
+    return makeToken(TokenKind::Bang, Loc, "!");
+  case '=':
+    if (match('='))
+      return makeToken(TokenKind::EqEq, Loc, "==");
+    if (match('>'))
+      return makeToken(TokenKind::Arrow, Loc, "=>");
+    return makeToken(TokenKind::Assign, Loc, "=");
+  case '<':
+    if (match('='))
+      return makeToken(TokenKind::Le, Loc, "<=");
+    if (match('<'))
+      return makeToken(TokenKind::Shl, Loc, "<<");
+    return makeToken(TokenKind::Lt, Loc, "<");
+  case '>':
+    if (match('='))
+      return makeToken(TokenKind::Ge, Loc, ">=");
+    if (match('>'))
+      return makeToken(TokenKind::Shr, Loc, ">>");
+    return makeToken(TokenKind::Gt, Loc, ">");
+  case '+':
+    if (match('+'))
+      return makeToken(TokenKind::PlusPlus, Loc, "++");
+    if (match('='))
+      return makeToken(TokenKind::PlusEq, Loc, "+=");
+    return makeToken(TokenKind::Plus, Loc, "+");
+  case '-':
+    if (match('-'))
+      return makeToken(TokenKind::MinusMinus, Loc, "--");
+    if (match('='))
+      return makeToken(TokenKind::MinusEq, Loc, "-=");
+    return makeToken(TokenKind::Minus, Loc, "-");
+  case '*':
+    if (match('='))
+      return makeToken(TokenKind::StarEq, Loc, "*=");
+    return makeToken(TokenKind::Star, Loc, "*");
+  case '/':
+    if (match('='))
+      return makeToken(TokenKind::SlashEq, Loc, "/=");
+    return makeToken(TokenKind::Slash, Loc, "/");
+  case '%':
+    if (match('='))
+      return makeToken(TokenKind::PercentEq, Loc, "%=");
+    return makeToken(TokenKind::Percent, Loc, "%");
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp, Loc, "&&");
+    return makeToken(TokenKind::Amp, Loc, "&");
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe, Loc, "||");
+    return makeToken(TokenKind::Pipe, Loc, "|");
+  case '^':
+    return makeToken(TokenKind::Caret, Loc, "^");
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return makeToken(TokenKind::Error, Loc, std::string(1, C));
+  }
+}

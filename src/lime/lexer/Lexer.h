@@ -1,0 +1,52 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the Lime subset. Produces one token at a
+/// time; the parser owns lookahead buffering. Comments (// and /**/)
+/// and whitespace are skipped. Malformed input produces an Error token
+/// and a diagnostic, never an abort.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_LIME_LEXER_LEXER_H
+#define LIMECC_LIME_LEXER_LEXER_H
+
+#include "lime/lexer/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+
+namespace lime {
+
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token; returns Eof forever at the end.
+  Token next();
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipTrivia();
+
+  Token makeToken(TokenKind Kind, SourceLocation Loc, std::string Text);
+  Token lexNumber(SourceLocation Loc);
+  Token lexIdentifier(SourceLocation Loc);
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+} // namespace lime
+
+#endif // LIMECC_LIME_LEXER_LEXER_H

@@ -1,0 +1,137 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token definitions for the Lime-subset lexer. Lime is Java plus a
+/// handful of tokens: `=>` (connect), `@` (map), `!` used infix
+/// (reduce), and the keywords task/finish/value/local.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_LIME_LEXER_TOKEN_H
+#define LIMECC_LIME_LEXER_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+
+namespace lime {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Error,
+  Identifier,
+  IntLiteral,
+  LongLiteral,
+  FloatLiteral,  // with 'f' suffix
+  DoubleLiteral, // no suffix or 'd'
+
+  // Keywords.
+  KwClass,
+  KwStatic,
+  KwLocal,
+  KwValue,
+  KwFinal,
+  KwTask,
+  KwFinish,
+  KwNew,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwWhile,
+  KwReturn,
+  KwThrow,
+  KwTrue,
+  KwFalse,
+  KwVoid,
+  KwBoolean,
+  KwByte,
+  KwInt,
+  KwLong,
+  KwFloat,
+  KwDouble,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  At,       // @  (map)
+  Bang,     // !  (logical not, and infix reduce)
+  Question,
+  Colon,
+  Assign,   // =
+  EqEq,
+  NotEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  PlusPlus,
+  MinusMinus,
+  PlusEq,
+  MinusEq,
+  StarEq,
+  SlashEq,
+  PercentEq,
+  AmpAmp,
+  PipePipe,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Shl,      // <<
+  Shr,      // >>
+  Arrow     // =>
+};
+
+/// Returns a stable printable name for a token kind ("'=>'", "identifier").
+const char *tokenKindName(TokenKind K);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLocation Loc;
+  std::string Text;
+
+  // Literal payloads.
+  long long IntValue = 0;
+  double FloatValue = 0.0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+
+  /// True for the primitive-type keywords (used when parsing types).
+  bool isPrimitiveTypeKeyword() const {
+    switch (Kind) {
+    case TokenKind::KwVoid:
+    case TokenKind::KwBoolean:
+    case TokenKind::KwByte:
+    case TokenKind::KwInt:
+    case TokenKind::KwLong:
+    case TokenKind::KwFloat:
+    case TokenKind::KwDouble:
+      return true;
+    default:
+      return false;
+    }
+  }
+};
+
+} // namespace lime
+
+#endif // LIMECC_LIME_LEXER_TOKEN_H

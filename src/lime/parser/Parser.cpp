@@ -1,0 +1,803 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lime/parser/Parser.h"
+
+#include "support/StringUtils.h"
+
+using namespace lime;
+
+Parser::Parser(std::string_view Source, ASTContext &Ctx,
+               DiagnosticEngine &Diags)
+    : Lex(Source, Diags), Ctx(Ctx), Diags(Diags) {}
+
+const Token &Parser::peek(unsigned Ahead) {
+  assert(Ahead < 2 && "only two tokens of lookahead");
+  while (NumLookahead <= Ahead)
+    Lookahead[NumLookahead++] = Lex.next();
+  return Lookahead[Ahead];
+}
+
+Token Parser::consume() {
+  peek();
+  Token T = std::move(Lookahead[0]);
+  Lookahead[0] = std::move(Lookahead[1]);
+  --NumLookahead;
+  return T;
+}
+
+bool Parser::accept(TokenKind K) {
+  if (!check(K))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  Diags.error(peek().Loc, formatString("expected %s %s, found %s",
+                                       tokenKindName(K), Context,
+                                       tokenKindName(peek().Kind)));
+  return false;
+}
+
+void Parser::synchronize() {
+  while (!check(TokenKind::Eof)) {
+    TokenKind K = consume().Kind;
+    if (K == TokenKind::Semi || K == TokenKind::RBrace)
+      return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+Program *Parser::parseProgram() {
+  auto *P = Ctx.make<Program>();
+  while (!check(TokenKind::Eof)) {
+    if (ClassDecl *C = parseClass()) {
+      P->addClass(C);
+      continue;
+    }
+    // Top-level recovery: resynchronize at the next class keyword so
+    // later classes still parse (and diagnose).
+    while (!check(TokenKind::Eof) && !check(TokenKind::KwClass) &&
+           !check(TokenKind::KwValue))
+      consume();
+  }
+  return P;
+}
+
+ClassDecl *Parser::parseClass() {
+  bool IsValue = accept(TokenKind::KwValue);
+  if (!expect(TokenKind::KwClass, "to begin a class declaration"))
+    return nullptr;
+  SourceLocation Loc = peek().Loc;
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(Loc, "expected class name");
+    return nullptr;
+  }
+  std::string Name = consume().Text;
+  auto *Class = Ctx.make<ClassDecl>(Loc, std::move(Name), IsValue);
+  if (!expect(TokenKind::LBrace, "after class name"))
+    return Class;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof))
+    parseMember(Class);
+  expect(TokenKind::RBrace, "to close the class body");
+  return Class;
+}
+
+void Parser::parseMember(ClassDecl *Class) {
+  bool IsStatic = false;
+  bool IsLocal = false;
+  bool IsFinal = false;
+  while (true) {
+    if (accept(TokenKind::KwStatic)) {
+      IsStatic = true;
+      continue;
+    }
+    if (accept(TokenKind::KwLocal)) {
+      IsLocal = true;
+      continue;
+    }
+    if (accept(TokenKind::KwFinal)) {
+      IsFinal = true;
+      continue;
+    }
+    break;
+  }
+
+  TypeNode DeclType = parseType("for a class member");
+  SourceLocation Loc = peek().Loc;
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(Loc, "expected member name");
+    synchronize();
+    return;
+  }
+  std::string Name = consume().Text;
+
+  if (check(TokenKind::LParen)) {
+    // Method.
+    consume();
+    std::vector<ParamDecl *> Params;
+    if (!check(TokenKind::RParen)) {
+      do {
+        TypeNode PT = parseType("for a parameter");
+        SourceLocation PLoc = peek().Loc;
+        if (!check(TokenKind::Identifier)) {
+          Diags.error(PLoc, "expected parameter name");
+          synchronize();
+          return;
+        }
+        std::string PName = consume().Text;
+        Params.push_back(Ctx.make<ParamDecl>(PLoc, std::move(PName), PT));
+      } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "to close the parameter list");
+    BlockStmt *Body = parseBlock();
+    auto *M = Ctx.make<MethodDecl>(Loc, std::move(Name), std::move(DeclType),
+                                   std::move(Params), IsStatic, IsLocal, Body);
+    Class->addMethod(M);
+    return;
+  }
+
+  // Field.
+  Expr *Init = nullptr;
+  if (accept(TokenKind::Assign))
+    Init = parseExpression();
+  expect(TokenKind::Semi, "after field declaration");
+  auto *F = Ctx.make<FieldDecl>(Loc, std::move(Name), std::move(DeclType),
+                                IsStatic, IsFinal, Init);
+  Class->addField(F);
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+bool Parser::atTypeStart() {
+  if (peek().isPrimitiveTypeKeyword())
+    return true;
+  // `Foo x` (class-typed declaration) — identifier followed by
+  // identifier.
+  return check(TokenKind::Identifier) && peek(1).is(TokenKind::Identifier);
+}
+
+TypeNode Parser::parseType(const char *Context) {
+  TypeNode T;
+  T.Loc = peek().Loc;
+  if (peek().isPrimitiveTypeKeyword() || check(TokenKind::Identifier)) {
+    T.Name = consume().Text;
+  } else {
+    Diags.error(T.Loc, formatString("expected a type %s, found %s", Context,
+                                    tokenKindName(peek().Kind)));
+    T.Name = "int";
+    return T;
+  }
+  parseArrayDims(T);
+  return T;
+}
+
+void Parser::parseArrayDims(TypeNode &T) {
+  while (check(TokenKind::LBracket)) {
+    if (peek(1).is(TokenKind::RBracket)) {
+      // Mutable Java array dimension: [].
+      consume();
+      consume();
+      T.Dims.push_back({/*IsValue=*/false, /*Bound=*/0});
+      continue;
+    }
+    if (peek(1).is(TokenKind::LBracket)) {
+      // Value array group: [ ([bound?])+ ].
+      consume(); // outer [
+      while (check(TokenKind::LBracket)) {
+        consume();
+        unsigned Bound = 0;
+        if (check(TokenKind::IntLiteral))
+          Bound = static_cast<unsigned>(consume().IntValue);
+        expect(TokenKind::RBracket, "to close a value-array dimension");
+        T.Dims.push_back({/*IsValue=*/true, Bound});
+      }
+      expect(TokenKind::RBracket, "to close the value-array brackets");
+      continue;
+    }
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+BlockStmt *Parser::parseBlock() {
+  SourceLocation Loc = peek().Loc;
+  expect(TokenKind::LBrace, "to open a block");
+  std::vector<Stmt *> Stmts;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    if (Stmt *S = parseStatement())
+      Stmts.push_back(S);
+    else
+      synchronize();
+  }
+  expect(TokenKind::RBrace, "to close the block");
+  return Ctx.make<BlockStmt>(Loc, std::move(Stmts));
+}
+
+Stmt *Parser::parseVarDeclRest(TypeNode DeclType, SourceLocation Loc) {
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, "expected variable name");
+    return nullptr;
+  }
+  std::string Name = consume().Text;
+  Expr *Init = nullptr;
+  if (accept(TokenKind::Assign))
+    Init = parseExpression();
+  expect(TokenKind::Semi, "after variable declaration");
+  return Ctx.make<VarDeclStmt>(Loc, std::move(Name), std::move(DeclType),
+                               Init);
+}
+
+Stmt *Parser::parseStatement() {
+  SourceLocation Loc = peek().Loc;
+
+  if (check(TokenKind::LBrace))
+    return parseBlock();
+
+  if (accept(TokenKind::KwIf)) {
+    expect(TokenKind::LParen, "after 'if'");
+    Expr *Cond = parseExpression();
+    expect(TokenKind::RParen, "after if condition");
+    Stmt *Then = parseStatement();
+    Stmt *Else = nullptr;
+    if (accept(TokenKind::KwElse))
+      Else = parseStatement();
+    return Ctx.make<IfStmt>(Loc, Cond, Then, Else);
+  }
+
+  if (accept(TokenKind::KwWhile)) {
+    expect(TokenKind::LParen, "after 'while'");
+    Expr *Cond = parseExpression();
+    expect(TokenKind::RParen, "after while condition");
+    Stmt *Body = parseStatement();
+    return Ctx.make<WhileStmt>(Loc, Cond, Body);
+  }
+
+  if (accept(TokenKind::KwFor)) {
+    expect(TokenKind::LParen, "after 'for'");
+    Stmt *Init = nullptr;
+    if (!accept(TokenKind::Semi)) {
+      if (atTypeStart()) {
+        TypeNode T = parseType("in for-init");
+        Init = parseVarDeclRest(std::move(T), Loc);
+      } else {
+        Expr *E = parseExpression();
+        expect(TokenKind::Semi, "after for-init");
+        Init = Ctx.make<ExprStmt>(Loc, E);
+      }
+    }
+    Expr *Cond = nullptr;
+    if (!check(TokenKind::Semi))
+      Cond = parseExpression();
+    expect(TokenKind::Semi, "after for-condition");
+    Expr *Update = nullptr;
+    if (!check(TokenKind::RParen))
+      Update = parseExpression();
+    expect(TokenKind::RParen, "after for-update");
+    Stmt *Body = parseStatement();
+    return Ctx.make<ForStmt>(Loc, Init, Cond, Update, Body);
+  }
+
+  if (accept(TokenKind::KwReturn)) {
+    Expr *Value = nullptr;
+    if (!check(TokenKind::Semi))
+      Value = parseExpression();
+    expect(TokenKind::Semi, "after return");
+    return Ctx.make<ReturnStmt>(Loc, Value);
+  }
+
+  if (accept(TokenKind::KwThrow)) {
+    if (check(TokenKind::Identifier) && peek().Text == "Underflow") {
+      consume();
+      expect(TokenKind::Semi, "after 'throw Underflow'");
+      return Ctx.make<ThrowUnderflowStmt>(Loc);
+    }
+    Diags.error(peek().Loc, "only 'throw Underflow;' is supported");
+    synchronize();
+    return nullptr;
+  }
+
+  if (accept(TokenKind::KwFinish)) {
+    Expr *Graph = parseExpression();
+    expect(TokenKind::Semi, "after 'finish'");
+    return Ctx.make<FinishStmt>(Loc, Graph);
+  }
+
+  if (atTypeStart()) {
+    TypeNode T = parseType("in declaration");
+    return parseVarDeclRest(std::move(T), Loc);
+  }
+
+  Expr *E = parseExpression();
+  expect(TokenKind::Semi, "after expression statement");
+  return Ctx.make<ExprStmt>(Loc, E);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::parseExpression() { return parseAssignment(); }
+
+static AssignExpr::Op compoundOpFor(TokenKind K) {
+  switch (K) {
+  case TokenKind::Assign:
+    return AssignExpr::Op::None;
+  case TokenKind::PlusEq:
+    return AssignExpr::Op::Add;
+  case TokenKind::MinusEq:
+    return AssignExpr::Op::Sub;
+  case TokenKind::StarEq:
+    return AssignExpr::Op::Mul;
+  case TokenKind::SlashEq:
+    return AssignExpr::Op::Div;
+  case TokenKind::PercentEq:
+    return AssignExpr::Op::Rem;
+  default:
+    lime_unreachable("not an assignment token");
+  }
+}
+
+Expr *Parser::parseAssignment() {
+  Expr *LHS = parseConnect();
+  switch (peek().Kind) {
+  case TokenKind::Assign:
+  case TokenKind::PlusEq:
+  case TokenKind::MinusEq:
+  case TokenKind::StarEq:
+  case TokenKind::SlashEq:
+  case TokenKind::PercentEq: {
+    Token Op = consume();
+    Expr *RHS = parseAssignment();
+    return Ctx.make<AssignExpr>(Op.Loc, compoundOpFor(Op.Kind), LHS, RHS);
+  }
+  default:
+    return LHS;
+  }
+}
+
+Expr *Parser::parseConnect() {
+  Expr *LHS = parseTernary();
+  while (check(TokenKind::Arrow)) {
+    SourceLocation Loc = consume().Loc;
+    Expr *RHS = parseTernary();
+    LHS = Ctx.make<ConnectExpr>(Loc, LHS, RHS);
+  }
+  return LHS;
+}
+
+Expr *Parser::parseTernary() {
+  Expr *Cond = parseBinary(0);
+  if (!accept(TokenKind::Question))
+    return Cond;
+  SourceLocation Loc = peek().Loc;
+  Expr *Then = parseTernary();
+  expect(TokenKind::Colon, "in conditional expression");
+  Expr *Else = parseTernary();
+  return Ctx.make<ConditionalExpr>(Loc, Cond, Then, Else);
+}
+
+namespace {
+struct BinOpInfo {
+  BinaryOp Op;
+  int Prec;
+};
+} // namespace
+
+/// Java-like precedence table; higher binds tighter.
+static bool binaryOpInfo(TokenKind K, BinOpInfo &Info) {
+  switch (K) {
+  case TokenKind::PipePipe:
+    Info = {BinaryOp::LogicalOr, 1};
+    return true;
+  case TokenKind::AmpAmp:
+    Info = {BinaryOp::LogicalAnd, 2};
+    return true;
+  case TokenKind::Pipe:
+    Info = {BinaryOp::BitOr, 3};
+    return true;
+  case TokenKind::Caret:
+    Info = {BinaryOp::BitXor, 4};
+    return true;
+  case TokenKind::Amp:
+    Info = {BinaryOp::BitAnd, 5};
+    return true;
+  case TokenKind::EqEq:
+    Info = {BinaryOp::Eq, 6};
+    return true;
+  case TokenKind::NotEq:
+    Info = {BinaryOp::Ne, 6};
+    return true;
+  case TokenKind::Lt:
+    Info = {BinaryOp::Lt, 7};
+    return true;
+  case TokenKind::Le:
+    Info = {BinaryOp::Le, 7};
+    return true;
+  case TokenKind::Gt:
+    Info = {BinaryOp::Gt, 7};
+    return true;
+  case TokenKind::Ge:
+    Info = {BinaryOp::Ge, 7};
+    return true;
+  case TokenKind::Shl:
+    Info = {BinaryOp::Shl, 8};
+    return true;
+  case TokenKind::Shr:
+    Info = {BinaryOp::Shr, 8};
+    return true;
+  case TokenKind::Plus:
+    Info = {BinaryOp::Add, 9};
+    return true;
+  case TokenKind::Minus:
+    Info = {BinaryOp::Sub, 9};
+    return true;
+  case TokenKind::Star:
+    Info = {BinaryOp::Mul, 10};
+    return true;
+  case TokenKind::Slash:
+    Info = {BinaryOp::Div, 10};
+    return true;
+  case TokenKind::Percent:
+    Info = {BinaryOp::Rem, 10};
+    return true;
+  default:
+    return false;
+  }
+}
+
+Expr *Parser::parseBinary(int MinPrec) {
+  Expr *LHS = parseUnary();
+  while (true) {
+    BinOpInfo Info;
+    if (!binaryOpInfo(peek().Kind, Info) || Info.Prec < MinPrec)
+      return LHS;
+    // `+ !` and `* !` at the start of an operand belong to reduce and
+    // are handled in parseUnary; here the operator is genuinely infix.
+    SourceLocation Loc = consume().Loc;
+    Expr *RHS = parseBinary(Info.Prec + 1);
+    LHS = Ctx.make<BinaryExpr>(Loc, Info.Op, LHS, RHS);
+  }
+}
+
+/// Extracts (className, methodName) from a parsed method reference:
+/// `m`, `C.m`. Returns false when the shape is not a method reference.
+static bool splitMethodRef(Expr *E, std::string &ClassName,
+                           std::string &MethodName) {
+  if (auto *Name = dyn_cast<NameRefExpr>(E)) {
+    ClassName.clear();
+    MethodName = Name->name();
+    return true;
+  }
+  if (auto *FA = dyn_cast<FieldAccessExpr>(E)) {
+    auto *Base = dyn_cast<NameRefExpr>(FA->base());
+    if (!Base)
+      return false;
+    ClassName = Base->name();
+    MethodName = FA->name();
+    return true;
+  }
+  return false;
+}
+
+Expr *Parser::finishMap(Expr *Callee, SourceLocation Loc) {
+  std::string ClassName;
+  std::string MethodName;
+  std::vector<Expr *> ExtraArgs;
+  if (auto *Call = dyn_cast<CallExpr>(Callee)) {
+    ExtraArgs = Call->args();
+    MethodName = Call->callee();
+    if (Expr *Base = Call->base()) {
+      auto *Name = dyn_cast<NameRefExpr>(Base);
+      if (!Name) {
+        Diags.error(Loc, "map function must be a simple or class-qualified "
+                         "method reference");
+        return Callee;
+      }
+      ClassName = Name->name();
+    }
+  } else if (!splitMethodRef(Callee, ClassName, MethodName)) {
+    Diags.error(Loc, "left-hand side of '@' must be a method reference or "
+                     "partial call");
+    return Callee;
+  }
+  Expr *Source = parseUnary();
+  return Ctx.make<MapExpr>(Loc, std::move(ClassName), std::move(MethodName),
+                           std::move(ExtraArgs), Source);
+}
+
+Expr *Parser::finishReduce(Expr *Combiner, SourceLocation Loc) {
+  std::string ClassName;
+  std::string MethodName;
+  if (!splitMethodRef(Combiner, ClassName, MethodName)) {
+    Diags.error(Loc, "left-hand side of reduce '!' must be a method "
+                     "reference, 'min', or 'max'");
+    ClassName.clear();
+    MethodName = "<error>";
+  }
+  Expr *Source = parseUnary();
+  ReduceExpr::Combiner C = ReduceExpr::Combiner::Method;
+  if (ClassName.empty() && MethodName == "min")
+    C = ReduceExpr::Combiner::Min;
+  else if (ClassName.empty() && MethodName == "max")
+    C = ReduceExpr::Combiner::Max;
+  return Ctx.make<ReduceExpr>(Loc, C, std::move(ClassName),
+                              std::move(MethodName), Source);
+}
+
+Expr *Parser::parseUnary() {
+  SourceLocation Loc = peek().Loc;
+
+  // Operator reductions: `+ ! src` and `* ! src`.
+  if ((check(TokenKind::Plus) || check(TokenKind::Star)) &&
+      peek(1).is(TokenKind::Bang)) {
+    ReduceExpr::Combiner C = check(TokenKind::Plus)
+                                 ? ReduceExpr::Combiner::Add
+                                 : ReduceExpr::Combiner::Mul;
+    consume(); // operator
+    consume(); // '!'
+    Expr *Source = parseUnary();
+    return Ctx.make<ReduceExpr>(Loc, C, "", "", Source);
+  }
+
+  if (accept(TokenKind::Minus))
+    return Ctx.make<UnaryExpr>(Loc, UnaryOp::Neg, parseUnary());
+  if (accept(TokenKind::Tilde))
+    return Ctx.make<UnaryExpr>(Loc, UnaryOp::BitNot, parseUnary());
+  if (accept(TokenKind::Bang))
+    return Ctx.make<UnaryExpr>(Loc, UnaryOp::Not, parseUnary());
+  if (accept(TokenKind::PlusPlus)) {
+    Expr *Target = parseUnary();
+    return Ctx.make<AssignExpr>(Loc, AssignExpr::Op::Add, Target,
+                                Ctx.make<IntLitExpr>(Loc, 1, false));
+  }
+  if (accept(TokenKind::MinusMinus)) {
+    Expr *Target = parseUnary();
+    return Ctx.make<AssignExpr>(Loc, AssignExpr::Op::Sub, Target,
+                                Ctx.make<IntLitExpr>(Loc, 1, false));
+  }
+
+  // Cast: '(' primitive-type ... ')' expr.
+  if (check(TokenKind::LParen) && peek(1).isPrimitiveTypeKeyword()) {
+    consume();
+    TypeNode Target = parseType("in cast");
+    expect(TokenKind::RParen, "to close the cast");
+    Expr *Sub = parseUnary();
+    return Ctx.make<CastExpr>(Loc, std::move(Target), Sub);
+  }
+
+  Expr *E = parsePostfix();
+
+  // Map and reduce bind as postfix-level operators.
+  if (check(TokenKind::At)) {
+    SourceLocation OpLoc = consume().Loc;
+    return finishMap(E, OpLoc);
+  }
+  if (check(TokenKind::Bang)) {
+    // Infix '!' after a complete operand is the reduce operator.
+    SourceLocation OpLoc = consume().Loc;
+    return finishReduce(E, OpLoc);
+  }
+  return E;
+}
+
+std::vector<Expr *> Parser::parseArgs() {
+  std::vector<Expr *> Args;
+  expect(TokenKind::LParen, "to open the argument list");
+  if (!check(TokenKind::RParen)) {
+    do
+      Args.push_back(parseExpression());
+    while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close the argument list");
+  return Args;
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *E = parsePrimary();
+  while (true) {
+    SourceLocation Loc = peek().Loc;
+    if (check(TokenKind::Dot)) {
+      consume();
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(peek().Loc, "expected member name after '.'");
+        return E;
+      }
+      std::string Name = consume().Text;
+      if (check(TokenKind::LParen)) {
+        std::vector<Expr *> Args = parseArgs();
+        E = Ctx.make<CallExpr>(Loc, E, std::move(Name), std::move(Args));
+      } else if (Name == "length") {
+        E = Ctx.make<ArrayLengthExpr>(Loc, E);
+      } else {
+        E = Ctx.make<FieldAccessExpr>(Loc, E, std::move(Name));
+      }
+      continue;
+    }
+    if (check(TokenKind::LBracket)) {
+      consume();
+      Expr *Index = parseExpression();
+      expect(TokenKind::RBracket, "to close the index");
+      E = Ctx.make<ArrayIndexExpr>(Loc, E, Index);
+      continue;
+    }
+    if (check(TokenKind::LParen) && isa<NameRefExpr>(E)) {
+      // Unqualified call f(args).
+      auto *Name = cast<NameRefExpr>(E);
+      std::vector<Expr *> Args = parseArgs();
+      E = Ctx.make<CallExpr>(Loc, nullptr, Name->name(), std::move(Args));
+      continue;
+    }
+    if (check(TokenKind::PlusPlus) || check(TokenKind::MinusMinus)) {
+      // Postfix increment desugars to a compound assignment; the
+      // subset restricts its use to statement/for-update positions
+      // where the result value is discarded.
+      bool IsInc = consume().Kind == TokenKind::PlusPlus;
+      E = Ctx.make<AssignExpr>(Loc,
+                               IsInc ? AssignExpr::Op::Add
+                                     : AssignExpr::Op::Sub,
+                               E, Ctx.make<IntLitExpr>(Loc, 1, false));
+      continue;
+    }
+    return E;
+  }
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLocation Loc = peek().Loc;
+
+  switch (peek().Kind) {
+  case TokenKind::IntLiteral: {
+    Token T = consume();
+    return Ctx.make<IntLitExpr>(Loc, T.IntValue, false);
+  }
+  case TokenKind::LongLiteral: {
+    Token T = consume();
+    return Ctx.make<IntLitExpr>(Loc, T.IntValue, true);
+  }
+  case TokenKind::FloatLiteral: {
+    Token T = consume();
+    return Ctx.make<FloatLitExpr>(Loc, T.FloatValue, /*IsSingle=*/true);
+  }
+  case TokenKind::DoubleLiteral: {
+    Token T = consume();
+    return Ctx.make<FloatLitExpr>(Loc, T.FloatValue, /*IsSingle=*/false);
+  }
+  case TokenKind::KwTrue:
+    consume();
+    return Ctx.make<BoolLitExpr>(Loc, true);
+  case TokenKind::KwFalse:
+    consume();
+    return Ctx.make<BoolLitExpr>(Loc, false);
+  case TokenKind::Identifier: {
+    Token T = consume();
+    return Ctx.make<NameRefExpr>(Loc, std::move(T.Text));
+  }
+  case TokenKind::LParen: {
+    consume();
+    Expr *E = parseExpression();
+    expect(TokenKind::RParen, "to close the parenthesized expression");
+    return E;
+  }
+  case TokenKind::KwNew:
+    consume();
+    return parseNew(Loc);
+  case TokenKind::KwTask:
+    consume();
+    return parseTask(Loc);
+  default:
+    Diags.error(Loc, formatString("expected an expression, found %s",
+                                  tokenKindName(peek().Kind)));
+    consume();
+    return Ctx.make<IntLitExpr>(Loc, 0, false);
+  }
+}
+
+Expr *Parser::parseNew(SourceLocation Loc) {
+  if (!peek().isPrimitiveTypeKeyword() && !check(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, "expected a type after 'new'");
+    return Ctx.make<IntLitExpr>(Loc, 0, false);
+  }
+
+  // `new C()` — object construction.
+  if (check(TokenKind::Identifier) && peek(1).is(TokenKind::LParen)) {
+    std::string ClassName = consume().Text;
+    consume(); // (
+    expect(TokenKind::RParen, "constructors take no arguments");
+    return Ctx.make<NewObjectExpr>(Loc, std::move(ClassName));
+  }
+
+  TypeNode T;
+  T.Loc = peek().Loc;
+  T.Name = consume().Text;
+
+  std::vector<Expr *> Sizes;
+  // Dimension parsing for news: either value-array groups, `[]`
+  // (awaiting an initializer), or `[size]` expressions.
+  while (check(TokenKind::LBracket)) {
+    if (peek(1).is(TokenKind::RBracket)) {
+      consume();
+      consume();
+      T.Dims.push_back({/*IsValue=*/false, /*Bound=*/0});
+      continue;
+    }
+    if (peek(1).is(TokenKind::LBracket)) {
+      consume(); // outer [
+      while (check(TokenKind::LBracket)) {
+        consume();
+        unsigned Bound = 0;
+        if (check(TokenKind::IntLiteral))
+          Bound = static_cast<unsigned>(consume().IntValue);
+        expect(TokenKind::RBracket, "to close a value-array dimension");
+        T.Dims.push_back({/*IsValue=*/true, Bound});
+      }
+      expect(TokenKind::RBracket, "to close the value-array brackets");
+      continue;
+    }
+    // `[ size-expr ]`.
+    consume();
+    Sizes.push_back(parseExpression());
+    expect(TokenKind::RBracket, "to close the array size");
+    T.Dims.push_back({/*IsValue=*/false, /*Bound=*/0});
+  }
+
+  std::vector<Expr *> Inits;
+  if (accept(TokenKind::LBrace)) {
+    if (!check(TokenKind::RBrace)) {
+      do
+        Inits.push_back(parseExpression());
+      while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RBrace, "to close the array initializer");
+  }
+
+  if (T.Dims.empty()) {
+    Diags.error(Loc, "array creation needs at least one dimension");
+    T.Dims.push_back({false, 0});
+  }
+  return Ctx.make<NewArrayExpr>(Loc, std::move(T), std::move(Sizes),
+                                std::move(Inits));
+}
+
+Expr *Parser::parseTask(SourceLocation Loc) {
+  // `task C.m` or `task new C().m`.
+  bool IsInstance = false;
+  if (accept(TokenKind::KwNew)) {
+    IsInstance = true;
+  }
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, "expected a class name after 'task'");
+    return Ctx.make<IntLitExpr>(Loc, 0, false);
+  }
+  std::string ClassName = consume().Text;
+  if (IsInstance) {
+    expect(TokenKind::LParen, "in 'task new C()'");
+    expect(TokenKind::RParen, "in 'task new C()'");
+  }
+  expect(TokenKind::Dot, "between class and worker method in 'task'");
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, "expected a worker method name");
+    return Ctx.make<IntLitExpr>(Loc, 0, false);
+  }
+  std::string MethodName = consume().Text;
+  std::vector<Expr *> BoundArgs;
+  if (!IsInstance && check(TokenKind::LParen))
+    BoundArgs = parseArgs();
+  return Ctx.make<TaskExpr>(Loc, std::move(ClassName), std::move(MethodName),
+                            IsInstance, std::move(BoundArgs));
+}

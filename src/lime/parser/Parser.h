@@ -1,0 +1,93 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the Lime subset (paper §3). Produces
+/// an untyped AST; lime/sema resolves names and types afterwards.
+///
+/// Grammar notes specific to Lime:
+///  - `a => b` (connect) binds loosest, below assignment's RHS.
+///  - `f(extra) @ src` (map) and `+ ! src` / `C.m ! src` (reduce) are
+///    recognized at unary level; the reduce token `!` is disambiguated
+///    from logical-not by requiring a combiner (operator or method
+///    reference) to its left.
+///  - Value-array types use double brackets: float[[][4]] parses as a
+///    single bracket group containing one inner [bound?] per
+///    dimension.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_LIME_PARSER_PARSER_H
+#define LIMECC_LIME_PARSER_PARSER_H
+
+#include "lime/ast/AST.h"
+#include "lime/lexer/Lexer.h"
+#include "support/Diagnostics.h"
+
+namespace lime {
+
+class Parser {
+public:
+  Parser(std::string_view Source, ASTContext &Ctx, DiagnosticEngine &Diags);
+
+  /// Parses a whole compilation unit. Always returns a Program (it may
+  /// be partial if errors were reported — check Diags.hasErrors()).
+  Program *parseProgram();
+
+private:
+  // Token stream with two tokens of lookahead.
+  const Token &peek(unsigned Ahead = 0);
+  Token consume();
+  bool check(TokenKind K) { return peek().is(K); }
+  bool accept(TokenKind K);
+  bool expect(TokenKind K, const char *Context);
+
+  // Declarations.
+  ClassDecl *parseClass();
+  void parseMember(ClassDecl *Class);
+
+  // Types.
+  bool atTypeStart();
+  TypeNode parseType(const char *Context);
+  void parseArrayDims(TypeNode &T);
+
+  // Statements.
+  Stmt *parseStatement();
+  BlockStmt *parseBlock();
+  Stmt *parseVarDeclRest(TypeNode DeclType, SourceLocation Loc);
+
+  // Expressions (precedence climbing).
+  Expr *parseExpression();
+  Expr *parseAssignment();
+  Expr *parseConnect();
+  Expr *parseTernary();
+  Expr *parseBinary(int MinPrec);
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+  Expr *parseNew(SourceLocation Loc);
+  Expr *parseTask(SourceLocation Loc);
+  std::vector<Expr *> parseArgs();
+
+  /// Wraps postfix expression \p Callee into a MapExpr after '@'.
+  Expr *finishMap(Expr *Callee, SourceLocation Loc);
+  /// Wraps combiner reference \p Combiner into a ReduceExpr after '!'.
+  Expr *finishReduce(Expr *Combiner, SourceLocation Loc);
+
+  /// Error recovery: skips to the next ';' or '}' boundary.
+  void synchronize();
+
+  Lexer Lex;
+  ASTContext &Ctx;
+  DiagnosticEngine &Diags;
+  Token Lookahead[2];
+  unsigned NumLookahead = 0;
+};
+
+} // namespace lime
+
+#endif // LIMECC_LIME_PARSER_PARSER_H

@@ -1,0 +1,1134 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lime/sema/Sema.h"
+
+#include "support/StringUtils.h"
+
+using namespace lime;
+
+BuiltinFn lime::lookupMathBuiltin(const std::string &Name) {
+  if (Name == "sqrt")
+    return BuiltinFn::Sqrt;
+  if (Name == "sin")
+    return BuiltinFn::Sin;
+  if (Name == "cos")
+    return BuiltinFn::Cos;
+  if (Name == "tan")
+    return BuiltinFn::Tan;
+  if (Name == "exp")
+    return BuiltinFn::Exp;
+  if (Name == "log")
+    return BuiltinFn::Log;
+  if (Name == "pow")
+    return BuiltinFn::Pow;
+  if (Name == "abs")
+    return BuiltinFn::Abs;
+  if (Name == "min")
+    return BuiltinFn::Min;
+  if (Name == "max")
+    return BuiltinFn::Max;
+  if (Name == "floor")
+    return BuiltinFn::Floor;
+  return BuiltinFn::None;
+}
+
+Sema::Sema(ASTContext &Ctx, DiagnosticEngine &Diags)
+    : Ctx(Ctx), Types(Ctx.types()), Diags(Diags) {}
+
+const Type *Sema::errorAt(SourceLocation Loc, const std::string &Msg) {
+  Diags.error(Loc, Msg);
+  return Types.errorType();
+}
+
+bool Sema::check(Program *P) {
+  TheProgram = P;
+  unsigned Before = Diags.errorCount();
+  declareClasses(P);
+  for (ClassDecl *C : P->classes())
+    checkClass(C);
+  return Diags.errorCount() == Before;
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 1: declarations
+//===----------------------------------------------------------------------===//
+
+const Type *Sema::resolveTypeNode(const TypeNode &T, bool AllowVoid) {
+  const Type *Base = nullptr;
+  if (T.Name == "void")
+    Base = Types.voidType();
+  else if (T.Name == "boolean")
+    Base = Types.booleanType();
+  else if (T.Name == "byte")
+    Base = Types.byteType();
+  else if (T.Name == "int")
+    Base = Types.intType();
+  else if (T.Name == "long")
+    Base = Types.longType();
+  else if (T.Name == "float")
+    Base = Types.floatType();
+  else if (T.Name == "double")
+    Base = Types.doubleType();
+  else if (ClassDecl *C = TheProgram->findClass(T.Name))
+    Base = Types.getClassType(C, C->isValueClass(), C->name());
+  else
+    return errorAt(T.Loc, "unknown type '" + T.Name + "'");
+
+  if (Base == Types.voidType() && (!AllowVoid || T.isArray()))
+    return errorAt(T.Loc, "'void' is only valid as a bare return type");
+
+  if (T.Dims.empty())
+    return Base;
+
+  // All dimensions of one array type must agree on valueness (a value
+  // array is deeply immutable; a mutable array of value arrays is not
+  // in the subset).
+  bool IsValue = T.Dims.front().IsValue;
+  for (const TypeNode::Dim &D : T.Dims) {
+    if (D.IsValue != IsValue)
+      return errorAt(T.Loc,
+                     "array dimensions cannot mix value and mutable flavors");
+    if (!IsValue && D.Bound != 0)
+      return errorAt(T.Loc, "only value arrays can have bounded dimensions");
+  }
+
+  const Type *Result = Base;
+  for (auto It = T.Dims.rbegin(), E = T.Dims.rend(); It != E; ++It)
+    Result = Types.getArrayType(Result, IsValue, It->Bound);
+  return Result;
+}
+
+void Sema::declareClasses(Program *P) {
+  // Duplicate-name detection.
+  std::map<std::string, ClassDecl *> Seen;
+  for (ClassDecl *C : P->classes()) {
+    auto [It, Inserted] = Seen.emplace(C->name(), C);
+    if (!Inserted)
+      Diags.error(C->loc(), "duplicate class '" + C->name() + "'");
+  }
+
+  for (ClassDecl *C : P->classes()) {
+    for (FieldDecl *F : C->fields()) {
+      F->setType(resolveTypeNode(F->declType(), /*AllowVoid=*/false));
+      if (C->isValueClass() && !(F->isFinal() && F->type()->isValue()))
+        Diags.error(F->loc(),
+                    "fields of a value class must be final value types");
+    }
+    for (MethodDecl *M : C->methods()) {
+      M->setReturnType(resolveTypeNode(M->retTypeNode(), /*AllowVoid=*/true));
+      for (ParamDecl *Param : M->params())
+        Param->setType(resolveTypeNode(Param->declType(), /*AllowVoid=*/false));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 2: bodies
+//===----------------------------------------------------------------------===//
+
+void Sema::checkClass(ClassDecl *C) {
+  CurrentClass = C;
+  for (FieldDecl *F : C->fields()) {
+    if (Expr *Init = F->init()) {
+      CurrentMethod = nullptr;
+      checkExpr(Init);
+      if (!Init->type()->isError() && !isAssignable(Init, F->type()))
+        Diags.error(Init->loc(),
+                    formatString("cannot initialize field '%s' of type %s "
+                                 "with %s",
+                                 F->name().c_str(), F->type()->str().c_str(),
+                                 Init->type()->str().c_str()));
+    }
+  }
+  for (MethodDecl *M : C->methods())
+    checkMethod(M);
+  CurrentClass = nullptr;
+}
+
+void Sema::checkMethod(MethodDecl *M) {
+  CurrentMethod = M;
+  pushScope();
+  // Parameter name collisions.
+  std::map<std::string, ParamDecl *> Params;
+  for (ParamDecl *P : M->params()) {
+    auto [It, Inserted] = Params.emplace(P->name(), P);
+    if (!Inserted)
+      Diags.error(P->loc(), "duplicate parameter '" + P->name() + "'");
+  }
+  if (M->body())
+    checkBlock(M->body());
+  popScope();
+  CurrentMethod = nullptr;
+}
+
+VarDeclStmt *Sema::lookupLocal(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(), E = Scopes.rend(); It != E; ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+void Sema::declareLocal(VarDeclStmt *D) {
+  assert(!Scopes.empty() && "no active scope");
+  auto [It, Inserted] = Scopes.back().emplace(D->name(), D);
+  if (!Inserted)
+    Diags.error(D->loc(), "redeclaration of '" + D->name() + "'");
+}
+
+void Sema::checkBlock(BlockStmt *B) {
+  pushScope();
+  for (Stmt *S : B->stmts())
+    checkStmt(S);
+  popScope();
+}
+
+void Sema::checkStmt(Stmt *S) {
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    checkBlock(cast<BlockStmt>(S));
+    return;
+
+  case Stmt::Kind::VarDecl: {
+    auto *D = cast<VarDeclStmt>(S);
+    const Type *DeclTy = resolveTypeNode(D->declType(), /*AllowVoid=*/false);
+    D->setType(DeclTy);
+    if (Expr *Init = D->init()) {
+      checkExpr(Init);
+      if (!DeclTy->isError() && !Init->type()->isError() &&
+          !isAssignable(Init, DeclTy))
+        Diags.error(Init->loc(),
+                    formatString("cannot initialize '%s' of type %s with %s",
+                                 D->name().c_str(), DeclTy->str().c_str(),
+                                 Init->type()->str().c_str()));
+    }
+    declareLocal(D);
+    return;
+  }
+
+  case Stmt::Kind::Expr:
+    checkExpr(cast<ExprStmt>(S)->expr());
+    return;
+
+  case Stmt::Kind::If: {
+    auto *If = cast<IfStmt>(S);
+    checkExpr(If->cond());
+    if (!If->cond()->type()->isError() &&
+        If->cond()->type() != Types.booleanType())
+      Diags.error(If->cond()->loc(), "if condition must be boolean");
+    checkStmt(If->thenStmt());
+    if (If->elseStmt())
+      checkStmt(If->elseStmt());
+    return;
+  }
+
+  case Stmt::Kind::While: {
+    auto *W = cast<WhileStmt>(S);
+    checkExpr(W->cond());
+    if (!W->cond()->type()->isError() &&
+        W->cond()->type() != Types.booleanType())
+      Diags.error(W->cond()->loc(), "while condition must be boolean");
+    checkStmt(W->body());
+    return;
+  }
+
+  case Stmt::Kind::For: {
+    auto *F = cast<ForStmt>(S);
+    pushScope();
+    if (F->init())
+      checkStmt(F->init());
+    if (F->cond()) {
+      checkExpr(F->cond());
+      if (!F->cond()->type()->isError() &&
+          F->cond()->type() != Types.booleanType())
+        Diags.error(F->cond()->loc(), "for condition must be boolean");
+    }
+    if (F->update())
+      checkExpr(F->update());
+    checkStmt(F->body());
+    popScope();
+    return;
+  }
+
+  case Stmt::Kind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    if (!CurrentMethod) {
+      Diags.error(R->loc(), "'return' outside a method");
+      return;
+    }
+    const Type *RetTy = CurrentMethod->returnType();
+    if (Expr *V = R->value()) {
+      checkExpr(V);
+      if (RetTy == Types.voidType()) {
+        Diags.error(V->loc(), "void method cannot return a value");
+      } else if (!V->type()->isError() && !RetTy->isError() &&
+                 !isAssignable(V, RetTy)) {
+        Diags.error(V->loc(),
+                    formatString("cannot return %s from a method returning %s",
+                                 V->type()->str().c_str(),
+                                 RetTy->str().c_str()));
+      }
+    } else if (RetTy != Types.voidType()) {
+      Diags.error(R->loc(), "non-void method must return a value");
+    }
+    return;
+  }
+
+  case Stmt::Kind::ThrowUnderflow:
+    return;
+
+  case Stmt::Kind::Finish: {
+    auto *F = cast<FinishStmt>(S);
+    const Type *T = checkExpr(F->graph());
+    if (T->isError())
+      return;
+    const auto *TT = dyn_cast<TaskType>(T);
+    if (!TT || TT->input() != Types.voidType() ||
+        TT->output() != Types.voidType())
+      Diags.error(F->loc(), "'finish' needs a complete task graph "
+                            "(source through sink); got " +
+                                T->str());
+    return;
+  }
+  }
+  lime_unreachable("bad statement kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Conversions
+//===----------------------------------------------------------------------===//
+
+static int numericRank(const PrimitiveType *P) {
+  using Prim = PrimitiveType::Prim;
+  switch (P->prim()) {
+  case Prim::Byte:
+    return 1;
+  case Prim::Int:
+    return 2;
+  case Prim::Long:
+    return 3;
+  case Prim::Float:
+    return 4;
+  case Prim::Double:
+    return 5;
+  default:
+    return 0;
+  }
+}
+
+bool Sema::isWideningPrimitive(const Type *From, const Type *To) const {
+  const auto *PF = dyn_cast<PrimitiveType>(From);
+  const auto *PT = dyn_cast<PrimitiveType>(To);
+  if (!PF || !PT)
+    return false;
+  if (PF == PT)
+    return true;
+  int RF = numericRank(PF);
+  int RT = numericRank(PT);
+  return RF != 0 && RT != 0 && RF <= RT;
+}
+
+bool Sema::isAssignable(Expr *E, const Type *To) const {
+  const Type *From = E->type();
+  if (From->isError() || To->isError())
+    return true;
+  if (From == To)
+    return true;
+  if (isWideningPrimitive(From, To))
+    return true;
+  // Constant integer literals may narrow when they fit (Java-style).
+  if (const auto *Lit = dyn_cast<IntLitExpr>(E)) {
+    if (To == Types.byteType())
+      return Lit->value() >= -128 && Lit->value() <= 127;
+    if (To == Types.intType())
+      return Lit->value() >= INT32_MIN && Lit->value() <= INT32_MAX;
+  }
+  // Arrays: a bounded value array may flow where an unbounded value
+  // array of the same element type is expected (the bound is extra
+  // static information, not a different runtime shape).
+  const auto *AF = dyn_cast<ArrayType>(From);
+  const auto *AT = dyn_cast<ArrayType>(To);
+  if (AF && AT && AF->isValueArray() == AT->isValueArray()) {
+    if (AF->element() == AT->element() &&
+        (AT->bound() == 0 || AT->bound() == AF->bound()))
+      return true;
+    // Recurse through dimensions: outer unbounded, inner equal.
+    if (AT->bound() == 0 || AT->bound() == AF->bound()) {
+      const auto *EF = dyn_cast<ArrayType>(AF->element());
+      const auto *ET = dyn_cast<ArrayType>(AT->element());
+      if (EF && ET) {
+        // Construct a trivial check by structural walk.
+        const ArrayType *F2 = EF;
+        const ArrayType *T2 = ET;
+        while (F2 && T2) {
+          if (F2->isValueArray() != T2->isValueArray())
+            return false;
+          if (T2->bound() != 0 && T2->bound() != F2->bound())
+            return false;
+          const auto *FN = dyn_cast<ArrayType>(F2->element());
+          const auto *TN = dyn_cast<ArrayType>(T2->element());
+          if (!FN && !TN)
+            return F2->element() == T2->element();
+          F2 = FN;
+          T2 = TN;
+        }
+        return false;
+      }
+    }
+  }
+  return false;
+}
+
+const Type *Sema::promoteNumeric(const Type *L, const Type *R) const {
+  const auto *PL = dyn_cast<PrimitiveType>(L);
+  const auto *PR = dyn_cast<PrimitiveType>(R);
+  if (!PL || !PR || !PL->isNumeric() || !PR->isNumeric())
+    return Types.errorType();
+  int Rank = std::max(numericRank(PL), numericRank(PR));
+  switch (Rank) {
+  case 1:
+  case 2:
+    return Types.intType(); // byte arithmetic promotes to int
+  case 3:
+    return Types.longType();
+  case 4:
+    return Types.floatType();
+  case 5:
+    return Types.doubleType();
+  default:
+    return Types.errorType();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+const Type *Sema::checkExpr(Expr *E) {
+  const Type *T = nullptr;
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    T = cast<IntLitExpr>(E)->isLong() ? (const Type *)Types.longType()
+                                      : Types.intType();
+    break;
+  case Expr::Kind::FloatLit:
+    T = cast<FloatLitExpr>(E)->isSingle() ? (const Type *)Types.floatType()
+                                          : Types.doubleType();
+    break;
+  case Expr::Kind::BoolLit:
+    T = Types.booleanType();
+    break;
+  case Expr::Kind::NameRef:
+    T = checkNameRef(cast<NameRefExpr>(E));
+    break;
+  case Expr::Kind::FieldAccess:
+    T = checkFieldAccess(cast<FieldAccessExpr>(E));
+    break;
+  case Expr::Kind::ArrayIndex:
+    T = checkArrayIndex(cast<ArrayIndexExpr>(E));
+    break;
+  case Expr::Kind::ArrayLength: {
+    auto *AL = cast<ArrayLengthExpr>(E);
+    const Type *BaseTy = checkExpr(AL->base());
+    if (!BaseTy->isError() && !isa<ArrayType>(BaseTy))
+      return errorAt(AL->loc(), "'.length' requires an array; got " +
+                                    BaseTy->str());
+    T = Types.intType();
+    break;
+  }
+  case Expr::Kind::Call:
+    T = checkCall(cast<CallExpr>(E));
+    break;
+  case Expr::Kind::NewArray:
+    T = checkNewArray(cast<NewArrayExpr>(E));
+    break;
+  case Expr::Kind::NewObject: {
+    auto *NO = cast<NewObjectExpr>(E);
+    ClassDecl *C = TheProgram->findClass(NO->className());
+    if (!C)
+      return errorAt(NO->loc(), "unknown class '" + NO->className() + "'");
+    NO->resolveToClass(C);
+    T = Types.getClassType(C, C->isValueClass(), C->name());
+    break;
+  }
+  case Expr::Kind::Unary:
+    T = checkUnary(cast<UnaryExpr>(E));
+    break;
+  case Expr::Kind::Binary:
+    T = checkBinary(cast<BinaryExpr>(E));
+    break;
+  case Expr::Kind::Assign:
+    T = checkAssign(cast<AssignExpr>(E));
+    break;
+  case Expr::Kind::Cast:
+    T = checkCast(cast<CastExpr>(E));
+    break;
+  case Expr::Kind::Conditional:
+    T = checkConditional(cast<ConditionalExpr>(E));
+    break;
+  case Expr::Kind::Map:
+    T = checkMap(cast<MapExpr>(E));
+    break;
+  case Expr::Kind::Reduce:
+    T = checkReduce(cast<ReduceExpr>(E));
+    break;
+  case Expr::Kind::Task:
+    T = checkTask(cast<TaskExpr>(E));
+    break;
+  case Expr::Kind::Connect:
+    T = checkConnect(cast<ConnectExpr>(E));
+    break;
+  }
+  assert(T && "expression not typed");
+  E->setType(T);
+  return T;
+}
+
+const Type *Sema::checkNameRef(NameRefExpr *E) {
+  if (VarDeclStmt *Local = lookupLocal(E->name())) {
+    E->resolveToLocal(Local);
+    return Local->type();
+  }
+  if (CurrentMethod) {
+    for (ParamDecl *P : CurrentMethod->params()) {
+      if (P->name() == E->name()) {
+        E->resolveToParam(P);
+        return P->type();
+      }
+    }
+  }
+  if (CurrentClass) {
+    if (FieldDecl *F = CurrentClass->findField(E->name())) {
+      if (CurrentMethod && CurrentMethod->isStatic() && !F->isStatic())
+        return errorAt(E->loc(), "instance field '" + E->name() +
+                                     "' used in a static method");
+      if (CurrentMethod && CurrentMethod->isLocal() && F->isStatic() &&
+          !F->isFinal())
+        return errorAt(E->loc(),
+                       "local method '" + CurrentMethod->name() +
+                           "' cannot access mutable static field '" +
+                           E->name() + "' (isolation)");
+      E->resolveToField(F);
+      return F->type();
+    }
+  }
+  if (ClassDecl *C = TheProgram->findClass(E->name())) {
+    E->resolveToClass(C);
+    return Types.getClassType(C, C->isValueClass(), C->name());
+  }
+  if (E->name() == "Math") {
+    // Builtin class; typed as error unless used as a call base, which
+    // checkCall intercepts before checking the base.
+    return errorAt(E->loc(), "'Math' can only be used to call builtins");
+  }
+  return errorAt(E->loc(), "unknown name '" + E->name() + "'");
+}
+
+const Type *Sema::checkFieldAccess(FieldAccessExpr *E) {
+  // Class-qualified static field?
+  if (auto *Name = dyn_cast<NameRefExpr>(E->base())) {
+    if (ClassDecl *C = TheProgram->findClass(Name->name())) {
+      Name->resolveToClass(C);
+      Name->setType(Types.getClassType(C, C->isValueClass(), C->name()));
+      FieldDecl *F = C->findField(E->name());
+      if (!F)
+        return errorAt(E->loc(), "class '" + C->name() + "' has no field '" +
+                                     E->name() + "'");
+      if (!F->isStatic())
+        return errorAt(E->loc(), "field '" + E->name() + "' is not static");
+      if (CurrentMethod && CurrentMethod->isLocal() && !F->isFinal())
+        return errorAt(E->loc(),
+                       "local method cannot access mutable static field '" +
+                           E->name() + "' (isolation)");
+      E->resolveToField(F);
+      return F->type();
+    }
+  }
+  const Type *BaseTy = checkExpr(E->base());
+  if (BaseTy->isError())
+    return BaseTy;
+  const auto *CT = dyn_cast<ClassType>(BaseTy);
+  if (!CT)
+    return errorAt(E->loc(), "field access on non-class type " +
+                                 BaseTy->str());
+  FieldDecl *F = CT->decl()->findField(E->name());
+  if (!F)
+    return errorAt(E->loc(), "class '" + CT->str() + "' has no field '" +
+                                 E->name() + "'");
+  E->resolveToField(F);
+  return F->type();
+}
+
+const Type *Sema::checkArrayIndex(ArrayIndexExpr *E) {
+  const Type *BaseTy = checkExpr(E->base());
+  const Type *IdxTy = checkExpr(E->index());
+  if (BaseTy->isError())
+    return BaseTy;
+  const auto *AT = dyn_cast<ArrayType>(BaseTy);
+  if (!AT)
+    return errorAt(E->loc(), "indexing a non-array type " + BaseTy->str());
+  if (!IdxTy->isError() && !isWideningPrimitive(IdxTy, Types.intType()) &&
+      IdxTy != Types.longType())
+    Diags.error(E->index()->loc(), "array index must be an integer");
+  return AT->element();
+}
+
+MethodDecl *Sema::resolveMethodRef(SourceLocation Loc,
+                                   const std::string &ClassName,
+                                   const std::string &MethodName) {
+  ClassDecl *C = CurrentClass;
+  if (!ClassName.empty()) {
+    C = TheProgram->findClass(ClassName);
+    if (!C) {
+      Diags.error(Loc, "unknown class '" + ClassName + "'");
+      return nullptr;
+    }
+  }
+  if (!C) {
+    Diags.error(Loc, "no enclosing class for unqualified method '" +
+                         MethodName + "'");
+    return nullptr;
+  }
+  MethodDecl *M = C->findMethod(MethodName);
+  if (!M) {
+    Diags.error(Loc, "class '" + C->name() + "' has no method '" +
+                         MethodName + "'");
+    return nullptr;
+  }
+  return M;
+}
+
+const Type *Sema::checkCall(CallExpr *E) {
+  // Math builtins.
+  if (auto *Name = dyn_cast_if_present<NameRefExpr>(E->base())) {
+    if (Name->name() == "Math") {
+      BuiltinFn B = lookupMathBuiltin(E->callee());
+      if (B == BuiltinFn::None)
+        return errorAt(E->loc(), "unknown Math builtin '" + E->callee() + "'");
+      E->resolveToBuiltin(B);
+      unsigned WantArgs =
+          (B == BuiltinFn::Pow || B == BuiltinFn::Min || B == BuiltinFn::Max)
+              ? 2
+              : 1;
+      if (E->args().size() != WantArgs)
+        return errorAt(E->loc(),
+                       formatString("Math.%s expects %u argument(s)",
+                                    E->callee().c_str(), WantArgs));
+      const Type *Widest = nullptr;
+      for (Expr *Arg : E->args()) {
+        const Type *AT = checkExpr(Arg);
+        if (AT->isError())
+          return AT;
+        const auto *PT = dyn_cast<PrimitiveType>(AT);
+        if (!PT || !PT->isNumeric())
+          return errorAt(Arg->loc(), "Math builtins take numeric arguments");
+        Widest = Widest ? promoteNumeric(Widest, AT) : AT;
+      }
+      // min/max/abs preserve the argument type; the transcendentals
+      // compute in the argument precision (float stays float on the
+      // device; the JVM baseline computes in double regardless).
+      if (B == BuiltinFn::Min || B == BuiltinFn::Max || B == BuiltinFn::Abs ||
+          B == BuiltinFn::Floor)
+        return promoteNumeric(Widest, Widest);
+      const auto *PW = cast<PrimitiveType>(Widest);
+      return PW->prim() == PrimitiveType::Prim::Float
+                 ? (const Type *)Types.floatType()
+                 : Types.doubleType();
+    }
+  }
+
+  MethodDecl *Callee = nullptr;
+  bool StaticContext = false;
+  if (!E->base()) {
+    Callee = resolveMethodRef(E->loc(), "", E->callee());
+    StaticContext = !CurrentMethod || CurrentMethod->isStatic();
+  } else if (auto *Name = dyn_cast<NameRefExpr>(E->base());
+             Name && TheProgram->findClass(Name->name())) {
+    ClassDecl *C = TheProgram->findClass(Name->name());
+    Name->resolveToClass(C);
+    Name->setType(Types.getClassType(C, C->isValueClass(), C->name()));
+    Callee = resolveMethodRef(E->loc(), Name->name(), E->callee());
+    if (Callee && !Callee->isStatic())
+      return errorAt(E->loc(), "method '" + E->callee() +
+                                   "' is not static; call it on an instance");
+  } else {
+    const Type *BaseTy = checkExpr(E->base());
+    if (BaseTy->isError())
+      return BaseTy;
+    const auto *CT = dyn_cast<ClassType>(BaseTy);
+    if (!CT)
+      return errorAt(E->loc(), "method call on non-class type " +
+                                   BaseTy->str());
+    Callee = CT->decl()->findMethod(E->callee());
+    if (!Callee)
+      return errorAt(E->loc(), "class '" + CT->str() + "' has no method '" +
+                                   E->callee() + "'");
+  }
+  if (!Callee)
+    return Types.errorType();
+
+  if (!E->base() && StaticContext && !Callee->isStatic())
+    return errorAt(E->loc(), "instance method '" + E->callee() +
+                                 "' called from a static context");
+
+  // Isolation: local methods may only call local methods.
+  if (CurrentMethod && CurrentMethod->isLocal() && !Callee->isLocal())
+    Diags.error(E->loc(), "local method '" + CurrentMethod->name() +
+                              "' cannot call non-local method '" +
+                              Callee->name() + "' (isolation)");
+
+  if (E->args().size() != Callee->params().size())
+    return errorAt(E->loc(),
+                   formatString("'%s' expects %zu argument(s), got %zu",
+                                Callee->name().c_str(),
+                                Callee->params().size(), E->args().size()));
+  for (size_t I = 0, N = E->args().size(); I != N; ++I) {
+    Expr *Arg = E->args()[I];
+    checkExpr(Arg);
+    const Type *ParamTy = Callee->params()[I]->type();
+    if (!Arg->type()->isError() && !ParamTy->isError() &&
+        !isAssignable(Arg, ParamTy))
+      Diags.error(Arg->loc(),
+                  formatString("argument %zu: cannot pass %s as %s", I + 1,
+                               Arg->type()->str().c_str(),
+                               ParamTy->str().c_str()));
+  }
+  E->resolveToMethod(Callee);
+  return Callee->returnType();
+}
+
+const Type *Sema::checkNewArray(NewArrayExpr *E) {
+  const Type *Full = resolveTypeNode(E->elementType(), /*AllowVoid=*/false);
+  if (Full->isError())
+    return Full;
+  const auto *AT = dyn_cast<ArrayType>(Full);
+  if (!AT)
+    return errorAt(E->loc(), "'new' with brackets must create an array");
+
+  for (Expr *Size : E->sizes()) {
+    const Type *ST = checkExpr(Size);
+    if (!ST->isError() && !isWideningPrimitive(ST, Types.intType()))
+      Diags.error(Size->loc(), "array size must be an integer");
+  }
+  for (Expr *Init : E->inits())
+    checkExpr(Init);
+
+  if (AT->isValueArray()) {
+    // Value arrays must be fully initialized at construction: either
+    // a literal initializer for a 1-D bounded array, or produced by
+    // map/freeze elsewhere.
+    if (!E->inits().empty()) {
+      if (AT->rank() != 1)
+        return errorAt(E->loc(),
+                       "initializer form supports 1-D value arrays only");
+      unsigned Bound = AT->bound();
+      if (Bound != 0 && Bound != E->inits().size())
+        return errorAt(E->loc(),
+                       formatString("value array bound is %u but %zu "
+                                    "initializers given",
+                                    Bound, E->inits().size()));
+      for (Expr *Init : E->inits())
+        if (!Init->type()->isError() && !isAssignable(Init, AT->element()))
+          Diags.error(Init->loc(), "initializer has wrong type");
+      // An unbounded literal still produces the bounded type when the
+      // count is known — more precise for the vectorizer.
+      if (Bound == 0)
+        return Types.getArrayType(AT->element(), /*IsValueArray=*/true,
+                                  static_cast<unsigned>(E->inits().size()));
+      return AT;
+    }
+    return errorAt(E->loc(), "value arrays must be initialized at "
+                             "construction ('new T[[n]]{...}' or a freeze "
+                             "cast)");
+  }
+
+  // Mutable array: sizes for the leading dimensions.
+  if (!E->inits().empty()) {
+    if (AT->rank() != 1)
+      return errorAt(E->loc(), "initializer form supports 1-D arrays only");
+    for (Expr *Init : E->inits())
+      if (!Init->type()->isError() && !isAssignable(Init, AT->element()))
+        Diags.error(Init->loc(), "initializer has wrong type");
+    return AT;
+  }
+  if (E->sizes().empty())
+    return errorAt(E->loc(), "array creation needs sizes or an initializer");
+  if (E->sizes().size() > AT->rank())
+    return errorAt(E->loc(), "more sizes than array dimensions");
+  return AT;
+}
+
+const Type *Sema::checkUnary(UnaryExpr *E) {
+  const Type *SubTy = checkExpr(E->sub());
+  if (SubTy->isError())
+    return SubTy;
+  const auto *PT = dyn_cast<PrimitiveType>(SubTy);
+  switch (E->op()) {
+  case UnaryOp::Neg:
+    if (!PT || !PT->isNumeric())
+      return errorAt(E->loc(), "unary '-' needs a numeric operand");
+    return promoteNumeric(SubTy, SubTy);
+  case UnaryOp::Not:
+    if (SubTy != Types.booleanType())
+      return errorAt(E->loc(), "'!' needs a boolean operand");
+    return SubTy;
+  case UnaryOp::BitNot:
+    if (!PT || !PT->isInteger())
+      return errorAt(E->loc(), "'~' needs an integer operand");
+    return promoteNumeric(SubTy, SubTy);
+  }
+  lime_unreachable("bad unary op");
+}
+
+const Type *Sema::checkBinary(BinaryExpr *E) {
+  const Type *L = checkExpr(E->lhs());
+  const Type *R = checkExpr(E->rhs());
+  if (L->isError() || R->isError())
+    return Types.errorType();
+
+  switch (E->op()) {
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+  case BinaryOp::Rem: {
+    const Type *T = promoteNumeric(L, R);
+    if (T->isError())
+      return errorAt(E->loc(), "arithmetic needs numeric operands (" +
+                                   L->str() + ", " + R->str() + ")");
+    return T;
+  }
+  case BinaryOp::Shl:
+  case BinaryOp::Shr: {
+    const auto *PL = dyn_cast<PrimitiveType>(L);
+    const auto *PR = dyn_cast<PrimitiveType>(R);
+    if (!PL || !PR || !PL->isInteger() || !PR->isInteger())
+      return errorAt(E->loc(), "shift needs integer operands");
+    return promoteNumeric(L, L);
+  }
+  case BinaryOp::BitAnd:
+  case BinaryOp::BitOr:
+  case BinaryOp::BitXor: {
+    if (L == Types.booleanType() && R == Types.booleanType())
+      return L;
+    const auto *PL = dyn_cast<PrimitiveType>(L);
+    const auto *PR = dyn_cast<PrimitiveType>(R);
+    if (!PL || !PR || !PL->isInteger() || !PR->isInteger())
+      return errorAt(E->loc(), "bitwise op needs integer operands");
+    return promoteNumeric(L, R);
+  }
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+    if (promoteNumeric(L, R)->isError())
+      return errorAt(E->loc(), "comparison needs numeric operands");
+    return Types.booleanType();
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+    // Equality is value equality on primitives only; Lime values have
+    // no observable identity, so reference comparison of arrays is
+    // meaningless.
+    if ((L == Types.booleanType() && R == Types.booleanType()) ||
+        !promoteNumeric(L, R)->isError())
+      return Types.booleanType();
+    return errorAt(E->loc(), "'=='/'!=' on incompatible types " + L->str() +
+                                 " and " + R->str());
+  case BinaryOp::LogicalAnd:
+  case BinaryOp::LogicalOr:
+    if (L != Types.booleanType() || R != Types.booleanType())
+      return errorAt(E->loc(), "logical op needs boolean operands");
+    return Types.booleanType();
+  }
+  lime_unreachable("bad binary op");
+}
+
+const Type *Sema::checkAssign(AssignExpr *E) {
+  const Type *TargetTy = checkExpr(E->target());
+  const Type *ValueTy = checkExpr(E->value());
+  if (TargetTy->isError() || ValueTy->isError())
+    return Types.errorType();
+
+  // L-value discipline plus the immutability rules.
+  Expr *T = E->target();
+  if (auto *Name = dyn_cast<NameRefExpr>(T)) {
+    switch (Name->resolution()) {
+    case NameRefExpr::Resolution::Local:
+    case NameRefExpr::Resolution::Param:
+      break;
+    case NameRefExpr::Resolution::Field: {
+      FieldDecl *F = Name->field();
+      if (F->isFinal())
+        return errorAt(E->loc(), "cannot assign to final field '" +
+                                     F->name() + "'");
+      if (CurrentMethod && CurrentMethod->isLocal() && F->isStatic())
+        return errorAt(E->loc(), "local method cannot write static field '" +
+                                     F->name() + "' (isolation)");
+      break;
+    }
+    default:
+      return errorAt(E->loc(), "cannot assign to this expression");
+    }
+  } else if (auto *Idx = dyn_cast<ArrayIndexExpr>(T)) {
+    const auto *AT = dyn_cast<ArrayType>(Idx->base()->type());
+    if (AT && AT->isValueArray())
+      return errorAt(E->loc(),
+                     "cannot assign into a value array (immutability)");
+  } else if (auto *FA = dyn_cast<FieldAccessExpr>(T)) {
+    if (FA->field() && FA->field()->isFinal())
+      return errorAt(E->loc(), "cannot assign to final field '" +
+                                   FA->field()->name() + "'");
+    if (CurrentMethod && CurrentMethod->isLocal() && FA->field() &&
+        FA->field()->isStatic())
+      return errorAt(E->loc(), "local method cannot write static field '" +
+                                   FA->field()->name() + "' (isolation)");
+  } else {
+    return errorAt(E->loc(), "cannot assign to this expression");
+  }
+
+  if (E->op() != AssignExpr::Op::None) {
+    // Compound assignment: target must be numeric (or integer for the
+    // bitwise flavors).
+    if (promoteNumeric(TargetTy, ValueTy)->isError())
+      return errorAt(E->loc(), "compound assignment needs numeric operands");
+    return TargetTy;
+  }
+
+  if (!isAssignable(E->value(), TargetTy))
+    return errorAt(E->loc(), "cannot assign " + ValueTy->str() + " to " +
+                                 TargetTy->str());
+  return TargetTy;
+}
+
+const Type *Sema::checkCast(CastExpr *E) {
+  const Type *TargetTy = resolveTypeNode(E->targetType(), /*AllowVoid=*/false);
+  const Type *SubTy = checkExpr(E->sub());
+  if (TargetTy->isError() || SubTy->isError())
+    return Types.errorType();
+
+  // Numeric casts (both directions).
+  const auto *PT = dyn_cast<PrimitiveType>(TargetTy);
+  const auto *PS = dyn_cast<PrimitiveType>(SubTy);
+  if (PT && PS && PT->isNumeric() && PS->isNumeric())
+    return TargetTy;
+
+  // Array freeze/thaw: same scalar type and rank, different valueness
+  // (or bounds). This is Lime's Java-interop array conversion; it
+  // deep-copies at runtime (paper §5.1 measures its cost).
+  const auto *AT = dyn_cast<ArrayType>(TargetTy);
+  const auto *AS = dyn_cast<ArrayType>(SubTy);
+  if (AT && AS && AT->rank() == AS->rank() &&
+      AT->scalarElement() == AS->scalarElement()) {
+    E->setFreezeOrThaw(true);
+    return TargetTy;
+  }
+
+  return errorAt(E->loc(), "invalid cast from " + SubTy->str() + " to " +
+                               TargetTy->str());
+}
+
+const Type *Sema::checkConditional(ConditionalExpr *E) {
+  const Type *CondTy = checkExpr(E->cond());
+  const Type *ThenTy = checkExpr(E->thenExpr());
+  const Type *ElseTy = checkExpr(E->elseExpr());
+  if (CondTy->isError() || ThenTy->isError() || ElseTy->isError())
+    return Types.errorType();
+  if (CondTy != Types.booleanType())
+    return errorAt(E->loc(), "conditional needs a boolean condition");
+  if (ThenTy == ElseTy)
+    return ThenTy;
+  const Type *T = promoteNumeric(ThenTy, ElseTy);
+  if (T->isError())
+    return errorAt(E->loc(), "conditional branches have incompatible types " +
+                                 ThenTy->str() + " and " + ElseTy->str());
+  return T;
+}
+
+const Type *Sema::checkMap(MapExpr *E) {
+  MethodDecl *M = resolveMethodRef(E->loc(), E->className(), E->methodName());
+  const Type *SrcTy = checkExpr(E->source());
+  for (Expr *Arg : E->extraArgs())
+    checkExpr(Arg);
+  if (!M || SrcTy->isError())
+    return Types.errorType();
+
+  const auto *SrcArr = dyn_cast<ArrayType>(SrcTy);
+  if (!SrcArr)
+    return errorAt(E->source()->loc(), "map source must be an array; got " +
+                                           SrcTy->str());
+  if (M->params().size() != E->extraArgs().size() + 1)
+    return errorAt(E->loc(),
+                   formatString("map function '%s' expects %zu parameter(s); "
+                                "the element plus %zu extra were supplied",
+                                M->name().c_str(), M->params().size(),
+                                E->extraArgs().size()));
+  // Element flows into the first parameter.
+  const Type *ElemTy = SrcArr->element();
+  const Type *Param0 = M->params()[0]->type();
+  if (!Param0->isError() && ElemTy != Param0 &&
+      !isWideningPrimitive(ElemTy, Param0)) {
+    // Bounded/unbounded value array tolerance.
+    const auto *AE = dyn_cast<ArrayType>(ElemTy);
+    const auto *AP = dyn_cast<ArrayType>(Param0);
+    bool OK = AE && AP && AE->isValueArray() == AP->isValueArray() &&
+              AE->element() == AP->element() &&
+              (AP->bound() == 0 || AP->bound() == AE->bound());
+    if (!OK)
+      return errorAt(E->loc(), "map element type " + ElemTy->str() +
+                                   " does not match parameter type " +
+                                   Param0->str());
+  }
+  for (size_t I = 0, N = E->extraArgs().size(); I != N; ++I) {
+    Expr *Arg = E->extraArgs()[I];
+    const Type *ParamTy = M->params()[I + 1]->type();
+    if (!Arg->type()->isError() && !ParamTy->isError() &&
+        !isAssignable(Arg, ParamTy))
+      Diags.error(Arg->loc(),
+                  formatString("map extra argument %zu: cannot pass %s as %s",
+                               I + 1, Arg->type()->str().c_str(),
+                               ParamTy->str().c_str()));
+  }
+  if (M->returnType() == Types.voidType())
+    return errorAt(E->loc(), "map function must return a value");
+
+  E->resolveToMethod(M);
+  // Result: value array of the per-element results, same outer bound.
+  return Types.getArrayType(M->returnType(), /*IsValueArray=*/true,
+                            SrcArr->bound());
+}
+
+const Type *Sema::checkReduce(ReduceExpr *E) {
+  const Type *SrcTy = checkExpr(E->source());
+  if (SrcTy->isError())
+    return SrcTy;
+  const auto *SrcArr = dyn_cast<ArrayType>(SrcTy);
+  if (!SrcArr)
+    return errorAt(E->source()->loc(), "reduce source must be an array; got " +
+                                           SrcTy->str());
+  const Type *ElemTy = SrcArr->element();
+
+  if (E->combiner() == ReduceExpr::Combiner::Method) {
+    MethodDecl *M =
+        resolveMethodRef(E->loc(), E->className(), E->methodName());
+    if (!M)
+      return Types.errorType();
+    if (M->params().size() != 2 || M->params()[0]->type() != ElemTy ||
+        M->params()[1]->type() != ElemTy || M->returnType() != ElemTy)
+      return errorAt(E->loc(), "reduce combiner must have signature (" +
+                                   ElemTy->str() + ", " + ElemTy->str() +
+                                   ") -> " + ElemTy->str());
+    E->resolveToMethod(M);
+    return ElemTy;
+  }
+
+  const auto *PT = dyn_cast<PrimitiveType>(ElemTy);
+  if (!PT || !PT->isNumeric())
+    return errorAt(E->loc(), "operator reduction needs a numeric element "
+                             "type; got " +
+                                 ElemTy->str());
+  return ElemTy;
+}
+
+void Sema::checkWorkerContract(SourceLocation Loc, MethodDecl *Worker,
+                               bool IsInstance) {
+  if (!IsInstance) {
+    // Static worker = isolated filter (§3.1): must be local, with
+    // value parameters and a value or void result.
+    if (!Worker->isLocal())
+      Diags.error(Loc, "static task worker '" + Worker->qualifiedName() +
+                           "' must be declared local (isolation)");
+    for (ParamDecl *P : Worker->params())
+      if (!P->type()->isError() && !P->type()->isValue())
+        Diags.error(Loc, "filter worker parameter '" + P->name() +
+                             "' must be a value type; got " +
+                             P->type()->str());
+    const Type *Ret = Worker->returnType();
+    if (!Ret->isError() && Ret != Types.voidType() && !Ret->isValue())
+      Diags.error(Loc, "filter worker must return a value type; got " +
+                           Ret->str());
+  }
+}
+
+const Type *Sema::checkTask(TaskExpr *E) {
+  ClassDecl *C = TheProgram->findClass(E->className());
+  if (!C)
+    return errorAt(E->loc(), "unknown class '" + E->className() + "'");
+  MethodDecl *M = C->findMethod(E->methodName());
+  if (!M)
+    return errorAt(E->loc(), "class '" + C->name() + "' has no method '" +
+                                 E->methodName() + "'");
+  if (E->isInstance() && M->isStatic())
+    return errorAt(E->loc(), "'task new C().m' needs an instance method");
+  if (!E->isInstance() && !M->isStatic())
+    return errorAt(E->loc(), "'task C.m' needs a static method; use "
+                             "'task new C().m' for stateful workers");
+  checkWorkerContract(E->loc(), M, E->isInstance());
+  E->resolveToWorker(M);
+
+  // Bound arguments fill the worker's trailing parameters; what
+  // remains (zero or one parameter) is the streaming input port.
+  size_t NumBound = E->boundArgs().size();
+  size_t NumParams = M->params().size();
+  if (NumBound > NumParams ||
+      (!E->isInstance() && NumParams - NumBound > 1) ||
+      (E->isInstance() && NumParams > 1))
+    return errorAt(E->loc(),
+                   formatString("task worker '%s' leaves %zu unbound "
+                                "parameter(s); at most one streaming input "
+                                "is allowed",
+                                M->name().c_str(), NumParams - NumBound));
+  size_t FirstBound = NumParams - NumBound;
+  for (size_t I = 0; I != NumBound; ++I) {
+    Expr *Arg = E->boundArgs()[I];
+    checkExpr(Arg);
+    const Type *ParamTy = M->params()[FirstBound + I]->type();
+    if (!Arg->type()->isError() && !ParamTy->isError() &&
+        !isAssignable(Arg, ParamTy))
+      Diags.error(Arg->loc(),
+                  formatString("bound task argument %zu: cannot pass %s "
+                               "as %s",
+                               I + 1, Arg->type()->str().c_str(),
+                               ParamTy->str().c_str()));
+    if (!Arg->type()->isError() && !Arg->type()->isValue())
+      Diags.error(Arg->loc(),
+                  "bound task arguments must be value types (isolation)");
+  }
+
+  const Type *In = FirstBound == 0 ? (const Type *)Types.voidType()
+                                   : M->params()[0]->type();
+  const Type *Out = M->returnType();
+  return Types.getTaskType(In, Out);
+}
+
+const Type *Sema::checkConnect(ConnectExpr *E) {
+  const Type *Up = checkExpr(E->upstream());
+  const Type *Down = checkExpr(E->downstream());
+  if (Up->isError() || Down->isError())
+    return Types.errorType();
+  const auto *UT = dyn_cast<TaskType>(Up);
+  const auto *DT = dyn_cast<TaskType>(Down);
+  if (!UT || !DT)
+    return errorAt(E->loc(), "'=>' connects tasks; got " + Up->str() +
+                                 " and " + Down->str());
+  if (UT->output() == Types.voidType())
+    return errorAt(E->loc(), "upstream task produces no output to connect");
+  if (UT->output() != DT->input()) {
+    // Tolerate bounded/unbounded value-array mismatches.
+    const auto *AO = dyn_cast<ArrayType>(UT->output());
+    const auto *AI = dyn_cast<ArrayType>(DT->input());
+    bool OK = AO && AI && AO->isValueArray() == AI->isValueArray() &&
+              AO->element() == AI->element() &&
+              (AI->bound() == 0 || AI->bound() == AO->bound());
+    if (!OK)
+      return errorAt(E->loc(), "connected port types differ: " +
+                                   UT->output()->str() + " vs " +
+                                   DT->input()->str());
+  }
+  return Types.getTaskType(UT->input(), DT->output());
+}

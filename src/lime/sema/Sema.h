@@ -1,0 +1,130 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for the Lime subset. Beyond ordinary Java-like
+/// type checking, Sema enforces the two properties the paper's GPU
+/// compiler depends on (§3.1, §4.1):
+///
+///  - Immutability: value types are deeply immutable. Assigning
+///    through a value array or to a final field is an error. Casts
+///    between mutable and value array flavors are "freeze"/"thaw"
+///    deep copies.
+///  - Isolation: a `local` method may call only local methods and
+///    builtins and may not read or write non-final static fields.
+///    The worker of a static (filter) task must be local with value
+///    parameters and a value (or void) result.
+///
+/// These checks are what let the downstream compiler treat filters as
+/// offload units and map/reduce as data-parallel without alias or
+/// dependence analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_LIME_SEMA_SEMA_H
+#define LIMECC_LIME_SEMA_SEMA_H
+
+#include "lime/ast/AST.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lime {
+
+class Sema {
+public:
+  Sema(ASTContext &Ctx, DiagnosticEngine &Diags);
+
+  /// Runs all checks over \p P. Returns true when no errors were
+  /// reported; the AST is fully typed and resolved on success.
+  bool check(Program *P);
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Pass 1: declarations
+  //===--------------------------------------------------------------------===//
+
+  void declareClasses(Program *P);
+  const Type *resolveTypeNode(const TypeNode &T, bool AllowVoid);
+
+  //===--------------------------------------------------------------------===//
+  // Pass 2: bodies
+  //===--------------------------------------------------------------------===//
+
+  void checkClass(ClassDecl *C);
+  void checkMethod(MethodDecl *M);
+
+  void checkStmt(Stmt *S);
+  void checkBlock(BlockStmt *B);
+
+  const Type *checkExpr(Expr *E);
+  const Type *checkNameRef(NameRefExpr *E);
+  const Type *checkFieldAccess(FieldAccessExpr *E);
+  const Type *checkArrayIndex(ArrayIndexExpr *E);
+  const Type *checkCall(CallExpr *E);
+  const Type *checkNewArray(NewArrayExpr *E);
+  const Type *checkUnary(UnaryExpr *E);
+  const Type *checkBinary(BinaryExpr *E);
+  const Type *checkAssign(AssignExpr *E);
+  const Type *checkCast(CastExpr *E);
+  const Type *checkConditional(ConditionalExpr *E);
+  const Type *checkMap(MapExpr *E);
+  const Type *checkReduce(ReduceExpr *E);
+  const Type *checkTask(TaskExpr *E);
+  const Type *checkConnect(ConnectExpr *E);
+
+  //===--------------------------------------------------------------------===//
+  // Conversions and helpers
+  //===--------------------------------------------------------------------===//
+
+  /// Widening primitive conversion (byte→int→long→float→double...).
+  bool isWideningPrimitive(const Type *From, const Type *To) const;
+
+  /// True when \p E (of its checked type) may flow into \p To,
+  /// including constant-literal narrowing for integer literals.
+  bool isAssignable(Expr *E, const Type *To) const;
+
+  /// Binary numeric promotion per Java rules (byte promotes to int).
+  const Type *promoteNumeric(const Type *L, const Type *R) const;
+
+  /// Resolves `C.m` / unqualified `m` to a method; reports an error
+  /// and returns null on failure.
+  MethodDecl *resolveMethodRef(SourceLocation Loc,
+                               const std::string &ClassName,
+                               const std::string &MethodName);
+
+  /// Checks the filter-worker contract for task workers (§4.1).
+  void checkWorkerContract(SourceLocation Loc, MethodDecl *Worker,
+                           bool IsInstance);
+
+  const Type *errorAt(SourceLocation Loc, const std::string &Msg);
+
+  // Scope stack for locals.
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  VarDeclStmt *lookupLocal(const std::string &Name) const;
+  void declareLocal(VarDeclStmt *D);
+
+  ASTContext &Ctx;
+  TypeContext &Types;
+  DiagnosticEngine &Diags;
+
+  Program *TheProgram = nullptr;
+  ClassDecl *CurrentClass = nullptr;
+  MethodDecl *CurrentMethod = nullptr;
+
+  std::vector<std::map<std::string, VarDeclStmt *>> Scopes;
+};
+
+/// Recognizes `Math.<name>`; returns BuiltinFn::None when unknown.
+BuiltinFn lookupMathBuiltin(const std::string &Name);
+
+} // namespace lime
+
+#endif // LIMECC_LIME_SEMA_SEMA_H

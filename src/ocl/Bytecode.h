@@ -1,0 +1,196 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register bytecode for the SIMT virtual machine. The OpenCL AST is
+/// compiled (with full inlining of non-kernel functions — OpenCL C
+/// forbids recursion) into this linear form, which a warp executes in
+/// lockstep with a divergence mask stack:
+///
+///  - `if` compiles to IfBegin/IfElse/IfEnd mask operations; both
+///    arms execute under complementary masks (real SIMT divergence
+///    cost), with an all-lanes-inactive fast path that jumps.
+///  - loops compile to LoopBegin/LoopTest/LoopEnd; lanes that fail
+///    the test go inactive until every lane is done.
+///  - `barrier()` suspends the warp; the VM resumes it when all warps
+///    of the work-group arrive.
+///
+/// Vector values (float4 etc.) occupy consecutive registers; vector
+/// memory accesses stay as single wide Load/Store instructions so the
+/// memory model sees the access width the paper's vectorization
+/// optimization (§4.2.2) manipulates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_OCL_BYTECODE_H
+#define LIMECC_OCL_BYTECODE_H
+
+#include "ocl/OclType.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lime::ocl {
+
+/// Runtime value types of bytecode operations.
+enum class ValType : uint8_t { I8, U8, I32, U32, I64, U64, F32, F64 };
+
+bool isFloatVal(ValType T);
+unsigned valTypeBytes(ValType T);
+ValType valTypeForScalar(ScalarKind K);
+
+enum class BcOp : uint8_t {
+  // Immediates / moves / conversions.
+  ConstI,
+  ConstF,
+  Mov,
+  Cvt, // dst = convert(a) to .Ty
+
+  // Arithmetic; .Ty selects the domain.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  And,
+  Or,
+  Xor,
+  Neg,
+  Not,    // bitwise not
+  LNot,   // logical not → 0/1
+  MinOp,
+  MaxOp,
+  AbsOp,
+
+  // Comparisons (result 0/1 in dst as I32).
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  CmpEq,
+  CmpNe,
+
+  // dst = A ? B : C (per lane, no divergence).
+  Select,
+
+  // Transcendental / special function unit ops; .Native marks the
+  // native_* fast variants.
+  Sqrt,
+  RSqrt,
+  Sin,
+  Cos,
+  Tan,
+  Exp,
+  Log,
+  Pow,
+  Floor,
+
+  // Memory. .Space and .Ty describe the access; .Width lanes of .Ty
+  // elements are moved between consecutive registers [Dst..Dst+W)
+  // (or [A..A+W) for stores) and consecutive memory.
+  Load,  // Dst..Dst+W-1 <- [B = byte address reg]
+  Store, // [B] <- A..A+W-1
+
+  // Work-item geometry; .Dim selects the dimension.
+  GlobalId,
+  LocalId,
+  GroupId,
+  GlobalSize,
+  LocalSize,
+  NumGroups,
+
+  // read_imagef: Dst..Dst+3 <- image .Dim(arg index) at (A, B).
+  ReadImage,
+
+  // Structured SIMT control flow.
+  Jump,      // unconditional, to .Target
+  IfBegin,   // cond in A; if no lane passes, jump .Target (else/end)
+  IfElse,    // flip to else mask; if empty, jump .Target (end)
+  IfEnd,
+  LoopBegin,
+  LoopTest,  // cond in A; lanes failing go dormant; all-out → .Target
+  LoopEnd,   // jump back to .Target (the loop test)
+
+  Barrier,
+  Ret, // retire active lanes
+  Halt
+};
+
+/// One instruction. A fat POD keeps decoding trivial.
+struct BcInstr {
+  BcOp Op = BcOp::Halt;
+  ValType Ty = ValType::I32;
+  ValType SrcTy = ValType::I32; // Cvt source interpretation
+  AddrSpace Space = AddrSpace::Global;
+  uint8_t Width = 1; // vector element count for Load/Store
+  uint8_t Dim = 0;   // work-item dimension / image arg index
+  bool Native = false;
+
+  int32_t Dst = -1;
+  int32_t A = -1;
+  int32_t B = -1;
+  int32_t C = -1;
+  int32_t Target = -1;
+
+  int64_t ImmI = 0;
+  double ImmF = 0.0;
+};
+
+/// Kernel parameter classification, used by the host API to marshal
+/// arguments.
+struct BcParam {
+  enum class Kind : uint8_t {
+    GlobalPtr,
+    ConstantPtr,
+    LocalPtr, // size set at dispatch (dynamic local memory, §4.2.1)
+    Image,
+    Struct, // by-value record in Param space (Fig. 4b)
+    ScalarI32,
+    ScalarI64,
+    ScalarF32,
+    ScalarF64
+  };
+  Kind TheKind = Kind::ScalarI32;
+  std::string Name;
+  unsigned StructBytes = 0; // for Struct params
+  /// First register bound to this parameter at kernel entry.
+  int32_t Reg = -1;
+};
+
+/// A compiled kernel.
+struct BcKernel {
+  std::string Name;
+  unsigned NumRegs = 0;
+  std::vector<BcParam> Params;
+  std::vector<BcInstr> Code;
+  /// Statically-declared __local bytes per work-group.
+  unsigned StaticLocalBytes = 0;
+  /// Private array bytes per work-item.
+  unsigned PrivateBytes = 0;
+};
+
+/// All kernels of one compiled program.
+struct BcProgram {
+  std::vector<BcKernel> Kernels;
+
+  const BcKernel *findKernel(const std::string &Name) const {
+    for (const BcKernel &K : Kernels)
+      if (K.Name == Name)
+        return &K;
+    return nullptr;
+  }
+};
+
+/// Disassembles for debugging and golden tests.
+std::string disassemble(const BcKernel &K);
+
+} // namespace lime::ocl
+
+#endif // LIMECC_OCL_BYTECODE_H

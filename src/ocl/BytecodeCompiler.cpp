@@ -1,0 +1,1361 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/BytecodeCompiler.h"
+
+#include "support/StringUtils.h"
+
+using namespace lime;
+using namespace lime::ocl;
+
+bool lime::ocl::isFloatVal(ValType T) {
+  return T == ValType::F32 || T == ValType::F64;
+}
+
+unsigned lime::ocl::valTypeBytes(ValType T) {
+  switch (T) {
+  case ValType::I8:
+  case ValType::U8:
+    return 1;
+  case ValType::I32:
+  case ValType::U32:
+  case ValType::F32:
+    return 4;
+  case ValType::I64:
+  case ValType::U64:
+  case ValType::F64:
+    return 8;
+  }
+  lime_unreachable("bad val type");
+}
+
+ValType lime::ocl::valTypeForScalar(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::Void:
+  case ScalarKind::Bool:
+  case ScalarKind::Int:
+    return ValType::I32;
+  case ScalarKind::Char:
+    return ValType::I8;
+  case ScalarKind::UChar:
+    return ValType::U8;
+  case ScalarKind::UInt:
+    return ValType::U32;
+  case ScalarKind::Long:
+    return ValType::I64;
+  case ScalarKind::ULong:
+    return ValType::U64;
+  case ScalarKind::Float:
+    return ValType::F32;
+  case ScalarKind::Double:
+    return ValType::F64;
+  }
+  lime_unreachable("bad scalar kind");
+}
+
+BytecodeCompiler::BytecodeCompiler(OclContext &Ctx, DiagnosticEngine &Diags)
+    : Ctx(Ctx), Types(Ctx.types()), Diags(Diags) {}
+
+void BytecodeCompiler::errorAt(SourceLocation Loc, const std::string &Msg) {
+  Diags.error(Loc, "[oclc] " + Msg);
+}
+
+//===----------------------------------------------------------------------===//
+// Storage helpers
+//===----------------------------------------------------------------------===//
+
+int32_t BytecodeCompiler::allocRegs(unsigned N) {
+  int32_t First = static_cast<int32_t>(K->NumRegs);
+  K->NumRegs += N;
+  return First;
+}
+
+unsigned BytecodeCompiler::typeRegCount(const OclType *T) {
+  if (const auto *VT = dyn_cast<VectorType>(T))
+    return VT->lanes();
+  return 1;
+}
+
+ValType BytecodeCompiler::regTypeFor(const OclType *T) {
+  if (const auto *ST = dyn_cast<ScalarType>(T))
+    return valTypeForScalar(ST->scalar());
+  if (const auto *VT = dyn_cast<VectorType>(T))
+    return valTypeForScalar(VT->element());
+  if (isa<PointerType>(T))
+    return ValType::I64;
+  return ValType::I32;
+}
+
+BcInstr &BytecodeCompiler::emit(BcOp Op) {
+  K->Code.push_back(BcInstr());
+  K->Code.back().Op = Op;
+  return K->Code.back();
+}
+
+int BytecodeCompiler::emitConstI(int64_t V) {
+  int32_t R = allocRegs(1);
+  BcInstr &I = emit(BcOp::ConstI);
+  I.Dst = R;
+  I.ImmI = V;
+  I.Ty = ValType::I64;
+  return R;
+}
+
+void BytecodeCompiler::patchTarget(size_t InstrIndex, size_t Target) {
+  K->Code[InstrIndex].Target = static_cast<int32_t>(Target);
+}
+
+//===----------------------------------------------------------------------===//
+// Program / kernel structure
+//===----------------------------------------------------------------------===//
+
+BcProgram BytecodeCompiler::compile(OclProgramAST *P) {
+  Program = P;
+  BcProgram Out;
+  for (OclFunction *F : P->functions())
+    if (F->isKernel())
+      compileKernel(F, Out);
+  return Out;
+}
+
+void BytecodeCompiler::compileKernel(OclFunction *F, BcProgram &Out) {
+  Out.Kernels.push_back(BcKernel());
+  K = &Out.Kernels.back();
+  K->Name = F->name();
+  VarRegs.clear();
+  ArrayHomes.clear();
+  InInline = false;
+  InlineDepth = 0;
+
+  unsigned ImageIndex = 0;
+  for (OclVarDecl *P : F->params()) {
+    BcParam BP;
+    BP.Name = P->Name;
+    if (const auto *PT = dyn_cast<PointerType>(P->Ty)) {
+      switch (PT->space()) {
+      case AddrSpace::Constant:
+        BP.TheKind = BcParam::Kind::ConstantPtr;
+        break;
+      case AddrSpace::Local:
+        BP.TheKind = BcParam::Kind::LocalPtr;
+        break;
+      default:
+        BP.TheKind = BcParam::Kind::GlobalPtr;
+        break;
+      }
+      BP.Reg = allocRegs(1);
+    } else if (isa<ImageType>(P->Ty)) {
+      BP.TheKind = BcParam::Kind::Image;
+      BP.Reg = allocRegs(1);
+      // The register holds the image slot index for ReadImage.
+      VarRegs[P] = BP.Reg;
+      K->Params.push_back(BP);
+      ++ImageIndex;
+      continue;
+    } else if (const auto *ST = dyn_cast<StructType>(P->Ty)) {
+      BP.TheKind = BcParam::Kind::Struct;
+      BP.StructBytes = ST->sizeInBytes();
+      BP.Reg = allocRegs(1); // base offset of the record in Param space
+    } else {
+      ValType VT = regTypeFor(P->Ty);
+      switch (VT) {
+      case ValType::F32:
+        BP.TheKind = BcParam::Kind::ScalarF32;
+        break;
+      case ValType::F64:
+        BP.TheKind = BcParam::Kind::ScalarF64;
+        break;
+      case ValType::I64:
+      case ValType::U64:
+        BP.TheKind = BcParam::Kind::ScalarI64;
+        break;
+      default:
+        BP.TheKind = BcParam::Kind::ScalarI32;
+        break;
+      }
+      BP.Reg = allocRegs(typeRegCount(P->Ty));
+    }
+    VarRegs[P] = BP.Reg;
+    K->Params.push_back(BP);
+  }
+  (void)ImageIndex;
+
+  compileStmt(F->body());
+  emit(BcOp::Halt);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void BytecodeCompiler::compileStmt(OclStmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case OclStmt::Kind::Compound:
+    for (OclStmt *Sub : cast<OclCompoundStmt>(S)->stmts())
+      compileStmt(Sub);
+    return;
+
+  case OclStmt::Kind::Decl:
+    compileDecl(cast<OclDeclStmt>(S));
+    return;
+
+  case OclStmt::Kind::Expr:
+    compileExpr(cast<OclExprStmt>(S)->expr());
+    return;
+
+  case OclStmt::Kind::If: {
+    auto *If = cast<OclIfStmt>(S);
+    CVal C = convert(compileExpr(If->cond()), ValType::I32);
+    size_t BeginIdx = here();
+    BcInstr &B = emit(BcOp::IfBegin);
+    B.A = C.Reg;
+    compileStmt(If->thenStmt());
+    if (If->elseStmt()) {
+      size_t ElseIdx = here();
+      emit(BcOp::IfElse);
+      patchTarget(BeginIdx, ElseIdx);
+      compileStmt(If->elseStmt());
+      size_t EndIdx = here();
+      emit(BcOp::IfEnd);
+      patchTarget(ElseIdx, EndIdx);
+    } else {
+      size_t EndIdx = here();
+      emit(BcOp::IfEnd);
+      patchTarget(BeginIdx, EndIdx);
+    }
+    return;
+  }
+
+  case OclStmt::Kind::For: {
+    auto *F = cast<OclForStmt>(S);
+    compileStmt(F->init());
+    emit(BcOp::LoopBegin);
+    size_t TestTop = here();
+    int CondReg = F->cond()
+                      ? convert(compileExpr(F->cond()), ValType::I32).Reg
+                      : emitConstI(1);
+    size_t TestIdx = here();
+    BcInstr &T = emit(BcOp::LoopTest);
+    T.A = CondReg;
+    compileStmt(F->body());
+    if (F->step())
+      compileExpr(F->step());
+    BcInstr &E = emit(BcOp::LoopEnd);
+    E.Target = static_cast<int32_t>(TestTop);
+    patchTarget(TestIdx, here());
+    return;
+  }
+
+  case OclStmt::Kind::While: {
+    auto *W = cast<OclWhileStmt>(S);
+    emit(BcOp::LoopBegin);
+    size_t TestTop = here();
+    int CondReg = convert(compileExpr(W->cond()), ValType::I32).Reg;
+    size_t TestIdx = here();
+    BcInstr &T = emit(BcOp::LoopTest);
+    T.A = CondReg;
+    compileStmt(W->body());
+    BcInstr &E = emit(BcOp::LoopEnd);
+    E.Target = static_cast<int32_t>(TestTop);
+    patchTarget(TestIdx, here());
+    return;
+  }
+
+  case OclStmt::Kind::Return: {
+    auto *R = cast<OclReturnStmt>(S);
+    if (InInline) {
+      if (R->value()) {
+        CVal V = compileExpr(R->value());
+        for (unsigned I = 0; I < V.Width; ++I) {
+          BcInstr &M = emit(BcOp::Mov);
+          M.Dst = InlineRetReg + static_cast<int32_t>(I);
+          M.A = V.Reg + static_cast<int32_t>(I);
+          M.Ty = V.Ty;
+        }
+      }
+      SawInlineReturn = true;
+      return;
+    }
+    if (R->value())
+      errorAt(R->loc(), "kernels return void");
+    emit(BcOp::Ret);
+    return;
+  }
+  }
+  lime_unreachable("bad statement kind");
+}
+
+void BytecodeCompiler::compileDecl(OclDeclStmt *D) {
+  OclVarDecl *V = D->decl();
+
+  if (const auto *AT = dyn_cast<OclArrayType>(V->Ty)) {
+    // Arrays live in memory: the work-group local arena or the
+    // per-lane private arena (paper §4.2.1 placement).
+    unsigned Bytes = AT->sizeInBytes();
+    ArrayHome Home;
+    if (V->Space == AddrSpace::Local) {
+      K->StaticLocalBytes = (K->StaticLocalBytes + 15u) & ~15u;
+      Home.Space = AddrSpace::Local;
+      Home.Offset = K->StaticLocalBytes;
+      K->StaticLocalBytes += Bytes;
+    } else {
+      K->PrivateBytes = (K->PrivateBytes + 15u) & ~15u;
+      Home.Space = AddrSpace::Private;
+      Home.Offset = K->PrivateBytes;
+      K->PrivateBytes += Bytes;
+    }
+    ArrayHomes[V] = Home;
+    if (D->init())
+      errorAt(D->loc(), "array initializers are not supported");
+    return;
+  }
+
+  unsigned N = typeRegCount(V->Ty);
+  int32_t Reg = allocRegs(N);
+  VarRegs[V] = Reg;
+  if (!D->init())
+    return;
+  CVal Init = convert(compileExpr(D->init()), regTypeFor(V->Ty));
+  for (unsigned I = 0; I < N; ++I) {
+    BcInstr &M = emit(BcOp::Mov);
+    M.Dst = Reg + static_cast<int32_t>(I);
+    M.A = Init.Reg + static_cast<int32_t>(I % Init.Width);
+    M.Ty = regTypeFor(V->Ty);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Conversions
+//===----------------------------------------------------------------------===//
+
+BytecodeCompiler::CVal BytecodeCompiler::convert(CVal V, ValType To) {
+  if (V.Ty == To)
+    return V;
+  int32_t Dst = allocRegs(V.Width);
+  for (unsigned I = 0; I < V.Width; ++I) {
+    BcInstr &C = emit(BcOp::Cvt);
+    C.Dst = Dst + static_cast<int32_t>(I);
+    C.A = V.Reg + static_cast<int32_t>(I);
+    C.Ty = To;
+    C.SrcTy = V.Ty;
+  }
+  return {Dst, V.Width, To};
+}
+
+BytecodeCompiler::CVal BytecodeCompiler::widen(CVal V, unsigned W) {
+  // Scalars combine with vectors by modular indexing at use sites.
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Addresses
+//===----------------------------------------------------------------------===//
+
+BytecodeCompiler::Addr BytecodeCompiler::compilePointer(OclExpr *E) {
+  if (auto *VR = dyn_cast<OclVarRef>(E)) {
+    OclVarDecl *D = VR->decl();
+    if (const auto *PT = dyn_cast<PointerType>(D->Ty))
+      return {VarRegs[D], PT->space(), PT->pointee()};
+    if (const auto *AT = dyn_cast<OclArrayType>(D->Ty)) {
+      const ArrayHome &Home = ArrayHomes[D];
+      return {emitConstI(Home.Offset), Home.Space, AT->element()};
+    }
+    errorAt(E->loc(), "expected a pointer or array");
+    return {emitConstI(0), AddrSpace::Global, Types.intTy()};
+  }
+
+  // Row of a multi-dimensional array: `tile[i]` with array type.
+  if (auto *IX = dyn_cast<OclIndex>(E)) {
+    Addr Base = compilePointer(IX->base());
+    CVal Idx = convert(compileExpr(IX->index()), ValType::I64);
+    int32_t SizeReg = emitConstI(Base.ElemTy->sizeInBytes());
+    int32_t Scaled = allocRegs(1);
+    BcInstr &M = emit(BcOp::Mul);
+    M.Dst = Scaled;
+    M.A = Idx.Reg;
+    M.B = SizeReg;
+    M.Ty = ValType::I64;
+    int32_t Sum = allocRegs(1);
+    BcInstr &A = emit(BcOp::Add);
+    A.Dst = Sum;
+    A.A = Base.Reg;
+    A.B = Scaled;
+    A.Ty = ValType::I64;
+    const OclType *Elem = Base.ElemTy;
+    if (const auto *AT = dyn_cast<OclArrayType>(Elem))
+      Elem = AT->element();
+    return {Sum, Base.Space, Elem};
+  }
+
+  // Pointer arithmetic p + i / p - i.
+  if (auto *B = dyn_cast<OclBinary>(E);
+      B && (B->op() == OclBinOp::Add || B->op() == OclBinOp::Sub) &&
+      isa<PointerType>(E->type())) {
+    Addr Base = compilePointer(B->lhs());
+    CVal Idx = convert(compileExpr(B->rhs()), ValType::I64);
+    int32_t SizeReg = emitConstI(Base.ElemTy->sizeInBytes());
+    int32_t Scaled = allocRegs(1);
+    BcInstr &M = emit(BcOp::Mul);
+    M.Dst = Scaled;
+    M.A = Idx.Reg;
+    M.B = SizeReg;
+    M.Ty = ValType::I64;
+    int32_t Sum = allocRegs(1);
+    BcInstr &A = emit(B->op() == OclBinOp::Add ? BcOp::Add : BcOp::Sub);
+    A.Dst = Sum;
+    A.A = Base.Reg;
+    A.B = Scaled;
+    A.Ty = ValType::I64;
+    return {Sum, Base.Space, Base.ElemTy};
+  }
+
+  errorAt(E->loc(), "unsupported pointer expression");
+  return {emitConstI(0), AddrSpace::Global, Types.intTy()};
+}
+
+BytecodeCompiler::Addr BytecodeCompiler::compileAddress(OclExpr *Base,
+                                                        OclExpr *Index) {
+  Addr P = compilePointer(Base);
+  CVal Idx = convert(compileExpr(Index), ValType::I64);
+  int32_t SizeReg = emitConstI(P.ElemTy->sizeInBytes());
+  int32_t Scaled = allocRegs(1);
+  BcInstr &M = emit(BcOp::Mul);
+  M.Dst = Scaled;
+  M.A = Idx.Reg;
+  M.B = SizeReg;
+  M.Ty = ValType::I64;
+  int32_t Sum = allocRegs(1);
+  BcInstr &A = emit(BcOp::Add);
+  A.Dst = Sum;
+  A.A = P.Reg;
+  A.B = Scaled;
+  A.Ty = ValType::I64;
+  return {Sum, P.Space, P.ElemTy};
+}
+
+//===----------------------------------------------------------------------===//
+// L-values
+//===----------------------------------------------------------------------===//
+
+BytecodeCompiler::LVal BytecodeCompiler::compileLValue(OclExpr *E) {
+  if (auto *VR = dyn_cast<OclVarRef>(E)) {
+    OclVarDecl *D = VR->decl();
+    if (isa<OclArrayType>(D->Ty)) {
+      errorAt(E->loc(), "cannot assign to an array");
+      return LVal();
+    }
+    LVal L;
+    L.TheKind = LVal::Kind::Reg;
+    L.Reg = VarRegs[D];
+    L.Width = typeRegCount(D->Ty);
+    L.Ty = regTypeFor(D->Ty);
+    return L;
+  }
+  if (auto *IX = dyn_cast<OclIndex>(E)) {
+    Addr A = compileAddress(IX->base(), IX->index());
+    LVal L;
+    L.TheKind = LVal::Kind::Mem;
+    L.AddrReg = A.Reg;
+    L.Space = A.Space;
+    if (const auto *VT = dyn_cast<VectorType>(A.ElemTy)) {
+      L.Width = VT->lanes();
+      L.Ty = valTypeForScalar(VT->element());
+    } else {
+      L.Width = 1;
+      L.Ty = regTypeFor(A.ElemTy);
+    }
+    return L;
+  }
+  if (auto *M = dyn_cast<OclMember>(E)) {
+    if (M->vectorLane() >= 0) {
+      if (auto *VR = dyn_cast<OclVarRef>(M->base())) {
+        LVal L;
+        L.TheKind = LVal::Kind::Reg;
+        L.Reg = VarRegs[VR->decl()] + M->vectorLane();
+        L.Width = 1;
+        L.Ty = regTypeFor(E->type());
+        return L;
+      }
+      if (auto *IX = dyn_cast<OclIndex>(M->base())) {
+        Addr A = compileAddress(IX->base(), IX->index());
+        const auto *VT = cast<VectorType>(M->base()->type());
+        int32_t OffReg = emitConstI(
+            static_cast<int64_t>(scalarSizeInBytes(VT->element())) *
+            M->vectorLane());
+        int32_t Sum = allocRegs(1);
+        BcInstr &AddI = emit(BcOp::Add);
+        AddI.Dst = Sum;
+        AddI.A = A.Reg;
+        AddI.B = OffReg;
+        AddI.Ty = ValType::I64;
+        LVal L;
+        L.TheKind = LVal::Kind::Mem;
+        L.AddrReg = Sum;
+        L.Space = A.Space;
+        L.Width = 1;
+        L.Ty = valTypeForScalar(VT->element());
+        return L;
+      }
+    }
+    errorAt(E->loc(), "unsupported member assignment target");
+    return LVal();
+  }
+  errorAt(E->loc(), "expression is not assignable");
+  return LVal();
+}
+
+BytecodeCompiler::CVal BytecodeCompiler::loadLValue(const LVal &L,
+                                                    SourceLocation Loc) {
+  if (L.TheKind == LVal::Kind::Reg)
+    return {L.Reg, L.Width, L.Ty};
+  int32_t Dst = allocRegs(L.Width);
+  BcInstr &I = emit(BcOp::Load);
+  I.Dst = Dst;
+  I.B = L.AddrReg;
+  I.Space = L.Space;
+  I.Ty = L.Ty;
+  I.Width = static_cast<uint8_t>(L.Width);
+  return {Dst, L.Width, L.Ty};
+}
+
+void BytecodeCompiler::storeLValue(const LVal &L, CVal V,
+                                   SourceLocation Loc) {
+  V = convert(V, L.Ty);
+  if (L.TheKind == LVal::Kind::Reg) {
+    for (unsigned I = 0; I < L.Width; ++I) {
+      BcInstr &M = emit(BcOp::Mov);
+      M.Dst = L.Reg + static_cast<int32_t>(I);
+      M.A = V.Reg + static_cast<int32_t>(I % V.Width);
+      M.Ty = L.Ty;
+    }
+    return;
+  }
+  int32_t SrcReg = V.Reg;
+  if (V.Width != L.Width) {
+    // Broadcast / repack into a contiguous run of L.Width registers.
+    SrcReg = allocRegs(L.Width);
+    for (unsigned I = 0; I < L.Width; ++I) {
+      BcInstr &M = emit(BcOp::Mov);
+      M.Dst = SrcReg + static_cast<int32_t>(I);
+      M.A = V.Reg + static_cast<int32_t>(I % V.Width);
+      M.Ty = L.Ty;
+    }
+  }
+  BcInstr &S = emit(BcOp::Store);
+  S.A = SrcReg;
+  S.B = L.AddrReg;
+  S.Space = L.Space;
+  S.Ty = L.Ty;
+  S.Width = static_cast<uint8_t>(L.Width);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+static BcOp arithOpFor(OclBinOp Op) {
+  switch (Op) {
+  case OclBinOp::Add:
+    return BcOp::Add;
+  case OclBinOp::Sub:
+    return BcOp::Sub;
+  case OclBinOp::Mul:
+    return BcOp::Mul;
+  case OclBinOp::Div:
+    return BcOp::Div;
+  case OclBinOp::Rem:
+    return BcOp::Rem;
+  case OclBinOp::Shl:
+    return BcOp::Shl;
+  case OclBinOp::Shr:
+    return BcOp::Shr;
+  case OclBinOp::And:
+    return BcOp::And;
+  case OclBinOp::Or:
+    return BcOp::Or;
+  case OclBinOp::Xor:
+    return BcOp::Xor;
+  case OclBinOp::Lt:
+    return BcOp::CmpLt;
+  case OclBinOp::Le:
+    return BcOp::CmpLe;
+  case OclBinOp::Gt:
+    return BcOp::CmpGt;
+  case OclBinOp::Ge:
+    return BcOp::CmpGe;
+  case OclBinOp::Eq:
+    return BcOp::CmpEq;
+  case OclBinOp::Ne:
+    return BcOp::CmpNe;
+  case OclBinOp::LAnd:
+    return BcOp::And;
+  case OclBinOp::LOr:
+    return BcOp::Or;
+  }
+  lime_unreachable("bad binary op");
+}
+
+BytecodeCompiler::CVal BytecodeCompiler::compileBinary(OclBinary *B) {
+  CVal L = compileExpr(B->lhs());
+  CVal R = compileExpr(B->rhs());
+
+  // Pointer arithmetic routed through compilePointer produces an
+  // address value.
+  if (isa<PointerType>(B->type())) {
+    // Recompile through the pointer path (cheap; expressions are
+    // side-effect-free here by construction).
+    Addr A = compilePointer(B);
+    return {A.Reg, 1, ValType::I64};
+  }
+
+  switch (B->op()) {
+  case OclBinOp::LAnd:
+  case OclBinOp::LOr: {
+    // Eager evaluation: conditions in kernels are side-effect-free;
+    // divergence-correct short-circuiting would cost mask operations
+    // for no modeled benefit.
+    CVal LB = convert(L, ValType::I32);
+    CVal RB = convert(R, ValType::I32);
+    int32_t Zero = emitConstI(0);
+    int32_t LN = allocRegs(1);
+    BcInstr &NL = emit(BcOp::CmpNe);
+    NL.Dst = LN;
+    NL.A = LB.Reg;
+    NL.B = Zero;
+    NL.Ty = ValType::I32;
+    int32_t RN = allocRegs(1);
+    BcInstr &NR = emit(BcOp::CmpNe);
+    NR.Dst = RN;
+    NR.A = RB.Reg;
+    NR.B = Zero;
+    NR.Ty = ValType::I32;
+    int32_t Dst = allocRegs(1);
+    BcInstr &I = emit(B->op() == OclBinOp::LAnd ? BcOp::And : BcOp::Or);
+    I.Dst = Dst;
+    I.A = LN;
+    I.B = RN;
+    I.Ty = ValType::I32;
+    return {Dst, 1, ValType::I32};
+  }
+  default:
+    break;
+  }
+
+  bool IsCompare = B->op() == OclBinOp::Lt || B->op() == OclBinOp::Le ||
+                   B->op() == OclBinOp::Gt || B->op() == OclBinOp::Ge ||
+                   B->op() == OclBinOp::Eq || B->op() == OclBinOp::Ne;
+
+  // Operand domain: for compares, the wider of the two; for
+  // arithmetic, the node's result type.
+  ValType OpTy;
+  if (IsCompare) {
+    auto Rank = [](ValType T) {
+      switch (T) {
+      case ValType::I8:
+      case ValType::U8:
+        return 0;
+      case ValType::I32:
+      case ValType::U32:
+        return 1;
+      case ValType::I64:
+      case ValType::U64:
+        return 2;
+      case ValType::F32:
+        return 3;
+      case ValType::F64:
+        return 4;
+      }
+      return 1;
+    };
+    OpTy = Rank(L.Ty) >= Rank(R.Ty) ? L.Ty : R.Ty;
+    if (OpTy == ValType::I8 || OpTy == ValType::U8)
+      OpTy = ValType::I32;
+  } else {
+    OpTy = regTypeFor(B->type());
+  }
+
+  CVal LC = convert(L, OpTy);
+  CVal RC = convert(R, OpTy);
+  unsigned W = std::max(LC.Width, RC.Width);
+  int32_t Dst = allocRegs(W);
+  for (unsigned I = 0; I < W; ++I) {
+    BcInstr &Ins = emit(arithOpFor(B->op()));
+    Ins.Dst = Dst + static_cast<int32_t>(I);
+    Ins.A = LC.Reg + static_cast<int32_t>(I % LC.Width);
+    Ins.B = RC.Reg + static_cast<int32_t>(I % RC.Width);
+    Ins.Ty = OpTy;
+  }
+  return {Dst, W, IsCompare ? ValType::I32 : OpTy};
+}
+
+BytecodeCompiler::CVal BytecodeCompiler::compileInlineCall(OclCall *C) {
+  OclFunction *F = C->function();
+  if (InlineDepth > 16) {
+    errorAt(C->loc(), "call nesting too deep (recursion is not legal "
+                      "OpenCL C)");
+    return {emitConstI(0), 1, ValType::I32};
+  }
+
+  // Bind arguments to the callee's parameter registers.
+  std::vector<std::pair<const OclVarDecl *, int32_t>> SavedBindings;
+  for (size_t I = 0, N = F->params().size(); I != N; ++I) {
+    OclVarDecl *P = F->params()[I];
+    if (isa<PointerType>(P->Ty)) {
+      // Pointer argument: pass the address register through.
+      Addr A = compilePointer(C->args()[I]);
+      SavedBindings.emplace_back(P, VarRegs.count(P) ? VarRegs[P] : -1);
+      VarRegs[P] = A.Reg;
+      continue;
+    }
+    if (isa<ImageType>(P->Ty)) {
+      // Image argument: pass the slot register through.
+      auto *VR = dyn_cast<OclVarRef>(C->args()[I]);
+      if (!VR || !isa<ImageType>(VR->decl()->Ty)) {
+        errorAt(C->loc(), "image arguments must be image variables");
+        continue;
+      }
+      SavedBindings.emplace_back(P, VarRegs.count(P) ? VarRegs[P] : -1);
+      VarRegs[P] = VarRegs[VR->decl()];
+      continue;
+    }
+    CVal Arg = compileExpr(C->args()[I]);
+    ValType PT2 = regTypeFor(P->Ty);
+    CVal Conv = convert(Arg, PT2);
+    unsigned N2 = typeRegCount(P->Ty);
+    int32_t Regs = allocRegs(N2);
+    for (unsigned J = 0; J < N2; ++J) {
+      BcInstr &M = emit(BcOp::Mov);
+      M.Dst = Regs + static_cast<int32_t>(J);
+      M.A = Conv.Reg + static_cast<int32_t>(J % Conv.Width);
+      M.Ty = PT2;
+    }
+    SavedBindings.emplace_back(P, VarRegs.count(P) ? VarRegs[P] : -1);
+    VarRegs[P] = Regs;
+  }
+
+  unsigned RetW = typeRegCount(F->returnType());
+  ValType RetTy = regTypeFor(F->returnType());
+  int32_t SavedRetReg = InlineRetReg;
+  bool SavedInInline = InInline;
+  bool SavedSawReturn = SawInlineReturn;
+
+  InlineRetReg = allocRegs(RetW);
+  InInline = true;
+  SawInlineReturn = false;
+  ++InlineDepth;
+  compileStmt(F->body());
+  --InlineDepth;
+
+  const auto *RetScalar = dyn_cast<ScalarType>(F->returnType());
+  bool IsVoid = RetScalar && RetScalar->isVoid();
+  if (!SawInlineReturn && !IsVoid)
+    errorAt(C->loc(), "non-void helper '" + F->name() +
+                          "' must end in a return statement");
+
+  CVal Result = {InlineRetReg, RetW, RetTy};
+  InlineRetReg = SavedRetReg;
+  InInline = SavedInInline;
+  SawInlineReturn = SavedSawReturn;
+  for (auto &[P, Old] : SavedBindings) {
+    if (Old >= 0)
+      VarRegs[P] = Old;
+    else
+      VarRegs.erase(P);
+  }
+  return Result;
+}
+
+BytecodeCompiler::CVal BytecodeCompiler::compileCall(OclCall *C) {
+  OclBuiltin B = C->builtin();
+
+  if (B == OclBuiltin::None) {
+    if (!C->function()) {
+      errorAt(C->loc(), "unresolved call");
+      return {emitConstI(0), 1, ValType::I32};
+    }
+    return compileInlineCall(C);
+  }
+
+  switch (B) {
+  case OclBuiltin::GetGlobalId:
+  case OclBuiltin::GetLocalId:
+  case OclBuiltin::GetGroupId:
+  case OclBuiltin::GetGlobalSize:
+  case OclBuiltin::GetLocalSize:
+  case OclBuiltin::GetNumGroups: {
+    auto *DimLit = dyn_cast<OclIntLit>(C->args()[0]);
+    unsigned Dim = DimLit ? static_cast<unsigned>(DimLit->value()) : 0;
+    if (!DimLit)
+      errorAt(C->loc(), "work-item query dimension must be a constant");
+    BcOp Op;
+    switch (B) {
+    case OclBuiltin::GetGlobalId:
+      Op = BcOp::GlobalId;
+      break;
+    case OclBuiltin::GetLocalId:
+      Op = BcOp::LocalId;
+      break;
+    case OclBuiltin::GetGroupId:
+      Op = BcOp::GroupId;
+      break;
+    case OclBuiltin::GetGlobalSize:
+      Op = BcOp::GlobalSize;
+      break;
+    case OclBuiltin::GetLocalSize:
+      Op = BcOp::LocalSize;
+      break;
+    default:
+      Op = BcOp::NumGroups;
+      break;
+    }
+    int32_t Dst = allocRegs(1);
+    BcInstr &I = emit(Op);
+    I.Dst = Dst;
+    I.Dim = static_cast<uint8_t>(Dim);
+    I.Ty = ValType::I32;
+    return {Dst, 1, ValType::I32};
+  }
+
+  case OclBuiltin::Barrier: {
+    emit(BcOp::Barrier);
+    return {emitConstI(0), 1, ValType::I32};
+  }
+
+  case OclBuiltin::ReadImageF: {
+    // (image, sampler, (int2)(x, y)). The image identity travels in a
+    // register (bound from the launch args for kernel params, passed
+    // through by the inliner for helper params).
+    auto *ImgRef = dyn_cast<OclVarRef>(C->args()[0]);
+    if (!ImgRef || !isa<ImageType>(ImgRef->decl()->Ty)) {
+      errorAt(C->loc(), "read_imagef image must be an image2d_t variable");
+      return {emitConstI(0), 4, ValType::F32};
+    }
+    compileExpr(C->args()[1]); // sampler evaluated, ignored
+    CVal Coord = compileExpr(C->args()[2]);
+    if (Coord.Width < 2) {
+      errorAt(C->loc(), "read_imagef coordinate must be an int2");
+      return {emitConstI(0), 4, ValType::F32};
+    }
+    int32_t Dst = allocRegs(4);
+    BcInstr &I = emit(BcOp::ReadImage);
+    I.Dst = Dst;
+    I.A = Coord.Reg;     // x
+    I.B = Coord.Reg + 1; // y
+    I.C = VarRegs[ImgRef->decl()]; // image slot register
+    I.Ty = ValType::F32;
+    return {Dst, 4, ValType::F32};
+  }
+
+  case OclBuiltin::VLoad2:
+  case OclBuiltin::VLoad4: {
+    unsigned W = B == OclBuiltin::VLoad2 ? 2 : 4;
+    Addr P = compilePointer(C->args()[1]);
+    CVal Off = convert(compileExpr(C->args()[0]), ValType::I64);
+    unsigned ElemBytes = P.ElemTy->sizeInBytes();
+    int32_t SizeReg = emitConstI(static_cast<int64_t>(ElemBytes) * W);
+    int32_t Scaled = allocRegs(1);
+    BcInstr &M = emit(BcOp::Mul);
+    M.Dst = Scaled;
+    M.A = Off.Reg;
+    M.B = SizeReg;
+    M.Ty = ValType::I64;
+    int32_t Sum = allocRegs(1);
+    BcInstr &A = emit(BcOp::Add);
+    A.Dst = Sum;
+    A.A = P.Reg;
+    A.B = Scaled;
+    A.Ty = ValType::I64;
+    ValType ET = regTypeFor(P.ElemTy);
+    int32_t Dst = allocRegs(W);
+    BcInstr &L = emit(BcOp::Load);
+    L.Dst = Dst;
+    L.B = Sum;
+    L.Space = P.Space;
+    L.Ty = ET;
+    L.Width = static_cast<uint8_t>(W);
+    return {Dst, W, ET};
+  }
+
+  case OclBuiltin::VStore2:
+  case OclBuiltin::VStore4: {
+    unsigned W = B == OclBuiltin::VStore2 ? 2 : 4;
+    CVal V = compileExpr(C->args()[0]);
+    Addr P = compilePointer(C->args()[2]);
+    CVal Off = convert(compileExpr(C->args()[1]), ValType::I64);
+    unsigned ElemBytes = P.ElemTy->sizeInBytes();
+    int32_t SizeReg = emitConstI(static_cast<int64_t>(ElemBytes) * W);
+    int32_t Scaled = allocRegs(1);
+    BcInstr &M = emit(BcOp::Mul);
+    M.Dst = Scaled;
+    M.A = Off.Reg;
+    M.B = SizeReg;
+    M.Ty = ValType::I64;
+    int32_t Sum = allocRegs(1);
+    BcInstr &A = emit(BcOp::Add);
+    A.Dst = Sum;
+    A.A = P.Reg;
+    A.B = Scaled;
+    A.Ty = ValType::I64;
+    ValType ET = regTypeFor(P.ElemTy);
+    CVal VC = convert(V, ET);
+    BcInstr &S = emit(BcOp::Store);
+    S.A = VC.Reg;
+    S.B = Sum;
+    S.Space = P.Space;
+    S.Ty = ET;
+    S.Width = static_cast<uint8_t>(W);
+    return {emitConstI(0), 1, ValType::I32};
+  }
+
+  default:
+    break;
+  }
+
+  // Math builtins: elementwise over the (possibly vector) arguments.
+  std::vector<CVal> Args;
+  for (OclExpr *A : C->args())
+    Args.push_back(compileExpr(A));
+  ValType RT = regTypeFor(C->type());
+  unsigned W = typeRegCount(C->type());
+
+  BcOp Op;
+  bool Native = false;
+  switch (B) {
+  case OclBuiltin::Sqrt:
+    Op = BcOp::Sqrt;
+    break;
+  case OclBuiltin::NativeSqrt:
+    Op = BcOp::Sqrt;
+    Native = true;
+    break;
+  case OclBuiltin::RSqrt:
+    Op = BcOp::RSqrt;
+    break;
+  case OclBuiltin::NativeRsqrt:
+    Op = BcOp::RSqrt;
+    Native = true;
+    break;
+  case OclBuiltin::Sin:
+    Op = BcOp::Sin;
+    break;
+  case OclBuiltin::NativeSin:
+    Op = BcOp::Sin;
+    Native = true;
+    break;
+  case OclBuiltin::Cos:
+    Op = BcOp::Cos;
+    break;
+  case OclBuiltin::NativeCos:
+    Op = BcOp::Cos;
+    Native = true;
+    break;
+  case OclBuiltin::Tan:
+    Op = BcOp::Tan;
+    break;
+  case OclBuiltin::Exp:
+    Op = BcOp::Exp;
+    break;
+  case OclBuiltin::NativeExp:
+    Op = BcOp::Exp;
+    Native = true;
+    break;
+  case OclBuiltin::Log:
+    Op = BcOp::Log;
+    break;
+  case OclBuiltin::NativeLog:
+    Op = BcOp::Log;
+    Native = true;
+    break;
+  case OclBuiltin::Pow:
+    Op = BcOp::Pow;
+    break;
+  case OclBuiltin::Floor:
+    Op = BcOp::Floor;
+    break;
+  case OclBuiltin::Fabs:
+  case OclBuiltin::Abs:
+    Op = BcOp::AbsOp;
+    break;
+  case OclBuiltin::Fmin:
+  case OclBuiltin::Min:
+    Op = BcOp::MinOp;
+    break;
+  case OclBuiltin::Fmax:
+  case OclBuiltin::Max:
+    Op = BcOp::MaxOp;
+    break;
+  default:
+    errorAt(C->loc(), "builtin not supported in this position");
+    return {emitConstI(0), 1, ValType::I32};
+  }
+
+  for (CVal &A : Args)
+    A = convert(A, RT);
+  int32_t Dst = allocRegs(W);
+  for (unsigned I = 0; I < W; ++I) {
+    BcInstr &Ins = emit(Op);
+    Ins.Dst = Dst + static_cast<int32_t>(I);
+    Ins.A = Args[0].Reg + static_cast<int32_t>(I % Args[0].Width);
+    if (Args.size() > 1)
+      Ins.B = Args[1].Reg + static_cast<int32_t>(I % Args[1].Width);
+    Ins.Ty = RT;
+    Ins.Native = Native;
+  }
+  return {Dst, W, RT};
+}
+
+BytecodeCompiler::CVal BytecodeCompiler::compileExpr(OclExpr *E) {
+  switch (E->kind()) {
+  case OclExpr::Kind::IntLit: {
+    int32_t R = allocRegs(1);
+    BcInstr &I = emit(BcOp::ConstI);
+    I.Dst = R;
+    I.ImmI = cast<OclIntLit>(E)->value();
+    I.Ty = ValType::I32;
+    return {R, 1, ValType::I32};
+  }
+  case OclExpr::Kind::FloatLit: {
+    auto *L = cast<OclFloatLit>(E);
+    int32_t R = allocRegs(1);
+    BcInstr &I = emit(BcOp::ConstF);
+    I.Dst = R;
+    I.ImmF = L->isSingle()
+                 ? static_cast<double>(static_cast<float>(L->value()))
+                 : L->value();
+    I.Ty = L->isSingle() ? ValType::F32 : ValType::F64;
+    return {R, 1, I.Ty};
+  }
+  case OclExpr::Kind::VarRef: {
+    auto *VR = cast<OclVarRef>(E);
+    OclVarDecl *D = VR->decl();
+    if (isa<OclArrayType>(D->Ty)) {
+      Addr A = compilePointer(E);
+      return {A.Reg, 1, ValType::I64};
+    }
+    return {VarRegs[D], typeRegCount(D->Ty), regTypeFor(D->Ty)};
+  }
+  case OclExpr::Kind::Index:
+    return loadLValue(compileLValue(E), E->loc());
+  case OclExpr::Kind::Member: {
+    auto *M = cast<OclMember>(E);
+    if (M->vectorLane() >= 0) {
+      CVal Base = compileExpr(M->base());
+      return {Base.Reg + M->vectorLane(), 1, Base.Ty};
+    }
+    auto *VR = dyn_cast<OclVarRef>(M->base());
+    if (!VR || !VR->decl()->IsParam) {
+      errorAt(E->loc(), "struct access is only supported on by-value "
+                        "kernel parameters");
+      return {emitConstI(0), 1, ValType::I32};
+    }
+    const StructType::Field *F = M->field();
+    int32_t OffReg = emitConstI(F->Offset);
+    int32_t AddrReg = allocRegs(1);
+    BcInstr &A = emit(BcOp::Add);
+    A.Dst = AddrReg;
+    A.A = VarRegs[VR->decl()];
+    A.B = OffReg;
+    A.Ty = ValType::I64;
+    unsigned W = typeRegCount(F->Ty);
+    ValType VT = regTypeFor(F->Ty);
+    int32_t Dst = allocRegs(W);
+    BcInstr &L = emit(BcOp::Load);
+    L.Dst = Dst;
+    L.B = AddrReg;
+    L.Space = AddrSpace::Param;
+    L.Ty = VT;
+    L.Width = static_cast<uint8_t>(W);
+    return {Dst, W, VT};
+  }
+  case OclExpr::Kind::Unary: {
+    auto *U = cast<OclUnary>(E);
+    switch (U->op()) {
+    case OclUnaryOp::Neg:
+    case OclUnaryOp::Not:
+    case OclUnaryOp::BitNot: {
+      CVal V = compileExpr(U->sub());
+      int32_t Dst = allocRegs(V.Width);
+      for (unsigned I = 0; I < V.Width; ++I) {
+        BcInstr &N = emit(U->op() == OclUnaryOp::Neg   ? BcOp::Neg
+                          : U->op() == OclUnaryOp::Not ? BcOp::LNot
+                                                        : BcOp::Not);
+        N.Dst = Dst + static_cast<int32_t>(I);
+        N.A = V.Reg + static_cast<int32_t>(I);
+        N.Ty = V.Ty;
+      }
+      return {Dst, V.Width,
+              U->op() == OclUnaryOp::Not ? ValType::I32 : V.Ty};
+    }
+    case OclUnaryOp::PreInc:
+    case OclUnaryOp::PreDec:
+    case OclUnaryOp::PostInc:
+    case OclUnaryOp::PostDec: {
+      bool IsInc =
+          U->op() == OclUnaryOp::PreInc || U->op() == OclUnaryOp::PostInc;
+      bool IsPost =
+          U->op() == OclUnaryOp::PostInc || U->op() == OclUnaryOp::PostDec;
+      LVal L = compileLValue(U->sub());
+      CVal Old = loadLValue(L, E->loc());
+      int32_t One = allocRegs(1);
+      if (isFloatVal(Old.Ty)) {
+        BcInstr &CI = emit(BcOp::ConstF);
+        CI.Dst = One;
+        CI.ImmF = 1.0;
+        CI.Ty = Old.Ty;
+      } else {
+        BcInstr &CI = emit(BcOp::ConstI);
+        CI.Dst = One;
+        CI.ImmI = 1;
+        CI.Ty = Old.Ty;
+      }
+      int32_t OldCopy = Old.Reg;
+      if (IsPost) {
+        OldCopy = allocRegs(1);
+        BcInstr &M = emit(BcOp::Mov);
+        M.Dst = OldCopy;
+        M.A = Old.Reg;
+        M.Ty = Old.Ty;
+      }
+      int32_t NewReg = allocRegs(1);
+      BcInstr &A = emit(IsInc ? BcOp::Add : BcOp::Sub);
+      A.Dst = NewReg;
+      A.A = Old.Reg;
+      A.B = One;
+      A.Ty = Old.Ty;
+      storeLValue(L, {NewReg, 1, Old.Ty}, E->loc());
+      return {IsPost ? OldCopy : NewReg, 1, Old.Ty};
+    }
+    }
+    lime_unreachable("bad unary op");
+  }
+  case OclExpr::Kind::Binary:
+    return compileBinary(cast<OclBinary>(E));
+
+  case OclExpr::Kind::Assign: {
+    auto *A = cast<OclAssign>(E);
+    LVal L = compileLValue(A->target());
+    CVal V;
+    if (A->isCompound()) {
+      CVal Old = loadLValue(L, E->loc());
+      CVal RHS = compileExpr(A->value());
+      CVal LC = convert(Old, L.Ty);
+      CVal RC = convert(RHS, L.Ty);
+      int32_t Dst = allocRegs(L.Width);
+      for (unsigned I = 0; I < L.Width; ++I) {
+        BcInstr &Ins = emit(arithOpFor(A->compoundOp()));
+        Ins.Dst = Dst + static_cast<int32_t>(I);
+        Ins.A = LC.Reg + static_cast<int32_t>(I % LC.Width);
+        Ins.B = RC.Reg + static_cast<int32_t>(I % RC.Width);
+        Ins.Ty = L.Ty;
+      }
+      V = {Dst, L.Width, L.Ty};
+    } else {
+      V = compileExpr(A->value());
+    }
+    storeLValue(L, V, E->loc());
+    return convert(V, L.Ty);
+  }
+
+  case OclExpr::Kind::Conditional: {
+    auto *C = cast<OclConditional>(E);
+    CVal Cond = convert(compileExpr(C->cond()), ValType::I32);
+    ValType RT = regTypeFor(E->type());
+    CVal T = convert(compileExpr(C->thenExpr()), RT);
+    CVal F = convert(compileExpr(C->elseExpr()), RT);
+    unsigned W = std::max(T.Width, F.Width);
+    int32_t Dst = allocRegs(W);
+    for (unsigned I = 0; I < W; ++I) {
+      BcInstr &S = emit(BcOp::Select);
+      S.Dst = Dst + static_cast<int32_t>(I);
+      S.A = Cond.Reg + static_cast<int32_t>(I % Cond.Width);
+      S.B = T.Reg + static_cast<int32_t>(I % T.Width);
+      S.C = F.Reg + static_cast<int32_t>(I % F.Width);
+      S.Ty = RT;
+    }
+    return {Dst, W, RT};
+  }
+
+  case OclExpr::Kind::Call:
+    return compileCall(cast<OclCall>(E));
+
+  case OclExpr::Kind::Cast: {
+    auto *C = cast<OclCast>(E);
+    CVal V = compileExpr(C->sub());
+    return convert(V, regTypeFor(E->type()));
+  }
+
+  case OclExpr::Kind::VectorLit: {
+    auto *VL = cast<OclVectorLit>(E);
+    const auto *VT = cast<VectorType>(E->type());
+    ValType ET = valTypeForScalar(VT->element());
+    unsigned W = VT->lanes();
+    int32_t Dst = allocRegs(W);
+    if (VL->elems().size() == 1) {
+      CVal V = convert(compileExpr(VL->elems()[0]), ET);
+      for (unsigned I = 0; I < W; ++I) {
+        BcInstr &M = emit(BcOp::Mov);
+        M.Dst = Dst + static_cast<int32_t>(I);
+        M.A = V.Reg;
+        M.Ty = ET;
+      }
+    } else {
+      for (unsigned I = 0; I < W && I < VL->elems().size(); ++I) {
+        CVal V = convert(compileExpr(VL->elems()[I]), ET);
+        BcInstr &M = emit(BcOp::Mov);
+        M.Dst = Dst + static_cast<int32_t>(I);
+        M.A = V.Reg;
+        M.Ty = ET;
+      }
+    }
+    return {Dst, W, ET};
+  }
+  }
+  lime_unreachable("bad expression kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Disassembler
+//===----------------------------------------------------------------------===//
+
+static const char *opName(BcOp Op) {
+  switch (Op) {
+  case BcOp::ConstI:
+    return "consti";
+  case BcOp::ConstF:
+    return "constf";
+  case BcOp::Mov:
+    return "mov";
+  case BcOp::Cvt:
+    return "cvt";
+  case BcOp::Add:
+    return "add";
+  case BcOp::Sub:
+    return "sub";
+  case BcOp::Mul:
+    return "mul";
+  case BcOp::Div:
+    return "div";
+  case BcOp::Rem:
+    return "rem";
+  case BcOp::Shl:
+    return "shl";
+  case BcOp::Shr:
+    return "shr";
+  case BcOp::And:
+    return "and";
+  case BcOp::Or:
+    return "or";
+  case BcOp::Xor:
+    return "xor";
+  case BcOp::Neg:
+    return "neg";
+  case BcOp::Not:
+    return "not";
+  case BcOp::LNot:
+    return "lnot";
+  case BcOp::MinOp:
+    return "min";
+  case BcOp::MaxOp:
+    return "max";
+  case BcOp::AbsOp:
+    return "abs";
+  case BcOp::CmpLt:
+    return "cmplt";
+  case BcOp::CmpLe:
+    return "cmple";
+  case BcOp::CmpGt:
+    return "cmpgt";
+  case BcOp::CmpGe:
+    return "cmpge";
+  case BcOp::CmpEq:
+    return "cmpeq";
+  case BcOp::CmpNe:
+    return "cmpne";
+  case BcOp::Select:
+    return "select";
+  case BcOp::Sqrt:
+    return "sqrt";
+  case BcOp::RSqrt:
+    return "rsqrt";
+  case BcOp::Sin:
+    return "sin";
+  case BcOp::Cos:
+    return "cos";
+  case BcOp::Tan:
+    return "tan";
+  case BcOp::Exp:
+    return "exp";
+  case BcOp::Log:
+    return "log";
+  case BcOp::Pow:
+    return "pow";
+  case BcOp::Floor:
+    return "floor";
+  case BcOp::Load:
+    return "load";
+  case BcOp::Store:
+    return "store";
+  case BcOp::GlobalId:
+    return "gid";
+  case BcOp::LocalId:
+    return "lid";
+  case BcOp::GroupId:
+    return "grp";
+  case BcOp::GlobalSize:
+    return "gsz";
+  case BcOp::LocalSize:
+    return "lsz";
+  case BcOp::NumGroups:
+    return "ngrp";
+  case BcOp::ReadImage:
+    return "rdimg";
+  case BcOp::Jump:
+    return "jump";
+  case BcOp::IfBegin:
+    return "if";
+  case BcOp::IfElse:
+    return "else";
+  case BcOp::IfEnd:
+    return "endif";
+  case BcOp::LoopBegin:
+    return "loop";
+  case BcOp::LoopTest:
+    return "looptest";
+  case BcOp::LoopEnd:
+    return "loopend";
+  case BcOp::Barrier:
+    return "barrier";
+  case BcOp::Ret:
+    return "ret";
+  case BcOp::Halt:
+    return "halt";
+  }
+  lime_unreachable("bad opcode");
+}
+
+std::string lime::ocl::disassemble(const BcKernel &K) {
+  std::string Out = formatString("kernel %s: %u regs, %u local bytes, "
+                                 "%u private bytes\n",
+                                 K.Name.c_str(), K.NumRegs,
+                                 K.StaticLocalBytes, K.PrivateBytes);
+  for (size_t I = 0, E = K.Code.size(); I != E; ++I) {
+    const BcInstr &In = K.Code[I];
+    Out += formatString("%4zu: %-9s d=%d a=%d b=%d c=%d t=%d w=%u", I,
+                        opName(In.Op), In.Dst, In.A, In.B, In.C, In.Target,
+                        In.Width);
+    if (In.Op == BcOp::ConstI)
+      Out += formatString(" imm=%lld", static_cast<long long>(In.ImmI));
+    if (In.Op == BcOp::ConstF)
+      Out += formatString(" imm=%g", In.ImmF);
+    if (In.Op == BcOp::Load || In.Op == BcOp::Store)
+      Out += formatString(" space=%s", addrSpaceName(In.Space));
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,130 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles the type-checked OpenCL AST into SIMT bytecode (see
+/// Bytecode.h for the execution model). Non-kernel functions are
+/// inlined at their call sites (OpenCL C forbids recursion); vector
+/// values are scalarized into consecutive registers except at memory
+/// accesses, which stay wide so the memory model prices them as the
+/// paper's vectorization optimization intends (§4.2.2).
+///
+/// Storage assignment: statically-sized `__local` arrays get offsets
+/// in the work-group's local arena; private arrays get offsets in the
+/// per-lane private arena — mirroring the paper's private/local
+/// placement (§4.2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_OCL_BYTECODECOMPILER_H
+#define LIMECC_OCL_BYTECODECOMPILER_H
+
+#include "ocl/Bytecode.h"
+#include "ocl/OclAST.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+
+namespace lime::ocl {
+
+class BytecodeCompiler {
+public:
+  BytecodeCompiler(OclContext &Ctx, DiagnosticEngine &Diags);
+
+  /// Compiles every kernel in \p P; check Diags for errors.
+  BcProgram compile(OclProgramAST *P);
+
+private:
+  /// A value held in registers: Width consecutive registers starting
+  /// at Reg, each of element type Ty.
+  struct CVal {
+    int32_t Reg = -1;
+    unsigned Width = 1;
+    ValType Ty = ValType::I32;
+  };
+
+  /// An assignable location.
+  struct LVal {
+    enum class Kind : uint8_t { Reg, Mem } TheKind = Kind::Reg;
+    // Reg form.
+    int32_t Reg = -1;
+    // Mem form.
+    int32_t AddrReg = -1;
+    AddrSpace Space = AddrSpace::Global;
+    unsigned Width = 1;
+    ValType Ty = ValType::I32;
+  };
+
+  void compileKernel(OclFunction *F, BcProgram &Out);
+
+  // Storage.
+  int32_t allocRegs(unsigned N);
+  unsigned typeRegCount(const OclType *T);
+  ValType regTypeFor(const OclType *T);
+
+  // Statements.
+  void compileStmt(OclStmt *S);
+  void compileDecl(OclDeclStmt *D);
+
+  // Expressions.
+  CVal compileExpr(OclExpr *E);
+  LVal compileLValue(OclExpr *E);
+  CVal loadLValue(const LVal &L, SourceLocation Loc);
+  void storeLValue(const LVal &L, CVal V, SourceLocation Loc);
+  CVal compileBinary(OclBinary *B);
+  CVal compileCall(OclCall *C);
+  CVal compileInlineCall(OclCall *C);
+
+  /// Converts (per component) to \p To; no-op when already there.
+  CVal convert(CVal V, ValType To);
+  /// Broadcast a scalar CVal to width W (for vector-scalar ops).
+  CVal widen(CVal V, unsigned W);
+
+  /// Computes the byte address of base pointer/array + index.
+  struct Addr {
+    int32_t Reg;
+    AddrSpace Space;
+    const OclType *ElemTy;
+  };
+  Addr compileAddress(OclExpr *Base, OclExpr *Index);
+  /// Value of a pointer-typed expression as (addressReg, space,
+  /// pointee type).
+  Addr compilePointer(OclExpr *E);
+
+  // Emission helpers.
+  BcInstr &emit(BcOp Op);
+  int emitConstI(int64_t V);
+  size_t here() const { return K->Code.size(); }
+  void patchTarget(size_t InstrIndex, size_t Target);
+
+  void errorAt(SourceLocation Loc, const std::string &Msg);
+
+  OclContext &Ctx;
+  OclTypeContext &Types;
+  DiagnosticEngine &Diags;
+
+  BcKernel *K = nullptr;
+  OclProgramAST *Program = nullptr;
+
+  /// Register (first of a run) for scalar/vector/pointer variables.
+  std::map<const OclVarDecl *, int32_t> VarRegs;
+  /// Arrays placed in memory: their fixed byte offset and space.
+  struct ArrayHome {
+    AddrSpace Space;
+    int64_t Offset;
+  };
+  std::map<const OclVarDecl *, ArrayHome> ArrayHomes;
+  /// Inline expansion: current return-value register and flag.
+  int32_t InlineRetReg = -1;
+  bool InInline = false;
+  bool SawInlineReturn = false;
+  unsigned InlineDepth = 0;
+};
+
+} // namespace lime::ocl
+
+#endif // LIMECC_OCL_BYTECODECOMPILER_H

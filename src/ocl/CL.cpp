@@ -1,0 +1,113 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/CL.h"
+
+#include "ocl/BytecodeCompiler.h"
+#include "ocl/OclParser.h"
+
+using namespace lime;
+using namespace lime::ocl;
+
+/// Owns one built translation unit (AST context + bytecode).
+struct ClContext::BuiltUnit {
+  OclContext Ctx;
+  BcProgram Program;
+};
+
+ClContext::ClContext(const std::string &DeviceName)
+    : Dev(deviceByName(DeviceName)) {
+  if (Dev.model().Kind == DeviceKind::Cpu) {
+    // Shared memory: no PCIe; "transfers" are cache-speed copies and
+    // the driver path is shorter.
+    PciBandwidthGBs = 12.0;
+    PciLatencyNs = 300.0;
+    ApiCallOverheadNs = 1500.0;
+  }
+}
+
+ClContext::~ClContext() = default;
+
+std::string ClContext::buildProgram(const std::string &Source) {
+  auto Unit = std::make_unique<BuiltUnit>();
+  DiagnosticEngine Diags;
+  OclParser Parser(Source, Unit->Ctx, Diags);
+  OclProgramAST *AST = Parser.parseProgram();
+  if (Diags.hasErrors())
+    return Diags.dump();
+  BytecodeCompiler BC(Unit->Ctx, Diags);
+  Unit->Program = BC.compile(AST);
+  if (Diags.hasErrors())
+    return Diags.dump();
+  Units.push_back(std::move(Unit));
+  return "";
+}
+
+const BcKernel *ClContext::findKernel(const std::string &Name) const {
+  for (const auto &U : Units)
+    if (const BcKernel *K = U->Program.findKernel(Name))
+      return K;
+  return nullptr;
+}
+
+ClBuffer ClContext::createBuffer(uint64_t Bytes, AddrSpace Space) {
+  ClBuffer B;
+  B.Bytes = Bytes;
+  B.Space = Space;
+  B.Offset = Dev.allocBuffer(Bytes, Space);
+  Profile.ApiNs += ApiCallOverheadNs;
+  return B;
+}
+
+int ClContext::createImage(SimImage Img) {
+  Profile.ApiNs += ApiCallOverheadNs;
+  return Dev.addImage(std::move(Img));
+}
+
+void ClContext::updateImage(int Index, SimImage Img) {
+  Profile.ApiNs += ApiCallOverheadNs;
+  Dev.updateImage(Index, std::move(Img));
+}
+
+void ClContext::chargeHostToDevice(uint64_t Bytes) {
+  Profile.TransferNs +=
+      PciLatencyNs + static_cast<double>(Bytes) / PciBandwidthGBs;
+  Profile.BytesToDevice += Bytes;
+}
+
+void ClContext::enqueueWrite(const ClBuffer &Buf, const void *Src,
+                             uint64_t Bytes) {
+  Dev.writeBuffer(Buf.Offset, Buf.Space, Src, Bytes);
+  Profile.ApiNs += ApiCallOverheadNs;
+  Profile.TransferNs +=
+      PciLatencyNs + static_cast<double>(Bytes) / PciBandwidthGBs;
+  Profile.BytesToDevice += Bytes;
+}
+
+void ClContext::enqueueRead(const ClBuffer &Buf, void *Dst, uint64_t Bytes) {
+  Dev.readBuffer(Buf.Offset, Buf.Space, Dst, Bytes);
+  Profile.ApiNs += ApiCallOverheadNs;
+  Profile.TransferNs +=
+      PciLatencyNs + static_cast<double>(Bytes) / PciBandwidthGBs;
+  Profile.BytesFromDevice += Bytes;
+}
+
+std::string ClContext::enqueueKernel(const std::string &Name,
+                                     const std::vector<LaunchArg> &Args,
+                                     std::array<uint32_t, 2> GlobalSize,
+                                     std::array<uint32_t, 2> LocalSize) {
+  const BcKernel *K = findKernel(Name);
+  if (!K)
+    return "no kernel named '" + Name + "' in the built programs";
+  Profile.ApiNs += ApiCallOverheadNs;
+  LaunchResult R = Dev.run(*K, Args, GlobalSize, LocalSize);
+  if (!R.ok())
+    return R.Error;
+  Profile.KernelNs += R.KernelTimeNs;
+  Profile.LastKernelCounters = R.Counters;
+  return "";
+}

@@ -1,0 +1,105 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature OpenCL host API over the simulated device, mirroring
+/// the host-side steps the paper's §2 enumerates: build the program,
+/// create buffers, enqueue writes, launch kernels, enqueue reads. The
+/// queue keeps a simulated profile: kernel time (from the device
+/// model), transfer time (PCIe bandwidth + per-call latency; zero-copy
+/// on the CPU device), and fixed API overhead per enqueue — the
+/// components Figure 9 decomposes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_OCL_CL_H
+#define LIMECC_OCL_CL_H
+
+#include "ocl/Bytecode.h"
+#include "ocl/VM.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lime::ocl {
+
+/// A device buffer handle.
+struct ClBuffer {
+  uint64_t Offset = 0;
+  uint64_t Bytes = 0;
+  AddrSpace Space = AddrSpace::Global;
+};
+
+/// Simulated time profile of a command queue.
+struct ClProfile {
+  double KernelNs = 0.0;
+  double TransferNs = 0.0; // PCIe/DMA payload time
+  double ApiNs = 0.0;      // per-call driver overhead
+  uint64_t BytesToDevice = 0;
+  uint64_t BytesFromDevice = 0;
+  KernelCounters LastKernelCounters;
+
+  double totalNs() const { return KernelNs + TransferNs + ApiNs; }
+  void reset() { *this = ClProfile(); }
+};
+
+/// One OpenCL context + command queue on a simulated device.
+class ClContext {
+public:
+  explicit ClContext(const std::string &DeviceName);
+  ~ClContext();
+  ClContext(const ClContext &) = delete;
+  ClContext &operator=(const ClContext &) = delete;
+
+  SimDevice &device() { return Dev; }
+  const DeviceModel &model() const { return Dev.model(); }
+
+  /// Parses and compiles OpenCL source; returns "" on success or the
+  /// diagnostics text. Kernels accumulate across build calls.
+  std::string buildProgram(const std::string &Source);
+
+  const BcKernel *findKernel(const std::string &Name) const;
+
+  ClBuffer createBuffer(uint64_t Bytes, AddrSpace Space = AddrSpace::Global);
+  int createImage(SimImage Img);
+  void updateImage(int Index, SimImage Img);
+
+  /// Accounts a host->device transfer that bypasses enqueueWrite
+  /// (image uploads).
+  void chargeHostToDevice(uint64_t Bytes);
+
+  /// Host -> device transfer (prices PCIe unless the device is the
+  /// CPU, where the OpenCL runtime shares memory — Fig. 9(a)).
+  void enqueueWrite(const ClBuffer &Buf, const void *Src, uint64_t Bytes);
+  void enqueueRead(const ClBuffer &Buf, void *Dst, uint64_t Bytes);
+
+  /// Launches a kernel; returns "" or an error message.
+  std::string enqueueKernel(const std::string &Name,
+                            const std::vector<LaunchArg> &Args,
+                            std::array<uint32_t, 2> GlobalSize,
+                            std::array<uint32_t, 2> LocalSize);
+
+  ClProfile &profile() { return Profile; }
+  const ClProfile &profile() const { return Profile; }
+
+  /// PCIe model parameters (overridable for ablations).
+  double PciBandwidthGBs = 6.0; // PCIe 2.0 x16 effective
+  double PciLatencyNs = 4000.0;
+  double ApiCallOverheadNs = 2500.0;
+
+private:
+  SimDevice Dev;
+  ClProfile Profile;
+  struct BuiltUnit;
+  std::vector<std::unique_ptr<BuiltUnit>> Units;
+};
+
+} // namespace lime::ocl
+
+#endif // LIMECC_OCL_CL_H

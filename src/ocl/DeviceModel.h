@@ -1,0 +1,129 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parametric models of the paper's four evaluation platforms
+/// (Table 2). A DeviceModel carries the architectural parameters the
+/// memory system and the roofline timing formula need; the registry
+/// instantiates the GeForce GTX 8800, GeForce GTX 580 (Fermi), Radeon
+/// HD 5970, and the Core i7-990X multicore-OpenCL device.
+///
+/// The differences that drive the paper's Figure 8 are represented
+/// directly:
+///  - GTX 8800: no general-purpose cache in front of DRAM, 16 local
+///    banks, a texture cache (hence the big texture-memory wins for
+///    Parboil-RPES), 8 FP units per SM.
+///  - GTX 580: adds L1/L2 caches — "the performance is less sensitive
+///    to memory optimizations" (§5.2) — 32 banks, 32 units/SM, and
+///    half-rate-ish double precision (end-to-end DP 2–3x slower).
+///  - HD 5970: wide VLIW SIMD (wavefront 64), no R/W cache, DP ~1.5x
+///    slower end-to-end.
+///  - Core i7: cores×SMT as compute, all address spaces flow through
+///    the cache hierarchy (local memory buys nothing), fast native
+///    transcendentals (the OpenCL-vs-Java gain of §5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_OCL_DEVICEMODEL_H
+#define LIMECC_OCL_DEVICEMODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lime::ocl {
+
+enum class DeviceKind : uint8_t { Gpu, Cpu };
+
+struct DeviceModel {
+  std::string Name;
+  DeviceKind Kind = DeviceKind::Gpu;
+
+  // Compute geometry (Table 2).
+  unsigned NumSMs = 16;          // streaming multiprocessors / cores
+  unsigned FpUnitsPerSM = 32;    // single-precision lanes per SM
+  unsigned SfuUnitsPerSM = 4;    // special function units per SM
+  unsigned WarpWidth = 32;       // lockstep lanes (wavefront on AMD)
+  double ClockGHz = 1.5;
+  /// Double-precision throughput divisor (DP op costs this many SP
+  /// slots). 0 = no DP support.
+  double DpRatio = 8.0;
+
+  // Memory system.
+  unsigned LocalBanks = 16;
+  unsigned LocalBytesPerSM = 16 * 1024;
+  unsigned ConstBytes = 64 * 1024;
+  double DramBandwidthGBs = 150.0;
+  unsigned DramSegmentBytes = 128; // coalescing granule
+  /// Extra cycles per DRAM transaction beyond raw bandwidth (command
+  /// overhead; punishes many small transactions).
+  double DramTransactionOverheadCycles = 12.0;
+
+  // Caches (0 = absent).
+  unsigned L1Bytes = 0;
+  unsigned L2Bytes = 0;
+  unsigned TextureCacheBytes = 0;
+  unsigned CacheLineBytes = 128;
+
+  /// CPU-only: SMT speedup factor beyond physical cores (the paper's
+  /// superlinear 6-core results lean on hyperthreading, §5.1).
+  double SmtFactor = 1.0;
+
+  /// Transcendental cost in SFU "slots" per warp op (native_* on GPUs
+  /// is cheap; the CPU model uses its own scalar cost).
+  double SfuCyclesPerOp = 1.0;
+
+  /// Documentation fields mirrored from Table 2 for bench_table2.
+  std::string Table2FpUnits;
+  std::string Table2ConstMem;
+  std::string Table2LocalMem;
+  std::string Table2Caches;
+};
+
+/// Returns the registry of the paper's platforms, in Table 2 order:
+/// {Core i7-990X, GTX 8800, GTX 580, HD 5970}.
+const std::vector<DeviceModel> &deviceRegistry();
+
+/// Looks a device up by name ("gtx580", "gtx8800", "hd5970",
+/// "corei7"); aborts on unknown names (programmer error).
+const DeviceModel &deviceByName(const std::string &Name);
+
+/// Resource-usage counters accumulated by one kernel dispatch.
+struct KernelCounters {
+  // Compute, in warp-instructions.
+  uint64_t AluWarpOps = 0;
+  uint64_t DpWarpOps = 0;
+  uint64_t SfuWarpOps = 0;
+
+  // Memory, in transactions / cycles.
+  uint64_t GlobalTransactions = 0; // DRAM segment transfers
+  uint64_t GlobalBytes = 0;        // payload moved to/from DRAM
+  uint64_t L1Hits = 0;
+  uint64_t L2Hits = 0;
+  uint64_t TextureHits = 0;
+  uint64_t TextureMisses = 0;
+  uint64_t LocalCycles = 0; // bank-conflict-serialized warp accesses
+  uint64_t ConstCycles = 0; // broadcast-or-serialized warp accesses
+
+  // Census for reports.
+  uint64_t LoadsExecuted = 0;
+  uint64_t StoresExecuted = 0;
+  uint64_t BarriersExecuted = 0;
+
+  void reset() { *this = KernelCounters(); }
+};
+
+/// Converts counters to simulated kernel wall time via a roofline:
+/// the kernel is as slow as its most-contended resource.
+double kernelTimeNs(const DeviceModel &Dev, const KernelCounters &C);
+
+/// Renders Table 2 (used by bench_table2 and the docs).
+std::string renderTable2();
+
+} // namespace lime::ocl
+
+#endif // LIMECC_OCL_DEVICEMODEL_H

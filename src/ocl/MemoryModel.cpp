@@ -1,0 +1,166 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/MemoryModel.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace lime;
+using namespace lime::ocl;
+
+CacheSim::CacheSim(unsigned TotalBytes, unsigned LineBytes, unsigned Ways)
+    : LineBytes(LineBytes), Ways(Ways) {
+  if (TotalBytes == 0 || LineBytes == 0) {
+    NumSets = 0;
+    return;
+  }
+  unsigned Lines = TotalBytes / LineBytes;
+  NumSets = std::max(1u, Lines / std::max(1u, Ways));
+  Sets.resize(NumSets);
+}
+
+bool CacheSim::access(uint64_t ByteAddr) {
+  if (!enabled())
+    return false;
+  uint64_t Line = ByteAddr / LineBytes;
+  auto &Set = Sets[Line % NumSets];
+  for (size_t I = 0, E = Set.size(); I != E; ++I) {
+    if (Set[I] == Line) {
+      // Move to front (MRU).
+      Set.erase(Set.begin() + static_cast<long>(I));
+      Set.insert(Set.begin(), Line);
+      return true;
+    }
+  }
+  Set.insert(Set.begin(), Line);
+  if (Set.size() > Ways)
+    Set.pop_back();
+  return false;
+}
+
+void CacheSim::reset() {
+  for (auto &Set : Sets)
+    Set.clear();
+}
+
+MemoryModel::MemoryModel(const DeviceModel &Dev)
+    : Dev(Dev), L1(Dev.L1Bytes, Dev.CacheLineBytes, 4),
+      L2(Dev.L2Bytes, Dev.CacheLineBytes, 8),
+      Texture(Dev.TextureCacheBytes, Dev.CacheLineBytes, 4) {}
+
+void MemoryModel::beginWorkGroup() {
+  // L1 and the texture cache are per-SM; a new group lands on an SM
+  // whose cache holds another group's lines.
+  L1.reset();
+  Texture.reset();
+}
+
+void MemoryModel::resetAll() {
+  L1.reset();
+  L2.reset();
+  Texture.reset();
+  Counters.reset();
+}
+
+void MemoryModel::accessGlobal(const std::vector<uint64_t> &Addrs,
+                               unsigned BytesPerLane, bool IsStore) {
+  if (Addrs.empty())
+    return;
+  if (IsStore)
+    ++Counters.StoresExecuted;
+  else
+    ++Counters.LoadsExecuted;
+
+  // Coalesce the warp's lanes into DRAM segments.
+  std::set<uint64_t> Segments;
+  for (uint64_t A : Addrs) {
+    uint64_t First = A / Dev.DramSegmentBytes;
+    uint64_t Last = (A + BytesPerLane - 1) / Dev.DramSegmentBytes;
+    for (uint64_t S = First; S <= Last; ++S)
+      Segments.insert(S);
+  }
+
+  for (uint64_t Seg : Segments) {
+    uint64_t Addr = Seg * Dev.DramSegmentBytes;
+    if (L1.enabled() && !IsStore) {
+      if (L1.access(Addr)) {
+        ++Counters.L1Hits;
+        continue;
+      }
+      if (L2.enabled() && L2.access(Addr)) {
+        ++Counters.L2Hits;
+        continue;
+      }
+    } else if (L2.enabled()) {
+      // Stores on Fermi write through L1 to L2.
+      if (L2.access(Addr)) {
+        ++Counters.L2Hits;
+        continue;
+      }
+    }
+    ++Counters.GlobalTransactions;
+    Counters.GlobalBytes += Dev.DramSegmentBytes;
+  }
+}
+
+void MemoryModel::accessLocal(const std::vector<uint64_t> &Addrs,
+                              unsigned BytesPerLane, bool IsStore) {
+  if (Addrs.empty())
+    return;
+  if (IsStore)
+    ++Counters.StoresExecuted;
+  else
+    ++Counters.LoadsExecuted;
+
+  // Banks interleave 4-byte words. An access serializes by the
+  // maximum number of distinct words wanted from one bank; lanes
+  // hitting the same word broadcast. Wide (vector) lane accesses
+  // touch BytesPerLane/4 consecutive words.
+  std::map<uint64_t, std::set<uint64_t>> BankWords;
+  for (uint64_t A : Addrs) {
+    for (unsigned Off = 0; Off < std::max(4u, BytesPerLane); Off += 4) {
+      uint64_t Word = (A + Off) / 4;
+      BankWords[Word % Dev.LocalBanks].insert(Word);
+    }
+  }
+  uint64_t Serial = 0;
+  for (const auto &[Bank, Words] : BankWords)
+    Serial = std::max<uint64_t>(Serial, Words.size());
+  Counters.LocalCycles += Serial;
+}
+
+void MemoryModel::accessConstant(const std::vector<uint64_t> &Addrs,
+                                 unsigned BytesPerLane) {
+  if (Addrs.empty())
+    return;
+  ++Counters.LoadsExecuted;
+  // The constant port broadcasts one address per cycle.
+  std::set<uint64_t> Distinct(Addrs.begin(), Addrs.end());
+  Counters.ConstCycles += Distinct.size();
+}
+
+void MemoryModel::accessImage(const std::vector<uint64_t> &Addrs,
+                              unsigned BytesPerLane) {
+  if (Addrs.empty())
+    return;
+  ++Counters.LoadsExecuted;
+  std::set<uint64_t> Lines;
+  for (uint64_t A : Addrs)
+    Lines.insert(A / Dev.CacheLineBytes);
+  for (uint64_t Line : Lines) {
+    uint64_t Addr = Line * Dev.CacheLineBytes;
+    if (Texture.enabled() && Texture.access(Addr)) {
+      ++Counters.TextureHits;
+      continue;
+    }
+    ++Counters.TextureMisses;
+    ++Counters.GlobalTransactions;
+    Counters.GlobalBytes += Dev.CacheLineBytes;
+  }
+}

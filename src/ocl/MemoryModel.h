@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transaction-level model of the OpenCL memory hierarchy (paper §2
+/// and §4.2.1). For every warp memory access the VM hands the active
+/// lanes' byte addresses to this model, which accounts:
+///
+///  - Global: coalescing into DRAM segments; on cached devices
+///    (Fermi) each segment is first looked up in an L1 then an L2
+///    set-associative LRU cache.
+///  - Local: bank decomposition; the access serializes by the maximum
+///    number of *distinct* addresses mapping to one bank (same-address
+///    lanes broadcast) — exactly the conflict the compiler's padding
+///    optimization removes.
+///  - Constant: single-cycle when all lanes read one address
+///    (broadcast port), else serialized per distinct address.
+///  - Image/texture: read-only 2-D accesses through a small texture
+///    cache (the GTX 8800's only cache, hence Fig. 8(a)'s RPES win).
+///
+/// The model never stores data — the VM owns the bytes — it only
+/// prices access patterns into KernelCounters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_OCL_MEMORYMODEL_H
+#define LIMECC_OCL_MEMORYMODEL_H
+
+#include "ocl/DeviceModel.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lime::ocl {
+
+/// A small set-associative LRU cache simulator (lines only, no data).
+class CacheSim {
+public:
+  CacheSim() = default;
+  CacheSim(unsigned TotalBytes, unsigned LineBytes, unsigned Ways);
+
+  bool enabled() const { return NumSets != 0; }
+
+  /// Returns true on hit; inserts the line either way.
+  bool access(uint64_t ByteAddr);
+
+  void reset();
+
+private:
+  unsigned LineBytes = 0;
+  unsigned NumSets = 0;
+  unsigned Ways = 0;
+  // Per set: tags in LRU order (front = most recent).
+  std::vector<std::vector<uint64_t>> Sets;
+};
+
+class MemoryModel {
+public:
+  explicit MemoryModel(const DeviceModel &Dev);
+
+  KernelCounters &counters() { return Counters; }
+  const DeviceModel &device() const { return Dev; }
+
+  /// Called at each work-group boundary; per-SM caches (L1, texture)
+  /// reset since another group's working set evicts them.
+  void beginWorkGroup();
+
+  /// One warp global access: \p Addrs are active lanes' byte
+  /// addresses, each moving \p BytesPerLane bytes.
+  void accessGlobal(const std::vector<uint64_t> &Addrs, unsigned BytesPerLane,
+                    bool IsStore);
+
+  /// One warp local (shared/scratchpad) access.
+  void accessLocal(const std::vector<uint64_t> &Addrs, unsigned BytesPerLane,
+                   bool IsStore);
+
+  /// One warp constant access.
+  void accessConstant(const std::vector<uint64_t> &Addrs,
+                      unsigned BytesPerLane);
+
+  /// One warp texture read at 2-D coordinates (already linearized to
+  /// byte addresses by the VM).
+  void accessImage(const std::vector<uint64_t> &Addrs, unsigned BytesPerLane);
+
+  void resetAll();
+
+private:
+  const DeviceModel &Dev;
+  KernelCounters Counters;
+  CacheSim L1;
+  CacheSim L2;
+  CacheSim Texture;
+};
+
+} // namespace lime::ocl
+
+#endif // LIMECC_OCL_MEMORYMODEL_H

@@ -1,0 +1,527 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the executable OpenCL-C subset. The parser type-checks
+/// while building (C-style declare-before-use makes this natural), so
+/// every expression node carries its resolved OclType and every name
+/// its declaration. The bytecode compiler consumes this tree directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_OCL_OCLAST_H
+#define LIMECC_OCL_OCLAST_H
+
+#include "ocl/OclType.h"
+#include "support/Casting.h"
+#include "support/SourceLocation.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lime::ocl {
+
+class OclStmt;
+class OclCompoundStmt;
+
+/// Builtin functions the VM implements (paper-relevant set: work-item
+/// queries, barriers, math including the native_* variants the paper's
+/// benchmarks lean on, image reads, and vector load/store).
+enum class OclBuiltin : uint8_t {
+  None,
+  GetGlobalId,
+  GetLocalId,
+  GetGroupId,
+  GetGlobalSize,
+  GetLocalSize,
+  GetNumGroups,
+  Barrier,
+  Sqrt,
+  RSqrt,
+  Sin,
+  Cos,
+  Tan,
+  Exp,
+  Log,
+  Pow,
+  Fabs,
+  Fmin,
+  Fmax,
+  Floor,
+  Min,
+  Max,
+  Abs,
+  NativeSqrt,
+  NativeRsqrt,
+  NativeSin,
+  NativeCos,
+  NativeExp,
+  NativeLog,
+  ReadImageF,
+  VLoad2,
+  VLoad4,
+  VStore2,
+  VStore4
+};
+
+/// Returns the builtin for a callee name; None when unknown.
+OclBuiltin lookupOclBuiltin(const std::string &Name);
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// A named slot: kernel parameter or local variable declaration.
+struct OclVarDecl {
+  SourceLocation Loc;
+  std::string Name;
+  const OclType *Ty = nullptr;
+  AddrSpace Space = AddrSpace::Private;
+  bool IsParam = false;
+  /// Parameter position (params only).
+  unsigned ParamIndex = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+class OclExpr {
+public:
+  enum class Kind : uint8_t {
+    IntLit,
+    FloatLit,
+    VarRef,
+    Unary,
+    Binary,
+    Assign,
+    Conditional,
+    Call,
+    Index,
+    Member,
+    Cast,
+    VectorLit
+  };
+
+  Kind kind() const { return TheKind; }
+  SourceLocation loc() const { return Loc; }
+  const OclType *type() const { return Ty; }
+  void setType(const OclType *T) { Ty = T; }
+  virtual ~OclExpr() = default;
+
+protected:
+  OclExpr(Kind K, SourceLocation Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLocation Loc;
+  const OclType *Ty = nullptr;
+};
+
+class OclIntLit : public OclExpr {
+public:
+  OclIntLit(SourceLocation Loc, long long V)
+      : OclExpr(Kind::IntLit, Loc), Value(V) {}
+  long long value() const { return Value; }
+  static bool classof(const OclExpr *E) { return E->kind() == Kind::IntLit; }
+
+private:
+  long long Value;
+};
+
+class OclFloatLit : public OclExpr {
+public:
+  OclFloatLit(SourceLocation Loc, double V, bool IsSingle)
+      : OclExpr(Kind::FloatLit, Loc), Value(V), IsSingle(IsSingle) {}
+  double value() const { return Value; }
+  bool isSingle() const { return IsSingle; }
+  static bool classof(const OclExpr *E) { return E->kind() == Kind::FloatLit; }
+
+private:
+  double Value;
+  bool IsSingle;
+};
+
+class OclVarRef : public OclExpr {
+public:
+  OclVarRef(SourceLocation Loc, OclVarDecl *D)
+      : OclExpr(Kind::VarRef, Loc), Decl(D) {}
+  OclVarDecl *decl() const { return Decl; }
+  static bool classof(const OclExpr *E) { return E->kind() == Kind::VarRef; }
+
+private:
+  OclVarDecl *Decl;
+};
+
+enum class OclUnaryOp : uint8_t { Neg, Not, BitNot, PreInc, PreDec, PostInc, PostDec };
+
+class OclUnary : public OclExpr {
+public:
+  OclUnary(SourceLocation Loc, OclUnaryOp Op, OclExpr *Sub)
+      : OclExpr(Kind::Unary, Loc), Op(Op), Sub(Sub) {}
+  OclUnaryOp op() const { return Op; }
+  OclExpr *sub() const { return Sub; }
+  static bool classof(const OclExpr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  OclUnaryOp Op;
+  OclExpr *Sub;
+};
+
+enum class OclBinOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  And,
+  Or,
+  Xor,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  LAnd,
+  LOr
+};
+
+class OclBinary : public OclExpr {
+public:
+  OclBinary(SourceLocation Loc, OclBinOp Op, OclExpr *L, OclExpr *R)
+      : OclExpr(Kind::Binary, Loc), Op(Op), L(L), R(R) {}
+  OclBinOp op() const { return Op; }
+  OclExpr *lhs() const { return L; }
+  OclExpr *rhs() const { return R; }
+  static bool classof(const OclExpr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  OclBinOp Op;
+  OclExpr *L;
+  OclExpr *R;
+};
+
+/// `lhs = rhs` and compound forms; Op is the arithmetic op or Add==…
+/// none when plain.
+class OclAssign : public OclExpr {
+public:
+  OclAssign(SourceLocation Loc, OclExpr *Target, OclExpr *Value,
+            bool IsCompound, OclBinOp CompoundOp)
+      : OclExpr(Kind::Assign, Loc), Target(Target), Value(Value),
+        Compound(IsCompound), CompoundOp(CompoundOp) {}
+  OclExpr *target() const { return Target; }
+  OclExpr *value() const { return Value; }
+  bool isCompound() const { return Compound; }
+  OclBinOp compoundOp() const { return CompoundOp; }
+  static bool classof(const OclExpr *E) { return E->kind() == Kind::Assign; }
+
+private:
+  OclExpr *Target;
+  OclExpr *Value;
+  bool Compound;
+  OclBinOp CompoundOp;
+};
+
+class OclConditional : public OclExpr {
+public:
+  OclConditional(SourceLocation Loc, OclExpr *C, OclExpr *T, OclExpr *F)
+      : OclExpr(Kind::Conditional, Loc), Cond(C), Then(T), Else(F) {}
+  OclExpr *cond() const { return Cond; }
+  OclExpr *thenExpr() const { return Then; }
+  OclExpr *elseExpr() const { return Else; }
+  static bool classof(const OclExpr *E) {
+    return E->kind() == Kind::Conditional;
+  }
+
+private:
+  OclExpr *Cond;
+  OclExpr *Then;
+  OclExpr *Else;
+};
+
+class OclFunction;
+
+/// Builtin or user-function call (user calls are inlined by the
+/// bytecode compiler; OpenCL C forbids recursion).
+class OclCall : public OclExpr {
+public:
+  OclCall(SourceLocation Loc, std::string Callee, OclBuiltin Builtin,
+          OclFunction *Fn, std::vector<OclExpr *> Args)
+      : OclExpr(Kind::Call, Loc), Callee(std::move(Callee)), Builtin(Builtin),
+        Fn(Fn), Args(std::move(Args)) {}
+  const std::string &callee() const { return Callee; }
+  OclBuiltin builtin() const { return Builtin; }
+  OclFunction *function() const { return Fn; }
+  const std::vector<OclExpr *> &args() const { return Args; }
+  static bool classof(const OclExpr *E) { return E->kind() == Kind::Call; }
+
+private:
+  std::string Callee;
+  OclBuiltin Builtin;
+  OclFunction *Fn;
+  std::vector<OclExpr *> Args;
+};
+
+class OclIndex : public OclExpr {
+public:
+  OclIndex(SourceLocation Loc, OclExpr *Base, OclExpr *Idx)
+      : OclExpr(Kind::Index, Loc), Base(Base), Idx(Idx) {}
+  OclExpr *base() const { return Base; }
+  OclExpr *index() const { return Idx; }
+  static bool classof(const OclExpr *E) { return E->kind() == Kind::Index; }
+
+private:
+  OclExpr *Base;
+  OclExpr *Idx;
+};
+
+/// `.x/.y/.z/.w/.sN` vector components and struct fields.
+class OclMember : public OclExpr {
+public:
+  OclMember(SourceLocation Loc, OclExpr *Base, std::string Name,
+            int VectorLane, const StructType::Field *Field)
+      : OclExpr(Kind::Member, Loc), Base(Base), Name(std::move(Name)),
+        VectorLane(VectorLane), Field(Field) {}
+  OclExpr *base() const { return Base; }
+  const std::string &name() const { return Name; }
+  /// Lane index for vector component access; -1 for struct fields.
+  int vectorLane() const { return VectorLane; }
+  const StructType::Field *field() const { return Field; }
+  static bool classof(const OclExpr *E) { return E->kind() == Kind::Member; }
+
+private:
+  OclExpr *Base;
+  std::string Name;
+  int VectorLane;
+  const StructType::Field *Field;
+};
+
+class OclCast : public OclExpr {
+public:
+  OclCast(SourceLocation Loc, const OclType *To, OclExpr *Sub)
+      : OclExpr(Kind::Cast, Loc), Sub(Sub) {
+    setType(To);
+  }
+  OclExpr *sub() const { return Sub; }
+  static bool classof(const OclExpr *E) { return E->kind() == Kind::Cast; }
+
+private:
+  OclExpr *Sub;
+};
+
+/// `(float4)(a, b, c, d)` — also broadcasts when one element given.
+class OclVectorLit : public OclExpr {
+public:
+  OclVectorLit(SourceLocation Loc, const VectorType *VT,
+               std::vector<OclExpr *> Elems)
+      : OclExpr(Kind::VectorLit, Loc), Elems(std::move(Elems)) {
+    setType(VT);
+  }
+  const std::vector<OclExpr *> &elems() const { return Elems; }
+  static bool classof(const OclExpr *E) {
+    return E->kind() == Kind::VectorLit;
+  }
+
+private:
+  std::vector<OclExpr *> Elems;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class OclStmt {
+public:
+  enum class Kind : uint8_t {
+    Compound,
+    Decl,
+    Expr,
+    If,
+    For,
+    While,
+    Return
+  };
+
+  Kind kind() const { return TheKind; }
+  SourceLocation loc() const { return Loc; }
+  virtual ~OclStmt() = default;
+
+protected:
+  OclStmt(Kind K, SourceLocation Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLocation Loc;
+};
+
+class OclCompoundStmt : public OclStmt {
+public:
+  OclCompoundStmt(SourceLocation Loc, std::vector<OclStmt *> Stmts)
+      : OclStmt(Kind::Compound, Loc), Stmts(std::move(Stmts)) {}
+  const std::vector<OclStmt *> &stmts() const { return Stmts; }
+  static bool classof(const OclStmt *S) { return S->kind() == Kind::Compound; }
+
+private:
+  std::vector<OclStmt *> Stmts;
+};
+
+class OclDeclStmt : public OclStmt {
+public:
+  OclDeclStmt(SourceLocation Loc, OclVarDecl *Decl, OclExpr *Init)
+      : OclStmt(Kind::Decl, Loc), Decl(Decl), Init(Init) {}
+  OclVarDecl *decl() const { return Decl; }
+  OclExpr *init() const { return Init; }
+  static bool classof(const OclStmt *S) { return S->kind() == Kind::Decl; }
+
+private:
+  OclVarDecl *Decl;
+  OclExpr *Init;
+};
+
+class OclExprStmt : public OclStmt {
+public:
+  OclExprStmt(SourceLocation Loc, OclExpr *E)
+      : OclStmt(Kind::Expr, Loc), TheExpr(E) {}
+  OclExpr *expr() const { return TheExpr; }
+  static bool classof(const OclStmt *S) { return S->kind() == Kind::Expr; }
+
+private:
+  OclExpr *TheExpr;
+};
+
+class OclIfStmt : public OclStmt {
+public:
+  OclIfStmt(SourceLocation Loc, OclExpr *Cond, OclStmt *Then, OclStmt *Else)
+      : OclStmt(Kind::If, Loc), Cond(Cond), Then(Then), Else(Else) {}
+  OclExpr *cond() const { return Cond; }
+  OclStmt *thenStmt() const { return Then; }
+  OclStmt *elseStmt() const { return Else; }
+  static bool classof(const OclStmt *S) { return S->kind() == Kind::If; }
+
+private:
+  OclExpr *Cond;
+  OclStmt *Then;
+  OclStmt *Else;
+};
+
+class OclForStmt : public OclStmt {
+public:
+  OclForStmt(SourceLocation Loc, OclStmt *Init, OclExpr *Cond, OclExpr *Step,
+             OclStmt *Body)
+      : OclStmt(Kind::For, Loc), Init(Init), Cond(Cond), Step(Step),
+        Body(Body) {}
+  OclStmt *init() const { return Init; }
+  OclExpr *cond() const { return Cond; }
+  OclExpr *step() const { return Step; }
+  OclStmt *body() const { return Body; }
+  static bool classof(const OclStmt *S) { return S->kind() == Kind::For; }
+
+private:
+  OclStmt *Init;
+  OclExpr *Cond;
+  OclExpr *Step;
+  OclStmt *Body;
+};
+
+class OclWhileStmt : public OclStmt {
+public:
+  OclWhileStmt(SourceLocation Loc, OclExpr *Cond, OclStmt *Body)
+      : OclStmt(Kind::While, Loc), Cond(Cond), Body(Body) {}
+  OclExpr *cond() const { return Cond; }
+  OclStmt *body() const { return Body; }
+  static bool classof(const OclStmt *S) { return S->kind() == Kind::While; }
+
+private:
+  OclExpr *Cond;
+  OclStmt *Body;
+};
+
+class OclReturnStmt : public OclStmt {
+public:
+  OclReturnStmt(SourceLocation Loc, OclExpr *Value)
+      : OclStmt(Kind::Return, Loc), Value(Value) {}
+  OclExpr *value() const { return Value; }
+  static bool classof(const OclStmt *S) { return S->kind() == Kind::Return; }
+
+private:
+  OclExpr *Value;
+};
+
+//===----------------------------------------------------------------------===//
+// Functions and programs
+//===----------------------------------------------------------------------===//
+
+class OclFunction {
+public:
+  OclFunction(SourceLocation Loc, std::string Name, const OclType *RetTy,
+              bool IsKernel)
+      : Loc(Loc), Name(std::move(Name)), RetTy(RetTy), IsKernel(IsKernel) {}
+
+  SourceLocation loc() const { return Loc; }
+  const std::string &name() const { return Name; }
+  const OclType *returnType() const { return RetTy; }
+  bool isKernel() const { return IsKernel; }
+
+  void addParam(OclVarDecl *P) { Params.push_back(P); }
+  const std::vector<OclVarDecl *> &params() const { return Params; }
+
+  void setBody(OclCompoundStmt *B) { Body = B; }
+  OclCompoundStmt *body() const { return Body; }
+
+private:
+  SourceLocation Loc;
+  std::string Name;
+  const OclType *RetTy;
+  bool IsKernel;
+  std::vector<OclVarDecl *> Params;
+  OclCompoundStmt *Body = nullptr;
+};
+
+class OclProgramAST {
+public:
+  void addFunction(OclFunction *F) { Functions.push_back(F); }
+  const std::vector<OclFunction *> &functions() const { return Functions; }
+  OclFunction *findFunction(const std::string &Name) const {
+    for (OclFunction *F : Functions)
+      if (F->name() == Name)
+        return F;
+    return nullptr;
+  }
+
+private:
+  std::vector<OclFunction *> Functions;
+};
+
+/// Arena owning all OpenCL AST nodes plus the type context of one
+/// translation unit.
+class OclContext {
+public:
+  OclTypeContext &types() { return Types; }
+
+  template <typename T, typename... Args> T *make(Args &&...A) {
+    auto Owned = std::make_unique<T>(std::forward<Args>(A)...);
+    T *Raw = Owned.get();
+    Nodes.push_back(NodeOwner(Owned.release(), &destroy<T>));
+    return Raw;
+  }
+
+private:
+  template <typename T> static void destroy(void *P) {
+    delete static_cast<T *>(P);
+  }
+  using NodeOwner = std::unique_ptr<void, void (*)(void *)>;
+  std::vector<NodeOwner> Nodes;
+  OclTypeContext Types;
+};
+
+} // namespace lime::ocl
+
+#endif // LIMECC_OCL_OCLAST_H

@@ -1,0 +1,193 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/OclLexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace lime;
+using namespace lime::ocl;
+
+OclLexer::OclLexer(std::string_view Source, DiagnosticEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char OclLexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char OclLexer::advance() {
+  char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void OclLexer::skipTrivia() {
+  while (true) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLocation Start(Line, Column);
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    // Preprocessor lines (#pragma OPENCL EXTENSION ... for doubles)
+    // are accepted and ignored wherever they start.
+    if (C == '#') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    return;
+  }
+}
+
+OclToken OclLexer::next() {
+  skipTrivia();
+  OclToken T;
+  T.Loc = SourceLocation(Line, Column);
+  char C = peek();
+  if (C == '\0')
+    return T;
+
+  if (std::isdigit(static_cast<unsigned char>(C)) ||
+      (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+    size_t Start = Pos;
+    bool Floaty = false;
+    if (C == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      advance();
+      advance();
+      while (std::isxdigit(static_cast<unsigned char>(peek())))
+        advance();
+      std::string Text(Source.substr(Start, Pos - Start));
+      T.K = OclToken::Kind::IntLit;
+      T.Text = Text;
+      T.IntValue = std::strtoll(Text.c_str(), nullptr, 16);
+      if (peek() == 'u' || peek() == 'U')
+        advance();
+      return T;
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+    if (peek() == '.') {
+      Floaty = true;
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      char S = peek(1);
+      if (std::isdigit(static_cast<unsigned char>(S)) ||
+          ((S == '+' || S == '-') &&
+           std::isdigit(static_cast<unsigned char>(peek(2))))) {
+        Floaty = true;
+        advance();
+        if (peek() == '+' || peek() == '-')
+          advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          advance();
+      }
+    }
+    std::string Text(Source.substr(Start, Pos - Start));
+    if (peek() == 'f' || peek() == 'F') {
+      advance();
+      T.K = OclToken::Kind::FloatLit;
+      T.FloatValue = std::strtod(Text.c_str(), nullptr);
+      T.FloatIsSingle = true;
+      T.Text = Text + "f";
+      return T;
+    }
+    while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L')
+      advance();
+    if (Floaty) {
+      T.K = OclToken::Kind::FloatLit;
+      T.FloatValue = std::strtod(Text.c_str(), nullptr);
+      T.FloatIsSingle = false;
+      T.Text = Text;
+      return T;
+    }
+    T.K = OclToken::Kind::IntLit;
+    T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+    T.Text = Text;
+    return T;
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    size_t Start = Pos;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      advance();
+    T.K = OclToken::Kind::Ident;
+    T.Text = std::string(Source.substr(Start, Pos - Start));
+    return T;
+  }
+
+  // Operators: longest match first.
+  static const char *ThreeChar[] = {">>=", "<<="};
+  for (const char *Op : ThreeChar) {
+    if (C == Op[0] && peek(1) == Op[1] && peek(2) == Op[2]) {
+      advance();
+      advance();
+      advance();
+      T.K = OclToken::Kind::Punct;
+      T.Text = Op;
+      return T;
+    }
+  }
+  static const char *TwoChar[] = {"==", "!=", "<=", ">=", "&&", "||",
+                                  "<<", ">>", "+=", "-=", "*=", "/=",
+                                  "%=", "++", "--", "&=", "|=", "^="};
+  char C1 = peek(1);
+  for (const char *Op : TwoChar) {
+    if (C == Op[0] && C1 == Op[1]) {
+      advance();
+      advance();
+      T.K = OclToken::Kind::Punct;
+      T.Text = Op;
+      return T;
+    }
+  }
+  static const char OneChar[] = "(){}[];,.*&?:+-/%!~^|<>=";
+  for (char Op : OneChar) {
+    if (C == Op) {
+      advance();
+      T.K = OclToken::Kind::Punct;
+      T.Text = std::string(1, Op);
+      return T;
+    }
+  }
+
+  Diags.error(T.Loc, std::string("unexpected character '") + C +
+                         "' in OpenCL source");
+  advance();
+  return next();
+}

@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for the OpenCL-C subset. Token kinds are coarse — keywords
+/// stay identifiers and all operators are Punct tokens carrying their
+/// spelling — which keeps the C-subset parser compact while remaining
+/// precise about locations and literal payloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_OCL_OCLLEXER_H
+#define LIMECC_OCL_OCLLEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <string_view>
+
+namespace lime::ocl {
+
+struct OclToken {
+  enum class Kind : uint8_t { Eof, Ident, IntLit, FloatLit, Punct };
+
+  Kind K = Kind::Eof;
+  SourceLocation Loc;
+  std::string Text;
+  long long IntValue = 0;
+  double FloatValue = 0.0;
+  bool FloatIsSingle = false;
+
+  bool isIdent(std::string_view S) const {
+    return K == Kind::Ident && Text == S;
+  }
+  bool isPunct(std::string_view S) const {
+    return K == Kind::Punct && Text == S;
+  }
+};
+
+class OclLexer {
+public:
+  OclLexer(std::string_view Source, DiagnosticEngine &Diags);
+  OclToken next();
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  void skipTrivia();
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+} // namespace lime::ocl
+
+#endif // LIMECC_OCL_OCLLEXER_H

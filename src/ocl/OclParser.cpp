@@ -1,0 +1,1054 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/OclParser.h"
+
+#include "support/StringUtils.h"
+
+using namespace lime;
+using namespace lime::ocl;
+
+OclBuiltin lime::ocl::lookupOclBuiltin(const std::string &Name) {
+  static const std::map<std::string, OclBuiltin> Table = {
+      {"get_global_id", OclBuiltin::GetGlobalId},
+      {"get_local_id", OclBuiltin::GetLocalId},
+      {"get_group_id", OclBuiltin::GetGroupId},
+      {"get_global_size", OclBuiltin::GetGlobalSize},
+      {"get_local_size", OclBuiltin::GetLocalSize},
+      {"get_num_groups", OclBuiltin::GetNumGroups},
+      {"barrier", OclBuiltin::Barrier},
+      {"sqrt", OclBuiltin::Sqrt},
+      {"rsqrt", OclBuiltin::RSqrt},
+      {"sin", OclBuiltin::Sin},
+      {"cos", OclBuiltin::Cos},
+      {"tan", OclBuiltin::Tan},
+      {"exp", OclBuiltin::Exp},
+      {"log", OclBuiltin::Log},
+      {"pow", OclBuiltin::Pow},
+      {"fabs", OclBuiltin::Fabs},
+      {"fmin", OclBuiltin::Fmin},
+      {"fmax", OclBuiltin::Fmax},
+      {"floor", OclBuiltin::Floor},
+      {"min", OclBuiltin::Min},
+      {"max", OclBuiltin::Max},
+      {"abs", OclBuiltin::Abs},
+      {"native_sqrt", OclBuiltin::NativeSqrt},
+      {"native_rsqrt", OclBuiltin::NativeRsqrt},
+      {"native_sin", OclBuiltin::NativeSin},
+      {"native_cos", OclBuiltin::NativeCos},
+      {"native_exp", OclBuiltin::NativeExp},
+      {"native_log", OclBuiltin::NativeLog},
+      {"read_imagef", OclBuiltin::ReadImageF},
+      {"vload2", OclBuiltin::VLoad2},
+      {"vload4", OclBuiltin::VLoad4},
+      {"vstore2", OclBuiltin::VStore2},
+      {"vstore4", OclBuiltin::VStore4}};
+  auto It = Table.find(Name);
+  return It == Table.end() ? OclBuiltin::None : It->second;
+}
+
+OclParser::OclParser(std::string_view Source, OclContext &Ctx,
+                     DiagnosticEngine &Diags)
+    : Lex(Source, Diags), Ctx(Ctx), Types(Ctx.types()), Diags(Diags) {}
+
+const OclToken &OclParser::peek(unsigned Ahead) {
+  assert(Ahead < 4 && "lookahead too deep");
+  while (NumLookahead <= Ahead)
+    Lookahead[NumLookahead++] = Lex.next();
+  return Lookahead[Ahead];
+}
+
+OclToken OclParser::consume() {
+  peek();
+  OclToken T = std::move(Lookahead[0]);
+  for (unsigned I = 1; I < NumLookahead; ++I)
+    Lookahead[I - 1] = std::move(Lookahead[I]);
+  --NumLookahead;
+  return T;
+}
+
+bool OclParser::acceptPunct(std::string_view S) {
+  if (!peek().isPunct(S))
+    return false;
+  consume();
+  return true;
+}
+
+bool OclParser::expectPunct(std::string_view S, const char *Context) {
+  if (acceptPunct(S))
+    return true;
+  errorAt(peek().Loc, formatString("expected '%.*s' %s, found '%s'",
+                                   static_cast<int>(S.size()), S.data(),
+                                   Context, peek().Text.c_str()));
+  return false;
+}
+
+bool OclParser::acceptIdent(std::string_view S) {
+  if (!peek().isIdent(S))
+    return false;
+  consume();
+  return true;
+}
+
+void OclParser::errorAt(SourceLocation Loc, const std::string &Msg) {
+  Diags.error(Loc, "[opencl] " + Msg);
+}
+
+void OclParser::synchronize() {
+  while (peek().K != OclToken::Kind::Eof) {
+    OclToken T = consume();
+    if (T.isPunct(";") || T.isPunct("}"))
+      return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scopes
+//===----------------------------------------------------------------------===//
+
+OclVarDecl *OclParser::lookupVar(const std::string &Name) {
+  for (auto It = Scopes.rbegin(), E = Scopes.rend(); It != E; ++It) {
+    auto F = It->find(Name);
+    if (F != It->end())
+      return F->second;
+  }
+  return nullptr;
+}
+
+void OclParser::declareVar(OclVarDecl *D) {
+  assert(!Scopes.empty());
+  auto [It, Inserted] = Scopes.back().emplace(D->Name, D);
+  if (!Inserted)
+    errorAt(D->Loc, "redeclaration of '" + D->Name + "'");
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Maps a base type name to (scalar kind, vector width); width 1 for
+/// scalars. Returns false for non-type identifiers.
+bool scalarOrVectorName(const std::string &Name, ScalarKind &K,
+                        unsigned &Width) {
+  static const std::map<std::string, ScalarKind> Scalars = {
+      {"void", ScalarKind::Void},   {"bool", ScalarKind::Bool},
+      {"char", ScalarKind::Char},   {"uchar", ScalarKind::UChar},
+      {"int", ScalarKind::Int},     {"uint", ScalarKind::UInt},
+      {"long", ScalarKind::Long},   {"ulong", ScalarKind::ULong},
+      {"float", ScalarKind::Float}, {"double", ScalarKind::Double},
+      {"size_t", ScalarKind::ULong}};
+  auto It = Scalars.find(Name);
+  if (It != Scalars.end()) {
+    K = It->second;
+    Width = 1;
+    return true;
+  }
+  // Vector names: base + width suffix.
+  for (const auto &[Base, Kind] : Scalars) {
+    if (Base == "void" || Base == "bool" || Base == "size_t")
+      continue;
+    if (Name.size() > Base.size() && startsWith(Name, Base)) {
+      std::string Suffix = Name.substr(Base.size());
+      if (Suffix == "2" || Suffix == "4" || Suffix == "8" || Suffix == "16") {
+        K = Kind;
+        Width = static_cast<unsigned>(std::stoul(Suffix));
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool isAddrSpaceWord(const std::string &S) {
+  return S == "__global" || S == "global" || S == "__local" || S == "local" ||
+         S == "__constant" || S == "constant" || S == "__private" ||
+         S == "private" || S == "__read_only" || S == "read_only";
+}
+} // namespace
+
+bool OclParser::atTypeStart(unsigned Ahead) {
+  const OclToken &T = peek(Ahead);
+  if (T.K != OclToken::Kind::Ident)
+    return false;
+  if (isAddrSpaceWord(T.Text) || T.Text == "const" || T.Text == "struct" ||
+      T.Text == "unsigned" || T.Text == "signed" ||
+      T.Text == "image2d_t" || T.Text == "sampler_t")
+    return true;
+  ScalarKind K;
+  unsigned W;
+  if (scalarOrVectorName(T.Text, K, W))
+    return true;
+  return Typedefs.count(T.Text) != 0;
+}
+
+AddrSpace OclParser::parseAddrSpaceQualifiers(bool &Saw) {
+  Saw = false;
+  AddrSpace Space = AddrSpace::Private;
+  while (peek().K == OclToken::Kind::Ident) {
+    const std::string &S = peek().Text;
+    if (S == "__global" || S == "global")
+      Space = AddrSpace::Global;
+    else if (S == "__local" || S == "local")
+      Space = AddrSpace::Local;
+    else if (S == "__constant" || S == "constant")
+      Space = AddrSpace::Constant;
+    else if (S == "__private" || S == "private")
+      Space = AddrSpace::Private;
+    else if (S == "__read_only" || S == "read_only")
+      Space = AddrSpace::Image;
+    else if (S == "const") {
+      consume();
+      continue;
+    } else
+      break;
+    Saw = true;
+    consume();
+  }
+  return Space;
+}
+
+const OclType *OclParser::parseTypeSpecifier(AddrSpace &Space,
+                                             bool &SawSpace) {
+  Space = parseAddrSpaceQualifiers(SawSpace);
+
+  const OclType *Base = nullptr;
+  if (peek().isIdent("struct")) {
+    consume();
+    if (peek().K != OclToken::Kind::Ident) {
+      errorAt(peek().Loc, "expected struct name");
+      return Types.intTy();
+    }
+    std::string Name = consume().Text;
+    const StructType *S = Types.findStruct(Name);
+    if (!S) {
+      errorAt(peek().Loc, "unknown struct '" + Name + "'");
+      return Types.intTy();
+    }
+    Base = S;
+  } else if (peek().isIdent("image2d_t")) {
+    consume();
+    Base = Types.getImage();
+  } else if (peek().isIdent("sampler_t")) {
+    consume();
+    Base = Types.intTy(); // samplers are opaque ints in the subset
+  } else if (peek().isIdent("unsigned")) {
+    consume();
+    if (acceptIdent("int") || acceptIdent("long")) {
+      Base = Types.uintTy();
+    } else {
+      Base = Types.uintTy();
+    }
+  } else if (peek().K == OclToken::Kind::Ident) {
+    ScalarKind K;
+    unsigned W;
+    if (scalarOrVectorName(peek().Text, K, W)) {
+      consume();
+      Base = W == 1 ? static_cast<const OclType *>(Types.getScalar(K))
+                    : Types.getVector(K, W);
+    } else if (auto It = Typedefs.find(peek().Text); It != Typedefs.end()) {
+      consume();
+      Base = It->second;
+    }
+  }
+  if (!Base) {
+    errorAt(peek().Loc, "expected a type, found '" + peek().Text + "'");
+    return Types.intTy();
+  }
+
+  // More const after the base type.
+  while (acceptIdent("const")) {
+  }
+
+  // Pointers.
+  while (acceptPunct("*")) {
+    AddrSpace PtrSpace = Space;
+    if (!SawSpace)
+      PtrSpace = AddrSpace::Private;
+    Base = Types.getPointer(Base, PtrSpace);
+    while (acceptIdent("const")) {
+    }
+  }
+  return Base;
+}
+
+const OclType *OclParser::applyDeclaratorSuffix(const OclType *Base) {
+  // Array suffixes [N][M]... — sizes are integer-constant products
+  // (e.g. `tile[32 * 64]`).
+  std::vector<unsigned> Dims;
+  while (peek().isPunct("[")) {
+    consume();
+    if (peek().K != OclToken::Kind::IntLit) {
+      errorAt(peek().Loc, "array size must be an integer constant");
+      synchronize();
+      return Base;
+    }
+    unsigned Size = static_cast<unsigned>(consume().IntValue);
+    while (acceptPunct("*")) {
+      if (peek().K != OclToken::Kind::IntLit) {
+        errorAt(peek().Loc, "array size must be an integer constant");
+        break;
+      }
+      Size *= static_cast<unsigned>(consume().IntValue);
+    }
+    Dims.push_back(Size);
+    expectPunct("]", "to close the array size");
+  }
+  for (auto It = Dims.rbegin(), E = Dims.rend(); It != E; ++It)
+    Base = Types.getArray(Base, *It);
+  return Base;
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+OclProgramAST *OclParser::parseProgram() {
+  Program = Ctx.make<OclProgramAST>();
+  pushScope();
+  while (peek().K != OclToken::Kind::Eof)
+    parseTopLevel(Program);
+  popScope();
+  return Program;
+}
+
+void OclParser::parseTopLevel(OclProgramAST *P) {
+  if (peek().isIdent("typedef") ||
+      (peek().isIdent("struct") && peek(2).isPunct("{"))) {
+    parseStructDef();
+    return;
+  }
+
+  bool IsKernel = false;
+  while (peek().K == OclToken::Kind::Ident) {
+    if (peek().isIdent("__kernel") || peek().isIdent("kernel")) {
+      IsKernel = true;
+      consume();
+      continue;
+    }
+    if (peek().isIdent("static") || peek().isIdent("inline")) {
+      consume();
+      continue;
+    }
+    break;
+  }
+
+  AddrSpace Space;
+  bool SawSpace;
+  const OclType *RetTy = parseTypeSpecifier(Space, SawSpace);
+  if (peek().K != OclToken::Kind::Ident) {
+    errorAt(peek().Loc, "expected a function name");
+    synchronize();
+    return;
+  }
+  SourceLocation Loc = peek().Loc;
+  std::string Name = consume().Text;
+
+  if (peek().isPunct("(")) {
+    OclFunction *F = parseFunctionRest(RetTy, IsKernel, std::move(Name), Loc);
+    if (F)
+      P->addFunction(F);
+    return;
+  }
+  errorAt(peek().Loc, "only struct and function definitions are supported "
+                      "at top level");
+  synchronize();
+}
+
+void OclParser::parseStructDef() {
+  bool IsTypedef = acceptIdent("typedef");
+  if (!acceptIdent("struct")) {
+    errorAt(peek().Loc, "expected 'struct'");
+    synchronize();
+    return;
+  }
+  std::string Tag;
+  if (peek().K == OclToken::Kind::Ident)
+    Tag = consume().Text;
+  expectPunct("{", "to open the struct body");
+  std::vector<std::pair<std::string, const OclType *>> Fields;
+  while (!peek().isPunct("}") && peek().K != OclToken::Kind::Eof) {
+    AddrSpace Space;
+    bool SawSpace;
+    const OclType *FTy = parseTypeSpecifier(Space, SawSpace);
+    if (peek().K != OclToken::Kind::Ident) {
+      errorAt(peek().Loc, "expected field name");
+      synchronize();
+      return;
+    }
+    do {
+      std::string FName = consume().Text;
+      const OclType *Full = applyDeclaratorSuffix(FTy);
+      Fields.emplace_back(std::move(FName), Full);
+      if (!acceptPunct(","))
+        break;
+    } while (peek().K == OclToken::Kind::Ident);
+    expectPunct(";", "after struct field");
+  }
+  expectPunct("}", "to close the struct body");
+  std::string Name = Tag;
+  if (IsTypedef || peek().K == OclToken::Kind::Ident) {
+    if (peek().K == OclToken::Kind::Ident)
+      Name = consume().Text;
+  }
+  expectPunct(";", "after struct definition");
+  if (Name.empty()) {
+    errorAt(peek().Loc, "anonymous structs are not supported");
+    return;
+  }
+  const StructType *S = Types.makeStruct(Name, Fields);
+  Typedefs[Name] = S;
+}
+
+OclFunction *OclParser::parseFunctionRest(const OclType *RetTy, bool IsKernel,
+                                          std::string Name,
+                                          SourceLocation Loc) {
+  auto *F = Ctx.make<OclFunction>(Loc, std::move(Name), RetTy, IsKernel);
+  CurrentFunction = F;
+  expectPunct("(", "to open the parameter list");
+  pushScope();
+  unsigned Index = 0;
+  if (!peek().isPunct(")")) {
+    do {
+      if (peek().isIdent("void") && peek(1).isPunct(")")) {
+        consume();
+        break;
+      }
+      AddrSpace Space;
+      bool SawSpace;
+      const OclType *PTy = parseTypeSpecifier(Space, SawSpace);
+      if (peek().K != OclToken::Kind::Ident) {
+        errorAt(peek().Loc, "expected parameter name");
+        break;
+      }
+      auto *P = Ctx.make<OclVarDecl>();
+      P->Loc = peek().Loc;
+      P->Name = consume().Text;
+      P->Ty = PTy;
+      P->Space = isa<PointerType>(PTy) ? cast<PointerType>(PTy)->space()
+                                       : AddrSpace::Private;
+      if (isa<ImageType>(PTy))
+        P->Space = AddrSpace::Image;
+      P->IsParam = true;
+      P->ParamIndex = Index++;
+      F->addParam(P);
+      declareVar(P);
+    } while (acceptPunct(","));
+  }
+  expectPunct(")", "to close the parameter list");
+  F->setBody(parseCompound());
+  popScope();
+  CurrentFunction = nullptr;
+  return F;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+OclCompoundStmt *OclParser::parseCompound() {
+  SourceLocation Loc = peek().Loc;
+  expectPunct("{", "to open a block");
+  pushScope();
+  std::vector<OclStmt *> Stmts;
+  while (!peek().isPunct("}") && peek().K != OclToken::Kind::Eof) {
+    if (OclStmt *S = parseStatement())
+      Stmts.push_back(S);
+  }
+  popScope();
+  expectPunct("}", "to close the block");
+  return Ctx.make<OclCompoundStmt>(Loc, std::move(Stmts));
+}
+
+OclStmt *OclParser::parseDeclStatement() {
+  SourceLocation Loc = peek().Loc;
+  AddrSpace Space;
+  bool SawSpace;
+  const OclType *Base = parseTypeSpecifier(Space, SawSpace);
+
+  std::vector<OclStmt *> Decls;
+  do {
+    if (peek().K != OclToken::Kind::Ident) {
+      errorAt(peek().Loc, "expected variable name");
+      synchronize();
+      return nullptr;
+    }
+    auto *D = Ctx.make<OclVarDecl>();
+    D->Loc = peek().Loc;
+    D->Name = consume().Text;
+    D->Ty = applyDeclaratorSuffix(Base);
+    // The address-space qualifier on a declaration places the storage
+    // (e.g. `__local float tile[64]`); pointer variables themselves
+    // always live privately — their *pointee* space is in the type.
+    D->Space = SawSpace && !isa<PointerType>(D->Ty) ? Space
+                                                    : AddrSpace::Private;
+    OclExpr *Init = nullptr;
+    if (acceptPunct("="))
+      Init = parseAssignment();
+    declareVar(D);
+    Decls.push_back(Ctx.make<OclDeclStmt>(Loc, D, Init));
+  } while (acceptPunct(","));
+  expectPunct(";", "after declaration");
+
+  if (Decls.size() == 1)
+    return Decls[0];
+  return Ctx.make<OclCompoundStmt>(Loc, std::move(Decls));
+}
+
+OclStmt *OclParser::parseStatement() {
+  SourceLocation Loc = peek().Loc;
+
+  if (peek().isPunct("{"))
+    return parseCompound();
+  if (acceptPunct(";"))
+    return Ctx.make<OclCompoundStmt>(Loc, std::vector<OclStmt *>{});
+
+  if (peek().isIdent("if")) {
+    consume();
+    expectPunct("(", "after 'if'");
+    OclExpr *Cond = parseExpr();
+    expectPunct(")", "after if condition");
+    OclStmt *Then = parseStatement();
+    OclStmt *Else = nullptr;
+    if (acceptIdent("else"))
+      Else = parseStatement();
+    return Ctx.make<OclIfStmt>(Loc, Cond, Then, Else);
+  }
+
+  if (peek().isIdent("for")) {
+    consume();
+    expectPunct("(", "after 'for'");
+    pushScope();
+    OclStmt *Init = nullptr;
+    if (!acceptPunct(";")) {
+      if (atTypeStart()) {
+        Init = parseDeclStatement();
+      } else {
+        OclExpr *E = parseExpr();
+        expectPunct(";", "after for-init");
+        Init = Ctx.make<OclExprStmt>(Loc, E);
+      }
+    }
+    OclExpr *Cond = nullptr;
+    if (!peek().isPunct(";"))
+      Cond = parseExpr();
+    expectPunct(";", "after for-condition");
+    OclExpr *Step = nullptr;
+    if (!peek().isPunct(")"))
+      Step = parseExpr();
+    expectPunct(")", "after for-step");
+    OclStmt *Body = parseStatement();
+    popScope();
+    return Ctx.make<OclForStmt>(Loc, Init, Cond, Step, Body);
+  }
+
+  if (peek().isIdent("while")) {
+    consume();
+    expectPunct("(", "after 'while'");
+    OclExpr *Cond = parseExpr();
+    expectPunct(")", "after while condition");
+    OclStmt *Body = parseStatement();
+    return Ctx.make<OclWhileStmt>(Loc, Cond, Body);
+  }
+
+  if (peek().isIdent("return")) {
+    consume();
+    OclExpr *V = nullptr;
+    if (!peek().isPunct(";"))
+      V = parseExpr();
+    expectPunct(";", "after return");
+    return Ctx.make<OclReturnStmt>(Loc, V);
+  }
+
+  if (peek().isIdent("break") || peek().isIdent("continue")) {
+    errorAt(Loc, "'break'/'continue' are outside the supported subset "
+                 "(structured SIMT control flow only)");
+    consume();
+    acceptPunct(";");
+    return nullptr;
+  }
+
+  if (atTypeStart())
+    return parseDeclStatement();
+
+  OclExpr *E = parseExpr();
+  expectPunct(";", "after expression statement");
+  return Ctx.make<OclExprStmt>(Loc, E);
+}
+
+//===----------------------------------------------------------------------===//
+// Typing helpers
+//===----------------------------------------------------------------------===//
+
+static int scalarRank(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::Bool:
+    return 0;
+  case ScalarKind::Char:
+  case ScalarKind::UChar:
+    return 1;
+  case ScalarKind::Int:
+  case ScalarKind::UInt:
+    return 2;
+  case ScalarKind::Long:
+  case ScalarKind::ULong:
+    return 3;
+  case ScalarKind::Float:
+    return 4;
+  case ScalarKind::Double:
+    return 5;
+  case ScalarKind::Void:
+    return -1;
+  }
+  return -1;
+}
+
+const OclType *OclParser::usualArith(SourceLocation Loc, const OclType *L,
+                                     const OclType *R) {
+  // Pointer arithmetic: ptr +/- integer keeps the pointer type.
+  if (isa<PointerType>(L))
+    return L;
+  if (isa<PointerType>(R))
+    return R;
+
+  const auto *VL = dyn_cast<VectorType>(L);
+  const auto *VR = dyn_cast<VectorType>(R);
+  if (VL && VR) {
+    if (VL->lanes() != VR->lanes())
+      errorAt(Loc, "vector width mismatch: " + L->str() + " vs " + R->str());
+    return scalarRank(VL->element()) >= scalarRank(VR->element()) ? L : R;
+  }
+  if (VL)
+    return L; // vector op scalar broadcasts
+  if (VR)
+    return R;
+
+  const auto *SL = dyn_cast<ScalarType>(L);
+  const auto *SR = dyn_cast<ScalarType>(R);
+  if (!SL || !SR) {
+    errorAt(Loc, "invalid operands: " + L->str() + " and " + R->str());
+    return Types.intTy();
+  }
+  int RankL = scalarRank(SL->scalar());
+  int RankR = scalarRank(SR->scalar());
+  // Sub-int types promote to int, C style.
+  if (RankL < 2 && RankR < 2)
+    return Types.intTy();
+  return RankL >= RankR ? L : R;
+}
+
+const OclType *OclParser::indexResult(SourceLocation Loc, OclExpr *Base) {
+  const OclType *T = Base->type();
+  if (const auto *PT = dyn_cast<PointerType>(T))
+    return PT->pointee();
+  if (const auto *AT = dyn_cast<OclArrayType>(T))
+    return AT->element();
+  errorAt(Loc, "subscript on non-pointer type " + T->str());
+  return Types.intTy();
+}
+
+void OclParser::requireLValue(OclExpr *E) {
+  if (isa<OclVarRef, OclIndex, OclMember>(E))
+    return;
+  errorAt(E->loc(), "expression is not assignable");
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+OclExpr *OclParser::parseExpr() { return parseAssignment(); }
+
+OclExpr *OclParser::parseAssignment() {
+  OclExpr *LHS = parseConditional();
+  static const std::map<std::string, OclBinOp> Compound = {
+      {"+=", OclBinOp::Add},  {"-=", OclBinOp::Sub}, {"*=", OclBinOp::Mul},
+      {"/=", OclBinOp::Div},  {"%=", OclBinOp::Rem}, {"&=", OclBinOp::And},
+      {"|=", OclBinOp::Or},   {"^=", OclBinOp::Xor}, {">>=", OclBinOp::Shr},
+      {"<<=", OclBinOp::Shl}};
+  if (peek().isPunct("=")) {
+    SourceLocation Loc = consume().Loc;
+    requireLValue(LHS);
+    OclExpr *RHS = parseAssignment();
+    auto *A = Ctx.make<OclAssign>(Loc, LHS, RHS, false, OclBinOp::Add);
+    A->setType(LHS->type());
+    return A;
+  }
+  if (peek().K == OclToken::Kind::Punct) {
+    auto It = Compound.find(peek().Text);
+    if (It != Compound.end()) {
+      SourceLocation Loc = consume().Loc;
+      requireLValue(LHS);
+      OclExpr *RHS = parseAssignment();
+      auto *A = Ctx.make<OclAssign>(Loc, LHS, RHS, true, It->second);
+      A->setType(LHS->type());
+      return A;
+    }
+  }
+  return LHS;
+}
+
+OclExpr *OclParser::parseConditional() {
+  OclExpr *Cond = parseBinary(0);
+  if (!acceptPunct("?"))
+    return Cond;
+  SourceLocation Loc = peek().Loc;
+  OclExpr *Then = parseAssignment();
+  expectPunct(":", "in conditional expression");
+  OclExpr *Else = parseConditional();
+  auto *C = Ctx.make<OclConditional>(Loc, Cond, Then, Else);
+  C->setType(usualArith(Loc, Then->type(), Else->type()));
+  return C;
+}
+
+namespace {
+struct COpInfo {
+  OclBinOp Op;
+  int Prec;
+  bool Compare;
+  bool Logical;
+};
+} // namespace
+
+static bool cBinaryOp(const std::string &S, COpInfo &Info) {
+  static const std::map<std::string, COpInfo> Table = {
+      {"||", {OclBinOp::LOr, 1, false, true}},
+      {"&&", {OclBinOp::LAnd, 2, false, true}},
+      {"|", {OclBinOp::Or, 3, false, false}},
+      {"^", {OclBinOp::Xor, 4, false, false}},
+      {"&", {OclBinOp::And, 5, false, false}},
+      {"==", {OclBinOp::Eq, 6, true, false}},
+      {"!=", {OclBinOp::Ne, 6, true, false}},
+      {"<", {OclBinOp::Lt, 7, true, false}},
+      {"<=", {OclBinOp::Le, 7, true, false}},
+      {">", {OclBinOp::Gt, 7, true, false}},
+      {">=", {OclBinOp::Ge, 7, true, false}},
+      {"<<", {OclBinOp::Shl, 8, false, false}},
+      {">>", {OclBinOp::Shr, 8, false, false}},
+      {"+", {OclBinOp::Add, 9, false, false}},
+      {"-", {OclBinOp::Sub, 9, false, false}},
+      {"*", {OclBinOp::Mul, 10, false, false}},
+      {"/", {OclBinOp::Div, 10, false, false}},
+      {"%", {OclBinOp::Rem, 10, false, false}}};
+  auto It = Table.find(S);
+  if (It == Table.end())
+    return false;
+  Info = It->second;
+  return true;
+}
+
+OclExpr *OclParser::parseBinary(int MinPrec) {
+  OclExpr *LHS = parseUnary();
+  while (true) {
+    if (peek().K != OclToken::Kind::Punct)
+      return LHS;
+    COpInfo Info;
+    if (!cBinaryOp(peek().Text, Info) || Info.Prec < MinPrec)
+      return LHS;
+    SourceLocation Loc = consume().Loc;
+    OclExpr *RHS = parseBinary(Info.Prec + 1);
+    auto *B = Ctx.make<OclBinary>(Loc, Info.Op, LHS, RHS);
+    if (Info.Compare || Info.Logical)
+      B->setType(Types.intTy());
+    else
+      B->setType(usualArith(Loc, LHS->type(), RHS->type()));
+    LHS = B;
+  }
+}
+
+OclExpr *OclParser::parseUnary() {
+  SourceLocation Loc = peek().Loc;
+
+  if (acceptPunct("-")) {
+    OclExpr *Sub = parseUnary();
+    auto *U = Ctx.make<OclUnary>(Loc, OclUnaryOp::Neg, Sub);
+    U->setType(Sub->type());
+    return U;
+  }
+  if (acceptPunct("+"))
+    return parseUnary();
+  if (acceptPunct("!")) {
+    OclExpr *Sub = parseUnary();
+    auto *U = Ctx.make<OclUnary>(Loc, OclUnaryOp::Not, Sub);
+    U->setType(Types.intTy());
+    return U;
+  }
+  if (acceptPunct("~")) {
+    OclExpr *Sub = parseUnary();
+    auto *U = Ctx.make<OclUnary>(Loc, OclUnaryOp::BitNot, Sub);
+    U->setType(Sub->type());
+    return U;
+  }
+  if (peek().isPunct("++") || peek().isPunct("--")) {
+    bool IsInc = consume().Text == "++";
+    OclExpr *Sub = parseUnary();
+    requireLValue(Sub);
+    auto *U = Ctx.make<OclUnary>(Loc, IsInc ? OclUnaryOp::PreInc
+                                            : OclUnaryOp::PreDec,
+                                 Sub);
+    U->setType(Sub->type());
+    return U;
+  }
+
+  // Casts and vector literals: '(' type ')' ...
+  if (peek().isPunct("(") && atTypeStart(1)) {
+    consume();
+    AddrSpace Space;
+    bool SawSpace;
+    const OclType *To = parseTypeSpecifier(Space, SawSpace);
+    expectPunct(")", "to close the cast");
+    if (const auto *VT = dyn_cast<VectorType>(To)) {
+      if (peek().isPunct("(")) {
+        consume();
+        std::vector<OclExpr *> Elems;
+        if (!peek().isPunct(")")) {
+          do
+            Elems.push_back(parseAssignment());
+          while (acceptPunct(","));
+        }
+        expectPunct(")", "to close the vector literal");
+        if (Elems.size() != VT->lanes() && Elems.size() != 1)
+          errorAt(Loc, formatString("vector literal needs %u or 1 elements, "
+                                    "got %zu",
+                                    VT->lanes(), Elems.size()));
+        return Ctx.make<OclVectorLit>(Loc, VT, std::move(Elems));
+      }
+    }
+    OclExpr *Sub = parseUnary();
+    return Ctx.make<OclCast>(Loc, To, Sub);
+  }
+
+  return parsePostfix();
+}
+
+OclExpr *OclParser::parsePostfix() {
+  OclExpr *E = parsePrimary();
+  while (true) {
+    SourceLocation Loc = peek().Loc;
+    if (peek().isPunct("[")) {
+      consume();
+      OclExpr *Idx = parseExpr();
+      expectPunct("]", "to close the subscript");
+      auto *I = Ctx.make<OclIndex>(Loc, E, Idx);
+      I->setType(indexResult(Loc, E));
+      E = I;
+      continue;
+    }
+    if (peek().isPunct(".")) {
+      consume();
+      if (peek().K != OclToken::Kind::Ident) {
+        errorAt(peek().Loc, "expected member name");
+        return E;
+      }
+      std::string Name = consume().Text;
+      if (const auto *VT = dyn_cast<VectorType>(E->type())) {
+        int Lane = -1;
+        if (Name == "x")
+          Lane = 0;
+        else if (Name == "y")
+          Lane = 1;
+        else if (Name == "z")
+          Lane = 2;
+        else if (Name == "w")
+          Lane = 3;
+        else if (Name.size() >= 2 && Name[0] == 's') {
+          char C = Name[1];
+          if (C >= '0' && C <= '9')
+            Lane = C - '0';
+          else if (C >= 'a' && C <= 'f')
+            Lane = C - 'a' + 10;
+        }
+        if (Lane < 0 || Lane >= static_cast<int>(VT->lanes())) {
+          errorAt(Loc, "bad vector component '." + Name + "' on " +
+                           E->type()->str());
+          Lane = 0;
+        }
+        auto *M = Ctx.make<OclMember>(Loc, E, Name, Lane, nullptr);
+        M->setType(Types.getScalar(VT->element()));
+        E = M;
+        continue;
+      }
+      if (const auto *ST = dyn_cast<StructType>(E->type())) {
+        const StructType::Field *F = ST->findField(Name);
+        if (!F) {
+          errorAt(Loc, "no field '" + Name + "' in " + ST->str());
+          return E;
+        }
+        auto *M = Ctx.make<OclMember>(Loc, E, Name, -1, F);
+        M->setType(F->Ty);
+        E = M;
+        continue;
+      }
+      errorAt(Loc, "member access on non-aggregate type " +
+                       E->type()->str());
+      return E;
+    }
+    if (peek().isPunct("++") || peek().isPunct("--")) {
+      bool IsInc = consume().Text == "++";
+      requireLValue(E);
+      auto *U = Ctx.make<OclUnary>(Loc,
+                                   IsInc ? OclUnaryOp::PostInc
+                                         : OclUnaryOp::PostDec,
+                                   E);
+      U->setType(E->type());
+      E = U;
+      continue;
+    }
+    return E;
+  }
+}
+
+OclExpr *OclParser::parseCallRest(std::string Name, SourceLocation Loc) {
+  std::vector<OclExpr *> Args;
+  expectPunct("(", "to open the argument list");
+  if (!peek().isPunct(")")) {
+    do
+      Args.push_back(parseAssignment());
+    while (acceptPunct(","));
+  }
+  expectPunct(")", "to close the argument list");
+
+  OclBuiltin B = lookupOclBuiltin(Name);
+  OclFunction *Fn = nullptr;
+  const OclType *Ty = Types.intTy();
+  if (B != OclBuiltin::None) {
+    switch (B) {
+    case OclBuiltin::GetGlobalId:
+    case OclBuiltin::GetLocalId:
+    case OclBuiltin::GetGroupId:
+    case OclBuiltin::GetGlobalSize:
+    case OclBuiltin::GetLocalSize:
+    case OclBuiltin::GetNumGroups:
+      Ty = Types.intTy();
+      if (Args.size() != 1)
+        errorAt(Loc, Name + " takes one dimension argument");
+      break;
+    case OclBuiltin::Barrier:
+      Ty = Types.voidTy();
+      break;
+    case OclBuiltin::ReadImageF:
+      Ty = Types.getVector(ScalarKind::Float, 4);
+      if (Args.size() != 3)
+        errorAt(Loc, "read_imagef(image, sampler, coord) takes 3 arguments");
+      break;
+    case OclBuiltin::VLoad2:
+    case OclBuiltin::VLoad4: {
+      unsigned W = B == OclBuiltin::VLoad2 ? 2 : 4;
+      ScalarKind EK = ScalarKind::Float;
+      if (Args.size() == 2) {
+        if (const auto *PT = dyn_cast<PointerType>(Args[1]->type()))
+          if (const auto *ST = dyn_cast<ScalarType>(PT->pointee()))
+            EK = ST->scalar();
+      } else {
+        errorAt(Loc, "vloadN(offset, ptr) takes 2 arguments");
+      }
+      Ty = Types.getVector(EK, W);
+      break;
+    }
+    case OclBuiltin::VStore2:
+    case OclBuiltin::VStore4:
+      Ty = Types.voidTy();
+      if (Args.size() != 3)
+        errorAt(Loc, "vstoreN(vec, offset, ptr) takes 3 arguments");
+      break;
+    default: {
+      // Math builtins: result follows the (promoted) first argument;
+      // integer args promote to float.
+      if (Args.empty()) {
+        errorAt(Loc, Name + " needs arguments");
+        break;
+      }
+      const OclType *A = Args[0]->type();
+      if (B == OclBuiltin::Min || B == OclBuiltin::Max ||
+          B == OclBuiltin::Abs) {
+        Ty = A;
+        break;
+      }
+      if (const auto *SA = dyn_cast<ScalarType>(A))
+        Ty = SA->isFloating() ? A
+                              : static_cast<const OclType *>(Types.floatTy());
+      else
+        Ty = A; // vector math is elementwise
+      break;
+    }
+    }
+  } else if ((Fn = Program->findFunction(Name))) {
+    Ty = Fn->returnType();
+    if (Args.size() != Fn->params().size())
+      errorAt(Loc, formatString("'%s' expects %zu arguments, got %zu",
+                                Name.c_str(), Fn->params().size(),
+                                Args.size()));
+  } else {
+    errorAt(Loc, "call to unknown function '" + Name + "'");
+  }
+
+  auto *C = Ctx.make<OclCall>(Loc, std::move(Name), B, Fn, std::move(Args));
+  C->setType(Ty);
+  return C;
+}
+
+OclExpr *OclParser::parsePrimary() {
+  SourceLocation Loc = peek().Loc;
+
+  switch (peek().K) {
+  case OclToken::Kind::IntLit: {
+    OclToken T = consume();
+    auto *L = Ctx.make<OclIntLit>(Loc, T.IntValue);
+    L->setType(Types.intTy());
+    return L;
+  }
+  case OclToken::Kind::FloatLit: {
+    OclToken T = consume();
+    auto *L = Ctx.make<OclFloatLit>(Loc, T.FloatValue, T.FloatIsSingle);
+    L->setType(T.FloatIsSingle
+                   ? static_cast<const OclType *>(Types.floatTy())
+                   : Types.doubleTy());
+    return L;
+  }
+  case OclToken::Kind::Ident: {
+    // OpenCL named constants (sampler flags, fence flags).
+    const std::string &S = peek().Text;
+    if (startsWith(S, "CLK_")) {
+      consume();
+      long long V = 0;
+      if (S == "CLK_LOCAL_MEM_FENCE")
+        V = 1;
+      else if (S == "CLK_GLOBAL_MEM_FENCE")
+        V = 2;
+      auto *L = Ctx.make<OclIntLit>(Loc, V);
+      L->setType(Types.intTy());
+      return L;
+    }
+    std::string Name = consume().Text;
+    if (peek().isPunct("("))
+      return parseCallRest(std::move(Name), Loc);
+    if (OclVarDecl *D = lookupVar(Name)) {
+      auto *R = Ctx.make<OclVarRef>(Loc, D);
+      R->setType(D->Ty);
+      return R;
+    }
+    errorAt(Loc, "use of undeclared identifier '" + Name + "'");
+    auto *L = Ctx.make<OclIntLit>(Loc, 0);
+    L->setType(Types.intTy());
+    return L;
+  }
+  case OclToken::Kind::Punct:
+    if (acceptPunct("(")) {
+      OclExpr *E = parseExpr();
+      expectPunct(")", "to close the parenthesized expression");
+      return E;
+    }
+    break;
+  case OclToken::Kind::Eof:
+    break;
+  }
+  errorAt(Loc, "expected an expression, found '" + peek().Text + "'");
+  consume();
+  auto *L = Ctx.make<OclIntLit>(Loc, 0);
+  L->setType(Types.intTy());
+  return L;
+}

@@ -1,0 +1,107 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser (with integrated type checking) for the OpenCL-C subset.
+/// This is a real, if reduced, C front end: declarations before use,
+/// usual arithmetic conversions, pointers with address spaces, arrays,
+/// vector types with (floatN)(...) literals and .x/.sN component
+/// access, structs, and the OpenCL builtin library. Everything the
+/// Lime compiler's code generator emits — and everything our
+/// hand-tuned comparator kernels use — parses through here before
+/// running on the simulated device, so generated code is exercised as
+/// *text*, exactly like the paper's system feeding its output to a
+/// vendor OpenCL compiler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_OCL_OCLPARSER_H
+#define LIMECC_OCL_OCLPARSER_H
+
+#include "ocl/OclAST.h"
+#include "ocl/OclLexer.h"
+
+#include <map>
+#include <vector>
+
+namespace lime::ocl {
+
+class OclParser {
+public:
+  OclParser(std::string_view Source, OclContext &Ctx,
+            DiagnosticEngine &Diags);
+
+  /// Parses a translation unit; check Diags for errors.
+  OclProgramAST *parseProgram();
+
+private:
+  // Token stream with lookahead.
+  const OclToken &peek(unsigned Ahead = 0);
+  OclToken consume();
+  bool acceptPunct(std::string_view S);
+  bool expectPunct(std::string_view S, const char *Context);
+  bool acceptIdent(std::string_view S);
+
+  // Types.
+  bool atTypeStart(unsigned Ahead = 0);
+  const OclType *parseTypeSpecifier(AddrSpace &Space, bool &SawSpace);
+  const OclType *applyDeclaratorSuffix(const OclType *Base);
+  AddrSpace parseAddrSpaceQualifiers(bool &Saw);
+
+  // Declarations.
+  void parseTopLevel(OclProgramAST *P);
+  void parseStructDef();
+  OclFunction *parseFunctionRest(const OclType *RetTy, bool IsKernel,
+                                 std::string Name, SourceLocation Loc);
+
+  // Statements.
+  OclStmt *parseStatement();
+  OclCompoundStmt *parseCompound();
+  OclStmt *parseDeclStatement();
+
+  // Expressions.
+  OclExpr *parseExpr();
+  OclExpr *parseAssignment();
+  OclExpr *parseConditional();
+  OclExpr *parseBinary(int MinPrec);
+  OclExpr *parseUnary();
+  OclExpr *parsePostfix();
+  OclExpr *parsePrimary();
+  OclExpr *parseCallRest(std::string Name, SourceLocation Loc);
+
+  // Typing helpers.
+  const OclType *usualArith(SourceLocation Loc, const OclType *L,
+                            const OclType *R);
+  const OclType *indexResult(SourceLocation Loc, OclExpr *Base);
+  void requireLValue(OclExpr *E);
+
+  // Scopes.
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  OclVarDecl *lookupVar(const std::string &Name);
+  void declareVar(OclVarDecl *D);
+
+  void errorAt(SourceLocation Loc, const std::string &Msg);
+  void synchronize();
+
+  OclLexer Lex;
+  OclContext &Ctx;
+  OclTypeContext &Types;
+  DiagnosticEngine &Diags;
+  OclProgramAST *Program = nullptr;
+  OclFunction *CurrentFunction = nullptr;
+
+  OclToken Lookahead[4];
+  unsigned NumLookahead = 0;
+
+  std::vector<std::map<std::string, OclVarDecl *>> Scopes;
+  std::map<std::string, const OclType *> Typedefs;
+};
+
+} // namespace lime::ocl
+
+#endif // LIMECC_OCL_OCLPARSER_H

@@ -1,0 +1,199 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/OclType.h"
+
+#include <map>
+#include <tuple>
+
+using namespace lime;
+using namespace lime::ocl;
+
+const char *lime::ocl::addrSpaceName(AddrSpace S) {
+  switch (S) {
+  case AddrSpace::Private:
+    return "private";
+  case AddrSpace::Local:
+    return "local";
+  case AddrSpace::Global:
+    return "global";
+  case AddrSpace::Constant:
+    return "constant";
+  case AddrSpace::Image:
+    return "image";
+  case AddrSpace::Param:
+    return "param";
+  }
+  lime_unreachable("bad address space");
+}
+
+const char *lime::ocl::addrSpaceQualifier(AddrSpace S) {
+  switch (S) {
+  case AddrSpace::Private:
+    return "";
+  case AddrSpace::Local:
+    return "__local ";
+  case AddrSpace::Global:
+    return "__global ";
+  case AddrSpace::Constant:
+    return "__constant ";
+  case AddrSpace::Image:
+    return "__read_only ";
+  case AddrSpace::Param:
+    return "";
+  }
+  lime_unreachable("bad address space");
+}
+
+unsigned lime::ocl::scalarSizeInBytes(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::Void:
+    return 0;
+  case ScalarKind::Bool:
+  case ScalarKind::Char:
+  case ScalarKind::UChar:
+    return 1;
+  case ScalarKind::Int:
+  case ScalarKind::UInt:
+  case ScalarKind::Float:
+    return 4;
+  case ScalarKind::Long:
+  case ScalarKind::ULong:
+  case ScalarKind::Double:
+    return 8;
+  }
+  lime_unreachable("bad scalar kind");
+}
+
+bool lime::ocl::isFloatingScalar(ScalarKind K) {
+  return K == ScalarKind::Float || K == ScalarKind::Double;
+}
+
+bool lime::ocl::isIntegerScalar(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::Char:
+  case ScalarKind::UChar:
+  case ScalarKind::Int:
+  case ScalarKind::UInt:
+  case ScalarKind::Long:
+  case ScalarKind::ULong:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool lime::ocl::isUnsignedScalar(ScalarKind K) {
+  return K == ScalarKind::UChar || K == ScalarKind::UInt ||
+         K == ScalarKind::ULong;
+}
+
+const char *lime::ocl::scalarName(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::Void:
+    return "void";
+  case ScalarKind::Bool:
+    return "bool";
+  case ScalarKind::Char:
+    return "char";
+  case ScalarKind::UChar:
+    return "uchar";
+  case ScalarKind::Int:
+    return "int";
+  case ScalarKind::UInt:
+    return "uint";
+  case ScalarKind::Long:
+    return "long";
+  case ScalarKind::ULong:
+    return "ulong";
+  case ScalarKind::Float:
+    return "float";
+  case ScalarKind::Double:
+    return "double";
+  }
+  lime_unreachable("bad scalar kind");
+}
+
+struct OclTypeContext::Impl {
+  std::map<ScalarKind, std::unique_ptr<ScalarType>> Scalars;
+  std::map<std::pair<ScalarKind, unsigned>, std::unique_ptr<VectorType>>
+      Vectors;
+  std::map<std::pair<const OclType *, AddrSpace>,
+           std::unique_ptr<PointerType>>
+      Pointers;
+  std::map<std::pair<const OclType *, unsigned>,
+           std::unique_ptr<OclArrayType>>
+      Arrays;
+  std::map<std::string, std::unique_ptr<StructType>> Structs;
+  std::unique_ptr<ImageType> Image;
+};
+
+OclTypeContext::OclTypeContext() : TheImpl(std::make_unique<Impl>()) {}
+OclTypeContext::~OclTypeContext() = default;
+
+const ScalarType *OclTypeContext::getScalar(ScalarKind K) {
+  auto &Slot = TheImpl->Scalars[K];
+  if (!Slot)
+    Slot.reset(new ScalarType(K));
+  return Slot.get();
+}
+
+const VectorType *OclTypeContext::getVector(ScalarKind Elem, unsigned Lanes) {
+  assert((Lanes == 2 || Lanes == 4 || Lanes == 8 || Lanes == 16) &&
+         "OpenCL 1.0 supports vector widths 2, 4, 8 and 16 only");
+  auto &Slot = TheImpl->Vectors[{Elem, Lanes}];
+  if (!Slot)
+    Slot.reset(new VectorType(Elem, Lanes));
+  return Slot.get();
+}
+
+const PointerType *OclTypeContext::getPointer(const OclType *Pointee,
+                                              AddrSpace Space) {
+  auto &Slot = TheImpl->Pointers[{Pointee, Space}];
+  if (!Slot)
+    Slot.reset(new PointerType(Pointee, Space));
+  return Slot.get();
+}
+
+const OclArrayType *OclTypeContext::getArray(const OclType *Elem,
+                                             unsigned Count) {
+  auto &Slot = TheImpl->Arrays[{Elem, Count}];
+  if (!Slot)
+    Slot.reset(new OclArrayType(Elem, Count));
+  return Slot.get();
+}
+
+const ImageType *OclTypeContext::getImage() {
+  if (!TheImpl->Image)
+    TheImpl->Image.reset(new ImageType());
+  return TheImpl->Image.get();
+}
+
+const StructType *OclTypeContext::makeStruct(
+    const std::string &Name,
+    const std::vector<std::pair<std::string, const OclType *>> &Fields) {
+  std::vector<StructType::Field> Laid;
+  unsigned Offset = 0;
+  unsigned MaxAlign = 1;
+  for (const auto &[FName, FTy] : Fields) {
+    unsigned Size = FTy->sizeInBytes();
+    unsigned Align = std::min(Size ? Size : 1u, 16u);
+    MaxAlign = std::max(MaxAlign, Align);
+    Offset = (Offset + Align - 1) / Align * Align;
+    Laid.push_back({FName, FTy, Offset});
+    Offset += Size;
+  }
+  unsigned Total = (Offset + MaxAlign - 1) / MaxAlign * MaxAlign;
+  auto &Slot = TheImpl->Structs[Name];
+  Slot.reset(new StructType(Name, std::move(Laid), Total));
+  return Slot.get();
+}
+
+const StructType *OclTypeContext::findStruct(const std::string &Name) const {
+  auto It = TheImpl->Structs.find(Name);
+  return It == TheImpl->Structs.end() ? nullptr : It->second.get();
+}

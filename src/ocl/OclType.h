@@ -1,0 +1,254 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type system for the executable OpenCL-C subset. This is the target
+/// language of the Lime GPU compiler (paper §4) and the language of
+/// the hand-tuned comparator kernels (§5.2). It models exactly the
+/// features the paper's code generator uses: scalar and vector types
+/// (float2/4/8/16 — OpenCL 1.0 vector widths, §2 "Vectorization"),
+/// pointers qualified by the five OpenCL address spaces (§2 "Address
+/// Space Qualifiers"), 2-D images, and flat structs for the kernel's
+/// runtime-bookkeeping record (§4.2, Fig. 4b).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_OCL_OCLTYPE_H
+#define LIMECC_OCL_OCLTYPE_H
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lime::ocl {
+
+/// The OpenCL disjoint address spaces (paper §2). Param is our
+/// internal space for by-value kernel arguments (the bookkeeping
+/// struct of Fig. 4b lives there).
+enum class AddrSpace : uint8_t {
+  Private,
+  Local,
+  Global,
+  Constant,
+  Image,
+  Param
+};
+
+const char *addrSpaceName(AddrSpace S);
+/// The OpenCL source spelling ("__global ", "" for private).
+const char *addrSpaceQualifier(AddrSpace S);
+
+/// Scalar element kinds of the subset.
+enum class ScalarKind : uint8_t {
+  Void,
+  Bool,
+  Char,
+  UChar,
+  Int,
+  UInt,
+  Long,
+  ULong,
+  Float,
+  Double
+};
+
+unsigned scalarSizeInBytes(ScalarKind K);
+bool isFloatingScalar(ScalarKind K);
+bool isIntegerScalar(ScalarKind K);
+bool isUnsignedScalar(ScalarKind K);
+const char *scalarName(ScalarKind K);
+
+class OclType {
+public:
+  enum class Kind : uint8_t { Scalar, Vector, Pointer, Array, Struct, Image };
+
+  Kind kind() const { return TheKind; }
+  virtual ~OclType() = default;
+  virtual std::string str() const = 0;
+
+  /// Size in bytes when stored in device memory.
+  virtual unsigned sizeInBytes() const = 0;
+
+protected:
+  explicit OclType(Kind K) : TheKind(K) {}
+
+private:
+  Kind TheKind;
+};
+
+class ScalarType : public OclType {
+public:
+  ScalarKind scalar() const { return TheScalar; }
+  std::string str() const override { return scalarName(TheScalar); }
+  unsigned sizeInBytes() const override {
+    return scalarSizeInBytes(TheScalar);
+  }
+
+  bool isFloating() const { return isFloatingScalar(TheScalar); }
+  bool isInteger() const { return isIntegerScalar(TheScalar); }
+  bool isVoid() const { return TheScalar == ScalarKind::Void; }
+
+  static bool classof(const OclType *T) { return T->kind() == Kind::Scalar; }
+
+private:
+  friend class OclTypeContext;
+  explicit ScalarType(ScalarKind K) : OclType(Kind::Scalar), TheScalar(K) {}
+  ScalarKind TheScalar;
+};
+
+/// floatN / intN — OpenCL 1.0 widths 2, 4, 8, 16.
+class VectorType : public OclType {
+public:
+  ScalarKind element() const { return Elem; }
+  unsigned lanes() const { return Lanes; }
+  std::string str() const override {
+    return std::string(scalarName(Elem)) + std::to_string(Lanes);
+  }
+  unsigned sizeInBytes() const override {
+    return scalarSizeInBytes(Elem) * Lanes;
+  }
+
+  static bool classof(const OclType *T) { return T->kind() == Kind::Vector; }
+
+private:
+  friend class OclTypeContext;
+  VectorType(ScalarKind Elem, unsigned Lanes)
+      : OclType(Kind::Vector), Elem(Elem), Lanes(Lanes) {}
+  ScalarKind Elem;
+  unsigned Lanes;
+};
+
+class PointerType : public OclType {
+public:
+  const OclType *pointee() const { return Pointee; }
+  AddrSpace space() const { return Space; }
+  std::string str() const override {
+    return std::string(addrSpaceQualifier(Space)) + Pointee->str() + "*";
+  }
+  unsigned sizeInBytes() const override { return 8; }
+
+  static bool classof(const OclType *T) { return T->kind() == Kind::Pointer; }
+
+private:
+  friend class OclTypeContext;
+  PointerType(const OclType *Pointee, AddrSpace Space)
+      : OclType(Kind::Pointer), Pointee(Pointee), Space(Space) {}
+  const OclType *Pointee;
+  AddrSpace Space;
+};
+
+/// Fixed-size in-kernel arrays (`__local float tile[257]`, private
+/// scratch arrays).
+class OclArrayType : public OclType {
+public:
+  const OclType *element() const { return Elem; }
+  unsigned count() const { return Count; }
+  std::string str() const override {
+    return Elem->str() + "[" + std::to_string(Count) + "]";
+  }
+  unsigned sizeInBytes() const override {
+    return Elem->sizeInBytes() * Count;
+  }
+
+  static bool classof(const OclType *T) { return T->kind() == Kind::Array; }
+
+private:
+  friend class OclTypeContext;
+  OclArrayType(const OclType *Elem, unsigned Count)
+      : OclType(Kind::Array), Elem(Elem), Count(Count) {}
+  const OclType *Elem;
+  unsigned Count;
+};
+
+/// Flat structs; used for the kernel bookkeeping record (Fig. 4b).
+class StructType : public OclType {
+public:
+  struct Field {
+    std::string Name;
+    const OclType *Ty;
+    unsigned Offset;
+  };
+
+  const std::string &name() const { return Name; }
+  const std::vector<Field> &fields() const { return Fields; }
+  const Field *findField(const std::string &FieldName) const {
+    for (const Field &F : Fields)
+      if (F.Name == FieldName)
+        return &F;
+    return nullptr;
+  }
+  std::string str() const override { return "struct " + Name; }
+  unsigned sizeInBytes() const override { return Size; }
+
+  static bool classof(const OclType *T) { return T->kind() == Kind::Struct; }
+
+private:
+  friend class OclTypeContext;
+  StructType(std::string Name, std::vector<Field> Fields, unsigned Size)
+      : OclType(Kind::Struct), Name(std::move(Name)),
+        Fields(std::move(Fields)), Size(Size) {}
+  std::string Name;
+  std::vector<Field> Fields;
+  unsigned Size;
+};
+
+/// read_only image2d_t.
+class ImageType : public OclType {
+public:
+  std::string str() const override { return "image2d_t"; }
+  unsigned sizeInBytes() const override { return 8; }
+
+  static bool classof(const OclType *T) { return T->kind() == Kind::Image; }
+
+private:
+  friend class OclTypeContext;
+  ImageType() : OclType(Kind::Image) {}
+};
+
+/// Canonicalizing owner of OpenCL types.
+class OclTypeContext {
+public:
+  OclTypeContext();
+  ~OclTypeContext();
+  OclTypeContext(const OclTypeContext &) = delete;
+  OclTypeContext &operator=(const OclTypeContext &) = delete;
+
+  const ScalarType *getScalar(ScalarKind K);
+  const VectorType *getVector(ScalarKind Elem, unsigned Lanes);
+  const PointerType *getPointer(const OclType *Pointee, AddrSpace Space);
+  const OclArrayType *getArray(const OclType *Elem, unsigned Count);
+  const ImageType *getImage();
+
+  /// Builds a struct with natural (size-aligned) field layout.
+  const StructType *makeStruct(const std::string &Name,
+                               const std::vector<std::pair<std::string,
+                                                           const OclType *>>
+                                   &Fields);
+  const StructType *findStruct(const std::string &Name) const;
+
+  // Shorthands.
+  const ScalarType *voidTy() { return getScalar(ScalarKind::Void); }
+  const ScalarType *boolTy() { return getScalar(ScalarKind::Bool); }
+  const ScalarType *intTy() { return getScalar(ScalarKind::Int); }
+  const ScalarType *uintTy() { return getScalar(ScalarKind::UInt); }
+  const ScalarType *longTy() { return getScalar(ScalarKind::Long); }
+  const ScalarType *floatTy() { return getScalar(ScalarKind::Float); }
+  const ScalarType *doubleTy() { return getScalar(ScalarKind::Double); }
+  const ScalarType *charTy() { return getScalar(ScalarKind::Char); }
+  const ScalarType *ucharTy() { return getScalar(ScalarKind::UChar); }
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> TheImpl;
+};
+
+} // namespace lime::ocl
+
+#endif // LIMECC_OCL_OCLTYPE_H

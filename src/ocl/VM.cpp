@@ -1,0 +1,1111 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/VM.h"
+
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace lime;
+using namespace lime::ocl;
+
+SimDevice::SimDevice(const DeviceModel &Model) : Model(Model), Mem(Model) {
+  assert(Model.WarpWidth <= 64 && "mask is a 64-bit word");
+}
+
+uint64_t SimDevice::allocBuffer(uint64_t Bytes, AddrSpace Space) {
+  auto &Arena = Space == AddrSpace::Constant ? ConstArena : GlobalArena;
+  // 256-byte align buffer bases (matches real allocator granularity
+  // and keeps coalescing segments clean).
+  uint64_t Base = (Arena.size() + 255) & ~uint64_t(255);
+  Arena.resize(Base + Bytes, 0);
+  return Base;
+}
+
+void SimDevice::writeBuffer(uint64_t Offset, AddrSpace Space, const void *Src,
+                            uint64_t Bytes) {
+  auto &Arena = Space == AddrSpace::Constant ? ConstArena : GlobalArena;
+  assert(Offset + Bytes <= Arena.size() && "writeBuffer out of range");
+  std::memcpy(Arena.data() + Offset, Src, Bytes);
+}
+
+void SimDevice::readBuffer(uint64_t Offset, AddrSpace Space, void *Dst,
+                           uint64_t Bytes) const {
+  const auto &Arena = Space == AddrSpace::Constant ? ConstArena : GlobalArena;
+  assert(Offset + Bytes <= Arena.size() && "readBuffer out of range");
+  std::memcpy(Dst, Arena.data() + Offset, Bytes);
+}
+
+int SimDevice::addImage(SimImage Img) {
+  Images.push_back(std::move(Img));
+  return static_cast<int>(Images.size()) - 1;
+}
+
+void SimDevice::updateImage(int Index, SimImage Img) {
+  assert(Index >= 0 && Index < static_cast<int>(Images.size()) &&
+         "updateImage on unknown image");
+  Images[static_cast<size_t>(Index)] = std::move(Img);
+}
+
+void SimDevice::resetMemory() {
+  GlobalArena.clear();
+  ConstArena.clear();
+  Images.clear();
+}
+
+void SimDevice::fault(Dispatch &D, const std::string &Msg) {
+  if (D.Fault.empty())
+    D.Fault = Msg;
+}
+
+uint8_t *SimDevice::spaceBase(Dispatch &D, AddrSpace Space, unsigned Lane,
+                              uint64_t &Limit) {
+  switch (Space) {
+  case AddrSpace::Global:
+    Limit = GlobalArena.size();
+    return GlobalArena.data();
+  case AddrSpace::Constant:
+    Limit = ConstArena.size();
+    return ConstArena.data();
+  case AddrSpace::Local:
+    Limit = D.LocalArena.size();
+    return D.LocalArena.data();
+  case AddrSpace::Private:
+    Limit = D.PrivateBytesPerLane;
+    return D.PrivateArena.data() + Lane * D.PrivateBytesPerLane;
+  case AddrSpace::Param:
+    Limit = D.ParamBlock.size();
+    return D.ParamBlock.data();
+  case AddrSpace::Image:
+    Limit = 0;
+    return nullptr;
+  }
+  lime_unreachable("bad address space");
+}
+
+//===----------------------------------------------------------------------===//
+// Scalar operation helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Integer wraparound semantics per type.
+int64_t wrapInt(int64_t V, ValType T) {
+  switch (T) {
+  case ValType::I8:
+    return static_cast<int8_t>(V);
+  case ValType::U8:
+    return static_cast<uint8_t>(V);
+  case ValType::I32:
+    return static_cast<int32_t>(V);
+  case ValType::U32:
+    return static_cast<uint32_t>(V);
+  case ValType::I64:
+  case ValType::U64:
+    return V;
+  default:
+    return V;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Dispatch
+//===----------------------------------------------------------------------===//
+
+LaunchResult SimDevice::run(const BcKernel &K,
+                            const std::vector<LaunchArg> &Args,
+                            std::array<uint32_t, 2> GlobalSize,
+                            std::array<uint32_t, 2> LocalSize) {
+  LaunchResult R;
+  Mem.counters().reset();
+
+  if (Args.size() != K.Params.size()) {
+    R.Error = formatString("kernel %s: %zu args bound, %zu expected",
+                           K.Name.c_str(), Args.size(), K.Params.size());
+    return R;
+  }
+  if (LocalSize[0] == 0 || LocalSize[1] == 0 || GlobalSize[0] == 0 ||
+      GlobalSize[1] == 0) {
+    R.Error = "zero NDRange dimension";
+    return R;
+  }
+  if (GlobalSize[0] % LocalSize[0] != 0 || GlobalSize[1] % LocalSize[1] != 0) {
+    R.Error = "global size must be a multiple of the work-group size";
+    return R;
+  }
+
+  Dispatch D;
+  D.K = &K;
+  D.GlobalSize = GlobalSize;
+  D.LocalSize = LocalSize;
+  D.PrivateBytesPerLane = K.PrivateBytes;
+  // Budget scales with the dispatch: ~4M warp-instructions per warp
+  // is orders of magnitude beyond any real kernel here, so runaway
+  // loops fault quickly instead of hanging the simulator.
+  {
+    uint64_t TotalItems =
+        static_cast<uint64_t>(GlobalSize[0]) * GlobalSize[1];
+    uint64_t TotalWarps =
+        (TotalItems + Model.WarpWidth - 1) / Model.WarpWidth;
+    D.InstructionBudget = (1ULL << 24) + TotalWarps * (4ULL << 20);
+  }
+
+  // Lay out the by-value records and dynamic local sizes.
+  uint64_t DynamicLocal = 0;
+  std::vector<uint64_t> DynamicLocalBase(Args.size(), 0);
+  D.ImageSlots.assign(Args.size(), -1);
+  std::vector<int64_t> ParamRegI(Args.size(), 0);
+  std::vector<double> ParamRegF(Args.size(), 0.0);
+  for (size_t I = 0; I != Args.size(); ++I) {
+    const BcParam &P = K.Params[I];
+    const LaunchArg &A = Args[I];
+    switch (P.TheKind) {
+    case BcParam::Kind::GlobalPtr:
+      if (A.TheKind != LaunchArg::Kind::Buffer ||
+          A.BufferSpace != AddrSpace::Global) {
+        R.Error = "arg " + std::to_string(I) + ": expected a global buffer";
+        return R;
+      }
+      ParamRegI[I] = static_cast<int64_t>(A.BufferOffset);
+      break;
+    case BcParam::Kind::ConstantPtr:
+      if (A.TheKind != LaunchArg::Kind::Buffer ||
+          A.BufferSpace != AddrSpace::Constant) {
+        R.Error = "arg " + std::to_string(I) + ": expected a constant buffer";
+        return R;
+      }
+      ParamRegI[I] = static_cast<int64_t>(A.BufferOffset);
+      break;
+    case BcParam::Kind::LocalPtr: {
+      if (A.TheKind != LaunchArg::Kind::LocalBytes) {
+        R.Error = "arg " + std::to_string(I) + ": expected a local size";
+        return R;
+      }
+      uint64_t Aligned = (K.StaticLocalBytes + DynamicLocal + 15) & ~15ULL;
+      DynamicLocalBase[I] = Aligned;
+      DynamicLocal = Aligned + A.LocalBytes - K.StaticLocalBytes;
+      ParamRegI[I] = static_cast<int64_t>(Aligned);
+      break;
+    }
+    case BcParam::Kind::Image:
+      if (A.TheKind != LaunchArg::Kind::Image || A.ImageIndex < 0 ||
+          A.ImageIndex >= static_cast<int>(Images.size())) {
+        R.Error = "arg " + std::to_string(I) + ": expected an image";
+        return R;
+      }
+      D.ImageSlots[I] = A.ImageIndex;
+      break;
+    case BcParam::Kind::Struct: {
+      if (A.TheKind != LaunchArg::Kind::Struct ||
+          A.StructBytes.size() != P.StructBytes) {
+        R.Error = formatString("arg %zu: expected a %u-byte record", I,
+                               P.StructBytes);
+        return R;
+      }
+      uint64_t Base = (D.ParamBlock.size() + 15) & ~15ULL;
+      D.ParamBlock.resize(Base + A.StructBytes.size());
+      std::memcpy(D.ParamBlock.data() + Base, A.StructBytes.data(),
+                  A.StructBytes.size());
+      ParamRegI[I] = static_cast<int64_t>(Base);
+      break;
+    }
+    case BcParam::Kind::ScalarI32:
+    case BcParam::Kind::ScalarI64:
+      if (A.TheKind != LaunchArg::Kind::ScalarI32 &&
+          A.TheKind != LaunchArg::Kind::ScalarI64) {
+        R.Error = "arg " + std::to_string(I) + ": expected an integer";
+        return R;
+      }
+      ParamRegI[I] = A.ScalarI;
+      break;
+    case BcParam::Kind::ScalarF32:
+    case BcParam::Kind::ScalarF64:
+      if (A.TheKind != LaunchArg::Kind::ScalarF32 &&
+          A.TheKind != LaunchArg::Kind::ScalarF64) {
+        R.Error = "arg " + std::to_string(I) + ": expected a float";
+        return R;
+      }
+      ParamRegF[I] = A.ScalarF;
+      break;
+    }
+  }
+
+  const uint64_t LocalBytesTotal = K.StaticLocalBytes + DynamicLocal;
+  if (LocalBytesTotal > Model.LocalBytesPerSM) {
+    R.Error = formatString("work-group needs %llu local bytes but the "
+                           "device has %u",
+                           static_cast<unsigned long long>(LocalBytesTotal),
+                           Model.LocalBytesPerSM);
+    return R;
+  }
+
+  const unsigned W = Model.WarpWidth;
+  const uint32_t GroupsX = GlobalSize[0] / LocalSize[0];
+  const uint32_t GroupsY = GlobalSize[1] / LocalSize[1];
+  const uint32_t GroupLinear = LocalSize[0] * LocalSize[1];
+  const unsigned WarpsPerGroup = (GroupLinear + W - 1) / W;
+
+  for (uint32_t GY = 0; GY != GroupsY && D.Fault.empty(); ++GY) {
+    for (uint32_t GX = 0; GX != GroupsX && D.Fault.empty(); ++GX) {
+      D.GroupId = {GX, GY};
+      D.LocalArena.assign(LocalBytesTotal, 0);
+      D.PrivateArena.assign(static_cast<size_t>(W) * K.PrivateBytes *
+                                WarpsPerGroup,
+                            0);
+      Mem.beginWorkGroup();
+
+      std::vector<WarpState> Warps(WarpsPerGroup);
+      for (unsigned WI = 0; WI != WarpsPerGroup; ++WI) {
+        WarpState &Warp = Warps[WI];
+        Warp.FirstLinear = WI * W;
+        Warp.Regs.assign(static_cast<size_t>(K.NumRegs) * W, Slot());
+        uint64_t Mask = 0;
+        for (unsigned L = 0; L != W; ++L)
+          if (Warp.FirstLinear + L < GroupLinear)
+            Mask |= 1ULL << L;
+        Warp.Mask = Mask;
+        // Bind parameter registers for every lane.
+        for (size_t PI = 0; PI != K.Params.size(); ++PI) {
+          const BcParam &P = K.Params[PI];
+          for (unsigned L = 0; L != W; ++L) {
+            Slot &S = reg(Warp, P.Reg, L);
+            switch (P.TheKind) {
+            case BcParam::Kind::ScalarF32:
+            case BcParam::Kind::ScalarF64:
+              S.D = ParamRegF[PI];
+              break;
+            case BcParam::Kind::Image:
+              S.I = D.ImageSlots[PI];
+              break;
+            default:
+              S.I = ParamRegI[PI];
+              break;
+            }
+          }
+        }
+      }
+
+      // Note: the private arena is indexed by lane *within the
+      // group* so warps do not alias; adjust each warp's base lane.
+      // Warp execution with barrier rendezvous.
+      while (D.Fault.empty()) {
+        bool AllDone = true;
+        bool AnyProgress = false;
+        for (unsigned WI = 0; WI != WarpsPerGroup; ++WI) {
+          WarpState &Warp = Warps[WI];
+          if (Warp.Done)
+            continue;
+          AllDone = false;
+          if (Warp.AtBarrier)
+            continue;
+          runWarp(Warp, D);
+          AnyProgress = true;
+        }
+        if (AllDone || !D.Fault.empty())
+          break;
+        // Everyone left is at a barrier: release them.
+        bool AllWaiting = true;
+        for (const WarpState &Warp : Warps)
+          if (!Warp.Done && !Warp.AtBarrier)
+            AllWaiting = false;
+        if (AllWaiting) {
+          for (WarpState &Warp : Warps)
+            Warp.AtBarrier = false;
+          continue;
+        }
+        if (!AnyProgress) {
+          fault(D, "scheduler deadlock (barrier mismatch?)");
+          break;
+        }
+      }
+    }
+  }
+
+  R.Error = D.Fault;
+  R.Counters = Mem.counters();
+  R.KernelTimeNs = kernelTimeNs(Model, R.Counters);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Warp interpreter
+//===----------------------------------------------------------------------===//
+
+void SimDevice::runWarp(WarpState &W, Dispatch &D) {
+  const BcKernel &K = *D.K;
+  const unsigned Width = Model.WarpWidth;
+  KernelCounters &C = Mem.counters();
+
+  auto ActiveMask = [&]() { return W.Mask & ~W.Exited; };
+
+  while (D.Fault.empty()) {
+    if (W.Pc >= K.Code.size()) {
+      W.Done = true;
+      return;
+    }
+    if (D.InstructionBudget-- == 0) {
+      fault(D, "kernel instruction budget exhausted (runaway loop?)");
+      return;
+    }
+    const BcInstr &In = K.Code[W.Pc];
+    uint64_t Active = ActiveMask();
+
+    // Charge the issue slot.
+    switch (In.Op) {
+    case BcOp::Sqrt:
+    case BcOp::RSqrt:
+      // Hardware sqrt/rsqrt is nearly free on the SFU; the precise
+      // variant adds a Newton step.
+      if (Active) {
+        uint64_t Cost = In.Native ? 1 : 2;
+        if (In.Ty == ValType::F64)
+          Cost *= 4; // software DP sqrt
+        C.SfuWarpOps += Cost;
+      }
+      break;
+    case BcOp::Sin:
+    case BcOp::Cos:
+    case BcOp::Tan:
+    case BcOp::Exp:
+    case BcOp::Log:
+    case BcOp::Pow:
+      if (Active) {
+        uint64_t Cost = In.Native ? 1 : 4;
+        if (In.Ty == ValType::F64)
+          Cost *= 4; // DP transcendentals run in software
+        C.SfuWarpOps += Cost;
+      }
+      break;
+    case BcOp::IfBegin:
+    case BcOp::IfElse:
+    case BcOp::IfEnd:
+    case BcOp::LoopBegin:
+    case BcOp::LoopTest:
+    case BcOp::LoopEnd:
+    case BcOp::Jump:
+    case BcOp::Barrier:
+    case BcOp::Ret:
+    case BcOp::Halt:
+      break; // control is effectively free on the issue side
+    case BcOp::ConstI:
+    case BcOp::ConstF:
+    case BcOp::Mov:
+    case BcOp::Cvt:
+      // Immediates, register moves and conversions fold into
+      // addressing modes / modifiers on real ISAs; charging them
+      // would tax the bytecode's RISC-ness, not the program.
+      break;
+    case BcOp::Div:
+    case BcOp::Rem:
+      // Division has no single-cycle hardware path on either CPUs or
+      // GPUs; charge several issue slots.
+      if (Active) {
+        if (In.Ty == ValType::F64)
+          C.DpWarpOps += 8;
+        else
+          C.AluWarpOps += 8;
+      }
+      break;
+    default:
+      if (Active) {
+        if (In.Ty == ValType::F64)
+          ++C.DpWarpOps;
+        else
+          ++C.AluWarpOps;
+      }
+      break;
+    }
+
+    switch (In.Op) {
+    case BcOp::ConstI:
+      for (unsigned L = 0; L != Width; ++L)
+        if (Active & (1ULL << L))
+          reg(W, In.Dst, L).I = In.ImmI;
+      break;
+    case BcOp::ConstF:
+      for (unsigned L = 0; L != Width; ++L)
+        if (Active & (1ULL << L))
+          reg(W, In.Dst, L).D = In.ImmF;
+      break;
+    case BcOp::Mov:
+      for (unsigned L = 0; L != Width; ++L)
+        if (Active & (1ULL << L))
+          reg(W, In.Dst, L) = reg(W, In.A, L);
+      break;
+
+    case BcOp::Cvt:
+      for (unsigned L = 0; L != Width; ++L) {
+        if (!(Active & (1ULL << L)))
+          continue;
+        Slot &Src = reg(W, In.A, L);
+        Slot &Dst = reg(W, In.Dst, L);
+        double FV;
+        int64_t IV;
+        if (isFloatVal(In.SrcTy)) {
+          FV = Src.D;
+          IV = static_cast<int64_t>(Src.D);
+        } else {
+          IV = Src.I;
+          FV = In.SrcTy == ValType::U64
+                   ? static_cast<double>(static_cast<uint64_t>(Src.I))
+                   : static_cast<double>(Src.I);
+        }
+        switch (In.Ty) {
+        case ValType::F32:
+          Dst.D = static_cast<float>(FV);
+          break;
+        case ValType::F64:
+          Dst.D = FV;
+          break;
+        default:
+          Dst.I = wrapInt(IV, In.Ty);
+          break;
+        }
+      }
+      break;
+
+    case BcOp::Add:
+    case BcOp::Sub:
+    case BcOp::Mul:
+    case BcOp::Div:
+    case BcOp::Rem:
+    case BcOp::Shl:
+    case BcOp::Shr:
+    case BcOp::And:
+    case BcOp::Or:
+    case BcOp::Xor:
+    case BcOp::MinOp:
+    case BcOp::MaxOp:
+      for (unsigned L = 0; L != Width; ++L) {
+        if (!(Active & (1ULL << L)))
+          continue;
+        Slot &A = reg(W, In.A, L);
+        Slot &B = reg(W, In.B, L);
+        Slot &Dst = reg(W, In.Dst, L);
+        if (isFloatVal(In.Ty)) {
+          double X = A.D;
+          double Y = B.D;
+          double Res;
+          switch (In.Op) {
+          case BcOp::Add:
+            Res = X + Y;
+            break;
+          case BcOp::Sub:
+            Res = X - Y;
+            break;
+          case BcOp::Mul:
+            Res = X * Y;
+            break;
+          case BcOp::Div:
+            Res = X / Y;
+            break;
+          case BcOp::Rem:
+            Res = std::fmod(X, Y);
+            break;
+          case BcOp::MinOp:
+            Res = std::fmin(X, Y);
+            break;
+          case BcOp::MaxOp:
+            Res = std::fmax(X, Y);
+            break;
+          default:
+            Res = 0;
+            break;
+          }
+          if (In.Ty == ValType::F32) {
+            float FX = static_cast<float>(X);
+            float FY = static_cast<float>(Y);
+            float FR;
+            switch (In.Op) {
+            case BcOp::Add:
+              FR = FX + FY;
+              break;
+            case BcOp::Sub:
+              FR = FX - FY;
+              break;
+            case BcOp::Mul:
+              FR = FX * FY;
+              break;
+            case BcOp::Div:
+              FR = FX / FY;
+              break;
+            case BcOp::Rem:
+              FR = std::fmod(FX, FY);
+              break;
+            case BcOp::MinOp:
+              FR = std::fmin(FX, FY);
+              break;
+            case BcOp::MaxOp:
+              FR = std::fmax(FX, FY);
+              break;
+            default:
+              FR = 0;
+              break;
+            }
+            Dst.D = FR;
+          } else {
+            Dst.D = Res;
+          }
+          continue;
+        }
+        int64_t X = A.I;
+        int64_t Y = B.I;
+        int64_t Res = 0;
+        bool Unsigned = In.Ty == ValType::U32 || In.Ty == ValType::U64 ||
+                        In.Ty == ValType::U8;
+        switch (In.Op) {
+        case BcOp::Add:
+          Res = X + Y;
+          break;
+        case BcOp::Sub:
+          Res = X - Y;
+          break;
+        case BcOp::Mul:
+          Res = X * Y;
+          break;
+        case BcOp::Div:
+          if (Y == 0) {
+            fault(D, "kernel fault: integer division by zero");
+            return;
+          }
+          Res = Unsigned ? static_cast<int64_t>(
+                               static_cast<uint64_t>(X) /
+                               static_cast<uint64_t>(Y))
+                         : X / Y;
+          break;
+        case BcOp::Rem:
+          if (Y == 0) {
+            fault(D, "kernel fault: integer remainder by zero");
+            return;
+          }
+          Res = Unsigned ? static_cast<int64_t>(
+                               static_cast<uint64_t>(X) %
+                               static_cast<uint64_t>(Y))
+                         : X % Y;
+          break;
+        case BcOp::Shl:
+          Res = static_cast<int64_t>(static_cast<uint64_t>(X)
+                                     << (Y & 63));
+          break;
+        case BcOp::Shr:
+          Res = Unsigned ? static_cast<int64_t>(static_cast<uint64_t>(X) >>
+                                                (Y & 63))
+                         : (X >> (Y & 63));
+          break;
+        case BcOp::And:
+          Res = X & Y;
+          break;
+        case BcOp::Or:
+          Res = X | Y;
+          break;
+        case BcOp::Xor:
+          Res = X ^ Y;
+          break;
+        case BcOp::MinOp:
+          Res = std::min(X, Y);
+          break;
+        case BcOp::MaxOp:
+          Res = std::max(X, Y);
+          break;
+        default:
+          break;
+        }
+        Dst.I = wrapInt(Res, In.Ty);
+      }
+      break;
+
+    case BcOp::Neg:
+    case BcOp::Not:
+    case BcOp::LNot:
+    case BcOp::AbsOp:
+      for (unsigned L = 0; L != Width; ++L) {
+        if (!(Active & (1ULL << L)))
+          continue;
+        Slot &A = reg(W, In.A, L);
+        Slot &Dst = reg(W, In.Dst, L);
+        if (isFloatVal(In.Ty)) {
+          switch (In.Op) {
+          case BcOp::Neg:
+            Dst.D = In.Ty == ValType::F32
+                        ? -static_cast<float>(A.D)
+                        : -A.D;
+            break;
+          case BcOp::AbsOp:
+            Dst.D = std::fabs(A.D);
+            break;
+          case BcOp::LNot:
+            Dst.I = A.D == 0.0;
+            break;
+          default:
+            Dst.D = A.D;
+            break;
+          }
+        } else {
+          switch (In.Op) {
+          case BcOp::Neg:
+            Dst.I = wrapInt(-A.I, In.Ty);
+            break;
+          case BcOp::Not:
+            Dst.I = wrapInt(~A.I, In.Ty);
+            break;
+          case BcOp::LNot:
+            Dst.I = A.I == 0;
+            break;
+          case BcOp::AbsOp:
+            Dst.I = wrapInt(std::abs(A.I), In.Ty);
+            break;
+          default:
+            break;
+          }
+        }
+      }
+      break;
+
+    case BcOp::CmpLt:
+    case BcOp::CmpLe:
+    case BcOp::CmpGt:
+    case BcOp::CmpGe:
+    case BcOp::CmpEq:
+    case BcOp::CmpNe:
+      for (unsigned L = 0; L != Width; ++L) {
+        if (!(Active & (1ULL << L)))
+          continue;
+        Slot &A = reg(W, In.A, L);
+        Slot &B = reg(W, In.B, L);
+        bool Res;
+        if (isFloatVal(In.Ty)) {
+          double X = A.D;
+          double Y = B.D;
+          switch (In.Op) {
+          case BcOp::CmpLt:
+            Res = X < Y;
+            break;
+          case BcOp::CmpLe:
+            Res = X <= Y;
+            break;
+          case BcOp::CmpGt:
+            Res = X > Y;
+            break;
+          case BcOp::CmpGe:
+            Res = X >= Y;
+            break;
+          case BcOp::CmpEq:
+            Res = X == Y;
+            break;
+          default:
+            Res = X != Y;
+            break;
+          }
+        } else {
+          bool Unsigned = In.Ty == ValType::U32 || In.Ty == ValType::U64 ||
+                          In.Ty == ValType::U8;
+          int64_t X = A.I;
+          int64_t Y = B.I;
+          if (Unsigned) {
+            uint64_t UX = static_cast<uint64_t>(X);
+            uint64_t UY = static_cast<uint64_t>(Y);
+            switch (In.Op) {
+            case BcOp::CmpLt:
+              Res = UX < UY;
+              break;
+            case BcOp::CmpLe:
+              Res = UX <= UY;
+              break;
+            case BcOp::CmpGt:
+              Res = UX > UY;
+              break;
+            case BcOp::CmpGe:
+              Res = UX >= UY;
+              break;
+            case BcOp::CmpEq:
+              Res = UX == UY;
+              break;
+            default:
+              Res = UX != UY;
+              break;
+            }
+          } else {
+            switch (In.Op) {
+            case BcOp::CmpLt:
+              Res = X < Y;
+              break;
+            case BcOp::CmpLe:
+              Res = X <= Y;
+              break;
+            case BcOp::CmpGt:
+              Res = X > Y;
+              break;
+            case BcOp::CmpGe:
+              Res = X >= Y;
+              break;
+            case BcOp::CmpEq:
+              Res = X == Y;
+              break;
+            default:
+              Res = X != Y;
+              break;
+            }
+          }
+        }
+        reg(W, In.Dst, L).I = Res ? 1 : 0;
+      }
+      break;
+
+    case BcOp::Select:
+      for (unsigned L = 0; L != Width; ++L) {
+        if (!(Active & (1ULL << L)))
+          continue;
+        bool Cond = reg(W, In.A, L).I != 0;
+        reg(W, In.Dst, L) = Cond ? reg(W, In.B, L) : reg(W, In.C, L);
+      }
+      break;
+
+    case BcOp::Sqrt:
+    case BcOp::RSqrt:
+    case BcOp::Sin:
+    case BcOp::Cos:
+    case BcOp::Tan:
+    case BcOp::Exp:
+    case BcOp::Log:
+    case BcOp::Pow:
+    case BcOp::Floor:
+      for (unsigned L = 0; L != Width; ++L) {
+        if (!(Active & (1ULL << L)))
+          continue;
+        double X = reg(W, In.A, L).D;
+        double Y = In.B >= 0 ? reg(W, In.B, L).D : 0.0;
+        double Res;
+        switch (In.Op) {
+        case BcOp::Sqrt:
+          Res = std::sqrt(X);
+          break;
+        case BcOp::RSqrt:
+          Res = 1.0 / std::sqrt(X);
+          break;
+        case BcOp::Sin:
+          Res = std::sin(X);
+          break;
+        case BcOp::Cos:
+          Res = std::cos(X);
+          break;
+        case BcOp::Tan:
+          Res = std::tan(X);
+          break;
+        case BcOp::Exp:
+          Res = std::exp(X);
+          break;
+        case BcOp::Log:
+          Res = std::log(X);
+          break;
+        case BcOp::Pow:
+          Res = std::pow(X, Y);
+          break;
+        case BcOp::Floor:
+          Res = std::floor(X);
+          break;
+        default:
+          Res = 0;
+          break;
+        }
+        reg(W, In.Dst, L).D =
+            In.Ty == ValType::F32 ? static_cast<float>(Res) : Res;
+      }
+      break;
+
+    case BcOp::Load:
+    case BcOp::Store:
+      execMemory(W, D, In);
+      if (!D.Fault.empty())
+        return;
+      break;
+
+    case BcOp::GlobalId:
+    case BcOp::LocalId:
+    case BcOp::GroupId:
+    case BcOp::GlobalSize:
+    case BcOp::LocalSize:
+    case BcOp::NumGroups:
+      for (unsigned L = 0; L != Width; ++L) {
+        if (!(Active & (1ULL << L)))
+          continue;
+        uint32_t Linear = W.FirstLinear + L;
+        uint32_t LX = Linear % D.LocalSize[0];
+        uint32_t LY = Linear / D.LocalSize[0];
+        int64_t V = 0;
+        unsigned Dim = In.Dim;
+        switch (In.Op) {
+        case BcOp::GlobalId:
+          V = Dim == 0 ? D.GroupId[0] * D.LocalSize[0] + LX
+                       : D.GroupId[1] * D.LocalSize[1] + LY;
+          break;
+        case BcOp::LocalId:
+          V = Dim == 0 ? LX : LY;
+          break;
+        case BcOp::GroupId:
+          V = D.GroupId[Dim & 1];
+          break;
+        case BcOp::GlobalSize:
+          V = D.GlobalSize[Dim & 1];
+          break;
+        case BcOp::LocalSize:
+          V = D.LocalSize[Dim & 1];
+          break;
+        case BcOp::NumGroups:
+          V = D.GlobalSize[Dim & 1] / D.LocalSize[Dim & 1];
+          break;
+        default:
+          break;
+        }
+        reg(W, In.Dst, L).I = V;
+      }
+      break;
+
+    case BcOp::ReadImage: {
+      std::vector<uint64_t> Addrs;
+      int Slot = -1;
+      for (unsigned L = 0; L != Width; ++L) {
+        if (!(Active & (1ULL << L)))
+          continue;
+        if (Slot < 0)
+          Slot = static_cast<int>(reg(W, In.C, L).I);
+        if (Slot < 0 || Slot >= static_cast<int>(Images.size())) {
+          fault(D, "kernel fault: read_imagef on an unbound image");
+          return;
+        }
+        const SimImage &Img = Images[static_cast<size_t>(Slot)];
+        int64_t X = reg(W, In.A, L).I;
+        int64_t Y = reg(W, In.B, L).I;
+        // CLK_ADDRESS_CLAMP_TO_EDGE semantics.
+        X = std::clamp<int64_t>(X, 0, static_cast<int64_t>(Img.Width) - 1);
+        Y = std::clamp<int64_t>(Y, 0, static_cast<int64_t>(Img.Height) - 1);
+        size_t Texel =
+            (static_cast<size_t>(Y) * Img.Width + static_cast<size_t>(X)) * 4;
+        for (unsigned Comp = 0; Comp != 4; ++Comp)
+          reg(W, In.Dst + static_cast<int32_t>(Comp), L).D =
+              Img.Texels[Texel + Comp];
+        Addrs.push_back(static_cast<uint64_t>(Texel) * 4);
+      }
+      Mem.accessImage(Addrs, 16);
+      break;
+    }
+
+    case BcOp::Jump:
+      W.Pc = static_cast<size_t>(In.Target);
+      continue;
+
+    case BcOp::IfBegin: {
+      uint64_t Cond = 0;
+      for (unsigned L = 0; L != Width; ++L)
+        if ((Active & (1ULL << L)) && reg(W, In.A, L).I != 0)
+          Cond |= 1ULL << L;
+      Frame F;
+      F.TheKind = Frame::Kind::If;
+      F.SavedMask = W.Mask;
+      F.ThenMask = Cond;
+      W.Stack.push_back(F);
+      W.Mask = Cond;
+      if ((W.Mask & ~W.Exited) == 0) {
+        W.Pc = static_cast<size_t>(In.Target);
+        continue;
+      }
+      break;
+    }
+    case BcOp::IfElse: {
+      Frame &F = W.Stack.back();
+      W.Mask = F.SavedMask & ~F.ThenMask;
+      if ((W.Mask & ~W.Exited) == 0) {
+        W.Pc = static_cast<size_t>(In.Target);
+        continue;
+      }
+      break;
+    }
+    case BcOp::IfEnd: {
+      Frame F = W.Stack.back();
+      W.Stack.pop_back();
+      W.Mask = F.SavedMask;
+      break;
+    }
+
+    case BcOp::LoopBegin: {
+      Frame F;
+      F.TheKind = Frame::Kind::Loop;
+      F.SavedMask = W.Mask;
+      W.Stack.push_back(F);
+      break;
+    }
+    case BcOp::LoopTest: {
+      uint64_t Cond = 0;
+      for (unsigned L = 0; L != Width; ++L)
+        if ((Active & (1ULL << L)) && reg(W, In.A, L).I != 0)
+          Cond |= 1ULL << L;
+      W.Mask &= Cond;
+      if ((W.Mask & ~W.Exited) == 0) {
+        Frame F = W.Stack.back();
+        W.Stack.pop_back();
+        W.Mask = F.SavedMask;
+        W.Pc = static_cast<size_t>(In.Target);
+        continue;
+      }
+      break;
+    }
+    case BcOp::LoopEnd:
+      W.Pc = static_cast<size_t>(In.Target);
+      continue;
+
+    case BcOp::Barrier:
+      ++C.BarriersExecuted;
+      ++W.Pc;
+      W.AtBarrier = true;
+      return;
+
+    case BcOp::Ret:
+      W.Exited |= Active;
+      if ((W.Mask & ~W.Exited) == 0 && W.Stack.empty()) {
+        W.Done = true;
+        return;
+      }
+      break;
+
+    case BcOp::Halt:
+      W.Done = true;
+      return;
+    }
+
+    ++W.Pc;
+  }
+}
+
+void SimDevice::execMemory(WarpState &W, Dispatch &D, const BcInstr &In) {
+  const unsigned Width = Model.WarpWidth;
+  uint64_t Active = W.Mask & ~W.Exited;
+  unsigned ElemBytes = valTypeBytes(In.Ty);
+  unsigned AccessBytes = ElemBytes * In.Width;
+  bool IsStore = In.Op == BcOp::Store;
+
+  std::vector<uint64_t> Addrs;
+  Addrs.reserve(Width);
+
+  for (unsigned L = 0; L != Width; ++L) {
+    if (!(Active & (1ULL << L)))
+      continue;
+    uint64_t Addr = static_cast<uint64_t>(reg(W, In.B, L).I);
+    uint64_t Limit;
+    // Private space is per-lane: the group-linear work-item index
+    // selects the lane's slice of the private arena.
+    unsigned GroupLane = W.FirstLinear + L;
+    uint8_t *Base = spaceBase(D, In.Space, GroupLane, Limit);
+    if (!Base || Addr + AccessBytes > Limit) {
+      fault(D, formatString(
+                   "kernel fault: %s access out of bounds "
+                   "(space=%s addr=%llu size=%u limit=%llu, kernel %s)",
+                   IsStore ? "store" : "load", addrSpaceName(In.Space),
+                   static_cast<unsigned long long>(Addr), AccessBytes,
+                   static_cast<unsigned long long>(Limit),
+                   D.K->Name.c_str()));
+      return;
+    }
+    // Move data between registers and memory, component by component.
+    for (unsigned Comp = 0; Comp != In.Width; ++Comp) {
+      uint8_t *P = Base + Addr + static_cast<uint64_t>(Comp) * ElemBytes;
+      if (IsStore) {
+        Slot &S = reg(W, In.A + static_cast<int32_t>(Comp), L);
+        switch (In.Ty) {
+        case ValType::I8:
+        case ValType::U8: {
+          uint8_t V = static_cast<uint8_t>(S.I);
+          std::memcpy(P, &V, 1);
+          break;
+        }
+        case ValType::I32:
+        case ValType::U32: {
+          uint32_t V = static_cast<uint32_t>(S.I);
+          std::memcpy(P, &V, 4);
+          break;
+        }
+        case ValType::I64:
+        case ValType::U64:
+          std::memcpy(P, &S.I, 8);
+          break;
+        case ValType::F32: {
+          float V = static_cast<float>(S.D);
+          std::memcpy(P, &V, 4);
+          break;
+        }
+        case ValType::F64:
+          std::memcpy(P, &S.D, 8);
+          break;
+        }
+      } else {
+        Slot &S = reg(W, In.Dst + static_cast<int32_t>(Comp), L);
+        switch (In.Ty) {
+        case ValType::I8: {
+          int8_t V;
+          std::memcpy(&V, P, 1);
+          S.I = V;
+          break;
+        }
+        case ValType::U8: {
+          uint8_t V;
+          std::memcpy(&V, P, 1);
+          S.I = V;
+          break;
+        }
+        case ValType::I32: {
+          int32_t V;
+          std::memcpy(&V, P, 4);
+          S.I = V;
+          break;
+        }
+        case ValType::U32: {
+          uint32_t V;
+          std::memcpy(&V, P, 4);
+          S.I = V;
+          break;
+        }
+        case ValType::I64:
+        case ValType::U64:
+          std::memcpy(&S.I, P, 8);
+          break;
+        case ValType::F32: {
+          float V;
+          std::memcpy(&V, P, 4);
+          S.D = V;
+          break;
+        }
+        case ValType::F64:
+          std::memcpy(&S.D, P, 8);
+          break;
+        }
+      }
+    }
+    Addrs.push_back(Addr);
+  }
+
+  switch (In.Space) {
+  case AddrSpace::Global:
+    Mem.accessGlobal(Addrs, AccessBytes, IsStore);
+    break;
+  case AddrSpace::Local:
+    Mem.accessLocal(Addrs, AccessBytes, IsStore);
+    break;
+  case AddrSpace::Constant:
+  case AddrSpace::Param:
+    Mem.accessConstant(Addrs, AccessBytes);
+    break;
+  case AddrSpace::Private:
+    // Private memory maps to registers/L1; the issue cost charged by
+    // the main loop suffices.
+    break;
+  case AddrSpace::Image:
+    break;
+  }
+}

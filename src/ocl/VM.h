@@ -1,0 +1,221 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated OpenCL device: memory arenas for the global /
+/// constant / local / private / image address spaces, and a lockstep
+/// SIMT warp interpreter for the bytecode of Bytecode.h.
+///
+/// Execution model: work-groups run one at a time; the work-items of
+/// a group are partitioned into warps of DeviceModel::WarpWidth lanes
+/// executing in lockstep under a divergence mask stack. `barrier()`
+/// suspends a warp until every live warp of the group arrives. Every
+/// memory instruction hands the active lanes' addresses to the
+/// MemoryModel, which prices coalescing, bank conflicts, broadcasts
+/// and caches into KernelCounters; every executed instruction is
+/// charged to the matching compute pipe. All accesses are bounds
+/// checked — a fault aborts the dispatch with a message (and fails
+/// the calling test).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_OCL_VM_H
+#define LIMECC_OCL_VM_H
+
+#include "ocl/Bytecode.h"
+#include "ocl/DeviceModel.h"
+#include "ocl/MemoryModel.h"
+
+#include <array>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace lime::ocl {
+
+/// A 2-D RGBA-float image (the subset's image2d_t).
+struct SimImage {
+  unsigned Width = 0;
+  unsigned Height = 0;
+  std::vector<float> Texels; // 4 floats per texel, row-major
+};
+
+/// One kernel-launch argument.
+struct LaunchArg {
+  enum class Kind : uint8_t {
+    Buffer,     // global or constant buffer (by arena offset)
+    LocalBytes, // dynamically-sized __local pointer (paper §4.2.1)
+    Image,
+    Struct, // by-value record bytes (Fig. 4b)
+    ScalarI32,
+    ScalarI64,
+    ScalarF32,
+    ScalarF64
+  };
+  Kind TheKind = Kind::ScalarI32;
+  uint64_t BufferOffset = 0;
+  AddrSpace BufferSpace = AddrSpace::Global;
+  uint64_t LocalBytes = 0;
+  int ImageIndex = -1;
+  std::vector<uint8_t> StructBytes;
+  int64_t ScalarI = 0;
+  double ScalarF = 0.0;
+
+  static LaunchArg buffer(uint64_t Offset, AddrSpace Space) {
+    LaunchArg A;
+    A.TheKind = Kind::Buffer;
+    A.BufferOffset = Offset;
+    A.BufferSpace = Space;
+    return A;
+  }
+  static LaunchArg localBytes(uint64_t Bytes) {
+    LaunchArg A;
+    A.TheKind = Kind::LocalBytes;
+    A.LocalBytes = Bytes;
+    return A;
+  }
+  static LaunchArg image(int Index) {
+    LaunchArg A;
+    A.TheKind = Kind::Image;
+    A.ImageIndex = Index;
+    return A;
+  }
+  static LaunchArg structBytes(std::vector<uint8_t> Bytes) {
+    LaunchArg A;
+    A.TheKind = Kind::Struct;
+    A.StructBytes = std::move(Bytes);
+    return A;
+  }
+  static LaunchArg i32(int32_t V) {
+    LaunchArg A;
+    A.TheKind = Kind::ScalarI32;
+    A.ScalarI = V;
+    return A;
+  }
+  static LaunchArg i64(int64_t V) {
+    LaunchArg A;
+    A.TheKind = Kind::ScalarI64;
+    A.ScalarI = V;
+    return A;
+  }
+  static LaunchArg f32(float V) {
+    LaunchArg A;
+    A.TheKind = Kind::ScalarF32;
+    A.ScalarF = V;
+    return A;
+  }
+  static LaunchArg f64(double V) {
+    LaunchArg A;
+    A.TheKind = Kind::ScalarF64;
+    A.ScalarF = V;
+    return A;
+  }
+};
+
+/// Result of one dispatch.
+struct LaunchResult {
+  std::string Error; // empty on success
+  KernelCounters Counters;
+  double KernelTimeNs = 0.0;
+
+  bool ok() const { return Error.empty(); }
+};
+
+class SimDevice {
+public:
+  explicit SimDevice(const DeviceModel &Model);
+
+  const DeviceModel &model() const { return Model; }
+
+  /// Allocates \p Bytes in the given arena (Global or Constant);
+  /// returns the base offset used as the device address.
+  uint64_t allocBuffer(uint64_t Bytes, AddrSpace Space);
+
+  /// Host <-> device copies (the API layer prices the PCIe transfer).
+  void writeBuffer(uint64_t Offset, AddrSpace Space, const void *Src,
+                   uint64_t Bytes);
+  void readBuffer(uint64_t Offset, AddrSpace Space, void *Dst,
+                  uint64_t Bytes) const;
+
+  /// Registers an image; returns its index for LaunchArg::image.
+  int addImage(SimImage Img);
+
+  /// Replaces the texels of an existing image (hosts re-upload
+  /// textures between launches).
+  void updateImage(int Index, SimImage Img);
+
+  /// Runs one NDRange dispatch to completion.
+  LaunchResult run(const BcKernel &K, const std::vector<LaunchArg> &Args,
+                   std::array<uint32_t, 2> GlobalSize,
+                   std::array<uint32_t, 2> LocalSize);
+
+  /// Clears allocations and images (buffers from prior launches).
+  void resetMemory();
+
+private:
+  struct Slot {
+    union {
+      int64_t I;
+      double D;
+    };
+    Slot() : I(0) {}
+  };
+
+  struct Frame {
+    enum class Kind : uint8_t { If, Loop } TheKind = Kind::If;
+    uint64_t SavedMask = 0;
+    uint64_t ThenMask = 0;
+  };
+
+  struct WarpState {
+    size_t Pc = 0;
+    uint64_t Mask = 0;    // active lanes
+    uint64_t Exited = 0;  // lanes retired by Ret
+    std::vector<Frame> Stack;
+    std::vector<Slot> Regs; // NumRegs x WarpWidth, lane-major runs
+    bool AtBarrier = false;
+    bool Done = false;
+    uint32_t FirstLinear = 0; // linear work-item id of lane 0
+  };
+
+  /// Per-dispatch state bundled for the interpreter.
+  struct Dispatch {
+    const BcKernel *K = nullptr;
+    std::array<uint32_t, 2> GlobalSize{1, 1};
+    std::array<uint32_t, 2> LocalSize{1, 1};
+    std::array<uint32_t, 2> GroupId{0, 0};
+    std::vector<uint8_t> ParamBlock;
+    std::vector<uint8_t> LocalArena;
+    std::vector<uint8_t> PrivateArena; // lanes x PrivateBytes
+    uint64_t PrivateBytesPerLane = 0;
+    std::vector<int> ImageSlots; // param index -> image index
+    std::string Fault;
+    uint64_t InstructionBudget = 0;
+  };
+
+  Slot &reg(WarpState &W, int32_t Reg, unsigned Lane) {
+    return W.Regs[static_cast<size_t>(Reg) * Model.WarpWidth + Lane];
+  }
+
+  /// Executes \p W until barrier, completion, or fault.
+  void runWarp(WarpState &W, Dispatch &D);
+  void execMemory(WarpState &W, Dispatch &D, const BcInstr &In);
+  void fault(Dispatch &D, const std::string &Msg);
+
+  uint8_t *spaceBase(Dispatch &D, AddrSpace Space, unsigned Lane,
+                     uint64_t &Limit);
+
+  const DeviceModel &Model;
+  MemoryModel Mem;
+  std::vector<uint8_t> GlobalArena;
+  std::vector<uint8_t> ConstArena;
+  std::vector<SimImage> Images;
+};
+
+} // namespace lime::ocl
+
+#endif // LIMECC_OCL_VM_H

@@ -1,0 +1,75 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/AutoTuner.h"
+
+#include "support/StringUtils.h"
+
+using namespace lime;
+using namespace lime::rt;
+
+TuneResult lime::rt::autoTune(Program *P, TypeContext &Types,
+                              MethodDecl *Worker,
+                              const std::vector<RtValue> &SampleArgs,
+                              const OffloadConfig &Base) {
+  TuneResult Out;
+
+  const std::pair<const char *, MemoryConfig> Configs[] = {
+      {"global", MemoryConfig::global()},
+      {"global+vector", MemoryConfig::globalVector()},
+      {"local", MemoryConfig::local()},
+      {"local+noconflict", MemoryConfig::localNoConflict()},
+      {"local+noconflict+vector", MemoryConfig::localNoConflictVector()},
+      {"constant", MemoryConfig::constant()},
+      {"constant+vector", MemoryConfig::constantVector()},
+      {"texture", MemoryConfig::texture()},
+  };
+  const unsigned LocalSizes[] = {32, 64, 128, 256};
+
+  bool AnyValid = false;
+  for (const auto &[Name, Mem] : Configs) {
+    for (unsigned Local : LocalSizes) {
+      TuneTrial Trial;
+      Trial.Label = formatString("%s @%u", Name, Local);
+      Trial.Mem = Mem;
+      Trial.LocalSize = Local;
+
+      OffloadConfig OC = Base;
+      OC.Mem = Mem;
+      OC.LocalSize = Local;
+      OffloadedFilter Filter(P, Types, Worker, OC);
+      if (!Filter.ok()) {
+        Trial.Error = Filter.error();
+        Out.Trials.push_back(std::move(Trial));
+        continue;
+      }
+      ExecResult R = Filter.invoke(SampleArgs);
+      if (!R.ok()) {
+        Trial.Error = R.TrapMessage;
+        Out.Trials.push_back(std::move(Trial));
+        continue;
+      }
+      Trial.Valid = true;
+      Trial.KernelNs = Filter.stats().KernelNs;
+      if (!AnyValid || Trial.KernelNs < Out.BestKernelNs) {
+        AnyValid = true;
+        Out.BestKernelNs = Trial.KernelNs;
+        Out.Best = OC;
+      }
+      Out.Trials.push_back(std::move(Trial));
+    }
+  }
+
+  if (!AnyValid) {
+    Out.Error = "no configuration ran successfully";
+    if (!Out.Trials.empty())
+      Out.Error += "; first failure: " + Out.Trials.front().Error;
+    return Out;
+  }
+  Out.Ok = true;
+  return Out;
+}

@@ -1,0 +1,59 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offline auto-tuner (paper §5.2): the paper controlled for thread
+/// counts and memory configurations with "an exhaustive systematic
+/// offline exploration of the tuning parameters" and notes that "a
+/// system could perform this auto-tuning automatically ahead of time
+/// or at runtime, but such tuning falls outside the scope of this
+/// paper". This is that system: it sweeps the eight Figure 8 memory
+/// configurations crossed with a ladder of work-group sizes against
+/// sample inputs on the target device, and returns the configuration
+/// with the fastest simulated kernel time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_RUNTIME_AUTOTUNER_H
+#define LIMECC_RUNTIME_AUTOTUNER_H
+
+#include "runtime/Offload.h"
+
+#include <string>
+#include <vector>
+
+namespace lime::rt {
+
+/// One explored point.
+struct TuneTrial {
+  std::string Label; // "local+noconflict+vector @128"
+  MemoryConfig Mem;
+  unsigned LocalSize = 0;
+  double KernelNs = 0.0;
+  bool Valid = false;
+  std::string Error; // when invalid
+};
+
+struct TuneResult {
+  bool Ok = false;
+  std::string Error;
+  OffloadConfig Best;
+  double BestKernelNs = 0.0;
+  std::vector<TuneTrial> Trials;
+};
+
+/// Exhaustively explores (memory config x local size) for \p Worker
+/// on \p Base.DeviceName using \p SampleArgs (worker-parameter
+/// order). The returned Best carries the winning Mem/LocalSize on top
+/// of \p Base's other settings.
+TuneResult autoTune(Program *P, TypeContext &Types, MethodDecl *Worker,
+                    const std::vector<RtValue> &SampleArgs,
+                    const OffloadConfig &Base);
+
+} // namespace lime::rt
+
+#endif // LIMECC_RUNTIME_AUTOTUNER_H

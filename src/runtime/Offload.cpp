@@ -1,0 +1,363 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Offload.h"
+
+#include "compiler/OpenCLEmitter.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace lime;
+using namespace lime::rt;
+using lime::ocl::AddrSpace;
+using lime::ocl::LaunchArg;
+
+OffloadedFilter::OffloadedFilter(Program *P, TypeContext &Types,
+                                 MethodDecl *Worker,
+                                 const OffloadConfig &Config)
+    : OffloadedFilter(P, Types, Worker, Config, nullptr) {}
+
+OffloadedFilter::OffloadedFilter(Program *P, TypeContext &Types,
+                                 MethodDecl *Worker,
+                                 const OffloadConfig &Config,
+                                 std::shared_ptr<ocl::ClContext> Shared)
+    : TheProgram(P), Types(Types), Worker(Worker), Config(Config),
+      Wire(Config.UseSpecializedMarshal) {
+  Wire.setDirectToDevice(Config.DirectMarshal);
+  // Size the local tiles to the target's scratchpad (half of it, so
+  // double-buffering and the runtime's own use still fit).
+  this->Config.Mem.LocalTileBudgetBytes = std::min<unsigned>(
+      16 * 1024,
+      ocl::deviceByName(Config.DeviceName).LocalBytesPerSM / 2);
+  GpuCompiler GC(P, Types);
+  Kernel = GC.compile(Worker, this->Config.Mem);
+  if (!Kernel.Ok) {
+    Error = Kernel.Error;
+    return;
+  }
+  Ctx = Shared ? std::move(Shared)
+               : std::make_shared<ocl::ClContext>(Config.DeviceName);
+}
+
+int OffloadedFilter::paramIndexOf(const ParamDecl *P) const {
+  const auto &Params = Worker->params();
+  for (size_t I = 0; I != Params.size(); ++I)
+    if (Params[I] == P)
+      return static_cast<int>(I);
+  return -1;
+}
+
+namespace {
+
+/// Builds the 2048-texel-wide image the emitter's coordinate folding
+/// expects, from flat float bytes: rows of 4 floats per texel.
+ocl::SimImage imageFromBytes(const std::vector<uint8_t> &Bytes) {
+  ocl::SimImage Img;
+  size_t Floats = Bytes.size() / 4;
+  size_t Texels = (Floats + 3) / 4;
+  Img.Width = ImageRowTexels;
+  Img.Height = static_cast<unsigned>((Texels + ImageRowTexels - 1) /
+                                     ImageRowTexels);
+  if (Img.Height == 0)
+    Img.Height = 1;
+  Img.Texels.assign(static_cast<size_t>(Img.Width) * Img.Height * 4, 0.0f);
+  std::memcpy(Img.Texels.data(), Bytes.data(), Floats * 4);
+  return Img;
+}
+
+} // namespace
+
+std::string
+OffloadedFilter::buildAndPrepare(const std::vector<RtValue> &Args) {
+  // Constant-capacity fallback: a __constant array larger than the
+  // device's constant memory forces recompilation without the
+  // constant optimization (the real runtime would fail clCreateBuffer
+  // and fall back the same way).
+  bool NeedFallback = false;
+  for (const KernelArray &A : Kernel.Plan.Arrays) {
+    if (A.IsOutput || A.Space != MemSpace::Constant)
+      continue;
+    int WP = paramIndexOf(A.WorkerParam);
+    if (WP < 0)
+      continue;
+    uint64_t Bytes = WireFormat::scalarCount(Args[static_cast<size_t>(WP)]) *
+                     A.Scalar->sizeInBytes();
+    if (Bytes > Ctx->model().ConstBytes)
+      NeedFallback = true;
+  }
+  if (NeedFallback) {
+    MemoryConfig Degraded = Config.Mem;
+    Degraded.AllowConstant = false;
+    GpuCompiler GC(TheProgram, Types);
+    Kernel = GC.compile(Worker, Degraded);
+    if (!Kernel.Ok)
+      return Kernel.Error;
+  }
+
+  std::string BuildErr = Ctx->buildProgram(Kernel.Source);
+  if (!BuildErr.empty())
+    return "generated OpenCL failed to build:\n" + BuildErr + "\n--- source ---\n" +
+           Kernel.Source;
+  DeviceArrays.assign(Kernel.Plan.Arrays.size(), DeviceArray());
+  Prepared = true;
+  return "";
+}
+
+ExecResult OffloadedFilter::invoke(const std::vector<RtValue> &Args) {
+  ExecResult R;
+  auto Fail = [&](std::string Msg) {
+    R.Trapped = true;
+    R.TrapMessage = std::move(Msg);
+    return R;
+  };
+  if (!ok())
+    return Fail(Error);
+  if (Args.size() != Worker->params().size())
+    return Fail("offload invoke: argument count mismatch");
+
+  if (!Prepared) {
+    std::string Err = buildAndPrepare(Args);
+    if (!Err.empty()) {
+      Error = Err;
+      return Fail(Err);
+    }
+  }
+
+  const KernelPlan &Plan = Kernel.Plan;
+  ocl::ClProfile &Profile = Ctx->profile();
+  double Api0 = Profile.ApiNs;
+  double Pci0 = Profile.TransferNs;
+  double Kern0 = Profile.KernelNs;
+
+  // Source length drives the NDRange.
+  const KernelArray *Src = Plan.mapSource();
+  int SrcParam = paramIndexOf(Src->WorkerParam);
+  if (SrcParam < 0)
+    return Fail("offload invoke: source parameter not found");
+  const RtValue &SrcVal = Args[static_cast<size_t>(SrcParam)];
+  if (!SrcVal.isArray())
+    return Fail("offload invoke: source argument is not an array");
+  uint32_t N = static_cast<uint32_t>(SrcVal.array()->Elems.size());
+
+  // Marshal inputs and upload (steps 1-3 of Fig. 6, then PCIe).
+  std::vector<LaunchArg> Launch;
+  std::vector<int32_t> Lengths;
+  uint64_t OutBytes = 0; // this invocation's output payload
+  for (size_t AI = 0; AI != Plan.Arrays.size(); ++AI) {
+    const KernelArray &A = Plan.Arrays[AI];
+    DeviceArray &DA = DeviceArrays[AI];
+    if (A.IsOutput) {
+      if (Plan.Kind == KernelKind::Reduce) {
+        uint32_t Total = std::min<uint32_t>(
+            (N + Config.LocalSize - 1) / Config.LocalSize, Config.MaxGroups);
+        OutBytes = static_cast<uint64_t>(std::max(1u, Total)) *
+                   Plan.OutScalarType->sizeInBytes();
+      } else {
+        OutBytes = static_cast<uint64_t>(N) * Plan.OutScalars *
+                   Plan.OutScalarType->sizeInBytes();
+      }
+      // The device buffer is a capacity cache: it only regrows.
+      if (DA.Bytes < OutBytes) {
+        DA.Buffer = Ctx->createBuffer(OutBytes, AddrSpace::Global);
+        DA.Bytes = OutBytes;
+      }
+      continue;
+    }
+
+    int WP = paramIndexOf(A.WorkerParam);
+    if (WP < 0)
+      return Fail("offload invoke: array parameter not bound");
+    const RtValue &V = Args[static_cast<size_t>(WP)];
+    std::vector<uint8_t> Bytes = Wire.serialize(V, Stats.Marshal);
+    Lengths.push_back(static_cast<int32_t>(
+        V.isArray() ? V.array()->Elems.size() : 0));
+
+    switch (A.Space) {
+    case MemSpace::Image: {
+      ocl::SimImage Img = imageFromBytes(Bytes);
+      if (DA.ImageIndex < 0)
+        DA.ImageIndex = Ctx->createImage(std::move(Img));
+      else
+        Ctx->updateImage(DA.ImageIndex, std::move(Img));
+      Ctx->chargeHostToDevice(Bytes.size());
+      break;
+    }
+    case MemSpace::Constant: {
+      if (DA.Bytes < Bytes.size()) {
+        DA.Buffer = Ctx->createBuffer(Bytes.size(), AddrSpace::Constant);
+        DA.Bytes = Bytes.size();
+      }
+      Ctx->enqueueWrite(DA.Buffer, Bytes.data(), Bytes.size());
+      break;
+    }
+    case MemSpace::Global:
+    case MemSpace::LocalTiled: {
+      if (DA.Bytes < Bytes.size()) {
+        DA.Buffer = Ctx->createBuffer(Bytes.size(), AddrSpace::Global);
+        DA.Bytes = Bytes.size();
+      }
+      Ctx->enqueueWrite(DA.Buffer, Bytes.data(), Bytes.size());
+      break;
+    }
+    }
+  }
+
+  // Build the launch argument list in signature order (the output
+  // buffer leads the signature; the plan stores it last).
+  size_t OutIdx = 0;
+  for (size_t AI = 0; AI != Plan.Arrays.size(); ++AI)
+    if (Plan.Arrays[AI].IsOutput)
+      OutIdx = AI;
+  Launch.push_back(LaunchArg::buffer(DeviceArrays[OutIdx].Buffer.Offset,
+                                     AddrSpace::Global));
+  for (size_t AI = 0; AI != Plan.Arrays.size(); ++AI) {
+    const KernelArray &A = Plan.Arrays[AI];
+    if (A.IsOutput)
+      continue;
+    switch (A.Space) {
+    case MemSpace::Image:
+      Launch.push_back(LaunchArg::image(DeviceArrays[AI].ImageIndex));
+      Launch.push_back(LaunchArg::i32(0)); // sampler
+      break;
+    case MemSpace::Constant:
+      Launch.push_back(LaunchArg::buffer(DeviceArrays[AI].Buffer.Offset,
+                                         AddrSpace::Constant));
+      break;
+    default:
+      Launch.push_back(LaunchArg::buffer(DeviceArrays[AI].Buffer.Offset,
+                                         AddrSpace::Global));
+      break;
+    }
+  }
+  for (const KernelScalar &S : Plan.Scalars) {
+    int WP = paramIndexOf(S.WorkerParam);
+    if (WP < 0)
+      return Fail("offload invoke: scalar parameter not bound");
+    const RtValue &V = Args[static_cast<size_t>(WP)];
+    switch (S.Scalar->prim()) {
+    case PrimitiveType::Prim::Float:
+      Launch.push_back(LaunchArg::f32(static_cast<float>(V.asNumber())));
+      break;
+    case PrimitiveType::Prim::Double:
+      Launch.push_back(LaunchArg::f64(V.asNumber()));
+      break;
+    case PrimitiveType::Prim::Long:
+      Launch.push_back(LaunchArg::i64(V.asIntegral()));
+      break;
+    default:
+      Launch.push_back(
+          LaunchArg::i32(static_cast<int32_t>(V.asIntegral())));
+      break;
+    }
+  }
+
+  // The bookkeeping record (Fig. 4(b)): n plus one length per input
+  // array, int32 each.
+  {
+    std::vector<uint8_t> Rec;
+    auto PushI32 = [&Rec](int32_t V) {
+      uint8_t B[4];
+      std::memcpy(B, &V, 4);
+      Rec.insert(Rec.end(), B, B + 4);
+    };
+    PushI32(static_cast<int32_t>(N));
+    for (int32_t L : Lengths)
+      PushI32(L);
+    Launch.push_back(LaunchArg::structBytes(std::move(Rec)));
+  }
+
+  // Geometry.
+  uint32_t Groups = std::min<uint32_t>(
+      std::max<uint32_t>(1, (N + Config.LocalSize - 1) / Config.LocalSize),
+      Config.MaxGroups);
+  uint32_t Local = Config.LocalSize;
+  uint32_t Global = Groups * Local;
+
+  if (Plan.Kind == KernelKind::Reduce)
+    Launch.push_back(LaunchArg::localBytes(
+        static_cast<uint64_t>(Local) * Plan.OutScalarType->sizeInBytes()));
+
+  std::string Err =
+      Ctx->enqueueKernel(Plan.KernelName, Launch, {Global, 1}, {Local, 1});
+  if (!Err.empty())
+    return Fail("kernel '" + Plan.KernelName + "' failed: " + Err +
+                "\n--- source ---\n" + Kernel.Source);
+
+  // Read back and unmarshal (the return path of Fig. 6) — only this
+  // invocation's payload, not the cached buffer's capacity.
+  std::vector<uint8_t> OutData(OutBytes);
+  Ctx->enqueueRead(DeviceArrays[OutIdx].Buffer, OutData.data(), OutBytes);
+
+  if (Plan.Kind == KernelKind::Reduce) {
+    // Host-side final combine over the per-group partials.
+    double AccF = 0.0;
+    int64_t AccI = 0;
+    bool IsFloat = Plan.OutScalarType->isFloating();
+    bool First = true;
+    unsigned Stride = Plan.OutScalarType->sizeInBytes();
+    for (uint64_t Off = 0; Off + Stride <= OutBytes; Off += Stride) {
+      double FV = 0;
+      int64_t IV = 0;
+      if (Plan.OutScalarType->prim() == PrimitiveType::Prim::Float) {
+        float F;
+        std::memcpy(&F, OutData.data() + Off, 4);
+        FV = F;
+      } else if (Plan.OutScalarType->prim() == PrimitiveType::Prim::Double) {
+        double D;
+        std::memcpy(&D, OutData.data() + Off, 8);
+        FV = D;
+      } else if (Stride == 4) {
+        int32_t I;
+        std::memcpy(&I, OutData.data() + Off, 4);
+        IV = I;
+      } else {
+        std::memcpy(&IV, OutData.data() + Off, 8);
+      }
+      if (First) {
+        AccF = FV;
+        AccI = IV;
+        First = false;
+        continue;
+      }
+      switch (Plan.Combiner) {
+      case ReduceExpr::Combiner::Add:
+        AccF += FV;
+        AccI += IV;
+        break;
+      case ReduceExpr::Combiner::Mul:
+        AccF *= FV;
+        AccI *= IV;
+        break;
+      case ReduceExpr::Combiner::Min:
+        AccF = std::min(AccF, FV);
+        AccI = std::min(AccI, IV);
+        break;
+      case ReduceExpr::Combiner::Max:
+        AccF = std::max(AccF, FV);
+        AccI = std::max(AccI, IV);
+        break;
+      case ReduceExpr::Combiner::Method:
+        break;
+      }
+    }
+    RtValue Result = IsFloat ? RtValue::makeDouble(AccF)
+                             : RtValue::makeLong(AccI);
+    R.Value = Result.convertTo(Worker->returnType());
+  } else {
+    R.Value = Wire.deserialize(OutData, Worker->returnType(), Stats.Marshal);
+  }
+
+  ++Stats.Invocations;
+  Stats.ApiNs += Profile.ApiNs - Api0;
+  Stats.PcieNs += Profile.TransferNs - Pci0;
+  Stats.KernelNs += Profile.KernelNs - Kern0;
+  Stats.LastCounters = Profile.LastKernelCounters;
+  return R;
+}

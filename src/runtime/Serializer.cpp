@@ -1,0 +1,264 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Serializer.h"
+
+#include "support/Casting.h"
+
+#include <cstring>
+
+using namespace lime;
+using namespace lime::rt;
+
+namespace {
+
+void appendBytes(std::vector<uint8_t> &Out, const void *P, size_t N) {
+  const auto *B = static_cast<const uint8_t *>(P);
+  Out.insert(Out.end(), B, B + N);
+}
+
+void appendScalar(std::vector<uint8_t> &Out, const RtValue &V) {
+  switch (V.kind()) {
+  case RtValue::Kind::Bool: {
+    uint8_t B = V.asBool() ? 1 : 0;
+    appendBytes(Out, &B, 1);
+    return;
+  }
+  case RtValue::Kind::Byte: {
+    int8_t B = static_cast<int8_t>(V.asIntegral());
+    appendBytes(Out, &B, 1);
+    return;
+  }
+  case RtValue::Kind::Int: {
+    int32_t I = static_cast<int32_t>(V.asIntegral());
+    appendBytes(Out, &I, 4);
+    return;
+  }
+  case RtValue::Kind::Long: {
+    int64_t I = V.asIntegral();
+    appendBytes(Out, &I, 8);
+    return;
+  }
+  case RtValue::Kind::Float: {
+    float F = static_cast<float>(V.asNumber());
+    appendBytes(Out, &F, 4);
+    return;
+  }
+  case RtValue::Kind::Double: {
+    double D = V.asNumber();
+    appendBytes(Out, &D, 8);
+    return;
+  }
+  default:
+    lime_unreachable("non-scalar in scalar serializer");
+  }
+}
+
+/// True when an array holds scalars directly (a specializable leaf).
+bool isPrimitiveLeaf(const RtArray &A) {
+  return A.Elems.empty() || A.Elems[0].isNumeric() ||
+         A.Elems[0].kind() == RtValue::Kind::Bool;
+}
+
+/// True when an array is a matrix of primitive rows. "Because Lime
+/// arrays can express bounds, the runtime system can sometimes
+/// determine the exact size of the target byte array up-front"
+/// (§4.3) — such nested arrays bulk-copy without a per-row generic
+/// walk.
+bool isNestedPrimitive(const RtArray &A) {
+  return !A.Elems.empty() && A.Elems[0].isArray() &&
+         isPrimitiveLeaf(*A.Elems[0].array());
+}
+
+} // namespace
+
+uint64_t WireFormat::scalarCount(const RtValue &V) {
+  if (!V.isArray())
+    return V.isUnit() ? 0 : 1;
+  uint64_t N = 0;
+  for (const RtValue &E : V.array()->Elems)
+    N += scalarCount(E);
+  return N;
+}
+
+void WireFormat::serializeInto(const RtValue &V, std::vector<uint8_t> &Out,
+                               MarshalCost &Cost,
+                               bool SpecializedLeaf) const {
+  if (!V.isArray()) {
+    appendScalar(Out, V);
+    if (!SpecializedLeaf)
+      Cost.JavaNs += Model.GenericJavaNsPerElem;
+    return;
+  }
+  const RtArray &A = *V.array();
+  if (UseSpecialized && isPrimitiveLeaf(A)) {
+    size_t Before = Out.size();
+    for (const RtValue &E : A.Elems)
+      appendScalar(Out, E);
+    Cost.JavaNs += Model.SpecializedJavaNsPerByte *
+                   static_cast<double>(Out.size() - Before);
+    return;
+  }
+  if (UseSpecialized && isNestedPrimitive(A)) {
+    // Bounded rows: the exact byte size is known up-front, so the
+    // whole matrix bulk-copies (§4.3).
+    size_t Before = Out.size();
+    for (const RtValue &Row : A.Elems)
+      for (const RtValue &E : Row.array()->Elems)
+        appendScalar(Out, E);
+    Cost.JavaNs += Model.SpecializedJavaNsPerByte *
+                   static_cast<double>(Out.size() - Before);
+    return;
+  }
+  for (const RtValue &E : A.Elems)
+    serializeInto(E, Out, Cost, /*SpecializedLeaf=*/false);
+  // The generic walker pays per element visited at this level too.
+  Cost.JavaNs +=
+      Model.GenericJavaNsPerElem * static_cast<double>(A.Elems.size());
+}
+
+std::vector<uint8_t> WireFormat::serialize(const RtValue &V,
+                                           MarshalCost &Cost) const {
+  std::vector<uint8_t> Out;
+  serializeInto(V, Out, Cost, false);
+  Cost.JavaNs += Model.BoundaryCrossNs;
+  Cost.Bytes += Out.size();
+  // Fig. 6's forward path: after the boundary, the C side converts
+  // the byte stream into the device layout — unless the Java side
+  // already wrote the device format directly (§5.3 optimization).
+  if (!DirectToDevice) {
+    if (UseSpecialized)
+      Cost.NativeNs += Model.SpecializedNativeNsPerByte *
+                       static_cast<double>(Out.size());
+    else
+      Cost.NativeNs += Model.GenericNativeNsPerElem *
+                       static_cast<double>(Out.size()) / 4.0;
+  }
+  return Out;
+}
+
+namespace {
+
+/// Reads one scalar of primitive type \p P from \p Bytes at \p Off.
+RtValue readScalar(const PrimitiveType *P, const uint8_t *Bytes,
+                   size_t &Off) {
+  using Prim = PrimitiveType::Prim;
+  switch (P->prim()) {
+  case Prim::Boolean: {
+    uint8_t B = Bytes[Off];
+    Off += 1;
+    return RtValue::makeBool(B != 0);
+  }
+  case Prim::Byte: {
+    int8_t B;
+    std::memcpy(&B, Bytes + Off, 1);
+    Off += 1;
+    return RtValue::makeByte(B);
+  }
+  case Prim::Int: {
+    int32_t I;
+    std::memcpy(&I, Bytes + Off, 4);
+    Off += 4;
+    return RtValue::makeInt(I);
+  }
+  case Prim::Long: {
+    int64_t I;
+    std::memcpy(&I, Bytes + Off, 8);
+    Off += 8;
+    return RtValue::makeLong(I);
+  }
+  case Prim::Float: {
+    float F;
+    std::memcpy(&F, Bytes + Off, 4);
+    Off += 4;
+    return RtValue::makeFloat(F);
+  }
+  case Prim::Double: {
+    double D;
+    std::memcpy(&D, Bytes + Off, 8);
+    Off += 8;
+    return RtValue::makeDouble(D);
+  }
+  case Prim::Void:
+    break;
+  }
+  lime_unreachable("bad scalar type on the wire");
+}
+
+/// Scalars per element of array type \p T (product of bounded inner
+/// dimensions), and the scalar type at the bottom.
+uint64_t scalarsPerElement(const ArrayType *T) {
+  uint64_t N = 1;
+  const Type *E = T->element();
+  while (const auto *AE = dyn_cast<ArrayType>(E)) {
+    assert(AE->bound() != 0 && "inner dimensions must be bounded");
+    N *= AE->bound();
+    E = AE->element();
+  }
+  return N;
+}
+
+RtValue deserializeValue(const Type *T, const uint8_t *Bytes, size_t &Off,
+                         size_t Limit, uint64_t OuterLen) {
+  if (const auto *PT = dyn_cast<PrimitiveType>(T))
+    return readScalar(PT, Bytes, Off);
+  const auto *AT = cast<ArrayType>(T);
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = AT->element();
+  Arr->Immutable = AT->isValueArray();
+  uint64_t Len = AT->bound() ? AT->bound() : OuterLen;
+  Arr->Elems.reserve(Len);
+  for (uint64_t I = 0; I != Len && Off < Limit; ++I)
+    Arr->Elems.push_back(
+        deserializeValue(AT->element(), Bytes, Off, Limit, 0));
+  return RtValue::makeArray(std::move(Arr));
+}
+
+} // namespace
+
+RtValue WireFormat::deserialize(const std::vector<uint8_t> &Bytes,
+                                const Type *T, MarshalCost &Cost) const {
+  Cost.NativeNs += Model.BoundaryCrossNs;
+  Cost.Bytes += Bytes.size();
+
+  size_t Off = 0;
+  if (const auto *PT = dyn_cast<PrimitiveType>(T)) {
+    Cost.NativeNs += Model.GenericNativeNsPerElem;
+    return readScalar(PT, Bytes.data(), Off);
+  }
+
+  const auto *AT = cast<ArrayType>(T);
+  const auto *Scalar = cast<PrimitiveType>(AT->scalarElement());
+  uint64_t PerElem = scalarsPerElement(AT) * Scalar->sizeInBytes();
+  uint64_t OuterLen = AT->bound()
+                          ? AT->bound()
+                          : (PerElem ? Bytes.size() / PerElem : 0);
+
+  // The return path of Fig. 6: the C side emits the byte stream
+  // (skipped under direct-to-device, where the Java side reads the
+  // device layout itself), then the Java side reconstructs the heap
+  // value.
+  if (!DirectToDevice) {
+    if (UseSpecialized)
+      Cost.NativeNs += Model.SpecializedNativeNsPerByte *
+                       static_cast<double>(Bytes.size());
+    else
+      Cost.NativeNs += Model.GenericNativeNsPerElem *
+                       static_cast<double>(Bytes.size() /
+                                           std::max(1u,
+                                                    Scalar->sizeInBytes()));
+  }
+  if (UseSpecialized)
+    Cost.JavaNs += Model.SpecializedJavaNsPerByte *
+                   static_cast<double>(Bytes.size());
+  else
+    Cost.JavaNs += Model.GenericJavaNsPerElem *
+                   static_cast<double>(Bytes.size() /
+                                       std::max(1u, Scalar->sizeInBytes()));
+
+  return deserializeValue(AT, Bytes.data(), Off, Bytes.size(), OuterLen);
+}

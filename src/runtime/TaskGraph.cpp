@@ -1,0 +1,117 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TaskGraph.h"
+
+#include "support/StringUtils.h"
+
+using namespace lime;
+using namespace lime::rt;
+
+TaskGraphRuntime::TaskGraphRuntime(Interp &I, PipelineConfig Config)
+    : I(I), Config(Config) {
+  I.setGraphExecutor(this);
+}
+
+TaskGraphRuntime::~TaskGraphRuntime() = default;
+
+OffloadedFilter *TaskGraphRuntime::offloadedFor(MethodDecl *Worker) {
+  if (!Config.OffloadFilters)
+    return nullptr;
+  auto It = Cache.find(Worker);
+  if (It != Cache.end())
+    return It->second ? It->second.get() : nullptr;
+
+  auto &Shared = DeviceContexts[Config.Offload.DeviceName];
+  if (!Shared)
+    Shared = std::make_shared<ocl::ClContext>(Config.Offload.DeviceName);
+  auto Filter = std::make_unique<OffloadedFilter>(
+      I.program(), I.types(), Worker, Config.Offload, Shared);
+  if (!Filter->ok()) {
+    Decisions[Worker] = "host: " + Filter->error();
+    Cache[Worker] = nullptr;
+    return nullptr;
+  }
+  Decisions[Worker] =
+      "device (" + Config.Offload.DeviceName + ", " +
+      Filter->kernel().Plan.Config.str() + ")";
+  OffloadedFilter *Raw = Filter.get();
+  Cache[Worker] = std::move(Filter);
+  return Raw;
+}
+
+std::string TaskGraphRuntime::run(const RtGraph &Graph) {
+  if (Graph.Nodes.empty())
+    return "empty task graph";
+
+  Stats.clear();
+  Stats.resize(Graph.Nodes.size());
+  for (size_t NI = 0; NI != Graph.Nodes.size(); ++NI)
+    Stats[NI].Name = Graph.Nodes[NI].Worker->qualifiedName();
+
+  const RtTaskNode &Source = Graph.Nodes.front();
+
+  for (uint64_t Pull = 0;; ++Pull) {
+    if (Pull >= Config.MaxPulls)
+      return "source produced more than MaxPulls items (missing "
+             "Underflow?)";
+
+    // Pull one item from the source (always on the host).
+    double T0 = I.simTimeNs();
+    ExecResult R =
+        I.callMethod(Source.Worker, Source.Instance, Source.BoundArgs);
+    Stats[0].HostNs += I.simTimeNs() - T0;
+    ++Stats[0].Invocations;
+    if (R.Trapped)
+      return "source " + Source.Worker->qualifiedName() + ": " +
+             R.TrapMessage;
+    if (R.Underflow)
+      return "";
+
+    RtValue Item = R.Value;
+
+    // Push it through the rest of the pipeline.
+    for (size_t NI = 1; NI != Graph.Nodes.size(); ++NI) {
+      const RtTaskNode &Node = Graph.Nodes[NI];
+      NodeStats &NS = Stats[NI];
+      ++NS.Invocations;
+
+      OffloadedFilter *Dev = nullptr;
+      if (!Node.Instance && Node.Worker->isLocal())
+        Dev = offloadedFor(Node.Worker);
+
+      if (Dev) {
+        std::vector<RtValue> Args;
+        Args.push_back(Item);
+        for (const RtValue &B : Node.BoundArgs)
+          Args.push_back(B);
+        ExecResult DR = Dev->invoke(Args);
+        if (DR.Trapped)
+          return "offloaded filter " + Node.Worker->qualifiedName() + ": " +
+                 DR.TrapMessage;
+        NS.Offloaded = true;
+        NS.Device = Dev->stats();
+        Item = DR.Value;
+        continue;
+      }
+
+      std::vector<RtValue> Args;
+      Args.push_back(Item);
+      for (const RtValue &B : Node.BoundArgs)
+        Args.push_back(B);
+      double H0 = I.simTimeNs();
+      ExecResult HR = I.callMethod(Node.Worker, Node.Instance, Args);
+      NS.HostNs += I.simTimeNs() - H0;
+      if (HR.Trapped)
+        return "task " + Node.Worker->qualifiedName() + ": " +
+               HR.TrapMessage;
+      if (HR.Underflow)
+        return ""; // a mid-pipeline task may also end the stream
+      Item = HR.Value;
+    }
+  }
+}

@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Task-graph execution (paper §3.1, §4). A graph built by `task` and
+/// `=>` runs as a pipeline: the source worker is pulled until it
+/// throws Underflow; each produced value flows through the filters to
+/// the sink. Filters that pass kernel identification run on the
+/// simulated device through the offload manager when offloading is
+/// enabled; everything else (sources, sinks, stateful tasks,
+/// non-offloadable filters) runs in the evaluator — the same split as
+/// the paper's JVM + OpenCL co-execution.
+///
+/// The runtime registers itself as the evaluator's GraphExecutor, so
+/// Lime-level `finish g;` statements execute through it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_RUNTIME_TASKGRAPH_H
+#define LIMECC_RUNTIME_TASKGRAPH_H
+
+#include "lime/interp/Interp.h"
+#include "runtime/Offload.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace lime::rt {
+
+struct PipelineConfig {
+  /// Offload eligible filters to the simulated device; otherwise the
+  /// whole pipeline runs in the evaluator (the Fig. 7 baseline).
+  bool OffloadFilters = false;
+  OffloadConfig Offload;
+  /// Safety valve for runaway sources.
+  uint64_t MaxPulls = 1u << 20;
+};
+
+/// Per-node accounting for the figures.
+struct NodeStats {
+  std::string Name;
+  bool Offloaded = false;
+  uint64_t Invocations = 0;
+  double HostNs = 0.0;     // evaluator time in this node
+  OffloadStats Device;     // device time decomposition (offloaded only)
+};
+
+class TaskGraphRuntime : public GraphExecutor {
+public:
+  TaskGraphRuntime(Interp &I, PipelineConfig Config = PipelineConfig());
+  ~TaskGraphRuntime() override;
+
+  /// GraphExecutor: runs \p Graph to completion; returns an error
+  /// message or "".
+  std::string run(const RtGraph &Graph) override;
+
+  const std::vector<NodeStats> &nodeStats() const { return Stats; }
+
+  /// Why each filter was (not) offloaded, for reports.
+  const std::map<MethodDecl *, std::string> &offloadDecisions() const {
+    return Decisions;
+  }
+
+private:
+  /// Returns the cached offloaded form of \p Worker, or null when it
+  /// stays on the host.
+  OffloadedFilter *offloadedFor(MethodDecl *Worker);
+
+  Interp &I;
+  PipelineConfig Config;
+  std::vector<NodeStats> Stats;
+  std::map<MethodDecl *, std::unique_ptr<OffloadedFilter>> Cache;
+  std::map<MethodDecl *, std::string> Decisions;
+  /// One context per device, shared by every filter in the pipeline.
+  std::map<std::string, std::shared_ptr<ocl::ClContext>> DeviceContexts;
+};
+
+} // namespace lime::rt
+
+#endif // LIMECC_RUNTIME_TASKGRAPH_H

@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style opt-in RTTI: isa<>, cast<> and dyn_cast<> built on a
+/// static classof() predicate provided by each class hierarchy. limecc
+/// compiles without C++ RTTI, so every polymorphic hierarchy (Lime AST,
+/// OpenCL AST, Kernel IR) uses these templates for type dispatch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_SUPPORT_CASTING_H
+#define LIMECC_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace lime {
+
+/// Returns true if \p Val dynamically is an instance of To (or a
+/// subclass). \p Val must be non-null.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Variadic form: true if \p Val is any of the listed classes.
+template <typename To, typename To2, typename... Rest, typename From>
+bool isa(const From *Val) {
+  return isa<To>(Val) || isa<To2, Rest...>(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Null-tolerant variants.
+template <typename To, typename From> bool isa_and_present(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return isa_and_present<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_if_present(const From *Val) {
+  return isa_and_present<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Marks a point in code that must never be reached; aborts with a
+/// message in all build modes.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace lime
+
+#define lime_unreachable(MSG)                                                  \
+  ::lime::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // LIMECC_SUPPORT_CASTING_H

@@ -1,0 +1,60 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include "support/Casting.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace lime;
+
+void lime::unreachableInternal(const char *Msg, const char *File,
+                               unsigned Line) {
+  std::fprintf(stderr, "FATAL: unreachable executed at %s:%u: %s\n", File,
+               Line, Msg);
+  std::abort();
+}
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  lime_unreachable("bad severity");
+}
+
+std::string Diagnostic::str() const {
+  return Loc.str() + ": " + severityName(Severity) + ": " + Message;
+}
+
+void DiagnosticEngine::error(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::note(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+}
+
+std::string DiagnosticEngine::dump() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic collection for the frontends and compiler passes. limecc
+/// builds without exceptions: fallible phases report through a
+/// DiagnosticEngine and callers test hasErrors().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_SUPPORT_DIAGNOSTICS_H
+#define LIMECC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace lime {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported problem: severity, location and message text.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLocation Loc;
+  std::string Message;
+
+  /// Renders as "file-less" one-line text, e.g. "3:7: error: bad type".
+  std::string str() const;
+};
+
+/// Accumulates diagnostics for one compilation. Cheap to pass by
+/// reference through every phase; never throws.
+class DiagnosticEngine {
+public:
+  void error(SourceLocation Loc, std::string Message);
+  void warning(SourceLocation Loc, std::string Message);
+  void note(SourceLocation Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// All diagnostics joined by newlines (for test assertions and CLI
+  /// error output).
+  std::string dump() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace lime
+
+#endif // LIMECC_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic SplitMix64 PRNG used by the workload generators so
+/// that every run of the benchmarks and tests sees identical inputs
+/// (the paper's inputs are fixed files; ours are fixed streams).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_SUPPORT_RANDOM_H
+#define LIMECC_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace lime {
+
+/// SplitMix64: tiny, fast, and statistically solid for workload
+/// synthesis. Not for cryptographic use.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform float in [Lo, Hi).
+  float nextFloat(float Lo, float Hi) {
+    return Lo + static_cast<float>(nextDouble()) * (Hi - Lo);
+  }
+
+  /// Uniform integer in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) { return Bound ? next() % Bound : 0; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace lime
+
+#endif // LIMECC_SUPPORT_RANDOM_H

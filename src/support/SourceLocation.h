@@ -1,0 +1,46 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source coordinates shared by the Lime and OpenCL-C
+/// frontends. A SourceLocation is a (line, column) pair; line 0 denotes
+/// an invalid/synthesized location.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_SUPPORT_SOURCELOCATION_H
+#define LIMECC_SUPPORT_SOURCELOCATION_H
+
+#include <string>
+
+namespace lime {
+
+/// A position within a source buffer (1-based line and column).
+struct SourceLocation {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  SourceLocation() = default;
+  SourceLocation(unsigned Line, unsigned Column) : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLocation &RHS) const {
+    return Line == RHS.Line && Column == RHS.Column;
+  }
+
+  /// Renders as "line:col", or "<unknown>" when invalid.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+} // namespace lime
+
+#endif // LIMECC_SUPPORT_SOURCELOCATION_H

@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace lime;
+
+std::vector<std::string> lime::splitString(std::string_view Text, char Sep) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Out.emplace_back(Text.substr(Start));
+      return Out;
+    }
+    Out.emplace_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string_view lime::trimString(std::string_view Text) {
+  const char *WS = " \t\r\n";
+  size_t Begin = Text.find_first_not_of(WS);
+  if (Begin == std::string_view::npos)
+    return {};
+  size_t End = Text.find_last_not_of(WS);
+  return Text.substr(Begin, End - Begin + 1);
+}
+
+bool lime::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::string lime::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Out;
+  if (Needed > 0) {
+    Out.resize(static_cast<size_t>(Needed));
+    std::vsnprintf(Out.data(), Out.size() + 1, Fmt, ArgsCopy);
+  }
+  va_end(ArgsCopy);
+  return Out;
+}
+
+std::string lime::joinStrings(const std::vector<std::string> &Pieces,
+                              std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0, E = Pieces.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Pieces[I];
+  }
+  return Out;
+}
+
+std::string lime::formatByteSize(unsigned long long Bytes) {
+  if (Bytes >= 1024ULL * 1024 && Bytes % (1024ULL * 1024) < 64 * 1024)
+    return formatString("%lluMB", Bytes / (1024ULL * 1024));
+  if (Bytes >= 1024)
+    return formatString("%lluKB", Bytes / 1024);
+  return formatString("%llu B", Bytes);
+}

@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers shared across the project (the project has no
+/// LLVM dependency, so these stand in for the few ADT conveniences the
+/// code bases typically lean on).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_SUPPORT_STRINGUTILS_H
+#define LIMECC_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lime {
+
+/// Splits \p Text on \p Sep; empty pieces are kept.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trimString(std::string_view Text);
+
+/// True when \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins \p Pieces with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Pieces,
+                        std::string_view Sep);
+
+/// Renders a byte count the way the paper's Table 3 does ("64KB",
+/// "13MB", "432KB"); exact below 1KB ("62 B").
+std::string formatByteSize(unsigned long long Bytes);
+
+} // namespace lime
+
+#endif // LIMECC_SUPPORT_STRINGUTILS_H

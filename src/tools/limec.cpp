@@ -1,0 +1,376 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `limec` — the command-line compiler driver. Mirrors the paper's
+/// Figure 3 flow on demand: check a Lime source file, show the
+/// compiler's offload decisions, emit the generated OpenCL for a
+/// filter under any memory configuration, or run a program's pipeline
+/// on the evaluator / a simulated device.
+///
+///   limec prog.lime                          # parse + type check
+///   limec prog.lime --dump-ast               # typed AST
+///   limec prog.lime --decisions              # offloadability per filter
+///   limec prog.lime --emit C.m [--config X] [--device D]
+///   limec prog.lime --run C.m [--offload] [--device D]
+///   limec prog.lime --verify C.m             # random-test vs evaluator
+///   limec prog.lime --tune C.m               # auto-tune (section 5.2)
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/GpuCompiler.h"
+#include "lime/ast/ASTPrinter.h"
+#include "lime/parser/Parser.h"
+#include "lime/sema/Sema.h"
+#include "runtime/AutoTuner.h"
+#include "runtime/TaskGraph.h"
+#include "support/Random.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+
+using namespace lime;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: limec <file.lime> [command]\n"
+      "  (no command)        parse and type check\n"
+      "  --dump-ast          pretty-print the typed AST\n"
+      "  --decisions         report kernel identification per filter\n"
+      "  --emit C.m          print generated OpenCL for filter C.m\n"
+      "  --run C.m           run static method C.m (evaluator pipeline)\n"
+      "  --verify C.m        random-test filter C.m: evaluator vs device\n"
+      "  --tune C.m          auto-tune filter C.m on synthesized inputs\n"
+      "options:\n"
+      "  --config <global|global+v|local|local+nc|local+nc+v|constant|\n"
+      "            constant+v|texture|best>      (default: best)\n"
+      "  --device <corei7|corei7x1|gtx8800|gtx580|hd5970>  (default "
+      "gtx580)\n"
+      "  --offload           offload filters during --run\n");
+  return 2;
+}
+
+bool parseConfig(const std::string &Name, MemoryConfig &Out) {
+  if (Name == "global")
+    Out = MemoryConfig::global();
+  else if (Name == "global+v")
+    Out = MemoryConfig::globalVector();
+  else if (Name == "local")
+    Out = MemoryConfig::local();
+  else if (Name == "local+nc")
+    Out = MemoryConfig::localNoConflict();
+  else if (Name == "local+nc+v")
+    Out = MemoryConfig::localNoConflictVector();
+  else if (Name == "constant")
+    Out = MemoryConfig::constant();
+  else if (Name == "constant+v")
+    Out = MemoryConfig::constantVector();
+  else if (Name == "texture")
+    Out = MemoryConfig::texture();
+  else if (Name == "best")
+    Out = MemoryConfig::best();
+  else
+    return false;
+  return true;
+}
+
+/// Synthesizes a random value of Lime type \p T (arrays get 64-128
+/// elements unless bounded) for --verify and --tune.
+RtValue randomValueFor(const Type *T, SplitMix64 &Rng) {
+  if (const auto *PT = dyn_cast<PrimitiveType>(T)) {
+    switch (PT->prim()) {
+    case PrimitiveType::Prim::Boolean:
+      return RtValue::makeBool(Rng.nextBelow(2) != 0);
+    case PrimitiveType::Prim::Byte:
+      return RtValue::makeByte(static_cast<int8_t>(Rng.nextBelow(256)));
+    case PrimitiveType::Prim::Int:
+      return RtValue::makeInt(static_cast<int32_t>(Rng.nextBelow(2000)) -
+                              1000);
+    case PrimitiveType::Prim::Long:
+      return RtValue::makeLong(static_cast<int64_t>(Rng.nextBelow(1u << 20)));
+    case PrimitiveType::Prim::Float:
+      return RtValue::makeFloat(Rng.nextFloat(-2.0f, 2.0f));
+    default:
+      return RtValue::makeDouble(Rng.nextFloat(-2.0f, 2.0f));
+    }
+  }
+  const auto *AT = cast<ArrayType>(T);
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = AT->element();
+  Arr->Immutable = true;
+  size_t Len = AT->bound() ? AT->bound() : 64 + Rng.nextBelow(65);
+  for (size_t I = 0; I != Len; ++I)
+    Arr->Elems.push_back(randomValueFor(AT->element(), Rng));
+  return RtValue::makeArray(std::move(Arr));
+}
+
+/// Splits "Class.method"; returns false on malformed input.
+bool splitQualified(const std::string &QName, std::string &Cls,
+                    std::string &Method) {
+  size_t Dot = QName.find('.');
+  if (Dot == std::string::npos || Dot == 0 || Dot + 1 == QName.size())
+    return false;
+  Cls = QName.substr(0, Dot);
+  Method = QName.substr(Dot + 1);
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+
+  std::string Path;
+  std::string Command;
+  std::string Target;
+  std::string Device = "gtx580";
+  MemoryConfig Config = MemoryConfig::best();
+  bool Offload = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (Arg == "--decisions") {
+      Command = "decisions";
+    } else if (Arg == "--dump-ast") {
+      Command = "dump-ast";
+    } else if (Arg == "--emit" || Arg == "--run" || Arg == "--verify" ||
+               Arg == "--tune") {
+      Command = Arg.substr(2);
+      const char *T = Next();
+      if (!T)
+        return usage();
+      Target = T;
+    } else if (Arg == "--config") {
+      const char *C = Next();
+      if (!C || !parseConfig(C, Config)) {
+        std::fprintf(stderr, "limec: unknown config\n");
+        return usage();
+      }
+    } else if (Arg == "--device") {
+      const char *D = Next();
+      if (!D)
+        return usage();
+      Device = D;
+    } else if (Arg == "--offload") {
+      Offload = true;
+    } else if (Arg[0] == '-') {
+      std::fprintf(stderr, "limec: unknown option '%s'\n", Arg.c_str());
+      return usage();
+    } else {
+      Path = Arg;
+    }
+  }
+  if (Path.empty())
+    return usage();
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "limec: cannot open '%s'\n", Path.c_str());
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Source = Buf.str();
+
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  Parser P(Source, Ctx, Diags);
+  Program *Prog = P.parseProgram();
+  if (!Diags.hasErrors()) {
+    Sema S(Ctx, Diags);
+    S.check(Prog);
+  }
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "%s", Diags.dump().c_str());
+    return 1;
+  }
+  if (Command.empty()) {
+    std::printf("%s: OK (%zu classes)\n", Path.c_str(),
+                Prog->classes().size());
+    return 0;
+  }
+
+  if (Command == "dump-ast") {
+    ASTPrintOptions Opts;
+    Opts.ShowTypes = true;
+    std::printf("%s", printProgram(Prog, Opts).c_str());
+    return 0;
+  }
+
+  if (Command == "decisions") {
+    GpuCompiler GC(Prog, Ctx.types());
+    for (ClassDecl *C : Prog->classes()) {
+      for (MethodDecl *M : C->methods()) {
+        if (!M->isStatic() || !M->isLocal())
+          continue;
+        IdentifyResult R = GC.identify(M);
+        if (R.Offloadable)
+          std::printf("%-28s offloadable (%s kernel, %zu arrays)\n",
+                      M->qualifiedName().c_str(),
+                      R.Plan.Kind == KernelKind::Map ? "map" : "reduce",
+                      R.Plan.Arrays.size());
+        else
+          std::printf("%-28s host: %s\n", M->qualifiedName().c_str(),
+                      R.Reason.c_str());
+      }
+    }
+    return 0;
+  }
+
+  std::string Cls, Method;
+  if (!splitQualified(Target, Cls, Method)) {
+    std::fprintf(stderr, "limec: expected Class.method, got '%s'\n",
+                 Target.c_str());
+    return 1;
+  }
+  ClassDecl *C = Prog->findClass(Cls);
+  MethodDecl *M = C ? C->findMethod(Method) : nullptr;
+  if (!M) {
+    std::fprintf(stderr, "limec: no method '%s'\n", Target.c_str());
+    return 1;
+  }
+
+  if (Command == "emit") {
+    GpuCompiler GC(Prog, Ctx.types());
+    CompiledKernel K = GC.compile(M, Config);
+    if (!K.Ok) {
+      std::fprintf(stderr, "limec: %s is not offloadable: %s\n",
+                   Target.c_str(), K.Error.c_str());
+      return 1;
+    }
+    std::printf("%s", K.Source.c_str());
+    return 0;
+  }
+
+  if (Command == "tune") {
+    SplitMix64 Rng(0x7E5E);
+    std::vector<RtValue> Args;
+    for (ParamDecl *P : M->params())
+      Args.push_back(randomValueFor(P->type(), Rng));
+    rt::OffloadConfig Base;
+    Base.DeviceName = Device;
+    rt::TuneResult R = rt::autoTune(Prog, Ctx.types(), M, Args, Base);
+    if (!R.Ok) {
+      std::fprintf(stderr, "limec: tuning failed: %s\n", R.Error.c_str());
+      return 1;
+    }
+    std::printf("%-34s %12s\n", "configuration", "kernel ns");
+    for (const rt::TuneTrial &T : R.Trials) {
+      if (T.Valid)
+        std::printf("%-34s %12.0f%s\n", T.Label.c_str(), T.KernelNs,
+                    T.KernelNs == R.BestKernelNs ? "  <= best" : "");
+      else
+        std::printf("%-34s %12s\n", T.Label.c_str(), "n/a");
+    }
+    std::printf("best for %s on %s: %s @%u\n", Target.c_str(),
+                Device.c_str(), R.Best.Mem.str().c_str(),
+                R.Best.LocalSize);
+    return 0;
+  }
+
+  if (Command == "verify") {
+    // Synthesize random inputs for every worker parameter, then
+    // compare the evaluator against the device across several trials.
+    SplitMix64 Rng(0xC0FFEE);
+    rt::OffloadConfig OC;
+    OC.DeviceName = Device;
+    OC.Mem = Config;
+    rt::OffloadedFilter Filter(Prog, Ctx.types(), M, OC);
+    if (!Filter.ok()) {
+      std::fprintf(stderr, "limec: %s is not offloadable: %s\n",
+                   Target.c_str(), Filter.error().c_str());
+      return 1;
+    }
+    Interp I(Prog, Ctx.types());
+    const unsigned Trials = 5;
+    for (unsigned T = 0; T != Trials; ++T) {
+      std::vector<RtValue> Args;
+      for (ParamDecl *P : M->params())
+        Args.push_back(randomValueFor(P->type(), Rng));
+      ExecResult Oracle = I.callMethod(M, nullptr, Args);
+      ExecResult Dev = Filter.invoke(Args);
+      if (!Oracle.ok() || !Dev.ok()) {
+        std::fprintf(stderr, "limec: trial %u failed: %s%s\n", T,
+                     Oracle.TrapMessage.c_str(), Dev.TrapMessage.c_str());
+        return 1;
+      }
+      // Flat numeric comparison with relative tolerance.
+      std::function<bool(const RtValue &, const RtValue &)> Close =
+          [&](const RtValue &A, const RtValue &B) {
+            if (A.isArray() != B.isArray())
+              return false;
+            if (!A.isArray()) {
+              double X = A.asNumber();
+              double Y = B.asNumber();
+              return std::fabs(X - Y) <=
+                     1e-3 * (1.0 + std::fabs(X));
+            }
+            if (A.array()->Elems.size() != B.array()->Elems.size())
+              return false;
+            for (size_t K = 0; K != A.array()->Elems.size(); ++K)
+              if (!Close(A.array()->Elems[K], B.array()->Elems[K]))
+                return false;
+            return true;
+          };
+      if (!Close(Oracle.Value, Dev.Value)) {
+        std::fprintf(stderr,
+                     "limec: MISMATCH on trial %u\n  evaluator: %s\n  "
+                     "device:    %s\n",
+                     T, Oracle.Value.str().c_str(),
+                     Dev.Value.str().c_str());
+        return 1;
+      }
+    }
+    std::printf("verified %s on %s (%s): %u random trials agree with the "
+                "evaluator\n",
+                Target.c_str(), Device.c_str(), Config.str().c_str(),
+                Trials);
+    return 0;
+  }
+
+  if (Command == "run") {
+    Interp I(Prog, Ctx.types());
+    rt::PipelineConfig PC;
+    PC.OffloadFilters = Offload;
+    PC.Offload.DeviceName = Device;
+    PC.Offload.Mem = Config;
+    rt::TaskGraphRuntime RT(I, PC);
+    ExecResult R = I.callStatic(Cls, Method, {});
+    if (!R.ok()) {
+      std::fprintf(stderr, "limec: run failed: %s\n", R.TrapMessage.c_str());
+      return 1;
+    }
+    std::printf("ran %s: simulated host time %.3f ms\n", Target.c_str(),
+                I.simTimeNs() / 1e6);
+    for (const rt::NodeStats &N : RT.nodeStats()) {
+      if (N.Offloaded)
+        std::printf("  %-26s device: kernel %.3f ms, comm %.3f ms\n",
+                    N.Name.c_str(), N.Device.KernelNs / 1e6,
+                    N.Device.commNs() / 1e6);
+      else
+        std::printf("  %-26s host:   %.3f ms\n", N.Name.c_str(),
+                    N.HostNs / 1e6);
+    }
+    if (!R.Value.isUnit())
+      std::printf("result: %s\n", R.Value.str().c_str());
+    return 0;
+  }
+
+  return usage();
+}

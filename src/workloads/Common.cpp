@@ -1,0 +1,161 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <cstring>
+
+using namespace lime;
+using namespace lime::wl;
+
+namespace {
+
+template <typename T, typename MakeFn>
+RtValue makeScalarArray(TypeContext &Types, const Type *ElemTy,
+                        const std::vector<T> &Data, MakeFn Make) {
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = ElemTy;
+  Arr->Immutable = true;
+  Arr->Elems.reserve(Data.size());
+  for (T V : Data)
+    Arr->Elems.push_back(Make(V));
+  return RtValue::makeArray(std::move(Arr));
+}
+
+template <typename T, typename MakeFn>
+RtValue makeScalarMatrix(TypeContext &Types, const Type *ElemTy,
+                         const std::vector<T> &Data, unsigned K,
+                         MakeFn Make) {
+  const ArrayType *RowTy =
+      Types.getArrayType(ElemTy, /*IsValueArray=*/true, K);
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = RowTy;
+  Arr->Immutable = true;
+  Arr->Elems.reserve(Data.size() / K);
+  for (size_t I = 0; I + K <= Data.size(); I += K) {
+    auto Row = std::make_shared<RtArray>();
+    Row->ElementType = ElemTy;
+    Row->Immutable = true;
+    Row->Elems.reserve(K);
+    for (unsigned C = 0; C != K; ++C)
+      Row->Elems.push_back(Make(Data[I + C]));
+    Arr->Elems.push_back(RtValue::makeArray(std::move(Row)));
+  }
+  return RtValue::makeArray(std::move(Arr));
+}
+
+} // namespace
+
+RtValue wl::makeFloatArray(TypeContext &T, const std::vector<float> &Data) {
+  return makeScalarArray(T, T.floatType(), Data, RtValue::makeFloat);
+}
+
+RtValue wl::makeDoubleArray(TypeContext &T, const std::vector<double> &Data) {
+  return makeScalarArray(T, T.doubleType(), Data, RtValue::makeDouble);
+}
+
+RtValue wl::makeIntArray(TypeContext &T, const std::vector<int32_t> &Data) {
+  return makeScalarArray(T, T.intType(), Data, RtValue::makeInt);
+}
+
+RtValue wl::makeByteArray(TypeContext &T, const std::vector<int8_t> &Data) {
+  return makeScalarArray(T, T.byteType(), Data, RtValue::makeByte);
+}
+
+RtValue wl::makeFloatMatrix(TypeContext &T, const std::vector<float> &Data,
+                            unsigned K) {
+  return makeScalarMatrix(T, T.floatType(), Data, K, RtValue::makeFloat);
+}
+
+RtValue wl::makeDoubleMatrix(TypeContext &T, const std::vector<double> &Data,
+                             unsigned K) {
+  return makeScalarMatrix(T, T.doubleType(), Data, K, RtValue::makeDouble);
+}
+
+RtValue wl::makeIntMatrix(TypeContext &T, const std::vector<int32_t> &Data,
+                          unsigned K) {
+  return makeScalarMatrix(T, T.intType(), Data, K, RtValue::makeInt);
+}
+
+RtValue wl::makeByteMatrix(TypeContext &T, const std::vector<int8_t> &Data,
+                           unsigned K) {
+  return makeScalarMatrix(T, T.byteType(), Data, K, RtValue::makeByte);
+}
+
+namespace {
+
+void flattenInto(const RtValue &V, std::vector<uint8_t> &Out) {
+  if (V.isArray()) {
+    for (const RtValue &E : V.array()->Elems)
+      flattenInto(E, Out);
+    return;
+  }
+  auto Push = [&Out](const void *P, size_t N) {
+    const auto *B = static_cast<const uint8_t *>(P);
+    Out.insert(Out.end(), B, B + N);
+  };
+  switch (V.kind()) {
+  case RtValue::Kind::Bool: {
+    uint8_t B = V.asBool();
+    Push(&B, 1);
+    return;
+  }
+  case RtValue::Kind::Byte: {
+    int8_t B = static_cast<int8_t>(V.asIntegral());
+    Push(&B, 1);
+    return;
+  }
+  case RtValue::Kind::Int: {
+    int32_t I = static_cast<int32_t>(V.asIntegral());
+    Push(&I, 4);
+    return;
+  }
+  case RtValue::Kind::Long: {
+    int64_t I = V.asIntegral();
+    Push(&I, 8);
+    return;
+  }
+  case RtValue::Kind::Float: {
+    float F = static_cast<float>(V.asNumber());
+    Push(&F, 4);
+    return;
+  }
+  case RtValue::Kind::Double: {
+    double D = V.asNumber();
+    Push(&D, 8);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+} // namespace
+
+std::vector<uint8_t> wl::flattenValue(const RtValue &V) {
+  std::vector<uint8_t> Out;
+  flattenInto(V, Out);
+  return Out;
+}
+
+void wl::setStatic(Interp &I, const std::string &Cls,
+                   const std::string &Field, RtValue V) {
+  ClassDecl *C = I.program()->findClass(Cls);
+  assert(C && "unknown workload class");
+  FieldDecl *F = C->findField(Field);
+  assert(F && "unknown workload field");
+  I.setStaticField(F, std::move(V));
+}
+
+RtValue wl::getStatic(Interp &I, const std::string &Cls,
+                      const std::string &Field) {
+  ClassDecl *C = I.program()->findClass(Cls);
+  assert(C && "unknown workload class");
+  FieldDecl *F = C->findField(Field);
+  assert(F && "unknown workload field");
+  return I.getStaticField(F);
+}

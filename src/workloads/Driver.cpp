@@ -1,0 +1,194 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Driver.h"
+
+#include "lime/parser/Parser.h"
+#include "lime/sema/Sema.h"
+
+using namespace lime;
+using namespace lime::wl;
+using namespace lime::rt;
+
+namespace {
+
+/// One compiled workload session.
+struct Session {
+  std::unique_ptr<ASTContext> Ctx;
+  std::unique_ptr<Interp> I;
+  Program *Prog = nullptr;
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+Session openSession(const Workload &W, double Scale) {
+  Session S;
+  S.Ctx = std::make_unique<ASTContext>();
+  DiagnosticEngine Diags;
+  Parser P(W.LimeSource, *S.Ctx, Diags);
+  S.Prog = P.parseProgram();
+  if (!Diags.hasErrors()) {
+    Sema Sm(*S.Ctx, Diags);
+    Sm.check(S.Prog);
+  }
+  if (Diags.hasErrors()) {
+    S.Error = "workload '" + W.Id + "' failed to compile:\n" + Diags.dump();
+    return S;
+  }
+  S.I = std::make_unique<Interp>(S.Prog, S.Ctx->types());
+  W.Prepare(*S.I, Scale);
+  return S;
+}
+
+} // namespace
+
+RunOutcome wl::runWorkload(const Workload &W, RunMode Mode, double Scale,
+                           const OffloadConfig &Offload) {
+  RunOutcome Out;
+  Session S = openSession(W, Scale);
+  if (!S.ok()) {
+    Out.Error = S.Error;
+    return Out;
+  }
+  Interp &I = *S.I;
+
+  JavaCostModel Cost;
+  Cost.LimeBytecodeMode = Mode != RunMode::PureJava;
+  I.setCostModel(Cost);
+  I.costs().reset();
+
+  PipelineConfig PC;
+  PC.OffloadFilters = Mode == RunMode::Offloaded;
+  PC.Offload = Offload;
+  TaskGraphRuntime RT(I, PC);
+
+  ExecResult R = I.callStatic(W.ClassName, W.RunMethod, {});
+  if (!R.ok()) {
+    Out.Error = "workload '" + W.Id + "' failed: " + R.TrapMessage;
+    return Out;
+  }
+
+  Out.HostNs = I.simTimeNs();
+  Out.Nodes = RT.nodeStats();
+  double DeviceNs = 0.0;
+  for (const NodeStats &N : Out.Nodes) {
+    if (!N.Offloaded)
+      continue;
+    Out.Device.Marshal += N.Device.Marshal;
+    Out.Device.ApiNs += N.Device.ApiNs;
+    Out.Device.PcieNs += N.Device.PcieNs;
+    Out.Device.KernelNs += N.Device.KernelNs;
+    Out.Device.Invocations += N.Device.Invocations;
+    Out.Device.LastCounters = N.Device.LastCounters;
+    if (Offload.OverlapPipelining && N.Device.Invocations > 1) {
+      // §5.3: double-buffered transfers overlap communication with
+      // kernel execution; steady state runs at the slower of the two,
+      // plus one pipeline-fill of the faster.
+      double K = N.Device.KernelNs;
+      double C = N.Device.commNs();
+      DeviceNs += std::max(K, C) +
+                  std::min(K, C) / static_cast<double>(N.Device.Invocations);
+    } else {
+      DeviceNs += N.Device.totalNs();
+    }
+  }
+  Out.EndToEndNs = Out.HostNs + DeviceNs;
+  Out.Result = getStatic(I, W.ClassName, W.ResultField);
+
+  if (Mode == RunMode::Offloaded) {
+    // Keep the generated kernel source for reports.
+    GpuCompiler GC(S.Prog, S.Ctx->types());
+    MethodDecl *Filter =
+        S.Prog->findClass(W.ClassName)->findMethod(W.FilterMethod);
+    if (Filter) {
+      CompiledKernel K = GC.compile(Filter, Offload.Mem);
+      if (K.Ok)
+        Out.KernelSource = K.Source;
+    }
+  }
+  return Out;
+}
+
+HandTunedResult wl::runHandTunedKernel(const Workload &W,
+                                       const std::string &Device,
+                                       double Scale, unsigned LocalSize) {
+  HandTunedResult R;
+  if (!W.hasHandTuned()) {
+    R.Error = "workload '" + W.Id + "' has no hand-tuned comparator";
+    return R;
+  }
+  Session S = openSession(W, Scale);
+  if (!S.ok()) {
+    R.Error = S.Error;
+    return R;
+  }
+  ocl::ClContext Ctx(Device);
+  HandTunedResult HR = W.RunHandTuned(Ctx, *S.I, LocalSize);
+  HR.Counters = Ctx.profile().LastKernelCounters;
+  return HR;
+}
+
+GeneratedKernelRun wl::runGeneratedKernel(const Workload &W,
+                                          const std::string &Device,
+                                          const MemoryConfig &Config,
+                                          double Scale, unsigned LocalSize) {
+  GeneratedKernelRun Out;
+  Session S = openSession(W, Scale);
+  if (!S.ok()) {
+    Out.Error = S.Error;
+    return Out;
+  }
+  Interp &I = *S.I;
+
+  MethodDecl *Filter =
+      S.Prog->findClass(W.ClassName)->findMethod(W.FilterMethod);
+  if (!Filter) {
+    Out.Error = "no filter method " + W.FilterMethod;
+    return Out;
+  }
+
+  OffloadConfig OC;
+  OC.DeviceName = Device;
+  OC.Mem = Config;
+  OC.LocalSize = LocalSize;
+  OffloadedFilter OF(S.Prog, S.Ctx->types(), Filter, OC);
+  if (!OF.ok()) {
+    Out.Error = OF.error();
+    return Out;
+  }
+
+  // Assemble the worker arguments: the streamed input is whatever the
+  // source task would emit — by convention the workload's first
+  // static input field — followed by the filter's bound extras. We
+  // reconstruct them from the worker's parameter names matched to
+  // same-named statics.
+  std::vector<RtValue> Args;
+  ClassDecl *C = S.Prog->findClass(W.ClassName);
+  for (ParamDecl *P : Filter->params()) {
+    FieldDecl *F = C->findField(P->name());
+    if (!F) {
+      // Fall back: the first parameter streams the first static
+      // array field.
+      Out.Error = "cannot bind filter parameter '" + P->name() +
+                  "' to a workload input field";
+      return Out;
+    }
+    Args.push_back(I.getStaticField(F));
+  }
+
+  ExecResult R = OF.invoke(Args);
+  if (!R.ok()) {
+    Out.Error = R.TrapMessage;
+    return Out;
+  }
+  Out.KernelNs = OF.stats().KernelNs;
+  Out.Result = R.Value;
+  Out.Source = OF.kernel().Source;
+  Out.Counters = OF.stats().LastCounters;
+  return Out;
+}

@@ -1,0 +1,82 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared benchmark driver: compiles a workload's Lime program, feeds
+/// it generated inputs, runs its pipeline in one of the paper's
+/// execution modes, and returns the simulated end-to-end time with
+/// the per-node decomposition the figures need.
+///
+/// Modes (Figure 7's rows):
+///  - PureJava: the original Java program in the JVM (§5.1 baseline
+///    comparison for Lime-on-bytecode).
+///  - LimeBytecode: the Lime program entirely in bytecode — the
+///    normalization baseline of every speedup in the paper.
+///  - Offloaded: filters compiled to OpenCL for a device, host code
+///    in "bytecode" — the measured configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_WORKLOADS_DRIVER_H
+#define LIMECC_WORKLOADS_DRIVER_H
+
+#include "runtime/TaskGraph.h"
+#include "workloads/Workloads.h"
+
+namespace lime::wl {
+
+enum class RunMode { PureJava, LimeBytecode, Offloaded };
+
+struct RunOutcome {
+  std::string Error; // "" on success
+  /// Simulated wall-clock of the whole pipeline run (all REPS).
+  double EndToEndNs = 0.0;
+  /// Host (evaluator) share of EndToEndNs.
+  double HostNs = 0.0;
+  /// Device decomposition summed over offloaded filters.
+  rt::OffloadStats Device;
+  /// Final pipeline output (for cross-mode verification).
+  RtValue Result;
+  /// Per-node detail.
+  std::vector<rt::NodeStats> Nodes;
+  /// The compiled kernel source of the first offloaded filter (for
+  /// reports); empty otherwise.
+  std::string KernelSource;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Runs \p W at input \p Scale in \p Mode. \p Offload configures the
+/// device path (ignored for the bytecode modes).
+RunOutcome runWorkload(const Workload &W, RunMode Mode, double Scale,
+                       const rt::OffloadConfig &Offload = rt::OffloadConfig());
+
+/// Runs the hand-tuned comparator for \p W on \p Device at the same
+/// scale, returning kernel-only time and the result (for §5.2-style
+/// comparisons). Fails when the workload has no hand-tuned version.
+HandTunedResult runHandTunedKernel(const Workload &W,
+                                   const std::string &Device, double Scale,
+                                   unsigned LocalSize = 128);
+
+/// Kernel-only time of the *generated* code for \p W under \p Config
+/// (one Figure 8 bar), plus correctness cross-check data.
+struct GeneratedKernelRun {
+  std::string Error;
+  double KernelNs = 0.0;
+  RtValue Result;
+  std::string Source;
+  ocl::KernelCounters Counters;
+  bool ok() const { return Error.empty(); }
+};
+GeneratedKernelRun runGeneratedKernel(const Workload &W,
+                                      const std::string &Device,
+                                      const MemoryConfig &Config,
+                                      double Scale, unsigned LocalSize = 128);
+
+} // namespace lime::wl
+
+#endif // LIMECC_WORKLOADS_DRIVER_H

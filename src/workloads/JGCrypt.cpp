@@ -1,0 +1,141 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JG-Crypt (Table 3 row 6): IDEA encryption from the JavaGrande
+/// suite. Byte blocks stream through eight rounds of 16-bit modular
+/// arithmetic against a 52-entry key schedule. Two properties matter
+/// for the reproduction:
+///
+///  - the data is *bytes*, whose Lime-runtime accesses are expensive
+///    on the bytecode baseline — this benchmark is the paper's worst
+///    Lime-vs-Java case (~50%, §5.1) — and whose computation-per-byte
+///    is low, making it communication-bound on the GPU (Fig. 9);
+///  - the key schedule is read uniformly (constant memory idiom).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "support/Random.h"
+
+using namespace lime;
+using namespace lime::wl;
+
+namespace {
+
+const char *LimeSource = R"(
+  class Crypt {
+    static byte[[][8]] data;
+    static int[[52]] key;
+    static byte[[][8]] lastOut;
+    static final int REPS = 2;
+    int steps;
+
+    byte[[][8]] src() {
+      if (steps >= REPS) throw Underflow;
+      steps += 1;
+      return data;
+    }
+
+    // IDEA multiplication modulo 2^16 + 1 (0 stands for 2^16).
+    static local int mulI(int a, int b) {
+      long r = 0L;
+      if (a == 0) {
+        r = (1 - b) & 65535;
+      } else if (b == 0) {
+        r = (1 - a) & 65535;
+      } else {
+        long p = (long) a * b;
+        long lo = p & 65535L;
+        long hi = (p >> 16) & 65535L;
+        r = lo - hi;
+        if (lo < hi) r = r + 1L;
+      }
+      return (int) (r & 65535L);
+    }
+
+    static local byte[[8]] encrypt(byte[[8]] block, int[[52]] key) {
+      int x1 = ((block[0] & 255) << 8) | (block[1] & 255);
+      int x2 = ((block[2] & 255) << 8) | (block[3] & 255);
+      int x3 = ((block[4] & 255) << 8) | (block[5] & 255);
+      int x4 = ((block[6] & 255) << 8) | (block[7] & 255);
+      for (int r = 0; r < 8; r++) {
+        int p1 = mulI(x1, key[r * 6 + 0]);
+        int p2 = (x2 + key[r * 6 + 1]) & 65535;
+        int p3 = (x3 + key[r * 6 + 2]) & 65535;
+        int p4 = mulI(x4, key[r * 6 + 3]);
+        int q1 = p1 ^ p3;
+        int q2 = p2 ^ p4;
+        int r1 = mulI(q1, key[r * 6 + 4]);
+        int r2 = mulI((q2 + r1) & 65535, key[r * 6 + 5]);
+        int r3 = (r1 + r2) & 65535;
+        x1 = p1 ^ r2;
+        x2 = p3 ^ r2;
+        x3 = p2 ^ r3;
+        x4 = p4 ^ r3;
+      }
+      int y1 = mulI(x1, key[48]);
+      int y2 = (x2 + key[49]) & 65535;
+      int y3 = (x3 + key[50]) & 65535;
+      int y4 = mulI(x4, key[51]);
+      return new byte[[8]]{
+        (byte)(y1 >> 8), (byte) y1,
+        (byte)(y2 >> 8), (byte) y2,
+        (byte)(y3 >> 8), (byte) y3,
+        (byte)(y4 >> 8), (byte) y4
+      };
+    }
+
+    static local byte[[][8]] run_idea(byte[[][8]] data, int[[52]] key) {
+      return encrypt(key) @ data;
+    }
+
+    void sink(byte[[][8]] ct) { Crypt.lastOut = ct; }
+
+    static void run() {
+      finish task new Crypt().src
+          => task Crypt.run_idea(Crypt.key)
+          => task new Crypt().sink;
+    }
+  }
+)";
+
+} // namespace
+
+Workload lime::wl::makeJGCrypt() {
+  Workload W;
+  W.Id = "crypt";
+  W.Name = "JG-Crypt";
+  W.Description = "IDEA encryption";
+  W.DataType = "Byte";
+  W.PaperInputBytes = 3 * 1024 * 1024;
+  W.PaperOutputBytes = 3 * 1024 * 1024;
+  W.LimeSource = LimeSource;
+  W.ClassName = "Crypt";
+  W.FilterMethod = "run_idea";
+  W.Prepare = [](Interp &I, double Scale) {
+    // Table 3: 3MB of data = 384K 8-byte blocks.
+    unsigned NBlocks = std::max(256u, static_cast<unsigned>(393216 * Scale));
+    SplitMix64 Rng(0x1DEA);
+    std::vector<int8_t> Data(static_cast<size_t>(NBlocks) * 8);
+    for (int8_t &B : Data)
+      B = static_cast<int8_t>(Rng.nextBelow(256));
+    std::vector<int32_t> Key(52);
+    for (int32_t &K : Key)
+      K = static_cast<int32_t>(Rng.nextBelow(65536));
+    setStatic(I, "Crypt", "data", makeByteMatrix(I.types(), Data, 8));
+    // The key is a bounded value array int[[52]].
+    auto KeyArr = std::make_shared<RtArray>();
+    KeyArr->ElementType = I.types().intType();
+    KeyArr->Immutable = true;
+    for (int32_t K : Key)
+      KeyArr->Elems.push_back(RtValue::makeInt(K));
+    setStatic(I, "Crypt", "key", RtValue::makeArray(std::move(KeyArr)));
+  };
+  return W;
+}

@@ -1,0 +1,109 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JG-Series (Table 3 rows 8-9): Fourier coefficient analysis from
+/// JavaGrande — the n-th coefficient pair (a_n, b_n) of f(x) =
+/// (x+1)^x over [0, 2] by the trapezoid rule. Pure computation, no
+/// auxiliary data, and four transcendental calls per integration
+/// step: the benchmark with the paper's most extreme GPU speedups
+/// (faster OpenCL transcendentals vs. java.lang.Math, §5.1), in both
+/// single- and double-precision variants (the GTX 580's DP runs
+/// 2-3x slower, the HD 5970's ~1.5x).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "support/StringUtils.h"
+
+using namespace lime;
+using namespace lime::wl;
+
+namespace {
+
+std::string limeSource(bool Double) {
+  const char *F = Double ? "double" : "float";
+  const char *S = Double ? "" : "f";
+  return formatString(R"(
+    class Series {
+      static %1$s[[][2]] indices;
+      static %1$s[[][2]] lastOut;
+      static final int REPS = 2;
+      static final int STEPS = 100;
+      int steps;
+
+      %1$s[[][2]] src() {
+        if (steps >= REPS) throw Underflow;
+        steps += 1;
+        return indices;
+      }
+
+      static local %1$s[[2]] coef(%1$s[[2]] idx) {
+        %1$s n = idx[0];
+        %1$s ar = 0%2$s;
+        %1$s ai = 0%2$s;
+        for (int j = 0; j < STEPS; j++) {
+          %1$s x = 2%2$s * (j + 0.5%2$s) / STEPS;
+          %1$s fx = Math.pow(x + 1%2$s, x);
+          ar += fx * Math.cos(n * 3.1415927%2$s * x);
+          ai += fx * Math.sin(n * 3.1415927%2$s * x);
+        }
+        return new %1$s[[2]]{ar / STEPS, ai / STEPS};
+      }
+
+      static local %1$s[[][2]] analyze(%1$s[[][2]] indices) {
+        return coef @ indices;
+      }
+
+      void sink(%1$s[[][2]] out) { Series.lastOut = out; }
+
+      static void run() {
+        finish task new Series().src
+            => task Series.analyze
+            => task new Series().sink;
+      }
+    }
+  )",
+                      F, S);
+}
+
+} // namespace
+
+Workload lime::wl::makeJGSeries(bool Double) {
+  Workload W;
+  W.Id = Double ? "series_dp" : "series_sp";
+  W.Name = Double ? "JG-Series (Double)" : "JG-Series (Single)";
+  W.Description = "Fourier coefficient analysis";
+  W.DataType = Double ? "Double" : "Float";
+  W.PaperInputBytes = Double ? 1560 * 1024 : 780 * 1024;
+  W.PaperOutputBytes = Double ? 1560 * 1024 : 780 * 1024;
+  W.LimeSource = limeSource(Double);
+  W.ClassName = "Series";
+  W.FilterMethod = "analyze";
+  W.Prepare = [Double](Interp &I, double Scale) {
+    // Table 3: 780KB single = ~100K coefficient slots.
+    unsigned NCoef = std::max(128u, static_cast<unsigned>(99840 * Scale));
+    if (Double) {
+      std::vector<double> Idx(static_cast<size_t>(NCoef) * 2);
+      for (unsigned C = 0; C != NCoef; ++C) {
+        Idx[C * 2 + 0] = static_cast<double>(C + 1);
+        Idx[C * 2 + 1] = 0.0;
+      }
+      setStatic(I, "Series", "indices",
+                makeDoubleMatrix(I.types(), Idx, 2));
+    } else {
+      std::vector<float> Idx(static_cast<size_t>(NCoef) * 2);
+      for (unsigned C = 0; C != NCoef; ++C) {
+        Idx[C * 2 + 0] = static_cast<float>(C + 1);
+        Idx[C * 2 + 1] = 0.0f;
+      }
+      setStatic(I, "Series", "indices", makeFloatMatrix(I.types(), Idx, 2));
+    }
+  };
+  return W;
+}

@@ -1,0 +1,200 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// N-Body (paper §2, §3, Fig. 1/2; Table 3 row 1): the n^2 force
+/// calculation. Particles are float[[][4]] (x, y, z, mass) — "four
+/// floating-point values even though each force value has only three
+/// components. This decision allows the device to vectorize the
+/// memory accesses" (§2) — and forces are float[[][3]].
+///
+/// The hand-tuned comparator is the classic OpenCL N-Body: float4
+/// tiles staged in local memory, vector loads, one thread per body.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "support/Random.h"
+#include "support/StringUtils.h"
+
+using namespace lime;
+using namespace lime::wl;
+
+namespace {
+
+std::string limeSource(bool Double) {
+  const char *F = Double ? "double" : "float";
+  const char *Suffix = Double ? "" : "f";
+  return formatString(R"(
+    class NBody {
+      static %1$s[[][4]] positions;
+      static %1$s[[][3]] lastOut;
+      static final int REPS = 2;
+      int steps;
+
+      %1$s[[][4]] src() {
+        if (steps >= REPS) throw Underflow;
+        steps += 1;
+        return positions;
+      }
+
+      static local %1$s[[3]] force(%1$s[[4]] p, %1$s[[][4]] all) {
+        %1$s fx = 0%2$s; %1$s fy = 0%2$s; %1$s fz = 0%2$s;
+        for (int j = 0; j < all.length; j++) {
+          %1$s[[4]] q = all[j];
+          %1$s dx = q[0] - p[0];
+          %1$s dy = q[1] - p[1];
+          %1$s dz = q[2] - p[2];
+          %1$s r2 = dx*dx + dy*dy + dz*dz + 0.01%2$s;
+          %1$s inv = q[3] / (r2 * Math.sqrt(r2));
+          fx += dx * inv; fy += dy * inv; fz += dz * inv;
+        }
+        return new %1$s[[3]]{fx, fy, fz};
+      }
+
+      static local %1$s[[][3]] computeForces(%1$s[[][4]] positions) {
+        return force(positions) @ positions;
+      }
+
+      // The force accumulator of Fig. 2: consumes the forces and
+      // computes new positions for the next simulation step (thaw ->
+      // integrate -> freeze, the Java-interop array conversion).
+      void accumulate(%1$s[[][3]] forces) {
+        NBody.lastOut = forces;
+        %1$s[][] p = (%1$s[][]) NBody.positions;
+        for (int i = 0; i < p.length; i++) {
+          %1$s m = p[i][3];
+          p[i][0] += 0.0001%2$s * forces[i][0] / m;
+          p[i][1] += 0.0001%2$s * forces[i][1] / m;
+          p[i][2] += 0.0001%2$s * forces[i][2] / m;
+        }
+        NBody.positions = (%1$s[[][4]]) p;
+      }
+
+      static void run() {
+        finish task new NBody().src
+            => task NBody.computeForces
+            => task new NBody().accumulate;
+      }
+    }
+  )",
+                      F, Suffix);
+}
+
+template <typename T>
+std::vector<T> generateParticles(unsigned N) {
+  SplitMix64 Rng(0x4B0D1);
+  std::vector<T> Out(static_cast<size_t>(N) * 4);
+  for (unsigned I = 0; I != N; ++I) {
+    Out[I * 4 + 0] = static_cast<T>(Rng.nextFloat(-1.0f, 1.0f));
+    Out[I * 4 + 1] = static_cast<T>(Rng.nextFloat(-1.0f, 1.0f));
+    Out[I * 4 + 2] = static_cast<T>(Rng.nextFloat(-1.0f, 1.0f));
+    Out[I * 4 + 3] = static_cast<T>(Rng.nextFloat(0.1f, 1.0f)); // mass
+  }
+  return Out;
+}
+
+/// Hand-tuned single-precision kernel (§5.2 comparator).
+const char *HandTunedSource = R"(
+__kernel void nbody_hand(__global float* out, __global const float* pos,
+                         int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  int lsize = get_local_size(0);
+  __local float4 tile[64];
+  float4 p = (float4)(0.0f);
+  if (gid < n) p = vload4(gid, pos);
+  float fx = 0.0f; float fy = 0.0f; float fz = 0.0f;
+  for (int jt = 0; jt < n; jt += 64) {
+    int cnt = min(64, n - jt);
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int t = lid; t < cnt; t += lsize) tile[t] = vload4(jt + t, pos);
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (gid < n) {
+      for (int j = 0; j < cnt; j++) {
+        float4 q = tile[j];
+        float dx = q.x - p.x;
+        float dy = q.y - p.y;
+        float dz = q.z - p.z;
+        float r2 = dx*dx + dy*dy + dz*dz + 0.01f;
+        float inv = q.w / (r2 * sqrt(r2));
+        fx += dx * inv; fy += dy * inv; fz += dz * inv;
+      }
+    }
+  }
+  if (gid < n) {
+    out[gid * 3 + 0] = fx;
+    out[gid * 3 + 1] = fy;
+    out[gid * 3 + 2] = fz;
+  }
+}
+)";
+
+HandTunedResult runHandTuned(ocl::ClContext &Ctx, Interp &I,
+                             unsigned LocalSize) {
+  HandTunedResult R;
+  RtValue Input = getStatic(I, "NBody", "positions");
+  std::vector<uint8_t> Pos = flattenValue(Input);
+  uint32_t N = static_cast<uint32_t>(Input.array()->Elems.size());
+
+  std::string Err = Ctx.buildProgram(HandTunedSource);
+  if (!Err.empty()) {
+    R.Error = Err;
+    return R;
+  }
+  ocl::ClBuffer BPos = Ctx.createBuffer(Pos.size());
+  ocl::ClBuffer BOut = Ctx.createBuffer(static_cast<uint64_t>(N) * 3 * 4);
+  Ctx.enqueueWrite(BPos, Pos.data(), Pos.size());
+
+  double Kern0 = Ctx.profile().KernelNs;
+  uint32_t Global = (N + LocalSize - 1) / LocalSize * LocalSize;
+  Err = Ctx.enqueueKernel("nbody_hand",
+                          {ocl::LaunchArg::buffer(BOut.Offset, BOut.Space),
+                           ocl::LaunchArg::buffer(BPos.Offset, BPos.Space),
+                           ocl::LaunchArg::i32(static_cast<int32_t>(N))},
+                          {Global, 1}, {LocalSize, 1});
+  if (!Err.empty()) {
+    R.Error = Err;
+    return R;
+  }
+  R.KernelNs = Ctx.profile().KernelNs - Kern0;
+
+  std::vector<float> Out(static_cast<size_t>(N) * 3);
+  Ctx.enqueueRead(BOut, Out.data(), Out.size() * 4);
+  R.Result = makeFloatMatrix(I.types(), Out, 3);
+  return R;
+}
+
+} // namespace
+
+Workload lime::wl::makeNBody(bool Double) {
+  Workload W;
+  W.Id = Double ? "nbody_dp" : "nbody_sp";
+  W.Name = Double ? "N-Body (Double)" : "N-Body (Single)";
+  W.Description = "N-Body simulation";
+  W.DataType = Double ? "Double" : "Float";
+  W.PaperInputBytes = Double ? 128 * 1024 : 64 * 1024;
+  W.PaperOutputBytes = Double ? 128 * 1024 : 48 * 1024;
+  W.LimeSource = limeSource(Double);
+  W.ClassName = "NBody";
+  W.FilterMethod = "computeForces";
+  W.Prepare = [Double](Interp &I, double Scale) {
+    // Table 3: 64KB single input = 4096 particles.
+    unsigned N = std::max(64u, static_cast<unsigned>(4096 * Scale));
+    if (Double) {
+      auto Data = generateParticles<double>(N);
+      setStatic(I, "NBody", "positions", makeDoubleMatrix(I.types(), Data, 4));
+    } else {
+      auto Data = generateParticles<float>(N);
+      setStatic(I, "NBody", "positions", makeFloatMatrix(I.types(), Data, 4));
+    }
+  };
+  if (!Double)
+    W.RunHandTuned = runHandTuned;
+  return W;
+}

@@ -1,0 +1,176 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parboil-CP, Coulombic Potential (Table 3 row 3): for every point
+/// of a 2-D grid, sum the potential contributions q_j / r_ij over all
+/// atoms. Small input (the atom list, 62KB), large output (the 1MB
+/// potential grid) — the shape that makes the atom array a perfect
+/// constant/local-memory candidate (every thread sweeps the same
+/// atoms in the same order).
+///
+/// The hand-tuned comparator follows the published CUDA version's
+/// strategy (Ryoo et al. [17]): atoms in constant memory, one thread
+/// per grid point, vectorized atom loads.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "support/Random.h"
+
+using namespace lime;
+using namespace lime::wl;
+
+namespace {
+
+const char *LimeSource = R"(
+  class CP {
+    static float[[][4]] grid;
+    static float[[][4]] atoms;
+    static float[[]] lastOut;
+    static final int REPS = 2;
+    int steps;
+
+    float[[][4]] src() {
+      if (steps >= REPS) throw Underflow;
+      steps += 1;
+      return grid;
+    }
+
+    static local float potential(float[[4]] pt, float[[][4]] atoms) {
+      float e = 0f;
+      for (int j = 0; j < atoms.length; j++) {
+        float[[4]] a = atoms[j];
+        float dx = a[0] - pt[0];
+        float dy = a[1] - pt[1];
+        float dz = a[2] - pt[2];
+        float r2 = dx*dx + dy*dy + dz*dz + 0.001f;
+        e += a[3] / Math.sqrt(r2);
+      }
+      return e;
+    }
+
+    static local float[[]] energy(float[[][4]] grid, float[[][4]] atoms) {
+      return potential(atoms) @ grid;
+    }
+
+    void sink(float[[]] energies) { CP.lastOut = energies; }
+
+    static void run() {
+      finish task new CP().src
+          => task CP.energy(CP.atoms)
+          => task new CP().sink;
+    }
+  }
+)";
+
+/// Hand-tuned kernel: constant-memory atoms (the published version's
+/// choice), float4 loads, one thread per grid point.
+const char *HandTunedSource = R"(
+__kernel void cp_hand(__global float* out, __global const float* grid,
+                      __constant float* atoms, int nGrid, int nAtoms) {
+  int gid = get_global_id(0);
+  if (gid >= nGrid) return;
+  float4 p = vload4(gid, grid);
+  float e = 0.0f;
+  for (int j = 0; j < nAtoms; j++) {
+    float4 a = vload4(j, atoms);
+    float dx = a.x - p.x;
+    float dy = a.y - p.y;
+    float dz = a.z - p.z;
+    float r2 = dx*dx + dy*dy + dz*dz + 0.001f;
+    e += a.w / sqrt(r2);
+  }
+  out[gid] = e;
+}
+)";
+
+HandTunedResult runHandTuned(ocl::ClContext &Ctx, Interp &I,
+                             unsigned LocalSize) {
+  HandTunedResult R;
+  RtValue Grid = getStatic(I, "CP", "grid");
+  RtValue Atoms = getStatic(I, "CP", "atoms");
+  std::vector<uint8_t> GBytes = flattenValue(Grid);
+  std::vector<uint8_t> ABytes = flattenValue(Atoms);
+  uint32_t NG = static_cast<uint32_t>(Grid.array()->Elems.size());
+  uint32_t NA = static_cast<uint32_t>(Atoms.array()->Elems.size());
+
+  std::string Err = Ctx.buildProgram(HandTunedSource);
+  if (!Err.empty()) {
+    R.Error = Err;
+    return R;
+  }
+  ocl::ClBuffer BG = Ctx.createBuffer(GBytes.size());
+  ocl::ClBuffer BA =
+      Ctx.createBuffer(ABytes.size(), ocl::AddrSpace::Constant);
+  ocl::ClBuffer BOut = Ctx.createBuffer(static_cast<uint64_t>(NG) * 4);
+  Ctx.enqueueWrite(BG, GBytes.data(), GBytes.size());
+  Ctx.enqueueWrite(BA, ABytes.data(), ABytes.size());
+
+  double Kern0 = Ctx.profile().KernelNs;
+  uint32_t Global = (NG + LocalSize - 1) / LocalSize * LocalSize;
+  Err = Ctx.enqueueKernel("cp_hand",
+                          {ocl::LaunchArg::buffer(BOut.Offset, BOut.Space),
+                           ocl::LaunchArg::buffer(BG.Offset, BG.Space),
+                           ocl::LaunchArg::buffer(BA.Offset, BA.Space),
+                           ocl::LaunchArg::i32(static_cast<int32_t>(NG)),
+                           ocl::LaunchArg::i32(static_cast<int32_t>(NA))},
+                          {Global, 1}, {LocalSize, 1});
+  if (!Err.empty()) {
+    R.Error = Err;
+    return R;
+  }
+  R.KernelNs = Ctx.profile().KernelNs - Kern0;
+
+  std::vector<float> Out(NG);
+  Ctx.enqueueRead(BOut, Out.data(), Out.size() * 4);
+  R.Result = makeFloatArray(I.types(), Out);
+  return R;
+}
+
+} // namespace
+
+Workload lime::wl::makeParboilCP() {
+  Workload W;
+  W.Id = "cp";
+  W.Name = "Parboil-CP";
+  W.Description = "Coulombic Potential";
+  W.DataType = "Float";
+  W.PaperInputBytes = 62 * 1024;
+  W.PaperOutputBytes = 1024 * 1024;
+  W.LimeSource = LimeSource;
+  W.ClassName = "CP";
+  W.FilterMethod = "energy";
+  W.Prepare = [](Interp &I, double Scale) {
+    // Table 3: ~62KB of atoms (~3900), 1MB of grid points (256K).
+    unsigned NAtoms = std::max(64u, static_cast<unsigned>(3900 * Scale));
+    unsigned NGrid = std::max(256u, static_cast<unsigned>(262144 * Scale));
+    SplitMix64 Rng(0xC0010);
+    std::vector<float> Atoms(static_cast<size_t>(NAtoms) * 4);
+    for (unsigned A = 0; A != NAtoms; ++A) {
+      Atoms[A * 4 + 0] = Rng.nextFloat(0.0f, 16.0f);
+      Atoms[A * 4 + 1] = Rng.nextFloat(0.0f, 16.0f);
+      Atoms[A * 4 + 2] = Rng.nextFloat(0.0f, 16.0f);
+      Atoms[A * 4 + 3] = Rng.nextFloat(-2.0f, 2.0f); // charge
+    }
+    unsigned Side = 1;
+    while (Side * Side < NGrid)
+      ++Side;
+    std::vector<float> Grid(static_cast<size_t>(NGrid) * 4);
+    for (unsigned G = 0; G != NGrid; ++G) {
+      Grid[G * 4 + 0] = 16.0f * static_cast<float>(G % Side) / Side;
+      Grid[G * 4 + 1] = 16.0f * static_cast<float>(G / Side) / Side;
+      Grid[G * 4 + 2] = 0.0f;
+      Grid[G * 4 + 3] = 0.0f;
+    }
+    setStatic(I, "CP", "grid", makeFloatMatrix(I.types(), Grid, 4));
+    setStatic(I, "CP", "atoms", makeFloatMatrix(I.types(), Atoms, 4));
+  };
+  W.RunHandTuned = runHandTuned;
+  return W;
+}

@@ -1,0 +1,37 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "support/Casting.h"
+
+using namespace lime;
+using namespace lime::wl;
+
+const std::vector<Workload> &lime::wl::workloadRegistry() {
+  static const std::vector<Workload> Registry = [] {
+    std::vector<Workload> R;
+    R.push_back(makeNBody(/*Double=*/false));
+    R.push_back(makeNBody(/*Double=*/true));
+    R.push_back(makeMosaic());
+    R.push_back(makeParboilCP());
+    R.push_back(makeParboilMRIQ());
+    R.push_back(makeParboilRPES());
+    R.push_back(makeJGCrypt());
+    R.push_back(makeJGSeries(/*Double=*/false));
+    R.push_back(makeJGSeries(/*Double=*/true));
+    return R;
+  }();
+  return Registry;
+}
+
+const Workload &lime::wl::workloadById(const std::string &Id) {
+  for (const Workload &W : workloadRegistry())
+    if (W.Id == Id)
+      return W;
+  lime_unreachable("unknown workload id");
+}

@@ -1,0 +1,124 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's benchmark suite (Table 3): nine variants across seven
+/// applications — N-Body (single/double) and Mosaic written from
+/// scratch, Parboil CP / MRI-Q / RPES, and JavaGrande Crypt and
+/// Series (single/double). Each workload carries:
+///
+///  - its Lime source, structured as the paper prescribes: a stateful
+///    source task, one isolated filter holding the computational
+///    kernel (a map or map+reduce), and a stateful sink; plus a
+///    `run()` entry whose `finish source => filter => sink` drives
+///    the pipeline;
+///  - an input generator reproducing Table 3's sizes and data types
+///    (a scale knob shrinks inputs for simulation speed without
+///    changing access patterns);
+///  - for the five Figure 8 benchmarks, a hand-tuned OpenCL kernel
+///    with its host driver — the human-written comparator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_WORKLOADS_WORKLOADS_H
+#define LIMECC_WORKLOADS_WORKLOADS_H
+
+#include "lime/interp/Interp.h"
+#include "ocl/CL.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lime::wl {
+
+/// Result of one hand-tuned comparator run.
+struct HandTunedResult {
+  std::string Error; // "" on success
+  double KernelNs = 0.0;
+  RtValue Result;
+  ocl::KernelCounters Counters;
+  bool ok() const { return Error.empty(); }
+};
+
+struct Workload {
+  std::string Id;          // "nbody_sp"
+  std::string Name;        // "N-Body (Single)" as Figure 7 labels it
+  std::string Description; // Table 3
+  std::string DataType;    // Table 3
+  uint64_t PaperInputBytes = 0;
+  uint64_t PaperOutputBytes = 0;
+
+  std::string LimeSource;
+  std::string ClassName;
+  std::string FilterMethod; // offloadable filter worker
+  std::string RunMethod = "run";
+  std::string ResultField = "lastOut";
+
+  /// Generates inputs at \p Scale (1.0 = Table 3 size) and installs
+  /// them into the workload class's static fields.
+  std::function<void(Interp &I, double Scale)> Prepare;
+
+  /// Hand-tuned OpenCL comparator (§5.2); null when the paper had
+  /// none for this benchmark. Runs on \p Ctx against the same inputs
+  /// (read from the prepared statics through \p I).
+  std::function<HandTunedResult(ocl::ClContext &Ctx, Interp &I,
+                                unsigned LocalSize)>
+      RunHandTuned;
+
+  bool hasHandTuned() const { return static_cast<bool>(RunHandTuned); }
+};
+
+/// All nine variants, in Table 3 order: N-Body(S), N-Body(D), Mosaic,
+/// Parboil-CP, Parboil-MRIQ, Parboil-RPES, JG-Crypt, JG-Series(S),
+/// JG-Series(D).
+const std::vector<Workload> &workloadRegistry();
+
+const Workload &workloadById(const std::string &Id);
+
+// Individual constructors (one translation unit each).
+Workload makeNBody(bool Double);
+Workload makeMosaic();
+Workload makeParboilCP();
+Workload makeParboilMRIQ();
+Workload makeParboilRPES();
+Workload makeJGCrypt();
+Workload makeJGSeries(bool Double);
+
+//===----------------------------------------------------------------------===//
+// Shared helpers for generators and hand-tuned hosts
+//===----------------------------------------------------------------------===//
+
+/// Builds a frozen 1-D value array of floats / doubles / ints / bytes.
+RtValue makeFloatArray(TypeContext &T, const std::vector<float> &Data);
+RtValue makeDoubleArray(TypeContext &T, const std::vector<double> &Data);
+RtValue makeIntArray(TypeContext &T, const std::vector<int32_t> &Data);
+RtValue makeByteArray(TypeContext &T, const std::vector<int8_t> &Data);
+
+/// Builds a frozen 2-D value array T[[][K]] from row-major data.
+RtValue makeFloatMatrix(TypeContext &T, const std::vector<float> &Data,
+                        unsigned K);
+RtValue makeDoubleMatrix(TypeContext &T, const std::vector<double> &Data,
+                         unsigned K);
+RtValue makeIntMatrix(TypeContext &T, const std::vector<int32_t> &Data,
+                      unsigned K);
+RtValue makeByteMatrix(TypeContext &T, const std::vector<int8_t> &Data,
+                       unsigned K);
+
+/// Flattens a (nested) numeric value array into raw little-endian
+/// bytes (the device layout).
+std::vector<uint8_t> flattenValue(const RtValue &V);
+
+/// Installs a value into `Class.Field` (static).
+void setStatic(Interp &I, const std::string &Cls, const std::string &Field,
+               RtValue V);
+RtValue getStatic(Interp &I, const std::string &Cls,
+                  const std::string &Field);
+
+} // namespace lime::wl
+
+#endif // LIMECC_WORKLOADS_WORKLOADS_H

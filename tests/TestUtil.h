@@ -1,0 +1,77 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the test suite: compile Lime snippets to checked
+/// programs and evaluate methods with readable failure output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_TESTS_TESTUTIL_H
+#define LIMECC_TESTS_TESTUTIL_H
+
+#include "lime/interp/Interp.h"
+#include "lime/parser/Parser.h"
+#include "lime/sema/Sema.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace lime::test {
+
+/// A parsed and type-checked Lime program plus its owning contexts.
+struct CompiledProgram {
+  std::unique_ptr<ASTContext> Ctx;
+  DiagnosticEngine Diags;
+  Program *Prog = nullptr;
+  bool Ok = false;
+};
+
+/// Parses and checks \p Source. On failure, Ok is false and Diags
+/// holds the reasons.
+inline CompiledProgram compileLime(const std::string &Source) {
+  CompiledProgram R;
+  R.Ctx = std::make_unique<ASTContext>();
+  Parser P(Source, *R.Ctx, R.Diags);
+  R.Prog = P.parseProgram();
+  if (R.Diags.hasErrors())
+    return R;
+  Sema S(*R.Ctx, R.Diags);
+  R.Ok = S.check(R.Prog);
+  return R;
+}
+
+/// gtest helper: asserts the program compiled, printing diagnostics.
+#define ASSERT_COMPILES(CP)                                                    \
+  ASSERT_TRUE((CP).Ok) << "compilation failed:\n" << (CP).Diags.dump()
+
+/// gtest helper: asserts compilation failed and some diagnostic
+/// message contains \p Needle.
+#define EXPECT_COMPILE_ERROR(CP, Needle)                                       \
+  do {                                                                         \
+    EXPECT_FALSE((CP).Ok) << "expected a compile error mentioning \""          \
+                          << (Needle) << "\"";                                 \
+    EXPECT_NE((CP).Diags.dump().find(Needle), std::string::npos)               \
+        << "diagnostics were:\n"                                               \
+        << (CP).Diags.dump();                                                  \
+  } while (0)
+
+/// Runs `Cls.Method(Args)` through a fresh evaluator; asserts no trap.
+inline RtValue evalStatic(CompiledProgram &CP, const std::string &Cls,
+                          const std::string &Method,
+                          std::vector<RtValue> Args = {}) {
+  Interp I(CP.Prog, CP.Ctx->types());
+  ExecResult R = I.callStatic(Cls, Method, std::move(Args));
+  EXPECT_TRUE(R.ok()) << "evaluator trapped: " << R.TrapMessage;
+  return R.Value;
+}
+
+} // namespace lime::test
+
+#endif // LIMECC_TESTS_TESTUTIL_H

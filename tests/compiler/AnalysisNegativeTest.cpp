@@ -1,0 +1,214 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Negative coverage for kernel identification: every rejection path
+/// must produce an actionable reason (these are the cases where the
+/// paper's system keeps the task in the JVM), and sema must keep the
+/// evaluator out of undefined territory.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "compiler/GpuCompiler.h"
+#include "runtime/TaskGraph.h"
+#include "workloads/Workloads.h"
+
+using namespace lime;
+using namespace lime::test;
+
+namespace {
+
+IdentifyResult identifyFilter(CompiledProgram &CP, const char *Cls,
+                              const char *Method) {
+  GpuCompiler GC(CP.Prog, CP.Ctx->types());
+  return GC.identify(CP.Prog->findClass(Cls)->findMethod(Method));
+}
+
+TEST(AnalysisNegativeTest, DynamicScratchArrayRejected) {
+  auto CP = compileLime(R"(
+    class A {
+      static local float f(float x, int n) {
+        float[] tmp = new float[n];   // dynamic size: no private home
+        tmp[0] = x;
+        return tmp[0];
+      }
+      static local float[[]] w(float[[]] xs, int n) { return f(n) @ xs; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  IdentifyResult R = identifyFilter(CP, "A", "w");
+  EXPECT_FALSE(R.Offloadable);
+  EXPECT_NE(R.Reason.find("compile-time constants"), std::string::npos)
+      << R.Reason;
+}
+
+TEST(AnalysisNegativeTest, NestedMapRejected) {
+  auto CP = compileLime(R"(
+    class A {
+      static local float g(float y) { return y + 1f; }
+      static local float f(float x, float[[]] aux) {
+        float[[]] inner = g @ aux;   // nested data parallelism
+        return x + inner[0];
+      }
+      static local float[[]] w(float[[]] xs, float[[]] aux) {
+        return f(aux) @ xs;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  IdentifyResult R = identifyFilter(CP, "A", "w");
+  EXPECT_FALSE(R.Offloadable);
+  EXPECT_NE(R.Reason.find("nested"), std::string::npos) << R.Reason;
+}
+
+TEST(AnalysisNegativeTest, HelperWithEarlyReturnRejected) {
+  auto CP = compileLime(R"(
+    class A {
+      static local float h(float x) {
+        if (x < 0f) return 0f;       // early return: no single-exit form
+        return x;
+      }
+      static local float f(float x) { return h(x); }
+      static local float[[]] w(float[[]] xs) { return f @ xs; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  IdentifyResult R = identifyFilter(CP, "A", "w");
+  EXPECT_FALSE(R.Offloadable);
+  EXPECT_NE(R.Reason.find("trailing return"), std::string::npos)
+      << R.Reason;
+}
+
+TEST(AnalysisNegativeTest, HelperWithArrayParamRejected) {
+  auto CP = compileLime(R"(
+    class A {
+      static local float h(float[[4]] row) { return row[0]; }
+      static local float f(float[[4]] x) { return h(x); }
+      static local float[[]] w(float[[][4]] xs) { return f @ xs; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  IdentifyResult R = identifyFilter(CP, "A", "w");
+  EXPECT_FALSE(R.Offloadable);
+  EXPECT_NE(R.Reason.find("scalar parameters"), std::string::npos)
+      << R.Reason;
+}
+
+TEST(AnalysisNegativeTest, MethodCombinerReduceRejected) {
+  auto CP = compileLime(R"(
+    class A {
+      static local float comb(float a, float b) { return a + b; }
+      static local float w(float[[]] xs) { return A.comb ! xs; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  IdentifyResult R = identifyFilter(CP, "A", "w");
+  EXPECT_FALSE(R.Offloadable);
+  EXPECT_NE(R.Reason.find("operator reductions"), std::string::npos)
+      << R.Reason;
+}
+
+TEST(AnalysisNegativeTest, UnboundedInnerDimensionRejected) {
+  auto CP = compileLime(R"(
+    class A {
+      static local float f(float[[]] row) { return row[0]; }
+      static local float[[]] w(float[[][]] xs) { return f @ xs; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  IdentifyResult R = identifyFilter(CP, "A", "w");
+  EXPECT_FALSE(R.Offloadable);
+}
+
+TEST(AnalysisNegativeTest, RejectedFiltersStillRunOnHost) {
+  // The paper's fallback: a non-offloadable filter runs in the JVM.
+  auto CP = compileLime(R"(
+    class P {
+      int n;
+      static int got;
+      int src() { if (n >= 1) throw Underflow; n += 1; return 5; }
+      static local int f(int x) {
+        int[] tmp = new int[x];      // dynamic: not offloadable
+        for (int i = 0; i < x; i++) tmp[i] = i;
+        return tmp[x - 1];
+      }
+      void snk(int x) { P.got = x; }
+      static void main() {
+        finish task new P().src => task P.f => task new P().snk;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  Interp I(CP.Prog, CP.Ctx->types());
+  rt::PipelineConfig PC;
+  PC.OffloadFilters = true; // offload requested, but f can't go
+  rt::TaskGraphRuntime RT(I, PC);
+  ASSERT_TRUE(I.callStatic("P", "main", {}).ok());
+  FieldDecl *F = CP.Prog->findClass("P")->findField("got");
+  EXPECT_EQ(I.getStaticField(F).asIntegral(), 4);
+  MethodDecl *M = CP.Prog->findClass("P")->findMethod("f");
+  auto It = RT.offloadDecisions().find(M);
+  ASSERT_NE(It, RT.offloadDecisions().end());
+  EXPECT_NE(It->second.find("host"), std::string::npos);
+}
+
+TEST(SemaRegressionTest, ArrayEqualityRejected) {
+  auto CP = compileLime(R"(
+    class A {
+      static boolean f(float[[]] a, float[[]] b) { return a == b; }
+    }
+  )");
+  EXPECT_COMPILE_ERROR(CP, "incompatible types");
+}
+
+TEST(TextureScalarTest, ScalarExtraArrayThroughFetchHelper) {
+  // The __fetch1 path: a flat scalar table in texture memory.
+  auto CP = compileLime(R"(
+    class T {
+      static local float f(float x, float[[]] table) {
+        int i = (int) x;
+        return table[i] + table[i + 1];
+      }
+      static local float[[]] w(float[[]] xs, float[[]] table) {
+        return f(table) @ xs;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  TypeContext &Types = CP.Ctx->types();
+  std::vector<float> Xs;
+  for (int I = 0; I < 50; ++I)
+    Xs.push_back(static_cast<float>(I % 30));
+  std::vector<float> Table(64);
+  for (size_t I = 0; I != Table.size(); ++I)
+    Table[I] = static_cast<float>(I) * 1.5f;
+  RtValue VXs = wl::makeFloatArray(Types, Xs);
+  RtValue VT = wl::makeFloatArray(Types, Table);
+
+  Interp I(CP.Prog, Types);
+  MethodDecl *W = CP.Prog->findClass("T")->findMethod("w");
+  ExecResult Oracle = I.callMethod(W, nullptr, {VXs, VT});
+  ASSERT_TRUE(Oracle.ok());
+
+  rt::OffloadConfig OC;
+  OC.DeviceName = "gtx8800";
+  OC.Mem = MemoryConfig::texture();
+  rt::OffloadedFilter Filter(CP.Prog, Types, W, OC);
+  ASSERT_TRUE(Filter.ok()) << Filter.error();
+  EXPECT_NE(Filter.kernel().Source.find("__fetch1_"), std::string::npos)
+      << Filter.kernel().Source;
+  ExecResult Dev = Filter.invoke({VXs, VT});
+  ASSERT_TRUE(Dev.ok()) << Dev.TrapMessage;
+  for (size_t K = 0; K != Xs.size(); ++K)
+    EXPECT_NEAR(Dev.Value.array()->Elems[K].asNumber(),
+                Oracle.Value.array()->Elems[K].asNumber(), 1e-4)
+        << K;
+}
+
+} // namespace

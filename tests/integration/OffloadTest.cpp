@@ -1,0 +1,368 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end integration: Lime filter -> GPU compiler -> generated
+/// OpenCL text -> OpenCL frontend -> SIMT VM -> results, compared
+/// against the evaluator (the oracle), across every Figure 8 memory
+/// configuration and every simulated device.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "runtime/Offload.h"
+#include "runtime/TaskGraph.h"
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace lime;
+using namespace lime::rt;
+using namespace lime::test;
+
+namespace {
+
+/// Builds a frozen value array of `float[[n]]`.
+RtValue makeFloatArray(TypeContext &Types, const std::vector<float> &Data) {
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = Types.floatType();
+  Arr->Immutable = true;
+  for (float F : Data)
+    Arr->Elems.push_back(RtValue::makeFloat(F));
+  return RtValue::makeArray(std::move(Arr));
+}
+
+/// Builds `float[[][K]]` from row-major data.
+RtValue makeFloatMatrix(TypeContext &Types, const std::vector<float> &Data,
+                        unsigned K) {
+  const ArrayType *RowTy =
+      Types.getArrayType(Types.floatType(), /*IsValueArray=*/true, K);
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = RowTy;
+  Arr->Immutable = true;
+  for (size_t I = 0; I + K <= Data.size(); I += K) {
+    auto Row = std::make_shared<RtArray>();
+    Row->ElementType = Types.floatType();
+    Row->Immutable = true;
+    for (unsigned C = 0; C != K; ++C)
+      Row->Elems.push_back(RtValue::makeFloat(Data[I + C]));
+    Arr->Elems.push_back(RtValue::makeArray(std::move(Row)));
+  }
+  return RtValue::makeArray(std::move(Arr));
+}
+
+void expectClose(const RtValue &A, const RtValue &B, double Tol,
+                 const std::string &Where) {
+  ASSERT_EQ(A.isArray(), B.isArray()) << Where;
+  if (!A.isArray()) {
+    EXPECT_NEAR(A.asNumber(), B.asNumber(),
+                Tol * (1.0 + std::fabs(A.asNumber())))
+        << Where;
+    return;
+  }
+  ASSERT_EQ(A.array()->Elems.size(), B.array()->Elems.size()) << Where;
+  for (size_t I = 0; I != A.array()->Elems.size(); ++I)
+    expectClose(A.array()->Elems[I], B.array()->Elems[I], Tol,
+                Where + "[" + std::to_string(I) + "]");
+}
+
+const char *NBodySource = R"(
+  class NB {
+    static local float[[3]] force(float[[4]] p, float[[][4]] all) {
+      float fx = 0f; float fy = 0f; float fz = 0f;
+      for (int j = 0; j < all.length; j++) {
+        float[[4]] q = all[j];
+        float dx = q[0] - p[0];
+        float dy = q[1] - p[1];
+        float dz = q[2] - p[2];
+        float r2 = dx*dx + dy*dy + dz*dz + 0.01f;
+        float inv = q[3] / (r2 * Math.sqrt(r2));
+        fx += dx * inv; fy += dy * inv; fz += dz * inv;
+      }
+      return new float[[3]]{fx, fy, fz};
+    }
+    static local float[[][3]] step(float[[][4]] positions) {
+      return force(positions) @ positions;
+    }
+  }
+)";
+
+class NBodyOffloadTest : public ::testing::TestWithParam<
+                             std::tuple<std::string, const char *>> {};
+
+TEST_P(NBodyOffloadTest, MatchesEvaluatorOracle) {
+  auto [Device, ConfigName] = GetParam();
+
+  auto CP = compileLime(NBodySource);
+  ASSERT_COMPILES(CP);
+  TypeContext &Types = CP.Ctx->types();
+
+  // Inputs.
+  SplitMix64 Rng(42);
+  const unsigned N = 96; // not a warp multiple: exercises masking
+  std::vector<float> Pos(N * 4);
+  for (float &F : Pos)
+    F = Rng.nextFloat(-1.0f, 1.0f);
+  RtValue Positions = makeFloatMatrix(Types, Pos, 4);
+
+  // Oracle: evaluator.
+  Interp I(CP.Prog, Types);
+  MethodDecl *W = CP.Prog->findClass("NB")->findMethod("step");
+  ExecResult Oracle = I.callMethod(W, nullptr, {Positions});
+  ASSERT_TRUE(Oracle.ok()) << Oracle.TrapMessage;
+
+  // Device.
+  OffloadConfig Cfg;
+  Cfg.DeviceName = Device;
+  std::string CN = ConfigName;
+  if (CN == "global")
+    Cfg.Mem = MemoryConfig::global();
+  else if (CN == "globalVector")
+    Cfg.Mem = MemoryConfig::globalVector();
+  else if (CN == "local")
+    Cfg.Mem = MemoryConfig::local();
+  else if (CN == "localNoConflict")
+    Cfg.Mem = MemoryConfig::localNoConflict();
+  else if (CN == "localNoConflictVector")
+    Cfg.Mem = MemoryConfig::localNoConflictVector();
+  else if (CN == "constant")
+    Cfg.Mem = MemoryConfig::constant();
+  else if (CN == "constantVector")
+    Cfg.Mem = MemoryConfig::constantVector();
+  else if (CN == "texture")
+    Cfg.Mem = MemoryConfig::texture();
+  Cfg.LocalSize = 64;
+
+  OffloadedFilter Filter(CP.Prog, Types, W, Cfg);
+  ASSERT_TRUE(Filter.ok()) << Filter.error();
+  ExecResult Dev = Filter.invoke({Positions});
+  ASSERT_TRUE(Dev.ok()) << Dev.TrapMessage;
+
+  expectClose(Oracle.Value, Dev.Value, 2e-4,
+              "nbody/" + Device + "/" + CN);
+
+  // The cost decomposition is populated.
+  EXPECT_GT(Filter.stats().KernelNs, 0.0);
+  EXPECT_GT(Filter.stats().Marshal.Bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, NBodyOffloadTest,
+    ::testing::Combine(
+        ::testing::Values(std::string("gtx580"), std::string("gtx8800"),
+                          std::string("hd5970"), std::string("corei7")),
+        ::testing::Values("global", "globalVector", "local",
+                          "localNoConflict", "localNoConflictVector",
+                          "constant", "constantVector", "texture")),
+    [](const auto &Info) {
+      return std::get<0>(Info.param) + "_" +
+             std::string(std::get<1>(Info.param));
+    });
+
+TEST(OffloadTest, ScalarMapWithScalarExtra) {
+  auto CP = compileLime(R"(
+    class M {
+      static local float scale(float x, float k) { return x * k + 1f; }
+      static local float[[]] run(float[[]] xs, float k) {
+        return scale(k) @ xs;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  TypeContext &Types = CP.Ctx->types();
+  std::vector<float> Data(1000);
+  for (size_t I = 0; I != Data.size(); ++I)
+    Data[I] = static_cast<float>(I) * 0.25f;
+  RtValue Xs = makeFloatArray(Types, Data);
+  RtValue K = RtValue::makeFloat(3.0f);
+
+  Interp I(CP.Prog, Types);
+  MethodDecl *W = CP.Prog->findClass("M")->findMethod("run");
+  ExecResult Oracle = I.callMethod(W, nullptr, {Xs, K});
+  ASSERT_TRUE(Oracle.ok()) << Oracle.TrapMessage;
+
+  OffloadedFilter Filter(CP.Prog, Types, W, OffloadConfig());
+  ASSERT_TRUE(Filter.ok()) << Filter.error();
+  ExecResult Dev = Filter.invoke({Xs, K});
+  ASSERT_TRUE(Dev.ok()) << Dev.TrapMessage;
+  expectClose(Oracle.Value, Dev.Value, 1e-5, "scale");
+}
+
+TEST(OffloadTest, ReduceSum) {
+  auto CP = compileLime(R"(
+    class R {
+      static local float total(float[[]] xs) { return + ! xs; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  TypeContext &Types = CP.Ctx->types();
+  std::vector<float> Data(4096);
+  SplitMix64 Rng(7);
+  float Want = 0.0f;
+  for (float &F : Data) {
+    F = Rng.nextFloat(0.0f, 1.0f);
+    Want += F;
+  }
+  RtValue Xs = makeFloatArray(Types, Data);
+
+  MethodDecl *W = CP.Prog->findClass("R")->findMethod("total");
+  OffloadedFilter Filter(CP.Prog, Types, W, OffloadConfig());
+  ASSERT_TRUE(Filter.ok()) << Filter.error();
+  ExecResult Dev = Filter.invoke({Xs});
+  ASSERT_TRUE(Dev.ok()) << Dev.TrapMessage;
+  // Parallel reduction reassociates; allow a loose tolerance.
+  EXPECT_NEAR(Dev.Value.asNumber(), Want, 1e-2);
+}
+
+TEST(OffloadTest, ReduceMaxInt) {
+  auto CP = compileLime(R"(
+    class R {
+      static local int biggest(int[[]] xs) { return max ! xs; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  TypeContext &Types = CP.Ctx->types();
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = Types.intType();
+  Arr->Immutable = true;
+  SplitMix64 Rng(11);
+  int32_t Want = INT32_MIN;
+  for (unsigned I = 0; I != 3000; ++I) {
+    int32_t V = static_cast<int32_t>(Rng.nextBelow(1000000)) - 500000;
+    Want = std::max(Want, V);
+    Arr->Elems.push_back(RtValue::makeInt(V));
+  }
+  RtValue Xs = RtValue::makeArray(Arr);
+
+  MethodDecl *W = CP.Prog->findClass("R")->findMethod("biggest");
+  OffloadedFilter Filter(CP.Prog, Types, W, OffloadConfig());
+  ASSERT_TRUE(Filter.ok()) << Filter.error();
+  ExecResult Dev = Filter.invoke({Xs});
+  ASSERT_TRUE(Dev.ok()) << Dev.TrapMessage;
+  EXPECT_EQ(Dev.Value.asIntegral(), Want);
+}
+
+TEST(OffloadTest, ConstantOverflowFallsBackToGlobal) {
+  auto CP = compileLime(R"(
+    class A {
+      static local float f(float x, float[[]] big) {
+        float s = 0f;
+        for (int j = 0; j < big.length; j++) s += big[j];
+        return s * x;
+      }
+      static local float[[]] w(float[[]] xs, float[[]] big) {
+        return f(big) @ xs;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  TypeContext &Types = CP.Ctx->types();
+  // 'big' exceeds 64KB of constant memory -> runtime falls back.
+  std::vector<float> Big(20000, 0.5f);
+  std::vector<float> Xs = {1.0f, 2.0f, 3.0f};
+  OffloadConfig Cfg;
+  Cfg.Mem = MemoryConfig::constant();
+  MethodDecl *W = CP.Prog->findClass("A")->findMethod("w");
+  OffloadedFilter Filter(CP.Prog, Types, W, Cfg);
+  ASSERT_TRUE(Filter.ok()) << Filter.error();
+  ExecResult Dev = Filter.invoke(
+      {makeFloatArray(Types, Xs), makeFloatArray(Types, Big)});
+  ASSERT_TRUE(Dev.ok()) << Dev.TrapMessage;
+  float Want = 20000 * 0.5f;
+  EXPECT_NEAR(Dev.Value.array()->Elems[1].asNumber(), 2.0f * Want,
+              0.01 * Want);
+  // The fallback recompiled without __constant.
+  EXPECT_EQ(Filter.kernel().Source.find("__constant"), std::string::npos);
+}
+
+TEST(OffloadTest, ByteArraysRoundTrip) {
+  auto CP = compileLime(R"(
+    class B {
+      static local byte flip(byte b) { return (byte)(b ^ 0x5A); }
+      static local byte[[]] run(byte[[]] data) { return flip @ data; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  TypeContext &Types = CP.Ctx->types();
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = Types.byteType();
+  Arr->Immutable = true;
+  for (unsigned I = 0; I != 500; ++I)
+    Arr->Elems.push_back(RtValue::makeByte(static_cast<int8_t>(I)));
+  RtValue Data = RtValue::makeArray(Arr);
+
+  Interp I(CP.Prog, Types);
+  MethodDecl *W = CP.Prog->findClass("B")->findMethod("run");
+  ExecResult Oracle = I.callMethod(W, nullptr, {Data});
+  ASSERT_TRUE(Oracle.ok()) << Oracle.TrapMessage;
+
+  OffloadedFilter Filter(CP.Prog, Types, W, OffloadConfig());
+  ASSERT_TRUE(Filter.ok()) << Filter.error();
+  ExecResult Dev = Filter.invoke({Data});
+  ASSERT_TRUE(Dev.ok()) << Dev.TrapMessage;
+  EXPECT_TRUE(Oracle.Value.equals(Dev.Value));
+}
+
+TEST(OffloadTest, PipelineThroughFinish) {
+  // Full language-level flow: source => filter => sink via `finish`,
+  // with the filter offloaded.
+  auto CP = compileLime(R"(
+    class P {
+      int produced;
+      float[] scratch;
+      static float[] results;
+
+      float[[]] src() {
+        if (produced >= 3) throw Underflow;
+        produced += 1;
+        float[] a = new float[64];
+        for (int i = 0; i < 64; i++) a[i] = i + produced;
+        return (float[[]]) a;
+      }
+      static local float square(float x) { return x * x; }
+      static local float[[]] body(float[[]] xs) { return square @ xs; }
+      void sink(float[[]] xs) {
+        float s = 0f;
+        for (int i = 0; i < xs.length; i++) s += xs[i];
+        float[] r = new float[1];
+        r[0] = s;
+        P.results = r;
+      }
+      static void main() {
+        finish task new P().src => task P.body => task new P().sink;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  TypeContext &Types = CP.Ctx->types();
+
+  Interp I(CP.Prog, Types);
+  PipelineConfig PC;
+  PC.OffloadFilters = true;
+  TaskGraphRuntime RT(I, PC);
+  ExecResult R = I.callStatic("P", "main", {});
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+
+  // Third batch: values (i + 3)^2 summed for i in 0..63.
+  float Want = 0;
+  for (int Idx = 0; Idx < 64; ++Idx)
+    Want += static_cast<float>((Idx + 3) * (Idx + 3));
+  FieldDecl *F = CP.Prog->findClass("P")->findField("results");
+  RtValue Results = I.getStaticField(F);
+  ASSERT_TRUE(Results.isArray());
+  EXPECT_NEAR(Results.array()->Elems[0].asNumber(), Want, 1e-2);
+
+  // The filter really ran on the device.
+  const auto &Stats = RT.nodeStats();
+  ASSERT_EQ(Stats.size(), 3u);
+  EXPECT_TRUE(Stats[1].Offloaded);
+  EXPECT_GT(Stats[1].Device.KernelNs, 0.0);
+  EXPECT_EQ(Stats[1].Invocations, 3u);
+}
+
+} // namespace

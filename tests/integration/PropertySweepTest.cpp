@@ -1,0 +1,185 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-style sweeps: for randomly generated inputs across many
+/// sizes (including warp boundaries and degenerate shapes) and
+/// work-group geometries, the offloaded filter must compute exactly
+/// what the evaluator computes. The map kernel here mixes divergent
+/// control flow, private scratch, helper calls and integer/float
+/// arithmetic so most of the pipeline is on the line for every size.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "runtime/Offload.h"
+#include "support/Random.h"
+#include "workloads/Workloads.h"
+
+#include <cmath>
+
+using namespace lime;
+using namespace lime::rt;
+using namespace lime::test;
+
+namespace {
+
+const char *SweepSource = R"(
+  class Sweep {
+    static local float helper(float a, float b) {
+      float m = Math.max(a, b);
+      return m * m + Math.min(a, b);
+    }
+    static local float f(float x, float k) {
+      float[] acc = new float[4];
+      for (int j = 0; j < 4; j++) acc[j] = x * (j + 1);
+      float s = 0f;
+      for (int j = 0; j < 4; j++) {
+        if (acc[j] > k) {
+          s += helper(acc[j], k);
+        } else {
+          s -= acc[j] * 0.5f;
+        }
+      }
+      return s;
+    }
+    static local float[[]] run(float[[]] xs, float k) {
+      return f(k) @ xs;
+    }
+  }
+)";
+
+struct SweepCase {
+  unsigned N;
+  unsigned LocalSize;
+  const char *Device;
+};
+
+class SizeSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SizeSweepTest, OffloadMatchesEvaluator) {
+  const SweepCase &C = GetParam();
+  auto CP = compileLime(SweepSource);
+  ASSERT_COMPILES(CP);
+  TypeContext &Types = CP.Ctx->types();
+
+  SplitMix64 Rng(1000 + C.N);
+  std::vector<float> Data(C.N);
+  for (float &F : Data)
+    F = Rng.nextFloat(-4.0f, 4.0f);
+  RtValue Xs = wl::makeFloatArray(Types, Data);
+  RtValue K = RtValue::makeFloat(1.5f);
+
+  Interp I(CP.Prog, Types);
+  MethodDecl *W = CP.Prog->findClass("Sweep")->findMethod("run");
+  ExecResult Oracle = I.callMethod(W, nullptr, {Xs, K});
+  ASSERT_TRUE(Oracle.ok()) << Oracle.TrapMessage;
+
+  OffloadConfig OC;
+  OC.DeviceName = C.Device;
+  OC.LocalSize = C.LocalSize;
+  OffloadedFilter Filter(CP.Prog, Types, W, OC);
+  ASSERT_TRUE(Filter.ok()) << Filter.error();
+  ExecResult Dev = Filter.invoke({Xs, K});
+  ASSERT_TRUE(Dev.ok()) << Dev.TrapMessage;
+
+  const auto &A = Oracle.Value.array()->Elems;
+  const auto &B = Dev.Value.array()->Elems;
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I2 = 0; I2 != A.size(); ++I2)
+    EXPECT_NEAR(A[I2].asNumber(), B[I2].asNumber(),
+                1e-4 * (1.0 + std::fabs(A[I2].asNumber())))
+        << "element " << I2 << " N=" << C.N;
+}
+
+std::string sweepName(const ::testing::TestParamInfo<SweepCase> &Info) {
+  return std::string(Info.param.Device) + "_n" +
+         std::to_string(Info.param.N) + "_l" +
+         std::to_string(Info.param.LocalSize);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SizeSweepTest,
+    ::testing::Values(
+        // Degenerate and sub-warp sizes.
+        SweepCase{1, 32, "gtx580"}, SweepCase{2, 32, "gtx580"},
+        SweepCase{31, 32, "gtx580"}, SweepCase{32, 32, "gtx580"},
+        SweepCase{33, 32, "gtx580"},
+        // Warp and group boundaries.
+        SweepCase{63, 64, "gtx580"}, SweepCase{64, 64, "gtx580"},
+        SweepCase{65, 64, "gtx580"}, SweepCase{127, 64, "gtx580"},
+        SweepCase{128, 128, "gtx580"}, SweepCase{129, 128, "gtx580"},
+        // More elements than threads (grid-stride path).
+        SweepCase{10000, 64, "gtx580"},
+        // Other devices' warp widths (64-wide wavefront, 4-wide CPU).
+        SweepCase{63, 64, "hd5970"}, SweepCase{65, 64, "hd5970"},
+        SweepCase{129, 128, "hd5970"}, SweepCase{7, 16, "corei7"},
+        SweepCase{1000, 16, "corei7"}, SweepCase{97, 32, "gtx8800"}),
+    sweepName);
+
+/// The tiled (local-memory) code path has its own uniform-loop
+/// structure; sweep it across sizes too.
+class TiledSweepTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TiledSweepTest, TiledKernelMatchesEvaluatorAtAnySize) {
+  unsigned N = GetParam();
+  auto CP = compileLime(R"(
+    class T {
+      static local float dot(float[[2]] p, float[[][2]] all) {
+        float s = 0f;
+        for (int j = 0; j < all.length; j++) {
+          float[[2]] q = all[j];
+          s += p[0] * q[0] + p[1] * q[1];
+        }
+        return s;
+      }
+      static local float[[]] run(float[[][2]] xs) {
+        return dot(xs) @ xs;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  TypeContext &Types = CP.Ctx->types();
+  SplitMix64 Rng(N);
+  std::vector<float> Data(N * 2);
+  for (float &F : Data)
+    F = Rng.nextFloat(-1.0f, 1.0f);
+  RtValue Xs = wl::makeFloatMatrix(Types, Data, 2);
+
+  Interp I(CP.Prog, Types);
+  MethodDecl *W = CP.Prog->findClass("T")->findMethod("run");
+  ExecResult Oracle = I.callMethod(W, nullptr, {Xs});
+  ASSERT_TRUE(Oracle.ok()) << Oracle.TrapMessage;
+
+  OffloadConfig OC;
+  OC.Mem = MemoryConfig::localNoConflictVector();
+  OC.LocalSize = 64;
+  OffloadedFilter Filter(CP.Prog, Types, W, OC);
+  ASSERT_TRUE(Filter.ok()) << Filter.error();
+  // The tiled path must actually be exercised.
+  ASSERT_NE(Filter.kernel().Source.find("barrier"), std::string::npos);
+  ExecResult Dev = Filter.invoke({Xs});
+  ASSERT_TRUE(Dev.ok()) << Dev.TrapMessage;
+
+  const auto &A = Oracle.Value.array()->Elems;
+  const auto &B = Dev.Value.array()->Elems;
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I2 = 0; I2 != A.size(); ++I2)
+    EXPECT_NEAR(A[I2].asNumber(), B[I2].asNumber(),
+                1e-3 * (1.0 + std::fabs(A[I2].asNumber())))
+        << "element " << I2;
+}
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, TiledSweepTest,
+                         ::testing::Values(1u, 5u, 63u, 64u, 65u, 200u,
+                                           511u, 512u, 513u, 1000u),
+                         [](const auto &Info) {
+                           return "n" + std::to_string(Info.param);
+                         });
+
+} // namespace

@@ -1,0 +1,143 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fused map-reduce (`op ! f @ xs`) offloading: the mapped function
+/// inlines into the reduction's accumulation loop as a helper, and
+/// the two-stage tree reduction finishes on the host. Also covers
+/// repeated invocations of one OffloadedFilter with changing input
+/// sizes (device-buffer reuse and regrowth).
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "runtime/Offload.h"
+#include "support/Random.h"
+#include "workloads/Workloads.h"
+
+#include <cmath>
+
+using namespace lime;
+using namespace lime::rt;
+using namespace lime::test;
+
+namespace {
+
+TEST(ReduceFusionTest, FusedMapReduceMatchesEvaluator) {
+  auto CP = compileLime(R"(
+    class F {
+      static local float score(float x, float k) {
+        return Math.sqrt(x * x + k);
+      }
+      static local float total(float[[]] xs, float k) {
+        return + ! score(k) @ xs;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  TypeContext &Types = CP.Ctx->types();
+  SplitMix64 Rng(5);
+  std::vector<float> Data(2000);
+  for (float &F2 : Data)
+    F2 = Rng.nextFloat(0.0f, 2.0f);
+  RtValue Xs = wl::makeFloatArray(Types, Data);
+  RtValue K = RtValue::makeFloat(0.5f);
+
+  Interp I(CP.Prog, Types);
+  MethodDecl *W = CP.Prog->findClass("F")->findMethod("total");
+  ExecResult Oracle = I.callMethod(W, nullptr, {Xs, K});
+  ASSERT_TRUE(Oracle.ok()) << Oracle.TrapMessage;
+
+  OffloadedFilter Filter(CP.Prog, Types, W, OffloadConfig());
+  ASSERT_TRUE(Filter.ok()) << Filter.error();
+  // The fused helper must appear in the generated reduction.
+  EXPECT_NE(Filter.kernel().Source.find("F_score("), std::string::npos);
+  EXPECT_NE(Filter.kernel().Source.find("scratch[lid]"),
+            std::string::npos);
+  ExecResult Dev = Filter.invoke({Xs, K});
+  ASSERT_TRUE(Dev.ok()) << Dev.TrapMessage;
+  EXPECT_NEAR(Dev.Value.asNumber(), Oracle.Value.asNumber(),
+              1e-3 * std::fabs(Oracle.Value.asNumber()));
+}
+
+TEST(ReduceFusionTest, ArrayArgsInFusedMapStayOnHost) {
+  auto CP = compileLime(R"(
+    class F {
+      static local float score(float x, float[[]] aux) {
+        return x * aux[0];
+      }
+      static local float total(float[[]] xs, float[[]] aux) {
+        return + ! score(aux) @ xs;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  MethodDecl *W = CP.Prog->findClass("F")->findMethod("total");
+  OffloadedFilter Filter(CP.Prog, CP.Ctx->types(), W, OffloadConfig());
+  EXPECT_FALSE(Filter.ok());
+  EXPECT_NE(Filter.error().find("scalar map functions"), std::string::npos)
+      << Filter.error();
+}
+
+TEST(ReduceFusionTest, MinReductionWithNegativeValues) {
+  auto CP = compileLime(R"(
+    class F {
+      static local float lowest(float[[]] xs) { return min ! xs; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  TypeContext &Types = CP.Ctx->types();
+  SplitMix64 Rng(17);
+  std::vector<float> Data(777);
+  float Want = 1e30f;
+  for (float &V : Data) {
+    V = Rng.nextFloat(-100.0f, 100.0f);
+    Want = std::min(Want, V);
+  }
+  RtValue Xs = wl::makeFloatArray(Types, Data);
+  MethodDecl *W = CP.Prog->findClass("F")->findMethod("lowest");
+  OffloadedFilter Filter(CP.Prog, Types, W, OffloadConfig());
+  ASSERT_TRUE(Filter.ok()) << Filter.error();
+  ExecResult Dev = Filter.invoke({Xs});
+  ASSERT_TRUE(Dev.ok()) << Dev.TrapMessage;
+  EXPECT_FLOAT_EQ(static_cast<float>(Dev.Value.asNumber()), Want);
+}
+
+TEST(OffloadReuseTest, RepeatedInvocationsWithGrowingInputs) {
+  auto CP = compileLime(R"(
+    class G {
+      static local float dbl(float x) { return x * 2f; }
+      static local float[[]] run(float[[]] xs) { return dbl @ xs; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  TypeContext &Types = CP.Ctx->types();
+  MethodDecl *W = CP.Prog->findClass("G")->findMethod("run");
+  OffloadedFilter Filter(CP.Prog, Types, W, OffloadConfig());
+  ASSERT_TRUE(Filter.ok()) << Filter.error();
+
+  // Shrinking, then growing, inputs through one filter instance:
+  // exercises device-buffer reuse and reallocation.
+  for (unsigned N : {64u, 16u, 64u, 256u, 100u, 1024u}) {
+    std::vector<float> Data(N);
+    for (unsigned I = 0; I != N; ++I)
+      Data[I] = static_cast<float>(I) + 0.5f;
+    RtValue Xs = wl::makeFloatArray(Types, Data);
+    ExecResult Dev = Filter.invoke({Xs});
+    ASSERT_TRUE(Dev.ok()) << "N=" << N << ": " << Dev.TrapMessage;
+    ASSERT_EQ(Dev.Value.array()->Elems.size(), N);
+    for (unsigned I = 0; I != N; ++I)
+      ASSERT_FLOAT_EQ(
+          static_cast<float>(Dev.Value.array()->Elems[I].asNumber()),
+          Data[I] * 2.0f)
+          << "N=" << N << " i=" << I;
+  }
+  EXPECT_EQ(Filter.stats().Invocations, 6u);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST printer tests, centered on the round-trip property: printed
+/// output is valid Lime that re-parses and re-checks, and printing
+/// the reparse reproduces the same text (fixpoint).
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "lime/ast/ASTPrinter.h"
+#include "workloads/Workloads.h"
+
+using namespace lime;
+using namespace lime::test;
+
+namespace {
+
+/// print -> reparse -> recheck -> print again == same text.
+void expectRoundTrip(const std::string &Source) {
+  auto CP1 = compileLime(Source);
+  ASSERT_TRUE(CP1.Ok) << CP1.Diags.dump();
+  std::string Printed = printProgram(CP1.Prog);
+
+  auto CP2 = compileLime(Printed);
+  ASSERT_TRUE(CP2.Ok) << "printed source failed to compile:\n"
+                      << Printed << "\n"
+                      << CP2.Diags.dump();
+  EXPECT_EQ(printProgram(CP2.Prog), Printed);
+}
+
+TEST(ASTPrinterTest, SimpleClassRoundTrips) {
+  expectRoundTrip(R"(
+    class A {
+      static final int N = 4;
+      int counter;
+      static local float f(float x) { return x * 2f; }
+      int bump() { counter += 1; return counter; }
+    }
+  )");
+}
+
+TEST(ASTPrinterTest, ControlFlowRoundTrips) {
+  expectRoundTrip(R"(
+    class A {
+      static int f(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i += 1) {
+          if (i % 2 == 0) { s += i; } else { s -= 1; }
+        }
+        while (s > 100) { s /= 2; }
+        return s > 0 ? s : -s;
+      }
+    }
+  )");
+}
+
+TEST(ASTPrinterTest, LimeOperatorsRoundTrip) {
+  expectRoundTrip(R"(
+    class M {
+      static local float square(float x) { return x * x; }
+      static local float run(float[[]] xs) {
+        return + ! square @ xs;
+      }
+      static local float best(float[[]] xs) { return max ! xs; }
+    }
+  )");
+}
+
+TEST(ASTPrinterTest, TaskGraphRoundTrips) {
+  expectRoundTrip(R"(
+    class P {
+      int n;
+      static int[[52]] key;
+      int src() { if (n >= 1) throw Underflow; n += 1; return 3; }
+      static local int f(int x, int[[52]] k) { return x + k[0]; }
+      void snk(int x) { }
+      static void main() {
+        finish task new P().src => task P.f(P.key) => task new P().snk;
+      }
+    }
+  )");
+}
+
+TEST(ASTPrinterTest, ValueArraysAndCastsRoundTrip) {
+  expectRoundTrip(R"(
+    class V {
+      static local float[[3]] mk(float a) {
+        return new float[[3]]{a, a + 1f, a + 2f};
+      }
+      static float[[]] freeze() {
+        float[] xs = new float[8];
+        xs[0] = 1f;
+        return (float[[]]) xs;
+      }
+    }
+  )");
+}
+
+TEST(ASTPrinterTest, AllNineWorkloadSourcesRoundTrip) {
+  for (const wl::Workload &W : wl::workloadRegistry())
+    expectRoundTrip(W.LimeSource);
+}
+
+TEST(ASTPrinterTest, TypeAnnotationsAppear) {
+  auto CP = compileLime(R"(
+    class A { static float f(float x) { return x + 1f; } }
+  )");
+  ASSERT_COMPILES(CP);
+  ASTPrintOptions Opts;
+  Opts.ShowTypes = true;
+  std::string S = printClass(CP.Prog->classes()[0], Opts);
+  EXPECT_NE(S.find("/*: float */"), std::string::npos) << S;
+}
+
+} // namespace

@@ -1,0 +1,298 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include <cmath>
+
+using namespace lime;
+using namespace lime::test;
+
+namespace {
+
+TEST(InterpTest, Arithmetic) {
+  auto CP = compileLime(R"(
+    class A {
+      static int f() { return 2 + 3 * 4 - 6 / 2; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  EXPECT_EQ(evalStatic(CP, "A", "f").asIntegral(), 11);
+}
+
+TEST(InterpTest, FloatStaysSinglePrecision) {
+  auto CP = compileLime(R"(
+    class A {
+      static float f() { return 0.1f + 0.2f; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  RtValue V = evalStatic(CP, "A", "f");
+  EXPECT_EQ(V.kind(), RtValue::Kind::Float);
+  EXPECT_FLOAT_EQ(static_cast<float>(V.asNumber()), 0.1f + 0.2f);
+}
+
+TEST(InterpTest, IntOverflowWraps) {
+  auto CP = compileLime(R"(
+    class A {
+      static int f() { return 2147483647 + 1; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  EXPECT_EQ(evalStatic(CP, "A", "f").asIntegral(), INT32_MIN);
+}
+
+TEST(InterpTest, LoopsAndArrays) {
+  auto CP = compileLime(R"(
+    class A {
+      static int sumTo(int n) {
+        int[] a = new int[n];
+        for (int i = 0; i < n; i++) a[i] = i;
+        int s = 0;
+        for (int i = 0; i < a.length; i++) s += a[i];
+        return s;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  EXPECT_EQ(evalStatic(CP, "A", "sumTo", {RtValue::makeInt(10)}).asIntegral(),
+            45);
+}
+
+TEST(InterpTest, WhileAndCompoundAssign) {
+  auto CP = compileLime(R"(
+    class A {
+      static int f() {
+        int x = 1;
+        while (x < 100) x *= 2;
+        return x;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  EXPECT_EQ(evalStatic(CP, "A", "f").asIntegral(), 128);
+}
+
+TEST(InterpTest, MethodCallsAndRecursion) {
+  auto CP = compileLime(R"(
+    class A {
+      static int fib(int n) {
+        if (n < 2) return n;
+        return fib(n - 1) + fib(n - 2);
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  EXPECT_EQ(evalStatic(CP, "A", "fib", {RtValue::makeInt(10)}).asIntegral(),
+            55);
+}
+
+TEST(InterpTest, MathBuiltins) {
+  auto CP = compileLime(R"(
+    class A {
+      static double f(double x) { return Math.sqrt(x) + Math.sin(0.0); }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  EXPECT_DOUBLE_EQ(
+      evalStatic(CP, "A", "f", {RtValue::makeDouble(16.0)}).asNumber(), 4.0);
+}
+
+TEST(InterpTest, OutOfBoundsTraps) {
+  auto CP = compileLime(R"(
+    class A {
+      static int f() { int[] a = new int[2]; return a[5]; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  Interp I(CP.Prog, CP.Ctx->types());
+  ExecResult R = I.callStatic("A", "f", {});
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMessage.find("out of bounds"), std::string::npos);
+}
+
+TEST(InterpTest, DivisionByZeroTraps) {
+  auto CP = compileLime(R"(
+    class A { static int f(int d) { return 10 / d; } }
+  )");
+  ASSERT_COMPILES(CP);
+  Interp I(CP.Prog, CP.Ctx->types());
+  ExecResult R = I.callStatic("A", "f", {RtValue::makeInt(0)});
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(InterpTest, FreezeCastDeepCopies) {
+  auto CP = compileLime(R"(
+    class A {
+      static float f() {
+        float[] a = new float[2];
+        a[0] = 1f;
+        float[[]] v = (float[[]]) a;
+        a[0] = 9f;       // must not affect the frozen copy
+        return v[0];
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  EXPECT_FLOAT_EQ(static_cast<float>(evalStatic(CP, "A", "f").asNumber()),
+                  1.0f);
+}
+
+TEST(InterpTest, FreezeCastChecksBounds) {
+  auto CP = compileLime(R"(
+    class A {
+      static float f() {
+        float[] a = new float[3];
+        float[[4]] v = (float[[4]]) a; // runtime shape mismatch
+        return v[0];
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  Interp I(CP.Prog, CP.Ctx->types());
+  ExecResult R = I.callStatic("A", "f", {});
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(InterpTest, MapProducesFrozenResults) {
+  auto CP = compileLime(R"(
+    class M {
+      static local float square(float x) { return x * x; }
+      static float[[]] run() {
+        float[] a = new float[4];
+        for (int i = 0; i < 4; i++) a[i] = i;
+        return square @ (float[[]]) a;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  RtValue V = evalStatic(CP, "M", "run");
+  ASSERT_TRUE(V.isArray());
+  EXPECT_TRUE(V.array()->Immutable);
+  ASSERT_EQ(V.array()->Elems.size(), 4u);
+  EXPECT_FLOAT_EQ(static_cast<float>(V.array()->Elems[3].asNumber()), 9.0f);
+}
+
+TEST(InterpTest, ReduceOperators) {
+  auto CP = compileLime(R"(
+    class M {
+      static int sum() {
+        int[] a = new int[]{3, 1, 4, 1, 5};
+        return + ! (int[[]]) a;
+      }
+      static int biggest() {
+        int[] a = new int[]{3, 1, 4, 1, 5};
+        return max ! (int[[]]) a;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  EXPECT_EQ(evalStatic(CP, "M", "sum").asIntegral(), 14);
+  EXPECT_EQ(evalStatic(CP, "M", "biggest").asIntegral(), 5);
+}
+
+TEST(InterpTest, MapReduceCompose) {
+  auto CP = compileLime(R"(
+    class M {
+      static local float square(float x) { return x * x; }
+      static float sumOfSquares() {
+        float[] a = new float[]{1f, 2f, 3f};
+        return + ! square @ (float[[]]) a;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  EXPECT_FLOAT_EQ(
+      static_cast<float>(evalStatic(CP, "M", "sumOfSquares").asNumber()),
+      14.0f);
+}
+
+TEST(InterpTest, InstanceStateAcrossCalls) {
+  auto CP = compileLime(R"(
+    class C {
+      int n;
+      int bump() { n += 1; return n; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  Interp I(CP.Prog, CP.Ctx->types());
+  ClassDecl *C = CP.Prog->findClass("C");
+  auto Obj = I.instantiate(C);
+  MethodDecl *Bump = C->findMethod("bump");
+  EXPECT_EQ(I.callMethod(Bump, Obj, {}).Value.asIntegral(), 1);
+  EXPECT_EQ(I.callMethod(Bump, Obj, {}).Value.asIntegral(), 2);
+  EXPECT_EQ(I.callMethod(Bump, Obj, {}).Value.asIntegral(), 3);
+}
+
+TEST(InterpTest, StaticFieldInitialization) {
+  auto CP = compileLime(R"(
+    class A {
+      static int base = 40;
+      static int f() { return base + 2; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  EXPECT_EQ(evalStatic(CP, "A", "f").asIntegral(), 42);
+}
+
+TEST(InterpTest, UnderflowSurfacesFromWorker) {
+  auto CP = compileLime(R"(
+    class S {
+      static int n = 0;
+      static int src() {
+        if (n >= 3) throw Underflow;
+        n += 1;
+        return n;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  Interp I(CP.Prog, CP.Ctx->types());
+  MethodDecl *Src = CP.Prog->findClass("S")->findMethod("src");
+  for (int K = 1; K <= 3; ++K) {
+    ExecResult R = I.callMethod(Src, nullptr, {});
+    EXPECT_FALSE(R.Underflow);
+    EXPECT_EQ(R.Value.asIntegral(), K);
+  }
+  ExecResult R = I.callMethod(Src, nullptr, {});
+  EXPECT_TRUE(R.Underflow);
+}
+
+TEST(InterpTest, CostAccumulates) {
+  auto CP = compileLime(R"(
+    class A {
+      static double f() {
+        double s = 0.0;
+        for (int i = 0; i < 100; i++) s += Math.sin(0.5);
+        return s;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  Interp I(CP.Prog, CP.Ctx->types());
+  ExecResult R = I.callStatic("A", "f", {});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(I.costs().Transcendentals, 100u);
+  // 100 transcendental calls at JVM cost must dominate.
+  EXPECT_GT(I.simTimeNs(), 100 * I.costModel().NsTranscendental);
+}
+
+TEST(InterpTest, ByteArithmeticWrapsViaStores) {
+  auto CP = compileLime(R"(
+    class A {
+      static int f() {
+        byte[] b = new byte[1];
+        b[0] = (byte) 200;   // wraps to -56
+        return b[0];
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  EXPECT_EQ(evalStatic(CP, "A", "f").asIntegral(), -56);
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lime/lexer/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace lime;
+
+namespace {
+
+std::vector<Token> lexAll(const std::string &Src, DiagnosticEngine &Diags) {
+  Lexer L(Src, Diags);
+  std::vector<Token> Out;
+  while (true) {
+    Token T = L.next();
+    if (T.is(TokenKind::Eof))
+      return Out;
+    Out.push_back(std::move(T));
+  }
+}
+
+TEST(LexerTest, Keywords) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("class task finish value local static", Diags);
+  ASSERT_EQ(Toks.size(), 6u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::KwClass);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::KwTask);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::KwFinish);
+  EXPECT_EQ(Toks[3].Kind, TokenKind::KwValue);
+  EXPECT_EQ(Toks[4].Kind, TokenKind::KwLocal);
+  EXPECT_EQ(Toks[5].Kind, TokenKind::KwStatic);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(LexerTest, LimeOperators) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("=> @ ! != = ==", Diags);
+  ASSERT_EQ(Toks.size(), 6u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::Arrow);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::At);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::Bang);
+  EXPECT_EQ(Toks[3].Kind, TokenKind::NotEq);
+  EXPECT_EQ(Toks[4].Kind, TokenKind::Assign);
+  EXPECT_EQ(Toks[5].Kind, TokenKind::EqEq);
+}
+
+TEST(LexerTest, NumericLiterals) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("42 42L 2.5f 2.5 1e3 0x1F 3f", Diags);
+  ASSERT_EQ(Toks.size(), 7u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Toks[0].IntValue, 42);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::LongLiteral);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::FloatLiteral);
+  EXPECT_FLOAT_EQ(Toks[2].FloatValue, 2.5);
+  EXPECT_EQ(Toks[3].Kind, TokenKind::DoubleLiteral);
+  EXPECT_EQ(Toks[4].Kind, TokenKind::DoubleLiteral);
+  EXPECT_DOUBLE_EQ(Toks[4].FloatValue, 1000.0);
+  EXPECT_EQ(Toks[5].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Toks[5].IntValue, 31);
+  EXPECT_EQ(Toks[6].Kind, TokenKind::FloatLiteral);
+  EXPECT_FLOAT_EQ(Toks[6].FloatValue, 3.0);
+}
+
+TEST(LexerTest, CommentsAndLocations) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("a // line comment\n/* block\ncomment */ b", Diags);
+  ASSERT_EQ(Toks.size(), 2u);
+  EXPECT_EQ(Toks[0].Text, "a");
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[1].Text, "b");
+  EXPECT_EQ(Toks[1].Loc.Line, 3u);
+}
+
+TEST(LexerTest, ValueArrayBrackets) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("float[[][4]]", Diags);
+  // float [ [ ] [ 4 ] ]
+  ASSERT_EQ(Toks.size(), 8u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::KwFloat);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::LBracket);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::LBracket);
+  EXPECT_EQ(Toks[3].Kind, TokenKind::RBracket);
+  EXPECT_EQ(Toks[4].Kind, TokenKind::LBracket);
+  EXPECT_EQ(Toks[5].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Toks[6].Kind, TokenKind::RBracket);
+  EXPECT_EQ(Toks[7].Kind, TokenKind::RBracket);
+}
+
+TEST(LexerTest, BadCharacterProducesError) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("a $ b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Error);
+}
+
+TEST(LexerTest, UnterminatedBlockComment) {
+  DiagnosticEngine Diags;
+  lexAll("a /* never closed", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+} // namespace

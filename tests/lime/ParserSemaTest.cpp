@@ -1,0 +1,310 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+using namespace lime;
+using namespace lime::test;
+
+namespace {
+
+TEST(ParserTest, EmptyClass) {
+  auto CP = compileLime("class A { }");
+  ASSERT_COMPILES(CP);
+  ASSERT_EQ(CP.Prog->classes().size(), 1u);
+  EXPECT_EQ(CP.Prog->classes()[0]->name(), "A");
+}
+
+TEST(ParserTest, MethodAndFieldShapes) {
+  auto CP = compileLime(R"(
+    class A {
+      static final int N = 4;
+      int counter;
+      static local float f(float x) { return x * 2f; }
+      int bump() { counter = counter + 1; return counter; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  ClassDecl *A = CP.Prog->findClass("A");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->fields().size(), 2u);
+  EXPECT_EQ(A->methods().size(), 2u);
+  MethodDecl *F = A->findMethod("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->isStatic());
+  EXPECT_TRUE(F->isLocal());
+}
+
+TEST(ParserTest, ValueArrayTypeSpelling) {
+  auto CP = compileLime(R"(
+    class A {
+      static local float sum(float[[][4]] m) { return m[0][1]; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  MethodDecl *M = CP.Prog->findClass("A")->findMethod("sum");
+  const auto *T = dyn_cast<ArrayType>(M->params()[0]->type());
+  ASSERT_NE(T, nullptr);
+  EXPECT_TRUE(T->isValueArray());
+  EXPECT_EQ(T->rank(), 2u);
+  EXPECT_EQ(T->bound(), 0u);
+  EXPECT_EQ(T->innermostBound(), 4u);
+  EXPECT_EQ(T->str(), "float[[][4]]");
+}
+
+TEST(ParserTest, TaskConnectFinish) {
+  // Sources and sinks carry state, so they are instance (non-isolated)
+  // tasks; the middle filter is a static local worker (paper §3.1).
+  auto CP = compileLime(R"(
+    class P {
+      int n;
+      float[[]] src() {
+        if (n > 0) throw Underflow;
+        n = n + 1;
+        float[] a = new float[3];
+        return (float[[]]) a;
+      }
+      static local float[[]] body(float[[]] x) { return x; }
+      void sink(float[[]] x) { }
+      static void main() {
+        finish task new P().src => task P.body => task new P().sink;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+}
+
+TEST(ParserTest, MapReduceSyntax) {
+  auto CP = compileLime(R"(
+    class M {
+      static local float square(float x) { return x * x; }
+      static local float run(float[[]] xs) {
+        return + ! square @ xs;
+      }
+      static local float best(float[[]] xs) {
+        return max ! xs;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+}
+
+TEST(ParserTest, MapWithExtraArgs) {
+  auto CP = compileLime(R"(
+    class M {
+      static local float addScaled(float x, float s) { return x * s; }
+      static local float[[]] run(float[[]] xs) {
+        return addScaled(2f) @ xs;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+}
+
+TEST(ParserTest, PrecedenceOfConnectVsAssignment) {
+  // Graph assignment must parse as g = (a => b).
+  auto CP = compileLime(R"(
+    class P {
+      int n;
+      int src() { if (n > 2) throw Underflow; n = n + 1; return n; }
+      void snk(int x) { }
+      static void main() {
+        finish task new P().src => task new P().snk;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+}
+
+//===----------------------------------------------------------------------===//
+// Sema: type errors
+//===----------------------------------------------------------------------===//
+
+TEST(SemaTest, RejectsUnknownName) {
+  auto CP = compileLime("class A { static int f() { return nope; } }");
+  EXPECT_COMPILE_ERROR(CP, "unknown name 'nope'");
+}
+
+TEST(SemaTest, RejectsBooleanArithmetic) {
+  auto CP =
+      compileLime("class A { static int f() { return true + 1; } }");
+  EXPECT_COMPILE_ERROR(CP, "arithmetic needs numeric operands");
+}
+
+TEST(SemaTest, RejectsNarrowingWithoutCast) {
+  auto CP = compileLime(
+      "class A { static int f(double d) { int x = d; return x; } }");
+  EXPECT_COMPILE_ERROR(CP, "cannot initialize");
+}
+
+TEST(SemaTest, AllowsWideningAndLiteralNarrowing) {
+  auto CP = compileLime(R"(
+    class A {
+      static double f(int i) { double d = i; byte b = 7; return d + b; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+}
+
+TEST(SemaTest, RejectsNonBooleanCondition) {
+  auto CP = compileLime("class A { static void f() { if (1) return; } }");
+  EXPECT_COMPILE_ERROR(CP, "must be boolean");
+}
+
+TEST(SemaTest, RejectsVoidReturnMismatch) {
+  auto CP = compileLime("class A { static void f() { return 3; } }");
+  EXPECT_COMPILE_ERROR(CP, "void method cannot return");
+}
+
+//===----------------------------------------------------------------------===//
+// Sema: immutability (value types)
+//===----------------------------------------------------------------------===//
+
+TEST(SemaTest, RejectsStoreIntoValueArray) {
+  auto CP = compileLime(R"(
+    class A {
+      static local float f(float[[]] xs) { xs[0] = 1f; return xs[0]; }
+    }
+  )");
+  EXPECT_COMPILE_ERROR(CP, "value array");
+}
+
+TEST(SemaTest, RejectsAssignToFinalField) {
+  auto CP = compileLime(R"(
+    class A {
+      static final int N = 3;
+      static void f() { N = 4; }
+    }
+  )");
+  EXPECT_COMPILE_ERROR(CP, "final field");
+}
+
+TEST(SemaTest, ValueArraysRequireInitialization) {
+  auto CP = compileLime(
+      "class A { static void f() { float[[]] xs = new float[[8]]; } }");
+  EXPECT_COMPILE_ERROR(CP, "must be initialized");
+}
+
+TEST(SemaTest, FreezeCastIsAllowed) {
+  auto CP = compileLime(R"(
+    class A {
+      static local float head(float[[]] xs) { return xs[0]; }
+      static float f() {
+        float[] a = new float[4];
+        a[0] = 2f;
+        return head((float[[]]) a);
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+}
+
+//===----------------------------------------------------------------------===//
+// Sema: isolation (local methods)
+//===----------------------------------------------------------------------===//
+
+TEST(SemaTest, LocalMethodCannotCallNonLocal) {
+  auto CP = compileLime(R"(
+    class A {
+      static int g() { return 1; }
+      static local int f() { return g(); }
+    }
+  )");
+  EXPECT_COMPILE_ERROR(CP, "isolation");
+}
+
+TEST(SemaTest, LocalMethodCannotTouchMutableStatics) {
+  auto CP = compileLime(R"(
+    class A {
+      static int counter = 0;
+      static local int f() { return counter; }
+    }
+  )");
+  EXPECT_COMPILE_ERROR(CP, "isolation");
+}
+
+TEST(SemaTest, LocalMethodMayReadFinalStatics) {
+  auto CP = compileLime(R"(
+    class A {
+      static final int N = 10;
+      static local int f() { return N; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+}
+
+TEST(SemaTest, StaticTaskWorkerMustBeLocal) {
+  auto CP = compileLime(R"(
+    class A {
+      static float work(float x) { return x; }
+      static void main() {
+        float g = 0f;
+      }
+      static void mk() {
+        task A.work;
+      }
+    }
+  )");
+  EXPECT_COMPILE_ERROR(CP, "must be declared local");
+}
+
+TEST(SemaTest, FilterWorkerParamsMustBeValues) {
+  auto CP = compileLime(R"(
+    class A {
+      static local float work(float[] xs) { return xs[0]; }
+      static void mk() { task A.work; }
+    }
+  )");
+  EXPECT_COMPILE_ERROR(CP, "must be a value type");
+}
+
+TEST(SemaTest, ConnectTypeMismatchRejected) {
+  auto CP = compileLime(R"(
+    class A {
+      static local int src() { return 1; }
+      static local void snkF(float x) { }
+      static void mk() { finish task A.src => task A.snkF; }
+    }
+  )");
+  EXPECT_COMPILE_ERROR(CP, "port types differ");
+}
+
+TEST(SemaTest, FinishNeedsCompleteGraph) {
+  auto CP = compileLime(R"(
+    class A {
+      static local int src() { return 1; }
+      static void mk() { finish task A.src; }
+    }
+  )");
+  EXPECT_COMPILE_ERROR(CP, "complete task graph");
+}
+
+TEST(SemaTest, MapResultTypeIsValueArrayOfResults) {
+  auto CP = compileLime(R"(
+    class M {
+      static local float[[3]] triple(float x) {
+        return new float[[3]]{x, x, x};
+      }
+      static local float[[][3]] run(float[[]] xs) {
+        return triple @ xs;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+}
+
+TEST(SemaTest, ReduceCombinerSignatureEnforced) {
+  auto CP = compileLime(R"(
+    class M {
+      static local float bad(float a, int b) { return a; }
+      static local float run(float[[]] xs) { return M.bad ! xs; }
+    }
+  )");
+  EXPECT_COMPILE_ERROR(CP, "combiner must have signature");
+}
+
+} // namespace

@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lime/ast/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace lime;
+
+namespace {
+
+TEST(TypeSystemTest, CanonicalizationMakesPointerEqualityWork) {
+  TypeContext T;
+  const ArrayType *A = T.getArrayType(T.floatType(), true, 4);
+  const ArrayType *B = T.getArrayType(T.floatType(), true, 4);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, T.getArrayType(T.floatType(), true, 2));
+  EXPECT_NE(A, T.getArrayType(T.floatType(), false, 4));
+  EXPECT_NE(A, T.getArrayType(T.doubleType(), true, 4));
+}
+
+TEST(TypeSystemTest, MultiDimBuilderMatchesNesting) {
+  TypeContext T;
+  const ArrayType *M = T.getArrayType(T.floatType(), true, {0u, 4u});
+  EXPECT_EQ(M->bound(), 0u);
+  EXPECT_EQ(M->rank(), 2u);
+  EXPECT_EQ(M->innermostBound(), 4u);
+  EXPECT_EQ(M->scalarElement(), T.floatType());
+  const auto *Inner = dyn_cast<ArrayType>(M->element());
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->bound(), 4u);
+}
+
+TEST(TypeSystemTest, SurfaceSyntaxSpelling) {
+  TypeContext T;
+  EXPECT_EQ(T.getArrayType(T.floatType(), true, {0u, 4u})->str(),
+            "float[[][4]]");
+  EXPECT_EQ(T.getArrayType(T.intType(), true, 52)->str(), "int[[52]]");
+  EXPECT_EQ(T.getArrayType(T.byteType(), false, 0)->str(), "byte[]");
+  EXPECT_EQ(
+      T.getArrayType(T.doubleType(), false, {0u, 0u})->str(),
+      "double[][]");
+}
+
+TEST(TypeSystemTest, ValuenessFollowsTheParagraphRules) {
+  TypeContext T;
+  // Primitives are values; value arrays are values; mutable arrays
+  // are not (paper §3.1).
+  EXPECT_TRUE(T.floatType()->isValue());
+  EXPECT_TRUE(T.getArrayType(T.floatType(), true, 0)->isValue());
+  EXPECT_FALSE(T.getArrayType(T.floatType(), false, 0)->isValue());
+}
+
+TEST(TypeSystemTest, WithValuenessConvertsDeeply) {
+  TypeContext T;
+  const ArrayType *Mut = T.getArrayType(T.floatType(), false, {0u, 0u});
+  const ArrayType *Frozen = T.withValueness(Mut, true);
+  EXPECT_TRUE(Frozen->isValueArray());
+  EXPECT_TRUE(cast<ArrayType>(Frozen->element())->isValueArray());
+  // Round trip.
+  EXPECT_EQ(T.withValueness(Frozen, false), Mut);
+}
+
+TEST(TypeSystemTest, TaskTypesCanonicalizeByPorts) {
+  TypeContext T;
+  const TaskType *A = T.getTaskType(T.intType(), T.floatType());
+  const TaskType *B = T.getTaskType(T.intType(), T.floatType());
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A->str(), "task(int => float)");
+}
+
+TEST(TypeSystemTest, PrimitiveSizes) {
+  TypeContext T;
+  EXPECT_EQ(T.byteType()->sizeInBytes(), 1u);
+  EXPECT_EQ(T.intType()->sizeInBytes(), 4u);
+  EXPECT_EQ(T.floatType()->sizeInBytes(), 4u);
+  EXPECT_EQ(T.longType()->sizeInBytes(), 8u);
+  EXPECT_EQ(T.doubleType()->sizeInBytes(), 8u);
+}
+
+} // namespace

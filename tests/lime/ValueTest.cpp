@@ -1,0 +1,95 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lime/interp/Value.h"
+
+#include <gtest/gtest.h>
+
+using namespace lime;
+
+namespace {
+
+TEST(ValueTest, ConvertToFollowsJavaNarrowing) {
+  TypeContext T;
+  // double -> int truncates toward zero.
+  EXPECT_EQ(RtValue::makeDouble(3.9).convertTo(T.intType()).asIntegral(), 3);
+  EXPECT_EQ(RtValue::makeDouble(-3.9).convertTo(T.intType()).asIntegral(),
+            -3);
+  // int -> byte wraps.
+  EXPECT_EQ(RtValue::makeInt(200).convertTo(T.byteType()).asIntegral(),
+            -56);
+  // float precision round trip.
+  RtValue F = RtValue::makeDouble(0.1).convertTo(T.floatType());
+  EXPECT_EQ(F.kind(), RtValue::Kind::Float);
+  EXPECT_FLOAT_EQ(static_cast<float>(F.asNumber()), 0.1f);
+  // long -> int drops high bits.
+  EXPECT_EQ(RtValue::makeLong((1LL << 40) + 7)
+                .convertTo(T.intType())
+                .asIntegral(),
+            7);
+}
+
+TEST(ValueTest, DeepEquality) {
+  TypeContext T;
+  auto Mk = [&](std::initializer_list<int> Vals) {
+    auto A = std::make_shared<RtArray>();
+    A->ElementType = T.intType();
+    for (int V : Vals)
+      A->Elems.push_back(RtValue::makeInt(V));
+    return RtValue::makeArray(A);
+  };
+  EXPECT_TRUE(Mk({1, 2, 3}).equals(Mk({1, 2, 3})));
+  EXPECT_FALSE(Mk({1, 2, 3}).equals(Mk({1, 2, 4})));
+  EXPECT_FALSE(Mk({1, 2}).equals(Mk({1, 2, 3})));
+  EXPECT_FALSE(Mk({1}).equals(RtValue::makeInt(1)));
+}
+
+TEST(ValueTest, ZeroValueForBuildsShapes) {
+  TypeContext T;
+  const ArrayType *Mat = T.getArrayType(T.floatType(), true, {0u, 4u});
+  RtValue V = zeroValueFor(Mat, {3});
+  ASSERT_TRUE(V.isArray());
+  ASSERT_EQ(V.array()->Elems.size(), 3u);
+  ASSERT_TRUE(V.array()->Elems[0].isArray());
+  EXPECT_EQ(V.array()->Elems[0].array()->Elems.size(), 4u);
+  EXPECT_DOUBLE_EQ(V.array()->Elems[0].array()->Elems[0].asNumber(), 0.0);
+}
+
+TEST(ValueTest, DeepCopyIsolation) {
+  TypeContext T;
+  auto A = std::make_shared<RtArray>();
+  A->ElementType = T.intType();
+  A->Elems.push_back(RtValue::makeInt(1));
+  RtValue Orig = RtValue::makeArray(A);
+  RtValue Frozen = deepCopy(Orig, /*Freeze=*/true);
+  A->Elems[0] = RtValue::makeInt(99);
+  EXPECT_EQ(Frozen.array()->Elems[0].asIntegral(), 1);
+  EXPECT_TRUE(Frozen.array()->Immutable);
+}
+
+TEST(ValueTest, FlatByteSizeCountsScalars) {
+  TypeContext T;
+  const ArrayType *Mat = T.getArrayType(T.floatType(), true, {0u, 4u});
+  RtValue V = zeroValueFor(Mat, {5});
+  EXPECT_EQ(flatByteSize(V), 5u * 4 * 4);
+  EXPECT_EQ(flatByteSize(RtValue::makeDouble(1.0)), 8u);
+  EXPECT_EQ(flatByteSize(RtValue::makeByte(1)), 1u);
+}
+
+TEST(ValueTest, StrRenderingTruncatesLongArrays) {
+  TypeContext T;
+  auto A = std::make_shared<RtArray>();
+  A->ElementType = T.intType();
+  A->Immutable = true;
+  for (int I = 0; I != 100; ++I)
+    A->Elems.push_back(RtValue::makeInt(I));
+  std::string S = RtValue::makeArray(A).str();
+  EXPECT_NE(S.find("[["), std::string::npos);
+  EXPECT_NE(S.find("(100 elems)"), std::string::npos);
+}
+
+} // namespace

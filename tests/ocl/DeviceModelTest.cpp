@@ -1,0 +1,104 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/DeviceModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace lime::ocl;
+
+namespace {
+
+TEST(DeviceModelTest, RegistryHasTable2PlatformsPlusOneCoreVariant) {
+  const auto &R = deviceRegistry();
+  ASSERT_EQ(R.size(), 5u);
+  EXPECT_EQ(R[0].Name, "corei7");
+  EXPECT_EQ(R[1].Name, "corei7x1");
+  EXPECT_EQ(R[2].Name, "gtx8800");
+  EXPECT_EQ(R[3].Name, "gtx580");
+  EXPECT_EQ(R[4].Name, "hd5970");
+}
+
+TEST(DeviceModelTest, Table2Facts) {
+  // Table 2 rows the model must reflect.
+  const DeviceModel &I7 = deviceByName("corei7");
+  EXPECT_EQ(I7.Kind, DeviceKind::Cpu);
+  EXPECT_EQ(I7.NumSMs, 6u);
+
+  const DeviceModel &G80 = deviceByName("gtx8800");
+  EXPECT_EQ(G80.NumSMs, 16u);
+  EXPECT_EQ(G80.L1Bytes, 0u); // no cache before Fermi
+  EXPECT_EQ(G80.L2Bytes, 0u);
+  EXPECT_EQ(G80.DpRatio, 0.0); // no double support
+  EXPECT_EQ(G80.LocalBytesPerSM, 16u * 1024);
+
+  const DeviceModel &Fermi = deviceByName("gtx580");
+  EXPECT_GT(Fermi.L1Bytes, 0u);
+  EXPECT_EQ(Fermi.L2Bytes, 768u * 1024);
+  EXPECT_EQ(Fermi.LocalBytesPerSM, 48u * 1024);
+
+  const DeviceModel &Amd = deviceByName("hd5970");
+  EXPECT_EQ(Amd.NumSMs, 20u);
+  EXPECT_EQ(Amd.FpUnitsPerSM, 80u);
+  EXPECT_EQ(Amd.WarpWidth, 64u);
+}
+
+TEST(DeviceModelTest, TimeIsMonotonicInEveryCounter) {
+  const DeviceModel &Dev = deviceByName("gtx580");
+  KernelCounters Base;
+  Base.AluWarpOps = 1000;
+  Base.SfuWarpOps = 100;
+  Base.GlobalTransactions = 50;
+  Base.GlobalBytes = 50 * 128;
+  Base.LocalCycles = 200;
+  Base.ConstCycles = 100;
+  double T0 = kernelTimeNs(Dev, Base);
+  EXPECT_GT(T0, 0.0);
+
+  auto Bump = [&](auto Member) {
+    KernelCounters C = Base;
+    C.*Member += (C.*Member) + 1000;
+    return kernelTimeNs(Dev, C);
+  };
+  EXPECT_GE(Bump(&KernelCounters::AluWarpOps), T0);
+  EXPECT_GE(Bump(&KernelCounters::SfuWarpOps), T0);
+  EXPECT_GE(Bump(&KernelCounters::GlobalTransactions), T0);
+  EXPECT_GE(Bump(&KernelCounters::LocalCycles), T0);
+  EXPECT_GE(Bump(&KernelCounters::ConstCycles), T0);
+}
+
+TEST(DeviceModelTest, DoublePrecisionCostsMoreOnGpus) {
+  const DeviceModel &Dev = deviceByName("gtx580");
+  KernelCounters Sp;
+  Sp.AluWarpOps = 100000;
+  KernelCounters Dp;
+  Dp.DpWarpOps = 100000;
+  EXPECT_GT(kernelTimeNs(Dev, Dp), 2.0 * kernelTimeNs(Dev, Sp));
+}
+
+TEST(DeviceModelTest, DoubleIsPoisonedOnG80) {
+  const DeviceModel &Dev = deviceByName("gtx8800");
+  KernelCounters Dp;
+  Dp.DpWarpOps = 1;
+  EXPECT_GT(kernelTimeNs(Dev, Dp), 1e4);
+}
+
+TEST(DeviceModelTest, FermiBeatsG80OnComputeThroughput) {
+  KernelCounters C;
+  C.AluWarpOps = 1000000;
+  EXPECT_LT(kernelTimeNs(deviceByName("gtx580"), C),
+            kernelTimeNs(deviceByName("gtx8800"), C));
+}
+
+TEST(DeviceModelTest, Table2Renders) {
+  std::string T = renderTable2();
+  EXPECT_NE(T.find("gtx580"), std::string::npos);
+  EXPECT_NE(T.find("16x48KB"), std::string::npos);
+  EXPECT_NE(T.find("768KB L2"), std::string::npos);
+}
+
+} // namespace

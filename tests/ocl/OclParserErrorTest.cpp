@@ -1,0 +1,148 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Negative tests for the OpenCL-C frontend: malformed programs must
+/// produce diagnostics (never crashes or silent acceptance). These
+/// guard the trust boundary between generated/hand-written kernel
+/// text and the simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ocl/CL.h"
+
+#include <gtest/gtest.h>
+
+using namespace lime::ocl;
+
+namespace {
+
+std::string tryBuild(const std::string &Source) {
+  ClContext Ctx("gtx580");
+  return Ctx.buildProgram(Source);
+}
+
+TEST(OclParserErrorTest, UndeclaredIdentifier) {
+  std::string Err = tryBuild(R"(
+    __kernel void k(__global int* out) { out[0] = mystery; }
+  )");
+  EXPECT_NE(Err.find("undeclared identifier 'mystery'"), std::string::npos)
+      << Err;
+}
+
+TEST(OclParserErrorTest, UnknownFunction) {
+  std::string Err = tryBuild(R"(
+    __kernel void k(__global int* out) { out[0] = bogus(1); }
+  )");
+  EXPECT_NE(Err.find("unknown function 'bogus'"), std::string::npos) << Err;
+}
+
+TEST(OclParserErrorTest, UnknownStruct) {
+  std::string Err = tryBuild(R"(
+    __kernel void k(__global int* out, struct Missing m) { out[0] = 0; }
+  )");
+  EXPECT_NE(Err.find("unknown struct"), std::string::npos) << Err;
+}
+
+TEST(OclParserErrorTest, BreakIsOutsideTheSubset) {
+  std::string Err = tryBuild(R"(
+    __kernel void k(__global int* out) {
+      for (int i = 0; i < 10; i++) { if (i == 5) break; }
+    }
+  )");
+  EXPECT_NE(Err.find("break"), std::string::npos) << Err;
+}
+
+TEST(OclParserErrorTest, DynamicArraySizeRejected) {
+  std::string Err = tryBuild(R"(
+    __kernel void k(__global int* out, int n) {
+      float scratch[n];
+      out[0] = 0;
+    }
+  )");
+  EXPECT_NE(Err.find("integer constant"), std::string::npos) << Err;
+}
+
+TEST(OclParserErrorTest, AssignToRValueRejected) {
+  std::string Err = tryBuild(R"(
+    __kernel void k(__global int* out) { (1 + 2) = 3; }
+  )");
+  EXPECT_NE(Err.find("not assignable"), std::string::npos) << Err;
+}
+
+TEST(OclParserErrorTest, VectorWidthMismatch) {
+  std::string Err = tryBuild(R"(
+    __kernel void k(__global float* out) {
+      float4 a = (float4)(1.0f);
+      float2 b = (float2)(1.0f);
+      out[0] = (a + b).x;
+    }
+  )");
+  EXPECT_NE(Err.find("width mismatch"), std::string::npos) << Err;
+}
+
+TEST(OclParserErrorTest, BadVectorComponent) {
+  std::string Err = tryBuild(R"(
+    __kernel void k(__global float* out) {
+      float2 a = (float2)(1.0f);
+      out[0] = a.z;
+    }
+  )");
+  EXPECT_NE(Err.find("bad vector component"), std::string::npos) << Err;
+}
+
+TEST(OclParserErrorTest, MissingSemicolonRecovers) {
+  std::string Err = tryBuild(R"(
+    __kernel void k(__global int* out) {
+      int a = 1
+      int b = 2;
+      out[0] = a + b;
+    }
+  )");
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(OclLaunchErrorTest, ArgumentCountAndKindChecked) {
+  ClContext Ctx("gtx580");
+  ASSERT_EQ(Ctx.buildProgram(
+                "__kernel void k(__global int* out, int n) { out[0] = n; }"),
+            "");
+  ClBuffer B = Ctx.createBuffer(16);
+  // Too few args.
+  std::string Err = Ctx.enqueueKernel(
+      "k", {LaunchArg::buffer(B.Offset, B.Space)}, {4, 1}, {4, 1});
+  EXPECT_NE(Err.find("expected"), std::string::npos) << Err;
+  // Wrong kind.
+  Err = Ctx.enqueueKernel("k",
+                          {LaunchArg::i32(1),
+                           LaunchArg::buffer(B.Offset, B.Space)},
+                          {4, 1}, {4, 1});
+  EXPECT_FALSE(Err.empty());
+  // Bad geometry: global not a multiple of local.
+  Err = Ctx.enqueueKernel(
+      "k", {LaunchArg::buffer(B.Offset, B.Space), LaunchArg::i32(3)},
+      {6, 1}, {4, 1});
+  EXPECT_NE(Err.find("multiple"), std::string::npos) << Err;
+}
+
+TEST(OclLaunchErrorTest, LocalMemoryOversubscriptionFaults) {
+  ClContext Ctx("gtx8800"); // 16KB local
+  ASSERT_EQ(Ctx.buildProgram(R"(
+    __kernel void k(__global int* out) {
+      __local int big[5000];   // 20KB > 16KB
+      big[get_local_id(0)] = 1;
+      out[get_global_id(0)] = big[0];
+    }
+  )"),
+            "");
+  ClBuffer B = Ctx.createBuffer(64 * 4);
+  std::string Err = Ctx.enqueueKernel(
+      "k", {LaunchArg::buffer(B.Offset, B.Space)}, {64, 1}, {64, 1});
+  EXPECT_NE(Err.find("local"), std::string::npos) << Err;
+}
+
+} // namespace

@@ -1,0 +1,319 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SIMT control-flow and scalar-semantics torture tests for the VM:
+/// nested divergence, while loops, increment operators, ternaries,
+/// unsigned and 64-bit arithmetic, multi-level inlining, image
+/// clamping.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ocl/CL.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace lime;
+using namespace lime::ocl;
+
+namespace {
+
+/// Runs \p Source's kernel "k" over N work items with one int32
+/// output per item.
+std::vector<int32_t> runIntKernel(const std::string &Source, unsigned N,
+                                  unsigned Local = 32) {
+  ClContext Ctx("gtx580");
+  std::string Err = Ctx.buildProgram(Source);
+  EXPECT_EQ(Err, "");
+  if (!Err.empty())
+    return {};
+  ClBuffer BOut = Ctx.createBuffer(static_cast<uint64_t>(N) * 4);
+  unsigned Global = (N + Local - 1) / Local * Local;
+  Err = Ctx.enqueueKernel("k", {LaunchArg::buffer(BOut.Offset, BOut.Space),
+                                LaunchArg::i32(static_cast<int32_t>(N))},
+                          {Global, 1}, {Local, 1});
+  EXPECT_EQ(Err, "");
+  std::vector<int32_t> Out(N);
+  Ctx.enqueueRead(BOut, Out.data(), static_cast<uint64_t>(N) * 4);
+  return Out;
+}
+
+TEST(OclControlFlowTest, NestedDivergence) {
+  auto Out = runIntKernel(R"(
+    __kernel void k(__global int* out, int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      int r = 0;
+      if (i % 2 == 0) {
+        if (i % 4 == 0) r = 1; else r = 2;
+      } else {
+        if (i % 3 == 0) r = 3; else { r = 4; }
+      }
+      out[i] = r;
+    }
+  )",
+                          64);
+  for (unsigned I = 0; I < 64; ++I) {
+    int Want = I % 2 == 0 ? (I % 4 == 0 ? 1 : 2) : (I % 3 == 0 ? 3 : 4);
+    EXPECT_EQ(Out[I], Want) << I;
+  }
+}
+
+TEST(OclControlFlowTest, WhileLoopWithDivergentTripCount) {
+  auto Out = runIntKernel(R"(
+    __kernel void k(__global int* out, int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      int v = i;
+      int steps = 0;
+      while (v > 1) {                   // Collatz-ish: count halvings
+        if (v % 2 == 0) v = v / 2; else v = 3 * v + 1;
+        steps++;
+      }
+      out[i] = steps;
+    }
+  )",
+                          48);
+  for (unsigned I = 0; I < 48; ++I) {
+    int V = static_cast<int>(I);
+    int Steps = 0;
+    while (V > 1) {
+      V = V % 2 == 0 ? V / 2 : 3 * V + 1;
+      ++Steps;
+    }
+    EXPECT_EQ(Out[I], Steps) << I;
+  }
+}
+
+TEST(OclControlFlowTest, LoopInsideDivergentBranch) {
+  auto Out = runIntKernel(R"(
+    __kernel void k(__global int* out, int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      int s = 0;
+      if (i % 2 == 1) {
+        for (int j = 0; j < i; j++) s += j;
+      }
+      out[i] = s;
+    }
+  )",
+                          40);
+  for (unsigned I = 0; I < 40; ++I) {
+    int Want = I % 2 == 1 ? static_cast<int>(I * (I - 1) / 2) : 0;
+    EXPECT_EQ(Out[I], Want) << I;
+  }
+}
+
+TEST(OclControlFlowTest, IncrementOperators) {
+  auto Out = runIntKernel(R"(
+    __kernel void k(__global int* out, int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      int a = i;
+      int b = a++;  // b = i, a = i+1
+      int c = ++a;  // a = i+2, c = i+2
+      int d = a--;  // d = i+2, a = i+1
+      int e = --a;  // a = i, e = i
+      out[i] = b + 10 * c + 100 * d + 1000 * e;
+    }
+  )",
+                          16);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(Out[I], I + 10 * (I + 2) + 100 * (I + 2) + 1000 * I) << I;
+}
+
+TEST(OclControlFlowTest, TernarySelect) {
+  auto Out = runIntKernel(R"(
+    __kernel void k(__global int* out, int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      out[i] = (i < 8) ? (i * 2) : (i % 3 == 0 ? -1 : i);
+    }
+  )",
+                          24);
+  for (int I = 0; I < 24; ++I)
+    EXPECT_EQ(Out[I], I < 8 ? I * 2 : (I % 3 == 0 ? -1 : I)) << I;
+}
+
+TEST(OclControlFlowTest, UnsignedAndLongArithmetic) {
+  ClContext Ctx("gtx580");
+  ASSERT_EQ(Ctx.buildProgram(R"(
+    __kernel void k(__global long* out) {
+      int i = get_global_id(0);
+      uint u = 0xFFFFFFF0u;
+      u = u + i;            // wraps for i >= 16
+      long big = (long)(1000000007) * (i + 1);
+      ulong shifted = ((ulong)(1)) << (40 + (i % 4));
+      out[i * 3 + 0] = (long)(u);
+      out[i * 3 + 1] = big;
+      out[i * 3 + 2] = (long)(shifted);
+    }
+  )"),
+            "");
+  const unsigned N = 20;
+  ClBuffer BOut = Ctx.createBuffer(N * 3 * 8);
+  ASSERT_EQ(Ctx.enqueueKernel("k",
+                              {LaunchArg::buffer(BOut.Offset, BOut.Space)},
+                              {N, 1}, {N, 1}),
+            "");
+  std::vector<int64_t> Out(N * 3);
+  Ctx.enqueueRead(BOut, Out.data(), Out.size() * 8);
+  for (unsigned I = 0; I < N; ++I) {
+    uint32_t U = 0xFFFFFFF0u + I;
+    EXPECT_EQ(Out[I * 3 + 0], static_cast<int64_t>(U)) << I;
+    EXPECT_EQ(Out[I * 3 + 1], 1000000007LL * (I + 1)) << I;
+    EXPECT_EQ(Out[I * 3 + 2],
+              static_cast<int64_t>(1ULL << (40 + (I % 4))))
+        << I;
+  }
+}
+
+TEST(OclControlFlowTest, TwoLevelHelperInlining) {
+  ClContext Ctx("gtx580");
+  ASSERT_EQ(Ctx.buildProgram(R"(
+    int base(int x) { return x + 1; }
+    int middle(int x) {
+      int acc = 0;
+      for (int j = 0; j < 3; j++) acc += base(x * j);
+      return acc;
+    }
+    __kernel void k(__global int* out) {
+      int i = get_global_id(0);
+      out[i] = middle(i) + base(i);
+    }
+  )"),
+            "");
+  const unsigned N = 16;
+  ClBuffer BOut = Ctx.createBuffer(N * 4);
+  ASSERT_EQ(Ctx.enqueueKernel("k",
+                              {LaunchArg::buffer(BOut.Offset, BOut.Space)},
+                              {N, 1}, {N, 1}),
+            "");
+  std::vector<int32_t> Out(N);
+  Ctx.enqueueRead(BOut, Out.data(), N * 4);
+  for (int I = 0; I < static_cast<int>(N); ++I) {
+    int Middle = (0 * I + 1) + (1 * I + 1) + (2 * I + 1);
+    EXPECT_EQ(Out[I], Middle + I + 1) << I;
+  }
+}
+
+TEST(OclControlFlowTest, ImageCoordinateClamping) {
+  ClContext Ctx("gtx580");
+  ASSERT_EQ(Ctx.buildProgram(R"(
+    __kernel void k(__global float* out, __read_only image2d_t img,
+                    sampler_t s) {
+      int i = get_global_id(0);
+      // Deliberately out of range on both sides.
+      float4 t = read_imagef(img, s, (int2)(i - 2, 0));
+      out[i] = t.x;
+    }
+  )"),
+            "");
+  SimImage Img;
+  Img.Width = 4;
+  Img.Height = 1;
+  Img.Texels.assign(16, 0.0f);
+  for (unsigned T = 0; T < 4; ++T)
+    Img.Texels[T * 4] = static_cast<float>(T + 1);
+  int Idx = Ctx.createImage(Img);
+  const unsigned N = 8;
+  ClBuffer BOut = Ctx.createBuffer(N * 4);
+  ASSERT_EQ(Ctx.enqueueKernel("k",
+                              {LaunchArg::buffer(BOut.Offset, BOut.Space),
+                               LaunchArg::image(Idx), LaunchArg::i32(0)},
+                              {N, 1}, {N, 1}),
+            "");
+  std::vector<float> Out(N);
+  Ctx.enqueueRead(BOut, Out.data(), N * 4);
+  // i-2 clamps to [0, 3].
+  float Want[8] = {1, 1, 1, 2, 3, 4, 4, 4};
+  for (unsigned I = 0; I < N; ++I)
+    EXPECT_FLOAT_EQ(Out[I], Want[I]) << I;
+}
+
+TEST(OclControlFlowTest, CharArithmeticWraps) {
+  auto Out = runIntKernel(R"(
+    __kernel void k(__global int* out, int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      char c = (char)(120 + i); // wraps past 127
+      out[i] = c;
+    }
+  )",
+                          16);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(Out[I], static_cast<int8_t>(120 + I)) << I;
+}
+
+TEST(OclControlFlowTest, AllLanesInactiveBranchIsSkipped) {
+  // When no lane takes a branch the VM fast-path jumps; results must
+  // still be right.
+  auto Out = runIntKernel(R"(
+    __kernel void k(__global int* out, int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      int r = 1;
+      if (i > 1000000) {          // nobody
+        r = 2;
+      } else if (i % 2 == 0) {
+        r = 3;
+      }
+      out[i] = r;
+    }
+  )",
+                          32);
+  for (int I = 0; I < 32; ++I)
+    EXPECT_EQ(Out[I], I % 2 == 0 ? 3 : 1) << I;
+}
+
+TEST(OclControlFlowTest, InstructionBudgetCatchesInfiniteLoops) {
+  ClContext Ctx("gtx580");
+  ASSERT_EQ(Ctx.buildProgram(R"(
+    __kernel void k(__global int* out) {
+      int i = get_global_id(0);
+      int x = 0;
+      while (i >= 0) { x += 1; i = i | 1; } // never exits
+      out[0] = x;
+    }
+  )"),
+            "");
+  ClBuffer BOut = Ctx.createBuffer(16);
+  std::string Err = Ctx.enqueueKernel(
+      "k", {LaunchArg::buffer(BOut.Offset, BOut.Space)}, {4, 1}, {4, 1});
+  EXPECT_NE(Err.find("budget"), std::string::npos) << Err;
+}
+
+TEST(OclControlFlowTest, TwoDimensionalNDRange) {
+  ClContext Ctx("gtx580");
+  ASSERT_EQ(Ctx.buildProgram(R"(
+    __kernel void k(__global int* out, int w) {
+      int x = get_global_id(0);
+      int y = get_global_id(1);
+      out[y * w + x] = x * 100 + y + get_group_id(1) * 10000;
+    }
+  )"),
+            "");
+  const unsigned W = 16;
+  const unsigned H = 8;
+  ClBuffer BOut = Ctx.createBuffer(W * H * 4);
+  ASSERT_EQ(Ctx.enqueueKernel("k",
+                              {LaunchArg::buffer(BOut.Offset, BOut.Space),
+                               LaunchArg::i32(W)},
+                              {W, H}, {8, 4}),
+            "");
+  std::vector<int32_t> Out(W * H);
+  Ctx.enqueueRead(BOut, Out.data(), Out.size() * 4);
+  for (unsigned Y = 0; Y != H; ++Y)
+    for (unsigned X = 0; X != W; ++X)
+      EXPECT_EQ(Out[Y * W + X],
+                static_cast<int>(X * 100 + Y + (Y / 4) * 10000))
+          << X << "," << Y;
+}
+
+} // namespace

@@ -1,0 +1,429 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end tests of the OpenCL substrate: source text -> parser ->
+/// bytecode -> SIMT VM, with data checked on the host side.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ocl/CL.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+using namespace lime;
+using namespace lime::ocl;
+
+namespace {
+
+/// Builds a context, compiles \p Source, asserting success.
+std::unique_ptr<ClContext> build(const std::string &Device,
+                                 const std::string &Source) {
+  auto Ctx = std::make_unique<ClContext>(Device);
+  std::string Err = Ctx->buildProgram(Source);
+  EXPECT_EQ(Err, "") << "build failed";
+  return Ctx;
+}
+
+TEST(OclVmTest, ScaleKernel) {
+  auto Ctx = build("gtx580", R"(
+    __kernel void scale(__global float* out, __global const float* in,
+                        float k, int n) {
+      int i = get_global_id(0);
+      if (i < n) out[i] = in[i] * k;
+    }
+  )");
+  const unsigned N = 100;
+  std::vector<float> In(N), Out(N, 0.0f);
+  for (unsigned I = 0; I < N; ++I)
+    In[I] = static_cast<float>(I);
+  ClBuffer BIn = Ctx->createBuffer(N * 4);
+  ClBuffer BOut = Ctx->createBuffer(N * 4);
+  Ctx->enqueueWrite(BIn, In.data(), N * 4);
+  std::string Err = Ctx->enqueueKernel(
+      "scale",
+      {LaunchArg::buffer(BOut.Offset, BOut.Space),
+       LaunchArg::buffer(BIn.Offset, BIn.Space), LaunchArg::f32(2.5f),
+       LaunchArg::i32(N)},
+      {128, 1}, {64, 1});
+  ASSERT_EQ(Err, "");
+  Ctx->enqueueRead(BOut, Out.data(), N * 4);
+  for (unsigned I = 0; I < N; ++I)
+    EXPECT_FLOAT_EQ(Out[I], In[I] * 2.5f) << "at " << I;
+}
+
+TEST(OclVmTest, LoopAndAccumulate) {
+  auto Ctx = build("gtx580", R"(
+    __kernel void rowsum(__global float* out, __global const float* m,
+                         int cols, int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      float s = 0.0f;
+      for (int j = 0; j < cols; j++) s += m[i * cols + j];
+      out[i] = s;
+    }
+  )");
+  const unsigned N = 16;
+  const unsigned Cols = 10;
+  std::vector<float> M(N * Cols);
+  for (unsigned I = 0; I < M.size(); ++I)
+    M[I] = static_cast<float>(I % 7);
+  std::vector<float> Out(N, -1.0f);
+  ClBuffer BM = Ctx->createBuffer(M.size() * 4);
+  ClBuffer BOut = Ctx->createBuffer(N * 4);
+  Ctx->enqueueWrite(BM, M.data(), M.size() * 4);
+  ASSERT_EQ(Ctx->enqueueKernel("rowsum",
+                               {LaunchArg::buffer(BOut.Offset, BOut.Space),
+                                LaunchArg::buffer(BM.Offset, BM.Space),
+                                LaunchArg::i32(Cols), LaunchArg::i32(N)},
+                               {32, 1}, {32, 1}),
+            "");
+  Ctx->enqueueRead(BOut, Out.data(), N * 4);
+  for (unsigned I = 0; I < N; ++I) {
+    float Want = 0;
+    for (unsigned J = 0; J < Cols; ++J)
+      Want += M[I * Cols + J];
+    EXPECT_FLOAT_EQ(Out[I], Want) << "row " << I;
+  }
+}
+
+TEST(OclVmTest, DivergentBranches) {
+  auto Ctx = build("gtx580", R"(
+    __kernel void div(__global int* out, int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      if (i % 2 == 0) {
+        out[i] = i * 10;
+      } else {
+        out[i] = -i;
+      }
+    }
+  )");
+  const unsigned N = 70; // not a multiple of the warp width
+  std::vector<int32_t> Out(N, 0);
+  ClBuffer BOut = Ctx->createBuffer(N * 4);
+  ASSERT_EQ(Ctx->enqueueKernel("div",
+                               {LaunchArg::buffer(BOut.Offset, BOut.Space),
+                                LaunchArg::i32(N)},
+                               {128, 1}, {64, 1}),
+            "");
+  Ctx->enqueueRead(BOut, Out.data(), N * 4);
+  for (unsigned I = 0; I < N; ++I)
+    EXPECT_EQ(Out[I], I % 2 == 0 ? static_cast<int>(I) * 10
+                                 : -static_cast<int>(I));
+}
+
+TEST(OclVmTest, DivergentLoopTripCounts) {
+  auto Ctx = build("gtx580", R"(
+    __kernel void tri(__global int* out) {
+      int i = get_global_id(0);
+      int s = 0;
+      for (int j = 0; j <= i; j++) s += j;
+      out[i] = s;
+    }
+  )");
+  const unsigned N = 64;
+  std::vector<int32_t> Out(N, 0);
+  ClBuffer BOut = Ctx->createBuffer(N * 4);
+  ASSERT_EQ(Ctx->enqueueKernel("tri",
+                               {LaunchArg::buffer(BOut.Offset, BOut.Space)},
+                               {N, 1}, {32, 1}),
+            "");
+  Ctx->enqueueRead(BOut, Out.data(), N * 4);
+  for (unsigned I = 0; I < N; ++I)
+    EXPECT_EQ(Out[I], static_cast<int>(I * (I + 1) / 2));
+}
+
+TEST(OclVmTest, LocalMemoryTilingWithBarrier) {
+  // Classic tiled reduction into local memory: exercises barriers,
+  // local arrays and multiple warps per group.
+  auto Ctx = build("gtx580", R"(
+    __kernel void tile(__global float* out, __global const float* in,
+                       int n) {
+      __local float tmp[64];
+      int lid = get_local_id(0);
+      int gid = get_global_id(0);
+      tmp[lid] = in[gid];
+      barrier(CLK_LOCAL_MEM_FENCE);
+      // Every work item sums its whole group's tile.
+      float s = 0.0f;
+      for (int j = 0; j < 64; j++) s += tmp[j];
+      out[gid] = s;
+    }
+  )");
+  const unsigned N = 128;
+  std::vector<float> In(N), Out(N, 0);
+  for (unsigned I = 0; I < N; ++I)
+    In[I] = static_cast<float>(I % 5);
+  ClBuffer BIn = Ctx->createBuffer(N * 4);
+  ClBuffer BOut = Ctx->createBuffer(N * 4);
+  Ctx->enqueueWrite(BIn, In.data(), N * 4);
+  ASSERT_EQ(Ctx->enqueueKernel("tile",
+                               {LaunchArg::buffer(BOut.Offset, BOut.Space),
+                                LaunchArg::buffer(BIn.Offset, BIn.Space),
+                                LaunchArg::i32(N)},
+                               {N, 1}, {64, 1}),
+            "");
+  Ctx->enqueueRead(BOut, Out.data(), N * 4);
+  for (unsigned G = 0; G < N / 64; ++G) {
+    float Want = 0;
+    for (unsigned J = 0; J < 64; ++J)
+      Want += In[G * 64 + J];
+    for (unsigned L = 0; L < 64; ++L)
+      EXPECT_FLOAT_EQ(Out[G * 64 + L], Want);
+  }
+}
+
+TEST(OclVmTest, Float4VectorsAndVload) {
+  auto Ctx = build("gtx580", R"(
+    __kernel void vec(__global float* out, __global const float* in,
+                      int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      float4 v = vload4(i, in);
+      float4 w = v * v + (float4)(1.0f);
+      out[i] = w.x + w.y + w.z + w.w;
+    }
+  )");
+  const unsigned N = 8;
+  std::vector<float> In(N * 4), Out(N, 0);
+  for (unsigned I = 0; I < In.size(); ++I)
+    In[I] = static_cast<float>(I) * 0.5f;
+  ClBuffer BIn = Ctx->createBuffer(In.size() * 4);
+  ClBuffer BOut = Ctx->createBuffer(N * 4);
+  Ctx->enqueueWrite(BIn, In.data(), In.size() * 4);
+  ASSERT_EQ(Ctx->enqueueKernel("vec",
+                               {LaunchArg::buffer(BOut.Offset, BOut.Space),
+                                LaunchArg::buffer(BIn.Offset, BIn.Space),
+                                LaunchArg::i32(N)},
+                               {32, 1}, {32, 1}),
+            "");
+  Ctx->enqueueRead(BOut, Out.data(), N * 4);
+  for (unsigned I = 0; I < N; ++I) {
+    float Want = 0;
+    for (unsigned C = 0; C < 4; ++C) {
+      float X = In[I * 4 + C];
+      Want += X * X + 1.0f;
+    }
+    EXPECT_FLOAT_EQ(Out[I], Want) << "at " << I;
+  }
+}
+
+TEST(OclVmTest, MathBuiltinsMatchLibm) {
+  auto Ctx = build("gtx580", R"(
+    __kernel void math(__global float* out, __global const float* in) {
+      int i = get_global_id(0);
+      float x = in[i];
+      out[i] = sqrt(x) + sin(x) * cos(x) + exp(x * 0.1f);
+    }
+  )");
+  const unsigned N = 32;
+  std::vector<float> In(N), Out(N, 0);
+  for (unsigned I = 0; I < N; ++I)
+    In[I] = 0.25f * static_cast<float>(I);
+  ClBuffer BIn = Ctx->createBuffer(N * 4);
+  ClBuffer BOut = Ctx->createBuffer(N * 4);
+  Ctx->enqueueWrite(BIn, In.data(), N * 4);
+  ASSERT_EQ(Ctx->enqueueKernel("math",
+                               {LaunchArg::buffer(BOut.Offset, BOut.Space),
+                                LaunchArg::buffer(BIn.Offset, BIn.Space)},
+                               {N, 1}, {N, 1}),
+            "");
+  Ctx->enqueueRead(BOut, Out.data(), N * 4);
+  for (unsigned I = 0; I < N; ++I) {
+    float X = In[I];
+    float Want = std::sqrt(X) + std::sin(X) * std::cos(X) +
+                 std::exp(X * 0.1f);
+    EXPECT_NEAR(Out[I], Want, 1e-4f) << "at " << I;
+  }
+}
+
+TEST(OclVmTest, HelperFunctionInlining) {
+  auto Ctx = build("gtx580", R"(
+    float sq(float x) { return x * x; }
+    float hyp(float a, float b) { return sqrt(sq(a) + sq(b)); }
+    __kernel void k(__global float* out, __global const float* in) {
+      int i = get_global_id(0);
+      out[i] = hyp(in[2 * i], in[2 * i + 1]);
+    }
+  )");
+  const unsigned N = 16;
+  std::vector<float> In(2 * N), Out(N, 0);
+  for (unsigned I = 0; I < 2 * N; ++I)
+    In[I] = static_cast<float>(I % 9) - 4.0f;
+  ClBuffer BIn = Ctx->createBuffer(In.size() * 4);
+  ClBuffer BOut = Ctx->createBuffer(N * 4);
+  Ctx->enqueueWrite(BIn, In.data(), In.size() * 4);
+  ASSERT_EQ(Ctx->enqueueKernel("k",
+                               {LaunchArg::buffer(BOut.Offset, BOut.Space),
+                                LaunchArg::buffer(BIn.Offset, BIn.Space)},
+                               {N, 1}, {N, 1}),
+            "");
+  Ctx->enqueueRead(BOut, Out.data(), N * 4);
+  for (unsigned I = 0; I < N; ++I) {
+    float Want = std::sqrt(In[2 * I] * In[2 * I] +
+                           In[2 * I + 1] * In[2 * I + 1]);
+    EXPECT_NEAR(Out[I], Want, 1e-5f);
+  }
+}
+
+TEST(OclVmTest, StructParam) {
+  auto Ctx = build("gtx580", R"(
+    typedef struct { int n; float scale; } Args;
+    __kernel void k(__global float* out, Args a) {
+      int i = get_global_id(0);
+      if (i < a.n) out[i] = i * a.scale;
+    }
+  )");
+  const unsigned N = 10;
+  std::vector<float> Out(N, 0);
+  ClBuffer BOut = Ctx->createBuffer(N * 4);
+  // Record layout: int at 0, float at 4.
+  std::vector<uint8_t> Rec(8, 0);
+  int32_t NV = N;
+  float SV = 1.5f;
+  std::memcpy(Rec.data(), &NV, 4);
+  std::memcpy(Rec.data() + 4, &SV, 4);
+  ASSERT_EQ(Ctx->enqueueKernel("k",
+                               {LaunchArg::buffer(BOut.Offset, BOut.Space),
+                                LaunchArg::structBytes(Rec)},
+                               {32, 1}, {32, 1}),
+            "");
+  Ctx->enqueueRead(BOut, Out.data(), N * 4);
+  for (unsigned I = 0; I < N; ++I)
+    EXPECT_FLOAT_EQ(Out[I], static_cast<float>(I) * 1.5f);
+}
+
+TEST(OclVmTest, ConstantBufferAndImage) {
+  auto Ctx = build("gtx8800", R"(
+    __kernel void k(__global float* out, __constant float* coef,
+                    __read_only image2d_t img, sampler_t s) {
+      int i = get_global_id(0);
+      float4 t = read_imagef(img, s, (int2)(i, 0));
+      out[i] = coef[0] * t.x + coef[1] * t.y;
+    }
+  )");
+  const unsigned N = 8;
+  float Coef[2] = {2.0f, 3.0f};
+  ClBuffer BC = Ctx->createBuffer(sizeof(Coef), AddrSpace::Constant);
+  Ctx->enqueueWrite(BC, Coef, sizeof(Coef));
+  SimImage Img;
+  Img.Width = N;
+  Img.Height = 1;
+  Img.Texels.resize(N * 4);
+  for (unsigned I = 0; I < N; ++I) {
+    Img.Texels[I * 4 + 0] = static_cast<float>(I);
+    Img.Texels[I * 4 + 1] = static_cast<float>(I) * 10;
+  }
+  int ImgIdx = Ctx->createImage(Img);
+  std::vector<float> Out(N, 0);
+  ClBuffer BOut = Ctx->createBuffer(N * 4);
+  ASSERT_EQ(Ctx->enqueueKernel("k",
+                               {LaunchArg::buffer(BOut.Offset, BOut.Space),
+                                LaunchArg::buffer(BC.Offset, BC.Space),
+                                LaunchArg::image(ImgIdx),
+                                LaunchArg::i32(0)},
+                               {N, 1}, {N, 1}),
+            "");
+  Ctx->enqueueRead(BOut, Out.data(), N * 4);
+  for (unsigned I = 0; I < N; ++I)
+    EXPECT_FLOAT_EQ(Out[I], 2.0f * I + 3.0f * I * 10);
+}
+
+TEST(OclVmTest, DynamicLocalMemory) {
+  auto Ctx = build("gtx580", R"(
+    __kernel void k(__global float* out, __global const float* in,
+                    __local float* tmp) {
+      int lid = get_local_id(0);
+      int gid = get_global_id(0);
+      tmp[lid] = in[gid] * 2.0f;
+      barrier(CLK_LOCAL_MEM_FENCE);
+      out[gid] = tmp[get_local_size(0) - 1 - lid];
+    }
+  )");
+  const unsigned N = 32;
+  std::vector<float> In(N), Out(N, 0);
+  for (unsigned I = 0; I < N; ++I)
+    In[I] = static_cast<float>(I);
+  ClBuffer BIn = Ctx->createBuffer(N * 4);
+  ClBuffer BOut = Ctx->createBuffer(N * 4);
+  Ctx->enqueueWrite(BIn, In.data(), N * 4);
+  ASSERT_EQ(Ctx->enqueueKernel("k",
+                               {LaunchArg::buffer(BOut.Offset, BOut.Space),
+                                LaunchArg::buffer(BIn.Offset, BIn.Space),
+                                LaunchArg::localBytes(N * 4)},
+                               {N, 1}, {N, 1}),
+            "");
+  Ctx->enqueueRead(BOut, Out.data(), N * 4);
+  for (unsigned I = 0; I < N; ++I)
+    EXPECT_FLOAT_EQ(Out[I], In[N - 1 - I] * 2.0f);
+}
+
+TEST(OclVmTest, OutOfBoundsFaults) {
+  auto Ctx = build("gtx580", R"(
+    __kernel void k(__global float* out) {
+      out[get_global_id(0) + 1000000] = 1.0f;
+    }
+  )");
+  ClBuffer BOut = Ctx->createBuffer(16);
+  std::string Err = Ctx->enqueueKernel(
+      "k", {LaunchArg::buffer(BOut.Offset, BOut.Space)}, {4, 1}, {4, 1});
+  EXPECT_NE(Err.find("out of bounds"), std::string::npos) << Err;
+}
+
+TEST(OclVmTest, DoublePrecisionOnFermi) {
+  auto Ctx = build("gtx580", R"(
+    #pragma OPENCL EXTENSION cl_khr_fp64 : enable
+    __kernel void k(__global double* out, __global const double* in) {
+      int i = get_global_id(0);
+      out[i] = in[i] * in[i] + 0.5;
+    }
+  )");
+  const unsigned N = 8;
+  std::vector<double> In(N), Out(N, 0);
+  for (unsigned I = 0; I < N; ++I)
+    In[I] = 0.1 * I;
+  ClBuffer BIn = Ctx->createBuffer(N * 8);
+  ClBuffer BOut = Ctx->createBuffer(N * 8);
+  Ctx->enqueueWrite(BIn, In.data(), N * 8);
+  ASSERT_EQ(Ctx->enqueueKernel("k",
+                               {LaunchArg::buffer(BOut.Offset, BOut.Space),
+                                LaunchArg::buffer(BIn.Offset, BIn.Space)},
+                               {N, 1}, {N, 1}),
+            "");
+  Ctx->enqueueRead(BOut, Out.data(), N * 8);
+  for (unsigned I = 0; I < N; ++I)
+    EXPECT_DOUBLE_EQ(Out[I], In[I] * In[I] + 0.5);
+}
+
+TEST(OclVmTest, RunsOnEveryDeviceModel) {
+  for (const DeviceModel &D : deviceRegistry()) {
+    auto Ctx = build(D.Name, R"(
+      __kernel void k(__global int* out) {
+        int i = get_global_id(0);
+        out[i] = i * i;
+      }
+    )");
+    const unsigned N = 128;
+    std::vector<int32_t> Out(N, 0);
+    ClBuffer BOut = Ctx->createBuffer(N * 4);
+    ASSERT_EQ(Ctx->enqueueKernel(
+                  "k", {LaunchArg::buffer(BOut.Offset, BOut.Space)}, {N, 1},
+                  {64, 1}),
+              "")
+        << "on device " << D.Name;
+    Ctx->enqueueRead(BOut, Out.data(), N * 4);
+    for (unsigned I = 0; I < N; ++I)
+      ASSERT_EQ(Out[I], static_cast<int>(I * I)) << D.Name;
+    EXPECT_GT(Ctx->profile().KernelNs, 0.0) << D.Name;
+  }
+}
+
+} // namespace

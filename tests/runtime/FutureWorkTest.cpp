@@ -1,0 +1,132 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the paper's §5.2/§5.3 "beyond scope" features we
+/// implemented as options: the auto-tuner, direct-to-device
+/// marshaling, and overlapped (double-buffered) pipelining.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "runtime/AutoTuner.h"
+#include "support/Random.h"
+#include "workloads/Driver.h"
+
+using namespace lime;
+using namespace lime::rt;
+using namespace lime::test;
+
+namespace {
+
+const char *TunableSource = R"(
+  class T {
+    static local float body(float[[4]] p, float[[][4]] all) {
+      float s = 0f;
+      for (int j = 0; j < all.length; j++) {
+        float[[4]] q = all[j];
+        s += p[0] * q[0] + p[1] * q[1] + p[2] * q[2] + p[3] * q[3];
+      }
+      return s;
+    }
+    static local float[[]] run(float[[][4]] xs) {
+      return body(xs) @ xs;
+    }
+  }
+)";
+
+TEST(AutoTunerTest, FindsAConfigurationAndItIsNoWorseThanGlobal) {
+  auto CP = compileLime(TunableSource);
+  ASSERT_COMPILES(CP);
+  TypeContext &Types = CP.Ctx->types();
+  SplitMix64 Rng(99);
+  std::vector<float> Data(256 * 4);
+  for (float &F : Data)
+    F = Rng.nextFloat(-1.0f, 1.0f);
+  RtValue Xs = wl::makeFloatMatrix(Types, Data, 4);
+  MethodDecl *W = CP.Prog->findClass("T")->findMethod("run");
+
+  OffloadConfig Base;
+  Base.DeviceName = "gtx8800"; // the memory-sensitive device
+  TuneResult R = autoTune(CP.Prog, Types, W, {Xs}, Base);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Trials.size(), 8u * 4u);
+
+  // The winner must be at least as fast as plain global @128.
+  double GlobalNs = -1;
+  for (const TuneTrial &T : R.Trials)
+    if (T.Valid && T.Label == "global @128")
+      GlobalNs = T.KernelNs;
+  ASSERT_GT(GlobalNs, 0.0);
+  EXPECT_LE(R.BestKernelNs, GlobalNs);
+  // On a cacheless device with a sweepable shared array, the tuner
+  // must find something strictly better than naive global.
+  EXPECT_LT(R.BestKernelNs, 0.95 * GlobalNs);
+}
+
+TEST(AutoTunerTest, TunedConfigStillComputesCorrectResults) {
+  auto CP = compileLime(TunableSource);
+  ASSERT_COMPILES(CP);
+  TypeContext &Types = CP.Ctx->types();
+  std::vector<float> Data(100 * 4);
+  for (size_t I = 0; I != Data.size(); ++I)
+    Data[I] = static_cast<float>(I % 13) * 0.1f;
+  RtValue Xs = wl::makeFloatMatrix(Types, Data, 4);
+  MethodDecl *W = CP.Prog->findClass("T")->findMethod("run");
+
+  Interp I(CP.Prog, Types);
+  ExecResult Oracle = I.callMethod(W, nullptr, {Xs});
+  ASSERT_TRUE(Oracle.ok());
+
+  OffloadConfig Base;
+  TuneResult R = autoTune(CP.Prog, Types, W, {Xs}, Base);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  OffloadedFilter Best(CP.Prog, Types, W, R.Best);
+  ASSERT_TRUE(Best.ok());
+  ExecResult Dev = Best.invoke({Xs});
+  ASSERT_TRUE(Dev.ok()) << Dev.TrapMessage;
+  const auto &A = Oracle.Value.array()->Elems;
+  const auto &B = Dev.Value.array()->Elems;
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t K = 0; K != A.size(); ++K)
+    EXPECT_NEAR(A[K].asNumber(), B[K].asNumber(), 1e-3);
+}
+
+TEST(FutureWorkTest, DirectMarshalRoughlyHalvesMarshalCost) {
+  // §5.3: "This would approximately halve the marshaling overhead."
+  const wl::Workload &W = wl::workloadById("crypt");
+  OffloadConfig Plain;
+  OffloadConfig Direct;
+  Direct.DirectMarshal = true;
+  wl::RunOutcome A = wl::runWorkload(W, wl::RunMode::Offloaded, 0.01, Plain);
+  wl::RunOutcome B = wl::runWorkload(W, wl::RunMode::Offloaded, 0.01, Direct);
+  ASSERT_TRUE(A.ok()) << A.Error;
+  ASSERT_TRUE(B.ok()) << B.Error;
+  double MarshalA = A.Device.Marshal.JavaNs + A.Device.Marshal.NativeNs;
+  double MarshalB = B.Device.Marshal.JavaNs + B.Device.Marshal.NativeNs;
+  EXPECT_LT(MarshalB, 0.75 * MarshalA);
+  EXPECT_GT(MarshalB, 0.25 * MarshalA);
+  // Same results either way.
+  EXPECT_TRUE(A.Result.equals(B.Result));
+}
+
+TEST(FutureWorkTest, OverlappedPipeliningHidesCommunication) {
+  const wl::Workload &W = wl::workloadById("crypt"); // comm-bound
+  OffloadConfig Plain;
+  OffloadConfig Overlap;
+  Overlap.OverlapPipelining = true;
+  wl::RunOutcome A = wl::runWorkload(W, wl::RunMode::Offloaded, 0.01, Plain);
+  wl::RunOutcome B =
+      wl::runWorkload(W, wl::RunMode::Offloaded, 0.01, Overlap);
+  ASSERT_TRUE(A.ok()) << A.Error;
+  ASSERT_TRUE(B.ok()) << B.Error;
+  EXPECT_LT(B.EndToEndNs, A.EndToEndNs);
+  EXPECT_TRUE(A.Result.equals(B.Result));
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Serializer.h"
+
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace lime;
+using namespace lime::rt;
+
+namespace {
+
+TEST(SerializerTest, FloatArrayRoundTrip) {
+  TypeContext Types;
+  std::vector<float> Data = {1.5f, -2.25f, 3.75f, 0.0f, 1e-20f};
+  RtValue V = wl::makeFloatArray(Types, Data);
+  WireFormat Wire(true);
+  MarshalCost Cost;
+  std::vector<uint8_t> Bytes = Wire.serialize(V, Cost);
+  EXPECT_EQ(Bytes.size(), Data.size() * 4);
+
+  const ArrayType *Ty = Types.getArrayType(Types.floatType(), true, 0);
+  RtValue Back = Wire.deserialize(Bytes, Ty, Cost);
+  EXPECT_TRUE(V.equals(Back));
+}
+
+TEST(SerializerTest, NestedMatrixRoundTrip) {
+  TypeContext Types;
+  std::vector<float> Data(24);
+  for (size_t I = 0; I != Data.size(); ++I)
+    Data[I] = static_cast<float>(I) * 0.5f;
+  RtValue V = wl::makeFloatMatrix(Types, Data, 4);
+  WireFormat Wire(true);
+  MarshalCost Cost;
+  std::vector<uint8_t> Bytes = Wire.serialize(V, Cost);
+  EXPECT_EQ(Bytes.size(), Data.size() * 4);
+
+  const ArrayType *RowTy = Types.getArrayType(Types.floatType(), true, 4);
+  const ArrayType *MatTy = Types.getArrayType(RowTy, true, 0);
+  RtValue Back = Wire.deserialize(Bytes, MatTy, Cost);
+  ASSERT_TRUE(Back.isArray());
+  EXPECT_EQ(Back.array()->Elems.size(), 6u);
+  EXPECT_TRUE(V.equals(Back));
+}
+
+TEST(SerializerTest, ByteAndIntAndDoubleRoundTrip) {
+  TypeContext Types;
+  WireFormat Wire(true);
+  {
+    RtValue V = wl::makeByteArray(Types, {-128, -1, 0, 1, 127});
+    MarshalCost C;
+    auto Bytes = Wire.serialize(V, C);
+    EXPECT_EQ(Bytes.size(), 5u);
+    RtValue Back = Wire.deserialize(
+        Bytes, Types.getArrayType(Types.byteType(), true, 0), C);
+    EXPECT_TRUE(V.equals(Back));
+  }
+  {
+    RtValue V = wl::makeIntArray(Types, {INT32_MIN, -7, 0, 7, INT32_MAX});
+    MarshalCost C;
+    auto Bytes = Wire.serialize(V, C);
+    RtValue Back = Wire.deserialize(
+        Bytes, Types.getArrayType(Types.intType(), true, 0), C);
+    EXPECT_TRUE(V.equals(Back));
+  }
+  {
+    RtValue V = wl::makeDoubleArray(Types, {1e300, -1e-300, 0.1});
+    MarshalCost C;
+    auto Bytes = Wire.serialize(V, C);
+    RtValue Back = Wire.deserialize(
+        Bytes, Types.getArrayType(Types.doubleType(), true, 0), C);
+    EXPECT_TRUE(V.equals(Back));
+  }
+}
+
+TEST(SerializerTest, GenericAndSpecializedProduceIdenticalBytes) {
+  TypeContext Types;
+  std::vector<float> Data(100);
+  for (size_t I = 0; I != Data.size(); ++I)
+    Data[I] = static_cast<float>(I) - 50.0f;
+  RtValue V = wl::makeFloatMatrix(Types, Data, 2);
+
+  WireFormat Fast(true);
+  WireFormat Slow(false);
+  MarshalCost CF, CS;
+  EXPECT_EQ(Fast.serialize(V, CF), Slow.serialize(V, CS));
+}
+
+TEST(SerializerTest, GenericMarshalerIsMuchSlower) {
+  // §4.3: the generic, type-info-driven marshaler is the one that put
+  // >90% of offload time into marshaling.
+  TypeContext Types;
+  std::vector<float> Data(10000, 1.0f);
+  RtValue V = wl::makeFloatArray(Types, Data);
+  WireFormat Fast(true);
+  WireFormat Slow(false);
+  MarshalCost CF, CS;
+  Fast.serialize(V, CF);
+  Slow.serialize(V, CS);
+  EXPECT_GT(CS.JavaNs, 5.0 * CF.JavaNs);
+}
+
+TEST(SerializerTest, BoundedOuterDimension) {
+  TypeContext Types;
+  RtValue V = wl::makeFloatArray(Types, {1, 2, 3, 4});
+  WireFormat Wire(true);
+  MarshalCost C;
+  auto Bytes = Wire.serialize(V, C);
+  const ArrayType *Ty = Types.getArrayType(Types.floatType(), true, 4);
+  RtValue Back = Wire.deserialize(Bytes, Ty, C);
+  EXPECT_EQ(Back.array()->Elems.size(), 4u);
+}
+
+TEST(SerializerTest, ScalarValue) {
+  TypeContext Types;
+  WireFormat Wire(true);
+  MarshalCost C;
+  auto Bytes = Wire.serialize(RtValue::makeFloat(2.5f), C);
+  EXPECT_EQ(Bytes.size(), 4u);
+  RtValue Back = Wire.deserialize(Bytes, Types.floatType(), C);
+  EXPECT_FLOAT_EQ(static_cast<float>(Back.asNumber()), 2.5f);
+}
+
+TEST(SerializerTest, CostTracksBytes) {
+  TypeContext Types;
+  WireFormat Wire(true);
+  MarshalCost C;
+  std::vector<float> Data(256, 1.0f);
+  Wire.serialize(wl::makeFloatArray(Types, Data), C);
+  EXPECT_EQ(C.Bytes, 1024u);
+  EXPECT_GT(C.JavaNs, 0.0);
+}
+
+} // namespace

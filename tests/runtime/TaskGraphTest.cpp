@@ -1,0 +1,185 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "runtime/TaskGraph.h"
+
+using namespace lime;
+using namespace lime::rt;
+using namespace lime::test;
+
+namespace {
+
+TEST(TaskGraphTest, ThreeStagePipelineOnHost) {
+  auto CP = compileLime(R"(
+    class P {
+      int n;
+      static int total;
+      int src() {
+        if (n >= 5) throw Underflow;
+        n += 1;
+        return n;
+      }
+      static local int sq(int x) { return x * x; }
+      void snk(int x) { P.total += x; }
+      static void main() {
+        finish task new P().src => task P.sq => task new P().snk;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  Interp I(CP.Prog, CP.Ctx->types());
+  TaskGraphRuntime RT(I);
+  ExecResult R = I.callStatic("P", "main", {});
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  // 1 + 4 + 9 + 16 + 25.
+  FieldDecl *F = CP.Prog->findClass("P")->findField("total");
+  EXPECT_EQ(I.getStaticField(F).asIntegral(), 55);
+  ASSERT_EQ(RT.nodeStats().size(), 3u);
+  EXPECT_EQ(RT.nodeStats()[0].Invocations, 6u); // 5 items + underflow
+  EXPECT_EQ(RT.nodeStats()[1].Invocations, 5u);
+}
+
+TEST(TaskGraphTest, MultipleFiltersCompose) {
+  auto CP = compileLime(R"(
+    class P {
+      int n;
+      static int result;
+      int src() {
+        if (n >= 1) throw Underflow;
+        n += 1;
+        return 3;
+      }
+      static local int dbl(int x) { return 2 * x; }
+      static local int inc(int x) { return x + 1; }
+      void snk(int x) { P.result = x; }
+      static void main() {
+        finish task new P().src => task P.dbl => task P.inc
+            => task P.dbl => task new P().snk;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  Interp I(CP.Prog, CP.Ctx->types());
+  TaskGraphRuntime RT(I);
+  ASSERT_TRUE(I.callStatic("P", "main", {}).ok());
+  FieldDecl *F = CP.Prog->findClass("P")->findField("result");
+  EXPECT_EQ(I.getStaticField(F).asIntegral(), (3 * 2 + 1) * 2);
+}
+
+TEST(TaskGraphTest, FilterTrapPropagates) {
+  auto CP = compileLime(R"(
+    class P {
+      int n;
+      int src() {
+        if (n >= 1) throw Underflow;
+        n += 1;
+        return 0;
+      }
+      static local int bad(int x) { return 10 / x; }
+      void snk(int x) { }
+      static void main() {
+        finish task new P().src => task P.bad => task new P().snk;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  Interp I(CP.Prog, CP.Ctx->types());
+  TaskGraphRuntime RT(I);
+  ExecResult R = I.callStatic("P", "main", {});
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMessage.find("division by zero"), std::string::npos);
+}
+
+TEST(TaskGraphTest, RunawaySourceIsCut) {
+  auto CP = compileLime(R"(
+    class P {
+      int src() { return 1; } // never throws Underflow
+      void snk(int x) { }
+      static void main() {
+        finish task new P().src => task new P().snk;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  Interp I(CP.Prog, CP.Ctx->types());
+  PipelineConfig PC;
+  PC.MaxPulls = 100;
+  TaskGraphRuntime RT(I, PC);
+  ExecResult R = I.callStatic("P", "main", {});
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMessage.find("MaxPulls"), std::string::npos);
+}
+
+TEST(TaskGraphTest, StatefulInstanceTasksKeepTheirState) {
+  auto CP = compileLime(R"(
+    class P {
+      int n;
+      static int sum;
+      int src() {
+        if (n >= 4) throw Underflow;
+        n += 1;
+        return n;
+      }
+      int acc;   // running state in a mid-pipeline instance task
+      int smooth(int x) {
+        acc = acc + x;
+        return acc;
+      }
+      void snk(int x) { P.sum += x; }
+      static void main() {
+        finish task new P().src => task new P().smooth
+            => task new P().snk;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  Interp I(CP.Prog, CP.Ctx->types());
+  TaskGraphRuntime RT(I);
+  ASSERT_TRUE(I.callStatic("P", "main", {}).ok());
+  // Prefix sums of 1..4: 1, 3, 6, 10 -> 20.
+  FieldDecl *F = CP.Prog->findClass("P")->findField("sum");
+  EXPECT_EQ(I.getStaticField(F).asIntegral(), 20);
+}
+
+TEST(TaskGraphTest, OffloadDecisionIsRecorded) {
+  auto CP = compileLime(R"(
+    class P {
+      int n;
+      static float last;
+      float[[]] src() {
+        if (n >= 1) throw Underflow;
+        n += 1;
+        float[] a = new float[16];
+        for (int i = 0; i < 16; i++) a[i] = i;
+        return (float[[]]) a;
+      }
+      static local float sq(float x) { return x * x; }
+      static local float[[]] body(float[[]] xs) { return sq @ xs; }
+      void snk(float[[]] xs) { P.last = xs[15]; }
+      static void main() {
+        finish task new P().src => task P.body => task new P().snk;
+      }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  Interp I(CP.Prog, CP.Ctx->types());
+  PipelineConfig PC;
+  PC.OffloadFilters = true;
+  TaskGraphRuntime RT(I, PC);
+  ASSERT_TRUE(I.callStatic("P", "main", {}).ok());
+  FieldDecl *F = CP.Prog->findClass("P")->findField("last");
+  EXPECT_FLOAT_EQ(static_cast<float>(I.getStaticField(F).asNumber()),
+                  225.0f);
+  MethodDecl *Body = CP.Prog->findClass("P")->findMethod("body");
+  auto It = RT.offloadDecisions().find(Body);
+  ASSERT_NE(It, RT.offloadDecisions().end());
+  EXPECT_NE(It->second.find("device"), std::string::npos);
+}
+
+} // namespace
