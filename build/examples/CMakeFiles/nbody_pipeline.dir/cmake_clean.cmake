@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_pipeline.dir/nbody_pipeline.cpp.o"
+  "CMakeFiles/nbody_pipeline.dir/nbody_pipeline.cpp.o.d"
+  "nbody_pipeline"
+  "nbody_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/GpuCompiler.cpp" "src/compiler/CMakeFiles/limecc_compiler.dir/GpuCompiler.cpp.o" "gcc" "src/compiler/CMakeFiles/limecc_compiler.dir/GpuCompiler.cpp.o.d"
+  "/root/repo/src/compiler/KernelAnalysis.cpp" "src/compiler/CMakeFiles/limecc_compiler.dir/KernelAnalysis.cpp.o" "gcc" "src/compiler/CMakeFiles/limecc_compiler.dir/KernelAnalysis.cpp.o.d"
+  "/root/repo/src/compiler/OpenCLEmitter.cpp" "src/compiler/CMakeFiles/limecc_compiler.dir/OpenCLEmitter.cpp.o" "gcc" "src/compiler/CMakeFiles/limecc_compiler.dir/OpenCLEmitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lime/CMakeFiles/limecc_lime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/limecc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limecc_compiler.dir/GpuCompiler.cpp.o"
+  "CMakeFiles/limecc_compiler.dir/GpuCompiler.cpp.o.d"
+  "CMakeFiles/limecc_compiler.dir/KernelAnalysis.cpp.o"
+  "CMakeFiles/limecc_compiler.dir/KernelAnalysis.cpp.o.d"
+  "CMakeFiles/limecc_compiler.dir/OpenCLEmitter.cpp.o"
+  "CMakeFiles/limecc_compiler.dir/OpenCLEmitter.cpp.o.d"
+  "liblimecc_compiler.a"
+  "liblimecc_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limecc_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lime/ast/AST.cpp" "src/lime/CMakeFiles/limecc_lime.dir/ast/AST.cpp.o" "gcc" "src/lime/CMakeFiles/limecc_lime.dir/ast/AST.cpp.o.d"
+  "/root/repo/src/lime/ast/ASTPrinter.cpp" "src/lime/CMakeFiles/limecc_lime.dir/ast/ASTPrinter.cpp.o" "gcc" "src/lime/CMakeFiles/limecc_lime.dir/ast/ASTPrinter.cpp.o.d"
+  "/root/repo/src/lime/ast/Type.cpp" "src/lime/CMakeFiles/limecc_lime.dir/ast/Type.cpp.o" "gcc" "src/lime/CMakeFiles/limecc_lime.dir/ast/Type.cpp.o.d"
+  "/root/repo/src/lime/interp/Interp.cpp" "src/lime/CMakeFiles/limecc_lime.dir/interp/Interp.cpp.o" "gcc" "src/lime/CMakeFiles/limecc_lime.dir/interp/Interp.cpp.o.d"
+  "/root/repo/src/lime/interp/Value.cpp" "src/lime/CMakeFiles/limecc_lime.dir/interp/Value.cpp.o" "gcc" "src/lime/CMakeFiles/limecc_lime.dir/interp/Value.cpp.o.d"
+  "/root/repo/src/lime/lexer/Lexer.cpp" "src/lime/CMakeFiles/limecc_lime.dir/lexer/Lexer.cpp.o" "gcc" "src/lime/CMakeFiles/limecc_lime.dir/lexer/Lexer.cpp.o.d"
+  "/root/repo/src/lime/parser/Parser.cpp" "src/lime/CMakeFiles/limecc_lime.dir/parser/Parser.cpp.o" "gcc" "src/lime/CMakeFiles/limecc_lime.dir/parser/Parser.cpp.o.d"
+  "/root/repo/src/lime/sema/Sema.cpp" "src/lime/CMakeFiles/limecc_lime.dir/sema/Sema.cpp.o" "gcc" "src/lime/CMakeFiles/limecc_lime.dir/sema/Sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/limecc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

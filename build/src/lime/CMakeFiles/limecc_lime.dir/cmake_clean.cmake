@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limecc_lime.dir/ast/AST.cpp.o"
+  "CMakeFiles/limecc_lime.dir/ast/AST.cpp.o.d"
+  "CMakeFiles/limecc_lime.dir/ast/ASTPrinter.cpp.o"
+  "CMakeFiles/limecc_lime.dir/ast/ASTPrinter.cpp.o.d"
+  "CMakeFiles/limecc_lime.dir/ast/Type.cpp.o"
+  "CMakeFiles/limecc_lime.dir/ast/Type.cpp.o.d"
+  "CMakeFiles/limecc_lime.dir/interp/Interp.cpp.o"
+  "CMakeFiles/limecc_lime.dir/interp/Interp.cpp.o.d"
+  "CMakeFiles/limecc_lime.dir/interp/Value.cpp.o"
+  "CMakeFiles/limecc_lime.dir/interp/Value.cpp.o.d"
+  "CMakeFiles/limecc_lime.dir/lexer/Lexer.cpp.o"
+  "CMakeFiles/limecc_lime.dir/lexer/Lexer.cpp.o.d"
+  "CMakeFiles/limecc_lime.dir/parser/Parser.cpp.o"
+  "CMakeFiles/limecc_lime.dir/parser/Parser.cpp.o.d"
+  "CMakeFiles/limecc_lime.dir/sema/Sema.cpp.o"
+  "CMakeFiles/limecc_lime.dir/sema/Sema.cpp.o.d"
+  "liblimecc_lime.a"
+  "liblimecc_lime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limecc_lime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

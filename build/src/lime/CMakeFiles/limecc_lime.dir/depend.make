@@ -1,0 +1,2 @@
+# Empty dependencies file for limecc_lime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ocl/BytecodeCompiler.cpp" "src/ocl/CMakeFiles/limecc_ocl.dir/BytecodeCompiler.cpp.o" "gcc" "src/ocl/CMakeFiles/limecc_ocl.dir/BytecodeCompiler.cpp.o.d"
+  "/root/repo/src/ocl/CL.cpp" "src/ocl/CMakeFiles/limecc_ocl.dir/CL.cpp.o" "gcc" "src/ocl/CMakeFiles/limecc_ocl.dir/CL.cpp.o.d"
+  "/root/repo/src/ocl/DeviceModel.cpp" "src/ocl/CMakeFiles/limecc_ocl.dir/DeviceModel.cpp.o" "gcc" "src/ocl/CMakeFiles/limecc_ocl.dir/DeviceModel.cpp.o.d"
+  "/root/repo/src/ocl/MemoryModel.cpp" "src/ocl/CMakeFiles/limecc_ocl.dir/MemoryModel.cpp.o" "gcc" "src/ocl/CMakeFiles/limecc_ocl.dir/MemoryModel.cpp.o.d"
+  "/root/repo/src/ocl/OclLexer.cpp" "src/ocl/CMakeFiles/limecc_ocl.dir/OclLexer.cpp.o" "gcc" "src/ocl/CMakeFiles/limecc_ocl.dir/OclLexer.cpp.o.d"
+  "/root/repo/src/ocl/OclParser.cpp" "src/ocl/CMakeFiles/limecc_ocl.dir/OclParser.cpp.o" "gcc" "src/ocl/CMakeFiles/limecc_ocl.dir/OclParser.cpp.o.d"
+  "/root/repo/src/ocl/OclType.cpp" "src/ocl/CMakeFiles/limecc_ocl.dir/OclType.cpp.o" "gcc" "src/ocl/CMakeFiles/limecc_ocl.dir/OclType.cpp.o.d"
+  "/root/repo/src/ocl/VM.cpp" "src/ocl/CMakeFiles/limecc_ocl.dir/VM.cpp.o" "gcc" "src/ocl/CMakeFiles/limecc_ocl.dir/VM.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/limecc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limecc_ocl.dir/BytecodeCompiler.cpp.o"
+  "CMakeFiles/limecc_ocl.dir/BytecodeCompiler.cpp.o.d"
+  "CMakeFiles/limecc_ocl.dir/CL.cpp.o"
+  "CMakeFiles/limecc_ocl.dir/CL.cpp.o.d"
+  "CMakeFiles/limecc_ocl.dir/DeviceModel.cpp.o"
+  "CMakeFiles/limecc_ocl.dir/DeviceModel.cpp.o.d"
+  "CMakeFiles/limecc_ocl.dir/MemoryModel.cpp.o"
+  "CMakeFiles/limecc_ocl.dir/MemoryModel.cpp.o.d"
+  "CMakeFiles/limecc_ocl.dir/OclLexer.cpp.o"
+  "CMakeFiles/limecc_ocl.dir/OclLexer.cpp.o.d"
+  "CMakeFiles/limecc_ocl.dir/OclParser.cpp.o"
+  "CMakeFiles/limecc_ocl.dir/OclParser.cpp.o.d"
+  "CMakeFiles/limecc_ocl.dir/OclType.cpp.o"
+  "CMakeFiles/limecc_ocl.dir/OclType.cpp.o.d"
+  "CMakeFiles/limecc_ocl.dir/VM.cpp.o"
+  "CMakeFiles/limecc_ocl.dir/VM.cpp.o.d"
+  "liblimecc_ocl.a"
+  "liblimecc_ocl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limecc_ocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

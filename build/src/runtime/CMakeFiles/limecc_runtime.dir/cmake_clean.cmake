@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limecc_runtime.dir/AutoTuner.cpp.o"
+  "CMakeFiles/limecc_runtime.dir/AutoTuner.cpp.o.d"
+  "CMakeFiles/limecc_runtime.dir/Offload.cpp.o"
+  "CMakeFiles/limecc_runtime.dir/Offload.cpp.o.d"
+  "CMakeFiles/limecc_runtime.dir/Serializer.cpp.o"
+  "CMakeFiles/limecc_runtime.dir/Serializer.cpp.o.d"
+  "CMakeFiles/limecc_runtime.dir/TaskGraph.cpp.o"
+  "CMakeFiles/limecc_runtime.dir/TaskGraph.cpp.o.d"
+  "liblimecc_runtime.a"
+  "liblimecc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limecc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

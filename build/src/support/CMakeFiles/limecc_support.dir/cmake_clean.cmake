@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limecc_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/limecc_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/limecc_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/limecc_support.dir/StringUtils.cpp.o.d"
+  "liblimecc_support.a"
+  "liblimecc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limecc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

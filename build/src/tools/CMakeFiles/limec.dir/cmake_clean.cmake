@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limec.dir/limec.cpp.o"
+  "CMakeFiles/limec.dir/limec.cpp.o.d"
+  "limec"
+  "limec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for limec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Common.cpp" "src/workloads/CMakeFiles/limecc_workloads.dir/Common.cpp.o" "gcc" "src/workloads/CMakeFiles/limecc_workloads.dir/Common.cpp.o.d"
+  "/root/repo/src/workloads/Driver.cpp" "src/workloads/CMakeFiles/limecc_workloads.dir/Driver.cpp.o" "gcc" "src/workloads/CMakeFiles/limecc_workloads.dir/Driver.cpp.o.d"
+  "/root/repo/src/workloads/JGCrypt.cpp" "src/workloads/CMakeFiles/limecc_workloads.dir/JGCrypt.cpp.o" "gcc" "src/workloads/CMakeFiles/limecc_workloads.dir/JGCrypt.cpp.o.d"
+  "/root/repo/src/workloads/JGSeries.cpp" "src/workloads/CMakeFiles/limecc_workloads.dir/JGSeries.cpp.o" "gcc" "src/workloads/CMakeFiles/limecc_workloads.dir/JGSeries.cpp.o.d"
+  "/root/repo/src/workloads/Mosaic.cpp" "src/workloads/CMakeFiles/limecc_workloads.dir/Mosaic.cpp.o" "gcc" "src/workloads/CMakeFiles/limecc_workloads.dir/Mosaic.cpp.o.d"
+  "/root/repo/src/workloads/NBody.cpp" "src/workloads/CMakeFiles/limecc_workloads.dir/NBody.cpp.o" "gcc" "src/workloads/CMakeFiles/limecc_workloads.dir/NBody.cpp.o.d"
+  "/root/repo/src/workloads/ParboilCP.cpp" "src/workloads/CMakeFiles/limecc_workloads.dir/ParboilCP.cpp.o" "gcc" "src/workloads/CMakeFiles/limecc_workloads.dir/ParboilCP.cpp.o.d"
+  "/root/repo/src/workloads/ParboilMRIQ.cpp" "src/workloads/CMakeFiles/limecc_workloads.dir/ParboilMRIQ.cpp.o" "gcc" "src/workloads/CMakeFiles/limecc_workloads.dir/ParboilMRIQ.cpp.o.d"
+  "/root/repo/src/workloads/ParboilRPES.cpp" "src/workloads/CMakeFiles/limecc_workloads.dir/ParboilRPES.cpp.o" "gcc" "src/workloads/CMakeFiles/limecc_workloads.dir/ParboilRPES.cpp.o.d"
+  "/root/repo/src/workloads/Registry.cpp" "src/workloads/CMakeFiles/limecc_workloads.dir/Registry.cpp.o" "gcc" "src/workloads/CMakeFiles/limecc_workloads.dir/Registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/limecc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/limecc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/limecc_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/lime/CMakeFiles/limecc_lime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/limecc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limecc_workloads.dir/Common.cpp.o"
+  "CMakeFiles/limecc_workloads.dir/Common.cpp.o.d"
+  "CMakeFiles/limecc_workloads.dir/Driver.cpp.o"
+  "CMakeFiles/limecc_workloads.dir/Driver.cpp.o.d"
+  "CMakeFiles/limecc_workloads.dir/JGCrypt.cpp.o"
+  "CMakeFiles/limecc_workloads.dir/JGCrypt.cpp.o.d"
+  "CMakeFiles/limecc_workloads.dir/JGSeries.cpp.o"
+  "CMakeFiles/limecc_workloads.dir/JGSeries.cpp.o.d"
+  "CMakeFiles/limecc_workloads.dir/Mosaic.cpp.o"
+  "CMakeFiles/limecc_workloads.dir/Mosaic.cpp.o.d"
+  "CMakeFiles/limecc_workloads.dir/NBody.cpp.o"
+  "CMakeFiles/limecc_workloads.dir/NBody.cpp.o.d"
+  "CMakeFiles/limecc_workloads.dir/ParboilCP.cpp.o"
+  "CMakeFiles/limecc_workloads.dir/ParboilCP.cpp.o.d"
+  "CMakeFiles/limecc_workloads.dir/ParboilMRIQ.cpp.o"
+  "CMakeFiles/limecc_workloads.dir/ParboilMRIQ.cpp.o.d"
+  "CMakeFiles/limecc_workloads.dir/ParboilRPES.cpp.o"
+  "CMakeFiles/limecc_workloads.dir/ParboilRPES.cpp.o.d"
+  "CMakeFiles/limecc_workloads.dir/Registry.cpp.o"
+  "CMakeFiles/limecc_workloads.dir/Registry.cpp.o.d"
+  "liblimecc_workloads.a"
+  "liblimecc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limecc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblimecc_workloads.a"
+)

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compiler/AnalysisNegativeTest.cpp" "tests/CMakeFiles/limecc_tests.dir/compiler/AnalysisNegativeTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/compiler/AnalysisNegativeTest.cpp.o.d"
+  "/root/repo/tests/compiler/EmitterGoldenTest.cpp" "tests/CMakeFiles/limecc_tests.dir/compiler/EmitterGoldenTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/compiler/EmitterGoldenTest.cpp.o.d"
+  "/root/repo/tests/compiler/GpuCompilerTest.cpp" "tests/CMakeFiles/limecc_tests.dir/compiler/GpuCompilerTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/compiler/GpuCompilerTest.cpp.o.d"
+  "/root/repo/tests/integration/OffloadTest.cpp" "tests/CMakeFiles/limecc_tests.dir/integration/OffloadTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/integration/OffloadTest.cpp.o.d"
+  "/root/repo/tests/integration/PropertySweepTest.cpp" "tests/CMakeFiles/limecc_tests.dir/integration/PropertySweepTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/integration/PropertySweepTest.cpp.o.d"
+  "/root/repo/tests/integration/ReduceFusionTest.cpp" "tests/CMakeFiles/limecc_tests.dir/integration/ReduceFusionTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/integration/ReduceFusionTest.cpp.o.d"
+  "/root/repo/tests/integration/WorkloadTest.cpp" "tests/CMakeFiles/limecc_tests.dir/integration/WorkloadTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/integration/WorkloadTest.cpp.o.d"
+  "/root/repo/tests/lime/ASTPrinterTest.cpp" "tests/CMakeFiles/limecc_tests.dir/lime/ASTPrinterTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/lime/ASTPrinterTest.cpp.o.d"
+  "/root/repo/tests/lime/FrontendEdgeTest.cpp" "tests/CMakeFiles/limecc_tests.dir/lime/FrontendEdgeTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/lime/FrontendEdgeTest.cpp.o.d"
+  "/root/repo/tests/lime/InterpTest.cpp" "tests/CMakeFiles/limecc_tests.dir/lime/InterpTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/lime/InterpTest.cpp.o.d"
+  "/root/repo/tests/lime/LexerTest.cpp" "tests/CMakeFiles/limecc_tests.dir/lime/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/lime/LexerTest.cpp.o.d"
+  "/root/repo/tests/lime/ParserSemaTest.cpp" "tests/CMakeFiles/limecc_tests.dir/lime/ParserSemaTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/lime/ParserSemaTest.cpp.o.d"
+  "/root/repo/tests/lime/TypeSystemTest.cpp" "tests/CMakeFiles/limecc_tests.dir/lime/TypeSystemTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/lime/TypeSystemTest.cpp.o.d"
+  "/root/repo/tests/lime/ValueTest.cpp" "tests/CMakeFiles/limecc_tests.dir/lime/ValueTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/lime/ValueTest.cpp.o.d"
+  "/root/repo/tests/ocl/DeviceModelTest.cpp" "tests/CMakeFiles/limecc_tests.dir/ocl/DeviceModelTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/ocl/DeviceModelTest.cpp.o.d"
+  "/root/repo/tests/ocl/MemoryModelTest.cpp" "tests/CMakeFiles/limecc_tests.dir/ocl/MemoryModelTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/ocl/MemoryModelTest.cpp.o.d"
+  "/root/repo/tests/ocl/OclParserErrorTest.cpp" "tests/CMakeFiles/limecc_tests.dir/ocl/OclParserErrorTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/ocl/OclParserErrorTest.cpp.o.d"
+  "/root/repo/tests/ocl/OclVmControlFlowTest.cpp" "tests/CMakeFiles/limecc_tests.dir/ocl/OclVmControlFlowTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/ocl/OclVmControlFlowTest.cpp.o.d"
+  "/root/repo/tests/ocl/OclVmTest.cpp" "tests/CMakeFiles/limecc_tests.dir/ocl/OclVmTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/ocl/OclVmTest.cpp.o.d"
+  "/root/repo/tests/runtime/FutureWorkTest.cpp" "tests/CMakeFiles/limecc_tests.dir/runtime/FutureWorkTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/runtime/FutureWorkTest.cpp.o.d"
+  "/root/repo/tests/runtime/SerializerTest.cpp" "tests/CMakeFiles/limecc_tests.dir/runtime/SerializerTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/runtime/SerializerTest.cpp.o.d"
+  "/root/repo/tests/runtime/TaskGraphTest.cpp" "tests/CMakeFiles/limecc_tests.dir/runtime/TaskGraphTest.cpp.o" "gcc" "tests/CMakeFiles/limecc_tests.dir/runtime/TaskGraphTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/limecc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/limecc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/limecc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/lime/CMakeFiles/limecc_lime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/limecc_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/limecc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/limecc_tests[1]_include.cmake")
+add_test(limec_check "/root/repo/build/src/tools/limec" "/root/repo/examples/lime/saxpy.lime")
+set_tests_properties(limec_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;39;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(limec_decisions "/root/repo/build/src/tools/limec" "/root/repo/examples/lime/dotproduct.lime" "--decisions")
+set_tests_properties(limec_decisions PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;41;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(limec_emit "/root/repo/build/src/tools/limec" "/root/repo/examples/lime/saxpy.lime" "--emit" "Saxpy.saxpy" "--config" "global+v")
+set_tests_properties(limec_emit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;43;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(limec_run_offload "/root/repo/build/src/tools/limec" "/root/repo/examples/lime/dotproduct.lime" "--run" "Dot.main" "--offload")
+set_tests_properties(limec_run_offload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;45;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(limec_dump_ast "/root/repo/build/src/tools/limec" "/root/repo/examples/lime/saxpy.lime" "--dump-ast")
+set_tests_properties(limec_dump_ast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;47;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(limec_verify "/root/repo/build/src/tools/limec" "/root/repo/examples/lime/saxpy.lime" "--verify" "Saxpy.saxpy" "--device" "gtx8800" "--config" "local+nc+v")
+set_tests_properties(limec_verify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;49;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(limec_tune "/root/repo/build/src/tools/limec" "/root/repo/examples/lime/saxpy.lime" "--tune" "Saxpy.saxpy" "--device" "gtx8800")
+set_tests_properties(limec_tune PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;51;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;54;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_nbody_pipeline "/root/repo/build/examples/nbody_pipeline" "gtx580")
+set_tests_properties(example_nbody_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;55;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_mosaic_demo "/root/repo/build/examples/mosaic_demo")
+set_tests_properties(example_mosaic_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;56;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_kernel_explorer "/root/repo/build/examples/kernel_explorer" "nbody_sp" "texture")
+set_tests_properties(example_kernel_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;57;add_test;/root/repo/tests/CMakeLists.txt;0;")
