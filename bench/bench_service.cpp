@@ -1,0 +1,260 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offload-service throughput/latency benchmark. Sweeps client
+/// threads x device workers; for each combination runs the same
+/// request mix twice against one service instance:
+///
+///   cold  - fresh service: every request is a distinct (filter,
+///           memory config) key, so each pays a GpuCompiler run +
+///           OpenCL program build;
+///   warm  - same service again: the kernel cache and prepared filter
+///           instances absorb all compilation.
+///
+/// Reported per phase: wall-clock throughput (requests/s), mean and
+/// max client-observed latency, and the cache hit rate for the
+/// phase's own requests. The 4-client x 2-device row carries the
+/// acceptance check: warm throughput >= 2x cold with a >90% warm hit
+/// rate. Exit status reflects the check.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lime/parser/Parser.h"
+#include "lime/sema/Sema.h"
+#include "service/OffloadService.h"
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <thread>
+
+using namespace lime;
+using namespace lime::service;
+
+namespace {
+
+/// Four map filters with long unrolled arithmetic bodies: compiling
+/// one (GpuCompiler emission, OpenCL parse, bytecode compilation) is
+/// substantially more work than running it over a small array, which
+/// is the cost structure a kernel cache exists to exploit.
+std::string benchSource() {
+  std::ostringstream S;
+  S << "class B {\n";
+  for (int F = 0; F != 4; ++F) {
+    S << "  static local float body" << F << "(float x) {\n"
+      << "    float y = x;\n";
+    for (int I = 0; I != 24; ++I)
+      S << "    y = y * 1.0" << (F + 1) << "f + 0.0" << (I % 9 + 1)
+        << "f;\n";
+    S << "    return y;\n  }\n"
+      << "  static local float[[]] k" << F << "(float[[]] xs) { return body"
+      << F << " @ xs; }\n";
+  }
+  S << "}\n";
+  return S.str();
+}
+
+RtValue makeFloatArray(TypeContext &Types, size_t N, float Seed) {
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = Types.floatType();
+  Arr->Immutable = true;
+  for (size_t I = 0; I != N; ++I)
+    Arr->Elems.push_back(
+        RtValue::makeFloat(Seed + 0.125f * static_cast<float>(I % 61)));
+  return RtValue::makeArray(std::move(Arr));
+}
+
+struct PhaseResult {
+  double Seconds = 0.0;
+  double MeanLatencyUs = 0.0;
+  double MaxLatencyUs = 0.0;
+  double HitRate = 0.0; // for this phase's requests only
+  uint64_t Requests = 0;
+  uint64_t Failed = 0;
+  double throughput() const { return Requests / Seconds; }
+};
+
+struct BenchSetup {
+  Program *Prog = nullptr;
+  TypeContext *Types = nullptr;
+  std::vector<MethodDecl *> Filters;
+  std::vector<MemoryConfig> Mems;
+  std::vector<RtValue> Inputs; // reused across phases
+};
+
+/// One request mix pass: every client walks the (filter x mem) grid
+/// so each phase touches every cache key.
+PhaseResult runPhase(OffloadService &Svc, const BenchSetup &B,
+                     unsigned Clients, unsigned PerClient) {
+  KernelCacheStats CacheBefore = Svc.stats().Cache;
+
+  std::vector<double> SumLatencyUs(Clients, 0.0);
+  std::vector<double> MaxLatencyUs(Clients, 0.0);
+  std::vector<uint64_t> Failures(Clients, 0);
+
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C != Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      // Each client keeps a pipeline of outstanding submissions, the
+      // way a streaming producer would, instead of a synchronous
+      // request/response ping-pong.
+      using Clock = std::chrono::steady_clock;
+      std::deque<std::pair<Clock::time_point, std::future<ExecResult>>>
+          Window;
+      auto DrainOne = [&] {
+        auto [S0, Fut] = std::move(Window.front());
+        Window.pop_front();
+        ExecResult E = Fut.get();
+        double Us =
+            std::chrono::duration<double, std::micro>(Clock::now() - S0)
+                .count();
+        SumLatencyUs[C] += Us;
+        if (Us > MaxLatencyUs[C])
+          MaxLatencyUs[C] = Us;
+        if (E.Trapped)
+          ++Failures[C];
+      };
+      for (unsigned I = 0; I != PerClient; ++I) {
+        size_t Pick = C * PerClient + I;
+        MethodDecl *W = B.Filters[Pick % B.Filters.size()];
+        const MemoryConfig &Mem =
+            B.Mems[(Pick / B.Filters.size()) % B.Mems.size()];
+        OffloadRequest R;
+        R.Worker = W;
+        R.Config.Mem = Mem;
+        // Every (client, iteration) gets its own private-capacity
+        // threshold, making it a distinct cache key: the cold phase
+        // pays one compile per request, and the warm phase repeats
+        // the exact same picks so all of them hit. None of the
+        // benchmark filters allocate in-kernel arrays, so the
+        // threshold never changes the generated code — it stands in
+        // for clients arriving with distinct configurations.
+        R.Config.Mem.PrivateBytesLimit =
+            512 + 16 * static_cast<unsigned>(Pick);
+        R.Args.push_back(B.Inputs[Pick % B.Inputs.size()]);
+        Window.emplace_back(Clock::now(), Svc.submit(std::move(R)));
+        if (Window.size() >= 8)
+          DrainOne();
+      }
+      while (!Window.empty())
+        DrainOne();
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  Svc.waitIdle();
+
+  PhaseResult P;
+  P.Seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            T0)
+                  .count();
+  P.Requests = static_cast<uint64_t>(Clients) * PerClient;
+  for (unsigned C = 0; C != Clients; ++C) {
+    P.MeanLatencyUs += SumLatencyUs[C];
+    P.MaxLatencyUs = std::max(P.MaxLatencyUs, MaxLatencyUs[C]);
+    P.Failed += Failures[C];
+  }
+  P.MeanLatencyUs /= static_cast<double>(P.Requests);
+
+  KernelCacheStats CacheAfter = Svc.stats().Cache;
+  uint64_t Hits = CacheAfter.Hits - CacheBefore.Hits;
+  uint64_t Misses = CacheAfter.Misses - CacheBefore.Misses;
+  P.HitRate = (Hits + Misses)
+                  ? static_cast<double>(Hits) /
+                        static_cast<double>(Hits + Misses)
+                  : 0.0;
+  return P;
+}
+
+} // namespace
+
+int main() {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  std::string Source = benchSource();
+  Parser Parse(Source.c_str(), Ctx, Diags);
+  Program *Prog = Parse.parseProgram();
+  if (!Diags.hasErrors()) {
+    Sema S(Ctx, Diags);
+    S.check(Prog);
+  }
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "bench_service: benchmark program failed to "
+                         "compile:\n%s",
+                 Diags.dump().c_str());
+    return 1;
+  }
+
+  BenchSetup B;
+  B.Prog = Prog;
+  B.Types = &Ctx.types();
+  ClassDecl *C = Prog->findClass("B");
+  for (const char *Name : {"k0", "k1", "k2", "k3"})
+    B.Filters.push_back(C->findMethod(Name));
+  B.Mems = {MemoryConfig::global(), MemoryConfig::globalVector(),
+            MemoryConfig::constant(), MemoryConfig::best()};
+  // Small arrays keep invoke cost low relative to compilation, which
+  // is what a cache benchmark should contrast.
+  for (int I = 0; I != 8; ++I)
+    B.Inputs.push_back(
+        makeFloatArray(*B.Types, 24 + 8 * I, 0.5f * (I + 1)));
+
+  std::printf("offload service benchmark: %zu filters x %zu memory "
+              "configs per client (every client's grid is key-distinct; "
+              "cold = one compile per request)\n\n",
+              B.Filters.size(), B.Mems.size());
+  std::printf("%-8s %-8s | %12s %12s %9s | %12s %12s %9s | %8s\n", "clients",
+              "devices", "cold req/s", "cold lat us", "cold hit",
+              "warm req/s", "warm lat us", "warm hit", "speedup");
+
+  bool AcceptancePass = true;
+  for (unsigned Devices : {1u, 2u}) {
+    for (unsigned Clients : {1u, 2u, 4u}) {
+      ServiceConfig SC;
+      SC.Devices.assign(Devices, "gtx580");
+      SC.CacheCapacity = 512; // hold every key: no warm evictions
+      OffloadService Svc(Prog, Ctx.types(), SC);
+
+      // Three passes over the (filter x mem) grid per client; every
+      // pick still carries a distinct private-capacity threshold, so
+      // the cold phase compiles once per request. Longer phases damp
+      // scheduler noise on small machines.
+      unsigned PerClient =
+          3 * static_cast<unsigned>(B.Filters.size() * B.Mems.size());
+      PhaseResult Cold = runPhase(Svc, B, Clients, PerClient);
+      PhaseResult Warm = runPhase(Svc, B, Clients, PerClient);
+
+      double Speedup = Warm.throughput() / Cold.throughput();
+      std::printf("%-8u %-8u | %12.0f %12.1f %8.0f%% | %12.0f %12.1f "
+                  "%8.0f%% | %7.2fx\n",
+                  Clients, Devices, Cold.throughput(), Cold.MeanLatencyUs,
+                  100.0 * Cold.HitRate, Warm.throughput(),
+                  Warm.MeanLatencyUs, 100.0 * Warm.HitRate, Speedup);
+      if (Cold.Failed || Warm.Failed) {
+        std::fprintf(stderr, "bench_service: %llu requests trapped\n",
+                     static_cast<unsigned long long>(Cold.Failed +
+                                                     Warm.Failed));
+        AcceptancePass = false;
+      }
+
+      if (Clients == 4 && Devices == 2) {
+        bool SpeedOk = Speedup >= 2.0;
+        bool HitOk = Warm.HitRate > 0.90;
+        std::printf("\nacceptance @ 4 clients x 2 devices: warm/cold "
+                    "throughput %.2fx (need >= 2.00x) %s, warm hit rate "
+                    "%.0f%% (need > 90%%) %s\n",
+                    Speedup, SpeedOk ? "PASS" : "FAIL",
+                    100.0 * Warm.HitRate, HitOk ? "PASS" : "FAIL");
+        AcceptancePass = AcceptancePass && SpeedOk && HitOk;
+      }
+    }
+  }
+
+  return AcceptancePass ? 0 : 1;
+}

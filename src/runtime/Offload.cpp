@@ -19,6 +19,39 @@ using namespace lime::rt;
 using lime::ocl::AddrSpace;
 using lime::ocl::LaunchArg;
 
+bool lime::rt::validateOffloadConfig(const OffloadConfig &Config,
+                                     DiagnosticEngine &Diags) {
+  bool Ok = true;
+  if (Config.LocalSize == 0) {
+    Diags.error(SourceLocation(), "offload config: LocalSize must be > 0");
+    Ok = false;
+  } else if ((Config.LocalSize & (Config.LocalSize - 1)) != 0) {
+    Diags.error(SourceLocation(),
+                "offload config: LocalSize must be a power of two, got " +
+                    std::to_string(Config.LocalSize));
+    Ok = false;
+  }
+  if (Config.MaxGroups == 0) {
+    Diags.error(SourceLocation(), "offload config: MaxGroups must be > 0");
+    Ok = false;
+  }
+  return Ok;
+}
+
+std::string lime::rt::validateOffloadConfig(const OffloadConfig &Config) {
+  DiagnosticEngine Diags;
+  if (validateOffloadConfig(Config, Diags))
+    return "";
+  return Diags.dump();
+}
+
+OffloadConfig lime::rt::canonicalOffloadConfig(OffloadConfig Config) {
+  Config.Mem.LocalTileBudgetBytes = std::min<unsigned>(
+      16 * 1024,
+      ocl::deviceByName(Config.DeviceName).LocalBytesPerSM / 2);
+  return Config;
+}
+
 OffloadedFilter::OffloadedFilter(Program *P, TypeContext &Types,
                                  MethodDecl *Worker,
                                  const OffloadConfig &Config)
@@ -31,11 +64,10 @@ OffloadedFilter::OffloadedFilter(Program *P, TypeContext &Types,
     : TheProgram(P), Types(Types), Worker(Worker), Config(Config),
       Wire(Config.UseSpecializedMarshal) {
   Wire.setDirectToDevice(Config.DirectMarshal);
-  // Size the local tiles to the target's scratchpad (half of it, so
-  // double-buffering and the runtime's own use still fit).
-  this->Config.Mem.LocalTileBudgetBytes = std::min<unsigned>(
-      16 * 1024,
-      ocl::deviceByName(Config.DeviceName).LocalBytesPerSM / 2);
+  Error = validateOffloadConfig(Config);
+  if (!Error.empty())
+    return;
+  this->Config = canonicalOffloadConfig(this->Config);
   GpuCompiler GC(P, Types);
   Kernel = GC.compile(Worker, this->Config.Mem);
   if (!Kernel.Ok) {
@@ -44,6 +76,38 @@ OffloadedFilter::OffloadedFilter(Program *P, TypeContext &Types,
   }
   Ctx = Shared ? std::move(Shared)
                : std::make_shared<ocl::ClContext>(Config.DeviceName);
+}
+
+OffloadedFilter::OffloadedFilter(Program *P, TypeContext &Types,
+                                 MethodDecl *Worker,
+                                 const OffloadConfig &Config,
+                                 std::shared_ptr<ocl::ClContext> Shared,
+                                 CompiledKernel Precompiled)
+    : TheProgram(P), Types(Types), Worker(Worker), Config(Config),
+      Wire(Config.UseSpecializedMarshal) {
+  Wire.setDirectToDevice(Config.DirectMarshal);
+  Error = validateOffloadConfig(Config);
+  if (!Error.empty())
+    return;
+  this->Config = canonicalOffloadConfig(this->Config);
+  Kernel = std::move(Precompiled);
+  if (!Kernel.Ok) {
+    Error = Kernel.Error;
+    return;
+  }
+  Ctx = Shared ? std::move(Shared)
+               : std::make_shared<ocl::ClContext>(this->Config.DeviceName);
+}
+
+std::string OffloadedFilter::prepare(const std::vector<RtValue> &Args) {
+  if (!ok())
+    return Error;
+  if (Prepared)
+    return "";
+  std::string Err = buildAndPrepare(Args);
+  if (!Err.empty())
+    Error = Err;
+  return Err;
 }
 
 int OffloadedFilter::paramIndexOf(const ParamDecl *P) const {

@@ -28,6 +28,7 @@
 #include "lime/interp/Interp.h"
 #include "ocl/CL.h"
 #include "runtime/Serializer.h"
+#include "support/Diagnostics.h"
 
 #include <map>
 #include <memory>
@@ -53,6 +54,24 @@ struct OffloadConfig {
   /// thread counts offline; this is the knob).
   unsigned MaxGroups = 64;
 };
+
+/// Checks the launch-geometry invariants every construction site must
+/// satisfy: LocalSize must be a non-zero power of two (warp and bank
+/// decompositions assume it) and MaxGroups non-zero. Reports through
+/// \p Diags; returns false when any check fails.
+bool validateOffloadConfig(const OffloadConfig &Config,
+                           DiagnosticEngine &Diags);
+
+/// String-returning form: "" when valid, the first problem otherwise.
+std::string validateOffloadConfig(const OffloadConfig &Config);
+
+/// The device-dependent normalization every offload applies before
+/// compiling: clamps the local-tile budget to the target's scratchpad
+/// (half of it, so double-buffering and the runtime's own use still
+/// fit). Kernel caches must key on the *canonical* config, or two
+/// textually different configs that compile identically would occupy
+/// two cache slots.
+OffloadConfig canonicalOffloadConfig(OffloadConfig Config);
 
 /// Accumulated per-filter cost decomposition (Figure 9's stack).
 struct OffloadStats {
@@ -82,6 +101,15 @@ public:
                   const OffloadConfig &Config,
                   std::shared_ptr<ocl::ClContext> Shared);
 
+  /// Wraps an already-compiled kernel (the offload service's
+  /// KernelCache path): skips the GpuCompiler run entirely. \p
+  /// Precompiled must have been produced from canonicalOffloadConfig
+  /// of \p Config for the same worker.
+  OffloadedFilter(Program *P, TypeContext &Types, MethodDecl *Worker,
+                  const OffloadConfig &Config,
+                  std::shared_ptr<ocl::ClContext> Shared,
+                  CompiledKernel Precompiled);
+
   bool ok() const { return Error.empty(); }
   const std::string &error() const { return Error; }
   const CompiledKernel &kernel() const { return Kernel; }
@@ -91,6 +119,14 @@ public:
   /// Runs the filter on the device. \p Args follow the worker's
   /// parameter order (stream input first, then bound arguments).
   ExecResult invoke(const std::vector<RtValue> &Args);
+
+  /// Builds the OpenCL program (and applies the constant-capacity
+  /// fallback, which may *recompile* through GpuCompiler) if that has
+  /// not happened yet. Exposed so multi-threaded callers can serialize
+  /// the compiler-touching step under their own lock, after which
+  /// invoke() is compile-free. Returns "" or the error.
+  std::string prepare(const std::vector<RtValue> &Args);
+  bool prepared() const { return Prepared; }
 
   OffloadStats &stats() { return Stats; }
 

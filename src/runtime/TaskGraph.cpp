@@ -80,8 +80,28 @@ std::string TaskGraphRuntime::run(const RtGraph &Graph) {
       NodeStats &NS = Stats[NI];
       ++NS.Invocations;
 
+      // The shared offload service, when installed, gets first claim
+      // on eligible filters; it declines the ones that must stay on
+      // the host.
+      if (Config.OffloadFilters && Config.ServiceInvoke && !Node.Instance &&
+          Node.Worker->isLocal()) {
+        std::vector<RtValue> Args;
+        Args.push_back(Item);
+        for (const RtValue &B : Node.BoundArgs)
+          Args.push_back(B);
+        ExecResult DR;
+        if (Config.ServiceInvoke(Node.Worker, Args, DR)) {
+          if (DR.Trapped)
+            return "offloaded filter " + Node.Worker->qualifiedName() + ": " +
+                   DR.TrapMessage;
+          NS.Offloaded = true;
+          Item = DR.Value;
+          continue;
+        }
+      }
+
       OffloadedFilter *Dev = nullptr;
-      if (!Node.Instance && Node.Worker->isLocal())
+      if (!Node.Instance && Node.Worker->isLocal() && !Config.ServiceInvoke)
         Dev = offloadedFor(Node.Worker);
 
       if (Dev) {

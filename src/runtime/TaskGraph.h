@@ -26,17 +26,30 @@
 #include "lime/interp/Interp.h"
 #include "runtime/Offload.h"
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
 namespace lime::rt {
 
+/// Installed by an offload service (src/service): given a filter
+/// worker and its arguments, either handles the invocation (filling
+/// \p Out, returning true) or declines (return false → the filter
+/// runs on the host). Lets pipelines share compiled kernels and
+/// devices with every other client of the service.
+using ServiceInvokeFn = std::function<bool(
+    MethodDecl *Worker, const std::vector<RtValue> &Args, ExecResult &Out)>;
+
 struct PipelineConfig {
   /// Offload eligible filters to the simulated device; otherwise the
   /// whole pipeline runs in the evaluator (the Fig. 7 baseline).
   bool OffloadFilters = false;
   OffloadConfig Offload;
+  /// When set (and OffloadFilters is on), filter invocations route
+  /// through the shared offload service instead of per-pipeline
+  /// OffloadedFilters.
+  ServiceInvokeFn ServiceInvoke;
   /// Safety valve for runaway sources.
   uint64_t MaxPulls = 1u << 20;
 };

@@ -1,0 +1,199 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/DevicePool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lime;
+using namespace lime::service;
+
+/// Two invocations of the same instance may merge only when every
+/// argument other than the map source is bit-identical: the merged
+/// launch forwards one set of scalars/bound arrays to the kernel.
+static bool mergeable(const PendingInvoke &A, const PendingInvoke &B) {
+  if (A.Instance != B.Instance || A.SourceParam < 0 || B.SourceParam < 0)
+    return false;
+  if (A.Args.size() != B.Args.size())
+    return false;
+  for (size_t I = 0; I != A.Args.size(); ++I) {
+    if (static_cast<int>(I) == A.SourceParam)
+      continue;
+    if (!A.Args[I].equals(B.Args[I]))
+      return false;
+  }
+  return true;
+}
+
+DevicePool::DevicePool(std::vector<std::string> DeviceNames, size_t QueueDepth,
+                       unsigned MaxBatch, Executor Exec)
+    : QueueDepth(QueueDepth ? QueueDepth : 1),
+      MaxBatch(MaxBatch ? MaxBatch : 1), Exec(std::move(Exec)) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const std::string &Name : DeviceNames)
+    addWorkerLocked(Name);
+}
+
+DevicePool::~DevicePool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (auto &W : Workers) {
+      std::lock_guard<std::mutex> WL(W->Mu);
+      W->Stop = true;
+      W->NotEmpty.notify_all();
+    }
+  }
+  for (auto &W : Workers)
+    if (W->Thread.joinable())
+      W->Thread.join();
+}
+
+DevicePool::Worker &DevicePool::addWorkerLocked(const std::string &DeviceName) {
+  auto W = std::make_unique<Worker>();
+  W->Id = static_cast<unsigned>(Workers.size());
+  W->DeviceName = DeviceName;
+  Workers.push_back(std::move(W));
+  Worker &Ref = *Workers.back();
+  Ref.Thread = std::thread([this, &Ref] { workerLoop(Ref); });
+  return Ref;
+}
+
+unsigned DevicePool::pickWorker(const std::string &DeviceName,
+                                const std::vector<unsigned> &Preferred,
+                                size_t AffinityBias) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Worker *Best = nullptr, *BestPreferred = nullptr;
+  size_t BestLoad = 0, BestPreferredLoad = 0;
+  for (auto &W : Workers) {
+    if (W->DeviceName != DeviceName)
+      continue;
+    size_t Load;
+    {
+      std::lock_guard<std::mutex> WL(W->Mu);
+      Load = W->Queue.size() + W->InFlight;
+    }
+    if (!Best || Load < BestLoad) {
+      Best = W.get();
+      BestLoad = Load;
+    }
+    bool IsPreferred =
+        std::find(Preferred.begin(), Preferred.end(), W->Id) !=
+        Preferred.end();
+    if (IsPreferred && (!BestPreferred || Load < BestPreferredLoad)) {
+      BestPreferred = W.get();
+      BestPreferredLoad = Load;
+    }
+  }
+  if (BestPreferred && BestPreferredLoad <= BestLoad + AffinityBias)
+    return BestPreferred->Id;
+  if (!Best)
+    Best = &addWorkerLocked(DeviceName);
+  return Best->Id;
+}
+
+void DevicePool::submitTo(unsigned Id, PendingInvoke Inv) {
+  Worker *W;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    assert(Id < Workers.size() && "bad worker id");
+    W = Workers[Id].get();
+  }
+  std::unique_lock<std::mutex> WL(W->Mu);
+  W->NotFull.wait(WL, [&] { return W->Queue.size() < QueueDepth; });
+  W->Queue.push_back(std::move(Inv));
+  W->QueueHighWater = std::max(W->QueueHighWater, W->Queue.size());
+  W->NotEmpty.notify_one();
+}
+
+const std::string &DevicePool::deviceNameOf(unsigned Id) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  assert(Id < Workers.size() && "bad worker id");
+  return Workers[Id]->DeviceName;
+}
+
+size_t DevicePool::workerCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Workers.size();
+}
+
+void DevicePool::waitIdle() {
+  // The worker list only grows; walk by index so a lazily added
+  // worker (created while we wait) is still visited.
+  for (size_t I = 0;; ++I) {
+    Worker *W;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (I >= Workers.size())
+        return;
+      W = Workers[I].get();
+    }
+    std::unique_lock<std::mutex> WL(W->Mu);
+    W->Idle.wait(WL, [&] { return W->Queue.empty() && W->InFlight == 0; });
+  }
+}
+
+std::vector<DeviceStatsSnapshot> DevicePool::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<DeviceStatsSnapshot> Out;
+  Out.reserve(Workers.size());
+  for (const auto &W : Workers) {
+    std::lock_guard<std::mutex> WL(W->Mu);
+    DeviceStatsSnapshot S;
+    S.Id = W->Id;
+    S.DeviceName = W->DeviceName;
+    S.Executed = W->Executed;
+    S.Launches = W->Launches;
+    S.BatchedRequests = W->BatchedRequests;
+    S.QueueDepth = W->Queue.size() + W->InFlight;
+    S.QueueHighWater = W->QueueHighWater;
+    S.SimBusyNs = W->SimBusyNs;
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+void DevicePool::workerLoop(Worker &W) {
+  for (;;) {
+    std::vector<PendingInvoke> Batch;
+    {
+      std::unique_lock<std::mutex> WL(W.Mu);
+      W.NotEmpty.wait(WL, [&] { return W.Stop || !W.Queue.empty(); });
+      if (W.Queue.empty())
+        return; // Stop and drained
+      Batch.push_back(std::move(W.Queue.front()));
+      W.Queue.pop_front();
+      if (MaxBatch > 1 && Batch.front().SourceParam >= 0) {
+        for (auto It = W.Queue.begin();
+             It != W.Queue.end() && Batch.size() < MaxBatch;) {
+          if (mergeable(Batch.front(), *It)) {
+            Batch.push_back(std::move(*It));
+            It = W.Queue.erase(It);
+          } else {
+            ++It;
+          }
+        }
+      }
+      W.InFlight = Batch.size();
+      W.NotFull.notify_all();
+    }
+
+    double SimNs = Exec(Batch, W.Id);
+
+    {
+      std::lock_guard<std::mutex> WL(W.Mu);
+      W.Executed += Batch.size();
+      W.Launches += 1;
+      if (Batch.size() > 1)
+        W.BatchedRequests += Batch.size();
+      W.SimBusyNs += SimNs;
+      W.InFlight = 0;
+      if (W.Queue.empty())
+        W.Idle.notify_all();
+    }
+  }
+}

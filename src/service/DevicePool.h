@@ -1,0 +1,150 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offload service's device side: one worker thread per simulated
+/// device, each with a bounded work queue. Submission blocks when the
+/// chosen queue is full (backpressure toward the clients), dispatch
+/// picks the least-loaded worker among those simulating the requested
+/// device model, and the worker loop opportunistically merges
+/// batch-eligible invocations of the same filter instance into one
+/// launch before handing them to the service's executor.
+///
+/// The pool itself knows nothing about kernels or marshalling: a task
+/// is an opaque FilterInstance pointer plus arguments and a promise,
+/// and the executor callback (installed by OffloadService) does the
+/// actual device work on the worker thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_SERVICE_DEVICEPOOL_H
+#define LIMECC_SERVICE_DEVICEPOOL_H
+
+#include "lime/interp/Interp.h"
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lime::service {
+
+struct FilterInstance; // owned by OffloadService
+
+/// One queued filter invocation, fulfilled on a device worker thread.
+struct PendingInvoke {
+  FilterInstance *Instance = nullptr;
+  /// Index of the worker parameter carrying the map source when this
+  /// invocation may merge with others of the same instance; -1 when
+  /// it must launch alone (reduce kernels, multi-array filters,
+  /// batching disabled).
+  int SourceParam = -1;
+  std::vector<RtValue> Args;
+  std::promise<ExecResult> Promise;
+};
+
+/// Per-device counters, snapshotted under the worker's queue lock.
+struct DeviceStatsSnapshot {
+  unsigned Id = 0;
+  std::string DeviceName;
+  uint64_t Executed = 0;       // requests completed
+  uint64_t Launches = 0;       // executor calls (a merged batch is one)
+  uint64_t BatchedRequests = 0; // requests that rode a merged launch
+  size_t QueueDepth = 0;        // queued + in flight right now
+  size_t QueueHighWater = 0;    // max queued ever observed
+  double SimBusyNs = 0.0;       // simulated device-side time executed
+};
+
+class DevicePool {
+public:
+  /// The executor runs a batch (size >= 1, all same Instance) on the
+  /// worker thread and returns the simulated device nanoseconds the
+  /// batch consumed. It must fulfil every promise in the batch.
+  using Executor =
+      std::function<double(std::vector<PendingInvoke> &Batch, unsigned Id)>;
+
+  /// Spawns one worker per name in \p DeviceNames (duplicates give a
+  /// multi-queue device of that model). \p QueueDepth bounds each
+  /// queue; \p MaxBatch caps merged launches (1 disables merging).
+  DevicePool(std::vector<std::string> DeviceNames, size_t QueueDepth,
+             unsigned MaxBatch, Executor Exec);
+
+  /// Drains every queue (outstanding work still runs) and joins.
+  ~DevicePool();
+
+  DevicePool(const DevicePool &) = delete;
+  DevicePool &operator=(const DevicePool &) = delete;
+
+  /// Least-loaded worker simulating \p DeviceName; creates one on
+  /// first use of a model that was not in the constructor list.
+  /// \p Preferred workers (those already holding a built filter
+  /// instance for the request's kernel) win unless they are more
+  /// than \p AffinityBias tasks deeper than the least-loaded
+  /// candidate — affinity saves a per-worker program build, but not
+  /// at the price of an idle device.
+  unsigned pickWorker(const std::string &DeviceName,
+                      const std::vector<unsigned> &Preferred = {},
+                      size_t AffinityBias = 4);
+
+  /// Queues \p Inv on worker \p Id, blocking while its queue is full.
+  void submitTo(unsigned Id, PendingInvoke Inv);
+
+  const std::string &deviceNameOf(unsigned Id) const;
+  size_t workerCount() const;
+
+  /// Blocks until every queue is empty and no batch is in flight.
+  /// Racy against concurrent submitters; meant for quiesced callers
+  /// (benchmarks, tests, end-of-run stats).
+  void waitIdle();
+
+  std::vector<DeviceStatsSnapshot> stats() const;
+
+private:
+  struct Worker {
+    unsigned Id = 0;
+    std::string DeviceName;
+    std::thread Thread;
+
+    mutable std::mutex Mu;
+    std::condition_variable NotEmpty;
+    std::condition_variable NotFull;
+    std::condition_variable Idle;
+    std::deque<PendingInvoke> Queue;
+    size_t InFlight = 0;
+    bool Stop = false;
+
+    // Stats, guarded by Mu.
+    uint64_t Executed = 0;
+    uint64_t Launches = 0;
+    uint64_t BatchedRequests = 0;
+    size_t QueueHighWater = 0;
+    double SimBusyNs = 0.0;
+  };
+
+  Worker &addWorkerLocked(const std::string &DeviceName);
+  void workerLoop(Worker &W);
+
+  size_t QueueDepth;
+  unsigned MaxBatch;
+  Executor Exec;
+
+  /// Guards the worker list itself; per-worker state is under each
+  /// worker's own mutex. Workers are never removed, and the deque
+  /// keeps them address-stable, so holding Mu is only needed while
+  /// the list may grow.
+  mutable std::mutex Mu;
+  std::deque<std::unique_ptr<Worker>> Workers;
+};
+
+} // namespace lime::service
+
+#endif // LIMECC_SERVICE_DEVICEPOOL_H

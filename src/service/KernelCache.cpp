@@ -1,0 +1,146 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/KernelCache.h"
+
+#include "lime/ast/ASTPrinter.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace lime;
+using namespace lime::service;
+
+uint64_t lime::service::fnv1a(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+KernelKey KernelKey::make(const MethodDecl *Worker,
+                          const rt::OffloadConfig &Config,
+                          const std::string *ClassText) {
+  // The lowered filter source: the pretty-printed, type-annotated
+  // class the worker lives in. Printing the class (not the whole
+  // program) keeps unrelated edits from invalidating this filter.
+  std::ostringstream Key;
+  Key << "filter=" << Worker->qualifiedName() << '\n';
+  if (ClassText) {
+    Key << *ClassText;
+  } else if (const ClassDecl *C = Worker->parent()) {
+    ASTPrintOptions Opts;
+    Opts.ShowTypes = true;
+    Key << printClass(C, Opts);
+  }
+  const MemoryConfig &M = Config.Mem;
+  Key << "\ndevice=" << Config.DeviceName << "\nmem=" << M.str()
+      << " private=" << M.AllowPrivate << " privlim=" << M.PrivateBytesLimit
+      << " tile=" << M.LocalTileBudgetBytes << '\n';
+  KernelKey K;
+  K.Canonical = Key.str();
+  K.Hash = fnv1a(K.Canonical);
+  return K;
+}
+
+void KernelCache::setDiskDir(std::string Dir) {
+  DiskDir = std::move(Dir);
+  if (DiskDir.empty())
+    return;
+  std::error_code EC;
+  std::filesystem::create_directories(DiskDir, EC);
+  if (EC)
+    DiskDir.clear(); // unusable path: fall back to in-memory only
+}
+
+std::string KernelCache::diskPathFor(uint64_t Hash) const {
+  std::ostringstream P;
+  P << DiskDir << "/" << std::hex << Hash << ".cl";
+  return P.str();
+}
+
+std::string KernelCache::diskLookup(const KernelKey &Key) const {
+  if (DiskDir.empty())
+    return "";
+  std::ifstream In(diskPathFor(Key.Hash));
+  if (!In)
+    return "";
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Text = Buf.str();
+  // Strip the provenance header (lines up to the first blank line).
+  size_t HdrEnd = Text.find("\n\n");
+  return HdrEnd == std::string::npos ? Text : Text.substr(HdrEnd + 2);
+}
+
+void KernelCache::persist(const KernelKey &Key, const CompiledKernel &K) {
+  if (DiskDir.empty() || !K.Ok)
+    return;
+  std::ofstream Out(diskPathFor(Key.Hash), std::ios::trunc);
+  if (!Out)
+    return; // persistence is best-effort
+  Out << "// limecc kernel cache v1\n// key-fnv1a: " << std::hex << Key.Hash
+      << std::dec << "\n\n"
+      << K.Source;
+}
+
+std::shared_ptr<const CompiledKernel>
+KernelCache::getOrCompile(const KernelKey &Key,
+                          const std::function<CompiledKernel()> &Compile) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(Key.Hash);
+  if (It != Index.end() && It->second->second.Canonical == Key.Canonical) {
+    ++Stats.Hits;
+    Lru.splice(Lru.begin(), Lru, It->second); // touch
+    return It->second->second.Kernel;
+  }
+  if (It != Index.end()) {
+    // A different key collided into this hash: evict the squatter.
+    Lru.erase(It->second);
+    Index.erase(It);
+    ++Stats.Evictions;
+  }
+  ++Stats.Misses;
+
+  // Cross-process reuse check before compiling anew.
+  std::string OnDisk = diskLookup(Key);
+
+  auto Kernel = std::make_shared<CompiledKernel>(Compile());
+  if (!OnDisk.empty() && Kernel->Ok && OnDisk == Kernel->Source)
+    ++Stats.DiskHits;
+  else
+    persist(Key, *Kernel);
+
+  Lru.emplace_front(Key.Hash,
+                    Entry{Key.Canonical,
+                          std::shared_ptr<const CompiledKernel>(Kernel)});
+  Index[Key.Hash] = Lru.begin();
+  while (Lru.size() > Capacity) {
+    Index.erase(Lru.back().first);
+    Lru.pop_back();
+    ++Stats.Evictions;
+  }
+  Stats.Entries = Lru.size();
+  return Lru.front().second.Kernel;
+}
+
+KernelCacheStats KernelCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  KernelCacheStats S = Stats;
+  S.Entries = Lru.size();
+  return S;
+}
+
+void KernelCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Lru.clear();
+  Index.clear();
+  Stats = KernelCacheStats();
+}

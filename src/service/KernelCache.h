@@ -1,0 +1,128 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Content-addressed cache of compiled kernels for the offload
+/// service. A cache key is the hash of everything that determines the
+/// GpuCompiler's output for one filter: the lowered (pretty-printed,
+/// type-annotated) source of the worker's class, the worker's
+/// qualified name, the canonical MemoryConfig, and the target device
+/// name. Entries are LRU-evicted, and hit / miss / eviction counters
+/// feed the service's stats snapshot.
+///
+/// Optionally the cache persists generated OpenCL next to a process
+/// (one `<hash>.cl` file per kernel): a later `limec` run that
+/// compiles the same filter for the same configuration finds its own
+/// output on disk, which the DiskHits counter reports. The host-side
+/// KernelPlan holds pointers into the current process's AST, so the
+/// plan itself is always rebuilt; the disk layer exists to carry the
+/// generated source across runs (inspection, warm-start validation)
+/// the way a real driver's program-binary cache would.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_SERVICE_KERNELCACHE_H
+#define LIMECC_SERVICE_KERNELCACHE_H
+
+#include "compiler/GpuCompiler.h"
+#include "runtime/Offload.h"
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace lime::service {
+
+/// Everything that determines a compiled kernel, in canonical string
+/// form (hashed for addressing, kept whole to disambiguate hash
+/// collisions).
+struct KernelKey {
+  std::string Canonical;
+  uint64_t Hash = 0;
+
+  /// Builds the key for compiling \p Worker under \p Config. \p
+  /// Config must already be canonical (rt::canonicalOffloadConfig).
+  /// \p ClassText, when given, is the worker class's pre-printed
+  /// type-annotated source (callers on a hot path memoize it; the AST
+  /// is immutable after Sema, so the text never changes).
+  static KernelKey make(const MethodDecl *Worker,
+                        const rt::OffloadConfig &Config,
+                        const std::string *ClassText = nullptr);
+};
+
+/// FNV-1a, the classic content-address hash.
+uint64_t fnv1a(const std::string &S);
+
+struct KernelCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  /// In-memory misses whose generated source was already on disk from
+  /// an earlier process run.
+  uint64_t DiskHits = 0;
+  size_t Entries = 0;
+
+  double hitRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total ? static_cast<double>(Hits) / static_cast<double>(Total)
+                 : 0.0;
+  }
+};
+
+class KernelCache {
+public:
+  explicit KernelCache(size_t Capacity = 64) : Capacity(Capacity ? Capacity : 1) {}
+
+  /// Points the cache at a persistence directory (created on demand).
+  /// Pass "" to disable. Not thread-safe against concurrent
+  /// getOrCompile; call before serving.
+  void setDiskDir(std::string Dir);
+  const std::string &diskDir() const { return DiskDir; }
+
+  /// Returns the cached kernel for \p Key, or runs \p Compile, caches
+  /// its result, and returns it. The compile callback runs under the
+  /// cache lock on purpose: GpuCompiler canonicalizes types through
+  /// the shared TypeContext, so compilations must be serialized
+  /// anyway, and holding the lock also prevents duplicate compiles of
+  /// one key racing each other. Failed compilations are negatively
+  /// cached (they would fail identically every time).
+  std::shared_ptr<const CompiledKernel>
+  getOrCompile(const KernelKey &Key,
+               const std::function<CompiledKernel()> &Compile);
+
+  /// The generated source persisted for \p Key by this or an earlier
+  /// process, or "" when the disk layer is off / has no entry.
+  std::string diskLookup(const KernelKey &Key) const;
+
+  KernelCacheStats stats() const;
+  void clear();
+
+private:
+  struct Entry {
+    std::string Canonical;
+    std::shared_ptr<const CompiledKernel> Kernel;
+  };
+  using LruList = std::list<std::pair<uint64_t, Entry>>;
+
+  std::string diskPathFor(uint64_t Hash) const;
+  void persist(const KernelKey &Key, const CompiledKernel &K);
+
+  mutable std::mutex Mu;
+  size_t Capacity;
+  LruList Lru; // front = most recently used
+  std::unordered_map<uint64_t, LruList::iterator> Index;
+  KernelCacheStats Stats;
+  std::string DiskDir;
+};
+
+} // namespace lime::service
+
+#endif // LIMECC_SERVICE_KERNELCACHE_H

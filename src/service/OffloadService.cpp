@@ -1,0 +1,359 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/OffloadService.h"
+
+#include "lime/ast/ASTPrinter.h"
+#include "ocl/DeviceModel.h"
+
+#include <sstream>
+
+using namespace lime;
+using namespace lime::service;
+
+static bool knownDevice(const std::string &Name) {
+  for (const ocl::DeviceModel &D : ocl::deviceRegistry())
+    if (D.Name == Name)
+      return true;
+  return false;
+}
+
+static ExecResult trapped(std::string Msg) {
+  ExecResult R;
+  R.Trapped = true;
+  R.TrapMessage = std::move(Msg);
+  return R;
+}
+
+OffloadService::OffloadService(Program *P, TypeContext &Types,
+                               ServiceConfig Config)
+    : Prog(P), Types(Types), Config(std::move(Config)),
+      Cache(this->Config.CacheCapacity) {
+  Cache.setDiskDir(this->Config.DiskCacheDir);
+  // Unknown model names would abort deep in the device layer; drop
+  // them here and guarantee at least one worker.
+  std::vector<std::string> Names;
+  for (const std::string &N : this->Config.Devices)
+    if (knownDevice(N))
+      Names.push_back(N);
+  if (Names.empty())
+    Names.push_back("gtx580");
+  unsigned MaxBatch = this->Config.EnableBatching ? this->Config.MaxBatch : 1;
+  Pool = std::make_unique<DevicePool>(
+      std::move(Names), this->Config.QueueDepth, MaxBatch,
+      [this](std::vector<PendingInvoke> &Batch, unsigned Id) {
+        return execute(Batch, Id);
+      });
+}
+
+OffloadService::~OffloadService() {
+  // Drain the workers while every member they touch is still alive.
+  Pool.reset();
+}
+
+std::future<ExecResult> OffloadService::submit(OffloadRequest Request) {
+  std::promise<ExecResult> Promise;
+  std::future<ExecResult> Future = Promise.get_future();
+  ++Submitted;
+
+  std::string VErr = rt::validateOffloadConfig(Request.Config);
+  if (!Request.Worker)
+    VErr = "offload service: request has no worker";
+  else if (VErr.empty() && !knownDevice(Request.Config.DeviceName))
+    VErr = "offload service: unknown device '" + Request.Config.DeviceName +
+           "'";
+  if (!VErr.empty()) {
+    ++Rejected;
+    Promise.set_value(trapped(VErr));
+    return Future;
+  }
+
+  rt::OffloadConfig Canon = rt::canonicalOffloadConfig(Request.Config);
+  KernelKey Key =
+      KernelKey::make(Request.Worker, Canon, &classTextFor(Request.Worker));
+  std::shared_ptr<const CompiledKernel> Kernel =
+      Cache.getOrCompile(Key, [&] {
+        std::lock_guard<std::mutex> Lock(CompileMu);
+        GpuCompiler GC(Prog, Types);
+        return GC.compile(Request.Worker, Canon.Mem);
+      });
+  if (!Kernel->Ok) {
+    ++Failed;
+    Promise.set_value(
+        trapped("offload service: compilation failed: " + Kernel->Error));
+    return Future;
+  }
+
+  // Prefer a worker that already built this kernel's per-worker
+  // instance (skips an OpenCL program build) unless it is noticeably
+  // more loaded than the least-loaded candidate.
+  std::string IKey = instanceKey(Request.Worker, Kernel.get(), Canon);
+  unsigned WorkerId =
+      Pool->pickWorker(Canon.DeviceName, instanceWorkers(IKey));
+  std::string IErr;
+  FilterInstance *Inst =
+      instanceFor(IKey, Request.Worker, std::move(Kernel), WorkerId, Canon,
+                  IErr);
+  if (!Inst) {
+    ++Failed;
+    Promise.set_value(trapped(IErr));
+    return Future;
+  }
+
+  PendingInvoke Inv;
+  Inv.Instance = Inst;
+  if (Config.EnableBatching && Inst->SourceParam >= 0 &&
+      Inst->SourceParam < static_cast<int>(Request.Args.size()) &&
+      Request.Args[Inst->SourceParam].isArray())
+    Inv.SourceParam = Inst->SourceParam;
+  Inv.Args = std::move(Request.Args);
+  Inv.Promise = std::move(Promise);
+  Pool->submitTo(WorkerId, std::move(Inv));
+  return Future;
+}
+
+ExecResult OffloadService::invoke(OffloadRequest Request) {
+  return submit(std::move(Request)).get();
+}
+
+bool OffloadService::offloadable(MethodDecl *Worker,
+                                 const rt::OffloadConfig &Config,
+                                 std::string *Why) {
+  std::string VErr = rt::validateOffloadConfig(Config);
+  if (VErr.empty() && !knownDevice(Config.DeviceName))
+    VErr = "unknown device '" + Config.DeviceName + "'";
+  if (!VErr.empty()) {
+    if (Why)
+      *Why = VErr;
+    return false;
+  }
+  rt::OffloadConfig Canon = rt::canonicalOffloadConfig(Config);
+  KernelKey Key = KernelKey::make(Worker, Canon, &classTextFor(Worker));
+  std::shared_ptr<const CompiledKernel> Kernel =
+      Cache.getOrCompile(Key, [&] {
+        std::lock_guard<std::mutex> Lock(CompileMu);
+        GpuCompiler GC(Prog, Types);
+        return GC.compile(Worker, Canon.Mem);
+      });
+  if (!Kernel->Ok && Why)
+    *Why = Kernel->Error;
+  return Kernel->Ok;
+}
+
+const std::string &OffloadService::classTextFor(const MethodDecl *Worker) {
+  const ClassDecl *C = Worker->parent();
+  std::lock_guard<std::mutex> Lock(ClassTextMu);
+  auto It = ClassTexts.find(C);
+  if (It != ClassTexts.end())
+    return It->second;
+  ASTPrintOptions Opts;
+  Opts.ShowTypes = true;
+  return ClassTexts.emplace(C, C ? printClass(C, Opts) : std::string())
+      .first->second;
+}
+
+std::string OffloadService::instanceKey(MethodDecl *Worker,
+                                        const CompiledKernel *Kernel,
+                                        const rt::OffloadConfig &Canon) {
+  // Everything that changes execution except the worker id: which
+  // kernel, and the launch/marshal knobs the kernel key does not
+  // cover. The worker id is the inner map key so scheduling can see
+  // which workers already hold an instance.
+  std::ostringstream K;
+  K << static_cast<const void *>(Worker) << '|'
+    << static_cast<const void *>(Kernel) << "|ls" << Canon.LocalSize << "|mg"
+    << Canon.MaxGroups << "|sm" << Canon.UseSpecializedMarshal << "|dm"
+    << Canon.DirectMarshal << "|ov" << Canon.OverlapPipelining;
+  return K.str();
+}
+
+std::vector<unsigned> OffloadService::instanceWorkers(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(InstMu);
+  std::vector<unsigned> Ids;
+  auto It = Instances.find(Key);
+  if (It != Instances.end())
+    for (const auto &[Id, Inst] : It->second)
+      if (Inst->Filter->ok())
+        Ids.push_back(Id);
+  return Ids;
+}
+
+FilterInstance *
+OffloadService::instanceFor(const std::string &Key, MethodDecl *Worker,
+                            std::shared_ptr<const CompiledKernel> Kernel,
+                            unsigned WorkerId, const rt::OffloadConfig &Canon,
+                            std::string &Err) {
+  std::lock_guard<std::mutex> Lock(InstMu);
+  auto &PerWorker = Instances[Key];
+  auto It = PerWorker.find(WorkerId);
+  if (It != PerWorker.end()) {
+    if (!It->second->Filter->ok()) {
+      Err = It->second->Filter->error();
+      return nullptr;
+    }
+    return It->second.get();
+  }
+
+  auto Inst = std::make_unique<FilterInstance>();
+  Inst->Filter = std::make_unique<rt::OffloadedFilter>(
+      Prog, Types, Worker, Canon, nullptr, *Kernel);
+  // Keep the cached kernel alive as long as the instance references
+  // its plan-derived state (the filter holds its own copy, but the
+  // instance key embeds the cache pointer).
+  Inst->Kernel = std::move(Kernel);
+  if (!Inst->Filter->ok()) {
+    Err = Inst->Filter->error();
+    PerWorker[WorkerId] = std::move(Inst); // negative-cache the failure
+    return nullptr;
+  }
+
+  // Batch eligibility: a map kernel whose only non-output array is
+  // the map source. Then requests differ only in that one stream
+  // argument (mergeable() verifies the rest match bit-for-bit), and
+  // per-element independence makes a concatenated launch produce the
+  // same bits as separate launches.
+  const KernelPlan &Plan = Inst->Filter->kernel().Plan;
+  if (Plan.Kind == KernelKind::Map) {
+    const KernelArray *Src = Plan.mapSource();
+    size_t NonOutputArrays = 0;
+    for (const KernelArray &A : Plan.Arrays)
+      if (!A.IsOutput)
+        ++NonOutputArrays;
+    if (Src && Src->WorkerParam && NonOutputArrays == 1) {
+      const auto &Params = Worker->params();
+      for (size_t I = 0; I != Params.size(); ++I)
+        if (Params[I] == Src->WorkerParam)
+          Inst->SourceParam = static_cast<int>(I);
+    }
+  }
+
+  FilterInstance *Raw = Inst.get();
+  PerWorker[WorkerId] = std::move(Inst);
+  return Raw;
+}
+
+double OffloadService::execute(std::vector<PendingInvoke> &Batch, unsigned) {
+  FilterInstance *Inst = Batch.front().Instance;
+  rt::OffloadedFilter &F = *Inst->Filter;
+
+  auto TrapAll = [&](const std::string &Msg) {
+    for (PendingInvoke &B : Batch)
+      B.Promise.set_value(trapped(Msg));
+    Failed += Batch.size();
+  };
+
+  // Merge a multi-request batch into one launch: concatenate the
+  // stream arrays, remember the split points.
+  bool Merged = Batch.size() > 1;
+  int SP = Batch.front().SourceParam;
+  std::vector<RtValue> Args;
+  std::vector<size_t> Lens;
+  if (Merged) {
+    auto MergedArr = std::make_shared<RtArray>();
+    const std::shared_ptr<RtArray> &First = Batch.front().Args[SP].array();
+    MergedArr->ElementType = First->ElementType;
+    MergedArr->Immutable = true;
+    for (PendingInvoke &B : Batch) {
+      const std::vector<RtValue> &E = B.Args[SP].array()->Elems;
+      Lens.push_back(E.size());
+      MergedArr->Elems.insert(MergedArr->Elems.end(), E.begin(), E.end());
+    }
+    Args = Batch.front().Args;
+    Args[SP] = RtValue::makeArray(std::move(MergedArr));
+  } else {
+    Args = std::move(Batch.front().Args);
+  }
+
+  rt::OffloadStats Before = F.stats();
+
+  // First invocation builds the OpenCL program, and the
+  // constant-capacity fallback may recompile through GpuCompiler:
+  // serialize that against cache-miss compiles. Preparing with the
+  // *merged* arguments sizes the fallback check for what actually
+  // launches.
+  if (!F.prepared()) {
+    std::lock_guard<std::mutex> Lock(CompileMu);
+    std::string Err = F.prepare(Args);
+    if (!Err.empty()) {
+      TrapAll(Err);
+      return 0.0;
+    }
+  }
+
+  ExecResult R = F.invoke(Args);
+  rt::OffloadStats After = F.stats();
+  accumulate(Before, After);
+  double SimNs = After.totalNs() - Before.totalNs();
+
+  if (R.Trapped) {
+    TrapAll(R.TrapMessage);
+    return SimNs;
+  }
+  if (!Merged) {
+    Batch.front().Promise.set_value(std::move(R));
+    ++Completed;
+    return SimNs;
+  }
+
+  // Split the merged output back per request.
+  if (!R.Value.isArray()) {
+    TrapAll("offload service: merged launch produced a non-array result");
+    return SimNs;
+  }
+  const std::shared_ptr<RtArray> &Out = R.Value.array();
+  size_t Total = 0;
+  for (size_t L : Lens)
+    Total += L;
+  if (Out->Elems.size() != Total) {
+    TrapAll("offload service: merged output length mismatch");
+    return SimNs;
+  }
+  size_t Off = 0;
+  for (size_t I = 0; I != Batch.size(); ++I) {
+    auto Part = std::make_shared<RtArray>();
+    Part->ElementType = Out->ElementType;
+    Part->Immutable = Out->Immutable;
+    Part->Elems.assign(Out->Elems.begin() + Off,
+                       Out->Elems.begin() + Off + Lens[I]);
+    Off += Lens[I];
+    ExecResult RR;
+    RR.Value = RtValue::makeArray(std::move(Part));
+    Batch[I].Promise.set_value(std::move(RR));
+    ++Completed;
+  }
+  return SimNs;
+}
+
+void OffloadService::accumulate(const rt::OffloadStats &Before,
+                                const rt::OffloadStats &After) {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  DeviceStats.Marshal.JavaNs += After.Marshal.JavaNs - Before.Marshal.JavaNs;
+  DeviceStats.Marshal.NativeNs +=
+      After.Marshal.NativeNs - Before.Marshal.NativeNs;
+  DeviceStats.Marshal.Bytes += After.Marshal.Bytes - Before.Marshal.Bytes;
+  DeviceStats.ApiNs += After.ApiNs - Before.ApiNs;
+  DeviceStats.PcieNs += After.PcieNs - Before.PcieNs;
+  DeviceStats.KernelNs += After.KernelNs - Before.KernelNs;
+  DeviceStats.Invocations += After.Invocations - Before.Invocations;
+}
+
+void OffloadService::waitIdle() { Pool->waitIdle(); }
+
+OffloadServiceStats OffloadService::stats() const {
+  OffloadServiceStats S;
+  S.Submitted = Submitted.load();
+  S.Completed = Completed.load();
+  S.Failed = Failed.load();
+  S.Rejected = Rejected.load();
+  S.Cache = Cache.stats();
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    S.Device = DeviceStats;
+  }
+  S.Devices = Pool->stats();
+  return S;
+}

@@ -1,0 +1,195 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offload service: a shared, thread-safe front end to the
+/// simulated OpenCL stack. Many client threads submit OffloadRequests
+/// (filter + arguments + OffloadConfig); the service compiles each
+/// distinct (filter, canonical config, device) once through the
+/// content-addressed KernelCache, schedules work across a DevicePool
+/// of simulated devices, opportunistically merges same-filter map
+/// invocations into one NDRange launch, and hands back futures whose
+/// results are bit-identical to the direct rt::OffloadedFilter path.
+///
+/// Concurrency contract:
+///  - GpuCompiler runs under a single compile mutex (TypeContext
+///    canonicalization is not thread-safe);
+///  - each FilterInstance (compiled filter bound to one worker
+///    thread) owns a private ClContext and is only ever touched by
+///    its worker, so no device state is shared across threads;
+///  - marshalling (WireFormat) is stateless and runs concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_SERVICE_OFFLOADSERVICE_H
+#define LIMECC_SERVICE_OFFLOADSERVICE_H
+
+#include "runtime/Offload.h"
+#include "service/DevicePool.h"
+#include "service/KernelCache.h"
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lime::service {
+
+struct ServiceConfig {
+  /// Device model names to spawn workers for, one worker per entry
+  /// (repeat a name for a multi-queue device). Requests naming other
+  /// registered models get a worker lazily.
+  std::vector<std::string> Devices = {"gtx580"};
+  /// Bound on each worker's queue; submit() blocks when exceeded.
+  size_t QueueDepth = 256;
+  size_t CacheCapacity = 64;
+  /// Directory for cross-process kernel persistence ("" = off).
+  std::string DiskCacheDir;
+  /// Merge same-filter map invocations queued behind each other into
+  /// one launch.
+  bool EnableBatching = true;
+  unsigned MaxBatch = 8;
+};
+
+/// One request to run a filter on a device.
+struct OffloadRequest {
+  MethodDecl *Worker = nullptr;
+  std::vector<RtValue> Args; // worker parameter order, stream input first
+  rt::OffloadConfig Config;
+};
+
+/// Point-in-time snapshot of everything the service counts.
+struct OffloadServiceStats {
+  uint64_t Submitted = 0;
+  uint64_t Completed = 0; // fulfilled ok
+  uint64_t Failed = 0;    // fulfilled with a trap
+  uint64_t Rejected = 0;  // refused before scheduling (bad config/device)
+  KernelCacheStats Cache;
+  /// Figure-9 style per-stage decomposition summed over every launch.
+  rt::OffloadStats Device;
+  std::vector<DeviceStatsSnapshot> Devices;
+
+  uint64_t launches() const {
+    uint64_t N = 0;
+    for (const DeviceStatsSnapshot &D : Devices)
+      N += D.Launches;
+    return N;
+  }
+  uint64_t batchedRequests() const {
+    uint64_t N = 0;
+    for (const DeviceStatsSnapshot &D : Devices)
+      N += D.BatchedRequests;
+    return N;
+  }
+};
+
+class OffloadService {
+public:
+  OffloadService(Program *P, TypeContext &Types,
+                 ServiceConfig Config = ServiceConfig());
+  ~OffloadService();
+
+  OffloadService(const OffloadService &) = delete;
+  OffloadService &operator=(const OffloadService &) = delete;
+
+  /// Queues \p Request; the future traps (ExecResult::Trapped) on
+  /// invalid configs, unknown devices, or compilation failure, and
+  /// otherwise resolves to the same value the direct rt::Offload path
+  /// produces. Blocks only when the target device queue is full.
+  std::future<ExecResult> submit(OffloadRequest Request);
+
+  /// submit() + wait, for synchronous callers (the pipeline hook).
+  ExecResult invoke(OffloadRequest Request);
+
+  /// Whether \p Worker compiles for \p Config (consulting and warming
+  /// the kernel cache). On failure *Why receives the compiler's
+  /// reason.
+  bool offloadable(MethodDecl *Worker, const rt::OffloadConfig &Config,
+                   std::string *Why = nullptr);
+
+  /// Blocks until all queues are drained (quiesced callers only).
+  void waitIdle();
+
+  OffloadServiceStats stats() const;
+  KernelCache &cache() { return Cache; }
+
+private:
+  /// Instance-map key: kernel identity plus the launch/marshal knobs
+  /// the kernel key does not cover (worker id is the inner map key).
+  static std::string instanceKey(MethodDecl *Worker,
+                                 const CompiledKernel *Kernel,
+                                 const rt::OffloadConfig &Canon);
+  /// Workers that already built an instance for \p Key — scheduling
+  /// prefers them so a cache-warm request skips the per-worker
+  /// program build.
+  std::vector<unsigned> instanceWorkers(const std::string &Key);
+  /// Memoized type-annotated print of \p Worker's class for kernel
+  /// keys (pretty-printing per request would dominate the cache-hit
+  /// path). The AST is immutable after Sema; map nodes are
+  /// address-stable, so the returned reference outlives the lock.
+  const std::string &classTextFor(const MethodDecl *Worker);
+  FilterInstance *instanceFor(const std::string &Key, MethodDecl *Worker,
+                              std::shared_ptr<const CompiledKernel> Kernel,
+                              unsigned WorkerId, const rt::OffloadConfig &Canon,
+                              std::string &Err);
+  /// Runs on a device worker thread: merges, prepares (under the
+  /// compile mutex when first-invoke work is needed), launches, and
+  /// fulfils every promise. Returns simulated device ns consumed.
+  double execute(std::vector<PendingInvoke> &Batch, unsigned WorkerId);
+  void accumulate(const rt::OffloadStats &Before, const rt::OffloadStats &After);
+
+  Program *Prog;
+  TypeContext &Types;
+  ServiceConfig Config;
+
+  KernelCache Cache;
+  /// Serializes every code path that touches GpuCompiler / the shared
+  /// TypeContext: cache-miss compiles and first-invoke preparation
+  /// (whose constant-capacity fallback can recompile).
+  std::mutex CompileMu;
+
+  /// FilterInstances keyed by (kernel identity, execution config) and
+  /// then by worker id — each instance's ClContext is pinned to one
+  /// worker thread. Address-stable, created on demand, guarded by
+  /// InstMu.
+  std::mutex InstMu;
+  std::map<std::string, std::map<unsigned, std::unique_ptr<FilterInstance>>>
+      Instances;
+
+  std::mutex ClassTextMu;
+  std::map<const ClassDecl *, std::string> ClassTexts;
+
+  mutable std::mutex StatsMu;
+  rt::OffloadStats DeviceStats; // aggregated per-launch deltas
+  std::atomic<uint64_t> Submitted{0};
+  std::atomic<uint64_t> Completed{0};
+  std::atomic<uint64_t> Failed{0};
+  std::atomic<uint64_t> Rejected{0};
+
+  /// Destroyed first on teardown (drains onto still-valid members) —
+  /// keep last.
+  std::unique_ptr<DevicePool> Pool;
+};
+
+/// The concrete FilterInstance: a compiled filter pinned to one
+/// device worker. Public so the pool's PendingInvoke can point at it;
+/// only the service and the owning worker thread touch the contents.
+struct FilterInstance {
+  std::unique_ptr<rt::OffloadedFilter> Filter;
+  /// Pins the cache entry this instance was built from (the instance
+  /// key embeds its address).
+  std::shared_ptr<const CompiledKernel> Kernel;
+  /// Worker-parameter index of the map source when invocations of
+  /// this instance may merge; -1 otherwise.
+  int SourceParam = -1;
+};
+
+} // namespace lime::service
+
+#endif // LIMECC_SERVICE_OFFLOADSERVICE_H

@@ -28,10 +28,12 @@
 #include "lime/sema/Sema.h"
 #include "runtime/AutoTuner.h"
 #include "runtime/TaskGraph.h"
+#include "service/OffloadService.h"
 #include "support/Random.h"
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -58,7 +60,12 @@ int usage() {
       "            constant+v|texture|best>      (default: best)\n"
       "  --device <corei7|corei7x1|gtx8800|gtx580|hd5970>  (default "
       "gtx580)\n"
-      "  --offload           offload filters during --run\n");
+      "  --offload           offload filters during --run\n"
+      "  --service-threads N route --run offloads through the shared\n"
+      "                      offload service with N device workers\n"
+      "                      (implies --offload)\n"
+      "  --kernel-cache DIR  persist generated kernels in DIR across\n"
+      "                      limec runs (service mode only)\n");
   return 2;
 }
 
@@ -139,6 +146,8 @@ int main(int argc, char **argv) {
   std::string Device = "gtx580";
   MemoryConfig Config = MemoryConfig::best();
   bool Offload = false;
+  int ServiceThreads = 0;
+  std::string KernelCacheDir;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -169,6 +178,19 @@ int main(int argc, char **argv) {
       Device = D;
     } else if (Arg == "--offload") {
       Offload = true;
+    } else if (Arg == "--service-threads") {
+      const char *N = Next();
+      if (!N || std::atoi(N) <= 0) {
+        std::fprintf(stderr, "limec: --service-threads needs a count > 0\n");
+        return usage();
+      }
+      ServiceThreads = std::atoi(N);
+      Offload = true;
+    } else if (Arg == "--kernel-cache") {
+      const char *D = Next();
+      if (!D)
+        return usage();
+      KernelCacheDir = D;
     } else if (Arg[0] == '-') {
       std::fprintf(stderr, "limec: unknown option '%s'\n", Arg.c_str());
       return usage();
@@ -350,6 +372,29 @@ int main(int argc, char **argv) {
     PC.OffloadFilters = Offload;
     PC.Offload.DeviceName = Device;
     PC.Offload.Mem = Config;
+
+    std::unique_ptr<service::OffloadService> Service;
+    if (ServiceThreads > 0) {
+      service::ServiceConfig SC;
+      SC.Devices.assign(static_cast<size_t>(ServiceThreads), Device);
+      SC.DiskCacheDir = KernelCacheDir;
+      Service = std::make_unique<service::OffloadService>(Prog, Ctx.types(), SC);
+      PC.ServiceInvoke = [&](MethodDecl *Worker,
+                             const std::vector<RtValue> &Args,
+                             ExecResult &Out) {
+        std::string Why;
+        rt::OffloadConfig OC = PC.Offload;
+        if (!Service->offloadable(Worker, OC, &Why))
+          return false;
+        service::OffloadRequest Req;
+        Req.Worker = Worker;
+        Req.Args = Args;
+        Req.Config = OC;
+        Out = Service->invoke(std::move(Req));
+        return true;
+      };
+    }
+
     rt::TaskGraphRuntime RT(I, PC);
     ExecResult R = I.callStatic(Cls, Method, {});
     if (!R.ok()) {
@@ -359,13 +404,43 @@ int main(int argc, char **argv) {
     std::printf("ran %s: simulated host time %.3f ms\n", Target.c_str(),
                 I.simTimeNs() / 1e6);
     for (const rt::NodeStats &N : RT.nodeStats()) {
-      if (N.Offloaded)
+      if (N.Offloaded && ServiceThreads > 0)
+        std::printf("  %-26s device (via offload service)\n", N.Name.c_str());
+      else if (N.Offloaded)
         std::printf("  %-26s device: kernel %.3f ms, comm %.3f ms\n",
                     N.Name.c_str(), N.Device.KernelNs / 1e6,
                     N.Device.commNs() / 1e6);
       else
         std::printf("  %-26s host:   %.3f ms\n", N.Name.c_str(),
                     N.HostNs / 1e6);
+    }
+    if (Service) {
+      Service->waitIdle();
+      service::OffloadServiceStats S = Service->stats();
+      std::printf("offload service: %llu submitted, %llu completed, "
+                  "%llu launches (%llu batched)\n",
+                  static_cast<unsigned long long>(S.Submitted),
+                  static_cast<unsigned long long>(S.Completed),
+                  static_cast<unsigned long long>(S.launches()),
+                  static_cast<unsigned long long>(S.batchedRequests()));
+      std::printf("  kernel cache: %llu hits / %llu misses (%.0f%% hit "
+                  "rate), %llu disk hits, %zu entries\n",
+                  static_cast<unsigned long long>(S.Cache.Hits),
+                  static_cast<unsigned long long>(S.Cache.Misses),
+                  100.0 * S.Cache.hitRate(),
+                  static_cast<unsigned long long>(S.Cache.DiskHits),
+                  S.Cache.Entries);
+      std::printf("  device time: kernel %.3f ms, comm %.3f ms over %llu "
+                  "launches\n",
+                  S.Device.KernelNs / 1e6, S.Device.commNs() / 1e6,
+                  static_cast<unsigned long long>(S.Device.Invocations));
+      for (const service::DeviceStatsSnapshot &D : S.Devices)
+        std::printf("  worker %u (%s): %llu requests, %llu launches, "
+                    "high-water %zu\n",
+                    D.Id, D.DeviceName.c_str(),
+                    static_cast<unsigned long long>(D.Executed),
+                    static_cast<unsigned long long>(D.Launches),
+                    D.QueueHighWater);
     }
     if (!R.Value.isUnit())
       std::printf("result: %s\n", R.Value.str().c_str());

@@ -48,7 +48,8 @@ Session openSession(const Workload &W, double Scale) {
 } // namespace
 
 RunOutcome wl::runWorkload(const Workload &W, RunMode Mode, double Scale,
-                           const OffloadConfig &Offload) {
+                           const OffloadConfig &Offload,
+                           const ServiceHookFactory &ServiceFactory) {
   RunOutcome Out;
   Session S = openSession(W, Scale);
   if (!S.ok()) {
@@ -65,6 +66,8 @@ RunOutcome wl::runWorkload(const Workload &W, RunMode Mode, double Scale,
   PipelineConfig PC;
   PC.OffloadFilters = Mode == RunMode::Offloaded;
   PC.Offload = Offload;
+  if (PC.OffloadFilters && ServiceFactory)
+    PC.ServiceInvoke = ServiceFactory(S.Prog, S.Ctx->types());
   TaskGraphRuntime RT(I, PC);
 
   ExecResult R = I.callStatic(W.ClassName, W.RunMethod, {});

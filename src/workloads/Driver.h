@@ -50,10 +50,20 @@ struct RunOutcome {
   bool ok() const { return Error.empty(); }
 };
 
+/// Lets a caller route offloaded filters through a shared offload
+/// service: invoked once per session with the freshly compiled
+/// program, it returns the hook to install in the pipeline (capture
+/// the service — and its ownership — inside the returned function).
+/// Returning a null hook keeps the direct per-pipeline path.
+using ServiceHookFactory =
+    std::function<rt::ServiceInvokeFn(Program *P, TypeContext &Types)>;
+
 /// Runs \p W at input \p Scale in \p Mode. \p Offload configures the
-/// device path (ignored for the bytecode modes).
+/// device path (ignored for the bytecode modes). \p ServiceFactory,
+/// when non-null, supplies a ServiceInvokeFn for Offloaded runs.
 RunOutcome runWorkload(const Workload &W, RunMode Mode, double Scale,
-                       const rt::OffloadConfig &Offload = rt::OffloadConfig());
+                       const rt::OffloadConfig &Offload = rt::OffloadConfig(),
+                       const ServiceHookFactory &ServiceFactory = {});
 
 /// Runs the hand-tuned comparator for \p W on \p Device at the same
 /// scale, returning kernel-only time and the result (for §5.2-style

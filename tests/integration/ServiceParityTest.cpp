@@ -1,0 +1,98 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The acceptance bar for the offload service: every workload variant
+/// run through the service (pipeline -> ServiceInvoke hook ->
+/// OffloadService) produces a result bit-identical to the direct
+/// rt::Offload path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/OffloadService.h"
+#include "workloads/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace lime;
+using namespace lime::wl;
+
+namespace {
+
+double testScale(const std::string &Id) {
+  if (Id == "nbody_sp" || Id == "nbody_dp")
+    return 0.06;
+  if (Id == "mosaic")
+    return 0.10;
+  if (Id == "cp")
+    return 0.02;
+  if (Id == "rpes")
+    return 0.004;
+  if (Id == "mriq")
+    return 0.01;
+  if (Id == "crypt")
+    return 0.008;
+  return 0.01;
+}
+
+class ServiceParityTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ServiceParityTest, ServiceMatchesDirectOffload) {
+  const Workload &W = workloadById(GetParam());
+  double Scale = testScale(W.Id);
+  rt::OffloadConfig OC;
+
+  RunOutcome Direct = runWorkload(W, RunMode::Offloaded, Scale, OC);
+  ASSERT_TRUE(Direct.ok()) << Direct.Error;
+
+  std::shared_ptr<service::OffloadService> Keep;
+  ServiceHookFactory Factory = [&](Program *P, TypeContext &Types) {
+    service::ServiceConfig SC;
+    SC.Devices = {OC.DeviceName, OC.DeviceName};
+    auto Svc = std::make_shared<service::OffloadService>(P, Types, SC);
+    Keep = Svc;
+    return [Svc, OC](MethodDecl *Worker, const std::vector<RtValue> &Args,
+                     ExecResult &Out) {
+      if (!Svc->offloadable(Worker, OC))
+        return false;
+      service::OffloadRequest R;
+      R.Worker = Worker;
+      R.Args = Args;
+      R.Config = OC;
+      Out = Svc->invoke(std::move(R));
+      return true;
+    };
+  };
+
+  RunOutcome Via = runWorkload(W, RunMode::Offloaded, Scale, OC, Factory);
+  ASSERT_TRUE(Via.ok()) << Via.Error;
+
+  // Bit-identical, not merely close: the service runs the same
+  // kernels through the same VM.
+  EXPECT_TRUE(Direct.Result.equals(Via.Result))
+      << W.Id << ": direct=" << Direct.Result.str()
+      << " via-service=" << Via.Result.str();
+
+  ASSERT_NE(Keep, nullptr) << "service factory was never consulted";
+  service::OffloadServiceStats S = Keep->stats();
+  EXPECT_GT(S.Submitted, 0u) << "no filter ran through the service";
+  EXPECT_EQ(S.Failed, 0u);
+  EXPECT_EQ(S.Rejected, 0u);
+}
+
+std::vector<std::string> allWorkloadIds() {
+  std::vector<std::string> Ids;
+  for (const Workload &W : workloadRegistry())
+    Ids.push_back(W.Id);
+  return Ids;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ServiceParityTest,
+                         ::testing::ValuesIn(allWorkloadIds()),
+                         [](const auto &Info) { return Info.param; });
+
+} // namespace

@@ -1,0 +1,126 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OffloadConfig validation: the launch-geometry invariants are
+/// checked at offload construction, each violation produces a
+/// Diagnostics error, and valid configs pass through untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "runtime/Offload.h"
+
+using namespace lime;
+using namespace lime::rt;
+using namespace lime::test;
+
+namespace {
+
+const char *FilterSource = R"(
+  class C {
+    static local float sq(float x) { return x * x; }
+    static local float[[]] squares(float[[]] xs) { return sq @ xs; }
+  }
+)";
+
+TEST(OffloadConfigValidation, RejectsZeroLocalSize) {
+  OffloadConfig OC;
+  OC.LocalSize = 0;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(validateOffloadConfig(OC, Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.dump().find("LocalSize must be > 0"), std::string::npos)
+      << Diags.dump();
+}
+
+TEST(OffloadConfigValidation, RejectsNonPowerOfTwoLocalSize) {
+  for (unsigned Bad : {3u, 48u, 100u, 129u}) {
+    OffloadConfig OC;
+    OC.LocalSize = Bad;
+    DiagnosticEngine Diags;
+    EXPECT_FALSE(validateOffloadConfig(OC, Diags)) << Bad;
+    EXPECT_NE(Diags.dump().find("power of two"), std::string::npos)
+        << Diags.dump();
+  }
+}
+
+TEST(OffloadConfigValidation, RejectsZeroMaxGroups) {
+  OffloadConfig OC;
+  OC.MaxGroups = 0;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(validateOffloadConfig(OC, Diags));
+  EXPECT_NE(Diags.dump().find("MaxGroups must be > 0"), std::string::npos)
+      << Diags.dump();
+}
+
+TEST(OffloadConfigValidation, AcceptsEveryPowerOfTwoLocalSize) {
+  for (unsigned Good : {1u, 16u, 32u, 64u, 128u, 256u, 1024u}) {
+    OffloadConfig OC;
+    OC.LocalSize = Good;
+    DiagnosticEngine Diags;
+    EXPECT_TRUE(validateOffloadConfig(OC, Diags)) << Good << Diags.dump();
+    EXPECT_TRUE(validateOffloadConfig(OC).empty());
+  }
+}
+
+TEST(OffloadConfigValidation, StringFormReportsEveryProblem) {
+  OffloadConfig OC;
+  OC.LocalSize = 0;
+  OC.MaxGroups = 0;
+  std::string Err = validateOffloadConfig(OC);
+  EXPECT_NE(Err.find("LocalSize"), std::string::npos);
+  EXPECT_NE(Err.find("MaxGroups"), std::string::npos); // both reported
+}
+
+TEST(OffloadConfigValidation, FilterConstructionRejectsBadConfigs) {
+  CompiledProgram CP = compileLime(FilterSource);
+  ASSERT_COMPILES(CP);
+  MethodDecl *W = CP.Prog->findClass("C")->findMethod("squares");
+  ASSERT_NE(W, nullptr);
+
+  OffloadConfig Zero;
+  Zero.LocalSize = 0;
+  OffloadedFilter F1(CP.Prog, CP.Ctx->types(), W, Zero);
+  EXPECT_FALSE(F1.ok());
+  EXPECT_NE(F1.error().find("LocalSize"), std::string::npos);
+
+  OffloadConfig NonPow2;
+  NonPow2.LocalSize = 48;
+  OffloadedFilter F2(CP.Prog, CP.Ctx->types(), W, NonPow2);
+  EXPECT_FALSE(F2.ok());
+  EXPECT_NE(F2.error().find("power of two"), std::string::npos);
+
+  OffloadConfig NoGroups;
+  NoGroups.MaxGroups = 0;
+  OffloadedFilter F3(CP.Prog, CP.Ctx->types(), W, NoGroups);
+  EXPECT_FALSE(F3.ok());
+  EXPECT_NE(F3.error().find("MaxGroups"), std::string::npos);
+
+  // An invalid filter refuses to run rather than crashing.
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = CP.Ctx->types().floatType();
+  Arr->Immutable = true;
+  Arr->Elems.push_back(RtValue::makeFloat(1.0f));
+  ExecResult R = F1.invoke({RtValue::makeArray(std::move(Arr))});
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(OffloadConfigValidation, CanonicalConfigClampsTileBudget) {
+  OffloadConfig OC;
+  OC.DeviceName = "gtx8800"; // 16KB scratchpad -> 8KB budget
+  OC.Mem.LocalTileBudgetBytes = 1 << 20;
+  OffloadConfig Canon = canonicalOffloadConfig(OC);
+  EXPECT_LE(Canon.Mem.LocalTileBudgetBytes, 16u * 1024);
+  EXPECT_GT(Canon.Mem.LocalTileBudgetBytes, 0u);
+  // Canonicalization is idempotent (cache keys rely on this).
+  OffloadConfig Twice = canonicalOffloadConfig(Canon);
+  EXPECT_EQ(Canon.Mem.LocalTileBudgetBytes, Twice.Mem.LocalTileBudgetBytes);
+}
+
+} // namespace

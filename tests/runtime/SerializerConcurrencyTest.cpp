@@ -1,0 +1,137 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property test for the wire format under concurrency: the generic
+/// and specialized marshalers must produce identical byte streams for
+/// nested bounded value arrays, and both must round-trip, when many
+/// threads marshal simultaneously (the offload service serializes on
+/// device worker threads while clients keep submitting).
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Serializer.h"
+
+#include "lime/ast/AST.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace lime;
+using namespace lime::rt;
+
+namespace {
+
+/// Random nested bounded value array: float[[][K]] or int[[][K]]
+/// (rows of K scalars), or a flat scalar array when K == 0.
+RtValue randomNested(TypeContext &Types, const PrimitiveType *Elem,
+                     unsigned K, size_t Rows, SplitMix64 &Rng) {
+  auto MakeScalar = [&] {
+    if (Elem == Types.intType())
+      return RtValue::makeInt(static_cast<int32_t>(Rng.nextBelow(1u << 24)) -
+                              (1 << 23));
+    return RtValue::makeFloat(Rng.nextFloat(-8.0f, 8.0f));
+  };
+  auto Arr = std::make_shared<RtArray>();
+  Arr->Immutable = true;
+  if (K == 0) {
+    Arr->ElementType = Elem;
+    for (size_t I = 0; I != Rows; ++I)
+      Arr->Elems.push_back(MakeScalar());
+    return RtValue::makeArray(std::move(Arr));
+  }
+  const ArrayType *RowTy =
+      Types.getArrayType(Elem, /*IsValueArray=*/true, K);
+  Arr->ElementType = RowTy;
+  for (size_t I = 0; I != Rows; ++I) {
+    auto Row = std::make_shared<RtArray>();
+    Row->ElementType = Elem;
+    Row->Immutable = true;
+    for (unsigned C = 0; C != K; ++C)
+      Row->Elems.push_back(MakeScalar());
+    Arr->Elems.push_back(RtValue::makeArray(std::move(Row)));
+  }
+  return RtValue::makeArray(std::move(Arr));
+}
+
+TEST(SerializerConcurrency, MarshalersAgreeAcrossThreads) {
+  // Values and their types are built single-threaded: constructing
+  // array types canonicalizes through the (non-thread-safe)
+  // TypeContext. The threads below only read.
+  ASTContext Ctx;
+  TypeContext &Types = Ctx.types();
+  SplitMix64 Rng(0x5EAF00D);
+
+  struct Case {
+    RtValue Value;
+    const Type *WireType;
+  };
+  std::vector<Case> Cases;
+  for (unsigned K : {0u, 3u, 4u, 7u}) {
+    for (const PrimitiveType *Elem :
+         {Types.floatType(), Types.intType()}) {
+      for (size_t Rows : {1u, 17u, 256u}) {
+        RtValue V = randomNested(Types, Elem, K, Rows, Rng);
+        const Type *T = Types.getArrayType(
+            K == 0 ? static_cast<const Type *>(Elem)
+                   : Types.getArrayType(Elem, /*IsValueArray=*/true, K),
+            /*IsValueArray=*/true, 0);
+        Cases.push_back({V, T});
+      }
+    }
+  }
+
+  constexpr int Threads = 8;
+  constexpr int Iters = 40;
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Pool;
+  for (int T = 0; T != Threads; ++T) {
+    Pool.emplace_back([&, T] {
+      WireFormat Generic(/*UseSpecialized=*/false);
+      WireFormat Specialized(/*UseSpecialized=*/true);
+      for (int I = 0; I != Iters; ++I) {
+        const Case &C = Cases[(T * 13 + I * 7) % Cases.size()];
+        MarshalCost CostG, CostS;
+        std::vector<uint8_t> BytesG = Generic.serialize(C.Value, CostG);
+        std::vector<uint8_t> BytesS = Specialized.serialize(C.Value, CostS);
+        if (BytesG != BytesS) {
+          ++Failures;
+          continue;
+        }
+        // Round-trip through each marshaler reproduces the value.
+        MarshalCost CostD;
+        RtValue BackG = Generic.deserialize(BytesG, C.WireType, CostD);
+        RtValue BackS = Specialized.deserialize(BytesS, C.WireType, CostD);
+        if (!BackG.equals(C.Value) || !BackS.equals(C.Value))
+          ++Failures;
+      }
+    });
+  }
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+}
+
+TEST(SerializerConcurrency, SpecializedCostIsCheaperForSameBytes) {
+  ASTContext Ctx;
+  TypeContext &Types = Ctx.types();
+  SplitMix64 Rng(0xBEEF);
+  RtValue V = randomNested(Types, Types.floatType(), 4, 512, Rng);
+
+  WireFormat Generic(false), Specialized(true);
+  MarshalCost CostG, CostS;
+  std::vector<uint8_t> BytesG = Generic.serialize(V, CostG);
+  std::vector<uint8_t> BytesS = Specialized.serialize(V, CostS);
+  EXPECT_EQ(BytesG, BytesS);
+  EXPECT_EQ(CostG.Bytes, CostS.Bytes);
+  EXPECT_GT(CostG.JavaNs, CostS.JavaNs); // differ only in cost
+}
+
+} // namespace

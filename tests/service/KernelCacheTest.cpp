@@ -1,0 +1,166 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// KernelCache mechanics: content addressing, LRU eviction, counters,
+/// negative caching, and the on-disk persistence layer that carries
+/// generated kernels across process runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "service/KernelCache.h"
+
+#include <filesystem>
+#include <unistd.h>
+
+using namespace lime;
+using namespace lime::service;
+using namespace lime::test;
+
+namespace {
+
+KernelKey key(const std::string &Canonical) {
+  KernelKey K;
+  K.Canonical = Canonical;
+  K.Hash = fnv1a(Canonical);
+  return K;
+}
+
+CompiledKernel okKernel(const std::string &Source) {
+  CompiledKernel K;
+  K.Ok = true;
+  K.Source = Source;
+  return K;
+}
+
+std::string freshTempDir(const std::string &Tag) {
+  auto Dir = std::filesystem::temp_directory_path() /
+             ("limecc-cache-test-" + Tag + "-" +
+              std::to_string(::getpid()));
+  std::filesystem::remove_all(Dir);
+  return Dir.string();
+}
+
+TEST(KernelCache, HitsAndSharedEntries) {
+  KernelCache Cache(4);
+  int Compiles = 0;
+  auto Compile = [&] {
+    ++Compiles;
+    return okKernel("__kernel void k() {}");
+  };
+
+  auto A1 = Cache.getOrCompile(key("a"), Compile);
+  auto A2 = Cache.getOrCompile(key("a"), Compile);
+  EXPECT_EQ(Compiles, 1);
+  EXPECT_EQ(A1.get(), A2.get()); // one shared compiled object
+
+  KernelCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_DOUBLE_EQ(S.hitRate(), 0.5);
+}
+
+TEST(KernelCache, LruEviction) {
+  KernelCache Cache(2);
+  int Compiles = 0;
+  auto Compile = [&] {
+    ++Compiles;
+    return okKernel("src");
+  };
+
+  Cache.getOrCompile(key("a"), Compile);
+  Cache.getOrCompile(key("b"), Compile);
+  Cache.getOrCompile(key("a"), Compile); // touch a; b is now LRU
+  Cache.getOrCompile(key("c"), Compile); // evicts b
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+  EXPECT_EQ(Cache.stats().Entries, 2u);
+
+  Cache.getOrCompile(key("a"), Compile); // still resident
+  EXPECT_EQ(Compiles, 3);
+  Cache.getOrCompile(key("b"), Compile); // evicted: compiles again
+  EXPECT_EQ(Compiles, 4);
+}
+
+TEST(KernelCache, NegativeCachingOfFailedCompiles) {
+  KernelCache Cache(4);
+  int Compiles = 0;
+  auto Fail = [&] {
+    ++Compiles;
+    CompiledKernel K;
+    K.Error = "not offloadable";
+    return K;
+  };
+  auto K1 = Cache.getOrCompile(key("bad"), Fail);
+  auto K2 = Cache.getOrCompile(key("bad"), Fail);
+  EXPECT_EQ(Compiles, 1); // the failure is cached too
+  EXPECT_FALSE(K1->Ok);
+  EXPECT_EQ(K1.get(), K2.get());
+}
+
+TEST(KernelCache, DiskPersistenceAcrossCaches) {
+  std::string Dir = freshTempDir("persist");
+
+  {
+    KernelCache First(4);
+    First.setDiskDir(Dir);
+    First.getOrCompile(key("k1"), [] { return okKernel("__kernel A"); });
+    EXPECT_EQ(First.stats().DiskHits, 0u);
+    EXPECT_FALSE(First.diskLookup(key("k1")).empty());
+  }
+
+  // A second cache (a later process) compiling the same key to the
+  // same source finds its predecessor's file.
+  KernelCache Second(4);
+  Second.setDiskDir(Dir);
+  auto K = Second.getOrCompile(key("k1"), [] { return okKernel("__kernel A"); });
+  EXPECT_TRUE(K->Ok);
+  EXPECT_EQ(Second.stats().DiskHits, 1u);
+  EXPECT_EQ(Second.diskLookup(key("k1")), "__kernel A");
+
+  // Failed compiles are never persisted.
+  Second.getOrCompile(key("k2"), [] {
+    CompiledKernel K;
+    K.Error = "no";
+    return K;
+  });
+  EXPECT_TRUE(Second.diskLookup(key("k2")).empty());
+
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(KernelCache, KeyDependsOnConfigAndDevice) {
+  CompiledProgram CP = compileLime(R"(
+    class K {
+      static local float sq(float x) { return x * x; }
+      static local float[[]] squares(float[[]] xs) { return sq @ xs; }
+    }
+  )");
+  ASSERT_COMPILES(CP);
+  MethodDecl *W = CP.Prog->findClass("K")->findMethod("squares");
+  ASSERT_NE(W, nullptr);
+
+  rt::OffloadConfig Base;
+  KernelKey K1 = KernelKey::make(W, rt::canonicalOffloadConfig(Base));
+  KernelKey K1Again = KernelKey::make(W, rt::canonicalOffloadConfig(Base));
+  EXPECT_EQ(K1.Hash, K1Again.Hash);
+  EXPECT_EQ(K1.Canonical, K1Again.Canonical);
+
+  rt::OffloadConfig OtherMem = Base;
+  OtherMem.Mem = MemoryConfig::global();
+  EXPECT_NE(K1.Canonical,
+            KernelKey::make(W, rt::canonicalOffloadConfig(OtherMem)).Canonical);
+
+  rt::OffloadConfig OtherDev = Base;
+  OtherDev.DeviceName = "gtx8800";
+  EXPECT_NE(K1.Canonical,
+            KernelKey::make(W, rt::canonicalOffloadConfig(OtherDev)).Canonical);
+}
+
+} // namespace

@@ -1,0 +1,347 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OffloadService behavior: results bit-identical to the direct
+/// rt::OffloadedFilter path (single-threaded, multi-client, and
+/// batched-launch), request validation and rejection accounting, and
+/// the stats snapshot.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "runtime/Offload.h"
+#include "service/OffloadService.h"
+
+#include <thread>
+
+using namespace lime;
+using namespace lime::service;
+using namespace lime::test;
+
+namespace {
+
+const char *SvcSource = R"(
+  class Svc {
+    static local float sq(float x) { return x * x; }
+    static local float[[]] squares(float[[]] xs) { return sq @ xs; }
+
+    static local float axpb(float x, float a, float b) { return a * x + b; }
+    static local float[[]] saxpy(float[[]] xs, float a, float b) {
+      return axpb(a, b) @ xs;
+    }
+
+    static local float total(float[[]] xs) { return + ! xs; }
+
+    static int notAKernel(int x) {
+      while (x > 0) x -= 2;
+      return x;
+    }
+  }
+)";
+
+RtValue makeFloatArray(TypeContext &Types, size_t N, float Seed) {
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = Types.floatType();
+  Arr->Immutable = true;
+  for (size_t I = 0; I != N; ++I)
+    Arr->Elems.push_back(
+        RtValue::makeFloat(Seed + 0.375f * static_cast<float>(I % 97)));
+  return RtValue::makeArray(std::move(Arr));
+}
+
+struct SvcFixture {
+  CompiledProgram CP;
+  MethodDecl *Squares = nullptr;
+  MethodDecl *Saxpy = nullptr;
+  MethodDecl *Total = nullptr;
+  MethodDecl *NotAKernel = nullptr;
+
+  SvcFixture() : CP(compileLime(SvcSource)) {
+    if (!CP.Ok)
+      return;
+    ClassDecl *C = CP.Prog->findClass("Svc");
+    Squares = C->findMethod("squares");
+    Saxpy = C->findMethod("saxpy");
+    Total = C->findMethod("total");
+    NotAKernel = C->findMethod("notAKernel");
+  }
+  TypeContext &types() { return CP.Ctx->types(); }
+};
+
+OffloadRequest makeRequest(MethodDecl *W, std::vector<RtValue> Args,
+                           const rt::OffloadConfig &OC = rt::OffloadConfig()) {
+  OffloadRequest R;
+  R.Worker = W;
+  R.Args = std::move(Args);
+  R.Config = OC;
+  return R;
+}
+
+TEST(OffloadService, BitIdenticalToDirectPath) {
+  SvcFixture F;
+  ASSERT_COMPILES(F.CP);
+  rt::OffloadConfig OC;
+
+  RtValue X = makeFloatArray(F.types(), 300, 1.5f);
+  rt::OffloadedFilter Direct(F.CP.Prog, F.types(), F.Squares, OC);
+  ASSERT_TRUE(Direct.ok()) << Direct.error();
+  ExecResult DR = Direct.invoke({X});
+  ASSERT_TRUE(DR.ok()) << DR.TrapMessage;
+
+  OffloadService Svc(F.CP.Prog, F.types());
+  ExecResult SR = Svc.invoke(makeRequest(F.Squares, {X}, OC));
+  ASSERT_TRUE(SR.ok()) << SR.TrapMessage;
+  EXPECT_TRUE(DR.Value.equals(SR.Value)); // bit-for-bit
+
+  // Reduce kernels (host-side final combine) too.
+  rt::OffloadedFilter DirectTotal(F.CP.Prog, F.types(), F.Total, OC);
+  ASSERT_TRUE(DirectTotal.ok()) << DirectTotal.error();
+  ExecResult DT = DirectTotal.invoke({X});
+  ExecResult ST = Svc.invoke(makeRequest(F.Total, {X}, OC));
+  ASSERT_TRUE(DT.ok() && ST.ok()) << DT.TrapMessage << ST.TrapMessage;
+  EXPECT_TRUE(DT.Value.equals(ST.Value));
+
+  // Futures resolve before the worker finishes its bookkeeping;
+  // quiesce before snapshotting.
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Submitted, 2u);
+  EXPECT_EQ(S.Completed, 2u);
+  EXPECT_EQ(S.Failed, 0u);
+  EXPECT_GT(S.Device.Invocations, 0u);
+  EXPECT_GT(S.Device.KernelNs, 0.0);
+}
+
+TEST(OffloadService, ConcurrentClientsMatchDirectPath) {
+  SvcFixture F;
+  ASSERT_COMPILES(F.CP);
+  rt::OffloadConfig OC;
+
+  // Distinct inputs per (client, iteration); expected values come
+  // from the direct path, computed up front (single-threaded: the
+  // direct path touches the shared TypeContext).
+  constexpr int Clients = 4;
+  constexpr int PerClient = 24;
+  std::vector<std::vector<RtValue>> Inputs(Clients);
+  std::vector<std::vector<RtValue>> Expected(Clients);
+  rt::OffloadedFilter DSquares(F.CP.Prog, F.types(), F.Squares, OC);
+  rt::OffloadedFilter DSaxpy(F.CP.Prog, F.types(), F.Saxpy, OC);
+  ASSERT_TRUE(DSquares.ok() && DSaxpy.ok());
+  for (int C = 0; C != Clients; ++C) {
+    for (int I = 0; I != PerClient; ++I) {
+      RtValue X =
+          makeFloatArray(F.types(), 64 + 13 * I, 0.25f * (C + 1) + I);
+      Inputs[C].push_back(X);
+      ExecResult E = (I % 2 == 0)
+                         ? DSquares.invoke({X})
+                         : DSaxpy.invoke({X, RtValue::makeFloat(2.0f),
+                                          RtValue::makeFloat(0.5f)});
+      ASSERT_TRUE(E.ok()) << E.TrapMessage;
+      Expected[C].push_back(E.Value);
+    }
+  }
+
+  ServiceConfig SC;
+  SC.Devices = {"gtx580", "gtx580"};
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+
+  std::vector<std::thread> Threads;
+  std::vector<int> Mismatches(Clients, 0);
+  std::vector<std::string> Traps(Clients);
+  for (int C = 0; C != Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      std::vector<std::future<ExecResult>> Futures;
+      for (int I = 0; I != PerClient; ++I) {
+        const RtValue &X = Inputs[C][I];
+        OffloadRequest R =
+            (I % 2 == 0)
+                ? makeRequest(F.Squares, {X}, OC)
+                : makeRequest(F.Saxpy,
+                              {X, RtValue::makeFloat(2.0f),
+                               RtValue::makeFloat(0.5f)},
+                              OC);
+        Futures.push_back(Svc.submit(std::move(R)));
+      }
+      for (int I = 0; I != PerClient; ++I) {
+        ExecResult R = Futures[I].get();
+        if (R.Trapped)
+          Traps[C] = R.TrapMessage;
+        else if (!R.Value.equals(Expected[C][I]))
+          ++Mismatches[C];
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (int C = 0; C != Clients; ++C) {
+    EXPECT_TRUE(Traps[C].empty()) << "client " << C << ": " << Traps[C];
+    EXPECT_EQ(Mismatches[C], 0) << "client " << C;
+  }
+
+  // Futures resolve before the workers finish their bookkeeping;
+  // quiesce before snapshotting.
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Submitted, static_cast<uint64_t>(Clients * PerClient));
+  EXPECT_EQ(S.Completed + S.Failed, S.Submitted);
+  EXPECT_EQ(S.Failed, 0u);
+  // Only two distinct (filter, config) pairs were ever compiled.
+  EXPECT_EQ(S.Cache.Misses, 2u);
+  EXPECT_GT(S.Cache.hitRate(), 0.9);
+  EXPECT_EQ(S.Devices.size(), 2u);
+  uint64_t Executed = 0;
+  for (const DeviceStatsSnapshot &D : S.Devices)
+    Executed += D.Executed;
+  EXPECT_EQ(Executed, S.Completed);
+}
+
+TEST(OffloadService, BatchesSameFilterRequestsIntoOneLaunch) {
+  SvcFixture F;
+  ASSERT_COMPILES(F.CP);
+  rt::OffloadConfig OC;
+
+  rt::OffloadedFilter Direct(F.CP.Prog, F.types(), F.Saxpy, OC);
+  ASSERT_TRUE(Direct.ok());
+
+  ServiceConfig SC;
+  SC.Devices = {"gtx580"}; // one worker: queued requests pile up
+  SC.MaxBatch = 8;
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+
+  // A large first request occupies the worker while the small ones
+  // queue behind it and become batchable.
+  std::vector<RtValue> Inputs;
+  Inputs.push_back(makeFloatArray(F.types(), 60000, 0.125f));
+  for (int I = 1; I != 16; ++I)
+    Inputs.push_back(makeFloatArray(F.types(), 32 + I, 0.5f * I));
+
+  RtValue A = RtValue::makeFloat(3.0f);
+  RtValue B = RtValue::makeFloat(-1.0f);
+  std::vector<std::future<ExecResult>> Futures;
+  for (const RtValue &X : Inputs)
+    Futures.push_back(Svc.submit(makeRequest(F.Saxpy, {X, A, B}, OC)));
+
+  for (size_t I = 0; I != Inputs.size(); ++I) {
+    ExecResult R = Futures[I].get();
+    ASSERT_TRUE(R.ok()) << "request " << I << ": " << R.TrapMessage;
+    ExecResult E = Direct.invoke({Inputs[I], A, B});
+    ASSERT_TRUE(E.ok());
+    EXPECT_TRUE(R.Value.equals(E.Value)) << "request " << I;
+  }
+
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Completed, Inputs.size());
+  // The 15 queued requests merged into fewer launches.
+  EXPECT_GT(S.batchedRequests(), 0u);
+  EXPECT_LT(S.launches(), Inputs.size());
+}
+
+TEST(OffloadService, RejectsInvalidConfigsAndUnknownDevices) {
+  SvcFixture F;
+  ASSERT_COMPILES(F.CP);
+  OffloadService Svc(F.CP.Prog, F.types());
+  RtValue X = makeFloatArray(F.types(), 16, 1.0f);
+
+  rt::OffloadConfig ZeroLocal;
+  ZeroLocal.LocalSize = 0;
+  ExecResult R1 = Svc.invoke(makeRequest(F.Squares, {X}, ZeroLocal));
+  EXPECT_TRUE(R1.Trapped);
+  EXPECT_NE(R1.TrapMessage.find("LocalSize"), std::string::npos);
+
+  rt::OffloadConfig NonPow2;
+  NonPow2.LocalSize = 48;
+  ExecResult R2 = Svc.invoke(makeRequest(F.Squares, {X}, NonPow2));
+  EXPECT_TRUE(R2.Trapped);
+  EXPECT_NE(R2.TrapMessage.find("power of two"), std::string::npos);
+
+  rt::OffloadConfig ZeroGroups;
+  ZeroGroups.MaxGroups = 0;
+  ExecResult R3 = Svc.invoke(makeRequest(F.Squares, {X}, ZeroGroups));
+  EXPECT_TRUE(R3.Trapped);
+  EXPECT_NE(R3.TrapMessage.find("MaxGroups"), std::string::npos);
+
+  rt::OffloadConfig BadDevice;
+  BadDevice.DeviceName = "gtx9999";
+  ExecResult R4 = Svc.invoke(makeRequest(F.Squares, {X}, BadDevice));
+  EXPECT_TRUE(R4.Trapped);
+  EXPECT_NE(R4.TrapMessage.find("unknown device"), std::string::npos);
+
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Rejected, 4u);
+  EXPECT_EQ(S.Completed, 0u);
+}
+
+TEST(OffloadService, ReportsNonOffloadableFilters) {
+  SvcFixture F;
+  ASSERT_COMPILES(F.CP);
+  OffloadService Svc(F.CP.Prog, F.types());
+
+  std::string Why;
+  EXPECT_FALSE(Svc.offloadable(F.NotAKernel, rt::OffloadConfig(), &Why));
+  EXPECT_FALSE(Why.empty());
+  EXPECT_TRUE(Svc.offloadable(F.Squares, rt::OffloadConfig()));
+
+  ExecResult R =
+      Svc.invoke(makeRequest(F.NotAKernel, {RtValue::makeInt(4)}));
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMessage.find("compilation failed"), std::string::npos);
+}
+
+TEST(OffloadService, SchedulesAcrossDifferentDeviceModels) {
+  SvcFixture F;
+  ASSERT_COMPILES(F.CP);
+  ServiceConfig SC;
+  SC.Devices = {"gtx580"};
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+  RtValue X = makeFloatArray(F.types(), 128, 2.0f);
+
+  rt::OffloadConfig OnHd;
+  OnHd.DeviceName = "hd5970";
+  ExecResult R = Svc.invoke(makeRequest(F.Squares, {X}, OnHd));
+  ASSERT_TRUE(R.ok()) << R.TrapMessage; // worker added lazily
+
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  ASSERT_EQ(S.Devices.size(), 2u);
+  EXPECT_EQ(S.Devices[1].DeviceName, "hd5970");
+  EXPECT_EQ(S.Devices[1].Executed, 1u);
+}
+
+// With two idle same-model workers, repeated invocations of one
+// kernel must stick to the worker that already built its filter
+// instance (least-loaded alone would bounce between them, paying an
+// OpenCL program build on each).
+TEST(OffloadService, PrefersWorkerHoldingTheFilterInstance) {
+  SvcFixture F;
+  ASSERT_COMPILES(F.CP);
+  ServiceConfig SC;
+  SC.Devices = {"gtx580", "gtx580"};
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+  RtValue X = makeFloatArray(F.types(), 64, 1.0f);
+
+  for (int I = 0; I != 6; ++I) {
+    ExecResult R = Svc.invoke(makeRequest(F.Squares, {X}));
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    Svc.waitIdle(); // both workers idle before the next pick
+  }
+
+  OffloadServiceStats S = Svc.stats();
+  ASSERT_EQ(S.Devices.size(), 2u);
+  // All six ran on whichever worker got the first request; the other
+  // stayed untouched.
+  EXPECT_EQ(S.Devices[0].Executed + S.Devices[1].Executed, 6u);
+  EXPECT_TRUE(S.Devices[0].Executed == 0 || S.Devices[1].Executed == 0)
+      << "expected instance affinity to pin the kernel to one worker "
+      << "(got " << S.Devices[0].Executed << " / " << S.Devices[1].Executed
+      << ")";
+}
+
+} // namespace
