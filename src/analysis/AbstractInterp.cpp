@@ -1,0 +1,1441 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The symbolic walker behind the bounds, barrier-divergence and
+/// local-race passes. One traversal of the kernel AST interprets every
+/// expression as a linear form over launch symbols (gid, lid, sizes,
+/// array lengths, loop offsets), accumulating inequalities in a
+/// FactSet; every indexed access is proved in bounds on the spot, and
+/// accesses to __local arrays are recorded (index, barrier region,
+/// fact snapshot) for the pairwise race check afterwards.
+///
+/// Loops bind their induction variable to `start + delta` with a fresh
+/// delta >= 0 (the offset symbol is marked stride-of-local-size when
+/// the step is exactly get_local_size(0) — the race detector's
+/// congruence rule keys off that). Loop bodies containing a barrier
+/// are walked twice with fresh offsets so adjacent-iteration pairs are
+/// represented; region ids before/after such loops are aliased to
+/// cover zero- and odd-iteration executions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AbstractInterp.h"
+#include "analysis/KernelVerifier.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using namespace lime;
+using namespace lime::analysis;
+using namespace lime::ocl;
+
+namespace {
+
+/// Abstract value of one expression: optionally a linear form, plus
+/// whether the value (transitively) came from application data.
+struct AbsVal {
+  bool HasLin = false;
+  LinExpr Lin;
+  bool FromData = false;
+
+  static AbsVal lin(LinExpr E, bool FromData = false) {
+    AbsVal V;
+    V.HasLin = true;
+    V.Lin = std::move(E);
+    V.FromData = FromData;
+    return V;
+  }
+};
+
+/// One recorded access to a __local array, for the race pass.
+struct LocalAccess {
+  const OclVarDecl *Array = nullptr;
+  LinExpr Index;      // element index (scalars)
+  unsigned Width = 1; // contiguous scalars touched
+  bool IsWrite = false;
+  unsigned Region = 0; // barrier-interval id
+  std::vector<std::pair<const OclStmt *, int>> Path; // uniform-if arms
+  SourceLocation Loc;
+  std::vector<LinExpr> Snapshot; // facts in force at the access
+};
+
+/// Everything known about one indexable buffer.
+struct ArrayInfo {
+  LinExpr Capacity; // in scalars
+  bool AppIndexed = false; // extra input array of app-controlled length
+  bool IsLocal = false;
+};
+
+class Walker {
+public:
+  Walker(const OclFunction &Kernel, const CompiledKernel &Compiled,
+         const AnalysisOptions &Opts, const UniformityInfo &UI,
+         AnalysisReport &Report)
+      : Kernel(Kernel), Plan(Compiled.Plan), Opts(Opts), UI(UI),
+        Report(Report) {}
+
+  void run() {
+    seed();
+    walkStmt(Kernel.body());
+    raceAnalysis();
+  }
+
+private:
+  const OclFunction &Kernel;
+  const KernelPlan &Plan;
+  const AnalysisOptions &Opts;
+  const UniformityInfo &UI;
+  AnalysisReport &Report;
+
+  SymbolTable Syms;
+  FactSet Facts;
+  std::map<const OclVarDecl *, AbsVal> Env;
+  std::map<const OclVarDecl *, ArrayInfo> Arrays;
+  std::vector<LocalAccess> LocalAccesses;
+  std::set<std::string> WarnedArrays;
+
+  unsigned GID = 0, LID = 0, GRP = 0, GSIZE = 0, LSIZE = 0, NGRP = 0, N = 0;
+  std::map<std::string, unsigned> FieldSyms; // args-struct field -> symbol
+
+  unsigned Region = 0, RegionCounter = 0;
+  std::set<std::pair<unsigned, unsigned>> RegionAlias;
+  std::vector<std::pair<const OclStmt *, int>> Path;
+  unsigned DivergenceDepth = 0;
+  unsigned CallDepth = 0;
+  AbsVal RetVal;
+  bool HaveRet = false;
+
+  //===--------------------------------------------------------------------===//
+  // Setup
+  //===--------------------------------------------------------------------===//
+
+  unsigned lenSym(const std::string &CName) {
+    std::string Key = "len_" + CName;
+    auto It = FieldSyms.find(Key);
+    if (It != FieldSyms.end())
+      return It->second;
+    unsigned S = Syms.fresh(Key);
+    Facts.assume(LinExpr::sym(S)); // lengths are non-negative
+    FieldSyms[Key] = S;
+    return S;
+  }
+
+  const KernelArray *planArrayFor(const std::string &ParamName) const {
+    for (const KernelArray &A : Plan.Arrays) {
+      if (A.CName == ParamName)
+        return &A;
+      if (A.IsOutput && ParamName == "out")
+        return &A;
+    }
+    return nullptr;
+  }
+
+  void seed() {
+    GID = Syms.fresh("gid", /*NonUniform=*/true);
+    LID = Syms.fresh("lid", /*NonUniform=*/true);
+    GRP = Syms.fresh("grp");
+    GSIZE = Syms.fresh("gsize");
+    LSIZE = Syms.fresh("lsize");
+    NGRP = Syms.fresh("ngrp");
+    N = Syms.fresh("n");
+    FieldSyms["n"] = N;
+
+    auto GE0 = [&](unsigned S) { Facts.assume(LinExpr::sym(S)); };
+    auto Range = [&](unsigned S, unsigned Bound) {
+      GE0(S); // S >= 0
+      LinExpr Hi = LinExpr::sym(Bound) - LinExpr::sym(S);
+      Hi.Const -= 1; // S <= Bound - 1
+      Facts.assume(Hi);
+    };
+    Range(GID, GSIZE);
+    Range(LID, LSIZE);
+    Range(GRP, NGRP);
+    GE0(N);
+    auto GE1 = [&](unsigned S) {
+      LinExpr E = LinExpr::sym(S);
+      E.Const -= 1;
+      Facts.assume(E);
+    };
+    GE1(GSIZE);
+    GE1(LSIZE);
+    GE1(NGRP);
+    Facts.assume(LinExpr::sym(GSIZE) - LinExpr::sym(LSIZE)); // gsize >= lsize
+
+    if (Opts.LocalSize > 0)
+      Facts.assumeEq(LinExpr::sym(LSIZE),
+                     LinExpr(static_cast<long long>(Opts.LocalSize)));
+    if (Opts.MaxGroups > 0) {
+      LinExpr E(static_cast<long long>(Opts.MaxGroups));
+      E -= LinExpr::sym(NGRP); // ngrp <= MaxGroups
+      Facts.assume(E);
+    }
+
+    // Buffer capacities for pointer parameters, from the plan.
+    for (OclVarDecl *P : Kernel.params()) {
+      const auto *PT = dyn_cast<PointerType>(P->Ty);
+      if (!PT)
+        continue;
+      if (PT->space() == AddrSpace::Local) {
+        // The reduce scratch buffer: one element per work-item.
+        Arrays[P] = ArrayInfo{LinExpr::sym(LSIZE), false, true};
+        continue;
+      }
+      ArrayInfo AI;
+      if (const KernelArray *KA = planArrayFor(P->Name)) {
+        if (KA->IsOutput) {
+          unsigned Base = Plan.Kind == KernelKind::Map ? N : NGRP;
+          AI.Capacity = LinExpr::sym(
+              Base, static_cast<long long>(std::max(1u, Plan.OutScalars)));
+        } else {
+          AI.Capacity = LinExpr::sym(
+              lenSym(KA->CName), static_cast<long long>(KA->rowScalars()));
+        }
+        AI.AppIndexed = !KA->IsOutput && !KA->IsMapSource;
+      } else {
+        unsigned L = Syms.fresh("len_" + P->Name);
+        Facts.assume(LinExpr::sym(L));
+        AI.Capacity = LinExpr::sym(L);
+        AI.AppIndexed = true;
+      }
+      Arrays[P] = AI;
+    }
+
+    // The kernel iterates exactly over the map source: n == len_src.
+    if (const KernelArray *Src = Plan.mapSource())
+      Facts.assumeEq(LinExpr::sym(N), LinExpr::sym(lenSym(Src->CName)));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Small helpers
+  //===--------------------------------------------------------------------===//
+
+  AbsVal opaque(const char *Tag, bool NonUniform, bool FromData) {
+    unsigned S = Syms.fresh(Tag, NonUniform, FromData);
+    return AbsVal::lin(LinExpr::sym(S), FromData);
+  }
+
+  void materialize(AbsVal &V, bool NonUniform) {
+    if (!V.HasLin)
+      V = opaque("val", NonUniform, V.FromData);
+  }
+
+  bool constVal(const AbsVal &V, long long &C) const {
+    if (V.HasLin && V.Lin.isConst()) {
+      C = V.Lin.Const;
+      return true;
+    }
+    return false;
+  }
+
+  /// A linear form over uniform symbols is itself uniform.
+  bool linNonUniform(const LinExpr &E) const {
+    for (const auto &KV : E.Coeffs)
+      if (Syms.info(KV.first).NonUniform)
+        return true;
+    return false;
+  }
+
+  static const OclExpr *stripCasts(const OclExpr *E) {
+    while (const auto *C = dyn_cast_if_present<OclCast>(E))
+      E = C->sub();
+    return E;
+  }
+
+  bool containsBarrier(const OclStmt *S) const {
+    if (!S)
+      return false;
+    switch (S->kind()) {
+    case OclStmt::Kind::Compound:
+      for (const OclStmt *C : cast<OclCompoundStmt>(S)->stmts())
+        if (containsBarrier(C))
+          return true;
+      return false;
+    case OclStmt::Kind::Decl:
+      return exprHasBarrier(cast<OclDeclStmt>(S)->init());
+    case OclStmt::Kind::Expr:
+      return exprHasBarrier(cast<OclExprStmt>(S)->expr());
+    case OclStmt::Kind::If: {
+      auto *I = cast<OclIfStmt>(S);
+      return containsBarrier(I->thenStmt()) || containsBarrier(I->elseStmt());
+    }
+    case OclStmt::Kind::For:
+      return containsBarrier(cast<OclForStmt>(S)->body());
+    case OclStmt::Kind::While:
+      return containsBarrier(cast<OclWhileStmt>(S)->body());
+    case OclStmt::Kind::Return:
+      return false;
+    }
+    return false;
+  }
+
+  bool exprHasBarrier(const OclExpr *E) const {
+    if (!E)
+      return false;
+    if (const auto *C = dyn_cast<OclCall>(E)) {
+      if (C->builtin() == OclBuiltin::Barrier)
+        return true;
+      for (const OclExpr *A : C->args())
+        if (exprHasBarrier(A))
+          return true;
+    }
+    return false;
+  }
+
+  void collectAssigned(const OclExpr *E,
+                       std::set<const OclVarDecl *> &Out) const {
+    if (!E)
+      return;
+    switch (E->kind()) {
+    case OclExpr::Kind::Assign: {
+      auto *A = cast<OclAssign>(E);
+      if (const auto *V = dyn_cast<OclVarRef>(A->target()))
+        Out.insert(V->decl());
+      collectAssigned(A->target(), Out);
+      collectAssigned(A->value(), Out);
+      break;
+    }
+    case OclExpr::Kind::Unary: {
+      auto *U = cast<OclUnary>(E);
+      if (U->op() == OclUnaryOp::PreInc || U->op() == OclUnaryOp::PreDec ||
+          U->op() == OclUnaryOp::PostInc || U->op() == OclUnaryOp::PostDec)
+        if (const auto *V = dyn_cast<OclVarRef>(U->sub()))
+          Out.insert(V->decl());
+      collectAssigned(U->sub(), Out);
+      break;
+    }
+    case OclExpr::Kind::Binary:
+      collectAssigned(cast<OclBinary>(E)->lhs(), Out);
+      collectAssigned(cast<OclBinary>(E)->rhs(), Out);
+      break;
+    case OclExpr::Kind::Conditional:
+      collectAssigned(cast<OclConditional>(E)->cond(), Out);
+      collectAssigned(cast<OclConditional>(E)->thenExpr(), Out);
+      collectAssigned(cast<OclConditional>(E)->elseExpr(), Out);
+      break;
+    case OclExpr::Kind::Call:
+      for (const OclExpr *A : cast<OclCall>(E)->args())
+        collectAssigned(A, Out);
+      break;
+    case OclExpr::Kind::Index:
+      collectAssigned(cast<OclIndex>(E)->base(), Out);
+      collectAssigned(cast<OclIndex>(E)->index(), Out);
+      break;
+    case OclExpr::Kind::Member:
+      collectAssigned(cast<OclMember>(E)->base(), Out);
+      break;
+    case OclExpr::Kind::Cast:
+      collectAssigned(cast<OclCast>(E)->sub(), Out);
+      break;
+    case OclExpr::Kind::VectorLit:
+      for (const OclExpr *El : cast<OclVectorLit>(E)->elems())
+        collectAssigned(El, Out);
+      break;
+    default:
+      break;
+    }
+  }
+
+  void collectAssigned(const OclStmt *S,
+                       std::set<const OclVarDecl *> &Out) const {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case OclStmt::Kind::Compound:
+      for (const OclStmt *C : cast<OclCompoundStmt>(S)->stmts())
+        collectAssigned(C, Out);
+      break;
+    case OclStmt::Kind::Decl:
+      collectAssigned(cast<OclDeclStmt>(S)->init(), Out);
+      break;
+    case OclStmt::Kind::Expr:
+      collectAssigned(cast<OclExprStmt>(S)->expr(), Out);
+      break;
+    case OclStmt::Kind::If: {
+      auto *I = cast<OclIfStmt>(S);
+      collectAssigned(I->cond(), Out);
+      collectAssigned(I->thenStmt(), Out);
+      collectAssigned(I->elseStmt(), Out);
+      break;
+    }
+    case OclStmt::Kind::For: {
+      auto *F = cast<OclForStmt>(S);
+      collectAssigned(F->init(), Out);
+      collectAssigned(F->cond(), Out);
+      collectAssigned(F->step(), Out);
+      collectAssigned(F->body(), Out);
+      break;
+    }
+    case OclStmt::Kind::While: {
+      auto *W = cast<OclWhileStmt>(S);
+      collectAssigned(W->cond(), Out);
+      collectAssigned(W->body(), Out);
+      break;
+    }
+    case OclStmt::Kind::Return:
+      collectAssigned(cast<OclReturnStmt>(S)->value(), Out);
+      break;
+    }
+  }
+
+  void havoc(const std::set<const OclVarDecl *> &Vars) {
+    for (const OclVarDecl *D : Vars)
+      Env[D] = opaque("havoc", UI.isTainted(D), /*FromData=*/false);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Condition assumption
+  //===--------------------------------------------------------------------===//
+
+  void assumeCond(const OclExpr *E, bool Truth) {
+    if (!E)
+      return;
+    if (const auto *C = dyn_cast<OclCast>(E)) {
+      assumeCond(C->sub(), Truth);
+      return;
+    }
+    if (const auto *U = dyn_cast<OclUnary>(E)) {
+      if (U->op() == OclUnaryOp::Not) {
+        assumeCond(U->sub(), !Truth);
+        return;
+      }
+    }
+    const auto *B = dyn_cast<OclBinary>(E);
+    if (!B) {
+      (void)evalExpr(E); // record any accesses in the condition
+      return;
+    }
+    switch (B->op()) {
+    case OclBinOp::LAnd:
+      if (Truth) {
+        assumeCond(B->lhs(), true);
+        assumeCond(B->rhs(), true);
+      }
+      return;
+    case OclBinOp::LOr:
+      if (!Truth) {
+        assumeCond(B->lhs(), false);
+        assumeCond(B->rhs(), false);
+      }
+      return;
+    default:
+      break;
+    }
+
+    AbsVal L = evalExpr(B->lhs());
+    AbsVal R = evalExpr(B->rhs());
+    if (!L.HasLin || !R.HasLin)
+      return;
+    auto Ge = [&](const LinExpr &A, const LinExpr &Bv, long long Slack) {
+      // A >= Bv + Slack
+      LinExpr F = A;
+      F -= Bv;
+      F.Const -= Slack;
+      Facts.assume(std::move(F));
+    };
+    OclBinOp Op = B->op();
+    // Normalize to the effective relation under Truth.
+    switch (Op) {
+    case OclBinOp::Lt:
+      Truth ? Ge(R.Lin, L.Lin, 1) : Ge(L.Lin, R.Lin, 0);
+      break;
+    case OclBinOp::Le:
+      Truth ? Ge(R.Lin, L.Lin, 0) : Ge(L.Lin, R.Lin, 1);
+      break;
+    case OclBinOp::Gt:
+      Truth ? Ge(L.Lin, R.Lin, 1) : Ge(R.Lin, L.Lin, 0);
+      break;
+    case OclBinOp::Ge:
+      Truth ? Ge(L.Lin, R.Lin, 0) : Ge(R.Lin, L.Lin, 1);
+      break;
+    case OclBinOp::Eq:
+      if (Truth) {
+        Ge(L.Lin, R.Lin, 0);
+        Ge(R.Lin, L.Lin, 0);
+      }
+      break;
+    case OclBinOp::Ne:
+      if (!Truth) {
+        Ge(L.Lin, R.Lin, 0);
+        Ge(R.Lin, L.Lin, 0);
+      }
+      break;
+    default:
+      break;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Access recording / bounds proof
+  //===--------------------------------------------------------------------===//
+
+  void recordAccess(const OclExpr *BaseE, AbsVal Idx, unsigned Width,
+                    bool IsWrite, SourceLocation Loc) {
+    const auto *BV = dyn_cast_if_present<OclVarRef>(stripCasts(BaseE));
+    if (!BV)
+      return;
+    auto It = Arrays.find(BV->decl());
+    if (It == Arrays.end())
+      return;
+    ArrayInfo &AI = It->second;
+
+    bool Proved = false;
+    if (Idx.HasLin) {
+      LinExpr High = AI.Capacity;
+      High -= Idx.Lin;
+      High.Const -= static_cast<long long>(Width); // cap - idx - W >= 0
+      Proved = Facts.entails(Idx.Lin) && Facts.entails(High);
+    }
+    if (!Proved) {
+      if (AI.AppIndexed || Idx.FromData) {
+        // The compiler cannot know this bound; the VM checks it at
+        // runtime. One warning per array per kernel.
+        if (WarnedArrays.insert(BV->decl()->Name).second)
+          Report.add(passes::Bounds, DiagSeverity::Warning, Kernel.name(), Loc,
+                     "application-indexed array '" + BV->decl()->Name +
+                         "': cannot statically bound accesses (length or "
+                         "index depends on application data); the VM "
+                         "bounds-checks these at runtime");
+      } else {
+        std::ostringstream M;
+        M << "cannot prove access to '" << BV->decl()->Name
+          << "' in bounds: index ";
+        if (Idx.HasLin)
+          M << Idx.Lin.str(Syms);
+        else
+          M << "<non-affine>";
+        M << " (width " << Width << ") vs capacity " << AI.Capacity.str(Syms);
+        Report.add(passes::Bounds, DiagSeverity::Error, Kernel.name(), Loc,
+                   M.str());
+      }
+    }
+
+    if (AI.IsLocal) {
+      LocalAccess A;
+      A.Array = BV->decl();
+      if (Idx.HasLin) {
+        A.Index = Idx.Lin;
+      } else {
+        unsigned S = Syms.fresh("idx?", /*NonUniform=*/true);
+        A.Index = LinExpr::sym(S);
+      }
+      A.Width = Width;
+      A.IsWrite = IsWrite;
+      A.Region = Region;
+      A.Path = Path;
+      A.Loc = Loc;
+      A.Snapshot = Facts.facts();
+      LocalAccesses.push_back(std::move(A));
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expression evaluation
+  //===--------------------------------------------------------------------===//
+
+  AbsVal evalExpr(const OclExpr *E) {
+    if (!E)
+      return AbsVal();
+    switch (E->kind()) {
+    case OclExpr::Kind::IntLit:
+      return AbsVal::lin(LinExpr(cast<OclIntLit>(E)->value()));
+    case OclExpr::Kind::FloatLit:
+      return AbsVal();
+    case OclExpr::Kind::VarRef: {
+      const OclVarDecl *D = cast<OclVarRef>(E)->decl();
+      auto It = Env.find(D);
+      if (It != Env.end())
+        return It->second;
+      return AbsVal(); // pointers, images, uninitialized
+    }
+    case OclExpr::Kind::Unary:
+      return evalUnary(cast<OclUnary>(E));
+    case OclExpr::Kind::Binary:
+      return evalBinary(cast<OclBinary>(E));
+    case OclExpr::Kind::Assign:
+      return evalAssign(cast<OclAssign>(E));
+    case OclExpr::Kind::Conditional:
+      return evalConditional(cast<OclConditional>(E));
+    case OclExpr::Kind::Call:
+      return evalCall(cast<OclCall>(E));
+    case OclExpr::Kind::Index: {
+      const auto *I = cast<OclIndex>(E);
+      AbsVal Idx = evalExpr(I->index());
+      recordAccess(I->base(), Idx, widthOf(E->type()), /*IsWrite=*/false,
+                   E->loc());
+      // The loaded value is application data.
+      return opaqueLoad(E);
+    }
+    case OclExpr::Kind::Member:
+      return evalMember(cast<OclMember>(E));
+    case OclExpr::Kind::Cast:
+      return evalExpr(cast<OclCast>(E)->sub());
+    case OclExpr::Kind::VectorLit: {
+      bool FromData = false;
+      for (const OclExpr *El : cast<OclVectorLit>(E)->elems())
+        FromData |= evalExpr(El).FromData;
+      AbsVal V;
+      V.FromData = FromData;
+      return V;
+    }
+    }
+    return AbsVal();
+  }
+
+  static unsigned widthOf(const OclType *Ty) {
+    if (const auto *VT = dyn_cast_if_present<VectorType>(Ty))
+      return VT->lanes();
+    return 1;
+  }
+
+  AbsVal opaqueLoad(const OclExpr *E) {
+    return opaque("load", !UI.isUniformExpr(E), /*FromData=*/true);
+  }
+
+  AbsVal evalUnary(const OclUnary *U) {
+    switch (U->op()) {
+    case OclUnaryOp::Neg: {
+      AbsVal V = evalExpr(U->sub());
+      if (V.HasLin)
+        return AbsVal::lin(V.Lin.negated(), V.FromData);
+      return V;
+    }
+    case OclUnaryOp::Not:
+    case OclUnaryOp::BitNot: {
+      AbsVal V = evalExpr(U->sub());
+      AbsVal R;
+      R.FromData = V.FromData;
+      return R;
+    }
+    case OclUnaryOp::PreInc:
+    case OclUnaryOp::PreDec:
+    case OclUnaryOp::PostInc:
+    case OclUnaryOp::PostDec: {
+      AbsVal Old = evalExpr(U->sub());
+      long long Delta =
+          (U->op() == OclUnaryOp::PreInc || U->op() == OclUnaryOp::PostInc)
+              ? 1
+              : -1;
+      AbsVal New = Old;
+      if (New.HasLin)
+        New.Lin.Const += Delta;
+      if (const auto *V = dyn_cast<OclVarRef>(U->sub())) {
+        if (Old.HasLin)
+          Env[V->decl()] = New;
+        else
+          Env[V->decl()] =
+              opaque("inc", UI.isTainted(V->decl()), Old.FromData);
+      }
+      bool Pre = U->op() == OclUnaryOp::PreInc || U->op() == OclUnaryOp::PreDec;
+      return Pre ? New : Old;
+    }
+    }
+    return AbsVal();
+  }
+
+  AbsVal evalBinary(const OclBinary *B) {
+    AbsVal L = evalExpr(B->lhs());
+    AbsVal R = evalExpr(B->rhs());
+    bool FromData = L.FromData || R.FromData;
+    long long C = 0;
+    switch (B->op()) {
+    case OclBinOp::Add:
+      if (L.HasLin && R.HasLin)
+        return AbsVal::lin(L.Lin + R.Lin, FromData);
+      break;
+    case OclBinOp::Sub:
+      if (L.HasLin && R.HasLin)
+        return AbsVal::lin(L.Lin - R.Lin, FromData);
+      break;
+    case OclBinOp::Mul:
+      if (L.HasLin && constVal(R, C))
+        return AbsVal::lin(L.Lin.scaled(C), FromData);
+      if (R.HasLin && constVal(L, C))
+        return AbsVal::lin(R.Lin.scaled(C), FromData);
+      break;
+    case OclBinOp::Div:
+      if (L.HasLin && constVal(R, C) && C > 0)
+        return quotient(L, C, FromData);
+      break;
+    case OclBinOp::Shr:
+      if (L.HasLin && constVal(R, C) && C >= 0 && C < 62)
+        return quotient(L, 1ll << C, FromData);
+      break;
+    case OclBinOp::Shl:
+      if (L.HasLin && constVal(R, C) && C >= 0 && C < 62)
+        return AbsVal::lin(L.Lin.scaled(1ll << C), FromData);
+      break;
+    case OclBinOp::Rem:
+      if (L.HasLin && constVal(R, C) && C > 0) {
+        AbsVal Res = opaque("rem", linNonUniform(L.Lin), FromData);
+        LinExpr Rm = Res.Lin;
+        if (Facts.entails(L.Lin)) {
+          Facts.assume(Rm); // r >= 0
+          LinExpr UpX = L.Lin;
+          UpX -= Rm; // r <= x
+          Facts.assume(UpX);
+        } else {
+          LinExpr Lo = Rm;
+          Lo.Const += C - 1; // r >= -(C-1)
+          Facts.assume(Lo);
+        }
+        LinExpr Up = Rm.negated();
+        Up.Const += C - 1; // r <= C-1
+        Facts.assume(Up);
+        return Res;
+      }
+      break;
+    case OclBinOp::And: {
+      long long M = 0;
+      const AbsVal *Other = nullptr;
+      if (constVal(R, M))
+        Other = &L;
+      else if (constVal(L, M))
+        Other = &R;
+      if (Other && M >= 0) {
+        // Bitwise-and with a non-negative mask lands in [0, M]
+        // regardless of the other operand's sign.
+        AbsVal Res = opaque("mask", !UI.isUniformExpr(B), FromData);
+        Facts.assume(Res.Lin); // >= 0
+        LinExpr Up = Res.Lin.negated();
+        Up.Const += M;
+        Facts.assume(Up); // <= M
+        return Res;
+      }
+      break;
+    }
+    default:
+      break;
+    }
+    AbsVal Res;
+    Res.FromData = FromData;
+    return Res;
+  }
+
+  /// Integer division of a proven-nonnegative linear form by C > 0:
+  /// q with  q >= 0,  x - C*q >= 0,  C*q + C-1 - x >= 0.
+  AbsVal quotient(const AbsVal &X, long long C, bool FromData) {
+    if (!Facts.entails(X.Lin)) { // need x >= 0
+      AbsVal Res;
+      Res.FromData = FromData;
+      return Res;
+    }
+    AbsVal Q = opaque("quot", linNonUniform(X.Lin), FromData);
+    Facts.assume(Q.Lin); // q >= 0
+    LinExpr Lo = X.Lin;
+    Lo -= Q.Lin.scaled(C); // x - C*q >= 0
+    Facts.assume(Lo);
+    LinExpr Hi = Q.Lin.scaled(C);
+    Hi.Const += C - 1;
+    Hi -= X.Lin; // C*q + C-1 - x >= 0
+    Facts.assume(Hi);
+    return Q;
+  }
+
+  AbsVal evalAssign(const OclAssign *A) {
+    AbsVal V = evalExpr(A->value());
+    const OclExpr *T = A->target();
+    if (const auto *VR = dyn_cast<OclVarRef>(T)) {
+      AbsVal New = V;
+      if (A->isCompound()) {
+        AbsVal Old;
+        auto It = Env.find(VR->decl());
+        if (It != Env.end())
+          Old = It->second;
+        New = combineCompound(Old, V, A->compoundOp());
+      }
+      if (!New.HasLin)
+        New = opaque("asgn", UI.isTainted(VR->decl()), New.FromData);
+      Env[VR->decl()] = New;
+      return New;
+    }
+    if (const auto *IX = dyn_cast<OclIndex>(T)) {
+      AbsVal Idx = evalExpr(IX->index());
+      unsigned W = widthOf(IX->type());
+      if (A->isCompound())
+        recordAccess(IX->base(), Idx, W, /*IsWrite=*/false, IX->loc());
+      recordAccess(IX->base(), Idx, W, /*IsWrite=*/true, A->loc());
+      return V;
+    }
+    if (const auto *M = dyn_cast<OclMember>(T)) {
+      // Vector-lane store into a variable: the variable changes.
+      if (const auto *VR2 = dyn_cast<OclVarRef>(stripCasts(M->base())))
+        Env[VR2->decl()] =
+            opaque("vecst", UI.isTainted(VR2->decl()), V.FromData);
+      return V;
+    }
+    return V;
+  }
+
+  AbsVal combineCompound(const AbsVal &Old, const AbsVal &V, OclBinOp Op) {
+    bool FromData = Old.FromData || V.FromData;
+    long long C = 0;
+    switch (Op) {
+    case OclBinOp::Add:
+      if (Old.HasLin && V.HasLin)
+        return AbsVal::lin(Old.Lin + V.Lin, FromData);
+      break;
+    case OclBinOp::Sub:
+      if (Old.HasLin && V.HasLin)
+        return AbsVal::lin(Old.Lin - V.Lin, FromData);
+      break;
+    case OclBinOp::Mul:
+      if (Old.HasLin && constVal(V, C))
+        return AbsVal::lin(Old.Lin.scaled(C), FromData);
+      break;
+    case OclBinOp::Shr:
+      if (Old.HasLin && constVal(V, C) && C >= 0 && C < 62 &&
+          Facts.entails(Old.Lin))
+        return quotient(Old, 1ll << C, FromData);
+      break;
+    default:
+      break;
+    }
+    AbsVal R;
+    R.FromData = FromData;
+    return R;
+  }
+
+  AbsVal evalConditional(const OclConditional *C) {
+    size_t Mark = Facts.size();
+    // Candidate bounds a clamp result may inherit: prove them in both
+    // branches, then assert them on the fresh result symbol.
+    std::vector<LinExpr> Uppers; // r <= S-1 candidates
+    Uppers.push_back(LinExpr::sym(N));
+    Uppers.push_back(LinExpr::sym(LSIZE));
+    Uppers.push_back(LinExpr::sym(GSIZE));
+    Uppers.push_back(LinExpr::sym(NGRP));
+    for (const auto &KV : FieldSyms)
+      if (KV.first.rfind("len_", 0) == 0)
+        Uppers.push_back(LinExpr::sym(KV.second));
+
+    assumeCond(C->cond(), true);
+    AbsVal T = evalExpr(C->thenExpr());
+    bool NonNeg = T.HasLin && Facts.entails(T.Lin);
+    std::vector<bool> UpOk(Uppers.size(), false);
+    for (size_t I = 0; I < Uppers.size(); ++I)
+      if (T.HasLin) {
+        LinExpr Q = Uppers[I];
+        Q -= T.Lin;
+        Q.Const -= 1;
+        UpOk[I] = Facts.entails(Q);
+      }
+    Facts.truncate(Mark);
+
+    assumeCond(C->cond(), false);
+    AbsVal F = evalExpr(C->elseExpr());
+    NonNeg = NonNeg && F.HasLin && Facts.entails(F.Lin);
+    for (size_t I = 0; I < Uppers.size(); ++I)
+      if (UpOk[I]) {
+        bool Ok = false;
+        if (F.HasLin) {
+          LinExpr Q = Uppers[I];
+          Q -= F.Lin;
+          Q.Const -= 1;
+          Ok = Facts.entails(Q);
+        }
+        UpOk[I] = Ok;
+      }
+    Facts.truncate(Mark);
+
+    AbsVal R = opaque("sel", !UI.isUniformExpr(C),
+                      T.FromData || F.FromData);
+    if (NonNeg)
+      Facts.assume(R.Lin); // r >= 0
+    for (size_t I = 0; I < Uppers.size(); ++I)
+      if (UpOk[I]) {
+        LinExpr Q = Uppers[I];
+        Q -= R.Lin;
+        Q.Const -= 1;
+        Facts.assume(std::move(Q)); // r <= S-1
+      }
+    return R;
+  }
+
+  AbsVal evalMember(const OclMember *M) {
+    if (M->vectorLane() >= 0 || M->field() == nullptr) {
+      AbsVal B = evalExpr(M->base());
+      return opaque("lane", !UI.isUniformExpr(M), B.FromData);
+    }
+    // Struct field: the kernel's bookkeeping args record (Fig. 4b).
+    const auto *BV = dyn_cast<OclVarRef>(stripCasts(M->base()));
+    if (BV && isa<StructType>(BV->decl()->Ty)) {
+      const std::string &Field = M->name();
+      auto It = FieldSyms.find(Field);
+      if (It == FieldSyms.end()) {
+        bool IsLen = Field.rfind("len_", 0) == 0;
+        unsigned S = Syms.fresh(Field, /*NonUniform=*/false,
+                                /*FromData=*/!IsLen && Field != "n");
+        if (IsLen)
+          Facts.assume(LinExpr::sym(S));
+        It = FieldSyms.emplace(Field, S).first;
+      }
+      unsigned S = It->second;
+      return AbsVal::lin(LinExpr::sym(S), Syms.info(S).FromData);
+    }
+    AbsVal B = evalExpr(M->base());
+    return opaque("fld", !UI.isUniformExpr(M), B.FromData);
+  }
+
+  AbsVal evalCall(const OclCall *C) {
+    switch (C->builtin()) {
+    case OclBuiltin::GetGlobalId:
+      return AbsVal::lin(LinExpr::sym(GID));
+    case OclBuiltin::GetLocalId:
+      return AbsVal::lin(LinExpr::sym(LID));
+    case OclBuiltin::GetGroupId:
+      return AbsVal::lin(LinExpr::sym(GRP));
+    case OclBuiltin::GetGlobalSize:
+      return AbsVal::lin(LinExpr::sym(GSIZE));
+    case OclBuiltin::GetLocalSize:
+      return AbsVal::lin(LinExpr::sym(LSIZE));
+    case OclBuiltin::GetNumGroups:
+      return AbsVal::lin(LinExpr::sym(NGRP));
+    case OclBuiltin::Barrier:
+      if (DivergenceDepth > 0)
+        Report.add(passes::BarrierDivergence, DiagSeverity::Error,
+                   Kernel.name(), C->loc(),
+                   "barrier() is reached under work-item-dependent control "
+                   "flow; work-items of one group may diverge on whether "
+                   "they execute it");
+      Region = ++RegionCounter;
+      return AbsVal();
+    case OclBuiltin::Min:
+    case OclBuiltin::Max: {
+      AbsVal A = evalExpr(C->args().size() > 0 ? C->args()[0] : nullptr);
+      AbsVal B = evalExpr(C->args().size() > 1 ? C->args()[1] : nullptr);
+      AbsVal R = opaque(C->builtin() == OclBuiltin::Min ? "min" : "max",
+                        !UI.isUniformExpr(C), A.FromData || B.FromData);
+      if (C->builtin() == OclBuiltin::Min) {
+        if (A.HasLin) {
+          LinExpr F = A.Lin;
+          F -= R.Lin;
+          Facts.assume(std::move(F)); // m <= a
+        }
+        if (B.HasLin) {
+          LinExpr F = B.Lin;
+          F -= R.Lin;
+          Facts.assume(std::move(F)); // m <= b
+        }
+        if (A.HasLin && B.HasLin && Facts.entails(A.Lin) &&
+            Facts.entails(B.Lin))
+          Facts.assume(R.Lin); // m >= 0 when both are
+      } else {
+        if (A.HasLin) {
+          LinExpr F = R.Lin;
+          F -= A.Lin;
+          Facts.assume(std::move(F)); // m >= a
+        }
+        if (B.HasLin) {
+          LinExpr F = R.Lin;
+          F -= B.Lin;
+          Facts.assume(std::move(F)); // m >= b
+        }
+      }
+      return R;
+    }
+    case OclBuiltin::VLoad2:
+    case OclBuiltin::VLoad4: {
+      unsigned W = C->builtin() == OclBuiltin::VLoad2 ? 2 : 4;
+      AbsVal Idx = evalExpr(C->args().size() > 0 ? C->args()[0] : nullptr);
+      if (Idx.HasLin)
+        Idx.Lin = Idx.Lin.scaled(W); // vloadN(i, p) touches p[N*i ..]
+      if (C->args().size() > 1)
+        recordAccess(C->args()[1], Idx, W, /*IsWrite=*/false, C->loc());
+      return opaqueLoad(C);
+    }
+    case OclBuiltin::VStore2:
+    case OclBuiltin::VStore4: {
+      unsigned W = C->builtin() == OclBuiltin::VStore2 ? 2 : 4;
+      if (C->args().size() > 0)
+        (void)evalExpr(C->args()[0]); // stored value
+      AbsVal Idx = evalExpr(C->args().size() > 1 ? C->args()[1] : nullptr);
+      if (Idx.HasLin)
+        Idx.Lin = Idx.Lin.scaled(W);
+      if (C->args().size() > 2)
+        recordAccess(C->args()[2], Idx, W, /*IsWrite=*/true, C->loc());
+      return AbsVal();
+    }
+    case OclBuiltin::ReadImageF: {
+      // The VM clamps image coordinates to the edge (CLK_ADDRESS_CLAMP
+      // semantics); image reads cannot fault, so no bounds obligation.
+      for (const OclExpr *A : C->args())
+        (void)evalExpr(A);
+      return opaqueLoad(C);
+    }
+    case OclBuiltin::None:
+      return evalUserCall(C);
+    default: {
+      bool FromData = false;
+      for (const OclExpr *A : C->args())
+        FromData |= evalExpr(A).FromData;
+      AbsVal R;
+      R.FromData = FromData;
+      return R;
+    }
+    }
+  }
+
+  /// Abstractly inlines a helper function: bind parameters, walk the
+  /// body under the caller's facts/regions, capture the first returned
+  /// value.
+  AbsVal evalUserCall(const OclCall *C) {
+    std::vector<AbsVal> ArgVals;
+    for (const OclExpr *A : C->args())
+      ArgVals.push_back(evalExpr(A));
+    const OclFunction *F = C->function();
+    if (!F || !F->body() || CallDepth >= 16) {
+      bool FromData = false;
+      for (const AbsVal &V : ArgVals)
+        FromData |= V.FromData;
+      return opaque("call", !UI.isUniformExpr(C), FromData);
+    }
+    const auto &Params = F->params();
+    for (size_t I = 0; I < Params.size(); ++I) {
+      AbsVal V = I < ArgVals.size() ? ArgVals[I] : AbsVal();
+      materialize(V, !UI.isUniformExpr(I < C->args().size() ? C->args()[I]
+                                                            : nullptr));
+      Env[Params[I]] = V;
+    }
+    AbsVal SavedRet = RetVal;
+    bool SavedHave = HaveRet;
+    RetVal = AbsVal();
+    HaveRet = false;
+    ++CallDepth;
+    walkStmt(F->body());
+    --CallDepth;
+    AbsVal Result = HaveRet
+                        ? RetVal
+                        : opaque("call", !UI.isUniformExpr(C), false);
+    RetVal = SavedRet;
+    HaveRet = SavedHave;
+    return Result;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void walkStmt(const OclStmt *S) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case OclStmt::Kind::Compound:
+      for (const OclStmt *C : cast<OclCompoundStmt>(S)->stmts())
+        walkStmt(C);
+      break;
+    case OclStmt::Kind::Decl: {
+      auto *D = cast<OclDeclStmt>(S);
+      if (const auto *AT = dyn_cast<OclArrayType>(D->decl()->Ty)) {
+        unsigned Scalars = AT->count() * widthOf(AT->element());
+        ArrayInfo AI;
+        AI.Capacity = LinExpr(static_cast<long long>(Scalars));
+        AI.IsLocal = D->decl()->Space == AddrSpace::Local;
+        Arrays[D->decl()] = AI;
+        break;
+      }
+      if (D->init())
+        Env[D->decl()] = evalExpr(D->init());
+      else
+        Env[D->decl()] = opaque("decl", UI.isTainted(D->decl()), false);
+      break;
+    }
+    case OclStmt::Kind::Expr:
+      (void)evalExpr(cast<OclExprStmt>(S)->expr());
+      break;
+    case OclStmt::Kind::If:
+      walkIf(cast<OclIfStmt>(S));
+      break;
+    case OclStmt::Kind::For:
+      walkFor(cast<OclForStmt>(S));
+      break;
+    case OclStmt::Kind::While:
+      walkWhile(cast<OclWhileStmt>(S));
+      break;
+    case OclStmt::Kind::Return: {
+      AbsVal V = evalExpr(cast<OclReturnStmt>(S)->value());
+      if (CallDepth > 0 && !HaveRet) {
+        RetVal = V;
+        HaveRet = true;
+      }
+      break;
+    }
+    }
+  }
+
+  void aliasRegions(unsigned A, unsigned B) {
+    if (A != B)
+      RegionAlias.insert({std::min(A, B), std::max(A, B)});
+  }
+
+  void walkIf(const OclIfStmt *I) {
+    bool Uni = UI.isUniformExpr(I->cond());
+    if (!Uni)
+      ++DivergenceDepth;
+    size_t Mark = Facts.size();
+    unsigned R0 = Region;
+
+    assumeCond(I->cond(), true);
+    if (Uni)
+      Path.push_back({I, 0});
+    walkStmt(I->thenStmt());
+    if (Uni)
+      Path.pop_back();
+    Facts.truncate(Mark);
+    unsigned Rt = Region;
+
+    Region = R0;
+    if (I->elseStmt()) {
+      assumeCond(I->cond(), false);
+      if (Uni)
+        Path.push_back({I, 1});
+      walkStmt(I->elseStmt());
+      if (Uni)
+        Path.pop_back();
+      Facts.truncate(Mark);
+    }
+    unsigned Re = Region;
+
+    // Join: both arm-exit regions may flow here.
+    Region = Rt;
+    aliasRegions(Rt, Re);
+    if (!Uni)
+      --DivergenceDepth;
+  }
+
+  struct StepInfo {
+    const OclVarDecl *Var = nullptr;
+    enum Kind { AddConst, AddExpr, ShrConst, Unknown } Kind = Unknown;
+    long long K = 0;
+    const OclExpr *Addend = nullptr;
+  };
+
+  StepInfo analyzeStep(const OclExpr *Step) const {
+    StepInfo SI;
+    if (!Step)
+      return SI;
+    if (const auto *U = dyn_cast<OclUnary>(Step)) {
+      if (U->op() == OclUnaryOp::PreInc || U->op() == OclUnaryOp::PostInc)
+        if (const auto *V = dyn_cast<OclVarRef>(U->sub())) {
+          SI.Var = V->decl();
+          SI.Kind = StepInfo::AddConst;
+          SI.K = 1;
+        }
+      return SI;
+    }
+    const auto *A = dyn_cast<OclAssign>(Step);
+    if (!A || !A->isCompound())
+      return SI;
+    const auto *V = dyn_cast<OclVarRef>(A->target());
+    if (!V)
+      return SI;
+    SI.Var = V->decl();
+    if (A->compoundOp() == OclBinOp::Add) {
+      if (const auto *L = dyn_cast<OclIntLit>(stripCasts(A->value()))) {
+        SI.Kind = StepInfo::AddConst;
+        SI.K = L->value();
+      } else {
+        SI.Kind = StepInfo::AddExpr;
+        SI.Addend = A->value();
+      }
+    } else if (A->compoundOp() == OclBinOp::Shr) {
+      if (const auto *L = dyn_cast<OclIntLit>(stripCasts(A->value()))) {
+        SI.Kind = StepInfo::ShrConst;
+        SI.K = L->value();
+      }
+    }
+    return SI;
+  }
+
+  void walkFor(const OclForStmt *F) {
+    walkStmt(F->init());
+
+    StepInfo SI = analyzeStep(F->step());
+    AbsVal E0;
+    if (SI.Var) {
+      auto It = Env.find(SI.Var);
+      if (It != Env.end())
+        E0 = It->second;
+      materialize(E0, UI.isTainted(SI.Var));
+    }
+
+    // Decide the induction binding before the walks.
+    bool StepPositive = false, StepLsize = false;
+    if (SI.Kind == StepInfo::AddConst) {
+      StepPositive = SI.K > 0;
+    } else if (SI.Kind == StepInfo::AddExpr) {
+      AbsVal SV = evalExpr(SI.Addend);
+      if (SV.HasLin) {
+        // `+= lsize` in the emitted code goes through a plain local
+        // variable, so detect the local size semantically.
+        StepLsize = SV.Lin == LinExpr::sym(LSIZE);
+        LinExpr Pos = SV.Lin;
+        Pos.Const -= 1;
+        StepPositive = Facts.entails(Pos); // step >= 1
+      }
+    }
+
+    bool HasB = containsBarrier(F->body());
+    bool CondUni = !F->cond() || UI.isUniformExpr(F->cond());
+    std::set<const OclVarDecl *> Assigned;
+    collectAssigned(F->body(), Assigned);
+    collectAssigned(F->step(), Assigned);
+    if (SI.Var)
+      Assigned.erase(SI.Var);
+
+    if (!CondUni)
+      ++DivergenceDepth;
+    unsigned REntry = Region;
+    size_t Mark = Facts.size();
+    unsigned RMid = REntry;
+    int Walks = HasB ? 2 : 1;
+    for (int W = 0; W < Walks; ++W) {
+      havoc(Assigned);
+      if (SI.Var) {
+        if ((SI.Kind == StepInfo::AddConst || SI.Kind == StepInfo::AddExpr) &&
+            StepPositive) {
+          unsigned D = Syms.fresh("it", !(CondUni && HasB));
+          Syms.info(D).LsizeStride = StepLsize;
+          Facts.assume(LinExpr::sym(D)); // delta >= 0
+          Env[SI.Var] =
+              AbsVal::lin(E0.Lin + LinExpr::sym(D), E0.FromData);
+        } else if (SI.Kind == StepInfo::ShrConst && E0.HasLin &&
+                   Facts.entails(E0.Lin)) {
+          unsigned P = Syms.fresh("shr", !(CondUni && HasB));
+          Facts.assume(LinExpr::sym(P)); // phi >= 0
+          LinExpr Hi = E0.Lin;
+          Hi -= LinExpr::sym(P); // phi <= start
+          Facts.assume(std::move(Hi));
+          Env[SI.Var] = AbsVal::lin(LinExpr::sym(P), E0.FromData);
+        } else {
+          Env[SI.Var] = opaque("ind", UI.isTainted(SI.Var), E0.FromData);
+        }
+      }
+      assumeCond(F->cond(), true);
+      walkStmt(F->body());
+      if (W == 0)
+        RMid = Region;
+    }
+    Facts.truncate(Mark);
+    havoc(Assigned);
+    if (SI.Var)
+      Env[SI.Var] = opaque("ind", UI.isTainted(SI.Var), E0.FromData);
+    if (!CondUni)
+      --DivergenceDepth;
+
+    if (Region != REntry) {
+      // Zero-iteration executions join entry directly to exit; the
+      // odd/even unrolling boundary joins mid to exit.
+      aliasRegions(REntry, Region);
+      aliasRegions(RMid, Region);
+    }
+  }
+
+  void walkWhile(const OclWhileStmt *W) {
+    bool HasB = containsBarrier(W->body());
+    bool CondUni = UI.isUniformExpr(W->cond());
+    std::set<const OclVarDecl *> Assigned;
+    collectAssigned(W->body(), Assigned);
+
+    if (!CondUni)
+      ++DivergenceDepth;
+    unsigned REntry = Region;
+    size_t Mark = Facts.size();
+    unsigned RMid = REntry;
+    int Walks = HasB ? 2 : 1;
+    for (int I = 0; I < Walks; ++I) {
+      havoc(Assigned);
+      assumeCond(W->cond(), true);
+      walkStmt(W->body());
+      if (I == 0)
+        RMid = Region;
+    }
+    Facts.truncate(Mark);
+    havoc(Assigned);
+    if (!CondUni)
+      --DivergenceDepth;
+    if (Region != REntry) {
+      aliasRegions(REntry, Region);
+      aliasRegions(RMid, Region);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Race analysis
+  //===--------------------------------------------------------------------===//
+
+  bool sameRegion(unsigned A, unsigned B) const {
+    return A == B ||
+           RegionAlias.count({std::min(A, B), std::max(A, B)}) != 0;
+  }
+
+  static bool pathsExclusive(
+      const std::vector<std::pair<const OclStmt *, int>> &A,
+      const std::vector<std::pair<const OclStmt *, int>> &B) {
+    for (const auto &PA : A)
+      for (const auto &PB : B)
+        if (PA.first == PB.first && PA.second != PB.second)
+          return true;
+    return false;
+  }
+
+  unsigned renameSym(unsigned S, std::map<unsigned, unsigned> &M) {
+    if (!Syms.info(S).NonUniform)
+      return S;
+    auto It = M.find(S);
+    if (It != M.end())
+      return It->second;
+    unsigned NS = Syms.fresh(Syms.info(S).Name + "'", true,
+                             Syms.info(S).FromData);
+    Syms.info(NS).LsizeStride = Syms.info(S).LsizeStride;
+    M[S] = NS;
+    return NS;
+  }
+
+  LinExpr renameExpr(const LinExpr &E, std::map<unsigned, unsigned> &M) {
+    LinExpr R(E.Const);
+    for (const auto &KV : E.Coeffs)
+      R.addTerm(renameSym(KV.first, M), KV.second);
+    return R;
+  }
+
+  /// The mod-local-size congruence rule: with D = I1 - I2 built from
+  /// per-work-item lids and stride-of-local-size offsets only,
+  /// D = g*T + c0 where T == lid1 - lid2 (mod lsize) is nonzero for
+  /// distinct work-items of one group, so |D| stays away from the
+  /// collision window.
+  bool congruenceSafe(const LocalAccess &A, const LocalAccess &B) {
+    std::map<unsigned, unsigned> M1, M2;
+    unsigned L1 = renameSym(LID, M1);
+    unsigned L2 = renameSym(LID, M2);
+    LinExpr D = renameExpr(A.Index, M1) - renameExpr(B.Index, M2);
+
+    long long CL1 = 0, CL2 = 0;
+    std::vector<std::pair<unsigned, long long>> Strides;
+    for (const auto &KV : D.Coeffs) {
+      if (KV.first == L1)
+        CL1 = KV.second;
+      else if (KV.first == L2)
+        CL2 = KV.second;
+      else if (Syms.info(KV.first).LsizeStride)
+        Strides.push_back(KV);
+      else
+        return false;
+    }
+    if (CL1 == 0 || CL1 != -CL2)
+      return false;
+    long long G = CL1 < 0 ? -CL1 : CL1;
+    for (const auto &KV : Strides)
+      if (KV.second % G != 0)
+        return false;
+    long long W = std::max(A.Width, B.Width);
+    long long C0 = D.Const;
+    if (C0 == 0)
+      return W <= G;
+    long long R = ((C0 % G) + G) % G;
+    if (R == 0)
+      return false;
+    return std::min(R, G - R) >= W;
+  }
+
+  bool fmSafe(const LocalAccess &A, const LocalAccess &B) {
+    std::map<unsigned, unsigned> M1, M2;
+    unsigned L1 = renameSym(LID, M1);
+    unsigned L2 = renameSym(LID, M2);
+
+    std::vector<LinExpr> Base;
+    for (const LinExpr &F : A.Snapshot)
+      Base.push_back(renameExpr(F, M1));
+    for (const LinExpr &F : B.Snapshot)
+      Base.push_back(renameExpr(F, M2));
+    LinExpr I1 = renameExpr(A.Index, M1);
+    LinExpr I2 = renameExpr(B.Index, M2);
+
+    // Two work-items of the same group: gid1 - gid2 == lid1 - lid2.
+    if (M1.count(GID) && M2.count(GID)) {
+      LinExpr Link = LinExpr::sym(M1[GID]) - LinExpr::sym(M2[GID]);
+      Link -= LinExpr::sym(L1) - LinExpr::sym(L2);
+      Base.push_back(Link);
+      Base.push_back(Link.negated());
+    }
+
+    // Overlap of [I1, I1+W1) and [I2, I2+W2).
+    LinExpr Ov1 = I2;
+    Ov1.Const += static_cast<long long>(B.Width) - 1;
+    Ov1 -= I1; // I1 <= I2 + W2-1
+    LinExpr Ov2 = I1;
+    Ov2.Const += static_cast<long long>(A.Width) - 1;
+    Ov2 -= I2; // I2 <= I1 + W1-1
+
+    std::set<unsigned> Seed{L1, L2};
+    for (const auto &KV : I1.Coeffs)
+      Seed.insert(KV.first);
+    for (const auto &KV : I2.Coeffs)
+      Seed.insert(KV.first);
+
+    for (int Order = 0; Order < 2; ++Order) {
+      LinExpr Distinct = Order == 0 ? LinExpr::sym(L2) - LinExpr::sym(L1)
+                                    : LinExpr::sym(L1) - LinExpr::sym(L2);
+      Distinct.Const -= 1; // strict inequality
+      std::vector<LinExpr> Query = Base;
+      Query.push_back(Ov1);
+      Query.push_back(Ov2);
+      Query.push_back(Distinct);
+      if (!fmInfeasible(pruneToCone(std::move(Query), Seed)))
+        return false;
+    }
+    return true;
+  }
+
+  void raceAnalysis() {
+    std::set<std::tuple<unsigned, unsigned, unsigned, unsigned>> Reported;
+    for (size_t I = 0; I < LocalAccesses.size(); ++I) {
+      for (size_t J = I; J < LocalAccesses.size(); ++J) {
+        const LocalAccess &A = LocalAccesses[I];
+        const LocalAccess &B = LocalAccesses[J];
+        if (A.Array != B.Array)
+          continue;
+        if (!A.IsWrite && !B.IsWrite)
+          continue;
+        if (!sameRegion(A.Region, B.Region))
+          continue;
+        if (pathsExclusive(A.Path, B.Path))
+          continue;
+        if (congruenceSafe(A, B))
+          continue;
+        if (fmSafe(A, B))
+          continue;
+        auto Key = std::make_tuple(
+            std::min(A.Loc.Line, B.Loc.Line), std::min(A.Loc.Column, B.Loc.Column),
+            std::max(A.Loc.Line, B.Loc.Line), std::max(A.Loc.Column, B.Loc.Column));
+        if (!Reported.insert(Key).second)
+          continue;
+        std::ostringstream M;
+        M << "possible local-memory race on '" << A.Array->Name << "': "
+          << (A.IsWrite ? "write" : "read") << " of element "
+          << A.Index.str(Syms) << " may conflict with the "
+          << (B.IsWrite ? "write" : "read") << " at " << B.Loc.str()
+          << " by a different work-item in the same barrier interval";
+        Report.add(passes::LocalRace, DiagSeverity::Error, Kernel.name(),
+                   A.Loc, M.str());
+      }
+    }
+  }
+};
+
+} // namespace
+
+void lime::analysis::runSymbolicPasses(const OclProgramAST &,
+                                       const OclFunction &Kernel,
+                                       const CompiledKernel &Compiled,
+                                       const AnalysisOptions &Opts,
+                                       const UniformityInfo &UI,
+                                       AnalysisReport &Report) {
+  Walker W(Kernel, Compiled, Opts, UI, Report);
+  W.run();
+}

@@ -1,0 +1,39 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal interface between the verifier driver and the symbolic
+/// walker that implements the bounds, barrier-divergence and
+/// local-race passes (the plan audit is purely syntactic and lives in
+/// KernelVerifier.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_ANALYSIS_ABSTRACTINTERP_H
+#define LIMECC_ANALYSIS_ABSTRACTINTERP_H
+
+#include "analysis/Findings.h"
+#include "analysis/LinearFacts.h"
+#include "analysis/Uniformity.h"
+#include "compiler/GpuCompiler.h"
+#include "ocl/OclAST.h"
+
+namespace lime::analysis {
+
+struct AnalysisOptions; // KernelVerifier.h
+
+/// Runs the symbolic walk of \p Kernel (bounds + divergence + race
+/// detection) and appends findings to \p Report.
+void runSymbolicPasses(const ocl::OclProgramAST &Prog,
+                       const ocl::OclFunction &Kernel,
+                       const CompiledKernel &Compiled,
+                       const AnalysisOptions &Opts, const UniformityInfo &UI,
+                       AnalysisReport &Report);
+
+} // namespace lime::analysis
+
+#endif // LIMECC_ANALYSIS_ABSTRACTINTERP_H

@@ -1,0 +1,108 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable diagnostics for the kernel verifier. Each Finding
+/// names the pass that produced it, a severity, the kernel, and the
+/// source location *within the generated OpenCL text* — the same
+/// coordinates the ocl::VM reports when a runtime trap corroborates a
+/// static finding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_ANALYSIS_FINDINGS_H
+#define LIMECC_ANALYSIS_FINDINGS_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLocation.h"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lime::analysis {
+
+/// Stable pass identifiers (these appear in rendered diagnostics and
+/// CI greps; do not rename casually).
+namespace passes {
+inline constexpr const char *Parse = "parse";
+inline constexpr const char *Bounds = "bounds";
+inline constexpr const char *BarrierDivergence = "barrier-divergence";
+inline constexpr const char *LocalRace = "local-race";
+inline constexpr const char *PlanAudit = "plan-audit";
+} // namespace passes
+
+/// One verifier diagnostic.
+struct Finding {
+  std::string Pass;       // passes::* identifier
+  DiagSeverity Severity = DiagSeverity::Error;
+  std::string Kernel;     // kernel function name
+  SourceLocation Loc;     // position in the generated OpenCL source
+  std::string Message;
+
+  /// Renders one machine-readable line:
+  ///   <kernel>:<line>:<col>: <severity>: [<pass>] <message>
+  std::string str() const {
+    std::ostringstream S;
+    S << (Kernel.empty() ? "<unknown>" : Kernel) << ':' << Loc.Line << ':'
+      << Loc.Column << ": "
+      << (Severity == DiagSeverity::Error
+              ? "error"
+              : Severity == DiagSeverity::Warning ? "warning" : "note")
+      << ": [" << Pass << "] " << Message;
+    return S.str();
+  }
+};
+
+/// The result of verifying one compiled kernel.
+struct AnalysisReport {
+  std::vector<Finding> Findings;
+
+  void add(std::string Pass, DiagSeverity Sev, std::string Kernel,
+           SourceLocation Loc, std::string Message) {
+    Finding F;
+    F.Pass = std::move(Pass);
+    F.Severity = Sev;
+    F.Kernel = std::move(Kernel);
+    F.Loc = Loc;
+    F.Message = std::move(Message);
+    // Passes that walk loop bodies twice (cross-iteration race
+    // regions) can surface the same site twice; keep one.
+    for (const Finding &G : Findings)
+      if (G.Pass == F.Pass && G.Loc.Line == F.Loc.Line &&
+          G.Loc.Column == F.Loc.Column && G.Message == F.Message)
+        return;
+    Findings.push_back(std::move(F));
+  }
+
+  unsigned errorCount() const {
+    return static_cast<unsigned>(
+        std::count_if(Findings.begin(), Findings.end(), [](const Finding &F) {
+          return F.Severity == DiagSeverity::Error;
+        }));
+  }
+  unsigned warningCount() const {
+    return static_cast<unsigned>(
+        std::count_if(Findings.begin(), Findings.end(), [](const Finding &F) {
+          return F.Severity == DiagSeverity::Warning;
+        }));
+  }
+  bool ok() const { return errorCount() == 0; }
+
+  /// All findings, one rendered line each.
+  std::string str() const {
+    std::ostringstream S;
+    for (const Finding &F : Findings)
+      S << F.str() << '\n';
+    return S.str();
+  }
+};
+
+} // namespace lime::analysis
+
+#endif // LIMECC_ANALYSIS_FINDINGS_H

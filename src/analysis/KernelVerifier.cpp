@@ -1,0 +1,466 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Verifier entry point plus the plan-audit pass. The audit is purely
+/// syntactic: it re-parses the generated OpenCL and checks that the
+/// text actually implements what the KernelPlan promised — parameter
+/// address spaces, local-tile geometry (including the bank-conflict
+/// padding stride), vector-operation widths, and private-array sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/KernelVerifier.h"
+
+#include "analysis/AbstractInterp.h"
+#include "analysis/Uniformity.h"
+#include "ocl/OclParser.h"
+
+#include <sstream>
+
+using namespace lime;
+using namespace lime::analysis;
+using namespace lime::ocl;
+
+namespace {
+
+/// Flat index of every statement and expression in one function.
+struct AstIndex {
+  std::vector<const OclDeclStmt *> Decls;
+  std::vector<const OclExpr *> Exprs;
+
+  void stmt(const OclStmt *S) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case OclStmt::Kind::Compound:
+      for (const OclStmt *C : cast<OclCompoundStmt>(S)->stmts())
+        stmt(C);
+      break;
+    case OclStmt::Kind::Decl:
+      Decls.push_back(cast<OclDeclStmt>(S));
+      expr(cast<OclDeclStmt>(S)->init());
+      break;
+    case OclStmt::Kind::Expr:
+      expr(cast<OclExprStmt>(S)->expr());
+      break;
+    case OclStmt::Kind::If: {
+      auto *I = cast<OclIfStmt>(S);
+      expr(I->cond());
+      stmt(I->thenStmt());
+      stmt(I->elseStmt());
+      break;
+    }
+    case OclStmt::Kind::For: {
+      auto *F = cast<OclForStmt>(S);
+      stmt(F->init());
+      expr(F->cond());
+      expr(F->step());
+      stmt(F->body());
+      break;
+    }
+    case OclStmt::Kind::While: {
+      auto *W = cast<OclWhileStmt>(S);
+      expr(W->cond());
+      stmt(W->body());
+      break;
+    }
+    case OclStmt::Kind::Return:
+      expr(cast<OclReturnStmt>(S)->value());
+      break;
+    }
+  }
+
+  void expr(const OclExpr *E) {
+    if (!E)
+      return;
+    Exprs.push_back(E);
+    switch (E->kind()) {
+    case OclExpr::Kind::Unary:
+      expr(cast<OclUnary>(E)->sub());
+      break;
+    case OclExpr::Kind::Binary:
+      expr(cast<OclBinary>(E)->lhs());
+      expr(cast<OclBinary>(E)->rhs());
+      break;
+    case OclExpr::Kind::Assign:
+      expr(cast<OclAssign>(E)->target());
+      expr(cast<OclAssign>(E)->value());
+      break;
+    case OclExpr::Kind::Conditional:
+      expr(cast<OclConditional>(E)->cond());
+      expr(cast<OclConditional>(E)->thenExpr());
+      expr(cast<OclConditional>(E)->elseExpr());
+      break;
+    case OclExpr::Kind::Call:
+      for (const OclExpr *A : cast<OclCall>(E)->args())
+        expr(A);
+      break;
+    case OclExpr::Kind::Index:
+      expr(cast<OclIndex>(E)->base());
+      expr(cast<OclIndex>(E)->index());
+      break;
+    case OclExpr::Kind::Member:
+      expr(cast<OclMember>(E)->base());
+      break;
+    case OclExpr::Kind::Cast:
+      expr(cast<OclCast>(E)->sub());
+      break;
+    case OclExpr::Kind::VectorLit:
+      for (const OclExpr *El : cast<OclVectorLit>(E)->elems())
+        expr(El);
+      break;
+    default:
+      break;
+    }
+  }
+};
+
+const OclExpr *stripCasts(const OclExpr *E) {
+  while (const auto *C = dyn_cast_if_present<OclCast>(E))
+    E = C->sub();
+  return E;
+}
+
+const OclVarDecl *declOf(const OclExpr *E) {
+  if (const auto *V = dyn_cast_if_present<OclVarRef>(stripCasts(E)))
+    return V->decl();
+  return nullptr;
+}
+
+unsigned lanesOf(const OclType *Ty) {
+  if (const auto *VT = dyn_cast_if_present<VectorType>(Ty))
+    return VT->lanes();
+  return 1;
+}
+
+/// Scalar capacity of an array declaration.
+unsigned scalarCapacity(const OclArrayType *AT) {
+  return AT->count() * lanesOf(AT->element());
+}
+
+/// Splits an index expression into its top-level `+` addends.
+void addends(const OclExpr *E, std::vector<const OclExpr *> &Out) {
+  E = stripCasts(E);
+  if (const auto *B = dyn_cast_if_present<OclBinary>(E)) {
+    if (B->op() == OclBinOp::Add) {
+      addends(B->lhs(), Out);
+      addends(B->rhs(), Out);
+      return;
+    }
+  }
+  if (E)
+    Out.push_back(E);
+}
+
+/// If \p E is `x * C` or `C * x` with a constant C, returns true and
+/// sets \p C.
+bool mulByConst(const OclExpr *E, long long &C) {
+  const auto *B = dyn_cast_if_present<OclBinary>(stripCasts(E));
+  if (!B || B->op() != OclBinOp::Mul)
+    return false;
+  if (const auto *L = dyn_cast<OclIntLit>(stripCasts(B->lhs()))) {
+    C = L->value();
+    return true;
+  }
+  if (const auto *R = dyn_cast<OclIntLit>(stripCasts(B->rhs()))) {
+    C = R->value();
+    return true;
+  }
+  return false;
+}
+
+class PlanAudit {
+public:
+  PlanAudit(const OclFunction &F, const KernelPlan &Plan,
+            AnalysisReport &Report)
+      : F(F), Plan(Plan), Report(Report) {
+    Index.stmt(F.body());
+  }
+
+  void run() {
+    auditSignature();
+    auditTiles();
+    auditVectorOps();
+    auditPrivateArrays();
+  }
+
+private:
+  const OclFunction &F;
+  const KernelPlan &Plan;
+  AnalysisReport &Report;
+  AstIndex Index;
+
+  void error(SourceLocation Loc, const std::string &Msg) {
+    Report.add(passes::PlanAudit, DiagSeverity::Error, F.name(), Loc, Msg);
+  }
+
+  const OclVarDecl *findParam(const std::string &Name) const {
+    for (OclVarDecl *P : F.params())
+      if (P->Name == Name)
+        return P;
+    return nullptr;
+  }
+
+  void requirePointerParam(const std::string &Name, AddrSpace Space,
+                           const char *What) {
+    const OclVarDecl *P = findParam(Name);
+    const auto *PT = P ? dyn_cast<PointerType>(P->Ty) : nullptr;
+    if (!PT || PT->space() != Space) {
+      std::ostringstream M;
+      M << "plan places " << What << " '" << Name << "' in "
+        << (Space == AddrSpace::Global
+                ? "__global"
+                : Space == AddrSpace::Constant
+                      ? "__constant"
+                      : Space == AddrSpace::Local ? "__local" : "__private")
+        << " memory, but the kernel has no such pointer parameter";
+      error(F.loc(), M.str());
+    }
+  }
+
+  void auditSignature() {
+    for (const KernelArray &A : Plan.Arrays) {
+      if (A.IsOutput) {
+        requirePointerParam("out", AddrSpace::Global, "the output buffer");
+        continue;
+      }
+      switch (A.Space) {
+      case MemSpace::Image: {
+        const OclVarDecl *P = findParam("img_" + A.CName);
+        if (!P || !isa<ImageType>(P->Ty))
+          error(F.loc(), "plan places input '" + A.CName +
+                             "' in texture memory, but the kernel has no "
+                             "image parameter 'img_" +
+                             A.CName + "'");
+        break;
+      }
+      case MemSpace::Constant:
+        requirePointerParam(A.CName, AddrSpace::Constant, "input");
+        break;
+      case MemSpace::Global:
+      case MemSpace::LocalTiled:
+        // Tiled inputs still arrive through a __global pointer; the
+        // kernel stages them into the __local tile itself.
+        requirePointerParam(A.CName, AddrSpace::Global, "input");
+        break;
+      }
+    }
+    if (Plan.Kind == KernelKind::Reduce)
+      requirePointerParam("scratch", AddrSpace::Local,
+                          "the reduction scratch buffer");
+  }
+
+  const OclVarDecl *findTileDecl(const std::string &CName) const {
+    std::string Want = "tile_" + CName;
+    for (const OclDeclStmt *D : Index.Decls)
+      if (D->decl()->Name == Want && isa<OclArrayType>(D->decl()->Ty) &&
+          D->decl()->Space == AddrSpace::Local)
+        return D->decl();
+    return nullptr;
+  }
+
+  void auditTiles() {
+    for (const KernelArray &A : Plan.Arrays) {
+      if (A.Space != MemSpace::LocalTiled)
+        continue;
+      const OclVarDecl *Tile = findTileDecl(A.CName);
+      if (!Tile) {
+        error(F.loc(), "plan tiles input '" + A.CName +
+                           "' into local memory, but the kernel declares "
+                           "no '__local ... tile_" +
+                           A.CName + "[]'");
+        continue;
+      }
+      unsigned Want = A.TileRows * A.RowStride;
+      unsigned Got = scalarCapacity(cast<OclArrayType>(Tile->Ty));
+      if (Got != Want) {
+        std::ostringstream M;
+        M << "local tile 'tile_" << A.CName << "' holds " << Got
+          << " scalars but the plan's tiling (" << A.TileRows << " rows x "
+          << A.RowStride
+          << "-scalar stride, bank-conflict padding included) requires "
+          << Want;
+        error(Tile->Loc, M.str());
+      }
+
+      // Every constant row multiplier in a tile index must be the
+      // planned (possibly padded) row stride.
+      for (const OclExpr *E : Index.Exprs) {
+        const auto *IX = dyn_cast<OclIndex>(E);
+        if (!IX || declOf(IX->base()) != Tile)
+          continue;
+        std::vector<const OclExpr *> Parts;
+        addends(IX->index(), Parts);
+        for (const OclExpr *Part : Parts) {
+          long long C = 0;
+          if (mulByConst(Part, C) &&
+              C != static_cast<long long>(A.RowStride)) {
+            std::ostringstream M;
+            M << "tile 'tile_" << A.CName << "' is indexed with row stride "
+              << C << " but the plan laid rows out " << A.RowStride
+              << " scalars apart"
+              << (A.RowStride != A.rowScalars()
+                      ? " (bank-conflict padding applied)"
+                      : "");
+            error(IX->loc(), M.str());
+          }
+        }
+      }
+    }
+  }
+
+  void auditVectorOps() {
+    for (const OclExpr *E : Index.Exprs) {
+      const auto *C = dyn_cast<OclCall>(E);
+      if (!C)
+        continue;
+      unsigned W = 0;
+      const OclExpr *Ptr = nullptr;
+      switch (C->builtin()) {
+      case OclBuiltin::VLoad2:
+      case OclBuiltin::VLoad4:
+        W = C->builtin() == OclBuiltin::VLoad2 ? 2 : 4;
+        Ptr = C->args().size() > 1 ? C->args()[1] : nullptr;
+        break;
+      case OclBuiltin::VStore2:
+      case OclBuiltin::VStore4:
+        W = C->builtin() == OclBuiltin::VStore2 ? 2 : 4;
+        Ptr = C->args().size() > 2 ? C->args()[2] : nullptr;
+        break;
+      default:
+        continue;
+      }
+      const OclVarDecl *D = declOf(Ptr);
+      if (!D)
+        continue;
+
+      // Vector ops against the local tile must match the row stride
+      // exactly (a padded tile has no contiguous rows to vectorize).
+      bool Matched = false;
+      for (const KernelArray &A : Plan.Arrays) {
+        if (A.Space == MemSpace::LocalTiled &&
+            D == findTileDecl(A.CName)) {
+          Matched = true;
+          if (W != A.RowStride)
+            error(C->loc(), "vector width-" + std::to_string(W) +
+                                " access to padded tile 'tile_" + A.CName +
+                                "' (row stride " +
+                                std::to_string(A.RowStride) + ")");
+        }
+      }
+      if (Matched || !D->IsParam)
+        continue;
+
+      if (D->Name == "out") {
+        const KernelArray *Out = Plan.output();
+        if (!Out || !Out->Vectorized || W != Plan.OutScalars)
+          error(C->loc(), "vector width-" + std::to_string(W) +
+                              " store to 'out' but the plan emits " +
+                              std::to_string(Plan.OutScalars) +
+                              " scalar(s) per element" +
+                              (Out && Out->Vectorized
+                                   ? ""
+                                   : " and did not vectorize the output"));
+        continue;
+      }
+      for (const KernelArray &A : Plan.Arrays) {
+        if (A.IsOutput || A.CName != D->Name)
+          continue;
+        if (!A.Vectorized || A.rowScalars() % W != 0)
+          error(C->loc(),
+                "vector width-" + std::to_string(W) + " access to '" +
+                    A.CName + "' but the plan's row is " +
+                    std::to_string(A.rowScalars()) + " scalar(s)" +
+                    (A.Vectorized ? "" : " and was not vectorized"));
+      }
+    }
+  }
+
+  void auditPrivateArrays() {
+    // Every private array the memory optimizer budgeted (within
+    // PrivateBytesLimit) must appear with the same scalar capacity.
+    std::vector<const OclDeclStmt *> Privates;
+    for (const OclDeclStmt *D : Index.Decls)
+      if (isa<OclArrayType>(D->decl()->Ty) &&
+          D->decl()->Space == AddrSpace::Private)
+        Privates.push_back(D);
+    std::vector<bool> Used(Privates.size(), false);
+    for (const PrivateArray &PA : Plan.PrivateArrays) {
+      bool Found = false;
+      for (size_t I = 0; I < Privates.size(); ++I) {
+        if (Used[I])
+          continue;
+        if (scalarCapacity(cast<OclArrayType>(Privates[I]->decl()->Ty)) ==
+            PA.Scalars) {
+          Used[I] = true;
+          Found = true;
+          break;
+        }
+      }
+      if (!Found) {
+        std::ostringstream M;
+        M << "plan keeps a " << PA.Scalars
+          << "-scalar array in private memory, but no private array "
+             "declaration of that size exists in the kernel";
+        error(F.loc(), M.str());
+      }
+    }
+  }
+};
+
+} // namespace
+
+AnalysisReport lime::analysis::analyzeKernel(const CompiledKernel &Kernel,
+                                             const AnalysisOptions &Opts) {
+  AnalysisReport Report;
+  const std::string &Name =
+      Kernel.Plan.KernelName.empty() ? "<kernel>" : Kernel.Plan.KernelName;
+  if (!Kernel.Ok) {
+    Report.add(passes::Parse, DiagSeverity::Error, Name, SourceLocation(),
+               "kernel did not compile: " + Kernel.Error);
+    return Report;
+  }
+
+  // Deliberately re-parse the emitted text: the verifier certifies
+  // what would be handed to a vendor OpenCL compiler, not the
+  // emitter's in-memory intent.
+  OclContext Ctx;
+  DiagnosticEngine Diags;
+  OclParser Parser(Kernel.Source, Ctx, Diags);
+  OclProgramAST *AST = Parser.parseProgram();
+  if (Diags.hasErrors() || !AST) {
+    for (const Diagnostic &D : Diags.diagnostics())
+      if (D.Severity == DiagSeverity::Error)
+        Report.add(passes::Parse, DiagSeverity::Error, Name, D.Loc,
+                   D.Message);
+    if (Report.Findings.empty())
+      Report.add(passes::Parse, DiagSeverity::Error, Name, SourceLocation(),
+                 "generated OpenCL failed to parse");
+    return Report;
+  }
+
+  const OclFunction *F = AST->findFunction(Kernel.Plan.KernelName);
+  if (!F || !F->isKernel()) {
+    F = nullptr;
+    for (OclFunction *Cand : AST->functions())
+      if (Cand->isKernel()) {
+        F = Cand;
+        break;
+      }
+  }
+  if (!F) {
+    Report.add(passes::Parse, DiagSeverity::Error, Name, SourceLocation(),
+               "generated OpenCL contains no __kernel function");
+    return Report;
+  }
+
+  UniformityInfo UI(*AST, *F);
+  runSymbolicPasses(*AST, *F, Kernel, Opts, UI, Report);
+  PlanAudit(*F, Kernel.Plan, Report).run();
+  return Report;
+}

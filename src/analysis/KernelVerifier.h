@@ -1,0 +1,59 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kernel verifier: a static-analysis pass suite over the OpenCL
+/// the GPU compiler just emitted, cross-checked against its
+/// KernelPlan. The paper's §4.1 argument is that Lime's language-level
+/// invariants make offloading safe *without* alias analysis; this
+/// module independently certifies the half the compiler itself is
+/// responsible for — every memory-optimizer decision (placement,
+/// padding, vectorization, tiling) must yield code whose accesses are
+/// provably in bounds, whose barriers are uniformly reached, and whose
+/// local-memory use is race free.
+///
+/// Passes (see Findings.h for the stable ids):
+///   bounds              in-bounds proof for every indexed access
+///   barrier-divergence  barrier() under work-item-dependent control
+///   local-race          same-element local accesses by distinct
+///                       work-items without an intervening barrier
+///   plan-audit          plan vs. emitted code (spaces, padding,
+///                       vector widths)
+///
+/// Severity: failures the compiler controls are errors; accesses whose
+/// bound depends on application data the compiler never sees
+/// (data-dependent indices, extra input arrays of unknown length) are
+/// warnings — the VM bounds-checks those at runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_ANALYSIS_KERNELVERIFIER_H
+#define LIMECC_ANALYSIS_KERNELVERIFIER_H
+
+#include "analysis/Findings.h"
+#include "compiler/GpuCompiler.h"
+
+namespace lime::analysis {
+
+struct AnalysisOptions {
+  /// Concrete work-group size to assume (0 = fully symbolic; the
+  /// offload service passes the launch's actual local size).
+  unsigned LocalSize = 0;
+  /// Upper bound on the number of work-groups (0 = unbounded).
+  unsigned MaxGroups = 0;
+};
+
+/// Runs every pass over \p Kernel (its generated Source is re-parsed;
+/// the verifier deliberately checks the emitted text, not the
+/// compiler's in-memory intent). Returns all findings; callers gate on
+/// errorCount().
+AnalysisReport analyzeKernel(const CompiledKernel &Kernel,
+                             const AnalysisOptions &Opts = AnalysisOptions());
+
+} // namespace lime::analysis
+
+#endif // LIMECC_ANALYSIS_KERNELVERIFIER_H

@@ -1,0 +1,221 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LinearFacts.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+using namespace lime::analysis;
+
+std::string LinExpr::str(const SymbolTable &Syms) const {
+  std::ostringstream S;
+  bool First = true;
+  for (const auto &KV : Coeffs) {
+    long long C = KV.second;
+    if (First) {
+      if (C < 0)
+        S << '-';
+      First = false;
+    } else {
+      S << (C < 0 ? " - " : " + ");
+    }
+    long long A = C < 0 ? -C : C;
+    if (A != 1)
+      S << A << '*';
+    S << (KV.first < Syms.size() ? Syms.info(KV.first).Name
+                                 : "s" + std::to_string(KV.first));
+  }
+  if (First) {
+    S << Const;
+  } else if (Const != 0) {
+    S << (Const < 0 ? " - " : " + ") << (Const < 0 ? -Const : Const);
+  }
+  return S.str();
+}
+
+namespace {
+
+constexpr long long kCoeffLimit = 1ll << 60; // reject anything near overflow
+
+/// Integer-tightens one fact in place: divide coefficients by their
+/// gcd g and floor the constant (sound because all symbols are
+/// integers:  g*sum >= -c  ⇒  sum >= ceil(-c/g)  ⇒  sum + floor(c/g) >= 0).
+/// Returns false iff the fact is a constant contradiction.
+bool normalizeFact(LinExpr &F) {
+  if (F.Coeffs.empty())
+    return F.Const >= 0;
+  long long G = 0;
+  for (const auto &KV : F.Coeffs)
+    G = std::gcd(G, KV.second < 0 ? -KV.second : KV.second);
+  if (G > 1) {
+    for (auto &KV : F.Coeffs)
+      KV.second /= G;
+    // floor division of Const by G
+    long long Q = F.Const / G;
+    if (F.Const % G != 0 && F.Const < 0)
+      --Q;
+    F.Const = Q;
+  }
+  return true;
+}
+
+/// |n|*P + p*N with overflow checking; false on overflow.
+bool combine(const LinExpr &P, long long PC, const LinExpr &N, long long NC,
+             LinExpr &Out) {
+  // PC > 0 is P's coefficient of the eliminated var, NC < 0 is N's.
+  __int128 MulP = -NC, MulN = PC;
+  LinExpr R;
+  __int128 C = MulP * P.Const + MulN * N.Const;
+  if (C > kCoeffLimit || C < -kCoeffLimit)
+    return false;
+  R.Const = static_cast<long long>(C);
+  auto AddAll = [&R](const LinExpr &E, __int128 Mul) -> bool {
+    for (const auto &KV : E.Coeffs) {
+      __int128 V = Mul * KV.second;
+      if (V > kCoeffLimit || V < -kCoeffLimit)
+        return false;
+      __int128 Sum = static_cast<__int128>(R.coeff(KV.first)) + V;
+      if (Sum > kCoeffLimit || Sum < -kCoeffLimit)
+        return false;
+      if (Sum == 0)
+        R.Coeffs.erase(KV.first);
+      else
+        R.Coeffs[KV.first] = static_cast<long long>(Sum);
+    }
+    return true;
+  };
+  if (!AddAll(P, MulP) || !AddAll(N, MulN))
+    return false;
+  Out = std::move(R);
+  return true;
+}
+
+} // namespace
+
+bool lime::analysis::fmInfeasible(std::vector<LinExpr> Facts) {
+  // Caps keep the elimination polynomial in practice; exceeding one
+  // means "cannot decide" and we answer false (not proven infeasible).
+  constexpr size_t MaxFacts = 4096;
+  constexpr size_t MaxRounds = 96;
+
+  for (size_t Round = 0; Round < MaxRounds; ++Round) {
+    // Normalize, drop trivial truths and duplicates, spot constant
+    // contradictions.
+    std::vector<LinExpr> Clean;
+    std::set<std::pair<long long, std::map<unsigned, long long>>> Seen;
+    for (LinExpr &F : Facts) {
+      if (!normalizeFact(F))
+        return true; // constant c with c < 0
+      if (F.Coeffs.empty())
+        continue; // constant truth
+      if (Seen.insert({F.Const, F.Coeffs}).second)
+        Clean.push_back(std::move(F));
+    }
+    Facts = std::move(Clean);
+    if (Facts.empty())
+      return false; // all facts satisfied trivially
+    if (Facts.size() > MaxFacts)
+      return false; // give up
+
+    // Pair-wise contradiction shortcut:  e >= 0  and  -e - k >= 0 with
+    // k > 0 (normalizeFact already folds this into the combine below,
+    // but checking cheap singletons first avoids one full round).
+
+    // Choose the variable with the fewest pos*neg combinations
+    // (classic Fourier heuristic).
+    std::map<unsigned, std::pair<size_t, size_t>> Occ; // var -> (pos, neg)
+    for (const LinExpr &F : Facts)
+      for (const auto &KV : F.Coeffs) {
+        auto &PN = Occ[KV.first];
+        (KV.second > 0 ? PN.first : PN.second)++;
+      }
+    if (Occ.empty())
+      return false;
+
+    unsigned Best = Occ.begin()->first;
+    long long BestScore = -1;
+    for (const auto &KV : Occ) {
+      long long Score =
+          static_cast<long long>(KV.second.first) * KV.second.second;
+      if (BestScore < 0 || Score < BestScore) {
+        Best = KV.first;
+        BestScore = Score;
+      }
+    }
+
+    std::vector<LinExpr> Next;
+    std::vector<const LinExpr *> Pos, Neg;
+    for (const LinExpr &F : Facts) {
+      long long C = F.coeff(Best);
+      if (C > 0)
+        Pos.push_back(&F);
+      else if (C < 0)
+        Neg.push_back(&F);
+      else
+        Next.push_back(F);
+    }
+    if (Pos.size() * Neg.size() + Next.size() > MaxFacts)
+      return false; // combination blow-up: give up
+    for (const LinExpr *P : Pos)
+      for (const LinExpr *N : Neg) {
+        LinExpr R;
+        if (!combine(*P, P->coeff(Best), *N, N->coeff(Best), R))
+          continue; // dropping a fact only weakens: still sound
+        Next.push_back(std::move(R));
+      }
+    Facts = std::move(Next);
+    if (Facts.empty())
+      return false;
+  }
+  return false; // round cap: give up
+}
+
+bool FactSet::infeasible() const { return fmInfeasible(Facts); }
+
+std::vector<LinExpr> lime::analysis::pruneToCone(std::vector<LinExpr> Facts,
+                                                 std::set<unsigned> Seed) {
+  std::vector<LinExpr> Kept;
+  std::vector<bool> Used(Facts.size(), false);
+  bool Grew = true;
+  while (Grew) {
+    Grew = false;
+    for (size_t I = 0; I < Facts.size(); ++I) {
+      if (Used[I])
+        continue;
+      bool Touches = Facts[I].Coeffs.empty();
+      for (const auto &KV : Facts[I].Coeffs)
+        if (Seed.count(KV.first)) {
+          Touches = true;
+          break;
+        }
+      if (!Touches)
+        continue;
+      Used[I] = true;
+      Grew = true;
+      for (const auto &KV : Facts[I].Coeffs)
+        Seed.insert(KV.first);
+      Kept.push_back(Facts[I]);
+    }
+  }
+  return Kept;
+}
+
+bool FactSet::entails(const LinExpr &E) const {
+  // E >= 0 holds everywhere iff Facts ∧ (E <= -1) is infeasible.
+  std::vector<LinExpr> Query = Facts;
+  LinExpr Neg = E.negated();
+  Neg.Const -= 1; // -E - 1 >= 0  ⇔  E <= -1
+  Query.push_back(std::move(Neg));
+  std::set<unsigned> Seed;
+  for (const auto &KV : E.Coeffs)
+    Seed.insert(KV.first);
+  return fmInfeasible(pruneToCone(std::move(Query), std::move(Seed)));
+}

@@ -1,0 +1,182 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The relational fact engine behind the kernel verifier's bounds and
+/// race passes. Facts are linear inequalities `e >= 0` over integer
+/// symbols (work-item ids, launch parameters, array lengths, loop
+/// offsets); entailment is decided by Fourier–Motzkin elimination with
+/// integer (gcd) tightening. Everything is conservative: when the
+/// engine gives up (size caps, potential overflow) it simply fails to
+/// prove, it never proves something false.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_ANALYSIS_LINEARFACTS_H
+#define LIMECC_ANALYSIS_LINEARFACTS_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lime::analysis {
+
+class SymbolTable;
+
+/// Per-symbol metadata the analyses key off.
+struct SymInfo {
+  std::string Name;
+  /// Value may differ between two work-items of the same launch
+  /// (get_global_id, get_local_id, and anything derived from them).
+  bool NonUniform = false;
+  /// Value originates in application data (loaded from a buffer), so
+  /// bounds failures involving it are the app's doing, not the
+  /// compiler's.
+  bool FromData = false;
+  /// Value is provably a multiple of get_local_size(0) — set for loop
+  /// offsets whose step is exactly the local size, and consumed by the
+  /// race detector's congruence rule.
+  bool LsizeStride = false;
+};
+
+/// Symbols are dense indices into a per-kernel table.
+class SymbolTable {
+public:
+  unsigned fresh(std::string Name, bool NonUniform = false,
+                 bool FromData = false) {
+    SymInfo I;
+    I.Name = std::move(Name);
+    I.NonUniform = NonUniform;
+    I.FromData = FromData;
+    Syms.push_back(std::move(I));
+    return static_cast<unsigned>(Syms.size() - 1);
+  }
+  SymInfo &info(unsigned Id) { return Syms[Id]; }
+  const SymInfo &info(unsigned Id) const { return Syms[Id]; }
+  size_t size() const { return Syms.size(); }
+
+private:
+  std::vector<SymInfo> Syms;
+};
+
+/// A linear expression  Const + sum(Coeffs[s] * s)  over symbols.
+class LinExpr {
+public:
+  LinExpr() = default;
+  explicit LinExpr(long long C) : Const(C) {}
+
+  static LinExpr sym(unsigned Id, long long Coeff = 1) {
+    LinExpr E;
+    if (Coeff != 0)
+      E.Coeffs[Id] = Coeff;
+    return E;
+  }
+
+  long long Const = 0;
+  std::map<unsigned, long long> Coeffs; // symbol -> coefficient; no zeros
+
+  bool isConst() const { return Coeffs.empty(); }
+  long long coeff(unsigned Id) const {
+    auto It = Coeffs.find(Id);
+    return It == Coeffs.end() ? 0 : It->second;
+  }
+  void addTerm(unsigned Id, long long C) {
+    if (C == 0)
+      return;
+    long long &Slot = Coeffs[Id];
+    Slot += C;
+    if (Slot == 0)
+      Coeffs.erase(Id);
+  }
+
+  LinExpr &operator+=(const LinExpr &R) {
+    Const += R.Const;
+    for (const auto &KV : R.Coeffs)
+      addTerm(KV.first, KV.second);
+    return *this;
+  }
+  LinExpr &operator-=(const LinExpr &R) {
+    Const -= R.Const;
+    for (const auto &KV : R.Coeffs)
+      addTerm(KV.first, -KV.second);
+    return *this;
+  }
+  friend LinExpr operator+(LinExpr A, const LinExpr &B) { return A += B; }
+  friend LinExpr operator-(LinExpr A, const LinExpr &B) { return A -= B; }
+
+  LinExpr scaled(long long K) const {
+    LinExpr E;
+    E.Const = Const * K;
+    if (K != 0)
+      for (const auto &KV : Coeffs)
+        E.Coeffs[KV.first] = KV.second * K;
+    return E;
+  }
+  LinExpr negated() const { return scaled(-1); }
+
+  bool operator==(const LinExpr &R) const {
+    return Const == R.Const && Coeffs == R.Coeffs;
+  }
+
+  /// Human-readable form for diagnostics, e.g. "i + 2*lid - 1".
+  std::string str(const SymbolTable &Syms) const;
+};
+
+/// A conjunction of facts `e >= 0`. Supports scoped growth: callers
+/// snapshot size() before entering a region and truncate() on exit.
+class FactSet {
+public:
+  /// Record  E >= 0.
+  void assume(LinExpr E) { Facts.push_back(std::move(E)); }
+  /// Record  A == B  (as two inequalities).
+  void assumeEq(const LinExpr &A, const LinExpr &B) {
+    Facts.push_back(A - B);
+    Facts.push_back(B - A);
+  }
+
+  /// Proves  E >= 0  holds in every model of the facts (sound; may
+  /// return false on true-but-hard queries).
+  bool entails(const LinExpr &E) const;
+  /// Proves  A == B.
+  bool entailsEq(const LinExpr &A, const LinExpr &B) const {
+    return entails(A - B) && entails(B - A);
+  }
+
+  /// Whether the conjunction provably has no integer model. The
+  /// negative answer means "could not prove infeasible", not
+  /// "satisfiable".
+  bool infeasible() const;
+
+  size_t size() const { return Facts.size(); }
+  void truncate(size_t N) {
+    if (N < Facts.size())
+      Facts.resize(N);
+  }
+  const std::vector<LinExpr> &facts() const { return Facts; }
+  std::vector<LinExpr> &facts() { return Facts; }
+
+private:
+  std::vector<LinExpr> Facts;
+};
+
+/// Decides whether the conjunction of \p Facts (each `>= 0`) has no
+/// integer solution, by Fourier–Motzkin elimination with gcd
+/// tightening. Returns false when size caps force it to give up.
+bool fmInfeasible(std::vector<LinExpr> Facts);
+
+/// Keeps only the facts transitively connected (through shared
+/// symbols) to \p Seed, plus constant facts. Dropping facts weakens
+/// the conjunction, so infeasibility of the pruned system implies
+/// infeasibility of the full one — and the elimination stays small.
+std::vector<LinExpr> pruneToCone(std::vector<LinExpr> Facts,
+                                 std::set<unsigned> Seed);
+
+} // namespace lime::analysis
+
+#endif // LIMECC_ANALYSIS_LINEARFACTS_H

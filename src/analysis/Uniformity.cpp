@@ -1,0 +1,298 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Uniformity.h"
+
+using namespace lime;
+using namespace lime::analysis;
+using namespace lime::ocl;
+
+UniformityInfo::UniformityInfo(const OclProgramAST &, const OclFunction &Kernel) {
+  // Classic taint fixpoint: control-dependence taints assignments, so
+  // rerun until no variable changes state.
+  do {
+    Changed = false;
+    if (Kernel.body())
+      taintStmt(Kernel.body(), /*Divergent=*/false);
+  } while (Changed);
+}
+
+void UniformityInfo::taint(const OclVarDecl *D) {
+  if (D && Tainted.insert(D).second)
+    Changed = true;
+}
+
+bool UniformityInfo::fnUsesIds(const OclFunction *F) const {
+  auto It = UsesIds.find(F);
+  if (It != UsesIds.end())
+    return It->second > 0;
+  UsesIds[F] = -1; // recursion guard (OpenCL C forbids it anyway)
+
+  bool Found = false;
+  // Syntactic scan of the body for work-item id reads, through calls.
+  struct Scan {
+    const UniformityInfo *Self;
+    bool *Found;
+    void stmt(const OclStmt *S) {
+      if (!S || *Found)
+        return;
+      switch (S->kind()) {
+      case OclStmt::Kind::Compound:
+        for (const OclStmt *C : cast<OclCompoundStmt>(S)->stmts())
+          stmt(C);
+        break;
+      case OclStmt::Kind::Decl:
+        expr(cast<OclDeclStmt>(S)->init());
+        break;
+      case OclStmt::Kind::Expr:
+        expr(cast<OclExprStmt>(S)->expr());
+        break;
+      case OclStmt::Kind::If: {
+        auto *I = cast<OclIfStmt>(S);
+        expr(I->cond());
+        stmt(I->thenStmt());
+        stmt(I->elseStmt());
+        break;
+      }
+      case OclStmt::Kind::For: {
+        auto *F = cast<OclForStmt>(S);
+        stmt(F->init());
+        expr(F->cond());
+        expr(F->step());
+        stmt(F->body());
+        break;
+      }
+      case OclStmt::Kind::While: {
+        auto *W = cast<OclWhileStmt>(S);
+        expr(W->cond());
+        stmt(W->body());
+        break;
+      }
+      case OclStmt::Kind::Return:
+        expr(cast<OclReturnStmt>(S)->value());
+        break;
+      }
+    }
+    void expr(const OclExpr *E) {
+      if (!E || *Found)
+        return;
+      switch (E->kind()) {
+      case OclExpr::Kind::Call: {
+        auto *C = cast<OclCall>(E);
+        if (C->builtin() == OclBuiltin::GetGlobalId ||
+            C->builtin() == OclBuiltin::GetLocalId) {
+          *Found = true;
+          return;
+        }
+        if (C->function())
+          *Found = *Found || Self->fnUsesIds(C->function());
+        for (const OclExpr *A : C->args())
+          expr(A);
+        break;
+      }
+      case OclExpr::Kind::Unary:
+        expr(cast<OclUnary>(E)->sub());
+        break;
+      case OclExpr::Kind::Binary:
+        expr(cast<OclBinary>(E)->lhs());
+        expr(cast<OclBinary>(E)->rhs());
+        break;
+      case OclExpr::Kind::Assign:
+        expr(cast<OclAssign>(E)->target());
+        expr(cast<OclAssign>(E)->value());
+        break;
+      case OclExpr::Kind::Conditional:
+        expr(cast<OclConditional>(E)->cond());
+        expr(cast<OclConditional>(E)->thenExpr());
+        expr(cast<OclConditional>(E)->elseExpr());
+        break;
+      case OclExpr::Kind::Index:
+        expr(cast<OclIndex>(E)->base());
+        expr(cast<OclIndex>(E)->index());
+        break;
+      case OclExpr::Kind::Member:
+        expr(cast<OclMember>(E)->base());
+        break;
+      case OclExpr::Kind::Cast:
+        expr(cast<OclCast>(E)->sub());
+        break;
+      case OclExpr::Kind::VectorLit:
+        for (const OclExpr *El : cast<OclVectorLit>(E)->elems())
+          expr(El);
+        break;
+      default:
+        break;
+      }
+    }
+  } Scanner{this, &Found};
+  Scanner.stmt(F->body());
+  UsesIds[F] = Found ? 1 : 0;
+  return Found;
+}
+
+bool UniformityInfo::isUniformExpr(const OclExpr *E) const {
+  if (!E)
+    return true;
+  switch (E->kind()) {
+  case OclExpr::Kind::IntLit:
+  case OclExpr::Kind::FloatLit:
+    return true;
+  case OclExpr::Kind::VarRef:
+    return !isTainted(cast<OclVarRef>(E)->decl());
+  case OclExpr::Kind::Unary:
+    return isUniformExpr(cast<OclUnary>(E)->sub());
+  case OclExpr::Kind::Binary:
+    return isUniformExpr(cast<OclBinary>(E)->lhs()) &&
+           isUniformExpr(cast<OclBinary>(E)->rhs());
+  case OclExpr::Kind::Assign:
+    // The value of an assignment expression is the stored value.
+    return isUniformExpr(cast<OclAssign>(E)->value());
+  case OclExpr::Kind::Conditional: {
+    auto *C = cast<OclConditional>(E);
+    return isUniformExpr(C->cond()) && isUniformExpr(C->thenExpr()) &&
+           isUniformExpr(C->elseExpr());
+  }
+  case OclExpr::Kind::Call: {
+    auto *C = cast<OclCall>(E);
+    if (C->builtin() == OclBuiltin::GetGlobalId ||
+        C->builtin() == OclBuiltin::GetLocalId)
+      return false;
+    if (C->function() && fnUsesIds(C->function()))
+      return false;
+    for (const OclExpr *A : C->args())
+      if (!isUniformExpr(A))
+        return false;
+    return true;
+  }
+  case OclExpr::Kind::Index:
+    // A load is uniform when all work-items address the same element
+    // (pointer parameters themselves are launch-uniform).
+    return isUniformExpr(cast<OclIndex>(E)->base()) &&
+           isUniformExpr(cast<OclIndex>(E)->index());
+  case OclExpr::Kind::Member:
+    return isUniformExpr(cast<OclMember>(E)->base());
+  case OclExpr::Kind::Cast:
+    return isUniformExpr(cast<OclCast>(E)->sub());
+  case OclExpr::Kind::VectorLit:
+    for (const OclExpr *El : cast<OclVectorLit>(E)->elems())
+      if (!isUniformExpr(El))
+        return false;
+    return true;
+  }
+  return false;
+}
+
+void UniformityInfo::taintExpr(const OclExpr *E, bool Divergent) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case OclExpr::Kind::Assign: {
+    auto *A = cast<OclAssign>(E);
+    taintExpr(A->value(), Divergent);
+    taintExpr(A->target(), Divergent);
+    if (auto *V = dyn_cast<OclVarRef>(A->target()))
+      if (Divergent || !isUniformExpr(A->value()) ||
+          (A->isCompound() && isTainted(V->decl())))
+        taint(V->decl());
+    break;
+  }
+  case OclExpr::Kind::Unary: {
+    auto *U = cast<OclUnary>(E);
+    taintExpr(U->sub(), Divergent);
+    bool IsIncDec = U->op() == OclUnaryOp::PreInc ||
+                    U->op() == OclUnaryOp::PreDec ||
+                    U->op() == OclUnaryOp::PostInc ||
+                    U->op() == OclUnaryOp::PostDec;
+    if (IsIncDec && Divergent)
+      if (auto *V = dyn_cast<OclVarRef>(U->sub()))
+        taint(V->decl());
+    break;
+  }
+  case OclExpr::Kind::Binary:
+    taintExpr(cast<OclBinary>(E)->lhs(), Divergent);
+    taintExpr(cast<OclBinary>(E)->rhs(), Divergent);
+    break;
+  case OclExpr::Kind::Conditional: {
+    auto *C = cast<OclConditional>(E);
+    taintExpr(C->cond(), Divergent);
+    bool D2 = Divergent || !isUniformExpr(C->cond());
+    taintExpr(C->thenExpr(), D2);
+    taintExpr(C->elseExpr(), D2);
+    break;
+  }
+  case OclExpr::Kind::Call:
+    for (const OclExpr *A : cast<OclCall>(E)->args())
+      taintExpr(A, Divergent);
+    break;
+  case OclExpr::Kind::Index:
+    taintExpr(cast<OclIndex>(E)->base(), Divergent);
+    taintExpr(cast<OclIndex>(E)->index(), Divergent);
+    break;
+  case OclExpr::Kind::Member:
+    taintExpr(cast<OclMember>(E)->base(), Divergent);
+    break;
+  case OclExpr::Kind::Cast:
+    taintExpr(cast<OclCast>(E)->sub(), Divergent);
+    break;
+  case OclExpr::Kind::VectorLit:
+    for (const OclExpr *El : cast<OclVectorLit>(E)->elems())
+      taintExpr(El, Divergent);
+    break;
+  default:
+    break;
+  }
+}
+
+void UniformityInfo::taintStmt(const OclStmt *S, bool Divergent) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case OclStmt::Kind::Compound:
+    for (const OclStmt *C : cast<OclCompoundStmt>(S)->stmts())
+      taintStmt(C, Divergent);
+    break;
+  case OclStmt::Kind::Decl: {
+    auto *D = cast<OclDeclStmt>(S);
+    if (D->init()) {
+      taintExpr(D->init(), Divergent);
+      if (Divergent || !isUniformExpr(D->init()))
+        taint(D->decl());
+    }
+    break;
+  }
+  case OclStmt::Kind::Expr:
+    taintExpr(cast<OclExprStmt>(S)->expr(), Divergent);
+    break;
+  case OclStmt::Kind::If: {
+    auto *I = cast<OclIfStmt>(S);
+    taintExpr(I->cond(), Divergent);
+    bool D2 = Divergent || !isUniformExpr(I->cond());
+    taintStmt(I->thenStmt(), D2);
+    taintStmt(I->elseStmt(), D2);
+    break;
+  }
+  case OclStmt::Kind::For: {
+    auto *F = cast<OclForStmt>(S);
+    taintStmt(F->init(), Divergent);
+    taintExpr(F->cond(), Divergent);
+    bool D2 = Divergent || !isUniformExpr(F->cond());
+    taintExpr(F->step(), D2);
+    taintStmt(F->body(), D2);
+    break;
+  }
+  case OclStmt::Kind::While: {
+    auto *W = cast<OclWhileStmt>(S);
+    taintExpr(W->cond(), Divergent);
+    bool D2 = Divergent || !isUniformExpr(W->cond());
+    taintStmt(W->body(), D2);
+    break;
+  }
+  case OclStmt::Kind::Return:
+    taintExpr(cast<OclReturnStmt>(S)->value(), Divergent);
+    break;
+  }
+}

@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Work-item uniformity analysis over the OpenCL AST. A value is
+/// *uniform* when every work-item of one work-group computes the same
+/// value for it; get_local_id/get_global_id (and anything data- or
+/// control-dependent on them) are non-uniform. The barrier-divergence
+/// pass flags barriers under non-uniform control, and the race
+/// detector shares uniform symbols between the two work-item instances
+/// it compares.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_ANALYSIS_UNIFORMITY_H
+#define LIMECC_ANALYSIS_UNIFORMITY_H
+
+#include "ocl/OclAST.h"
+
+#include <map>
+#include <set>
+
+namespace lime::analysis {
+
+class UniformityInfo {
+public:
+  /// Runs the taint fixpoint over \p Kernel (helpers reached through
+  /// calls are summarized, not walked for variable taint — the subset
+  /// passes scalars by value, so helpers cannot mutate caller state).
+  UniformityInfo(const ocl::OclProgramAST &Prog,
+                 const ocl::OclFunction &Kernel);
+
+  bool isTainted(const ocl::OclVarDecl *D) const {
+    return Tainted.count(D) != 0;
+  }
+
+  /// Whether every leaf of \p E is uniform under the final taint set.
+  bool isUniformExpr(const ocl::OclExpr *E) const;
+
+private:
+  /// Whether \p F (or a callee) reads a work-item id.
+  bool fnUsesIds(const ocl::OclFunction *F) const;
+  void taintStmt(const ocl::OclStmt *S, bool Divergent);
+  void taintExpr(const ocl::OclExpr *E, bool Divergent);
+  void taint(const ocl::OclVarDecl *D);
+
+  std::set<const ocl::OclVarDecl *> Tainted;
+  mutable std::map<const ocl::OclFunction *, int> UsesIds; // -1 in progress
+  bool Changed = false;
+};
+
+} // namespace lime::analysis
+
+#endif // LIMECC_ANALYSIS_UNIFORMITY_H

@@ -30,6 +30,7 @@
 #define LIMECC_OCL_BYTECODE_H
 
 #include "ocl/OclType.h"
+#include "support/SourceLocation.h"
 
 #include <cstdint>
 #include <string>
@@ -141,6 +142,10 @@ struct BcInstr {
 
   int64_t ImmI = 0;
   double ImmF = 0.0;
+
+  // Position of the originating OpenCL access, carried through so VM
+  // memory faults can point back into the kernel source.
+  SourceLocation Loc;
 };
 
 /// Kernel parameter classification, used by the host API to marshal

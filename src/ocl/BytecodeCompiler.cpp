@@ -521,6 +521,7 @@ BytecodeCompiler::CVal BytecodeCompiler::loadLValue(const LVal &L,
   I.Space = L.Space;
   I.Ty = L.Ty;
   I.Width = static_cast<uint8_t>(L.Width);
+  I.Loc = Loc;
   return {Dst, L.Width, L.Ty};
 }
 
@@ -553,6 +554,7 @@ void BytecodeCompiler::storeLValue(const LVal &L, CVal V,
   S.Space = L.Space;
   S.Ty = L.Ty;
   S.Width = static_cast<uint8_t>(L.Width);
+  S.Loc = Loc;
 }
 
 //===----------------------------------------------------------------------===//
@@ -879,6 +881,7 @@ BytecodeCompiler::CVal BytecodeCompiler::compileCall(OclCall *C) {
     L.Space = P.Space;
     L.Ty = ET;
     L.Width = static_cast<uint8_t>(W);
+    L.Loc = C->loc();
     return {Dst, W, ET};
   }
 
@@ -910,6 +913,7 @@ BytecodeCompiler::CVal BytecodeCompiler::compileCall(OclCall *C) {
     S.Space = P.Space;
     S.Ty = ET;
     S.Width = static_cast<uint8_t>(W);
+    S.Loc = C->loc();
     return {emitConstI(0), 1, ValType::I32};
   }
 
@@ -1071,6 +1075,7 @@ BytecodeCompiler::CVal BytecodeCompiler::compileExpr(OclExpr *E) {
     L.Space = AddrSpace::Param;
     L.Ty = VT;
     L.Width = static_cast<uint8_t>(W);
+    L.Loc = E->loc();
     return {Dst, W, VT};
   }
   case OclExpr::Kind::Unary: {

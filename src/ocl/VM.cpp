@@ -1006,11 +1006,12 @@ void SimDevice::execMemory(WarpState &W, Dispatch &D, const BcInstr &In) {
     if (!Base || Addr + AccessBytes > Limit) {
       fault(D, formatString(
                    "kernel fault: %s access out of bounds "
-                   "(space=%s addr=%llu size=%u limit=%llu, kernel %s)",
+                   "(space=%s addr=%llu size=%u limit=%llu, kernel %s "
+                   "at %s)",
                    IsStore ? "store" : "load", addrSpaceName(In.Space),
                    static_cast<unsigned long long>(Addr), AccessBytes,
                    static_cast<unsigned long long>(Limit),
-                   D.K->Name.c_str()));
+                   D.K->Name.c_str(), In.Loc.str().c_str()));
       return;
     }
     // Move data between registers and memory, component by component.

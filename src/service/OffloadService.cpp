@@ -7,6 +7,7 @@
 
 #include "service/OffloadService.h"
 
+#include "analysis/KernelVerifier.h"
 #include "lime/ast/ASTPrinter.h"
 #include "ocl/DeviceModel.h"
 
@@ -75,12 +76,8 @@ std::future<ExecResult> OffloadService::submit(OffloadRequest Request) {
   rt::OffloadConfig Canon = rt::canonicalOffloadConfig(Request.Config);
   KernelKey Key =
       KernelKey::make(Request.Worker, Canon, &classTextFor(Request.Worker));
-  std::shared_ptr<const CompiledKernel> Kernel =
-      Cache.getOrCompile(Key, [&] {
-        std::lock_guard<std::mutex> Lock(CompileMu);
-        GpuCompiler GC(Prog, Types);
-        return GC.compile(Request.Worker, Canon.Mem);
-      });
+  std::shared_ptr<const CompiledKernel> Kernel = Cache.getOrCompile(
+      Key, [&] { return compileVerified(Request.Worker, Canon); });
   if (!Kernel->Ok) {
     ++Failed;
     Promise.set_value(
@@ -133,15 +130,42 @@ bool OffloadService::offloadable(MethodDecl *Worker,
   }
   rt::OffloadConfig Canon = rt::canonicalOffloadConfig(Config);
   KernelKey Key = KernelKey::make(Worker, Canon, &classTextFor(Worker));
-  std::shared_ptr<const CompiledKernel> Kernel =
-      Cache.getOrCompile(Key, [&] {
-        std::lock_guard<std::mutex> Lock(CompileMu);
-        GpuCompiler GC(Prog, Types);
-        return GC.compile(Worker, Canon.Mem);
-      });
+  std::shared_ptr<const CompiledKernel> Kernel = Cache.getOrCompile(
+      Key, [&] { return compileVerified(Worker, Canon); });
   if (!Kernel->Ok && Why)
     *Why = Kernel->Error;
   return Kernel->Ok;
+}
+
+CompiledKernel OffloadService::compileVerified(MethodDecl *Worker,
+                                               const rt::OffloadConfig &Canon) {
+  CompiledKernel Kernel;
+  {
+    std::lock_guard<std::mutex> Lock(CompileMu);
+    GpuCompiler GC(Prog, Types);
+    Kernel = GC.compile(Worker, Canon.Mem);
+    if (Config.PostCompileHook)
+      Config.PostCompileHook(Kernel);
+  }
+  if (!Kernel.Ok || !Config.VerifyKernels)
+    return Kernel;
+
+  // Admission gate: a kernel the verifier cannot certify never
+  // reaches a device. The failure is cached like any other compile
+  // failure, so repeat offenders are rejected without re-analysis.
+  analysis::AnalysisOptions Opts;
+  Opts.LocalSize = Canon.LocalSize;
+  Opts.MaxGroups = Canon.MaxGroups;
+  analysis::AnalysisReport Report = analysis::analyzeKernel(Kernel, Opts);
+  if (!Report.ok()) {
+    std::ostringstream E;
+    E << "kernel verifier: " << Report.errorCount()
+      << " error finding(s) in '" << Kernel.Plan.KernelName << "':\n"
+      << Report.str();
+    Kernel.Ok = false;
+    Kernel.Error = E.str();
+  }
+  return Kernel;
 }
 
 const std::string &OffloadService::classTextFor(const MethodDecl *Worker) {

@@ -33,6 +33,7 @@
 #include "service/KernelCache.h"
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -55,6 +56,14 @@ struct ServiceConfig {
   /// one launch.
   bool EnableBatching = true;
   unsigned MaxBatch = 8;
+  /// Run the kernel verifier (analysis::analyzeKernel) on every
+  /// cache-miss compile; kernels with error-severity findings are
+  /// rejected — and negatively cached — instead of launched.
+  bool VerifyKernels = true;
+  /// Test seam: mutates each freshly compiled kernel *before* the
+  /// verifier sees it (used to exercise the admission gate with
+  /// corrupted kernels). Runs under the compile mutex; keep it cheap.
+  std::function<void(CompiledKernel &)> PostCompileHook;
 };
 
 /// One request to run a filter on a device.
@@ -134,6 +143,12 @@ private:
   /// path). The AST is immutable after Sema; map nodes are
   /// address-stable, so the returned reference outlives the lock.
   const std::string &classTextFor(const MethodDecl *Worker);
+  /// Cache-miss path shared by submit() and offloadable(): compiles
+  /// under the compile mutex, then runs the kernel verifier; kernels
+  /// with error findings come back !Ok so the cache remembers the
+  /// rejection.
+  CompiledKernel compileVerified(MethodDecl *Worker,
+                                 const rt::OffloadConfig &Canon);
   FilterInstance *instanceFor(const std::string &Key, MethodDecl *Worker,
                               std::shared_ptr<const CompiledKernel> Kernel,
                               unsigned WorkerId, const rt::OffloadConfig &Canon,

@@ -19,9 +19,12 @@
 ///   limec prog.lime --run C.m [--offload] [--device D]
 ///   limec prog.lime --verify C.m             # random-test vs evaluator
 ///   limec prog.lime --tune C.m               # auto-tune (section 5.2)
+///   limec prog.lime --analyze C.m            # kernel verifier lint
+///   limec --analyze-workloads                # lint all benchmarks (CI)
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/KernelVerifier.h"
 #include "compiler/GpuCompiler.h"
 #include "lime/ast/ASTPrinter.h"
 #include "lime/parser/Parser.h"
@@ -30,6 +33,7 @@
 #include "runtime/TaskGraph.h"
 #include "service/OffloadService.h"
 #include "support/Random.h"
+#include "workloads/Workloads.h"
 
 #include <cmath>
 #include <cstdio>
@@ -44,9 +48,11 @@ using namespace lime;
 
 namespace {
 
-int usage() {
+constexpr const char *kVersion = "0.3.0";
+
+void printUsage(std::FILE *Out) {
   std::fprintf(
-      stderr,
+      Out,
       "usage: limec <file.lime> [command]\n"
       "  (no command)        parse and type check\n"
       "  --dump-ast          pretty-print the typed AST\n"
@@ -54,7 +60,16 @@ int usage() {
       "  --emit C.m          print generated OpenCL for filter C.m\n"
       "  --run C.m           run static method C.m (evaluator pipeline)\n"
       "  --verify C.m        random-test filter C.m: evaluator vs device\n"
+      "                      (the kernel verifier runs first)\n"
       "  --tune C.m          auto-tune filter C.m on synthesized inputs\n"
+      "  --analyze C.m       run the kernel verifier over filter C.m's\n"
+      "                      generated OpenCL; every Figure 8 memory\n"
+      "                      configuration unless --config is given.\n"
+      "                      Exits nonzero on error-severity findings.\n"
+      "  --analyze-workloads lint every built-in benchmark under every\n"
+      "                      configuration (no <file.lime> needed; for CI)\n"
+      "  --help              print this help and exit\n"
+      "  --version           print the limec version and exit\n"
       "options:\n"
       "  --config <global|global+v|local|local+nc|local+nc+v|constant|\n"
       "            constant+v|texture|best>      (default: best)\n"
@@ -66,7 +81,76 @@ int usage() {
       "                      (implies --offload)\n"
       "  --kernel-cache DIR  persist generated kernels in DIR across\n"
       "                      limec runs (service mode only)\n");
+}
+
+int usage() {
+  printUsage(stderr);
   return 2;
+}
+
+/// Compiles \p M under \p Cfg, runs the verifier, prints each finding
+/// prefixed with \p Label, and accumulates the counts. Compilation
+/// failure prints a note and analyzes nothing.
+void analyzeOne(GpuCompiler &GC, MethodDecl *M, const std::string &Label,
+                const MemoryConfig &Cfg, unsigned &Analyzed, unsigned &Errors,
+                unsigned &Warnings) {
+  CompiledKernel K = GC.compile(M, Cfg);
+  if (!K.Ok) {
+    std::printf("%s: not offloadable: %s\n", Label.c_str(), K.Error.c_str());
+    return;
+  }
+  ++Analyzed;
+  analysis::AnalysisReport R = analysis::analyzeKernel(K);
+  for (const analysis::Finding &F : R.Findings)
+    std::printf("%s: %s\n", Label.c_str(), F.str().c_str());
+  Errors += R.errorCount();
+  Warnings += R.warningCount();
+}
+
+const std::pair<const char *, MemoryConfig> &allConfigs(size_t I) {
+  static const std::pair<const char *, MemoryConfig> Configs[8] = {
+      {"global", MemoryConfig::global()},
+      {"global+v", MemoryConfig::globalVector()},
+      {"local", MemoryConfig::local()},
+      {"local+nc", MemoryConfig::localNoConflict()},
+      {"local+nc+v", MemoryConfig::localNoConflictVector()},
+      {"constant", MemoryConfig::constant()},
+      {"constant+v", MemoryConfig::constantVector()},
+      {"texture", MemoryConfig::texture()}};
+  return Configs[I];
+}
+
+/// `limec --analyze-workloads`: lint every benchmark in the registry
+/// under every Figure 8 configuration. Returns the process exit code.
+int analyzeWorkloads() {
+  unsigned Analyzed = 0, Errors = 0, Warnings = 0;
+  for (const wl::Workload &W : wl::workloadRegistry()) {
+    ASTContext Ctx;
+    DiagnosticEngine Diags;
+    Parser P(W.LimeSource, Ctx, Diags);
+    Program *Prog = P.parseProgram();
+    Sema S(Ctx, Diags);
+    if (!S.check(Prog)) {
+      std::fprintf(stderr, "limec: %s failed to compile:\n%s", W.Id.c_str(),
+                   Diags.dump().c_str());
+      return 1;
+    }
+    ClassDecl *C = Prog->findClass(W.ClassName);
+    MethodDecl *M = C ? C->findMethod(W.FilterMethod) : nullptr;
+    if (!M) {
+      std::fprintf(stderr, "limec: %s has no filter %s.%s\n", W.Id.c_str(),
+                   W.ClassName.c_str(), W.FilterMethod.c_str());
+      return 1;
+    }
+    GpuCompiler GC(Prog, Ctx.types());
+    for (size_t I = 0; I != 8; ++I)
+      analyzeOne(GC, M, W.Id + "/" + allConfigs(I).first, allConfigs(I).second,
+                 Analyzed, Errors, Warnings);
+  }
+  std::printf("analyzed %u kernel variant(s) across %zu benchmarks: "
+              "%u error(s), %u warning(s)\n",
+              Analyzed, wl::workloadRegistry().size(), Errors, Warnings);
+  return Errors != 0 ? 1 : 0;
 }
 
 bool parseConfig(const std::string &Name, MemoryConfig &Out) {
@@ -145,6 +229,8 @@ int main(int argc, char **argv) {
   std::string Target;
   std::string Device = "gtx580";
   MemoryConfig Config = MemoryConfig::best();
+  std::string ConfigName = "best";
+  bool ConfigSet = false;
   bool Offload = false;
   int ServiceThreads = 0;
   std::string KernelCacheDir;
@@ -159,18 +245,28 @@ int main(int argc, char **argv) {
     } else if (Arg == "--dump-ast") {
       Command = "dump-ast";
     } else if (Arg == "--emit" || Arg == "--run" || Arg == "--verify" ||
-               Arg == "--tune") {
+               Arg == "--tune" || Arg == "--analyze") {
       Command = Arg.substr(2);
       const char *T = Next();
       if (!T)
         return usage();
       Target = T;
+    } else if (Arg == "--analyze-workloads") {
+      Command = "analyze-workloads";
+    } else if (Arg == "--help") {
+      printUsage(stdout);
+      return 0;
+    } else if (Arg == "--version") {
+      std::printf("limec (limecc) %s\n", kVersion);
+      return 0;
     } else if (Arg == "--config") {
       const char *C = Next();
       if (!C || !parseConfig(C, Config)) {
         std::fprintf(stderr, "limec: unknown config\n");
         return usage();
       }
+      ConfigName = argv[I];
+      ConfigSet = true;
     } else if (Arg == "--device") {
       const char *D = Next();
       if (!D)
@@ -198,6 +294,8 @@ int main(int argc, char **argv) {
       Path = Arg;
     }
   }
+  if (Command == "analyze-workloads")
+    return analyzeWorkloads();
   if (Path.empty())
     return usage();
 
@@ -268,6 +366,30 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  if (Command == "analyze") {
+    GpuCompiler GC(Prog, Ctx.types());
+    unsigned Analyzed = 0, Errors = 0, Warnings = 0;
+    if (ConfigSet) {
+      analyzeOne(GC, M, Target + "/" + ConfigName, Config, Analyzed, Errors,
+                 Warnings);
+    } else {
+      for (size_t I = 0; I != 8; ++I)
+        analyzeOne(GC, M, Target + "/" + allConfigs(I).first,
+                   allConfigs(I).second, Analyzed, Errors, Warnings);
+    }
+    if (Analyzed == 0) {
+      std::fprintf(stderr,
+                   "limec: %s is not offloadable under any requested "
+                   "configuration\n",
+                   Target.c_str());
+      return 1;
+    }
+    std::printf("analyzed %u kernel variant(s) of %s: %u error(s), "
+                "%u warning(s)\n",
+                Analyzed, Target.c_str(), Errors, Warnings);
+    return Errors != 0 ? 1 : 0;
+  }
+
   if (Command == "emit") {
     GpuCompiler GC(Prog, Ctx.types());
     CompiledKernel K = GC.compile(M, Config);
@@ -313,6 +435,29 @@ int main(int argc, char **argv) {
     rt::OffloadConfig OC;
     OC.DeviceName = Device;
     OC.Mem = Config;
+
+    // The kernel verifier runs first: a kernel with error-severity
+    // findings is rejected before any trial executes.
+    {
+      GpuCompiler GC(Prog, Ctx.types());
+      CompiledKernel K = GC.compile(M, Config);
+      if (K.Ok) {
+        analysis::AnalysisOptions AOpts;
+        AOpts.LocalSize = OC.LocalSize;
+        AOpts.MaxGroups = OC.MaxGroups;
+        analysis::AnalysisReport R = analysis::analyzeKernel(K, AOpts);
+        for (const analysis::Finding &F : R.Findings)
+          std::fprintf(stderr, "%s\n", F.str().c_str());
+        if (!R.ok()) {
+          std::fprintf(stderr,
+                       "limec: %s failed kernel verification: %u error "
+                       "finding(s)\n",
+                       Target.c_str(), R.errorCount());
+          return 1;
+        }
+      }
+    }
+
     rt::OffloadedFilter Filter(Prog, Ctx.types(), M, OC);
     if (!Filter.ok()) {
       std::fprintf(stderr, "limec: %s is not offloadable: %s\n",

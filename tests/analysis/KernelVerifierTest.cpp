@@ -1,0 +1,297 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Kernel verifier tests: four hand-corrupted kernels that must each
+/// produce exactly one diagnostic from the matching pass, a clean
+/// sweep of every benchmark under every Figure 8 configuration, and
+/// the offload service's admission gate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/KernelVerifier.h"
+#include "compiler/GpuCompiler.h"
+#include "lime/parser/Parser.h"
+#include "lime/sema/Sema.h"
+#include "service/OffloadService.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace lime;
+using namespace lime::analysis;
+
+namespace {
+
+/// A minimal well-formed Map plan around a hand-written kernel text:
+/// one output array ("out") and one __global map-source input.
+CompiledKernel fixtureKernel(const std::string &Name, std::string Source) {
+  CompiledKernel K;
+  K.Ok = true;
+  K.Source = std::move(Source);
+  K.Plan.Kind = KernelKind::Map;
+  K.Plan.KernelName = Name;
+  K.Plan.OutScalars = 1;
+
+  KernelArray Out;
+  Out.CName = "out";
+  Out.IsOutput = true;
+  Out.Space = MemSpace::Global;
+  K.Plan.Arrays.push_back(Out);
+
+  KernelArray In;
+  In.CName = "in0";
+  In.IsMapSource = true;
+  In.Space = MemSpace::Global;
+  K.Plan.Arrays.push_back(In);
+  return K;
+}
+
+std::string argsStruct(const std::string &Name) {
+  return "typedef struct {\n"
+         "  int n;\n"
+         "  int len_in0;\n"
+         "} " +
+         Name + "_args;\n\n";
+}
+
+unsigned countPass(const AnalysisReport &R, const char *Pass,
+                   DiagSeverity Sev) {
+  unsigned N = 0;
+  for (const Finding &F : R.Findings)
+    if (F.Pass == Pass && F.Severity == Sev)
+      ++N;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Bad-kernel fixtures: exactly one diagnostic each
+//===----------------------------------------------------------------------===//
+
+TEST(KernelVerifier, FlagsOutOfBoundsStore) {
+  CompiledKernel K = fixtureKernel(
+      "bad_oob",
+      argsStruct("bad_oob") +
+          "__kernel void bad_oob(__global float* out, __global const float* "
+          "in0, bad_oob_args args) {\n"
+          "  int gsize = get_global_size(0);\n"
+          "  for (int i = get_global_id(0); i < args.n; i += gsize) {\n"
+          "    out[i + 1] = in0[i];\n" // off by one: i can be n-1
+          "  }\n"
+          "}\n");
+  AnalysisReport R = analyzeKernel(K);
+  EXPECT_EQ(R.errorCount(), 1u) << R.str();
+  ASSERT_EQ(countPass(R, passes::Bounds, DiagSeverity::Error), 1u) << R.str();
+  EXPECT_NE(R.str().find("'out'"), std::string::npos) << R.str();
+}
+
+TEST(KernelVerifier, AcceptsInBoundsVariant) {
+  CompiledKernel K = fixtureKernel(
+      "good_oob",
+      argsStruct("good_oob") +
+          "__kernel void good_oob(__global float* out, __global const float* "
+          "in0, good_oob_args args) {\n"
+          "  int gsize = get_global_size(0);\n"
+          "  for (int i = get_global_id(0); i < args.n; i += gsize) {\n"
+          "    out[i] = in0[i];\n"
+          "  }\n"
+          "}\n");
+  AnalysisReport R = analyzeKernel(K);
+  EXPECT_EQ(R.Findings.size(), 0u) << R.str();
+}
+
+TEST(KernelVerifier, FlagsDivergentBarrier) {
+  CompiledKernel K = fixtureKernel(
+      "bad_div",
+      argsStruct("bad_div") +
+          "__kernel void bad_div(__global float* out, __global const float* "
+          "in0, bad_div_args args) {\n"
+          "  int i = get_global_id(0);\n"
+          "  if (get_global_id(0) < 32) {\n"
+          "    barrier(CLK_LOCAL_MEM_FENCE);\n" // not all work-items arrive
+          "  }\n"
+          "  if (i < args.n) {\n"
+          "    out[i] = in0[i];\n"
+          "  }\n"
+          "}\n");
+  AnalysisReport R = analyzeKernel(K);
+  EXPECT_EQ(R.errorCount(), 1u) << R.str();
+  EXPECT_EQ(countPass(R, passes::BarrierDivergence, DiagSeverity::Error), 1u)
+      << R.str();
+}
+
+TEST(KernelVerifier, FlagsRacyLocalStore) {
+  CompiledKernel K = fixtureKernel(
+      "bad_race",
+      argsStruct("bad_race") +
+          "__kernel void bad_race(__global float* out, __global const float* "
+          "in0, bad_race_args args) {\n"
+          "  __local float tile[128];\n"
+          "  int lid = get_local_id(0);\n"
+          "  int i = get_global_id(0);\n"
+          "  tile[lid] = 1.0f;\n"
+          "  float v = tile[0];\n" // racy: no barrier between write and read
+          "  if (i < args.n) {\n"
+          "    out[i] = v;\n"
+          "  }\n"
+          "}\n");
+  AnalysisOptions Opts;
+  Opts.LocalSize = 128;
+  AnalysisReport R = analyzeKernel(K, Opts);
+  EXPECT_EQ(R.errorCount(), 1u) << R.str();
+  EXPECT_EQ(countPass(R, passes::LocalRace, DiagSeverity::Error), 1u)
+      << R.str();
+}
+
+TEST(KernelVerifier, BarrierSilencesTheRace) {
+  CompiledKernel K = fixtureKernel(
+      "ok_race",
+      argsStruct("ok_race") +
+          "__kernel void ok_race(__global float* out, __global const float* "
+          "in0, ok_race_args args) {\n"
+          "  __local float tile[128];\n"
+          "  int lid = get_local_id(0);\n"
+          "  int i = get_global_id(0);\n"
+          "  tile[lid] = 1.0f;\n"
+          "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+          "  float v = tile[0];\n"
+          "  if (i < args.n) {\n"
+          "    out[i] = v;\n"
+          "  }\n"
+          "}\n");
+  AnalysisOptions Opts;
+  Opts.LocalSize = 128;
+  AnalysisReport R = analyzeKernel(K, Opts);
+  EXPECT_EQ(R.Findings.size(), 0u) << R.str();
+}
+
+TEST(KernelVerifier, FlagsPaddingStrideMismatch) {
+  CompiledKernel K = fixtureKernel(
+      "bad_pad",
+      argsStruct("bad_pad") +
+          "__kernel void bad_pad(__global float* out, __global const float* "
+          "in0, bad_pad_args args) {\n"
+          "  __local float tile_in0[20];\n"
+          "  int lid = get_local_id(0);\n"
+          "  tile_in0[lid * 4] = 1.0f;\n" // plan padded rows to stride 5
+          "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+          "  int i = get_global_id(0);\n"
+          "  if (i < args.n) {\n"
+          "    out[i] = tile_in0[0];\n"
+          "  }\n"
+          "}\n");
+  // The plan says: 4-scalar rows padded to a 5-scalar stride, 4 rows.
+  KernelArray &In = K.Plan.Arrays[1];
+  In.InnerBound = 4;
+  In.Space = MemSpace::LocalTiled;
+  In.RowStride = 5;
+  In.TileRows = 4;
+  AnalysisOptions Opts;
+  Opts.LocalSize = 4;
+  AnalysisReport R = analyzeKernel(K, Opts);
+  EXPECT_EQ(R.errorCount(), 1u) << R.str();
+  EXPECT_EQ(countPass(R, passes::PlanAudit, DiagSeverity::Error), 1u)
+      << R.str();
+  EXPECT_NE(R.str().find("stride"), std::string::npos) << R.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Clean sweep: every benchmark under every Figure 8 configuration
+//===----------------------------------------------------------------------===//
+
+TEST(KernelVerifier, CleanOnAllWorkloadsAllConfigs) {
+  const std::pair<const char *, MemoryConfig> Configs[] = {
+      {"global", MemoryConfig::global()},
+      {"global+v", MemoryConfig::globalVector()},
+      {"local", MemoryConfig::local()},
+      {"local+nc", MemoryConfig::localNoConflict()},
+      {"local+nc+v", MemoryConfig::localNoConflictVector()},
+      {"constant", MemoryConfig::constant()},
+      {"constant+v", MemoryConfig::constantVector()},
+      {"texture", MemoryConfig::texture()}};
+
+  std::map<std::string, unsigned> WarningsByWorkload;
+  for (const wl::Workload &W : wl::workloadRegistry()) {
+    ASTContext Ctx;
+    DiagnosticEngine Diags;
+    Parser P(W.LimeSource, Ctx, Diags);
+    Program *Prog = P.parseProgram();
+    Sema S(Ctx, Diags);
+    ASSERT_TRUE(S.check(Prog)) << W.Id << ": " << Diags.dump();
+    MethodDecl *Filter =
+        Prog->findClass(W.ClassName)->findMethod(W.FilterMethod);
+    ASSERT_NE(Filter, nullptr) << W.Id;
+
+    GpuCompiler GC(Prog, Ctx.types());
+    for (const auto &[Name, Config] : Configs) {
+      CompiledKernel K = GC.compile(Filter, Config);
+      ASSERT_TRUE(K.Ok) << W.Id << "/" << Name << ": " << K.Error;
+      AnalysisReport R = analyzeKernel(K);
+      EXPECT_EQ(R.errorCount(), 0u)
+          << W.Id << "/" << Name << " findings:\n"
+          << R.str() << "\nkernel:\n"
+          << K.Source;
+      // Statically unboundable application-indexed accesses surface
+      // as warnings on exactly two benchmarks (RPES's data-dependent
+      // index, Crypt's key-schedule array); everything else is
+      // finding-free.
+      if (W.Id != "rpes" && W.Id != "crypt") {
+        EXPECT_EQ(R.warningCount(), 0u)
+            << W.Id << "/" << Name << " findings:\n"
+            << R.str() << "\nkernel:\n"
+            << K.Source;
+      }
+      WarningsByWorkload[W.Id] += R.warningCount();
+    }
+  }
+  // And the warnings do materialize — the sweep is not vacuous.
+  EXPECT_GT(WarningsByWorkload["rpes"], 0u);
+  EXPECT_GT(WarningsByWorkload["crypt"], 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Service admission gate
+//===----------------------------------------------------------------------===//
+
+TEST(KernelVerifier, ServiceRejectsKernelsThatFailAnalysis) {
+  const wl::Workload &W = wl::workloadById("nbody_sp");
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  Parser P(W.LimeSource, Ctx, Diags);
+  Program *Prog = P.parseProgram();
+  Sema S(Ctx, Diags);
+  ASSERT_TRUE(S.check(Prog)) << Diags.dump();
+  MethodDecl *Filter =
+      Prog->findClass(W.ClassName)->findMethod(W.FilterMethod);
+  ASSERT_NE(Filter, nullptr);
+
+  service::ServiceConfig SC;
+  // Corrupt every freshly compiled kernel before the verifier sees
+  // it: shrink the local tile declaration (or any first array decl)
+  // by rewriting the generated source's tile size. Simpler and
+  // representative: blank the plan's padding so the audit fires.
+  SC.PostCompileHook = [](CompiledKernel &K) {
+    for (KernelArray &A : K.Plan.Arrays)
+      if (A.Space == MemSpace::LocalTiled)
+        A.RowStride += 1; // text was emitted with the real stride
+  };
+  service::OffloadService Svc(Prog, Ctx.types(), SC);
+
+  rt::OffloadConfig OC;
+  OC.Mem = MemoryConfig::localNoConflict(); // tiles => hook corrupts
+  std::string Why;
+  EXPECT_FALSE(Svc.offloadable(Filter, OC, &Why));
+  EXPECT_NE(Why.find("kernel verifier"), std::string::npos) << Why;
+  EXPECT_NE(Why.find("plan-audit"), std::string::npos) << Why;
+
+  // The same kernel without corruption is admitted.
+  service::ServiceConfig Clean;
+  service::OffloadService Svc2(Prog, Ctx.types(), Clean);
+  EXPECT_TRUE(Svc2.offloadable(Filter, OC, &Why)) << Why;
+}
+
+} // namespace

@@ -376,6 +376,10 @@ TEST(OclVmTest, OutOfBoundsFaults) {
   std::string Err = Ctx->enqueueKernel(
       "k", {LaunchArg::buffer(BOut.Offset, BOut.Space)}, {4, 1}, {4, 1});
   EXPECT_NE(Err.find("out of bounds"), std::string::npos) << Err;
+  // The trap names the kernel and the line:column of the faulting
+  // store (the assignment sits on line 3 of the source above).
+  EXPECT_NE(Err.find("kernel k"), std::string::npos) << Err;
+  EXPECT_NE(Err.find(" at 3:"), std::string::npos) << Err;
 }
 
 TEST(OclVmTest, DoublePrecisionOnFermi) {
