@@ -20,7 +20,11 @@
 /// congruence rule keys off that). Loop bodies containing a barrier
 /// are walked twice with fresh offsets so adjacent-iteration pairs are
 /// represented; region ids before/after such loops are aliased to
-/// cover zero- and odd-iteration executions.
+/// cover zero- and odd-iteration executions. Each alias edge carries
+/// the loop-iteration condition it relies on, and the race pass chains
+/// edges along condition-consistent paths only — consecutive
+/// zero-iteration loops connect transitively, but a loop's entry never
+/// reaches its own mid-iteration region.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -103,8 +107,19 @@ private:
   unsigned GID = 0, LID = 0, GRP = 0, GSIZE = 0, LSIZE = 0, NGRP = 0, N = 0;
   std::map<std::string, unsigned> FieldSyms; // args-struct field -> symbol
 
-  unsigned Region = 0, RegionCounter = 0;
-  std::set<std::pair<unsigned, unsigned>> RegionAlias;
+  /// One "these region ids may denote the same dynamic barrier
+  /// interval" edge. Loop joins come in mutually exclusive pairs —
+  /// entry~exit holds when the loop runs zero iterations, mid~exit
+  /// when it runs at least one — so each edge carries the loop
+  /// instance and iteration condition it relies on; sameRegion() never
+  /// combines both edges of one loop on a single path.
+  struct AliasEdge {
+    unsigned To = 0;
+    unsigned Loop = 0;   // loop-instance id; unique per if-join
+    bool ZeroIter = false; // needs 0 iterations (else >= 1)
+  };
+  unsigned Region = 0, RegionCounter = 0, LoopCounter = 0;
+  std::map<unsigned, std::vector<AliasEdge>> RegionEdges;
   std::vector<std::pair<const OclStmt *, int>> Path;
   unsigned DivergenceDepth = 0;
   unsigned CallDepth = 0;
@@ -379,6 +394,53 @@ private:
     }
     case OclStmt::Kind::Return:
       collectAssigned(cast<OclReturnStmt>(S)->value(), Out);
+      break;
+    }
+  }
+
+  void collectVarRefs(const OclExpr *E,
+                      std::set<const OclVarDecl *> &Out) const {
+    if (!E)
+      return;
+    switch (E->kind()) {
+    case OclExpr::Kind::VarRef:
+      Out.insert(cast<OclVarRef>(E)->decl());
+      break;
+    case OclExpr::Kind::Unary:
+      collectVarRefs(cast<OclUnary>(E)->sub(), Out);
+      break;
+    case OclExpr::Kind::Binary:
+      collectVarRefs(cast<OclBinary>(E)->lhs(), Out);
+      collectVarRefs(cast<OclBinary>(E)->rhs(), Out);
+      break;
+    case OclExpr::Kind::Assign:
+      collectVarRefs(cast<OclAssign>(E)->target(), Out);
+      collectVarRefs(cast<OclAssign>(E)->value(), Out);
+      break;
+    case OclExpr::Kind::Conditional:
+      collectVarRefs(cast<OclConditional>(E)->cond(), Out);
+      collectVarRefs(cast<OclConditional>(E)->thenExpr(), Out);
+      collectVarRefs(cast<OclConditional>(E)->elseExpr(), Out);
+      break;
+    case OclExpr::Kind::Call:
+      for (const OclExpr *A : cast<OclCall>(E)->args())
+        collectVarRefs(A, Out);
+      break;
+    case OclExpr::Kind::Index:
+      collectVarRefs(cast<OclIndex>(E)->base(), Out);
+      collectVarRefs(cast<OclIndex>(E)->index(), Out);
+      break;
+    case OclExpr::Kind::Member:
+      collectVarRefs(cast<OclMember>(E)->base(), Out);
+      break;
+    case OclExpr::Kind::Cast:
+      collectVarRefs(cast<OclCast>(E)->sub(), Out);
+      break;
+    case OclExpr::Kind::VectorLit:
+      for (const OclExpr *El : cast<OclVectorLit>(E)->elems())
+        collectVarRefs(El, Out);
+      break;
+    default:
       break;
     }
   }
@@ -1068,9 +1130,11 @@ private:
     }
   }
 
-  void aliasRegions(unsigned A, unsigned B) {
-    if (A != B)
-      RegionAlias.insert({std::min(A, B), std::max(A, B)});
+  void aliasRegions(unsigned A, unsigned B, unsigned Loop, bool ZeroIter) {
+    if (A == B)
+      return;
+    RegionEdges[A].push_back({B, Loop, ZeroIter});
+    RegionEdges[B].push_back({A, Loop, ZeroIter});
   }
 
   void walkIf(const OclIfStmt *I) {
@@ -1101,9 +1165,10 @@ private:
     }
     unsigned Re = Region;
 
-    // Join: both arm-exit regions may flow here.
+    // Join: both arm-exit regions may flow here. A fresh id makes the
+    // edge unconditional (nothing else can conflict with it).
     Region = Rt;
-    aliasRegions(Rt, Re);
+    aliasRegions(Rt, Re, ++LoopCounter, /*ZeroIter=*/false);
     if (!Uni)
       --DivergenceDepth;
   }
@@ -1156,6 +1221,30 @@ private:
     walkStmt(F->init());
 
     StepInfo SI = analyzeStep(F->step());
+
+    bool HasB = containsBarrier(F->body());
+    bool CondUni = !F->cond() || UI.isUniformExpr(F->cond());
+    std::set<const OclVarDecl *> BodyAssigned;
+    collectAssigned(F->body(), BodyAssigned);
+    std::set<const OclVarDecl *> Assigned = BodyAssigned;
+    collectAssigned(F->step(), Assigned);
+
+    // The induction binding var = start + delta (and the ShrConst
+    // phi <= start bound) is only sound when the body leaves the
+    // variable alone and the step addend is loop-invariant; a body
+    // that reassigns either makes the step opaque.
+    if (SI.Var && BodyAssigned.count(SI.Var))
+      SI.Kind = StepInfo::Unknown;
+    if (SI.Kind == StepInfo::AddExpr) {
+      std::set<const OclVarDecl *> AddendReads;
+      collectVarRefs(SI.Addend, AddendReads);
+      for (const OclVarDecl *D : AddendReads)
+        if (Assigned.count(D)) {
+          SI.Kind = StepInfo::Unknown;
+          break;
+        }
+    }
+
     AbsVal E0;
     if (SI.Var) {
       auto It = Env.find(SI.Var);
@@ -1180,12 +1269,7 @@ private:
       }
     }
 
-    bool HasB = containsBarrier(F->body());
-    bool CondUni = !F->cond() || UI.isUniformExpr(F->cond());
-    std::set<const OclVarDecl *> Assigned;
-    collectAssigned(F->body(), Assigned);
-    collectAssigned(F->step(), Assigned);
-    if (SI.Var)
+    if (SI.Var && SI.Kind != StepInfo::Unknown)
       Assigned.erase(SI.Var);
 
     if (!CondUni)
@@ -1230,9 +1314,11 @@ private:
 
     if (Region != REntry) {
       // Zero-iteration executions join entry directly to exit; the
-      // odd/even unrolling boundary joins mid to exit.
-      aliasRegions(REntry, Region);
-      aliasRegions(RMid, Region);
+      // odd/even unrolling boundary joins mid to exit. The two cannot
+      // co-occur, so both edges carry this loop's id.
+      unsigned L = ++LoopCounter;
+      aliasRegions(REntry, Region, L, /*ZeroIter=*/true);
+      aliasRegions(RMid, Region, L, /*ZeroIter=*/false);
     }
   }
 
@@ -1260,8 +1346,9 @@ private:
     if (!CondUni)
       --DivergenceDepth;
     if (Region != REntry) {
-      aliasRegions(REntry, Region);
-      aliasRegions(RMid, Region);
+      unsigned L = ++LoopCounter;
+      aliasRegions(REntry, Region, L, /*ZeroIter=*/true);
+      aliasRegions(RMid, Region, L, /*ZeroIter=*/false);
     }
   }
 
@@ -1269,9 +1356,46 @@ private:
   // Race analysis
   //===--------------------------------------------------------------------===//
 
+  /// Alias edges record direct joins only; membership in one dynamic
+  /// barrier interval is their closure under composition — e.g. two
+  /// consecutive zero-iteration barrier loops chain an access before
+  /// the first to one after the second. A plain transitive closure
+  /// would be too coarse, though: it would route entry~exit~mid within
+  /// a single loop, conflating regions separated by a barrier in every
+  /// execution that reaches mid at all. So the search walks simple
+  /// alias paths and refuses to combine the zero-iteration edge of a
+  /// loop with that same loop's positive-iteration edge.
   bool sameRegion(unsigned A, unsigned B) const {
-    return A == B ||
-           RegionAlias.count({std::min(A, B), std::max(A, B)}) != 0;
+    if (A == B)
+      return true;
+    std::set<unsigned> OnPath{A};
+    std::map<unsigned, bool> LoopKind; // loop id -> ZeroIter in use
+    return aliasPath(A, B, OnPath, LoopKind);
+  }
+
+  bool aliasPath(unsigned Cur, unsigned Goal, std::set<unsigned> &OnPath,
+                 std::map<unsigned, bool> &LoopKind) const {
+    auto It = RegionEdges.find(Cur);
+    if (It == RegionEdges.end())
+      return false;
+    for (const AliasEdge &E : It->second) {
+      auto K = LoopKind.find(E.Loop);
+      if (K != LoopKind.end() && K->second != E.ZeroIter)
+        continue; // would need 0 and >= 1 iterations of one loop
+      if (E.To == Goal)
+        return true;
+      if (!OnPath.insert(E.To).second)
+        continue;
+      bool Fresh = K == LoopKind.end();
+      if (Fresh)
+        LoopKind.emplace(E.Loop, E.ZeroIter);
+      if (aliasPath(E.To, Goal, OnPath, LoopKind))
+        return true;
+      if (Fresh)
+        LoopKind.erase(E.Loop);
+      OnPath.erase(E.To);
+    }
+    return false;
   }
 
   static bool pathsExclusive(
@@ -1393,7 +1517,8 @@ private:
   }
 
   void raceAnalysis() {
-    std::set<std::tuple<unsigned, unsigned, unsigned, unsigned>> Reported;
+    using LineCol = std::pair<unsigned, unsigned>;
+    std::set<std::pair<LineCol, LineCol>> Reported;
     for (size_t I = 0; I < LocalAccesses.size(); ++I) {
       for (size_t J = I; J < LocalAccesses.size(); ++J) {
         const LocalAccess &A = LocalAccesses[I];
@@ -1410,9 +1535,8 @@ private:
           continue;
         if (fmSafe(A, B))
           continue;
-        auto Key = std::make_tuple(
-            std::min(A.Loc.Line, B.Loc.Line), std::min(A.Loc.Column, B.Loc.Column),
-            std::max(A.Loc.Line, B.Loc.Line), std::max(A.Loc.Column, B.Loc.Column));
+        LineCol LA{A.Loc.Line, A.Loc.Column}, LB{B.Loc.Line, B.Loc.Column};
+        auto Key = LA <= LB ? std::make_pair(LA, LB) : std::make_pair(LB, LA);
         if (!Reported.insert(Key).second)
           continue;
         std::ostringstream M;

@@ -153,10 +153,11 @@ CompiledKernel OffloadService::compileVerified(MethodDecl *Worker,
   // Admission gate: a kernel the verifier cannot certify never
   // reaches a device. The failure is cached like any other compile
   // failure, so repeat offenders are rejected without re-analysis.
-  analysis::AnalysisOptions Opts;
-  Opts.LocalSize = Canon.LocalSize;
-  Opts.MaxGroups = Canon.MaxGroups;
-  analysis::AnalysisReport Report = analysis::analyzeKernel(Kernel, Opts);
+  // The cache key covers source, device, and memory config but NOT
+  // launch geometry, so the cached verdict must hold for every
+  // LocalSize/MaxGroups that can share the entry: analyze with fully
+  // symbolic geometry instead of baking in this request's sizes.
+  analysis::AnalysisReport Report = analysis::analyzeKernel(Kernel);
   if (!Report.ok()) {
     std::ostringstream E;
     E << "kernel verifier: " << Report.errorCount()

@@ -104,6 +104,48 @@ TEST(KernelVerifier, AcceptsInBoundsVariant) {
   EXPECT_EQ(R.Findings.size(), 0u) << R.str();
 }
 
+TEST(KernelVerifier, FlagsLoopWhoseBodyMutatesTheInductionVariable) {
+  // The induction binding i = start + delta assumes the body leaves i
+  // alone; here the body drags i backwards, so after one iteration i
+  // can be negative at the store even though the loop condition still
+  // holds. The analyzer must refuse to prove these accesses.
+  CompiledKernel K = fixtureKernel(
+      "bad_indmut",
+      argsStruct("bad_indmut") +
+          "__kernel void bad_indmut(__global float* out, __global const "
+          "float* in0, bad_indmut_args args) {\n"
+          "  int gsize = get_global_size(0);\n"
+          "  for (int i = get_global_id(0); i < args.n; i += gsize) {\n"
+          "    out[i] = in0[i];\n"
+          "    i = i - 10;\n"
+          "  }\n"
+          "}\n");
+  AnalysisReport R = analyzeKernel(K);
+  EXPECT_FALSE(R.ok()) << R.str();
+  EXPECT_GE(countPass(R, passes::Bounds, DiagSeverity::Error), 1u) << R.str();
+}
+
+TEST(KernelVerifier, FlagsLoopWhoseBodyMutatesTheStepAddend) {
+  // The step `i += step` is only monotone if the addend is
+  // loop-invariant; the body turns it negative, so i can walk below
+  // zero on later iterations. Pre-loop evaluation of the addend must
+  // not be trusted once the body assigns it.
+  CompiledKernel K = fixtureKernel(
+      "bad_stepmut",
+      argsStruct("bad_stepmut") +
+          "__kernel void bad_stepmut(__global float* out, __global const "
+          "float* in0, bad_stepmut_args args) {\n"
+          "  int step = get_global_size(0);\n"
+          "  for (int i = get_global_id(0); i < args.n; i += step) {\n"
+          "    out[i] = in0[i];\n"
+          "    step = step - 64;\n"
+          "  }\n"
+          "}\n");
+  AnalysisReport R = analyzeKernel(K);
+  EXPECT_FALSE(R.ok()) << R.str();
+  EXPECT_GE(countPass(R, passes::Bounds, DiagSeverity::Error), 1u) << R.str();
+}
+
 TEST(KernelVerifier, FlagsDivergentBarrier) {
   CompiledKernel K = fixtureKernel(
       "bad_div",
@@ -167,6 +209,72 @@ TEST(KernelVerifier, BarrierSilencesTheRace) {
   Opts.LocalSize = 128;
   AnalysisReport R = analyzeKernel(K, Opts);
   EXPECT_EQ(R.Findings.size(), 0u) << R.str();
+}
+
+TEST(KernelVerifier, AcceptsTreeReductionAcrossBarrierLoop) {
+  // The canonical tree reduction. Chaining region aliases must not
+  // connect a barrier loop's entry region to its own mid-iteration
+  // region (via the shared exit): that pairs iteration k's write with
+  // iteration k+1's read, which the end-of-body barrier always
+  // separates, and the spurious race would evict this valid kernel.
+  CompiledKernel K = fixtureKernel(
+      "ok_reduce",
+      argsStruct("ok_reduce") +
+          "__kernel void ok_reduce(__global float* out, __global const "
+          "float* in0, __local float* scratch, ok_reduce_args args) {\n"
+          "  int lid = get_local_id(0);\n"
+          "  int lsize = get_local_size(0);\n"
+          "  scratch[lid] = 1.0f;\n"
+          "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+          "  for (int s = lsize >> 1; s > 0; s >>= 1) {\n"
+          "    if (lid < s) {\n"
+          "      scratch[lid] = scratch[lid] + scratch[lid + s];\n"
+          "    }\n"
+          "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+          "  }\n"
+          "  if (lid == 0) {\n"
+          "    out[get_group_id(0)] = scratch[0];\n"
+          "  }\n"
+          "}\n");
+  K.Plan.Kind = KernelKind::Reduce; // out has one slot per group
+  // Fully symbolic geometry, like the offload service's admission
+  // gate: the verdict may not hinge on a concrete local size.
+  AnalysisReport R = analyzeKernel(K);
+  EXPECT_EQ(R.Findings.size(), 0u) << R.str();
+}
+
+TEST(KernelVerifier, FlagsRaceAcrossConsecutiveZeroIterationBarrierLoops) {
+  // Both loops can run zero iterations, so the write before the first
+  // and the read after the second share a dynamic barrier interval.
+  // The region-alias pairs are only recorded per loop (entry~exit of
+  // each); the race pass must close them transitively to connect the
+  // write's region to the read's.
+  CompiledKernel K = fixtureKernel(
+      "bad_race_t",
+      argsStruct("bad_race_t") +
+          "__kernel void bad_race_t(__global float* out, __global const "
+          "float* in0, bad_race_t_args args) {\n"
+          "  __local float tile[128];\n"
+          "  int lid = get_local_id(0);\n"
+          "  int i = get_global_id(0);\n"
+          "  tile[lid] = 1.0f;\n"
+          "  for (int t = 0; t < args.n; t += 1) {\n"
+          "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+          "  }\n"
+          "  for (int u = 0; u < args.n; u += 1) {\n"
+          "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+          "  }\n"
+          "  float v = tile[0];\n"
+          "  if (i < args.n) {\n"
+          "    out[i] = v;\n"
+          "  }\n"
+          "}\n");
+  AnalysisOptions Opts;
+  Opts.LocalSize = 128;
+  AnalysisReport R = analyzeKernel(K, Opts);
+  EXPECT_EQ(R.errorCount(), 1u) << R.str();
+  EXPECT_EQ(countPass(R, passes::LocalRace, DiagSeverity::Error), 1u)
+      << R.str();
 }
 
 TEST(KernelVerifier, FlagsPaddingStrideMismatch) {
@@ -292,6 +400,88 @@ TEST(KernelVerifier, ServiceRejectsKernelsThatFailAnalysis) {
   service::ServiceConfig Clean;
   service::OffloadService Svc2(Prog, Ctx.types(), Clean);
   EXPECT_TRUE(Svc2.offloadable(Filter, OC, &Why)) << Why;
+}
+
+TEST(KernelVerifier, ServiceVerdictDoesNotBakeInLaunchGeometry) {
+  // The kernel cache key covers source, device, and memory config but
+  // not LocalSize/MaxGroups, so the cached verifier verdict is shared
+  // by every launch geometry. A kernel that is only safe for
+  // LocalSize <= 128 must therefore be rejected even when the request
+  // that triggers compilation happens to use LocalSize 128 — an
+  // admission under that geometry would be served, unverified, to a
+  // later LocalSize-256 request.
+  const wl::Workload &W = wl::workloadById("nbody_sp");
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  Parser P(W.LimeSource, Ctx, Diags);
+  Program *Prog = P.parseProgram();
+  Sema S(Ctx, Diags);
+  ASSERT_TRUE(S.check(Prog)) << Diags.dump();
+  MethodDecl *Filter =
+      Prog->findClass(W.ClassName)->findMethod(W.FilterMethod);
+  ASSERT_NE(Filter, nullptr);
+
+  service::ServiceConfig SC;
+  SC.PostCompileHook = [](CompiledKernel &K) {
+    CompiledKernel Geo = fixtureKernel(
+        "geo_dep",
+        argsStruct("geo_dep") +
+            "__kernel void geo_dep(__global float* out, __global const "
+            "float* in0, geo_dep_args args) {\n"
+            "  __local float tile[128];\n"
+            "  int lid = get_local_id(0);\n"
+            "  int i = get_global_id(0);\n"
+            "  tile[lid] = 1.0f;\n" // in bounds only when lsize <= 128
+            "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+            "  if (i < args.n) {\n"
+            "    out[i] = tile[lid];\n"
+            "  }\n"
+            "}\n");
+    K.Source = Geo.Source;
+    K.Plan = Geo.Plan;
+  };
+  service::OffloadService Svc(Prog, Ctx.types(), SC);
+
+  rt::OffloadConfig OC;
+  OC.LocalSize = 128;
+  std::string Why;
+  EXPECT_FALSE(Svc.offloadable(Filter, OC, &Why));
+  EXPECT_NE(Why.find("kernel verifier"), std::string::npos) << Why;
+
+  // And the negative verdict is consistent for every other geometry
+  // sharing the cache entry.
+  OC.LocalSize = 256;
+  EXPECT_FALSE(Svc.offloadable(Filter, OC, &Why));
+  EXPECT_NE(Why.find("kernel verifier"), std::string::npos) << Why;
+}
+
+TEST(KernelVerifier, ServiceSharesOneVerdictAcrossLaunchGeometries) {
+  // Complement of the rejection case: a clean kernel is verified once
+  // and the admission is reused — not re-derived, not refused — when a
+  // different launch geometry hits the same cache entry.
+  const wl::Workload &W = wl::workloadById("nbody_sp");
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  Parser P(W.LimeSource, Ctx, Diags);
+  Program *Prog = P.parseProgram();
+  Sema S(Ctx, Diags);
+  ASSERT_TRUE(S.check(Prog)) << Diags.dump();
+  MethodDecl *Filter =
+      Prog->findClass(W.ClassName)->findMethod(W.FilterMethod);
+  ASSERT_NE(Filter, nullptr);
+
+  service::OffloadService Svc(Prog, Ctx.types());
+  rt::OffloadConfig OC;
+  OC.Mem = MemoryConfig::localNoConflict();
+  std::string Why;
+  OC.LocalSize = 128;
+  EXPECT_TRUE(Svc.offloadable(Filter, OC, &Why)) << Why;
+  OC.LocalSize = 256;
+  EXPECT_TRUE(Svc.offloadable(Filter, OC, &Why)) << Why;
+
+  service::OffloadServiceStats St = Svc.stats();
+  EXPECT_EQ(St.Cache.Misses, 1u);
+  EXPECT_EQ(St.Cache.Hits, 1u);
 }
 
 } // namespace
