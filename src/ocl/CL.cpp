@@ -9,6 +9,10 @@
 
 #include "ocl/BytecodeCompiler.h"
 #include "ocl/OclParser.h"
+#include "support/FaultInjection.h"
+
+#include <chrono>
+#include <thread>
 
 using namespace lime;
 using namespace lime::ocl;
@@ -32,7 +36,17 @@ ClContext::ClContext(const std::string &DeviceName)
 
 ClContext::~ClContext() = default;
 
+void ClContext::setFaultDomain(std::string Domain) {
+  Dev.FaultDomain = std::move(Domain);
+}
+
 std::string ClContext::buildProgram(const std::string &Source) {
+  // Fault-injection hook: the per-device program build fails, as a
+  // real clBuildProgram can (driver bugs, resource exhaustion).
+  if (support::FaultInjector::instance().shouldFire(
+          Dev.FaultDomain, support::FaultKind::CompileFail))
+    return "injected fault: program build failed on " + Dev.FaultDomain;
+
   auto Unit = std::make_unique<BuiltUnit>();
   DiagnosticEngine Diags;
   OclParser Parser(Source, Unit->Ctx, Diags);
@@ -103,6 +117,14 @@ std::string ClContext::enqueueKernel(const std::string &Name,
   const BcKernel *K = findKernel(Name);
   if (!K)
     return "no kernel named '" + Name + "' in the built programs";
+  // Fault-injection hook: the launch stalls (wall-clock) before the
+  // device runs it, so deadline enforcement in the offload service's
+  // worker loop sees a hung dispatch that eventually completes.
+  {
+    support::FaultInjector &FI = support::FaultInjector::instance();
+    if (FI.shouldFire(Dev.FaultDomain, support::FaultKind::Hang))
+      std::this_thread::sleep_for(std::chrono::milliseconds(FI.hangMillis()));
+  }
   Profile.ApiNs += ApiCallOverheadNs;
   LaunchResult R = Dev.run(*K, Args, GlobalSize, LocalSize);
   if (!R.ok())

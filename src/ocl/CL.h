@@ -60,6 +60,12 @@ public:
   SimDevice &device() { return Dev; }
   const DeviceModel &model() const { return Dev.model(); }
 
+  /// Tags this context (and its device) for fault injection; the
+  /// offload service uses "w<id>:<model>" so faults can target one
+  /// worker of a multi-queue device. Defaults to the model name.
+  void setFaultDomain(std::string Domain);
+  const std::string &faultDomain() const { return Dev.FaultDomain; }
+
   /// Parses and compiles OpenCL source; returns "" on success or the
   /// diagnostics text. Kernels accumulate across build calls.
   std::string buildProgram(const std::string &Source);

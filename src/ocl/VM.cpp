@@ -8,6 +8,7 @@
 #include "ocl/VM.h"
 
 #include "support/Casting.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -16,7 +17,8 @@
 using namespace lime;
 using namespace lime::ocl;
 
-SimDevice::SimDevice(const DeviceModel &Model) : Model(Model), Mem(Model) {
+SimDevice::SimDevice(const DeviceModel &Model)
+    : FaultDomain(Model.Name), Model(Model), Mem(Model) {
   assert(Model.WarpWidth <= 64 && "mask is a 64-bit word");
 }
 
@@ -127,6 +129,14 @@ LaunchResult SimDevice::run(const BcKernel &K,
                             std::array<uint32_t, 2> LocalSize) {
   LaunchResult R;
   Mem.counters().reset();
+
+  // Fault-injection hook: a dispatch-level device fault, as if the
+  // driver returned CL_OUT_OF_RESOURCES mid-launch.
+  if (support::FaultInjector::instance().shouldFire(
+          FaultDomain, support::FaultKind::LaunchFail)) {
+    R.Error = "injected fault: kernel launch failed on " + FaultDomain;
+    return R;
+  }
 
   if (Args.size() != K.Params.size()) {
     R.Error = formatString("kernel %s: %zu args bound, %zu expected",

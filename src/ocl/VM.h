@@ -131,6 +131,12 @@ public:
 
   const DeviceModel &model() const { return Model; }
 
+  /// Fault-injection domain this device's hooks report under
+  /// (defaults to the model name; the offload service pins it to a
+  /// per-worker tag so one worker of a multi-queue device can fail
+  /// independently).
+  std::string FaultDomain;
+
   /// Allocates \p Bytes in the given arena (Global or Constant);
   /// returns the base offset used as the device address.
   uint64_t allocBuffer(uint64_t Bytes, AddrSpace Space);

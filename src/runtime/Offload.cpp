@@ -64,6 +64,7 @@ OffloadedFilter::OffloadedFilter(Program *P, TypeContext &Types,
     : TheProgram(P), Types(Types), Worker(Worker), Config(Config),
       Wire(Config.UseSpecializedMarshal) {
   Wire.setDirectToDevice(Config.DirectMarshal);
+  Wire.setFaultDomain(Config.DeviceName);
   Error = validateOffloadConfig(Config);
   if (!Error.empty())
     return;
@@ -86,6 +87,7 @@ OffloadedFilter::OffloadedFilter(Program *P, TypeContext &Types,
     : TheProgram(P), Types(Types), Worker(Worker), Config(Config),
       Wire(Config.UseSpecializedMarshal) {
   Wire.setDirectToDevice(Config.DirectMarshal);
+  Wire.setFaultDomain(Config.DeviceName);
   Error = validateOffloadConfig(Config);
   if (!Error.empty())
     return;
@@ -97,6 +99,12 @@ OffloadedFilter::OffloadedFilter(Program *P, TypeContext &Types,
   }
   Ctx = Shared ? std::move(Shared)
                : std::make_shared<ocl::ClContext>(this->Config.DeviceName);
+}
+
+void OffloadedFilter::setFaultDomain(const std::string &Domain) {
+  if (Ctx)
+    Ctx->setFaultDomain(Domain);
+  Wire.setFaultDomain(Domain);
 }
 
 std::string OffloadedFilter::prepare(const std::vector<RtValue> &Args) {
@@ -415,7 +423,16 @@ ExecResult OffloadedFilter::invoke(const std::vector<RtValue> &Args) {
                              : RtValue::makeLong(AccI);
     R.Value = Result.convertTo(Worker->returnType());
   } else {
-    R.Value = Wire.deserialize(OutData, Worker->returnType(), Stats.Marshal);
+    // Checked decode pinned to the launch's element count: a
+    // truncated or corrupted readback fails the invocation (so the
+    // service can retry it) instead of yielding silently wrong data.
+    WireDecodeResult Decoded =
+        Wire.deserializeChecked(OutData, Worker->returnType(), Stats.Marshal,
+                                /*ExpectedOuter=*/N);
+    if (!Decoded.ok())
+      return Fail("offload invoke: readback of kernel '" + Plan.KernelName +
+                  "' failed: " + Decoded.Error);
+    R.Value = std::move(Decoded.Value);
   }
 
   ++Stats.Invocations;

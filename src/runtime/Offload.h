@@ -116,6 +116,16 @@ public:
   const OffloadConfig &config() const { return Config; }
   ocl::ClContext &context() { return *Ctx; }
 
+  /// Tags this filter's device context and wire format for fault
+  /// injection (the offload service pins each worker's filters to a
+  /// per-worker domain). Defaults to the device model name.
+  void setFaultDomain(const std::string &Domain);
+
+  /// Clears a failure recorded by a previous prepare()/invoke() so
+  /// the filter can be retried (transient device faults are the
+  /// offload service's to survive, not permanent state).
+  void clearError() { Error.clear(); }
+
   /// Runs the filter on the device. \p Args follow the worker's
   /// parameter order (stream input first, then bound arguments).
   ExecResult invoke(const std::vector<RtValue> &Args);

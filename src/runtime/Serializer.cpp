@@ -8,6 +8,7 @@
 #include "runtime/Serializer.h"
 
 #include "support/Casting.h"
+#include "support/FaultInjection.h"
 
 #include <cstring>
 
@@ -144,9 +145,18 @@ std::vector<uint8_t> WireFormat::serialize(const RtValue &V,
 namespace {
 
 /// Reads one scalar of primitive type \p P from \p Bytes at \p Off.
-RtValue readScalar(const PrimitiveType *P, const uint8_t *Bytes,
-                   size_t &Off) {
+/// Bounds-checked: a read past \p Limit sets \p Err and returns unit.
+RtValue readScalar(const PrimitiveType *P, const uint8_t *Bytes, size_t &Off,
+                   size_t Limit, std::string &Err) {
   using Prim = PrimitiveType::Prim;
+  size_t Need = P->sizeInBytes();
+  if (Need == 0 || Off + Need > Limit) {
+    if (Err.empty())
+      Err = "wire: truncated buffer (need " + std::to_string(Need) +
+            " byte(s) at offset " + std::to_string(Off) + " of " +
+            std::to_string(Limit) + ")";
+    return RtValue();
+  }
   switch (P->prim()) {
   case Prim::Boolean: {
     uint8_t B = Bytes[Off];
@@ -186,16 +196,20 @@ RtValue readScalar(const PrimitiveType *P, const uint8_t *Bytes,
   case Prim::Void:
     break;
   }
-  lime_unreachable("bad scalar type on the wire");
+  if (Err.empty())
+    Err = "wire: non-scalar primitive on the wire";
+  return RtValue();
 }
 
 /// Scalars per element of array type \p T (product of bounded inner
-/// dimensions), and the scalar type at the bottom.
+/// dimensions), and the scalar type at the bottom. Returns 0 when an
+/// inner dimension is unbounded — not decodable from a flat stream.
 uint64_t scalarsPerElement(const ArrayType *T) {
   uint64_t N = 1;
   const Type *E = T->element();
   while (const auto *AE = dyn_cast<ArrayType>(E)) {
-    assert(AE->bound() != 0 && "inner dimensions must be bounded");
+    if (AE->bound() == 0)
+      return 0;
     N *= AE->bound();
     E = AE->element();
   }
@@ -203,40 +217,75 @@ uint64_t scalarsPerElement(const ArrayType *T) {
 }
 
 RtValue deserializeValue(const Type *T, const uint8_t *Bytes, size_t &Off,
-                         size_t Limit, uint64_t OuterLen) {
+                         size_t Limit, uint64_t OuterLen, std::string &Err) {
   if (const auto *PT = dyn_cast<PrimitiveType>(T))
-    return readScalar(PT, Bytes, Off);
+    return readScalar(PT, Bytes, Off, Limit, Err);
   const auto *AT = cast<ArrayType>(T);
   auto Arr = std::make_shared<RtArray>();
   Arr->ElementType = AT->element();
   Arr->Immutable = AT->isValueArray();
   uint64_t Len = AT->bound() ? AT->bound() : OuterLen;
   Arr->Elems.reserve(Len);
-  for (uint64_t I = 0; I != Len && Off < Limit; ++I)
+  for (uint64_t I = 0; I != Len && Err.empty(); ++I)
     Arr->Elems.push_back(
-        deserializeValue(AT->element(), Bytes, Off, Limit, 0));
+        deserializeValue(AT->element(), Bytes, Off, Limit, 0, Err));
   return RtValue::makeArray(std::move(Arr));
 }
 
 } // namespace
 
-RtValue WireFormat::deserialize(const std::vector<uint8_t> &Bytes,
-                                const Type *T, MarshalCost &Cost) const {
+WireDecodeResult
+WireFormat::deserializeChecked(const std::vector<uint8_t> &Bytes,
+                               const Type *T, MarshalCost &Cost,
+                               uint64_t ExpectedOuter) const {
   Cost.NativeNs += Model.BoundaryCrossNs;
   Cost.Bytes += Bytes.size();
+  WireDecodeResult R;
+
+  // Fault-injection hook: the buffer crossed the boundary truncated
+  // (a real JNI bridge can hand over a short region under memory
+  // pressure). The bounds-checked decode below turns the corruption
+  // into a typed error instead of silently wrong data.
+  size_t Size = Bytes.size();
+  if (Size > 0 && support::FaultInjector::instance().shouldFire(
+                      FaultDomain, support::FaultKind::CorruptWire))
+    Size -= 1 + Size / 7;
 
   size_t Off = 0;
   if (const auto *PT = dyn_cast<PrimitiveType>(T)) {
     Cost.NativeNs += Model.GenericNativeNsPerElem;
-    return readScalar(PT, Bytes.data(), Off);
+    if (Size != PT->sizeInBytes()) {
+      R.Error = "wire: scalar payload is " + std::to_string(Size) +
+                " byte(s), type needs " + std::to_string(PT->sizeInBytes());
+      return R;
+    }
+    R.Value = readScalar(PT, Bytes.data(), Off, Size, R.Error);
+    return R;
   }
 
-  const auto *AT = cast<ArrayType>(T);
-  const auto *Scalar = cast<PrimitiveType>(AT->scalarElement());
-  uint64_t PerElem = scalarsPerElement(AT) * Scalar->sizeInBytes();
-  uint64_t OuterLen = AT->bound()
-                          ? AT->bound()
-                          : (PerElem ? Bytes.size() / PerElem : 0);
+  const auto *AT = dyn_cast<ArrayType>(T);
+  if (!AT) {
+    R.Error = "wire: type is not decodable from a flat stream";
+    return R;
+  }
+  const auto *Scalar = dyn_cast<PrimitiveType>(AT->scalarElement());
+  uint64_t PerElem = Scalar ? scalarsPerElement(AT) * Scalar->sizeInBytes() : 0;
+  if (PerElem == 0) {
+    R.Error = "wire: array element size is not statically known";
+    return R;
+  }
+  uint64_t OuterLen = AT->bound() ? AT->bound() : Size / PerElem;
+  if (ExpectedOuter && OuterLen != ExpectedOuter) {
+    R.Error = "wire: buffer encodes " + std::to_string(OuterLen) +
+              " element(s), caller expected " + std::to_string(ExpectedOuter);
+    return R;
+  }
+  if (OuterLen * PerElem != Size) {
+    R.Error = "wire: buffer is " + std::to_string(Size) +
+              " byte(s), not a whole number of " + std::to_string(PerElem) +
+              "-byte elements";
+    return R;
+  }
 
   // The return path of Fig. 6: the C side emits the byte stream
   // (skipped under direct-to-device, where the Java side reads the
@@ -260,5 +309,15 @@ RtValue WireFormat::deserialize(const std::vector<uint8_t> &Bytes,
                    static_cast<double>(Bytes.size() /
                                        std::max(1u, Scalar->sizeInBytes()));
 
-  return deserializeValue(AT, Bytes.data(), Off, Bytes.size(), OuterLen);
+  R.Value = deserializeValue(AT, Bytes.data(), Off, Size, OuterLen, R.Error);
+  if (R.Error.empty() && Off != Size)
+    R.Error = "wire: " + std::to_string(Size - Off) + " trailing byte(s)";
+  if (!R.Error.empty())
+    R.Value = RtValue();
+  return R;
+}
+
+RtValue WireFormat::deserialize(const std::vector<uint8_t> &Bytes,
+                                const Type *T, MarshalCost &Cost) const {
+  return deserializeChecked(Bytes, T, Cost).Value;
 }

@@ -68,6 +68,17 @@ struct MarshalCostModel {
   double BoundaryCrossNs = 1200.0;
 };
 
+/// Typed outcome of a checked deserialization: the reconstructed
+/// value, or the first malformation detected in the byte stream
+/// (truncated buffer, trailing bytes, un-decodable type). No byte is
+/// ever read past the buffer end.
+struct WireDecodeResult {
+  RtValue Value;
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
 class WireFormat {
 public:
   explicit WireFormat(bool UseSpecialized = true,
@@ -75,6 +86,10 @@ public:
       : UseSpecialized(UseSpecialized), Model(Model) {}
 
   bool usesSpecialized() const { return UseSpecialized; }
+
+  /// Fault-injection domain for the corrupt-wire hook (the offload
+  /// path tags its wire with the worker's domain).
+  void setFaultDomain(std::string Domain) { FaultDomain = std::move(Domain); }
 
   /// §5.3 future-work optimization: "the Java marshaling code should
   /// marshal directly to a format as required for device memory. This
@@ -92,7 +107,19 @@ public:
   /// Reconstructs a Lime value of type \p T from flat bytes. Array
   /// lengths derive from the byte count and the type's bounded
   /// dimensions (outermost dimension unbounded). Accumulates the
-  /// native-side cost plus one boundary cross.
+  /// native-side cost plus one boundary cross. Every read is
+  /// bounds-checked: a truncated or oversized buffer comes back as a
+  /// typed error, never UB. \p ExpectedOuter, when non-zero, is the
+  /// element count the caller knows the outermost dimension must
+  /// have; a byte stream encoding any other count is an error (this
+  /// is what makes truncation of byte-granular arrays detectable).
+  WireDecodeResult deserializeChecked(const std::vector<uint8_t> &Bytes,
+                                      const Type *T, MarshalCost &Cost,
+                                      uint64_t ExpectedOuter = 0) const;
+
+  /// Convenience form for known-well-formed buffers (tests, the
+  /// round-trip benchmarks): returns the unit value on malformed
+  /// input instead of the error string.
   RtValue deserialize(const std::vector<uint8_t> &Bytes, const Type *T,
                       MarshalCost &Cost) const;
 
@@ -106,6 +133,7 @@ private:
   bool UseSpecialized;
   bool DirectToDevice = false;
   MarshalCostModel Model;
+  std::string FaultDomain = "wire";
 };
 
 } // namespace lime::rt

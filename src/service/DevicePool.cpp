@@ -13,6 +13,18 @@
 using namespace lime;
 using namespace lime::service;
 
+const char *lime::service::breakerStateName(BreakerState S) {
+  switch (S) {
+  case BreakerState::Closed:
+    return "closed";
+  case BreakerState::Open:
+    return "open";
+  case BreakerState::Probation:
+    return "probation";
+  }
+  return "?";
+}
+
 /// Two invocations of the same instance may merge only when every
 /// argument other than the map source is bit-identical: the merged
 /// launch forwards one set of scalars/bound arrays to the kernel.
@@ -31,9 +43,10 @@ static bool mergeable(const PendingInvoke &A, const PendingInvoke &B) {
 }
 
 DevicePool::DevicePool(std::vector<std::string> DeviceNames, size_t QueueDepth,
-                       unsigned MaxBatch, Executor Exec)
+                       unsigned MaxBatch, BreakerConfig Breaker, Executor Exec)
     : QueueDepth(QueueDepth ? QueueDepth : 1),
-      MaxBatch(MaxBatch ? MaxBatch : 1), Exec(std::move(Exec)) {
+      MaxBatch(MaxBatch ? MaxBatch : 1), Breaker(Breaker),
+      Exec(std::move(Exec)) {
   std::lock_guard<std::mutex> Lock(Mu);
   for (const std::string &Name : DeviceNames)
     addWorkerLocked(Name);
@@ -63,18 +76,50 @@ DevicePool::Worker &DevicePool::addWorkerLocked(const std::string &DeviceName) {
   return Ref;
 }
 
-unsigned DevicePool::pickWorker(const std::string &DeviceName,
-                                const std::vector<unsigned> &Preferred,
-                                size_t AffinityBias) {
+bool DevicePool::eligibleLocked(Worker &W,
+                                std::chrono::steady_clock::time_point Now)
+    const {
+  switch (W.Breaker) {
+  case BreakerState::Closed:
+    return true;
+  case BreakerState::Open:
+    // Quarantined; re-admittable once the cooldown elapsed (the pick
+    // that selects it flips the state to Probation).
+    return Now >= W.QuarantinedUntil;
+  case BreakerState::Probation:
+    // One trial at a time: ineligible until the probe resolves.
+    return !W.ProbationInFlight;
+  }
+  return false;
+}
+
+int DevicePool::pickWorker(const std::string &DeviceName,
+                           const std::vector<unsigned> &Preferred,
+                           size_t AffinityBias,
+                           const std::vector<unsigned> &Exclude,
+                           bool AddIfMissing) {
   std::lock_guard<std::mutex> Lock(Mu);
-  Worker *Best = nullptr, *BestPreferred = nullptr;
+  auto Now = std::chrono::steady_clock::now();
+  Worker *Best = nullptr, *BestPreferred = nullptr, *Probe = nullptr;
   size_t BestLoad = 0, BestPreferredLoad = 0;
+  bool ModelExists = false;
   for (auto &W : Workers) {
     if (W->DeviceName != DeviceName)
+      continue;
+    ModelExists = true;
+    if (std::find(Exclude.begin(), Exclude.end(), W->Id) != Exclude.end())
       continue;
     size_t Load;
     {
       std::lock_guard<std::mutex> WL(W->Mu);
+      if (W->Stop || !eligibleLocked(*W, Now))
+        continue;
+      // A quarantined worker past its cooldown beats every healthy
+      // candidate: load-based picking (let alone instance affinity)
+      // would never route a request to it, and without a probation
+      // trial it could never be re-admitted.
+      if (W->Breaker != BreakerState::Closed && !Probe)
+        Probe = W.get();
       Load = W->Queue.size() + W->InFlight;
     }
     if (!Best || Load < BestLoad) {
@@ -90,13 +135,37 @@ unsigned DevicePool::pickWorker(const std::string &DeviceName,
     }
   }
   if (BestPreferred && BestPreferredLoad <= BestLoad + AffinityBias)
-    return BestPreferred->Id;
-  if (!Best)
+    Best = BestPreferred;
+  if (Probe)
+    Best = Probe;
+  if (!Best) {
+    if (ModelExists || !AddIfMissing)
+      return -1; // every worker of this model quarantined/excluded
     Best = &addWorkerLocked(DeviceName);
-  return Best->Id;
+  }
+  // A quarantined pick past its cooldown becomes the probation trial.
+  {
+    std::lock_guard<std::mutex> WL(Best->Mu);
+    if (Best->Breaker == BreakerState::Open) {
+      Best->Breaker = BreakerState::Probation;
+      Best->ProbationInFlight = true;
+    } else if (Best->Breaker == BreakerState::Probation) {
+      Best->ProbationInFlight = true;
+    }
+  }
+  return static_cast<int>(Best->Id);
 }
 
-void DevicePool::submitTo(unsigned Id, PendingInvoke Inv) {
+std::vector<std::string> DevicePool::modelNames() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::string> Names;
+  for (const auto &W : Workers)
+    if (std::find(Names.begin(), Names.end(), W->DeviceName) == Names.end())
+      Names.push_back(W->DeviceName);
+  return Names;
+}
+
+bool DevicePool::submitTo(unsigned Id, PendingInvoke &Inv, bool Force) {
   Worker *W;
   {
     std::lock_guard<std::mutex> Lock(Mu);
@@ -104,10 +173,95 @@ void DevicePool::submitTo(unsigned Id, PendingInvoke Inv) {
     W = Workers[Id].get();
   }
   std::unique_lock<std::mutex> WL(W->Mu);
-  W->NotFull.wait(WL, [&] { return W->Queue.size() < QueueDepth; });
+  if (!Force)
+    W->NotFull.wait(WL, [&] { return W->Stop || W->Queue.size() < QueueDepth; });
+  if (W->Stop)
+    return false;
   W->Queue.push_back(std::move(Inv));
   W->QueueHighWater = std::max(W->QueueHighWater, W->Queue.size());
   W->NotEmpty.notify_one();
+  return true;
+}
+
+void DevicePool::recordSuccess(unsigned Id) {
+  Worker *W;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    assert(Id < Workers.size() && "bad worker id");
+    W = Workers[Id].get();
+  }
+  std::lock_guard<std::mutex> WL(W->Mu);
+  W->ConsecFailures = 0;
+  if (W->Breaker == BreakerState::Probation) {
+    // Probe succeeded: re-admit.
+    W->Breaker = BreakerState::Closed;
+    W->ProbationInFlight = false;
+  }
+}
+
+bool DevicePool::recordFailure(unsigned Id,
+                               std::vector<PendingInvoke> &Drained) {
+  Worker *W;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    assert(Id < Workers.size() && "bad worker id");
+    W = Workers[Id].get();
+  }
+  std::lock_guard<std::mutex> WL(W->Mu);
+  ++W->Failures;
+  ++W->ConsecFailures;
+  bool Quarantine = false;
+  if (W->Breaker == BreakerState::Probation) {
+    // Probe failed: back to quarantine for another cooldown.
+    Quarantine = true;
+  } else if (W->Breaker == BreakerState::Closed && Breaker.Threshold &&
+             W->ConsecFailures >= Breaker.Threshold) {
+    Quarantine = true;
+  }
+  if (!Quarantine)
+    return false;
+  W->Breaker = BreakerState::Open;
+  W->ProbationInFlight = false;
+  ++W->TimesQuarantined;
+  W->QuarantinedUntil =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(
+          static_cast<int64_t>(Breaker.CooldownMs * 1000.0));
+  // Hand the queued work back for re-routing onto healthy peers. The
+  // batch currently in flight is the caller's to retry.
+  while (!W->Queue.empty()) {
+    Drained.push_back(std::move(W->Queue.front()));
+    W->Queue.pop_front();
+  }
+  W->NotFull.notify_all();
+  return true;
+}
+
+void DevicePool::recordSkipped(unsigned Id) {
+  Worker *W;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    assert(Id < Workers.size() && "bad worker id");
+    W = Workers[Id].get();
+  }
+  std::lock_guard<std::mutex> WL(W->Mu);
+  if (W->Breaker == BreakerState::Probation && W->ProbationInFlight) {
+    // Verdict still pending; drop back to Open with the cooldown
+    // already elapsed so the next pick starts a fresh trial.
+    W->ProbationInFlight = false;
+    W->Breaker = BreakerState::Open;
+  }
+}
+
+BreakerState DevicePool::breakerStateOf(unsigned Id) const {
+  Worker *W;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    assert(Id < Workers.size() && "bad worker id");
+    W = Workers[Id].get();
+  }
+  std::lock_guard<std::mutex> WL(W->Mu);
+  return W->Breaker;
 }
 
 const std::string &DevicePool::deviceNameOf(unsigned Id) const {
@@ -123,7 +277,9 @@ size_t DevicePool::workerCount() const {
 
 void DevicePool::waitIdle() {
   // The worker list only grows; walk by index so a lazily added
-  // worker (created while we wait) is still visited.
+  // worker (created while we wait) is still visited. A requeue always
+  // lands on its target before the failing worker's InFlight drops,
+  // so a full pass with every queue empty means quiescence.
   for (size_t I = 0;; ++I) {
     Worker *W;
     {
@@ -152,6 +308,10 @@ std::vector<DeviceStatsSnapshot> DevicePool::stats() const {
     S.QueueDepth = W->Queue.size() + W->InFlight;
     S.QueueHighWater = W->QueueHighWater;
     S.SimBusyNs = W->SimBusyNs;
+    S.Failures = W->Failures;
+    S.ConsecutiveFailures = W->ConsecFailures;
+    S.TimesQuarantined = W->TimesQuarantined;
+    S.Breaker = W->Breaker;
     Out.push_back(std::move(S));
   }
   return Out;

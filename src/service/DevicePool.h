@@ -14,6 +14,13 @@
 /// batch-eligible invocations of the same filter instance into one
 /// launch before handing them to the service's executor.
 ///
+/// Each worker also carries a circuit breaker. Consecutive failures
+/// (recorded by the executor) past a threshold *quarantine* the
+/// worker: dispatch stops selecting it and its queued work is drained
+/// back to the service for re-routing onto healthy peers. After a
+/// cooldown the worker is eligible again for exactly one *probation*
+/// request; success re-admits it, failure re-opens the quarantine.
+///
 /// The pool itself knows nothing about kernels or marshalling: a task
 /// is an opaque FilterInstance pointer plus arguments and a promise,
 /// and the executor callback (installed by OffloadService) does the
@@ -25,7 +32,9 @@
 #define LIMECC_SERVICE_DEVICEPOOL_H
 
 #include "lime/interp/Interp.h"
+#include "runtime/Offload.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -46,10 +55,49 @@ struct PendingInvoke {
   /// Index of the worker parameter carrying the map source when this
   /// invocation may merge with others of the same instance; -1 when
   /// it must launch alone (reduce kernels, multi-array filters,
-  /// batching disabled).
+  /// batching disabled, retries).
   int SourceParam = -1;
   std::vector<RtValue> Args;
   std::promise<ExecResult> Promise;
+
+  // Fault-tolerance state, carried so a failed launch can be
+  // re-resolved against a different worker (possibly of a different
+  // device model, which needs a recompile through the kernel cache).
+  MethodDecl *Worker = nullptr;
+  rt::OffloadConfig Config;    // canonical config of the original request
+  unsigned Attempt = 0;        // launch attempts that have failed so far
+  std::vector<unsigned> FailedWorkers; // excluded from re-routing
+  /// Absolute per-launch deadline (epoch = none). Enforced by the
+  /// worker loop: expired-in-queue requests skip the device, and a
+  /// dispatch completing past it counts as timed out.
+  std::chrono::steady_clock::time_point Deadline{};
+
+  bool hasDeadline() const {
+    return Deadline != std::chrono::steady_clock::time_point{};
+  }
+  bool excluded(unsigned Id) const {
+    for (unsigned W : FailedWorkers)
+      if (W == Id)
+        return true;
+    return false;
+  }
+};
+
+/// Circuit-breaker state of one worker.
+enum class BreakerState : uint8_t {
+  Closed,    ///< healthy, receiving work
+  Open,      ///< quarantined, skipped by dispatch until cooldown
+  Probation, ///< cooldown elapsed, serving one trial request
+};
+
+const char *breakerStateName(BreakerState S);
+
+/// Circuit-breaker policy shared by every worker in a pool.
+struct BreakerConfig {
+  /// Consecutive failures that quarantine a worker (0 disables).
+  unsigned Threshold = 3;
+  /// Quarantine duration before a probation trial is allowed.
+  double CooldownMs = 250.0;
 };
 
 /// Per-device counters, snapshotted under the worker's queue lock.
@@ -62,13 +110,19 @@ struct DeviceStatsSnapshot {
   size_t QueueDepth = 0;        // queued + in flight right now
   size_t QueueHighWater = 0;    // max queued ever observed
   double SimBusyNs = 0.0;       // simulated device-side time executed
+  // Breaker state.
+  uint64_t Failures = 0;            // failures recorded against this worker
+  unsigned ConsecutiveFailures = 0; // current streak
+  uint64_t TimesQuarantined = 0;    // transitions into Open
+  BreakerState Breaker = BreakerState::Closed;
 };
 
 class DevicePool {
 public:
   /// The executor runs a batch (size >= 1, all same Instance) on the
   /// worker thread and returns the simulated device nanoseconds the
-  /// batch consumed. It must fulfil every promise in the batch.
+  /// batch consumed. It must fulfil every promise in the batch
+  /// (directly, or by requeueing / falling back through the service).
   using Executor =
       std::function<double(std::vector<PendingInvoke> &Batch, unsigned Id)>;
 
@@ -76,7 +130,7 @@ public:
   /// multi-queue device of that model). \p QueueDepth bounds each
   /// queue; \p MaxBatch caps merged launches (1 disables merging).
   DevicePool(std::vector<std::string> DeviceNames, size_t QueueDepth,
-             unsigned MaxBatch, Executor Exec);
+             unsigned MaxBatch, BreakerConfig Breaker, Executor Exec);
 
   /// Drains every queue (outstanding work still runs) and joins.
   ~DevicePool();
@@ -84,20 +138,48 @@ public:
   DevicePool(const DevicePool &) = delete;
   DevicePool &operator=(const DevicePool &) = delete;
 
-  /// Least-loaded worker simulating \p DeviceName; creates one on
-  /// first use of a model that was not in the constructor list.
+  /// Least-loaded *healthy* worker simulating \p DeviceName, or -1
+  /// when every worker of that model is quarantined or excluded.
+  /// Creates a worker on first use of a model with no worker at all
+  /// (unless \p AddIfMissing is false). A quarantined worker whose
+  /// cooldown elapsed may be returned: selecting it moves it to
+  /// probation, and no second probation pick happens until the trial
+  /// resolves through recordSuccess()/recordFailure().
   /// \p Preferred workers (those already holding a built filter
   /// instance for the request's kernel) win unless they are more
   /// than \p AffinityBias tasks deeper than the least-loaded
   /// candidate — affinity saves a per-worker program build, but not
   /// at the price of an idle device.
-  unsigned pickWorker(const std::string &DeviceName,
-                      const std::vector<unsigned> &Preferred = {},
-                      size_t AffinityBias = 4);
+  int pickWorker(const std::string &DeviceName,
+                 const std::vector<unsigned> &Preferred = {},
+                 size_t AffinityBias = 4,
+                 const std::vector<unsigned> &Exclude = {},
+                 bool AddIfMissing = true);
 
-  /// Queues \p Inv on worker \p Id, blocking while its queue is full.
-  void submitTo(unsigned Id, PendingInvoke Inv);
+  /// Device-model names with at least one worker, in worker order
+  /// (used for cross-model requeue candidates).
+  std::vector<std::string> modelNames() const;
 
+  /// Queues \p Inv on worker \p Id. With \p Force false, blocks while
+  /// the queue is full (client backpressure); with \p Force true the
+  /// bound is bypassed (internal requeues from worker threads must
+  /// never block on each other). Returns false — and leaves \p Inv
+  /// intact — when the worker is already stopping (teardown).
+  bool submitTo(unsigned Id, PendingInvoke &Inv, bool Force = false);
+
+  /// Breaker bookkeeping, called by the executor after each launch.
+  /// recordFailure appends the quarantined worker's queued work to
+  /// \p Drained (for the service to re-route) and returns true when
+  /// this failure transitioned the worker into quarantine.
+  void recordSuccess(unsigned Id);
+  bool recordFailure(unsigned Id, std::vector<PendingInvoke> &Drained);
+  /// A pick that never produced a launch verdict (placement bailed
+  /// out, or every queued request expired before the device ran):
+  /// releases a pending probation trial so the worker stays
+  /// re-admittable instead of wedging in Probation forever.
+  void recordSkipped(unsigned Id);
+
+  BreakerState breakerStateOf(unsigned Id) const;
   const std::string &deviceNameOf(unsigned Id) const;
   size_t workerCount() const;
 
@@ -128,13 +210,26 @@ private:
     uint64_t BatchedRequests = 0;
     size_t QueueHighWater = 0;
     double SimBusyNs = 0.0;
+
+    // Circuit breaker, guarded by Mu.
+    BreakerState Breaker = BreakerState::Closed;
+    unsigned ConsecFailures = 0;
+    uint64_t Failures = 0;
+    uint64_t TimesQuarantined = 0;
+    std::chrono::steady_clock::time_point QuarantinedUntil{};
+    bool ProbationInFlight = false;
   };
 
   Worker &addWorkerLocked(const std::string &DeviceName);
   void workerLoop(Worker &W);
+  /// Worker eligibility for dispatch under W.Mu; promotes an Open
+  /// worker whose cooldown elapsed into a probation candidate.
+  bool eligibleLocked(Worker &W,
+                      std::chrono::steady_clock::time_point Now) const;
 
   size_t QueueDepth;
   unsigned MaxBatch;
+  BreakerConfig Breaker;
   Executor Exec;
 
   /// Guards the worker list itself; per-worker state is under each

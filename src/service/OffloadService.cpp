@@ -11,7 +11,10 @@
 #include "lime/ast/ASTPrinter.h"
 #include "ocl/DeviceModel.h"
 
+#include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
 
 using namespace lime;
 using namespace lime::service;
@@ -35,17 +38,33 @@ OffloadService::OffloadService(Program *P, TypeContext &Types,
     : Prog(P), Types(Types), Config(std::move(Config)),
       Cache(this->Config.CacheCapacity) {
   Cache.setDiskDir(this->Config.DiskCacheDir);
-  // Unknown model names would abort deep in the device layer; drop
-  // them here and guarantee at least one worker.
+  // Unknown model names would abort deep in the device layer. Reject
+  // the whole configuration here, with the registry's names in the
+  // message, instead of silently dropping entries: a misspelled
+  // device list is an operator error, not a scheduling preference.
   std::vector<std::string> Names;
-  for (const std::string &N : this->Config.Devices)
-    if (knownDevice(N))
+  for (const std::string &N : this->Config.Devices) {
+    if (knownDevice(N)) {
       Names.push_back(N);
+      continue;
+    }
+    std::ostringstream E;
+    E << "offload service: unknown device model '" << N
+      << "' in ServiceConfig.Devices (known:";
+    for (const ocl::DeviceModel &D : ocl::deviceRegistry())
+      E << ' ' << D.Name;
+    E << ')';
+    ConfigError = E.str();
+    break;
+  }
   if (Names.empty())
     Names.push_back("gtx580");
   unsigned MaxBatch = this->Config.EnableBatching ? this->Config.MaxBatch : 1;
+  BreakerConfig BC;
+  BC.Threshold = this->Config.BreakerThreshold;
+  BC.CooldownMs = this->Config.BreakerCooldownMs;
   Pool = std::make_unique<DevicePool>(
-      std::move(Names), this->Config.QueueDepth, MaxBatch,
+      std::move(Names), this->Config.QueueDepth, MaxBatch, BC,
       [this](std::vector<PendingInvoke> &Batch, unsigned Id) {
         return execute(Batch, Id);
       });
@@ -61,7 +80,9 @@ std::future<ExecResult> OffloadService::submit(OffloadRequest Request) {
   std::future<ExecResult> Future = Promise.get_future();
   ++Submitted;
 
-  std::string VErr = rt::validateOffloadConfig(Request.Config);
+  std::string VErr = ConfigError;
+  if (VErr.empty())
+    VErr = rt::validateOffloadConfig(Request.Config);
   if (!Request.Worker)
     VErr = "offload service: request has no worker";
   else if (VErr.empty() && !knownDevice(Request.Config.DeviceName))
@@ -79,37 +100,25 @@ std::future<ExecResult> OffloadService::submit(OffloadRequest Request) {
   std::shared_ptr<const CompiledKernel> Kernel = Cache.getOrCompile(
       Key, [&] { return compileVerified(Request.Worker, Canon); });
   if (!Kernel->Ok) {
+    // Semantic failure: the filter does not compile for GPUs at all.
+    // No retry and no interpreter fallback — callers rely on the trap
+    // to learn the filter is not offloadable.
     ++Failed;
     Promise.set_value(
         trapped("offload service: compilation failed: " + Kernel->Error));
     return Future;
   }
 
-  // Prefer a worker that already built this kernel's per-worker
-  // instance (skips an OpenCL program build) unless it is noticeably
-  // more loaded than the least-loaded candidate.
-  std::string IKey = instanceKey(Request.Worker, Kernel.get(), Canon);
-  unsigned WorkerId =
-      Pool->pickWorker(Canon.DeviceName, instanceWorkers(IKey));
-  std::string IErr;
-  FilterInstance *Inst =
-      instanceFor(IKey, Request.Worker, std::move(Kernel), WorkerId, Canon,
-                  IErr);
-  if (!Inst) {
-    ++Failed;
-    Promise.set_value(trapped(IErr));
-    return Future;
-  }
-
   PendingInvoke Inv;
-  Inv.Instance = Inst;
-  if (Config.EnableBatching && Inst->SourceParam >= 0 &&
-      Inst->SourceParam < static_cast<int>(Request.Args.size()) &&
-      Request.Args[Inst->SourceParam].isArray())
-    Inv.SourceParam = Inst->SourceParam;
+  Inv.Worker = Request.Worker;
+  Inv.Config = Canon;
   Inv.Args = std::move(Request.Args);
   Inv.Promise = std::move(Promise);
-  Pool->submitTo(WorkerId, std::move(Inv));
+  refreshDeadline(Inv);
+  if (!place(Inv, /*IsRequeue=*/false))
+    fallbackOrFail(std::move(Inv),
+                   "offload service: no worker available for device '" +
+                       Canon.DeviceName + "'");
   return Future;
 }
 
@@ -202,8 +211,8 @@ std::vector<unsigned> OffloadService::instanceWorkers(const std::string &Key) {
   auto It = Instances.find(Key);
   if (It != Instances.end())
     for (const auto &[Id, Inst] : It->second)
-      if (Inst->Filter->ok())
-        Ids.push_back(Id);
+      Ids.push_back(Id); // a past fault left no stale error (the
+                         // worker clears it when recording a failure)
   return Ids;
 }
 
@@ -215,24 +224,23 @@ OffloadService::instanceFor(const std::string &Key, MethodDecl *Worker,
   std::lock_guard<std::mutex> Lock(InstMu);
   auto &PerWorker = Instances[Key];
   auto It = PerWorker.find(WorkerId);
-  if (It != PerWorker.end()) {
-    if (!It->second->Filter->ok()) {
-      Err = It->second->Filter->error();
-      return nullptr;
-    }
+  if (It != PerWorker.end())
     return It->second.get();
-  }
 
   auto Inst = std::make_unique<FilterInstance>();
   Inst->Filter = std::make_unique<rt::OffloadedFilter>(
       Prog, Types, Worker, Canon, nullptr, *Kernel);
+  // Per-worker fault domain: "w3:gtx580" so injection plans can pin
+  // one worker ("w3:gtx580") or every worker of a model ("gtx580").
+  Inst->Filter->setFaultDomain("w" + std::to_string(WorkerId) + ":" +
+                               Canon.DeviceName);
   // Keep the cached kernel alive as long as the instance references
   // its plan-derived state (the filter holds its own copy, but the
   // instance key embeds the cache pointer).
   Inst->Kernel = std::move(Kernel);
   if (!Inst->Filter->ok()) {
+    // Construction failures are not cached: a retry may rebuild.
     Err = Inst->Filter->error();
-    PerWorker[WorkerId] = std::move(Inst); // negative-cache the failure
     return nullptr;
   }
 
@@ -261,14 +269,47 @@ OffloadService::instanceFor(const std::string &Key, MethodDecl *Worker,
   return Raw;
 }
 
-double OffloadService::execute(std::vector<PendingInvoke> &Batch, unsigned) {
+double OffloadService::execute(std::vector<PendingInvoke> &Batch,
+                               unsigned WorkerId) {
+  // Deadline enforcement, part 1: a request that expired while queued
+  // (typically behind a hung launch) never reaches the device — it
+  // goes straight back through the retry path toward a healthy worker
+  // or the interpreter.
+  for (auto It = Batch.begin(); It != Batch.end();) {
+    if (It->hasDeadline() &&
+        std::chrono::steady_clock::now() > It->Deadline) {
+      PendingInvoke Expired = std::move(*It);
+      It = Batch.erase(It);
+      ++TimedOut;
+      handleFailure(std::move(Expired), WorkerId,
+                    "offload service: launch deadline expired in queue");
+    } else {
+      ++It;
+    }
+  }
+  if (Batch.empty()) {
+    // Nothing launched, so the breaker gets no verdict; if this was a
+    // probation trial, make the worker probe-able again.
+    Pool->recordSkipped(WorkerId);
+    return 0.0;
+  }
+
   FilterInstance *Inst = Batch.front().Instance;
   rt::OffloadedFilter &F = *Inst->Filter;
 
-  auto TrapAll = [&](const std::string &Msg) {
+  // A failed launch is a device fault (injected or real): record it
+  // against the worker's breaker, then push every request of the
+  // batch through retry/requeue/fallback. Requests drained from the
+  // queue by a quarantine re-route without counting an attempt.
+  auto FailAll = [&](const std::string &Msg) {
+    F.clearError();
+    std::vector<PendingInvoke> Drained;
+    if (Pool->recordFailure(WorkerId, Drained))
+      ++Quarantined;
     for (PendingInvoke &B : Batch)
-      B.Promise.set_value(trapped(Msg));
-    Failed += Batch.size();
+      handleFailure(std::move(B), WorkerId, Msg);
+    Batch.clear();
+    reroute(Drained, WorkerId);
   };
 
   // Merge a multi-request batch into one launch: concatenate the
@@ -290,7 +331,8 @@ double OffloadService::execute(std::vector<PendingInvoke> &Batch, unsigned) {
     Args = Batch.front().Args;
     Args[SP] = RtValue::makeArray(std::move(MergedArr));
   } else {
-    Args = std::move(Batch.front().Args);
+    // Copied, not moved: a failed launch retries with these args.
+    Args = Batch.front().Args;
   }
 
   rt::OffloadStats Before = F.stats();
@@ -301,10 +343,13 @@ double OffloadService::execute(std::vector<PendingInvoke> &Batch, unsigned) {
   // *merged* arguments sizes the fallback check for what actually
   // launches.
   if (!F.prepared()) {
-    std::lock_guard<std::mutex> Lock(CompileMu);
-    std::string Err = F.prepare(Args);
+    std::string Err;
+    {
+      std::lock_guard<std::mutex> Lock(CompileMu);
+      Err = F.prepare(Args);
+    }
     if (!Err.empty()) {
-      TrapAll(Err);
+      FailAll(Err);
       return 0.0;
     }
   }
@@ -315,26 +360,46 @@ double OffloadService::execute(std::vector<PendingInvoke> &Batch, unsigned) {
   double SimNs = After.totalNs() - Before.totalNs();
 
   if (R.Trapped) {
-    TrapAll(R.TrapMessage);
+    FailAll(R.TrapMessage);
     return SimNs;
   }
+
+  // Deadline enforcement, part 2: the launch completed but a hang may
+  // have pushed it past its deadline. The result is still correct and
+  // is delivered, but the worker eats a breaker failure — a device
+  // that keeps clients waiting sheds its queue like a dead one.
+  bool Late = false;
+  auto Done = std::chrono::steady_clock::now();
+  for (const PendingInvoke &B : Batch)
+    if (B.hasDeadline() && Done > B.Deadline) {
+      Late = true;
+      break;
+    }
+  if (Late) {
+    ++TimedOut;
+    std::vector<PendingInvoke> Drained;
+    if (Pool->recordFailure(WorkerId, Drained))
+      ++Quarantined;
+    reroute(Drained, WorkerId);
+  } else {
+    Pool->recordSuccess(WorkerId);
+  }
+
   if (!Merged) {
     Batch.front().Promise.set_value(std::move(R));
     ++Completed;
     return SimNs;
   }
 
-  // Split the merged output back per request.
-  if (!R.Value.isArray()) {
-    TrapAll("offload service: merged launch produced a non-array result");
-    return SimNs;
-  }
-  const std::shared_ptr<RtArray> &Out = R.Value.array();
+  // Split the merged output back per request. A malformed merged
+  // result is a launch-level fault like any other: retry unmerged.
+  const std::shared_ptr<RtArray> &Out =
+      R.Value.isArray() ? R.Value.array() : nullptr;
   size_t Total = 0;
   for (size_t L : Lens)
     Total += L;
-  if (Out->Elems.size() != Total) {
-    TrapAll("offload service: merged output length mismatch");
+  if (!Out || Out->Elems.size() != Total) {
+    FailAll("offload service: merged launch output mismatch");
     return SimNs;
   }
   size_t Off = 0;
@@ -351,6 +416,137 @@ double OffloadService::execute(std::vector<PendingInvoke> &Batch, unsigned) {
     ++Completed;
   }
   return SimNs;
+}
+
+bool OffloadService::place(PendingInvoke &Inv, bool IsRequeue) {
+  // Candidate models: the request's own first; on a requeue every
+  // other model in the pool too ("any compatible device" — the cache
+  // recompiles the kernel for the alternate model's memory config).
+  std::vector<std::string> Models{Inv.Config.DeviceName};
+  if (IsRequeue)
+    for (const std::string &M : Pool->modelNames())
+      if (M != Inv.Config.DeviceName)
+        Models.push_back(M);
+
+  for (const std::string &M : Models) {
+    rt::OffloadConfig Cfg = Inv.Config;
+    Cfg.DeviceName = M;
+    rt::OffloadConfig Canon = rt::canonicalOffloadConfig(Cfg);
+    KernelKey Key =
+        KernelKey::make(Inv.Worker, Canon, &classTextFor(Inv.Worker));
+    std::shared_ptr<const CompiledKernel> Kernel = Cache.getOrCompile(
+        Key, [&] { return compileVerified(Inv.Worker, Canon); });
+    if (!Kernel->Ok)
+      continue;
+    std::string IKey = instanceKey(Inv.Worker, Kernel.get(), Canon);
+    // Lazy worker creation only for the model the request asked for;
+    // requeue candidates are whatever the pool already runs.
+    int Id = Pool->pickWorker(Canon.DeviceName, instanceWorkers(IKey),
+                              /*AffinityBias=*/4, Inv.FailedWorkers,
+                              /*AddIfMissing=*/!IsRequeue);
+    if (Id < 0)
+      continue;
+    std::string IErr;
+    FilterInstance *Inst =
+        instanceFor(IKey, Inv.Worker, std::move(Kernel),
+                    static_cast<unsigned>(Id), Canon, IErr);
+    if (!Inst) {
+      Pool->recordSkipped(static_cast<unsigned>(Id));
+      continue;
+    }
+    Inv.Instance = Inst;
+    Inv.SourceParam = -1;
+    if (!IsRequeue && Config.EnableBatching && Inst->SourceParam >= 0 &&
+        Inst->SourceParam < static_cast<int>(Inv.Args.size()) &&
+        Inv.Args[Inst->SourceParam].isArray())
+      Inv.SourceParam = Inst->SourceParam;
+    // Internal requeues come from worker threads and must not block
+    // on a full queue (two workers re-routing onto each other would
+    // deadlock), so they bypass the backpressure bound.
+    if (Pool->submitTo(static_cast<unsigned>(Id), Inv, /*Force=*/IsRequeue))
+      return true;
+    Pool->recordSkipped(static_cast<unsigned>(Id));
+  }
+  return false;
+}
+
+void OffloadService::refreshDeadline(PendingInvoke &Inv) const {
+  if (Config.LaunchDeadlineMs > 0)
+    Inv.Deadline = std::chrono::steady_clock::now() +
+                   std::chrono::microseconds(static_cast<int64_t>(
+                       Config.LaunchDeadlineMs * 1000.0));
+}
+
+void OffloadService::handleFailure(PendingInvoke Inv, unsigned WorkerId,
+                                   const std::string &Reason) {
+  Inv.Attempt += 1;
+  if (!Inv.excluded(WorkerId))
+    Inv.FailedWorkers.push_back(WorkerId);
+  if (Inv.Attempt > Config.MaxRetries) {
+    fallbackOrFail(std::move(Inv), Reason);
+    return;
+  }
+
+  // Exponential backoff: base * 2^(attempt-1), capped.
+  double Ms = Config.BackoffBaseMs *
+              static_cast<double>(1ull << std::min(Inv.Attempt - 1, 20u));
+  Ms = std::min(Ms, Config.BackoffMaxMs);
+  if (Ms > 0)
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(Ms));
+
+  ++Retried;
+  refreshDeadline(Inv); // each attempt is a fresh launch
+  // First retry stays on the failed worker — most injected/real
+  // faults are transient — unless the breaker already opened.
+  if (Inv.Attempt == 1 &&
+      Pool->breakerStateOf(WorkerId) == BreakerState::Closed) {
+    Inv.SourceParam = -1;
+    if (Pool->submitTo(WorkerId, Inv, /*Force=*/true))
+      return;
+  }
+  if (place(Inv, /*IsRequeue=*/true))
+    return;
+  fallbackOrFail(std::move(Inv), Reason);
+}
+
+void OffloadService::reroute(std::vector<PendingInvoke> &Drained,
+                             unsigned WorkerId) {
+  for (PendingInvoke &D : Drained) {
+    if (!D.excluded(WorkerId))
+      D.FailedWorkers.push_back(WorkerId);
+    ++Retried;
+    refreshDeadline(D);
+    if (!place(D, /*IsRequeue=*/true))
+      fallbackOrFail(std::move(D),
+                     "offload service: worker quarantined and no healthy "
+                     "peer available");
+  }
+  Drained.clear();
+}
+
+void OffloadService::fallbackOrFail(PendingInvoke Inv,
+                                    const std::string &Reason) {
+  if (!Config.FallbackToInterpreter) {
+    ++Failed;
+    Inv.Promise.set_value(trapped(Reason));
+    return;
+  }
+  // Graceful degradation: the interpreter is the language's reference
+  // semantics, so the future resolves bit-identically to a healthy
+  // offload — just without a device. Runs under the compile mutex
+  // because evaluation shares the TypeContext with the compiler.
+  ++FellBack;
+  ExecResult R;
+  {
+    std::lock_guard<std::mutex> Lock(CompileMu);
+    Interp I(Prog, Types);
+    R = I.callMethod(Inv.Worker, nullptr, std::move(Inv.Args));
+  }
+  if (R.Trapped)
+    ++Failed;
+  else
+    ++Completed;
+  Inv.Promise.set_value(std::move(R));
 }
 
 void OffloadService::accumulate(const rt::OffloadStats &Before,
@@ -374,6 +570,10 @@ OffloadServiceStats OffloadService::stats() const {
   S.Completed = Completed.load();
   S.Failed = Failed.load();
   S.Rejected = Rejected.load();
+  S.Retried = Retried.load();
+  S.TimedOut = TimedOut.load();
+  S.Quarantined = Quarantined.load();
+  S.FellBack = FellBack.load();
   S.Cache = Cache.stats();
   {
     std::lock_guard<std::mutex> Lock(StatsMu);

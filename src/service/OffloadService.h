@@ -64,6 +64,32 @@ struct ServiceConfig {
   /// verifier sees it (used to exercise the admission gate with
   /// corrupted kernels). Runs under the compile mutex; keep it cheap.
   std::function<void(CompiledKernel &)> PostCompileHook;
+
+  // --- Fault-tolerance policy -------------------------------------
+  /// Launch attempts beyond the first for a failed or timed-out
+  /// request: the first retry stays on the same worker (transient
+  /// glitch), later ones re-route to another worker — of any
+  /// registered device model, recompiling through the cache — with
+  /// every previously failed worker excluded. 0 disables retries.
+  unsigned MaxRetries = 3;
+  /// Exponential backoff between attempts: base * 2^(attempt-1),
+  /// capped at BackoffMaxMs.
+  double BackoffBaseMs = 0.25;
+  double BackoffMaxMs = 20.0;
+  /// Per-launch deadline (wall clock). A request expiring in the
+  /// queue skips the device and re-routes; a launch completing past
+  /// it counts as timed out against the worker's breaker. 0 = none.
+  double LaunchDeadlineMs = 0.0;
+  /// Circuit breaker: this many consecutive failures quarantine a
+  /// worker (0 disables). Its queue drains onto healthy peers; after
+  /// the cooldown one probation request decides re-admission.
+  unsigned BreakerThreshold = 3;
+  double BreakerCooldownMs = 250.0;
+  /// When retries are exhausted or no device can serve a request,
+  /// execute it through the Lime interpreter — the result is
+  /// bit-identical for the kernels the GPU path supports — instead
+  /// of failing the future. Counted in stats as FellBack.
+  bool FallbackToInterpreter = true;
 };
 
 /// One request to run a filter on a device.
@@ -79,6 +105,14 @@ struct OffloadServiceStats {
   uint64_t Completed = 0; // fulfilled ok
   uint64_t Failed = 0;    // fulfilled with a trap
   uint64_t Rejected = 0;  // refused before scheduling (bad config/device)
+  // Fault-tolerance counters. These overlap the four above rather
+  // than extending the sum: at quiescence Submitted == Completed +
+  // Failed + Rejected always holds, and Retried/TimedOut/FellBack
+  // say how bumpy the road there was.
+  uint64_t Retried = 0;   // re-dispatches after a failure/timeout/drain
+  uint64_t TimedOut = 0;  // deadline expiries (in queue or past launch)
+  uint64_t Quarantined = 0; // breaker transitions into quarantine
+  uint64_t FellBack = 0;  // requests served by the interpreter
   KernelCacheStats Cache;
   /// Figure-9 style per-stage decomposition summed over every launch.
   rt::OffloadStats Device;
@@ -106,6 +140,12 @@ public:
 
   OffloadService(const OffloadService &) = delete;
   OffloadService &operator=(const OffloadService &) = delete;
+
+  /// "" when the ServiceConfig validated, else the reason every
+  /// submit() will be rejected (unknown device model in Devices —
+  /// checked against the device registry at construction).
+  const std::string &configError() const { return ConfigError; }
+  bool ok() const { return ConfigError.empty(); }
 
   /// Queues \p Request; the future traps (ExecResult::Trapped) on
   /// invalid configs, unknown devices, or compilation failure, and
@@ -159,9 +199,29 @@ private:
   double execute(std::vector<PendingInvoke> &Batch, unsigned WorkerId);
   void accumulate(const rt::OffloadStats &Before, const rt::OffloadStats &After);
 
+  // --- Fault tolerance --------------------------------------------
+  /// Binds \p Inv to a worker and queues it. Tries the request's own
+  /// device model first; on a requeue every other model in the pool
+  /// is a candidate too (recompiling through the kernel cache), with
+  /// Inv.FailedWorkers excluded. False when no worker can take it.
+  bool place(PendingInvoke &Inv, bool IsRequeue);
+  /// Retry policy for one failed/timed-out request: backoff, then
+  /// same-worker retry (first attempt only), then cross-worker
+  /// requeue, then interpreter fallback. Consumes \p Inv.
+  void handleFailure(PendingInvoke Inv, unsigned WorkerId,
+                     const std::string &Reason);
+  /// Re-places requests drained from a quarantined worker's queue.
+  void reroute(std::vector<PendingInvoke> &Drained, unsigned WorkerId);
+  /// Last resort: run through the Lime interpreter (under the compile
+  /// mutex — it shares the TypeContext), or trap with \p Reason when
+  /// fallback is disabled. Consumes \p Inv.
+  void fallbackOrFail(PendingInvoke Inv, const std::string &Reason);
+  void refreshDeadline(PendingInvoke &Inv) const;
+
   Program *Prog;
   TypeContext &Types;
   ServiceConfig Config;
+  std::string ConfigError;
 
   KernelCache Cache;
   /// Serializes every code path that touches GpuCompiler / the shared
@@ -186,6 +246,10 @@ private:
   std::atomic<uint64_t> Completed{0};
   std::atomic<uint64_t> Failed{0};
   std::atomic<uint64_t> Rejected{0};
+  std::atomic<uint64_t> Retried{0};
+  std::atomic<uint64_t> TimedOut{0};
+  std::atomic<uint64_t> Quarantined{0};
+  std::atomic<uint64_t> FellBack{0};
 
   /// Destroyed first on teardown (drains onto still-valid members) —
   /// keep last.

@@ -1,0 +1,165 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/Random.h"
+
+using namespace lime;
+using namespace lime::support;
+
+const char *lime::support::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::LaunchFail:
+    return "launch-fail";
+  case FaultKind::Hang:
+    return "hang";
+  case FaultKind::CompileFail:
+    return "compile-fail";
+  case FaultKind::CorruptWire:
+    return "corrupt-wire";
+  }
+  return "?";
+}
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector I;
+  return I;
+}
+
+void FaultInjector::reset(uint64_t NewSeed) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Plans.clear();
+  Seed = NewSeed;
+  HangMs = 20;
+  for (uint64_t &N : FiredByKind)
+    N = 0;
+  Armed.store(false, std::memory_order_relaxed);
+}
+
+FaultInjector::Plan &FaultInjector::planFor(const std::string &Domain,
+                                            FaultKind K) {
+  auto Key = std::make_pair(Domain, static_cast<uint8_t>(K));
+  auto It = Plans.find(Key);
+  if (It != Plans.end())
+    return It->second;
+  Plan P;
+  // Per-plan deterministic stream: the same seed and plan key always
+  // produce the same fire pattern, independent of other plans.
+  uint64_t H = Seed ^ 0xcbf29ce484222325ULL;
+  for (char C : Domain)
+    H = (H ^ static_cast<uint8_t>(C)) * 0x100000001b3ULL;
+  P.RngState = H ^ (static_cast<uint64_t>(K) << 32);
+  return Plans.emplace(std::move(Key), P).first->second;
+}
+
+void FaultInjector::rearm() {
+  Armed.store(!Plans.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::setRate(const std::string &Domain, FaultKind K,
+                            double Rate) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Rate <= 0.0) {
+    Plan &P = planFor(Domain, K);
+    P.Rate = 0.0;
+    if (!P.Permanent && !P.OneShotArmed)
+      Plans.erase(std::make_pair(Domain, static_cast<uint8_t>(K)));
+  } else {
+    planFor(Domain, K).Rate = Rate < 1.0 ? Rate : 1.0;
+  }
+  rearm();
+}
+
+void FaultInjector::armOneShot(const std::string &Domain, FaultKind K,
+                               uint64_t Nth) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Plan &P = planFor(Domain, K);
+  P.OneShotArmed = true;
+  P.OneShotAt = P.Opportunities + Nth;
+  rearm();
+}
+
+void FaultInjector::setPermanent(const std::string &Domain, FaultKind K,
+                                 bool On) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (On) {
+    planFor(Domain, K).Permanent = true;
+  } else {
+    Plan &P = planFor(Domain, K);
+    P.Permanent = false;
+    if (P.Rate == 0.0 && !P.OneShotArmed)
+      Plans.erase(std::make_pair(Domain, static_cast<uint8_t>(K)));
+  }
+  rearm();
+}
+
+void FaultInjector::setHangMillis(unsigned Ms) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  HangMs = Ms;
+}
+
+unsigned FaultInjector::hangMillis() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return HangMs;
+}
+
+bool FaultInjector::shouldFire(const std::string &Domain, FaultKind K) {
+  if (!enabled())
+    return false;
+  std::lock_guard<std::mutex> Lock(Mu);
+  bool Fire = false;
+  auto Consult = [&](const std::string &Key) {
+    auto It = Plans.find(std::make_pair(Key, static_cast<uint8_t>(K)));
+    if (It == Plans.end())
+      return;
+    Plan &P = It->second;
+    uint64_t Index = P.Opportunities++;
+    bool ThisFires = P.Permanent;
+    if (P.OneShotArmed && Index >= P.OneShotAt) {
+      ThisFires = true;
+      P.OneShotArmed = false;
+    }
+    if (!ThisFires && P.Rate > 0.0) {
+      SplitMix64 Rng(P.RngState);
+      double U = Rng.nextDouble();
+      P.RngState = Rng.next(); // advance the stream
+      ThisFires = U < P.Rate;
+    }
+    if (ThisFires) {
+      ++P.Fired;
+      Fire = true;
+    }
+  };
+
+  // The full domain, each ':'-separated label, and the wildcard all
+  // get their opportunity counted, so one-shots pinned to any of
+  // them stay deterministic.
+  Consult(Domain);
+  size_t Start = 0;
+  bool HasLabels = Domain.find(':') != std::string::npos;
+  while (HasLabels && Start <= Domain.size()) {
+    size_t Colon = Domain.find(':', Start);
+    std::string Label = Domain.substr(
+        Start, Colon == std::string::npos ? std::string::npos : Colon - Start);
+    if (!Label.empty() && Label != Domain)
+      Consult(Label);
+    if (Colon == std::string::npos)
+      break;
+    Start = Colon + 1;
+  }
+  Consult("*");
+
+  if (Fire)
+    ++FiredByKind[static_cast<size_t>(K)];
+  return Fire;
+}
+
+uint64_t FaultInjector::firedCount(FaultKind K) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return FiredByKind[static_cast<size_t>(K)];
+}

@@ -1,0 +1,113 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seeded fault injection for the simulated OpenCL
+/// stack. The offload service's fault-tolerance machinery (retry,
+/// cross-device requeue, circuit breaker, interpreter fallback) is
+/// only testable if every failure mode a real heterogeneous runtime
+/// sees can be provoked on demand:
+///
+///  - LaunchFail   a kernel dispatch fails (SimDevice::run);
+///  - Hang         a launch stalls past its deadline (ClContext
+///                 sleeps before dispatching);
+///  - CompileFail  the per-device program build fails
+///                 (ClContext::buildProgram);
+///  - CorruptWire  a wire buffer arrives truncated
+///                 (WireFormat deserialization).
+///
+/// Faults are keyed by *domain*: a device model name ("gtx580"), a
+/// per-worker tag the service installs ("w0:gtx580" — the colon
+/// splits labels, so a plan keyed "gtx580" matches every worker of
+/// that model while "w0:gtx580" pins one worker), or "*" for
+/// everything. Each plan is either a probability (deterministic
+/// SplitMix64 stream derived from the global seed and the plan key),
+/// a one-shot trigger (fire on the Nth matching opportunity, once),
+/// or permanent. All state lives behind one mutex; the `enabled()`
+/// fast path is a relaxed atomic so production runs pay one load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_SUPPORT_FAULTINJECTION_H
+#define LIMECC_SUPPORT_FAULTINJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace lime::support {
+
+enum class FaultKind : uint8_t { LaunchFail, Hang, CompileFail, CorruptWire };
+
+const char *faultKindName(FaultKind K);
+
+class FaultInjector {
+public:
+  /// The process-wide injector the hooks consult.
+  static FaultInjector &instance();
+
+  /// Removes every plan and counter and re-arms the seed; tests call
+  /// this first so runs are independent.
+  void reset(uint64_t Seed = 0x5EED);
+
+  /// Fires each matching opportunity with probability \p Rate
+  /// (deterministic per-plan stream). Rate 0 removes the plan.
+  void setRate(const std::string &Domain, FaultKind K, double Rate);
+
+  /// Fires exactly once, on the \p Nth matching opportunity from now
+  /// (0 = the next one).
+  void armOneShot(const std::string &Domain, FaultKind K, uint64_t Nth = 0);
+
+  /// Fires on every matching opportunity until cleared.
+  void setPermanent(const std::string &Domain, FaultKind K, bool On);
+
+  /// Wall-clock stall for an injected Hang (the hook sleeps this
+  /// long before dispatching).
+  void setHangMillis(unsigned Ms);
+  unsigned hangMillis() const;
+
+  /// Consults every plan matching \p Domain for \p K, advancing
+  /// their counters; true when any fires. Domains are ':'-separated
+  /// label lists; a plan keyed by any label, the full domain, or "*"
+  /// matches.
+  bool shouldFire(const std::string &Domain, FaultKind K);
+
+  /// Total faults fired for \p K across all domains (test
+  /// assertions).
+  uint64_t firedCount(FaultKind K) const;
+
+  bool enabled() const { return Armed.load(std::memory_order_relaxed); }
+
+private:
+  FaultInjector() = default;
+
+  struct Plan {
+    double Rate = 0.0;
+    bool Permanent = false;
+    bool OneShotArmed = false;
+    uint64_t OneShotAt = 0;  // opportunity index that fires
+    uint64_t Opportunities = 0;
+    uint64_t Fired = 0;
+    uint64_t RngState = 0; // private SplitMix64 stream
+  };
+
+  Plan &planFor(const std::string &Domain, FaultKind K);
+  void rearm();
+
+  mutable std::mutex Mu;
+  std::atomic<bool> Armed{false};
+  uint64_t Seed = 0x5EED;
+  unsigned HangMs = 20;
+  std::map<std::pair<std::string, uint8_t>, Plan> Plans;
+  uint64_t FiredByKind[4] = {0, 0, 0, 0};
+};
+
+} // namespace lime::support
+
+#endif // LIMECC_SUPPORT_FAULTINJECTION_H

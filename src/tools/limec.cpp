@@ -80,7 +80,20 @@ void printUsage(std::FILE *Out) {
       "                      offload service with N device workers\n"
       "                      (implies --offload)\n"
       "  --kernel-cache DIR  persist generated kernels in DIR across\n"
-      "                      limec runs (service mode only)\n");
+      "                      limec runs (service mode only)\n"
+      "fault tolerance (service mode only):\n"
+      "  --retries N         launch attempts beyond the first before the\n"
+      "                      interpreter fallback (default 3)\n"
+      "  --backoff-ms X      exponential-backoff base between attempts\n"
+      "                      (default 0.25)\n"
+      "  --deadline-ms X     per-launch deadline; expired requests\n"
+      "                      re-route to a healthy worker (default: none)\n"
+      "  --breaker-threshold N  consecutive failures that quarantine a\n"
+      "                      worker (default 3; 0 disables)\n"
+      "  --breaker-cooldown-ms X  quarantine time before a probation\n"
+      "                      request may re-admit the worker (default 250)\n"
+      "  --no-fallback       fail futures instead of degrading to the\n"
+      "                      interpreter when devices are exhausted\n");
 }
 
 int usage() {
@@ -234,6 +247,7 @@ int main(int argc, char **argv) {
   bool Offload = false;
   int ServiceThreads = 0;
   std::string KernelCacheDir;
+  service::ServiceConfig ServicePolicy; // fault-tolerance knobs
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -287,6 +301,45 @@ int main(int argc, char **argv) {
       if (!D)
         return usage();
       KernelCacheDir = D;
+    } else if (Arg == "--retries") {
+      const char *N = Next();
+      if (!N || std::atoi(N) < 0) {
+        std::fprintf(stderr, "limec: --retries needs a count >= 0\n");
+        return usage();
+      }
+      ServicePolicy.MaxRetries = static_cast<unsigned>(std::atoi(N));
+    } else if (Arg == "--backoff-ms") {
+      const char *X = Next();
+      if (!X || std::atof(X) < 0) {
+        std::fprintf(stderr, "limec: --backoff-ms needs a value >= 0\n");
+        return usage();
+      }
+      ServicePolicy.BackoffBaseMs = std::atof(X);
+    } else if (Arg == "--deadline-ms") {
+      const char *X = Next();
+      if (!X || std::atof(X) <= 0) {
+        std::fprintf(stderr, "limec: --deadline-ms needs a value > 0\n");
+        return usage();
+      }
+      ServicePolicy.LaunchDeadlineMs = std::atof(X);
+    } else if (Arg == "--breaker-threshold") {
+      const char *N = Next();
+      if (!N || std::atoi(N) < 0) {
+        std::fprintf(stderr,
+                     "limec: --breaker-threshold needs a count >= 0\n");
+        return usage();
+      }
+      ServicePolicy.BreakerThreshold = static_cast<unsigned>(std::atoi(N));
+    } else if (Arg == "--breaker-cooldown-ms") {
+      const char *X = Next();
+      if (!X || std::atof(X) < 0) {
+        std::fprintf(stderr,
+                     "limec: --breaker-cooldown-ms needs a value >= 0\n");
+        return usage();
+      }
+      ServicePolicy.BreakerCooldownMs = std::atof(X);
+    } else if (Arg == "--no-fallback") {
+      ServicePolicy.FallbackToInterpreter = false;
     } else if (Arg[0] == '-') {
       std::fprintf(stderr, "limec: unknown option '%s'\n", Arg.c_str());
       return usage();
@@ -520,10 +573,14 @@ int main(int argc, char **argv) {
 
     std::unique_ptr<service::OffloadService> Service;
     if (ServiceThreads > 0) {
-      service::ServiceConfig SC;
+      service::ServiceConfig SC = ServicePolicy;
       SC.Devices.assign(static_cast<size_t>(ServiceThreads), Device);
       SC.DiskCacheDir = KernelCacheDir;
       Service = std::make_unique<service::OffloadService>(Prog, Ctx.types(), SC);
+      if (!Service->ok()) {
+        std::fprintf(stderr, "limec: %s\n", Service->configError().c_str());
+        return 1;
+      }
       PC.ServiceInvoke = [&](MethodDecl *Worker,
                              const std::vector<RtValue> &Args,
                              ExecResult &Out) {
@@ -568,6 +625,17 @@ int main(int argc, char **argv) {
                   static_cast<unsigned long long>(S.Completed),
                   static_cast<unsigned long long>(S.launches()),
                   static_cast<unsigned long long>(S.batchedRequests()));
+      if (S.Retried || S.TimedOut || S.Quarantined || S.FellBack ||
+          S.Failed || S.Rejected)
+        std::printf("  fault tolerance: %llu retried, %llu timed out, "
+                    "%llu quarantines, %llu interpreter fallbacks, "
+                    "%llu failed, %llu rejected\n",
+                    static_cast<unsigned long long>(S.Retried),
+                    static_cast<unsigned long long>(S.TimedOut),
+                    static_cast<unsigned long long>(S.Quarantined),
+                    static_cast<unsigned long long>(S.FellBack),
+                    static_cast<unsigned long long>(S.Failed),
+                    static_cast<unsigned long long>(S.Rejected));
       std::printf("  kernel cache: %llu hits / %llu misses (%.0f%% hit "
                   "rate), %llu disk hits, %zu entries\n",
                   static_cast<unsigned long long>(S.Cache.Hits),
@@ -581,11 +649,14 @@ int main(int argc, char **argv) {
                   static_cast<unsigned long long>(S.Device.Invocations));
       for (const service::DeviceStatsSnapshot &D : S.Devices)
         std::printf("  worker %u (%s): %llu requests, %llu launches, "
-                    "high-water %zu\n",
+                    "high-water %zu, breaker %s (%llu failures, "
+                    "%llu quarantines)\n",
                     D.Id, D.DeviceName.c_str(),
                     static_cast<unsigned long long>(D.Executed),
                     static_cast<unsigned long long>(D.Launches),
-                    D.QueueHighWater);
+                    D.QueueHighWater, service::breakerStateName(D.Breaker),
+                    static_cast<unsigned long long>(D.Failures),
+                    static_cast<unsigned long long>(D.TimesQuarantined));
     }
     if (!R.Value.isUnit())
       std::printf("result: %s\n", R.Value.str().c_str());

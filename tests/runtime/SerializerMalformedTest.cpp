@@ -1,0 +1,226 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Malformed-buffer regression suite for the checked wire decoder:
+/// every wire kind (scalar and array of each primitive, nested
+/// bounded arrays) fed truncated, oversized, misaligned, and
+/// mis-counted byte streams must come back as a typed error — never a
+/// crash, an out-of-bounds read, or silently wrong data.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Serializer.h"
+
+#include "support/FaultInjection.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+using namespace lime;
+using namespace lime::rt;
+
+namespace {
+
+RtValue makeBoolArray(TypeContext &T, const std::vector<bool> &Data) {
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = T.booleanType();
+  Arr->Immutable = true;
+  for (bool B : Data)
+    Arr->Elems.push_back(RtValue::makeBool(B));
+  return RtValue::makeArray(std::move(Arr));
+}
+
+RtValue makeLongArray(TypeContext &T, const std::vector<int64_t> &Data) {
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = T.longType();
+  Arr->Immutable = true;
+  for (int64_t L : Data)
+    Arr->Elems.push_back(RtValue::makeLong(L));
+  return RtValue::makeArray(std::move(Arr));
+}
+
+/// Serializes \p V, mangles the bytes via \p Mutate, and asserts the
+/// checked decode against \p Ty reports an error containing
+/// \p ExpectSubstring while still round-tripping the pristine bytes.
+void expectDecodeError(const RtValue &V, const Type *Ty,
+                       const std::function<void(std::vector<uint8_t> &)> &Mutate,
+                       const std::string &ExpectSubstring,
+                       uint64_t ExpectedOuter = 0) {
+  WireFormat Wire(true);
+  MarshalCost Cost;
+  std::vector<uint8_t> Bytes = Wire.serialize(V, Cost);
+
+  WireDecodeResult Good = Wire.deserializeChecked(Bytes, Ty, Cost,
+                                                  ExpectedOuter);
+  ASSERT_TRUE(Good.ok()) << Good.Error;
+  EXPECT_TRUE(V.equals(Good.Value));
+
+  Mutate(Bytes);
+  WireDecodeResult Bad = Wire.deserializeChecked(Bytes, Ty, Cost,
+                                                 ExpectedOuter);
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_NE(Bad.Error.find(ExpectSubstring), std::string::npos)
+      << "error was: " << Bad.Error;
+  // A failed decode never hands back a partial value.
+  EXPECT_TRUE(Bad.Value.isUnit() || !Bad.ok());
+}
+
+void truncate(std::vector<uint8_t> &B) { B.pop_back(); }
+void append(std::vector<uint8_t> &B) { B.push_back(0xAB); }
+
+TEST(SerializerMalformed, TruncatedScalarOfEveryKind) {
+  TypeContext T;
+  // Scalars pin the payload size exactly; any truncation is caught.
+  expectDecodeError(RtValue::makeBool(true), T.booleanType(), truncate,
+                    "scalar payload");
+  expectDecodeError(RtValue::makeByte(-5), T.byteType(), truncate,
+                    "scalar payload");
+  expectDecodeError(RtValue::makeInt(12345), T.intType(), truncate,
+                    "scalar payload");
+  expectDecodeError(RtValue::makeLong(1LL << 40), T.longType(), truncate,
+                    "scalar payload");
+  expectDecodeError(RtValue::makeFloat(3.5f), T.floatType(), truncate,
+                    "scalar payload");
+  expectDecodeError(RtValue::makeDouble(2.25), T.doubleType(), truncate,
+                    "scalar payload");
+}
+
+TEST(SerializerMalformed, OversizedScalarOfEveryKind) {
+  TypeContext T;
+  expectDecodeError(RtValue::makeInt(7), T.intType(), append,
+                    "scalar payload");
+  expectDecodeError(RtValue::makeDouble(-1.0), T.doubleType(), append,
+                    "scalar payload");
+}
+
+TEST(SerializerMalformed, NonWholeElementArrayOfEveryKind) {
+  TypeContext T;
+  // Multi-byte element arrays: dropping one byte leaves a buffer that
+  // is not a whole number of elements.
+  expectDecodeError(wl::makeIntArray(T, {1, 2, 3}),
+                    T.getArrayType(T.intType(), true, 0), truncate,
+                    "whole number");
+  expectDecodeError(makeLongArray(T, {1, -2, 3}),
+                    T.getArrayType(T.longType(), true, 0), truncate,
+                    "whole number");
+  expectDecodeError(wl::makeFloatArray(T, {1.0f, 2.0f}),
+                    T.getArrayType(T.floatType(), true, 0), truncate,
+                    "whole number");
+  expectDecodeError(wl::makeDoubleArray(T, {0.5, 0.25}),
+                    T.getArrayType(T.doubleType(), true, 0), truncate,
+                    "whole number");
+}
+
+TEST(SerializerMalformed, ByteGranularTruncationNeedsOuterPin) {
+  TypeContext T;
+  // Byte/boolean arrays stay element-aligned under any truncation, so
+  // only the caller's expected outer count can expose a short buffer
+  // — exactly the check the offload readback path supplies.
+  expectDecodeError(wl::makeByteArray(T, {1, 2, 3, 4}),
+                    T.getArrayType(T.byteType(), true, 0), truncate,
+                    "caller expected", /*ExpectedOuter=*/4);
+  expectDecodeError(makeBoolArray(T, {true, false, true}),
+                    T.getArrayType(T.booleanType(), true, 0), truncate,
+                    "caller expected", /*ExpectedOuter=*/3);
+}
+
+TEST(SerializerMalformed, OuterCountMismatchOnGrownBuffer) {
+  TypeContext T;
+  // A buffer gaining a whole spurious element decodes cleanly unless
+  // the caller pins the expected count.
+  auto GrowOneElement = [](std::vector<uint8_t> &B) {
+    B.insert(B.end(), 4, 0x00);
+  };
+  expectDecodeError(wl::makeFloatArray(T, {1, 2, 3}),
+                    T.getArrayType(T.floatType(), true, 0), GrowOneElement,
+                    "caller expected", /*ExpectedOuter=*/3);
+}
+
+TEST(SerializerMalformed, NestedBoundedArrayChecksWholeRows) {
+  TypeContext T;
+  std::vector<float> Data(12);
+  for (size_t I = 0; I != Data.size(); ++I)
+    Data[I] = static_cast<float>(I);
+  RtValue M = wl::makeFloatMatrix(T, Data, 4);
+  const ArrayType *RowTy = T.getArrayType(T.floatType(), true, 4);
+  const ArrayType *MatTy = T.getArrayType(RowTy, true, 0);
+
+  // Losing half a row leaves a buffer that is not a whole number of
+  // 16-byte rows.
+  expectDecodeError(M, MatTy,
+                    [](std::vector<uint8_t> &B) { B.resize(B.size() - 8); },
+                    "whole number");
+  // Losing a full row is only caught by the outer pin.
+  expectDecodeError(M, MatTy,
+                    [](std::vector<uint8_t> &B) { B.resize(B.size() - 16); },
+                    "caller expected", /*ExpectedOuter=*/3);
+}
+
+TEST(SerializerMalformed, BoundedOuterDimensionRejectsShortBuffer) {
+  TypeContext T;
+  // When the type itself bounds the outer dimension, the byte count
+  // must match it exactly — no pin needed.
+  RtValue V = wl::makeFloatArray(T, {1, 2, 3, 4});
+  const ArrayType *Ty = T.getArrayType(T.floatType(), true, 4);
+  expectDecodeError(V, Ty, truncate, "");
+  expectDecodeError(V, Ty, append, "");
+}
+
+TEST(SerializerMalformed, UnboundedInnerDimensionIsNotDecodable) {
+  TypeContext T;
+  const ArrayType *Inner = T.getArrayType(T.floatType(), true, 0);
+  const ArrayType *Outer = T.getArrayType(Inner, true, 0);
+  WireFormat Wire(true);
+  MarshalCost C;
+  std::vector<uint8_t> Bytes(16, 0);
+  WireDecodeResult R = Wire.deserializeChecked(Bytes, Outer, C);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("not statically known"), std::string::npos)
+      << R.Error;
+}
+
+TEST(SerializerMalformed, ConvenienceDeserializeReturnsUnitOnError) {
+  TypeContext T;
+  WireFormat Wire(true);
+  MarshalCost C;
+  std::vector<uint8_t> Short = {0x01, 0x02, 0x03}; // not a whole int
+  RtValue V = Wire.deserialize(Short, T.getArrayType(T.intType(), true, 0), C);
+  EXPECT_TRUE(V.isUnit());
+}
+
+TEST(SerializerMalformed, InjectedWireCorruptionYieldsTypedError) {
+  TypeContext T;
+  support::FaultInjector &FI = support::FaultInjector::instance();
+  FI.reset();
+  FI.armOneShot("wiretest", support::FaultKind::CorruptWire);
+
+  WireFormat Wire(true);
+  Wire.setFaultDomain("wiretest");
+  MarshalCost C;
+  RtValue V = wl::makeFloatArray(T, {1, 2, 3, 4, 5});
+  std::vector<uint8_t> Bytes = Wire.serialize(V, C);
+
+  // The injected truncation (Size -= 1 + Size/7) breaks element
+  // alignment of the 4-byte floats, so the decode reports it.
+  WireDecodeResult Bad = Wire.deserializeChecked(Bytes,
+      T.getArrayType(T.floatType(), true, 0), C, /*ExpectedOuter=*/5);
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_NE(Bad.Error.find("wire:"), std::string::npos) << Bad.Error;
+  EXPECT_EQ(FI.firedCount(support::FaultKind::CorruptWire), 1u);
+
+  // One-shot: the next decode of the very same bytes is clean.
+  WireDecodeResult Good = Wire.deserializeChecked(Bytes,
+      T.getArrayType(T.floatType(), true, 0), C, /*ExpectedOuter=*/5);
+  EXPECT_TRUE(Good.ok()) << Good.Error;
+  EXPECT_TRUE(V.equals(Good.Value));
+  FI.reset();
+}
+
+} // namespace

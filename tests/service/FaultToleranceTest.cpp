@@ -1,0 +1,475 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fault-tolerance of the offload service under seeded fault
+/// injection: retry with backoff, cross-worker and cross-model
+/// requeue, launch deadlines, the per-worker circuit breaker
+/// (quarantine, probation, re-admission), and graceful degradation to
+/// the interpreter. The capstone is a deterministic fault matrix —
+/// launch failures at a fixed rate, a permanently dead worker, a
+/// hanging launch — under which every future must still resolve
+/// bit-identically to the fault-free direct path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "runtime/Offload.h"
+#include "service/OffloadService.h"
+#include "support/FaultInjection.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace lime;
+using namespace lime::service;
+using namespace lime::support;
+using namespace lime::test;
+
+namespace {
+
+const char *FtSource = R"(
+  class Ft {
+    static local float sq(float x) { return x * x; }
+    static local float[[]] squares(float[[]] xs) { return sq @ xs; }
+
+    static local float axpb(float x, float a, float b) { return a * x + b; }
+    static local float[[]] saxpy(float[[]] xs, float a, float b) {
+      return axpb(a, b) @ xs;
+    }
+  }
+)";
+
+RtValue makeFloatArray(TypeContext &Types, size_t N, float Seed) {
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = Types.floatType();
+  Arr->Immutable = true;
+  for (size_t I = 0; I != N; ++I)
+    Arr->Elems.push_back(
+        RtValue::makeFloat(Seed + 0.375f * static_cast<float>(I % 97)));
+  return RtValue::makeArray(std::move(Arr));
+}
+
+struct FtFixture {
+  CompiledProgram CP;
+  MethodDecl *Squares = nullptr;
+  MethodDecl *Saxpy = nullptr;
+
+  FtFixture() : CP(compileLime(FtSource)) {
+    if (!CP.Ok)
+      return;
+    ClassDecl *C = CP.Prog->findClass("Ft");
+    Squares = C->findMethod("squares");
+    Saxpy = C->findMethod("saxpy");
+  }
+  TypeContext &types() { return CP.Ctx->types(); }
+};
+
+OffloadRequest makeRequest(MethodDecl *W, std::vector<RtValue> Args,
+                           const rt::OffloadConfig &OC = rt::OffloadConfig()) {
+  OffloadRequest R;
+  R.Worker = W;
+  R.Args = std::move(Args);
+  R.Config = OC;
+  return R;
+}
+
+/// The injector is process-global; every test scrubs it on entry and
+/// exit so suites sharing this binary stay fault-free.
+struct FaultGuard {
+  explicit FaultGuard(uint64_t Seed = 0x5EED) {
+    FaultInjector::instance().reset(Seed);
+  }
+  ~FaultGuard() { FaultInjector::instance().reset(); }
+};
+
+/// Fast-failure policy for tests: tight backoff, quick breaker.
+ServiceConfig testPolicy() {
+  ServiceConfig SC;
+  SC.BackoffBaseMs = 0.05;
+  SC.BackoffMaxMs = 1.0;
+  SC.BreakerCooldownMs = 50.0;
+  return SC;
+}
+
+TEST(FaultTolerance, RetriesTransientLaunchFailure) {
+  FtFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG;
+  RtValue X = makeFloatArray(F.types(), 128, 1.0f);
+
+  rt::OffloadedFilter Direct(F.CP.Prog, F.types(), F.Squares,
+                             rt::OffloadConfig());
+  ASSERT_TRUE(Direct.ok());
+  ExecResult Expected = Direct.invoke({X});
+  ASSERT_TRUE(Expected.ok());
+
+  FaultInjector::instance().armOneShot("gtx580", FaultKind::LaunchFail);
+  OffloadService Svc(F.CP.Prog, F.types(), testPolicy());
+  ExecResult R = Svc.invoke(makeRequest(F.Squares, {X}));
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_TRUE(R.Value.equals(Expected.Value));
+
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Completed, 1u);
+  EXPECT_EQ(S.Failed, 0u);
+  EXPECT_GE(S.Retried, 1u);
+  EXPECT_EQ(S.FellBack, 0u); // the same-worker retry succeeded
+  EXPECT_EQ(FaultInjector::instance().firedCount(FaultKind::LaunchFail), 1u);
+}
+
+TEST(FaultTolerance, RetriesTransientCompileFailure) {
+  FtFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG;
+  RtValue X = makeFloatArray(F.types(), 96, 2.0f);
+
+  // The injected failure hits the per-device program build
+  // (ClContext::buildProgram), i.e. prepare(), not GpuCompiler — a
+  // semantic compile failure stays a hard trap.
+  FaultInjector::instance().armOneShot("gtx580", FaultKind::CompileFail);
+  OffloadService Svc(F.CP.Prog, F.types(), testPolicy());
+  ExecResult R = Svc.invoke(makeRequest(F.Squares, {X}));
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Completed, 1u);
+  EXPECT_GE(S.Retried, 1u);
+  EXPECT_EQ(FaultInjector::instance().firedCount(FaultKind::CompileFail), 1u);
+}
+
+TEST(FaultTolerance, RetriesCorruptedWireBuffer) {
+  FtFixture F;
+  ASSERT_COMPILES(F.CP);
+  RtValue X = makeFloatArray(F.types(), 200, 0.5f);
+
+  rt::OffloadedFilter Direct(F.CP.Prog, F.types(), F.Squares,
+                             rt::OffloadConfig());
+  ASSERT_TRUE(Direct.ok());
+  ExecResult Expected = Direct.invoke({X});
+  ASSERT_TRUE(Expected.ok());
+
+  FaultGuard FG; // armed after the direct run — its wire stays clean
+  FaultInjector::instance().armOneShot("gtx580", FaultKind::CorruptWire);
+  OffloadService Svc(F.CP.Prog, F.types(), testPolicy());
+  ExecResult R = Svc.invoke(makeRequest(F.Squares, {X}));
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  // The corrupted readback was detected and retried, never delivered.
+  EXPECT_TRUE(R.Value.equals(Expected.Value));
+
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Completed, 1u);
+  EXPECT_GE(S.Retried, 1u);
+  EXPECT_EQ(FaultInjector::instance().firedCount(FaultKind::CorruptWire), 1u);
+}
+
+TEST(FaultTolerance, RequeuesAcrossDeviceModels) {
+  FtFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG;
+  RtValue X = makeFloatArray(F.types(), 150, 3.0f);
+
+  rt::OffloadedFilter Direct(F.CP.Prog, F.types(), F.Squares,
+                             rt::OffloadConfig());
+  ASSERT_TRUE(Direct.ok());
+  ExecResult Expected = Direct.invoke({X});
+  ASSERT_TRUE(Expected.ok());
+
+  // The only gtx580 worker is dead; the pool also runs an hd5970.
+  // After the same-worker retry fails, the requeue recompiles for the
+  // other model and the result is still bit-identical (elementwise
+  // float maps do not depend on the simulated device).
+  FaultInjector::instance().setPermanent("w0:gtx580", FaultKind::LaunchFail,
+                                         true);
+  ServiceConfig SC = testPolicy();
+  SC.Devices = {"gtx580", "hd5970"};
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+  ExecResult R = Svc.invoke(makeRequest(F.Squares, {X}));
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_TRUE(R.Value.equals(Expected.Value));
+
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Completed, 1u);
+  EXPECT_EQ(S.FellBack, 0u); // served by a device, not the interpreter
+  ASSERT_EQ(S.Devices.size(), 2u);
+  EXPECT_EQ(S.Devices[1].DeviceName, "hd5970");
+  EXPECT_EQ(S.Devices[1].Executed, 1u);
+}
+
+TEST(FaultTolerance, FallsBackToInterpreterWhenNoDeviceServes) {
+  FtFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG;
+  RtValue X = makeFloatArray(F.types(), 128, 1.5f);
+
+  rt::OffloadedFilter Direct(F.CP.Prog, F.types(), F.Squares,
+                             rt::OffloadConfig());
+  ASSERT_TRUE(Direct.ok());
+  ExecResult Expected = Direct.invoke({X});
+  ASSERT_TRUE(Expected.ok());
+
+  FaultInjector::instance().setPermanent("gtx580", FaultKind::LaunchFail,
+                                         true);
+  ServiceConfig SC = testPolicy();
+  SC.MaxRetries = 2;
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+  ExecResult R = Svc.invoke(makeRequest(F.Squares, {X}));
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  // Graceful degradation: the interpreter result is bit-identical to
+  // the healthy device path (float ops round to binary32 per step).
+  EXPECT_TRUE(R.Value.equals(Expected.Value));
+
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Completed, 1u);
+  EXPECT_EQ(S.Failed, 0u);
+  EXPECT_GE(S.FellBack, 1u);
+  EXPECT_EQ(S.Submitted, S.Completed + S.Failed + S.Rejected);
+}
+
+TEST(FaultTolerance, NoFallbackFailsTheFuture) {
+  FtFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG;
+  RtValue X = makeFloatArray(F.types(), 64, 1.0f);
+
+  FaultInjector::instance().setPermanent("gtx580", FaultKind::LaunchFail,
+                                         true);
+  ServiceConfig SC = testPolicy();
+  SC.MaxRetries = 1;
+  SC.FallbackToInterpreter = false;
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+  ExecResult R = Svc.invoke(makeRequest(F.Squares, {X}));
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMessage.find("injected fault"), std::string::npos)
+      << R.TrapMessage;
+
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Failed, 1u);
+  EXPECT_EQ(S.FellBack, 0u);
+  EXPECT_EQ(S.Submitted, S.Completed + S.Failed + S.Rejected);
+}
+
+TEST(FaultTolerance, QuarantinesDeadWorkerAndReadmitsAfterCooldown) {
+  FtFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG;
+  RtValue X = makeFloatArray(F.types(), 100, 2.5f);
+
+  ServiceConfig SC = testPolicy();
+  SC.Devices = {"gtx580", "gtx580"};
+  SC.BreakerThreshold = 2;
+  SC.BreakerCooldownMs = 50.0;
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+
+  // Worker 0 fails every launch: the first request (initial attempt +
+  // same-worker retry = two consecutive failures) trips the breaker,
+  // and the cross-worker requeue still completes the request.
+  FaultInjector::instance().setPermanent("w0:gtx580", FaultKind::LaunchFail,
+                                         true);
+  for (int I = 0; I != 3; ++I) {
+    ExecResult R = Svc.invoke(makeRequest(F.Squares, {X}));
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  }
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_GE(S.Quarantined, 1u);
+  ASSERT_EQ(S.Devices.size(), 2u);
+  EXPECT_NE(S.Devices[0].Breaker, BreakerState::Closed);
+  EXPECT_GE(S.Devices[0].TimesQuarantined, 1u);
+
+  // The device recovers; after the cooldown the next pick probes it
+  // and the success re-admits it.
+  FaultInjector::instance().setPermanent("w0:gtx580", FaultKind::LaunchFail,
+                                         false);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  uint64_t ProbeExecuted = 0;
+  for (int I = 0; I != 4 && !ProbeExecuted; ++I) {
+    ExecResult R = Svc.invoke(makeRequest(F.Squares, {X}));
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    Svc.waitIdle();
+    ProbeExecuted = Svc.stats().Devices[0].Executed;
+  }
+  S = Svc.stats();
+  EXPECT_EQ(S.Devices[0].Breaker, BreakerState::Closed);
+  EXPECT_GT(S.Devices[0].Executed, 0u);
+  EXPECT_EQ(S.Failed, 0u);
+}
+
+TEST(FaultTolerance, HangingLaunchTimesOutAndWorkIsRerouted) {
+  FtFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG;
+
+  rt::OffloadedFilter Direct(F.CP.Prog, F.types(), F.Squares,
+                             rt::OffloadConfig());
+  ASSERT_TRUE(Direct.ok());
+  std::vector<RtValue> Inputs;
+  std::vector<RtValue> Expected;
+  for (int I = 0; I != 10; ++I) {
+    Inputs.push_back(makeFloatArray(F.types(), 48 + 7 * I, 0.5f * (I + 1)));
+    ExecResult E = Direct.invoke({Inputs.back()});
+    ASSERT_TRUE(E.ok());
+    Expected.push_back(E.Value);
+  }
+
+  // The first launch hangs 40ms against an 8ms deadline. Requests
+  // stuck behind it expire in the queue and re-route to the other
+  // worker; the hung launch itself completes late (counted as timed
+  // out) but its result is still delivered.
+  FaultInjector::instance().setHangMillis(40);
+  FaultInjector::instance().armOneShot("gtx580", FaultKind::Hang);
+  ServiceConfig SC = testPolicy();
+  SC.Devices = {"gtx580", "gtx580"};
+  SC.LaunchDeadlineMs = 8.0;
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+
+  std::vector<std::future<ExecResult>> Futures;
+  for (const RtValue &X : Inputs)
+    Futures.push_back(Svc.submit(makeRequest(F.Squares, {X})));
+  for (size_t I = 0; I != Futures.size(); ++I) {
+    ExecResult R = Futures[I].get();
+    ASSERT_TRUE(R.ok()) << "request " << I << ": " << R.TrapMessage;
+    EXPECT_TRUE(R.Value.equals(Expected[I])) << "request " << I;
+  }
+
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Completed, Inputs.size());
+  EXPECT_EQ(S.Failed, 0u);
+  EXPECT_GE(S.TimedOut, 1u);
+  EXPECT_EQ(FaultInjector::instance().firedCount(FaultKind::Hang), 1u);
+}
+
+TEST(FaultTolerance, RejectsUnknownDeviceModelInServiceConfig) {
+  FtFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG;
+
+  ServiceConfig SC;
+  SC.Devices = {"gtx580", "gtx9999"};
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+  EXPECT_FALSE(Svc.ok());
+  EXPECT_NE(Svc.configError().find("unknown device model 'gtx9999'"),
+            std::string::npos)
+      << Svc.configError();
+  // The registry's valid names are listed for the operator.
+  EXPECT_NE(Svc.configError().find("gtx580"), std::string::npos);
+
+  RtValue X = makeFloatArray(F.types(), 16, 1.0f);
+  ExecResult R = Svc.invoke(makeRequest(F.Squares, {X}));
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMessage.find("gtx9999"), std::string::npos);
+
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Rejected, 1u);
+  EXPECT_EQ(S.Submitted, S.Completed + S.Failed + S.Rejected);
+}
+
+/// The acceptance matrix: 20% injected launch-failure rate across the
+/// model, worker 0 permanently dead, one hanging launch, 4 client
+/// threads over 2 workers — every future resolves, every result is
+/// bit-identical to the fault-free direct path, the dead worker ends
+/// quarantined, and the counters reconcile.
+TEST(FaultTolerance, FaultMatrixResolvesEveryRequestBitIdentical) {
+  FtFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG(0xFEED);
+
+  constexpr int Clients = 4;
+  constexpr int PerClient = 20;
+  rt::OffloadConfig OC;
+  rt::OffloadedFilter DSquares(F.CP.Prog, F.types(), F.Squares, OC);
+  rt::OffloadedFilter DSaxpy(F.CP.Prog, F.types(), F.Saxpy, OC);
+  ASSERT_TRUE(DSquares.ok() && DSaxpy.ok());
+  std::vector<std::vector<RtValue>> Inputs(Clients);
+  std::vector<std::vector<RtValue>> Expected(Clients);
+  for (int C = 0; C != Clients; ++C) {
+    for (int I = 0; I != PerClient; ++I) {
+      RtValue X =
+          makeFloatArray(F.types(), 40 + 11 * I, 0.25f * (C + 1) + I);
+      Inputs[C].push_back(X);
+      ExecResult E = (I % 2 == 0)
+                         ? DSquares.invoke({X})
+                         : DSaxpy.invoke({X, RtValue::makeFloat(2.0f),
+                                          RtValue::makeFloat(0.5f)});
+      ASSERT_TRUE(E.ok()) << E.TrapMessage;
+      Expected[C].push_back(E.Value);
+    }
+  }
+
+  FaultInjector &FI = FaultInjector::instance();
+  FI.setRate("gtx580", FaultKind::LaunchFail, 0.20);
+  FI.setPermanent("w0:gtx580", FaultKind::LaunchFail, true);
+  FI.setHangMillis(30);
+  FI.armOneShot("gtx580", FaultKind::Hang, 5);
+
+  ServiceConfig SC = testPolicy();
+  SC.Devices = {"gtx580", "gtx580"};
+  SC.MaxRetries = 3;
+  SC.LaunchDeadlineMs = 10.0;
+  SC.BreakerThreshold = 3;
+  SC.BreakerCooldownMs = 25.0;
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+
+  std::vector<std::thread> Threads;
+  std::vector<int> Mismatches(Clients, 0);
+  std::vector<std::string> Traps(Clients);
+  for (int C = 0; C != Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      std::vector<std::future<ExecResult>> Futures;
+      for (int I = 0; I != PerClient; ++I) {
+        const RtValue &X = Inputs[C][I];
+        OffloadRequest R =
+            (I % 2 == 0)
+                ? makeRequest(F.Squares, {X}, OC)
+                : makeRequest(F.Saxpy,
+                              {X, RtValue::makeFloat(2.0f),
+                               RtValue::makeFloat(0.5f)},
+                              OC);
+        Futures.push_back(Svc.submit(std::move(R)));
+      }
+      for (int I = 0; I != PerClient; ++I) {
+        ExecResult R = Futures[I].get(); // every future must resolve
+        if (R.Trapped)
+          Traps[C] = R.TrapMessage;
+        else if (!R.Value.equals(Expected[C][I]))
+          ++Mismatches[C];
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (int C = 0; C != Clients; ++C) {
+    EXPECT_TRUE(Traps[C].empty()) << "client " << C << ": " << Traps[C];
+    EXPECT_EQ(Mismatches[C], 0) << "client " << C;
+  }
+
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Submitted, static_cast<uint64_t>(Clients * PerClient));
+  EXPECT_EQ(S.Submitted, S.Completed + S.Failed + S.Rejected);
+  EXPECT_EQ(S.Failed, 0u);
+  EXPECT_EQ(S.Rejected, 0u);
+  EXPECT_GE(S.Retried, 1u);
+  EXPECT_GE(S.Quarantined, 1u);
+  ASSERT_EQ(S.Devices.size(), 2u);
+  // The permanently dead worker ends quarantined (its failed
+  // probation trials keep re-opening the breaker).
+  EXPECT_NE(S.Devices[0].Breaker, BreakerState::Closed);
+  EXPECT_GE(S.Devices[0].TimesQuarantined, 1u);
+  EXPECT_GT(FI.firedCount(FaultKind::LaunchFail), 0u);
+}
+
+} // namespace
