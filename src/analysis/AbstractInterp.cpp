@@ -47,6 +47,13 @@ struct AbsVal {
   bool HasLin = false;
   LinExpr Lin;
   bool FromData = false;
+  /// Set when the value is a whole row of an array that carries
+  /// declared element assumes, loaded as one vector (vload4 of a
+  /// row-aligned index): lane members of this value pick up the
+  /// matching per-lane facts. LoadLane is the scalar lane of the
+  /// vector's first component within the row.
+  const OclVarDecl *LoadedFrom = nullptr;
+  long long LoadLane = -1;
 
   static AbsVal lin(LinExpr E, bool FromData = false) {
     AbsVal V;
@@ -57,16 +64,26 @@ struct AbsVal {
   }
 };
 
-/// One recorded access to a __local array, for the race pass.
-struct LocalAccess {
+/// One recorded access to a __local or __global array, for the
+/// intra-group and inter-group race passes respectively.
+struct MemAccess {
   const OclVarDecl *Array = nullptr;
   LinExpr Index;      // element index (scalars)
   unsigned Width = 1; // contiguous scalars touched
   bool IsWrite = false;
-  unsigned Region = 0; // barrier-interval id
+  unsigned Region = 0; // barrier-interval id (intra-group pass only)
   std::vector<std::pair<const OclStmt *, int>> Path; // uniform-if arms
   SourceLocation Loc;
   std::vector<LinExpr> Snapshot; // facts in force at the access
+};
+
+/// One declared fact about a scalar lane of an array's elements
+/// (`--assume 'pairs[3] >= 0'`), resolved against this kernel: the
+/// right-hand side is already a linear form over launch symbols.
+struct ElemAssume {
+  long long Lane = 0;
+  AssumeFact::Rel Rel = AssumeFact::Rel::Le;
+  LinExpr Rhs;
 };
 
 /// Everything known about one indexable buffer.
@@ -74,6 +91,9 @@ struct ArrayInfo {
   LinExpr Capacity; // in scalars
   bool AppIndexed = false; // extra input array of app-controlled length
   bool IsLocal = false;
+  bool IsGlobal = false; // __global pointer: inter-group race candidate
+  unsigned RowScalars = 1; // scalars per element (plan InnerBound)
+  std::vector<ElemAssume> Elems; // declared per-lane element facts
 };
 
 class Walker {
@@ -88,6 +108,7 @@ public:
     seed();
     walkStmt(Kernel.body());
     raceAnalysis();
+    globalRaceAnalysis();
   }
 
 private:
@@ -101,7 +122,8 @@ private:
   FactSet Facts;
   std::map<const OclVarDecl *, AbsVal> Env;
   std::map<const OclVarDecl *, ArrayInfo> Arrays;
-  std::vector<LocalAccess> LocalAccesses;
+  std::vector<MemAccess> LocalAccesses;
+  std::vector<MemAccess> GlobalAccesses;
   std::set<std::string> WarnedArrays;
 
   unsigned GID = 0, LID = 0, GRP = 0, GSIZE = 0, LSIZE = 0, NGRP = 0, N = 0;
@@ -136,8 +158,26 @@ private:
     if (It != FieldSyms.end())
       return It->second;
     unsigned S = Syms.fresh(Key);
+    Syms.info(S).LaunchInvariant = true;
     Facts.assume(LinExpr::sym(S)); // lengths are non-negative
     FieldSyms[Key] = S;
+    return S;
+  }
+
+  /// The symbol for one args-struct field (shared by evalMember and
+  /// assume application, so a declared fact lands on the same symbol
+  /// the kernel body reads).
+  unsigned fieldSym(const std::string &Field) {
+    auto It = FieldSyms.find(Field);
+    if (It != FieldSyms.end())
+      return It->second;
+    bool IsLen = Field.rfind("len_", 0) == 0;
+    unsigned S = Syms.fresh(Field, /*NonUniform=*/false,
+                            /*FromData=*/!IsLen && Field != "n");
+    Syms.info(S).LaunchInvariant = true;
+    if (IsLen)
+      Facts.assume(LinExpr::sym(S));
+    FieldSyms[Field] = S;
     return S;
   }
 
@@ -160,6 +200,11 @@ private:
     NGRP = Syms.fresh("ngrp");
     N = Syms.fresh("n");
     FieldSyms["n"] = N;
+    // Sizes, counts and args fields are fixed for the whole launch:
+    // the inter-group race pass shares them between its two abstract
+    // work-items. Ids (gid/lid/grp) are per-work-item and are not.
+    for (unsigned S : {GSIZE, LSIZE, NGRP, N})
+      Syms.info(S).LaunchInvariant = true;
 
     auto GE0 = [&](unsigned S) { Facts.assume(LinExpr::sym(S)); };
     auto Range = [&](unsigned S, unsigned Bound) {
@@ -198,10 +243,14 @@ private:
         continue;
       if (PT->space() == AddrSpace::Local) {
         // The reduce scratch buffer: one element per work-item.
-        Arrays[P] = ArrayInfo{LinExpr::sym(LSIZE), false, true};
+        ArrayInfo Scratch;
+        Scratch.Capacity = LinExpr::sym(LSIZE);
+        Scratch.IsLocal = true;
+        Arrays[P] = Scratch;
         continue;
       }
       ArrayInfo AI;
+      AI.IsGlobal = PT->space() == AddrSpace::Global;
       if (const KernelArray *KA = planArrayFor(P->Name)) {
         if (KA->IsOutput) {
           unsigned Base = Plan.Kind == KernelKind::Map ? N : NGRP;
@@ -212,8 +261,10 @@ private:
               lenSym(KA->CName), static_cast<long long>(KA->rowScalars()));
         }
         AI.AppIndexed = !KA->IsOutput && !KA->IsMapSource;
+        AI.RowScalars = KA->rowScalars();
       } else {
         unsigned L = Syms.fresh("len_" + P->Name);
+        Syms.info(L).LaunchInvariant = true;
         Facts.assume(LinExpr::sym(L));
         AI.Capacity = LinExpr::sym(L);
         AI.AppIndexed = true;
@@ -224,6 +275,137 @@ private:
     // The kernel iterates exactly over the map source: n == len_src.
     if (const KernelArray *Src = Plan.mapSource())
       Facts.assumeEq(LinExpr::sym(N), LinExpr::sym(lenSym(Src->CName)));
+
+    applyAssumes();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Declared value-range facts (--assume)
+  //===--------------------------------------------------------------------===//
+
+  /// Resolves an assume's array name against the plan: the kernel's C
+  /// identifier (arr1), the worker parameter (table), or the mapped
+  /// function's parameter all work.
+  const KernelArray *assumeArray(const std::string &Name) const {
+    for (const KernelArray &A : Plan.Arrays) {
+      if (A.CName == Name)
+        return &A;
+      if (A.WorkerParam && A.WorkerParam->name() == Name)
+        return &A;
+      if (A.MapParam && A.MapParam->name() == Name)
+        return &A;
+    }
+    return nullptr;
+  }
+
+  /// Records  L <rel> R  as fact-engine inequalities.
+  void assumeRel(const LinExpr &L, AssumeFact::Rel Rel, const LinExpr &R) {
+    LinExpr Ge = L; // L - R >= 0
+    Ge -= R;
+    LinExpr Le = R; // R - L >= 0
+    Le -= L;
+    switch (Rel) {
+    case AssumeFact::Rel::Lt:
+      Le.Const -= 1;
+      Facts.assume(std::move(Le));
+      break;
+    case AssumeFact::Rel::Le:
+      Facts.assume(std::move(Le));
+      break;
+    case AssumeFact::Rel::Gt:
+      Ge.Const -= 1;
+      Facts.assume(std::move(Ge));
+      break;
+    case AssumeFact::Rel::Ge:
+      Facts.assume(std::move(Ge));
+      break;
+    case AssumeFact::Rel::Eq:
+      Facts.assume(std::move(Ge));
+      Facts.assume(std::move(Le));
+      break;
+    }
+  }
+
+  /// Installs the declared facts: length and scalar assumes become
+  /// base facts right away; element assumes attach to the array and
+  /// fire at each (row-aligned) load. Assumes naming nothing in this
+  /// kernel are silently inert — per-workload defaults stay valid
+  /// across all memory configurations (e.g. the array may have moved
+  /// into an image, where loads carry no bounds obligation anyway).
+  void applyAssumes() {
+    for (const AssumeFact &F : Opts.Assumes) {
+      LinExpr Rhs(F.RhsConst);
+      if (!F.RhsLenName.empty()) {
+        const KernelArray *KA = assumeArray(F.RhsLenName);
+        if (!KA)
+          continue;
+        Rhs += LinExpr::sym(lenSym(KA->CName));
+      }
+      switch (F.Kind) {
+      case AssumeFact::Target::Length: {
+        if (const KernelArray *KA = assumeArray(F.Name))
+          assumeRel(LinExpr::sym(lenSym(KA->CName)), F.Relation, Rhs);
+        break;
+      }
+      case AssumeFact::Target::Scalar: {
+        for (const KernelScalar &S : Plan.Scalars)
+          if (S.CName == F.Name ||
+              (S.WorkerParam && S.WorkerParam->name() == F.Name) ||
+              (S.MapParam && S.MapParam->name() == F.Name)) {
+            assumeRel(LinExpr::sym(fieldSym(S.CName)), F.Relation, Rhs);
+            break;
+          }
+        break;
+      }
+      case AssumeFact::Target::Element: {
+        const KernelArray *KA = assumeArray(F.Name);
+        if (!KA)
+          break;
+        for (auto &KV : Arrays) {
+          if (planArrayFor(KV.first->Name) != KA)
+            continue;
+          ElemAssume E;
+          E.Lane = F.Lane;
+          E.Rel = F.Relation;
+          E.Rhs = Rhs;
+          KV.second.Elems.push_back(std::move(E));
+        }
+        break;
+      }
+      }
+    }
+  }
+
+  /// Fires the declared element facts for one load. A scalar load
+  /// whose index is a fixed lane of some row (all symbol coefficients
+  /// divisible by the row width) gets the matching lane facts
+  /// directly; a whole-row vector load marks the value so its lane
+  /// members (evalMember) pick them up.
+  void applyElemAssumes(const OclExpr *BaseE, const AbsVal &Idx,
+                        unsigned Width, AbsVal &V) {
+    const auto *BV = dyn_cast_if_present<OclVarRef>(stripCasts(BaseE));
+    if (!BV)
+      return;
+    auto It = Arrays.find(BV->decl());
+    if (It == Arrays.end() || It->second.Elems.empty())
+      return;
+    const ArrayInfo &AI = It->second;
+    long long Row = AI.RowScalars;
+    if (Row <= 0 || !Idx.HasLin)
+      return;
+    for (const auto &KV : Idx.Lin.Coeffs)
+      if (KV.second % Row != 0)
+        return;
+    long long Lane = ((Idx.Lin.Const % Row) + Row) % Row;
+    if (Width == 1) {
+      if (V.HasLin)
+        for (const ElemAssume &E : AI.Elems)
+          if (E.Lane == Lane)
+            assumeRel(V.Lin, E.Rel, E.Rhs);
+    } else if (static_cast<long long>(Width) == Row && Lane == 0) {
+      V.LoadedFrom = BV->decl();
+      V.LoadLane = 0;
+    }
   }
 
   //===--------------------------------------------------------------------===//
@@ -572,13 +754,15 @@ private:
         else
           M << "<non-affine>";
         M << " (width " << Width << ") vs capacity " << AI.Capacity.str(Syms);
+        if (Idx.HasLin)
+          appendBoundsCounterexample(M, Idx.Lin, AI.Capacity, Width);
         Report.add(passes::Bounds, DiagSeverity::Error, Kernel.name(), Loc,
                    M.str());
       }
     }
 
-    if (AI.IsLocal) {
-      LocalAccess A;
+    if (AI.IsLocal || AI.IsGlobal) {
+      MemAccess A;
       A.Array = BV->decl();
       if (Idx.HasLin) {
         A.Index = Idx.Lin;
@@ -592,7 +776,53 @@ private:
       A.Path = Path;
       A.Loc = Loc;
       A.Snapshot = Facts.facts();
-      LocalAccesses.push_back(std::move(A));
+      (AI.IsLocal ? LocalAccesses : GlobalAccesses).push_back(std::move(A));
+    }
+  }
+
+  /// Renders a satisfying assignment as "sym=value" pairs, ordered by
+  /// symbol id (creation order: launch symbols first, then loop
+  /// offsets), so traces read gid, lid, grp, sizes, then the rest.
+  std::string renderModel(const std::map<unsigned, long long> &Model) const {
+    std::ostringstream S;
+    unsigned Shown = 0;
+    for (const auto &KV : Model) {
+      if (Shown == 14) {
+        S << ", ...";
+        break;
+      }
+      if (Shown)
+        S << ", ";
+      S << Syms.info(KV.first).Name << "=" << KV.second;
+      ++Shown;
+    }
+    return S.str();
+  }
+
+  /// Appends a concrete failing assignment to a bounds diagnostic:
+  /// first tries to drive the index below zero, then past the
+  /// capacity. Best effort — the message stands without one.
+  void appendBoundsCounterexample(std::ostringstream &M, const LinExpr &Idx,
+                                  const LinExpr &Cap, unsigned Width) {
+    LinExpr Low = Idx.negated(); // idx <= -1
+    Low.Const -= 1;
+    LinExpr High = Idx; // idx + W - 1 >= cap
+    High.Const += static_cast<long long>(Width) - 1;
+    High -= Cap;
+    std::set<unsigned> Seed;
+    for (const auto &KV : Idx.Coeffs)
+      Seed.insert(KV.first);
+    for (const auto &KV : Cap.Coeffs)
+      Seed.insert(KV.first);
+    for (const LinExpr *V : {&Low, &High}) {
+      std::vector<LinExpr> Query = Facts.facts();
+      Query.push_back(*V);
+      std::map<unsigned, long long> Model;
+      if (fmModel(pruneToCone(std::move(Query), Seed), Model)) {
+        M << "; counterexample (" << (V == &Low ? "below zero" : "past capacity")
+          << "): " << renderModel(Model);
+        return;
+      }
     }
   }
 
@@ -628,10 +858,12 @@ private:
     case OclExpr::Kind::Index: {
       const auto *I = cast<OclIndex>(E);
       AbsVal Idx = evalExpr(I->index());
-      recordAccess(I->base(), Idx, widthOf(E->type()), /*IsWrite=*/false,
-                   E->loc());
+      unsigned W = widthOf(E->type());
+      recordAccess(I->base(), Idx, W, /*IsWrite=*/false, E->loc());
       // The loaded value is application data.
-      return opaqueLoad(E);
+      AbsVal V = opaqueLoad(E);
+      applyElemAssumes(I->base(), Idx, W, V);
+      return V;
     }
     case OclExpr::Kind::Member:
       return evalMember(cast<OclMember>(E));
@@ -922,22 +1154,24 @@ private:
   AbsVal evalMember(const OclMember *M) {
     if (M->vectorLane() >= 0 || M->field() == nullptr) {
       AbsVal B = evalExpr(M->base());
-      return opaque("lane", !UI.isUniformExpr(M), B.FromData);
+      AbsVal R = opaque("lane", !UI.isUniformExpr(M), B.FromData);
+      // A lane of a whole-row vector load: fire the matching declared
+      // element facts on the fresh lane symbol.
+      if (B.LoadedFrom && B.LoadLane >= 0 && M->vectorLane() >= 0) {
+        auto It = Arrays.find(B.LoadedFrom);
+        if (It != Arrays.end()) {
+          long long Lane = B.LoadLane + M->vectorLane();
+          for (const ElemAssume &E : It->second.Elems)
+            if (E.Lane == Lane)
+              assumeRel(R.Lin, E.Rel, E.Rhs);
+        }
+      }
+      return R;
     }
     // Struct field: the kernel's bookkeeping args record (Fig. 4b).
     const auto *BV = dyn_cast<OclVarRef>(stripCasts(M->base()));
     if (BV && isa<StructType>(BV->decl()->Ty)) {
-      const std::string &Field = M->name();
-      auto It = FieldSyms.find(Field);
-      if (It == FieldSyms.end()) {
-        bool IsLen = Field.rfind("len_", 0) == 0;
-        unsigned S = Syms.fresh(Field, /*NonUniform=*/false,
-                                /*FromData=*/!IsLen && Field != "n");
-        if (IsLen)
-          Facts.assume(LinExpr::sym(S));
-        It = FieldSyms.emplace(Field, S).first;
-      }
-      unsigned S = It->second;
+      unsigned S = fieldSym(M->name());
       return AbsVal::lin(LinExpr::sym(S), Syms.info(S).FromData);
     }
     AbsVal B = evalExpr(M->base());
@@ -1007,9 +1241,12 @@ private:
       AbsVal Idx = evalExpr(C->args().size() > 0 ? C->args()[0] : nullptr);
       if (Idx.HasLin)
         Idx.Lin = Idx.Lin.scaled(W); // vloadN(i, p) touches p[N*i ..]
-      if (C->args().size() > 1)
+      AbsVal V = opaqueLoad(C);
+      if (C->args().size() > 1) {
         recordAccess(C->args()[1], Idx, W, /*IsWrite=*/false, C->loc());
-      return opaqueLoad(C);
+        applyElemAssumes(C->args()[1], Idx, W, V);
+      }
+      return V;
     }
     case OclBuiltin::VStore2:
     case OclBuiltin::VStore4: {
@@ -1254,15 +1491,16 @@ private:
     }
 
     // Decide the induction binding before the walks.
-    bool StepPositive = false, StepLsize = false;
+    bool StepPositive = false, StepLsize = false, StepGsize = false;
     if (SI.Kind == StepInfo::AddConst) {
       StepPositive = SI.K > 0;
     } else if (SI.Kind == StepInfo::AddExpr) {
       AbsVal SV = evalExpr(SI.Addend);
       if (SV.HasLin) {
-        // `+= lsize` in the emitted code goes through a plain local
-        // variable, so detect the local size semantically.
+        // `+= lsize` / `+= gsize` in the emitted code may go through
+        // a plain local variable, so detect the sizes semantically.
         StepLsize = SV.Lin == LinExpr::sym(LSIZE);
+        StepGsize = SV.Lin == LinExpr::sym(GSIZE);
         LinExpr Pos = SV.Lin;
         Pos.Const -= 1;
         StepPositive = Facts.entails(Pos); // step >= 1
@@ -1285,6 +1523,7 @@ private:
             StepPositive) {
           unsigned D = Syms.fresh("it", !(CondUni && HasB));
           Syms.info(D).LsizeStride = StepLsize;
+          Syms.info(D).GsizeStride = StepGsize;
           Facts.assume(LinExpr::sym(D)); // delta >= 0
           Env[SI.Var] =
               AbsVal::lin(E0.Lin + LinExpr::sym(D), E0.FromData);
@@ -1433,7 +1672,7 @@ private:
   /// D = g*T + c0 where T == lid1 - lid2 (mod lsize) is nonzero for
   /// distinct work-items of one group, so |D| stays away from the
   /// collision window.
-  bool congruenceSafe(const LocalAccess &A, const LocalAccess &B) {
+  bool congruenceSafe(const MemAccess &A, const MemAccess &B) {
     std::map<unsigned, unsigned> M1, M2;
     unsigned L1 = renameSym(LID, M1);
     unsigned L2 = renameSym(LID, M2);
@@ -1467,7 +1706,8 @@ private:
     return std::min(R, G - R) >= W;
   }
 
-  bool fmSafe(const LocalAccess &A, const LocalAccess &B) {
+  bool fmSafe(const MemAccess &A, const MemAccess &B,
+              std::map<unsigned, long long> &Model) {
     std::map<unsigned, unsigned> M1, M2;
     unsigned L1 = renameSym(LID, M1);
     unsigned L2 = renameSym(LID, M2);
@@ -1510,8 +1750,12 @@ private:
       Query.push_back(Ov1);
       Query.push_back(Ov2);
       Query.push_back(Distinct);
-      if (!fmInfeasible(pruneToCone(std::move(Query), Seed)))
+      std::vector<LinExpr> Pruned = pruneToCone(std::move(Query), Seed);
+      if (!fmInfeasible(Pruned)) {
+        if (Model.empty())
+          (void)fmModel(Pruned, Model);
         return false;
+      }
     }
     return true;
   }
@@ -1521,8 +1765,8 @@ private:
     std::set<std::pair<LineCol, LineCol>> Reported;
     for (size_t I = 0; I < LocalAccesses.size(); ++I) {
       for (size_t J = I; J < LocalAccesses.size(); ++J) {
-        const LocalAccess &A = LocalAccesses[I];
-        const LocalAccess &B = LocalAccesses[J];
+        const MemAccess &A = LocalAccesses[I];
+        const MemAccess &B = LocalAccesses[J];
         if (A.Array != B.Array)
           continue;
         if (!A.IsWrite && !B.IsWrite)
@@ -1533,7 +1777,8 @@ private:
           continue;
         if (congruenceSafe(A, B))
           continue;
-        if (fmSafe(A, B))
+        std::map<unsigned, long long> Model;
+        if (fmSafe(A, B, Model))
           continue;
         LineCol LA{A.Loc.Line, A.Loc.Column}, LB{B.Loc.Line, B.Loc.Column};
         auto Key = LA <= LB ? std::make_pair(LA, LB) : std::make_pair(LB, LA);
@@ -1545,7 +1790,191 @@ private:
           << A.Index.str(Syms) << " may conflict with the "
           << (B.IsWrite ? "write" : "read") << " at " << B.Loc.str()
           << " by a different work-item in the same barrier interval";
+        if (!Model.empty())
+          M << "; counterexample: " << renderModel(Model);
         Report.add(passes::LocalRace, DiagSeverity::Error, Kernel.name(),
+                   A.Loc, M.str());
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Inter-group race analysis (__global writes)
+  //===--------------------------------------------------------------------===//
+
+  /// Renames one symbol for one of the two abstract work-items of the
+  /// inter-group model. Unlike the intra-group renamer, everything
+  /// that is not launch-invariant gets a fresh copy — including
+  /// uniform-within-a-group values like the group id or a uniform
+  /// loop bound loaded from data, which another group may see
+  /// differently.
+  unsigned renameSymWI(unsigned S, std::map<unsigned, unsigned> &M,
+                       const char *Suffix) {
+    if (Syms.info(S).LaunchInvariant)
+      return S;
+    auto It = M.find(S);
+    if (It != M.end())
+      return It->second;
+    unsigned NS = Syms.fresh(Syms.info(S).Name + Suffix,
+                             Syms.info(S).NonUniform, Syms.info(S).FromData);
+    Syms.info(NS).LsizeStride = Syms.info(S).LsizeStride;
+    Syms.info(NS).GsizeStride = Syms.info(S).GsizeStride;
+    M[S] = NS;
+    return NS;
+  }
+
+  LinExpr renameExprWI(const LinExpr &E, std::map<unsigned, unsigned> &M,
+                       const char *Suffix) {
+    LinExpr R(E.Const);
+    for (const auto &KV : E.Coeffs)
+      R.addTerm(renameSymWI(KV.first, M, Suffix), KV.second);
+    return R;
+  }
+
+  /// The mod-global-size congruence rule — the __local rule's
+  /// inter-group sibling. With D = I1 - I2 built from per-work-item
+  /// gids and stride-of-global-size loop offsets only, D = g*T + c0
+  /// where T == gid1 - gid2 (mod gsize). Work-items of different
+  /// groups have distinct global ids, both in [0, gsize), so T is
+  /// nonzero mod gsize and |D| stays at least min(R, g-R) (or g when
+  /// c0 == 0) away from zero — outside the collision window when that
+  /// distance covers the access width.
+  bool congruenceSafeGlobal(const MemAccess &A, const MemAccess &B) {
+    std::map<unsigned, unsigned> M1, M2;
+    unsigned G1 = renameSymWI(GID, M1, "");
+    unsigned G2 = renameSymWI(GID, M2, "'");
+    LinExpr D = renameExprWI(A.Index, M1, "") - renameExprWI(B.Index, M2, "'");
+
+    long long C1 = 0, C2 = 0;
+    std::vector<std::pair<unsigned, long long>> Strides;
+    for (const auto &KV : D.Coeffs) {
+      if (KV.first == G1)
+        C1 = KV.second;
+      else if (KV.first == G2)
+        C2 = KV.second;
+      else if (Syms.info(KV.first).GsizeStride)
+        Strides.push_back(KV);
+      else
+        return false;
+    }
+    if (C1 == 0 || C1 != -C2)
+      return false;
+    long long G = C1 < 0 ? -C1 : C1;
+    for (const auto &KV : Strides)
+      if (KV.second % G != 0)
+        return false;
+    long long W = std::max(A.Width, B.Width);
+    long long C0 = D.Const;
+    if (C0 == 0)
+      return W <= G;
+    long long R = ((C0 % G) + G) % G;
+    if (R == 0)
+      return false;
+    return std::min(R, G - R) >= W;
+  }
+
+  /// Cross-group disjointness by Fourier-Motzkin. gid = grp*lsize +
+  /// lid is nonlinear in (grp, lsize), so the query carries its
+  /// linear consequences instead: gid - lid >= 0 per work-item, and
+  /// the work-item of the strictly higher group is at least one full
+  /// group of global ids ahead. Both group orders must be infeasible;
+  /// when one is satisfiable, \p Model receives a concrete witness if
+  /// back-substitution finds one.
+  bool fmSafeGlobal(const MemAccess &A, const MemAccess &B,
+                    std::map<unsigned, long long> &Model) {
+    std::map<unsigned, unsigned> M1, M2;
+    unsigned G1 = renameSymWI(GID, M1, "");
+    unsigned G2 = renameSymWI(GID, M2, "'");
+    unsigned L1 = renameSymWI(LID, M1, "");
+    unsigned L2 = renameSymWI(LID, M2, "'");
+    unsigned P1 = renameSymWI(GRP, M1, "");
+    unsigned P2 = renameSymWI(GRP, M2, "'");
+
+    std::vector<LinExpr> Base;
+    for (const LinExpr &F : A.Snapshot)
+      Base.push_back(renameExprWI(F, M1, ""));
+    for (const LinExpr &F : B.Snapshot)
+      Base.push_back(renameExprWI(F, M2, "'"));
+    LinExpr I1 = renameExprWI(A.Index, M1, "");
+    LinExpr I2 = renameExprWI(B.Index, M2, "'");
+
+    Base.push_back(LinExpr::sym(G1) - LinExpr::sym(L1)); // gid - lid >= 0
+    Base.push_back(LinExpr::sym(G2) - LinExpr::sym(L2));
+
+    // Overlap of [I1, I1+W1) and [I2, I2+W2).
+    LinExpr Ov1 = I2;
+    Ov1.Const += static_cast<long long>(B.Width) - 1;
+    Ov1 -= I1; // I1 <= I2 + W2-1
+    LinExpr Ov2 = I1;
+    Ov2.Const += static_cast<long long>(A.Width) - 1;
+    Ov2 -= I2; // I2 <= I1 + W1-1
+
+    std::set<unsigned> Seed{G1, G2, L1, L2, P1, P2};
+    for (const auto &KV : I1.Coeffs)
+      Seed.insert(KV.first);
+    for (const auto &KV : I2.Coeffs)
+      Seed.insert(KV.first);
+
+    for (int Order = 0; Order < 2; ++Order) {
+      unsigned PHi = Order == 0 ? P2 : P1, PLo = Order == 0 ? P1 : P2;
+      unsigned GHi = Order == 0 ? G2 : G1, GLo = Order == 0 ? G1 : G2;
+      unsigned LHi = Order == 0 ? L2 : L1, LLo = Order == 0 ? L1 : L2;
+      std::vector<LinExpr> Query = Base;
+      LinExpr DG = LinExpr::sym(PHi) - LinExpr::sym(PLo);
+      DG.Const -= 1; // grp_hi >= grp_lo + 1
+      Query.push_back(std::move(DG));
+      LinExpr DL = LinExpr::sym(GHi) - LinExpr::sym(LHi);
+      DL -= LinExpr::sym(GLo) - LinExpr::sym(LLo);
+      DL -= LinExpr::sym(LSIZE); // (gid-lid) gap >= lsize
+      Query.push_back(std::move(DL));
+      Query.push_back(Ov1);
+      Query.push_back(Ov2);
+      std::vector<LinExpr> Pruned = pruneToCone(std::move(Query), Seed);
+      if (!fmInfeasible(Pruned)) {
+        if (Model.empty())
+          (void)fmModel(Pruned, Model);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Write/write and read/write disjointness for __global accesses
+  /// across work-groups. There is no inter-group happens-before:
+  /// barrier() fences only work-items of one group, so region ids and
+  /// uniform-branch paths (both intra-group orderings) do not filter
+  /// pairs here — every pair involving a write is checked, including
+  /// a site against itself.
+  void globalRaceAnalysis() {
+    using LineCol = std::pair<unsigned, unsigned>;
+    std::set<std::pair<LineCol, LineCol>> Reported;
+    for (size_t I = 0; I < GlobalAccesses.size(); ++I) {
+      for (size_t J = I; J < GlobalAccesses.size(); ++J) {
+        const MemAccess &A = GlobalAccesses[I];
+        const MemAccess &B = GlobalAccesses[J];
+        if (A.Array != B.Array)
+          continue;
+        if (!A.IsWrite && !B.IsWrite)
+          continue;
+        if (congruenceSafeGlobal(A, B))
+          continue;
+        std::map<unsigned, long long> Model;
+        if (fmSafeGlobal(A, B, Model))
+          continue;
+        LineCol LA{A.Loc.Line, A.Loc.Column}, LB{B.Loc.Line, B.Loc.Column};
+        auto Key = LA <= LB ? std::make_pair(LA, LB) : std::make_pair(LB, LA);
+        if (!Reported.insert(Key).second)
+          continue;
+        std::ostringstream M;
+        M << "possible cross-group race on '" << A.Array->Name << "': "
+          << (A.IsWrite ? "write" : "read") << " of element "
+          << A.Index.str(Syms) << " may conflict with the "
+          << (B.IsWrite ? "write" : "read") << " at " << B.Loc.str()
+          << " by a work-item of another group (barriers do not order "
+             "work-groups)";
+        if (!Model.empty())
+          M << "; counterexample: " << renderModel(Model);
+        Report.add(passes::GlobalRace, DiagSeverity::Error, Kernel.name(),
                    A.Loc, M.str());
       }
     }

@@ -1,0 +1,160 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Assume.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace lime::analysis;
+
+namespace {
+
+/// A tiny cursor over the assume text.
+struct Cursor {
+  const std::string &S;
+  size_t I = 0;
+
+  void skipWs() {
+    while (I < S.size() && std::isspace(static_cast<unsigned char>(S[I])))
+      ++I;
+  }
+  bool done() {
+    skipWs();
+    return I >= S.size();
+  }
+  bool lit(const char *L) {
+    skipWs();
+    size_t N = 0;
+    while (L[N])
+      ++N;
+    if (S.compare(I, N, L) != 0)
+      return false;
+    I += N;
+    return true;
+  }
+  bool ident(std::string &Out) {
+    skipWs();
+    size_t B = I;
+    while (I < S.size() &&
+           (std::isalnum(static_cast<unsigned char>(S[I])) || S[I] == '_'))
+      ++I;
+    if (I == B)
+      return false;
+    Out = S.substr(B, I - B);
+    return true;
+  }
+  bool integer(long long &Out) {
+    skipWs();
+    size_t B = I;
+    if (I < S.size() && (S[I] == '-' || S[I] == '+'))
+      ++I;
+    size_t D = I;
+    while (I < S.size() && std::isdigit(static_cast<unsigned char>(S[I])))
+      ++I;
+    if (I == D) {
+      I = B;
+      return false;
+    }
+    Out = std::strtoll(S.substr(B, I - B).c_str(), nullptr, 10);
+    return true;
+  }
+};
+
+bool fail(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+/// `len` is a keyword only when followed by '('; `len(name)` parses
+/// into \p LenName, a bare identifier into \p Name.
+bool lenOrName(Cursor &C, std::string &Name, std::string &LenName,
+               std::string *Err) {
+  std::string Id;
+  if (!C.ident(Id))
+    return fail(Err, "expected an identifier or len(...)");
+  if (Id == "len" && C.lit("(")) {
+    if (!C.ident(LenName) || !C.lit(")"))
+      return fail(Err, "malformed len(...)");
+    return true;
+  }
+  Name = Id;
+  return true;
+}
+
+} // namespace
+
+bool lime::analysis::parseAssumeFact(const std::string &Text, AssumeFact &Out,
+                                     std::string *Err) {
+  Out = AssumeFact();
+  Out.Text = Text;
+  Cursor C{Text};
+
+  // LHS: name | name[k] | len(name)
+  std::string Name, LenName;
+  if (!lenOrName(C, Name, LenName, Err))
+    return false;
+  if (!LenName.empty()) {
+    Out.Kind = AssumeFact::Target::Length;
+    Out.Name = LenName;
+  } else if (C.lit("[")) {
+    if (!C.integer(Out.Lane) || Out.Lane < 0 || !C.lit("]"))
+      return fail(Err, "malformed element lane '[k]' (k must be a "
+                       "non-negative integer)");
+    Out.Kind = AssumeFact::Target::Element;
+    Out.Name = Name;
+  } else {
+    Out.Kind = AssumeFact::Target::Scalar;
+    Out.Name = Name;
+  }
+
+  // Relation. Order matters: '<=' before '<'.
+  if (C.lit("<="))
+    Out.Relation = AssumeFact::Rel::Le;
+  else if (C.lit(">="))
+    Out.Relation = AssumeFact::Rel::Ge;
+  else if (C.lit("=="))
+    Out.Relation = AssumeFact::Rel::Eq;
+  else if (C.lit("<"))
+    Out.Relation = AssumeFact::Rel::Lt;
+  else if (C.lit(">"))
+    Out.Relation = AssumeFact::Rel::Gt;
+  else
+    return fail(Err, "expected a relation (< <= > >= ==)");
+
+  // RHS: int | len(name) [± int] | int ± int
+  long long V = 0;
+  if (C.integer(V)) {
+    Out.RhsConst = V;
+  } else {
+    std::string RName, RLen;
+    if (!lenOrName(C, RName, RLen, Err))
+      return fail(Err, "expected an integer or len(...) on the right");
+    if (RLen.empty())
+      return fail(Err, "only integers and len(...) may appear on the "
+                       "right of an assume");
+    Out.RhsLenName = RLen;
+  }
+  C.skipWs();
+  if (!C.done()) {
+    bool Neg;
+    if (C.lit("+"))
+      Neg = false;
+    else if (C.lit("-"))
+      Neg = true;
+    else
+      return fail(Err, "trailing junk after the right-hand side");
+    long long Off = 0;
+    if (!C.integer(Off) || Off < 0)
+      return fail(Err, "expected a non-negative integer offset");
+    Out.RhsConst += Neg ? -Off : Off;
+    if (!C.done())
+      return fail(Err, "trailing junk after the right-hand side");
+  }
+  return true;
+}

@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declared value-range facts (`limec --assume 'pairs[3] >= 0'`). An
+/// assume names a worker-visible value — a scalar parameter, one lane
+/// of an array's elements, or an array's length — and bounds it with a
+/// linear relation the fact engine can consume. Facts are TRUSTED, not
+/// checked: a wrong assume silently weakens the verifier (the VM's
+/// runtime bounds checks remain the backstop). Grammar:
+///
+///   assume := lhs rel rhs
+///   lhs    := name | name '[' int ']' | 'len' '(' name ')'
+///   rel    := '<' | '<=' | '>' | '>=' | '=='
+///   rhs    := int | ('len' '(' name ')' | int) (('+'|'-') int)?
+///
+/// `name[k]` constrains scalar lane k of EVERY element of the array
+/// (RPES: `pairs[3] >= 0`); `len(name)` is the element count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_ANALYSIS_ASSUME_H
+#define LIMECC_ANALYSIS_ASSUME_H
+
+#include <cstdint>
+#include <string>
+
+namespace lime::analysis {
+
+/// One parsed `--assume` fact.
+struct AssumeFact {
+  enum class Target : uint8_t {
+    Scalar,  // a scalar worker parameter / args field
+    Element, // lane `Lane` of every element of array `Name`
+    Length,  // element count of array `Name`
+  };
+  enum class Rel : uint8_t { Lt, Le, Gt, Ge, Eq };
+
+  Target Kind = Target::Scalar;
+  Rel Relation = Rel::Le;
+  std::string Name;   // the constrained scalar or array
+  long long Lane = 0; // Element only: scalar lane within one element
+  /// RHS = [len(RhsLenName)] + RhsConst (RhsLenName empty for a pure
+  /// constant bound).
+  std::string RhsLenName;
+  long long RhsConst = 0;
+  std::string Text; // original spelling, for diagnostics
+};
+
+/// Parses one assume expression. On failure returns false and, when
+/// \p Err is non-null, explains what went wrong.
+bool parseAssumeFact(const std::string &Text, AssumeFact &Out,
+                     std::string *Err = nullptr);
+
+} // namespace lime::analysis
+
+#endif // LIMECC_ANALYSIS_ASSUME_H

@@ -34,7 +34,9 @@ inline constexpr const char *Parse = "parse";
 inline constexpr const char *Bounds = "bounds";
 inline constexpr const char *BarrierDivergence = "barrier-divergence";
 inline constexpr const char *LocalRace = "local-race";
+inline constexpr const char *GlobalRace = "global-race";
 inline constexpr const char *PlanAudit = "plan-audit";
+inline constexpr const char *Occupancy = "occupancy";
 } // namespace passes
 
 /// One verifier diagnostic.
@@ -93,6 +95,23 @@ struct AnalysisReport {
         }));
   }
   bool ok() const { return errorCount() == 0; }
+
+  /// Deterministic presentation order: (kernel, line, col, pass). The
+  /// walker visits maps keyed by AST node pointers, so insertion order
+  /// varies run to run; every driver sorts before printing.
+  void sort() {
+    std::stable_sort(
+        Findings.begin(), Findings.end(),
+        [](const Finding &A, const Finding &B) {
+          if (A.Kernel != B.Kernel)
+            return A.Kernel < B.Kernel;
+          if (A.Loc.Line != B.Loc.Line)
+            return A.Loc.Line < B.Loc.Line;
+          if (A.Loc.Column != B.Loc.Column)
+            return A.Loc.Column < B.Loc.Column;
+          return A.Pass < B.Pass;
+        });
+  }
 
   /// All findings, one rendered line each.
   std::string str() const {

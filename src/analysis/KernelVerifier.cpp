@@ -18,6 +18,7 @@
 
 #include "analysis/AbstractInterp.h"
 #include "analysis/Uniformity.h"
+#include "ocl/DeviceModel.h"
 #include "ocl/OclParser.h"
 
 #include <sstream>
@@ -413,6 +414,63 @@ private:
   }
 };
 
+//===----------------------------------------------------------------------===//
+// Occupancy / resource audit (Table 2 per-SM limits)
+//===----------------------------------------------------------------------===//
+
+/// Checks the plan's static resource appetite against the target
+/// device: __local bytes one work-group pins (tiles + reduce scratch)
+/// against the SM's scratchpad, and private-array bytes across a
+/// work-group against the register file. A kernel that fits produces
+/// nothing; one that exceeds a limit gets an [occupancy] warning
+/// naming the limiting resource — the launch may still run (the
+/// vendor compiler spills), but nowhere near the plan's intent.
+void auditOccupancy(const KernelPlan &Plan, const ocl::DeviceModel &Dev,
+                    const AnalysisOptions &Opts, const std::string &Kernel,
+                    SourceLocation Loc, AnalysisReport &Report) {
+  // Work-items resident per group: the launch's local size when the
+  // caller pinned one, else the device's lockstep width (the smallest
+  // group the scheduler would run; a conservative floor).
+  unsigned long long WG = Opts.LocalSize ? Opts.LocalSize : Dev.WarpWidth;
+
+  unsigned long long LocalBytes = 0;
+  for (const KernelArray &A : Plan.Arrays)
+    if (A.Space == MemSpace::LocalTiled && A.Scalar)
+      LocalBytes += static_cast<unsigned long long>(A.TileRows) * A.RowStride *
+                    A.Scalar->sizeInBytes();
+  if (Plan.Kind == KernelKind::Reduce && Plan.OutScalarType)
+    LocalBytes += WG * Plan.OutScalarType->sizeInBytes();
+  if (Dev.LocalBytesPerSM > 0 && LocalBytes > Dev.LocalBytesPerSM) {
+    std::ostringstream M;
+    M << "one work-group pins " << LocalBytes << " bytes of __local memory ("
+      << "tiles + reduce scratch at group size " << WG << "), but '"
+      << Dev.Name << "' has " << Dev.LocalBytesPerSM
+      << " bytes of local memory per SM; local memory is the limiting "
+         "resource and no group can be resident";
+    Report.add(passes::Occupancy, DiagSeverity::Warning, Kernel, Loc, M.str());
+  }
+
+  unsigned long long PrivateBytes = 0;
+  for (const PrivateArray &PA : Plan.PrivateArrays) {
+    unsigned Elem = 4;
+    if (PA.Decl)
+      if (const auto *AT = dyn_cast_if_present<ArrayType>(PA.Decl->type()))
+        if (const auto *PT =
+                dyn_cast_if_present<PrimitiveType>(AT->scalarElement()))
+          Elem = PT->sizeInBytes();
+    PrivateBytes += static_cast<unsigned long long>(PA.Scalars) * Elem;
+  }
+  if (Dev.RegBytesPerSM > 0 && PrivateBytes * WG > Dev.RegBytesPerSM) {
+    std::ostringstream M;
+    M << "private arrays hold " << PrivateBytes << " bytes per work-item ("
+      << PrivateBytes * WG << " bytes at group size " << WG << "), but '"
+      << Dev.Name << "' has a " << Dev.RegBytesPerSM
+      << "-byte register file per SM; registers are the limiting resource "
+         "and the vendor compiler will spill to global memory";
+    Report.add(passes::Occupancy, DiagSeverity::Warning, Kernel, Loc, M.str());
+  }
+}
+
 } // namespace
 
 AnalysisReport lime::analysis::analyzeKernel(const CompiledKernel &Kernel,
@@ -462,5 +520,9 @@ AnalysisReport lime::analysis::analyzeKernel(const CompiledKernel &Kernel,
   UniformityInfo UI(*AST, *F);
   runSymbolicPasses(*AST, *F, Kernel, Opts, UI, Report);
   PlanAudit(*F, Kernel.Plan, Report).run();
+  if (Opts.Device)
+    auditOccupancy(Kernel.Plan, *Opts.Device, Opts, F->name(), F->loc(),
+                   Report);
+  Report.sort();
   return Report;
 }

@@ -21,8 +21,13 @@
 ///   barrier-divergence  barrier() under work-item-dependent control
 ///   local-race          same-element local accesses by distinct
 ///                       work-items without an intervening barrier
+///   global-race         __global writes that may collide across
+///                       work-groups (barriers fence only within a
+///                       group; there is no inter-group happens-before)
 ///   plan-audit          plan vs. emitted code (spaces, padding,
 ///                       vector widths)
+///   occupancy           planned __local / private capacity vs. the
+///                       target DeviceModel's per-SM limits (Table 2)
 ///
 /// Severity: failures the compiler controls are errors; accesses whose
 /// bound depends on application data the compiler never sees
@@ -34,8 +39,15 @@
 #ifndef LIMECC_ANALYSIS_KERNELVERIFIER_H
 #define LIMECC_ANALYSIS_KERNELVERIFIER_H
 
+#include "analysis/Assume.h"
 #include "analysis/Findings.h"
 #include "compiler/GpuCompiler.h"
+
+#include <vector>
+
+namespace lime::ocl {
+struct DeviceModel;
+} // namespace lime::ocl
 
 namespace lime::analysis {
 
@@ -45,6 +57,13 @@ struct AnalysisOptions {
   unsigned LocalSize = 0;
   /// Upper bound on the number of work-groups (0 = unbounded).
   unsigned MaxGroups = 0;
+  /// Declared value-range facts (`--assume`, per-workload defaults).
+  /// Trusted, not checked — see Assume.h.
+  std::vector<AssumeFact> Assumes;
+  /// Target device for the occupancy audit (null skips the pass — the
+  /// resource limits are per-device, so there is nothing to audit
+  /// against without one).
+  const ocl::DeviceModel *Device = nullptr;
 };
 
 /// Runs every pass over \p Kernel (its generated Source is re-parsed;

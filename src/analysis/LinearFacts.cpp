@@ -30,8 +30,10 @@ std::string LinExpr::str(const SymbolTable &Syms) const {
     long long A = C < 0 ? -C : C;
     if (A != 1)
       S << A << '*';
-    S << (KV.first < Syms.size() ? Syms.info(KV.first).Name
-                                 : "s" + std::to_string(KV.first));
+    if (KV.first < Syms.size())
+      S << Syms.info(KV.first).Name;
+    else
+      S << 's' << KV.first;
   }
   if (First) {
     S << Const;
@@ -206,6 +208,181 @@ std::vector<LinExpr> lime::analysis::pruneToCone(std::vector<LinExpr> Facts,
     }
   }
   return Kept;
+}
+
+namespace {
+
+/// Evaluates \p E under \p Model, assigning 0 to any symbol the model
+/// does not cover yet (the final verification rejects bad guesses).
+/// Returns false on overflow.
+bool evalUnderModel(const LinExpr &E, std::map<unsigned, long long> &Model,
+                    long long &Out) {
+  __int128 Sum = E.Const;
+  for (const auto &KV : E.Coeffs) {
+    auto It = Model.find(KV.first);
+    if (It == Model.end())
+      It = Model.emplace(KV.first, 0).first;
+    Sum += static_cast<__int128>(KV.second) * It->second;
+    if (Sum > kCoeffLimit || Sum < -kCoeffLimit)
+      return false;
+  }
+  Out = static_cast<long long>(Sum);
+  return true;
+}
+
+/// ceil(A / B) for B > 0.
+long long ceilDiv(long long A, long long B) {
+  long long Q = A / B;
+  if (A % B != 0 && A > 0)
+    ++Q;
+  return Q;
+}
+
+/// floor(A / B) for B > 0.
+long long floorDiv(long long A, long long B) {
+  long long Q = A / B;
+  if (A % B != 0 && A < 0)
+    --Q;
+  return Q;
+}
+
+} // namespace
+
+bool lime::analysis::fmModel(const std::vector<LinExpr> &Original,
+                             std::map<unsigned, long long> &Model) {
+  constexpr size_t MaxFacts = 4096;
+  constexpr size_t MaxRounds = 96;
+
+  // Forward pass: the same elimination as fmInfeasible, but each round
+  // records the facts that bound the eliminated variable from below
+  // (positive coefficient) and above (negative coefficient).
+  struct Frame {
+    unsigned Var = 0;
+    std::vector<LinExpr> Lower, Upper;
+  };
+  std::vector<Frame> Frames;
+  std::vector<LinExpr> Facts = Original;
+
+  for (size_t Round = 0; Round < MaxRounds; ++Round) {
+    std::vector<LinExpr> Clean;
+    std::set<std::pair<long long, std::map<unsigned, long long>>> Seen;
+    for (LinExpr &F : Facts) {
+      if (!normalizeFact(F))
+        return false; // infeasible: no model exists
+      if (F.Coeffs.empty())
+        continue;
+      if (Seen.insert({F.Const, F.Coeffs}).second)
+        Clean.push_back(std::move(F));
+    }
+    Facts = std::move(Clean);
+    if (Facts.empty())
+      break;
+    if (Facts.size() > MaxFacts)
+      return false;
+
+    std::map<unsigned, std::pair<size_t, size_t>> Occ;
+    for (const LinExpr &F : Facts)
+      for (const auto &KV : F.Coeffs) {
+        auto &PN = Occ[KV.first];
+        (KV.second > 0 ? PN.first : PN.second)++;
+      }
+    unsigned Best = Occ.begin()->first;
+    long long BestScore = -1;
+    for (const auto &KV : Occ) {
+      long long Score =
+          static_cast<long long>(KV.second.first) * KV.second.second;
+      if (BestScore < 0 || Score < BestScore) {
+        Best = KV.first;
+        BestScore = Score;
+      }
+    }
+
+    Frame FR;
+    FR.Var = Best;
+    std::vector<LinExpr> Next;
+    std::vector<const LinExpr *> Pos, Neg;
+    for (const LinExpr &F : Facts) {
+      long long C = F.coeff(Best);
+      if (C > 0) {
+        Pos.push_back(&F);
+        FR.Lower.push_back(F);
+      } else if (C < 0) {
+        Neg.push_back(&F);
+        FR.Upper.push_back(F);
+      } else {
+        Next.push_back(F);
+      }
+    }
+    if (Pos.size() * Neg.size() + Next.size() > MaxFacts)
+      return false;
+    for (const LinExpr *P : Pos)
+      for (const LinExpr *N : Neg) {
+        LinExpr R;
+        if (!combine(*P, P->coeff(Best), *N, N->coeff(Best), R))
+          return false; // a dropped fact would make the model unsound
+        Next.push_back(std::move(R));
+      }
+    Frames.push_back(std::move(FR));
+    Facts = std::move(Next);
+  }
+  for (const LinExpr &F : Facts) {
+    if (!F.Coeffs.empty())
+      return false; // round cap hit with variables left
+    if (F.Const < 0)
+      return false;
+  }
+
+  // Back-substitution in reverse elimination order: at each frame all
+  // later-eliminated symbols already have values, so the frame's facts
+  // give concrete integer bounds for its variable. Prefer the value
+  // closest to zero (small ids read naturally in a trace).
+  Model.clear();
+  for (auto It = Frames.rbegin(); It != Frames.rend(); ++It) {
+    bool HasLo = false, HasHi = false;
+    long long Lo = 0, Hi = 0;
+    for (const LinExpr &F : It->Lower) {
+      long long C = F.coeff(It->Var);
+      LinExpr Rest = F;
+      Rest.Coeffs.erase(It->Var);
+      long long RV = 0;
+      if (!evalUnderModel(Rest, Model, RV))
+        return false;
+      long long B = ceilDiv(-RV, C); // C*v + RV >= 0, C > 0
+      if (!HasLo || B > Lo)
+        Lo = B;
+      HasLo = true;
+    }
+    for (const LinExpr &F : It->Upper) {
+      long long C = F.coeff(It->Var);
+      LinExpr Rest = F;
+      Rest.Coeffs.erase(It->Var);
+      long long RV = 0;
+      if (!evalUnderModel(Rest, Model, RV))
+        return false;
+      long long B = floorDiv(RV, -C); // C*v + RV >= 0, C < 0
+      if (!HasHi || B < Hi)
+        Hi = B;
+      HasHi = true;
+    }
+    if (HasLo && HasHi && Lo > Hi)
+      return false; // integer gap the rational elimination missed
+    long long V = 0;
+    if (HasLo && V < Lo)
+      V = Lo;
+    if (HasHi && V > Hi)
+      V = Hi;
+    Model[It->Var] = V;
+  }
+
+  // Final verification against the original conjunction: combine() can
+  // drop facts on overflow (sound for infeasibility, not for models),
+  // and FM is only rationally complete.
+  for (const LinExpr &F : Original) {
+    long long V = 0;
+    if (!evalUnderModel(F, Model, V) || V < 0)
+      return false;
+  }
+  return true;
 }
 
 bool FactSet::entails(const LinExpr &E) const {

@@ -43,6 +43,15 @@ struct SymInfo {
   /// offsets whose step is exactly the local size, and consumed by the
   /// race detector's congruence rule.
   bool LsizeStride = false;
+  /// Value is provably a multiple of get_global_size(0) — set for loop
+  /// offsets whose step is exactly the global size, and consumed by
+  /// the inter-group race detector's congruence rule.
+  bool GsizeStride = false;
+  /// Value is fixed for the whole launch (sizes, lengths, args-struct
+  /// scalars): identical in every work-item of every group. The
+  /// inter-group race pass shares these between its two abstract
+  /// work-items and renames everything else.
+  bool LaunchInvariant = false;
 };
 
 /// Symbols are dense indices into a per-kernel table.
@@ -176,6 +185,18 @@ bool fmInfeasible(std::vector<LinExpr> Facts);
 /// infeasibility of the full one — and the elimination stays small.
 std::vector<LinExpr> pruneToCone(std::vector<LinExpr> Facts,
                                  std::set<unsigned> Seed);
+
+/// Attempts to extract one integer model of the conjunction of
+/// \p Facts (each `>= 0`): Fourier–Motzkin elimination recording per-
+/// variable bound frames, then back-substitution in reverse order,
+/// clamping each value toward zero within its bounds. The candidate is
+/// verified against the ORIGINAL facts before it is returned (the
+/// elimination may drop facts on overflow and is only rationally
+/// complete, so an unverified assignment could be spurious). Returns
+/// false when no model is found within the size caps — which does NOT
+/// mean the system is infeasible.
+bool fmModel(const std::vector<LinExpr> &Facts,
+             std::map<unsigned, long long> &Model);
 
 } // namespace lime::analysis
 

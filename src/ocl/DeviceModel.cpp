@@ -83,6 +83,7 @@ const std::vector<DeviceModel> &lime::ocl::deviceRegistry() {
       D.DpRatio = 0.0; // no double support
       D.LocalBanks = 16;
       D.LocalBytesPerSM = 16 * 1024;
+      D.RegBytesPerSM = 32 * 1024;
       D.ConstBytes = 64 * 1024;
       D.DramBandwidthGBs = 86.4;
       D.DramSegmentBytes = 64; // stricter pre-Fermi coalescing granule
@@ -114,6 +115,7 @@ const std::vector<DeviceModel> &lime::ocl::deviceRegistry() {
       D.DpRatio = 4.0; // end-to-end DP lands 2-3x slower (§5.1)
       D.LocalBanks = 32;
       D.LocalBytesPerSM = 48 * 1024;
+      D.RegBytesPerSM = 128 * 1024;
       D.ConstBytes = 64 * 1024;
       D.DramBandwidthGBs = 192.4;
       D.DramSegmentBytes = 128;
@@ -145,6 +147,7 @@ const std::vector<DeviceModel> &lime::ocl::deviceRegistry() {
       D.DpRatio = 2.5; // end-to-end DP ~1.5x slower (§5.1)
       D.LocalBanks = 32;
       D.LocalBytesPerSM = 32 * 1024;
+      D.RegBytesPerSM = 256 * 1024;
       D.ConstBytes = 64 * 1024;
       D.DramBandwidthGBs = 256.0;
       D.DramSegmentBytes = 128;

@@ -56,6 +56,11 @@ struct DeviceModel {
   // Memory system.
   unsigned LocalBanks = 16;
   unsigned LocalBytesPerSM = 16 * 1024;
+  /// Register-file bytes per SM, the budget behind per-work-item
+  /// private arrays (0 = not register-limited: CPUs spill to stack).
+  /// GPU values follow the hardware generations of Table 2:
+  /// 8K 32-bit regs (G80), 32K (Fermi), 256KB GPRs (Evergreen).
+  unsigned RegBytesPerSM = 0;
   unsigned ConstBytes = 64 * 1024;
   double DramBandwidthGBs = 150.0;
   unsigned DramSegmentBytes = 128; // coalescing granule

@@ -165,8 +165,11 @@ CompiledKernel OffloadService::compileVerified(MethodDecl *Worker,
   // The cache key covers source, device, and memory config but NOT
   // launch geometry, so the cached verdict must hold for every
   // LocalSize/MaxGroups that can share the entry: analyze with fully
-  // symbolic geometry instead of baking in this request's sizes.
-  analysis::AnalysisReport Report = analysis::analyzeKernel(Kernel);
+  // symbolic geometry instead of baking in this request's sizes. The
+  // device IS part of the key, so its occupancy limits are fair game.
+  analysis::AnalysisOptions AOpts;
+  AOpts.Device = &ocl::deviceByName(Canon.DeviceName);
+  analysis::AnalysisReport Report = analysis::analyzeKernel(Kernel, AOpts);
   if (!Report.ok()) {
     std::ostringstream E;
     E << "kernel verifier: " << Report.errorCount()

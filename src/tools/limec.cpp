@@ -25,6 +25,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/KernelVerifier.h"
+#include "ocl/DeviceModel.h"
 #include "compiler/GpuCompiler.h"
 #include "lime/ast/ASTPrinter.h"
 #include "lime/parser/Parser.h"
@@ -67,7 +68,9 @@ void printUsage(std::FILE *Out) {
       "                      configuration unless --config is given.\n"
       "                      Exits nonzero on error-severity findings.\n"
       "  --analyze-workloads lint every built-in benchmark under every\n"
-      "                      configuration (no <file.lime> needed; for CI)\n"
+      "                      configuration, applying each benchmark's\n"
+      "                      default --assume facts\n"
+      "                      (no <file.lime> needed; for CI)\n"
       "  --help              print this help and exit\n"
       "  --version           print the limec version and exit\n"
       "options:\n"
@@ -75,6 +78,13 @@ void printUsage(std::FILE *Out) {
       "            constant+v|texture|best>      (default: best)\n"
       "  --device <corei7|corei7x1|gtx8800|gtx580|hd5970>  (default "
       "gtx580)\n"
+      "  --assume 'FACT'     declare a value-range fact for the kernel\n"
+      "                      verifier (repeatable; trusted, not checked).\n"
+      "                      FACT is one of  name REL INT,\n"
+      "                      name[INT] REL INT|len(name)[+-INT],  or\n"
+      "                      len(name) REL INT, with REL in < <= > >= ==\n"
+      "  --analyze-strict    --analyze / --analyze-workloads exit\n"
+      "                      nonzero on warnings too, not just errors\n"
       "  --offload           offload filters during --run\n"
       "  --service-threads N route --run offloads through the shared\n"
       "                      offload service with N device workers\n"
@@ -105,15 +115,15 @@ int usage() {
 /// prefixed with \p Label, and accumulates the counts. Compilation
 /// failure prints a note and analyzes nothing.
 void analyzeOne(GpuCompiler &GC, MethodDecl *M, const std::string &Label,
-                const MemoryConfig &Cfg, unsigned &Analyzed, unsigned &Errors,
-                unsigned &Warnings) {
+                const MemoryConfig &Cfg, const analysis::AnalysisOptions &AOpts,
+                unsigned &Analyzed, unsigned &Errors, unsigned &Warnings) {
   CompiledKernel K = GC.compile(M, Cfg);
   if (!K.Ok) {
     std::printf("%s: not offloadable: %s\n", Label.c_str(), K.Error.c_str());
     return;
   }
   ++Analyzed;
-  analysis::AnalysisReport R = analysis::analyzeKernel(K);
+  analysis::AnalysisReport R = analysis::analyzeKernel(K, AOpts);
   for (const analysis::Finding &F : R.Findings)
     std::printf("%s: %s\n", Label.c_str(), F.str().c_str());
   Errors += R.errorCount();
@@ -134,8 +144,12 @@ const std::pair<const char *, MemoryConfig> &allConfigs(size_t I) {
 }
 
 /// `limec --analyze-workloads`: lint every benchmark in the registry
-/// under every Figure 8 configuration. Returns the process exit code.
-int analyzeWorkloads() {
+/// under every Figure 8 configuration, with each benchmark's default
+/// assume facts (plus any extra --assume facts) and the occupancy
+/// audit against \p Dev. Returns the process exit code.
+int analyzeWorkloads(const std::string &DeviceName,
+                     const std::vector<analysis::AssumeFact> &ExtraAssumes,
+                     bool Strict) {
   unsigned Analyzed = 0, Errors = 0, Warnings = 0;
   for (const wl::Workload &W : wl::workloadRegistry()) {
     ASTContext Ctx;
@@ -155,15 +169,30 @@ int analyzeWorkloads() {
                    W.ClassName.c_str(), W.FilterMethod.c_str());
       return 1;
     }
+    analysis::AnalysisOptions AOpts;
+    AOpts.Device = &ocl::deviceByName(DeviceName);
+    AOpts.Assumes = ExtraAssumes;
+    for (const std::string &Text : W.DefaultAssumes) {
+      analysis::AssumeFact Fact;
+      std::string Err;
+      if (!analysis::parseAssumeFact(Text, Fact, &Err)) {
+        std::fprintf(stderr, "limec: %s default assume '%s': %s\n",
+                     W.Id.c_str(), Text.c_str(), Err.c_str());
+        return 1;
+      }
+      AOpts.Assumes.push_back(std::move(Fact));
+    }
     GpuCompiler GC(Prog, Ctx.types());
     for (size_t I = 0; I != 8; ++I)
       analyzeOne(GC, M, W.Id + "/" + allConfigs(I).first, allConfigs(I).second,
-                 Analyzed, Errors, Warnings);
+                 AOpts, Analyzed, Errors, Warnings);
   }
   std::printf("analyzed %u kernel variant(s) across %zu benchmarks: "
               "%u error(s), %u warning(s)\n",
               Analyzed, wl::workloadRegistry().size(), Errors, Warnings);
-  return Errors != 0 ? 1 : 0;
+  if (Errors != 0)
+    return 1;
+  return Strict && Warnings != 0 ? 1 : 0;
 }
 
 bool parseConfig(const std::string &Name, MemoryConfig &Out) {
@@ -245,6 +274,8 @@ int main(int argc, char **argv) {
   std::string ConfigName = "best";
   bool ConfigSet = false;
   bool Offload = false;
+  bool AnalyzeStrict = false;
+  std::vector<analysis::AssumeFact> Assumes;
   int ServiceThreads = 0;
   std::string KernelCacheDir;
   service::ServiceConfig ServicePolicy; // fault-tolerance knobs
@@ -286,6 +317,20 @@ int main(int argc, char **argv) {
       if (!D)
         return usage();
       Device = D;
+    } else if (Arg == "--assume") {
+      const char *F = Next();
+      if (!F)
+        return usage();
+      analysis::AssumeFact Fact;
+      std::string Err;
+      if (!analysis::parseAssumeFact(F, Fact, &Err)) {
+        std::fprintf(stderr, "limec: bad --assume '%s': %s\n", F,
+                     Err.c_str());
+        return 2;
+      }
+      Assumes.push_back(std::move(Fact));
+    } else if (Arg == "--analyze-strict") {
+      AnalyzeStrict = true;
     } else if (Arg == "--offload") {
       Offload = true;
     } else if (Arg == "--service-threads") {
@@ -348,7 +393,7 @@ int main(int argc, char **argv) {
     }
   }
   if (Command == "analyze-workloads")
-    return analyzeWorkloads();
+    return analyzeWorkloads(Device, Assumes, AnalyzeStrict);
   if (Path.empty())
     return usage();
 
@@ -421,14 +466,17 @@ int main(int argc, char **argv) {
 
   if (Command == "analyze") {
     GpuCompiler GC(Prog, Ctx.types());
+    analysis::AnalysisOptions AOpts;
+    AOpts.Device = &ocl::deviceByName(Device);
+    AOpts.Assumes = Assumes;
     unsigned Analyzed = 0, Errors = 0, Warnings = 0;
     if (ConfigSet) {
-      analyzeOne(GC, M, Target + "/" + ConfigName, Config, Analyzed, Errors,
-                 Warnings);
+      analyzeOne(GC, M, Target + "/" + ConfigName, Config, AOpts, Analyzed,
+                 Errors, Warnings);
     } else {
       for (size_t I = 0; I != 8; ++I)
         analyzeOne(GC, M, Target + "/" + allConfigs(I).first,
-                   allConfigs(I).second, Analyzed, Errors, Warnings);
+                   allConfigs(I).second, AOpts, Analyzed, Errors, Warnings);
     }
     if (Analyzed == 0) {
       std::fprintf(stderr,
@@ -440,7 +488,9 @@ int main(int argc, char **argv) {
     std::printf("analyzed %u kernel variant(s) of %s: %u error(s), "
                 "%u warning(s)\n",
                 Analyzed, Target.c_str(), Errors, Warnings);
-    return Errors != 0 ? 1 : 0;
+    if (Errors != 0)
+      return 1;
+    return AnalyzeStrict && Warnings != 0 ? 1 : 0;
   }
 
   if (Command == "emit") {
@@ -498,6 +548,8 @@ int main(int argc, char **argv) {
         analysis::AnalysisOptions AOpts;
         AOpts.LocalSize = OC.LocalSize;
         AOpts.MaxGroups = OC.MaxGroups;
+        AOpts.Assumes = Assumes;
+        AOpts.Device = &ocl::deviceByName(Device);
         analysis::AnalysisReport R = analysis::analyzeKernel(K, AOpts);
         for (const analysis::Finding &F : R.Findings)
           std::fprintf(stderr, "%s\n", F.str().c_str());

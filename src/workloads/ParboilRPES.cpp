@@ -172,6 +172,10 @@ Workload lime::wl::makeParboilRPES() {
   W.LimeSource = LimeSource;
   W.ClassName = "RPES";
   W.FilterMethod = "solve";
+  // pairs[3] is the table base offset; Prepare below keeps it in
+  // [0, len(table) - 64] and the kernel reads a 48-entry window, so
+  // these facts turn the data-dependent bounds warning into a proof.
+  W.DefaultAssumes = {"pairs[3] >= 0", "pairs[3] <= len(table) - 48"};
   W.Prepare = [](Interp &I, double Scale) {
     // Table 3: 13MB in (pairs + tables), 4MB out (1M integrals).
     unsigned NPairs = std::max(256u, static_cast<unsigned>(1048576 * Scale));

@@ -59,6 +59,13 @@ struct Workload {
   std::string RunMethod = "run";
   std::string ResultField = "lastOut";
 
+  /// Default `--assume` facts for the kernel verifier (Assume.h
+  /// grammar). Encodes value ranges the benchmark's input generator
+  /// guarantees but the compiler cannot see — e.g. Crypt's expanded
+  /// key always has >= 52 entries. `limec --analyze-workloads` applies
+  /// them so data-dependent accesses verify as proofs, not warnings.
+  std::vector<std::string> DefaultAssumes;
+
   /// Generates inputs at \p Scale (1.0 = Table 3 size) and installs
   /// them into the workload class's static fields.
   std::function<void(Interp &I, double Scale)> Prepare;
