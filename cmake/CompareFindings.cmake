@@ -1,0 +1,36 @@
+# Run `limec --analyze-workloads --findings-format=json` and diff the
+# output against the checked-in golden sweep. Any drift in placements,
+# findings, or the summary counts fails the test; refresh the golden
+# with:
+#
+#   limec --analyze-workloads --findings-format=json \
+#     > tests/golden/findings-gtx580.json
+#
+# Invoked as:
+#   cmake -DLIMEC=<path> -DGOLDEN=<path> -P cmake/CompareFindings.cmake
+
+if(NOT DEFINED LIMEC OR NOT DEFINED GOLDEN)
+  message(FATAL_ERROR "CompareFindings.cmake needs -DLIMEC=... and -DGOLDEN=...")
+endif()
+
+execute_process(
+  COMMAND "${LIMEC}" --analyze-workloads --findings-format=json
+  OUTPUT_VARIABLE ACTUAL
+  RESULT_VARIABLE RC
+)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "limec --analyze-workloads exited with ${RC}")
+endif()
+
+file(READ "${GOLDEN}" EXPECTED)
+
+if(NOT ACTUAL STREQUAL EXPECTED)
+  # Write the fresh document next to the build so the two can be
+  # diffed by hand (or copied over the golden if the drift is wanted).
+  file(WRITE "${CMAKE_BINARY_DIR}/findings-actual.json" "${ACTUAL}")
+  message(FATAL_ERROR
+    "findings JSON drifted from ${GOLDEN}\n"
+    "actual output saved to findings-actual.json; if the change is "
+    "intentional, regenerate the golden with limec --analyze-workloads "
+    "--findings-format=json")
+endif()

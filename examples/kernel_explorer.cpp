@@ -20,6 +20,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/AnalysisOracle.h"
 #include "compiler/GpuCompiler.h"
 #include "lime/parser/Parser.h"
 #include "lime/sema/Sema.h"
@@ -59,11 +60,11 @@ int main(int argc, char **argv) {
       {"constant+v", MemoryConfig::constantVector()},
       {"texture", MemoryConfig::texture()}};
 
-  GpuCompiler GC(Prog, Ctx.types());
   for (const auto &[Name, Config] : Configs) {
     if (!Only.empty() && Name != Only)
       continue;
-    CompiledKernel K = GC.compile(Filter, Config);
+    CompiledKernel K =
+        analysis::oracleCompile(Prog, Ctx.types(), Filter, Config);
     std::printf("//======================= %s: %s =======================\n",
                 Id.c_str(), Name.c_str());
     if (!K.Ok) {
@@ -72,11 +73,13 @@ int main(int argc, char **argv) {
     }
     std::printf("// optimizer decisions:\n");
     for (const KernelArray &A : K.Plan.Arrays) {
-      std::printf("//   %-6s -> %-8s%s%s", A.CName.c_str(),
-                  memSpaceName(A.Space), A.Vectorized ? " +vector" : "",
-                  A.Space == MemSpace::LocalTiled ? " (tiled" : "");
+      std::printf("//   %-6s -> %-8s%s", A.CName.c_str(),
+                  memSpaceName(A.Space), A.Vectorized ? " +vector" : "");
       if (A.Space == MemSpace::LocalTiled)
-        std::printf(", %u rows, stride %u words)", A.TileRows, A.RowStride);
+        std::printf(" (tiled, %u rows, stride %u words)", A.TileRows,
+                    A.RowStride);
+      if (!A.IsOutput)
+        std::printf(" [%s]", placementReasonName(A.ConstReason));
       std::printf("\n");
     }
     std::printf("%s\n", K.Source.c_str());

@@ -1,0 +1,726 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisOracle.h"
+
+#include "analysis/OclAstUtils.h"
+#include "ocl/DeviceModel.h"
+#include "ocl/OclParser.h"
+
+#include <sstream>
+
+using namespace lime;
+using namespace lime::analysis;
+using namespace lime::ocl;
+
+//===----------------------------------------------------------------------===//
+// UniformAccessProof
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+UniformityOptions proofUniformityOptions() {
+  UniformityOptions O;
+  O.TransparentElementGuards = true;
+  return O;
+}
+
+bool isIdBuiltin(OclBuiltin B) {
+  return B == OclBuiltin::GetGlobalId || B == OclBuiltin::GetLocalId;
+}
+
+bool isGeometryBuiltin(OclBuiltin B) {
+  return isIdBuiltin(B) || B == OclBuiltin::GetGroupId ||
+         B == OclBuiltin::GetGlobalSize || B == OclBuiltin::GetLocalSize ||
+         B == OclBuiltin::GetNumGroups;
+}
+
+/// Collects every declaration and every assignment target in one
+/// function body (for-init declarations included).
+struct DeclCollector {
+  std::vector<const OclDeclStmt *> Decls;
+  /// Values assigned to each variable after its declaration; compound
+  /// assignments record their right-hand side (i += gsize keeps `i`
+  /// strip-pure when gsize is).
+  std::map<const OclVarDecl *, std::vector<const OclExpr *>> Assigned;
+
+  void stmt(const OclStmt *S) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case OclStmt::Kind::Compound:
+      for (const OclStmt *C : cast<OclCompoundStmt>(S)->stmts())
+        stmt(C);
+      break;
+    case OclStmt::Kind::Decl:
+      Decls.push_back(cast<OclDeclStmt>(S));
+      expr(cast<OclDeclStmt>(S)->init());
+      break;
+    case OclStmt::Kind::Expr:
+      expr(cast<OclExprStmt>(S)->expr());
+      break;
+    case OclStmt::Kind::If: {
+      auto *I = cast<OclIfStmt>(S);
+      expr(I->cond());
+      stmt(I->thenStmt());
+      stmt(I->elseStmt());
+      break;
+    }
+    case OclStmt::Kind::For: {
+      auto *F = cast<OclForStmt>(S);
+      stmt(F->init());
+      expr(F->cond());
+      expr(F->step());
+      stmt(F->body());
+      break;
+    }
+    case OclStmt::Kind::While: {
+      auto *W = cast<OclWhileStmt>(S);
+      expr(W->cond());
+      stmt(W->body());
+      break;
+    }
+    case OclStmt::Kind::Return:
+      expr(cast<OclReturnStmt>(S)->value());
+      break;
+    }
+  }
+
+  void expr(const OclExpr *E) {
+    if (!E)
+      return;
+    switch (E->kind()) {
+    case OclExpr::Kind::Assign: {
+      auto *A = cast<OclAssign>(E);
+      if (const OclVarDecl *D = declOf(A->target()))
+        Assigned[D].push_back(A->value());
+      expr(A->target());
+      expr(A->value());
+      break;
+    }
+    case OclExpr::Kind::Unary: {
+      auto *U = cast<OclUnary>(E);
+      bool IncDec = U->op() == OclUnaryOp::PreInc ||
+                    U->op() == OclUnaryOp::PreDec ||
+                    U->op() == OclUnaryOp::PostInc ||
+                    U->op() == OclUnaryOp::PostDec;
+      // ++v is v += 1: the literal step is always strip-pure, so
+      // record nothing and the variable's purity rests on its other
+      // definitions.
+      (void)IncDec;
+      expr(U->sub());
+      break;
+    }
+    case OclExpr::Kind::Binary:
+      expr(cast<OclBinary>(E)->lhs());
+      expr(cast<OclBinary>(E)->rhs());
+      break;
+    case OclExpr::Kind::Conditional:
+      expr(cast<OclConditional>(E)->cond());
+      expr(cast<OclConditional>(E)->thenExpr());
+      expr(cast<OclConditional>(E)->elseExpr());
+      break;
+    case OclExpr::Kind::Call:
+      for (const OclExpr *A : cast<OclCall>(E)->args())
+        expr(A);
+      break;
+    case OclExpr::Kind::Index:
+      expr(cast<OclIndex>(E)->base());
+      expr(cast<OclIndex>(E)->index());
+      break;
+    case OclExpr::Kind::Member:
+      expr(cast<OclMember>(E)->base());
+      break;
+    case OclExpr::Kind::Cast:
+      expr(cast<OclCast>(E)->sub());
+      break;
+    case OclExpr::Kind::VectorLit:
+      for (const OclExpr *El : cast<OclVectorLit>(E)->elems())
+        expr(El);
+      break;
+    default:
+      break;
+    }
+  }
+};
+
+} // namespace
+
+UniformAccessProof::UniformAccessProof(const OclProgramAST &Prog,
+                                       const OclFunction &Kernel)
+    : Kernel(Kernel), UI(Prog, Kernel, proofUniformityOptions()) {
+  computeStripVars();
+  collectLoopBounds(Kernel.body());
+}
+
+bool UniformAccessProof::stripPure(const OclExpr *E) const {
+  if (!E)
+    return false;
+  switch (E->kind()) {
+  case OclExpr::Kind::IntLit:
+    return true;
+  case OclExpr::Kind::VarRef: {
+    const OclVarDecl *D = cast<OclVarRef>(E)->decl();
+    return D && (!UI.isTainted(D) || StripVars.count(D));
+  }
+  case OclExpr::Kind::Unary: {
+    auto *U = cast<OclUnary>(E);
+    if (U->op() != OclUnaryOp::Neg && U->op() != OclUnaryOp::Not &&
+        U->op() != OclUnaryOp::BitNot)
+      return false;
+    return stripPure(U->sub());
+  }
+  case OclExpr::Kind::Binary:
+    return stripPure(cast<OclBinary>(E)->lhs()) &&
+           stripPure(cast<OclBinary>(E)->rhs());
+  case OclExpr::Kind::Conditional: {
+    auto *C = cast<OclConditional>(E);
+    return stripPure(C->cond()) && stripPure(C->thenExpr()) &&
+           stripPure(C->elseExpr());
+  }
+  case OclExpr::Kind::Member:
+    return stripPure(cast<OclMember>(E)->base());
+  case OclExpr::Kind::Cast:
+    return stripPure(cast<OclCast>(E)->sub());
+  case OclExpr::Kind::Call: {
+    auto *C = cast<OclCall>(E);
+    if (!isGeometryBuiltin(C->builtin()))
+      return false;
+    for (const OclExpr *A : C->args())
+      if (!stripPure(A))
+        return false;
+    return true;
+  }
+  default:
+    return false; // loads, assignments, vector literals
+  }
+}
+
+bool UniformAccessProof::mentionsStrip(const OclExpr *E) const {
+  if (!E)
+    return false;
+  switch (E->kind()) {
+  case OclExpr::Kind::VarRef: {
+    const OclVarDecl *D = cast<OclVarRef>(E)->decl();
+    return D && StripVars.count(D) != 0;
+  }
+  case OclExpr::Kind::Call: {
+    auto *C = cast<OclCall>(E);
+    if (isIdBuiltin(C->builtin()))
+      return true;
+    for (const OclExpr *A : C->args())
+      if (mentionsStrip(A))
+        return true;
+    return false;
+  }
+  case OclExpr::Kind::Unary:
+    return mentionsStrip(cast<OclUnary>(E)->sub());
+  case OclExpr::Kind::Binary:
+    return mentionsStrip(cast<OclBinary>(E)->lhs()) ||
+           mentionsStrip(cast<OclBinary>(E)->rhs());
+  case OclExpr::Kind::Conditional: {
+    auto *C = cast<OclConditional>(E);
+    return mentionsStrip(C->cond()) || mentionsStrip(C->thenExpr()) ||
+           mentionsStrip(C->elseExpr());
+  }
+  case OclExpr::Kind::Member:
+    return mentionsStrip(cast<OclMember>(E)->base());
+  case OclExpr::Kind::Cast:
+    return mentionsStrip(cast<OclCast>(E)->sub());
+  default:
+    return false;
+  }
+}
+
+void UniformAccessProof::computeStripVars() {
+  DeclCollector DC;
+  DC.stmt(Kernel.body());
+
+  // Fixpoint: a variable is a strip var when its initializer is pure
+  // index arithmetic reaching a work-item id (directly or through
+  // another strip var) and every later assignment keeps it pure.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const OclDeclStmt *D : DC.Decls) {
+      const OclVarDecl *V = D->decl();
+      if (!V || StripVars.count(V) || !D->init())
+        continue;
+      if (!stripPure(D->init()) || !mentionsStrip(D->init()))
+        continue;
+      bool AssignsPure = true;
+      auto It = DC.Assigned.find(V);
+      if (It != DC.Assigned.end())
+        for (const OclExpr *Val : It->second)
+          if (!stripPure(Val)) {
+            AssignsPure = false;
+            break;
+          }
+      if (AssignsPure) {
+        StripVars.insert(V);
+        Changed = true;
+      }
+    }
+  }
+}
+
+void UniformAccessProof::collectLoopBounds(const OclStmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case OclStmt::Kind::Compound:
+    for (const OclStmt *C : cast<OclCompoundStmt>(S)->stmts())
+      collectLoopBounds(C);
+    break;
+  case OclStmt::Kind::If: {
+    auto *I = cast<OclIfStmt>(S);
+    collectLoopBounds(I->thenStmt());
+    collectLoopBounds(I->elseStmt());
+    break;
+  }
+  case OclStmt::Kind::For: {
+    auto *F = cast<OclForStmt>(S);
+    // `for (int v = 0; v < LIT; ...)`: v stays below LIT.
+    if (const auto *D = dyn_cast_if_present<OclDeclStmt>(F->init()))
+      if (const auto *Zero = dyn_cast_if_present<OclIntLit>(
+              stripCasts(D->init())))
+        if (Zero->value() == 0)
+          if (const auto *C = dyn_cast_if_present<OclBinary>(F->cond()))
+            if (C->op() == OclBinOp::Lt && declOf(C->lhs()) == D->decl())
+              if (const auto *L =
+                      dyn_cast_if_present<OclIntLit>(stripCasts(C->rhs())))
+                LoopBound[D->decl()] = L->value();
+    collectLoopBounds(F->init());
+    collectLoopBounds(F->body());
+    break;
+  }
+  case OclStmt::Kind::While:
+    collectLoopBounds(cast<OclWhileStmt>(S)->body());
+    break;
+  default:
+    break;
+  }
+}
+
+bool UniformAccessProof::isElementFetchIndex(const OclExpr *Idx,
+                                             unsigned RowScalars) const {
+  std::vector<const OclExpr *> Parts;
+  addends(Idx, Parts);
+  unsigned GidParts = 0;
+  for (const OclExpr *Part : Parts) {
+    if (const OclVarDecl *D = declOf(Part)) {
+      if (StripVars.count(D)) {
+        // Bare strip var: addresses whole scalars, so the element must
+        // be a scalar for this to be the work-item's own element.
+        if (RowScalars != 1)
+          return false;
+        ++GidParts;
+        continue;
+      }
+      // A uniform loop variable bounded below the row width stays
+      // inside this work-item's row.
+      auto It = LoopBound.find(D);
+      if (!UI.isTainted(D) && It != LoopBound.end() &&
+          It->second <= static_cast<long long>(RowScalars))
+        continue;
+      return false;
+    }
+    long long C = 0;
+    const OclExpr *Other = nullptr;
+    if (mulByConst(Part, C, Other)) {
+      const OclVarDecl *D = declOf(Other);
+      if (D && StripVars.count(D)) {
+        if (C != static_cast<long long>(RowScalars))
+          return false;
+        ++GidParts;
+        continue;
+      }
+      return false;
+    }
+    if (const auto *L = dyn_cast_if_present<OclIntLit>(stripCasts(Part))) {
+      if (L->value() < 0 || L->value() >= static_cast<long long>(RowScalars))
+        return false;
+      continue;
+    }
+    return false;
+  }
+  return GidParts == 1;
+}
+
+struct UniformAccessProof::Tally {
+  unsigned UniformReads = 0;
+  unsigned ExemptReads = 0;
+  unsigned NonUniform = 0;
+  bool Writes = false;
+  bool Escapes = false;
+};
+
+void UniformAccessProof::scanExpr(const OclExpr *E, const OclVarDecl *P,
+                                  const KernelArray &A, Tally &T) const {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case OclExpr::Kind::VarRef:
+    // A bare reference not consumed by a recognized access shape: the
+    // pointer escapes (helper call, pointer arithmetic) and nothing
+    // can be said about the accesses behind it.
+    if (cast<OclVarRef>(E)->decl() == P)
+      T.Escapes = true;
+    break;
+  case OclExpr::Kind::Index: {
+    auto *IX = cast<OclIndex>(E);
+    if (declOf(IX->base()) == P) {
+      if (UI.isUniformExpr(IX->index()))
+        ++T.UniformReads;
+      else if (A.IsMapSource &&
+               isElementFetchIndex(IX->index(), A.rowScalars()))
+        ++T.ExemptReads;
+      else
+        ++T.NonUniform;
+      scanExpr(IX->index(), P, A, T);
+      return; // base consumed
+    }
+    scanExpr(IX->base(), P, A, T);
+    scanExpr(IX->index(), P, A, T);
+    break;
+  }
+  case OclExpr::Kind::Assign: {
+    auto *AS = cast<OclAssign>(E);
+    if (const auto *IX = dyn_cast<OclIndex>(stripCasts(AS->target()))) {
+      if (declOf(IX->base()) == P) {
+        T.Writes = true;
+        scanExpr(IX->index(), P, A, T);
+        scanExpr(AS->value(), P, A, T);
+        return;
+      }
+    }
+    if (declOf(AS->target()) == P)
+      T.Escapes = true; // repointing the parameter
+    scanExpr(AS->target(), P, A, T);
+    scanExpr(AS->value(), P, A, T);
+    break;
+  }
+  case OclExpr::Kind::Call: {
+    auto *C = cast<OclCall>(E);
+    unsigned W = 0;
+    switch (C->builtin()) {
+    case OclBuiltin::VLoad2:
+    case OclBuiltin::VLoad4: {
+      W = C->builtin() == OclBuiltin::VLoad2 ? 2 : 4;
+      const OclExpr *Off = C->args().size() > 0 ? C->args()[0] : nullptr;
+      const OclExpr *Ptr = C->args().size() > 1 ? C->args()[1] : nullptr;
+      if (declOf(Ptr) == P) {
+        // vloadN addresses element W*offset: one whole row per offset
+        // step, so the offset plays the row index's role.
+        const OclVarDecl *D = declOf(Off);
+        if (UI.isUniformExpr(Off))
+          ++T.UniformReads;
+        else if (A.IsMapSource && D && StripVars.count(D) &&
+                 W == A.rowScalars())
+          ++T.ExemptReads;
+        else
+          ++T.NonUniform;
+        scanExpr(Off, P, A, T);
+        return;
+      }
+      break;
+    }
+    case OclBuiltin::VStore2:
+    case OclBuiltin::VStore4: {
+      const OclExpr *Ptr = C->args().size() > 2 ? C->args()[2] : nullptr;
+      if (declOf(Ptr) == P) {
+        T.Writes = true;
+        scanExpr(C->args()[0], P, A, T);
+        scanExpr(C->args()[1], P, A, T);
+        return;
+      }
+      break;
+    }
+    default:
+      break;
+    }
+    for (const OclExpr *Arg : C->args())
+      scanExpr(Arg, P, A, T);
+    break;
+  }
+  case OclExpr::Kind::Unary:
+    scanExpr(cast<OclUnary>(E)->sub(), P, A, T);
+    break;
+  case OclExpr::Kind::Binary:
+    scanExpr(cast<OclBinary>(E)->lhs(), P, A, T);
+    scanExpr(cast<OclBinary>(E)->rhs(), P, A, T);
+    break;
+  case OclExpr::Kind::Conditional: {
+    auto *C = cast<OclConditional>(E);
+    scanExpr(C->cond(), P, A, T);
+    scanExpr(C->thenExpr(), P, A, T);
+    scanExpr(C->elseExpr(), P, A, T);
+    break;
+  }
+  case OclExpr::Kind::Member:
+    scanExpr(cast<OclMember>(E)->base(), P, A, T);
+    break;
+  case OclExpr::Kind::Cast:
+    scanExpr(cast<OclCast>(E)->sub(), P, A, T);
+    break;
+  case OclExpr::Kind::VectorLit:
+    for (const OclExpr *El : cast<OclVectorLit>(E)->elems())
+      scanExpr(El, P, A, T);
+    break;
+  default:
+    break;
+  }
+}
+
+void UniformAccessProof::scanStmt(const OclStmt *S, const OclVarDecl *P,
+                                  const KernelArray &A, Tally &T) const {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case OclStmt::Kind::Compound:
+    for (const OclStmt *C : cast<OclCompoundStmt>(S)->stmts())
+      scanStmt(C, P, A, T);
+    break;
+  case OclStmt::Kind::Decl:
+    scanExpr(cast<OclDeclStmt>(S)->init(), P, A, T);
+    break;
+  case OclStmt::Kind::Expr:
+    scanExpr(cast<OclExprStmt>(S)->expr(), P, A, T);
+    break;
+  case OclStmt::Kind::If: {
+    auto *I = cast<OclIfStmt>(S);
+    scanExpr(I->cond(), P, A, T);
+    scanStmt(I->thenStmt(), P, A, T);
+    scanStmt(I->elseStmt(), P, A, T);
+    break;
+  }
+  case OclStmt::Kind::For: {
+    auto *F = cast<OclForStmt>(S);
+    scanStmt(F->init(), P, A, T);
+    scanExpr(F->cond(), P, A, T);
+    scanExpr(F->step(), P, A, T);
+    scanStmt(F->body(), P, A, T);
+    break;
+  }
+  case OclStmt::Kind::While: {
+    auto *W = cast<OclWhileStmt>(S);
+    scanExpr(W->cond(), P, A, T);
+    scanStmt(W->body(), P, A, T);
+    break;
+  }
+  case OclStmt::Kind::Return:
+    scanExpr(cast<OclReturnStmt>(S)->value(), P, A, T);
+    break;
+  }
+}
+
+OracleArrayFacts UniformAccessProof::prove(const KernelArray &A) const {
+  OracleArrayFacts F;
+  F.CName = A.CName;
+  const OclVarDecl *P = nullptr;
+  for (OclVarDecl *Prm : Kernel.params())
+    if (Prm->Name == A.CName) {
+      P = Prm;
+      break;
+    }
+  if (!P) {
+    // No such parameter (image form passes `img_<name>`): nothing to
+    // prove against.
+    F.Uniform = FactState::Refuted;
+    return F;
+  }
+  Tally T;
+  scanStmt(Kernel.body(), P, A, T);
+
+  if (T.Writes)
+    F.ReadOnly = FactState::Refuted;
+  else if (!T.Escapes)
+    F.ReadOnly = FactState::Proven;
+
+  if (T.NonUniform || T.Escapes || T.Writes)
+    F.Uniform = FactState::Refuted;
+  else if (T.UniformReads)
+    F.Uniform = FactState::Proven;
+  else {
+    // Only the work-item's own element fetch (or nothing at all): a
+    // __constant broadcast has no shared read to serve.
+    F.Uniform = FactState::Refuted;
+    F.OnlyElementAccesses = true;
+  }
+  return F;
+}
+
+//===----------------------------------------------------------------------===//
+// AnalysisOracle
+//===----------------------------------------------------------------------===//
+
+AnalysisOracle::AnalysisOracle(Program *P, TypeContext &Types,
+                               MethodDecl *Worker) {
+  // The baseline all-global compile: no placement depends on the
+  // facts being derived, so the proof is not circular.
+  GpuCompiler GC(P, Types);
+  CompiledKernel Base = GC.compile(Worker, MemoryConfig::global());
+  if (!Base.Ok) {
+    Err = Base.Error.empty() ? "worker is not offloadable" : Base.Error;
+    return;
+  }
+
+  OclContext Ctx;
+  DiagnosticEngine Diags;
+  OclParser Parser(Base.Source, Ctx, Diags);
+  OclProgramAST *AST = Parser.parseProgram();
+  if (!AST || Diags.hasErrors()) {
+    Err = "baseline kernel failed to parse";
+    return;
+  }
+  const OclFunction *F = AST->findFunction(Base.Plan.KernelName);
+  if (!F || !F->isKernel()) {
+    F = nullptr;
+    for (OclFunction *Cand : AST->functions())
+      if (Cand->isKernel()) {
+        F = Cand;
+        break;
+      }
+  }
+  if (!F) {
+    Err = "baseline emission contains no __kernel function";
+    return;
+  }
+
+  UniformAccessProof Proof(*AST, *F);
+  for (const KernelArray &A : Base.Plan.Arrays) {
+    if (A.IsOutput)
+      continue;
+    Facts.push_back(Proof.prove(A));
+  }
+  Valid = true;
+}
+
+FactState
+AnalysisOracle::isUniformAcrossWorkItems(const std::string &CName) const {
+  for (const OracleArrayFacts &F : Facts)
+    if (F.CName == CName)
+      return F.Uniform;
+  return FactState::Unknown;
+}
+
+FactState AnalysisOracle::provenReadOnly(const std::string &CName) const {
+  for (const OracleArrayFacts &F : Facts)
+    if (F.CName == CName)
+      return F.ReadOnly;
+  return FactState::Unknown;
+}
+
+void AnalysisOracle::stampFacts(KernelPlan &Plan) const {
+  if (!Valid)
+    return;
+  for (KernelArray &A : Plan.Arrays) {
+    if (A.IsOutput)
+      continue;
+    for (const OracleArrayFacts &F : Facts) {
+      if (F.CName != A.CName)
+        continue;
+      A.OracleUniform = F.Uniform;
+      A.OracleReadOnly = F.ReadOnly;
+      A.OracleOnlyElementAccesses = F.OnlyElementAccesses;
+      break;
+    }
+  }
+}
+
+std::string OccupancyVerdict::summary() const {
+  std::ostringstream S;
+  for (size_t I = 0; I < Problems.size(); ++I) {
+    if (I)
+      S << "; ";
+    S << Problems[I].Resource << ": " << Problems[I].Detail;
+  }
+  return S.str();
+}
+
+OccupancyVerdict AnalysisOracle::occupancyVerdict(const KernelPlan &Plan,
+                                                  const DeviceModel &Dev,
+                                                  unsigned LocalSize) {
+  OccupancyVerdict V;
+  // Work-items resident per group: the launch's local size when the
+  // caller pinned one, else the device's lockstep width (the smallest
+  // group the scheduler would run; a conservative floor).
+  unsigned long long WG = LocalSize ? LocalSize : Dev.WarpWidth;
+
+  for (const KernelArray &A : Plan.Arrays)
+    if (A.Space == MemSpace::LocalTiled && A.Scalar)
+      V.LocalBytes += static_cast<unsigned long long>(A.TileRows) *
+                      A.RowStride * A.Scalar->sizeInBytes();
+  if (Plan.Kind == KernelKind::Reduce && Plan.OutScalarType)
+    V.LocalBytes += WG * Plan.OutScalarType->sizeInBytes();
+  if (Dev.LocalBytesPerSM > 0 && V.LocalBytes > Dev.LocalBytesPerSM) {
+    std::ostringstream M;
+    M << "one work-group pins " << V.LocalBytes
+      << " bytes of __local memory ("
+      << "tiles + reduce scratch at group size " << WG << "), but '"
+      << Dev.Name << "' has " << Dev.LocalBytesPerSM
+      << " bytes of local memory per SM; local memory is the limiting "
+         "resource and no group can be resident";
+    V.Problems.push_back({"local-memory", M.str()});
+  }
+
+  for (const PrivateArray &PA : Plan.PrivateArrays) {
+    unsigned Elem = 4;
+    if (PA.Decl)
+      if (const auto *AT = dyn_cast_if_present<ArrayType>(PA.Decl->type()))
+        if (const auto *PT =
+                dyn_cast_if_present<PrimitiveType>(AT->scalarElement()))
+          Elem = PT->sizeInBytes();
+    V.PrivateBytesPerItem +=
+        static_cast<unsigned long long>(PA.Scalars) * Elem;
+  }
+  if (Dev.RegBytesPerSM > 0 && V.PrivateBytesPerItem * WG > Dev.RegBytesPerSM) {
+    std::ostringstream M;
+    M << "private arrays hold " << V.PrivateBytesPerItem
+      << " bytes per work-item (" << V.PrivateBytesPerItem * WG
+      << " bytes at group size " << WG << "), but '" << Dev.Name
+      << "' has a " << Dev.RegBytesPerSM
+      << "-byte register file per SM; registers are the limiting resource "
+         "and the vendor compiler will spill to global memory";
+    V.Problems.push_back({"registers", M.str()});
+  }
+
+  // __constant capacity for statically bounded arrays. Unbounded
+  // arrays are sized by runtime data; the offload manager's dynamic
+  // fallback (recompile without AllowConstant) nets those.
+  for (const KernelArray &A : Plan.Arrays) {
+    if (A.Space != MemSpace::Constant || A.IsOutput || !A.Scalar)
+      continue;
+    const ParamDecl *Src = A.WorkerParam ? A.WorkerParam : A.MapParam;
+    const auto *AT =
+        Src ? dyn_cast_if_present<ArrayType>(Src->type()) : nullptr;
+    if (!AT || !AT->isBounded())
+      continue;
+    unsigned long long Bytes = static_cast<unsigned long long>(AT->bound()) *
+                               A.rowScalars() * A.Scalar->sizeInBytes();
+    V.ConstantBytes += Bytes;
+    if (Dev.ConstBytes > 0 && Bytes > Dev.ConstBytes) {
+      std::ostringstream M;
+      M << "__constant placement of '" << A.CName << "' holds " << Bytes
+        << " bytes statically, but '" << Dev.Name << "' has "
+        << Dev.ConstBytes
+        << " bytes of constant memory; constant memory is the limiting "
+           "resource and the placement cannot fit";
+      V.Problems.push_back({"constant-memory", M.str()});
+    }
+  }
+  return V;
+}
+
+CompiledKernel lime::analysis::oracleCompile(Program *P, TypeContext &Types,
+                                             MethodDecl *Worker,
+                                             const MemoryConfig &Config) {
+  AnalysisOracle Oracle(P, Types, Worker);
+  GpuCompiler GC(P, Types);
+  return GC.compile(Worker, Config,
+                    [&Oracle](KernelPlan &Plan) { Oracle.stampFacts(Plan); });
+}

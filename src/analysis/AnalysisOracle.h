@@ -1,0 +1,174 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis oracle: the query API that closes the loop from the
+/// verifier's analyses back into the compiler. The paper's memory
+/// optimizer (§4.2.1) decides __constant placement by matching the
+/// Fig. 5(g) syntactic idiom on the Lime AST; the oracle instead
+/// *proves* the property the placement needs — every work-item reads
+/// the same element, i.e. the access is a broadcast — by compiling a
+/// baseline (all-global) kernel and running the uniformity analysis
+/// over the emitted OpenCL. A proof can bless arrays the pattern
+/// categorically refuses (N-Body reads its own map source uniformly
+/// inside the n^2 interaction loop) and veto arrays the pattern
+/// wrongly accepts (control-dependent indices the Lime-AST matcher
+/// cannot see diverge).
+///
+/// The compiler cannot link this library (it sits below it), so the
+/// facts travel as plain data: stampFacts() writes FactState values
+/// into the KernelPlan through GpuCompiler's PlanHook seam, and the
+/// optimizer arbitrates proof vs. pattern (KernelAnalysis::optimize),
+/// recording a PlacementReason per array.
+///
+/// The oracle also owns the static occupancy verdict the autotuner
+/// uses to prune sweep points whose configuration cannot be resident
+/// on the target device at the requested group size (same arithmetic
+/// as the verifier's [occupancy] audit, plus a __constant capacity
+/// check for statically bounded arrays).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_ANALYSIS_ANALYSISORACLE_H
+#define LIMECC_ANALYSIS_ANALYSISORACLE_H
+
+#include "analysis/Uniformity.h"
+#include "compiler/GpuCompiler.h"
+#include "ocl/OclAST.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lime::ocl {
+struct DeviceModel;
+} // namespace lime::ocl
+
+namespace lime::analysis {
+
+/// The oracle's verdicts for one kernel array (keyed by the array's C
+/// identifier in the emitted kernel).
+struct OracleArrayFacts {
+  std::string CName;
+  FactState Uniform = FactState::Unknown;
+  FactState ReadOnly = FactState::Unknown;
+  /// With Uniform == Refuted: every read was the work-item's own
+  /// element — there is no shared read to broadcast from __constant.
+  bool OnlyElementAccesses = false;
+};
+
+/// One reason a kernel configuration cannot be resident.
+struct OccupancyProblem {
+  std::string Resource; // "local-memory" | "registers" | "constant-memory"
+  std::string Detail;   // full human-readable diagnostic
+};
+
+/// Static resource verdict for one plan on one device (Table 2
+/// limits). Feasible when Problems is empty; each problem names the
+/// limiting resource so callers (verifier, autotuner) can report it.
+struct OccupancyVerdict {
+  std::vector<OccupancyProblem> Problems;
+  unsigned long long LocalBytes = 0;          // __local bytes one group pins
+  unsigned long long PrivateBytesPerItem = 0; // private-array bytes per WI
+  unsigned long long ConstantBytes = 0;       // statically-known __constant
+  bool feasible() const { return Problems.empty(); }
+  /// "resource: detail; resource: detail" (empty when feasible).
+  std::string summary() const;
+};
+
+/// The uniform-access proof engine, shared by the oracle (which runs
+/// it over the baseline all-global emission) and the verifier's
+/// [oracle] regression pass (which re-runs it over the final emitted
+/// text to certify that every __constant placement still proves).
+///
+/// A read of array `a` is *uniform* when its index is uniform under
+/// UniformityInfo with transparent element guards (all active lanes
+/// read the same element — the broadcast __constant serves in one
+/// cycle). For the map-source array only, the work-item's own element
+/// fetch (`a[i*K + c]` where `i` is derived from get_global_id and
+/// `c < K`) is exempt: it is inherent to the map, not a shared read.
+/// The array proves Uniform when no access falls outside those two
+/// classes and at least one access is uniform.
+class UniformAccessProof {
+public:
+  UniformAccessProof(const ocl::OclProgramAST &Prog,
+                     const ocl::OclFunction &Kernel);
+
+  /// Classifies every access to \p A's kernel parameter.
+  OracleArrayFacts prove(const KernelArray &A) const;
+
+private:
+  const ocl::OclFunction &Kernel;
+  UniformityInfo UI;
+  /// Variables derived from work-item ids by pure index arithmetic
+  /// (the strip-mined element index `i` and its clamped/offset kin).
+  std::set<const ocl::OclVarDecl *> StripVars;
+  /// Loop variables with the syntactic shape `for (v = 0; v < LIT;...)`
+  /// mapped to LIT (bounds small inner loops over an element's row).
+  std::map<const ocl::OclVarDecl *, long long> LoopBound;
+
+  bool stripPure(const ocl::OclExpr *E) const;
+  bool mentionsStrip(const ocl::OclExpr *E) const;
+  void computeStripVars();
+  void collectLoopBounds(const ocl::OclStmt *S);
+  bool isElementFetchIndex(const ocl::OclExpr *Idx, unsigned RowScalars) const;
+  struct Tally;
+  void scanStmt(const ocl::OclStmt *S, const ocl::OclVarDecl *P,
+                const KernelArray &A, Tally &T) const;
+  void scanExpr(const ocl::OclExpr *E, const ocl::OclVarDecl *P,
+                const KernelArray &A, Tally &T) const;
+};
+
+/// Compiles the worker's baseline (all-global) kernel once and proves
+/// per-array facts over its emitted text. Queries answer Unknown for
+/// arrays the oracle has no verdict for; valid() is false when the
+/// worker is not offloadable (queries then all answer Unknown).
+class AnalysisOracle {
+public:
+  AnalysisOracle(Program *P, TypeContext &Types, MethodDecl *Worker);
+
+  bool valid() const { return Valid; }
+  const std::string &error() const { return Err; }
+
+  /// Does every work-item read the same element of \p CName at every
+  /// access (modulo the map-source element fetch)?
+  FactState isUniformAcrossWorkItems(const std::string &CName) const;
+  /// Is \p CName provably never written by the kernel?
+  FactState provenReadOnly(const std::string &CName) const;
+  /// All per-array verdicts, in plan order.
+  const std::vector<OracleArrayFacts> &arrayFacts() const { return Facts; }
+
+  /// Writes the verdicts into \p Plan's arrays (matched by CName) —
+  /// the PlanHook payload consumed by KernelAnalysis::optimize.
+  void stampFacts(KernelPlan &Plan) const;
+
+  /// Static resource feasibility of \p Plan on \p Dev at group size
+  /// \p LocalSize (0 = the device's warp width, the smallest group
+  /// the scheduler would run). Pure arithmetic over the plan — no
+  /// oracle instance needed.
+  static OccupancyVerdict occupancyVerdict(const KernelPlan &Plan,
+                                           const ocl::DeviceModel &Dev,
+                                           unsigned LocalSize = 0);
+
+private:
+  bool Valid = false;
+  std::string Err;
+  std::vector<OracleArrayFacts> Facts;
+};
+
+/// compile() with the oracle in the loop: constructs an AnalysisOracle
+/// for \p Worker and stamps its facts into the plan before the memory
+/// optimizer runs. Every production path (offload runtime, service
+/// admission, limec analyze) compiles through this; the bare
+/// GpuCompiler::compile stays pattern-only for A/B comparison.
+CompiledKernel oracleCompile(Program *P, TypeContext &Types,
+                             MethodDecl *Worker, const MemoryConfig &Config);
+
+} // namespace lime::analysis
+
+#endif // LIMECC_ANALYSIS_ANALYSISORACLE_H

@@ -37,6 +37,7 @@ inline constexpr const char *LocalRace = "local-race";
 inline constexpr const char *GlobalRace = "global-race";
 inline constexpr const char *PlanAudit = "plan-audit";
 inline constexpr const char *Occupancy = "occupancy";
+inline constexpr const char *Oracle = "oracle";
 } // namespace passes
 
 /// One verifier diagnostic.

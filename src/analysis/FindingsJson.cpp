@@ -1,0 +1,126 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FindingsJson.h"
+
+#include "compiler/KernelPlan.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace lime;
+using namespace lime::analysis;
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+std::string quoted(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Error:
+    return "error";
+  case DiagSeverity::Warning:
+    return "warning";
+  default:
+    return "note";
+  }
+}
+
+} // namespace
+
+std::vector<PlacementRecord>
+lime::analysis::placementRecords(const KernelPlan &Plan) {
+  std::vector<PlacementRecord> Out;
+  for (const KernelArray &A : Plan.Arrays) {
+    if (A.IsOutput)
+      continue;
+    PlacementRecord R;
+    R.Array = A.CName;
+    R.Space = memSpaceName(A.Space);
+    R.Reason = placementReasonName(A.ConstReason);
+    R.Vectorized = A.Vectorized;
+    Out.push_back(std::move(R));
+  }
+  return Out;
+}
+
+std::string
+lime::analysis::renderFindingsJson(const std::vector<VariantRecord> &Variants,
+                                   const FindingsSummary &Summary) {
+  std::ostringstream S;
+  S << "{\n  \"schema\": \"limec-findings-v1\",\n  \"variants\": [";
+  for (size_t I = 0; I != Variants.size(); ++I) {
+    const VariantRecord &V = Variants[I];
+    S << (I ? ",\n" : "\n") << "    {\n";
+    S << "      \"unit\": " << quoted(V.Unit) << ",\n";
+    S << "      \"config\": " << quoted(V.Config) << ",\n";
+    S << "      \"offloadable\": " << (V.Offloadable ? "true" : "false");
+    if (!V.Offloadable) {
+      S << ",\n      \"error\": " << quoted(V.Error) << "\n    }";
+      continue;
+    }
+    S << ",\n      \"kernel\": " << quoted(V.Kernel) << ",\n";
+    S << "      \"placements\": [";
+    for (size_t J = 0; J != V.Placements.size(); ++J) {
+      const PlacementRecord &P = V.Placements[J];
+      S << (J ? "," : "") << "\n        {\"array\": " << quoted(P.Array)
+        << ", \"space\": " << quoted(P.Space)
+        << ", \"reason\": " << quoted(P.Reason) << ", \"vectorized\": "
+        << (P.Vectorized ? "true" : "false") << "}";
+    }
+    S << (V.Placements.empty() ? "]" : "\n      ]") << ",\n";
+    S << "      \"findings\": [";
+    for (size_t J = 0; J != V.Findings.size(); ++J) {
+      const Finding &F = V.Findings[J];
+      S << (J ? "," : "") << "\n        {\"pass\": " << quoted(F.Pass)
+        << ", \"severity\": \"" << severityName(F.Severity)
+        << "\", \"kernel\": " << quoted(F.Kernel)
+        << ", \"line\": " << F.Loc.Line << ", \"col\": " << F.Loc.Column
+        << ", \"message\": " << quoted(F.Message) << "}";
+    }
+    S << (V.Findings.empty() ? "]" : "\n      ]") << "\n    }";
+  }
+  S << (Variants.empty() ? "]" : "\n  ]") << ",\n";
+  S << "  \"summary\": {\"analyzed\": " << Summary.Analyzed
+    << ", \"errors\": " << Summary.Errors
+    << ", \"warnings\": " << Summary.Warnings << "}\n}\n";
+  return S.str();
+}

@@ -1,0 +1,72 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable rendering of verifier results: the
+/// `limec-findings-v1` JSON document emitted by
+/// `limec --analyze[-workloads] --findings-format=json` and diffed
+/// against checked-in goldens by CI. The schema is documented in
+/// docs/findings-schema.md; the output here is byte-stable for a
+/// given input (sorted findings, plan-order placements, fixed key
+/// order, no locale-dependent formatting), which is what makes the
+/// golden diff meaningful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_ANALYSIS_FINDINGSJSON_H
+#define LIMECC_ANALYSIS_FINDINGSJSON_H
+
+#include "analysis/Findings.h"
+
+#include <string>
+#include <vector>
+
+namespace lime {
+struct KernelPlan;
+} // namespace lime
+
+namespace lime::analysis {
+
+/// One array's placement decision, with the optimizer's recorded
+/// reason (PlacementReason, kebab-case).
+struct PlacementRecord {
+  std::string Array;  // C identifier in the kernel
+  std::string Space;  // memSpaceName(): global|constant|image|local
+  std::string Reason; // placementReasonName()
+  bool Vectorized = false;
+};
+
+/// One analyzed (unit, configuration) pair. Unit is a workload id for
+/// --analyze-workloads or a Class.method target for --analyze.
+struct VariantRecord {
+  std::string Unit;
+  std::string Config;
+  bool Offloadable = false;
+  std::string Error;  // why not offloadable (empty otherwise)
+  std::string Kernel; // kernel function name (empty when !Offloadable)
+  std::vector<PlacementRecord> Placements;
+  std::vector<Finding> Findings; // pre-sorted by the caller
+};
+
+struct FindingsSummary {
+  unsigned Analyzed = 0;
+  unsigned Errors = 0;
+  unsigned Warnings = 0;
+};
+
+/// Extracts the placement trail from a plan, in plan (parameter)
+/// order. Output arrays are skipped: they are never placement
+/// candidates and would only add noise to the golden.
+std::vector<PlacementRecord> placementRecords(const KernelPlan &Plan);
+
+/// Renders the full document (trailing newline included).
+std::string renderFindingsJson(const std::vector<VariantRecord> &Variants,
+                               const FindingsSummary &Summary);
+
+} // namespace lime::analysis
+
+#endif // LIMECC_ANALYSIS_FINDINGSJSON_H

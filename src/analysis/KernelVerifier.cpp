@@ -17,6 +17,8 @@
 #include "analysis/KernelVerifier.h"
 
 #include "analysis/AbstractInterp.h"
+#include "analysis/AnalysisOracle.h"
+#include "analysis/OclAstUtils.h"
 #include "analysis/Uniformity.h"
 #include "ocl/DeviceModel.h"
 #include "ocl/OclParser.h"
@@ -121,59 +123,8 @@ struct AstIndex {
   }
 };
 
-const OclExpr *stripCasts(const OclExpr *E) {
-  while (const auto *C = dyn_cast_if_present<OclCast>(E))
-    E = C->sub();
-  return E;
-}
-
-const OclVarDecl *declOf(const OclExpr *E) {
-  if (const auto *V = dyn_cast_if_present<OclVarRef>(stripCasts(E)))
-    return V->decl();
-  return nullptr;
-}
-
-unsigned lanesOf(const OclType *Ty) {
-  if (const auto *VT = dyn_cast_if_present<VectorType>(Ty))
-    return VT->lanes();
-  return 1;
-}
-
-/// Scalar capacity of an array declaration.
-unsigned scalarCapacity(const OclArrayType *AT) {
-  return AT->count() * lanesOf(AT->element());
-}
-
-/// Splits an index expression into its top-level `+` addends.
-void addends(const OclExpr *E, std::vector<const OclExpr *> &Out) {
-  E = stripCasts(E);
-  if (const auto *B = dyn_cast_if_present<OclBinary>(E)) {
-    if (B->op() == OclBinOp::Add) {
-      addends(B->lhs(), Out);
-      addends(B->rhs(), Out);
-      return;
-    }
-  }
-  if (E)
-    Out.push_back(E);
-}
-
-/// If \p E is `x * C` or `C * x` with a constant C, returns true and
-/// sets \p C.
-bool mulByConst(const OclExpr *E, long long &C) {
-  const auto *B = dyn_cast_if_present<OclBinary>(stripCasts(E));
-  if (!B || B->op() != OclBinOp::Mul)
-    return false;
-  if (const auto *L = dyn_cast<OclIntLit>(stripCasts(B->lhs()))) {
-    C = L->value();
-    return true;
-  }
-  if (const auto *R = dyn_cast<OclIntLit>(stripCasts(B->rhs()))) {
-    C = R->value();
-    return true;
-  }
-  return false;
-}
+// stripCasts/declOf/lanesOf/scalarCapacity/addends/mulByConst moved to
+// analysis/OclAstUtils.h — shared with the oracle's proof engine.
 
 class PlanAudit {
 public:
@@ -419,55 +370,49 @@ private:
 //===----------------------------------------------------------------------===//
 
 /// Checks the plan's static resource appetite against the target
-/// device: __local bytes one work-group pins (tiles + reduce scratch)
-/// against the SM's scratchpad, and private-array bytes across a
-/// work-group against the register file. A kernel that fits produces
-/// nothing; one that exceeds a limit gets an [occupancy] warning
+/// device via the oracle's OccupancyVerdict (the same arithmetic the
+/// autotuner prunes with): __local bytes one work-group pins against
+/// the SM's scratchpad, private-array bytes across a work-group
+/// against the register file, and statically bounded __constant
+/// arrays against constant-memory capacity. A kernel that fits
+/// produces nothing; each exceeded limit gets an [occupancy] warning
 /// naming the limiting resource — the launch may still run (the
 /// vendor compiler spills), but nowhere near the plan's intent.
 void auditOccupancy(const KernelPlan &Plan, const ocl::DeviceModel &Dev,
                     const AnalysisOptions &Opts, const std::string &Kernel,
                     SourceLocation Loc, AnalysisReport &Report) {
-  // Work-items resident per group: the launch's local size when the
-  // caller pinned one, else the device's lockstep width (the smallest
-  // group the scheduler would run; a conservative floor).
-  unsigned long long WG = Opts.LocalSize ? Opts.LocalSize : Dev.WarpWidth;
+  OccupancyVerdict V =
+      AnalysisOracle::occupancyVerdict(Plan, Dev, Opts.LocalSize);
+  for (const OccupancyProblem &P : V.Problems)
+    Report.add(passes::Occupancy, DiagSeverity::Warning, Kernel, Loc,
+               P.Detail);
+}
 
-  unsigned long long LocalBytes = 0;
-  for (const KernelArray &A : Plan.Arrays)
-    if (A.Space == MemSpace::LocalTiled && A.Scalar)
-      LocalBytes += static_cast<unsigned long long>(A.TileRows) * A.RowStride *
-                    A.Scalar->sizeInBytes();
-  if (Plan.Kind == KernelKind::Reduce && Plan.OutScalarType)
-    LocalBytes += WG * Plan.OutScalarType->sizeInBytes();
-  if (Dev.LocalBytesPerSM > 0 && LocalBytes > Dev.LocalBytesPerSM) {
+/// The [oracle] regression pass: every __constant placement in the
+/// final emitted text must still prove uniform under the same engine
+/// that blessed it. A failing proof-backed placement is a compiler
+/// bug (error); a failing pattern-backed placement means the Fig. 5(g)
+/// idiom outran what the analysis can certify (warning).
+void auditOraclePlacements(const OclProgramAST &AST, const OclFunction &F,
+                           const KernelPlan &Plan, AnalysisReport &Report) {
+  UniformAccessProof Proof(AST, F);
+  for (const KernelArray &A : Plan.Arrays) {
+    if (A.IsOutput || A.Space != MemSpace::Constant)
+      continue;
+    OracleArrayFacts Facts = Proof.prove(A);
+    if (Facts.Uniform == FactState::Proven &&
+        Facts.ReadOnly != FactState::Refuted)
+      continue;
+    bool ProofBacked = A.ConstReason == PlacementReason::ProvenUniform;
     std::ostringstream M;
-    M << "one work-group pins " << LocalBytes << " bytes of __local memory ("
-      << "tiles + reduce scratch at group size " << WG << "), but '"
-      << Dev.Name << "' has " << Dev.LocalBytesPerSM
-      << " bytes of local memory per SM; local memory is the limiting "
-         "resource and no group can be resident";
-    Report.add(passes::Occupancy, DiagSeverity::Warning, Kernel, Loc, M.str());
-  }
-
-  unsigned long long PrivateBytes = 0;
-  for (const PrivateArray &PA : Plan.PrivateArrays) {
-    unsigned Elem = 4;
-    if (PA.Decl)
-      if (const auto *AT = dyn_cast_if_present<ArrayType>(PA.Decl->type()))
-        if (const auto *PT =
-                dyn_cast_if_present<PrimitiveType>(AT->scalarElement()))
-          Elem = PT->sizeInBytes();
-    PrivateBytes += static_cast<unsigned long long>(PA.Scalars) * Elem;
-  }
-  if (Dev.RegBytesPerSM > 0 && PrivateBytes * WG > Dev.RegBytesPerSM) {
-    std::ostringstream M;
-    M << "private arrays hold " << PrivateBytes << " bytes per work-item ("
-      << PrivateBytes * WG << " bytes at group size " << WG << "), but '"
-      << Dev.Name << "' has a " << Dev.RegBytesPerSM
-      << "-byte register file per SM; registers are the limiting resource "
-         "and the vendor compiler will spill to global memory";
-    Report.add(passes::Occupancy, DiagSeverity::Warning, Kernel, Loc, M.str());
+    M << "__constant placement of '" << A.CName << "' ("
+      << placementReasonName(A.ConstReason) << ") does not re-prove "
+      << (Facts.ReadOnly == FactState::Refuted ? "read-only"
+                                               : "uniform access")
+      << " on the emitted kernel";
+    Report.add(passes::Oracle,
+               ProofBacked ? DiagSeverity::Error : DiagSeverity::Warning,
+               F.name(), F.loc(), M.str());
   }
 }
 
@@ -520,6 +465,7 @@ AnalysisReport lime::analysis::analyzeKernel(const CompiledKernel &Kernel,
   UniformityInfo UI(*AST, *F);
   runSymbolicPasses(*AST, *F, Kernel, Opts, UI, Report);
   PlanAudit(*F, Kernel.Plan, Report).run();
+  auditOraclePlacements(*AST, *F, Kernel.Plan, Report);
   if (Opts.Device)
     auditOccupancy(Kernel.Plan, *Opts.Device, Opts, F->name(), F->loc(),
                    Report);

@@ -1,0 +1,102 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small structural helpers over the OpenCL AST shared by the plan
+/// audit (KernelVerifier.cpp) and the analysis oracle's proof engine
+/// (AnalysisOracle.cpp): cast-stripping, index-addend decomposition,
+/// and constant-multiplier matching.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_ANALYSIS_OCLASTUTILS_H
+#define LIMECC_ANALYSIS_OCLASTUTILS_H
+
+#include "ocl/OclAST.h"
+
+#include <vector>
+
+namespace lime::analysis {
+
+inline const ocl::OclExpr *stripCasts(const ocl::OclExpr *E) {
+  while (const auto *C = dyn_cast_if_present<ocl::OclCast>(E))
+    E = C->sub();
+  return E;
+}
+
+/// The variable a (possibly cast-wrapped) reference names, else null.
+inline const ocl::OclVarDecl *declOf(const ocl::OclExpr *E) {
+  if (const auto *V = dyn_cast_if_present<ocl::OclVarRef>(stripCasts(E)))
+    return V->decl();
+  return nullptr;
+}
+
+inline unsigned lanesOf(const ocl::OclType *Ty) {
+  if (const auto *VT = dyn_cast_if_present<ocl::VectorType>(Ty))
+    return VT->lanes();
+  return 1;
+}
+
+/// Scalar capacity of an array declaration.
+inline unsigned scalarCapacity(const ocl::OclArrayType *AT) {
+  return AT->count() * lanesOf(AT->element());
+}
+
+/// Splits an index expression into its top-level `+` addends.
+inline void addends(const ocl::OclExpr *E,
+                    std::vector<const ocl::OclExpr *> &Out) {
+  E = stripCasts(E);
+  if (const auto *B = dyn_cast_if_present<ocl::OclBinary>(E)) {
+    if (B->op() == ocl::OclBinOp::Add) {
+      addends(B->lhs(), Out);
+      addends(B->rhs(), Out);
+      return;
+    }
+  }
+  if (E)
+    Out.push_back(E);
+}
+
+/// If \p E is `x * C` or `C * x` with a constant C, returns true and
+/// sets \p C.
+inline bool mulByConst(const ocl::OclExpr *E, long long &C) {
+  const auto *B = dyn_cast_if_present<ocl::OclBinary>(stripCasts(E));
+  if (!B || B->op() != ocl::OclBinOp::Mul)
+    return false;
+  if (const auto *L = dyn_cast<ocl::OclIntLit>(stripCasts(B->lhs()))) {
+    C = L->value();
+    return true;
+  }
+  if (const auto *R = dyn_cast<ocl::OclIntLit>(stripCasts(B->rhs()))) {
+    C = R->value();
+    return true;
+  }
+  return false;
+}
+
+/// If \p E is `x * C`/`C * x`, also exposes the non-constant factor.
+inline bool mulByConst(const ocl::OclExpr *E, long long &C,
+                       const ocl::OclExpr *&Other) {
+  const auto *B = dyn_cast_if_present<ocl::OclBinary>(stripCasts(E));
+  if (!B || B->op() != ocl::OclBinOp::Mul)
+    return false;
+  if (const auto *L = dyn_cast<ocl::OclIntLit>(stripCasts(B->lhs()))) {
+    C = L->value();
+    Other = B->rhs();
+    return true;
+  }
+  if (const auto *R = dyn_cast<ocl::OclIntLit>(stripCasts(B->rhs()))) {
+    C = R->value();
+    Other = B->lhs();
+    return true;
+  }
+  return false;
+}
+
+} // namespace lime::analysis
+
+#endif // LIMECC_ANALYSIS_OCLASTUTILS_H

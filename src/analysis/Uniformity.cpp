@@ -11,7 +11,9 @@ using namespace lime;
 using namespace lime::analysis;
 using namespace lime::ocl;
 
-UniformityInfo::UniformityInfo(const OclProgramAST &, const OclFunction &Kernel) {
+UniformityInfo::UniformityInfo(const OclProgramAST &, const OclFunction &Kernel,
+                               UniformityOptions Options)
+    : Opts(Options) {
   // Classic taint fixpoint: control-dependence taints assignments, so
   // rerun until no variable changes state.
   do {
@@ -19,6 +21,24 @@ UniformityInfo::UniformityInfo(const OclProgramAST &, const OclFunction &Kernel)
     if (Kernel.body())
       taintStmt(Kernel.body(), /*Divergent=*/false);
   } while (Changed);
+}
+
+bool UniformityInfo::isElementGuard(const OclExpr *Cond) const {
+  if (!Opts.TransparentElementGuards)
+    return false;
+  // `<anything> < args.<member>`: the right-hand side must be a
+  // member of a struct-typed (by-value, launch-uniform) parameter —
+  // the emitter's args block. Only the emitter-generated strip loop
+  // and element guard compare against it.
+  const auto *B = dyn_cast_if_present<OclBinary>(Cond);
+  if (!B || B->op() != OclBinOp::Lt)
+    return false;
+  const auto *M = dyn_cast_if_present<OclMember>(B->rhs());
+  if (!M)
+    return false;
+  const auto *Base = dyn_cast_if_present<OclVarRef>(M->base());
+  return Base && Base->decl() && Base->decl()->IsParam &&
+         isa<StructType>(Base->decl()->Ty);
 }
 
 void UniformityInfo::taint(const OclVarDecl *D) {
@@ -270,7 +290,8 @@ void UniformityInfo::taintStmt(const OclStmt *S, bool Divergent) {
   case OclStmt::Kind::If: {
     auto *I = cast<OclIfStmt>(S);
     taintExpr(I->cond(), Divergent);
-    bool D2 = Divergent || !isUniformExpr(I->cond());
+    bool D2 = Divergent ||
+              (!isElementGuard(I->cond()) && !isUniformExpr(I->cond()));
     taintStmt(I->thenStmt(), D2);
     taintStmt(I->elseStmt(), D2);
     break;
@@ -279,7 +300,8 @@ void UniformityInfo::taintStmt(const OclStmt *S, bool Divergent) {
     auto *F = cast<OclForStmt>(S);
     taintStmt(F->init(), Divergent);
     taintExpr(F->cond(), Divergent);
-    bool D2 = Divergent || !isUniformExpr(F->cond());
+    bool D2 = Divergent ||
+              (!isElementGuard(F->cond()) && !isUniformExpr(F->cond()));
     taintExpr(F->step(), D2);
     taintStmt(F->body(), D2);
     break;
@@ -287,7 +309,8 @@ void UniformityInfo::taintStmt(const OclStmt *S, bool Divergent) {
   case OclStmt::Kind::While: {
     auto *W = cast<OclWhileStmt>(S);
     taintExpr(W->cond(), Divergent);
-    bool D2 = Divergent || !isUniformExpr(W->cond());
+    bool D2 = Divergent ||
+              (!isElementGuard(W->cond()) && !isUniformExpr(W->cond()));
     taintStmt(W->body(), D2);
     break;
   }

@@ -26,13 +26,29 @@
 
 namespace lime::analysis {
 
+struct UniformityOptions {
+  /// Treat `<expr> < args.<member>` conditions as non-divergent for
+  /// control-dependence purposes. The emitter produces exactly two
+  /// such conditions: the work-item strip-mining loop
+  /// (`for (int i = get_global_id(0); i < args.n; ...)`) and the
+  /// tiled kernels' element guard (`if (i < args.n)`). Both bound the
+  /// logical element index by the launch-uniform element count, so
+  /// all lanes active at one program point share the same control
+  /// history inside them — uniformity *among active lanes* (the
+  /// property a __constant broadcast needs) survives. The default
+  /// (off) keeps the stricter whole-group notion the barrier and race
+  /// passes rely on.
+  bool TransparentElementGuards = false;
+};
+
 class UniformityInfo {
 public:
   /// Runs the taint fixpoint over \p Kernel (helpers reached through
   /// calls are summarized, not walked for variable taint — the subset
   /// passes scalars by value, so helpers cannot mutate caller state).
   UniformityInfo(const ocl::OclProgramAST &Prog,
-                 const ocl::OclFunction &Kernel);
+                 const ocl::OclFunction &Kernel,
+                 UniformityOptions Options = UniformityOptions());
 
   bool isTainted(const ocl::OclVarDecl *D) const {
     return Tainted.count(D) != 0;
@@ -44,10 +60,14 @@ public:
 private:
   /// Whether \p F (or a callee) reads a work-item id.
   bool fnUsesIds(const ocl::OclFunction *F) const;
+  /// Whether \p Cond has the emitter's element-guard shape (see
+  /// UniformityOptions::TransparentElementGuards).
+  bool isElementGuard(const ocl::OclExpr *Cond) const;
   void taintStmt(const ocl::OclStmt *S, bool Divergent);
   void taintExpr(const ocl::OclExpr *E, bool Divergent);
   void taint(const ocl::OclVarDecl *D);
 
+  UniformityOptions Opts;
   std::set<const ocl::OclVarDecl *> Tainted;
   mutable std::map<const ocl::OclFunction *, int> UsesIds; // -1 in progress
   bool Changed = false;

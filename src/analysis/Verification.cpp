@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verification.h"
+
+#include <sstream>
+
+using namespace lime;
+using namespace lime::analysis;
+
+VerifyResult lime::analysis::runVerification(const VerifyRequest &R) {
+  VerifyResult Out;
+  if (!R.Kernel) {
+    Out.GateMessage = "no kernel supplied";
+    return Out;
+  }
+
+  AnalysisOptions Opts;
+  if (R.Geometry == GeometryPolicy::Pinned) {
+    Opts.LocalSize = R.LocalSize;
+    Opts.MaxGroups = R.MaxGroups;
+  }
+  if (R.AssumeMode == AssumePolicy::Apply)
+    Opts.Assumes = R.Assumes;
+  Opts.Device = R.Device;
+
+  Out.Report = analyzeKernel(*R.Kernel, Opts);
+
+  unsigned Blocking = Out.Report.errorCount() +
+                      (R.StrictWarnings ? Out.Report.warningCount() : 0);
+  Out.Admitted = Blocking == 0;
+  if (!Out.Admitted) {
+    const Finding *First = nullptr;
+    for (const Finding &F : Out.Report.Findings) {
+      if (F.Severity == DiagSeverity::Error ||
+          (R.StrictWarnings && F.Severity == DiagSeverity::Warning)) {
+        First = &F;
+        break;
+      }
+    }
+    std::ostringstream M;
+    if (First)
+      M << First->str();
+    if (Blocking > 1)
+      M << " (+" << Blocking - 1 << " more blocking finding"
+        << (Blocking > 2 ? "s" : "") << ")";
+    Out.GateMessage = M.str();
+  }
+  return Out;
+}

@@ -1,0 +1,75 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single verification entry point. Three callers used to build
+/// AnalysisOptions by hand — `limec --analyze` (symbolic geometry,
+/// assumes applied), `limec --verify` (geometry pinned to the actual
+/// launch), and the offload service's admission gate (symbolic, no
+/// assumes: the cache key must not depend on caller-supplied facts).
+/// runVerification() makes those policies explicit fields of the
+/// request instead of implicit conventions at each call site, and
+/// folds the "is this kernel admissible" judgement (errors always
+/// block; warnings block under StrictWarnings) into the result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_ANALYSIS_VERIFICATION_H
+#define LIMECC_ANALYSIS_VERIFICATION_H
+
+#include "analysis/KernelVerifier.h"
+
+#include <string>
+#include <vector>
+
+namespace lime::analysis {
+
+/// How the work-group geometry enters the analysis.
+enum class GeometryPolicy : uint8_t {
+  /// Group size and count stay symbolic: the verdict holds for every
+  /// launch (what a cache keyed without geometry needs).
+  Symbolic,
+  /// Analyze the one geometry in LocalSize/MaxGroups (what an
+  /// embedded pre-launch check wants).
+  Pinned,
+};
+
+/// Whether caller-supplied value-range facts participate.
+enum class AssumePolicy : uint8_t {
+  Apply,  // trust the facts (limec --assume, per-workload defaults)
+  Ignore, // drop them (admission gates: facts are not part of the key)
+};
+
+struct VerifyRequest {
+  const CompiledKernel *Kernel = nullptr;
+  GeometryPolicy Geometry = GeometryPolicy::Symbolic;
+  /// Pinned geometry (read only under GeometryPolicy::Pinned).
+  unsigned LocalSize = 0;
+  unsigned MaxGroups = 0;
+  AssumePolicy AssumeMode = AssumePolicy::Apply;
+  std::vector<AssumeFact> Assumes;
+  /// Target device for the occupancy audit (null skips it).
+  const ocl::DeviceModel *Device = nullptr;
+  /// Warnings also block admission (--analyze-strict).
+  bool StrictWarnings = false;
+};
+
+struct VerifyResult {
+  AnalysisReport Report;
+  /// Whether the kernel passes the gate this request described.
+  bool Admitted = false;
+  /// Human-readable refusal (empty when admitted): the first blocking
+  /// finding plus a count of the rest.
+  std::string GateMessage;
+};
+
+/// Runs the full pass suite under the request's policies.
+VerifyResult runVerification(const VerifyRequest &R);
+
+} // namespace lime::analysis
+
+#endif // LIMECC_ANALYSIS_VERIFICATION_H

@@ -21,6 +21,12 @@ IdentifyResult GpuCompiler::identify(MethodDecl *Worker) {
 
 CompiledKernel GpuCompiler::compile(MethodDecl *Worker,
                                     const MemoryConfig &Config) {
+  return compile(Worker, Config, PlanHook());
+}
+
+CompiledKernel GpuCompiler::compile(MethodDecl *Worker,
+                                    const MemoryConfig &Config,
+                                    const PlanHook &Hook) {
   CompiledKernel Out;
   KernelAnalysis KA(TheProgram, Types);
   IdentifyResult R = KA.identify(Worker);
@@ -28,6 +34,8 @@ CompiledKernel GpuCompiler::compile(MethodDecl *Worker,
     Out.Error = R.Reason;
     return Out;
   }
+  if (Hook)
+    Hook(R.Plan);
   KA.optimize(R.Plan, Config);
 
   DiagnosticEngine Diags;

@@ -19,6 +19,7 @@
 #include "compiler/KernelAnalysis.h"
 #include "compiler/KernelPlan.h"
 
+#include <functional>
 #include <string>
 
 namespace lime {
@@ -32,6 +33,13 @@ struct CompiledKernel {
   std::string Source;
 };
 
+/// Runs between identification and the memory optimizer: the one
+/// seam where an upstream analysis (the analysis library's oracle)
+/// may stamp proof facts into the plan's arrays. The compiler cannot
+/// link the analysis library (it sits above this one), so the hook
+/// inverts the dependency: whoever owns a proof injects it here.
+using PlanHook = std::function<void(KernelPlan &)>;
+
 class GpuCompiler {
 public:
   GpuCompiler(Program *P, TypeContext &Types);
@@ -41,6 +49,11 @@ public:
 
   /// Full pipeline for one filter and configuration.
   CompiledKernel compile(MethodDecl *Worker, const MemoryConfig &Config);
+
+  /// Full pipeline with \p Hook applied to the identified plan before
+  /// the memory optimizer runs (analysis::oracleCompile uses this).
+  CompiledKernel compile(MethodDecl *Worker, const MemoryConfig &Config,
+                         const PlanHook &Hook);
 
 private:
   Program *TheProgram;

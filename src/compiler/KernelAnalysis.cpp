@@ -28,6 +28,30 @@ const char *lime::memSpaceName(MemSpace S) {
   lime_unreachable("bad memory space");
 }
 
+const char *lime::placementReasonName(PlacementReason R) {
+  switch (R) {
+  case PlacementReason::NotApplicable:
+    return "not-applicable";
+  case PlacementReason::ConfigDisabled:
+    return "config-disabled";
+  case PlacementReason::SyntacticIdiom:
+    return "syntactic-idiom";
+  case PlacementReason::ProvenUniform:
+    return "proven-uniform";
+  case PlacementReason::OracleRefused:
+    return "oracle-refused";
+  case PlacementReason::NotUniform:
+    return "not-uniform";
+  case PlacementReason::NoUniformAccess:
+    return "no-uniform-access";
+  case PlacementReason::TiledInstead:
+    return "tiled-instead";
+  case PlacementReason::ImageInstead:
+    return "image-instead";
+  }
+  lime_unreachable("bad placement reason");
+}
+
 std::string MemoryConfig::str() const {
   std::vector<std::string> Parts;
   if (AllowLocal)
@@ -771,6 +795,7 @@ void KernelAnalysis::optimize(KernelPlan &Plan, const MemoryConfig &Config) {
     KernelArray &A = Plan.Arrays[I];
     if (A.IsOutput) {
       A.Space = MemSpace::Global;
+      A.ConstReason = PlacementReason::NotApplicable;
       A.Vectorized = Config.Vectorize &&
                      (A.InnerBound == 2 || A.InnerBound == 4 ||
                       A.InnerBound == 8 || A.InnerBound == 16);
@@ -780,7 +805,35 @@ void KernelAnalysis::optimize(KernelPlan &Plan, const MemoryConfig &Config) {
     bool Tiled = Config.AllowLocal &&
                  static_cast<int>(I) == Plan.TiledArrayIndex;
     bool Img = Config.AllowImage && A.ImageEligible;
-    bool Const = Config.AllowConstant && A.UniformlyIndexed;
+
+    // The constant-memory decision (Fig. 5(g)): an oracle proof beats
+    // the syntactic idiom in both directions — Proven blesses arrays
+    // the pattern refuses (map sources read mostly at uniform
+    // indices), Refuted vetoes placements the pattern would have
+    // taken on faith. A read-only refutation also vetoes: __constant
+    // data cannot be written.
+    bool SynConst = A.UniformlyIndexed;
+    bool Const;
+    PlacementReason Why;
+    if (!Config.AllowConstant) {
+      Const = false;
+      Why = PlacementReason::ConfigDisabled;
+    } else if (A.OracleUniform == FactState::Proven &&
+               A.OracleReadOnly != FactState::Refuted) {
+      Const = true;
+      Why = PlacementReason::ProvenUniform;
+    } else if (A.OracleUniform == FactState::Refuted ||
+               A.OracleReadOnly == FactState::Refuted) {
+      Const = false;
+      Why = SynConst ? PlacementReason::OracleRefused
+                     : A.OracleOnlyElementAccesses
+                           ? PlacementReason::NoUniformAccess
+                           : PlacementReason::NotUniform;
+    } else {
+      Const = SynConst;
+      Why = SynConst ? PlacementReason::SyntacticIdiom
+                     : PlacementReason::NotUniform;
+    }
 
     if (Tiled)
       A.Space = MemSpace::LocalTiled;
@@ -790,6 +843,13 @@ void KernelAnalysis::optimize(KernelPlan &Plan, const MemoryConfig &Config) {
       A.Space = MemSpace::Constant;
     else
       A.Space = MemSpace::Global;
+
+    // Record why the array is not in __constant when a higher-
+    // precedence placement displaced an eligible candidate.
+    if (Const && A.Space != MemSpace::Constant)
+      Why = A.Space == MemSpace::LocalTiled ? PlacementReason::TiledInstead
+                                            : PlacementReason::ImageInstead;
+    A.ConstReason = Why;
 
     // OpenCL 1.0 allows widths 2/4/8/16 (§4.2.2); the emitter
     // implements the 2 and 4 forms the benchmarks use.

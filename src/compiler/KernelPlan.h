@@ -38,6 +38,33 @@ enum class MemSpace : uint8_t { Global, Constant, Image, LocalTiled };
 
 const char *memSpaceName(MemSpace S);
 
+/// Outcome of a query against the analysis oracle. The compiler never
+/// depends on the analysis library (the oracle lives above it); these
+/// facts are plain data stamped into the plan before optimize() by
+/// whoever owns a proof (analysis::AnalysisOracle via the compile
+/// hook). Unknown means "no oracle consulted": the optimizer then
+/// falls back to the syntactic Fig. 5 idioms, exactly the paper's
+/// behavior.
+enum class FactState : uint8_t { Unknown, Proven, Refuted };
+
+/// Why the memory optimizer did (or did not) place an array in
+/// __constant memory — recorded per array so `--analyze` can report
+/// the decision instead of leaving callers to reverse-engineer it.
+enum class PlacementReason : uint8_t {
+  NotApplicable,   // output arrays: never constant candidates
+  ConfigDisabled,  // AllowConstant off in this configuration
+  SyntacticIdiom,  // Fig. 5(g) pattern matched, no proof consulted
+  ProvenUniform,   // oracle proved uniform read-only access
+  OracleRefused,   // the pattern matched but the oracle refuted it
+  NotUniform,      // neither the pattern nor the oracle holds
+  NoUniformAccess, // only per-element accesses: nothing to broadcast
+  TiledInstead,    // eligible, but local tiling took precedence
+  ImageInstead,    // eligible, but texture placement took precedence
+};
+
+/// Stable kebab-case name (appears in JSON findings and goldens).
+const char *placementReasonName(PlacementReason R);
+
 /// Optimization switches (one Figure 8 bar = one configuration).
 struct MemoryConfig {
   bool AllowPrivate = true;  // private scratch for in-kernel arrays
@@ -133,8 +160,21 @@ struct KernelArray {
   bool InnerIndexConstant = false; // vectorization legality (§4.2.2)
   bool ImageEligible = false;      // Fig. 5(e) texture test
 
+  // Oracle facts (stamped before optimize(); Unknown when no oracle
+  // ran). OracleUniform covers the constant-memory broadcast test:
+  // Proven beats the syntactic matcher (it can bless map-source
+  // arrays the pattern categorically refuses), Refuted vetoes it.
+  FactState OracleUniform = FactState::Unknown;
+  FactState OracleReadOnly = FactState::Unknown;
+  /// With OracleUniform == Refuted: every access was the work-item's
+  /// own element, so there is no broadcast read to serve from
+  /// __constant memory (reduce sources, pure element maps).
+  bool OracleOnlyElementAccesses = false;
+
   // Optimizer decisions.
   MemSpace Space = MemSpace::Global;
+  /// The constant-memory decision trail for this array.
+  PlacementReason ConstReason = PlacementReason::NotApplicable;
   bool Vectorized = false;
   /// Local tiling (only with Space == LocalTiled): row stride in
   /// scalars (InnerBound, +1 when padded) and rows per tile.

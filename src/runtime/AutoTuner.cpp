@@ -7,6 +7,8 @@
 
 #include "runtime/AutoTuner.h"
 
+#include "analysis/AnalysisOracle.h"
+#include "ocl/DeviceModel.h"
 #include "support/StringUtils.h"
 
 using namespace lime;
@@ -15,7 +17,8 @@ using namespace lime::rt;
 TuneResult lime::rt::autoTune(Program *P, TypeContext &Types,
                               MethodDecl *Worker,
                               const std::vector<RtValue> &SampleArgs,
-                              const OffloadConfig &Base) {
+                              const OffloadConfig &Base,
+                              const TuneOptions &Opts) {
   TuneResult Out;
 
   const std::pair<const char *, MemoryConfig> Configs[] = {
@@ -30,18 +33,53 @@ TuneResult lime::rt::autoTune(Program *P, TypeContext &Types,
   };
   const unsigned LocalSizes[] = {32, 64, 128, 256};
 
+  const ocl::DeviceModel &Dev = ocl::deviceByName(Base.DeviceName);
+  // One oracle for the whole sweep: the proof runs over the baseline
+  // emission, which no sweep axis changes.
+  analysis::AnalysisOracle Oracle(P, Types, Worker);
+  GpuCompiler GC(P, Types);
+
   bool AnyValid = false;
   for (const auto &[Name, Mem] : Configs) {
+    // The plan depends only on the memory configuration, so compile
+    // once per column and reuse it across group sizes. Compile under
+    // the canonical config (tile budget clamped to the device) so the
+    // plan matches what OffloadedFilter would have produced itself.
+    OffloadConfig Proto = Base;
+    Proto.Mem = Mem;
+    Proto = canonicalOffloadConfig(Proto);
+    CompiledKernel CK = GC.compile(
+        Worker, Proto.Mem,
+        [&Oracle](KernelPlan &Plan) { Oracle.stampFacts(Plan); });
+
     for (unsigned Local : LocalSizes) {
       TuneTrial Trial;
       Trial.Label = formatString("%s @%u", Name, Local);
       Trial.Mem = Mem;
       Trial.LocalSize = Local;
 
+      if (!CK.Ok) {
+        Trial.Error = CK.Error;
+        Out.Trials.push_back(std::move(Trial));
+        continue;
+      }
+
+      if (Opts.PruneInfeasible) {
+        analysis::OccupancyVerdict V =
+            analysis::AnalysisOracle::occupancyVerdict(CK.Plan, Dev, Local);
+        if (!V.feasible()) {
+          Trial.Pruned = true;
+          Trial.Error = "pruned by occupancy verdict: " + V.summary();
+          ++Out.Pruned;
+          Out.Trials.push_back(std::move(Trial));
+          continue;
+        }
+      }
+
       OffloadConfig OC = Base;
       OC.Mem = Mem;
       OC.LocalSize = Local;
-      OffloadedFilter Filter(P, Types, Worker, OC);
+      OffloadedFilter Filter(P, Types, Worker, OC, nullptr, CK);
       if (!Filter.ok()) {
         Trial.Error = Filter.error();
         Out.Trials.push_back(std::move(Trial));

@@ -35,7 +35,18 @@ struct TuneTrial {
   unsigned LocalSize = 0;
   double KernelNs = 0.0;
   bool Valid = false;
-  std::string Error; // when invalid
+  /// Skipped before any device work: the oracle's occupancy verdict
+  /// said no work-group of this size can be resident (Error names the
+  /// limiting resource). Pruned trials are never built or benchmarked.
+  bool Pruned = false;
+  std::string Error; // when invalid or pruned
+};
+
+struct TuneOptions {
+  /// Ask analysis::AnalysisOracle::occupancyVerdict about each sweep
+  /// point first and skip infeasible ones instead of compiling,
+  /// building, and benchmarking them.
+  bool PruneInfeasible = true;
 };
 
 struct TuneResult {
@@ -43,16 +54,21 @@ struct TuneResult {
   std::string Error;
   OffloadConfig Best;
   double BestKernelNs = 0.0;
+  /// Number of sweep points the occupancy verdict pruned.
+  unsigned Pruned = 0;
   std::vector<TuneTrial> Trials;
 };
 
 /// Exhaustively explores (memory config x local size) for \p Worker
 /// on \p Base.DeviceName using \p SampleArgs (worker-parameter
 /// order). The returned Best carries the winning Mem/LocalSize on top
-/// of \p Base's other settings.
+/// of \p Base's other settings. Points whose static resource appetite
+/// cannot fit the device at the requested group size are pruned
+/// before any build when Opts.PruneInfeasible is set.
 TuneResult autoTune(Program *P, TypeContext &Types, MethodDecl *Worker,
                     const std::vector<RtValue> &SampleArgs,
-                    const OffloadConfig &Base);
+                    const OffloadConfig &Base,
+                    const TuneOptions &Opts = TuneOptions());
 
 } // namespace lime::rt
 

@@ -7,6 +7,7 @@
 
 #include "runtime/Offload.h"
 
+#include "analysis/AnalysisOracle.h"
 #include "compiler/OpenCLEmitter.h"
 
 #include "support/StringUtils.h"
@@ -69,8 +70,9 @@ OffloadedFilter::OffloadedFilter(Program *P, TypeContext &Types,
   if (!Error.empty())
     return;
   this->Config = canonicalOffloadConfig(this->Config);
-  GpuCompiler GC(P, Types);
-  Kernel = GC.compile(Worker, this->Config.Mem);
+  // Compile with the analysis oracle in the loop: proven facts beat
+  // the syntactic placement idioms (see analysis::AnalysisOracle).
+  Kernel = analysis::oracleCompile(P, Types, Worker, this->Config.Mem);
   if (!Kernel.Ok) {
     Error = Kernel.Error;
     return;
@@ -167,8 +169,7 @@ OffloadedFilter::buildAndPrepare(const std::vector<RtValue> &Args) {
   if (NeedFallback) {
     MemoryConfig Degraded = Config.Mem;
     Degraded.AllowConstant = false;
-    GpuCompiler GC(TheProgram, Types);
-    Kernel = GC.compile(Worker, Degraded);
+    Kernel = analysis::oracleCompile(TheProgram, Types, Worker, Degraded);
     if (!Kernel.Ok)
       return Kernel.Error;
   }

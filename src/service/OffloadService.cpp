@@ -7,7 +7,8 @@
 
 #include "service/OffloadService.h"
 
-#include "analysis/KernelVerifier.h"
+#include "analysis/AnalysisOracle.h"
+#include "analysis/Verification.h"
 #include "lime/ast/ASTPrinter.h"
 #include "ocl/DeviceModel.h"
 
@@ -151,8 +152,7 @@ CompiledKernel OffloadService::compileVerified(MethodDecl *Worker,
   CompiledKernel Kernel;
   {
     std::lock_guard<std::mutex> Lock(CompileMu);
-    GpuCompiler GC(Prog, Types);
-    Kernel = GC.compile(Worker, Canon.Mem);
+    Kernel = analysis::oracleCompile(Prog, Types, Worker, Canon.Mem);
     if (Config.PostCompileHook)
       Config.PostCompileHook(Kernel);
   }
@@ -164,17 +164,21 @@ CompiledKernel OffloadService::compileVerified(MethodDecl *Worker,
   // failure, so repeat offenders are rejected without re-analysis.
   // The cache key covers source, device, and memory config but NOT
   // launch geometry, so the cached verdict must hold for every
-  // LocalSize/MaxGroups that can share the entry: analyze with fully
-  // symbolic geometry instead of baking in this request's sizes. The
-  // device IS part of the key, so its occupancy limits are fair game.
-  analysis::AnalysisOptions AOpts;
-  AOpts.Device = &ocl::deviceByName(Canon.DeviceName);
-  analysis::AnalysisReport Report = analysis::analyzeKernel(Kernel, AOpts);
-  if (!Report.ok()) {
+  // LocalSize/MaxGroups that can share the entry: Symbolic geometry,
+  // not this request's sizes. Caller --assume facts are Ignored for
+  // the same reason — they are not part of the key either. The device
+  // IS part of the key, so its occupancy limits are fair game.
+  analysis::VerifyRequest VR;
+  VR.Kernel = &Kernel;
+  VR.Geometry = analysis::GeometryPolicy::Symbolic;
+  VR.AssumeMode = analysis::AssumePolicy::Ignore;
+  VR.Device = &ocl::deviceByName(Canon.DeviceName);
+  analysis::VerifyResult V = analysis::runVerification(VR);
+  if (!V.Admitted) {
     std::ostringstream E;
-    E << "kernel verifier: " << Report.errorCount()
+    E << "kernel verifier: " << V.Report.errorCount()
       << " error finding(s) in '" << Kernel.Plan.KernelName << "':\n"
-      << Report.str();
+      << V.Report.str();
     Kernel.Ok = false;
     Kernel.Error = E.str();
   }

@@ -1,0 +1,372 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/DriverOptions.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace lime;
+using namespace lime::driver;
+
+const char *lime::driver::versionString() { return "0.4.0"; }
+
+bool lime::driver::commandTakesTarget(Command C) {
+  switch (C) {
+  case Command::Emit:
+  case Command::Run:
+  case Command::Verify:
+  case Command::Tune:
+  case Command::Analyze:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const char *lime::driver::commandFlag(Command C) {
+  switch (C) {
+  case Command::Check:
+    return "(no command)";
+  case Command::DumpAst:
+    return "--dump-ast";
+  case Command::Decisions:
+    return "--decisions";
+  case Command::Emit:
+    return "--emit";
+  case Command::Run:
+    return "--run";
+  case Command::Verify:
+    return "--verify";
+  case Command::Tune:
+    return "--tune";
+  case Command::Analyze:
+    return "--analyze";
+  case Command::AnalyzeWorkloads:
+    return "--analyze-workloads";
+  case Command::Help:
+    return "--help";
+  case Command::Version:
+    return "--version";
+  }
+  return "?";
+}
+
+const char *lime::driver::usageText() {
+  return
+      "usage: limec <file.lime> [command]\n"
+      "  (no command)        parse and type check\n"
+      "  --dump-ast          pretty-print the typed AST\n"
+      "  --decisions         report kernel identification per filter\n"
+      "  --emit C.m          print generated OpenCL for filter C.m\n"
+      "  --run C.m           run static method C.m (evaluator pipeline)\n"
+      "  --verify C.m        random-test filter C.m: evaluator vs device\n"
+      "                      (the kernel verifier runs first)\n"
+      "  --tune C.m          auto-tune filter C.m on synthesized inputs\n"
+      "                      (occupancy-infeasible points are pruned)\n"
+      "  --analyze C.m       run the kernel verifier over filter C.m's\n"
+      "                      generated OpenCL; every Figure 8 memory\n"
+      "                      configuration unless --config is given.\n"
+      "                      Reports each array's placement and why.\n"
+      "                      Exits nonzero on error-severity findings.\n"
+      "  --analyze-workloads lint every built-in benchmark under every\n"
+      "                      configuration, applying each benchmark's\n"
+      "                      default --assume facts\n"
+      "                      (no <file.lime> needed; for CI)\n"
+      "  --help              print this help and exit\n"
+      "  --version           print the limec version and exit\n"
+      "options:\n"
+      "  --config <global|global+v|local|local+nc|local+nc+v|constant|\n"
+      "            constant+v|texture|best>      (default: best)\n"
+      "  --device <corei7|corei7x1|gtx8800|gtx580|hd5970>  (default "
+      "gtx580)\n"
+      "  --assume 'FACT'     declare a value-range fact for the kernel\n"
+      "                      verifier (repeatable; trusted, not checked).\n"
+      "                      FACT is one of  name REL INT,\n"
+      "                      name[INT] REL INT|len(name)[+-INT],  or\n"
+      "                      len(name) REL INT, with REL in < <= > >= ==\n"
+      "  --analyze-strict    --analyze / --analyze-workloads exit\n"
+      "                      nonzero on warnings too, not just errors\n"
+      "  --findings-format <text|json>\n"
+      "                      --analyze / --analyze-workloads output:\n"
+      "                      human-readable lines (default) or the\n"
+      "                      limec-findings-v1 JSON document with\n"
+      "                      per-array placement reasons\n"
+      "                      (see docs/findings-schema.md)\n"
+      "  --offload           offload filters during --run\n"
+      "  --service-threads N route --run offloads through the shared\n"
+      "                      offload service with N device workers\n"
+      "                      (implies --offload)\n"
+      "  --kernel-cache DIR  persist generated kernels in DIR across\n"
+      "                      limec runs (service mode only)\n"
+      "fault tolerance (service mode only):\n"
+      "  --retries N         launch attempts beyond the first before the\n"
+      "                      interpreter fallback (default 3)\n"
+      "  --backoff-ms X      exponential-backoff base between attempts\n"
+      "                      (default 0.25)\n"
+      "  --deadline-ms X     per-launch deadline; expired requests\n"
+      "                      re-route to a healthy worker (default: none)\n"
+      "  --breaker-threshold N  consecutive failures that quarantine a\n"
+      "                      worker (default 3; 0 disables)\n"
+      "  --breaker-cooldown-ms X  quarantine time before a probation\n"
+      "                      request may re-admit the worker (default 250)\n"
+      "  --no-fallback       fail futures instead of degrading to the\n"
+      "                      interpreter when devices are exhausted\n";
+}
+
+namespace {
+
+bool parseConfigName(const std::string &Name, MemoryConfig &Out) {
+  if (Name == "global")
+    Out = MemoryConfig::global();
+  else if (Name == "global+v")
+    Out = MemoryConfig::globalVector();
+  else if (Name == "local")
+    Out = MemoryConfig::local();
+  else if (Name == "local+nc")
+    Out = MemoryConfig::localNoConflict();
+  else if (Name == "local+nc+v")
+    Out = MemoryConfig::localNoConflictVector();
+  else if (Name == "constant")
+    Out = MemoryConfig::constant();
+  else if (Name == "constant+v")
+    Out = MemoryConfig::constantVector();
+  else if (Name == "texture")
+    Out = MemoryConfig::texture();
+  else if (Name == "best")
+    Out = MemoryConfig::best();
+  else
+    return false;
+  return true;
+}
+
+ParseResult fail(std::string Msg, bool ShowUsage) {
+  ParseResult R;
+  R.Ok = false;
+  R.Error = std::move(Msg);
+  R.ShowUsage = ShowUsage;
+  return R;
+}
+
+ParseResult ok() {
+  ParseResult R;
+  R.Ok = true;
+  return R;
+}
+
+} // namespace
+
+ParseResult lime::driver::parseDriverOptions(int argc, char **argv,
+                                             DriverOptions &Out) {
+  auto setCommand = [&](Command C, const std::string &Flag) -> ParseResult {
+    if (Out.CommandSeen)
+      return fail("limec: " + Flag + " conflicts with " +
+                      commandFlag(Out.Cmd) + ": give one command per run",
+                  false);
+    Out.Cmd = C;
+    Out.CommandSeen = true;
+    return ok();
+  };
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    // Accept --flag=value as well as --flag value for every
+    // value-taking option (split at the first '=').
+    std::string Inline;
+    bool HasInline = false;
+    if (Arg.size() > 2 && Arg[0] == '-' && Arg[1] == '-') {
+      size_t Eq = Arg.find('=');
+      if (Eq != std::string::npos) {
+        Inline = Arg.substr(Eq + 1);
+        Arg = Arg.substr(0, Eq);
+        HasInline = true;
+      }
+    }
+    auto Next = [&]() -> const char * {
+      if (HasInline) {
+        HasInline = false;
+        return Inline.c_str();
+      }
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (Arg == "--decisions") {
+      if (ParseResult R = setCommand(Command::Decisions, Arg); !R.Ok)
+        return R;
+    } else if (Arg == "--dump-ast") {
+      if (ParseResult R = setCommand(Command::DumpAst, Arg); !R.Ok)
+        return R;
+    } else if (Arg == "--emit" || Arg == "--run" || Arg == "--verify" ||
+               Arg == "--tune" || Arg == "--analyze") {
+      Command C = Arg == "--emit"     ? Command::Emit
+                  : Arg == "--run"    ? Command::Run
+                  : Arg == "--verify" ? Command::Verify
+                  : Arg == "--tune"   ? Command::Tune
+                                      : Command::Analyze;
+      if (ParseResult R = setCommand(C, Arg); !R.Ok)
+        return R;
+      const char *T = Next();
+      if (!T)
+        return fail("limec: " + Arg + " needs a Class.method target", true);
+      Out.Target = T;
+    } else if (Arg == "--analyze-workloads") {
+      if (ParseResult R = setCommand(Command::AnalyzeWorkloads, Arg); !R.Ok)
+        return R;
+    } else if (Arg == "--help") {
+      Out.Cmd = Command::Help;
+      Out.CommandSeen = true;
+      return ok();
+    } else if (Arg == "--version") {
+      Out.Cmd = Command::Version;
+      Out.CommandSeen = true;
+      return ok();
+    } else if (Arg == "--config") {
+      const char *C = Next();
+      if (!C || !parseConfigName(C, Out.Config))
+        return fail("limec: unknown config", true);
+      Out.ConfigName = C;
+      Out.ConfigSet = true;
+    } else if (Arg == "--device") {
+      const char *D = Next();
+      if (!D)
+        return fail("limec: --device needs a device name", true);
+      Out.Device = D;
+    } else if (Arg == "--assume") {
+      const char *F = Next();
+      if (!F)
+        return fail("limec: --assume needs a FACT argument", true);
+      analysis::AssumeFact Fact;
+      std::string Err;
+      if (!analysis::parseAssumeFact(F, Fact, &Err))
+        return fail("limec: bad --assume '" + std::string(F) + "': " + Err,
+                    false);
+      Out.Assumes.push_back(std::move(Fact));
+    } else if (Arg == "--analyze-strict") {
+      Out.AnalyzeStrict = true;
+    } else if (Arg == "--findings-format") {
+      const char *F = Next();
+      if (!F)
+        return fail("limec: --findings-format needs text or json", true);
+      if (std::strcmp(F, "text") == 0)
+        Out.Format = FindingsFormat::Text;
+      else if (std::strcmp(F, "json") == 0)
+        Out.Format = FindingsFormat::Json;
+      else
+        return fail("limec: --findings-format must be text or json, got '" +
+                        std::string(F) + "'",
+                    false);
+      Out.FormatSet = true;
+    } else if (Arg == "--offload") {
+      Out.Offload = true;
+    } else if (Arg == "--service-threads") {
+      const char *N = Next();
+      if (!N || std::atoi(N) <= 0)
+        return fail("limec: --service-threads needs a count > 0", true);
+      Out.ServiceThreads = std::atoi(N);
+      Out.Offload = true;
+    } else if (Arg == "--kernel-cache") {
+      const char *D = Next();
+      if (!D)
+        return fail("limec: --kernel-cache needs a directory", true);
+      Out.KernelCacheDir = D;
+    } else if (Arg == "--retries") {
+      const char *N = Next();
+      if (!N || std::atoi(N) < 0)
+        return fail("limec: --retries needs a count >= 0", true);
+      Out.ServicePolicy.MaxRetries = static_cast<unsigned>(std::atoi(N));
+      if (Out.FirstPolicyFlag.empty())
+        Out.FirstPolicyFlag = Arg;
+    } else if (Arg == "--backoff-ms") {
+      const char *X = Next();
+      if (!X || std::atof(X) < 0)
+        return fail("limec: --backoff-ms needs a value >= 0", true);
+      Out.ServicePolicy.BackoffBaseMs = std::atof(X);
+      if (Out.FirstPolicyFlag.empty())
+        Out.FirstPolicyFlag = Arg;
+    } else if (Arg == "--deadline-ms") {
+      const char *X = Next();
+      if (!X || std::atof(X) <= 0)
+        return fail("limec: --deadline-ms needs a value > 0", true);
+      Out.ServicePolicy.LaunchDeadlineMs = std::atof(X);
+      if (Out.FirstPolicyFlag.empty())
+        Out.FirstPolicyFlag = Arg;
+    } else if (Arg == "--breaker-threshold") {
+      const char *N = Next();
+      if (!N || std::atoi(N) < 0)
+        return fail("limec: --breaker-threshold needs a count >= 0", true);
+      Out.ServicePolicy.BreakerThreshold =
+          static_cast<unsigned>(std::atoi(N));
+      if (Out.FirstPolicyFlag.empty())
+        Out.FirstPolicyFlag = Arg;
+    } else if (Arg == "--breaker-cooldown-ms") {
+      const char *X = Next();
+      if (!X || std::atof(X) < 0)
+        return fail("limec: --breaker-cooldown-ms needs a value >= 0", true);
+      Out.ServicePolicy.BreakerCooldownMs = std::atof(X);
+      if (Out.FirstPolicyFlag.empty())
+        Out.FirstPolicyFlag = Arg;
+    } else if (Arg == "--no-fallback") {
+      Out.ServicePolicy.FallbackToInterpreter = false;
+      if (Out.FirstPolicyFlag.empty())
+        Out.FirstPolicyFlag = Arg;
+    } else if (Arg[0] == '-') {
+      return fail("limec: unknown option '" + Arg + "'", true);
+    } else {
+      if (!Out.Path.empty())
+        return fail("limec: more than one input file ('" + Out.Path +
+                        "' and '" + Arg + "')",
+                    false);
+      Out.Path = Arg;
+    }
+    if (HasInline)
+      return fail("limec: " + Arg + " does not take a value", false);
+  }
+  return ok();
+}
+
+ParseResult lime::driver::validateDriverOptions(const DriverOptions &O) {
+  if (O.Cmd == Command::Help || O.Cmd == Command::Version)
+    return ok();
+
+  const bool IsAnalyze =
+      O.Cmd == Command::Analyze || O.Cmd == Command::AnalyzeWorkloads;
+
+  if (O.Cmd == Command::AnalyzeWorkloads) {
+    if (!O.Path.empty())
+      return fail("limec: --analyze-workloads lints the built-in benchmark "
+                  "registry and takes no input file (got '" +
+                      O.Path + "')",
+                  false);
+    if (O.ConfigSet)
+      return fail("limec: --config conflicts with --analyze-workloads: the "
+                  "sweep always covers every Figure 8 configuration",
+                  false);
+  } else if (O.Path.empty()) {
+    return fail("", true); // plain usage: every other command reads a file
+  }
+
+  if (O.ServiceThreads > 0 && O.Cmd != Command::Run)
+    return fail("limec: --service-threads only applies to --run", false);
+  if (O.Offload && O.Cmd != Command::Run)
+    return fail("limec: --offload only applies to --run", false);
+  if (!O.KernelCacheDir.empty() && O.ServiceThreads == 0)
+    return fail("limec: --kernel-cache needs --service-threads (the kernel "
+                "cache belongs to the offload service)",
+                false);
+  if (!O.FirstPolicyFlag.empty() && O.ServiceThreads == 0)
+    return fail("limec: " + O.FirstPolicyFlag +
+                    " is a service-mode flag; add --service-threads N",
+                false);
+  if (O.AnalyzeStrict && !IsAnalyze)
+    return fail("limec: --analyze-strict only applies to --analyze and "
+                "--analyze-workloads",
+                false);
+  if (O.FormatSet && !IsAnalyze)
+    return fail("limec: --findings-format only applies to --analyze and "
+                "--analyze-workloads",
+                false);
+  return ok();
+}

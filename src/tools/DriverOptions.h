@@ -1,0 +1,119 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `limec`'s command-line surface as data. The driver used to parse,
+/// default, and cross-check its flags ad hoc inside main(); this
+/// collects every option into one DriverOptions struct with a single
+/// parse / validate / usage path, so flag conflicts get one coherent
+/// diagnostic ("--kernel-cache needs --service-threads") instead of
+/// being silently ignored, and so tests can exercise the CLI surface
+/// without spawning a process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_TOOLS_DRIVEROPTIONS_H
+#define LIMECC_TOOLS_DRIVEROPTIONS_H
+
+#include "analysis/KernelVerifier.h"
+#include "compiler/KernelPlan.h"
+#include "service/OffloadService.h"
+
+#include <string>
+#include <vector>
+
+namespace lime::driver {
+
+/// What the invocation asks limec to do (at most one per run).
+enum class Command : uint8_t {
+  Check,            // (default) parse + type check
+  DumpAst,          // --dump-ast
+  Decisions,        // --decisions
+  Emit,             // --emit C.m
+  Run,              // --run C.m
+  Verify,           // --verify C.m
+  Tune,             // --tune C.m
+  Analyze,          // --analyze C.m
+  AnalyzeWorkloads, // --analyze-workloads
+  Help,             // --help
+  Version,          // --version
+};
+
+/// True when \p C accepts a Class.method target argument.
+bool commandTakesTarget(Command C);
+/// The flag spelling ("--analyze") for diagnostics.
+const char *commandFlag(Command C);
+
+/// How --analyze / --analyze-workloads present their results.
+enum class FindingsFormat : uint8_t {
+  Text, // one line per finding, human-readable summary
+  Json, // the limec-findings-v1 document (docs/findings-schema.md)
+};
+
+/// Everything the limec invocation specified, defaults applied.
+struct DriverOptions {
+  Command Cmd = Command::Check;
+  bool CommandSeen = false; // a command flag appeared explicitly
+  std::string Path;         // the .lime input file
+  std::string Target;       // Class.method for targeted commands
+
+  std::string Device = "gtx580";
+  MemoryConfig Config = MemoryConfig::best();
+  std::string ConfigName = "best";
+  bool ConfigSet = false; // --config appeared
+
+  bool Offload = false;
+  bool AnalyzeStrict = false;
+  FindingsFormat Format = FindingsFormat::Text;
+  bool FormatSet = false; // --findings-format appeared
+  std::vector<analysis::AssumeFact> Assumes;
+
+  int ServiceThreads = 0;
+  std::string KernelCacheDir;
+  service::ServiceConfig ServicePolicy;
+  /// First fault-tolerance flag seen (for the conflict diagnostic
+  /// when no service mode was requested); empty when none appeared.
+  std::string FirstPolicyFlag;
+};
+
+/// Outcome of parsing one argv.
+struct ParseResult {
+  bool Ok = false;
+  /// Diagnostic for stderr when !Ok (may be empty when the error is
+  /// pure usage, e.g. a flag missing its argument).
+  std::string Error;
+  /// Print the usage text alongside the error.
+  bool ShowUsage = false;
+};
+
+/// Parses argv into \p Out. Does not validate cross-flag conflicts —
+/// call validateDriverOptions next so that "unknown flag" and "flags
+/// contradict" produce distinct diagnostics.
+ParseResult parseDriverOptions(int argc, char **argv, DriverOptions &Out);
+
+/// Cross-checks the parsed options; returns a one-line diagnostic for
+/// the first conflict found, or an empty string when coherent.
+/// Conflicts diagnosed:
+///   - an input file with --analyze-workloads (it lints the built-in
+///     registry, not a file)
+///   - a missing input file for every file-reading command
+///   - --config with --analyze-workloads (the sweep is fixed)
+///   - --offload outside --run
+///   - --kernel-cache / fault-tolerance flags outside service mode
+///   - --analyze-strict outside the analyze commands
+///   - --findings-format outside the analyze commands
+ParseResult validateDriverOptions(const DriverOptions &O);
+
+/// The full usage text (shared by --help and error paths).
+const char *usageText();
+
+/// The limec version string.
+const char *versionString();
+
+} // namespace lime::driver
+
+#endif // LIMECC_TOOLS_DRIVEROPTIONS_H

@@ -22,23 +22,32 @@
 ///   limec prog.lime --analyze C.m            # kernel verifier lint
 ///   limec --analyze-workloads                # lint all benchmarks (CI)
 ///
+/// Flag parsing and conflict checking live in DriverOptions; every
+/// kernel-producing command compiles through analysis::oracleCompile
+/// (proof-backed __constant placement) and every verification gate
+/// goes through analysis::runVerification with its policy spelled
+/// out, so the CLI exercises exactly the pipeline the offload runtime
+/// and service run in production.
+///
 //===----------------------------------------------------------------------===//
 
-#include "analysis/KernelVerifier.h"
-#include "ocl/DeviceModel.h"
+#include "analysis/AnalysisOracle.h"
+#include "analysis/FindingsJson.h"
+#include "analysis/Verification.h"
 #include "compiler/GpuCompiler.h"
 #include "lime/ast/ASTPrinter.h"
 #include "lime/parser/Parser.h"
 #include "lime/sema/Sema.h"
+#include "ocl/DeviceModel.h"
 #include "runtime/AutoTuner.h"
 #include "runtime/TaskGraph.h"
 #include "service/OffloadService.h"
 #include "support/Random.h"
+#include "tools/DriverOptions.h"
 #include "workloads/Workloads.h"
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -49,85 +58,71 @@ using namespace lime;
 
 namespace {
 
-constexpr const char *kVersion = "0.3.0";
+/// Accumulates one analyze run (any number of variants) for either
+/// output format.
+struct AnalyzeSink {
+  driver::FindingsFormat Format = driver::FindingsFormat::Text;
+  /// Text mode: also print each array's placement decision (on for
+  /// the per-target command; the workloads sweep keeps its CI log to
+  /// findings and the summary — JSON carries placements there).
+  bool PrintPlacements = false;
+  std::vector<analysis::VariantRecord> Variants;
+  analysis::FindingsSummary Totals;
+};
 
-void printUsage(std::FILE *Out) {
-  std::fprintf(
-      Out,
-      "usage: limec <file.lime> [command]\n"
-      "  (no command)        parse and type check\n"
-      "  --dump-ast          pretty-print the typed AST\n"
-      "  --decisions         report kernel identification per filter\n"
-      "  --emit C.m          print generated OpenCL for filter C.m\n"
-      "  --run C.m           run static method C.m (evaluator pipeline)\n"
-      "  --verify C.m        random-test filter C.m: evaluator vs device\n"
-      "                      (the kernel verifier runs first)\n"
-      "  --tune C.m          auto-tune filter C.m on synthesized inputs\n"
-      "  --analyze C.m       run the kernel verifier over filter C.m's\n"
-      "                      generated OpenCL; every Figure 8 memory\n"
-      "                      configuration unless --config is given.\n"
-      "                      Exits nonzero on error-severity findings.\n"
-      "  --analyze-workloads lint every built-in benchmark under every\n"
-      "                      configuration, applying each benchmark's\n"
-      "                      default --assume facts\n"
-      "                      (no <file.lime> needed; for CI)\n"
-      "  --help              print this help and exit\n"
-      "  --version           print the limec version and exit\n"
-      "options:\n"
-      "  --config <global|global+v|local|local+nc|local+nc+v|constant|\n"
-      "            constant+v|texture|best>      (default: best)\n"
-      "  --device <corei7|corei7x1|gtx8800|gtx580|hd5970>  (default "
-      "gtx580)\n"
-      "  --assume 'FACT'     declare a value-range fact for the kernel\n"
-      "                      verifier (repeatable; trusted, not checked).\n"
-      "                      FACT is one of  name REL INT,\n"
-      "                      name[INT] REL INT|len(name)[+-INT],  or\n"
-      "                      len(name) REL INT, with REL in < <= > >= ==\n"
-      "  --analyze-strict    --analyze / --analyze-workloads exit\n"
-      "                      nonzero on warnings too, not just errors\n"
-      "  --offload           offload filters during --run\n"
-      "  --service-threads N route --run offloads through the shared\n"
-      "                      offload service with N device workers\n"
-      "                      (implies --offload)\n"
-      "  --kernel-cache DIR  persist generated kernels in DIR across\n"
-      "                      limec runs (service mode only)\n"
-      "fault tolerance (service mode only):\n"
-      "  --retries N         launch attempts beyond the first before the\n"
-      "                      interpreter fallback (default 3)\n"
-      "  --backoff-ms X      exponential-backoff base between attempts\n"
-      "                      (default 0.25)\n"
-      "  --deadline-ms X     per-launch deadline; expired requests\n"
-      "                      re-route to a healthy worker (default: none)\n"
-      "  --breaker-threshold N  consecutive failures that quarantine a\n"
-      "                      worker (default 3; 0 disables)\n"
-      "  --breaker-cooldown-ms X  quarantine time before a probation\n"
-      "                      request may re-admit the worker (default 250)\n"
-      "  --no-fallback       fail futures instead of degrading to the\n"
-      "                      interpreter when devices are exhausted\n");
-}
+/// Compiles one (unit, configuration) variant through the oracle,
+/// verifies it under the analyze policy (symbolic geometry, assumes
+/// applied), and records — in text mode, prints — the results.
+void analyzeVariant(Program *Prog, TypeContext &Types, MethodDecl *M,
+                    const std::string &Unit, const std::string &ConfigName,
+                    const MemoryConfig &Cfg,
+                    const std::vector<analysis::AssumeFact> &Assumes,
+                    const ocl::DeviceModel &Dev, bool Strict,
+                    AnalyzeSink &Sink) {
+  const bool Text = Sink.Format == driver::FindingsFormat::Text;
+  const std::string Label = Unit + "/" + ConfigName;
 
-int usage() {
-  printUsage(stderr);
-  return 2;
-}
+  analysis::VariantRecord V;
+  V.Unit = Unit;
+  V.Config = ConfigName;
 
-/// Compiles \p M under \p Cfg, runs the verifier, prints each finding
-/// prefixed with \p Label, and accumulates the counts. Compilation
-/// failure prints a note and analyzes nothing.
-void analyzeOne(GpuCompiler &GC, MethodDecl *M, const std::string &Label,
-                const MemoryConfig &Cfg, const analysis::AnalysisOptions &AOpts,
-                unsigned &Analyzed, unsigned &Errors, unsigned &Warnings) {
-  CompiledKernel K = GC.compile(M, Cfg);
+  CompiledKernel K = analysis::oracleCompile(Prog, Types, M, Cfg);
   if (!K.Ok) {
-    std::printf("%s: not offloadable: %s\n", Label.c_str(), K.Error.c_str());
+    V.Error = K.Error;
+    if (Text)
+      std::printf("%s: not offloadable: %s\n", Label.c_str(),
+                  K.Error.c_str());
+    Sink.Variants.push_back(std::move(V));
     return;
   }
-  ++Analyzed;
-  analysis::AnalysisReport R = analysis::analyzeKernel(K, AOpts);
-  for (const analysis::Finding &F : R.Findings)
-    std::printf("%s: %s\n", Label.c_str(), F.str().c_str());
-  Errors += R.errorCount();
-  Warnings += R.warningCount();
+  V.Offloadable = true;
+  V.Kernel = K.Plan.KernelName;
+  V.Placements = analysis::placementRecords(K.Plan);
+
+  analysis::VerifyRequest VR;
+  VR.Kernel = &K;
+  VR.Geometry = analysis::GeometryPolicy::Symbolic;
+  VR.AssumeMode = analysis::AssumePolicy::Apply;
+  VR.Assumes = Assumes;
+  VR.Device = &Dev;
+  VR.StrictWarnings = Strict;
+  analysis::VerifyResult R = analysis::runVerification(VR);
+  V.Findings = R.Report.Findings;
+
+  ++Sink.Totals.Analyzed;
+  Sink.Totals.Errors += R.Report.errorCount();
+  Sink.Totals.Warnings += R.Report.warningCount();
+
+  if (Text) {
+    if (Sink.PrintPlacements)
+      for (const analysis::PlacementRecord &P : V.Placements)
+        std::printf("%s: placement: %s -> %s (%s%s)\n", Label.c_str(),
+                    P.Array.c_str(), P.Space.c_str(), P.Reason.c_str(),
+                    P.Vectorized ? ", vectorized" : "");
+    for (const analysis::Finding &F : V.Findings)
+      std::printf("%s: %s\n", Label.c_str(), F.str().c_str());
+  }
+  Sink.Variants.push_back(std::move(V));
 }
 
 const std::pair<const char *, MemoryConfig> &allConfigs(size_t I) {
@@ -143,14 +138,22 @@ const std::pair<const char *, MemoryConfig> &allConfigs(size_t I) {
   return Configs[I];
 }
 
+/// Exit code for an analyze run: errors always fail; warnings fail
+/// under --analyze-strict.
+int analyzeExitCode(const AnalyzeSink &Sink, bool Strict) {
+  if (Sink.Totals.Errors != 0)
+    return 1;
+  return Strict && Sink.Totals.Warnings != 0 ? 1 : 0;
+}
+
 /// `limec --analyze-workloads`: lint every benchmark in the registry
 /// under every Figure 8 configuration, with each benchmark's default
 /// assume facts (plus any extra --assume facts) and the occupancy
-/// audit against \p Dev. Returns the process exit code.
-int analyzeWorkloads(const std::string &DeviceName,
-                     const std::vector<analysis::AssumeFact> &ExtraAssumes,
-                     bool Strict) {
-  unsigned Analyzed = 0, Errors = 0, Warnings = 0;
+/// audit against the selected device. Returns the process exit code.
+int analyzeWorkloads(const driver::DriverOptions &O) {
+  AnalyzeSink Sink;
+  Sink.Format = O.Format;
+  const ocl::DeviceModel &Dev = ocl::deviceByName(O.Device);
   for (const wl::Workload &W : wl::workloadRegistry()) {
     ASTContext Ctx;
     DiagnosticEngine Diags;
@@ -169,9 +172,7 @@ int analyzeWorkloads(const std::string &DeviceName,
                    W.ClassName.c_str(), W.FilterMethod.c_str());
       return 1;
     }
-    analysis::AnalysisOptions AOpts;
-    AOpts.Device = &ocl::deviceByName(DeviceName);
-    AOpts.Assumes = ExtraAssumes;
+    std::vector<analysis::AssumeFact> Assumes = O.Assumes;
     for (const std::string &Text : W.DefaultAssumes) {
       analysis::AssumeFact Fact;
       std::string Err;
@@ -180,43 +181,23 @@ int analyzeWorkloads(const std::string &DeviceName,
                      W.Id.c_str(), Text.c_str(), Err.c_str());
         return 1;
       }
-      AOpts.Assumes.push_back(std::move(Fact));
+      Assumes.push_back(std::move(Fact));
     }
-    GpuCompiler GC(Prog, Ctx.types());
     for (size_t I = 0; I != 8; ++I)
-      analyzeOne(GC, M, W.Id + "/" + allConfigs(I).first, allConfigs(I).second,
-                 AOpts, Analyzed, Errors, Warnings);
+      analyzeVariant(Prog, Ctx.types(), M, W.Id, allConfigs(I).first,
+                     allConfigs(I).second, Assumes, Dev, O.AnalyzeStrict,
+                     Sink);
   }
-  std::printf("analyzed %u kernel variant(s) across %zu benchmarks: "
-              "%u error(s), %u warning(s)\n",
-              Analyzed, wl::workloadRegistry().size(), Errors, Warnings);
-  if (Errors != 0)
-    return 1;
-  return Strict && Warnings != 0 ? 1 : 0;
-}
-
-bool parseConfig(const std::string &Name, MemoryConfig &Out) {
-  if (Name == "global")
-    Out = MemoryConfig::global();
-  else if (Name == "global+v")
-    Out = MemoryConfig::globalVector();
-  else if (Name == "local")
-    Out = MemoryConfig::local();
-  else if (Name == "local+nc")
-    Out = MemoryConfig::localNoConflict();
-  else if (Name == "local+nc+v")
-    Out = MemoryConfig::localNoConflictVector();
-  else if (Name == "constant")
-    Out = MemoryConfig::constant();
-  else if (Name == "constant+v")
-    Out = MemoryConfig::constantVector();
-  else if (Name == "texture")
-    Out = MemoryConfig::texture();
-  else if (Name == "best")
-    Out = MemoryConfig::best();
+  if (O.Format == driver::FindingsFormat::Json)
+    std::printf("%s", analysis::renderFindingsJson(Sink.Variants,
+                                                   Sink.Totals)
+                          .c_str());
   else
-    return false;
-  return true;
+    std::printf("analyzed %u kernel variant(s) across %zu benchmarks: "
+                "%u error(s), %u warning(s)\n",
+                Sink.Totals.Analyzed, wl::workloadRegistry().size(),
+                Sink.Totals.Errors, Sink.Totals.Warnings);
+  return analyzeExitCode(Sink, O.AnalyzeStrict);
 }
 
 /// Synthesizes a random value of Lime type \p T (arrays get 64-128
@@ -263,143 +244,37 @@ bool splitQualified(const std::string &QName, std::string &Cls,
 } // namespace
 
 int main(int argc, char **argv) {
-  if (argc < 2)
-    return usage();
-
-  std::string Path;
-  std::string Command;
-  std::string Target;
-  std::string Device = "gtx580";
-  MemoryConfig Config = MemoryConfig::best();
-  std::string ConfigName = "best";
-  bool ConfigSet = false;
-  bool Offload = false;
-  bool AnalyzeStrict = false;
-  std::vector<analysis::AssumeFact> Assumes;
-  int ServiceThreads = 0;
-  std::string KernelCacheDir;
-  service::ServiceConfig ServicePolicy; // fault-tolerance knobs
-
-  for (int I = 1; I < argc; ++I) {
-    std::string Arg = argv[I];
-    auto Next = [&]() -> const char * {
-      return I + 1 < argc ? argv[++I] : nullptr;
-    };
-    if (Arg == "--decisions") {
-      Command = "decisions";
-    } else if (Arg == "--dump-ast") {
-      Command = "dump-ast";
-    } else if (Arg == "--emit" || Arg == "--run" || Arg == "--verify" ||
-               Arg == "--tune" || Arg == "--analyze") {
-      Command = Arg.substr(2);
-      const char *T = Next();
-      if (!T)
-        return usage();
-      Target = T;
-    } else if (Arg == "--analyze-workloads") {
-      Command = "analyze-workloads";
-    } else if (Arg == "--help") {
-      printUsage(stdout);
-      return 0;
-    } else if (Arg == "--version") {
-      std::printf("limec (limecc) %s\n", kVersion);
-      return 0;
-    } else if (Arg == "--config") {
-      const char *C = Next();
-      if (!C || !parseConfig(C, Config)) {
-        std::fprintf(stderr, "limec: unknown config\n");
-        return usage();
-      }
-      ConfigName = argv[I];
-      ConfigSet = true;
-    } else if (Arg == "--device") {
-      const char *D = Next();
-      if (!D)
-        return usage();
-      Device = D;
-    } else if (Arg == "--assume") {
-      const char *F = Next();
-      if (!F)
-        return usage();
-      analysis::AssumeFact Fact;
-      std::string Err;
-      if (!analysis::parseAssumeFact(F, Fact, &Err)) {
-        std::fprintf(stderr, "limec: bad --assume '%s': %s\n", F,
-                     Err.c_str());
-        return 2;
-      }
-      Assumes.push_back(std::move(Fact));
-    } else if (Arg == "--analyze-strict") {
-      AnalyzeStrict = true;
-    } else if (Arg == "--offload") {
-      Offload = true;
-    } else if (Arg == "--service-threads") {
-      const char *N = Next();
-      if (!N || std::atoi(N) <= 0) {
-        std::fprintf(stderr, "limec: --service-threads needs a count > 0\n");
-        return usage();
-      }
-      ServiceThreads = std::atoi(N);
-      Offload = true;
-    } else if (Arg == "--kernel-cache") {
-      const char *D = Next();
-      if (!D)
-        return usage();
-      KernelCacheDir = D;
-    } else if (Arg == "--retries") {
-      const char *N = Next();
-      if (!N || std::atoi(N) < 0) {
-        std::fprintf(stderr, "limec: --retries needs a count >= 0\n");
-        return usage();
-      }
-      ServicePolicy.MaxRetries = static_cast<unsigned>(std::atoi(N));
-    } else if (Arg == "--backoff-ms") {
-      const char *X = Next();
-      if (!X || std::atof(X) < 0) {
-        std::fprintf(stderr, "limec: --backoff-ms needs a value >= 0\n");
-        return usage();
-      }
-      ServicePolicy.BackoffBaseMs = std::atof(X);
-    } else if (Arg == "--deadline-ms") {
-      const char *X = Next();
-      if (!X || std::atof(X) <= 0) {
-        std::fprintf(stderr, "limec: --deadline-ms needs a value > 0\n");
-        return usage();
-      }
-      ServicePolicy.LaunchDeadlineMs = std::atof(X);
-    } else if (Arg == "--breaker-threshold") {
-      const char *N = Next();
-      if (!N || std::atoi(N) < 0) {
-        std::fprintf(stderr,
-                     "limec: --breaker-threshold needs a count >= 0\n");
-        return usage();
-      }
-      ServicePolicy.BreakerThreshold = static_cast<unsigned>(std::atoi(N));
-    } else if (Arg == "--breaker-cooldown-ms") {
-      const char *X = Next();
-      if (!X || std::atof(X) < 0) {
-        std::fprintf(stderr,
-                     "limec: --breaker-cooldown-ms needs a value >= 0\n");
-        return usage();
-      }
-      ServicePolicy.BreakerCooldownMs = std::atof(X);
-    } else if (Arg == "--no-fallback") {
-      ServicePolicy.FallbackToInterpreter = false;
-    } else if (Arg[0] == '-') {
-      std::fprintf(stderr, "limec: unknown option '%s'\n", Arg.c_str());
-      return usage();
-    } else {
-      Path = Arg;
-    }
+  driver::DriverOptions O;
+  driver::ParseResult PR;
+  if (argc < 2) {
+    PR.ShowUsage = true;
+  } else {
+    PR = driver::parseDriverOptions(argc, argv, O);
+    if (PR.Ok)
+      PR = driver::validateDriverOptions(O);
   }
-  if (Command == "analyze-workloads")
-    return analyzeWorkloads(Device, Assumes, AnalyzeStrict);
-  if (Path.empty())
-    return usage();
+  if (!PR.Ok) {
+    if (!PR.Error.empty())
+      std::fprintf(stderr, "%s\n", PR.Error.c_str());
+    if (PR.ShowUsage || PR.Error.empty())
+      std::fputs(driver::usageText(), stderr);
+    return 2;
+  }
 
-  std::ifstream In(Path);
+  if (O.Cmd == driver::Command::Help) {
+    std::fputs(driver::usageText(), stdout);
+    return 0;
+  }
+  if (O.Cmd == driver::Command::Version) {
+    std::printf("limec (limecc) %s\n", driver::versionString());
+    return 0;
+  }
+  if (O.Cmd == driver::Command::AnalyzeWorkloads)
+    return analyzeWorkloads(O);
+
+  std::ifstream In(O.Path);
   if (!In) {
-    std::fprintf(stderr, "limec: cannot open '%s'\n", Path.c_str());
+    std::fprintf(stderr, "limec: cannot open '%s'\n", O.Path.c_str());
     return 1;
   }
   std::stringstream Buf;
@@ -418,20 +293,20 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "%s", Diags.dump().c_str());
     return 1;
   }
-  if (Command.empty()) {
-    std::printf("%s: OK (%zu classes)\n", Path.c_str(),
+  if (O.Cmd == driver::Command::Check) {
+    std::printf("%s: OK (%zu classes)\n", O.Path.c_str(),
                 Prog->classes().size());
     return 0;
   }
 
-  if (Command == "dump-ast") {
+  if (O.Cmd == driver::Command::DumpAst) {
     ASTPrintOptions Opts;
     Opts.ShowTypes = true;
     std::printf("%s", printProgram(Prog, Opts).c_str());
     return 0;
   }
 
-  if (Command == "decisions") {
+  if (O.Cmd == driver::Command::Decisions) {
     GpuCompiler GC(Prog, Ctx.types());
     for (ClassDecl *C : Prog->classes()) {
       for (MethodDecl *M : C->methods()) {
@@ -452,66 +327,70 @@ int main(int argc, char **argv) {
   }
 
   std::string Cls, Method;
-  if (!splitQualified(Target, Cls, Method)) {
+  if (!splitQualified(O.Target, Cls, Method)) {
     std::fprintf(stderr, "limec: expected Class.method, got '%s'\n",
-                 Target.c_str());
+                 O.Target.c_str());
     return 1;
   }
   ClassDecl *C = Prog->findClass(Cls);
   MethodDecl *M = C ? C->findMethod(Method) : nullptr;
   if (!M) {
-    std::fprintf(stderr, "limec: no method '%s'\n", Target.c_str());
+    std::fprintf(stderr, "limec: no method '%s'\n", O.Target.c_str());
     return 1;
   }
 
-  if (Command == "analyze") {
-    GpuCompiler GC(Prog, Ctx.types());
-    analysis::AnalysisOptions AOpts;
-    AOpts.Device = &ocl::deviceByName(Device);
-    AOpts.Assumes = Assumes;
-    unsigned Analyzed = 0, Errors = 0, Warnings = 0;
-    if (ConfigSet) {
-      analyzeOne(GC, M, Target + "/" + ConfigName, Config, AOpts, Analyzed,
-                 Errors, Warnings);
+  if (O.Cmd == driver::Command::Analyze) {
+    AnalyzeSink Sink;
+    Sink.Format = O.Format;
+    Sink.PrintPlacements = true;
+    const ocl::DeviceModel &Dev = ocl::deviceByName(O.Device);
+    if (O.ConfigSet) {
+      analyzeVariant(Prog, Ctx.types(), M, O.Target, O.ConfigName, O.Config,
+                     O.Assumes, Dev, O.AnalyzeStrict, Sink);
     } else {
       for (size_t I = 0; I != 8; ++I)
-        analyzeOne(GC, M, Target + "/" + allConfigs(I).first,
-                   allConfigs(I).second, AOpts, Analyzed, Errors, Warnings);
+        analyzeVariant(Prog, Ctx.types(), M, O.Target, allConfigs(I).first,
+                       allConfigs(I).second, O.Assumes, Dev, O.AnalyzeStrict,
+                       Sink);
     }
-    if (Analyzed == 0) {
+    if (O.Format == driver::FindingsFormat::Json)
+      std::printf("%s", analysis::renderFindingsJson(Sink.Variants,
+                                                     Sink.Totals)
+                            .c_str());
+    if (Sink.Totals.Analyzed == 0) {
       std::fprintf(stderr,
                    "limec: %s is not offloadable under any requested "
                    "configuration\n",
-                   Target.c_str());
+                   O.Target.c_str());
       return 1;
     }
-    std::printf("analyzed %u kernel variant(s) of %s: %u error(s), "
-                "%u warning(s)\n",
-                Analyzed, Target.c_str(), Errors, Warnings);
-    if (Errors != 0)
-      return 1;
-    return AnalyzeStrict && Warnings != 0 ? 1 : 0;
+    if (O.Format == driver::FindingsFormat::Text)
+      std::printf("analyzed %u kernel variant(s) of %s: %u error(s), "
+                  "%u warning(s)\n",
+                  Sink.Totals.Analyzed, O.Target.c_str(),
+                  Sink.Totals.Errors, Sink.Totals.Warnings);
+    return analyzeExitCode(Sink, O.AnalyzeStrict);
   }
 
-  if (Command == "emit") {
-    GpuCompiler GC(Prog, Ctx.types());
-    CompiledKernel K = GC.compile(M, Config);
+  if (O.Cmd == driver::Command::Emit) {
+    CompiledKernel K =
+        analysis::oracleCompile(Prog, Ctx.types(), M, O.Config);
     if (!K.Ok) {
       std::fprintf(stderr, "limec: %s is not offloadable: %s\n",
-                   Target.c_str(), K.Error.c_str());
+                   O.Target.c_str(), K.Error.c_str());
       return 1;
     }
     std::printf("%s", K.Source.c_str());
     return 0;
   }
 
-  if (Command == "tune") {
+  if (O.Cmd == driver::Command::Tune) {
     SplitMix64 Rng(0x7E5E);
     std::vector<RtValue> Args;
     for (ParamDecl *P : M->params())
       Args.push_back(randomValueFor(P->type(), Rng));
     rt::OffloadConfig Base;
-    Base.DeviceName = Device;
+    Base.DeviceName = O.Device;
     rt::TuneResult R = rt::autoTune(Prog, Ctx.types(), M, Args, Base);
     if (!R.Ok) {
       std::fprintf(stderr, "limec: tuning failed: %s\n", R.Error.c_str());
@@ -523,41 +402,50 @@ int main(int argc, char **argv) {
         std::printf("%-34s %12.0f%s\n", T.Label.c_str(), T.KernelNs,
                     T.KernelNs == R.BestKernelNs ? "  <= best" : "");
       else
-        std::printf("%-34s %12s\n", T.Label.c_str(), "n/a");
+        std::printf("%-34s %12s\n", T.Label.c_str(),
+                    T.Pruned ? "pruned" : "n/a");
     }
-    std::printf("best for %s on %s: %s @%u\n", Target.c_str(),
-                Device.c_str(), R.Best.Mem.str().c_str(),
+    if (R.Pruned)
+      std::printf("pruned %u occupancy-infeasible point(s) before any "
+                  "build\n",
+                  R.Pruned);
+    std::printf("best for %s on %s: %s @%u\n", O.Target.c_str(),
+                O.Device.c_str(), R.Best.Mem.str().c_str(),
                 R.Best.LocalSize);
     return 0;
   }
 
-  if (Command == "verify") {
+  if (O.Cmd == driver::Command::Verify) {
     // Synthesize random inputs for every worker parameter, then
     // compare the evaluator against the device across several trials.
     SplitMix64 Rng(0xC0FFEE);
     rt::OffloadConfig OC;
-    OC.DeviceName = Device;
-    OC.Mem = Config;
+    OC.DeviceName = O.Device;
+    OC.Mem = O.Config;
 
-    // The kernel verifier runs first: a kernel with error-severity
+    // The kernel verifier runs first, pinned to the launch geometry
+    // this run will actually use: a kernel with error-severity
     // findings is rejected before any trial executes.
     {
-      GpuCompiler GC(Prog, Ctx.types());
-      CompiledKernel K = GC.compile(M, Config);
+      CompiledKernel K =
+          analysis::oracleCompile(Prog, Ctx.types(), M, O.Config);
       if (K.Ok) {
-        analysis::AnalysisOptions AOpts;
-        AOpts.LocalSize = OC.LocalSize;
-        AOpts.MaxGroups = OC.MaxGroups;
-        AOpts.Assumes = Assumes;
-        AOpts.Device = &ocl::deviceByName(Device);
-        analysis::AnalysisReport R = analysis::analyzeKernel(K, AOpts);
-        for (const analysis::Finding &F : R.Findings)
+        analysis::VerifyRequest VR;
+        VR.Kernel = &K;
+        VR.Geometry = analysis::GeometryPolicy::Pinned;
+        VR.LocalSize = OC.LocalSize;
+        VR.MaxGroups = OC.MaxGroups;
+        VR.AssumeMode = analysis::AssumePolicy::Apply;
+        VR.Assumes = O.Assumes;
+        VR.Device = &ocl::deviceByName(O.Device);
+        analysis::VerifyResult R = analysis::runVerification(VR);
+        for (const analysis::Finding &F : R.Report.Findings)
           std::fprintf(stderr, "%s\n", F.str().c_str());
-        if (!R.ok()) {
+        if (!R.Admitted) {
           std::fprintf(stderr,
                        "limec: %s failed kernel verification: %u error "
                        "finding(s)\n",
-                       Target.c_str(), R.errorCount());
+                       O.Target.c_str(), R.Report.errorCount());
           return 1;
         }
       }
@@ -566,7 +454,7 @@ int main(int argc, char **argv) {
     rt::OffloadedFilter Filter(Prog, Ctx.types(), M, OC);
     if (!Filter.ok()) {
       std::fprintf(stderr, "limec: %s is not offloadable: %s\n",
-                   Target.c_str(), Filter.error().c_str());
+                   O.Target.c_str(), Filter.error().c_str());
       return 1;
     }
     Interp I(Prog, Ctx.types());
@@ -611,24 +499,25 @@ int main(int argc, char **argv) {
     }
     std::printf("verified %s on %s (%s): %u random trials agree with the "
                 "evaluator\n",
-                Target.c_str(), Device.c_str(), Config.str().c_str(),
+                O.Target.c_str(), O.Device.c_str(), O.Config.str().c_str(),
                 Trials);
     return 0;
   }
 
-  if (Command == "run") {
+  if (O.Cmd == driver::Command::Run) {
     Interp I(Prog, Ctx.types());
     rt::PipelineConfig PC;
-    PC.OffloadFilters = Offload;
-    PC.Offload.DeviceName = Device;
-    PC.Offload.Mem = Config;
+    PC.OffloadFilters = O.Offload;
+    PC.Offload.DeviceName = O.Device;
+    PC.Offload.Mem = O.Config;
 
     std::unique_ptr<service::OffloadService> Service;
-    if (ServiceThreads > 0) {
-      service::ServiceConfig SC = ServicePolicy;
-      SC.Devices.assign(static_cast<size_t>(ServiceThreads), Device);
-      SC.DiskCacheDir = KernelCacheDir;
-      Service = std::make_unique<service::OffloadService>(Prog, Ctx.types(), SC);
+    if (O.ServiceThreads > 0) {
+      service::ServiceConfig SC = O.ServicePolicy;
+      SC.Devices.assign(static_cast<size_t>(O.ServiceThreads), O.Device);
+      SC.DiskCacheDir = O.KernelCacheDir;
+      Service =
+          std::make_unique<service::OffloadService>(Prog, Ctx.types(), SC);
       if (!Service->ok()) {
         std::fprintf(stderr, "limec: %s\n", Service->configError().c_str());
         return 1;
@@ -655,10 +544,10 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "limec: run failed: %s\n", R.TrapMessage.c_str());
       return 1;
     }
-    std::printf("ran %s: simulated host time %.3f ms\n", Target.c_str(),
+    std::printf("ran %s: simulated host time %.3f ms\n", O.Target.c_str(),
                 I.simTimeNs() / 1e6);
     for (const rt::NodeStats &N : RT.nodeStats()) {
-      if (N.Offloaded && ServiceThreads > 0)
+      if (N.Offloaded && O.ServiceThreads > 0)
         std::printf("  %-26s device (via offload service)\n", N.Name.c_str());
       else if (N.Offloaded)
         std::printf("  %-26s device: kernel %.3f ms, comm %.3f ms\n",
@@ -715,5 +604,6 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  return usage();
+  std::fputs(driver::usageText(), stderr);
+  return 2;
 }

@@ -1,0 +1,281 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the analysis oracle — the query API that feeds proven
+/// facts back into the memory optimizer — and for the unified
+/// runVerification() entry point. The two fixtures pin down both
+/// directions of proof-vs-pattern arbitration: an N-Body-shaped
+/// kernel the syntactic Fig. 5(g) matcher refuses but the oracle
+/// proves uniform (upgraded to __constant), and a control-dependent
+/// index the matcher wrongly accepts but the oracle refutes
+/// (blocked, and flagged by the verifier's [oracle] regression pass
+/// when compiled without the oracle).
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "analysis/AnalysisOracle.h"
+#include "analysis/FindingsJson.h"
+#include "analysis/Verification.h"
+#include "compiler/GpuCompiler.h"
+#include "ocl/DeviceModel.h"
+
+using namespace lime;
+using namespace lime::test;
+
+namespace {
+
+/// N-Body shape: the map source is passed a second time as a whole
+/// array and read uniformly (all[j]) inside the interaction loop.
+/// The syntactic matcher never takes map sources; the oracle proves
+/// the broadcast.
+const char *NBodyLike = R"(
+  class T {
+    static local float body(float[[4]] p, float[[][4]] all) {
+      float s = 0f;
+      for (int j = 0; j < all.length; j++) {
+        float[[4]] q = all[j];
+        s += p[0] * q[0] + p[1] * q[1] + p[2] * q[2] + p[3] * q[3];
+      }
+      return s;
+    }
+    static local float[[]] run(float[[][4]] xs) {
+      return body(xs) @ xs;
+    }
+  }
+)";
+
+/// Control-dependent index: `t` is reassigned under a divergent
+/// branch, so work-items read different elements of `lut`. The
+/// Lime-AST taint matcher only tracks data flow — the literal RHS
+/// keeps `t` "untainted" and the pattern accepts — but the uniformity
+/// analysis over the emitted OpenCL sees the divergent store.
+const char *ControlDependent = R"(
+  class B {
+    static local float pick(float e, float[[]] lut) {
+      int t = 0;
+      if (e > 0.5f) t = 1;
+      return lut[t];
+    }
+    static local float[[]] run(float[[]] xs, float[[]] lut) {
+      return pick(lut) @ xs;
+    }
+  }
+)";
+
+MethodDecl *findWorker(CompiledProgram &CP, const char *Cls,
+                       const char *Method) {
+  ClassDecl *C = CP.Prog->findClass(Cls);
+  return C ? C->findMethod(Method) : nullptr;
+}
+
+const KernelArray *extraArray(const KernelPlan &Plan) {
+  for (const KernelArray &A : Plan.Arrays)
+    if (!A.IsOutput && !A.IsMapSource)
+      return &A;
+  return nullptr;
+}
+
+TEST(AnalysisOracle, ProvesUniformityTheSyntacticMatcherRefuses) {
+  auto CP = compileLime(NBodyLike);
+  ASSERT_COMPILES(CP);
+  TypeContext &Types = CP.Ctx->types();
+  MethodDecl *W = findWorker(CP, "T", "run");
+  ASSERT_NE(W, nullptr);
+
+  analysis::AnalysisOracle O(CP.Prog, Types, W);
+  ASSERT_TRUE(O.valid()) << O.error();
+  EXPECT_EQ(O.isUniformAcrossWorkItems("in0"), FactState::Proven);
+  EXPECT_EQ(O.provenReadOnly("in0"), FactState::Proven);
+  EXPECT_EQ(O.isUniformAcrossWorkItems("no_such_array"), FactState::Unknown);
+
+  // The pattern-only compiler cannot take the map source constant.
+  GpuCompiler GC(CP.Prog, Types);
+  CompiledKernel Plain = GC.compile(W, MemoryConfig::constant());
+  ASSERT_TRUE(Plain.Ok) << Plain.Error;
+  const KernelArray *Src = Plain.Plan.mapSource();
+  ASSERT_NE(Src, nullptr);
+  EXPECT_NE(Src->Space, MemSpace::Constant);
+
+  // The oracle-backed pipeline proves the broadcast and upgrades it.
+  CompiledKernel K =
+      analysis::oracleCompile(CP.Prog, Types, W, MemoryConfig::constant());
+  ASSERT_TRUE(K.Ok) << K.Error;
+  Src = K.Plan.mapSource();
+  ASSERT_NE(Src, nullptr);
+  EXPECT_EQ(Src->Space, MemSpace::Constant);
+  EXPECT_EQ(Src->ConstReason, PlacementReason::ProvenUniform);
+  EXPECT_NE(K.Source.find("__constant"), std::string::npos);
+
+  // The verifier's [oracle] regression pass re-proves the placement
+  // on the final emitted text: the upgraded kernel must stay clean.
+  analysis::AnalysisReport R =
+      analysis::analyzeKernel(K, analysis::AnalysisOptions());
+  EXPECT_EQ(R.errorCount(), 0u) << R.str();
+  EXPECT_EQ(R.warningCount(), 0u) << R.str();
+}
+
+TEST(AnalysisOracle, RefutesControlDependentIndexThePatternAccepts) {
+  auto CP = compileLime(ControlDependent);
+  ASSERT_COMPILES(CP);
+  TypeContext &Types = CP.Ctx->types();
+  MethodDecl *W = findWorker(CP, "B", "run");
+  ASSERT_NE(W, nullptr);
+
+  // The pattern takes lut[t] on faith (t's taint is control-flow
+  // dependent, which the Lime-AST matcher cannot see).
+  GpuCompiler GC(CP.Prog, Types);
+  CompiledKernel Plain = GC.compile(W, MemoryConfig::constant());
+  ASSERT_TRUE(Plain.Ok) << Plain.Error;
+  const KernelArray *Lut = extraArray(Plain.Plan);
+  ASSERT_NE(Lut, nullptr);
+  EXPECT_EQ(Lut->Space, MemSpace::Constant);
+  EXPECT_EQ(Lut->ConstReason, PlacementReason::SyntacticIdiom);
+
+  // The oracle sees the divergent store and refutes.
+  analysis::AnalysisOracle O(CP.Prog, Types, W);
+  ASSERT_TRUE(O.valid()) << O.error();
+  EXPECT_EQ(O.isUniformAcrossWorkItems(Lut->CName), FactState::Refuted);
+
+  CompiledKernel K =
+      analysis::oracleCompile(CP.Prog, Types, W, MemoryConfig::constant());
+  ASSERT_TRUE(K.Ok) << K.Error;
+  const KernelArray *Blocked = extraArray(K.Plan);
+  ASSERT_NE(Blocked, nullptr);
+  EXPECT_EQ(Blocked->Space, MemSpace::Global);
+  EXPECT_EQ(Blocked->ConstReason, PlacementReason::OracleRefused);
+
+  // Regression mode: verifying the pattern-only kernel surfaces the
+  // unproven placement as an [oracle] warning.
+  analysis::AnalysisReport R =
+      analysis::analyzeKernel(Plain, analysis::AnalysisOptions());
+  ASSERT_GE(R.warningCount(), 1u) << R.str();
+  bool SawOracle = false;
+  for (const analysis::Finding &F : R.Findings)
+    if (F.Pass == analysis::passes::Oracle)
+      SawOracle = true;
+  EXPECT_TRUE(SawOracle) << R.str();
+}
+
+TEST(AnalysisOracle, ConstantCapacityEntersTheOccupancyVerdict) {
+  // 20000 floats = 80000 bytes: over every Table 2 device's 64KB of
+  // __constant memory; 16384 floats = 65536 bytes exactly fits.
+  const char *Big = R"(
+    class CC {
+      static local float f(float x, float[[20000]] lut) {
+        return x + lut[1];
+      }
+      static local float[[]] run(float[[]] xs, float[[20000]] lut) {
+        return f(lut) @ xs;
+      }
+    }
+  )";
+  auto CP = compileLime(Big);
+  ASSERT_COMPILES(CP);
+  TypeContext &Types = CP.Ctx->types();
+  MethodDecl *W = findWorker(CP, "CC", "run");
+  ASSERT_NE(W, nullptr);
+  CompiledKernel K =
+      analysis::oracleCompile(CP.Prog, Types, W, MemoryConfig::constant());
+  ASSERT_TRUE(K.Ok) << K.Error;
+  const KernelArray *Lut = extraArray(K.Plan);
+  ASSERT_NE(Lut, nullptr);
+  ASSERT_EQ(Lut->Space, MemSpace::Constant);
+
+  analysis::OccupancyVerdict V = analysis::AnalysisOracle::occupancyVerdict(
+      K.Plan, ocl::deviceByName("gtx580"));
+  EXPECT_FALSE(V.feasible());
+  EXPECT_EQ(V.ConstantBytes, 80000ull);
+  ASSERT_EQ(V.Problems.size(), 1u);
+  EXPECT_EQ(V.Problems[0].Resource, "constant-memory");
+  EXPECT_NE(V.summary().find("constant memory"), std::string::npos);
+}
+
+TEST(Verification, StrictWarningsGateAdmission) {
+  auto CP = compileLime(ControlDependent);
+  ASSERT_COMPILES(CP);
+  TypeContext &Types = CP.Ctx->types();
+  MethodDecl *W = findWorker(CP, "B", "run");
+  GpuCompiler GC(CP.Prog, Types);
+  // Pattern-only compile: carries the unproven __constant placement,
+  // which verifies with an [oracle] warning (not an error).
+  CompiledKernel Plain = GC.compile(W, MemoryConfig::constant());
+  ASSERT_TRUE(Plain.Ok) << Plain.Error;
+
+  analysis::VerifyRequest VR;
+  VR.Kernel = &Plain;
+  analysis::VerifyResult Lenient = analysis::runVerification(VR);
+  EXPECT_GE(Lenient.Report.warningCount(), 1u) << Lenient.Report.str();
+  EXPECT_TRUE(Lenient.Admitted);
+  EXPECT_TRUE(Lenient.GateMessage.empty());
+
+  VR.StrictWarnings = true;
+  analysis::VerifyResult Strict = analysis::runVerification(VR);
+  EXPECT_FALSE(Strict.Admitted);
+  EXPECT_NE(Strict.GateMessage.find("[oracle]"), std::string::npos)
+      << Strict.GateMessage;
+}
+
+TEST(FindingsJson, RendersAStableDocument) {
+  analysis::VariantRecord Good;
+  Good.Unit = "demo";
+  Good.Config = "constant";
+  Good.Offloadable = true;
+  Good.Kernel = "demo_k";
+  Good.Placements.push_back({"in0", "constant", "proven-uniform", true});
+  analysis::Finding F;
+  F.Pass = "bounds";
+  F.Severity = DiagSeverity::Warning;
+  F.Kernel = "demo_k";
+  F.Loc.Line = 3;
+  F.Loc.Column = 7;
+  F.Message = "say \"hi\"\\";
+  Good.Findings.push_back(F);
+
+  analysis::VariantRecord Bad;
+  Bad.Unit = "demo";
+  Bad.Config = "texture";
+  Bad.Error = "not a map";
+
+  analysis::FindingsSummary Sum;
+  Sum.Analyzed = 1;
+  Sum.Warnings = 1;
+
+  const char *Expected =
+      "{\n"
+      "  \"schema\": \"limec-findings-v1\",\n"
+      "  \"variants\": [\n"
+      "    {\n"
+      "      \"unit\": \"demo\",\n"
+      "      \"config\": \"constant\",\n"
+      "      \"offloadable\": true,\n"
+      "      \"kernel\": \"demo_k\",\n"
+      "      \"placements\": [\n"
+      "        {\"array\": \"in0\", \"space\": \"constant\", \"reason\": "
+      "\"proven-uniform\", \"vectorized\": true}\n"
+      "      ],\n"
+      "      \"findings\": [\n"
+      "        {\"pass\": \"bounds\", \"severity\": \"warning\", \"kernel\": "
+      "\"demo_k\", \"line\": 3, \"col\": 7, \"message\": "
+      "\"say \\\"hi\\\"\\\\\"}\n"
+      "      ]\n"
+      "    },\n"
+      "    {\n"
+      "      \"unit\": \"demo\",\n"
+      "      \"config\": \"texture\",\n"
+      "      \"offloadable\": false,\n"
+      "      \"error\": \"not a map\"\n"
+      "    }\n"
+      "  ],\n"
+      "  \"summary\": {\"analyzed\": 1, \"errors\": 0, \"warnings\": 1}\n"
+      "}\n";
+  EXPECT_EQ(analysis::renderFindingsJson({Good, Bad}, Sum), Expected);
+}
+
+} // namespace

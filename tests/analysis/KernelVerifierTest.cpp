@@ -13,6 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/AnalysisOracle.h"
 #include "analysis/KernelVerifier.h"
 #include "compiler/GpuCompiler.h"
 #include "lime/parser/Parser.h"
@@ -558,6 +559,74 @@ TEST(KernelVerifier, CleanOnAllWorkloadsAllConfigs) {
   // And the warnings do materialize — the sweep is not vacuous.
   EXPECT_GT(WarningsByWorkload["rpes"], 0u);
   EXPECT_GT(WarningsByWorkload["crypt"], 0u);
+}
+
+TEST(KernelVerifier, CleanOnAllWorkloadsAllConfigsWithOracle) {
+  // Same sweep as above, but through the production compile path
+  // (analysis::oracleCompile): the oracle's proven placements —
+  // including the map-source upgrades the syntactic matcher cannot
+  // take — must all re-verify clean, and every __constant placement
+  // the oracle blessed must carry its proof in the plan.
+  const std::pair<const char *, MemoryConfig> Configs[] = {
+      {"global", MemoryConfig::global()},
+      {"global+v", MemoryConfig::globalVector()},
+      {"local", MemoryConfig::local()},
+      {"local+nc", MemoryConfig::localNoConflict()},
+      {"local+nc+v", MemoryConfig::localNoConflictVector()},
+      {"constant", MemoryConfig::constant()},
+      {"constant+v", MemoryConfig::constantVector()},
+      {"texture", MemoryConfig::texture()}};
+
+  unsigned MapSourceUpgrades = 0;
+  for (const wl::Workload &W : wl::workloadRegistry()) {
+    ASTContext Ctx;
+    DiagnosticEngine Diags;
+    Parser P(W.LimeSource, Ctx, Diags);
+    Program *Prog = P.parseProgram();
+    Sema S(Ctx, Diags);
+    ASSERT_TRUE(S.check(Prog)) << W.Id << ": " << Diags.dump();
+    MethodDecl *Filter =
+        Prog->findClass(W.ClassName)->findMethod(W.FilterMethod);
+    ASSERT_NE(Filter, nullptr) << W.Id;
+
+    AnalysisOptions Opts;
+    Opts.Device = &ocl::deviceByName("gtx580");
+    for (const std::string &Text : W.DefaultAssumes) {
+      AssumeFact Fact;
+      std::string Err;
+      ASSERT_TRUE(parseAssumeFact(Text, Fact, &Err))
+          << W.Id << " assume '" << Text << "': " << Err;
+      Opts.Assumes.push_back(std::move(Fact));
+    }
+
+    for (const auto &[Name, Config] : Configs) {
+      CompiledKernel K = oracleCompile(Prog, Ctx.types(), Filter, Config);
+      ASSERT_TRUE(K.Ok) << W.Id << "/" << Name << ": " << K.Error;
+      AnalysisReport R = analyzeKernel(K, Opts);
+      EXPECT_EQ(R.errorCount(), 0u)
+          << W.Id << "/" << Name << " findings:\n"
+          << R.str() << "\nkernel:\n"
+          << K.Source;
+      EXPECT_EQ(R.warningCount(), 0u)
+          << W.Id << "/" << Name << " findings:\n"
+          << R.str() << "\nkernel:\n"
+          << K.Source;
+      for (const KernelArray &A : K.Plan.Arrays) {
+        if (A.IsOutput || A.Space != MemSpace::Constant)
+          continue;
+        // Oracle-backed compiles never place __constant on syntax
+        // alone: every placement carries a proof.
+        EXPECT_EQ(A.ConstReason, PlacementReason::ProvenUniform)
+            << W.Id << "/" << Name << " array " << A.CName;
+        if (A.IsMapSource)
+          ++MapSourceUpgrades;
+      }
+    }
+  }
+  // The headline win: at least one workload (N-Body) gains a proven
+  // __constant placement on its map source, which the Fig. 5(g)
+  // pattern categorically refuses.
+  EXPECT_GT(MapSourceUpgrades, 0u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,135 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the auto-tuner's occupancy pruning: sweep points whose
+/// static resource appetite cannot fit the device at the requested
+/// group size are skipped before any kernel is built or benchmarked,
+/// and the pruning never changes which feasible configuration wins.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "runtime/AutoTuner.h"
+#include "support/Random.h"
+#include "workloads/Driver.h"
+
+using namespace lime;
+using namespace lime::rt;
+using namespace lime::test;
+
+namespace {
+
+/// Mosaic-shaped: each work-item stages its 64-scalar element in a
+/// private scratch array (256 bytes per work-item). On gtx8800
+/// (32KB register file per SM) a 256-wide group needs 64KB of
+/// registers — infeasible — while 128 and below fit exactly.
+const char *PrivateHeavy = R"(
+  class PT {
+    static local float score(float[[64]] tile, float[[][64]] lib) {
+      float[] my = new float[64];
+      for (int k = 0; k < 64; k++) my[k] = tile[k];
+      float best = 0f;
+      for (int j = 0; j < lib.length; j++) {
+        float s = 0f;
+        for (int k = 0; k < 64; k++) {
+          float d = my[k] - lib[j][k];
+          s += d * d;
+        }
+        best += s;
+      }
+      return best;
+    }
+    static local float[[]] run(float[[][64]] tiles, float[[][64]] lib) {
+      return score(lib) @ tiles;
+    }
+  }
+)";
+
+struct Fixture {
+  CompiledProgram CP;
+  MethodDecl *W = nullptr;
+  std::vector<RtValue> Args;
+};
+
+Fixture makeFixture() {
+  Fixture F;
+  F.CP = compileLime(PrivateHeavy);
+  if (!F.CP.Ok)
+    return F;
+  TypeContext &Types = F.CP.Ctx->types();
+  SplitMix64 Rng(17);
+  std::vector<float> Tiles(8 * 64), Lib(8 * 64);
+  for (float &V : Tiles)
+    V = Rng.nextFloat(-1.0f, 1.0f);
+  for (float &V : Lib)
+    V = Rng.nextFloat(-1.0f, 1.0f);
+  F.Args.push_back(wl::makeFloatMatrix(Types, Tiles, 64));
+  F.Args.push_back(wl::makeFloatMatrix(Types, Lib, 64));
+  F.W = F.CP.Prog->findClass("PT")->findMethod("run");
+  return F;
+}
+
+TEST(AutoTunerPrune, SkipsOccupancyInfeasiblePointsBeforeAnyBuild) {
+  Fixture F = makeFixture();
+  ASSERT_COMPILES(F.CP);
+  ASSERT_NE(F.W, nullptr);
+
+  OffloadConfig Base;
+  Base.DeviceName = "gtx8800";
+  TuneResult R = autoTune(F.CP.Prog, F.CP.Ctx->types(), F.W, F.Args, Base);
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  // Pruned points still appear in the trial table (the sweep shape is
+  // unchanged), marked pruned with the verdict as their error.
+  EXPECT_EQ(R.Trials.size(), 8u * 4u);
+  EXPECT_GT(R.Pruned, 0u);
+  unsigned PrunedSeen = 0;
+  for (const TuneTrial &T : R.Trials) {
+    if (!T.Pruned)
+      continue;
+    ++PrunedSeen;
+    // 256 x 256B = 64KB of registers > gtx8800's 32KB file; every
+    // smaller group fits, so exactly the @256 column is pruned.
+    EXPECT_EQ(T.LocalSize, 256u) << T.Label;
+    EXPECT_FALSE(T.Valid) << T.Label;
+    EXPECT_EQ(T.KernelNs, 0.0) << T.Label;
+    EXPECT_NE(T.Error.find("occupancy"), std::string::npos) << T.Error;
+    EXPECT_NE(T.Error.find("registers"), std::string::npos) << T.Error;
+  }
+  EXPECT_EQ(PrunedSeen, R.Pruned);
+  EXPECT_EQ(R.Pruned, 8u);
+}
+
+TEST(AutoTunerPrune, PruningDoesNotChangeTheWinner) {
+  Fixture F = makeFixture();
+  ASSERT_COMPILES(F.CP);
+  ASSERT_NE(F.W, nullptr);
+
+  OffloadConfig Base;
+  Base.DeviceName = "gtx8800";
+  TuneResult Pruned =
+      autoTune(F.CP.Prog, F.CP.Ctx->types(), F.W, F.Args, Base);
+  TuneOptions Off;
+  Off.PruneInfeasible = false;
+  TuneResult Full =
+      autoTune(F.CP.Prog, F.CP.Ctx->types(), F.W, F.Args, Base, Off);
+  ASSERT_TRUE(Pruned.Ok) << Pruned.Error;
+  ASSERT_TRUE(Full.Ok) << Full.Error;
+  EXPECT_EQ(Full.Pruned, 0u);
+  for (const TuneTrial &T : Full.Trials)
+    EXPECT_FALSE(T.Pruned) << T.Label;
+
+  // The winner must come from the feasible region either way: the
+  // pruned sweep and the exhaustive sweep agree.
+  EXPECT_EQ(Pruned.Best.Mem.str(), Full.Best.Mem.str());
+  EXPECT_EQ(Pruned.Best.LocalSize, Full.Best.LocalSize);
+  EXPECT_EQ(Pruned.BestKernelNs, Full.BestKernelNs);
+}
+
+} // namespace

@@ -1,0 +1,214 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for limec's DriverOptions: one parse path, one validate
+/// path, coherent conflict diagnostics — exercised in-process, no
+/// subprocess needed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tools/DriverOptions.h"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <vector>
+
+using namespace lime;
+using namespace lime::driver;
+
+namespace {
+
+ParseResult parseArgs(std::initializer_list<const char *> Args,
+                      DriverOptions &O) {
+  std::vector<const char *> V{"limec"};
+  V.insert(V.end(), Args.begin(), Args.end());
+  return parseDriverOptions(static_cast<int>(V.size()),
+                            const_cast<char **>(V.data()), O);
+}
+
+/// Parse then validate; both must pass for Ok.
+ParseResult parseAndValidate(std::initializer_list<const char *> Args,
+                             DriverOptions &O) {
+  ParseResult R = parseArgs(Args, O);
+  if (!R.Ok)
+    return R;
+  return validateDriverOptions(O);
+}
+
+TEST(DriverOptions, ParsesAFullAnalyzeInvocation) {
+  DriverOptions O;
+  ParseResult R = parseAndValidate(
+      {"prog.lime", "--analyze", "C.m", "--config", "constant+v", "--device",
+       "gtx8800", "--analyze-strict", "--findings-format", "json"},
+      O);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(O.Cmd, Command::Analyze);
+  EXPECT_EQ(O.Path, "prog.lime");
+  EXPECT_EQ(O.Target, "C.m");
+  EXPECT_EQ(O.ConfigName, "constant+v");
+  EXPECT_TRUE(O.ConfigSet);
+  EXPECT_TRUE(O.Config.AllowConstant);
+  EXPECT_TRUE(O.Config.Vectorize);
+  EXPECT_EQ(O.Device, "gtx8800");
+  EXPECT_TRUE(O.AnalyzeStrict);
+  EXPECT_EQ(O.Format, FindingsFormat::Json);
+}
+
+TEST(DriverOptions, AcceptsEqualsSyntaxForValues) {
+  DriverOptions O;
+  ParseResult R = parseAndValidate(
+      {"--analyze-workloads", "--findings-format=json", "--device=gtx580"},
+      O);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(O.Cmd, Command::AnalyzeWorkloads);
+  EXPECT_EQ(O.Format, FindingsFormat::Json);
+  EXPECT_EQ(O.Device, "gtx580");
+
+  DriverOptions O2;
+  ParseResult Bad = parseArgs({"--analyze-workloads", "--offload=yes"}, O2);
+  EXPECT_FALSE(Bad.Ok);
+  EXPECT_NE(Bad.Error.find("does not take a value"), std::string::npos)
+      << Bad.Error;
+}
+
+TEST(DriverOptions, RejectsUnknownFindingsFormat) {
+  DriverOptions O;
+  ParseResult R = parseArgs({"--analyze-workloads", "--findings-format=xml"},
+                            O);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("text or json"), std::string::npos) << R.Error;
+}
+
+TEST(DriverOptions, RejectsTwoCommands) {
+  DriverOptions O;
+  ParseResult R =
+      parseArgs({"p.lime", "--emit", "C.m", "--run", "C.m"}, O);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("--run"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("--emit"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("one command"), std::string::npos) << R.Error;
+}
+
+TEST(DriverOptions, KernelCacheNeedsServiceMode) {
+  DriverOptions O;
+  ParseResult R = parseAndValidate(
+      {"p.lime", "--run", "C.m", "--kernel-cache", "/tmp/kc"}, O);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("--kernel-cache"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("--service-threads"), std::string::npos) << R.Error;
+}
+
+TEST(DriverOptions, FaultToleranceFlagsNeedServiceMode) {
+  DriverOptions O;
+  ParseResult R =
+      parseAndValidate({"p.lime", "--run", "C.m", "--retries", "5"}, O);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("--retries"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("service-mode"), std::string::npos) << R.Error;
+
+  // With the service they are accepted and recorded.
+  DriverOptions O2;
+  ParseResult R2 = parseAndValidate({"p.lime", "--run", "C.m",
+                                     "--service-threads", "2", "--retries",
+                                     "5", "--no-fallback"},
+                                    O2);
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_EQ(O2.ServiceThreads, 2);
+  EXPECT_TRUE(O2.Offload); // --service-threads implies --offload
+  EXPECT_EQ(O2.ServicePolicy.MaxRetries, 5u);
+  EXPECT_FALSE(O2.ServicePolicy.FallbackToInterpreter);
+}
+
+TEST(DriverOptions, OffloadOnlyAppliesToRun) {
+  DriverOptions O;
+  ParseResult R =
+      parseAndValidate({"p.lime", "--analyze", "C.m", "--offload"}, O);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("--offload"), std::string::npos) << R.Error;
+}
+
+TEST(DriverOptions, ConfigConflictsWithWorkloadSweep) {
+  DriverOptions O;
+  ParseResult R =
+      parseAndValidate({"--analyze-workloads", "--config", "local"}, O);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("--config"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("Figure 8"), std::string::npos) << R.Error;
+}
+
+TEST(DriverOptions, WorkloadSweepTakesNoInputFile) {
+  DriverOptions O;
+  ParseResult R = parseAndValidate({"p.lime", "--analyze-workloads"}, O);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("p.lime"), std::string::npos) << R.Error;
+}
+
+TEST(DriverOptions, StrictAndFormatOnlyApplyToAnalyzeCommands) {
+  DriverOptions O;
+  ParseResult R =
+      parseAndValidate({"p.lime", "--emit", "C.m", "--analyze-strict"}, O);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("--analyze-strict"), std::string::npos) << R.Error;
+
+  DriverOptions O2;
+  ParseResult R2 = parseAndValidate(
+      {"p.lime", "--emit", "C.m", "--findings-format", "json"}, O2);
+  EXPECT_FALSE(R2.Ok);
+  EXPECT_NE(R2.Error.find("--findings-format"), std::string::npos)
+      << R2.Error;
+}
+
+TEST(DriverOptions, FileCommandsRequireAnInputFile) {
+  DriverOptions O;
+  ParseResult R = parseAndValidate({"--emit", "C.m"}, O);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.ShowUsage);
+}
+
+TEST(DriverOptions, HelpShortCircuitsParsing) {
+  DriverOptions O;
+  // Arguments after --help are not inspected (matching common CLIs).
+  ParseResult R = parseArgs({"--help", "--definitely-not-a-flag"}, O);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(O.Cmd, Command::Help);
+  EXPECT_TRUE(validateDriverOptions(O).Ok);
+}
+
+TEST(DriverOptions, UnknownOptionShowsUsage) {
+  DriverOptions O;
+  ParseResult R = parseArgs({"p.lime", "--frobnicate"}, O);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.ShowUsage);
+  EXPECT_NE(R.Error.find("--frobnicate"), std::string::npos) << R.Error;
+}
+
+TEST(DriverOptions, RejectsTwoInputFiles) {
+  DriverOptions O;
+  ParseResult R = parseArgs({"a.lime", "b.lime"}, O);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("a.lime"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("b.lime"), std::string::npos) << R.Error;
+}
+
+TEST(DriverOptions, AssumeFactsAccumulate) {
+  DriverOptions O;
+  ParseResult R = parseAndValidate({"p.lime", "--analyze", "C.m", "--assume",
+                                    "n > 0", "--assume", "len(xs) == 64"},
+                                   O);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(O.Assumes.size(), 2u);
+
+  DriverOptions O2;
+  ParseResult Bad =
+      parseArgs({"p.lime", "--analyze", "C.m", "--assume", "gibberish"}, O2);
+  EXPECT_FALSE(Bad.Ok);
+  EXPECT_NE(Bad.Error.find("--assume"), std::string::npos) << Bad.Error;
+}
+
+} // namespace
