@@ -12,14 +12,23 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
 #include "compiler/GpuCompiler.h"
 #include "lime/parser/Parser.h"
 #include "lime/sema/Sema.h"
 #include "ocl/CL.h"
+#include "ocl/Jit.h"
 #include "runtime/Serializer.h"
+#include "workloads/Driver.h"
 #include "workloads/Workloads.h"
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 
 using namespace lime;
 
@@ -151,6 +160,154 @@ void BM_WireDeserialize(benchmark::State &State) {
 }
 BENCHMARK(BM_WireDeserialize);
 
+//===----------------------------------------------------------------------===//
+// jit_vs_interp: per-workload native-JIT speedup over the interpreter
+// (host wall-clock inside the simulator's dispatch loop; simulated
+// time is engine-invariant). Also reports per-kernel compile cost
+// against the 150 ms budget and writes BENCH_jit.json.
+//===----------------------------------------------------------------------===//
+
+struct JitBenchRow {
+  std::string Id;
+  bool LibmSaturated = false; // reported but excluded from the gate
+  double JitMs = 0.0;
+  double InterpMs = 0.0;
+  double CompileMs = 0.0; // worst kernel of the workload
+  size_t CodeBytes = 0;   // summed over the workload's kernels
+  double speedup() const { return JitMs > 0 ? InterpMs / JitMs : 0.0; }
+};
+
+/// One engine measurement: best-of-\p Reps wall dispatch time.
+double measureWall(const wl::Workload &W, double Scale, bool Jit,
+                   unsigned Reps, std::string &Err) {
+  ocl::setJitEnabled(Jit);
+  double Best = 0.0;
+  for (unsigned R = 0; R < Reps; ++R) {
+    wl::GeneratedKernelRun Run =
+        wl::runGeneratedKernel(W, "gtx580", MemoryConfig::global(), Scale);
+    if (!Run.ok()) {
+      Err = Run.Error;
+      return 0.0;
+    }
+    if (R == 0 || Run.WallDispatchMs < Best)
+      Best = Run.WallDispatchMs;
+  }
+  return Best;
+}
+
+int runJitVsInterp(int Argc, char **Argv) {
+  const char *Ids[] = {"nbody_sp", "nbody_dp", "mosaic",    "cp",       "mriq",
+                       "rpes",     "crypt",    "series_sp", "series_dp"};
+  // Both engines must produce bit-identical results, so transcendentals
+  // go through the very same libm calls in native and interpreted code.
+  // The Series kernels are one sin/cos evaluation per element with
+  // trivial surrounding arithmetic: as the problem scales up, both
+  // engines converge to the same wall time (measured 1.06x at 3x
+  // scale), i.e. the row measures libm, not engine dispatch. They are
+  // reported below but excluded from the map/reduce speedup gate.
+  const char *LibmSaturatedIds[] = {"series_sp", "series_dp"};
+  const unsigned Reps = 3;
+  const bool SavedJit = ocl::jitEnabled();
+  std::vector<JitBenchRow> Rows;
+  std::printf("%-12s %12s %12s %9s %12s %10s\n", "workload", "interp ms",
+              "jit ms", "speedup", "compile ms", "code B");
+  lime::bench::hr();
+  for (const char *Id : Ids) {
+    const wl::Workload &W = wl::workloadById(Id);
+    double Scale = lime::bench::benchScale(Id, Argc, Argv);
+    JitBenchRow Row;
+    Row.Id = Id;
+    for (const char *L : LibmSaturatedIds)
+      Row.LibmSaturated |= Row.Id == L;
+    std::string Err;
+    ocl::resetJitStats();
+    Row.JitMs = measureWall(W, Scale, true, Reps, Err);
+    for (const ocl::JitKernelStats &S : ocl::jitStatsSnapshot()) {
+      if (!S.DeoptReason.empty()) {
+        std::fprintf(stderr, "%s: kernel '%s' deopted: %s\n", Id,
+                     S.Kernel.c_str(), S.DeoptReason.c_str());
+        Err = "kernel deopted";
+      }
+      Row.CompileMs = std::max(Row.CompileMs, S.CompileMs);
+      Row.CodeBytes += S.CodeBytes;
+    }
+    if (Err.empty())
+      Row.InterpMs = measureWall(W, Scale, false, Reps, Err);
+    ocl::setJitEnabled(SavedJit);
+    if (!Err.empty()) {
+      std::fprintf(stderr, "%s: %s\n", Id, Err.c_str());
+      return 1;
+    }
+    std::printf("%-12s %12.3f %12.3f %8.2fx%s %11.3f %10zu\n", Id,
+                Row.InterpMs, Row.JitMs, Row.speedup(),
+                Row.LibmSaturated ? "*" : " ", Row.CompileMs, Row.CodeBytes);
+    Rows.push_back(Row);
+  }
+
+  double GatedLogSum = 0.0, AllLogSum = 0.0;
+  unsigned GatedCount = 0;
+  double WorstCompile = 0.0;
+  for (const JitBenchRow &R : Rows) {
+    AllLogSum += std::log(R.speedup());
+    if (!R.LibmSaturated) {
+      GatedLogSum += std::log(R.speedup());
+      ++GatedCount;
+    }
+    WorstCompile = std::max(WorstCompile, R.CompileMs);
+  }
+  double Geomean = std::exp(GatedLogSum / static_cast<double>(GatedCount));
+  double AllGeomean = std::exp(AllLogSum / static_cast<double>(Rows.size()));
+  lime::bench::hr();
+  std::printf("geomean speedup (map/reduce workloads): %.2fx   "
+              "(all, incl. libm-saturated*): %.2fx\n",
+              Geomean, AllGeomean);
+  std::printf("worst kernel compile: %.3f ms (budget 150 ms)\n", WorstCompile);
+  std::printf("* libm-saturated: both engines spend ~all wall time inside "
+              "identical libm calls\n  (bit-exact parity); reported but not "
+              "gated.\n");
+
+  std::ofstream Json("BENCH_jit.json");
+  Json << "{\n  \"benchmark\": \"jit_vs_interp\",\n  \"device\": "
+          "\"gtx580\",\n  \"workloads\": [\n";
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const JitBenchRow &R = Rows[I];
+    Json << "    {\"id\": \"" << R.Id << "\", \"interp_ms\": " << R.InterpMs
+         << ", \"jit_ms\": " << R.JitMs << ", \"speedup\": " << R.speedup()
+         << ", \"compile_ms\": " << R.CompileMs
+         << ", \"code_bytes\": " << R.CodeBytes << ", \"libm_saturated\": "
+         << (R.LibmSaturated ? "true" : "false") << "}"
+         << (I + 1 < Rows.size() ? "," : "") << "\n";
+  }
+  Json << "  ],\n  \"geomean_speedup\": " << Geomean
+       << ",\n  \"geomean_speedup_all\": " << AllGeomean
+       << ",\n  \"worst_compile_ms\": " << WorstCompile
+       << ",\n  \"compile_budget_ms\": 150\n}\n";
+  std::printf("wrote BENCH_jit.json\n");
+
+  // Regression gates: every kernel compiles within budget, and the
+  // native engine actually pays off on the map/reduce workloads.
+  if (WorstCompile >= 150.0) {
+    std::fprintf(stderr, "FAIL: kernel compile time %.3f ms exceeds the "
+                 "150 ms budget\n", WorstCompile);
+    return 1;
+  }
+  if (Geomean < 3.0) {
+    std::fprintf(stderr, "FAIL: map/reduce geomean speedup %.2fx below the "
+                 "3x bar\n", Geomean);
+    return 1;
+  }
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  if (argc > 1 && std::strcmp(argv[1], "jit_vs_interp") == 0)
+    return runJitVsInterp(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

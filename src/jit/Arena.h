@@ -1,0 +1,78 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump allocator for the JIT IR. Nodes are allocated in large
+/// chunks and freed wholesale when the arena dies — IR objects are
+/// PODs linked by raw pointers, so no destructors run (the Liric
+/// pattern: IR lifetime == compilation lifetime).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_JIT_ARENA_H
+#define LIMECC_JIT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace lime::jit {
+
+class Arena {
+public:
+  explicit Arena(size_t ChunkBytes = 64 * 1024) : ChunkBytes(ChunkBytes) {}
+
+  /// Allocates uninitialized storage for one T (trivially destructible
+  /// by construction of the IR).
+  template <typename T, typename... Args> T *make(Args &&...A) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena nodes must not need destructors");
+    void *P = allocate(sizeof(T), alignof(T));
+    return new (P) T(std::forward<Args>(A)...);
+  }
+
+  /// Allocates an array of N Ts, value-initialized.
+  template <typename T> T *makeArray(size_t N) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena nodes must not need destructors");
+    if (N == 0)
+      return nullptr;
+    void *P = allocate(sizeof(T) * N, alignof(T));
+    return new (P) T[N]();
+  }
+
+  void *allocate(size_t Bytes, size_t Align) {
+    size_t Cur = reinterpret_cast<uintptr_t>(Next);
+    size_t Aligned = (Cur + Align - 1) & ~(Align - 1);
+    if (!Next || Aligned + Bytes > reinterpret_cast<uintptr_t>(End)) {
+      size_t Want = Bytes + Align > ChunkBytes ? Bytes + Align : ChunkBytes;
+      Chunks.push_back(std::make_unique<uint8_t[]>(Want));
+      Next = Chunks.back().get();
+      End = Next + Want;
+      Cur = reinterpret_cast<uintptr_t>(Next);
+      Aligned = (Cur + Align - 1) & ~(Align - 1);
+    }
+    Next = reinterpret_cast<uint8_t *>(Aligned + Bytes);
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  size_t bytesAllocated() const { return Chunks.size() * ChunkBytes; }
+
+private:
+  size_t ChunkBytes;
+  std::vector<std::unique_ptr<uint8_t[]>> Chunks;
+  uint8_t *Next = nullptr;
+  uint8_t *End = nullptr;
+};
+
+} // namespace lime::jit
+
+#endif // LIMECC_JIT_ARENA_H

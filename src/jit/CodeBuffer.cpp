@@ -1,0 +1,59 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/CodeBuffer.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LIMECC_JIT_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+using namespace lime::jit;
+
+CodeBuffer::~CodeBuffer() {
+#if LIMECC_JIT_HAVE_MMAP
+  if (Base)
+    ::munmap(Base, Capacity);
+#endif
+}
+
+bool CodeBuffer::allocate(size_t Bytes) {
+#if LIMECC_JIT_HAVE_MMAP
+  if (Base || Bytes == 0)
+    return false;
+  long Page = ::sysconf(_SC_PAGESIZE);
+  if (Page <= 0)
+    Page = 4096;
+  size_t Rounded =
+      (Bytes + static_cast<size_t>(Page) - 1) & ~(static_cast<size_t>(Page) - 1);
+  void *P = ::mmap(nullptr, Rounded, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    return false;
+  Base = static_cast<uint8_t *>(P);
+  Capacity = Rounded;
+  Finalized = false;
+  return true;
+#else
+  (void)Bytes;
+  return false;
+#endif
+}
+
+bool CodeBuffer::finalize() {
+#if LIMECC_JIT_HAVE_MMAP
+  if (!Base || Finalized)
+    return false;
+  if (::mprotect(Base, Capacity, PROT_READ | PROT_EXEC) != 0)
+    return false;
+  Finalized = true;
+  return true;
+#else
+  return false;
+#endif
+}

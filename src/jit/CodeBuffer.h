@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An mmap'd executable code buffer with W^X discipline: bytes are
+/// emitted while the mapping is read-write, then finalize() flips it
+/// to read-execute in place. The mapping is released on destruction,
+/// so a shared_ptr<CodeBuffer> is the lifetime anchor for every
+/// function pointer into it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_JIT_CODEBUFFER_H
+#define LIMECC_JIT_CODEBUFFER_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lime::jit {
+
+class CodeBuffer {
+public:
+  CodeBuffer() = default;
+  ~CodeBuffer();
+  CodeBuffer(const CodeBuffer &) = delete;
+  CodeBuffer &operator=(const CodeBuffer &) = delete;
+
+  /// Maps \p Bytes (rounded up to whole pages) read-write. Returns
+  /// false when the platform has no mmap or the mapping fails.
+  bool allocate(size_t Bytes);
+
+  /// Flips the mapping to read-execute. No writes are legal after
+  /// this. Returns false if mprotect fails.
+  bool finalize();
+
+  bool writable() const { return Base && !Finalized; }
+  bool executable() const { return Base && Finalized; }
+
+  uint8_t *data() { return Base; }
+  const uint8_t *data() const { return Base; }
+  size_t capacity() const { return Capacity; }
+
+private:
+  uint8_t *Base = nullptr;
+  size_t Capacity = 0;
+  bool Finalized = false;
+};
+
+} // namespace lime::jit
+
+#endif // LIMECC_JIT_CODEBUFFER_H

@@ -1,0 +1,1040 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR -> x86-64. The emitted function has signature
+/// `uint32_t entry(JitExecContext *)` and runs one warp until it
+/// retires, parks at a barrier, or faults — mirroring
+/// SimDevice::runWarp instruction for instruction.
+///
+/// Register plan (all callee-saved, live across helper calls):
+///   rbx = JitExecContext*        rbp = JitWarp*
+///   r13 = register-file base     r15 = block active mask
+///   r14 = remaining-lanes mask   r12 = current lane index
+/// rax/rcx/rdx and xmm0/xmm1 are per-operation scratch.
+///
+/// A lane's register slot lives at [r13 + r12*8 + Reg*WarpWidth*8],
+/// i.e. warp lanes are contiguous per-lane slots walked by bsf over
+/// the active mask — divergence costs nothing when a lane is off.
+/// Float slots hold doubles (the VM's Slot union); F32 ops narrow to
+/// single precision exactly where the interpreter does, so results
+/// are bit-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jit/JitCompiler.h"
+
+#include "jit/CodeBuffer.h"
+#include "jit/Lowering.h"
+#include "jit/X64Emitter.h"
+#include "ocl/DeviceModel.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+using namespace lime;
+using namespace lime::jit;
+using namespace lime::ocl;
+using namespace lime::ocl::jitabi;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// libm trampolines
+//===----------------------------------------------------------------------===//
+// The interpreter evaluates transcendentals through std::sin & co;
+// calling the very same functions keeps results bit-identical. The
+// float overloads matter: F32 fmod/min/max round through fmodf etc.
+
+double jitSin(double X) { return std::sin(X); }
+double jitCos(double X) { return std::cos(X); }
+double jitTan(double X) { return std::tan(X); }
+double jitExp(double X) { return std::exp(X); }
+double jitLog(double X) { return std::log(X); }
+double jitFloor(double X) { return std::floor(X); }
+double jitPow(double X, double Y) { return std::pow(X, Y); }
+double jitFmod(double X, double Y) { return std::fmod(X, Y); }
+double jitFmin(double X, double Y) { return std::fmin(X, Y); }
+double jitFmax(double X, double Y) { return std::fmax(X, Y); }
+float jitFmodF(float X, float Y) { return std::fmod(X, Y); }
+float jitFminF(float X, float Y) { return std::fmin(X, Y); }
+float jitFmaxF(float X, float Y) { return std::fmax(X, Y); }
+
+bool isFloatTy(ValType T) { return T == ValType::F32 || T == ValType::F64; }
+
+bool isUnsignedTy(ValType T) {
+  return T == ValType::U8 || T == ValType::U32 || T == ValType::U64;
+}
+
+uint64_t bitsOf(double D) {
+  uint64_t B;
+  std::memcpy(&B, &D, 8);
+  return B;
+}
+
+template <typename Fn> uint64_t fnAddr(Fn *F) {
+  return reinterpret_cast<uint64_t>(F);
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel emitter
+//===----------------------------------------------------------------------===//
+
+class KernelEmitter {
+public:
+  KernelEmitter(const IRFunction &F, unsigned WarpWidth,
+                const HelperTable &Helpers)
+      : F(F), K(*F.Kernel), W(WarpWidth), H(Helpers) {}
+
+  /// Emits the whole function; returns false only on internal
+  /// inconsistencies (reported as a deopt).
+  bool emit();
+
+  const X64Emitter &emitter() const { return E; }
+
+  /// Builds the pc -> absolute-address table once the code lives at
+  /// \p Base.
+  std::vector<uint64_t> buildPcTable(const uint8_t *Base) const;
+
+private:
+  // JitWarp field offsets.
+  static constexpr int32_t offMask = offsetof(JitWarp, Mask);
+  static constexpr int32_t offExited = offsetof(JitWarp, Exited);
+  static constexpr int32_t offPc = offsetof(JitWarp, Pc);
+  static constexpr int32_t offDepth = offsetof(JitWarp, Depth);
+  static constexpr int32_t offRegs = offsetof(JitWarp, Regs);
+  static constexpr int32_t offGlobalId0 = offsetof(JitWarp, GlobalId0);
+  static constexpr int32_t offGlobalId1 = offsetof(JitWarp, GlobalId1);
+  static constexpr int32_t offLocalId0 = offsetof(JitWarp, LocalId0);
+  static constexpr int32_t offLocalId1 = offsetof(JitWarp, LocalId1);
+  static constexpr int32_t offFrames = offsetof(JitWarp, Frames);
+  // JitExecContext field offsets.
+  static constexpr int32_t offWarp = offsetof(JitExecContext, Warp);
+  static constexpr int32_t offBudget = offsetof(JitExecContext, Budget);
+  static constexpr int32_t offCounters = offsetof(JitExecContext, Counters);
+  static constexpr int32_t offPcTable = offsetof(JitExecContext, PcTable);
+  static constexpr int32_t offScalars = offsetof(JitExecContext, Scalars);
+
+  Mem slot(int32_t Reg) const {
+    return Mem::idx(R13, R12, 8,
+                    static_cast<int32_t>(Reg) * static_cast<int32_t>(W) * 8);
+  }
+
+  void callFn(uint64_t Addr) {
+    E.movRI64(R10, Addr);
+    E.callR(R10);
+  }
+  void callHelper(uint64_t Addr, uint32_t InstrIdx) {
+    E.movRR(RDI, RBX);
+    E.movRI32(RSI, InstrIdx);
+    callFn(Addr);
+  }
+
+  /// Canonicalizes rax per wrapInt(V, Ty).
+  void emitWrap(ValType Ty) {
+    switch (Ty) {
+    case ValType::I8:
+      E.movsxR64R8(RAX, RAX);
+      break;
+    case ValType::U8:
+      E.movzxR32R8(RAX, RAX);
+      break;
+    case ValType::I32:
+      E.movsxdR64R32(RAX, RAX);
+      break;
+    case ValType::U32:
+      E.movRR32(RAX, RAX);
+      break;
+    default:
+      break;
+    }
+  }
+
+  /// xmm0 = (double)(float)xmm0 — the F32 result rounding.
+  void emitF32Round(Xmm X) {
+    E.cvtsd2ss(X, X);
+    E.cvtss2sd(X, X);
+  }
+
+  /// xmm0 = (double)rax via the compiler's u64->double sequence.
+  void emitU64ToDouble() {
+    X64Emitter::Label LNeg = E.newLabel(), LEnd = E.newLabel();
+    E.testRR(RAX, RAX);
+    E.jcc(CC_S, LNeg);
+    E.cvtsi2sdRX(XMM0, RAX);
+    E.jmp(LEnd);
+    E.bind(LNeg);
+    E.movRR(RCX, RAX);
+    E.shrRI(RCX, 1);
+    E.andRI(RAX, 1);
+    E.orRR(RCX, RAX);
+    E.cvtsi2sdRX(XMM0, RCX);
+    E.addsd(XMM0, XMM0);
+    E.bind(LEnd);
+  }
+
+  void emitSegmentOp(const BcInstr &In);
+  void emitBinaryFloat(const BcInstr &In);
+  void emitBinaryInt(const BcInstr &In);
+  void emitCompare(const BcInstr &In);
+  void emitUnary(const BcInstr &In);
+  void emitCvt(const BcInstr &In);
+  void emitTranscendental(const BcInstr &In);
+  void emitGeometry(const BcInstr &In);
+  void emitControlDispatch(uint32_t NextPc);
+  void emitLaneCondScan(int32_t Reg);
+  bool emitStructuredControl(const BcInstr &In);
+  X64Emitter::Label labelFor(uint32_t Pc);
+
+  const IRFunction &F;
+  const BcKernel &K;
+  const unsigned W;
+  const HelperTable &H;
+  X64Emitter E;
+  std::vector<X64Emitter::Label> PcLabels; // leader pc -> label (else -1)
+  X64Emitter::Label LDone = -1, LBarrier = -1, LFault = -1, LEpi = -1;
+  X64Emitter::Label LDivTrap = -1, LRemTrap = -1, LBudgetTrap = -1,
+                    LBadPc = -1;
+};
+
+X64Emitter::Label KernelEmitter::labelFor(uint32_t Pc) {
+  if (Pc >= K.Code.size())
+    return LDone;
+  X64Emitter::Label &L = PcLabels[Pc];
+  if (L < 0)
+    L = E.newLabel();
+  return L;
+}
+
+void KernelEmitter::emitBinaryFloat(const BcInstr &In) {
+  const bool F32 = In.Ty == ValType::F32;
+  E.movsdXM(XMM0, slot(In.A));
+  E.movsdXM(XMM1, slot(In.B));
+  switch (In.Op) {
+  case BcOp::Add:
+  case BcOp::Sub:
+  case BcOp::Mul:
+  case BcOp::Div:
+    if (F32) {
+      E.cvtsd2ss(XMM0, XMM0);
+      E.cvtsd2ss(XMM1, XMM1);
+      if (In.Op == BcOp::Add)
+        E.addss(XMM0, XMM1);
+      else if (In.Op == BcOp::Sub)
+        E.subss(XMM0, XMM1);
+      else if (In.Op == BcOp::Mul)
+        E.mulss(XMM0, XMM1);
+      else
+        E.divss(XMM0, XMM1);
+      E.cvtss2sd(XMM0, XMM0);
+    } else {
+      if (In.Op == BcOp::Add)
+        E.addsd(XMM0, XMM1);
+      else if (In.Op == BcOp::Sub)
+        E.subsd(XMM0, XMM1);
+      else if (In.Op == BcOp::Mul)
+        E.mulsd(XMM0, XMM1);
+      else
+        E.divsd(XMM0, XMM1);
+    }
+    break;
+  case BcOp::Rem:
+  case BcOp::MinOp:
+  case BcOp::MaxOp: {
+    // fmod/fmin/fmax have NaN/zero semantics SSE min/max get wrong;
+    // call the libm overload the interpreter uses.
+    uint64_t Fn;
+    if (F32) {
+      E.cvtsd2ss(XMM0, XMM0);
+      E.cvtsd2ss(XMM1, XMM1);
+      Fn = In.Op == BcOp::Rem    ? fnAddr(&jitFmodF)
+           : In.Op == BcOp::MinOp ? fnAddr(&jitFminF)
+                                  : fnAddr(&jitFmaxF);
+    } else {
+      Fn = In.Op == BcOp::Rem    ? fnAddr(&jitFmod)
+           : In.Op == BcOp::MinOp ? fnAddr(&jitFmin)
+                                  : fnAddr(&jitFmax);
+    }
+    callFn(Fn);
+    if (F32)
+      E.cvtss2sd(XMM0, XMM0);
+    break;
+  }
+  default:
+    E.pxor(XMM0, XMM0); // unreachable (interpreter stores 0 here)
+    break;
+  }
+  E.movsdMX(slot(In.Dst), XMM0);
+}
+
+void KernelEmitter::emitBinaryInt(const BcInstr &In) {
+  const bool Unsigned = isUnsignedTy(In.Ty);
+  switch (In.Op) {
+  case BcOp::Add:
+  case BcOp::Sub:
+  case BcOp::Mul:
+  case BcOp::And:
+  case BcOp::Or:
+  case BcOp::Xor:
+    E.movRM(RAX, slot(In.A));
+    E.movRM(RCX, slot(In.B));
+    if (In.Op == BcOp::Add)
+      E.addRR(RAX, RCX);
+    else if (In.Op == BcOp::Sub)
+      E.subRR(RAX, RCX);
+    else if (In.Op == BcOp::Mul)
+      E.imulRR(RAX, RCX);
+    else if (In.Op == BcOp::And)
+      E.andRR(RAX, RCX);
+    else if (In.Op == BcOp::Or)
+      E.orRR(RAX, RCX);
+    else
+      E.xorRR(RAX, RCX);
+    emitWrap(In.Ty);
+    break;
+  case BcOp::Div:
+  case BcOp::Rem:
+    E.movRM(RAX, slot(In.A));
+    E.movRM(RCX, slot(In.B));
+    E.testRR(RCX, RCX);
+    E.jcc(CC_E, In.Op == BcOp::Div ? LDivTrap : LRemTrap);
+    if (Unsigned) {
+      E.xorR32R32(RDX, RDX);
+      E.divR(RCX);
+    } else {
+      E.cqo();
+      E.idivR(RCX);
+    }
+    if (In.Op == BcOp::Rem)
+      E.movRR(RAX, RDX);
+    emitWrap(In.Ty);
+    break;
+  case BcOp::Shl:
+  case BcOp::Shr:
+    E.movRM(RAX, slot(In.A));
+    E.movRM(RCX, slot(In.B));
+    if (In.Op == BcOp::Shl)
+      E.shlCl(RAX); // hardware masks the count to 63, like (Y & 63)
+    else if (Unsigned)
+      E.shrCl(RAX);
+    else
+      E.sarCl(RAX);
+    emitWrap(In.Ty);
+    break;
+  case BcOp::MinOp:
+  case BcOp::MaxOp:
+    // The interpreter compares as signed int64 regardless of Ty.
+    E.movRM(RAX, slot(In.A));
+    E.movRM(RCX, slot(In.B));
+    E.cmpRR(RCX, RAX);
+    E.cmovccRR(In.Op == BcOp::MinOp ? CC_L : CC_G, RAX, RCX);
+    emitWrap(In.Ty);
+    break;
+  default:
+    E.xorR32R32(RAX, RAX);
+    break;
+  }
+  E.movMR(slot(In.Dst), RAX);
+}
+
+void KernelEmitter::emitCompare(const BcInstr &In) {
+  if (isFloatTy(In.Ty)) {
+    E.movsdXM(XMM0, slot(In.A));
+    E.movsdXM(XMM1, slot(In.B));
+    switch (In.Op) {
+    case BcOp::CmpLt: // X < Y  ==  Y above X (unordered -> false)
+      E.ucomisd(XMM1, XMM0);
+      E.setcc(CC_A, RAX);
+      break;
+    case BcOp::CmpLe:
+      E.ucomisd(XMM1, XMM0);
+      E.setcc(CC_AE, RAX);
+      break;
+    case BcOp::CmpGt:
+      E.ucomisd(XMM0, XMM1);
+      E.setcc(CC_A, RAX);
+      break;
+    case BcOp::CmpGe:
+      E.ucomisd(XMM0, XMM1);
+      E.setcc(CC_AE, RAX);
+      break;
+    case BcOp::CmpEq: // equal and ordered
+      E.ucomisd(XMM0, XMM1);
+      E.setcc(CC_E, RAX);
+      E.setcc(CC_NP, RCX);
+      E.andR8R8(RAX, RCX);
+      break;
+    default: // CmpNe: not-equal or unordered
+      E.ucomisd(XMM0, XMM1);
+      E.setcc(CC_NE, RAX);
+      E.setcc(CC_P, RCX);
+      E.orR8R8(RAX, RCX);
+      break;
+    }
+  } else {
+    const bool U = isUnsignedTy(In.Ty);
+    E.movRM(RAX, slot(In.A));
+    E.movRM(RCX, slot(In.B));
+    E.cmpRR(RAX, RCX);
+    Cond CC;
+    switch (In.Op) {
+    case BcOp::CmpLt:
+      CC = U ? CC_B : CC_L;
+      break;
+    case BcOp::CmpLe:
+      CC = U ? CC_BE : CC_LE;
+      break;
+    case BcOp::CmpGt:
+      CC = U ? CC_A : CC_G;
+      break;
+    case BcOp::CmpGe:
+      CC = U ? CC_AE : CC_GE;
+      break;
+    case BcOp::CmpEq:
+      CC = CC_E;
+      break;
+    default:
+      CC = CC_NE;
+      break;
+    }
+    E.setcc(CC, RAX);
+  }
+  E.movzxR32R8(RAX, RAX);
+  E.movMR(slot(In.Dst), RAX);
+}
+
+void KernelEmitter::emitUnary(const BcInstr &In) {
+  if (isFloatTy(In.Ty)) {
+    switch (In.Op) {
+    case BcOp::Neg:
+      if (In.Ty == ValType::F32) {
+        // -(float)A.D, widened back: flip the single's sign bit.
+        E.movsdXM(XMM0, slot(In.A));
+        E.cvtsd2ss(XMM0, XMM0);
+        E.movdR32X(RAX, XMM0);
+        E.xorRI32(RAX, static_cast<int32_t>(0x80000000u));
+        E.movdXR32(XMM0, RAX);
+        E.cvtss2sd(XMM0, XMM0);
+        E.movsdMX(slot(In.Dst), XMM0);
+      } else {
+        E.movRM(RAX, slot(In.A));
+        E.movRI64(RCX, 0x8000000000000000ULL);
+        E.xorRR(RAX, RCX);
+        E.movMR(slot(In.Dst), RAX);
+      }
+      break;
+    case BcOp::AbsOp: // std::fabs on the double, no F32 re-round
+      E.movRM(RAX, slot(In.A));
+      E.movRI64(RCX, 0x7FFFFFFFFFFFFFFFULL);
+      E.andRR(RAX, RCX);
+      E.movMR(slot(In.Dst), RAX);
+      break;
+    case BcOp::LNot: // Dst.I = (A.D == 0.0)
+      E.movsdXM(XMM0, slot(In.A));
+      E.pxor(XMM1, XMM1);
+      E.ucomisd(XMM0, XMM1);
+      E.setcc(CC_E, RAX);
+      E.setcc(CC_NP, RCX);
+      E.andR8R8(RAX, RCX);
+      E.movzxR32R8(RAX, RAX);
+      E.movMR(slot(In.Dst), RAX);
+      break;
+    default: // Not on floats copies the value
+      E.movRM(RAX, slot(In.A));
+      E.movMR(slot(In.Dst), RAX);
+      break;
+    }
+    return;
+  }
+  E.movRM(RAX, slot(In.A));
+  switch (In.Op) {
+  case BcOp::Neg:
+    E.negR(RAX);
+    emitWrap(In.Ty);
+    break;
+  case BcOp::Not:
+    E.notR(RAX);
+    emitWrap(In.Ty);
+    break;
+  case BcOp::LNot:
+    E.testRR(RAX, RAX);
+    E.setcc(CC_E, RAX);
+    E.movzxR32R8(RAX, RAX);
+    break;
+  case BcOp::AbsOp:
+    E.movRR(RCX, RAX);
+    E.sarRI(RCX, 63);
+    E.xorRR(RAX, RCX);
+    E.subRR(RAX, RCX);
+    emitWrap(In.Ty);
+    break;
+  default:
+    break;
+  }
+  E.movMR(slot(In.Dst), RAX);
+}
+
+void KernelEmitter::emitCvt(const BcInstr &In) {
+  const bool SrcF = isFloatTy(In.SrcTy);
+  const bool DstF = isFloatTy(In.Ty);
+  if (SrcF && DstF) {
+    E.movsdXM(XMM0, slot(In.A));
+    if (In.Ty == ValType::F32)
+      emitF32Round(XMM0);
+    E.movsdMX(slot(In.Dst), XMM0);
+  } else if (SrcF) { // float -> int: C++ truncation == cvttsd2si
+    E.movsdXM(XMM0, slot(In.A));
+    E.cvttsd2siXR(RAX, XMM0);
+    emitWrap(In.Ty);
+    E.movMR(slot(In.Dst), RAX);
+  } else if (DstF) { // int -> float (via double, like the interpreter)
+    E.movRM(RAX, slot(In.A));
+    if (In.SrcTy == ValType::U64)
+      emitU64ToDouble();
+    else
+      E.cvtsi2sdRX(XMM0, RAX);
+    if (In.Ty == ValType::F32)
+      emitF32Round(XMM0);
+    E.movsdMX(slot(In.Dst), XMM0);
+  } else {
+    E.movRM(RAX, slot(In.A));
+    emitWrap(In.Ty);
+    E.movMR(slot(In.Dst), RAX);
+  }
+}
+
+void KernelEmitter::emitTranscendental(const BcInstr &In) {
+  switch (In.Op) {
+  case BcOp::Sqrt: // sqrtsd == std::sqrt exactly (IEEE)
+    E.movsdXM(XMM0, slot(In.A));
+    E.sqrtsd(XMM0, XMM0);
+    break;
+  case BcOp::RSqrt:
+    E.movsdXM(XMM1, slot(In.A));
+    E.sqrtsd(XMM1, XMM1);
+    E.movRI64(RAX, bitsOf(1.0));
+    E.movqXR(XMM0, RAX);
+    E.divsd(XMM0, XMM1);
+    break;
+  case BcOp::Pow:
+    E.movsdXM(XMM0, slot(In.A));
+    if (In.B >= 0)
+      E.movsdXM(XMM1, slot(In.B));
+    else
+      E.pxor(XMM1, XMM1);
+    callFn(fnAddr(&jitPow));
+    break;
+  default: {
+    uint64_t Fn = 0;
+    switch (In.Op) {
+    case BcOp::Sin:
+      Fn = fnAddr(&jitSin);
+      break;
+    case BcOp::Cos:
+      Fn = fnAddr(&jitCos);
+      break;
+    case BcOp::Tan:
+      Fn = fnAddr(&jitTan);
+      break;
+    case BcOp::Exp:
+      Fn = fnAddr(&jitExp);
+      break;
+    case BcOp::Log:
+      Fn = fnAddr(&jitLog);
+      break;
+    default:
+      Fn = fnAddr(&jitFloor);
+      break;
+    }
+    E.movsdXM(XMM0, slot(In.A));
+    callFn(Fn);
+    break;
+  }
+  }
+  if (In.Ty == ValType::F32)
+    emitF32Round(XMM0);
+  E.movsdMX(slot(In.Dst), XMM0);
+}
+
+void KernelEmitter::emitGeometry(const BcInstr &In) {
+  switch (In.Op) {
+  // The interpreter treats any non-zero dim as Y for the per-lane
+  // ops but masks with &1 for the uniform ones; mirror both.
+  case BcOp::GlobalId:
+    E.movRM(RAX, Mem::base(RBP, In.Dim == 0 ? offGlobalId0 : offGlobalId1));
+    E.movRM(RAX, Mem::idx(RAX, R12, 8, 0));
+    break;
+  case BcOp::LocalId:
+    E.movRM(RAX, Mem::base(RBP, In.Dim == 0 ? offLocalId0 : offLocalId1));
+    E.movRM(RAX, Mem::idx(RAX, R12, 8, 0));
+    break;
+  default: {
+    const unsigned Dim = In.Dim & 1;
+    uint32_t Idx = 0;
+    if (In.Op == BcOp::GroupId)
+      Idx = GeoGroupId0 + Dim;
+    else if (In.Op == BcOp::GlobalSize)
+      Idx = GeoGlobalSize0 + Dim;
+    else if (In.Op == BcOp::LocalSize)
+      Idx = GeoLocalSize0 + Dim;
+    else // NumGroups
+      Idx = GeoNumGroups0 + Dim;
+    E.movRM(RAX, Mem::base(RBX, offScalars + static_cast<int32_t>(Idx) * 8));
+    break;
+  }
+  }
+  E.movMR(slot(In.Dst), RAX);
+}
+
+void KernelEmitter::emitSegmentOp(const BcInstr &In) {
+  switch (In.Op) {
+  case BcOp::ConstI:
+    E.movRI64(RAX, static_cast<uint64_t>(In.ImmI));
+    E.movMR(slot(In.Dst), RAX);
+    break;
+  case BcOp::ConstF:
+    E.movRI64(RAX, bitsOf(In.ImmF));
+    E.movMR(slot(In.Dst), RAX);
+    break;
+  case BcOp::Mov:
+    E.movRM(RAX, slot(In.A));
+    E.movMR(slot(In.Dst), RAX);
+    break;
+  case BcOp::Cvt:
+    emitCvt(In);
+    break;
+  case BcOp::Add:
+  case BcOp::Sub:
+  case BcOp::Mul:
+  case BcOp::Div:
+  case BcOp::Rem:
+  case BcOp::Shl:
+  case BcOp::Shr:
+  case BcOp::And:
+  case BcOp::Or:
+  case BcOp::Xor:
+  case BcOp::MinOp:
+  case BcOp::MaxOp:
+    if (isFloatTy(In.Ty))
+      emitBinaryFloat(In);
+    else
+      emitBinaryInt(In);
+    break;
+  case BcOp::Neg:
+  case BcOp::Not:
+  case BcOp::LNot:
+  case BcOp::AbsOp:
+    emitUnary(In);
+    break;
+  case BcOp::CmpLt:
+  case BcOp::CmpLe:
+  case BcOp::CmpGt:
+  case BcOp::CmpGe:
+  case BcOp::CmpEq:
+  case BcOp::CmpNe:
+    emitCompare(In);
+    break;
+  case BcOp::Select:
+    E.movRM(RCX, slot(In.A));
+    E.movRM(RAX, slot(In.B));
+    E.testRR(RCX, RCX);
+    E.cmovccRM(CC_E, RAX, slot(In.C));
+    E.movMR(slot(In.Dst), RAX);
+    break;
+  case BcOp::Sqrt:
+  case BcOp::RSqrt:
+  case BcOp::Sin:
+  case BcOp::Cos:
+  case BcOp::Tan:
+  case BcOp::Exp:
+  case BcOp::Log:
+  case BcOp::Pow:
+  case BcOp::Floor:
+    emitTranscendental(In);
+    break;
+  case BcOp::GlobalId:
+  case BcOp::LocalId:
+  case BcOp::GroupId:
+  case BcOp::GlobalSize:
+  case BcOp::LocalSize:
+  case BcOp::NumGroups:
+    emitGeometry(In);
+    break;
+  default:
+    break; // mem/image/control never reach a segment
+  }
+}
+
+void KernelEmitter::emitControlDispatch(uint32_t NextPc) {
+  X64Emitter::Label LSlow = E.newLabel();
+  E.cmpRI(RAX, static_cast<int32_t>(HelperFallthrough));
+  E.jcc(CC_NE, LSlow);
+  E.jmp(labelFor(NextPc));
+  E.bind(LSlow);
+  E.cmpRI(RAX, static_cast<int32_t>(HelperBarrier));
+  E.jcc(CC_E, LBarrier);
+  E.cmpRI(RAX, static_cast<int32_t>(HelperDone));
+  E.jcc(CC_E, LDone);
+  E.cmpRI(RAX, static_cast<int32_t>(HelperFault));
+  E.jcc(CC_E, LFault);
+  // Branch to the bytecode pc in rax through the table.
+  E.movRM(RCX, Mem::base(RBX, offPcTable));
+  E.jmpM(Mem::idx(RCX, RAX, 8, 0));
+}
+
+void KernelEmitter::emitLaneCondScan(int32_t Reg) {
+  // r14 = bitmask of lanes whose register \p Reg is non-zero, not yet
+  // intersected with the active mask. Branchless so the lane loop
+  // pipelines; clobbers rax/rcx/rdx (rcx doubles as lane index and
+  // shift count).
+  const int32_t RowDisp =
+      static_cast<int32_t>(Reg) * static_cast<int32_t>(W) * 8;
+  X64Emitter::Label LLane = E.newLabel();
+  E.xorR32R32(R14, R14);
+  E.movRI32(RCX, W);
+  E.bind(LLane);
+  E.subRI(RCX, 1);
+  E.xorR32R32(RAX, RAX);
+  E.movRM(RDX, Mem::idx(R13, RCX, 8, RowDisp));
+  E.testRR(RDX, RDX);
+  E.setcc(CC_NE, RAX);
+  E.shlCl(RAX);
+  E.orRR(R14, RAX);
+  E.testRR(RCX, RCX);
+  E.jcc(CC_NE, LLane);
+}
+
+bool KernelEmitter::emitStructuredControl(const BcInstr &In) {
+  // Native transcriptions of the control helper's hot arms: loop
+  // back-edge tests and if-mask maintenance run every divergence
+  // edge, and the helper's call/dispatch overhead dominated
+  // loop-bound kernels. Rare arms (LoopBegin, Barrier, Ret) stay on
+  // the helper. Lowering rejects kernels whose static nesting
+  // exceeds MaxFrames, so the helper's runtime overflow check is
+  // unreachable for compiled code and elided here.
+  static_assert(offsetof(JitFrame, SavedMask) == 0 &&
+                    offsetof(JitFrame, ThenMask) == 8 &&
+                    offsetof(JitFrame, Kind) == 16 && sizeof(JitFrame) == 24,
+                "JitFrame layout is baked into the emitted code");
+  switch (In.Op) {
+  case BcOp::LoopTest: {
+    // Mask &= cond among active lanes; when none remain, pop the
+    // frame, restore the entry mask, and leave the loop.
+    emitLaneCondScan(In.A);
+    E.movRM(RAX, Mem::base(RBP, offMask));
+    E.movRM(RDX, Mem::base(RBP, offExited));
+    E.notR(RDX);
+    E.andRR(RAX, RDX);
+    E.andRR(R14, RAX);
+    E.movMR(Mem::base(RBP, offMask), R14);
+    E.testRR(R14, R14);
+    X64Emitter::Label LFall = E.newLabel();
+    E.jcc(CC_NE, LFall);
+    E.movRM(RAX, Mem::base(RBP, offDepth));
+    E.subRI(RAX, 1);
+    E.movMR(Mem::base(RBP, offDepth), RAX);
+    E.leaRM(RDX, Mem::idx(RAX, RAX, 2, 0));
+    E.movRM(RAX, Mem::idx(RBP, RDX, 8, offFrames)); // SavedMask
+    E.movMR(Mem::base(RBP, offMask), RAX);
+    E.jmp(labelFor(static_cast<uint32_t>(In.Target)));
+    E.bind(LFall);
+    return true;
+  }
+  case BcOp::IfBegin: {
+    // Push {SavedMask, ThenMask, FrameIf}; Mask = cond among active
+    // lanes; branch to the else/end when the then-side is empty.
+    emitLaneCondScan(In.A);
+    E.movRM(RAX, Mem::base(RBP, offMask));
+    E.movRM(RDX, Mem::base(RBP, offExited));
+    E.notR(RDX);
+    E.andRR(RAX, RDX);
+    E.andRR(R14, RAX);
+    E.movRM(RAX, Mem::base(RBP, offDepth));
+    E.leaRM(RDX, Mem::idx(RAX, RAX, 2, 0));
+    E.addRI(RAX, 1);
+    E.movMR(Mem::base(RBP, offDepth), RAX);
+    E.movRM(RAX, Mem::base(RBP, offMask));
+    E.movMR(Mem::idx(RBP, RDX, 8, offFrames), RAX);     // SavedMask
+    E.movMR(Mem::idx(RBP, RDX, 8, offFrames + 8), R14); // ThenMask
+    E.xorR32R32(RAX, RAX); // FrameIf, plus zeroed padding
+    E.movMR(Mem::idx(RBP, RDX, 8, offFrames + 16), RAX);
+    E.movMR(Mem::base(RBP, offMask), R14);
+    E.testRR(R14, R14);
+    X64Emitter::Label LFall = E.newLabel();
+    E.jcc(CC_NE, LFall);
+    E.jmp(labelFor(static_cast<uint32_t>(In.Target)));
+    E.bind(LFall);
+    return true;
+  }
+  case BcOp::IfElse: {
+    // Mask = SavedMask & ~ThenMask; branch to the end when no
+    // else-lane is live (mask itself keeps exited bits, exactly like
+    // the helper).
+    E.movRM(RAX, Mem::base(RBP, offDepth));
+    E.subRI(RAX, 1);
+    E.leaRM(RDX, Mem::idx(RAX, RAX, 2, 0));
+    E.movRM(RAX, Mem::idx(RBP, RDX, 8, offFrames));     // SavedMask
+    E.movRM(RCX, Mem::idx(RBP, RDX, 8, offFrames + 8)); // ThenMask
+    E.notR(RCX);
+    E.andRR(RAX, RCX);
+    E.movMR(Mem::base(RBP, offMask), RAX);
+    E.movRM(RDX, Mem::base(RBP, offExited));
+    E.notR(RDX);
+    E.andRR(RAX, RDX);
+    E.testRR(RAX, RAX);
+    X64Emitter::Label LFall = E.newLabel();
+    E.jcc(CC_NE, LFall);
+    E.jmp(labelFor(static_cast<uint32_t>(In.Target)));
+    E.bind(LFall);
+    return true;
+  }
+  case BcOp::IfEnd: {
+    // Pop the frame and restore its entry mask; always falls through.
+    E.movRM(RAX, Mem::base(RBP, offDepth));
+    E.subRI(RAX, 1);
+    E.movMR(Mem::base(RBP, offDepth), RAX);
+    E.leaRM(RDX, Mem::idx(RAX, RAX, 2, 0));
+    E.movRM(RAX, Mem::idx(RBP, RDX, 8, offFrames)); // SavedMask
+    E.movMR(Mem::base(RBP, offMask), RAX);
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+bool KernelEmitter::emit() {
+  const uint32_t N = static_cast<uint32_t>(K.Code.size());
+  PcLabels.assign(N, -1);
+  LDone = E.newLabel();
+  LBarrier = E.newLabel();
+  LFault = E.newLabel();
+  LEpi = E.newLabel();
+  LDivTrap = E.newLabel();
+  LRemTrap = E.newLabel();
+  LBudgetTrap = E.newLabel();
+  LBadPc = E.newLabel();
+
+  // Prologue: save callee-saved state, load the pinned registers,
+  // then dispatch to the warp's resume pc through the table.
+  E.push(RBX);
+  E.push(RBP);
+  E.push(R12);
+  E.push(R13);
+  E.push(R14);
+  E.push(R15);
+  E.subRI(RSP, 8); // 16-byte call alignment
+  E.movRR(RBX, RDI);
+  E.movRM(RBP, Mem::base(RBX, offWarp));
+  E.movRM(R13, Mem::base(RBP, offRegs));
+  E.movRM(RAX, Mem::base(RBP, offPc));
+  E.movRM(RCX, Mem::base(RBX, offPcTable));
+  E.jmpM(Mem::idx(RCX, RAX, 8, 0));
+
+  for (const IRBlock *B = F.Blocks; B; B = B->Next) {
+    E.bind(labelFor(B->LeaderPc));
+
+    // Budget: the interpreter spends one unit per executed
+    // instruction; a block executes all of its instructions, so one
+    // batched decrement is equivalent (CF = exhausted mid-block).
+    const int32_t BlockLen =
+        static_cast<int32_t>(B->EndPc) - static_cast<int32_t>(B->LeaderPc);
+    E.movRM(RAX, Mem::base(RBX, offBudget));
+    E.subMI(Mem::base(RAX, 0), BlockLen);
+    E.jcc(CC_B, LBudgetTrap);
+
+    bool HasSegment = false;
+    for (const IRItem *It = B->Items; It; It = It->Next)
+      if (It->TheKind == IRItem::Kind::Segment)
+        HasSegment = true;
+    if (HasSegment) {
+      // r15 = Mask & ~Exited, constant for the whole block (only
+      // control ops change masks, and they terminate blocks).
+      E.movRM(R15, Mem::base(RBP, offMask));
+      E.movRM(RAX, Mem::base(RBP, offExited));
+      E.notR(RAX);
+      E.andRR(R15, RAX);
+    }
+
+    bool Terminated = false;
+    for (const IRItem *It = B->Items; It; It = It->Next) {
+      switch (It->TheKind) {
+      case IRItem::Kind::Segment: {
+        X64Emitter::Label LSkip = E.newLabel();
+        E.testRR(R15, R15);
+        E.jcc(CC_E, LSkip); // inactive: skip work and issue charges
+        if (It->Cost.Alu || It->Cost.Dp || It->Cost.Sfu) {
+          E.movRM(RAX, Mem::base(RBX, offCounters));
+          if (It->Cost.Alu)
+            E.addMI(Mem::base(RAX, offsetof(KernelCounters, AluWarpOps)),
+                    static_cast<int32_t>(It->Cost.Alu));
+          if (It->Cost.Dp)
+            E.addMI(Mem::base(RAX, offsetof(KernelCounters, DpWarpOps)),
+                    static_cast<int32_t>(It->Cost.Dp));
+          if (It->Cost.Sfu)
+            E.addMI(Mem::base(RAX, offsetof(KernelCounters, SfuWarpOps)),
+                    static_cast<int32_t>(It->Cost.Sfu));
+        }
+        X64Emitter::Label LLoop = E.newLabel();
+        E.movRR(R14, R15);
+        E.bind(LLoop);
+        E.bsfRR(R12, R14);
+        for (uint32_t I = It->First; I != It->First + It->Count; ++I)
+          emitSegmentOp(K.Code[I]);
+        E.leaRM(RAX, Mem::base(R14, -1));
+        E.andRR(R14, RAX); // clear lowest set bit; ZF when drained
+        E.jcc(CC_NE, LLoop);
+        E.bind(LSkip);
+        break;
+      }
+      case IRItem::Kind::Mem:
+      case IRItem::Kind::Image: {
+        callHelper(It->TheKind == IRItem::Kind::Mem
+                       ? reinterpret_cast<uint64_t>(H.Mem)
+                       : reinterpret_cast<uint64_t>(H.Image),
+                   It->First);
+        E.cmpRI(RAX, static_cast<int32_t>(HelperFault));
+        E.jcc(CC_E, LFault);
+        break;
+      }
+      case IRItem::Kind::Control: {
+        const BcInstr &In = K.Code[It->First];
+        // Side-effect-free jumps lower to static branches; everything
+        // that touches masks or scheduling goes through the helper.
+        if (In.Op == BcOp::Jump || In.Op == BcOp::LoopEnd) {
+          E.jmp(labelFor(static_cast<uint32_t>(In.Target)));
+        } else if (In.Op == BcOp::Halt) {
+          E.jmp(LDone);
+        } else if (emitStructuredControl(In)) {
+          E.jmp(labelFor(It->First + 1));
+        } else {
+          callHelper(reinterpret_cast<uint64_t>(H.Control), It->First);
+          emitControlDispatch(It->First + 1);
+        }
+        Terminated = true;
+        break;
+      }
+      }
+    }
+    if (!Terminated)
+      E.jmp(labelFor(B->EndPc)); // leader boundary or end-of-code
+  }
+
+  // Shared stubs and epilogues.
+  E.bind(LDivTrap);
+  callHelper(reinterpret_cast<uint64_t>(H.Trap), TrapDivZero);
+  E.jmp(LFault);
+  E.bind(LRemTrap);
+  callHelper(reinterpret_cast<uint64_t>(H.Trap), TrapRemZero);
+  E.jmp(LFault);
+  E.bind(LBudgetTrap);
+  callHelper(reinterpret_cast<uint64_t>(H.Trap), TrapBudget);
+  E.jmp(LFault);
+  E.bind(LBadPc);
+  callHelper(reinterpret_cast<uint64_t>(H.Trap), TrapBadPc);
+  E.jmp(LFault);
+
+  E.bind(LFault);
+  E.movRI32(RAX, StatusFault);
+  E.jmp(LEpi);
+  E.bind(LBarrier);
+  E.movRI32(RAX, StatusBarrier);
+  E.jmp(LEpi);
+  E.bind(LDone);
+  E.xorR32R32(RAX, RAX); // StatusDone
+  E.bind(LEpi);
+  E.addRI(RSP, 8);
+  E.pop(R15);
+  E.pop(R14);
+  E.pop(R13);
+  E.pop(R12);
+  E.pop(RBP);
+  E.pop(RBX);
+  E.ret();
+
+  E.patch();
+  return true;
+}
+
+std::vector<uint64_t> KernelEmitter::buildPcTable(const uint8_t *Base) const {
+  const uint64_t BaseAddr = reinterpret_cast<uint64_t>(Base);
+  const uint64_t BadPc = BaseAddr + static_cast<uint64_t>(E.labelOffset(LBadPc));
+  std::vector<uint64_t> Table(K.Code.size() + 1, BadPc);
+  for (size_t Pc = 0; Pc != K.Code.size(); ++Pc) {
+    X64Emitter::Label L = PcLabels[Pc];
+    if (L >= 0 && E.labelOffset(L) >= 0)
+      Table[Pc] = BaseAddr + static_cast<uint64_t>(E.labelOffset(L));
+  }
+  Table[K.Code.size()] = BaseAddr + static_cast<uint64_t>(E.labelOffset(LDone));
+  return Table;
+}
+
+} // namespace
+
+JitArtifact jit::compileKernel(const BcKernel &K, unsigned WarpWidth,
+                               const HelperTable &Helpers,
+                               std::string *DumpOut) {
+  JitArtifact Art;
+  auto Start = std::chrono::steady_clock::now();
+  auto Finish = [&]() {
+    Art.CompileMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+  };
+
+  if (!Helpers.Mem || !Helpers.Image || !Helpers.Control || !Helpers.Trap) {
+    Art.DeoptReason = "no helper table";
+    Finish();
+    return Art;
+  }
+
+  Arena A;
+  std::string Reason;
+  IRFunction *F = lowerKernel(A, K, WarpWidth, Reason);
+  if (!F) {
+    Art.DeoptReason = Reason;
+    Finish();
+    return Art;
+  }
+  if (DumpOut)
+    *DumpOut += dumpIR(*F);
+
+  KernelEmitter KE(*F, WarpWidth, Helpers);
+  if (!KE.emit()) {
+    Art.DeoptReason = "emission failed";
+    Finish();
+    return Art;
+  }
+
+  auto Buf = std::make_shared<CodeBuffer>();
+  if (!Buf->allocate(KE.emitter().size())) {
+    Art.DeoptReason = "executable buffer allocation failed";
+    Finish();
+    return Art;
+  }
+  std::memcpy(Buf->data(), KE.emitter().code().data(), KE.emitter().size());
+  auto Table =
+      std::make_shared<std::vector<uint64_t>>(KE.buildPcTable(Buf->data()));
+  if (!Buf->finalize()) {
+    Art.DeoptReason = "W^X finalize failed";
+    Finish();
+    return Art;
+  }
+
+  Art.Entry = reinterpret_cast<JitEntryFn>(Buf->data());
+  Art.Owner = Buf;
+  Art.PcTable = Table;
+  Art.WarpWidth = WarpWidth;
+  Art.CodeBytes = KE.emitter().size();
+  Finish();
+  if (DumpOut)
+    *DumpOut += "jit-code kernel '" + K.Name + "': " +
+                std::to_string(Art.CodeBytes) + " bytes, " +
+                std::to_string(Art.CompileMs) + " ms\n";
+  return Art;
+}

@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kernel JIT entry point: bytecode -> IR -> native x86-64 in a
+/// W^X CodeBuffer. Depends only on ocl headers (Bytecode, DeviceModel,
+/// JitABI); all VM access goes through the caller-supplied
+/// HelperTable, so the jit library links standalone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_JIT_JITCOMPILER_H
+#define LIMECC_JIT_JITCOMPILER_H
+
+#include "ocl/Bytecode.h"
+#include "ocl/JitABI.h"
+
+#include <string>
+
+namespace lime::jit {
+
+/// Compiles \p K for warps of \p WarpWidth lanes. On success the
+/// artifact's Entry is callable (Owner pins the code buffer); on
+/// deopt Entry is null and DeoptReason says why the kernel stays on
+/// the interpreter. When \p DumpOut is non-null, the IR and code
+/// stats are appended (the --jit-dump flag).
+ocl::jitabi::JitArtifact compileKernel(const ocl::BcKernel &K,
+                                       unsigned WarpWidth,
+                                       const ocl::jitabi::HelperTable &Helpers,
+                                       std::string *DumpOut = nullptr);
+
+} // namespace lime::jit
+
+#endif // LIMECC_JIT_JITCOMPILER_H

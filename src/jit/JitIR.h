@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JIT's mid-level IR (the VOLT-style thin layer between bytecode
+/// and machine code). Lowering slices a kernel's linear bytecode into
+/// basic blocks at every control op and branch target, then groups
+/// each block's instructions into items:
+///
+///  - Segment: a run of pure compute ops executed natively in a lane
+///    loop over the active mask, with the §5 issue costs pre-summed
+///    into one counter update per segment;
+///  - Mem / Image: one Load/Store/ReadImage executed via a VM helper
+///    call (bounds checks, fault text and memory-model pricing stay
+///    in one place);
+///  - Control: one structured-control op via the control helper
+///    (Jump/LoopEnd lower to static jumps instead).
+///
+/// Everything lives in an Arena and is linked with raw pointers; the
+/// IR dies with the compilation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_JIT_JITIR_H
+#define LIMECC_JIT_JITIR_H
+
+#include "ocl/Bytecode.h"
+
+#include <cstdint>
+
+namespace lime::jit {
+
+/// Issue-slot costs of one segment, mirroring the interpreter's
+/// per-instruction charge switch, summed so the native code does one
+/// add per pipe per segment (only when the active mask is non-zero,
+/// exactly like the interpreter's `if (Active)` guard).
+struct IRCost {
+  uint32_t Alu = 0;
+  uint32_t Dp = 0;
+  uint32_t Sfu = 0;
+};
+
+struct IRItem {
+  enum class Kind : uint8_t { Segment, Mem, Image, Control };
+  Kind TheKind = Kind::Segment;
+  /// Segment: [First, First + Count) instruction indices.
+  /// Mem/Image/Control: First is the instruction index, Count == 1.
+  uint32_t First = 0;
+  uint32_t Count = 0;
+  IRCost Cost; // Segment only
+  IRItem *Next = nullptr;
+};
+
+struct IRBlock {
+  uint32_t LeaderPc = 0;
+  uint32_t EndPc = 0; // one past the last instruction
+  IRItem *Items = nullptr;
+  IRBlock *Next = nullptr;
+};
+
+struct IRFunction {
+  const ocl::BcKernel *Kernel = nullptr;
+  IRBlock *Blocks = nullptr;
+  uint32_t NumBlocks = 0;
+  uint32_t MaxControlDepth = 0; // static If/Loop nesting bound
+};
+
+} // namespace lime::jit
+
+#endif // LIMECC_JIT_JITIR_H

@@ -1,0 +1,259 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Lowering.h"
+
+#include "ocl/JitABI.h"
+
+#include <algorithm>
+
+using namespace lime;
+using namespace lime::jit;
+using namespace lime::ocl;
+
+namespace {
+
+bool isControl(BcOp Op) {
+  switch (Op) {
+  case BcOp::Jump:
+  case BcOp::IfBegin:
+  case BcOp::IfElse:
+  case BcOp::IfEnd:
+  case BcOp::LoopBegin:
+  case BcOp::LoopTest:
+  case BcOp::LoopEnd:
+  case BcOp::Barrier:
+  case BcOp::Ret:
+  case BcOp::Halt:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// The interpreter's issue-charge switch, evaluated statically. The
+/// emitted code applies a segment's summed cost only when the active
+/// mask is non-zero, matching the `if (Active)` guards.
+IRCost issueCost(const BcInstr &In) {
+  IRCost C;
+  switch (In.Op) {
+  case BcOp::Sqrt:
+  case BcOp::RSqrt: {
+    uint32_t Cost = In.Native ? 1 : 2;
+    if (In.Ty == ValType::F64)
+      Cost *= 4;
+    C.Sfu += Cost;
+    break;
+  }
+  case BcOp::Sin:
+  case BcOp::Cos:
+  case BcOp::Tan:
+  case BcOp::Exp:
+  case BcOp::Log:
+  case BcOp::Pow: {
+    uint32_t Cost = In.Native ? 1 : 4;
+    if (In.Ty == ValType::F64)
+      Cost *= 4;
+    C.Sfu += Cost;
+    break;
+  }
+  case BcOp::ConstI:
+  case BcOp::ConstF:
+  case BcOp::Mov:
+  case BcOp::Cvt:
+    break; // free, like the interpreter
+  case BcOp::Div:
+  case BcOp::Rem:
+    if (In.Ty == ValType::F64)
+      C.Dp += 8;
+    else
+      C.Alu += 8;
+    break;
+  default:
+    // Load/Store/ReadImage charge inside their helpers; everything
+    // else is one slot on the matching pipe.
+    if (In.Ty == ValType::F64)
+      ++C.Dp;
+    else
+      ++C.Alu;
+    break;
+  }
+  return C;
+}
+
+const char *itemKindName(IRItem::Kind K) {
+  switch (K) {
+  case IRItem::Kind::Segment:
+    return "segment";
+  case IRItem::Kind::Mem:
+    return "mem";
+  case IRItem::Kind::Image:
+    return "image";
+  case IRItem::Kind::Control:
+    return "control";
+  }
+  return "?";
+}
+
+} // namespace
+
+IRFunction *jit::lowerKernel(Arena &A, const BcKernel &K, unsigned WarpWidth,
+                             std::string &DeoptReason) {
+#if !defined(__x86_64__)
+  (void)A;
+  (void)K;
+  (void)WarpWidth;
+  DeoptReason = "unsupported host architecture (x86-64 only)";
+  return nullptr;
+#else
+  const size_t N = K.Code.size();
+  if (N == 0) {
+    DeoptReason = "empty kernel body";
+    return nullptr;
+  }
+  // Register-slot displacements are baked as disp32.
+  if (static_cast<uint64_t>(K.NumRegs + 4) * WarpWidth * 8 > (1ULL << 30)) {
+    DeoptReason = "register file too large for disp32 addressing";
+    return nullptr;
+  }
+
+  // Static divergence-stack bound: the JIT's frame array is fixed
+  // size. Structured control nests, so a linear walk bounds depth.
+  {
+    uint32_t Depth = 0, MaxDepth = 0;
+    for (const BcInstr &In : K.Code) {
+      if (In.Op == BcOp::IfBegin || In.Op == BcOp::LoopBegin) {
+        ++Depth;
+        MaxDepth = std::max(MaxDepth, Depth);
+      } else if (In.Op == BcOp::IfEnd || In.Op == BcOp::LoopEnd) {
+        if (Depth)
+          --Depth;
+      }
+    }
+    if (MaxDepth > jitabi::MaxFrames) {
+      DeoptReason = "control nesting depth " + std::to_string(MaxDepth) +
+                    " exceeds the JIT frame capacity (" +
+                    std::to_string(jitabi::MaxFrames) + ")";
+      return nullptr;
+    }
+  }
+
+  // Leaders: entry, every branch target, and every pc after a control
+  // op (fallthroughs, barrier resume points).
+  std::vector<uint8_t> Leader(N + 1, 0);
+  Leader[0] = 1;
+  Leader[N] = 1;
+  for (size_t I = 0; I != N; ++I) {
+    const BcInstr &In = K.Code[I];
+    if (isControl(In.Op)) {
+      Leader[I + 1] = 1;
+      if (In.Target >= 0 && static_cast<size_t>(In.Target) <= N)
+        Leader[static_cast<size_t>(In.Target)] = 1;
+      else if (In.Target < -1) {
+        DeoptReason = "malformed branch target";
+        return nullptr;
+      }
+    }
+  }
+
+  IRFunction *F = A.make<IRFunction>();
+  F->Kernel = &K;
+  {
+    uint32_t Depth = 0;
+    for (const BcInstr &In : K.Code) {
+      if (In.Op == BcOp::IfBegin || In.Op == BcOp::LoopBegin)
+        F->MaxControlDepth = std::max(F->MaxControlDepth, ++Depth);
+      else if ((In.Op == BcOp::IfEnd || In.Op == BcOp::LoopEnd) && Depth)
+        --Depth;
+    }
+  }
+
+  IRBlock **NextBlock = &F->Blocks;
+  size_t Pc = 0;
+  while (Pc < N) {
+    IRBlock *B = A.make<IRBlock>();
+    B->LeaderPc = static_cast<uint32_t>(Pc);
+    size_t End = Pc;
+    while (End < N) {
+      bool Ctl = isControl(K.Code[End].Op);
+      ++End;
+      if (Ctl || Leader[End])
+        break;
+    }
+    B->EndPc = static_cast<uint32_t>(End);
+
+    IRItem **NextItem = &B->Items;
+    size_t I = Pc;
+    while (I < End) {
+      const BcInstr &In = K.Code[I];
+      IRItem *Item = A.make<IRItem>();
+      if (isControl(In.Op)) {
+        Item->TheKind = IRItem::Kind::Control;
+        Item->First = static_cast<uint32_t>(I);
+        Item->Count = 1;
+        ++I;
+      } else if (In.Op == BcOp::Load || In.Op == BcOp::Store) {
+        Item->TheKind = IRItem::Kind::Mem;
+        Item->First = static_cast<uint32_t>(I);
+        Item->Count = 1;
+        ++I;
+      } else if (In.Op == BcOp::ReadImage) {
+        Item->TheKind = IRItem::Kind::Image;
+        Item->First = static_cast<uint32_t>(I);
+        Item->Count = 1;
+        ++I;
+      } else {
+        Item->TheKind = IRItem::Kind::Segment;
+        Item->First = static_cast<uint32_t>(I);
+        while (I < End) {
+          const BcInstr &SI = K.Code[I];
+          if (isControl(SI.Op) || SI.Op == BcOp::Load ||
+              SI.Op == BcOp::Store || SI.Op == BcOp::ReadImage)
+            break;
+          IRCost C = issueCost(SI);
+          Item->Cost.Alu += C.Alu;
+          Item->Cost.Dp += C.Dp;
+          Item->Cost.Sfu += C.Sfu;
+          ++I;
+        }
+        Item->Count = static_cast<uint32_t>(I) - Item->First;
+      }
+      *NextItem = Item;
+      NextItem = &Item->Next;
+    }
+
+    *NextBlock = B;
+    NextBlock = &B->Next;
+    ++F->NumBlocks;
+    Pc = End;
+  }
+
+  return F;
+#endif
+}
+
+std::string jit::dumpIR(const IRFunction &F) {
+  std::string Out;
+  Out += "jit-ir kernel '" + F.Kernel->Name + "': " +
+         std::to_string(F.NumBlocks) + " blocks, max control depth " +
+         std::to_string(F.MaxControlDepth) + "\n";
+  for (const IRBlock *B = F.Blocks; B; B = B->Next) {
+    Out += "  block @" + std::to_string(B->LeaderPc) + ".." +
+           std::to_string(B->EndPc) + ":\n";
+    for (const IRItem *It = B->Items; It; It = It->Next) {
+      Out += "    " + std::string(itemKindName(It->TheKind)) + " [" +
+             std::to_string(It->First) + ".." +
+             std::to_string(It->First + It->Count) + ")";
+      if (It->TheKind == IRItem::Kind::Segment)
+        Out += " cost{alu=" + std::to_string(It->Cost.Alu) +
+               " dp=" + std::to_string(It->Cost.Dp) +
+               " sfu=" + std::to_string(It->Cost.Sfu) + "}";
+      Out += "\n";
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,36 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bytecode -> JIT IR: block discovery at control ops and branch
+/// targets, segment formation, issue-cost pre-summing, and the
+/// compile-time supportability checks behind the deopt contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_JIT_LOWERING_H
+#define LIMECC_JIT_LOWERING_H
+
+#include "jit/Arena.h"
+#include "jit/JitIR.h"
+
+#include <string>
+
+namespace lime::jit {
+
+/// Lowers \p K for a warp of \p WarpWidth lanes. Returns null and
+/// fills \p DeoptReason when the kernel cannot be JITted (it then
+/// runs on the interpreter).
+IRFunction *lowerKernel(Arena &A, const ocl::BcKernel &K, unsigned WarpWidth,
+                        std::string &DeoptReason);
+
+/// Human-readable IR dump for --jit-dump.
+std::string dumpIR(const IRFunction &F);
+
+} // namespace lime::jit
+
+#endif // LIMECC_JIT_LOWERING_H

@@ -1,0 +1,485 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal x86-64 assembler covering exactly the instruction
+/// repertoire the kernel JIT emits: 64-bit GPR moves/ALU, SSE2 scalar
+/// float ops, compare/setcc/cmov, bsf-driven lane iteration, rel32
+/// branches with label fixups, and indirect calls/jumps. Bytes
+/// accumulate in a host vector; the caller copies them into a W^X
+/// CodeBuffer once emission is complete (rel32 branches are
+/// position-independent inside the buffer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_JIT_X64EMITTER_H
+#define LIMECC_JIT_X64EMITTER_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace lime::jit {
+
+enum Gpr : uint8_t {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R8 = 8,
+  R9 = 9,
+  R10 = 10,
+  R11 = 11,
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15
+};
+
+enum Xmm : uint8_t { XMM0 = 0, XMM1 = 1, XMM2 = 2, XMM3 = 3 };
+
+/// Condition codes (the low nibble of the 0F 8x / 0F 9x / 0F 4x
+/// opcode families).
+enum Cond : uint8_t {
+  CC_B = 0x2,  // below (CF)
+  CC_AE = 0x3, // above or equal
+  CC_E = 0x4,  // equal / zero
+  CC_NE = 0x5, // not equal
+  CC_BE = 0x6,
+  CC_A = 0x7, // above
+  CC_S = 0x8,
+  CC_NS = 0x9,
+  CC_P = 0xA,  // parity (unordered)
+  CC_NP = 0xB, // no parity
+  CC_L = 0xC,  // less (signed)
+  CC_GE = 0xD,
+  CC_LE = 0xE,
+  CC_G = 0xF
+};
+
+/// [Base + Index*Scale + Disp]; Index = RSP means "no index".
+struct Mem {
+  Gpr Base;
+  int32_t Disp = 0;
+  Gpr Index = RSP; // RSP encodes "none" in SIB
+  uint8_t Scale = 1;
+
+  static Mem base(Gpr B, int32_t D = 0) { return Mem{B, D, RSP, 1}; }
+  static Mem idx(Gpr B, Gpr I, uint8_t S, int32_t D = 0) {
+    return Mem{B, D, I, S};
+  }
+};
+
+class X64Emitter {
+public:
+  using Label = int32_t;
+
+  const std::vector<uint8_t> &code() const { return Code; }
+  size_t size() const { return Code.size(); }
+
+  Label newLabel() {
+    Bound.push_back(-1);
+    return static_cast<Label>(Bound.size()) - 1;
+  }
+  void bind(Label L) {
+    assert(Bound[static_cast<size_t>(L)] < 0 && "label bound twice");
+    Bound[static_cast<size_t>(L)] = static_cast<int64_t>(Code.size());
+  }
+  int64_t labelOffset(Label L) const { return Bound[static_cast<size_t>(L)]; }
+
+  /// Resolves every rel32 fixup; all labels must be bound.
+  void patch() {
+    for (const Fixup &F : Fixups) {
+      int64_t Target = Bound[static_cast<size_t>(F.L)];
+      assert(Target >= 0 && "unbound label");
+      int32_t Rel = static_cast<int32_t>(Target - static_cast<int64_t>(F.Pos) - 4);
+      std::memcpy(Code.data() + F.Pos, &Rel, 4);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // GPR moves
+  //===--------------------------------------------------------------------===//
+
+  void movRI64(Gpr R, uint64_t Imm) { // movabs r, imm64
+    rex(1, 0, 0, R >> 3);
+    u8(0xB8 | (R & 7));
+    u64(Imm);
+  }
+  void movRI32(Gpr R, uint32_t Imm) { // mov r32, imm32 (zero-extends)
+    rexOpt(0, 0, 0, R >> 3);
+    u8(0xB8 | (R & 7));
+    u32(Imm);
+  }
+  void movRR(Gpr Dst, Gpr Src) { // mov dst, src
+    rex(1, Dst >> 3, 0, Src >> 3);
+    u8(0x8B);
+    modrmRR(Dst, Src);
+  }
+  void movRM(Gpr Dst, const Mem &M) { op_rm(0x8B, Dst, M, 1); }
+  void movMR(const Mem &M, Gpr Src) { op_rm(0x89, Src, M, 1); }
+  void movRR32(Gpr Dst, Gpr Src) { // mov dst32, src32 (zero-extends)
+    rexOpt(0, Dst >> 3, 0, Src >> 3);
+    u8(0x8B);
+    modrmRR(Dst, Src);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // ALU
+  //===--------------------------------------------------------------------===//
+
+  void addRR(Gpr D, Gpr S) { alu_rr(0x03, D, S); }
+  void subRR(Gpr D, Gpr S) { alu_rr(0x2B, D, S); }
+  void andRR(Gpr D, Gpr S) { alu_rr(0x23, D, S); }
+  void orRR(Gpr D, Gpr S) { alu_rr(0x0B, D, S); }
+  void xorRR(Gpr D, Gpr S) { alu_rr(0x33, D, S); }
+  void cmpRR(Gpr D, Gpr S) { alu_rr(0x3B, D, S); }
+  void testRR(Gpr D, Gpr S) { // test d, s
+    rex(1, S >> 3, 0, D >> 3);
+    u8(0x85);
+    modrmRR(S, D);
+  }
+  void imulRR(Gpr D, Gpr S) {
+    rex(1, D >> 3, 0, S >> 3);
+    u8(0x0F);
+    u8(0xAF);
+    modrmRR(D, S);
+  }
+  void aluRI(uint8_t SlashOp, Gpr R, int32_t Imm) { // 81 /n id
+    rex(1, 0, 0, R >> 3);
+    u8(0x81);
+    modrmRR(static_cast<Gpr>(SlashOp), R);
+    u32(static_cast<uint32_t>(Imm));
+  }
+  void addRI(Gpr R, int32_t I) { aluRI(0, R, I); }
+  void andRI(Gpr R, int32_t I) { aluRI(4, R, I); }
+  void subRI(Gpr R, int32_t I) { aluRI(5, R, I); }
+  void xorRI(Gpr R, int32_t I) { aluRI(6, R, I); }
+  void cmpRI(Gpr R, int32_t I) { aluRI(7, R, I); }
+  void xorRI32(Gpr R, int32_t Imm) { // xor r32, imm32 (for float bits)
+    rexOpt(0, 0, 0, R >> 3);
+    u8(0x81);
+    modrmRR(static_cast<Gpr>(6), R);
+    u32(static_cast<uint32_t>(Imm));
+  }
+  /// add/sub qword [M], imm32 — counter and budget accumulators.
+  void addMI(const Mem &M, int32_t Imm) { alu_mi(0, M, Imm); }
+  void subMI(const Mem &M, int32_t Imm) { alu_mi(5, M, Imm); }
+
+  void negR(Gpr R) { grp3(3, R); }
+  void notR(Gpr R) { grp3(2, R); }
+  void idivR(Gpr R) { grp3(7, R); }
+  void divR(Gpr R) { grp3(6, R); }
+  void cqo() {
+    u8(0x48);
+    u8(0x99);
+  }
+  void xorR32R32(Gpr D, Gpr S) { // xor d32, s32 (zeroing)
+    rexOpt(0, D >> 3, 0, S >> 3);
+    u8(0x33);
+    modrmRR(D, S);
+  }
+  void shlCl(Gpr R) { grpD3(4, R); }
+  void shrCl(Gpr R) { grpD3(5, R); }
+  void sarCl(Gpr R) { grpD3(7, R); }
+  void sarRI(Gpr R, uint8_t Imm) { // sar r, imm8
+    rex(1, 0, 0, R >> 3);
+    u8(0xC1);
+    modrmRR(static_cast<Gpr>(7), R);
+    u8(Imm);
+  }
+  void shrRI(Gpr R, uint8_t Imm) { // shr r, imm8
+    rex(1, 0, 0, R >> 3);
+    u8(0xC1);
+    modrmRR(static_cast<Gpr>(5), R);
+    u8(Imm);
+  }
+
+  void bsfRR(Gpr Dst, Gpr Src) {
+    rex(1, Dst >> 3, 0, Src >> 3);
+    u8(0x0F);
+    u8(0xBC);
+    modrmRR(Dst, Src);
+  }
+  void leaRM(Gpr Dst, const Mem &M) { op_rm(0x8D, Dst, M, 1); }
+
+  void movzxR32R8(Gpr Dst, Gpr Src) { // movzx dst32, src8 (al/cl only)
+    assert(Src < 4 && "only low byte regs without REX handling");
+    rexOpt(0, Dst >> 3, 0, Src >> 3);
+    u8(0x0F);
+    u8(0xB6);
+    modrmRR(Dst, Src);
+  }
+  void movsxR64R8(Gpr Dst, Gpr Src) {
+    assert(Src < 4 && "only low byte regs");
+    rex(1, Dst >> 3, 0, Src >> 3);
+    u8(0x0F);
+    u8(0xBE);
+    modrmRR(Dst, Src);
+  }
+  void movsxdR64R32(Gpr Dst, Gpr Src) {
+    rex(1, Dst >> 3, 0, Src >> 3);
+    u8(0x63);
+    modrmRR(Dst, Src);
+  }
+
+  void setcc(Cond CC, Gpr R8) { // setcc r8 (al/cl only)
+    assert(R8 < 4 && "only low byte regs");
+    u8(0x0F);
+    u8(0x90 | CC);
+    modrmRR(static_cast<Gpr>(0), R8);
+  }
+  void cmovccRR(Cond CC, Gpr Dst, Gpr Src) {
+    rex(1, Dst >> 3, 0, Src >> 3);
+    u8(0x0F);
+    u8(0x40 | CC);
+    modrmRR(Dst, Src);
+  }
+  void cmovccRM(Cond CC, Gpr Dst, const Mem &M) {
+    emitRexMem(1, Dst, M);
+    u8(0x0F);
+    u8(0x40 | CC);
+    modrmMem(Dst, M);
+  }
+  void andR8R8(Gpr D, Gpr S) { // and d8, s8 (al/cl only)
+    assert(D < 4 && S < 4);
+    u8(0x22);
+    modrmRR(D, S);
+  }
+  void orR8R8(Gpr D, Gpr S) {
+    assert(D < 4 && S < 4);
+    u8(0x0A);
+    modrmRR(D, S);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // SSE2 scalar
+  //===--------------------------------------------------------------------===//
+
+  void movsdXM(Xmm Dst, const Mem &M) { sse_rm(0xF2, 0x10, Dst, M); }
+  void movsdMX(const Mem &M, Xmm Src) { sse_rm(0xF2, 0x11, Src, M); }
+  void movqXR(Xmm Dst, Gpr Src) { // movq xmm, r64
+    u8(0x66);
+    rex(1, Dst >> 3, 0, Src >> 3);
+    u8(0x0F);
+    u8(0x6E);
+    modrmRR(static_cast<Gpr>(Dst), Src);
+  }
+  void movqRX(Gpr Dst, Xmm Src) { // movq r64, xmm
+    u8(0x66);
+    rex(1, Src >> 3, 0, Dst >> 3);
+    u8(0x0F);
+    u8(0x7E);
+    modrmRR(static_cast<Gpr>(Src), Dst);
+  }
+  void movdXR32(Xmm Dst, Gpr Src) { // movd xmm, r32
+    u8(0x66);
+    rexOpt(0, Dst >> 3, 0, Src >> 3);
+    u8(0x0F);
+    u8(0x6E);
+    modrmRR(static_cast<Gpr>(Dst), Src);
+  }
+  void movdR32X(Gpr Dst, Xmm Src) { // movd r32, xmm
+    u8(0x66);
+    rexOpt(0, Src >> 3, 0, Dst >> 3);
+    u8(0x0F);
+    u8(0x7E);
+    modrmRR(static_cast<Gpr>(Src), Dst);
+  }
+
+  void addsd(Xmm D, Xmm S) { sse_rr(0xF2, 0x58, D, S); }
+  void subsd(Xmm D, Xmm S) { sse_rr(0xF2, 0x5C, D, S); }
+  void mulsd(Xmm D, Xmm S) { sse_rr(0xF2, 0x59, D, S); }
+  void divsd(Xmm D, Xmm S) { sse_rr(0xF2, 0x5E, D, S); }
+  void sqrtsd(Xmm D, Xmm S) { sse_rr(0xF2, 0x51, D, S); }
+  void addss(Xmm D, Xmm S) { sse_rr(0xF3, 0x58, D, S); }
+  void subss(Xmm D, Xmm S) { sse_rr(0xF3, 0x5C, D, S); }
+  void mulss(Xmm D, Xmm S) { sse_rr(0xF3, 0x59, D, S); }
+  void divss(Xmm D, Xmm S) { sse_rr(0xF3, 0x5E, D, S); }
+  void cvtsd2ss(Xmm D, Xmm S) { sse_rr(0xF2, 0x5A, D, S); }
+  void cvtss2sd(Xmm D, Xmm S) { sse_rr(0xF3, 0x5A, D, S); }
+  void ucomisd(Xmm A, Xmm B) {
+    u8(0x66);
+    rexOpt(0, A >> 3, 0, B >> 3);
+    u8(0x0F);
+    u8(0x2E);
+    modrmRR(static_cast<Gpr>(A), static_cast<Gpr>(B));
+  }
+  void pxor(Xmm D, Xmm S) {
+    u8(0x66);
+    rexOpt(0, D >> 3, 0, S >> 3);
+    u8(0x0F);
+    u8(0xEF);
+    modrmRR(static_cast<Gpr>(D), static_cast<Gpr>(S));
+  }
+  void cvtsi2sdRX(Xmm Dst, Gpr Src) { // cvtsi2sd xmm, r64
+    u8(0xF2);
+    rex(1, Dst >> 3, 0, Src >> 3);
+    u8(0x0F);
+    u8(0x2A);
+    modrmRR(static_cast<Gpr>(Dst), Src);
+  }
+  void cvttsd2siXR(Gpr Dst, Xmm Src) { // cvttsd2si r64, xmm
+    u8(0xF2);
+    rex(1, Dst >> 3, 0, Src >> 3);
+    u8(0x0F);
+    u8(0x2C);
+    modrmRR(Dst, static_cast<Gpr>(Src));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Control
+  //===--------------------------------------------------------------------===//
+
+  void push(Gpr R) {
+    if (R >> 3)
+      u8(0x41);
+    u8(0x50 | (R & 7));
+  }
+  void pop(Gpr R) {
+    if (R >> 3)
+      u8(0x41);
+    u8(0x58 | (R & 7));
+  }
+  void ret() { u8(0xC3); }
+  void callR(Gpr R) {
+    if (R >> 3)
+      u8(0x41);
+    u8(0xFF);
+    modrmRR(static_cast<Gpr>(2), R);
+  }
+  void jmpR(Gpr R) {
+    if (R >> 3)
+      u8(0x41);
+    u8(0xFF);
+    modrmRR(static_cast<Gpr>(4), R);
+  }
+  void jmpM(const Mem &M) { // jmp qword [M]
+    emitRexMem(0, static_cast<Gpr>(4), M);
+    u8(0xFF);
+    modrmMem(static_cast<Gpr>(4), M);
+  }
+  void jmp(Label L) {
+    u8(0xE9);
+    fixup(L);
+  }
+  void jcc(Cond CC, Label L) {
+    u8(0x0F);
+    u8(0x80 | CC);
+    fixup(L);
+  }
+
+private:
+  struct Fixup {
+    size_t Pos;
+    Label L;
+  };
+
+  void u8(uint8_t B) { Code.push_back(B); }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Code.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Code.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  void rex(int W, int R, int X, int B) {
+    u8(static_cast<uint8_t>(0x40 | (W << 3) | (R << 2) | (X << 1) | B));
+  }
+  /// REX only when a bit is set (ops where REX.W is not wanted).
+  void rexOpt(int W, int R, int X, int B) {
+    if (W || R || X || B)
+      rex(W, R, X, B);
+  }
+  void modrmRR(Gpr Reg, Gpr Rm) {
+    u8(static_cast<uint8_t>(0xC0 | ((Reg & 7) << 3) | (Rm & 7)));
+  }
+
+  bool hasIndex(const Mem &M) const { return M.Index != RSP; }
+
+  void emitRexMem(int W, Gpr Reg, const Mem &M) {
+    rexOpt(W, Reg >> 3, hasIndex(M) ? (M.Index >> 3) : 0, M.Base >> 3);
+  }
+
+  void modrmMem(Gpr Reg, const Mem &M) {
+    // Uniform mod=10 (disp32) keeps the encoder trivial; code size is
+    // not a goal here.
+    uint8_t ScaleBits =
+        M.Scale == 8 ? 3 : M.Scale == 4 ? 2 : M.Scale == 2 ? 1 : 0;
+    if (hasIndex(M)) {
+      u8(static_cast<uint8_t>(0x80 | ((Reg & 7) << 3) | 4));
+      u8(static_cast<uint8_t>((ScaleBits << 6) | ((M.Index & 7) << 3) |
+                              (M.Base & 7)));
+    } else if ((M.Base & 7) == 4) { // RSP/R12 need a SIB byte
+      u8(static_cast<uint8_t>(0x80 | ((Reg & 7) << 3) | 4));
+      u8(0x24);
+    } else {
+      u8(static_cast<uint8_t>(0x80 | ((Reg & 7) << 3) | (M.Base & 7)));
+    }
+    u32(static_cast<uint32_t>(M.Disp));
+  }
+
+  void op_rm(uint8_t Op, Gpr Reg, const Mem &M, int W) {
+    emitRexMem(W, Reg, M);
+    u8(Op);
+    modrmMem(Reg, M);
+  }
+  void alu_rr(uint8_t Op, Gpr D, Gpr S) {
+    rex(1, D >> 3, 0, S >> 3);
+    u8(Op);
+    modrmRR(D, S);
+  }
+  void alu_mi(uint8_t SlashOp, const Mem &M, int32_t Imm) {
+    emitRexMem(1, static_cast<Gpr>(SlashOp), M);
+    u8(0x81);
+    modrmMem(static_cast<Gpr>(SlashOp), M);
+    u32(static_cast<uint32_t>(Imm));
+  }
+  void grp3(uint8_t SlashOp, Gpr R) {
+    rex(1, 0, 0, R >> 3);
+    u8(0xF7);
+    modrmRR(static_cast<Gpr>(SlashOp), R);
+  }
+  void grpD3(uint8_t SlashOp, Gpr R) {
+    rex(1, 0, 0, R >> 3);
+    u8(0xD3);
+    modrmRR(static_cast<Gpr>(SlashOp), R);
+  }
+  void sse_rm(uint8_t Pfx, uint8_t Op, Xmm Reg, const Mem &M) {
+    u8(Pfx);
+    emitRexMem(0, static_cast<Gpr>(Reg), M);
+    u8(0x0F);
+    u8(Op);
+    modrmMem(static_cast<Gpr>(Reg), M);
+  }
+  void sse_rr(uint8_t Pfx, uint8_t Op, Xmm D, Xmm S) {
+    u8(Pfx);
+    rexOpt(0, D >> 3, 0, S >> 3);
+    u8(0x0F);
+    u8(Op);
+    modrmRR(static_cast<Gpr>(D), static_cast<Gpr>(S));
+  }
+  void fixup(Label L) {
+    Fixups.push_back(Fixup{Code.size(), L});
+    u32(0);
+  }
+
+  std::vector<uint8_t> Code;
+  std::vector<int64_t> Bound;
+  std::vector<Fixup> Fixups;
+};
+
+} // namespace lime::jit
+
+#endif // LIMECC_JIT_X64EMITTER_H

@@ -29,10 +29,12 @@
 #ifndef LIMECC_OCL_BYTECODE_H
 #define LIMECC_OCL_BYTECODE_H
 
+#include "ocl/JitABI.h"
 #include "ocl/OclType.h"
 #include "support/SourceLocation.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -179,6 +181,10 @@ struct BcKernel {
   unsigned StaticLocalBytes = 0;
   /// Private array bytes per work-item.
   unsigned PrivateBytes = 0;
+  /// Native code attached after the build when the JIT is enabled.
+  /// Null (or deopt'd, Entry == nullptr) kernels run on the
+  /// interpreter; the artifact records why.
+  std::shared_ptr<const jitabi::JitArtifact> Jit;
 };
 
 /// All kernels of one compiled program.

@@ -8,6 +8,7 @@
 #include "ocl/CL.h"
 
 #include "ocl/BytecodeCompiler.h"
+#include "ocl/Jit.h"
 #include "ocl/OclParser.h"
 #include "support/FaultInjection.h"
 
@@ -17,10 +18,16 @@
 using namespace lime;
 using namespace lime::ocl;
 
-/// Owns one built translation unit (AST context + bytecode).
-struct ClContext::BuiltUnit {
+/// Owns one built translation unit (AST context + bytecode). Device
+/// and Source tag what the bundle was built for so shared-bundle
+/// adoption can verify it fits (JIT artifacts are specialized to one
+/// warp width, and the constant-capacity fallback can rewrite the
+/// source between builds of the same filter).
+struct lime::ocl::ProgramBundle {
   OclContext Ctx;
   BcProgram Program;
+  std::string Device;
+  std::string Source;
 };
 
 ClContext::ClContext(const std::string &DeviceName)
@@ -41,13 +48,25 @@ void ClContext::setFaultDomain(std::string Domain) {
 }
 
 std::string ClContext::buildProgram(const std::string &Source) {
+  return buildProgram(Source, nullptr);
+}
+
+std::string
+ClContext::buildProgram(const std::string &Source,
+                        std::shared_ptr<const ProgramBundle> *Shared) {
   // Fault-injection hook: the per-device program build fails, as a
   // real clBuildProgram can (driver bugs, resource exhaustion).
   if (support::FaultInjector::instance().shouldFire(
           Dev.FaultDomain, support::FaultKind::CompileFail))
     return "injected fault: program build failed on " + Dev.FaultDomain;
 
-  auto Unit = std::make_unique<BuiltUnit>();
+  if (Shared && *Shared && (*Shared)->Device == model().Name &&
+      (*Shared)->Source == Source) {
+    Units.push_back(*Shared);
+    return "";
+  }
+
+  auto Unit = std::make_shared<ProgramBundle>();
   DiagnosticEngine Diags;
   OclParser Parser(Source, Unit->Ctx, Diags);
   OclProgramAST *AST = Parser.parseProgram();
@@ -57,7 +76,16 @@ std::string ClContext::buildProgram(const std::string &Source) {
   Unit->Program = BC.compile(AST);
   if (Diags.hasErrors())
     return Diags.dump();
-  Units.push_back(std::move(Unit));
+  // Kernel-build-time JIT: lower each kernel to native code now so
+  // dispatches hit the compiled entry (deopt'd kernels keep a reason
+  // and run on the interpreter).
+  attachJitArtifacts(Unit->Program, Dev.model());
+  Unit->Device = model().Name;
+  Unit->Source = Source;
+  std::shared_ptr<const ProgramBundle> Built = std::move(Unit);
+  if (Shared)
+    *Shared = Built;
+  Units.push_back(std::move(Built));
   return "";
 }
 
@@ -126,7 +154,12 @@ std::string ClContext::enqueueKernel(const std::string &Name,
       std::this_thread::sleep_for(std::chrono::milliseconds(FI.hangMillis()));
   }
   Profile.ApiNs += ApiCallOverheadNs;
+  const auto WallStart = std::chrono::steady_clock::now();
   LaunchResult R = Dev.run(*K, Args, GlobalSize, LocalSize);
+  Profile.WallDispatchMs +=
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - WallStart)
+          .count();
   if (!R.ok())
     return R.Error;
   Profile.KernelNs += R.KernelTimeNs;

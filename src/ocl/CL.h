@@ -41,6 +41,10 @@ struct ClProfile {
   double KernelNs = 0.0;
   double TransferNs = 0.0; // PCIe/DMA payload time
   double ApiNs = 0.0;      // per-call driver overhead
+  /// Host wall-clock spent inside SimDevice::run — the simulator's
+  /// own execution cost, not simulated time. This is what the
+  /// jit-vs-interpreter microbenchmark compares.
+  double WallDispatchMs = 0.0;
   uint64_t BytesToDevice = 0;
   uint64_t BytesFromDevice = 0;
   KernelCounters LastKernelCounters;
@@ -48,6 +52,13 @@ struct ClProfile {
   double totalNs() const { return KernelNs + TransferNs + ApiNs; }
   void reset() { *this = ClProfile(); }
 };
+
+/// One built translation unit (AST context, bytecode, and the native
+/// JIT artifacts attached at build time). Opaque outside CL.cpp;
+/// shareable across contexts targeting the same device model, which
+/// is how the offload service's KernelCache hands one compiled
+/// program (bytecode + JIT code) to every worker context.
+struct ProgramBundle;
 
 /// One OpenCL context + command queue on a simulated device.
 class ClContext {
@@ -69,6 +80,14 @@ public:
   /// Parses and compiles OpenCL source; returns "" on success or the
   /// diagnostics text. Kernels accumulate across build calls.
   std::string buildProgram(const std::string &Source);
+
+  /// Shared-bundle form: when \p Shared already holds a bundle built
+  /// from the same source for the same device model it is adopted
+  /// as-is — bytecode and JIT artifacts reused, nothing recompiled.
+  /// Otherwise the source is built and \p Shared is (re)filled, so
+  /// the first worker to build populates the cache slot for the rest.
+  std::string buildProgram(const std::string &Source,
+                           std::shared_ptr<const ProgramBundle> *Shared);
 
   const BcKernel *findKernel(const std::string &Name) const;
 
@@ -102,8 +121,7 @@ public:
 private:
   SimDevice Dev;
   ClProfile Profile;
-  struct BuiltUnit;
-  std::vector<std::unique_ptr<BuiltUnit>> Units;
+  std::vector<std::shared_ptr<const ProgramBundle>> Units;
 };
 
 } // namespace lime::ocl

@@ -1,0 +1,123 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/Jit.h"
+
+#include "jit/JitCompiler.h"
+#include "ocl/DeviceModel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+using namespace lime;
+using namespace lime::ocl;
+
+namespace {
+
+std::atomic<bool> &enabledFlag() {
+  static std::atomic<bool> Enabled{std::getenv("LIMECC_NO_JIT") == nullptr};
+  return Enabled;
+}
+
+std::atomic<bool> &dumpFlag() {
+  static std::atomic<bool> Dump{false};
+  return Dump;
+}
+
+struct StatsRegistry {
+  std::mutex Mu;
+  std::map<std::string, JitKernelStats> ByKernel;
+  std::string DumpText;
+};
+
+StatsRegistry &registry() {
+  static StatsRegistry R;
+  return R;
+}
+
+} // namespace
+
+bool lime::ocl::jitEnabled() {
+  return enabledFlag().load(std::memory_order_relaxed);
+}
+void lime::ocl::setJitEnabled(bool On) {
+  enabledFlag().store(On, std::memory_order_relaxed);
+}
+bool lime::ocl::jitDumpEnabled() {
+  return dumpFlag().load(std::memory_order_relaxed);
+}
+void lime::ocl::setJitDump(bool On) {
+  dumpFlag().store(On, std::memory_order_relaxed);
+}
+
+std::vector<JitKernelStats> lime::ocl::jitStatsSnapshot() {
+  StatsRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  std::vector<JitKernelStats> Out;
+  Out.reserve(R.ByKernel.size());
+  for (const auto &[Name, S] : R.ByKernel)
+    Out.push_back(S);
+  return Out;
+}
+
+void lime::ocl::resetJitStats() {
+  StatsRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.ByKernel.clear();
+  R.DumpText.clear();
+}
+
+void lime::ocl::jitNoteDispatch(const std::string &Kernel, bool Jitted) {
+  StatsRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  JitKernelStats &S = R.ByKernel[Kernel];
+  if (S.Kernel.empty())
+    S.Kernel = Kernel;
+  if (Jitted)
+    ++S.JitDispatches;
+  else
+    ++S.InterpDispatches;
+}
+
+std::string lime::ocl::takeJitDump() {
+  StatsRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  std::string Out = std::move(R.DumpText);
+  R.DumpText.clear();
+  return Out;
+}
+
+void lime::ocl::attachJitArtifacts(BcProgram &P, const DeviceModel &Dev) {
+  if (!jitEnabled())
+    return;
+  const bool WantDump = jitDumpEnabled();
+  for (BcKernel &K : P.Kernels) {
+    if (K.Jit)
+      continue; // already compiled (shared program bundle)
+    std::string Dump;
+    jitabi::JitArtifact Art = jit::compileKernel(
+        K, Dev.WarpWidth, simDeviceJitHelpers(), WantDump ? &Dump : nullptr);
+
+    StatsRegistry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    JitKernelStats &S = R.ByKernel[K.Name];
+    if (S.Kernel.empty())
+      S.Kernel = K.Name;
+    S.DeoptReason = Art.DeoptReason;
+    S.CompileMs = Art.CompileMs;
+    S.CodeBytes = Art.CodeBytes;
+    if (WantDump) {
+      if (!Art.DeoptReason.empty())
+        Dump += "jit-deopt kernel '" + K.Name + "': " + Art.DeoptReason + "\n";
+      R.DumpText += Dump;
+    }
+    K.Jit = std::make_shared<const jitabi::JitArtifact>(std::move(Art));
+  }
+}

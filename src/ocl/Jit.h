@@ -1,0 +1,71 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Host-side JIT management: the process-wide enable/dump switches
+/// (fed by the driver's --no-jit / --jit-dump flags), per-kernel
+/// dispatch statistics for `limec --run`, and the hook that attaches
+/// native artifacts to a freshly built BcProgram.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_OCL_JIT_H
+#define LIMECC_OCL_JIT_H
+
+#include "ocl/Bytecode.h"
+#include "ocl/JitABI.h"
+
+#include <string>
+#include <vector>
+
+namespace lime::ocl {
+
+struct DeviceModel;
+
+/// Process-wide JIT switch. Defaults to on; the LIMECC_NO_JIT
+/// environment variable or --no-jit turns it off.
+bool jitEnabled();
+void setJitEnabled(bool On);
+
+/// When on, kernel builds append their JIT IR and code stats to the
+/// dump buffer (drained with takeJitDump()).
+bool jitDumpEnabled();
+void setJitDump(bool On);
+
+/// Per-kernel accounting shown by `limec --run`: whether a kernel's
+/// dispatches went native or stayed on the interpreter, and why.
+struct JitKernelStats {
+  std::string Kernel;
+  std::string DeoptReason; // empty when native code was attached
+  double CompileMs = 0.0;
+  size_t CodeBytes = 0;
+  uint64_t JitDispatches = 0;
+  uint64_t InterpDispatches = 0;
+};
+
+/// Snapshot of all kernels seen since the last reset, kernel-name
+/// sorted.
+std::vector<JitKernelStats> jitStatsSnapshot();
+void resetJitStats();
+
+/// Records one dispatch of \p Kernel (called by SimDevice::run).
+void jitNoteDispatch(const std::string &Kernel, bool Jitted);
+
+/// Drains the accumulated --jit-dump text.
+std::string takeJitDump();
+
+/// Compiles every kernel of \p P for \p Dev and attaches artifacts
+/// (or deopt reasons). No-op when the JIT is disabled.
+void attachJitArtifacts(BcProgram &P, const DeviceModel &Dev);
+
+/// The SimDevice-backed helper table the emitted code calls into
+/// (defined in VM.cpp).
+const jitabi::HelperTable &simDeviceJitHelpers();
+
+} // namespace lime::ocl
+
+#endif // LIMECC_OCL_JIT_H

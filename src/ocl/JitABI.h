@@ -1,0 +1,150 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The binary contract between the SIMT VM and the native code the
+/// JIT emits (src/jit/). Everything here is plain data: the JIT
+/// library depends only on this header (plus Bytecode.h and
+/// DeviceModel.h) and never on ocl symbols, so limecc_ocl can link
+/// limecc_jit without a cycle.
+///
+/// Division of labor: compiled code runs the compute segments of a
+/// warp natively (a lane loop over the active mask), while memory,
+/// image and structured-control instructions call back into the VM
+/// through the HelperTable so that bounds checks, fault messages,
+/// mask-stack semantics and the §5 timing-model pricing stay
+/// byte-identical to the interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_OCL_JITABI_H
+#define LIMECC_OCL_JITABI_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lime::ocl::jitabi {
+
+/// Mirror of SimDevice's divergence-stack frame. Fixed capacity so
+/// native code and helpers share a flat layout; kernels whose static
+/// nesting exceeds it deopt to the interpreter at compile time.
+inline constexpr uint32_t MaxFrames = 64;
+
+enum FrameKind : uint8_t { FrameIf = 0, FrameLoop = 1 };
+
+struct JitFrame {
+  uint64_t SavedMask = 0;
+  uint64_t ThenMask = 0;
+  uint8_t Kind = FrameIf;
+};
+
+/// Live per-warp execution state shared between native code and the
+/// control/memory helpers. The register file itself stays in the
+/// VM's WarpState; Regs aliases it as flat 8-byte slots laid out
+/// reg-major (slot = Regs[Reg * WarpWidth + Lane]).
+struct JitWarp {
+  uint64_t Mask = 0;   // active lanes
+  uint64_t Exited = 0; // lanes retired by Ret
+  uint64_t Pc = 0;     // bytecode pc (always a block leader)
+  uint64_t Depth = 0;  // live frames
+  int64_t *Regs = nullptr;
+  uint64_t FirstLinear = 0; // group-linear work-item id of lane 0
+  // Launch-invariant geometry, hoisted out of the lane loop: per-lane
+  // tables (indexed by lane) for the divergent geometry ops.
+  const int64_t *GlobalId0 = nullptr;
+  const int64_t *GlobalId1 = nullptr;
+  const int64_t *LocalId0 = nullptr;
+  const int64_t *LocalId1 = nullptr;
+  JitFrame Frames[MaxFrames];
+};
+
+/// Indices into JitExecContext::Scalars for the uniform geometry ops.
+enum GeoScalar : uint32_t {
+  GeoGroupId0 = 0,
+  GeoGroupId1,
+  GeoGlobalSize0,
+  GeoGlobalSize1,
+  GeoLocalSize0,
+  GeoLocalSize1,
+  GeoNumGroups0,
+  GeoNumGroups1,
+  GeoScalarCount
+};
+
+/// One warp-step's view of the dispatch. Field offsets are baked
+/// into emitted code; keep this struct standard-layout and append
+/// only.
+struct JitExecContext {
+  JitWarp *Warp = nullptr;
+  void *Device = nullptr;   // SimDevice*
+  void *Dispatch = nullptr; // SimDevice::Dispatch*
+  const void *Kernel = nullptr; // const BcKernel*
+  uint64_t *Budget = nullptr;   // &Dispatch.InstructionBudget
+  void *Counters = nullptr;     // KernelCounters*
+  const uint64_t *PcTable = nullptr; // bytecode pc -> native address
+  int64_t Scalars[GeoScalarCount] = {};
+  // Helper-only state (never touched by emitted code; appended so
+  // the baked offsets above stay put).
+  void *HostWarp = nullptr; // SimDevice::WarpState*, for helper reuse
+};
+
+/// Status codes the native entry returns to SimDevice::run.
+enum JitStatus : uint32_t {
+  StatusDone = 0,    // warp retired
+  StatusBarrier = 1, // warp parked at a barrier; Warp->Pc is the resume pc
+  StatusFault = 2    // Dispatch.Fault was set; abort the launch
+};
+
+/// Control-helper return convention (int64): >= 0 branch to that
+/// bytecode pc, or one of these.
+enum HelperResult : int64_t {
+  HelperFallthrough = -1,
+  HelperBarrier = -2,
+  HelperDone = -3,
+  HelperFault = -4
+};
+
+/// Trap codes native code passes to the trap helper; the helper owns
+/// the message text so it matches the interpreter exactly.
+enum TrapCode : uint32_t {
+  TrapDivZero = 0,
+  TrapRemZero = 1,
+  TrapBudget = 2,
+  TrapBadPc = 3
+};
+
+using JitEntryFn = uint32_t (*)(JitExecContext *);
+
+/// VM callbacks the emitted code uses. All follow the SysV ABI;
+/// instruction-level helpers take (ctx, instruction index).
+struct HelperTable {
+  int64_t (*Mem)(JitExecContext *, uint32_t) = nullptr;
+  int64_t (*Image)(JitExecContext *, uint32_t) = nullptr;
+  int64_t (*Control)(JitExecContext *, uint32_t) = nullptr;
+  void (*Trap)(JitExecContext *, uint32_t) = nullptr;
+};
+
+/// A compiled kernel: either a callable entry (with the code buffer
+/// kept alive by Owner) or a deopt reason explaining why this kernel
+/// runs on the interpreter.
+struct JitArtifact {
+  JitEntryFn Entry = nullptr;
+  std::shared_ptr<void> Owner;        // executable buffer lifetime
+  std::shared_ptr<std::vector<uint64_t>> PcTable; // pc -> native addr
+  std::string DeoptReason;            // non-empty => interpreter
+  unsigned WarpWidth = 0; // lane count the code was specialized for
+  double CompileMs = 0.0;
+  size_t CodeBytes = 0;
+
+  bool usable() const { return Entry != nullptr; }
+};
+
+} // namespace lime::ocl::jitabi
+
+#endif // LIMECC_OCL_JITABI_H

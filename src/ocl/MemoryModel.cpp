@@ -8,11 +8,32 @@
 #include "ocl/MemoryModel.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
 
 using namespace lime;
 using namespace lime::ocl;
+
+namespace {
+
+/// Sorts \p V and drops duplicates, leaving the distinct values in
+/// ascending order (the same order a std::set would iterate, which
+/// matters because cache lookups mutate LRU state). Warp access
+/// patterns are usually monotone, so the already-sorted fast path is
+/// the common one.
+void sortUnique(std::vector<uint64_t> &V) {
+  if (!std::is_sorted(V.begin(), V.end()))
+    std::sort(V.begin(), V.end());
+  V.erase(std::unique(V.begin(), V.end()), V.end());
+}
+
+/// Appends \p X unless it repeats the previous element — coalesced
+/// warps emit long runs of the same segment/word, and skipping them
+/// here keeps the scratch vector (and its sort) tiny.
+void pushRun(std::vector<uint64_t> &V, uint64_t X) {
+  if (V.empty() || V.back() != X)
+    V.push_back(X);
+}
+
+} // namespace
 
 CacheSim::CacheSim(unsigned TotalBytes, unsigned LineBytes, unsigned Ways)
     : LineBytes(LineBytes), Ways(Ways) {
@@ -23,24 +44,31 @@ CacheSim::CacheSim(unsigned TotalBytes, unsigned LineBytes, unsigned Ways)
   unsigned Lines = TotalBytes / LineBytes;
   NumSets = std::max(1u, Lines / std::max(1u, Ways));
   Sets.resize(NumSets);
+  if (std::has_single_bit(LineBytes))
+    LineShift = static_cast<unsigned>(std::countr_zero(LineBytes));
+  SetsPow2 = std::has_single_bit(NumSets);
 }
 
 bool CacheSim::access(uint64_t ByteAddr) {
   if (!enabled())
     return false;
-  uint64_t Line = ByteAddr / LineBytes;
-  auto &Set = Sets[Line % NumSets];
+  uint64_t Line = lineOf(ByteAddr);
+  auto &Set = Sets[setOf(Line)];
   for (size_t I = 0, E = Set.size(); I != E; ++I) {
     if (Set[I] == Line) {
-      // Move to front (MRU).
-      Set.erase(Set.begin() + static_cast<long>(I));
-      Set.insert(Set.begin(), Line);
+      // Move to front (MRU) — one rotation, no reallocation.
+      std::rotate(Set.begin(), Set.begin() + static_cast<long>(I),
+                  Set.begin() + static_cast<long>(I) + 1);
       return true;
     }
   }
-  Set.insert(Set.begin(), Line);
-  if (Set.size() > Ways)
-    Set.pop_back();
+  if (Set.size() == Ways) {
+    // Evict LRU by recycling the back slot as the new front.
+    std::rotate(Set.begin(), Set.end() - 1, Set.end());
+    Set.front() = Line;
+  } else {
+    Set.insert(Set.begin(), Line);
+  }
   return false;
 }
 
@@ -52,7 +80,11 @@ void CacheSim::reset() {
 MemoryModel::MemoryModel(const DeviceModel &Dev)
     : Dev(Dev), L1(Dev.L1Bytes, Dev.CacheLineBytes, 4),
       L2(Dev.L2Bytes, Dev.CacheLineBytes, 8),
-      Texture(Dev.TextureCacheBytes, Dev.CacheLineBytes, 4) {}
+      Texture(Dev.TextureCacheBytes, Dev.CacheLineBytes, 4) {
+  SegPow2 = Dev.DramSegmentBytes != 0 && std::has_single_bit(Dev.DramSegmentBytes);
+  if (SegPow2)
+    SegShift = static_cast<unsigned>(std::countr_zero(Dev.DramSegmentBytes));
+}
 
 void MemoryModel::beginWorkGroup() {
   // L1 and the texture cache are per-SM; a new group lands on an SM
@@ -78,13 +110,25 @@ void MemoryModel::accessGlobal(const std::vector<uint64_t> &Addrs,
     ++Counters.LoadsExecuted;
 
   // Coalesce the warp's lanes into DRAM segments.
-  std::set<uint64_t> Segments;
-  for (uint64_t A : Addrs) {
-    uint64_t First = A / Dev.DramSegmentBytes;
-    uint64_t Last = (A + BytesPerLane - 1) / Dev.DramSegmentBytes;
-    for (uint64_t S = First; S <= Last; ++S)
-      Segments.insert(S);
+  std::vector<uint64_t> &Segments = UnitScratch;
+  Segments.clear();
+  if (SegPow2) {
+    const unsigned Sh = SegShift;
+    for (uint64_t A : Addrs) {
+      uint64_t First = A >> Sh;
+      uint64_t Last = (A + BytesPerLane - 1) >> Sh;
+      for (uint64_t S = First; S <= Last; ++S)
+        pushRun(Segments, S);
+    }
+  } else {
+    for (uint64_t A : Addrs) {
+      uint64_t First = A / Dev.DramSegmentBytes;
+      uint64_t Last = (A + BytesPerLane - 1) / Dev.DramSegmentBytes;
+      for (uint64_t S = First; S <= Last; ++S)
+        pushRun(Segments, S);
+    }
   }
+  sortUnique(Segments);
 
   for (uint64_t Seg : Segments) {
     uint64_t Addr = Seg * Dev.DramSegmentBytes;
@@ -122,16 +166,18 @@ void MemoryModel::accessLocal(const std::vector<uint64_t> &Addrs,
   // maximum number of distinct words wanted from one bank; lanes
   // hitting the same word broadcast. Wide (vector) lane accesses
   // touch BytesPerLane/4 consecutive words.
-  std::map<uint64_t, std::set<uint64_t>> BankWords;
-  for (uint64_t A : Addrs) {
-    for (unsigned Off = 0; Off < std::max(4u, BytesPerLane); Off += 4) {
-      uint64_t Word = (A + Off) / 4;
-      BankWords[Word % Dev.LocalBanks].insert(Word);
-    }
-  }
-  uint64_t Serial = 0;
-  for (const auto &[Bank, Words] : BankWords)
-    Serial = std::max<uint64_t>(Serial, Words.size());
+  std::vector<uint64_t> &Words = UnitScratch;
+  Words.clear();
+  for (uint64_t A : Addrs)
+    for (unsigned Off = 0; Off < std::max(4u, BytesPerLane); Off += 4)
+      pushRun(Words, (A + Off) / 4);
+  sortUnique(Words);
+  if (BankCount.size() < Dev.LocalBanks)
+    BankCount.resize(Dev.LocalBanks);
+  std::fill(BankCount.begin(), BankCount.end(), 0u);
+  uint32_t Serial = 0;
+  for (uint64_t W : Words)
+    Serial = std::max(Serial, ++BankCount[W % Dev.LocalBanks]);
   Counters.LocalCycles += Serial;
 }
 
@@ -141,7 +187,11 @@ void MemoryModel::accessConstant(const std::vector<uint64_t> &Addrs,
     return;
   ++Counters.LoadsExecuted;
   // The constant port broadcasts one address per cycle.
-  std::set<uint64_t> Distinct(Addrs.begin(), Addrs.end());
+  std::vector<uint64_t> &Distinct = UnitScratch;
+  Distinct.clear();
+  for (uint64_t A : Addrs)
+    pushRun(Distinct, A); // broadcasts collapse to one entry
+  sortUnique(Distinct);
   Counters.ConstCycles += Distinct.size();
 }
 
@@ -150,9 +200,11 @@ void MemoryModel::accessImage(const std::vector<uint64_t> &Addrs,
   if (Addrs.empty())
     return;
   ++Counters.LoadsExecuted;
-  std::set<uint64_t> Lines;
+  std::vector<uint64_t> &Lines = UnitScratch;
+  Lines.clear();
   for (uint64_t A : Addrs)
-    Lines.insert(A / Dev.CacheLineBytes);
+    pushRun(Lines, A / Dev.CacheLineBytes);
+  sortUnique(Lines);
   for (uint64_t Line : Lines) {
     uint64_t Addr = Line * Dev.CacheLineBytes;
     if (Texture.enabled() && Texture.access(Addr)) {

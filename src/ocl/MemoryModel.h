@@ -32,6 +32,7 @@
 
 #include "ocl/DeviceModel.h"
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -54,8 +55,20 @@ private:
   unsigned LineBytes = 0;
   unsigned NumSets = 0;
   unsigned Ways = 0;
+  // Strength-reduced line/set math: line sizes are powers of two on
+  // every modeled device, and set counts usually are; 64-bit division
+  // on the access path costs more than the rest of the lookup.
+  unsigned LineShift = 0;
+  bool SetsPow2 = false;
   // Per set: tags in LRU order (front = most recent).
   std::vector<std::vector<uint64_t>> Sets;
+
+  uint64_t lineOf(uint64_t ByteAddr) const {
+    return LineShift ? ByteAddr >> LineShift : ByteAddr / LineBytes;
+  }
+  uint64_t setOf(uint64_t Line) const {
+    return SetsPow2 ? Line & (NumSets - 1) : Line % NumSets;
+  }
 };
 
 class MemoryModel {
@@ -94,6 +107,15 @@ private:
   CacheSim L1;
   CacheSim L2;
   CacheSim Texture;
+  // Reused per-access scratch. Pricing runs one warp access at a time
+  // per context, so a single set of buffers suffices; keeping them
+  // here avoids a heap allocation on every memory instruction.
+  std::vector<uint64_t> UnitScratch;
+  std::vector<uint32_t> BankCount;
+  // Strength-reduced DRAM segment math (see CacheSim): two divisions
+  // per lane dominate accessGlobal when left as real divides.
+  unsigned SegShift = 0;
+  bool SegPow2 = false;
 };
 
 } // namespace lime::ocl

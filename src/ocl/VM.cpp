@@ -7,6 +7,7 @@
 
 #include "ocl/VM.h"
 
+#include "ocl/Jit.h"
 #include "support/Casting.h"
 #include "support/FaultInjection.h"
 #include "support/StringUtils.h"
@@ -264,9 +265,45 @@ LaunchResult SimDevice::run(const BcKernel &K,
   const uint32_t GroupLinear = LocalSize[0] * LocalSize[1];
   const unsigned WarpsPerGroup = (GroupLinear + W - 1) / W;
 
+  // Hoist the launch-invariant geometry out of the per-lane loops:
+  // local ids depend only on the lane's group-linear index, so the
+  // tables are filled once per dispatch (the per-group global-id
+  // tables and uniform scalars are refreshed in the group loop).
+  const unsigned TableLanes = WarpsPerGroup * W;
+  D.GeoLx.assign(TableLanes, 0);
+  D.GeoLy.assign(TableLanes, 0);
+  for (unsigned L = 0; L != TableLanes; ++L) {
+    D.GeoLx[L] = L % D.LocalSize[0];
+    D.GeoLy[L] = L / D.LocalSize[0];
+  }
+  D.GeoGx.assign(TableLanes, 0);
+  D.GeoGy.assign(TableLanes, 0);
+  D.GeoScalars[jitabi::GeoGlobalSize0] = D.GlobalSize[0];
+  D.GeoScalars[jitabi::GeoGlobalSize1] = D.GlobalSize[1];
+  D.GeoScalars[jitabi::GeoLocalSize0] = D.LocalSize[0];
+  D.GeoScalars[jitabi::GeoLocalSize1] = D.LocalSize[1];
+  D.GeoScalars[jitabi::GeoNumGroups0] = GroupsX;
+  D.GeoScalars[jitabi::GeoNumGroups1] = GroupsY;
+  D.AddrScratch.reserve(W);
+
+  // Dispatch through the kernel's native artifact when the JIT is on
+  // and compilation succeeded (and the code matches this device's
+  // warp width); otherwise the kernel stays on the interpreter.
+  const jitabi::JitArtifact *Jit = nullptr;
+  if (jitEnabled() && K.Jit && K.Jit->usable() &&
+      K.Jit->WarpWidth == Model.WarpWidth)
+    Jit = K.Jit.get();
+  jitNoteDispatch(K.Name, Jit != nullptr);
+
   for (uint32_t GY = 0; GY != GroupsY && D.Fault.empty(); ++GY) {
     for (uint32_t GX = 0; GX != GroupsX && D.Fault.empty(); ++GX) {
       D.GroupId = {GX, GY};
+      D.GeoScalars[jitabi::GeoGroupId0] = GX;
+      D.GeoScalars[jitabi::GeoGroupId1] = GY;
+      for (unsigned L = 0; L != TableLanes; ++L) {
+        D.GeoGx[L] = static_cast<int64_t>(GX) * D.LocalSize[0] + D.GeoLx[L];
+        D.GeoGy[L] = static_cast<int64_t>(GY) * D.LocalSize[1] + D.GeoLy[L];
+      }
       D.LocalArena.assign(LocalBytesTotal, 0);
       D.PrivateArena.assign(static_cast<size_t>(W) * K.PrivateBytes *
                                 WarpsPerGroup,
@@ -317,7 +354,10 @@ LaunchResult SimDevice::run(const BcKernel &K,
           AllDone = false;
           if (Warp.AtBarrier)
             continue;
-          runWarp(Warp, D);
+          if (Jit)
+            runWarpJit(Warp, D, *Jit);
+          else
+            runWarp(Warp, D);
           AnyProgress = true;
         }
         if (AllDone || !D.Fault.empty())
@@ -839,74 +879,55 @@ void SimDevice::runWarp(WarpState &W, Dispatch &D) {
       break;
 
     case BcOp::GlobalId:
-    case BcOp::LocalId:
+    case BcOp::LocalId: {
+      // Per-lane geometry reads the tables hoisted at dispatch
+      // setup; nothing launch-invariant is recomputed in the loop.
+      const int64_t *Tab;
+      switch (In.Op) {
+      case BcOp::GlobalId:
+        Tab = In.Dim == 0 ? D.GeoGx.data() : D.GeoGy.data();
+        break;
+      default:
+        Tab = In.Dim == 0 ? D.GeoLx.data() : D.GeoLy.data();
+        break;
+      }
+      Tab += W.FirstLinear;
+      for (unsigned L = 0; L != Width; ++L)
+        if (Active & (1ULL << L))
+          reg(W, In.Dst, L).I = Tab[L];
+      break;
+    }
     case BcOp::GroupId:
     case BcOp::GlobalSize:
     case BcOp::LocalSize:
-    case BcOp::NumGroups:
-      for (unsigned L = 0; L != Width; ++L) {
-        if (!(Active & (1ULL << L)))
-          continue;
-        uint32_t Linear = W.FirstLinear + L;
-        uint32_t LX = Linear % D.LocalSize[0];
-        uint32_t LY = Linear / D.LocalSize[0];
-        int64_t V = 0;
-        unsigned Dim = In.Dim;
-        switch (In.Op) {
-        case BcOp::GlobalId:
-          V = Dim == 0 ? D.GroupId[0] * D.LocalSize[0] + LX
-                       : D.GroupId[1] * D.LocalSize[1] + LY;
-          break;
-        case BcOp::LocalId:
-          V = Dim == 0 ? LX : LY;
-          break;
-        case BcOp::GroupId:
-          V = D.GroupId[Dim & 1];
-          break;
-        case BcOp::GlobalSize:
-          V = D.GlobalSize[Dim & 1];
-          break;
-        case BcOp::LocalSize:
-          V = D.LocalSize[Dim & 1];
-          break;
-        case BcOp::NumGroups:
-          V = D.GlobalSize[Dim & 1] / D.LocalSize[Dim & 1];
-          break;
-        default:
-          break;
-        }
-        reg(W, In.Dst, L).I = V;
+    case BcOp::NumGroups: {
+      unsigned Base;
+      switch (In.Op) {
+      case BcOp::GroupId:
+        Base = jitabi::GeoGroupId0;
+        break;
+      case BcOp::GlobalSize:
+        Base = jitabi::GeoGlobalSize0;
+        break;
+      case BcOp::LocalSize:
+        Base = jitabi::GeoLocalSize0;
+        break;
+      default:
+        Base = jitabi::GeoNumGroups0;
+        break;
       }
-      break;
-
-    case BcOp::ReadImage: {
-      std::vector<uint64_t> Addrs;
-      int Slot = -1;
-      for (unsigned L = 0; L != Width; ++L) {
-        if (!(Active & (1ULL << L)))
-          continue;
-        if (Slot < 0)
-          Slot = static_cast<int>(reg(W, In.C, L).I);
-        if (Slot < 0 || Slot >= static_cast<int>(Images.size())) {
-          fault(D, "kernel fault: read_imagef on an unbound image");
-          return;
-        }
-        const SimImage &Img = Images[static_cast<size_t>(Slot)];
-        int64_t X = reg(W, In.A, L).I;
-        int64_t Y = reg(W, In.B, L).I;
-        // CLK_ADDRESS_CLAMP_TO_EDGE semantics.
-        X = std::clamp<int64_t>(X, 0, static_cast<int64_t>(Img.Width) - 1);
-        Y = std::clamp<int64_t>(Y, 0, static_cast<int64_t>(Img.Height) - 1);
-        size_t Texel =
-            (static_cast<size_t>(Y) * Img.Width + static_cast<size_t>(X)) * 4;
-        for (unsigned Comp = 0; Comp != 4; ++Comp)
-          reg(W, In.Dst + static_cast<int32_t>(Comp), L).D =
-              Img.Texels[Texel + Comp];
-        Addrs.push_back(static_cast<uint64_t>(Texel) * 4);
-      }
-      Mem.accessImage(Addrs, 16);
+      const int64_t V = D.GeoScalars[Base + (In.Dim & 1)];
+      for (unsigned L = 0; L != Width; ++L)
+        if (Active & (1ULL << L))
+          reg(W, In.Dst, L).I = V;
       break;
     }
+
+    case BcOp::ReadImage:
+      execReadImage(W, D, In);
+      if (!D.Fault.empty())
+        return;
+      break;
 
     case BcOp::Jump:
       W.Pc = static_cast<size_t>(In.Target);
@@ -1001,18 +1022,114 @@ void SimDevice::execMemory(WarpState &W, Dispatch &D, const BcInstr &In) {
   unsigned AccessBytes = ElemBytes * In.Width;
   bool IsStore = In.Op == BcOp::Store;
 
-  std::vector<uint64_t> Addrs;
-  Addrs.reserve(Width);
+  std::vector<uint64_t> &Addrs = D.AddrScratch;
+  Addrs.clear();
 
+  // The arena base and limit are lane-invariant for every space but
+  // private; resolve them once instead of per lane.
+  const bool PerLaneBase = In.Space == AddrSpace::Private;
+  uint64_t SharedLimit = 0;
+  uint8_t *SharedBase =
+      PerLaneBase ? nullptr : spaceBase(D, In.Space, 0, SharedLimit);
+
+  // The register file is lane-major per register, so each operand's
+  // row base is loop-invariant; resolve it once (reg() would multiply
+  // per lane).
+  Slot *RegFile = W.Regs.data();
+  const size_t AddrRow = static_cast<size_t>(In.B) * Width;
+  const size_t DataRow =
+      static_cast<size_t>(IsStore ? In.A : In.Dst) * Width;
+
+  // Scalar accesses dominate every workload; dispatch on the element
+  // type once and run a tight per-lane loop. The general vector path
+  // below keeps the per-component switch.
+  if (In.Width == 1) {
+    bool Faulted = false;
+    auto scalarLanes = [&](auto Tag, auto FloatTag, auto StoreTag) {
+      using T = decltype(Tag);
+      constexpr bool IsF = decltype(FloatTag)::value;
+      constexpr bool St = decltype(StoreTag)::value;
+      for (unsigned L = 0; L != Width; ++L) {
+        if (!(Active & (1ULL << L)))
+          continue;
+        uint64_t Addr = static_cast<uint64_t>(RegFile[AddrRow + L].I);
+        uint64_t Limit = SharedLimit;
+        uint8_t *Base = SharedBase;
+        if (PerLaneBase)
+          Base = spaceBase(D, In.Space, W.FirstLinear + L, Limit);
+        if (!Base || Addr + sizeof(T) > Limit) {
+          fault(D, formatString(
+                       "kernel fault: %s access out of bounds "
+                       "(space=%s addr=%llu size=%u limit=%llu, kernel %s "
+                       "at %s)",
+                       IsStore ? "store" : "load", addrSpaceName(In.Space),
+                       static_cast<unsigned long long>(Addr), AccessBytes,
+                       static_cast<unsigned long long>(Limit),
+                       D.K->Name.c_str(), In.Loc.str().c_str()));
+          Faulted = true;
+          return;
+        }
+        uint8_t *P = Base + Addr;
+        Slot &S = RegFile[DataRow + L];
+        if constexpr (St) {
+          T V = IsF ? static_cast<T>(S.D) : static_cast<T>(S.I);
+          std::memcpy(P, &V, sizeof(T));
+        } else {
+          T V;
+          std::memcpy(&V, P, sizeof(T));
+          if constexpr (IsF)
+            S.D = static_cast<double>(V);
+          else
+            S.I = static_cast<int64_t>(V);
+        }
+        Addrs.push_back(Addr);
+      }
+    };
+    auto dispatch = [&](auto Tag, auto FloatTag) {
+      if (IsStore)
+        scalarLanes(Tag, FloatTag, std::true_type{});
+      else
+        scalarLanes(Tag, FloatTag, std::false_type{});
+    };
+    switch (In.Ty) {
+    case ValType::I8:
+      dispatch(int8_t{}, std::false_type{});
+      break;
+    case ValType::U8:
+      dispatch(uint8_t{}, std::false_type{});
+      break;
+    case ValType::I32:
+      dispatch(int32_t{}, std::false_type{});
+      break;
+    case ValType::U32:
+      dispatch(uint32_t{}, std::false_type{});
+      break;
+    case ValType::I64:
+    case ValType::U64:
+      dispatch(int64_t{}, std::false_type{});
+      break;
+    case ValType::F32:
+      dispatch(float{}, std::true_type{});
+      break;
+    case ValType::F64:
+      dispatch(double{}, std::true_type{});
+      break;
+    }
+    if (Faulted)
+      return;
+  } else {
   for (unsigned L = 0; L != Width; ++L) {
     if (!(Active & (1ULL << L)))
       continue;
     uint64_t Addr = static_cast<uint64_t>(reg(W, In.B, L).I);
-    uint64_t Limit;
-    // Private space is per-lane: the group-linear work-item index
-    // selects the lane's slice of the private arena.
-    unsigned GroupLane = W.FirstLinear + L;
-    uint8_t *Base = spaceBase(D, In.Space, GroupLane, Limit);
+    uint64_t Limit = SharedLimit;
+    uint8_t *Base = SharedBase;
+    if (PerLaneBase) {
+      // Private space is per-lane: the group-linear work-item index
+      // selects the lane's slice of the private arena.
+      unsigned GroupLane = W.FirstLinear + L;
+      Base = spaceBase(D, In.Space, GroupLane, Limit);
+    }
     if (!Base || Addr + AccessBytes > Limit) {
       fault(D, formatString(
                    "kernel fault: %s access out of bounds "
@@ -1100,6 +1217,7 @@ void SimDevice::execMemory(WarpState &W, Dispatch &D, const BcInstr &In) {
     }
     Addrs.push_back(Addr);
   }
+  }
 
   switch (In.Space) {
   case AddrSpace::Global:
@@ -1119,4 +1237,268 @@ void SimDevice::execMemory(WarpState &W, Dispatch &D, const BcInstr &In) {
   case AddrSpace::Image:
     break;
   }
+}
+
+void SimDevice::execReadImage(WarpState &W, Dispatch &D, const BcInstr &In) {
+  const unsigned Width = Model.WarpWidth;
+  uint64_t Active = W.Mask & ~W.Exited;
+  std::vector<uint64_t> &Addrs = D.AddrScratch;
+  Addrs.clear();
+  int Slot = -1;
+  for (unsigned L = 0; L != Width; ++L) {
+    if (!(Active & (1ULL << L)))
+      continue;
+    if (Slot < 0)
+      Slot = static_cast<int>(reg(W, In.C, L).I);
+    if (Slot < 0 || Slot >= static_cast<int>(Images.size())) {
+      fault(D, "kernel fault: read_imagef on an unbound image");
+      return;
+    }
+    const SimImage &Img = Images[static_cast<size_t>(Slot)];
+    int64_t X = reg(W, In.A, L).I;
+    int64_t Y = reg(W, In.B, L).I;
+    // CLK_ADDRESS_CLAMP_TO_EDGE semantics.
+    X = std::clamp<int64_t>(X, 0, static_cast<int64_t>(Img.Width) - 1);
+    Y = std::clamp<int64_t>(Y, 0, static_cast<int64_t>(Img.Height) - 1);
+    size_t Texel =
+        (static_cast<size_t>(Y) * Img.Width + static_cast<size_t>(X)) * 4;
+    for (unsigned Comp = 0; Comp != 4; ++Comp)
+      reg(W, In.Dst + static_cast<int32_t>(Comp), L).D =
+          Img.Texels[Texel + Comp];
+    Addrs.push_back(static_cast<uint64_t>(Texel) * 4);
+  }
+  Mem.accessImage(Addrs, 16);
+}
+
+//===----------------------------------------------------------------------===//
+// JIT dispatch
+//===----------------------------------------------------------------------===//
+//
+// A warp under JIT runs the kernel's native artifact. The live warp
+// state (masks, pc, divergence frames) is mirrored into a JitWarp for
+// the duration of the native call; the register file is shared by
+// pointer, so compute results land directly in WarpState.Regs. The
+// memory/image helpers below delegate to the interpreter's own
+// execMemory/execReadImage so bounds checks, fault text and the
+// timing-model pricing cannot drift from the reference semantics.
+
+void SimDevice::runWarpJit(WarpState &W, Dispatch &D,
+                           const jitabi::JitArtifact &Art) {
+  using namespace jitabi;
+
+  JitWarp JW;
+  JW.Mask = W.Mask;
+  JW.Exited = W.Exited;
+  JW.Pc = std::min(W.Pc, D.K->Code.size());
+  JW.Depth = W.Stack.size();
+  for (size_t I = 0; I != W.Stack.size(); ++I) {
+    const Frame &F = W.Stack[I];
+    JW.Frames[I].SavedMask = F.SavedMask;
+    JW.Frames[I].ThenMask = F.ThenMask;
+    JW.Frames[I].Kind = F.TheKind == Frame::Kind::If ? FrameIf : FrameLoop;
+  }
+  JW.Regs = reinterpret_cast<int64_t *>(W.Regs.data());
+  JW.FirstLinear = W.FirstLinear;
+  JW.GlobalId0 = D.GeoGx.data() + W.FirstLinear;
+  JW.GlobalId1 = D.GeoGy.data() + W.FirstLinear;
+  JW.LocalId0 = D.GeoLx.data() + W.FirstLinear;
+  JW.LocalId1 = D.GeoLy.data() + W.FirstLinear;
+
+  JitExecContext Ctx;
+  Ctx.Warp = &JW;
+  Ctx.Device = this;
+  Ctx.Dispatch = &D;
+  Ctx.Kernel = D.K;
+  Ctx.Budget = &D.InstructionBudget;
+  Ctx.Counters = &Mem.counters();
+  Ctx.PcTable = Art.PcTable->data();
+  for (unsigned I = 0; I != GeoScalarCount; ++I)
+    Ctx.Scalars[I] = D.GeoScalars[I];
+  Ctx.HostWarp = &W;
+
+  const uint32_t Status = Art.Entry(&Ctx);
+
+  W.Mask = JW.Mask;
+  W.Exited = JW.Exited;
+  W.Pc = JW.Pc;
+  W.Stack.resize(JW.Depth);
+  for (size_t I = 0; I != JW.Depth; ++I) {
+    Frame &F = W.Stack[I];
+    F.SavedMask = JW.Frames[I].SavedMask;
+    F.ThenMask = JW.Frames[I].ThenMask;
+    F.TheKind =
+        JW.Frames[I].Kind == FrameIf ? Frame::Kind::If : Frame::Kind::Loop;
+  }
+
+  switch (Status) {
+  case StatusDone:
+    W.Done = true;
+    break;
+  case StatusBarrier:
+    W.AtBarrier = true;
+    break;
+  default:
+    if (D.Fault.empty())
+      fault(D, "kernel fault: jit signalled a fault without a message");
+    break;
+  }
+}
+
+int64_t SimDevice::jitHelpMem(jitabi::JitExecContext *Ctx, uint32_t Idx) {
+  jitabi::JitWarp &JW = *Ctx->Warp;
+  SimDevice &Dev = *static_cast<SimDevice *>(Ctx->Device);
+  Dispatch &D = *static_cast<Dispatch *>(Ctx->Dispatch);
+  WarpState &W = *static_cast<WarpState *>(Ctx->HostWarp);
+  const BcInstr &In = D.K->Code[Idx];
+
+  const uint64_t Active = JW.Mask & ~JW.Exited;
+  // The interpreter's issue charge for Load/Store (its default arm).
+  if (Active) {
+    KernelCounters &C = Dev.Mem.counters();
+    if (In.Ty == ValType::F64)
+      ++C.DpWarpOps;
+    else
+      ++C.AluWarpOps;
+  }
+  // Masks are authoritative in JW while native code runs; sync them
+  // so the shared interpreter path sees the same active lanes.
+  W.Mask = JW.Mask;
+  W.Exited = JW.Exited;
+  Dev.execMemory(W, D, In);
+  return D.Fault.empty() ? jitabi::HelperFallthrough : jitabi::HelperFault;
+}
+
+int64_t SimDevice::jitHelpImage(jitabi::JitExecContext *Ctx, uint32_t Idx) {
+  jitabi::JitWarp &JW = *Ctx->Warp;
+  SimDevice &Dev = *static_cast<SimDevice *>(Ctx->Device);
+  Dispatch &D = *static_cast<Dispatch *>(Ctx->Dispatch);
+  WarpState &W = *static_cast<WarpState *>(Ctx->HostWarp);
+  const BcInstr &In = D.K->Code[Idx];
+
+  const uint64_t Active = JW.Mask & ~JW.Exited;
+  if (Active) {
+    KernelCounters &C = Dev.Mem.counters();
+    if (In.Ty == ValType::F64)
+      ++C.DpWarpOps;
+    else
+      ++C.AluWarpOps;
+  }
+  W.Mask = JW.Mask;
+  W.Exited = JW.Exited;
+  Dev.execReadImage(W, D, In);
+  return D.Fault.empty() ? jitabi::HelperFallthrough : jitabi::HelperFault;
+}
+
+int64_t SimDevice::jitHelpControl(jitabi::JitExecContext *Ctx, uint32_t Idx) {
+  using namespace jitabi;
+  JitWarp &JW = *Ctx->Warp;
+  SimDevice &Dev = *static_cast<SimDevice *>(Ctx->Device);
+  Dispatch &D = *static_cast<Dispatch *>(Ctx->Dispatch);
+  const BcInstr &In = D.K->Code[Idx];
+  const unsigned Width = Dev.Model.WarpWidth;
+  Slot *Regs = reinterpret_cast<Slot *>(JW.Regs);
+  const uint64_t Active = JW.Mask & ~JW.Exited;
+
+  // Lanes whose condition register is non-zero, among the active.
+  // Branchless over the register row so the lane loop pipelines: this
+  // runs on every structured-control edge (loop tests especially).
+  auto laneCond = [&](int32_t Reg) {
+    const Slot *Row = Regs + static_cast<size_t>(Reg) * Width;
+    uint64_t Cond = 0;
+    for (unsigned L = 0; L != Width; ++L)
+      Cond |= static_cast<uint64_t>(Row[L].I != 0) << L;
+    return Cond & Active;
+  };
+
+  switch (In.Op) {
+  case BcOp::IfBegin: {
+    if (JW.Depth >= MaxFrames) {
+      Dev.fault(D, "kernel fault: divergence stack overflow in jit code");
+      return HelperFault;
+    }
+    uint64_t Cond = laneCond(In.A);
+    JitFrame &F = JW.Frames[JW.Depth++];
+    F.SavedMask = JW.Mask;
+    F.ThenMask = Cond;
+    F.Kind = FrameIf;
+    JW.Mask = Cond;
+    if ((JW.Mask & ~JW.Exited) == 0)
+      return In.Target;
+    return HelperFallthrough;
+  }
+  case BcOp::IfElse: {
+    JitFrame &F = JW.Frames[JW.Depth - 1];
+    JW.Mask = F.SavedMask & ~F.ThenMask;
+    if ((JW.Mask & ~JW.Exited) == 0)
+      return In.Target;
+    return HelperFallthrough;
+  }
+  case BcOp::IfEnd: { // normally lowered inline; kept complete
+    JitFrame &F = JW.Frames[--JW.Depth];
+    JW.Mask = F.SavedMask;
+    return HelperFallthrough;
+  }
+  case BcOp::LoopBegin: {
+    if (JW.Depth >= MaxFrames) {
+      Dev.fault(D, "kernel fault: divergence stack overflow in jit code");
+      return HelperFault;
+    }
+    JitFrame &F = JW.Frames[JW.Depth++];
+    F.SavedMask = JW.Mask;
+    F.ThenMask = 0;
+    F.Kind = FrameLoop;
+    return HelperFallthrough;
+  }
+  case BcOp::LoopTest: {
+    JW.Mask &= laneCond(In.A);
+    if ((JW.Mask & ~JW.Exited) == 0) {
+      JitFrame &F = JW.Frames[--JW.Depth];
+      JW.Mask = F.SavedMask;
+      return In.Target;
+    }
+    return HelperFallthrough;
+  }
+  case BcOp::Barrier:
+    ++Dev.Mem.counters().BarriersExecuted;
+    JW.Pc = Idx + 1; // resume point once the group rendezvous releases
+    return HelperBarrier;
+  case BcOp::Ret:
+    JW.Exited |= Active;
+    if ((JW.Mask & ~JW.Exited) == 0 && JW.Depth == 0)
+      return HelperDone;
+    return HelperFallthrough;
+  case BcOp::Jump:
+  case BcOp::LoopEnd:
+    return In.Target;
+  default: // Halt
+    return HelperDone;
+  }
+}
+
+void SimDevice::jitHelpTrap(jitabi::JitExecContext *Ctx, uint32_t Code) {
+  SimDevice &Dev = *static_cast<SimDevice *>(Ctx->Device);
+  Dispatch &D = *static_cast<Dispatch *>(Ctx->Dispatch);
+  switch (Code) {
+  case jitabi::TrapDivZero:
+    Dev.fault(D, "kernel fault: integer division by zero");
+    break;
+  case jitabi::TrapRemZero:
+    Dev.fault(D, "kernel fault: integer remainder by zero");
+    break;
+  case jitabi::TrapBudget:
+    Dev.fault(D, "kernel instruction budget exhausted (runaway loop?)");
+    break;
+  default:
+    Dev.fault(D, formatString("kernel fault: jit dispatched to an unmapped "
+                              "pc in kernel %s",
+                              D.K->Name.c_str()));
+    break;
+  }
+}
+
+const jitabi::HelperTable &lime::ocl::simDeviceJitHelpers() {
+  static const jitabi::HelperTable Table{
+      &SimDevice::jitHelpMem, &SimDevice::jitHelpImage,
+      &SimDevice::jitHelpControl, &SimDevice::jitHelpTrap};
+  return Table;
 }

@@ -201,6 +201,16 @@ private:
     std::vector<int> ImageSlots; // param index -> image index
     std::string Fault;
     uint64_t InstructionBudget = 0;
+    // Launch-invariant geometry, hoisted out of the per-lane loops:
+    // local-id tables (indexed by group-linear lane) are filled once
+    // per dispatch, global-id tables and the uniform scalars once per
+    // work-group.
+    std::vector<int64_t> GeoLx, GeoLy;
+    std::vector<int64_t> GeoGx, GeoGy;
+    int64_t GeoScalars[jitabi::GeoScalarCount] = {};
+    // Reused scratch for memory-access address lists (one allocation
+    // per dispatch instead of one per memory instruction).
+    std::vector<uint64_t> AddrScratch;
   };
 
   Slot &reg(WarpState &W, int32_t Reg, unsigned Lane) {
@@ -209,11 +219,27 @@ private:
 
   /// Executes \p W until barrier, completion, or fault.
   void runWarp(WarpState &W, Dispatch &D);
+  /// Same contract, but through the kernel's native JIT artifact.
+  void runWarpJit(WarpState &W, Dispatch &D,
+                  const jitabi::JitArtifact &Art);
   void execMemory(WarpState &W, Dispatch &D, const BcInstr &In);
+  void execReadImage(WarpState &W, Dispatch &D, const BcInstr &In);
   void fault(Dispatch &D, const std::string &Msg);
+
+  // VM callbacks for JIT-compiled code (the HelperTable of
+  // simDeviceJitHelpers). Exact transcriptions of the interpreter's
+  // memory / image / structured-control semantics, operating on the
+  // JitWarp mirror of the warp state.
+  static int64_t jitHelpMem(jitabi::JitExecContext *Ctx, uint32_t Idx);
+  static int64_t jitHelpImage(jitabi::JitExecContext *Ctx, uint32_t Idx);
+  static int64_t jitHelpControl(jitabi::JitExecContext *Ctx, uint32_t Idx);
+  static void jitHelpTrap(jitabi::JitExecContext *Ctx, uint32_t Code);
 
   uint8_t *spaceBase(Dispatch &D, AddrSpace Space, unsigned Lane,
                      uint64_t &Limit);
+
+  // Builds the HelperTable from the private jitHelp* statics.
+  friend const jitabi::HelperTable &simDeviceJitHelpers();
 
   const DeviceModel &Model;
   MemoryModel Mem;

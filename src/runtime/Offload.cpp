@@ -174,7 +174,16 @@ OffloadedFilter::buildAndPrepare(const std::vector<RtValue> &Args) {
       return Kernel.Error;
   }
 
-  std::string BuildErr = Ctx->buildProgram(Kernel.Source);
+  std::string BuildErr;
+  if (SharedProgram) {
+    // Cache-slot build: adopt (or fill) the shared bundle so the
+    // bytecode and its JIT artifact are compiled once per cache entry
+    // rather than once per worker context.
+    std::lock_guard<std::mutex> Lock(SharedProgram->Mu);
+    BuildErr = Ctx->buildProgram(Kernel.Source, &SharedProgram->Bundle);
+  } else {
+    BuildErr = Ctx->buildProgram(Kernel.Source);
+  }
   if (!BuildErr.empty())
     return "generated OpenCL failed to build:\n" + BuildErr + "\n--- source ---\n" +
            Kernel.Source;

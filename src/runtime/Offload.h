@@ -32,6 +32,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 namespace lime::rt {
@@ -89,6 +90,16 @@ struct OffloadStats {
   void reset() { *this = OffloadStats(); }
 };
 
+/// One slot of the kernel cache's native-artifact layer. Filters
+/// created from the same cache entry share a slot: the first worker
+/// to build fills it with the program bundle (bytecode + JIT code),
+/// and every later worker context adopts that bundle instead of
+/// re-parsing, re-compiling and re-JITting the same source.
+struct SharedProgramSlot {
+  std::mutex Mu;
+  std::shared_ptr<const ocl::ProgramBundle> Bundle;
+};
+
 /// One filter compiled for one device+configuration.
 class OffloadedFilter {
 public:
@@ -115,6 +126,12 @@ public:
   const CompiledKernel &kernel() const { return Kernel; }
   const OffloadConfig &config() const { return Config; }
   ocl::ClContext &context() { return *Ctx; }
+
+  /// Routes this filter's program build through a shared cache slot
+  /// (see SharedProgramSlot). Call before the first invoke/prepare.
+  void setSharedProgram(std::shared_ptr<SharedProgramSlot> Slot) {
+    SharedProgram = std::move(Slot);
+  }
 
   /// Tags this filter's device context and wire format for fault
   /// injection (the offload service pins each worker's filters to a
@@ -152,6 +169,7 @@ private:
 
   CompiledKernel Kernel;
   std::shared_ptr<ocl::ClContext> Ctx;
+  std::shared_ptr<SharedProgramSlot> SharedProgram;
   bool Prepared = false;
 
   // Cached device resources per plan array.

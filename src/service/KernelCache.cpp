@@ -105,6 +105,7 @@ KernelCache::getOrCompile(const KernelKey &Key,
     // A different key collided into this hash: evict the squatter.
     Lru.erase(It->second);
     Index.erase(It);
+    Bundles.erase(Key.Hash);
     ++Stats.Evictions;
   }
   ++Stats.Misses;
@@ -124,6 +125,7 @@ KernelCache::getOrCompile(const KernelKey &Key,
   Index[Key.Hash] = Lru.begin();
   while (Lru.size() > Capacity) {
     Index.erase(Lru.back().first);
+    Bundles.erase(Lru.back().first);
     Lru.pop_back();
     ++Stats.Evictions;
   }
@@ -138,9 +140,19 @@ KernelCacheStats KernelCache::stats() const {
   return S;
 }
 
+std::shared_ptr<rt::SharedProgramSlot>
+KernelCache::bundleSlot(const KernelKey &Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto &Slot = Bundles[Key.Hash];
+  if (!Slot)
+    Slot = std::make_shared<rt::SharedProgramSlot>();
+  return Slot;
+}
+
 void KernelCache::clear() {
   std::lock_guard<std::mutex> Lock(Mu);
   Lru.clear();
   Index.clear();
+  Bundles.clear();
   Stats = KernelCacheStats();
 }

@@ -102,6 +102,13 @@ public:
   /// process, or "" when the disk layer is off / has no entry.
   std::string diskLookup(const KernelKey &Key) const;
 
+  /// The native-artifact slot for \p Key: filter instances created
+  /// from one cache entry all receive the same slot, so the program
+  /// bundle (bytecode + JIT code) is built by the first worker and
+  /// adopted by the rest. Slots are created on demand and dropped
+  /// when their kernel entry is evicted.
+  std::shared_ptr<rt::SharedProgramSlot> bundleSlot(const KernelKey &Key);
+
   KernelCacheStats stats() const;
   void clear();
 
@@ -119,6 +126,8 @@ private:
   size_t Capacity;
   LruList Lru; // front = most recently used
   std::unordered_map<uint64_t, LruList::iterator> Index;
+  std::unordered_map<uint64_t, std::shared_ptr<rt::SharedProgramSlot>>
+      Bundles;
   KernelCacheStats Stats;
   std::string DiskDir;
 };

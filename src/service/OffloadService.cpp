@@ -241,6 +241,11 @@ OffloadService::instanceFor(const std::string &Key, MethodDecl *Worker,
   // one worker ("w3:gtx580") or every worker of a model ("gtx580").
   Inst->Filter->setFaultDomain("w" + std::to_string(WorkerId) + ":" +
                                Canon.DeviceName);
+  // Native-artifact sharing: all workers of one cache entry build
+  // through the same slot, so the bytecode + JIT code is compiled
+  // once and adopted by every later context.
+  Inst->Filter->setSharedProgram(
+      Cache.bundleSlot(KernelKey::make(Worker, Canon, &classTextFor(Worker))));
   // Keep the cached kernel alive as long as the instance references
   // its plan-derived state (the filter holds its own copy, but the
   // instance key embeds the cache pointer).

@@ -98,6 +98,12 @@ const char *lime::driver::usageText() {
       "                      per-array placement reasons\n"
       "                      (see docs/findings-schema.md)\n"
       "  --offload           offload filters during --run\n"
+      "  --no-jit            run kernels on the bytecode interpreter\n"
+      "                      instead of the native JIT (--run, --verify,\n"
+      "                      --tune)\n"
+      "  --jit-dump          print each kernel's JIT IR and native-code\n"
+      "                      stats after the command (--run, --verify,\n"
+      "                      --tune)\n"
       "  --service-threads N route --run offloads through the shared\n"
       "                      offload service with N device workers\n"
       "                      (implies --offload)\n"
@@ -261,6 +267,10 @@ ParseResult lime::driver::parseDriverOptions(int argc, char **argv,
       Out.FormatSet = true;
     } else if (Arg == "--offload") {
       Out.Offload = true;
+    } else if (Arg == "--no-jit") {
+      Out.NoJit = true;
+    } else if (Arg == "--jit-dump") {
+      Out.JitDump = true;
     } else if (Arg == "--service-threads") {
       const char *N = Next();
       if (!N || std::atoi(N) <= 0)
@@ -347,6 +357,18 @@ ParseResult lime::driver::validateDriverOptions(const DriverOptions &O) {
   } else if (O.Path.empty()) {
     return fail("", true); // plain usage: every other command reads a file
   }
+
+  const bool ExecutesKernels = O.Cmd == Command::Run ||
+                               O.Cmd == Command::Verify ||
+                               O.Cmd == Command::Tune;
+  if (O.NoJit && !ExecutesKernels)
+    return fail("limec: --no-jit only applies to the kernel-executing "
+                "commands (--run, --verify, --tune)",
+                false);
+  if (O.JitDump && !ExecutesKernels)
+    return fail("limec: --jit-dump only applies to the kernel-executing "
+                "commands (--run, --verify, --tune)",
+                false);
 
   if (O.ServiceThreads > 0 && O.Cmd != Command::Run)
     return fail("limec: --service-threads only applies to --run", false);

@@ -67,6 +67,12 @@ struct DriverOptions {
   bool ConfigSet = false; // --config appeared
 
   bool Offload = false;
+  /// --no-jit: run kernels on the interpreter only (the kernel JIT is
+  /// on by default for every executing command).
+  bool NoJit = false;
+  /// --jit-dump: print each kernel's JIT IR and code stats after the
+  /// command runs.
+  bool JitDump = false;
   bool AnalyzeStrict = false;
   FindingsFormat Format = FindingsFormat::Text;
   bool FormatSet = false; // --findings-format appeared

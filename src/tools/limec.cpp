@@ -39,6 +39,7 @@
 #include "lime/parser/Parser.h"
 #include "lime/sema/Sema.h"
 #include "ocl/DeviceModel.h"
+#include "ocl/Jit.h"
 #include "runtime/AutoTuner.h"
 #include "runtime/TaskGraph.h"
 #include "service/OffloadService.h"
@@ -57,6 +58,33 @@
 using namespace lime;
 
 namespace {
+
+/// Per-kernel JIT accounting printed after every kernel-executing
+/// command: how many dispatches ran native vs. on the interpreter,
+/// and the deopt reason for kernels the JIT declined. With --jit-dump
+/// the accumulated IR/code dump follows.
+void printJitReport(bool Dump) {
+  for (const ocl::JitKernelStats &S : ocl::jitStatsSnapshot()) {
+    if (S.DeoptReason.empty())
+      std::printf("  jit: %-24s %llu native / %llu interpreter dispatches "
+                  "(%zu bytes, compiled in %.2f ms)\n",
+                  S.Kernel.c_str(),
+                  static_cast<unsigned long long>(S.JitDispatches),
+                  static_cast<unsigned long long>(S.InterpDispatches),
+                  S.CodeBytes, S.CompileMs);
+    else
+      std::printf("  jit: %-24s deopt -> interpreter (%llu dispatches): "
+                  "%s\n",
+                  S.Kernel.c_str(),
+                  static_cast<unsigned long long>(S.InterpDispatches),
+                  S.DeoptReason.c_str());
+  }
+  if (Dump) {
+    std::string Text = ocl::takeJitDump();
+    if (!Text.empty())
+      std::fputs(Text.c_str(), stdout);
+  }
+}
 
 /// Accumulates one analyze run (any number of variants) for either
 /// output format.
@@ -269,6 +297,14 @@ int main(int argc, char **argv) {
     std::printf("limec (limecc) %s\n", driver::versionString());
     return 0;
   }
+  // The JIT switches act process-wide; apply them before any kernel
+  // can be built (validation already restricted the flags to the
+  // kernel-executing commands).
+  if (O.NoJit)
+    ocl::setJitEnabled(false);
+  if (O.JitDump)
+    ocl::setJitDump(true);
+
   if (O.Cmd == driver::Command::AnalyzeWorkloads)
     return analyzeWorkloads(O);
 
@@ -412,6 +448,7 @@ int main(int argc, char **argv) {
     std::printf("best for %s on %s: %s @%u\n", O.Target.c_str(),
                 O.Device.c_str(), R.Best.Mem.str().c_str(),
                 R.Best.LocalSize);
+    printJitReport(O.JitDump);
     return 0;
   }
 
@@ -501,6 +538,7 @@ int main(int argc, char **argv) {
                 "evaluator\n",
                 O.Target.c_str(), O.Device.c_str(), O.Config.str().c_str(),
                 Trials);
+    printJitReport(O.JitDump);
     return 0;
   }
 
@@ -599,6 +637,7 @@ int main(int argc, char **argv) {
                     static_cast<unsigned long long>(D.Failures),
                     static_cast<unsigned long long>(D.TimesQuarantined));
     }
+    printJitReport(O.JitDump);
     if (!R.Value.isUnit())
       std::printf("result: %s\n", R.Value.str().c_str());
     return 0;

@@ -190,6 +190,7 @@ GeneratedKernelRun wl::runGeneratedKernel(const Workload &W,
     return Out;
   }
   Out.KernelNs = OF.stats().KernelNs;
+  Out.WallDispatchMs = OF.context().profile().WallDispatchMs;
   Out.Result = R.Value;
   Out.Source = OF.kernel().Source;
   Out.Counters = OF.stats().LastCounters;

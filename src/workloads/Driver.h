@@ -77,6 +77,10 @@ HandTunedResult runHandTunedKernel(const Workload &W,
 struct GeneratedKernelRun {
   std::string Error;
   double KernelNs = 0.0;
+  /// Host wall-clock spent inside the simulator's dispatch loop (the
+  /// jit-vs-interpreter microbenchmark's measurand; simulated time is
+  /// engine-invariant by design).
+  double WallDispatchMs = 0.0;
   RtValue Result;
   std::string Source;
   ocl::KernelCounters Counters;

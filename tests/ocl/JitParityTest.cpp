@@ -1,0 +1,508 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential tests of the kernel JIT against the interpreter: the
+/// same OpenCL source runs through both engines and must produce
+/// bit-identical output buffers, identical §5 timing-model counters,
+/// and identical fault messages (kernel name + line:col). Also covers
+/// the deopt contract (unsupported shapes fall back per kernel with a
+/// reason) and the hoisted-geometry regression.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ocl/CL.h"
+#include "ocl/Jit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+using namespace lime;
+using namespace lime::ocl;
+
+namespace {
+
+/// Restores the process-wide JIT switch on scope exit so test order
+/// cannot leak state.
+struct JitSwitch {
+  bool Saved;
+  explicit JitSwitch(bool On) : Saved(jitEnabled()) { setJitEnabled(On); }
+  ~JitSwitch() { setJitEnabled(Saved); }
+};
+
+void expectCountersEqual(const KernelCounters &A, const KernelCounters &B,
+                         const std::string &Where) {
+  EXPECT_EQ(A.AluWarpOps, B.AluWarpOps) << Where;
+  EXPECT_EQ(A.DpWarpOps, B.DpWarpOps) << Where;
+  EXPECT_EQ(A.SfuWarpOps, B.SfuWarpOps) << Where;
+  EXPECT_EQ(A.GlobalTransactions, B.GlobalTransactions) << Where;
+  EXPECT_EQ(A.GlobalBytes, B.GlobalBytes) << Where;
+  EXPECT_EQ(A.L1Hits, B.L1Hits) << Where;
+  EXPECT_EQ(A.L2Hits, B.L2Hits) << Where;
+  EXPECT_EQ(A.TextureHits, B.TextureHits) << Where;
+  EXPECT_EQ(A.TextureMisses, B.TextureMisses) << Where;
+  EXPECT_EQ(A.LocalCycles, B.LocalCycles) << Where;
+  EXPECT_EQ(A.ConstCycles, B.ConstCycles) << Where;
+  EXPECT_EQ(A.LoadsExecuted, B.LoadsExecuted) << Where;
+  EXPECT_EQ(A.StoresExecuted, B.StoresExecuted) << Where;
+  EXPECT_EQ(A.BarriersExecuted, B.BarriersExecuted) << Where;
+}
+
+/// One engine run: builds \p Source on \p Device, uploads \p In as a
+/// float buffer, launches \p Kernel with (out, in, extra args...) and
+/// returns the raw output bytes, the launch error, and the counters.
+struct EngineRun {
+  std::vector<uint8_t> Out;
+  std::string BuildError;
+  std::string LaunchError;
+  KernelCounters Counters;
+};
+
+EngineRun runOnce(bool Jit, const std::string &Device,
+                  const std::string &Source, const std::string &Kernel,
+                  const std::vector<uint8_t> &InBytes, size_t OutBytes,
+                  std::vector<LaunchArg> ExtraArgs,
+                  std::array<uint32_t, 2> Global,
+                  std::array<uint32_t, 2> Local) {
+  JitSwitch S(Jit);
+  EngineRun R;
+  ClContext Ctx(Device);
+  R.BuildError = Ctx.buildProgram(Source);
+  if (!R.BuildError.empty())
+    return R;
+  ClBuffer BOut = Ctx.createBuffer(OutBytes);
+  ClBuffer BIn = Ctx.createBuffer(InBytes.empty() ? 8 : InBytes.size());
+  if (!InBytes.empty())
+    Ctx.enqueueWrite(BIn, InBytes.data(), InBytes.size());
+  std::vector<LaunchArg> Args = {LaunchArg::buffer(BOut.Offset, BOut.Space),
+                                 LaunchArg::buffer(BIn.Offset, BIn.Space)};
+  for (auto &A : ExtraArgs)
+    Args.push_back(std::move(A));
+  R.LaunchError = Ctx.enqueueKernel(Kernel, Args, Global, Local);
+  R.Counters = Ctx.profile().LastKernelCounters;
+  R.Out.resize(OutBytes);
+  Ctx.enqueueRead(BOut, R.Out.data(), OutBytes);
+  return R;
+}
+
+/// Runs \p Source under both engines and demands bit-identical output
+/// and identical counters. Returns the shared launch error ("" on
+/// success); asserts the two engines agree on it either way.
+std::string runBoth(const std::string &Device, const std::string &Source,
+                    const std::string &Kernel,
+                    const std::vector<uint8_t> &InBytes, size_t OutBytes,
+                    const std::vector<LaunchArg> &ExtraArgs = {},
+                    std::array<uint32_t, 2> Global = {128, 1},
+                    std::array<uint32_t, 2> Local = {64, 1},
+                    bool ExpectNative = true) {
+  resetJitStats();
+  EngineRun J = runOnce(true, Device, Source, Kernel, InBytes, OutBytes,
+                        ExtraArgs, Global, Local);
+  EXPECT_EQ(J.BuildError, "") << "jit build";
+  if (ExpectNative) {
+    // Prove the native path actually ran: the kernel compiled without
+    // a deopt reason and the dispatch was counted as jitted.
+    bool SawNative = false;
+    for (const JitKernelStats &St : jitStatsSnapshot())
+      if (St.Kernel == Kernel) {
+        EXPECT_EQ(St.DeoptReason, "") << "kernel unexpectedly deopted";
+        EXPECT_GT(St.JitDispatches, 0u) << "dispatch stayed on interpreter";
+        SawNative = true;
+      }
+    EXPECT_TRUE(SawNative) << "no jit stats for " << Kernel;
+  }
+  EngineRun I = runOnce(false, Device, Source, Kernel, InBytes, OutBytes,
+                        ExtraArgs, Global, Local);
+  EXPECT_EQ(I.BuildError, "") << "interp build";
+  EXPECT_EQ(J.LaunchError, I.LaunchError);
+  if (J.LaunchError.empty()) {
+    EXPECT_EQ(J.Out, I.Out) << "output bytes differ between engines";
+    expectCountersEqual(J.Counters, I.Counters, Kernel);
+  }
+  return I.LaunchError;
+}
+
+std::vector<uint8_t> floatBytes(const std::vector<float> &V) {
+  std::vector<uint8_t> B(V.size() * sizeof(float));
+  std::memcpy(B.data(), V.data(), B.size());
+  return B;
+}
+
+std::vector<float> mixedFloats(unsigned N) {
+  std::vector<float> V(N);
+  for (unsigned I = 0; I < N; ++I)
+    V[I] = 0.37f * static_cast<float>(I) - 11.25f +
+           (I % 7 == 0 ? 1e-6f : 0.0f);
+  return V;
+}
+
+TEST(JitParityTest, FloatArithmetic) {
+  runBoth("gtx580", R"(
+    __kernel void f32ops(__global float* out, __global const float* in,
+                         int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      float a = in[i];
+      float b = in[(i + 1) % n];
+      float r = a * b + a / (b + 100.0f) - b;
+      r = r + (float)i * 0.5f;
+      out[i] = -r;
+    }
+  )",
+          "f32ops", floatBytes(mixedFloats(100)), 100 * 4,
+          {LaunchArg::i32(100)});
+}
+
+TEST(JitParityTest, DoubleArithmeticAndMinMax) {
+  runBoth("gtx580", R"(
+    __kernel void f64ops(__global double* out, __global const float* in,
+                         int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      double a = (double)in[i];
+      double b = a * 1.0000001 - 3.25;
+      out[i] = fmin(a, b) * fmax(a, -b) + fabs(b);
+    }
+  )",
+          "f64ops", floatBytes(mixedFloats(96)), 96 * 8,
+          {LaunchArg::i32(96)});
+}
+
+TEST(JitParityTest, Transcendentals) {
+  // sqrt/rsqrt and the SFU set; charged differently (Sfu pipe) so the
+  // counter comparison checks the per-segment cost model too.
+  runBoth("gtx580", R"(
+    __kernel void sfu(__global float* out, __global const float* in,
+                      int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      float x = fabs(in[i]) + 1.5f;
+      float r = sqrt(x) + sin(x) * cos(x) - tan(x * 0.125f);
+      r += exp(x * 0.01f) + log(x) + pow(x, 1.5f) + floor(x);
+      r += rsqrt(x) + fmin(x, 2.5f) * fmax(x, 0.5f);
+      out[i] = r;
+    }
+  )",
+          "sfu", floatBytes(mixedFloats(80)), 80 * 4, {LaunchArg::i32(80)});
+}
+
+TEST(JitParityTest, IntegerOpsAndShifts) {
+  runBoth("gtx580", R"(
+    __kernel void iops(__global int* out, __global const float* in,
+                       int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      int a = i * 2654435761;
+      int b = (i + 17) | 3;
+      int r = (a ^ b) + (a & b) - (a % b);
+      r += (a << (i & 7)) ^ (a >> (i & 3));
+      r += a / b;
+      long l = (long)a * (long)b;
+      r += (int)(l >> 32);
+      out[i] = r;
+    }
+  )",
+          "iops", floatBytes(mixedFloats(4)), 100 * 4, {LaunchArg::i32(100)});
+}
+
+TEST(JitParityTest, ComparisonsSelectAndConversions) {
+  runBoth("gtx580", R"(
+    __kernel void cmps(__global float* out, __global const float* in,
+                       int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      float a = in[i];
+      float b = in[n - 1 - i];
+      int lt = a < b;
+      int ge = a >= b;
+      int eq = (i % 5) == 0;
+      float sel = eq ? a : b;
+      int t = (int)(a * 3.0f);
+      float back = (float)t + (float)lt - (float)ge;
+      out[i] = sel + back;
+    }
+  )",
+          "cmps", floatBytes(mixedFloats(64)), 64 * 4, {LaunchArg::i32(64)});
+}
+
+TEST(JitParityTest, DivergenceLoopsAndNesting) {
+  runBoth("gtx580", R"(
+    __kernel void diverge(__global float* out, __global const float* in,
+                          int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      float acc = 0.0f;
+      for (int j = 0; j < (i % 9) + 1; j++) {
+        if (j % 2 == 0) {
+          acc += in[(i + j) % n];
+          if (acc > 10.0f) {
+            acc *= 0.5f;
+          } else {
+            acc += 1.0f;
+          }
+        } else {
+          acc -= in[j];
+        }
+      }
+      out[i] = acc;
+    }
+  )",
+          "diverge", floatBytes(mixedFloats(70)), 70 * 4,
+          {LaunchArg::i32(70)});
+}
+
+TEST(JitParityTest, BarrierAndLocalMemory) {
+  runBoth("gtx580", R"(
+    __kernel void revtile(__global float* out, __global const float* in,
+                          __local float* tile, int n) {
+      int i = get_global_id(0);
+      int l = get_local_id(0);
+      int ls = get_local_size(0);
+      if (i < n) tile[l] = in[i];
+      barrier(CLK_LOCAL_MEM_FENCE);
+      int j = ls - 1 - l;
+      int src = get_group_id(0) * ls + j;
+      if (i < n && src < n) out[i] = tile[j];
+    }
+  )",
+          "revtile", floatBytes(mixedFloats(128)), 128 * 4,
+          {LaunchArg::localBytes(64 * 4), LaunchArg::i32(128)});
+}
+
+TEST(JitParityTest, TwoDimensionalGeometry) {
+  // Exercises every geometry op on both axes — the regression test
+  // for the hoisted per-dispatch geometry tables.
+  runBoth("gtx580", R"(
+    __kernel void geo(__global int* out, __global const float* in) {
+      int x = get_global_id(0);
+      int y = get_global_id(1);
+      int w = get_global_size(0);
+      int idx = y * w + x;
+      int v = x + 10 * y + 100 * get_local_id(0) + 1000 * get_local_id(1);
+      v += get_group_id(0) - get_group_id(1);
+      v += get_local_size(0) * get_local_size(1);
+      v += get_num_groups(0) + get_num_groups(1) + get_global_size(1);
+      out[idx] = v;
+    }
+  )",
+          "geo", floatBytes(mixedFloats(4)), 16 * 8 * 4, {}, {16, 8}, {8, 4});
+}
+
+TEST(JitParityTest, CpuDeviceWarpWidth) {
+  // The CPU device has a different warp width; the artifact is
+  // specialized per model, so parity must hold there too.
+  runBoth("corei7", R"(
+    __kernel void scale(__global float* out, __global const float* in,
+                        int n) {
+      int i = get_global_id(0);
+      if (i < n) out[i] = in[i] * 3.0f + 1.0f;
+    }
+  )",
+          "scale", floatBytes(mixedFloats(50)), 50 * 4,
+          {LaunchArg::i32(50)});
+}
+
+TEST(JitParityTest, OutOfBoundsFaultMessageMatches) {
+  // The fault text must carry the same kernel name and line:col under
+  // both engines (the JIT routes memory through the interpreter's own
+  // bounds checks).
+  std::string Err = runBoth("gtx580", R"(
+    __kernel void oob(__global float* out, __global const float* in,
+                      int n) {
+      int i = get_global_id(0);
+      out[i + n * 1000] = in[i];
+    }
+  )",
+                            "oob", floatBytes(mixedFloats(8)), 8 * 4,
+                            {LaunchArg::i32(8)}, {64, 1}, {64, 1});
+  EXPECT_NE(Err.find("oob"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("out of bounds"), std::string::npos) << Err;
+}
+
+TEST(JitParityTest, DivByZeroFaultMessageMatches) {
+  std::string Err = runBoth("gtx580", R"(
+    __kernel void dbz(__global int* out, __global const float* in,
+                      int n) {
+      int i = get_global_id(0);
+      out[i % 8] = 100 / (i - n);
+    }
+  )",
+                            "dbz", floatBytes(mixedFloats(8)), 8 * 4,
+                            {LaunchArg::i32(3)}, {64, 1}, {64, 1});
+  EXPECT_NE(Err.find("division by zero"), std::string::npos) << Err;
+}
+
+TEST(JitParityTest, BudgetTrapMatches) {
+  // An infinite loop must exhaust the instruction budget under both
+  // engines with the same message. The narrow-warp CPU device keeps
+  // the interpreter's budget-burning run affordable.
+  std::string Err = runBoth("corei7", R"(
+    __kernel void spin(__global int* out, __global const float* in,
+                       int n) {
+      int i = get_global_id(0);
+      int x = 0;
+      for (int j = 0; j >= 0; j = (j + 1) | 1) x ^= j;
+      out[i % 4] = x + n;
+    }
+  )",
+                            "spin", floatBytes(mixedFloats(4)), 4 * 4,
+                            {LaunchArg::i32(4)}, {4, 1}, {4, 1});
+  EXPECT_NE(Err.find("instruction budget exhausted"), std::string::npos)
+      << Err;
+}
+
+TEST(JitParityTest, DeepNestingDeoptsToInterpreter) {
+  // Static nesting beyond jitabi::MaxFrames must deopt (reason
+  // recorded, dispatches counted against the interpreter) and still
+  // run correctly.
+  std::ostringstream Src;
+  Src << "__kernel void deep(__global int* out, __global const float* in,"
+         " int n) {\n  int i = get_global_id(0);\n  int acc = 0;\n";
+  for (int D = 0; D < 70; ++D)
+    Src << "  if (i + " << D << " < n) { acc += " << D << ";\n";
+  for (int D = 0; D < 70; ++D)
+    Src << "  }\n";
+  Src << "  out[i % 16] = acc;\n}\n";
+
+  resetJitStats();
+  JitSwitch S(true);
+  ClContext Ctx("gtx580");
+  ASSERT_EQ(Ctx.buildProgram(Src.str()), "");
+  ClBuffer BOut = Ctx.createBuffer(16 * 4);
+  ClBuffer BIn = Ctx.createBuffer(16);
+  ASSERT_EQ(Ctx.enqueueKernel("deep",
+                              {LaunchArg::buffer(BOut.Offset, BOut.Space),
+                               LaunchArg::buffer(BIn.Offset, BIn.Space),
+                               LaunchArg::i32(4)},
+                              {16, 1}, {16, 1}),
+            "");
+  bool Saw = false;
+  for (const JitKernelStats &St : jitStatsSnapshot())
+    if (St.Kernel == "deep") {
+      Saw = true;
+      EXPECT_NE(St.DeoptReason.find("nesting"), std::string::npos)
+          << St.DeoptReason;
+      EXPECT_EQ(St.JitDispatches, 0u);
+      EXPECT_GT(St.InterpDispatches, 0u);
+    }
+  EXPECT_TRUE(Saw);
+}
+
+TEST(JitParityTest, DeoptedKernelFaultsLikeInterpreter) {
+  // Forced-deopt fixture: the kernel deopts (nesting), then faults
+  // out of bounds — the trap message must be the interpreter's exact
+  // kernel + line:col text, proving the fallback preserves Loc info.
+  std::ostringstream Src;
+  Src << "__kernel void deepoob(__global int* out, __global const float* in,"
+         " int n) {\n  int i = get_global_id(0);\n  int acc = 0;\n";
+  for (int D = 0; D < 70; ++D)
+    Src << "  if (i + " << D << " < n) { acc += " << D << ";\n";
+  for (int D = 0; D < 70; ++D)
+    Src << "  }\n";
+  Src << "  out[i + 1000000] = acc;\n}\n";
+
+  auto launch = [&](bool Jit) {
+    JitSwitch S(Jit);
+    ClContext Ctx("gtx580");
+    EXPECT_EQ(Ctx.buildProgram(Src.str()), "");
+    ClBuffer BOut = Ctx.createBuffer(16 * 4);
+    ClBuffer BIn = Ctx.createBuffer(16);
+    return Ctx.enqueueKernel("deepoob",
+                             {LaunchArg::buffer(BOut.Offset, BOut.Space),
+                              LaunchArg::buffer(BIn.Offset, BIn.Space),
+                              LaunchArg::i32(4)},
+                             {16, 1}, {16, 1});
+  };
+  std::string JitErr = launch(true);
+  std::string InterpErr = launch(false);
+  EXPECT_EQ(JitErr, InterpErr);
+  EXPECT_NE(JitErr.find("deepoob"), std::string::npos) << JitErr;
+}
+
+TEST(JitParityTest, JitDumpProducesIR) {
+  JitSwitch S(true);
+  setJitDump(true);
+  takeJitDump(); // drain anything stale
+  ClContext Ctx("gtx580");
+  ASSERT_EQ(Ctx.buildProgram(R"(
+    __kernel void dumped(__global float* out, __global const float* in,
+                         int n) {
+      int i = get_global_id(0);
+      if (i < n) out[i] = in[i] + 1.0f;
+    }
+  )"),
+            "");
+  std::string Dump = takeJitDump();
+  setJitDump(false);
+  EXPECT_NE(Dump.find("dumped"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("block"), std::string::npos) << Dump;
+}
+
+TEST(JitParityTest, SharedBundleAdoptsAcrossContexts) {
+  // The kernel-cache artifact path: two contexts building the same
+  // source through one shared slot must end up with the *same*
+  // program bundle — identical BcKernel (and so identical attached
+  // JIT artifact), compiled exactly once.
+  JitSwitch S(true);
+  const std::string Src = R"(
+    __kernel void shared_k(__global float* out, __global const float* in,
+                           int n) {
+      int i = get_global_id(0);
+      if (i < n) out[i] = in[i] * 2.0f;
+    }
+  )";
+  std::shared_ptr<const ProgramBundle> Slot;
+  ClContext A("gtx580"), B("gtx580"), C("corei7");
+  ASSERT_EQ(A.buildProgram(Src, &Slot), "");
+  ASSERT_EQ(B.buildProgram(Src, &Slot), "");
+  const BcKernel *KA = A.findKernel("shared_k");
+  const BcKernel *KB = B.findKernel("shared_k");
+  ASSERT_NE(KA, nullptr);
+  EXPECT_EQ(KA, KB) << "second context rebuilt instead of adopting";
+  ASSERT_TRUE(KA->Jit && KA->Jit->usable());
+  // A different device model must NOT adopt: its JIT artifact is
+  // specialized to another warp width.
+  ASSERT_EQ(C.buildProgram(Src, &Slot), "");
+  const BcKernel *KC = C.findKernel("shared_k");
+  ASSERT_NE(KC, nullptr);
+  EXPECT_NE(KC, KA);
+  ASSERT_TRUE(KC->Jit && KC->Jit->usable());
+  EXPECT_NE(KC->Jit->WarpWidth, KA->Jit->WarpWidth);
+}
+
+TEST(JitParityTest, CompileBudgetUnderLimit) {
+  // The issue's acceptance bar: per-kernel native compilation stays
+  // under 150 ms.
+  resetJitStats();
+  JitSwitch S(true);
+  ClContext Ctx("gtx580");
+  ASSERT_EQ(Ctx.buildProgram(R"(
+    __kernel void budget(__global float* out, __global const float* in,
+                         int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      float acc = 0.0f;
+      for (int j = 0; j < n; j++) {
+        float x = in[j] * 1.5f + (float)i;
+        acc += sqrt(fabs(x)) + sin(x) - x / (acc + 2.0f);
+      }
+      out[i] = acc;
+    }
+  )"),
+            "");
+  for (const JitKernelStats &St : jitStatsSnapshot())
+    if (St.Kernel == "budget") {
+      EXPECT_EQ(St.DeoptReason, "");
+      EXPECT_LT(St.CompileMs, 150.0);
+      EXPECT_GT(St.CodeBytes, 0u);
+    }
+}
+
+} // namespace

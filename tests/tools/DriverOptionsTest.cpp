@@ -211,4 +211,43 @@ TEST(DriverOptions, AssumeFactsAccumulate) {
   EXPECT_NE(Bad.Error.find("--assume"), std::string::npos) << Bad.Error;
 }
 
+TEST(DriverOptions, JitFlagsParseForExecutingCommands) {
+  DriverOptions Run;
+  ParseResult R = parseAndValidate(
+      {"prog.lime", "--run", "C.m", "--no-jit", "--jit-dump"}, Run);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(Run.NoJit);
+  EXPECT_TRUE(Run.JitDump);
+
+  DriverOptions Verify;
+  R = parseAndValidate({"prog.lime", "--verify", "C.m", "--no-jit"}, Verify);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(Verify.NoJit);
+
+  DriverOptions Tune;
+  R = parseAndValidate({"prog.lime", "--tune", "C.m", "--jit-dump"}, Tune);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(Tune.JitDump);
+}
+
+TEST(DriverOptions, JitFlagsRejectedOutsideExecutingCommands) {
+  DriverOptions O;
+  ParseResult R = parseAndValidate({"prog.lime", "--no-jit"}, O);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("--no-jit"), std::string::npos) << R.Error;
+
+  DriverOptions O2;
+  R = parseAndValidate({"prog.lime", "--emit", "C.m", "--jit-dump"}, O2);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("--jit-dump"), std::string::npos) << R.Error;
+}
+
+TEST(DriverOptions, JitFlagsDefaultOff) {
+  DriverOptions O;
+  ParseResult R = parseAndValidate({"prog.lime", "--run", "C.m"}, O);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(O.NoJit);
+  EXPECT_FALSE(O.JitDump);
+}
+
 } // namespace
