@@ -1,0 +1,467 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Findings-tier driver for the bytecode proof engine. The seeding
+/// deliberately mirrors the AST walker's symbolic model (gid/lid/grp
+/// geometry, `len_X` element counts, buffer capacities from the plan,
+/// the map invariant n == len(source), and the declared `--assume`
+/// facts) so a fact lost between the tiers is a cross-check finding,
+/// not an artifact of different models.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BcFindings.h"
+
+#include "analysis/bc/BcAnalysis.h"
+#include "ocl/BytecodeCompiler.h"
+#include "ocl/OclType.h"
+
+#include <map>
+#include <optional>
+#include <sstream>
+
+using namespace lime;
+using namespace lime::analysis;
+using namespace lime::ocl;
+
+namespace abc = lime::analysis::bc;
+using AZ = abc::Analyzer;
+
+namespace {
+
+const KernelArray *planArray(const KernelPlan &Plan, const std::string &Name) {
+  for (const KernelArray &A : Plan.Arrays) {
+    if (A.CName == Name)
+      return &A;
+    if (A.IsOutput && Name == "out")
+      return &A;
+  }
+  return nullptr;
+}
+
+/// Resolves an assume's array name: the kernel's C identifier, the
+/// worker parameter, or the mapped function's parameter all work
+/// (same rule as the AST tier).
+const KernelArray *assumeArray(const KernelPlan &Plan,
+                               const std::string &Name) {
+  for (const KernelArray &A : Plan.Arrays) {
+    if (A.CName == Name)
+      return &A;
+    if (A.WorkerParam && A.WorkerParam->name() == Name)
+      return &A;
+    if (A.MapParam && A.MapParam->name() == Name)
+      return &A;
+  }
+  return nullptr;
+}
+
+const char *spaceWord(AddrSpace S) {
+  switch (S) {
+  case AddrSpace::Global:
+    return "__global";
+  case AddrSpace::Constant:
+    return "__constant";
+  case AddrSpace::Local:
+    return "__local";
+  case AddrSpace::Private:
+    return "__private";
+  default:
+    return "param";
+  }
+}
+
+} // namespace
+
+void lime::analysis::runBytecodeTier(OclProgramAST &AST, OclContext &Ctx,
+                                     const OclFunction &F,
+                                     const CompiledKernel &Kernel,
+                                     const AnalysisOptions &Opts,
+                                     AnalysisReport &Report) {
+  const KernelPlan &Plan = Kernel.Plan;
+  const std::string &KN = F.name();
+
+  DiagnosticEngine Diags;
+  BytecodeCompiler BC(Ctx, Diags);
+  BcProgram Prog = BC.compile(&AST);
+  const BcKernel *K = Prog.findKernel(KN);
+  if (Diags.hasErrors() || !K) {
+    Report.add(passes::Bytecode, DiagSeverity::Note, KN, F.loc(),
+               "bytecode tier unavailable: generated kernel did not compile "
+               "to bytecode");
+    return;
+  }
+
+  AZ A(*K, /*IdealInts=*/true);
+
+  // Generated kernels are 1-D launches (the emitter only ever uses
+  // get_global_id(0)); pin the second dimension away.
+  A.pin(A.geo(AZ::GLsz1), 1);
+  A.pin(A.geo(AZ::GGsz1), 1);
+  A.pin(A.geo(AZ::GNgrp1), 1);
+  if (Opts.LocalSize > 0)
+    A.pin(A.geo(AZ::GLsz0), Opts.LocalSize);
+  if (Opts.MaxGroups > 0)
+    A.setHi(A.geo(AZ::GNgrp0),
+            abc::Affine::constant(static_cast<int64_t>(Opts.MaxGroups)));
+
+  // Element-count symbols shared with the assume facts: n plus one
+  // len_X per input array (lengths are non-negative).
+  abc::SymId N = A.fresh("n");
+  A.setLo(N, abc::Affine::constant(0));
+  std::map<std::string, abc::SymId> LenSyms;
+  auto lenSym = [&](const std::string &CName) {
+    auto It = LenSyms.find(CName);
+    if (It != LenSyms.end())
+      return It->second;
+    abc::SymId S = A.fresh("len_" + CName);
+    A.setLo(S, abc::Affine::constant(0));
+    LenSyms.emplace(CName, S);
+    return S;
+  };
+  for (const KernelArray &Arr : Plan.Arrays)
+    if (!Arr.IsOutput)
+      lenSym(Arr.CName);
+
+  // The kernel iterates exactly over the map source: n == len(src).
+  if (const KernelArray *Src = Plan.mapSource())
+    A.setEq(N, abc::Affine::symbol(lenSym(Src->CName)));
+
+  // Element byte width of each pointer parameter, read off the
+  // re-parsed kernel text itself (the plan's Scalar type is a
+  // fallback — fixture plans may leave it unset).
+  std::map<std::string, unsigned> PtrEltBytes;
+  for (const OclVarDecl *PD : F.params())
+    if (const auto *PT = dyn_cast<PointerType>(PD->Ty))
+      PtrEltBytes[PD->Name] = PT->pointee()->sizeInBytes();
+  auto eltBytesFor = [&](const std::string &ParamName,
+                         const PrimitiveType *Fallback) -> unsigned {
+    auto It = PtrEltBytes.find(ParamName);
+    if (It != PtrEltBytes.end())
+      return It->second;
+    return Fallback ? Fallback->sizeInBytes() : 4;
+  };
+
+  // Scalar parameter symbols (created on demand so assume facts and
+  // param bindings land on the same symbol).
+  std::map<std::string, abc::SymId> ScalarSyms;
+  auto scalarSym = [&](const std::string &CName) {
+    auto It = ScalarSyms.find(CName);
+    if (It != ScalarSyms.end())
+      return It->second;
+    abc::SymId S = A.fresh(CName);
+    ScalarSyms.emplace(CName, S);
+    return S;
+  };
+
+  // Seed every kernel parameter the way the dispatch tier seeds the
+  // concrete launch: buffer bases in [0, lim - lenBytes] with their
+  // declared byte length, the args struct at Param offset 0 with one
+  // field fact per int field, scalars by name.
+  std::map<std::string, unsigned> BufParamIdx;
+  bool SawStruct = false;
+  for (unsigned I = 0; I != K->Params.size(); ++I) {
+    const BcParam &P = K->Params[I];
+    switch (P.TheKind) {
+    case BcParam::Kind::GlobalPtr:
+    case BcParam::Kind::ConstantPtr: {
+      BufParamIdx[P.Name] = I;
+      abc::SymId B = A.fresh(P.Name);
+      A.bindParamSym(I, B);
+      A.setLo(B, abc::Affine::constant(0));
+      abc::SymId Lim = A.geo(P.TheKind == BcParam::Kind::GlobalPtr
+                                 ? AZ::GLimGlobal
+                                 : AZ::GLimConst);
+      abc::Affine LenB;
+      if (const KernelArray *KA = planArray(Plan, P.Name)) {
+        int64_t EltB = eltBytesFor(P.Name, KA->Scalar);
+        if (KA->IsOutput) {
+          int64_t RowB =
+              static_cast<int64_t>(std::max(1u, Plan.OutScalars)) * EltB;
+          // Map kernels emit one element per input element; reduce
+          // kernels one partial result per work-group.
+          LenB = Plan.Kind == KernelKind::Map
+                     ? abc::Affine::symbol(N, RowB)
+                     : abc::Affine::symbol(A.geo(AZ::GNgrp0), RowB);
+        } else {
+          LenB = abc::Affine::symbol(lenSym(KA->CName),
+                                     KA->rowScalars() * EltB);
+        }
+      } else {
+        abc::SymId L = A.fresh("lenbytes_" + P.Name);
+        A.setLo(L, abc::Affine::constant(0));
+        LenB = abc::Affine::symbol(L);
+      }
+      if (auto Hi = abc::subAffine(abc::Affine::symbol(Lim), LenB))
+        A.setHi(B, *Hi);
+      A.setBufferLen(B, LenB);
+      break;
+    }
+    case BcParam::Kind::LocalPtr: {
+      // The reduce scratch buffer: one output element per work-item.
+      abc::SymId B = A.fresh(P.Name);
+      A.bindParamSym(I, B);
+      A.setLo(B, abc::Affine::constant(0));
+      int64_t EltB = eltBytesFor(P.Name, Plan.OutScalarType);
+      abc::Affine LenB = abc::Affine::symbol(A.geo(AZ::GLsz0), EltB);
+      if (auto Hi =
+              abc::subAffine(abc::Affine::symbol(A.geo(AZ::GLimLocal)), LenB))
+        A.setHi(B, *Hi);
+      A.setBufferLen(B, LenB);
+      break;
+    }
+    case BcParam::Kind::Struct: {
+      if (SawStruct)
+        break; // generated kernels carry exactly one args struct
+      SawStruct = true;
+      // The single by-value record sits at the start of the Param
+      // block; the block is at least as large as the record.
+      A.bindParamI(I, 0);
+      A.setLo(A.geo(AZ::GLimParam),
+              abc::Affine::constant(static_cast<int64_t>(P.StructBytes)));
+      const StructType *ST = nullptr;
+      for (const OclVarDecl *PD : F.params())
+        if (PD->Name == P.Name)
+          ST = dyn_cast<StructType>(PD->Ty);
+      if (!ST)
+        break;
+      for (const StructType::Field &Fd : ST->fields()) {
+        unsigned Bytes = Fd.Ty->sizeInBytes();
+        if (Fd.Name == "n")
+          A.addFieldFact(Fd.Offset, Bytes, N);
+        else if (Fd.Name.rfind("len_", 0) == 0)
+          A.addFieldFact(Fd.Offset, Bytes, lenSym(Fd.Name.substr(4)));
+        else
+          A.addFieldFact(Fd.Offset, Bytes, scalarSym(Fd.Name));
+      }
+      break;
+    }
+    case BcParam::Kind::ScalarI32:
+    case BcParam::Kind::ScalarI64:
+      A.bindParamSym(I, scalarSym(P.Name));
+      break;
+    default:
+      break; // images, float scalars: no integer facts to seed
+    }
+  }
+
+  // Declared --assume facts, resolved exactly like the AST tier.
+  auto scalarFor = [&](const std::string &Name) -> std::optional<abc::SymId> {
+    if (Name == "n")
+      return N;
+    for (const KernelScalar &S : Plan.Scalars)
+      if (S.CName == Name ||
+          (S.WorkerParam && S.WorkerParam->name() == Name) ||
+          (S.MapParam && S.MapParam->name() == Name))
+        return scalarSym(S.CName);
+    return std::nullopt;
+  };
+  auto relApply = [&](abc::SymId S, AssumeFact::Rel Rel,
+                      const abc::Affine &Rhs) {
+    auto Plus = [&](int64_t D) {
+      auto R = abc::addAffine(Rhs, abc::Affine::constant(D));
+      return R ? *R : Rhs;
+    };
+    switch (Rel) {
+    case AssumeFact::Rel::Lt:
+      A.setHi(S, Plus(-1));
+      break;
+    case AssumeFact::Rel::Le:
+      A.setHi(S, Rhs);
+      break;
+    case AssumeFact::Rel::Gt:
+      A.setLo(S, Plus(1));
+      break;
+    case AssumeFact::Rel::Ge:
+      A.setLo(S, Rhs);
+      break;
+    case AssumeFact::Rel::Eq:
+      A.setEq(S, Rhs);
+      break;
+    }
+  };
+  for (const AssumeFact &AF : Opts.Assumes) {
+    abc::Affine Rhs = abc::Affine::constant(AF.RhsConst);
+    if (!AF.RhsLenName.empty()) {
+      const KernelArray *KA = assumeArray(Plan, AF.RhsLenName);
+      if (!KA)
+        continue;
+      auto Sum = abc::addAffine(Rhs, abc::Affine::symbol(lenSym(KA->CName)));
+      if (!Sum)
+        continue;
+      Rhs = *Sum;
+    }
+    switch (AF.Kind) {
+    case AssumeFact::Target::Length:
+      if (const KernelArray *KA = assumeArray(Plan, AF.Name))
+        relApply(lenSym(KA->CName), AF.Relation, Rhs);
+      break;
+    case AssumeFact::Target::Scalar:
+      if (auto S = scalarFor(AF.Name))
+        relApply(*S, AF.Relation, Rhs);
+      break;
+    case AssumeFact::Target::Element: {
+      const KernelArray *KA = assumeArray(Plan, AF.Name);
+      if (!KA)
+        break;
+      const std::string PName = KA->IsOutput ? "out" : KA->CName;
+      auto It = BufParamIdx.find(PName);
+      if (It == BufParamIdx.end())
+        break; // e.g. the array moved into an image
+      unsigned EltB = eltBytesFor(PName, KA->Scalar);
+      AZ::LoadFact LF;
+      LF.ParamIdx = It->second;
+      LF.Bytes = EltB;
+      LF.Period = static_cast<int64_t>(KA->rowScalars()) * EltB;
+      LF.ByteOff = static_cast<int64_t>(AF.Lane) * EltB;
+      switch (AF.Relation) {
+      case AssumeFact::Rel::Lt:
+        LF.HasHi = true;
+        LF.Hi = abc::addAffine(Rhs, abc::Affine::constant(-1)).value_or(Rhs);
+        break;
+      case AssumeFact::Rel::Le:
+        LF.HasHi = true;
+        LF.Hi = Rhs;
+        break;
+      case AssumeFact::Rel::Gt:
+        LF.HasLo = true;
+        LF.Lo = abc::addAffine(Rhs, abc::Affine::constant(1)).value_or(Rhs);
+        break;
+      case AssumeFact::Rel::Ge:
+        LF.HasLo = true;
+        LF.Lo = Rhs;
+        break;
+      case AssumeFact::Rel::Eq:
+        LF.HasLo = LF.HasHi = true;
+        LF.Lo = LF.Hi = Rhs;
+        break;
+      }
+      A.addLoadFact(LF);
+      break;
+    }
+    }
+  }
+
+  A.seedGeometry();
+  abc::Result R = A.run();
+
+  if (!R.Abort.empty()) {
+    Report.add(passes::Bytecode, DiagSeverity::Note, KN, F.loc(),
+               "bytecode tier aborted: " + R.Abort);
+    return;
+  }
+
+  // Did the AST tier prove every bound in this kernel? If so, an
+  // Unknown verdict below means the bytecode tier LOST a fact — the
+  // cross-check the two independent tiers exist for.
+  bool AstBoundsClean = true;
+  for (const Finding &Fd : Report.Findings)
+    if (Fd.Pass == passes::Bounds && Fd.Kernel == KN)
+      AstBoundsClean = false;
+
+  for (const abc::OpFact &Op : R.Ops) {
+    const char *What =
+        Op.IsImage ? "image read" : Op.IsStore ? "store" : "load";
+    if (Op.V == abc::Verdict::ProvenOob) {
+      Report.add(passes::Bytecode, DiagSeverity::Error, KN, Op.Loc,
+                 std::string("bytecode tier proves this ") + What + " to " +
+                     spaceWord(Op.Space) +
+                     " memory always out of bounds: " + Op.Detail);
+    } else if (Op.V == abc::Verdict::Unknown && !Op.IsImage &&
+               (Op.Space == AddrSpace::Global ||
+                Op.Space == AddrSpace::Constant) &&
+               AstBoundsClean) {
+      Report.add(passes::Bytecode, DiagSeverity::Note, KN, Op.Loc,
+                 std::string("cross-check: the AST tier proved every bound "
+                             "in this kernel, but this ") +
+                     What + " is not provable at bytecode level (" +
+                     Op.Detail + ")");
+    }
+    if (Opts.BytecodeVerdicts) {
+      std::ostringstream M;
+      M << "pc " << Op.Pc << ": " << What << " " << spaceWord(Op.Space) << " "
+        << Op.AccessBytes << "B -> " << abc::verdictName(Op.V);
+      if (Op.UniformAddr)
+        M << ", uniform";
+      if (Op.HasStride)
+        M << ", lane stride " << Op.LaneStride;
+      if (!Op.Detail.empty())
+        M << " (" << Op.Detail << ")";
+      Report.add(passes::Bytecode, DiagSeverity::Note, KN, Op.Loc, M.str());
+    }
+  }
+
+  std::ostringstream S;
+  S << "bytecode tier: proved " << R.ScalarGlobalProven << " of "
+    << R.ScalarGlobalOps << " scalar global/constant memory ops in bounds";
+  Report.add(passes::Bytecode, DiagSeverity::Note, KN, F.loc(), S.str());
+}
+
+void lime::analysis::runFpSensitivity(const OclFunction &F,
+                                      const CompiledKernel &Kernel,
+                                      const AnalysisOptions &Opts,
+                                      AnalysisReport &Report) {
+  const KernelPlan &Plan = Kernel.Plan;
+  if (Plan.Kind != KernelKind::Reduce || !Plan.OutScalarType ||
+      Plan.OutScalarType->prim() != PrimitiveType::Prim::Float)
+    return;
+
+  // The tree reduction reassociates the sequential evaluator's order;
+  // the worst-case relative divergence grows like n * 2^-24 and
+  // crosses the --verify tolerance 1e-3 near n = 16777.
+  constexpr double Tol = 1e-3;
+  constexpr double Eps = 1.0 / 16777216.0; // 2^-24, f32 unit roundoff
+  constexpr long long NStar = static_cast<long long>(Tol / Eps); // 16777
+
+  const KernelArray *Src = Plan.mapSource();
+  long long Lower = -1, Upper = -1;
+  for (const AssumeFact &AF : Opts.Assumes) {
+    if (AF.Kind != AssumeFact::Target::Length || !AF.RhsLenName.empty())
+      continue;
+    const KernelArray *KA = assumeArray(Plan, AF.Name);
+    if (!KA || !Src || KA != Src)
+      continue;
+    switch (AF.Relation) {
+    case AssumeFact::Rel::Lt:
+      Upper = Upper < 0 ? AF.RhsConst - 1 : std::min(Upper, AF.RhsConst - 1);
+      break;
+    case AssumeFact::Rel::Le:
+      Upper = Upper < 0 ? AF.RhsConst : std::min(Upper, AF.RhsConst);
+      break;
+    case AssumeFact::Rel::Gt:
+      Lower = std::max(Lower, AF.RhsConst + 1);
+      break;
+    case AssumeFact::Rel::Ge:
+      Lower = std::max(Lower, AF.RhsConst);
+      break;
+    case AssumeFact::Rel::Eq:
+      Lower = std::max(Lower, AF.RhsConst);
+      Upper = Upper < 0 ? AF.RhsConst : std::min(Upper, AF.RhsConst);
+      break;
+    }
+  }
+
+  std::ostringstream M;
+  DiagSeverity Sev = DiagSeverity::Note;
+  if (Upper >= 0 && Upper <= NStar) {
+    M << "reassociated float reduction: divergence bound n*2^-24 stays "
+         "within the --verify tolerance 1e-3 for the declared n <= "
+      << Upper;
+  } else if (Lower > NStar) {
+    Sev = DiagSeverity::Warning;
+    M << "reassociated float reduction: the declared n >= " << Lower
+      << " admits evaluator-vs-device divergence above the --verify "
+         "tolerance 1e-3 (worst case ~ n*2^-24); compare with a scaled "
+         "tolerance or reduce in double";
+  } else {
+    M << "reassociated float reduction: divergence grows ~ n*2^-24 and may "
+         "exceed the --verify tolerance 1e-3 for n > "
+      << NStar << "; declare --assume 'len("
+      << (Src ? Src->CName : std::string("input")) << ") <= K' to discharge";
+  }
+  Report.add(passes::FpSens, Sev, F.name(), F.loc(), M.str());
+}

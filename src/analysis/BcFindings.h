@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The findings-tier face of the bytecode proof engine (--bc-analyze):
+///
+///   [bytecode]  re-establishes the AST tier's bounds facts on the
+///               post-inlining SIMT bytecode the engines actually
+///               execute. The analyzer runs in ideal-integer mode with
+///               symbolic facts seeded from the kernel plan and the
+///               declared `--assume` facts — the same model the AST
+///               walker uses, so the two tiers are directly
+///               comparable. Proven-out-of-bounds ops are errors with
+///               a counterexample; ops the AST tier proved but the
+///               bytecode tier cannot re-establish get a cross-check
+///               note.
+///
+///   [fpsens]    flags reassociated floating-point reductions whose
+///               evaluator-vs-device divergence can exceed the
+///               `--verify` tolerance: a tree reduction over n float
+///               elements accumulates worst-case relative error on
+///               the order of n * 2^-24, which crosses the 1e-3
+///               tolerance near n = 16777.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_ANALYSIS_BCFINDINGS_H
+#define LIMECC_ANALYSIS_BCFINDINGS_H
+
+#include "analysis/KernelVerifier.h"
+#include "ocl/OclAST.h"
+
+namespace lime::analysis {
+
+/// Compiles \p Kernel's already-parsed AST to bytecode, runs the
+/// symbolic (ideal-integer) bytecode prover over it, and reports
+/// [bytecode] findings into \p Report. Expects the AST-tier passes to
+/// have run already (the cross-check note compares against their
+/// bounds findings).
+void runBytecodeTier(ocl::OclProgramAST &AST, ocl::OclContext &Ctx,
+                     const ocl::OclFunction &F, const CompiledKernel &Kernel,
+                     const AnalysisOptions &Opts, AnalysisReport &Report);
+
+/// Reports [fpsens] findings for reassociated float reductions.
+void runFpSensitivity(const ocl::OclFunction &F, const CompiledKernel &Kernel,
+                      const AnalysisOptions &Opts, AnalysisReport &Report);
+
+} // namespace lime::analysis
+
+#endif // LIMECC_ANALYSIS_BCFINDINGS_H

@@ -38,6 +38,8 @@ inline constexpr const char *GlobalRace = "global-race";
 inline constexpr const char *PlanAudit = "plan-audit";
 inline constexpr const char *Occupancy = "occupancy";
 inline constexpr const char *Oracle = "oracle";
+inline constexpr const char *Bytecode = "bytecode";
+inline constexpr const char *FpSens = "fpsens";
 } // namespace passes
 
 /// One verifier diagnostic.

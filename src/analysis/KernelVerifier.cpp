@@ -18,6 +18,7 @@
 
 #include "analysis/AbstractInterp.h"
 #include "analysis/AnalysisOracle.h"
+#include "analysis/BcFindings.h"
 #include "analysis/OclAstUtils.h"
 #include "analysis/Uniformity.h"
 #include "ocl/DeviceModel.h"
@@ -469,6 +470,12 @@ AnalysisReport lime::analysis::analyzeKernel(const CompiledKernel &Kernel,
   if (Opts.Device)
     auditOccupancy(Kernel.Plan, *Opts.Device, Opts, F->name(), F->loc(),
                    Report);
+  if (Opts.BytecodeTier) {
+    // After the AST passes: the bytecode tier cross-checks against
+    // their bounds findings.
+    runBytecodeTier(*AST, Ctx, *F, Kernel, Opts, Report);
+    runFpSensitivity(*F, Kernel, Opts, Report);
+  }
   Report.sort();
   return Report;
 }

@@ -64,6 +64,12 @@ struct AnalysisOptions {
   /// resource limits are per-device, so there is nothing to audit
   /// against without one).
   const ocl::DeviceModel *Device = nullptr;
+  /// Run the bytecode proof tier ([bytecode]) and the floating-point
+  /// sensitivity pass ([fpsens]) as well (--bc-analyze).
+  bool BytecodeTier = false;
+  /// With BytecodeTier: emit one [bytecode] note per memory op naming
+  /// its verdict and address facts (--bc-verdicts).
+  bool BytecodeVerdicts = false;
 };
 
 /// Runs every pass over \p Kernel (its generated Source is re-parsed;

@@ -27,6 +27,8 @@ VerifyResult lime::analysis::runVerification(const VerifyRequest &R) {
   if (R.AssumeMode == AssumePolicy::Apply)
     Opts.Assumes = R.Assumes;
   Opts.Device = R.Device;
+  Opts.BytecodeTier = R.BytecodeTier;
+  Opts.BytecodeVerdicts = R.BytecodeVerdicts;
 
   Out.Report = analyzeKernel(*R.Kernel, Opts);
 

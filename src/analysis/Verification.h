@@ -56,6 +56,12 @@ struct VerifyRequest {
   const ocl::DeviceModel *Device = nullptr;
   /// Warnings also block admission (--analyze-strict).
   bool StrictWarnings = false;
+  /// Run the bytecode proof tier and the floating-point sensitivity
+  /// pass as well (--bc-analyze).
+  bool BytecodeTier = false;
+  /// With BytecodeTier: one note per memory op naming its verdict
+  /// (--bc-verdicts).
+  bool BytecodeVerdicts = false;
 };
 
 struct VerifyResult {

@@ -1,0 +1,2173 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Abstract interpretation over the SIMT bytecode. See BcAnalysis.h
+// for the model; the short version:
+//
+//  - every integer register is tracked as an optional exact affine
+//    form plus optional affine lower/upper bounds over a symbol
+//    table (launch geometry, parameter bases, scalar arguments,
+//    arena limits, declared --assume facts);
+//  - bounds are discharged by a Fourier-Motzkin-flavoured search:
+//    substitute pinned/equated symbols exactly, then pivot one term
+//    at a time through the symbol's bound set until the expression
+//    is a nonpositive constant;
+//  - structured control (IfBegin/IfElse/IfEnd, LoopBegin/LoopTest/
+//    LoopEnd) is walked directly; loops run to a widening fixpoint
+//    before one recording pass classifies the memory ops inside;
+//  - in exact mode every arithmetic result is clamped through the
+//    VM's wrapInt semantics, so facts can never survive a possible
+//    wrap and a Proven verdict is unconditionally sound.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/bc/BcAnalysis.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace lime::analysis::bc {
+
+using ocl::AddrSpace;
+using ocl::BcInstr;
+using ocl::BcKernel;
+using ocl::BcOp;
+using ocl::BcParam;
+using ocl::ValType;
+
+namespace {
+
+// Local copies of the tiny ocl helpers: their definitions live in
+// limecc_ocl .cpp files, and this library may only depend on ocl
+// *headers* (limecc_ocl links us for dispatch-time proofs).
+unsigned tyBytes(ValType T) {
+  switch (T) {
+  case ValType::I8:
+  case ValType::U8:
+    return 1;
+  case ValType::I32:
+  case ValType::U32:
+  case ValType::F32:
+    return 4;
+  default:
+    return 8;
+  }
+}
+
+bool isFloatTy(ValType T) { return T == ValType::F32 || T == ValType::F64; }
+
+bool isUnsignedTy(ValType T) {
+  return T == ValType::U8 || T == ValType::U32 || T == ValType::U64;
+}
+
+const char *spaceName(AddrSpace S) {
+  switch (S) {
+  case AddrSpace::Global:
+    return "global";
+  case AddrSpace::Constant:
+    return "constant";
+  case AddrSpace::Local:
+    return "local";
+  case AddrSpace::Private:
+    return "private";
+  case AddrSpace::Param:
+    return "param";
+  default:
+    return "image";
+  }
+}
+
+bool addOvf(int64_t A, int64_t B, int64_t &R) {
+  return __builtin_add_overflow(A, B, &R);
+}
+bool mulOvf(int64_t A, int64_t B, int64_t &R) {
+  return __builtin_mul_overflow(A, B, &R);
+}
+
+} // namespace
+
+std::optional<Affine> addAffine(const Affine &A, const Affine &B) {
+  Affine R;
+  if (addOvf(A.C, B.C, R.C))
+    return std::nullopt;
+  size_t I = 0, J = 0;
+  while (I < A.Terms.size() || J < B.Terms.size()) {
+    if (J == B.Terms.size() ||
+        (I < A.Terms.size() && A.Terms[I].first < B.Terms[J].first)) {
+      R.Terms.push_back(A.Terms[I++]);
+    } else if (I == A.Terms.size() || B.Terms[J].first < A.Terms[I].first) {
+      R.Terms.push_back(B.Terms[J++]);
+    } else {
+      int64_t K;
+      if (addOvf(A.Terms[I].second, B.Terms[J].second, K))
+        return std::nullopt;
+      if (K != 0)
+        R.Terms.push_back({A.Terms[I].first, K});
+      ++I;
+      ++J;
+    }
+  }
+  return R;
+}
+
+std::optional<Affine> mulAffine(const Affine &A, int64_t K) {
+  if (K == 0)
+    return Affine::constant(0);
+  Affine R;
+  if (mulOvf(A.C, K, R.C))
+    return std::nullopt;
+  R.Terms.reserve(A.Terms.size());
+  for (const auto &T : A.Terms) {
+    int64_t C;
+    if (mulOvf(T.second, K, C))
+      return std::nullopt;
+    R.Terms.push_back({T.first, C});
+  }
+  return R;
+}
+
+std::optional<Affine> subAffine(const Affine &A, const Affine &B) {
+  auto NB = mulAffine(B, -1);
+  if (!NB)
+    return std::nullopt;
+  return addAffine(A, *NB);
+}
+
+const char *verdictName(Verdict V) {
+  switch (V) {
+  case Verdict::Proven:
+    return "proven";
+  case Verdict::ProvenOob:
+    return "proven-oob";
+  default:
+    return "unknown";
+  }
+}
+
+namespace {
+
+struct SymbolInfo {
+  std::string Name;
+  bool Uniform = true;
+  std::optional<int64_t> Pin;
+  std::optional<Affine> Eq;
+  std::vector<Affine> Lo, Hi;
+  // Declared byte length of the buffer based at this symbol (for
+  // buffer-relative proven-OOB findings).
+  std::optional<Affine> BufLenBytes;
+};
+
+// Abstract value of one bytecode register, valid for the lanes that
+// are active on the current walker path.
+struct RegVal {
+  std::optional<Affine> Exact, Lo, Hi;
+  bool Uniform = true;
+  // Definition version; comparisons remember the versions of their
+  // operands so branch refinement only fires while those registers
+  // still hold the compared values.
+  uint32_t Ver = 0;
+  bool HasCmp = false;
+  BcOp CmpOp = BcOp::CmpLt;
+  bool CmpUnsigned = false;
+  int32_t CmpA = -1, CmpB = -1;
+  uint32_t CmpVerA = 0, CmpVerB = 0;
+
+  void clearCmp() {
+    HasCmp = false;
+    CmpA = CmpB = -1;
+  }
+  void clearFacts() {
+    Exact.reset();
+    Lo.reset();
+    Hi.reset();
+    clearCmp();
+  }
+};
+
+struct State {
+  std::vector<RegVal> Regs;
+  int DivDepth = 0;
+  bool Dead = false;
+};
+
+struct PBind {
+  enum Kind { None, Int, Flt, Sym } K = None;
+  int64_t I = 0;
+  double F = 0;
+  SymId S = -1;
+};
+
+} // namespace
+
+struct Analyzer::Impl {
+  const BcKernel &K;
+  bool Ideal;
+
+  std::vector<SymbolInfo> Syms;
+  std::vector<PBind> PBinds;
+  std::vector<uint8_t> ParamBlock;
+  bool HasParamBlock = false;
+  bool ParamStores = false;
+  struct FieldFact {
+    int64_t Off;
+    unsigned Bytes;
+    SymId Val;
+  };
+  std::vector<FieldFact> FieldFacts;
+  std::vector<LoadFact> LoadFacts;
+  // Per-param base (const offset in exact mode, symbol in symbolic
+  // mode) so LoadFacts can be matched against load addresses.
+  std::vector<std::optional<int64_t>> PBaseConst;
+  std::vector<SymId> PBaseSym;
+
+  std::vector<std::optional<OpFact>> Facts;
+  std::string Abort;
+  bool Recording = true;
+  uint32_t NextVer = 1;
+  int ProveBudget = 0;
+
+  struct TrailEnt {
+    SymId S;
+    bool IsHi;
+  };
+  std::vector<TrailEnt> Trail;
+
+  explicit Impl(const BcKernel &Kern, bool IdealInts)
+      : K(Kern), Ideal(IdealInts) {
+    static const char *GeoNames[GeoCount] = {
+        "gid0",  "gid1",  "lid0",  "lid1",  "grp0",     "grp1",
+        "gsz0",  "gsz1",  "lsz0",  "lsz1",  "ngrp0",    "ngrp1",
+        "limG",  "limC",  "limL",  "limP",  "limParam"};
+    for (unsigned I = 0; I != GeoCount; ++I) {
+      SymbolInfo S;
+      S.Name = GeoNames[I];
+      // Per-lane ids are the only launch-variant builtins.
+      S.Uniform = !(I == GGid0 || I == GGid1 || I == GLid0 || I == GLid1);
+      Syms.push_back(std::move(S));
+    }
+    PBinds.resize(K.Params.size());
+    PBaseConst.resize(K.Params.size());
+    PBaseSym.assign(K.Params.size(), -1);
+    Facts.resize(K.Code.size());
+  }
+
+  SymId fresh(std::string Name, bool Uniform) {
+    SymbolInfo S;
+    S.Name = std::move(Name);
+    S.Uniform = Uniform;
+    Syms.push_back(std::move(S));
+    return static_cast<SymId>(Syms.size() - 1);
+  }
+
+  //===------------------------------------------------------------===//
+  // Bound discharge
+  //===------------------------------------------------------------===//
+
+  // Substitutes pinned / equated symbols into E (lossless). Returns
+  // false on arithmetic overflow.
+  bool substExact(Affine &E) const {
+    for (int Guard = 0; Guard != 64; ++Guard) {
+      bool Changed = false;
+      for (size_t I = 0; I != E.Terms.size(); ++I) {
+        const SymbolInfo &SI = Syms[E.Terms[I].first];
+        int64_t Coef = E.Terms[I].second;
+        if (SI.Pin) {
+          int64_t Add;
+          if (mulOvf(Coef, *SI.Pin, Add) || addOvf(E.C, Add, E.C))
+            return false;
+          E.Terms.erase(E.Terms.begin() + I);
+          Changed = true;
+          break;
+        }
+        if (SI.Eq) {
+          Affine Rest = E;
+          Rest.Terms.erase(Rest.Terms.begin() + I);
+          auto Scaled = mulAffine(*SI.Eq, Coef);
+          if (!Scaled)
+            return false;
+          auto Sum = addAffine(Rest, *Scaled);
+          if (!Sum)
+            return false;
+          E = *Sum;
+          Changed = true;
+          break;
+        }
+      }
+      if (!Changed)
+        return true;
+    }
+    return true; // substitution limit: leave partially substituted
+  }
+
+  // Replaces the (S, Coef) term of E with Coef * B.
+  static std::optional<Affine> pivot(const Affine &E, size_t TermIdx,
+                                     const Affine &B) {
+    Affine Rest = E;
+    int64_t Coef = Rest.Terms[TermIdx].second;
+    Rest.Terms.erase(Rest.Terms.begin() + TermIdx);
+    auto Scaled = mulAffine(B, Coef);
+    if (!Scaled)
+      return std::nullopt;
+    return addAffine(Rest, *Scaled);
+  }
+
+  bool proveNonPosRec(Affine E, int Depth) {
+    if (--ProveBudget <= 0)
+      return false;
+    if (!substExact(E))
+      return false;
+    if (E.isConst())
+      return E.C <= 0;
+    if (Depth <= 0)
+      return false;
+    // Pivot each symbolic term through its bound set: an upper
+    // bound for a positive coefficient (k*s <= k*B), a lower bound
+    // for a negative one.
+    for (size_t I = 0; I != E.Terms.size(); ++I) {
+      const SymbolInfo &SI = Syms[E.Terms[I].first];
+      const std::vector<Affine> &Cands =
+          E.Terms[I].second > 0 ? SI.Hi : SI.Lo;
+      for (const Affine &B : Cands) {
+        auto Next = pivot(E, I, B);
+        if (Next && proveNonPosRec(*Next, Depth - 1))
+          return true;
+      }
+    }
+    return false;
+  }
+
+  bool proveNonPos(const Affine &E) {
+    ProveBudget = 20000;
+    return proveNonPosRec(E, 12);
+  }
+
+  // Constant bound of E in 128-bit arithmetic: Lo ? greatest known
+  // constant lower bound : least known constant upper bound.
+  bool constBound(const Affine &E, bool WantLo, __int128 &Out, int Depth) {
+    if (--ProveBudget <= 0 || Depth <= 0)
+      return false;
+    __int128 Acc = E.C;
+    for (const auto &T : E.Terms) {
+      bool TermLo = T.second > 0 ? WantLo : !WantLo;
+      __int128 SB;
+      if (!symConstBound(T.first, TermLo, SB, Depth - 1))
+        return false;
+      Acc += static_cast<__int128>(T.second) * SB;
+    }
+    Out = Acc;
+    return true;
+  }
+
+  bool symConstBound(SymId S, bool WantLo, __int128 &Out, int Depth) {
+    const SymbolInfo &SI = Syms[S];
+    if (SI.Pin) {
+      Out = *SI.Pin;
+      return true;
+    }
+    if (SI.Eq && constBound(*SI.Eq, WantLo, Out, Depth))
+      return true;
+    const std::vector<Affine> &Cands = WantLo ? SI.Lo : SI.Hi;
+    bool Have = false;
+    __int128 Best = 0;
+    for (const Affine &B : Cands) {
+      __int128 V;
+      if (!constBound(B, WantLo, V, Depth))
+        continue;
+      if (!Have || (WantLo ? V > Best : V < Best)) {
+        Best = V;
+        Have = true;
+      }
+    }
+    Out = Best;
+    return Have;
+  }
+
+  std::optional<__int128> constBoundOf(const Affine &E, bool WantLo) {
+    ProveBudget = 20000;
+    __int128 V;
+    if (constBound(E, WantLo, V, 12))
+      return V;
+    return std::nullopt;
+  }
+
+  std::string affineStr(const Affine &E) const {
+    std::ostringstream OS;
+    bool First = true;
+    if (E.C != 0 || E.Terms.empty()) {
+      OS << E.C;
+      First = false;
+    }
+    for (const auto &T : E.Terms) {
+      int64_t C = T.second;
+      if (!First)
+        OS << (C < 0 ? " - " : " + ");
+      else if (C < 0)
+        OS << "-";
+      First = false;
+      uint64_t Mag = C < 0 ? -static_cast<uint64_t>(C) : static_cast<uint64_t>(C);
+      if (Mag != 1)
+        OS << Mag << "*";
+      OS << Syms[T.first].Name;
+    }
+    return OS.str();
+  }
+
+  //===------------------------------------------------------------===//
+  // Register-value helpers
+  //===------------------------------------------------------------===//
+
+  static std::vector<const Affine *> loCands(const RegVal &R) {
+    std::vector<const Affine *> C;
+    if (R.Exact)
+      C.push_back(&*R.Exact);
+    if (R.Lo)
+      C.push_back(&*R.Lo);
+    return C;
+  }
+  static std::vector<const Affine *> hiCands(const RegVal &R) {
+    std::vector<const Affine *> C;
+    if (R.Exact)
+      C.push_back(&*R.Exact);
+    if (R.Hi)
+      C.push_back(&*R.Hi);
+    return C;
+  }
+  static std::optional<Affine> loOf(const RegVal &R) {
+    return R.Exact ? R.Exact : R.Lo;
+  }
+  static std::optional<Affine> hiOf(const RegVal &R) {
+    return R.Exact ? R.Exact : R.Hi;
+  }
+
+  RegVal mkConst(int64_t V) {
+    RegVal R;
+    R.Exact = Affine::constant(V);
+    R.Ver = NextVer++;
+    return R;
+  }
+  RegVal mkSym(SymId S) {
+    RegVal R;
+    R.Exact = Affine::symbol(S);
+    R.Uniform = Syms[S].Uniform;
+    R.Ver = NextVer++;
+    return R;
+  }
+  RegVal mkRange(std::optional<Affine> Lo, std::optional<Affine> Hi,
+                 bool Uniform) {
+    RegVal R;
+    R.Lo = std::move(Lo);
+    R.Hi = std::move(Hi);
+    R.Uniform = Uniform;
+    R.Ver = NextVer++;
+    return R;
+  }
+  RegVal mkTop(bool Uniform) {
+    RegVal R;
+    R.Uniform = Uniform;
+    R.Ver = NextVer++;
+    return R;
+  }
+
+  // Writes a register on the current path. Under divergence the
+  // warp's inactive lanes keep their old values, so the register is
+  // no longer launch-invariant across the whole warp.
+  void def(State &S, int32_t Reg, RegVal V) {
+    if (Reg < 0 || static_cast<size_t>(Reg) >= S.Regs.size())
+      return;
+    if (S.DivDepth > 0)
+      V.Uniform = false;
+    if (V.Ver == 0)
+      V.Ver = NextVer++;
+    S.Regs[Reg] = std::move(V);
+  }
+
+  static void typeRange(ValType Ty, int64_t &Min, int64_t &Max) {
+    switch (Ty) {
+    case ValType::I8:
+      Min = -128;
+      Max = 127;
+      break;
+    case ValType::U8:
+      Min = 0;
+      Max = 255;
+      break;
+    case ValType::I32:
+      Min = INT32_MIN;
+      Max = INT32_MAX;
+      break;
+    case ValType::U32:
+      Min = 0;
+      Max = UINT32_MAX;
+      break;
+    default:
+      Min = INT64_MIN;
+      Max = INT64_MAX;
+      break;
+    }
+  }
+
+  // Models the VM's wrapInt: in exact mode a fact survives only if
+  // the mathematical result provably fits the destination type;
+  // otherwise the value degrades to the type range (sub-64 types)
+  // or to no facts at all (I64/U64, where wrap cannot be bounded).
+  void clampToType(RegVal &R, ValType Ty) {
+    if (Ideal)
+      return;
+    if (!R.Exact && !R.Lo && !R.Hi)
+      return;
+    int64_t Min, Max;
+    typeRange(Ty, Min, Max);
+    auto L = loOf(R), H = hiOf(R);
+    bool Fits = false;
+    if (L && H) {
+      auto CL = constBoundOf(*L, /*WantLo=*/true);
+      auto CH = constBoundOf(*H, /*WantLo=*/false);
+      Fits = CL && CH && *CL >= Min && *CH <= Max;
+    }
+    if (Fits)
+      return;
+    R.clearFacts();
+    if (Ty != ValType::I64 && Ty != ValType::U64) {
+      R.Lo = Affine::constant(Min);
+      R.Hi = Affine::constant(Max);
+    }
+  }
+
+  //===------------------------------------------------------------===//
+  // Join / widen
+  //===------------------------------------------------------------===//
+
+  std::optional<Affine> joinLo(const std::optional<Affine> &A,
+                               const std::optional<Affine> &B) {
+    if (!A || !B)
+      return std::nullopt;
+    if (*A == *B)
+      return A;
+    // A common lower bound: A works if A <= B (then A <= both).
+    auto D1 = subAffine(*A, *B);
+    if (D1 && proveNonPos(*D1))
+      return A;
+    auto D2 = subAffine(*B, *A);
+    if (D2 && proveNonPos(*D2))
+      return B;
+    auto CA = constBoundOf(*A, true), CB = constBoundOf(*B, true);
+    if (CA && CB) {
+      __int128 M = std::min(*CA, *CB);
+      if (M >= INT64_MIN && M <= INT64_MAX)
+        return Affine::constant(static_cast<int64_t>(M));
+    }
+    return std::nullopt;
+  }
+  std::optional<Affine> joinHi(const std::optional<Affine> &A,
+                               const std::optional<Affine> &B) {
+    if (!A || !B)
+      return std::nullopt;
+    if (*A == *B)
+      return A;
+    auto D1 = subAffine(*B, *A);
+    if (D1 && proveNonPos(*D1)) // B <= A: A bounds both
+      return A;
+    auto D2 = subAffine(*A, *B);
+    if (D2 && proveNonPos(*D2))
+      return B;
+    auto CA = constBoundOf(*A, false), CB = constBoundOf(*B, false);
+    if (CA && CB) {
+      __int128 M = std::max(*CA, *CB);
+      if (M >= INT64_MIN && M <= INT64_MAX)
+        return Affine::constant(static_cast<int64_t>(M));
+    }
+    return std::nullopt;
+  }
+
+  // Candidate-based joins: a register with an exact form can also
+  // carry a refined Lo/Hi (branch refinement keeps Exact intact), so
+  // try every pair before giving up. The refined slot goes first —
+  // it encodes guard information (select(i < n, i, 0) keeps
+  // hi = n - 1 only through the (Hi_true, Exact_false) pair), while
+  // a first-found Exact pair would shadow it with a weaker bound.
+  struct CandList {
+    const Affine *P[2];
+    unsigned N = 0;
+    void add(const Affine *A) { P[N++] = A; }
+    const Affine *const *begin() const { return P; }
+    const Affine *const *end() const { return P + N; }
+  };
+  static CandList loCandsPref(const RegVal &R) {
+    CandList C;
+    if (R.Lo)
+      C.add(&*R.Lo);
+    if (R.Exact)
+      C.add(&*R.Exact);
+    return C;
+  }
+  static CandList hiCandsPref(const RegVal &R) {
+    CandList C;
+    if (R.Hi)
+      C.add(&*R.Hi);
+    if (R.Exact)
+      C.add(&*R.Exact);
+    return C;
+  }
+  std::optional<Affine> joinLoCands(const RegVal &A, const RegVal &B) {
+    for (const Affine *LA : loCandsPref(A))
+      for (const Affine *LB : loCandsPref(B))
+        if (auto J = joinLo(*LA, *LB))
+          return J;
+    return std::nullopt;
+  }
+  std::optional<Affine> joinHiCands(const RegVal &A, const RegVal &B) {
+    for (const Affine *HA : hiCandsPref(A))
+      for (const Affine *HB : hiCandsPref(B))
+        if (auto J = joinHi(*HA, *HB))
+          return J;
+    return std::nullopt;
+  }
+
+  static bool sameCmp(const RegVal &A, const RegVal &B) {
+    if (A.HasCmp != B.HasCmp)
+      return false;
+    return !A.HasCmp ||
+           (A.CmpOp == B.CmpOp && A.CmpA == B.CmpA && A.CmpB == B.CmpB &&
+            A.CmpVerA == B.CmpVerA && A.CmpVerB == B.CmpVerB &&
+            A.CmpUnsigned == B.CmpUnsigned);
+  }
+
+  RegVal joinReg(const RegVal &A, const RegVal &B) {
+    // Fast path: most registers are untouched by either arm of a
+    // join, and the full candidate machinery below is what makes
+    // large straight-line kernels expensive to analyze.
+    if (A.Ver == B.Ver && sameFacts(A, B) && sameCmp(A, B))
+      return A;
+    RegVal R;
+    R.Uniform = A.Uniform && B.Uniform;
+    if (A.Exact && B.Exact && *A.Exact == *B.Exact)
+      R.Exact = A.Exact;
+    R.Lo = joinLoCands(A, B);
+    R.Hi = joinHiCands(A, B);
+    if (A.Ver == B.Ver) {
+      R.Ver = A.Ver;
+      if (A.HasCmp && B.HasCmp && A.CmpOp == B.CmpOp && A.CmpA == B.CmpA &&
+          A.CmpB == B.CmpB && A.CmpVerA == B.CmpVerA &&
+          A.CmpVerB == B.CmpVerB && A.CmpUnsigned == B.CmpUnsigned) {
+        R.HasCmp = true;
+        R.CmpOp = A.CmpOp;
+        R.CmpUnsigned = A.CmpUnsigned;
+        R.CmpA = A.CmpA;
+        R.CmpB = A.CmpB;
+        R.CmpVerA = A.CmpVerA;
+        R.CmpVerB = A.CmpVerB;
+      }
+    } else {
+      R.Ver = NextVer++;
+    }
+    return R;
+  }
+
+  void joinState(State &A, const State &B) {
+    if (B.Dead)
+      return;
+    if (A.Dead) {
+      A = B;
+      return;
+    }
+    for (size_t I = 0; I != A.Regs.size(); ++I)
+      A.Regs[I] = joinReg(A.Regs[I], B.Regs[I]);
+  }
+
+  // Loop widening: keep an old fact only when the new iteration
+  // provably stays inside it, so facts strictly drop and the
+  // fixpoint terminates.
+  RegVal widenReg(const RegVal &Old, const RegVal &New) {
+    RegVal R;
+    R.Uniform = Old.Uniform && New.Uniform;
+    if (Old.Exact && New.Exact && *Old.Exact == *New.Exact)
+      R.Exact = Old.Exact;
+    if (Old.Lo) {
+      auto NL = loOf(New);
+      if (NL) {
+        auto D = subAffine(*Old.Lo, *NL); // OldLo <= NewLo?
+        if (*Old.Lo == *NL || (D && proveNonPos(*D)))
+          R.Lo = Old.Lo;
+      }
+    }
+    if (Old.Hi) {
+      auto NH = hiOf(New);
+      if (NH) {
+        auto D = subAffine(*NH, *Old.Hi); // NewHi <= OldHi?
+        if (*Old.Hi == *NH || (D && proveNonPos(*D)))
+          R.Hi = Old.Hi;
+      }
+    }
+    R.Ver = Old.Ver == New.Ver ? Old.Ver : NextVer++;
+    return R;
+  }
+
+  static bool sameFacts(const RegVal &A, const RegVal &B) {
+    return A.Exact == B.Exact && A.Lo == B.Lo && A.Hi == B.Hi &&
+           A.Uniform == B.Uniform;
+  }
+  static bool sameState(const State &A, const State &B) {
+    if (A.Dead != B.Dead)
+      return false;
+    for (size_t I = 0; I != A.Regs.size(); ++I)
+      if (!sameFacts(A.Regs[I], B.Regs[I]))
+        return false;
+    return true;
+  }
+
+  //===------------------------------------------------------------===//
+  // Branch refinement
+  //===------------------------------------------------------------===//
+
+  size_t trailMark() const { return Trail.size(); }
+  void trailPop(size_t Mark) {
+    while (Trail.size() > Mark) {
+      TrailEnt E = Trail.back();
+      Trail.pop_back();
+      auto &V = E.IsHi ? Syms[E.S].Hi : Syms[E.S].Lo;
+      if (!V.empty())
+        V.pop_back();
+    }
+  }
+
+  // If the refined register is exactly sym + C, the register-level
+  // bound is also a path-scoped fact about the symbol itself; push
+  // it so discharge can use it for *other* registers derived from
+  // the same symbol.
+  void pushSymBound(const RegVal &R, const Affine &Bound, bool IsHi) {
+    if (!R.Exact || R.Exact->Terms.size() != 1 ||
+        R.Exact->Terms[0].second != 1)
+      return;
+    SymId S = R.Exact->Terms[0].first;
+    std::optional<Affine> SymB =
+        subAffine(Bound, Affine::constant(R.Exact->C));
+    if (!SymB)
+      return;
+    // Follow equalities: substExact rewrites an Eq'd symbol away
+    // before pivoting, so a bound pushed on it would never be
+    // consulted; attach it to a surviving symbol instead. With
+    // s == t + rest (t unit-coefficient), "s <= B" is the fact
+    // "t <= B - rest" — rest may carry other symbols (the pinned
+    // decomposition gid = grp*L + lid turns a gid bound into a
+    // lid bound relative to grp, which the pivot consumes as-is).
+    for (int Guard = 0; Guard != 8; ++Guard) {
+      const std::optional<Affine> &Eq = Syms[S].Eq;
+      if (!Eq)
+        break;
+      size_t Pick = Eq->Terms.size();
+      for (size_t TI = 0; TI != Eq->Terms.size(); ++TI)
+        if (Eq->Terms[TI].second == 1) {
+          Pick = TI;
+          break;
+        }
+      if (Pick == Eq->Terms.size())
+        return; // no unit-coefficient handle: the fact has no home
+      Affine Rest = *Eq;
+      Rest.Terms.erase(Rest.Terms.begin() +
+                       static_cast<std::ptrdiff_t>(Pick));
+      auto Shifted = subAffine(*SymB, Rest);
+      if (!Shifted)
+        return;
+      S = Eq->Terms[Pick].first;
+      SymB = *Shifted;
+    }
+    // Self-referential bounds are useless and break the pivot.
+    for (const auto &T : SymB->Terms)
+      if (T.first == S)
+        return;
+    (IsHi ? Syms[S].Hi : Syms[S].Lo).push_back(*SymB);
+    Trail.push_back({S, IsHi});
+  }
+
+  void tightenLo(State &S, int32_t Reg, const std::optional<Affine> &L) {
+    if (!L || Reg < 0)
+      return;
+    RegVal &R = S.Regs[Reg];
+    bool Apply = !R.Lo;
+    if (R.Lo) {
+      auto D = subAffine(*R.Lo, *L); // old <= new: new is tighter
+      Apply = D && proveNonPos(*D) && !(*R.Lo == *L);
+    }
+    if (Apply)
+      R.Lo = *L;
+    pushSymBound(R, *L, /*IsHi=*/false);
+  }
+  void tightenHi(State &S, int32_t Reg, const std::optional<Affine> &H) {
+    if (!H || Reg < 0)
+      return;
+    RegVal &R = S.Regs[Reg];
+    bool Apply = !R.Hi;
+    if (R.Hi) {
+      auto D = subAffine(*H, *R.Hi); // new <= old: new is tighter
+      Apply = D && proveNonPos(*D) && !(*R.Hi == *H);
+    }
+    if (Apply)
+      R.Hi = *H;
+    pushSymBound(R, *H, /*IsHi=*/true);
+  }
+
+  bool provablyNonNeg(const RegVal &R) {
+    for (const Affine *L : loCands(R)) {
+      auto N = mulAffine(*L, -1);
+      if (N && proveNonPos(*N))
+        return true;
+    }
+    return false;
+  }
+
+  void applyCmp(State &S, int32_t A, int32_t B, BcOp Op) {
+    const RegVal &RA = S.Regs[A];
+    const RegVal &RB = S.Regs[B];
+    auto Plus1 = [](const std::optional<Affine> &E) -> std::optional<Affine> {
+      if (!E)
+        return std::nullopt;
+      return addAffine(*E, Affine::constant(1));
+    };
+    auto Minus1 = [](const std::optional<Affine> &E) -> std::optional<Affine> {
+      if (!E)
+        return std::nullopt;
+      return subAffine(*E, Affine::constant(1));
+    };
+    switch (Op) {
+    case BcOp::CmpLt: // A < B
+      tightenHi(S, A, Minus1(hiOf(RB)));
+      tightenLo(S, B, Plus1(loOf(RA)));
+      break;
+    case BcOp::CmpLe: // A <= B
+      tightenHi(S, A, hiOf(RB));
+      tightenLo(S, B, loOf(RA));
+      break;
+    case BcOp::CmpGt: // A > B
+      tightenLo(S, A, Plus1(loOf(RB)));
+      tightenHi(S, B, Minus1(hiOf(RA)));
+      break;
+    case BcOp::CmpGe: // A >= B
+      tightenLo(S, A, loOf(RB));
+      tightenHi(S, B, hiOf(RA));
+      break;
+    case BcOp::CmpEq: { // A == B
+      auto HB = hiOf(RB), LB = loOf(RB);
+      auto HA = hiOf(RA), LA = loOf(RA);
+      tightenHi(S, A, HB);
+      tightenLo(S, A, LB);
+      tightenHi(S, B, HA);
+      tightenLo(S, B, LA);
+      break;
+    }
+    default: // CmpNe carries no interval information
+      break;
+    }
+  }
+
+  static BcOp negateCmp(BcOp Op) {
+    switch (Op) {
+    case BcOp::CmpLt:
+      return BcOp::CmpGe;
+    case BcOp::CmpLe:
+      return BcOp::CmpGt;
+    case BcOp::CmpGt:
+      return BcOp::CmpLe;
+    case BcOp::CmpGe:
+      return BcOp::CmpLt;
+    case BcOp::CmpEq:
+      return BcOp::CmpNe;
+    default:
+      return BcOp::CmpEq;
+    }
+  }
+
+  void refineCond(State &S, int32_t CondReg, bool Taken) {
+    if (CondReg < 0 || static_cast<size_t>(CondReg) >= S.Regs.size())
+      return;
+    RegVal &CR = S.Regs[CondReg];
+    if (!Taken) {
+      // On the not-taken side the condition register is zero; this
+      // is a refinement of the same definition, not a new write.
+      CR.Exact = Affine::constant(0);
+      CR.Lo = CR.Hi = std::nullopt;
+    } else if (CR.Lo || CR.Hi || CR.Exact) {
+      // Cmp/LNot results are {0,1}: taken means exactly 1.
+      auto H = hiOf(CR);
+      if (H) {
+        auto D = subAffine(*H, Affine::constant(1));
+        if (D && proveNonPos(*D) && provablyNonNeg(CR)) {
+          CR.Exact = Affine::constant(1);
+          CR.Lo = CR.Hi = std::nullopt;
+        }
+      }
+    }
+    if (!CR.HasCmp)
+      return;
+    int32_t A = CR.CmpA, B = CR.CmpB;
+    if (A < 0 || B < 0 || static_cast<size_t>(A) >= S.Regs.size() ||
+        static_cast<size_t>(B) >= S.Regs.size())
+      return;
+    if (S.Regs[A].Ver != CR.CmpVerA || S.Regs[B].Ver != CR.CmpVerB)
+      return;
+    BcOp Op = Taken ? CR.CmpOp : negateCmp(CR.CmpOp);
+    if (CR.CmpUnsigned && Op != BcOp::CmpEq && Op != BcOp::CmpNe) {
+      // Unsigned order only matches signed order when both operands
+      // are provably nonnegative.
+      if (!provablyNonNeg(S.Regs[A]) || !provablyNonNeg(S.Regs[B]))
+        return;
+    }
+    applyCmp(S, A, B, Op);
+  }
+
+  //===------------------------------------------------------------===//
+  // Memory-op classification
+  //===------------------------------------------------------------===//
+
+  SymId limitSym(AddrSpace Sp) const {
+    switch (Sp) {
+    case AddrSpace::Global:
+      return GLimGlobal;
+    case AddrSpace::Constant:
+      return GLimConst;
+    case AddrSpace::Local:
+      return GLimLocal;
+    case AddrSpace::Private:
+      return GLimPriv;
+    default:
+      return GLimParam;
+    }
+  }
+
+  void record(size_t Pc, OpFact F) {
+    if (!Recording)
+      return;
+    std::optional<OpFact> &Slot = Facts[Pc];
+    if (!Slot) {
+      Slot = std::move(F);
+      return;
+    }
+    // A pc re-recorded with a different verdict (shouldn't happen
+    // with the structured walker, but merge conservatively).
+    if (Slot->V != F.V) {
+      Slot->V = Verdict::Unknown;
+      Slot->Detail = "conflicting verdicts across paths";
+    }
+    Slot->UniformAddr = Slot->UniformAddr && F.UniformAddr;
+    if (!(Slot->HasStride && F.HasStride && Slot->LaneStride == F.LaneStride))
+      Slot->HasStride = false;
+  }
+
+  void classifyMemory(State &S, size_t Pc, const BcInstr &In) {
+    if (S.Dead || !Recording)
+      return;
+    OpFact F;
+    F.Pc = static_cast<uint32_t>(Pc);
+    F.IsStore = In.Op == BcOp::Store;
+    F.Space = In.Space;
+    F.AccessBytes = tyBytes(In.Ty) * std::max(1u, unsigned(In.Width));
+    F.Loc = In.Loc;
+
+    const RegVal &AR = S.Regs[In.B];
+    F.UniformAddr = AR.Uniform;
+    if (AR.Exact) {
+      F.HasStride = true;
+      for (const auto &T : AR.Exact->Terms)
+        if (T.first == geoSym(GGid0))
+          F.LaneStride = T.second;
+    }
+
+    const int64_t AB = F.AccessBytes;
+    Affine Lim = Affine::symbol(limitSym(In.Space));
+
+    bool LoOk = false, HiOk = false;
+    for (const Affine *L : loCands(AR)) {
+      auto Neg = mulAffine(*L, -1);
+      if (Neg && proveNonPos(*Neg)) {
+        LoOk = true;
+        break;
+      }
+    }
+    std::optional<Affine> ProvingHi;
+    for (const Affine *H : hiCands(AR)) {
+      auto E = addAffine(*H, Affine::constant(AB));
+      if (!E)
+        continue;
+      auto D = subAffine(*E, Lim);
+      if (D && proveNonPos(*D)) {
+        HiOk = true;
+        ProvingHi = *H;
+        break;
+      }
+    }
+
+    if (LoOk && HiOk) {
+      F.V = Verdict::Proven;
+      std::ostringstream OS;
+      OS << "0 <= " << (AR.Exact ? affineStr(*AR.Exact) : affineStr(*ProvingHi))
+         << (AR.Exact ? "" : " (hi)") << ", +" << AB << " <= "
+         << Syms[limitSym(In.Space)].Name;
+      F.Detail = OS.str();
+    } else {
+      // Guaranteed fault: every lane's address is below zero, or
+      // every lane's access end is beyond the arena limit.
+      for (const Affine *H : hiCands(AR)) {
+        auto E = addAffine(*H, Affine::constant(1)); // addr <= -1
+        if (E && proveNonPos(*E)) {
+          F.V = Verdict::ProvenOob;
+          auto CH = constBoundOf(*H, false);
+          std::ostringstream OS;
+          OS << "address " << affineStr(*H) << " is always negative";
+          if (CH)
+            OS << " (e.g. addr <= " << static_cast<int64_t>(*CH) << ")";
+          F.Detail = OS.str();
+          break;
+        }
+      }
+      if (F.V != Verdict::ProvenOob) {
+        for (const Affine *L : loCands(AR)) {
+          // lo + AB >= Lim + 1 always
+          auto E = addAffine(Lim, Affine::constant(1));
+          if (!E)
+            continue;
+          auto E2 = subAffine(*E, *L);
+          if (!E2)
+            continue;
+          auto E3 = subAffine(*E2, Affine::constant(AB));
+          if (E3 && proveNonPos(*E3)) {
+            F.V = Verdict::ProvenOob;
+            auto CL = constBoundOf(*L, true);
+            std::ostringstream OS;
+            OS << "address " << affineStr(*L) << " + " << AB
+               << " always exceeds the " << spaceName(In.Space) << " limit";
+            if (CL)
+              OS << " (e.g. addr >= " << static_cast<int64_t>(*CL) << ")";
+            F.Detail = OS.str();
+            break;
+          }
+        }
+      }
+      if (F.V != Verdict::ProvenOob) {
+        // Buffer-relative overrun of a *declared* length: the arena
+        // check may not fault, but the access is past the buffer on
+        // every lane.
+        for (const Affine *L : loCands(AR)) {
+          for (const auto &T : L->Terms) {
+            if (T.second != 1)
+              continue;
+            const SymbolInfo &SI = Syms[T.first];
+            if (!SI.BufLenBytes)
+              continue;
+            Affine Off = *L; // L = base + Off
+            for (size_t I = 0; I != Off.Terms.size(); ++I)
+              if (Off.Terms[I].first == T.first) {
+                Off.Terms.erase(Off.Terms.begin() + I);
+                break;
+              }
+            // Len - Off - AB + 1 <= 0  <=>  Off + AB > Len always
+            auto E = subAffine(*SI.BufLenBytes, Off);
+            if (!E)
+              continue;
+            auto E2 = subAffine(*E, Affine::constant(AB - 1));
+            if (E2 && proveNonPos(*E2)) {
+              F.V = Verdict::ProvenOob;
+              std::ostringstream OS;
+              OS << "offset " << affineStr(Off) << " + " << AB
+                 << " always exceeds len(" << SI.Name
+                 << ") = " << affineStr(*SI.BufLenBytes) << " bytes";
+              F.Detail = OS.str();
+              break;
+            }
+          }
+          if (F.V == Verdict::ProvenOob)
+            break;
+        }
+      }
+      if (F.V == Verdict::Unknown) {
+        std::ostringstream OS;
+        OS << "lo " << (LoOk ? "ok" : "open") << ", hi "
+           << (HiOk ? "ok" : "open");
+        F.Detail = OS.str();
+      }
+    }
+    record(Pc, std::move(F));
+  }
+
+  SymId geoSym(Geo G) const { return static_cast<SymId>(G); }
+
+  //===------------------------------------------------------------===//
+  // Load folding
+  //===------------------------------------------------------------===//
+
+  std::optional<int64_t> readParamBlock(int64_t Off, ValType Ty) {
+    if (!HasParamBlock || ParamStores || isFloatTy(Ty))
+      return std::nullopt;
+    unsigned B = tyBytes(Ty);
+    if (Off < 0 || static_cast<uint64_t>(Off) + B > ParamBlock.size())
+      return std::nullopt;
+    const uint8_t *P = ParamBlock.data() + Off;
+    switch (Ty) {
+    case ValType::I8: {
+      int8_t V;
+      std::memcpy(&V, P, 1);
+      return V;
+    }
+    case ValType::U8: {
+      uint8_t V;
+      std::memcpy(&V, P, 1);
+      return V;
+    }
+    case ValType::I32: {
+      int32_t V;
+      std::memcpy(&V, P, 4);
+      return V;
+    }
+    case ValType::U32: {
+      uint32_t V;
+      std::memcpy(&V, P, 4);
+      return V;
+    }
+    default: {
+      int64_t V;
+      std::memcpy(&V, P, 8);
+      return V;
+    }
+    }
+  }
+
+  RegVal foldLoad(State &S, const BcInstr &In) {
+    if (isFloatTy(In.Ty) || In.Width != 1)
+      return mkTop(false);
+    const RegVal &AR = S.Regs[In.B];
+    // Param-space folding needs a constant (lane-invariant) address.
+    if (In.Space == AddrSpace::Param && AR.Exact && AR.Exact->isConst()) {
+      int64_t Off = AR.Exact->C;
+      if (auto V = readParamBlock(Off, In.Ty))
+        return mkConst(*V);
+      if (!ParamStores)
+        for (const FieldFact &FF : FieldFacts)
+          if (FF.Off == Off && FF.Bytes == tyBytes(In.Ty))
+            return mkSym(FF.Val);
+    }
+    RegVal R = mkTop(false);
+    // A typed load always produces a value in the type's range.
+    if (In.Ty != ValType::I64 && In.Ty != ValType::U64) {
+      int64_t Min, Max;
+      typeRange(In.Ty, Min, Max);
+      R.Lo = Affine::constant(Min);
+      R.Hi = Affine::constant(Max);
+    }
+    // Declared facts about buffer contents (--assume element facts).
+    if ((In.Space == AddrSpace::Global || In.Space == AddrSpace::Constant) &&
+        AR.Exact) {
+      for (const LoadFact &LF : LoadFacts) {
+        if (LF.ParamIdx >= K.Params.size() || LF.Bytes != tyBytes(In.Ty))
+          continue;
+        // Address relative to the param's base, with the base term
+        // stripped; a periodic fact additionally allows any multiple
+        // of Period (in the constant and in every remaining term).
+        std::optional<Affine> Rel;
+        if (PBaseConst[LF.ParamIdx])
+          Rel = subAffine(*AR.Exact,
+                          Affine::constant(*PBaseConst[LF.ParamIdx]));
+        else if (PBaseSym[LF.ParamIdx] >= 0)
+          Rel = subAffine(*AR.Exact, Affine::symbol(PBaseSym[LF.ParamIdx]));
+        if (!Rel)
+          continue;
+        bool Match;
+        if (LF.Period > 0) {
+          Match = (Rel->C - LF.ByteOff) % LF.Period == 0;
+          for (const auto &T : Rel->Terms)
+            if (T.second % LF.Period != 0)
+              Match = false;
+        } else {
+          Match = Rel->isConst() && Rel->C == LF.ByteOff;
+        }
+        if (!Match)
+          continue;
+        if (LF.HasLo &&
+            (!R.Lo || !proveNonPosSub(*R.Lo, LF.Lo))) // fact is tighter
+          R.Lo = LF.Lo;
+        if (LF.HasHi && (!R.Hi || !proveNonPosSub(LF.Hi, *R.Hi)))
+          R.Hi = LF.Hi;
+        // Fixed contents + lane-invariant address => lane-invariant
+        // value; a row-varying match stays non-uniform.
+        R.Uniform = AR.Uniform;
+      }
+    }
+    return R;
+  }
+
+  bool proveNonPosSub(const Affine &A, const Affine &B) {
+    auto D = subAffine(B, A); // B <= A?
+    return D && proveNonPos(*D);
+  }
+
+  //===------------------------------------------------------------===//
+  // Transfer functions
+  //===------------------------------------------------------------===//
+
+  void step(State &S, size_t Pc) {
+    const BcInstr &In = K.Code[Pc];
+    switch (In.Op) {
+    case BcOp::ConstI:
+      def(S, In.Dst, mkConst(In.ImmI));
+      break;
+    case BcOp::ConstF:
+      def(S, In.Dst, mkTop(true));
+      break;
+    case BcOp::Mov: {
+      RegVal V = S.Regs[In.A];
+      V.Ver = NextVer++;
+      V.clearCmp();
+      def(S, In.Dst, std::move(V));
+      break;
+    }
+    case BcOp::Cvt: {
+      if (isFloatTy(In.Ty) || isFloatTy(In.SrcTy)) {
+        // Float source or destination: no integer facts tracked
+        // through doubles (int results from float sources are top
+        // of the destination type's range).
+        RegVal R = mkTop(S.Regs[In.A].Uniform);
+        if (!isFloatTy(In.Ty) && In.Ty != ValType::I64 &&
+            In.Ty != ValType::U64) {
+          int64_t Min, Max;
+          typeRange(In.Ty, Min, Max);
+          R.Lo = Affine::constant(Min);
+          R.Hi = Affine::constant(Max);
+        }
+        def(S, In.Dst, std::move(R));
+        break;
+      }
+      RegVal V = S.Regs[In.A];
+      V.Ver = NextVer++;
+      V.clearCmp();
+      clampToType(V, In.Ty);
+      def(S, In.Dst, std::move(V));
+      break;
+    }
+
+    case BcOp::Add:
+    case BcOp::Sub:
+    case BcOp::Mul:
+    case BcOp::Div:
+    case BcOp::Rem:
+    case BcOp::Shl:
+    case BcOp::Shr:
+    case BcOp::And:
+    case BcOp::Or:
+    case BcOp::Xor:
+    case BcOp::MinOp:
+    case BcOp::MaxOp:
+      binOp(S, In);
+      break;
+
+    case BcOp::Neg:
+    case BcOp::Not:
+    case BcOp::LNot:
+    case BcOp::AbsOp:
+      unOp(S, In);
+      break;
+
+    case BcOp::CmpLt:
+    case BcOp::CmpLe:
+    case BcOp::CmpGt:
+    case BcOp::CmpGe:
+    case BcOp::CmpEq:
+    case BcOp::CmpNe: {
+      const RegVal &A = S.Regs[In.A];
+      const RegVal &B = S.Regs[In.B];
+      RegVal R = mkRange(Affine::constant(0), Affine::constant(1),
+                         A.Uniform && B.Uniform);
+      if (!isFloatTy(In.Ty)) {
+        R.HasCmp = true;
+        R.CmpOp = In.Op;
+        R.CmpUnsigned = isUnsignedTy(In.Ty);
+        R.CmpA = In.A;
+        R.CmpB = In.B;
+        R.CmpVerA = A.Ver;
+        R.CmpVerB = B.Ver;
+        foldCmp(R, A, B, In.Op, isUnsignedTy(In.Ty));
+      }
+      def(S, In.Dst, std::move(R));
+      break;
+    }
+
+    case BcOp::Select: {
+      const RegVal &C = S.Regs[In.A];
+      RegVal R;
+      if (C.Exact && C.Exact->isConst()) {
+        R = S.Regs[C.Exact->C != 0 ? In.B : In.C];
+        R.Ver = NextVer++;
+        R.clearCmp();
+      } else {
+        // Refine each arm under its side of the condition before
+        // joining: select(i < n, i, 0) keeps hi = n - 1, which a
+        // join of the raw operands loses.
+        RegVal TV, FV;
+        {
+          State T = S;
+          size_t Mark = trailMark();
+          refineCond(T, In.A, /*Taken=*/true);
+          TV = T.Regs[In.B];
+          trailPop(Mark);
+        }
+        {
+          State E = S;
+          size_t Mark = trailMark();
+          refineCond(E, In.A, /*Taken=*/false);
+          FV = E.Regs[In.C];
+          trailPop(Mark);
+        }
+        R = joinReg(TV, FV);
+        R.Uniform = R.Uniform && C.Uniform;
+        R.Ver = NextVer++;
+        R.clearCmp();
+      }
+      def(S, In.Dst, std::move(R));
+      break;
+    }
+
+    case BcOp::Sqrt:
+    case BcOp::RSqrt:
+    case BcOp::Sin:
+    case BcOp::Cos:
+    case BcOp::Tan:
+    case BcOp::Exp:
+    case BcOp::Log:
+    case BcOp::Pow:
+    case BcOp::Floor:
+      def(S, In.Dst,
+          mkTop(S.Regs[In.A].Uniform &&
+                (In.B < 0 || S.Regs[In.B].Uniform)));
+      break;
+
+    case BcOp::GlobalId:
+      def(S, In.Dst, mkSym(geoSym((In.Dim & 1) ? GGid1 : GGid0)));
+      break;
+    case BcOp::LocalId:
+      def(S, In.Dst, mkSym(geoSym((In.Dim & 1) ? GLid1 : GLid0)));
+      break;
+    case BcOp::GroupId:
+      def(S, In.Dst, mkSym(geoSym((In.Dim & 1) ? GGrp1 : GGrp0)));
+      break;
+    case BcOp::GlobalSize:
+      def(S, In.Dst, mkSym(geoSym((In.Dim & 1) ? GGsz1 : GGsz0)));
+      break;
+    case BcOp::LocalSize:
+      def(S, In.Dst, mkSym(geoSym((In.Dim & 1) ? GLsz1 : GLsz0)));
+      break;
+    case BcOp::NumGroups:
+      def(S, In.Dst, mkSym(geoSym((In.Dim & 1) ? GNgrp1 : GNgrp0)));
+      break;
+
+    case BcOp::Load:
+      classifyMemory(S, Pc, In);
+      if (In.Width == 1) {
+        def(S, In.Dst, foldLoad(S, In));
+      } else {
+        for (unsigned I = 0; I != In.Width; ++I)
+          def(S, In.Dst + static_cast<int32_t>(I), mkTop(false));
+      }
+      break;
+    case BcOp::Store:
+      classifyMemory(S, Pc, In);
+      if (In.Space == AddrSpace::Param)
+        ParamStores = true; // also caught by the pre-scan
+      break;
+
+    case BcOp::ReadImage: {
+      if (Recording && !S.Dead) {
+        OpFact F;
+        F.Pc = static_cast<uint32_t>(Pc);
+        F.IsImage = true;
+        F.Space = AddrSpace::Image;
+        F.AccessBytes = 16;
+        F.Loc = In.Loc;
+        F.V = Verdict::Proven;
+        F.UniformAddr = S.Regs[In.A].Uniform && S.Regs[In.B].Uniform;
+        F.Detail = "image reads use clamped addressing";
+        record(Pc, std::move(F));
+      }
+      for (unsigned I = 0; I != 4; ++I)
+        def(S, In.Dst + static_cast<int32_t>(I), mkTop(false));
+      break;
+    }
+
+    default:
+      break; // control handled by the walker; Barrier is a no-op
+    }
+  }
+
+  // Constant-folds a comparison whose outcome is provable.
+  void foldCmp(RegVal &R, const RegVal &A, const RegVal &B, BcOp Op,
+               bool Unsigned) {
+    if (Unsigned && !(provablyNonNeg(A) && provablyNonNeg(B)))
+      return;
+    auto Le = [&](const RegVal &X, const RegVal &Y) { // X <= Y always?
+      for (const Affine *H : hiCands(X))
+        for (const Affine *L : loCands(Y)) {
+          auto D = subAffine(*H, *L);
+          if (D && proveNonPos(*D))
+            return true;
+        }
+      return false;
+    };
+    auto Lt = [&](const RegVal &X, const RegVal &Y) { // X < Y always?
+      for (const Affine *H : hiCands(X))
+        for (const Affine *L : loCands(Y)) {
+          auto D = subAffine(*H, *L);
+          if (!D)
+            continue;
+          auto D1 = addAffine(*D, Affine::constant(1));
+          if (D1 && proveNonPos(*D1))
+            return true;
+        }
+      return false;
+    };
+    auto SetC = [&](int64_t V) {
+      R.Exact = Affine::constant(V);
+      R.Lo = R.Hi = std::nullopt;
+    };
+    switch (Op) {
+    case BcOp::CmpLt:
+      if (Lt(A, B))
+        SetC(1);
+      else if (Le(B, A))
+        SetC(0);
+      break;
+    case BcOp::CmpLe:
+      if (Le(A, B))
+        SetC(1);
+      else if (Lt(B, A))
+        SetC(0);
+      break;
+    case BcOp::CmpGt:
+      if (Lt(B, A))
+        SetC(1);
+      else if (Le(A, B))
+        SetC(0);
+      break;
+    case BcOp::CmpGe:
+      if (Le(B, A))
+        SetC(1);
+      else if (Lt(A, B))
+        SetC(0);
+      break;
+    case BcOp::CmpEq:
+      if (A.Exact && B.Exact && *A.Exact == *B.Exact)
+        SetC(1);
+      else if (Lt(A, B) || Lt(B, A))
+        SetC(0);
+      break;
+    case BcOp::CmpNe:
+      if (Lt(A, B) || Lt(B, A))
+        SetC(1);
+      else if (A.Exact && B.Exact && *A.Exact == *B.Exact)
+        SetC(0);
+      break;
+    default:
+      break;
+    }
+  }
+
+  void binOp(State &S, const BcInstr &In) {
+    if (isFloatTy(In.Ty)) {
+      def(S, In.Dst,
+          mkTop(S.Regs[In.A].Uniform && S.Regs[In.B].Uniform));
+      return;
+    }
+    const RegVal &A = S.Regs[In.A];
+    const RegVal &B = S.Regs[In.B];
+    RegVal R;
+    R.Uniform = A.Uniform && B.Uniform;
+
+    auto ConstOf = [](const RegVal &V) -> std::optional<int64_t> {
+      if (V.Exact && V.Exact->isConst())
+        return V.Exact->C;
+      return std::nullopt;
+    };
+    auto KB = ConstOf(B);
+
+    switch (In.Op) {
+    case BcOp::Add:
+      if (A.Exact && B.Exact)
+        R.Exact = addAffine(*A.Exact, *B.Exact);
+      if (auto LA = loOf(A))
+        if (auto LB = loOf(B))
+          R.Lo = addAffine(*LA, *LB);
+      if (auto HA = hiOf(A))
+        if (auto HB = hiOf(B))
+          R.Hi = addAffine(*HA, *HB);
+      break;
+    case BcOp::Sub:
+      if (A.Exact && B.Exact)
+        R.Exact = subAffine(*A.Exact, *B.Exact);
+      if (auto LA = loOf(A))
+        if (auto HB = hiOf(B))
+          R.Lo = subAffine(*LA, *HB);
+      if (auto HA = hiOf(A))
+        if (auto LB = loOf(B))
+          R.Hi = subAffine(*HA, *LB);
+      break;
+    case BcOp::Mul: {
+      auto KA = ConstOf(A);
+      const RegVal *V = nullptr;
+      std::optional<int64_t> K;
+      if (KB) {
+        V = &A;
+        K = KB;
+      } else if (KA) {
+        V = &B;
+        K = KA;
+      }
+      if (V && K) {
+        if (V->Exact)
+          R.Exact = mulAffine(*V->Exact, *K);
+        auto L = loOf(*V), H = hiOf(*V);
+        if (*K >= 0) {
+          if (L)
+            R.Lo = mulAffine(*L, *K);
+          if (H)
+            R.Hi = mulAffine(*H, *K);
+        } else {
+          if (H)
+            R.Lo = mulAffine(*H, *K);
+          if (L)
+            R.Hi = mulAffine(*L, *K);
+        }
+      } else {
+        mulRange(R, A, B);
+      }
+      break;
+    }
+    case BcOp::Div:
+      if (KB && *KB > 0) {
+        bool Unsigned = isUnsignedTy(In.Ty);
+        auto L = loOf(A), H = hiOf(A);
+        if (L && H && (!Unsigned || provablyNonNeg(A))) {
+          auto CL = constBoundOf(*L, true);
+          auto CH = constBoundOf(*H, false);
+          if (CL && CH && *CL >= INT64_MIN && *CH <= INT64_MAX) {
+            // Truncating division by a positive constant is
+            // monotone, so the interval endpoints divide through.
+            R.Lo = Affine::constant(static_cast<int64_t>(*CL) / *KB);
+            R.Hi = Affine::constant(static_cast<int64_t>(*CH) / *KB);
+            if (A.Exact && A.Exact->isConst())
+              R.Exact = Affine::constant(A.Exact->C / *KB);
+          }
+        }
+      }
+      break;
+    case BcOp::Rem:
+      if (KB && *KB > 0) {
+        if (isUnsignedTy(In.Ty) ? provablyNonNeg(A) : true) {
+          if (provablyNonNeg(A)) {
+            R.Lo = Affine::constant(0);
+            R.Hi = Affine::constant(*KB - 1);
+          } else if (!isUnsignedTy(In.Ty)) {
+            R.Lo = Affine::constant(-(*KB - 1));
+            R.Hi = Affine::constant(*KB - 1);
+          }
+          if (A.Exact && A.Exact->isConst() && A.Exact->C >= 0)
+            R.Exact = Affine::constant(A.Exact->C % *KB);
+        }
+      }
+      break;
+    case BcOp::Shl:
+      if (KB && *KB >= 0 && *KB < 63) {
+        int64_t M = int64_t(1) << *KB;
+        if (A.Exact)
+          R.Exact = mulAffine(*A.Exact, M);
+        if (auto L = loOf(A))
+          R.Lo = mulAffine(*L, M);
+        if (auto H = hiOf(A))
+          R.Hi = mulAffine(*H, M);
+      }
+      break;
+    case BcOp::Shr:
+      if (KB && *KB >= 0 && *KB < 63 &&
+          (provablyNonNeg(A) || !isUnsignedTy(In.Ty))) {
+        auto L = loOf(A), H = hiOf(A);
+        if (L && H) {
+          auto CL = constBoundOf(*L, true);
+          auto CH = constBoundOf(*H, false);
+          if (CL && CH && *CL >= INT64_MIN && *CH <= INT64_MAX) {
+            R.Lo = Affine::constant(static_cast<int64_t>(*CL) >> *KB);
+            R.Hi = Affine::constant(static_cast<int64_t>(*CH) >> *KB);
+          }
+        }
+      }
+      break;
+    case BcOp::And:
+      // x & mask with a nonnegative mask lands in [0, mask].
+      if (KB && *KB >= 0) {
+        R.Lo = Affine::constant(0);
+        R.Hi = Affine::constant(*KB);
+      } else if (auto KA = ConstOf(A); KA && *KA >= 0) {
+        R.Lo = Affine::constant(0);
+        R.Hi = Affine::constant(*KA);
+      }
+      break;
+    case BcOp::MinOp: {
+      auto HA = hiOf(A), HB = hiOf(B);
+      R.Hi = HA ? HA : HB; // min is below either upper bound
+      if (HA && HB && !proveNonPosSub(*HB, *HA))
+        R.Hi = HB; // prefer the provably tighter one
+      auto LA = loOf(A), LB = loOf(B);
+      R.Lo = joinLo(LA, LB); // common lower bound
+      break;
+    }
+    case BcOp::MaxOp: {
+      auto LA = loOf(A), LB = loOf(B);
+      R.Lo = LA ? LA : LB; // max is above either lower bound
+      if (LA && LB && !proveNonPosSub(*LA, *LB))
+        R.Lo = LB;
+      auto HA = hiOf(A), HB = hiOf(B);
+      R.Hi = joinHi(HA, HB);
+      break;
+    }
+    default: // Or / Xor: value facts lost, uniformity kept
+      break;
+    }
+    clampToType(R, In.Ty);
+    def(S, In.Dst, std::move(R));
+  }
+
+  // Interval multiply via the four 128-bit corner products.
+  void mulRange(RegVal &R, const RegVal &A, const RegVal &B) {
+    auto LA = loOf(A), HA = hiOf(A), LB = loOf(B), HB = hiOf(B);
+    if (!LA || !HA || !LB || !HB)
+      return;
+    auto CLA = constBoundOf(*LA, true), CHA = constBoundOf(*HA, false);
+    auto CLB = constBoundOf(*LB, true), CHB = constBoundOf(*HB, false);
+    if (!CLA || !CHA || !CLB || !CHB)
+      return;
+    __int128 P[4] = {*CLA * *CLB, *CLA * *CHB, *CHA * *CLB, *CHA * *CHB};
+    __int128 Mn = P[0], Mx = P[0];
+    for (int I = 1; I != 4; ++I) {
+      Mn = std::min(Mn, P[I]);
+      Mx = std::max(Mx, P[I]);
+    }
+    if (Mn >= INT64_MIN && Mx <= INT64_MAX) {
+      R.Lo = Affine::constant(static_cast<int64_t>(Mn));
+      R.Hi = Affine::constant(static_cast<int64_t>(Mx));
+    }
+  }
+
+  void unOp(State &S, const BcInstr &In) {
+    const RegVal &A = S.Regs[In.A];
+    if (isFloatTy(In.Ty) && In.Op != BcOp::LNot) {
+      def(S, In.Dst, mkTop(A.Uniform));
+      return;
+    }
+    RegVal R;
+    R.Uniform = A.Uniform;
+    switch (In.Op) {
+    case BcOp::Neg:
+      if (A.Exact)
+        R.Exact = mulAffine(*A.Exact, -1);
+      if (auto H = hiOf(A))
+        R.Lo = mulAffine(*H, -1);
+      if (auto L = loOf(A))
+        R.Hi = mulAffine(*L, -1);
+      break;
+    case BcOp::Not: // ~x == -x - 1 in two's complement
+      if (A.Exact)
+        R.Exact = subAffine(Affine::constant(-1), *A.Exact);
+      if (auto H = hiOf(A))
+        R.Lo = subAffine(Affine::constant(-1), *H);
+      if (auto L = loOf(A))
+        R.Hi = subAffine(Affine::constant(-1), *L);
+      break;
+    case BcOp::LNot:
+      R.Lo = Affine::constant(0);
+      R.Hi = Affine::constant(1);
+      if (A.Exact && A.Exact->isConst())
+        R.Exact = Affine::constant(A.Exact->C == 0 ? 1 : 0);
+      else if (provablyStrictlyPos(A) || provablyNeg(A))
+        R.Exact = Affine::constant(0);
+      break;
+    case BcOp::AbsOp:
+      if (provablyNonNeg(A)) {
+        R.Exact = A.Exact;
+        R.Lo = A.Lo;
+        R.Hi = A.Hi;
+      } else {
+        auto L = loOf(A), H = hiOf(A);
+        if (L && H) {
+          auto CL = constBoundOf(*L, true);
+          auto CH = constBoundOf(*H, false);
+          if (CL && CH) {
+            __int128 M = std::max(*CL < 0 ? -*CL : *CL,
+                                  *CH < 0 ? -*CH : *CH);
+            if (M <= INT64_MAX) {
+              R.Lo = Affine::constant(0);
+              R.Hi = Affine::constant(static_cast<int64_t>(M));
+            }
+          }
+        } else if (Ideal) {
+          R.Lo = Affine::constant(0);
+        }
+      }
+      break;
+    default:
+      break;
+    }
+    if (In.Op != BcOp::LNot)
+      clampToType(R, In.Ty);
+    def(S, In.Dst, std::move(R));
+  }
+
+  bool provablyStrictlyPos(const RegVal &R) {
+    for (const Affine *L : loCands(R)) {
+      auto E = subAffine(Affine::constant(1), *L); // 1 - lo <= 0
+      if (E && proveNonPos(*E))
+        return true;
+    }
+    return false;
+  }
+  bool provablyNeg(const RegVal &R) {
+    for (const Affine *H : hiCands(R)) {
+      auto E = addAffine(*H, Affine::constant(1)); // hi + 1 <= 0
+      if (E && proveNonPos(*E))
+        return true;
+    }
+    return false;
+  }
+
+  //===------------------------------------------------------------===//
+  // Structured walker
+  //===------------------------------------------------------------===//
+
+  void abortWalk(size_t Pc, const char *Why) {
+    if (Abort.empty()) {
+      std::ostringstream OS;
+      OS << "pc " << Pc << ": " << Why;
+      Abort = OS.str();
+    }
+  }
+
+  // Walks [Begin, End); returns false after an abort.
+  bool walkRange(State &S, size_t Begin, size_t End) {
+    size_t Pc = Begin;
+    while (Pc < End && Abort.empty()) {
+      if (S.Dead)
+        return true;
+      const BcInstr &In = K.Code[Pc];
+      switch (In.Op) {
+      case BcOp::IfBegin:
+        Pc = walkIf(S, Pc);
+        break;
+      case BcOp::LoopBegin:
+        Pc = walkLoop(S, Pc);
+        break;
+      case BcOp::IfElse:
+      case BcOp::IfEnd:
+      case BcOp::LoopTest:
+      case BcOp::LoopEnd:
+      case BcOp::Jump:
+        // The bytecode compiler only emits these inside the
+        // structured shapes the walker consumes whole; a stray one
+        // means an unstructured program we refuse to reason about.
+        abortWalk(Pc, "unstructured control flow");
+        return false;
+      case BcOp::Halt:
+        S.Dead = true;
+        return true;
+      case BcOp::Ret:
+        // Every lane active here exits the kernel, so this path
+        // contributes nothing downstream — even under divergence: the
+        // join at the enclosing IfEnd models the surviving lanes as
+        // exactly the other arm's (see the early-return re-assert in
+        // walkIf).
+        S.Dead = true;
+        return true;
+      case BcOp::Barrier:
+        ++Pc;
+        break;
+      default:
+        step(S, Pc);
+        ++Pc;
+        break;
+      }
+    }
+    return Abort.empty();
+  }
+
+  size_t walkIf(State &S, size_t Pc) {
+    const BcInstr &In = K.Code[Pc];
+    size_t T1 = static_cast<size_t>(In.Target);
+    if (T1 <= Pc || T1 >= K.Code.size()) {
+      abortWalk(Pc, "malformed IfBegin target");
+      return K.Code.size();
+    }
+    bool HasElse = K.Code[T1].Op == BcOp::IfElse;
+    size_t EndIdx = HasElse ? static_cast<size_t>(K.Code[T1].Target) : T1;
+    if (EndIdx >= K.Code.size() || K.Code[EndIdx].Op != BcOp::IfEnd) {
+      abortWalk(Pc, "malformed if shape");
+      return K.Code.size();
+    }
+    bool CondValid =
+        In.A >= 0 && static_cast<size_t>(In.A) < S.Regs.size();
+    bool CondU = CondValid && S.Regs[In.A].Uniform;
+    uint32_t CondVer = CondValid ? S.Regs[In.A].Ver : 0;
+
+    State T = S;
+    size_t MarkT = trailMark();
+    refineCond(T, In.A, /*Taken=*/true);
+    if (!CondU)
+      ++T.DivDepth;
+    if (!walkRange(T, Pc + 1, T1))
+      return K.Code.size();
+    if (!CondU)
+      --T.DivDepth;
+    trailPop(MarkT);
+
+    State E = std::move(S);
+    size_t MarkE = trailMark();
+    refineCond(E, In.A, /*Taken=*/false);
+    if (HasElse) {
+      if (!CondU)
+        ++E.DivDepth;
+      if (!walkRange(E, T1 + 1, EndIdx))
+        return K.Code.size();
+      if (!CondU)
+        --E.DivDepth;
+    }
+    trailPop(MarkE);
+
+    // If the condition was provably constant one side is actually
+    // unreachable; refineCond's constant fold shows up as a Dead
+    // walk only through Ret/Halt, so fall back to the plain join.
+    bool TDead = T.Dead, EDead = E.Dead;
+    joinState(E, T);
+    S = std::move(E);
+    // Early-return guard: when exactly one arm never falls through
+    // (every lane entering it returned), the continuation executes
+    // only under the other arm's condition — re-assert that
+    // refinement so the guard fact survives the join. Guarded on the
+    // condition register being unwritten by the surviving arm; the
+    // pushed symbol bounds live until the enclosing scope pops its
+    // own trail mark, which is exactly the region the fact covers.
+    if (TDead != EDead && CondValid && !S.Dead &&
+        S.Regs[In.A].Ver == CondVer)
+      refineCond(S, In.A, /*Taken=*/EDead);
+    return EndIdx + 1;
+  }
+
+  size_t walkLoop(State &S, size_t Pc) {
+    const size_t TestTop = Pc + 1;
+    // The condition block is straight-line code ending at LoopTest.
+    size_t TestPc = TestTop;
+    while (TestPc < K.Code.size() && K.Code[TestPc].Op != BcOp::LoopTest) {
+      switch (K.Code[TestPc].Op) {
+      case BcOp::IfBegin:
+      case BcOp::IfElse:
+      case BcOp::IfEnd:
+      case BcOp::LoopBegin:
+      case BcOp::LoopEnd:
+      case BcOp::Jump:
+      case BcOp::Ret:
+      case BcOp::Halt:
+        abortWalk(TestPc, "control flow inside loop condition");
+        return K.Code.size();
+      default:
+        ++TestPc;
+      }
+    }
+    if (TestPc >= K.Code.size()) {
+      abortWalk(Pc, "LoopBegin without LoopTest");
+      return K.Code.size();
+    }
+    const size_t Exit = static_cast<size_t>(K.Code[TestPc].Target);
+    if (Exit <= TestPc || Exit > K.Code.size() || Exit == 0) {
+      abortWalk(TestPc, "malformed LoopTest target");
+      return K.Code.size();
+    }
+    const size_t EndIdx = Exit - 1;
+    if (K.Code[EndIdx].Op != BcOp::LoopEnd ||
+        static_cast<size_t>(K.Code[EndIdx].Target) != TestTop) {
+      abortWalk(EndIdx, "malformed loop shape");
+      return K.Code.size();
+    }
+    const int32_t CondReg = K.Code[TestPc].A;
+
+    // Fixpoint over the loop-head state (at TestTop). Plain joins
+    // for two iterations pick up easy invariants; widening after
+    // that drops anything unstable so the loop terminates.
+    bool SavedRecording = Recording;
+    Recording = false;
+    State H = S;
+    bool Stable = false;
+    for (int Iter = 0; Iter != 10 && Abort.empty(); ++Iter) {
+      State C = H;
+      if (!walkRange(C, TestTop, TestPc))
+        break;
+      bool CondU = CondReg >= 0 && C.Regs[CondReg].Uniform;
+      State B = C;
+      size_t Mark = trailMark();
+      refineCond(B, CondReg, /*Taken=*/true);
+      if (!CondU)
+        ++B.DivDepth;
+      if (!walkRange(B, TestPc + 1, EndIdx))
+        break;
+      if (!CondU)
+        --B.DivDepth;
+      trailPop(Mark);
+      State NewH = H;
+      if (B.Dead) {
+        // The body retired every lane; the head state is stable.
+        Stable = true;
+        break;
+      }
+      if (Iter < 2) {
+        joinState(NewH, B);
+      } else {
+        for (size_t I = 0; I != NewH.Regs.size(); ++I)
+          NewH.Regs[I] = widenReg(H.Regs[I], B.Regs[I]);
+      }
+      if (sameState(NewH, H)) {
+        Stable = true;
+        break;
+      }
+      H = std::move(NewH);
+    }
+    Recording = SavedRecording;
+    if (!Abort.empty())
+      return K.Code.size();
+    if (!Stable) {
+      // Give up on facts inside this loop: top is trivially stable.
+      for (RegVal &R : H.Regs) {
+        R.clearFacts();
+        R.Uniform = false;
+        R.Ver = NextVer++;
+      }
+    }
+
+    // Give every loop-carried register a fresh symbol carrying its
+    // invariant bounds. Later arithmetic then keeps a relational
+    // handle on the head value (len - jt cancels against a jt in the
+    // same address), which pure intervals lose; the guard refinement
+    // lands on the symbol via pushSymBound. Only the recording pass
+    // symbolizes: fresh symbols on every fixpoint iteration would
+    // never stabilise an enclosing loop.
+    if (SavedRecording) {
+      for (RegVal &R : H.Regs) {
+        if (R.Exact)
+          continue;
+        SymId Sy = fresh("loop", R.Uniform);
+        if (R.Lo)
+          Syms[Sy].Lo.push_back(*R.Lo);
+        if (R.Hi)
+          Syms[Sy].Hi.push_back(*R.Hi);
+        R.Exact = Affine::symbol(Sy);
+        R.Lo.reset();
+        R.Hi.reset();
+        R.Ver = NextVer++;
+        R.clearCmp();
+      }
+    }
+
+    // One recording pass over the stable head classifies the memory
+    // ops inside the loop under the invariant facts.
+    State C = H;
+    if (!walkRange(C, TestTop, TestPc))
+      return K.Code.size();
+    bool CondU = CondReg >= 0 && C.Regs[CondReg].Uniform;
+    {
+      State B = C;
+      size_t Mark = trailMark();
+      refineCond(B, CondReg, /*Taken=*/true);
+      if (!CondU)
+        ++B.DivDepth;
+      if (!walkRange(B, TestPc + 1, EndIdx))
+        return K.Code.size();
+      if (!CondU)
+        --B.DivDepth;
+      trailPop(Mark);
+    }
+
+    // Exit state: each lane leaves the first time the condition is
+    // false at its own head state, all of which the stable head
+    // covers; the negated condition then holds for the code after
+    // the loop (symbol-level refinements stay pushed for the
+    // enclosing scope, they still describe the surviving lanes).
+    refineCond(C, CondReg, /*Taken=*/false);
+    S = std::move(C);
+    return Exit;
+  }
+
+  //===------------------------------------------------------------===//
+  // Seeding + run
+  //===------------------------------------------------------------===//
+
+  void seedGeometry() {
+    auto Seed1 = [&](Geo Id, Geo Sz) {
+      setLoC(Id, 0);
+      Affine Hi = Affine::symbol(geoSym(Sz));
+      Hi.C = -1;
+      Syms[geoSym(Id)].Hi.push_back(Hi);
+      setLoC(Sz, 1);
+    };
+    Seed1(GGid0, GGsz0);
+    Seed1(GGid1, GGsz1);
+    Seed1(GLid0, GLsz0);
+    Seed1(GLid1, GLsz1);
+    Seed1(GGrp0, GNgrp0);
+    Seed1(GGrp1, GNgrp1);
+    setLoC(GLimGlobal, 0);
+    setLoC(GLimConst, 0);
+    setLoC(GLimLocal, 0);
+    setLoC(GLimPriv, 0);
+    setLoC(GLimParam, 0);
+    // With a pinned local size L the decompositions gid = grp*L+lid
+    // and gsz = ngrp*L become exact, which is what lets per-group
+    // tiling arithmetic discharge.
+    auto Link = [&](Geo GidG, Geo GrpG, Geo LidG, Geo GszG, Geo NgrpG,
+                    Geo LszG) {
+      const SymbolInfo &Lsz = Syms[geoSym(LszG)];
+      if (!Lsz.Pin)
+        return;
+      int64_t L = *Lsz.Pin;
+      Affine Gid = Affine::symbol(geoSym(GrpG), L);
+      auto WithLid = addAffine(Gid, Affine::symbol(geoSym(LidG)));
+      if (WithLid && !Syms[geoSym(GidG)].Pin && !Syms[geoSym(GidG)].Eq)
+        Syms[geoSym(GidG)].Eq = *WithLid;
+      if (!Syms[geoSym(GszG)].Pin && !Syms[geoSym(GszG)].Eq)
+        Syms[geoSym(GszG)].Eq = Affine::symbol(geoSym(NgrpG), L);
+    };
+    Link(GGid0, GGrp0, GLid0, GGsz0, GNgrp0, GLsz0);
+    Link(GGid1, GGrp1, GLid1, GGsz1, GNgrp1, GLsz1);
+  }
+
+  void setLoC(Geo G, int64_t V) {
+    Syms[geoSym(G)].Lo.push_back(Affine::constant(V));
+  }
+
+  Result run() {
+    Result Res;
+    Res.Verdicts.assign(K.Code.size(), uint8_t(Verdict::Unknown));
+
+    // Pre-scan: any store to Param space disables ParamBlock and
+    // field-fact folding outright.
+    for (const BcInstr &In : K.Code)
+      if (In.Op == BcOp::Store && In.Space == AddrSpace::Param)
+        ParamStores = true;
+
+    State S;
+    // The VM zeroes the register file at warp setup.
+    S.Regs.reserve(K.NumRegs);
+    for (unsigned I = 0; I != K.NumRegs; ++I)
+      S.Regs.push_back(mkConst(0));
+
+    // Parameter registers.
+    for (size_t PI = 0; PI != K.Params.size(); ++PI) {
+      const BcParam &P = K.Params[PI];
+      if (P.Reg < 0 || static_cast<size_t>(P.Reg) >= S.Regs.size())
+        continue;
+      const PBind &B = PBinds[PI];
+      bool IsFloat = P.TheKind == BcParam::Kind::ScalarF32 ||
+                     P.TheKind == BcParam::Kind::ScalarF64;
+      switch (B.K) {
+      case PBind::Int:
+        S.Regs[P.Reg] = mkConst(B.I);
+        PBaseConst[PI] = B.I;
+        break;
+      case PBind::Flt:
+        S.Regs[P.Reg] = mkTop(true);
+        break;
+      case PBind::Sym:
+        S.Regs[P.Reg] = mkSym(B.S);
+        PBaseSym[PI] = B.S;
+        break;
+      case PBind::None:
+        if (IsFloat) {
+          S.Regs[P.Reg] = mkTop(true);
+        } else {
+          // Unbound base/scalar: a fresh nonnegative symbol for
+          // pointer-ish params (arena offsets are unsigned), an
+          // unconstrained one for scalars.
+          bool PtrLike = P.TheKind == BcParam::Kind::GlobalPtr ||
+                         P.TheKind == BcParam::Kind::ConstantPtr ||
+                         P.TheKind == BcParam::Kind::LocalPtr ||
+                         P.TheKind == BcParam::Kind::Struct ||
+                         P.TheKind == BcParam::Kind::Image;
+          SymId Sy = fresh("param:" + P.Name, true);
+          if (PtrLike)
+            Syms[Sy].Lo.push_back(Affine::constant(0));
+          S.Regs[P.Reg] = mkSym(Sy);
+          PBaseSym[PI] = Sy;
+        }
+        break;
+      }
+    }
+
+    walkRange(S, 0, K.Code.size());
+
+    if (!Abort.empty()) {
+      Res.Abort = Abort;
+      return Res;
+    }
+    for (size_t Pc = 0; Pc != Facts.size(); ++Pc) {
+      if (!Facts[Pc])
+        continue;
+      OpFact &F = *Facts[Pc];
+      Res.Verdicts[Pc] = uint8_t(F.V);
+      if (!F.IsImage && F.AccessBytes == tyBytes(K.Code[Pc].Ty) &&
+          (F.Space == AddrSpace::Global || F.Space == AddrSpace::Constant)) {
+        ++Res.ScalarGlobalOps;
+        if (F.V == Verdict::Proven)
+          ++Res.ScalarGlobalProven;
+      }
+      Res.Ops.push_back(F);
+    }
+    return Res;
+  }
+};
+
+//===----------------------------------------------------------------===//
+// Public API
+//===----------------------------------------------------------------===//
+
+Analyzer::Analyzer(const ocl::BcKernel &K, bool IdealInts)
+    : I(new Impl(K, IdealInts)) {}
+Analyzer::~Analyzer() { delete I; }
+
+SymId Analyzer::fresh(std::string Name, bool Uniform) {
+  return I->fresh(std::move(Name), Uniform);
+}
+void Analyzer::pin(SymId S, int64_t V) { I->Syms[S].Pin = V; }
+void Analyzer::setLo(SymId S, const Affine &A) { I->Syms[S].Lo.push_back(A); }
+void Analyzer::setHi(SymId S, const Affine &A) { I->Syms[S].Hi.push_back(A); }
+void Analyzer::setEq(SymId S, const Affine &A) { I->Syms[S].Eq = A; }
+void Analyzer::seedGeometry() { I->seedGeometry(); }
+
+void Analyzer::bindParamI(unsigned Idx, int64_t V) {
+  if (Idx < I->PBinds.size())
+    I->PBinds[Idx] = {PBind::Int, V, 0, -1};
+}
+void Analyzer::bindParamF(unsigned Idx, double V) {
+  if (Idx < I->PBinds.size())
+    I->PBinds[Idx] = {PBind::Flt, 0, V, -1};
+}
+void Analyzer::bindParamSym(unsigned Idx, SymId S) {
+  if (Idx < I->PBinds.size())
+    I->PBinds[Idx] = {PBind::Sym, 0, 0, S};
+}
+void Analyzer::setParamBlock(std::vector<uint8_t> Block) {
+  I->ParamBlock = std::move(Block);
+  I->HasParamBlock = true;
+}
+void Analyzer::addFieldFact(int64_t Off, unsigned Bytes, SymId Val) {
+  I->FieldFacts.push_back({Off, Bytes, Val});
+}
+void Analyzer::addLoadFact(LoadFact F) {
+  I->LoadFacts.push_back(std::move(F));
+}
+void Analyzer::setBufferLen(SymId BaseSym, const Affine &LenBytes) {
+  I->Syms[BaseSym].BufLenBytes = LenBytes;
+}
+
+Result Analyzer::run() { return I->run(); }
+
+} // namespace lime::analysis::bc

@@ -1,0 +1,219 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract interpretation over the post-inlining SIMT bytecode: a
+/// second, independent bounds tier that re-establishes the facts the
+/// AST-level verifier proves over the generated OpenCL, but on the
+/// representation the engines actually execute. Per-register values
+/// are tracked as affine expressions over launch symbols (global id,
+/// group id, buffer bases/lengths, scalar params, arena limits) with
+/// interval bounds, a launch-invariance (uniformity) bit and stride
+/// information; every Load/Store/ReadImage is discharged to one of
+/// three verdicts:
+///
+///   Proven     — no possible lane, group or argument value faults;
+///                the JIT may open-code the access natively.
+///   ProvenOob  — every execution of the op faults (a hard error the
+///                findings tier reports with a counterexample).
+///   Unknown    — neither provable; the op keeps the checked VM
+///                helper path.
+///
+/// The engine runs in two modes sharing one implementation:
+///  - ideal-integer mode (findings): arithmetic is idealized exactly
+///    like the AST tier's linear facts, and symbolic facts seeded
+///    from the kernel plan and `--assume` declarations stand in for
+///    unknown launch arguments;
+///  - exact mode (dispatch): every input is the concrete launch
+///    value, integer wraparound is modeled (facts that could wrap
+///    degrade to the type range or to Unknown), so a Proven verdict
+///    is unconditionally sound and licenses the JIT fast path.
+///
+/// This library depends only on ocl/support *headers* (the
+/// limecc_jit pattern), so limecc_ocl can link it for dispatch-time
+/// proofs without a cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_ANALYSIS_BC_BCANALYSIS_H
+#define LIMECC_ANALYSIS_BC_BCANALYSIS_H
+
+#include "ocl/Bytecode.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lime::analysis::bc {
+
+/// Dense symbol index into the analyzer's symbol table.
+using SymId = int32_t;
+
+/// Sparse affine form c0 + sum(Coeff * Sym); terms are sorted by
+/// symbol id with no zero coefficients. All constructors go through
+/// checked arithmetic — helpers return nullopt on int64 overflow so
+/// a wrapped fact can never be recorded as exact.
+struct Affine {
+  int64_t C = 0;
+  std::vector<std::pair<SymId, int64_t>> Terms;
+
+  static Affine constant(int64_t V) {
+    Affine A;
+    A.C = V;
+    return A;
+  }
+  static Affine symbol(SymId S, int64_t Coeff = 1) {
+    Affine A;
+    if (Coeff != 0)
+      A.Terms.push_back({S, Coeff});
+    return A;
+  }
+  bool isConst() const { return Terms.empty(); }
+  bool operator==(const Affine &O) const {
+    return C == O.C && Terms == O.Terms;
+  }
+};
+
+std::optional<Affine> addAffine(const Affine &A, const Affine &B);
+std::optional<Affine> subAffine(const Affine &A, const Affine &B);
+std::optional<Affine> mulAffine(const Affine &A, int64_t K);
+
+enum class Verdict : uint8_t { Unknown = 0, Proven = 1, ProvenOob = 2 };
+
+/// One analyzed memory (or image) operation.
+struct OpFact {
+  uint32_t Pc = 0;
+  bool IsStore = false;
+  bool IsImage = false;
+  ocl::AddrSpace Space = ocl::AddrSpace::Global;
+  unsigned AccessBytes = 0;
+  SourceLocation Loc;
+  Verdict V = Verdict::Unknown;
+  /// Address is launch-invariant across the lanes of a warp.
+  bool UniformAddr = false;
+  /// d(address)/d(global id 0) when the address is affine in it.
+  bool HasStride = false;
+  int64_t LaneStride = 0;
+  /// Human-readable bound summary, or the counterexample for
+  /// ProvenOob ops.
+  std::string Detail;
+};
+
+struct Result {
+  /// One Verdict per bytecode pc (non-memory pcs stay Unknown).
+  std::vector<uint8_t> Verdicts;
+  std::vector<OpFact> Ops;
+  /// Coverage accounting over scalar (width-1) global + constant
+  /// loads/stores — the population the acceptance gate measures.
+  unsigned ScalarGlobalOps = 0;
+  unsigned ScalarGlobalProven = 0;
+  /// Non-empty when the walker bailed (malformed/unsupported control
+  /// structure); every verdict is Unknown then.
+  std::string Abort;
+};
+
+/// Seeds facts, runs the walker, produces a Result. Typical use:
+///   Analyzer A(K, /*IdealInts=*/false);
+///   A.pin(A.geo(Analyzer::GLsz0), 128); ... A.seedGeometry();
+///   A.bindParamI(0, BaseOffset); ...
+///   Result R = A.run();
+class Analyzer {
+public:
+  /// Built-in symbols; created (in this order) by the constructor so
+  /// SymId(Geo) is stable.
+  enum Geo : unsigned {
+    GGid0,
+    GGid1,
+    GLid0,
+    GLid1,
+    GGrp0,
+    GGrp1,
+    GGsz0,
+    GGsz1,
+    GLsz0,
+    GLsz1,
+    GNgrp0,
+    GNgrp1,
+    GLimGlobal,
+    GLimConst,
+    GLimLocal,
+    GLimPriv,
+    GLimParam,
+    GeoCount
+  };
+
+  Analyzer(const ocl::BcKernel &K, bool IdealInts);
+  ~Analyzer();
+
+  /// New symbol; Uniform marks it launch-invariant across lanes.
+  SymId fresh(std::string Name, bool Uniform = true);
+  SymId geo(Geo G) const { return static_cast<SymId>(G); }
+
+  /// S is exactly the constant V.
+  void pin(SymId S, int64_t V);
+  /// S >= A / S <= A / S == A (affine over other symbols).
+  void setLo(SymId S, const Affine &A);
+  void setHi(SymId S, const Affine &A);
+  void setEq(SymId S, const Affine &A);
+
+  /// Derives the standard geometry relations (gid = grp*lsz + lid,
+  /// id ranges, size positivity) from whatever has been pinned so
+  /// far. Call after pinning, before run().
+  void seedGeometry();
+
+  /// Parameter-register seeding, one call per param index.
+  void bindParamI(unsigned Idx, int64_t V); // scalar / base offset
+  void bindParamF(unsigned Idx, double V);
+  void bindParamSym(unsigned Idx, SymId S);
+
+  /// Concrete Param-space block: loads from constant addresses fold
+  /// to the stored value (disabled automatically if the kernel
+  /// stores to Param space).
+  void setParamBlock(std::vector<uint8_t> Block);
+
+  /// Symbolic Param-space field: an integer load of Bytes bytes at
+  /// the (constant) Param-space offset Off yields symbol Val.
+  void addFieldFact(int64_t Off, unsigned Bytes, SymId Val);
+
+  /// Declared fact about a value *stored in* a buffer: the integer
+  /// load of Bytes bytes at byte offset Off from param BufIdx's base
+  /// obeys the given bounds (the bytecode image of an `--assume`
+  /// element fact).
+  struct LoadFact {
+    unsigned ParamIdx = 0;
+    int64_t ByteOff = 0;
+    unsigned Bytes = 4;
+    /// 0: the fact holds only at exactly ByteOff. Otherwise the fact
+    /// is row-periodic — it holds at ByteOff + k*Period for every
+    /// integer k (an element assume names one lane of every row).
+    int64_t Period = 0;
+    bool HasLo = false, HasHi = false;
+    Affine Lo, Hi;
+  };
+  void addLoadFact(LoadFact F);
+
+  /// Registers the byte length of the buffer whose base offset is
+  /// symbol BaseSym. Used for buffer-relative proven-OOB findings:
+  /// an address Base + E with E provably >= length is a guaranteed
+  /// overrun of the *declared* buffer even when the arena-level
+  /// check cannot fault.
+  void setBufferLen(SymId BaseSym, const Affine &LenBytes);
+
+  Result run();
+
+private:
+  struct Impl;
+  Impl *I;
+};
+
+const char *verdictName(Verdict V);
+
+} // namespace lime::analysis::bc
+
+#endif // LIMECC_ANALYSIS_BC_BCANALYSIS_H

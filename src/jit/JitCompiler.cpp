@@ -67,6 +67,23 @@ float jitFmaxF(float X, float Y) { return std::fmax(X, Y); }
 
 bool isFloatTy(ValType T) { return T == ValType::F32 || T == ValType::F64; }
 
+/// Memory ops the emitter can open-code when the dispatch-time proof
+/// table marks them Proven: scalar width, in a space whose arena base
+/// is warp-invariant and pre-resolved into the exec context. Private
+/// and Local stay on the helper (per-lane bases / bank pricing), as
+/// do Param/Constant stores (rare, and Constant is logically
+/// read-only).
+bool provenFastPathEligible(const BcInstr &In) {
+  if (In.Width != 1)
+    return false;
+  if (In.Op == BcOp::Load)
+    return In.Space == AddrSpace::Global || In.Space == AddrSpace::Constant ||
+           In.Space == AddrSpace::Param;
+  if (In.Op == BcOp::Store)
+    return In.Space == AddrSpace::Global;
+  return false;
+}
+
 bool isUnsignedTy(ValType T) {
   return T == ValType::U8 || T == ValType::U32 || T == ValType::U64;
 }
@@ -119,6 +136,10 @@ private:
   static constexpr int32_t offCounters = offsetof(JitExecContext, Counters);
   static constexpr int32_t offPcTable = offsetof(JitExecContext, PcTable);
   static constexpr int32_t offScalars = offsetof(JitExecContext, Scalars);
+  static constexpr int32_t offGlobalBase = offsetof(JitExecContext, GlobalBase);
+  static constexpr int32_t offConstBase = offsetof(JitExecContext, ConstBase);
+  static constexpr int32_t offParamBase = offsetof(JitExecContext, ParamBase);
+  static constexpr int32_t offBcProven = offsetof(JitExecContext, BcProven);
 
   Mem slot(int32_t Reg) const {
     return Mem::idx(R13, R12, 8,
@@ -179,6 +200,7 @@ private:
   }
 
   void emitSegmentOp(const BcInstr &In);
+  void emitProvenMemGuard(const BcInstr &In, uint32_t Idx);
   void emitBinaryFloat(const BcInstr &In);
   void emitBinaryInt(const BcInstr &In);
   void emitCompare(const BcInstr &In);
@@ -209,6 +231,114 @@ X64Emitter::Label KernelEmitter::labelFor(uint32_t Pc) {
   if (L < 0)
     L = E.newLabel();
   return L;
+}
+
+/// Load/Store fast path licensed by the bytecode proof tier. When the
+/// dispatch-time verdict for this pc is Proven, the Mem helper's
+/// bounds check and fault plumbing are unreachable, so the data move
+/// is open-coded as a native lane loop over the active mask; the
+/// MemPrice helper still runs first so issue charges and the §5
+/// memory-model pricing are byte-identical to the interpreter. The
+/// guard re-reads the verdict table at run time, so one artifact
+/// serves proofs-on and proofs-off dispatches alike.
+void KernelEmitter::emitProvenMemGuard(const BcInstr &In, uint32_t Idx) {
+  X64Emitter::Label LSlow = E.newLabel(), LJoin = E.newLabel();
+  E.movRM(RAX, Mem::base(RBX, offBcProven));
+  E.testRR(RAX, RAX);
+  E.jcc(CC_E, LSlow);
+  E.cmpM8I(Mem::base(RAX, static_cast<int32_t>(Idx)), BcVerdictProven);
+  E.jcc(CC_NE, LSlow);
+
+  // Pricing first: it reads only the masks and the address-register
+  // row, neither of which the data move below changes. It cannot
+  // fault (the proof says no lane's bounds check can fire).
+  callHelper(reinterpret_cast<uint64_t>(H.MemPrice), Idx);
+
+  E.testRR(R15, R15);
+  E.jcc(CC_E, LJoin); // no active lanes: charges done, nothing to move
+  const int32_t offBase = In.Space == AddrSpace::Global ? offGlobalBase
+                          : In.Space == AddrSpace::Constant ? offConstBase
+                                                            : offParamBase;
+  E.movRM(RDX, Mem::base(RBX, offBase));
+  X64Emitter::Label LLoop = E.newLabel();
+  E.movRR(R14, R15);
+  E.bind(LLoop);
+  E.bsfRR(R12, R14);
+  E.movRM(RCX, slot(In.B)); // byte offset within the arena
+  const Mem P = Mem::idx(RDX, RCX, 1, 0);
+  if (In.Op == BcOp::Store) {
+    // Mirrors execMemory's store path: slots hold int64/double; the
+    // store truncates (ints) or rounds to single (F32).
+    switch (In.Ty) {
+    case ValType::F32:
+      E.movsdXM(XMM0, slot(In.A));
+      E.cvtsd2ss(XMM0, XMM0);
+      E.movssMX(P, XMM0);
+      break;
+    case ValType::F64:
+      E.movsdXM(XMM0, slot(In.A));
+      E.movsdMX(P, XMM0);
+      break;
+    case ValType::I8:
+    case ValType::U8:
+      E.movRM(RAX, slot(In.A));
+      E.movM8R(P, RAX);
+      break;
+    case ValType::I32:
+    case ValType::U32:
+      E.movRM(RAX, slot(In.A));
+      E.movM32R(P, RAX);
+      break;
+    default: // I64 / U64
+      E.movRM(RAX, slot(In.A));
+      E.movMR(P, RAX);
+      break;
+    }
+  } else {
+    // Loads widen into the 8-byte slot: sign/zero-extend per type,
+    // F32 promotes to the double the Slot union stores.
+    switch (In.Ty) {
+    case ValType::F32:
+      E.movssXM(XMM0, P);
+      E.cvtss2sd(XMM0, XMM0);
+      E.movsdMX(slot(In.Dst), XMM0);
+      break;
+    case ValType::F64:
+      E.movsdXM(XMM0, P);
+      E.movsdMX(slot(In.Dst), XMM0);
+      break;
+    case ValType::I8:
+      E.movsxR64M8(RAX, P);
+      E.movMR(slot(In.Dst), RAX);
+      break;
+    case ValType::U8:
+      E.movzxR32M8(RAX, P);
+      E.movMR(slot(In.Dst), RAX);
+      break;
+    case ValType::I32:
+      E.movsxdR64M32(RAX, P);
+      E.movMR(slot(In.Dst), RAX);
+      break;
+    case ValType::U32:
+      E.movR32M(RAX, P);
+      E.movMR(slot(In.Dst), RAX);
+      break;
+    default: // I64 / U64
+      E.movRM(RAX, P);
+      E.movMR(slot(In.Dst), RAX);
+      break;
+    }
+  }
+  E.leaRM(RAX, Mem::base(R14, -1));
+  E.andRR(R14, RAX); // clear lowest set bit; ZF when drained
+  E.jcc(CC_NE, LLoop);
+  E.jmp(LJoin);
+
+  E.bind(LSlow);
+  callHelper(reinterpret_cast<uint64_t>(H.Mem), Idx);
+  E.cmpRI(RAX, static_cast<int32_t>(HelperFault));
+  E.jcc(CC_E, LFault);
+  E.bind(LJoin);
 }
 
 void KernelEmitter::emitBinaryFloat(const BcInstr &In) {
@@ -850,7 +980,9 @@ bool KernelEmitter::emit() {
 
     bool HasSegment = false;
     for (const IRItem *It = B->Items; It; It = It->Next)
-      if (It->TheKind == IRItem::Kind::Segment)
+      if (It->TheKind == IRItem::Kind::Segment ||
+          (It->TheKind == IRItem::Kind::Mem && H.MemPrice &&
+           provenFastPathEligible(K.Code[It->First])))
         HasSegment = true;
     if (HasSegment) {
       // r15 = Mask & ~Exited, constant for the whole block (only
@@ -892,12 +1024,19 @@ bool KernelEmitter::emit() {
         E.bind(LSkip);
         break;
       }
-      case IRItem::Kind::Mem:
+      case IRItem::Kind::Mem: {
+        const BcInstr &In = K.Code[It->First];
+        if (H.MemPrice && provenFastPathEligible(In)) {
+          emitProvenMemGuard(In, It->First);
+          break;
+        }
+        callHelper(reinterpret_cast<uint64_t>(H.Mem), It->First);
+        E.cmpRI(RAX, static_cast<int32_t>(HelperFault));
+        E.jcc(CC_E, LFault);
+        break;
+      }
       case IRItem::Kind::Image: {
-        callHelper(It->TheKind == IRItem::Kind::Mem
-                       ? reinterpret_cast<uint64_t>(H.Mem)
-                       : reinterpret_cast<uint64_t>(H.Image),
-                   It->First);
+        callHelper(reinterpret_cast<uint64_t>(H.Image), It->First);
         E.cmpRI(RAX, static_cast<int32_t>(HelperFault));
         E.jcc(CC_E, LFault);
         break;

@@ -133,6 +133,48 @@ public:
     modrmRR(Dst, Src);
   }
 
+  // Narrow memory forms for the proven-access fast path: typed
+  // loads/stores that match the interpreter's memcpy-based moves.
+  void movzxR32M8(Gpr Dst, const Mem &M) { // movzx dst32, byte [M]
+    emitRexMem(0, Dst, M);
+    u8(0x0F);
+    u8(0xB6);
+    modrmMem(Dst, M);
+  }
+  void movsxR64M8(Gpr Dst, const Mem &M) { // movsx dst, byte [M]
+    emitRexMem(1, Dst, M);
+    u8(0x0F);
+    u8(0xBE);
+    modrmMem(Dst, M);
+  }
+  void movsxdR64M32(Gpr Dst, const Mem &M) { // movsxd dst, dword [M]
+    emitRexMem(1, Dst, M);
+    u8(0x63);
+    modrmMem(Dst, M);
+  }
+  void movR32M(Gpr Dst, const Mem &M) { op_rm(0x8B, Dst, M, 0); }
+  void movM32R(const Mem &M, Gpr Src) { op_rm(0x89, Src, M, 0); }
+  void movM8R(const Mem &M, Gpr Src) { // mov byte [M], src8
+    // SPL..DIL need a bare REX so the encoding doesn't name AH..BH.
+    int R = Src >> 3, X = hasIndex(M) ? (M.Index >> 3) : 0, B = M.Base >> 3;
+    if (R || X || B || (Src >= 4 && Src < 8))
+      rex(0, R, X, B);
+    u8(0x88);
+    modrmMem(Src, M);
+  }
+  void cmpM8I(const Mem &M, uint8_t Imm) { // cmp byte [M], imm8
+    emitRexMem(0, static_cast<Gpr>(7), M);
+    u8(0x80);
+    modrmMem(static_cast<Gpr>(7), M);
+    u8(Imm);
+  }
+  void imulRRI(Gpr Dst, Gpr Src, int32_t Imm) { // imul dst, src, imm32
+    rex(1, Dst >> 3, 0, Src >> 3);
+    u8(0x69);
+    modrmRR(Dst, Src);
+    u32(static_cast<uint32_t>(Imm));
+  }
+
   //===--------------------------------------------------------------------===//
   // ALU
   //===--------------------------------------------------------------------===//
@@ -267,6 +309,8 @@ public:
 
   void movsdXM(Xmm Dst, const Mem &M) { sse_rm(0xF2, 0x10, Dst, M); }
   void movsdMX(const Mem &M, Xmm Src) { sse_rm(0xF2, 0x11, Src, M); }
+  void movssXM(Xmm Dst, const Mem &M) { sse_rm(0xF3, 0x10, Dst, M); }
+  void movssMX(const Mem &M, Xmm Src) { sse_rm(0xF3, 0x11, Src, M); }
   void movqXR(Xmm Dst, Gpr Src) { // movq xmm, r64
     u8(0x66);
     rex(1, Dst >> 3, 0, Src >> 3);

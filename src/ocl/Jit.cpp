@@ -31,6 +31,11 @@ std::atomic<bool> &dumpFlag() {
   return Dump;
 }
 
+std::atomic<bool> &bcProofsFlag() {
+  static std::atomic<bool> On{std::getenv("LIMECC_NO_BC_PROOFS") == nullptr};
+  return On;
+}
+
 struct StatsRegistry {
   std::mutex Mu;
   std::map<std::string, JitKernelStats> ByKernel;
@@ -55,6 +60,12 @@ bool lime::ocl::jitDumpEnabled() {
 }
 void lime::ocl::setJitDump(bool On) {
   dumpFlag().store(On, std::memory_order_relaxed);
+}
+bool lime::ocl::bcProofsEnabled() {
+  return bcProofsFlag().load(std::memory_order_relaxed);
+}
+void lime::ocl::setBcProofsEnabled(bool On) {
+  bcProofsFlag().store(On, std::memory_order_relaxed);
 }
 
 std::vector<JitKernelStats> lime::ocl::jitStatsSnapshot() {
@@ -84,6 +95,17 @@ void lime::ocl::jitNoteDispatch(const std::string &Kernel, bool Jitted) {
     ++S.JitDispatches;
   else
     ++S.InterpDispatches;
+}
+
+void lime::ocl::jitNoteBcProofs(const std::string &Kernel, uint64_t Proven,
+                                uint64_t Total) {
+  StatsRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  JitKernelStats &S = R.ByKernel[Kernel];
+  if (S.Kernel.empty())
+    S.Kernel = Kernel;
+  S.BcMemOpsProven += Proven;
+  S.BcMemOpsTotal += Total;
 }
 
 std::string lime::ocl::takeJitDump() {

@@ -36,6 +36,13 @@ void setJitEnabled(bool On);
 bool jitDumpEnabled();
 void setJitDump(bool On);
 
+/// Process-wide switch for the bytecode proof tier's JIT fast path
+/// (dispatch-time bounds proofs licensing open-coded memory ops).
+/// Defaults to on; LIMECC_NO_BC_PROOFS or --no-bc-proofs turns it
+/// off, leaving every memory op on the checked VM helper.
+bool bcProofsEnabled();
+void setBcProofsEnabled(bool On);
+
 /// Per-kernel accounting shown by `limec --run`: whether a kernel's
 /// dispatches went native or stayed on the interpreter, and why.
 struct JitKernelStats {
@@ -45,6 +52,11 @@ struct JitKernelStats {
   size_t CodeBytes = 0;
   uint64_t JitDispatches = 0;
   uint64_t InterpDispatches = 0;
+  // Bytecode proof-tier coverage, accumulated per jitted dispatch:
+  // scalar global/constant memory ops proven in bounds (and so
+  // open-coded) vs. the total such ops in the kernel.
+  uint64_t BcMemOpsProven = 0;
+  uint64_t BcMemOpsTotal = 0;
 };
 
 /// Snapshot of all kernels seen since the last reset, kernel-name
@@ -54,6 +66,10 @@ void resetJitStats();
 
 /// Records one dispatch of \p Kernel (called by SimDevice::run).
 void jitNoteDispatch(const std::string &Kernel, bool Jitted);
+
+/// Records the bytecode proof-tier coverage of one jitted dispatch.
+void jitNoteBcProofs(const std::string &Kernel, uint64_t Proven,
+                     uint64_t Total);
 
 /// Drains the accumulated --jit-dump text.
 std::string takeJitDump();

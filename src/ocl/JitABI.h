@@ -92,7 +92,28 @@ struct JitExecContext {
   // Helper-only state (never touched by emitted code; appended so
   // the baked offsets above stay put).
   void *HostWarp = nullptr; // SimDevice::WarpState*, for helper reuse
+  // Bytecode-proof fast path (PR 7). Arena base pointers let proven
+  // scalar loads/stores be open-coded without the Mem helper; the
+  // MemPrice helper still runs per access so issue charges and §5
+  // memory-model pricing stay bit-identical to the interpreter.
+  uint8_t *GlobalBase = nullptr;
+  uint8_t *ConstBase = nullptr;
+  uint8_t *ParamBase = nullptr;
+  // Private arena slice of this warp's lane 0; lane L's slice is at
+  // PrivWarpBase + L * PrivBytesPerLane.
+  uint8_t *PrivWarpBase = nullptr;
+  uint64_t PrivBytesPerLane = 0;
+  // Per-bytecode-pc safety verdicts for this dispatch (values of
+  // analysis::bc::Verdict), or null when proofs are disabled; the
+  // emitted guard re-checks Proven at run time so one artifact
+  // serves both proof states.
+  const uint8_t *BcProven = nullptr;
 };
+
+/// The one BcProven value the emitted guard tests for. Mirrors
+/// analysis::bc::Verdict::Proven; the VM static_asserts the two stay
+/// in sync (the jit library sees only this header).
+inline constexpr uint8_t BcVerdictProven = 1;
 
 /// Status codes the native entry returns to SimDevice::run.
 enum JitStatus : uint32_t {
@@ -128,6 +149,11 @@ struct HelperTable {
   int64_t (*Image)(JitExecContext *, uint32_t) = nullptr;
   int64_t (*Control)(JitExecContext *, uint32_t) = nullptr;
   void (*Trap)(JitExecContext *, uint32_t) = nullptr;
+  /// Issue charge + §5 memory-model pricing for a proven-safe memory
+  /// op whose data movement is open-coded natively: collects the
+  /// per-lane addresses and prices them exactly like the Mem helper,
+  /// but moves no data and can never fault.
+  void (*MemPrice)(JitExecContext *, uint32_t) = nullptr;
 };
 
 /// A compiled kernel: either a callable entry (with the code buffer

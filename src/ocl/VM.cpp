@@ -7,6 +7,7 @@
 
 #include "ocl/VM.h"
 
+#include "analysis/bc/BcAnalysis.h"
 #include "ocl/Jit.h"
 #include "support/Casting.h"
 #include "support/FaultInjection.h"
@@ -14,6 +15,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+
+// The jit library sees only the ABI header; keep its mirrored verdict
+// constant in lock-step with the analyzer's enum.
+static_assert(lime::ocl::jitabi::BcVerdictProven ==
+                  static_cast<uint8_t>(lime::analysis::bc::Verdict::Proven),
+              "BcProven encoding drifted between JitABI and BcAnalysis");
 
 using namespace lime;
 using namespace lime::ocl;
@@ -119,6 +127,132 @@ int64_t wrapInt(int64_t V, ValType T) {
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Dispatch-time bytecode proofs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void hashMix(uint64_t &H, uint64_t V) {
+  H ^= V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+}
+
+/// Semantic fingerprint of a kernel's code, so a proof-cache entry
+/// can never survive a program rebuild that reuses a kernel name (or
+/// a heap address) with different bytecode.
+uint64_t fingerprintKernel(const BcKernel &K) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  hashMix(H, K.Code.size());
+  hashMix(H, K.NumRegs);
+  for (const BcInstr &In : K.Code) {
+    hashMix(H, (static_cast<uint64_t>(static_cast<uint8_t>(In.Op)) << 32) |
+                   (static_cast<uint64_t>(static_cast<uint8_t>(In.Ty)) << 24) |
+                   (static_cast<uint64_t>(static_cast<uint8_t>(In.SrcTy))
+                    << 16) |
+                   (static_cast<uint64_t>(static_cast<uint8_t>(In.Space))
+                    << 8) |
+                   In.Width);
+    hashMix(H, (static_cast<uint64_t>(static_cast<uint32_t>(In.Dst)) << 32) |
+                   static_cast<uint32_t>(In.A));
+    hashMix(H, (static_cast<uint64_t>(static_cast<uint32_t>(In.B)) << 32) |
+                   static_cast<uint32_t>(In.C));
+    hashMix(H, static_cast<uint64_t>(In.Target));
+    hashMix(H, static_cast<uint64_t>(In.ImmI));
+    uint64_t FB;
+    std::memcpy(&FB, &In.ImmF, 8);
+    hashMix(H, FB);
+  }
+  return H;
+}
+
+} // namespace
+
+const uint8_t *SimDevice::bcProofTable(const BcKernel &K, const Dispatch &D,
+                                       const std::vector<int64_t> &ParamRegI,
+                                       const std::vector<double> &ParamRegF,
+                                       uint64_t LocalBytesTotal) {
+  // Launch signature: everything the exact-mode prover is seeded
+  // with. A value outside this key cannot affect a verdict.
+  std::string Key = K.Name;
+  char Buf[32];
+  auto addU = [&](uint64_t V) {
+    std::snprintf(Buf, sizeof(Buf), ":%llx",
+                  static_cast<unsigned long long>(V));
+    Key += Buf;
+  };
+  addU(fingerprintKernel(K));
+  addU(D.GlobalSize[0]);
+  addU(D.GlobalSize[1]);
+  addU(D.LocalSize[0]);
+  addU(D.LocalSize[1]);
+  addU(GlobalArena.size());
+  addU(ConstArena.size());
+  addU(LocalBytesTotal);
+  addU(D.PrivateBytesPerLane);
+  for (int64_t V : ParamRegI)
+    addU(static_cast<uint64_t>(V));
+  for (double V : ParamRegF) {
+    uint64_t B;
+    std::memcpy(&B, &V, 8);
+    addU(B);
+  }
+  uint64_t PBH = 0xcbf29ce484222325ULL;
+  hashMix(PBH, D.ParamBlock.size());
+  for (uint8_t Byte : D.ParamBlock)
+    hashMix(PBH, Byte);
+  addU(PBH);
+
+  auto It = BcProofCache.find(Key);
+  if (It == BcProofCache.end()) {
+    // Distinct signatures are few in practice (a handful per kernel);
+    // bound the cache anyway so a pathological argument sweep cannot
+    // grow it without limit.
+    if (BcProofCache.size() >= 1024)
+      BcProofCache.clear();
+
+    namespace abc = lime::analysis::bc;
+    abc::Analyzer A(K, /*IdealInts=*/false);
+    using G = abc::Analyzer;
+    A.pin(A.geo(G::GLsz0), D.LocalSize[0]);
+    A.pin(A.geo(G::GLsz1), D.LocalSize[1]);
+    A.pin(A.geo(G::GGsz0), D.GlobalSize[0]);
+    A.pin(A.geo(G::GGsz1), D.GlobalSize[1]);
+    A.pin(A.geo(G::GNgrp0), D.GlobalSize[0] / D.LocalSize[0]);
+    A.pin(A.geo(G::GNgrp1), D.GlobalSize[1] / D.LocalSize[1]);
+    A.pin(A.geo(G::GLimGlobal), static_cast<int64_t>(GlobalArena.size()));
+    A.pin(A.geo(G::GLimConst), static_cast<int64_t>(ConstArena.size()));
+    A.pin(A.geo(G::GLimLocal), static_cast<int64_t>(LocalBytesTotal));
+    A.pin(A.geo(G::GLimPriv), static_cast<int64_t>(D.PrivateBytesPerLane));
+    A.pin(A.geo(G::GLimParam), static_cast<int64_t>(D.ParamBlock.size()));
+    A.seedGeometry();
+    for (size_t PI = 0; PI != K.Params.size(); ++PI) {
+      switch (K.Params[PI].TheKind) {
+      case BcParam::Kind::ScalarF32:
+      case BcParam::Kind::ScalarF64:
+        A.bindParamF(static_cast<unsigned>(PI), ParamRegF[PI]);
+        break;
+      case BcParam::Kind::Image:
+        A.bindParamI(static_cast<unsigned>(PI), D.ImageSlots[PI]);
+        break;
+      default:
+        A.bindParamI(static_cast<unsigned>(PI), ParamRegI[PI]);
+        break;
+      }
+    }
+    A.setParamBlock(D.ParamBlock);
+    abc::Result R = A.run();
+    BcProofEntry E;
+    E.Verdicts = std::move(R.Verdicts);
+    E.Proven = R.ScalarGlobalProven;
+    E.Total = R.ScalarGlobalOps;
+    It = BcProofCache.emplace(std::move(Key), std::move(E)).first;
+  }
+  const BcProofEntry &E = It->second;
+  jitNoteBcProofs(K.Name, E.Proven, E.Total);
+  // An all-Unknown table buys nothing; skip the per-op guard loads.
+  return E.Proven != 0 ? E.Verdicts.data() : nullptr;
+}
 
 //===----------------------------------------------------------------------===//
 // Dispatch
@@ -294,6 +428,10 @@ LaunchResult SimDevice::run(const BcKernel &K,
       K.Jit->WarpWidth == Model.WarpWidth)
     Jit = K.Jit.get();
   jitNoteDispatch(K.Name, Jit != nullptr);
+  // Run the exact-mode bytecode prover for this launch signature;
+  // Proven pcs license the artifact's open-coded memory fast path.
+  if (Jit && bcProofsEnabled())
+    D.BcProven = bcProofTable(K, D, ParamRegI, ParamRegF, LocalBytesTotal);
 
   for (uint32_t GY = 0; GY != GroupsY && D.Fault.empty(); ++GY) {
     for (uint32_t GX = 0; GX != GroupsX && D.Fault.empty(); ++GX) {
@@ -1315,6 +1453,13 @@ void SimDevice::runWarpJit(WarpState &W, Dispatch &D,
   for (unsigned I = 0; I != GeoScalarCount; ++I)
     Ctx.Scalars[I] = D.GeoScalars[I];
   Ctx.HostWarp = &W;
+  Ctx.GlobalBase = GlobalArena.data();
+  Ctx.ConstBase = ConstArena.data();
+  Ctx.ParamBase = D.ParamBlock.data();
+  Ctx.PrivWarpBase =
+      D.PrivateArena.data() + W.FirstLinear * D.PrivateBytesPerLane;
+  Ctx.PrivBytesPerLane = D.PrivateBytesPerLane;
+  Ctx.BcProven = D.BcProven;
 
   const uint32_t Status = Art.Entry(&Ctx);
 
@@ -1475,6 +1620,49 @@ int64_t SimDevice::jitHelpControl(jitabi::JitExecContext *Ctx, uint32_t Idx) {
   }
 }
 
+void SimDevice::jitHelpMemPrice(jitabi::JitExecContext *Ctx, uint32_t Idx) {
+  jitabi::JitWarp &JW = *Ctx->Warp;
+  SimDevice &Dev = *static_cast<SimDevice *>(Ctx->Device);
+  Dispatch &D = *static_cast<Dispatch *>(Ctx->Dispatch);
+  const BcInstr &In = D.K->Code[Idx];
+
+  const uint64_t Active = JW.Mask & ~JW.Exited;
+  // Issue charge, exactly as the Mem helper / interpreter default arm.
+  if (Active) {
+    KernelCounters &C = Dev.Mem.counters();
+    if (In.Ty == ValType::F64)
+      ++C.DpWarpOps;
+    else
+      ++C.AluWarpOps;
+  }
+  // Collect the active lanes' addresses in ascending lane order: the
+  // MemoryModel's pricing is stateful and order-dependent, so the
+  // list must match execMemory's exactly (it does — the proof rules
+  // out the only divergence point, a mid-loop bounds fault).
+  const unsigned Width = Dev.Model.WarpWidth;
+  const unsigned AccessBytes = valTypeBytes(In.Ty) * In.Width;
+  const Slot *Regs = reinterpret_cast<const Slot *>(JW.Regs);
+  const size_t AddrRow = static_cast<size_t>(In.B) * Width;
+  std::vector<uint64_t> &Addrs = D.AddrScratch;
+  Addrs.clear();
+  for (unsigned L = 0; L != Width; ++L)
+    if (Active & (1ULL << L))
+      Addrs.push_back(static_cast<uint64_t>(Regs[AddrRow + L].I));
+  switch (In.Space) {
+  case AddrSpace::Global:
+    Dev.Mem.accessGlobal(Addrs, AccessBytes, In.Op == BcOp::Store);
+    break;
+  case AddrSpace::Constant:
+  case AddrSpace::Param:
+    Dev.Mem.accessConstant(Addrs, AccessBytes);
+    break;
+  default:
+    // Local/Private are never open-coded; nothing beyond the issue
+    // charge would be priced for them anyway.
+    break;
+  }
+}
+
 void SimDevice::jitHelpTrap(jitabi::JitExecContext *Ctx, uint32_t Code) {
   SimDevice &Dev = *static_cast<SimDevice *>(Ctx->Device);
   Dispatch &D = *static_cast<Dispatch *>(Ctx->Dispatch);
@@ -1499,6 +1687,7 @@ void SimDevice::jitHelpTrap(jitabi::JitExecContext *Ctx, uint32_t Code) {
 const jitabi::HelperTable &lime::ocl::simDeviceJitHelpers() {
   static const jitabi::HelperTable Table{
       &SimDevice::jitHelpMem, &SimDevice::jitHelpImage,
-      &SimDevice::jitHelpControl, &SimDevice::jitHelpTrap};
+      &SimDevice::jitHelpControl, &SimDevice::jitHelpTrap,
+      &SimDevice::jitHelpMemPrice};
   return Table;
 }

@@ -32,6 +32,7 @@
 
 #include <array>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -211,6 +212,10 @@ private:
     // Reused scratch for memory-access address lists (one allocation
     // per dispatch instead of one per memory instruction).
     std::vector<uint64_t> AddrScratch;
+    // Per-pc bounds verdicts from the bytecode proof tier (values of
+    // analysis::bc::Verdict), or null when proofs are off / the
+    // dispatch is interpreted. Points into BcProofCache.
+    const uint8_t *BcProven = nullptr;
   };
 
   Slot &reg(WarpState &W, int32_t Reg, unsigned Lane) {
@@ -234,6 +239,15 @@ private:
   static int64_t jitHelpImage(jitabi::JitExecContext *Ctx, uint32_t Idx);
   static int64_t jitHelpControl(jitabi::JitExecContext *Ctx, uint32_t Idx);
   static void jitHelpTrap(jitabi::JitExecContext *Ctx, uint32_t Code);
+  static void jitHelpMemPrice(jitabi::JitExecContext *Ctx, uint32_t Idx);
+
+  /// Runs the exact-mode bytecode prover for this dispatch (or
+  /// returns a cached table) and notes coverage stats. Null when the
+  /// launch signature was seen before and proved nothing.
+  const uint8_t *bcProofTable(const BcKernel &K, const Dispatch &D,
+                              const std::vector<int64_t> &ParamRegI,
+                              const std::vector<double> &ParamRegF,
+                              uint64_t LocalBytesTotal);
 
   uint8_t *spaceBase(Dispatch &D, AddrSpace Space, unsigned Lane,
                      uint64_t &Limit);
@@ -246,6 +260,17 @@ private:
   std::vector<uint8_t> GlobalArena;
   std::vector<uint8_t> ConstArena;
   std::vector<SimImage> Images;
+
+  /// Dispatch-time proof cache: launch signature (kernel fingerprint,
+  /// geometry, arena limits, argument values) -> per-pc verdicts.
+  /// Workloads relaunch the same kernel with the same signature
+  /// thousands of times; the prover runs once per distinct signature.
+  struct BcProofEntry {
+    std::vector<uint8_t> Verdicts;
+    unsigned Proven = 0;
+    unsigned Total = 0;
+  };
+  std::map<std::string, BcProofEntry> BcProofCache;
 };
 
 } // namespace lime::ocl

@@ -8,6 +8,7 @@
 #include "runtime/Offload.h"
 
 #include "analysis/AnalysisOracle.h"
+#include "analysis/Assume.h"
 #include "compiler/OpenCLEmitter.h"
 
 #include "support/StringUtils.h"
@@ -35,6 +36,15 @@ bool lime::rt::validateOffloadConfig(const OffloadConfig &Config,
   if (Config.MaxGroups == 0) {
     Diags.error(SourceLocation(), "offload config: MaxGroups must be > 0");
     Ok = false;
+  }
+  for (const std::string &Text : Config.Assumes) {
+    analysis::AssumeFact F;
+    std::string Err;
+    if (!analysis::parseAssumeFact(Text, F, &Err)) {
+      Diags.error(SourceLocation(),
+                  "offload config: malformed assume '" + Text + "': " + Err);
+      Ok = false;
+    }
   }
   return Ok;
 }
@@ -130,6 +140,131 @@ int OffloadedFilter::paramIndexOf(const ParamDecl *P) const {
 
 namespace {
 
+bool relHolds(double L, analysis::AssumeFact::Rel Rel, double R) {
+  using analysis::AssumeFact;
+  switch (Rel) {
+  case AssumeFact::Rel::Lt:
+    return L < R;
+  case AssumeFact::Rel::Le:
+    return L <= R;
+  case AssumeFact::Rel::Gt:
+    return L > R;
+  case AssumeFact::Rel::Ge:
+    return L >= R;
+  case AssumeFact::Rel::Eq:
+    return L == R;
+  }
+  return false;
+}
+
+std::string renderNumber(double V) {
+  if (V == static_cast<double>(static_cast<int64_t>(V)))
+    return std::to_string(static_cast<int64_t>(V));
+  return std::to_string(V);
+}
+
+} // namespace
+
+std::string
+OffloadedFilter::checkAssumes(const std::vector<RtValue> &Args) const {
+  if (Config.Assumes.empty())
+    return "";
+  auto ValueOf = [&](const std::string &Name) -> const RtValue * {
+    const auto &Params = Worker->params();
+    for (size_t I = 0; I != Params.size() && I != Args.size(); ++I)
+      if (Params[I]->name() == Name)
+        return &Args[I];
+    return nullptr;
+  };
+  for (const std::string &Text : Config.Assumes) {
+    analysis::AssumeFact F;
+    std::string Err;
+    if (!analysis::parseAssumeFact(Text, F, &Err))
+      return "offload invoke: malformed assume '" + Text + "': " + Err;
+    // A violated fact must abort the launch: analysis trusted it, and
+    // the JIT open-codes loads whose bounds proof may rest on it.
+    auto Violated = [&](const std::string &Witness) {
+      return "offload invoke: declared fact '" + F.Text +
+             "' is false for this launch (" + Witness +
+             "); refusing to run a kernel admitted under a stale assume";
+    };
+    double Rhs = static_cast<double>(F.RhsConst);
+    if (!F.RhsLenName.empty()) {
+      const RtValue *LV = ValueOf(F.RhsLenName);
+      if (!LV || !LV->isArray())
+        return "offload invoke: assume '" + F.Text + "': len(" +
+               F.RhsLenName + ") names no array parameter of worker '" +
+               Worker->name() + "'";
+      Rhs += static_cast<double>(LV->array()->Elems.size());
+    }
+    const RtValue *V = ValueOf(F.Name);
+    if (!V)
+      return "offload invoke: assume '" + F.Text + "': '" + F.Name +
+             "' names no parameter of worker '" + Worker->name() + "'";
+    switch (F.Kind) {
+    case analysis::AssumeFact::Target::Scalar: {
+      if (!V->isNumeric())
+        return "offload invoke: assume '" + F.Text + "': '" + F.Name +
+               "' is not a scalar parameter";
+      double L = V->asNumber();
+      if (!relHolds(L, F.Relation, Rhs))
+        return Violated(F.Name + " = " + renderNumber(L) + ", bound " +
+                        renderNumber(Rhs));
+      break;
+    }
+    case analysis::AssumeFact::Target::Length: {
+      if (!V->isArray())
+        return "offload invoke: assume '" + F.Text + "': '" + F.Name +
+               "' is not an array parameter";
+      double L = static_cast<double>(V->array()->Elems.size());
+      if (!relHolds(L, F.Relation, Rhs))
+        return Violated("len(" + F.Name + ") = " + renderNumber(L) +
+                        ", bound " + renderNumber(Rhs));
+      break;
+    }
+    case analysis::AssumeFact::Target::Element: {
+      if (!V->isArray())
+        return "offload invoke: assume '" + F.Text + "': '" + F.Name +
+               "' is not an array parameter";
+      const std::vector<RtValue> &Elems = V->array()->Elems;
+      size_t N = Elems.size();
+      if (N == 0)
+        break;
+      // Spot-check a deterministic sample (both ends always included)
+      // rather than scanning every element: the point is a loud
+      // tripwire for stale facts, and the VM's own bounds checks
+      // remain the exhaustive backstop on unproven ops.
+      size_t Probes = std::min<size_t>(N, 256);
+      for (size_t K = 0; K != Probes; ++K) {
+        size_t I = Probes == 1 ? 0 : K * (N - 1) / (Probes - 1);
+        const RtValue &E = Elems[I];
+        const RtValue *Lane = nullptr;
+        if (E.isArray()) {
+          const auto &Lanes = E.array()->Elems;
+          if (F.Lane >= 0 && static_cast<size_t>(F.Lane) < Lanes.size())
+            Lane = &Lanes[static_cast<size_t>(F.Lane)];
+        } else if (F.Lane == 0) {
+          Lane = &E;
+        }
+        if (!Lane || !Lane->isNumeric())
+          return "offload invoke: assume '" + F.Text + "': element " +
+                 std::to_string(I) + " of '" + F.Name + "' has no scalar lane " +
+                 std::to_string(F.Lane);
+        double L = Lane->asNumber();
+        if (!relHolds(L, F.Relation, Rhs))
+          return Violated(F.Name + "[" + std::to_string(I) + "][" +
+                          std::to_string(F.Lane) + "] = " + renderNumber(L) +
+                          ", bound " + renderNumber(Rhs));
+      }
+      break;
+    }
+    }
+  }
+  return "";
+}
+
+namespace {
+
 /// Builds the 2048-texel-wide image the emitter's coordinate folding
 /// expects, from flat float bytes: rows of 4 floats per texel.
 ocl::SimImage imageFromBytes(const std::vector<uint8_t> &Bytes) {
@@ -203,6 +338,12 @@ ExecResult OffloadedFilter::invoke(const std::vector<RtValue> &Args) {
     return Fail(Error);
   if (Args.size() != Worker->params().size())
     return Fail("offload invoke: argument count mismatch");
+
+  // Launch-time tripwire for the facts analysis trusted (see
+  // OffloadConfig::Assumes): check before compiling or marshaling so a
+  // stale fact can never reach a kernel whose proofs depend on it.
+  if (std::string Bad = checkAssumes(Args); !Bad.empty())
+    return Fail(Bad);
 
   if (!Prepared) {
     std::string Err = buildAndPrepare(Args);

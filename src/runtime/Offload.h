@@ -34,6 +34,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace lime::rt {
 
@@ -54,6 +55,14 @@ struct OffloadConfig {
   /// min(ceil(n/LocalSize), MaxGroups) * LocalSize (the paper tunes
   /// thread counts offline; this is the knob).
   unsigned MaxGroups = 64;
+  /// Declared value-range facts (the `--assume` grammar, see
+  /// analysis/Assume.h) that analysis trusted when admitting this
+  /// kernel. The offload spot-checks each fact against the actual
+  /// arguments at every invoke and refuses to launch on a violation:
+  /// a stale fact must fail loudly here, because downstream it
+  /// licenses check-free native memory access in the JIT. Not part of
+  /// the kernel cache key — facts gate the launch, not the compile.
+  std::vector<std::string> Assumes;
 };
 
 /// Checks the launch-geometry invariants every construction site must
@@ -160,6 +169,11 @@ public:
 private:
   std::string buildAndPrepare(const std::vector<RtValue> &Args);
   int paramIndexOf(const ParamDecl *P) const;
+  /// Spot-checks Config.Assumes against the actual arguments of this
+  /// invocation. Returns "" when every fact holds (or none are
+  /// declared), otherwise a message naming the violated fact and the
+  /// witnessing value — the launch must not proceed.
+  std::string checkAssumes(const std::vector<RtValue> &Args) const;
 
   Program *TheProgram;
   TypeContext &Types;

@@ -173,6 +173,11 @@ CompiledKernel OffloadService::compileVerified(MethodDecl *Worker,
   VR.Geometry = analysis::GeometryPolicy::Symbolic;
   VR.AssumeMode = analysis::AssumePolicy::Ignore;
   VR.Device = &ocl::deviceByName(Canon.DeviceName);
+  // The bytecode tier runs too: a proven-OOB access in the
+  // post-inlining bytecode is an error finding and blocks admission
+  // (its Unknowns are notes, so it never rejects more than the AST
+  // passes would — it only adds what they miss at the other tier).
+  VR.BytecodeTier = true;
   analysis::VerifyResult V = analysis::runVerification(VR);
   if (!V.Admitted) {
     std::ostringstream E;

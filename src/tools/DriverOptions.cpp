@@ -91,6 +91,12 @@ const char *lime::driver::usageText() {
       "                      len(name) REL INT, with REL in < <= > >= ==\n"
       "  --analyze-strict    --analyze / --analyze-workloads exit\n"
       "                      nonzero on warnings too, not just errors\n"
+      "  --bc-analyze        also run the bytecode proof tier: bounds\n"
+      "                      verdicts over the post-inlining SIMT\n"
+      "                      bytecode ([bytecode]) plus the float\n"
+      "                      reduction sensitivity pass ([fpsens])\n"
+      "  --bc-verdicts       with --bc-analyze: one note per memory op\n"
+      "                      naming its verdict and address facts\n"
       "  --findings-format <text|json>\n"
       "                      --analyze / --analyze-workloads output:\n"
       "                      human-readable lines (default) or the\n"
@@ -104,6 +110,9 @@ const char *lime::driver::usageText() {
       "  --jit-dump          print each kernel's JIT IR and native-code\n"
       "                      stats after the command (--run, --verify,\n"
       "                      --tune)\n"
+      "  --no-bc-proofs      keep every JIT memory op on the checked VM\n"
+      "                      helper even when the bytecode tier proved\n"
+      "                      it in bounds (--run, --verify, --tune)\n"
       "  --service-threads N route --run offloads through the shared\n"
       "                      offload service with N device workers\n"
       "                      (implies --offload)\n"
@@ -252,6 +261,12 @@ ParseResult lime::driver::parseDriverOptions(int argc, char **argv,
       Out.Assumes.push_back(std::move(Fact));
     } else if (Arg == "--analyze-strict") {
       Out.AnalyzeStrict = true;
+    } else if (Arg == "--bc-analyze") {
+      Out.BcAnalyze = true;
+    } else if (Arg == "--bc-verdicts") {
+      Out.BcVerdicts = true;
+    } else if (Arg == "--no-bc-proofs") {
+      Out.NoBcProofs = true;
     } else if (Arg == "--findings-format") {
       const char *F = Next();
       if (!F)
@@ -385,6 +400,18 @@ ParseResult lime::driver::validateDriverOptions(const DriverOptions &O) {
   if (O.AnalyzeStrict && !IsAnalyze)
     return fail("limec: --analyze-strict only applies to --analyze and "
                 "--analyze-workloads",
+                false);
+  if (O.BcAnalyze && !IsAnalyze)
+    return fail("limec: --bc-analyze only applies to --analyze and "
+                "--analyze-workloads",
+                false);
+  if (O.BcVerdicts && !O.BcAnalyze)
+    return fail("limec: --bc-verdicts needs --bc-analyze (the verdict dump "
+                "is part of the bytecode tier)",
+                false);
+  if (O.NoBcProofs && !ExecutesKernels)
+    return fail("limec: --no-bc-proofs only applies to the kernel-executing "
+                "commands (--run, --verify, --tune)",
                 false);
   if (O.FormatSet && !IsAnalyze)
     return fail("limec: --findings-format only applies to --analyze and "

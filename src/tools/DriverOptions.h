@@ -74,6 +74,16 @@ struct DriverOptions {
   /// command runs.
   bool JitDump = false;
   bool AnalyzeStrict = false;
+  /// --bc-analyze: also run the bytecode proof tier and the
+  /// floating-point sensitivity pass during --analyze /
+  /// --analyze-workloads.
+  bool BcAnalyze = false;
+  /// --bc-verdicts: with --bc-analyze, emit one note per memory op
+  /// naming its bytecode-level verdict and address facts.
+  bool BcVerdicts = false;
+  /// --no-bc-proofs: dispatch every JIT memory op through the checked
+  /// VM helper even when the bytecode tier proved it safe.
+  bool NoBcProofs = false;
   FindingsFormat Format = FindingsFormat::Text;
   bool FormatSet = false; // --findings-format appeared
   std::vector<analysis::AssumeFact> Assumes;
@@ -112,6 +122,9 @@ ParseResult parseDriverOptions(int argc, char **argv, DriverOptions &Out);
 ///   - --kernel-cache / fault-tolerance flags outside service mode
 ///   - --analyze-strict outside the analyze commands
 ///   - --findings-format outside the analyze commands
+///   - --bc-analyze outside the analyze commands
+///   - --bc-verdicts without --bc-analyze
+///   - --no-bc-proofs outside the kernel-executing commands
 ParseResult validateDriverOptions(const DriverOptions &O);
 
 /// The full usage text (shared by --help and error paths).

@@ -105,8 +105,8 @@ void analyzeVariant(Program *Prog, TypeContext &Types, MethodDecl *M,
                     const std::string &Unit, const std::string &ConfigName,
                     const MemoryConfig &Cfg,
                     const std::vector<analysis::AssumeFact> &Assumes,
-                    const ocl::DeviceModel &Dev, bool Strict,
-                    AnalyzeSink &Sink) {
+                    const ocl::DeviceModel &Dev,
+                    const driver::DriverOptions &O, AnalyzeSink &Sink) {
   const bool Text = Sink.Format == driver::FindingsFormat::Text;
   const std::string Label = Unit + "/" + ConfigName;
 
@@ -133,7 +133,9 @@ void analyzeVariant(Program *Prog, TypeContext &Types, MethodDecl *M,
   VR.AssumeMode = analysis::AssumePolicy::Apply;
   VR.Assumes = Assumes;
   VR.Device = &Dev;
-  VR.StrictWarnings = Strict;
+  VR.StrictWarnings = O.AnalyzeStrict;
+  VR.BytecodeTier = O.BcAnalyze;
+  VR.BytecodeVerdicts = O.BcVerdicts;
   analysis::VerifyResult R = analysis::runVerification(VR);
   V.Findings = R.Report.Findings;
 
@@ -213,8 +215,7 @@ int analyzeWorkloads(const driver::DriverOptions &O) {
     }
     for (size_t I = 0; I != 8; ++I)
       analyzeVariant(Prog, Ctx.types(), M, W.Id, allConfigs(I).first,
-                     allConfigs(I).second, Assumes, Dev, O.AnalyzeStrict,
-                     Sink);
+                     allConfigs(I).second, Assumes, Dev, O, Sink);
   }
   if (O.Format == driver::FindingsFormat::Json)
     std::printf("%s", analysis::renderFindingsJson(Sink.Variants,
@@ -304,6 +305,8 @@ int main(int argc, char **argv) {
     ocl::setJitEnabled(false);
   if (O.JitDump)
     ocl::setJitDump(true);
+  if (O.NoBcProofs)
+    ocl::setBcProofsEnabled(false);
 
   if (O.Cmd == driver::Command::AnalyzeWorkloads)
     return analyzeWorkloads(O);
@@ -382,12 +385,11 @@ int main(int argc, char **argv) {
     const ocl::DeviceModel &Dev = ocl::deviceByName(O.Device);
     if (O.ConfigSet) {
       analyzeVariant(Prog, Ctx.types(), M, O.Target, O.ConfigName, O.Config,
-                     O.Assumes, Dev, O.AnalyzeStrict, Sink);
+                     O.Assumes, Dev, O, Sink);
     } else {
       for (size_t I = 0; I != 8; ++I)
         analyzeVariant(Prog, Ctx.types(), M, O.Target, allConfigs(I).first,
-                       allConfigs(I).second, O.Assumes, Dev, O.AnalyzeStrict,
-                       Sink);
+                       allConfigs(I).second, O.Assumes, Dev, O, Sink);
     }
     if (O.Format == driver::FindingsFormat::Json)
       std::printf("%s", analysis::renderFindingsJson(Sink.Variants,

@@ -66,6 +66,11 @@ RunOutcome wl::runWorkload(const Workload &W, RunMode Mode, double Scale,
   PipelineConfig PC;
   PC.OffloadFilters = Mode == RunMode::Offloaded;
   PC.Offload = Offload;
+  // The workload's standing facts ride along so every offloaded launch
+  // spot-checks them against the actual inputs (stale facts fail loudly
+  // instead of silently licensing unsound bounds proofs).
+  PC.Offload.Assumes.insert(PC.Offload.Assumes.end(),
+                            W.DefaultAssumes.begin(), W.DefaultAssumes.end());
   if (PC.OffloadFilters && ServiceFactory)
     PC.ServiceInvoke = ServiceFactory(S.Prog, S.Ctx->types());
   TaskGraphRuntime RT(I, PC);
@@ -159,6 +164,7 @@ GeneratedKernelRun wl::runGeneratedKernel(const Workload &W,
   OC.DeviceName = Device;
   OC.Mem = Config;
   OC.LocalSize = LocalSize;
+  OC.Assumes = W.DefaultAssumes;
   OffloadedFilter OF(S.Prog, S.Ctx->types(), Filter, OC);
   if (!OF.ok()) {
     Out.Error = OF.error();

@@ -1,0 +1,318 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Findings-tier tests for the bytecode proof engine: the full
+/// workload sweep must stay strict-clean with the tier enabled and
+/// prove at least 80% of all scalar global/constant memory ops under
+/// the default assumes; a bytecode-provable overrun is a hard error
+/// with a counterexample; and the [fpsens] pass grades reassociated
+/// float reductions against the --verify tolerance.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/KernelVerifier.h"
+#include "compiler/GpuCompiler.h"
+#include "lime/parser/Parser.h"
+#include "lime/sema/Sema.h"
+#include "ocl/DeviceModel.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace lime;
+using namespace lime::analysis;
+
+namespace {
+
+CompiledKernel fixtureKernel(const std::string &Name, std::string Source) {
+  CompiledKernel K;
+  K.Ok = true;
+  K.Source = std::move(Source);
+  K.Plan.Kind = KernelKind::Map;
+  K.Plan.KernelName = Name;
+  K.Plan.OutScalars = 1;
+
+  KernelArray Out;
+  Out.CName = "out";
+  Out.IsOutput = true;
+  Out.Space = MemSpace::Global;
+  K.Plan.Arrays.push_back(Out);
+
+  KernelArray In;
+  In.CName = "in0";
+  In.IsMapSource = true;
+  In.Space = MemSpace::Global;
+  K.Plan.Arrays.push_back(In);
+  return K;
+}
+
+std::string argsStruct(const std::string &Name) {
+  return "typedef struct {\n"
+         "  int n;\n"
+         "  int len_in0;\n"
+         "} " +
+         Name + "_args;\n\n";
+}
+
+unsigned countPass(const AnalysisReport &R, const char *Pass,
+                   DiagSeverity Sev) {
+  unsigned N = 0;
+  for (const Finding &F : R.Findings)
+    if (F.Pass == Pass && F.Severity == Sev)
+      ++N;
+  return N;
+}
+
+/// Parses the pass's per-kernel summary note ("bytecode tier: proved
+/// P of T scalar global/constant memory ops in bounds").
+bool coverageOf(const AnalysisReport &R, unsigned &Proven, unsigned &Total) {
+  for (const Finding &F : R.Findings)
+    if (F.Pass == passes::Bytecode &&
+        std::sscanf(F.Message.c_str(), "bytecode tier: proved %u of %u",
+                    &Proven, &Total) == 2)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Workload sweep: strict-clean and >= 80% proven coverage
+//===----------------------------------------------------------------------===//
+
+TEST(BcFindings, WorkloadSweepStaysStrictCleanAndProvesCoverage) {
+  const std::pair<const char *, MemoryConfig> Configs[] = {
+      {"global", MemoryConfig::global()},
+      {"global+v", MemoryConfig::globalVector()},
+      {"local", MemoryConfig::local()},
+      {"local+nc", MemoryConfig::localNoConflict()},
+      {"local+nc+v", MemoryConfig::localNoConflictVector()},
+      {"constant", MemoryConfig::constant()},
+      {"constant+v", MemoryConfig::constantVector()},
+      {"texture", MemoryConfig::texture()}};
+
+  uint64_t SweepProven = 0, SweepTotal = 0;
+  for (const wl::Workload &W : wl::workloadRegistry()) {
+    ASTContext Ctx;
+    DiagnosticEngine Diags;
+    Parser P(W.LimeSource, Ctx, Diags);
+    Program *Prog = P.parseProgram();
+    Sema S(Ctx, Diags);
+    ASSERT_TRUE(S.check(Prog)) << W.Id << ": " << Diags.dump();
+    MethodDecl *Filter =
+        Prog->findClass(W.ClassName)->findMethod(W.FilterMethod);
+    ASSERT_NE(Filter, nullptr) << W.Id;
+
+    AnalysisOptions Opts;
+    Opts.Device = &ocl::deviceByName("gtx580");
+    Opts.BytecodeTier = true;
+    for (const std::string &Text : W.DefaultAssumes) {
+      AssumeFact Fact;
+      std::string Err;
+      ASSERT_TRUE(parseAssumeFact(Text, Fact, &Err))
+          << W.Id << " assume '" << Text << "': " << Err;
+      Opts.Assumes.push_back(std::move(Fact));
+    }
+
+    uint64_t WlProven = 0, WlTotal = 0;
+    GpuCompiler GC(Prog, Ctx.types());
+    for (const auto &[Name, Config] : Configs) {
+      CompiledKernel K = GC.compile(Filter, Config);
+      ASSERT_TRUE(K.Ok) << W.Id << "/" << Name << ": " << K.Error;
+      AnalysisReport R = analyzeKernel(K, Opts);
+      // The --analyze-strict bar with the tier on: no new errors or
+      // warnings anywhere in the sweep.
+      EXPECT_EQ(R.errorCount(), 0u)
+          << W.Id << "/" << Name << " findings:\n"
+          << R.str() << "\nkernel:\n"
+          << K.Source;
+      EXPECT_EQ(R.warningCount(), 0u)
+          << W.Id << "/" << Name << " findings:\n"
+          << R.str();
+      unsigned Proven = 0, Total = 0;
+      ASSERT_TRUE(coverageOf(R, Proven, Total))
+          << W.Id << "/" << Name << " has no [bytecode] summary:\n"
+          << R.str();
+      WlProven += Proven;
+      WlTotal += Total;
+    }
+    SweepProven += WlProven;
+    SweepTotal += WlTotal;
+    // Per-workload visibility for the acceptance gate.
+    printf("[bc-coverage] %-10s %3llu/%3llu\n", W.Id.c_str(),
+           static_cast<unsigned long long>(WlProven),
+           static_cast<unsigned long long>(WlTotal));
+  }
+  ASSERT_GT(SweepTotal, 0u);
+  // The acceptance gate: at least 80% of all scalar global/constant
+  // memory ops across the 9 workloads x 8 configs prove in bounds.
+  EXPECT_GE(SweepProven * 100, SweepTotal * 80)
+      << "proved " << SweepProven << " of " << SweepTotal;
+}
+
+//===----------------------------------------------------------------------===//
+// Proven-OOB fixtures
+//===----------------------------------------------------------------------===//
+
+TEST(BcFindings, ProvenOverrunIsAHardErrorWithCounterexample) {
+  CompiledKernel K = fixtureKernel(
+      "bc_oob",
+      argsStruct("bc_oob") +
+          "__kernel void bc_oob(__global float* out, __global const float* "
+          "in0, bc_oob_args args) {\n"
+          "  out[args.n] = 1.0f;\n" // the one index the map never owns
+          "}\n");
+  AnalysisOptions Opts;
+  Opts.BytecodeTier = true;
+  AnalysisReport R = analyzeKernel(K, Opts);
+  EXPECT_GE(countPass(R, passes::Bytecode, DiagSeverity::Error), 1u)
+      << R.str();
+  EXPECT_NE(R.str().find("always out of bounds"), std::string::npos)
+      << R.str();
+}
+
+TEST(BcFindings, GuardedMapIsFullyProvenAtBytecodeLevel) {
+  CompiledKernel K = fixtureKernel(
+      "bc_ok",
+      argsStruct("bc_ok") +
+          "__kernel void bc_ok(__global float* out, __global const float* "
+          "in0, bc_ok_args args) {\n"
+          "  int i = get_global_id(0);\n"
+          "  if (i < args.n) {\n"
+          "    out[i] = in0[i] * 2.0f;\n"
+          "  }\n"
+          "}\n");
+  AnalysisOptions Opts;
+  Opts.BytecodeTier = true;
+  AnalysisReport R = analyzeKernel(K, Opts);
+  EXPECT_EQ(R.errorCount(), 0u) << R.str();
+  unsigned Proven = 0, Total = 0;
+  ASSERT_TRUE(coverageOf(R, Proven, Total)) << R.str();
+  EXPECT_EQ(Total, 2u) << R.str();
+  EXPECT_EQ(Proven, 2u) << R.str();
+}
+
+TEST(BcFindings, VerdictDumpListsEveryMemoryOp) {
+  CompiledKernel K = fixtureKernel(
+      "bc_dump",
+      argsStruct("bc_dump") +
+          "__kernel void bc_dump(__global float* out, __global const float* "
+          "in0, bc_dump_args args) {\n"
+          "  int i = get_global_id(0);\n"
+          "  if (i < args.n) {\n"
+          "    out[i] = in0[i];\n"
+          "  }\n"
+          "}\n");
+  AnalysisOptions Opts;
+  Opts.BytecodeTier = true;
+  Opts.BytecodeVerdicts = true;
+  AnalysisReport R = analyzeKernel(K, Opts);
+  // Two verdict notes (the args.n field load is Param space and also
+  // listed), each naming a pc and a verdict.
+  unsigned Dumps = 0;
+  for (const Finding &F : R.Findings)
+    if (F.Pass == passes::Bytecode && F.Message.rfind("pc ", 0) == 0)
+      ++Dumps;
+  EXPECT_GE(Dumps, 2u) << R.str();
+  EXPECT_NE(R.str().find("proven"), std::string::npos) << R.str();
+}
+
+//===----------------------------------------------------------------------===//
+// [fpsens]
+//===----------------------------------------------------------------------===//
+
+CompiledKernel reduceFixture(TypeContext &Types) {
+  CompiledKernel K = fixtureKernel(
+      "red",
+      argsStruct("red") +
+          "__kernel void red(__global float* out, __global const float* in0, "
+          "red_args args, __local float* scratch) {\n"
+          "  int i = get_global_id(0);\n"
+          "  int lid = get_local_id(0);\n"
+          "  scratch[lid] = i < args.n ? in0[i] : 0.0f;\n"
+          "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+          "  if (lid == 0) {\n"
+          "    float acc = 0.0f;\n"
+          "    for (int k = 0; k < get_local_size(0); k++) {\n"
+          "      acc += scratch[k];\n"
+          "    }\n"
+          "    out[get_group_id(0)] = acc;\n"
+          "  }\n"
+          "}\n");
+  K.Plan.Kind = KernelKind::Reduce;
+  K.Plan.OutScalarType = Types.floatType();
+  return K;
+}
+
+TEST(BcFindings, FpSensWarnsWhenDeclaredSizeGuaranteesDivergence) {
+  TypeContext Types;
+  CompiledKernel K = reduceFixture(Types);
+  AnalysisOptions Opts;
+  Opts.BytecodeTier = true;
+  AssumeFact Fact;
+  ASSERT_TRUE(parseAssumeFact("len(in0) >= 1000000", Fact, nullptr));
+  Opts.Assumes.push_back(Fact);
+  AnalysisReport R = analyzeKernel(K, Opts);
+  EXPECT_EQ(countPass(R, passes::FpSens, DiagSeverity::Warning), 1u)
+      << R.str();
+  EXPECT_NE(R.str().find("tolerance"), std::string::npos) << R.str();
+}
+
+TEST(BcFindings, FpSensNotesWhenSizeIsUnbounded) {
+  TypeContext Types;
+  CompiledKernel K = reduceFixture(Types);
+  AnalysisOptions Opts;
+  Opts.BytecodeTier = true;
+  AnalysisReport R = analyzeKernel(K, Opts);
+  EXPECT_EQ(countPass(R, passes::FpSens, DiagSeverity::Warning), 0u)
+      << R.str();
+  unsigned Notes = countPass(R, passes::FpSens, DiagSeverity::Note);
+  EXPECT_EQ(Notes, 1u) << R.str();
+}
+
+TEST(BcFindings, FpSensStaysQuietWithinDeclaredBound) {
+  TypeContext Types;
+  CompiledKernel K = reduceFixture(Types);
+  AnalysisOptions Opts;
+  Opts.BytecodeTier = true;
+  AssumeFact Fact;
+  ASSERT_TRUE(parseAssumeFact("len(in0) <= 4096", Fact, nullptr));
+  Opts.Assumes.push_back(Fact);
+  AnalysisReport R = analyzeKernel(K, Opts);
+  EXPECT_EQ(countPass(R, passes::FpSens, DiagSeverity::Warning), 0u)
+      << R.str();
+  EXPECT_NE(R.str().find("stays within"), std::string::npos) << R.str();
+}
+
+TEST(BcFindings, FpSensIgnoresDoubleAndMapKernels) {
+  TypeContext Types;
+  CompiledKernel M = fixtureKernel(
+      "m",
+      argsStruct("m") +
+          "__kernel void m(__global float* out, __global const float* in0, "
+          "m_args args) {\n"
+          "  int i = get_global_id(0);\n"
+          "  if (i < args.n) {\n"
+          "    out[i] = in0[i];\n"
+          "  }\n"
+          "}\n");
+  AnalysisOptions Opts;
+  Opts.BytecodeTier = true;
+  AnalysisReport R = analyzeKernel(M, Opts);
+  EXPECT_EQ(countPass(R, passes::FpSens, DiagSeverity::Note), 0u) << R.str();
+  EXPECT_EQ(countPass(R, passes::FpSens, DiagSeverity::Warning), 0u)
+      << R.str();
+
+  CompiledKernel D = reduceFixture(Types);
+  D.Plan.OutScalarType = Types.doubleType();
+  AnalysisReport RD = analyzeKernel(D, Opts);
+  EXPECT_EQ(countPass(RD, passes::FpSens, DiagSeverity::Note), 0u)
+      << RD.str();
+}
+
+} // namespace

@@ -29,6 +29,22 @@ const char *FilterSource = R"(
   }
 )";
 
+const char *ScaledFilterSource = R"(
+  class S {
+    static local float mul(float x, int k) { return x * (float) k; }
+    static local float[[]] scaled(float[[]] xs, int k) { return mul(k) @ xs; }
+  }
+)";
+
+RtValue floatArray(TypeContext &Types, const std::vector<float> &Data) {
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = Types.floatType();
+  Arr->Immutable = true;
+  for (float F : Data)
+    Arr->Elems.push_back(RtValue::makeFloat(F));
+  return RtValue::makeArray(std::move(Arr));
+}
+
 TEST(OffloadConfigValidation, RejectsZeroLocalSize) {
   OffloadConfig OC;
   OC.LocalSize = 0;
@@ -109,6 +125,118 @@ TEST(OffloadConfigValidation, FilterConstructionRejectsBadConfigs) {
   Arr->Elems.push_back(RtValue::makeFloat(1.0f));
   ExecResult R = F1.invoke({RtValue::makeArray(std::move(Arr))});
   EXPECT_TRUE(R.Trapped);
+}
+
+TEST(OffloadConfigValidation, RejectsMalformedAssume) {
+  OffloadConfig OC;
+  OC.Assumes = {"len(key) >= 52", "pairs[>= 0"};
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(validateOffloadConfig(OC, Diags));
+  EXPECT_NE(Diags.dump().find("malformed assume"), std::string::npos)
+      << Diags.dump();
+  EXPECT_NE(Diags.dump().find("pairs[>= 0"), std::string::npos)
+      << Diags.dump();
+}
+
+TEST(OffloadAssumeSpotCheck, ViolatedLengthFactAbortsTheLaunch) {
+  CompiledProgram CP = compileLime(FilterSource);
+  ASSERT_COMPILES(CP);
+  MethodDecl *W = CP.Prog->findClass("C")->findMethod("squares");
+  ASSERT_NE(W, nullptr);
+
+  OffloadConfig OC;
+  OC.Assumes = {"len(xs) >= 10"};
+  OffloadedFilter F(CP.Prog, CP.Ctx->types(), W, OC);
+  ASSERT_TRUE(F.ok()) << F.error();
+
+  ExecResult R = F.invoke({floatArray(CP.Ctx->types(), {1.0f, 2.0f, 3.0f})});
+  ASSERT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMessage.find("len(xs) >= 10"), std::string::npos)
+      << R.TrapMessage;
+  EXPECT_NE(R.TrapMessage.find("len(xs) = 3"), std::string::npos)
+      << R.TrapMessage;
+  EXPECT_NE(R.TrapMessage.find("stale assume"), std::string::npos)
+      << R.TrapMessage;
+}
+
+TEST(OffloadAssumeSpotCheck, HoldingFactsLaunchNormally) {
+  CompiledProgram CP = compileLime(FilterSource);
+  ASSERT_COMPILES(CP);
+  MethodDecl *W = CP.Prog->findClass("C")->findMethod("squares");
+  ASSERT_NE(W, nullptr);
+
+  OffloadConfig OC;
+  OC.Assumes = {"len(xs) >= 1", "xs[0] >= 0"};
+  OffloadedFilter F(CP.Prog, CP.Ctx->types(), W, OC);
+  ASSERT_TRUE(F.ok()) << F.error();
+
+  ExecResult R = F.invoke({floatArray(CP.Ctx->types(), {1.0f, 2.0f, 3.0f})});
+  ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+  ASSERT_TRUE(R.Value.isArray());
+  EXPECT_FLOAT_EQ(
+      static_cast<float>(R.Value.array()->Elems[2].asNumber()), 9.0f);
+}
+
+TEST(OffloadAssumeSpotCheck, ElementFactSampledAcrossTheArray) {
+  CompiledProgram CP = compileLime(FilterSource);
+  ASSERT_COMPILES(CP);
+  MethodDecl *W = CP.Prog->findClass("C")->findMethod("squares");
+  ASSERT_NE(W, nullptr);
+
+  OffloadConfig OC;
+  OC.Assumes = {"xs[0] >= 0"};
+  OffloadedFilter F(CP.Prog, CP.Ctx->types(), W, OC);
+  ASSERT_TRUE(F.ok()) << F.error();
+
+  // The stale value sits at the LAST element: the sample must include
+  // both ends even on arrays larger than the probe budget.
+  std::vector<float> Data(1000, 1.0f);
+  Data.back() = -5.0f;
+  ExecResult R = F.invoke({floatArray(CP.Ctx->types(), Data)});
+  ASSERT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMessage.find("xs[0] >= 0"), std::string::npos)
+      << R.TrapMessage;
+  EXPECT_NE(R.TrapMessage.find("xs[999][0] = -5"), std::string::npos)
+      << R.TrapMessage;
+}
+
+TEST(OffloadAssumeSpotCheck, ScalarFactCheckedAgainstActualArgument) {
+  CompiledProgram CP = compileLime(ScaledFilterSource);
+  ASSERT_COMPILES(CP);
+  MethodDecl *W = CP.Prog->findClass("S")->findMethod("scaled");
+  ASSERT_NE(W, nullptr);
+
+  OffloadConfig OC;
+  OC.Assumes = {"k >= 1"};
+  OffloadedFilter F(CP.Prog, CP.Ctx->types(), W, OC);
+  ASSERT_TRUE(F.ok()) << F.error();
+
+  RtValue Xs = floatArray(CP.Ctx->types(), {1.0f, 2.0f});
+  ExecResult Bad = F.invoke({Xs, RtValue::makeInt(0)});
+  ASSERT_TRUE(Bad.Trapped);
+  EXPECT_NE(Bad.TrapMessage.find("k = 0"), std::string::npos)
+      << Bad.TrapMessage;
+
+  F.clearError();
+  ExecResult Good = F.invoke({Xs, RtValue::makeInt(3)});
+  ASSERT_FALSE(Good.Trapped) << Good.TrapMessage;
+}
+
+TEST(OffloadAssumeSpotCheck, FactNamingUnknownParameterIsAnError) {
+  CompiledProgram CP = compileLime(FilterSource);
+  ASSERT_COMPILES(CP);
+  MethodDecl *W = CP.Prog->findClass("C")->findMethod("squares");
+  ASSERT_NE(W, nullptr);
+
+  OffloadConfig OC;
+  OC.Assumes = {"len(nope) >= 1"};
+  OffloadedFilter F(CP.Prog, CP.Ctx->types(), W, OC);
+  ASSERT_TRUE(F.ok()) << F.error();
+
+  ExecResult R = F.invoke({floatArray(CP.Ctx->types(), {1.0f})});
+  ASSERT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMessage.find("names no parameter"), std::string::npos)
+      << R.TrapMessage;
 }
 
 TEST(OffloadConfigValidation, CanonicalConfigClampsTileBudget) {

@@ -250,4 +250,54 @@ TEST(DriverOptions, JitFlagsDefaultOff) {
   EXPECT_FALSE(O.JitDump);
 }
 
+TEST(DriverOptions, BytecodeTierFlagsParseForAnalyzeCommands) {
+  DriverOptions O;
+  ParseResult R = parseAndValidate(
+      {"prog.lime", "--analyze", "C.m", "--bc-analyze", "--bc-verdicts"}, O);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(O.BcAnalyze);
+  EXPECT_TRUE(O.BcVerdicts);
+
+  DriverOptions Sweep;
+  R = parseAndValidate({"--analyze-workloads", "--bc-analyze"}, Sweep);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(Sweep.BcAnalyze);
+  EXPECT_FALSE(Sweep.BcVerdicts);
+}
+
+TEST(DriverOptions, BytecodeTierFlagConflicts) {
+  // --bc-analyze belongs to the analyze commands.
+  DriverOptions O;
+  ParseResult R = parseAndValidate({"prog.lime", "--bc-analyze"}, O);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("--bc-analyze"), std::string::npos) << R.Error;
+
+  // The verdict dump is part of the tier, not standalone.
+  DriverOptions O2;
+  R = parseAndValidate({"prog.lime", "--analyze", "C.m", "--bc-verdicts"},
+                       O2);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("--bc-analyze"), std::string::npos) << R.Error;
+
+  // --no-bc-proofs is an execution switch.
+  DriverOptions O3;
+  R = parseAndValidate({"prog.lime", "--analyze", "C.m", "--no-bc-proofs"},
+                       O3);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("--no-bc-proofs"), std::string::npos) << R.Error;
+}
+
+TEST(DriverOptions, NoBcProofsParsesForExecutingCommands) {
+  DriverOptions O;
+  ParseResult R =
+      parseAndValidate({"prog.lime", "--run", "C.m", "--no-bc-proofs"}, O);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(O.NoBcProofs);
+
+  DriverOptions Dflt;
+  R = parseAndValidate({"prog.lime", "--run", "C.m"}, Dflt);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(Dflt.NoBcProofs);
+}
+
 } // namespace
