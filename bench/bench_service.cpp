@@ -22,15 +22,34 @@
 /// acceptance check: warm throughput >= 2x cold with a >90% warm hit
 /// rate. Exit status reflects the check.
 ///
+/// `--open-loop` switches to the overload-control saturation harness
+/// (docs/service-slo.md): Poisson arrivals at a fixed offered rate —
+/// independent of completions, the way real traffic arrives — fanned
+/// across N client identities against a service running the Deadline
+/// shed policy. Two runs, at 1x and 2x the measured saturation
+/// throughput, report goodput, shed rate, p50/p95/p99 latency, and a
+/// cohort fairness ratio into BENCH_service.json. Gates: goodput at
+/// 2x >= 80% of goodput at 1x (overload must degrade gracefully, not
+/// collapse), cohort fairness ratio <= 1.5.
+///
 //===----------------------------------------------------------------------===//
 
 #include "lime/parser/Parser.h"
 #include "lime/sema/Sema.h"
 #include "service/OffloadService.h"
+#include "support/Random.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
+#include <fstream>
+#include <mutex>
 #include <thread>
 
 using namespace lime;
@@ -172,9 +191,345 @@ PhaseResult runPhase(OffloadService &Svc, const BenchSetup &B,
   return P;
 }
 
+// --- open-loop saturation harness ---------------------------------
+
+struct OpenLoopOptions {
+  bool Enabled = false;
+  unsigned Clients = 1000; ///< distinct client identities (not threads)
+  double Qps = 0.0;        ///< 1x offered rate; 0 = measure saturation
+  double Seconds = 2.0;    ///< duration of each open-loop run
+  bool Gate = true;
+  std::string JsonPath = "BENCH_service.json";
+};
+
+/// One open-loop run's outcome.
+struct OpenLoopRun {
+  double OfferedQps = 0.0;
+  double Seconds = 0.0;
+  uint64_t Arrivals = 0;
+  uint64_t Ok = 0;
+  uint64_t QuotaRejected = 0;
+  uint64_t QueueFull = 0;
+  uint64_t Shed = 0; // deadline-infeasible
+  uint64_t TimedOut = 0;
+  uint64_t OtherFailed = 0;
+  double P50Ms = 0.0, P95Ms = 0.0, P99Ms = 0.0;
+  /// Max/min goodput ratio across 8 client cohorts (clients are
+  /// assigned round-robin, so cohort populations are equal; grouping
+  /// damps the per-client noise of small counts at 1000 clients).
+  double Fairness = 0.0;
+
+  double goodput() const { return Seconds > 0 ? Ok / Seconds : 0.0; }
+  double shedRate() const {
+    uint64_t Refused = QuotaRejected + QueueFull + Shed;
+    return Arrivals ? static_cast<double>(Refused) / Arrivals : 0.0;
+  }
+};
+
+constexpr unsigned FairnessCohorts = 8;
+
+/// Warm every (filter, input) pick the harness can generate so the
+/// measured runs never pay a compile.
+void warmService(OffloadService &Svc, const BenchSetup &B) {
+  std::vector<std::future<ExecResult>> Futs;
+  for (size_t F = 0; F != B.Filters.size(); ++F)
+    for (size_t I = 0; I != B.Inputs.size(); ++I) {
+      OffloadRequest R;
+      R.Worker = B.Filters[F];
+      R.Config.Mem = MemoryConfig::best();
+      R.Args.push_back(B.Inputs[I]);
+      R.ClientId = "warm";
+      Futs.push_back(Svc.submit(std::move(R)));
+    }
+  for (auto &F : Futs)
+    F.get();
+  Svc.waitIdle();
+}
+
+/// Closed-loop saturation probe: pipelined clients push as hard as
+/// they can for ~1 s; completions/second is the service's capacity
+/// and anchors the open-loop offered rates.
+double measureSaturation(OffloadService &Svc, const BenchSetup &B) {
+  using Clock = std::chrono::steady_clock;
+  std::atomic<uint64_t> Ok{0};
+  auto T0 = Clock::now();
+  auto End = T0 + std::chrono::milliseconds(1000);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != 4; ++T) {
+    Threads.emplace_back([&, T] {
+      SplitMix64 Rng(0xbadc0ffeeull + T);
+      std::deque<std::future<ExecResult>> Window;
+      auto DrainOne = [&] {
+        if (Window.front().get().ok())
+          ++Ok;
+        Window.pop_front();
+      };
+      while (Clock::now() < End) {
+        OffloadRequest R;
+        R.Worker = B.Filters[Rng.nextBelow(B.Filters.size())];
+        R.Config.Mem = MemoryConfig::best();
+        R.Args.push_back(B.Inputs[Rng.nextBelow(B.Inputs.size())]);
+        R.ClientId = "sat" + std::to_string(T);
+        Window.push_back(Svc.submit(std::move(R)));
+        if (Window.size() >= 8)
+          DrainOne();
+      }
+      while (!Window.empty())
+        DrainOne();
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  Svc.waitIdle();
+  double Sec = std::chrono::duration<double>(Clock::now() - T0).count();
+  return static_cast<double>(Ok.load()) / Sec;
+}
+
+/// One open-loop run: Poisson arrivals at \p Qps for Opts.Seconds,
+/// each tagged with the next client identity round-robin. Latency is
+/// measured from the *scheduled* arrival instant (open-loop: a
+/// backlogged submitter is the service's problem, not the clock's).
+OpenLoopRun runOpenLoop(OffloadService &Svc, const BenchSetup &B,
+                        const OpenLoopOptions &Opts, double Qps) {
+  using Clock = std::chrono::steady_clock;
+  OpenLoopRun Run;
+  Run.OfferedQps = Qps;
+
+  std::mutex InboxMu;
+  std::condition_variable InboxCv;
+  std::deque<std::tuple<unsigned, Clock::time_point, std::future<ExecResult>>>
+      Inbox;
+  bool GenDone = false;
+
+  std::mutex ResMu;
+  std::vector<double> LatMs;
+  std::vector<uint64_t> CohortOk(FairnessCohorts, 0);
+
+  std::vector<std::thread> Drainers;
+  for (unsigned D = 0; D != 4; ++D) {
+    Drainers.emplace_back([&] {
+      for (;;) {
+        std::unique_lock<std::mutex> Lock(InboxMu);
+        InboxCv.wait(Lock, [&] { return !Inbox.empty() || GenDone; });
+        if (Inbox.empty())
+          return;
+        auto [ClientIdx, At, Fut] = std::move(Inbox.front());
+        Inbox.pop_front();
+        Lock.unlock();
+        ExecResult E = Fut.get();
+        double Ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - At)
+                .count();
+        std::lock_guard<std::mutex> RLock(ResMu);
+        if (!E.Trapped) {
+          ++Run.Ok;
+          ++CohortOk[ClientIdx % FairnessCohorts];
+          LatMs.push_back(Ms);
+          continue;
+        }
+        switch (classifyServiceError(E)) {
+        case ServiceRejectKind::QuotaExceeded:
+          ++Run.QuotaRejected;
+          break;
+        case ServiceRejectKind::QueueFull:
+          ++Run.QueueFull;
+          break;
+        case ServiceRejectKind::DeadlineInfeasible:
+          ++Run.Shed;
+          break;
+        case ServiceRejectKind::TimedOut:
+          ++Run.TimedOut;
+          break;
+        case ServiceRejectKind::None:
+          ++Run.OtherFailed;
+          break;
+        }
+      }
+    });
+  }
+
+  SplitMix64 Rng(42);
+  auto T0 = Clock::now();
+  auto End = T0 + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(Opts.Seconds));
+  auto NextAt = T0;
+  unsigned Idx = 0;
+  while (NextAt < End) {
+    std::this_thread::sleep_until(NextAt);
+    unsigned ClientIdx = Idx % Opts.Clients;
+    OffloadRequest R;
+    R.Worker = B.Filters[Rng.nextBelow(B.Filters.size())];
+    R.Config.Mem = MemoryConfig::best();
+    R.Args.push_back(B.Inputs[Rng.nextBelow(B.Inputs.size())]);
+    R.ClientId = "c" + std::to_string(ClientIdx);
+    R.DeadlineMs = 50.0;
+    std::future<ExecResult> Fut = Svc.submit(std::move(R));
+    {
+      std::lock_guard<std::mutex> Lock(InboxMu);
+      Inbox.emplace_back(ClientIdx, NextAt, std::move(Fut));
+    }
+    InboxCv.notify_one();
+    ++Idx;
+    ++Run.Arrivals;
+    // Poisson arrivals: exponential inter-arrival gaps at rate Qps.
+    double Gap = -std::log(1.0 - Rng.nextDouble()) / Qps;
+    NextAt += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(Gap));
+  }
+  {
+    std::lock_guard<std::mutex> Lock(InboxMu);
+    GenDone = true;
+  }
+  InboxCv.notify_all();
+  for (std::thread &D : Drainers)
+    D.join();
+  Svc.waitIdle();
+  Run.Seconds = std::chrono::duration<double>(Clock::now() - T0).count();
+
+  std::sort(LatMs.begin(), LatMs.end());
+  auto Pct = [&](double Q) {
+    if (LatMs.empty())
+      return 0.0;
+    return LatMs[static_cast<size_t>(Q * (LatMs.size() - 1))];
+  };
+  Run.P50Ms = Pct(0.50);
+  Run.P95Ms = Pct(0.95);
+  Run.P99Ms = Pct(0.99);
+
+  uint64_t MaxOk = 0, MinOk = ~0ull;
+  for (uint64_t N : CohortOk) {
+    MaxOk = std::max(MaxOk, N);
+    MinOk = std::min(MinOk, N);
+  }
+  Run.Fairness = MinOk ? static_cast<double>(MaxOk) / MinOk
+                       : (MaxOk ? 999.0 : 1.0);
+  return Run;
+}
+
+void printRun(const char *Tag, const OpenLoopRun &R) {
+  std::printf("%-12s | offered %7.0f/s, arrived %6llu, goodput %7.0f/s, "
+              "shed %4.1f%% (%llu queue-full, %llu shed, %llu quota), "
+              "%llu timed out, %llu failed\n"
+              "%-12s | latency p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, "
+              "cohort fairness %.2f\n",
+              Tag, R.OfferedQps,
+              static_cast<unsigned long long>(R.Arrivals), R.goodput(),
+              100.0 * R.shedRate(),
+              static_cast<unsigned long long>(R.QueueFull),
+              static_cast<unsigned long long>(R.Shed),
+              static_cast<unsigned long long>(R.QuotaRejected),
+              static_cast<unsigned long long>(R.TimedOut),
+              static_cast<unsigned long long>(R.OtherFailed), "", R.P50Ms,
+              R.P95Ms, R.P99Ms, R.Fairness);
+}
+
+void jsonRun(std::ostream &O, const OpenLoopRun &R) {
+  O << "    {\n"
+    << "      \"offered_qps\": " << R.OfferedQps << ",\n"
+    << "      \"seconds\": " << R.Seconds << ",\n"
+    << "      \"arrivals\": " << R.Arrivals << ",\n"
+    << "      \"completed\": " << R.Ok << ",\n"
+    << "      \"goodput_qps\": " << R.goodput() << ",\n"
+    << "      \"shed_rate\": " << R.shedRate() << ",\n"
+    << "      \"queue_full_rejected\": " << R.QueueFull << ",\n"
+    << "      \"deadline_shed\": " << R.Shed << ",\n"
+    << "      \"quota_rejected\": " << R.QuotaRejected << ",\n"
+    << "      \"timed_out\": " << R.TimedOut << ",\n"
+    << "      \"other_failed\": " << R.OtherFailed << ",\n"
+    << "      \"p50_ms\": " << R.P50Ms << ",\n"
+    << "      \"p95_ms\": " << R.P95Ms << ",\n"
+    << "      \"p99_ms\": " << R.P99Ms << ",\n"
+    << "      \"cohort_fairness\": " << R.Fairness << "\n"
+    << "    }";
+}
+
+int runOpenLoopBench(const BenchSetup &B, Program *Prog, TypeContext &Types,
+                     const OpenLoopOptions &Opts) {
+  ServiceConfig SC;
+  SC.Devices = {"gtx580", "gtx580"};
+  SC.CacheCapacity = 64;
+  SC.QueueDepth = 64;
+  SC.ShedPolicy = ServiceConfig::Shedding::Deadline;
+  SC.CoalesceWindow = 16;
+  SC.MaxRetries = 1;
+  SC.BackoffBaseMs = 0.0; // retry sleeps would stall a worker thread
+  OffloadService Svc(Prog, Types, SC);
+
+  warmService(Svc, B);
+  double SatQps = Opts.Qps > 0 ? Opts.Qps : measureSaturation(Svc, B);
+  std::printf("open-loop saturation harness: %u clients, %.1f s per run, "
+              "saturation %s%.0f req/s\n\n",
+              Opts.Clients, Opts.Seconds,
+              Opts.Qps > 0 ? "(given) " : "(measured) ", SatQps);
+
+  OpenLoopRun At1x = runOpenLoop(Svc, B, Opts, SatQps);
+  printRun("1x load", At1x);
+  OpenLoopRun At2x = runOpenLoop(Svc, B, Opts, 2.0 * SatQps);
+  printRun("2x overload", At2x);
+
+  double GoodputRatio =
+      At1x.goodput() > 0 ? At2x.goodput() / At1x.goodput() : 0.0;
+  bool GoodputOk = GoodputRatio >= 0.8;
+  bool FairnessOk = At2x.Fairness <= 1.5;
+  std::printf("\ngates @ 2x overload: goodput %.0f%% of 1x (need >= 80%%) "
+              "%s, cohort fairness %.2f (need <= 1.50) %s\n",
+              100.0 * GoodputRatio, GoodputOk ? "PASS" : "FAIL",
+              At2x.Fairness, FairnessOk ? "PASS" : "FAIL");
+
+  std::ofstream Json(Opts.JsonPath, std::ios::trunc);
+  if (Json) {
+    Json << "{\n  \"schema\": \"limec-bench-service-v1\",\n"
+         << "  \"clients\": " << Opts.Clients << ",\n"
+         << "  \"fairness_cohorts\": " << FairnessCohorts << ",\n"
+         << "  \"saturation_qps\": " << SatQps << ",\n"
+         << "  \"saturation_measured\": " << (Opts.Qps > 0 ? "false" : "true")
+         << ",\n  \"runs\": [\n";
+    jsonRun(Json, At1x);
+    Json << ",\n";
+    jsonRun(Json, At2x);
+    Json << "\n  ],\n  \"gates\": {\n"
+         << "    \"goodput_ratio\": {\"value\": " << GoodputRatio
+         << ", \"min\": 0.8, \"pass\": " << (GoodputOk ? "true" : "false")
+         << "},\n"
+         << "    \"cohort_fairness\": {\"value\": " << At2x.Fairness
+         << ", \"max\": 1.5, \"pass\": " << (FairnessOk ? "true" : "false")
+         << "}\n  }\n}\n";
+    std::printf("wrote %s\n", Opts.JsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "bench_service: cannot write %s\n",
+                 Opts.JsonPath.c_str());
+  }
+
+  if (!Opts.Gate)
+    return 0;
+  return GoodputOk && FairnessOk ? 0 : 1;
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  OpenLoopOptions Opts;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--open-loop") == 0) {
+      Opts.Enabled = true;
+    } else if (std::strcmp(argv[I], "--clients") == 0 && I + 1 < argc) {
+      Opts.Clients = std::max(1, std::atoi(argv[++I]));
+    } else if (std::strcmp(argv[I], "--qps") == 0 && I + 1 < argc) {
+      Opts.Qps = std::atof(argv[++I]);
+    } else if (std::strcmp(argv[I], "--seconds") == 0 && I + 1 < argc) {
+      Opts.Seconds = std::atof(argv[++I]);
+    } else if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc) {
+      Opts.JsonPath = argv[++I];
+    } else if (std::strcmp(argv[I], "--no-gate") == 0) {
+      Opts.Gate = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_service [--open-loop] [--clients N] "
+                   "[--qps Q] [--seconds S] [--json PATH] [--no-gate]\n");
+      return 2;
+    }
+  }
+
   ASTContext Ctx;
   DiagnosticEngine Diags;
   std::string Source = benchSource();
@@ -204,6 +559,9 @@ int main() {
   for (int I = 0; I != 8; ++I)
     B.Inputs.push_back(
         makeFloatArray(*B.Types, 24 + 8 * I, 0.5f * (I + 1)));
+
+  if (Opts.Enabled)
+    return runOpenLoopBench(B, Prog, Ctx.types(), Opts);
 
   std::printf("offload service benchmark: %zu filters x %zu memory "
               "configs per client (every client's grid is key-distinct; "

@@ -42,11 +42,37 @@ static bool mergeable(const PendingInvoke &A, const PendingInvoke &B) {
   return true;
 }
 
-DevicePool::DevicePool(std::vector<std::string> DeviceNames, size_t QueueDepth,
-                       unsigned MaxBatch, BreakerConfig Breaker, Executor Exec)
-    : QueueDepth(QueueDepth ? QueueDepth : 1),
-      MaxBatch(MaxBatch ? MaxBatch : 1), Breaker(Breaker),
-      Exec(std::move(Exec)) {
+/// Coalescing eligibility: the whole argument list is bit-identical
+/// (map source included), so one launch's result answers both
+/// futures. Unlike mergeable() this holds for reduce kernels and
+/// retries too — identical inputs give identical outputs regardless
+/// of kernel shape.
+static bool identicalInvoke(const PendingInvoke &A, const PendingInvoke &B) {
+  if (A.Instance != B.Instance || A.Args.size() != B.Args.size())
+    return false;
+  for (size_t I = 0; I != A.Args.size(); ++I)
+    if (!A.Args[I].equals(B.Args[I]))
+      return false;
+  return true;
+}
+
+/// Requests a batch resolves: members plus their coalesced twins.
+static size_t requestCount(const std::vector<PendingInvoke> &Batch) {
+  size_t N = Batch.size();
+  for (const PendingInvoke &B : Batch)
+    N += B.Twins.size();
+  return N;
+}
+
+DevicePool::DevicePool(std::vector<std::string> DeviceNames, PoolConfig Config,
+                       Executor Exec)
+    : Cfg(std::move(Config)), Exec(std::move(Exec)) {
+  if (!Cfg.QueueDepth)
+    Cfg.QueueDepth = 1;
+  if (!Cfg.MaxBatch)
+    Cfg.MaxBatch = 1;
+  if (!Cfg.CoalesceWindow)
+    Cfg.CoalesceWindow = 1;
   std::lock_guard<std::mutex> Lock(Mu);
   for (const std::string &Name : DeviceNames)
     addWorkerLocked(Name);
@@ -70,10 +96,26 @@ DevicePool::Worker &DevicePool::addWorkerLocked(const std::string &DeviceName) {
   auto W = std::make_unique<Worker>();
   W->Id = static_cast<unsigned>(Workers.size());
   W->DeviceName = DeviceName;
+  W->Cursor = W->Active.end();
   Workers.push_back(std::move(W));
   Worker &Ref = *Workers.back();
   Ref.Thread = std::thread([this, &Ref] { workerLoop(Ref); });
   return Ref;
+}
+
+DevicePool::Worker *DevicePool::workerById(unsigned Id) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  assert(Id < Workers.size() && "bad worker id");
+  return Workers[Id].get();
+}
+
+double DevicePool::weightOf(const std::string &Client) const {
+  // ClientWeights is immutable once workers run; no lock needed.
+  auto It = Cfg.ClientWeights.find(Client);
+  double W = It == Cfg.ClientWeights.end() ? 1.0 : It->second;
+  // Floor keeps the DRR loop's catch-up rounds bounded and denies no
+  // one service entirely.
+  return W > 0.05 ? W : 0.05;
 }
 
 bool DevicePool::eligibleLocked(Worker &W,
@@ -120,7 +162,7 @@ int DevicePool::pickWorker(const std::string &DeviceName,
       // trial it could never be re-admitted.
       if (W->Breaker != BreakerState::Closed && !Probe)
         Probe = W.get();
-      Load = W->Queue.size() + W->InFlight;
+      Load = W->Queued + W->InFlight;
     }
     if (!Best || Load < BestLoad) {
       Best = W.get();
@@ -165,31 +207,124 @@ std::vector<std::string> DevicePool::modelNames() const {
   return Names;
 }
 
-bool DevicePool::submitTo(unsigned Id, PendingInvoke &Inv, bool Force) {
-  Worker *W;
-  {
-    std::lock_guard<std::mutex> Lock(Mu);
-    assert(Id < Workers.size() && "bad worker id");
-    W = Workers[Id].get();
+size_t DevicePool::loadOf(const std::string &DeviceName) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t Best = SIZE_MAX;
+  for (const auto &W : Workers) {
+    if (W->DeviceName != DeviceName)
+      continue;
+    std::lock_guard<std::mutex> WL(W->Mu);
+    if (W->Stop || W->Breaker == BreakerState::Open)
+      continue;
+    Best = std::min(Best, W->Queued + W->InFlight);
   }
+  return Best == SIZE_MAX ? 0 : Best;
+}
+
+void DevicePool::enqueueLocked(Worker &W, PendingInvoke Inv) {
+  auto It = W.ByClient.find(Inv.ClientId);
+  if (It == W.ByClient.end()) {
+    ClientQueue CQ;
+    CQ.Client = Inv.ClientId;
+    // New queues join just behind the cursor, i.e. at the end of the
+    // current round-robin cycle.
+    auto Pos = W.Active.insert(
+        W.Cursor == W.Active.end() ? W.Active.end() : W.Cursor, std::move(CQ));
+    It = W.ByClient.emplace(Inv.ClientId, Pos).first;
+  }
+  std::deque<PendingInvoke> &Q = It->second->Q;
+  // Earliest deadline first within the client's share; deadline-less
+  // requests keep FIFO order behind every deadline-bearing one.
+  auto Pos = Q.end();
+  if (Inv.hasDeadline())
+    Pos = std::find_if(Q.begin(), Q.end(), [&](const PendingInvoke &P) {
+      return !P.hasDeadline() || P.Deadline > Inv.Deadline;
+    });
+  Q.insert(Pos, std::move(Inv));
+  ++W.Queued;
+  W.QueueHighWater = std::max(W.QueueHighWater, W.Queued);
+}
+
+PendingInvoke DevicePool::popLocked(Worker &W) {
+  assert(W.Queued && !W.Active.empty() && "pop from empty worker");
+  // Weighted deficit round robin, unit cost per request: each visit
+  // credits the client its weight; a request costs one token. The
+  // cursor stays on a client while it still has credit, so weights
+  // above 1 translate into consecutive dequeues.
+  for (;;) {
+    if (W.Cursor == W.Active.end())
+      W.Cursor = W.Active.begin();
+    ClientQueue &CQ = *W.Cursor;
+    if (CQ.Deficit < 1.0)
+      CQ.Deficit += weightOf(CQ.Client);
+    if (CQ.Deficit >= 1.0) {
+      CQ.Deficit -= 1.0;
+      PendingInvoke Inv = std::move(CQ.Q.front());
+      CQ.Q.pop_front();
+      --W.Queued;
+      if (CQ.Q.empty()) {
+        W.ByClient.erase(CQ.Client);
+        W.Cursor = W.Active.erase(W.Cursor);
+      } else if (CQ.Deficit < 1.0) {
+        ++W.Cursor;
+      }
+      return Inv;
+    }
+    ++W.Cursor;
+  }
+}
+
+void DevicePool::collectMatchingLocked(
+    Worker &W, const PendingInvoke &Proto,
+    bool (*Match)(const PendingInvoke &, const PendingInvoke &), size_t Limit,
+    std::vector<PendingInvoke> &Out) {
+  if (!Limit)
+    return;
+  size_t Taken = 0;
+  for (auto QIt = W.Active.begin(); QIt != W.Active.end() && Taken < Limit;) {
+    std::deque<PendingInvoke> &Q = QIt->Q;
+    for (auto It = Q.begin(); It != Q.end() && Taken < Limit;) {
+      if (Match(Proto, *It)) {
+        Out.push_back(std::move(*It));
+        It = Q.erase(It);
+        --W.Queued;
+        ++Taken;
+      } else {
+        ++It;
+      }
+    }
+    if (Q.empty()) {
+      if (W.Cursor == QIt)
+        ++W.Cursor;
+      W.ByClient.erase(QIt->Client);
+      QIt = W.Active.erase(QIt);
+    } else {
+      ++QIt;
+    }
+  }
+}
+
+DevicePool::SubmitOutcome DevicePool::submitTo(unsigned Id, PendingInvoke &Inv,
+                                               bool Force, bool Block) {
+  Worker *W = workerById(Id);
   std::unique_lock<std::mutex> WL(W->Mu);
-  if (!Force)
-    W->NotFull.wait(WL, [&] { return W->Stop || W->Queue.size() < QueueDepth; });
+  if (!Force) {
+    if (Block) {
+      W->NotFull.wait(WL,
+                      [&] { return W->Stop || W->Queued < Cfg.QueueDepth; });
+    } else if (!W->Stop && W->Queued >= Cfg.QueueDepth) {
+      return SubmitOutcome::Full;
+    }
+  }
   if (W->Stop)
-    return false;
-  W->Queue.push_back(std::move(Inv));
-  W->QueueHighWater = std::max(W->QueueHighWater, W->Queue.size());
+    return SubmitOutcome::Stopping;
+  enqueueLocked(*W, std::move(Inv));
   W->NotEmpty.notify_one();
-  return true;
+  return SubmitOutcome::Accepted;
 }
 
 void DevicePool::recordSuccess(unsigned Id) {
-  Worker *W;
-  {
-    std::lock_guard<std::mutex> Lock(Mu);
-    assert(Id < Workers.size() && "bad worker id");
-    W = Workers[Id].get();
-  }
+  Worker *W = workerById(Id);
   std::lock_guard<std::mutex> WL(W->Mu);
   W->ConsecFailures = 0;
   if (W->Breaker == BreakerState::Probation) {
@@ -201,12 +336,7 @@ void DevicePool::recordSuccess(unsigned Id) {
 
 bool DevicePool::recordFailure(unsigned Id,
                                std::vector<PendingInvoke> &Drained) {
-  Worker *W;
-  {
-    std::lock_guard<std::mutex> Lock(Mu);
-    assert(Id < Workers.size() && "bad worker id");
-    W = Workers[Id].get();
-  }
+  Worker *W = workerById(Id);
   std::lock_guard<std::mutex> WL(W->Mu);
   ++W->Failures;
   ++W->ConsecFailures;
@@ -214,8 +344,8 @@ bool DevicePool::recordFailure(unsigned Id,
   if (W->Breaker == BreakerState::Probation) {
     // Probe failed: back to quarantine for another cooldown.
     Quarantine = true;
-  } else if (W->Breaker == BreakerState::Closed && Breaker.Threshold &&
-             W->ConsecFailures >= Breaker.Threshold) {
+  } else if (W->Breaker == BreakerState::Closed && Cfg.Breaker.Threshold &&
+             W->ConsecFailures >= Cfg.Breaker.Threshold) {
     Quarantine = true;
   }
   if (!Quarantine)
@@ -226,24 +356,27 @@ bool DevicePool::recordFailure(unsigned Id,
   W->QuarantinedUntil =
       std::chrono::steady_clock::now() +
       std::chrono::microseconds(
-          static_cast<int64_t>(Breaker.CooldownMs * 1000.0));
-  // Hand the queued work back for re-routing onto healthy peers. The
-  // batch currently in flight is the caller's to retry.
-  while (!W->Queue.empty()) {
-    Drained.push_back(std::move(W->Queue.front()));
-    W->Queue.pop_front();
+          static_cast<int64_t>(Cfg.Breaker.CooldownMs * 1000.0));
+  // Hand the queued work back for re-routing onto healthy peers — in
+  // round-robin client order so re-placement stays fair. The batch
+  // currently in flight is the caller's to retry.
+  while (!W->Active.empty()) {
+    ClientQueue &CQ = W->Active.front();
+    while (!CQ.Q.empty()) {
+      Drained.push_back(std::move(CQ.Q.front()));
+      CQ.Q.pop_front();
+    }
+    W->Active.pop_front();
   }
+  W->ByClient.clear();
+  W->Cursor = W->Active.end();
+  W->Queued = 0;
   W->NotFull.notify_all();
   return true;
 }
 
 void DevicePool::recordSkipped(unsigned Id) {
-  Worker *W;
-  {
-    std::lock_guard<std::mutex> Lock(Mu);
-    assert(Id < Workers.size() && "bad worker id");
-    W = Workers[Id].get();
-  }
+  Worker *W = workerById(Id);
   std::lock_guard<std::mutex> WL(W->Mu);
   if (W->Breaker == BreakerState::Probation && W->ProbationInFlight) {
     // Verdict still pending; drop back to Open with the cooldown
@@ -254,12 +387,7 @@ void DevicePool::recordSkipped(unsigned Id) {
 }
 
 BreakerState DevicePool::breakerStateOf(unsigned Id) const {
-  Worker *W;
-  {
-    std::lock_guard<std::mutex> Lock(Mu);
-    assert(Id < Workers.size() && "bad worker id");
-    W = Workers[Id].get();
-  }
+  Worker *W = workerById(Id);
   std::lock_guard<std::mutex> WL(W->Mu);
   return W->Breaker;
 }
@@ -289,7 +417,7 @@ void DevicePool::waitIdle() {
       W = Workers[I].get();
     }
     std::unique_lock<std::mutex> WL(W->Mu);
-    W->Idle.wait(WL, [&] { return W->Queue.empty() && W->InFlight == 0; });
+    W->Idle.wait(WL, [&] { return W->Queued == 0 && W->InFlight == 0; });
   }
 }
 
@@ -305,8 +433,10 @@ std::vector<DeviceStatsSnapshot> DevicePool::stats() const {
     S.Executed = W->Executed;
     S.Launches = W->Launches;
     S.BatchedRequests = W->BatchedRequests;
-    S.QueueDepth = W->Queue.size() + W->InFlight;
+    S.CoalescedRequests = W->CoalescedRequests;
+    S.QueueDepth = W->Queued + W->InFlight;
     S.QueueHighWater = W->QueueHighWater;
+    S.ActiveClients = W->Active.size();
     S.SimBusyNs = W->SimBusyNs;
     S.Failures = W->Failures;
     S.ConsecutiveFailures = W->ConsecFailures;
@@ -322,23 +452,29 @@ void DevicePool::workerLoop(Worker &W) {
     std::vector<PendingInvoke> Batch;
     {
       std::unique_lock<std::mutex> WL(W.Mu);
-      W.NotEmpty.wait(WL, [&] { return W.Stop || !W.Queue.empty(); });
-      if (W.Queue.empty())
+      W.NotEmpty.wait(WL, [&] { return W.Stop || W.Queued; });
+      if (!W.Queued)
         return; // Stop and drained
-      Batch.push_back(std::move(W.Queue.front()));
-      W.Queue.pop_front();
-      if (MaxBatch > 1 && Batch.front().SourceParam >= 0) {
-        for (auto It = W.Queue.begin();
-             It != W.Queue.end() && Batch.size() < MaxBatch;) {
-          if (mergeable(Batch.front(), *It)) {
-            Batch.push_back(std::move(*It));
-            It = W.Queue.erase(It);
-          } else {
-            ++It;
-          }
+      Batch.push_back(popLocked(W));
+      // Coalesce bit-identical requests onto the leader first, so a
+      // duplicate rides as a twin (one result, fanned out) instead of
+      // as a merge member (which would re-run the duplicate input).
+      auto Coalesce = [&](PendingInvoke &Member) {
+        if (Cfg.CoalesceWindow > 1)
+          collectMatchingLocked(W, Member, identicalInvoke,
+                                Cfg.CoalesceWindow - 1, Member.Twins);
+      };
+      Coalesce(Batch.front());
+      if (Cfg.MaxBatch > 1 && Batch.front().SourceParam >= 0) {
+        std::vector<PendingInvoke> More;
+        collectMatchingLocked(W, Batch.front(), mergeable, Cfg.MaxBatch - 1,
+                              More);
+        for (PendingInvoke &M : More) {
+          Batch.push_back(std::move(M));
+          Coalesce(Batch.back());
         }
       }
-      W.InFlight = Batch.size();
+      W.InFlight = requestCount(Batch);
       W.NotFull.notify_all();
     }
 
@@ -346,13 +482,17 @@ void DevicePool::workerLoop(Worker &W) {
 
     {
       std::lock_guard<std::mutex> WL(W.Mu);
-      W.Executed += Batch.size();
+      // The executor moves requests out of the batch when it fails
+      // them elsewhere (retry, fallback); what's left resolved here.
+      W.Executed += requestCount(Batch);
       W.Launches += 1;
       if (Batch.size() > 1)
         W.BatchedRequests += Batch.size();
+      for (const PendingInvoke &B : Batch)
+        W.CoalescedRequests += B.Twins.size();
       W.SimBusyNs += SimNs;
       W.InFlight = 0;
-      if (W.Queue.empty())
+      if (!W.Queued)
         W.Idle.notify_all();
     }
   }

@@ -7,12 +7,21 @@
 ///
 /// \file
 /// The offload service's device side: one worker thread per simulated
-/// device, each with a bounded work queue. Submission blocks when the
-/// chosen queue is full (backpressure toward the clients), dispatch
-/// picks the least-loaded worker among those simulating the requested
-/// device model, and the worker loop opportunistically merges
+/// device, each with a bounded, multi-tenant work queue. Every client
+/// gets its own sub-queue on each worker, served by weighted deficit
+/// round robin (DRR) so no tenant can starve another, with earliest-
+/// deadline-first ordering inside a client's share. Submission either
+/// blocks when the chosen worker is full (backpressure toward the
+/// clients, the seed behavior) or reports Full so the service can
+/// shed with a typed rejection; dispatch picks the least-loaded
+/// worker among those simulating the requested device model.
+///
+/// Before launching, the worker loop opportunistically (a) merges
 /// batch-eligible invocations of the same filter instance into one
-/// launch before handing them to the service's executor.
+/// concatenated launch, and (b) *coalesces* bit-identical invocations
+/// — same instance, same arguments, possibly from different clients —
+/// onto one launch as "twins" of a batch member, fanned out to every
+/// waiting future on completion.
 ///
 /// Each worker also carries a circuit breaker. Consecutive failures
 /// (recorded by the executor) past a threshold *quarantine* the
@@ -39,10 +48,13 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace lime::service {
@@ -60,6 +72,17 @@ struct PendingInvoke {
   std::vector<RtValue> Args;
   std::promise<ExecResult> Promise;
 
+  /// Tenant that submitted this request. "" is a valid (anonymous)
+  /// client and gets its own fair-queueing share like any other.
+  std::string ClientId;
+  /// Bit-identical queued invocations (same instance, same argument
+  /// bits — possibly from other clients) that coalesced onto this
+  /// one's launch. The executor fans the result out to each twin, or
+  /// re-resolves each independently on failure; a twin whose deadline
+  /// lapsed while the launch was in flight resolves as a typed
+  /// timeout without touching its siblings.
+  std::vector<PendingInvoke> Twins;
+
   // Fault-tolerance state, carried so a failed launch can be
   // re-resolved against a different worker (possibly of a different
   // device model, which needs a recompile through the kernel cache).
@@ -71,6 +94,10 @@ struct PendingInvoke {
   /// worker loop: expired-in-queue requests skip the device, and a
   /// dispatch completing past it counts as timed out.
   std::chrono::steady_clock::time_point Deadline{};
+  /// The per-request deadline budget in ms this request was submitted
+  /// with (0 = the service-config default); each retry attempt
+  /// re-derives a fresh absolute Deadline from it.
+  double DeadlineMs = 0.0;
 
   bool hasDeadline() const {
     return Deadline != std::chrono::steady_clock::time_point{};
@@ -104,11 +131,13 @@ struct BreakerConfig {
 struct DeviceStatsSnapshot {
   unsigned Id = 0;
   std::string DeviceName;
-  uint64_t Executed = 0;       // requests completed
+  uint64_t Executed = 0;       // requests resolved by this worker's launches
   uint64_t Launches = 0;       // executor calls (a merged batch is one)
   uint64_t BatchedRequests = 0; // requests that rode a merged launch
+  uint64_t CoalescedRequests = 0; // requests served as coalesced twins
   size_t QueueDepth = 0;        // queued + in flight right now
   size_t QueueHighWater = 0;    // max queued ever observed
+  size_t ActiveClients = 0;     // client sub-queues with work right now
   double SimBusyNs = 0.0;       // simulated device-side time executed
   // Breaker state.
   uint64_t Failures = 0;            // failures recorded against this worker
@@ -117,20 +146,43 @@ struct DeviceStatsSnapshot {
   BreakerState Breaker = BreakerState::Closed;
 };
 
+/// Queue/batch policy shared by every worker in a pool.
+struct PoolConfig {
+  /// Bound on each worker's queue (queued requests, twins included).
+  size_t QueueDepth = 256;
+  /// Caps merged launches (1 disables merging).
+  unsigned MaxBatch = 8;
+  /// Caps how many bit-identical requests collapse onto one launch
+  /// (the leader plus CoalesceWindow-1 twins; 1 disables coalescing).
+  unsigned CoalesceWindow = 1;
+  /// DRR weight per client id (missing = 1.0). A weight-2 client
+  /// drains twice as fast as a weight-1 client while both are
+  /// backlogged. Immutable once the pool is running.
+  std::map<std::string, double> ClientWeights;
+  BreakerConfig Breaker;
+};
+
 class DevicePool {
 public:
   /// The executor runs a batch (size >= 1, all same Instance) on the
   /// worker thread and returns the simulated device nanoseconds the
-  /// batch consumed. It must fulfil every promise in the batch
-  /// (directly, or by requeueing / falling back through the service).
+  /// batch consumed. It must fulfil every promise in the batch —
+  /// twins included — (directly, or by requeueing / falling back
+  /// through the service).
   using Executor =
       std::function<double(std::vector<PendingInvoke> &Batch, unsigned Id)>;
 
+  /// What submitTo did with the request.
+  enum class SubmitOutcome : uint8_t {
+    Accepted, ///< queued
+    Full,     ///< non-blocking submit met a full queue; Inv intact
+    Stopping, ///< worker tearing down; Inv intact
+  };
+
   /// Spawns one worker per name in \p DeviceNames (duplicates give a
-  /// multi-queue device of that model). \p QueueDepth bounds each
-  /// queue; \p MaxBatch caps merged launches (1 disables merging).
-  DevicePool(std::vector<std::string> DeviceNames, size_t QueueDepth,
-             unsigned MaxBatch, BreakerConfig Breaker, Executor Exec);
+  /// multi-queue device of that model).
+  DevicePool(std::vector<std::string> DeviceNames, PoolConfig Config,
+             Executor Exec);
 
   /// Drains every queue (outstanding work still runs) and joins.
   ~DevicePool();
@@ -160,12 +212,20 @@ public:
   /// (used for cross-model requeue candidates).
   std::vector<std::string> modelNames() const;
 
-  /// Queues \p Inv on worker \p Id. With \p Force false, blocks while
-  /// the queue is full (client backpressure); with \p Force true the
+  /// Smallest (queued + in flight) among non-quarantined workers of
+  /// \p DeviceName; 0 when the model has no worker yet. Feeds the
+  /// service's deadline-feasibility estimate.
+  size_t loadOf(const std::string &DeviceName) const;
+
+  /// Queues \p Inv on worker \p Id under its client's sub-queue. With
+  /// \p Force false and \p Block true, blocks while the queue is full
+  /// (client backpressure); with \p Block false a full queue returns
+  /// Full immediately so the caller can shed. With \p Force true the
   /// bound is bypassed (internal requeues from worker threads must
-  /// never block on each other). Returns false — and leaves \p Inv
-  /// intact — when the worker is already stopping (teardown).
-  bool submitTo(unsigned Id, PendingInvoke &Inv, bool Force = false);
+  /// never block on each other). \p Inv is left intact on any outcome
+  /// but Accepted.
+  SubmitOutcome submitTo(unsigned Id, PendingInvoke &Inv, bool Force = false,
+                         bool Block = true);
 
   /// Breaker bookkeeping, called by the executor after each launch.
   /// recordFailure appends the quarantined worker's queued work to
@@ -191,6 +251,17 @@ public:
   std::vector<DeviceStatsSnapshot> stats() const;
 
 private:
+  /// One client's share of a worker's queue. Requests with deadlines
+  /// sit in earliest-deadline-first order ahead of deadline-less ones
+  /// (which keep FIFO order among themselves).
+  struct ClientQueue {
+    std::string Client;
+    std::deque<PendingInvoke> Q;
+    /// DRR deficit: grows by the client's weight per scheduler visit,
+    /// pays 1 per dequeued request, resets when the queue empties.
+    double Deficit = 0.0;
+  };
+
   struct Worker {
     unsigned Id = 0;
     std::string DeviceName;
@@ -200,7 +271,12 @@ private:
     std::condition_variable NotEmpty;
     std::condition_variable NotFull;
     std::condition_variable Idle;
-    std::deque<PendingInvoke> Queue;
+    /// Client sub-queues with work, in round-robin order. Emptied
+    /// queues leave the ring (and their deficit) immediately.
+    std::list<ClientQueue> Active;
+    std::unordered_map<std::string, std::list<ClientQueue>::iterator> ByClient;
+    std::list<ClientQueue>::iterator Cursor; // DRR position in Active
+    size_t Queued = 0; // total requests across every sub-queue
     size_t InFlight = 0;
     bool Stop = false;
 
@@ -208,6 +284,7 @@ private:
     uint64_t Executed = 0;
     uint64_t Launches = 0;
     uint64_t BatchedRequests = 0;
+    uint64_t CoalescedRequests = 0;
     size_t QueueHighWater = 0;
     double SimBusyNs = 0.0;
 
@@ -226,10 +303,22 @@ private:
   /// worker whose cooldown elapsed into a probation candidate.
   bool eligibleLocked(Worker &W,
                       std::chrono::steady_clock::time_point Now) const;
+  Worker *workerById(unsigned Id) const;
+  double weightOf(const std::string &Client) const;
+  /// EDF-inserts \p Inv into its client's sub-queue (under W.Mu).
+  void enqueueLocked(Worker &W, PendingInvoke Inv);
+  /// Weighted-DRR dequeue of the next request (under W.Mu; Queued>0).
+  PendingInvoke popLocked(Worker &W);
+  /// Moves queued requests matching \p Match against \p Proto into
+  /// \p Out, at most \p Limit, scanning every client sub-queue
+  /// (under W.Mu). Used for both batch merging and identical-request
+  /// coalescing.
+  void collectMatchingLocked(Worker &W, const PendingInvoke &Proto,
+                             bool (*Match)(const PendingInvoke &,
+                                           const PendingInvoke &),
+                             size_t Limit, std::vector<PendingInvoke> &Out);
 
-  size_t QueueDepth;
-  unsigned MaxBatch;
-  BreakerConfig Breaker;
+  PoolConfig Cfg;
   Executor Exec;
 
   /// Guards the worker list itself; per-worker state is under each

@@ -9,6 +9,8 @@
 
 #include "lime/ast/ASTPrinter.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -66,35 +68,97 @@ std::string KernelCache::diskPathFor(uint64_t Hash) const {
   return P.str();
 }
 
+/// Pulls the hex/decimal value of "// <Field>: <value>" out of a v2
+/// header, or ~0 when the field is missing or malformed.
+static uint64_t headerField(const std::string &Header,
+                            const std::string &Field, int Base) {
+  std::string Tag = "// " + Field + ": ";
+  size_t At = Header.find(Tag);
+  if (At == std::string::npos)
+    return ~0ull;
+  errno = 0;
+  char *End = nullptr;
+  const char *Begin = Header.c_str() + At + Tag.size();
+  uint64_t V = std::strtoull(Begin, &End, Base);
+  if (End == Begin || errno != 0)
+    return ~0ull;
+  return V;
+}
+
 std::string KernelCache::diskLookup(const KernelKey &Key) const {
   if (DiskDir.empty())
     return "";
-  std::ifstream In(diskPathFor(Key.Hash));
+  std::string Path = diskPathFor(Key.Hash);
+  std::ifstream In(Path, std::ios::binary);
   if (!In)
     return "";
   std::ostringstream Buf;
   Buf << In.rdbuf();
   std::string Text = Buf.str();
-  // Strip the provenance header (lines up to the first blank line).
+  In.close();
+
+  // Validate before trusting: version line, then the header's length
+  // and FNV-1a checksum against the body. A truncated, bit-flipped,
+  // or old-format file is discarded (removed best-effort) and the
+  // caller recompiles as if it never existed — a corrupt cache entry
+  // must never poison a launch.
+  auto Discard = [&] {
+    std::error_code EC;
+    std::filesystem::remove(Path, EC);
+    return std::string();
+  };
+  static const char Magic[] = "// limecc kernel cache v2\n";
+  if (Text.compare(0, sizeof(Magic) - 1, Magic) != 0)
+    return Discard();
   size_t HdrEnd = Text.find("\n\n");
-  return HdrEnd == std::string::npos ? Text : Text.substr(HdrEnd + 2);
+  if (HdrEnd == std::string::npos)
+    return Discard();
+  std::string Header = Text.substr(0, HdrEnd + 1);
+  std::string Body = Text.substr(HdrEnd + 2);
+  if (headerField(Header, "key-fnv1a", 16) != Key.Hash ||
+      headerField(Header, "src-bytes", 10) != Body.size() ||
+      headerField(Header, "src-fnv1a", 16) != fnv1a(Body))
+    return Discard();
+  return Body;
 }
 
 void KernelCache::persist(const KernelKey &Key, const CompiledKernel &K) {
   if (DiskDir.empty() || !K.Ok)
     return;
-  std::ofstream Out(diskPathFor(Key.Hash), std::ios::trunc);
-  if (!Out)
-    return; // persistence is best-effort
-  Out << "// limecc kernel cache v1\n// key-fnv1a: " << std::hex << Key.Hash
-      << std::dec << "\n\n"
-      << K.Source;
+  // Write-then-rename: readers (this process later, or a concurrent
+  // one) only ever see a complete, checksummed file. rename(2) within
+  // one directory is atomic; a crash mid-write leaves only the temp.
+  std::string Path = diskPathFor(Key.Hash);
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::trunc | std::ios::binary);
+    if (!Out)
+      return; // persistence is best-effort
+    Out << "// limecc kernel cache v2\n// key-fnv1a: " << std::hex << Key.Hash
+        << "\n// src-fnv1a: " << fnv1a(K.Source) << std::dec
+        << "\n// src-bytes: " << K.Source.size() << "\n\n"
+        << K.Source;
+    Out.flush();
+    if (!Out) {
+      Out.close();
+      std::error_code EC;
+      std::filesystem::remove(Tmp, EC);
+      return;
+    }
+  }
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC)
+    std::filesystem::remove(Tmp, EC);
 }
 
 std::shared_ptr<const CompiledKernel>
 KernelCache::getOrCompile(const KernelKey &Key,
-                          const std::function<CompiledKernel()> &Compile) {
+                          const std::function<CompiledKernel()> &Compile,
+                          bool *WasMiss) {
   std::lock_guard<std::mutex> Lock(Mu);
+  if (WasMiss)
+    *WasMiss = false;
   auto It = Index.find(Key.Hash);
   if (It != Index.end() && It->second->second.Canonical == Key.Canonical) {
     ++Stats.Hits;
@@ -109,6 +173,8 @@ KernelCache::getOrCompile(const KernelKey &Key,
     ++Stats.Evictions;
   }
   ++Stats.Misses;
+  if (WasMiss)
+    *WasMiss = true;
 
   // Cross-process reuse check before compiling anew.
   std::string OnDisk = diskLookup(Key);

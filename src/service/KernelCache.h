@@ -17,7 +17,11 @@
 /// Optionally the cache persists generated OpenCL next to a process
 /// (one `<hash>.cl` file per kernel): a later `limec` run that
 /// compiles the same filter for the same configuration finds its own
-/// output on disk, which the DiskHits counter reports. The host-side
+/// output on disk, which the DiskHits counter reports. Files are
+/// written atomically (temp file + rename, so a crashed writer never
+/// leaves a half-written entry visible) and carry a checksummed `v2`
+/// header; a load that fails the version, length, or FNV-1a content
+/// check discards the file and recompiles as if it never existed. The host-side
 /// KernelPlan holds pointers into the current process's AST, so the
 /// plan itself is always rebuilt; the disk layer exists to carry the
 /// generated source across runs (inspection, warm-start validation)
@@ -93,10 +97,13 @@ public:
   /// the shared TypeContext, so compilations must be serialized
   /// anyway, and holding the lock also prevents duplicate compiles of
   /// one key racing each other. Failed compilations are negatively
-  /// cached (they would fail identically every time).
+  /// cached (they would fail identically every time). \p WasMiss,
+  /// when given, reports whether \p Compile ran (the service's shed
+  /// estimator charges a compile only to cache-cold requests).
   std::shared_ptr<const CompiledKernel>
   getOrCompile(const KernelKey &Key,
-               const std::function<CompiledKernel()> &Compile);
+               const std::function<CompiledKernel()> &Compile,
+               bool *WasMiss = nullptr);
 
   /// The generated source persisted for \p Key by this or an earlier
   /// process, or "" when the disk layer is off / has no entry.

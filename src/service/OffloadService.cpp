@@ -11,6 +11,7 @@
 #include "analysis/Verification.h"
 #include "lime/ast/ASTPrinter.h"
 #include "ocl/DeviceModel.h"
+#include "support/FaultInjection.h"
 
 #include <algorithm>
 #include <chrono>
@@ -32,6 +33,53 @@ static ExecResult trapped(std::string Msg) {
   R.Trapped = true;
   R.TrapMessage = std::move(Msg);
   return R;
+}
+
+/// A result copy safe to hand to a second future: the top-level array
+/// (if any) is duplicated so coalesced clients never share a mutable
+/// buffer.
+static ExecResult copyResult(const ExecResult &R) {
+  ExecResult C = R;
+  if (C.Value.isArray() && C.Value.array())
+    C.Value = RtValue::makeArray(std::make_shared<RtArray>(*C.Value.array()));
+  return C;
+}
+
+static double elapsedMs(std::chrono::steady_clock::time_point Since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Since)
+      .count();
+}
+
+const char *lime::service::serviceRejectKindName(ServiceRejectKind K) {
+  switch (K) {
+  case ServiceRejectKind::None:
+    return "none";
+  case ServiceRejectKind::QueueFull:
+    return "queue-full";
+  case ServiceRejectKind::QuotaExceeded:
+    return "quota-exceeded";
+  case ServiceRejectKind::DeadlineInfeasible:
+    return "deadline-infeasible";
+  case ServiceRejectKind::TimedOut:
+    return "timed-out";
+  }
+  return "?";
+}
+
+ServiceRejectKind lime::service::classifyServiceError(const ExecResult &R) {
+  if (!R.Trapped)
+    return ServiceRejectKind::None;
+  const std::string &M = R.TrapMessage;
+  if (M.find("rejected[queue-full]") != std::string::npos)
+    return ServiceRejectKind::QueueFull;
+  if (M.find("rejected[quota-exceeded]") != std::string::npos)
+    return ServiceRejectKind::QuotaExceeded;
+  if (M.find("rejected[deadline-infeasible]") != std::string::npos)
+    return ServiceRejectKind::DeadlineInfeasible;
+  if (M.find("timed-out[") != std::string::npos)
+    return ServiceRejectKind::TimedOut;
+  return ServiceRejectKind::None;
 }
 
 OffloadService::OffloadService(Program *P, TypeContext &Types,
@@ -60,12 +108,16 @@ OffloadService::OffloadService(Program *P, TypeContext &Types,
   }
   if (Names.empty())
     Names.push_back("gtx580");
-  unsigned MaxBatch = this->Config.EnableBatching ? this->Config.MaxBatch : 1;
-  BreakerConfig BC;
-  BC.Threshold = this->Config.BreakerThreshold;
-  BC.CooldownMs = this->Config.BreakerCooldownMs;
+  PoolConfig PC;
+  PC.QueueDepth = this->Config.QueueDepth;
+  PC.MaxBatch = this->Config.EnableBatching ? this->Config.MaxBatch : 1;
+  PC.CoalesceWindow = this->Config.CoalesceWindow;
+  for (const auto &[Name, Policy] : this->Config.Clients)
+    PC.ClientWeights[Name] = Policy.Weight;
+  PC.Breaker.Threshold = this->Config.BreakerThreshold;
+  PC.Breaker.CooldownMs = this->Config.BreakerCooldownMs;
   Pool = std::make_unique<DevicePool>(
-      std::move(Names), this->Config.QueueDepth, MaxBatch, BC,
+      std::move(Names), std::move(PC),
       [this](std::vector<PendingInvoke> &Batch, unsigned Id) {
         return execute(Batch, Id);
       });
@@ -76,10 +128,138 @@ OffloadService::~OffloadService() {
   Pool.reset();
 }
 
+ClientStatsSnapshot &OffloadService::clientLocked(const std::string &Client) {
+  auto It = PerClient.find(Client);
+  if (It == PerClient.end()) {
+    It = PerClient.emplace(Client, ClientStatsSnapshot()).first;
+    It->second.Client = Client;
+  }
+  return It->second;
+}
+
+void OffloadService::countRejected(const std::string &Client,
+                                   ServiceRejectKind Kind) {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  ++Rejected;
+  ClientStatsSnapshot &C = clientLocked(Client);
+  ++C.Rejected;
+  switch (Kind) {
+  case ServiceRejectKind::QuotaExceeded:
+    ++QuotaRejectedC;
+    ++C.QuotaRejected;
+    break;
+  case ServiceRejectKind::QueueFull:
+    ++QueueFullRejectedC;
+    ++C.QueueFullRejected;
+    break;
+  case ServiceRejectKind::DeadlineInfeasible:
+    ++ShedC;
+    ++C.Shed;
+    break;
+  default:
+    break;
+  }
+}
+
+void OffloadService::countCompleted(const std::string &Client, bool AsTwin) {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  ++Completed;
+  ClientStatsSnapshot &C = clientLocked(Client);
+  ++C.Completed;
+  if (AsTwin) {
+    ++CoalescedC;
+    ++C.Coalesced;
+  }
+}
+
+void OffloadService::countFailed(const std::string &Client) {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  ++Failed;
+  ++clientLocked(Client).Failed;
+}
+
+void OffloadService::countTimedOut(const std::string &Client) {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  ++TimedOut;
+  ++clientLocked(Client).TimedOut;
+}
+
+void OffloadService::countRetried(const std::string &Client) {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  ++Retried;
+  ++clientLocked(Client).Retried;
+}
+
+bool OffloadService::admitQuota(const std::string &Client, std::string &Why) {
+  double Qps = Config.QuotaQps, Burst = Config.QuotaBurst;
+  auto It = Config.Clients.find(Client);
+  if (It != Config.Clients.end()) {
+    if (It->second.Qps >= 0)
+      Qps = It->second.Qps;
+    if (It->second.Burst >= 0)
+      Burst = It->second.Burst;
+  }
+  if (Qps <= 0)
+    return true; // unlimited
+  if (Burst <= 0)
+    Burst = std::max(1.0, Qps);
+  auto Now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  TokenBucket &B = Buckets[Client];
+  if (!B.Primed) {
+    B.Tokens = Burst; // a fresh client starts with a full bucket
+    B.Primed = true;
+  } else {
+    double Sec = std::chrono::duration<double>(Now - B.Last).count();
+    B.Tokens = std::min(Burst, B.Tokens + Sec * Qps);
+  }
+  B.Last = Now;
+  if (B.Tokens >= 1.0) {
+    B.Tokens -= 1.0;
+    return true;
+  }
+  std::ostringstream E;
+  E << "offload service: rejected[quota-exceeded]: client '" << Client
+    << "' is over its " << Qps << " qps quota (burst " << Burst << ")";
+  Why = E.str();
+  return false;
+}
+
+std::string OffloadService::shedVerdict(const rt::OffloadConfig &Canon,
+                                        double DeadlineMs,
+                                        bool CompileOwed) const {
+  if (Config.ShedPolicy != ServiceConfig::Shedding::Deadline ||
+      DeadlineMs <= 0)
+    return "";
+  size_t Load = Pool->loadOf(Canon.DeviceName);
+  double Launch, Compile;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    Launch = EwmaLaunchMs;
+    Compile = CompileOwed ? EwmaCompileMs : 0.0;
+  }
+  if (Launch <= 0.0 && Compile <= 0.0)
+    return ""; // no cost history yet: admit and learn
+  // Queue wait (everything ahead of us) + our own launch + any
+  // per-worker compile still owed for a cold kernel.
+  double Est = Compile + (static_cast<double>(Load) + 1.0) * Launch;
+  if (Est <= DeadlineMs)
+    return "";
+  std::ostringstream E;
+  E << "offload service: rejected[deadline-infeasible]: estimated " << Est
+    << " ms (queue wait + compile + launch) exceeds the " << DeadlineMs
+    << " ms deadline";
+  return E.str();
+}
+
 std::future<ExecResult> OffloadService::submit(OffloadRequest Request) {
   std::promise<ExecResult> Promise;
   std::future<ExecResult> Future = Promise.get_future();
-  ++Submitted;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Submitted;
+    ++clientLocked(Request.ClientId).Submitted;
+  }
 
   std::string VErr = ConfigError;
   if (VErr.empty())
@@ -90,23 +270,61 @@ std::future<ExecResult> OffloadService::submit(OffloadRequest Request) {
     VErr = "offload service: unknown device '" + Request.Config.DeviceName +
            "'";
   if (!VErr.empty()) {
-    ++Rejected;
+    countRejected(Request.ClientId, ServiceRejectKind::None);
     Promise.set_value(trapped(VErr));
     return Future;
   }
 
+  // Admission control runs before any compile or cache work: a
+  // rate-limited client must not consume compile capacity, and a
+  // quota rejection must not disturb the kernel cache (hit/miss
+  // stats, LRU order, negative entries).
+  std::string QuotaWhy;
+  if (!admitQuota(Request.ClientId, QuotaWhy)) {
+    countRejected(Request.ClientId, ServiceRejectKind::QuotaExceeded);
+    Promise.set_value(trapped(QuotaWhy));
+    return Future;
+  }
+
   rt::OffloadConfig Canon = rt::canonicalOffloadConfig(Request.Config);
+
+  // Deterministic overload for tests: an injected QueueFull fault on
+  // this device's domain rejects exactly as a saturated queue would,
+  // regardless of live queue state.
+  if (support::FaultInjector::instance().enabled() &&
+      support::FaultInjector::instance().shouldFire(
+          Canon.DeviceName, support::FaultKind::QueueFull)) {
+    countRejected(Request.ClientId, ServiceRejectKind::QueueFull);
+    Promise.set_value(
+        trapped("offload service: rejected[queue-full]: injected overload on "
+                "device '" +
+                Canon.DeviceName + "'"));
+    return Future;
+  }
+
   KernelKey Key =
       KernelKey::make(Request.Worker, Canon, &classTextFor(Request.Worker));
+  bool WasMiss = false;
   std::shared_ptr<const CompiledKernel> Kernel = Cache.getOrCompile(
-      Key, [&] { return compileVerified(Request.Worker, Canon); });
+      Key, [&] { return compileVerified(Request.Worker, Canon); }, &WasMiss);
   if (!Kernel->Ok) {
     // Semantic failure: the filter does not compile for GPUs at all.
     // No retry and no interpreter fallback — callers rely on the trap
-    // to learn the filter is not offloadable.
-    ++Failed;
+    // to learn the filter is not offloadable. A negatively cached
+    // compile failure takes precedence over shedding: it is the more
+    // actionable error, and it costs nothing to report.
+    countFailed(Request.ClientId);
     Promise.set_value(
         trapped("offload service: compilation failed: " + Kernel->Error));
+    return Future;
+  }
+
+  // Proactive shedding: refuse now what would only time out in queue.
+  double BudgetMs = deadlineBudgetMs(Request.DeadlineMs);
+  std::string ShedWhy = shedVerdict(Canon, BudgetMs, WasMiss);
+  if (!ShedWhy.empty()) {
+    countRejected(Request.ClientId, ServiceRejectKind::DeadlineInfeasible);
+    Promise.set_value(trapped(ShedWhy));
     return Future;
   }
 
@@ -115,11 +333,26 @@ std::future<ExecResult> OffloadService::submit(OffloadRequest Request) {
   Inv.Config = Canon;
   Inv.Args = std::move(Request.Args);
   Inv.Promise = std::move(Promise);
+  Inv.ClientId = std::move(Request.ClientId);
+  Inv.DeadlineMs = Request.DeadlineMs;
   refreshDeadline(Inv);
-  if (!place(Inv, /*IsRequeue=*/false))
+  switch (place(Inv, /*IsRequeue=*/false)) {
+  case PlaceResult::Placed:
+    break;
+  case PlaceResult::Full: {
+    std::ostringstream E;
+    E << "offload service: rejected[queue-full]: queue for device '"
+      << Canon.DeviceName << "' is at capacity (" << Config.QueueDepth << ")";
+    countRejected(Inv.ClientId, ServiceRejectKind::QueueFull);
+    Inv.Promise.set_value(trapped(E.str()));
+    break;
+  }
+  case PlaceResult::NoWorker:
     fallbackOrFail(std::move(Inv),
                    "offload service: no worker available for device '" +
                        Canon.DeviceName + "'");
+    break;
+  }
   return Future;
 }
 
@@ -149,6 +382,7 @@ bool OffloadService::offloadable(MethodDecl *Worker,
 
 CompiledKernel OffloadService::compileVerified(MethodDecl *Worker,
                                                const rt::OffloadConfig &Canon) {
+  auto T0 = std::chrono::steady_clock::now();
   CompiledKernel Kernel;
   {
     std::lock_guard<std::mutex> Lock(CompileMu);
@@ -156,36 +390,44 @@ CompiledKernel OffloadService::compileVerified(MethodDecl *Worker,
     if (Config.PostCompileHook)
       Config.PostCompileHook(Kernel);
   }
-  if (!Kernel.Ok || !Config.VerifyKernels)
-    return Kernel;
-
-  // Admission gate: a kernel the verifier cannot certify never
-  // reaches a device. The failure is cached like any other compile
-  // failure, so repeat offenders are rejected without re-analysis.
-  // The cache key covers source, device, and memory config but NOT
-  // launch geometry, so the cached verdict must hold for every
-  // LocalSize/MaxGroups that can share the entry: Symbolic geometry,
-  // not this request's sizes. Caller --assume facts are Ignored for
-  // the same reason — they are not part of the key either. The device
-  // IS part of the key, so its occupancy limits are fair game.
-  analysis::VerifyRequest VR;
-  VR.Kernel = &Kernel;
-  VR.Geometry = analysis::GeometryPolicy::Symbolic;
-  VR.AssumeMode = analysis::AssumePolicy::Ignore;
-  VR.Device = &ocl::deviceByName(Canon.DeviceName);
-  // The bytecode tier runs too: a proven-OOB access in the
-  // post-inlining bytecode is an error finding and blocks admission
-  // (its Unknowns are notes, so it never rejects more than the AST
-  // passes would — it only adds what they miss at the other tier).
-  VR.BytecodeTier = true;
-  analysis::VerifyResult V = analysis::runVerification(VR);
-  if (!V.Admitted) {
-    std::ostringstream E;
-    E << "kernel verifier: " << V.Report.errorCount()
-      << " error finding(s) in '" << Kernel.Plan.KernelName << "':\n"
-      << V.Report.str();
-    Kernel.Ok = false;
-    Kernel.Error = E.str();
+  if (Kernel.Ok && Config.VerifyKernels) {
+    // Admission gate: a kernel the verifier cannot certify never
+    // reaches a device. The failure is cached like any other compile
+    // failure, so repeat offenders are rejected without re-analysis.
+    // The cache key covers source, device, and memory config but NOT
+    // launch geometry, so the cached verdict must hold for every
+    // LocalSize/MaxGroups that can share the entry: Symbolic geometry,
+    // not this request's sizes. Caller --assume facts are Ignored for
+    // the same reason — they are not part of the key either. The device
+    // IS part of the key, so its occupancy limits are fair game.
+    analysis::VerifyRequest VR;
+    VR.Kernel = &Kernel;
+    VR.Geometry = analysis::GeometryPolicy::Symbolic;
+    VR.AssumeMode = analysis::AssumePolicy::Ignore;
+    VR.Device = &ocl::deviceByName(Canon.DeviceName);
+    // The bytecode tier runs too: a proven-OOB access in the
+    // post-inlining bytecode is an error finding and blocks admission
+    // (its Unknowns are notes, so it never rejects more than the AST
+    // passes would — it only adds what they miss at the other tier).
+    VR.BytecodeTier = true;
+    analysis::VerifyResult V = analysis::runVerification(VR);
+    if (!V.Admitted) {
+      std::ostringstream E;
+      E << "kernel verifier: " << V.Report.errorCount()
+        << " error finding(s) in '" << Kernel.Plan.KernelName << "':\n"
+        << V.Report.str();
+      Kernel.Ok = false;
+      Kernel.Error = E.str();
+    }
+  }
+  // Feed the shed estimator: what a cold kernel costs before it can
+  // launch (compile + verify; the per-worker program build tracks it
+  // closely enough for an estimate).
+  double Ms = elapsedMs(T0);
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    EwmaCompileMs =
+        EwmaCompileMs <= 0.0 ? Ms : 0.75 * EwmaCompileMs + 0.25 * Ms;
   }
   return Kernel;
 }
@@ -288,18 +530,40 @@ OffloadService::instanceFor(const std::string &Key, MethodDecl *Worker,
 
 double OffloadService::execute(std::vector<PendingInvoke> &Batch,
                                unsigned WorkerId) {
+  const char *QueueExpired =
+      "offload service: launch deadline expired in queue";
   // Deadline enforcement, part 1: a request that expired while queued
   // (typically behind a hung launch) never reaches the device — it
   // goes straight back through the retry path toward a healthy worker
-  // or the interpreter.
+  // or the interpreter. Coalesced twins expire independently; an
+  // expired *leader* promotes its first surviving twin so the
+  // siblings still launch.
+  auto Now0 = std::chrono::steady_clock::now();
   for (auto It = Batch.begin(); It != Batch.end();) {
-    if (It->hasDeadline() &&
-        std::chrono::steady_clock::now() > It->Deadline) {
+    for (auto T = It->Twins.begin(); T != It->Twins.end();) {
+      if (T->hasDeadline() && Now0 > T->Deadline) {
+        PendingInvoke Exp = std::move(*T);
+        T = It->Twins.erase(T);
+        countTimedOut(Exp.ClientId);
+        handleFailure(std::move(Exp), WorkerId, QueueExpired);
+      } else {
+        ++T;
+      }
+    }
+    if (It->hasDeadline() && Now0 > It->Deadline) {
       PendingInvoke Expired = std::move(*It);
-      It = Batch.erase(It);
-      ++TimedOut;
-      handleFailure(std::move(Expired), WorkerId,
-                    "offload service: launch deadline expired in queue");
+      countTimedOut(Expired.ClientId);
+      if (!Expired.Twins.empty()) {
+        PendingInvoke Leader = std::move(Expired.Twins.front());
+        Expired.Twins.erase(Expired.Twins.begin());
+        Leader.Twins = std::move(Expired.Twins);
+        Expired.Twins.clear();
+        *It = std::move(Leader);
+        ++It;
+      } else {
+        It = Batch.erase(It);
+      }
+      handleFailure(std::move(Expired), WorkerId, QueueExpired);
     } else {
       ++It;
     }
@@ -316,21 +580,26 @@ double OffloadService::execute(std::vector<PendingInvoke> &Batch,
 
   // A failed launch is a device fault (injected or real): record it
   // against the worker's breaker, then push every request of the
-  // batch through retry/requeue/fallback. Requests drained from the
-  // queue by a quarantine re-route without counting an attempt.
+  // batch — twins detached, each with its own retry state — through
+  // retry/requeue/fallback. Requests drained from the queue by a
+  // quarantine re-route without counting an attempt.
   auto FailAll = [&](const std::string &Msg) {
     F.clearError();
     std::vector<PendingInvoke> Drained;
-    if (Pool->recordFailure(WorkerId, Drained))
+    if (Pool->recordFailure(WorkerId, Drained)) {
+      std::lock_guard<std::mutex> Lock(StatsMu);
       ++Quarantined;
+    }
     for (PendingInvoke &B : Batch)
-      handleFailure(std::move(B), WorkerId, Msg);
+      failGroup(std::move(B), WorkerId, Msg);
     Batch.clear();
     reroute(Drained, WorkerId);
   };
 
   // Merge a multi-request batch into one launch: concatenate the
-  // stream arrays, remember the split points.
+  // stream arrays, remember the split points. (Coalesced twins add
+  // nothing to the input — they are bit-identical to their member —
+  // and receive copies of its output.)
   bool Merged = Batch.size() > 1;
   int SP = Batch.front().SourceParam;
   std::vector<RtValue> Args;
@@ -352,7 +621,11 @@ double OffloadService::execute(std::vector<PendingInvoke> &Batch,
     Args = Batch.front().Args;
   }
 
+  size_t Group = Batch.size();
+  for (const PendingInvoke &B : Batch)
+    Group += B.Twins.size();
   rt::OffloadStats Before = F.stats();
+  auto LaunchT0 = std::chrono::steady_clock::now();
 
   // First invocation builds the OpenCL program, and the
   // constant-capacity fallback may recompile through GpuCompiler:
@@ -381,10 +654,20 @@ double OffloadService::execute(std::vector<PendingInvoke> &Batch,
     return SimNs;
   }
 
+  // Feed the shed estimator with the realized per-request wall cost.
+  {
+    double PerReq = elapsedMs(LaunchT0) / static_cast<double>(Group);
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    EwmaLaunchMs =
+        EwmaLaunchMs <= 0.0 ? PerReq : 0.75 * EwmaLaunchMs + 0.25 * PerReq;
+  }
+
   // Deadline enforcement, part 2: the launch completed but a hang may
-  // have pushed it past its deadline. The result is still correct and
-  // is delivered, but the worker eats a breaker failure — a device
-  // that keeps clients waiting sheds its queue like a dead one.
+  // have pushed it past its deadline. A late *member*'s result is
+  // still correct and is delivered, but the worker eats a breaker
+  // failure — a device that keeps clients waiting sheds its queue
+  // like a dead one. A late coalesced twin instead resolves as a
+  // typed timeout below (its sibling futures are untouched).
   bool Late = false;
   auto Done = std::chrono::steady_clock::now();
   for (const PendingInvoke &B : Batch)
@@ -393,18 +676,44 @@ double OffloadService::execute(std::vector<PendingInvoke> &Batch,
       break;
     }
   if (Late) {
-    ++TimedOut;
+    {
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      ++TimedOut;
+    }
     std::vector<PendingInvoke> Drained;
-    if (Pool->recordFailure(WorkerId, Drained))
+    if (Pool->recordFailure(WorkerId, Drained)) {
+      std::lock_guard<std::mutex> Lock(StatsMu);
       ++Quarantined;
+    }
     reroute(Drained, WorkerId);
   } else {
     Pool->recordSuccess(WorkerId);
   }
 
+  // Fan a member's result out to its coalesced twins. A twin whose
+  // deadline lapsed while the launch flew gets a typed timeout — its
+  // siblings (including the member) are unaffected.
+  auto DeliverTwins = [&](PendingInvoke &Member, const ExecResult &Res) {
+    auto DoneT = std::chrono::steady_clock::now();
+    for (PendingInvoke &T : Member.Twins) {
+      if (T.hasDeadline() && DoneT > T.Deadline) {
+        countTimedOut(T.ClientId);
+        countFailed(T.ClientId);
+        T.Promise.set_value(
+            trapped("offload service: timed-out[coalesced]: deadline expired "
+                    "while the coalesced launch was in flight"));
+      } else {
+        T.Promise.set_value(copyResult(Res));
+        countCompleted(T.ClientId, /*AsTwin=*/true);
+      }
+    }
+  };
+
   if (!Merged) {
-    Batch.front().Promise.set_value(std::move(R));
-    ++Completed;
+    PendingInvoke &M = Batch.front();
+    DeliverTwins(M, R);
+    countCompleted(M.ClientId);
+    M.Promise.set_value(std::move(R));
     return SimNs;
   }
 
@@ -429,13 +738,15 @@ double OffloadService::execute(std::vector<PendingInvoke> &Batch,
     Off += Lens[I];
     ExecResult RR;
     RR.Value = RtValue::makeArray(std::move(Part));
+    DeliverTwins(Batch[I], RR);
+    countCompleted(Batch[I].ClientId);
     Batch[I].Promise.set_value(std::move(RR));
-    ++Completed;
   }
   return SimNs;
 }
 
-bool OffloadService::place(PendingInvoke &Inv, bool IsRequeue) {
+OffloadService::PlaceResult OffloadService::place(PendingInvoke &Inv,
+                                                  bool IsRequeue) {
   // Candidate models: the request's own first; on a requeue every
   // other model in the pool too ("any compatible device" — the cache
   // recompiles the kernel for the alternate model's memory config).
@@ -445,6 +756,7 @@ bool OffloadService::place(PendingInvoke &Inv, bool IsRequeue) {
       if (M != Inv.Config.DeviceName)
         Models.push_back(M);
 
+  bool SawFull = false;
   for (const std::string &M : Models) {
     rt::OffloadConfig Cfg = Inv.Config;
     Cfg.DeviceName = M;
@@ -479,19 +791,40 @@ bool OffloadService::place(PendingInvoke &Inv, bool IsRequeue) {
       Inv.SourceParam = Inst->SourceParam;
     // Internal requeues come from worker threads and must not block
     // on a full queue (two workers re-routing onto each other would
-    // deadlock), so they bypass the backpressure bound.
-    if (Pool->submitTo(static_cast<unsigned>(Id), Inv, /*Force=*/IsRequeue))
-      return true;
+    // deadlock), so they bypass the backpressure bound. Client
+    // admission blocks only under the Block shed policy; otherwise a
+    // full queue comes back as Full for a typed rejection.
+    bool Block = Config.ShedPolicy == ServiceConfig::Shedding::Block;
+    switch (Pool->submitTo(static_cast<unsigned>(Id), Inv,
+                           /*Force=*/IsRequeue, Block)) {
+    case DevicePool::SubmitOutcome::Accepted:
+      return PlaceResult::Placed;
+    case DevicePool::SubmitOutcome::Full:
+      SawFull = true;
+      break;
+    case DevicePool::SubmitOutcome::Stopping:
+      break;
+    }
     Pool->recordSkipped(static_cast<unsigned>(Id));
   }
-  return false;
+  return SawFull ? PlaceResult::Full : PlaceResult::NoWorker;
 }
 
 void OffloadService::refreshDeadline(PendingInvoke &Inv) const {
-  if (Config.LaunchDeadlineMs > 0)
-    Inv.Deadline = std::chrono::steady_clock::now() +
-                   std::chrono::microseconds(static_cast<int64_t>(
-                       Config.LaunchDeadlineMs * 1000.0));
+  double Ms = deadlineBudgetMs(Inv.DeadlineMs);
+  if (Ms > 0)
+    Inv.Deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(static_cast<int64_t>(Ms * 1000.0));
+}
+
+void OffloadService::failGroup(PendingInvoke Inv, unsigned WorkerId,
+                               const std::string &Reason) {
+  std::vector<PendingInvoke> Twins = std::move(Inv.Twins);
+  Inv.Twins.clear();
+  handleFailure(std::move(Inv), WorkerId, Reason);
+  for (PendingInvoke &T : Twins)
+    failGroup(std::move(T), WorkerId, Reason); // twins never nest; be safe
 }
 
 void OffloadService::handleFailure(PendingInvoke Inv, unsigned WorkerId,
@@ -511,17 +844,18 @@ void OffloadService::handleFailure(PendingInvoke Inv, unsigned WorkerId,
   if (Ms > 0)
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(Ms));
 
-  ++Retried;
+  countRetried(Inv.ClientId);
   refreshDeadline(Inv); // each attempt is a fresh launch
   // First retry stays on the failed worker — most injected/real
   // faults are transient — unless the breaker already opened.
   if (Inv.Attempt == 1 &&
       Pool->breakerStateOf(WorkerId) == BreakerState::Closed) {
     Inv.SourceParam = -1;
-    if (Pool->submitTo(WorkerId, Inv, /*Force=*/true))
+    if (Pool->submitTo(WorkerId, Inv, /*Force=*/true) ==
+        DevicePool::SubmitOutcome::Accepted)
       return;
   }
-  if (place(Inv, /*IsRequeue=*/true))
+  if (place(Inv, /*IsRequeue=*/true) == PlaceResult::Placed)
     return;
   fallbackOrFail(std::move(Inv), Reason);
 }
@@ -531,9 +865,9 @@ void OffloadService::reroute(std::vector<PendingInvoke> &Drained,
   for (PendingInvoke &D : Drained) {
     if (!D.excluded(WorkerId))
       D.FailedWorkers.push_back(WorkerId);
-    ++Retried;
+    countRetried(D.ClientId);
     refreshDeadline(D);
-    if (!place(D, /*IsRequeue=*/true))
+    if (place(D, /*IsRequeue=*/true) != PlaceResult::Placed)
       fallbackOrFail(std::move(D),
                      "offload service: worker quarantined and no healthy "
                      "peer available");
@@ -544,7 +878,7 @@ void OffloadService::reroute(std::vector<PendingInvoke> &Drained,
 void OffloadService::fallbackOrFail(PendingInvoke Inv,
                                     const std::string &Reason) {
   if (!Config.FallbackToInterpreter) {
-    ++Failed;
+    countFailed(Inv.ClientId);
     Inv.Promise.set_value(trapped(Reason));
     return;
   }
@@ -552,7 +886,11 @@ void OffloadService::fallbackOrFail(PendingInvoke Inv,
   // semantics, so the future resolves bit-identically to a healthy
   // offload — just without a device. Runs under the compile mutex
   // because evaluation shares the TypeContext with the compiler.
-  ++FellBack;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++FellBack;
+    ++clientLocked(Inv.ClientId).FellBack;
+  }
   ExecResult R;
   {
     std::lock_guard<std::mutex> Lock(CompileMu);
@@ -560,9 +898,9 @@ void OffloadService::fallbackOrFail(PendingInvoke Inv,
     R = I.callMethod(Inv.Worker, nullptr, std::move(Inv.Args));
   }
   if (R.Trapped)
-    ++Failed;
+    countFailed(Inv.ClientId);
   else
-    ++Completed;
+    countCompleted(Inv.ClientId);
   Inv.Promise.set_value(std::move(R));
 }
 
@@ -583,19 +921,27 @@ void OffloadService::waitIdle() { Pool->waitIdle(); }
 
 OffloadServiceStats OffloadService::stats() const {
   OffloadServiceStats S;
-  S.Submitted = Submitted.load();
-  S.Completed = Completed.load();
-  S.Failed = Failed.load();
-  S.Rejected = Rejected.load();
-  S.Retried = Retried.load();
-  S.TimedOut = TimedOut.load();
-  S.Quarantined = Quarantined.load();
-  S.FellBack = FellBack.load();
-  S.Cache = Cache.stats();
   {
+    // One lock for the whole snapshot: no torn totals.
     std::lock_guard<std::mutex> Lock(StatsMu);
+    S.Submitted = Submitted;
+    S.Completed = Completed;
+    S.Failed = Failed;
+    S.Rejected = Rejected;
+    S.Retried = Retried;
+    S.TimedOut = TimedOut;
+    S.Quarantined = Quarantined;
+    S.FellBack = FellBack;
+    S.QuotaRejected = QuotaRejectedC;
+    S.QueueFullRejected = QueueFullRejectedC;
+    S.Shed = ShedC;
+    S.Coalesced = CoalescedC;
     S.Device = DeviceStats;
+    S.Clients.reserve(PerClient.size());
+    for (const auto &[Name, Row] : PerClient)
+      S.Clients.push_back(Row); // map order = sorted by client id
   }
+  S.Cache = Cache.stats();
   S.Devices = Pool->stats();
   return S;
 }

@@ -8,12 +8,24 @@
 /// \file
 /// The offload service: a shared, thread-safe front end to the
 /// simulated OpenCL stack. Many client threads submit OffloadRequests
-/// (filter + arguments + OffloadConfig); the service compiles each
-/// distinct (filter, canonical config, device) once through the
-/// content-addressed KernelCache, schedules work across a DevicePool
-/// of simulated devices, opportunistically merges same-filter map
-/// invocations into one NDRange launch, and hands back futures whose
-/// results are bit-identical to the direct rt::OffloadedFilter path.
+/// (filter + arguments + OffloadConfig, tagged with a ClientId); the
+/// service compiles each distinct (filter, canonical config, device)
+/// once through the content-addressed KernelCache, schedules work
+/// across a DevicePool of simulated devices with per-client fair
+/// queueing, opportunistically merges same-filter map invocations
+/// into one NDRange launch, coalesces bit-identical requests across
+/// clients onto one launch, and hands back futures whose results are
+/// bit-identical to the direct rt::OffloadedFilter path.
+///
+/// Overload control (see DESIGN.md §12): per-client token-bucket
+/// quotas run at admission, bounded queues reject (or block, the seed
+/// behavior) with typed errors when full, and under the Deadline shed
+/// policy a request whose remaining deadline is below a moving
+/// estimate of (queue wait + compile + launch) cost is refused at
+/// submit instead of timing out in queue. Every typed rejection is
+/// layered on ExecResult::TrapMessage with a grep-stable marker
+/// (classifyServiceError parses it back out), so the interpreter's
+/// result type stays untouched.
 ///
 /// Concurrency contract:
 ///  - GpuCompiler runs under a single compile mutex (TypeContext
@@ -21,7 +33,10 @@
 ///  - each FilterInstance (compiled filter bound to one worker
 ///    thread) owns a private ClContext and is only ever touched by
 ///    its worker, so no device state is shared across threads;
-///  - marshalling (WireFormat) is stateless and runs concurrently.
+///  - marshalling (WireFormat) is stateless and runs concurrently;
+///  - every service counter — aggregate, per-client, token buckets,
+///    cost EWMAs — lives under one stats mutex so snapshots are
+///    never torn.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,7 +47,7 @@
 #include "service/DevicePool.h"
 #include "service/KernelCache.h"
 
-#include <atomic>
+#include <chrono>
 #include <functional>
 #include <future>
 #include <map>
@@ -47,7 +62,8 @@ struct ServiceConfig {
   /// (repeat a name for a multi-queue device). Requests naming other
   /// registered models get a worker lazily.
   std::vector<std::string> Devices = {"gtx580"};
-  /// Bound on each worker's queue; submit() blocks when exceeded.
+  /// Bound on each worker's queue; what happens when it is exceeded
+  /// is ShedPolicy's call.
   size_t QueueDepth = 256;
   size_t CacheCapacity = 64;
   /// Directory for cross-process kernel persistence ("" = off).
@@ -65,6 +81,36 @@ struct ServiceConfig {
   /// corrupted kernels). Runs under the compile mutex; keep it cheap.
   std::function<void(CompiledKernel &)> PostCompileHook;
 
+  // --- Multi-tenant overload control ------------------------------
+  /// Default per-client token-bucket quota: sustained requests per
+  /// second (0 = unlimited) and bucket depth in requests (0 = derive
+  /// max(1, QuotaQps)). A client over quota gets a typed
+  /// rejected[quota-exceeded] trap before any compile or cache work.
+  double QuotaQps = 0.0;
+  double QuotaBurst = 0.0;
+  /// Per-client overrides of quota and fair-queueing weight. Negative
+  /// Qps/Burst inherit the defaults above; Weight scales the client's
+  /// DRR share (1.0 = equal).
+  struct ClientPolicy {
+    double Qps = -1.0;
+    double Burst = -1.0;
+    double Weight = 1.0;
+  };
+  std::map<std::string, ClientPolicy> Clients;
+  /// Full-queue and deadline policy at admission:
+  ///  Block    - submit() blocks on a full queue (seed backpressure);
+  ///  Reject   - full queue answers rejected[queue-full] immediately;
+  ///  Deadline - Reject, plus proactive rejected[deadline-infeasible]
+  ///             shedding of requests whose deadline budget is below
+  ///             the moving (queue wait + compile + launch) estimate.
+  enum class Shedding : uint8_t { Block, Reject, Deadline };
+  Shedding ShedPolicy = Shedding::Block;
+  /// Identical-request coalescing across clients: up to this many
+  /// bit-identical queued requests (same kernel instance, same
+  /// argument bits) collapse into one launch fanned out to every
+  /// waiting future. 1 disables.
+  unsigned CoalesceWindow = 16;
+
   // --- Fault-tolerance policy -------------------------------------
   /// Launch attempts beyond the first for a failed or timed-out
   /// request: the first retry stays on the same worker (transient
@@ -79,6 +125,7 @@ struct ServiceConfig {
   /// Per-launch deadline (wall clock). A request expiring in the
   /// queue skips the device and re-routes; a launch completing past
   /// it counts as timed out against the worker's breaker. 0 = none.
+  /// OffloadRequest::DeadlineMs overrides this per request.
   double LaunchDeadlineMs = 0.0;
   /// Circuit breaker: this many consecutive failures quarantine a
   /// worker (0 disables). Its queue drains onto healthy peers; after
@@ -97,14 +144,56 @@ struct OffloadRequest {
   MethodDecl *Worker = nullptr;
   std::vector<RtValue> Args; // worker parameter order, stream input first
   rt::OffloadConfig Config;
+  /// Tenant identity for quotas, fair queueing, and per-client stats.
+  /// "" is a valid anonymous client with its own share.
+  std::string ClientId;
+  /// Per-request deadline budget in ms; 0 uses the service config's
+  /// LaunchDeadlineMs.
+  double DeadlineMs = 0.0;
 };
 
-/// Point-in-time snapshot of everything the service counts.
+/// Machine-readable classification of a service-level trap. Overload
+/// control rejects with grep-stable markers inside
+/// ExecResult::TrapMessage ("rejected[queue-full]", ...), so the core
+/// ExecResult type needs no new fields and old callers see an
+/// ordinary trap.
+enum class ServiceRejectKind : uint8_t {
+  None,               ///< not an overload-control rejection
+  QueueFull,          ///< bounded queue full (or injected QueueFull fault)
+  QuotaExceeded,      ///< per-client token bucket empty
+  DeadlineInfeasible, ///< shed: deadline budget below the cost estimate
+  TimedOut,           ///< deadline lapsed while its coalesced launch flew
+};
+
+const char *serviceRejectKindName(ServiceRejectKind K);
+/// The typed rejection carried by \p R, or None for successes and
+/// ordinary (compile/config) traps.
+ServiceRejectKind classifyServiceError(const ExecResult &R);
+
+/// Per-client counters; a point-in-time snapshot row.
+struct ClientStatsSnapshot {
+  std::string Client;
+  uint64_t Submitted = 0;
+  uint64_t Completed = 0;
+  uint64_t Failed = 0;
+  uint64_t Rejected = 0;          // all typed rejections below
+  uint64_t QuotaRejected = 0;     // rejected[quota-exceeded]
+  uint64_t QueueFullRejected = 0; // rejected[queue-full]
+  uint64_t Shed = 0;              // rejected[deadline-infeasible]
+  uint64_t TimedOut = 0;          // deadline expiries, typed or retried
+  uint64_t Coalesced = 0;         // served as a twin on another's launch
+  uint64_t Retried = 0;
+  uint64_t FellBack = 0;
+};
+
+/// Point-in-time snapshot of everything the service counts. Taken
+/// under one lock, so totals are never torn against each other.
 struct OffloadServiceStats {
   uint64_t Submitted = 0;
   uint64_t Completed = 0; // fulfilled ok
   uint64_t Failed = 0;    // fulfilled with a trap
-  uint64_t Rejected = 0;  // refused before scheduling (bad config/device)
+  uint64_t Rejected = 0;  // refused before scheduling (bad config/device,
+                          // quota, queue-full, shed)
   // Fault-tolerance counters. These overlap the four above rather
   // than extending the sum: at quiescence Submitted == Completed +
   // Failed + Rejected always holds, and Retried/TimedOut/FellBack
@@ -113,10 +202,18 @@ struct OffloadServiceStats {
   uint64_t TimedOut = 0;  // deadline expiries (in queue or past launch)
   uint64_t Quarantined = 0; // breaker transitions into quarantine
   uint64_t FellBack = 0;  // requests served by the interpreter
+  // Overload-control counters (each also folds into Rejected, except
+  // Coalesced which folds into Completed).
+  uint64_t QuotaRejected = 0;
+  uint64_t QueueFullRejected = 0;
+  uint64_t Shed = 0;      // deadline-infeasible rejections
+  uint64_t Coalesced = 0; // requests served as coalesced twins
   KernelCacheStats Cache;
   /// Figure-9 style per-stage decomposition summed over every launch.
   rt::OffloadStats Device;
   std::vector<DeviceStatsSnapshot> Devices;
+  /// Per-client rows, sorted by client id.
+  std::vector<ClientStatsSnapshot> Clients;
 
   uint64_t launches() const {
     uint64_t N = 0;
@@ -128,6 +225,12 @@ struct OffloadServiceStats {
     uint64_t N = 0;
     for (const DeviceStatsSnapshot &D : Devices)
       N += D.BatchedRequests;
+    return N;
+  }
+  uint64_t coalescedRequests() const {
+    uint64_t N = 0;
+    for (const DeviceStatsSnapshot &D : Devices)
+      N += D.CoalescedRequests;
     return N;
   }
 };
@@ -148,9 +251,11 @@ public:
   bool ok() const { return ConfigError.empty(); }
 
   /// Queues \p Request; the future traps (ExecResult::Trapped) on
-  /// invalid configs, unknown devices, or compilation failure, and
+  /// invalid configs, unknown devices, compilation failure, or a
+  /// typed overload rejection (classifyServiceError tells which), and
   /// otherwise resolves to the same value the direct rt::Offload path
-  /// produces. Blocks only when the target device queue is full.
+  /// produces. Blocks on a full device queue only under the Block
+  /// shed policy.
   std::future<ExecResult> submit(OffloadRequest Request);
 
   /// submit() + wait, for synchronous callers (the pipeline hook).
@@ -186,7 +291,7 @@ private:
   /// Cache-miss path shared by submit() and offloadable(): compiles
   /// under the compile mutex, then runs the kernel verifier; kernels
   /// with error findings come back !Ok so the cache remembers the
-  /// rejection.
+  /// rejection. Feeds the compile-cost EWMA.
   CompiledKernel compileVerified(MethodDecl *Worker,
                                  const rt::OffloadConfig &Canon);
   FilterInstance *instanceFor(const std::string &Key, MethodDecl *Worker,
@@ -195,21 +300,43 @@ private:
                               std::string &Err);
   /// Runs on a device worker thread: merges, prepares (under the
   /// compile mutex when first-invoke work is needed), launches, and
-  /// fulfils every promise. Returns simulated device ns consumed.
+  /// fulfils every promise — coalesced twins included. Returns
+  /// simulated device ns consumed.
   double execute(std::vector<PendingInvoke> &Batch, unsigned WorkerId);
   void accumulate(const rt::OffloadStats &Before, const rt::OffloadStats &After);
 
+  // --- Overload control -------------------------------------------
+  /// Takes one token from \p Client's bucket. False — with \p Why set
+  /// to the typed message — when the client is over quota.
+  bool admitQuota(const std::string &Client, std::string &Why);
+  /// Non-"" = the typed deadline-infeasible message: under the
+  /// Deadline shed policy, the request's deadline budget cannot cover
+  /// the moving (queue wait + compile + launch) estimate.
+  std::string shedVerdict(const rt::OffloadConfig &Canon, double DeadlineMs,
+                          bool CompileOwed) const;
+  /// Resolves the effective deadline budget for a request.
+  double deadlineBudgetMs(double RequestMs) const {
+    return RequestMs > 0 ? RequestMs : Config.LaunchDeadlineMs;
+  }
+
   // --- Fault tolerance --------------------------------------------
+  enum class PlaceResult : uint8_t { Placed, Full, NoWorker };
   /// Binds \p Inv to a worker and queues it. Tries the request's own
   /// device model first; on a requeue every other model in the pool
   /// is a candidate too (recompiling through the kernel cache), with
-  /// Inv.FailedWorkers excluded. False when no worker can take it.
-  bool place(PendingInvoke &Inv, bool IsRequeue);
+  /// Inv.FailedWorkers excluded. Full only on the non-blocking
+  /// (Reject/Deadline) admission path.
+  PlaceResult place(PendingInvoke &Inv, bool IsRequeue);
   /// Retry policy for one failed/timed-out request: backoff, then
   /// same-worker retry (first attempt only), then cross-worker
-  /// requeue, then interpreter fallback. Consumes \p Inv.
+  /// requeue, then interpreter fallback. Consumes \p Inv. Coalesced
+  /// twins must be detached first — each retries independently.
   void handleFailure(PendingInvoke Inv, unsigned WorkerId,
                      const std::string &Reason);
+  /// Detaches \p Inv's twins and sends it and each twin through
+  /// handleFailure independently.
+  void failGroup(PendingInvoke Inv, unsigned WorkerId,
+                 const std::string &Reason);
   /// Re-places requests drained from a quarantined worker's queue.
   void reroute(std::vector<PendingInvoke> &Drained, unsigned WorkerId);
   /// Last resort: run through the Lime interpreter (under the compile
@@ -240,16 +367,45 @@ private:
   std::mutex ClassTextMu;
   std::map<const ClassDecl *, std::string> ClassTexts;
 
+  /// One lock for every counter the stats snapshot reports —
+  /// aggregates, per-client rows, token buckets, and the cost EWMAs —
+  /// so a snapshot can never observe torn totals (e.g. Completed
+  /// bumped but Submitted not yet).
   mutable std::mutex StatsMu;
   rt::OffloadStats DeviceStats; // aggregated per-launch deltas
-  std::atomic<uint64_t> Submitted{0};
-  std::atomic<uint64_t> Completed{0};
-  std::atomic<uint64_t> Failed{0};
-  std::atomic<uint64_t> Rejected{0};
-  std::atomic<uint64_t> Retried{0};
-  std::atomic<uint64_t> TimedOut{0};
-  std::atomic<uint64_t> Quarantined{0};
-  std::atomic<uint64_t> FellBack{0};
+  uint64_t Submitted = 0;
+  uint64_t Completed = 0;
+  uint64_t Failed = 0;
+  uint64_t Rejected = 0;
+  uint64_t Retried = 0;
+  uint64_t TimedOut = 0;
+  uint64_t Quarantined = 0;
+  uint64_t FellBack = 0;
+  uint64_t QuotaRejectedC = 0;
+  uint64_t QueueFullRejectedC = 0;
+  uint64_t ShedC = 0;
+  uint64_t CoalescedC = 0;
+  std::map<std::string, ClientStatsSnapshot> PerClient;
+  /// Per-client token buckets (guarded by StatsMu; quota state and
+  /// quota counters move together).
+  struct TokenBucket {
+    double Tokens = 0.0;
+    std::chrono::steady_clock::time_point Last{};
+    bool Primed = false;
+  };
+  std::map<std::string, TokenBucket> Buckets;
+  /// Moving per-request cost estimates feeding shedVerdict (EWMA,
+  /// alpha 0.25): device service time per request, and cache-miss
+  /// compile+verify time.
+  double EwmaLaunchMs = 0.0;
+  double EwmaCompileMs = 0.0;
+
+  ClientStatsSnapshot &clientLocked(const std::string &Client);
+  void countRejected(const std::string &Client, ServiceRejectKind Kind);
+  void countCompleted(const std::string &Client, bool AsTwin = false);
+  void countFailed(const std::string &Client);
+  void countTimedOut(const std::string &Client);
+  void countRetried(const std::string &Client);
 
   /// Destroyed first on teardown (drains onto still-valid members) —
   /// keep last.

@@ -22,6 +22,8 @@ const char *lime::support::faultKindName(FaultKind K) {
     return "compile-fail";
   case FaultKind::CorruptWire:
     return "corrupt-wire";
+  case FaultKind::QueueFull:
+    return "queue-full";
   }
   return "?";
 }

@@ -18,7 +18,10 @@
 ///  - CompileFail  the per-device program build fails
 ///                 (ClContext::buildProgram);
 ///  - CorruptWire  a wire buffer arrives truncated
-///                 (WireFormat deserialization).
+///                 (WireFormat deserialization);
+///  - QueueFull    admission control reports the target worker queue
+///                 as saturated (OffloadService::submit) so overload
+///                 shedding is testable without racing real queues.
 ///
 /// Faults are keyed by *domain*: a device model name ("gtx580"), a
 /// per-worker tag the service installs ("w0:gtx580" — the colon
@@ -43,7 +46,13 @@
 
 namespace lime::support {
 
-enum class FaultKind : uint8_t { LaunchFail, Hang, CompileFail, CorruptWire };
+enum class FaultKind : uint8_t {
+  LaunchFail,
+  Hang,
+  CompileFail,
+  CorruptWire,
+  QueueFull,
+};
 
 const char *faultKindName(FaultKind K);
 
@@ -105,7 +114,7 @@ private:
   uint64_t Seed = 0x5EED;
   unsigned HangMs = 20;
   std::map<std::pair<std::string, uint8_t>, Plan> Plans;
-  uint64_t FiredByKind[4] = {0, 0, 0, 0};
+  uint64_t FiredByKind[5] = {0, 0, 0, 0, 0};
 };
 
 } // namespace lime::support

@@ -130,7 +130,24 @@ const char *lime::driver::usageText() {
       "  --breaker-cooldown-ms X  quarantine time before a probation\n"
       "                      request may re-admit the worker (default 250)\n"
       "  --no-fallback       fail futures instead of degrading to the\n"
-      "                      interpreter when devices are exhausted\n";
+      "                      interpreter when devices are exhausted\n"
+      "overload control (service mode only):\n"
+      "  --quota-qps X       default per-client token-bucket rate in\n"
+      "                      requests/second (default: unlimited)\n"
+      "  --quota-burst X     default token-bucket depth in requests\n"
+      "                      (default: max(1, quota-qps))\n"
+      "  --quota-client NAME=QPS:BURST[:WEIGHT]\n"
+      "                      per-client quota override and fair-queueing\n"
+      "                      weight (repeatable; WEIGHT defaults to 1)\n"
+      "  --queue-cap N       bound each device worker's queue at N\n"
+      "                      requests (default 256)\n"
+      "  --shed-policy <block|reject|deadline>\n"
+      "                      full-queue behavior: block the submitter\n"
+      "                      (default), reject[queue-full] immediately,\n"
+      "                      or also shed deadline-infeasible requests\n"
+      "  --coalesce-window N collapse up to N bit-identical queued\n"
+      "                      requests into one launch (default 16;\n"
+      "                      1 disables)\n";
 }
 
 namespace {
@@ -156,6 +173,47 @@ bool parseConfigName(const std::string &Name, MemoryConfig &Out) {
     Out = MemoryConfig::best();
   else
     return false;
+  return true;
+}
+
+/// "NAME=QPS:BURST[:WEIGHT]" -> a ServiceConfig::Clients entry. Every
+/// numeric component must be strictly positive (a zero quota would
+/// silently mean "unlimited" in the service — make the operator say
+/// what they mean).
+bool parseClientPolicy(const std::string &Spec,
+                       service::ServiceConfig &Policy, std::string &Err) {
+  size_t Eq = Spec.find('=');
+  if (Eq == std::string::npos || Eq == 0) {
+    Err = "missing NAME=";
+    return false;
+  }
+  std::string Name = Spec.substr(0, Eq);
+  std::vector<double> Nums;
+  size_t Pos = Eq + 1;
+  while (Pos <= Spec.size()) {
+    size_t Colon = Spec.find(':', Pos);
+    std::string Part = Spec.substr(
+        Pos, Colon == std::string::npos ? std::string::npos : Colon - Pos);
+    char *End = nullptr;
+    double V = std::strtod(Part.c_str(), &End);
+    if (Part.empty() || End != Part.c_str() + Part.size() || V <= 0) {
+      Err = "bad number '" + Part + "'";
+      return false;
+    }
+    Nums.push_back(V);
+    if (Colon == std::string::npos)
+      break;
+    Pos = Colon + 1;
+  }
+  if (Nums.size() < 2 || Nums.size() > 3) {
+    Err = "expected QPS:BURST or QPS:BURST:WEIGHT";
+    return false;
+  }
+  service::ServiceConfig::ClientPolicy &C = Policy.Clients[Name];
+  C.Qps = Nums[0];
+  C.Burst = Nums[1];
+  if (Nums.size() == 3)
+    C.Weight = Nums[2];
   return true;
 }
 
@@ -335,6 +393,65 @@ ParseResult lime::driver::parseDriverOptions(int argc, char **argv,
         Out.FirstPolicyFlag = Arg;
     } else if (Arg == "--no-fallback") {
       Out.ServicePolicy.FallbackToInterpreter = false;
+      if (Out.FirstPolicyFlag.empty())
+        Out.FirstPolicyFlag = Arg;
+    } else if (Arg == "--quota-qps") {
+      const char *X = Next();
+      if (!X || std::atof(X) <= 0)
+        return fail("limec: --quota-qps needs a rate > 0", true);
+      Out.ServicePolicy.QuotaQps = std::atof(X);
+      if (Out.FirstPolicyFlag.empty())
+        Out.FirstPolicyFlag = Arg;
+    } else if (Arg == "--quota-burst") {
+      const char *X = Next();
+      if (!X || std::atof(X) <= 0)
+        return fail("limec: --quota-burst needs a depth > 0", true);
+      Out.ServicePolicy.QuotaBurst = std::atof(X);
+      if (Out.FirstPolicyFlag.empty())
+        Out.FirstPolicyFlag = Arg;
+    } else if (Arg == "--quota-client") {
+      const char *S = Next();
+      std::string Err;
+      if (!S || !parseClientPolicy(S, Out.ServicePolicy, Err))
+        return fail("limec: --quota-client needs NAME=QPS:BURST[:WEIGHT] "
+                    "with positive numbers" +
+                        (Err.empty() ? "" : " (" + Err + ")"),
+                    true);
+      if (Out.FirstPolicyFlag.empty())
+        Out.FirstPolicyFlag = Arg;
+    } else if (Arg == "--queue-cap") {
+      const char *N = Next();
+      if (!N || std::atoi(N) <= 0)
+        return fail("limec: --queue-cap needs a count > 0", true);
+      Out.ServicePolicy.QueueDepth = static_cast<size_t>(std::atoi(N));
+      if (Out.FirstPolicyFlag.empty())
+        Out.FirstPolicyFlag = Arg;
+    } else if (Arg == "--shed-policy") {
+      const char *P = Next();
+      if (!P)
+        return fail("limec: --shed-policy needs block, reject, or deadline",
+                    true);
+      if (std::strcmp(P, "block") == 0)
+        Out.ServicePolicy.ShedPolicy = service::ServiceConfig::Shedding::Block;
+      else if (std::strcmp(P, "reject") == 0)
+        Out.ServicePolicy.ShedPolicy =
+            service::ServiceConfig::Shedding::Reject;
+      else if (std::strcmp(P, "deadline") == 0)
+        Out.ServicePolicy.ShedPolicy =
+            service::ServiceConfig::Shedding::Deadline;
+      else
+        return fail("limec: --shed-policy must be block, reject, or "
+                    "deadline, got '" +
+                        std::string(P) + "'",
+                    false);
+      if (Out.FirstPolicyFlag.empty())
+        Out.FirstPolicyFlag = Arg;
+    } else if (Arg == "--coalesce-window") {
+      const char *N = Next();
+      if (!N || std::atoi(N) <= 0)
+        return fail("limec: --coalesce-window needs a count > 0", true);
+      Out.ServicePolicy.CoalesceWindow =
+          static_cast<unsigned>(std::atoi(N));
       if (Out.FirstPolicyFlag.empty())
         Out.FirstPolicyFlag = Arg;
     } else if (Arg[0] == '-') {

@@ -119,7 +119,8 @@ ParseResult parseDriverOptions(int argc, char **argv, DriverOptions &Out);
 ///   - a missing input file for every file-reading command
 ///   - --config with --analyze-workloads (the sweep is fixed)
 ///   - --offload outside --run
-///   - --kernel-cache / fault-tolerance flags outside service mode
+///   - --kernel-cache / fault-tolerance / overload-control flags
+///     outside service mode
 ///   - --analyze-strict outside the analyze commands
 ///   - --findings-format outside the analyze commands
 ///   - --bc-analyze outside the analyze commands

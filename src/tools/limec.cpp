@@ -573,6 +573,7 @@ int main(int argc, char **argv) {
         Req.Worker = Worker;
         Req.Args = Args;
         Req.Config = OC;
+        Req.ClientId = "cli";
         Out = Service->invoke(std::move(Req));
         return true;
       };
@@ -601,11 +602,18 @@ int main(int argc, char **argv) {
       Service->waitIdle();
       service::OffloadServiceStats S = Service->stats();
       std::printf("offload service: %llu submitted, %llu completed, "
-                  "%llu launches (%llu batched)\n",
+                  "%llu launches (%llu batched, %llu coalesced)\n",
                   static_cast<unsigned long long>(S.Submitted),
                   static_cast<unsigned long long>(S.Completed),
                   static_cast<unsigned long long>(S.launches()),
-                  static_cast<unsigned long long>(S.batchedRequests()));
+                  static_cast<unsigned long long>(S.batchedRequests()),
+                  static_cast<unsigned long long>(S.Coalesced));
+      if (S.QuotaRejected || S.QueueFullRejected || S.Shed)
+        std::printf("  overload control: %llu quota-rejected, %llu "
+                    "queue-full, %llu shed (deadline-infeasible)\n",
+                    static_cast<unsigned long long>(S.QuotaRejected),
+                    static_cast<unsigned long long>(S.QueueFullRejected),
+                    static_cast<unsigned long long>(S.Shed));
       if (S.Retried || S.TimedOut || S.Quarantined || S.FellBack ||
           S.Failed || S.Rejected)
         std::printf("  fault tolerance: %llu retried, %llu timed out, "
@@ -638,6 +646,19 @@ int main(int argc, char **argv) {
                     D.QueueHighWater, service::breakerStateName(D.Breaker),
                     static_cast<unsigned long long>(D.Failures),
                     static_cast<unsigned long long>(D.TimesQuarantined));
+      for (const service::ClientStatsSnapshot &C : S.Clients)
+        std::printf("  client '%s': %llu submitted, %llu completed "
+                    "(%llu coalesced), %llu rejected (%llu quota, "
+                    "%llu queue-full, %llu shed), %llu failed\n",
+                    C.Client.c_str(),
+                    static_cast<unsigned long long>(C.Submitted),
+                    static_cast<unsigned long long>(C.Completed),
+                    static_cast<unsigned long long>(C.Coalesced),
+                    static_cast<unsigned long long>(C.Rejected),
+                    static_cast<unsigned long long>(C.QuotaRejected),
+                    static_cast<unsigned long long>(C.QueueFullRejected),
+                    static_cast<unsigned long long>(C.Shed),
+                    static_cast<unsigned long long>(C.Failed));
     }
     printJitReport(O.JitDump);
     if (!R.Value.isUnit())

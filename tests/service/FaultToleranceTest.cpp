@@ -472,4 +472,102 @@ TEST(FaultTolerance, FaultMatrixResolvesEveryRequestBitIdentical) {
   EXPECT_GT(FI.firedCount(FaultKind::LaunchFail), 0u);
 }
 
+/// The fault matrix with overload in the mix: a 20% injected
+/// queue-full rate at admission on top of the 20% launch-failure
+/// rate, a dead worker, and a hanging launch, under the Reject shed
+/// policy with shallow queues. Every future must still resolve — as
+/// bits identical to the fault-free path, or as a *typed* overload
+/// rejection — never a hang, never an untyped trap, and the counters
+/// must reconcile.
+TEST(FaultTolerance, OverloadFaultMatrixResolvesEveryRequestTyped) {
+  FtFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG(0xBEEF);
+
+  constexpr int Clients = 4;
+  constexpr int PerClient = 20;
+  rt::OffloadConfig OC;
+  rt::OffloadedFilter DSquares(F.CP.Prog, F.types(), F.Squares, OC);
+  ASSERT_TRUE(DSquares.ok());
+  std::vector<std::vector<RtValue>> Inputs(Clients);
+  std::vector<std::vector<RtValue>> Expected(Clients);
+  for (int C = 0; C != Clients; ++C) {
+    for (int I = 0; I != PerClient; ++I) {
+      RtValue X =
+          makeFloatArray(F.types(), 32 + 9 * I, 0.5f * (C + 1) + I);
+      Inputs[C].push_back(X);
+      ExecResult E = DSquares.invoke({X});
+      ASSERT_TRUE(E.ok()) << E.TrapMessage;
+      Expected[C].push_back(E.Value);
+    }
+  }
+
+  FaultInjector &FI = FaultInjector::instance();
+  FI.setRate("gtx580", FaultKind::QueueFull, 0.20);
+  FI.setRate("gtx580", FaultKind::LaunchFail, 0.20);
+  FI.setPermanent("w0:gtx580", FaultKind::LaunchFail, true);
+  FI.setHangMillis(30);
+  FI.armOneShot("gtx580", FaultKind::Hang, 5);
+
+  ServiceConfig SC = testPolicy();
+  SC.Devices = {"gtx580", "gtx580"};
+  SC.MaxRetries = 3;
+  SC.LaunchDeadlineMs = 10.0;
+  SC.QueueDepth = 8;
+  SC.ShedPolicy = ServiceConfig::Shedding::Reject;
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+
+  std::vector<std::thread> Threads;
+  std::vector<int> Mismatches(Clients, 0);
+  std::vector<std::string> UntypedTraps(Clients);
+  std::vector<int> TypedRejections(Clients, 0);
+  for (int C = 0; C != Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      std::string Id = "client" + std::to_string(C);
+      std::vector<std::future<ExecResult>> Futures;
+      for (int I = 0; I != PerClient; ++I) {
+        OffloadRequest R = makeRequest(F.Squares, {Inputs[C][I]}, OC);
+        R.ClientId = Id;
+        Futures.push_back(Svc.submit(std::move(R)));
+      }
+      for (int I = 0; I != PerClient; ++I) {
+        ExecResult R = Futures[I].get(); // every future must resolve
+        if (!R.Trapped) {
+          if (!R.Value.equals(Expected[C][I]))
+            ++Mismatches[C];
+        } else if (classifyServiceError(R) != ServiceRejectKind::None) {
+          ++TypedRejections[C];
+        } else {
+          UntypedTraps[C] = R.TrapMessage;
+        }
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  int Typed = 0;
+  for (int C = 0; C != Clients; ++C) {
+    EXPECT_TRUE(UntypedTraps[C].empty())
+        << "client " << C << ": " << UntypedTraps[C];
+    EXPECT_EQ(Mismatches[C], 0) << "client " << C;
+    Typed += TypedRejections[C];
+  }
+
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Submitted, static_cast<uint64_t>(Clients * PerClient));
+  EXPECT_EQ(S.Submitted, S.Completed + S.Failed + S.Rejected);
+  // The 20% admission fault rate makes some queue-full rejections a
+  // statistical certainty over 80 submits (P(none) ~ 2e-8).
+  EXPECT_GE(S.QueueFullRejected, 1u);
+  EXPECT_EQ(S.Rejected, static_cast<uint64_t>(Typed));
+  EXPECT_GT(FI.firedCount(FaultKind::QueueFull), 0u);
+  // Per-client rows reconcile against the aggregate.
+  uint64_t ClientSubmitted = 0;
+  for (const ClientStatsSnapshot &Row : S.Clients)
+    ClientSubmitted += Row.Submitted;
+  EXPECT_EQ(ClientSubmitted, S.Submitted);
+}
+
 } // namespace

@@ -17,6 +17,9 @@
 #include "service/KernelCache.h"
 
 #include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
 #include <unistd.h>
 
 using namespace lime;
@@ -133,6 +136,126 @@ TEST(KernelCache, DiskPersistenceAcrossCaches) {
   EXPECT_TRUE(Second.diskLookup(key("k2")).empty());
 
   std::filesystem::remove_all(Dir);
+}
+
+std::filesystem::path diskFileFor(const std::string &Dir, uint64_t Hash) {
+  std::ostringstream P;
+  P << Dir << "/" << std::hex << Hash << ".cl";
+  return P.str();
+}
+
+TEST(KernelCache, PersistWritesChecksummedV2WithoutTempResidue) {
+  std::string Dir = freshTempDir("v2");
+  KernelCache Cache(4);
+  Cache.setDiskDir(Dir);
+  KernelKey K = key("k-v2");
+  Cache.getOrCompile(K, [] { return okKernel("__kernel V2 body"); });
+
+  std::ifstream In(diskFileFor(Dir, K.Hash), std::ios::binary);
+  ASSERT_TRUE(In.good()) << "persisted file missing";
+  std::string Blob((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(Blob.rfind("// limecc kernel cache v2\n", 0), 0u) << Blob;
+  EXPECT_NE(Blob.find("// key-fnv1a: "), std::string::npos);
+  EXPECT_NE(Blob.find("// src-fnv1a: "), std::string::npos);
+  EXPECT_NE(Blob.find("// src-bytes: "), std::string::npos);
+  EXPECT_NE(Blob.find("__kernel V2 body"), std::string::npos);
+
+  // Atomic write: the temp file was renamed away, never left behind.
+  int TempFiles = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir))
+    if (E.path().extension() == ".tmp")
+      ++TempFiles;
+  EXPECT_EQ(TempFiles, 0);
+
+  EXPECT_EQ(Cache.diskLookup(K), "__kernel V2 body");
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(KernelCache, TruncatedDiskFileIsDiscardedAndRecompiled) {
+  std::string Dir = freshTempDir("trunc");
+  KernelKey K = key("k-trunc");
+  {
+    KernelCache First(4);
+    First.setDiskDir(Dir);
+    First.getOrCompile(K, [] { return okKernel("__kernel T full body"); });
+  }
+  // Simulate a crash mid-write from a pre-atomic-rename era: chop the
+  // file in half (losing part of the body, invalidating src-bytes).
+  auto Path = diskFileFor(Dir, K.Hash);
+  auto Size = std::filesystem::file_size(Path);
+  std::filesystem::resize_file(Path, Size / 2);
+
+  KernelCache Second(4);
+  Second.setDiskDir(Dir);
+  EXPECT_EQ(Second.diskLookup(K), ""); // corrupt: not served
+  EXPECT_FALSE(std::filesystem::exists(Path)) << "corrupt file not removed";
+  int Compiles = 0;
+  auto R = Second.getOrCompile(K, [&] {
+    ++Compiles;
+    return okKernel("__kernel T full body");
+  });
+  EXPECT_TRUE(R->Ok);
+  EXPECT_EQ(Compiles, 1); // recompiled, not trusted from disk
+  EXPECT_EQ(Second.stats().DiskHits, 0u);
+  // The recompile re-persisted a valid replacement.
+  EXPECT_EQ(Second.diskLookup(K), "__kernel T full body");
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(KernelCache, BitFlippedDiskFileIsDiscarded) {
+  std::string Dir = freshTempDir("flip");
+  KernelKey K = key("k-flip");
+  {
+    KernelCache First(4);
+    First.setDiskDir(Dir);
+    First.getOrCompile(K, [] { return okKernel("__kernel F payload"); });
+  }
+  // Flip one bit in the body; the length still matches, so only the
+  // content checksum can catch it.
+  auto Path = diskFileFor(Dir, K.Hash);
+  std::string Blob;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    Blob.assign((std::istreambuf_iterator<char>(In)),
+                std::istreambuf_iterator<char>());
+  }
+  Blob[Blob.size() - 3] ^= 0x10;
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Blob.data(), static_cast<std::streamsize>(Blob.size()));
+  }
+
+  KernelCache Second(4);
+  Second.setDiskDir(Dir);
+  EXPECT_EQ(Second.diskLookup(K), "");
+  EXPECT_FALSE(std::filesystem::exists(Path));
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(KernelCache, LegacyHeaderlessDiskFileIsDiscarded) {
+  std::string Dir = freshTempDir("legacy");
+  std::filesystem::create_directories(Dir);
+  KernelKey K = key("k-legacy");
+  // A v1-era file: bare source, no header, no checksum. It cannot be
+  // validated, so it is discarded rather than trusted.
+  {
+    std::ofstream Out(diskFileFor(Dir, K.Hash), std::ios::binary);
+    Out << "__kernel legacy body";
+  }
+  KernelCache Cache(4);
+  Cache.setDiskDir(Dir);
+  EXPECT_EQ(Cache.diskLookup(K), "");
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(KernelCache, ReportsMissThroughWasMiss) {
+  KernelCache Cache(4);
+  bool WasMiss = false;
+  Cache.getOrCompile(key("m"), [] { return okKernel("s"); }, &WasMiss);
+  EXPECT_TRUE(WasMiss);
+  Cache.getOrCompile(key("m"), [] { return okKernel("s"); }, &WasMiss);
+  EXPECT_FALSE(WasMiss);
 }
 
 TEST(KernelCache, KeyDependsOnConfigAndDevice) {

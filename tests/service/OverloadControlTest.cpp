@@ -1,0 +1,511 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multi-tenant overload control in the offload service: per-client
+/// token-bucket quotas (with overrides), typed queue-full rejections
+/// under the Reject shed policy, deadline-infeasible shedding,
+/// weighted deficit-round-robin fair queueing, identical-request
+/// coalescing across clients (including a twin whose deadline lapses
+/// while the coalesced launch is in flight), and the single-lock
+/// coherence of aggregate + per-client stats snapshots.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "runtime/Offload.h"
+#include "service/OffloadService.h"
+#include "support/FaultInjection.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+using namespace lime;
+using namespace lime::service;
+using namespace lime::support;
+using namespace lime::test;
+
+namespace {
+
+const char *OcSource = R"(
+  class Oc {
+    static local float sq(float x) { return x * x; }
+    static local float[[]] squares(float[[]] xs) { return sq @ xs; }
+  }
+)";
+
+RtValue makeFloatArray(TypeContext &Types, size_t N, float Seed) {
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = Types.floatType();
+  Arr->Immutable = true;
+  for (size_t I = 0; I != N; ++I)
+    Arr->Elems.push_back(
+        RtValue::makeFloat(Seed + 0.375f * static_cast<float>(I % 97)));
+  return RtValue::makeArray(std::move(Arr));
+}
+
+struct OcFixture {
+  CompiledProgram CP;
+  MethodDecl *Squares = nullptr;
+
+  OcFixture() : CP(compileLime(OcSource)) {
+    if (!CP.Ok)
+      return;
+    Squares = CP.Prog->findClass("Oc")->findMethod("squares");
+  }
+  TypeContext &types() { return CP.Ctx->types(); }
+};
+
+OffloadRequest makeRequest(MethodDecl *W, std::vector<RtValue> Args,
+                           std::string Client, double DeadlineMs = 0.0) {
+  OffloadRequest R;
+  R.Worker = W;
+  R.Args = std::move(Args);
+  R.ClientId = std::move(Client);
+  R.DeadlineMs = DeadlineMs;
+  return R;
+}
+
+struct FaultGuard {
+  explicit FaultGuard(uint64_t Seed = 0x5EED) {
+    FaultInjector::instance().reset(Seed);
+  }
+  ~FaultGuard() { FaultInjector::instance().reset(); }
+};
+
+const ClientStatsSnapshot *findClient(const OffloadServiceStats &S,
+                                      const std::string &Id) {
+  for (const ClientStatsSnapshot &C : S.Clients)
+    if (C.Client == Id)
+      return &C;
+  return nullptr;
+}
+
+TEST(OverloadControl, QuotaRejectsBeyondBurst) {
+  OcFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG;
+  RtValue X = makeFloatArray(F.types(), 64, 1.0f);
+
+  // A near-zero refill rate makes the bucket effectively burst-only:
+  // 2 tokens, then typed rejections, deterministically.
+  ServiceConfig SC;
+  SC.QuotaQps = 1e-6;
+  SC.QuotaBurst = 2.0;
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+
+  int Ok = 0, Quota = 0;
+  for (int I = 0; I != 5; ++I) {
+    ExecResult R = Svc.invoke(makeRequest(F.Squares, {X}, "tenant"));
+    if (R.ok()) {
+      ++Ok;
+    } else {
+      EXPECT_EQ(classifyServiceError(R), ServiceRejectKind::QuotaExceeded)
+          << R.TrapMessage;
+      EXPECT_NE(R.TrapMessage.find("rejected[quota-exceeded]"),
+                std::string::npos);
+      EXPECT_NE(R.TrapMessage.find("'tenant'"), std::string::npos);
+      ++Quota;
+    }
+  }
+  EXPECT_EQ(Ok, 2);
+  EXPECT_EQ(Quota, 3);
+
+  // A quota rejection happens before any compile or cache work: only
+  // the two admitted requests touched the kernel cache (each twice —
+  // once at admission, once at placement).
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Cache.Hits + S.Cache.Misses, 4u);
+  EXPECT_EQ(S.Cache.Misses, 1u);
+  EXPECT_EQ(S.QuotaRejected, 3u);
+  EXPECT_EQ(S.Rejected, 3u);
+  const ClientStatsSnapshot *C = findClient(S, "tenant");
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->Submitted, 5u);
+  EXPECT_EQ(C->Completed, 2u);
+  EXPECT_EQ(C->QuotaRejected, 3u);
+  EXPECT_EQ(S.Submitted, S.Completed + S.Failed + S.Rejected);
+}
+
+TEST(OverloadControl, PerClientQuotaOverride) {
+  OcFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG;
+  RtValue X = makeFloatArray(F.types(), 48, 2.0f);
+
+  // Default: 1-token bucket. "vip" overrides to a deep bucket.
+  ServiceConfig SC;
+  SC.QuotaQps = 1e-6;
+  SC.QuotaBurst = 1.0;
+  SC.Clients["vip"].Qps = 1e6;
+  SC.Clients["vip"].Burst = 100.0;
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+
+  for (int I = 0; I != 4; ++I) {
+    ExecResult R = Svc.invoke(makeRequest(F.Squares, {X}, "vip"));
+    EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  }
+  ExecResult First = Svc.invoke(makeRequest(F.Squares, {X}, "bulk"));
+  EXPECT_TRUE(First.ok()) << First.TrapMessage;
+  ExecResult Second = Svc.invoke(makeRequest(F.Squares, {X}, "bulk"));
+  EXPECT_EQ(classifyServiceError(Second), ServiceRejectKind::QuotaExceeded);
+
+  OffloadServiceStats S = Svc.stats();
+  const ClientStatsSnapshot *Vip = findClient(S, "vip");
+  const ClientStatsSnapshot *Bulk = findClient(S, "bulk");
+  ASSERT_NE(Vip, nullptr);
+  ASSERT_NE(Bulk, nullptr);
+  EXPECT_EQ(Vip->QuotaRejected, 0u);
+  EXPECT_EQ(Bulk->QuotaRejected, 1u);
+}
+
+TEST(OverloadControl, RejectPolicyAnswersQueueFullTyped) {
+  OcFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG;
+  RtValue X1 = makeFloatArray(F.types(), 40, 1.0f);
+  RtValue X2 = makeFloatArray(F.types(), 44, 2.0f);
+  RtValue X3 = makeFloatArray(F.types(), 48, 3.0f);
+
+  // One worker, queue bound 1: a hanging launch holds the worker, one
+  // request waits, the next is refused with the typed trap instead of
+  // blocking the submitter (the seed Block policy would stall here).
+  ServiceConfig SC;
+  SC.QueueDepth = 1;
+  SC.ShedPolicy = ServiceConfig::Shedding::Reject;
+  SC.EnableBatching = false;
+  SC.CoalesceWindow = 1;
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+
+  // Warm the kernel so the hang hits a prepared worker.
+  EXPECT_TRUE(Svc.invoke(makeRequest(F.Squares, {X1}, "a")).ok());
+
+  FaultInjector::instance().setHangMillis(80);
+  FaultInjector::instance().armOneShot("gtx580", FaultKind::Hang);
+  std::future<ExecResult> Hung =
+      Svc.submit(makeRequest(F.Squares, {X1}, "a"));
+  // Let the worker dequeue the hanging launch so the queue is empty,
+  // then fill it (depth 1) and overflow it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::future<ExecResult> Waiting =
+      Svc.submit(makeRequest(F.Squares, {X2}, "b"));
+  ExecResult Refused = Svc.invoke(makeRequest(F.Squares, {X3}, "c"));
+  EXPECT_EQ(classifyServiceError(Refused), ServiceRejectKind::QueueFull)
+      << Refused.TrapMessage;
+  EXPECT_NE(Refused.TrapMessage.find("rejected[queue-full]"),
+            std::string::npos);
+
+  EXPECT_TRUE(Hung.get().ok());
+  EXPECT_TRUE(Waiting.get().ok());
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.QueueFullRejected, 1u);
+  const ClientStatsSnapshot *C = findClient(S, "c");
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->QueueFullRejected, 1u);
+  EXPECT_EQ(S.Submitted, S.Completed + S.Failed + S.Rejected);
+}
+
+TEST(OverloadControl, InjectedQueueFullFaultRejectsDeterministically) {
+  OcFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG;
+  RtValue X = makeFloatArray(F.types(), 32, 1.5f);
+
+  FaultInjector::instance().armOneShot("gtx580", FaultKind::QueueFull);
+  OffloadService Svc(F.CP.Prog, F.types(), ServiceConfig());
+  ExecResult R = Svc.invoke(makeRequest(F.Squares, {X}, "cli"));
+  EXPECT_EQ(classifyServiceError(R), ServiceRejectKind::QueueFull)
+      << R.TrapMessage;
+  EXPECT_NE(R.TrapMessage.find("injected overload"), std::string::npos);
+  EXPECT_EQ(FaultInjector::instance().firedCount(FaultKind::QueueFull), 1u);
+
+  // One-shot: the next submit is admitted normally.
+  EXPECT_TRUE(Svc.invoke(makeRequest(F.Squares, {X}, "cli")).ok());
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.QueueFullRejected, 1u);
+  EXPECT_EQ(S.Completed, 1u);
+}
+
+TEST(OverloadControl, DeadlinePolicyShedsInfeasibleRequests) {
+  OcFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG;
+  RtValue X = makeFloatArray(F.types(), 64, 1.0f);
+
+  ServiceConfig SC;
+  SC.ShedPolicy = ServiceConfig::Shedding::Deadline;
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+
+  // Teach the estimator: one deadline-less request measures compile
+  // and launch cost (deadline-less requests are never shed).
+  EXPECT_TRUE(Svc.invoke(makeRequest(F.Squares, {X}, "t")).ok());
+  Svc.waitIdle();
+
+  // With a launch-cost EWMA on record, a deadline budget far below it
+  // is refused at submit — before queueing, before the device.
+  ExecResult Shed = Svc.invoke(makeRequest(F.Squares, {X}, "t", 1e-9));
+  EXPECT_EQ(classifyServiceError(Shed), ServiceRejectKind::DeadlineInfeasible)
+      << Shed.TrapMessage;
+  EXPECT_NE(Shed.TrapMessage.find("rejected[deadline-infeasible]"),
+            std::string::npos);
+
+  // A comfortable deadline sails through.
+  EXPECT_TRUE(Svc.invoke(makeRequest(F.Squares, {X}, "t", 10000.0)).ok());
+
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Shed, 1u);
+  const ClientStatsSnapshot *C = findClient(S, "t");
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->Shed, 1u);
+  EXPECT_EQ(S.Submitted, S.Completed + S.Failed + S.Rejected);
+}
+
+TEST(OverloadControl, DeficitRoundRobinInterleavesClients) {
+  OcFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG;
+
+  // One worker, no merging, every launch stalled 8ms: "flood" queues
+  // 8 requests, then "tiny" queues 2. Under the seed's FIFO, tiny
+  // would drain after flood's tail; under DRR the worker alternates
+  // clients, so tiny's last completion lands well before flood's.
+  ServiceConfig SC;
+  SC.EnableBatching = false;
+  SC.CoalesceWindow = 1;
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+  RtValue Warm = makeFloatArray(F.types(), 16, 9.0f);
+  EXPECT_TRUE(Svc.invoke(makeRequest(F.Squares, {Warm}, "warm")).ok());
+
+  FaultInjector::instance().setHangMillis(8);
+  FaultInjector::instance().setPermanent("gtx580", FaultKind::Hang, true);
+
+  using Clock = std::chrono::steady_clock;
+  auto T0 = Clock::now();
+  std::vector<std::future<ExecResult>> Flood, Tiny;
+  for (int I = 0; I != 8; ++I)
+    Flood.push_back(Svc.submit(makeRequest(
+        F.Squares, {makeFloatArray(F.types(), 24 + I, 1.0f + I)}, "flood")));
+  for (int I = 0; I != 2; ++I)
+    Tiny.push_back(Svc.submit(makeRequest(
+        F.Squares, {makeFloatArray(F.types(), 80 + I, 5.0f + I)}, "tiny")));
+
+  std::atomic<double> FloodLastMs{0.0}, TinyLastMs{0.0};
+  auto Wait = [&](std::vector<std::future<ExecResult>> &Futs,
+                  std::atomic<double> &LastMs) {
+    for (auto &Fut : Futs) {
+      ExecResult R = Fut.get();
+      EXPECT_TRUE(R.ok()) << R.TrapMessage;
+      double Ms = std::chrono::duration<double, std::milli>(Clock::now() - T0)
+                      .count();
+      double Prev = LastMs.load();
+      while (Ms > Prev && !LastMs.compare_exchange_weak(Prev, Ms))
+        ;
+    }
+  };
+  std::thread TinyWaiter([&] { Wait(Tiny, TinyLastMs); });
+  Wait(Flood, FloodLastMs);
+  TinyWaiter.join();
+  Svc.waitIdle();
+
+  EXPECT_LT(TinyLastMs.load(), FloodLastMs.load())
+      << "tiny=" << TinyLastMs.load() << "ms flood=" << FloodLastMs.load()
+      << "ms: fair queueing should interleave the small tenant";
+
+  OffloadServiceStats S = Svc.stats();
+  const ClientStatsSnapshot *FloodC = findClient(S, "flood");
+  const ClientStatsSnapshot *TinyC = findClient(S, "tiny");
+  ASSERT_NE(FloodC, nullptr);
+  ASSERT_NE(TinyC, nullptr);
+  EXPECT_EQ(FloodC->Completed, 8u);
+  EXPECT_EQ(TinyC->Completed, 2u);
+}
+
+TEST(OverloadControl, CoalescesIdenticalRequestsAcrossClients) {
+  OcFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG;
+  RtValue X = makeFloatArray(F.types(), 72, 3.0f);
+  RtValue Blocker = makeFloatArray(F.types(), 36, 7.0f);
+
+  rt::OffloadedFilter Direct(F.CP.Prog, F.types(), F.Squares,
+                             rt::OffloadConfig());
+  ASSERT_TRUE(Direct.ok());
+  ExecResult Expected = Direct.invoke({X});
+  ASSERT_TRUE(Expected.ok());
+
+  ServiceConfig SC;
+  SC.CoalesceWindow = 16;
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+  EXPECT_TRUE(Svc.invoke(makeRequest(F.Squares, {Blocker}, "warm")).ok());
+  uint64_t WarmLaunches = Svc.stats().launches();
+
+  // Hold the worker on a blocker launch while four clients submit the
+  // bit-identical request behind it: one launch, four futures.
+  FaultInjector::instance().setHangMillis(60);
+  FaultInjector::instance().armOneShot("gtx580", FaultKind::Hang);
+  std::future<ExecResult> Blocked =
+      Svc.submit(makeRequest(F.Squares, {Blocker}, "warm"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::vector<std::future<ExecResult>> Same;
+  for (int I = 0; I != 4; ++I) {
+    std::string Client = "c";
+    Client += std::to_string(I);
+    Same.push_back(Svc.submit(makeRequest(F.Squares, {X}, Client)));
+  }
+
+  EXPECT_TRUE(Blocked.get().ok());
+  for (auto &Fut : Same) {
+    ExecResult R = Fut.get();
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    EXPECT_TRUE(R.Value.equals(Expected.Value));
+  }
+  Svc.waitIdle();
+
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Coalesced, 3u); // leader + 3 twins
+  EXPECT_EQ(S.coalescedRequests(), 3u);
+  EXPECT_EQ(S.launches(), WarmLaunches + 2u); // blocker + one coalesced
+  EXPECT_EQ(S.Completed, 1u /*warm(invoke#2)*/ + 1u /*blocker*/ + 4u);
+  uint64_t ClientCoalesced = 0;
+  for (const ClientStatsSnapshot &C : S.Clients)
+    ClientCoalesced += C.Coalesced;
+  EXPECT_EQ(ClientCoalesced, 3u);
+  EXPECT_EQ(S.Submitted, S.Completed + S.Failed + S.Rejected);
+}
+
+TEST(OverloadControl, CoalescedTwinDeadlineLapsesWithoutHurtingSiblings) {
+  OcFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG;
+  RtValue X = makeFloatArray(F.types(), 64, 4.0f);
+  RtValue Blocker = makeFloatArray(F.types(), 32, 8.0f);
+
+  rt::OffloadedFilter Direct(F.CP.Prog, F.types(), F.Squares,
+                             rt::OffloadConfig());
+  ASSERT_TRUE(Direct.ok());
+  ExecResult Expected = Direct.invoke({X});
+  ASSERT_TRUE(Expected.ok());
+
+  ServiceConfig SC;
+  SC.CoalesceWindow = 16;
+  SC.MaxRetries = 0; // a lapsed twin must resolve typed, not retry
+  SC.FallbackToInterpreter = false;
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+  EXPECT_TRUE(Svc.invoke(makeRequest(F.Squares, {Blocker}, "warm")).ok());
+
+  // Every launch stalls 50ms. The blocker holds the worker; leader A
+  // (500ms budget) and twin T (70ms budget) coalesce behind it. Their
+  // shared launch starts at ~50ms and lands at ~100ms: T's deadline
+  // lapses while the launch is in flight, so T resolves as a typed
+  // timeout — and A, on the very same launch, still gets its bits.
+  FaultInjector::instance().setHangMillis(50);
+  FaultInjector::instance().setPermanent("gtx580", FaultKind::Hang, true);
+  std::future<ExecResult> Blocked =
+      Svc.submit(makeRequest(F.Squares, {Blocker}, "warm"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  std::future<ExecResult> A =
+      Svc.submit(makeRequest(F.Squares, {X}, "patient", 500.0));
+  std::future<ExecResult> T =
+      Svc.submit(makeRequest(F.Squares, {X}, "hurried", 70.0));
+
+  EXPECT_TRUE(Blocked.get().ok());
+  ExecResult RA = A.get();
+  ASSERT_TRUE(RA.ok()) << RA.TrapMessage;
+  EXPECT_TRUE(RA.Value.equals(Expected.Value));
+  ExecResult RT = T.get();
+  EXPECT_EQ(classifyServiceError(RT), ServiceRejectKind::TimedOut)
+      << RT.TrapMessage;
+  EXPECT_NE(RT.TrapMessage.find("timed-out[coalesced]"), std::string::npos);
+
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_GE(S.coalescedRequests(), 1u); // T rode A's launch
+  const ClientStatsSnapshot *Hurried = findClient(S, "hurried");
+  ASSERT_NE(Hurried, nullptr);
+  EXPECT_EQ(Hurried->TimedOut, 1u);
+  EXPECT_EQ(Hurried->Failed, 1u);
+  const ClientStatsSnapshot *Patient = findClient(S, "patient");
+  ASSERT_NE(Patient, nullptr);
+  EXPECT_EQ(Patient->Completed, 1u);
+  EXPECT_EQ(S.Submitted, S.Completed + S.Failed + S.Rejected);
+}
+
+TEST(OverloadControl, StatsSnapshotsAreCoherentUnderConcurrency) {
+  OcFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG;
+
+  // 3 client threads (one quota-starved) race a snapshot reader. The
+  // single stats lock guarantees the running invariant Completed +
+  // Failed + Rejected <= Submitted in *every* snapshot (a request is
+  // counted submitted before any outcome), and exact reconciliation —
+  // aggregates == sum of per-client rows — at quiescence.
+  ServiceConfig SC;
+  SC.Devices = {"gtx580", "gtx580"};
+  SC.Clients["starved"].Qps = 1e-6;
+  SC.Clients["starved"].Burst = 2.0;
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+
+  std::atomic<bool> Done{false};
+  std::atomic<int> TornSnapshots{0};
+  std::thread Reader([&] {
+    while (!Done.load()) {
+      OffloadServiceStats S = Svc.stats();
+      if (S.Completed + S.Failed + S.Rejected > S.Submitted)
+        ++TornSnapshots;
+      uint64_t ClientSubmitted = 0;
+      for (const ClientStatsSnapshot &C : S.Clients)
+        ClientSubmitted += C.Submitted;
+      if (ClientSubmitted != S.Submitted)
+        ++TornSnapshots;
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int PerClient = 12;
+  std::vector<std::thread> Clients;
+  for (const char *Id : {"alpha", "beta", "starved"}) {
+    Clients.emplace_back([&, Id] {
+      for (int I = 0; I != PerClient; ++I) {
+        RtValue X = makeFloatArray(F.types(), 24 + 4 * (I % 5), 1.0f + I);
+        Svc.invoke(makeRequest(F.Squares, {X}, Id));
+      }
+    });
+  }
+  for (std::thread &T : Clients)
+    T.join();
+  Svc.waitIdle();
+  Done = true;
+  Reader.join();
+
+  EXPECT_EQ(TornSnapshots.load(), 0);
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Submitted, 3u * PerClient);
+  EXPECT_EQ(S.Submitted, S.Completed + S.Failed + S.Rejected);
+  uint64_t CSub = 0, CComp = 0, CFail = 0, CRej = 0;
+  for (const ClientStatsSnapshot &C : S.Clients) {
+    EXPECT_EQ(C.Submitted, C.Completed + C.Failed + C.Rejected)
+        << "client " << C.Client;
+    CSub += C.Submitted;
+    CComp += C.Completed;
+    CFail += C.Failed;
+    CRej += C.Rejected;
+  }
+  EXPECT_EQ(CSub, S.Submitted);
+  EXPECT_EQ(CComp, S.Completed);
+  EXPECT_EQ(CFail, S.Failed);
+  EXPECT_EQ(CRej, S.Rejected);
+  const ClientStatsSnapshot *Starved = findClient(S, "starved");
+  ASSERT_NE(Starved, nullptr);
+  EXPECT_EQ(Starved->QuotaRejected, PerClient - 2u);
+}
+
+} // namespace

@@ -300,4 +300,127 @@ TEST(DriverOptions, NoBcProofsParsesForExecutingCommands) {
   EXPECT_FALSE(Dflt.NoBcProofs);
 }
 
+TEST(DriverOptions, OverloadControlFlagsParseInServiceMode) {
+  DriverOptions O;
+  ParseResult R = parseAndValidate(
+      {"p.lime", "--run", "C.m", "--service-threads", "2", "--quota-qps",
+       "100", "--quota-burst", "20", "--queue-cap", "64", "--shed-policy",
+       "deadline", "--coalesce-window", "8"},
+      O);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_DOUBLE_EQ(O.ServicePolicy.QuotaQps, 100.0);
+  EXPECT_DOUBLE_EQ(O.ServicePolicy.QuotaBurst, 20.0);
+  EXPECT_EQ(O.ServicePolicy.QueueDepth, 64u);
+  EXPECT_EQ(O.ServicePolicy.ShedPolicy,
+            service::ServiceConfig::Shedding::Deadline);
+  EXPECT_EQ(O.ServicePolicy.CoalesceWindow, 8u);
+
+  DriverOptions Dflt;
+  R = parseAndValidate({"p.lime", "--run", "C.m", "--service-threads", "2"},
+                       Dflt);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(Dflt.ServicePolicy.ShedPolicy,
+            service::ServiceConfig::Shedding::Block);
+
+  DriverOptions Rej;
+  R = parseAndValidate({"p.lime", "--run", "C.m", "--service-threads", "2",
+                        "--shed-policy", "reject"},
+                       Rej);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(Rej.ServicePolicy.ShedPolicy,
+            service::ServiceConfig::Shedding::Reject);
+}
+
+TEST(DriverOptions, QuotaClientParsesOverrides) {
+  DriverOptions O;
+  ParseResult R = parseAndValidate(
+      {"p.lime", "--run", "C.m", "--service-threads", "2", "--quota-client",
+       "alice=5:10:2", "--quota-client", "bob=1:3"},
+      O);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(O.ServicePolicy.Clients.count("alice"), 1u);
+  const auto &Alice = O.ServicePolicy.Clients.at("alice");
+  EXPECT_DOUBLE_EQ(Alice.Qps, 5.0);
+  EXPECT_DOUBLE_EQ(Alice.Burst, 10.0);
+  EXPECT_DOUBLE_EQ(Alice.Weight, 2.0);
+  ASSERT_EQ(O.ServicePolicy.Clients.count("bob"), 1u);
+  const auto &Bob = O.ServicePolicy.Clients.at("bob");
+  EXPECT_DOUBLE_EQ(Bob.Qps, 1.0);
+  EXPECT_DOUBLE_EQ(Bob.Burst, 3.0);
+  EXPECT_DOUBLE_EQ(Bob.Weight, 1.0); // weight defaults to an equal share
+
+  // The general --flag=value spelling composes with the NAME= spec.
+  DriverOptions Eq;
+  R = parseAndValidate({"p.lime", "--run", "C.m", "--service-threads", "2",
+                        "--quota-client=carol=7:2:0.5"},
+                       Eq);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(Eq.ServicePolicy.Clients.count("carol"), 1u);
+  EXPECT_DOUBLE_EQ(Eq.ServicePolicy.Clients.at("carol").Weight, 0.5);
+}
+
+TEST(DriverOptions, OverloadControlFlagsRejectNonPositiveValues) {
+  // Zero or negative quotas, caps, and windows are configuration
+  // errors at parse time, not silent no-ops at runtime.
+  struct Case {
+    const char *Flag;
+    const char *Value;
+  };
+  for (const Case &C : std::initializer_list<Case>{
+           {"--quota-qps", "0"},
+           {"--quota-qps", "-3"},
+           {"--quota-burst", "0"},
+           {"--queue-cap", "0"},
+           {"--queue-cap", "-1"},
+           {"--coalesce-window", "0"},
+           {"--quota-client", "alice=0:10"},
+           {"--quota-client", "alice=5:-1"},
+           {"--quota-client", "alice=5:10:0"},
+           {"--quota-client", "noequals"},
+           {"--quota-client", "alice=5:10:2:9"},
+       }) {
+    DriverOptions O;
+    ParseResult R = parseArgs(
+        {"p.lime", "--run", "C.m", "--service-threads", "2", C.Flag, C.Value},
+        O);
+    EXPECT_FALSE(R.Ok) << C.Flag << " " << C.Value;
+    EXPECT_NE(R.Error.find(C.Flag), std::string::npos)
+        << C.Flag << " " << C.Value << ": " << R.Error;
+  }
+
+  DriverOptions Bad;
+  ParseResult R = parseArgs({"p.lime", "--run", "C.m", "--service-threads",
+                             "2", "--shed-policy", "panic"},
+                            Bad);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("--shed-policy"), std::string::npos) << R.Error;
+}
+
+TEST(DriverOptions, OverloadControlFlagsNeedServiceMode) {
+  struct Case {
+    std::initializer_list<const char *> Args;
+    const char *Flag;
+  };
+  for (const Case &C : std::initializer_list<Case>{
+           {{"p.lime", "--run", "C.m", "--quota-qps", "10"}, "--quota-qps"},
+           {{"p.lime", "--run", "C.m", "--quota-burst", "5"},
+            "--quota-burst"},
+           {{"p.lime", "--run", "C.m", "--quota-client", "a=1:2"},
+            "--quota-client"},
+           {{"p.lime", "--run", "C.m", "--queue-cap", "8"}, "--queue-cap"},
+           {{"p.lime", "--run", "C.m", "--shed-policy", "reject"},
+            "--shed-policy"},
+           {{"p.lime", "--run", "C.m", "--coalesce-window", "4"},
+            "--coalesce-window"},
+       }) {
+    DriverOptions O;
+    ParseResult R = parseAndValidate(C.Args, O);
+    EXPECT_FALSE(R.Ok) << C.Flag;
+    EXPECT_NE(R.Error.find(C.Flag), std::string::npos)
+        << C.Flag << ": " << R.Error;
+    EXPECT_NE(R.Error.find("--service-threads"), std::string::npos)
+        << C.Flag << ": " << R.Error;
+  }
+}
+
 } // namespace
