@@ -1,0 +1,524 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data-aware scheduler benchmark (DESIGN.md §13). Two gated phases
+/// plus a TSAN stress mode, all verified bit-identical against the
+/// direct rt::OffloadedFilter path. Speedups are measured in
+/// simulated device time — the same currency as the paper-figure
+/// regenerators — as the makespan (max per-worker busy time) each
+/// configuration needs for an identical request stream; wall-clock
+/// throughput is reported alongside but not gated, since host
+/// parallelism depends on the build machine's core count.
+///
+///   placement - a mixed stream of per-client buffers against a
+///               2-device pool, run once under LeastLoaded and once
+///               under CostModel. The cost model keeps each client's
+///               buffers where they are resident and skips their
+///               re-transfer; least-loaded bounces them between
+///               workers and pays the wire cost every time. The
+///               gather-shaped kernel (bound data array + index
+///               source) is deliberately not batch-mergeable, so
+///               every request's residency is visible. Gate:
+///               cost-model makespan 1.2x better than least-loaded.
+///   shard     - a map over a large array on a 4-worker pool under
+///               SchedulerPolicy::Shard, against the same stream on
+///               each 1-worker pool. Gate: 4-way sharding 1.3x
+///               better than the best single device.
+///
+/// `--steal-burst` replaces the gates with a short work-stealing
+/// stress burst (several submitter threads, stealing enabled, results
+/// still checked) — the CI TSAN job runs it to race the steal hook
+/// against the worker loops. Results land in BENCH_sched.json;
+/// `--no-gate` reports without failing the exit status.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lime/parser/Parser.h"
+#include "lime/sema/Sema.h"
+#include "runtime/Offload.h"
+#include "service/OffloadService.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace lime;
+using namespace lime::service;
+
+namespace {
+
+/// `gather` reads a bound data array through an index source — the
+/// extra input array keeps it out of the pool's batch-merge path (a
+/// merged launch concatenates sources into a fresh array, which would
+/// hide residency), and both arrays are immutable so a worker that
+/// has seen them before re-transfers nothing. `crunch` is a plain
+/// compute-heavy map — the shard phase's split currency.
+const char *BenchSource = R"(
+  class S {
+    static local float pick(int i, float[[]] data) {
+      return 1.0009765625f * data[i];
+    }
+    static local float[[]] gather(int[[]] idx, float[[]] data) {
+      return pick(data) @ idx;
+    }
+
+    static local float crunch1(float x) {
+      float y = x;
+      y = y * 1.01f + 0.01f; y = y * 1.02f + 0.02f;
+      y = y * 1.03f + 0.03f; y = y * 1.04f + 0.04f;
+      y = y * 1.05f + 0.05f; y = y * 1.06f + 0.06f;
+      y = y * 1.07f + 0.07f; y = y * 1.08f + 0.08f;
+      y = y * 1.01f + 0.01f; y = y * 1.02f + 0.02f;
+      y = y * 1.03f + 0.03f; y = y * 1.04f + 0.04f;
+      y = y * 1.05f + 0.05f; y = y * 1.06f + 0.06f;
+      y = y * 1.07f + 0.07f; y = y * 1.08f + 0.08f;
+      return y;
+    }
+    static local float[[]] crunch(float[[]] xs) { return crunch1 @ xs; }
+  }
+)";
+
+RtValue makeFloatArray(TypeContext &Types, size_t N, float Seed) {
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = Types.floatType();
+  Arr->Immutable = true;
+  for (size_t I = 0; I != N; ++I)
+    Arr->Elems.push_back(
+        RtValue::makeFloat(Seed + 0.125f * static_cast<float>(I % 97)));
+  return RtValue::makeArray(std::move(Arr));
+}
+
+RtValue makeIndexArray(TypeContext &Types, size_t N) {
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = Types.intType();
+  Arr->Immutable = true;
+  for (size_t I = 0; I != N; ++I)
+    Arr->Elems.push_back(RtValue::makeInt(static_cast<int32_t>(I)));
+  return RtValue::makeArray(std::move(Arr));
+}
+
+struct Setup {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  Program *Prog = nullptr;
+  MethodDecl *Gather = nullptr;
+  MethodDecl *Crunch = nullptr;
+
+  bool build() {
+    Parser Parse(BenchSource, Ctx, Diags);
+    Prog = Parse.parseProgram();
+    if (!Diags.hasErrors()) {
+      Sema S(Ctx, Diags);
+      S.check(Prog);
+    }
+    if (Diags.hasErrors()) {
+      std::fprintf(stderr, "bench_sched: benchmark program failed to "
+                           "compile:\n%s",
+                   Diags.dump().c_str());
+      return false;
+    }
+    ClassDecl *C = Prog->findClass("S");
+    Gather = C->findMethod("gather");
+    Crunch = C->findMethod("crunch");
+    return Gather && Crunch;
+  }
+  TypeContext &types() { return Ctx.types(); }
+};
+
+/// Ground truth for bit-identity checks: the single-filter direct
+/// path the service is supposed to be indistinguishable from.
+ExecResult directResult(Setup &B, MethodDecl *W, std::vector<RtValue> Args) {
+  rt::OffloadedFilter Direct(B.Prog, B.types(), W, rt::OffloadConfig());
+  if (!Direct.ok()) {
+    std::fprintf(stderr, "bench_sched: direct filter failed: %s\n",
+                 Direct.error().c_str());
+    std::exit(1);
+  }
+  return Direct.invoke(std::move(Args));
+}
+
+/// Max per-worker simulated busy time — the stream's completion time
+/// on the simulated devices, assuming the workers run concurrently.
+double simMakespan(const OffloadServiceStats &After,
+                   const OffloadServiceStats &Before) {
+  double Max = 0.0;
+  for (const DeviceStatsSnapshot &W : After.Devices) {
+    double Prior = 0.0;
+    for (const DeviceStatsSnapshot &P : Before.Devices)
+      if (P.Id == W.Id)
+        Prior = P.SimBusyNs;
+    Max = std::max(Max, W.SimBusyNs - Prior);
+  }
+  return Max;
+}
+
+struct StreamResult {
+  double Seconds = 0.0;
+  double MakespanNs = 0.0;
+  uint64_t Requests = 0;
+  uint64_t Mismatches = 0;
+  uint64_t Failed = 0;
+  uint64_t ResidentHits = 0;
+  double throughput() const { return Requests / Seconds; }
+};
+
+/// Runs the placement phase's mixed stream: \p Clients submitter
+/// threads, each cycling over its own private data buffers through
+/// the shared index array, pipelined 8 deep. Every response is
+/// compared against the precomputed direct result for its buffer.
+StreamResult runStream(OffloadService &Svc, Setup &B, const RtValue &Idx,
+                       const std::vector<std::vector<RtValue>> &PerClient,
+                       const std::vector<std::vector<ExecResult>> &Expected,
+                       unsigned Rounds) {
+  OffloadServiceStats Before = Svc.stats();
+  std::vector<uint64_t> Mismatch(PerClient.size(), 0);
+  std::vector<uint64_t> Failures(PerClient.size(), 0);
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (size_t C = 0; C != PerClient.size(); ++C) {
+    Threads.emplace_back([&, C] {
+      std::deque<std::pair<size_t, std::future<ExecResult>>> Window;
+      auto DrainOne = [&] {
+        auto [Pick, Fut] = std::move(Window.front());
+        Window.pop_front();
+        ExecResult E = Fut.get();
+        if (!E.ok())
+          ++Failures[C];
+        else if (!E.Value.equals(Expected[C][Pick].Value))
+          ++Mismatch[C];
+      };
+      for (unsigned R = 0; R != Rounds; ++R)
+        for (size_t I = 0; I != PerClient[C].size(); ++I) {
+          OffloadRequest Req;
+          Req.Worker = B.Gather;
+          Req.Args.push_back(Idx);
+          Req.Args.push_back(PerClient[C][I]);
+          Req.Options.ClientId = "c" + std::to_string(C);
+          Window.emplace_back(I, Svc.submit(std::move(Req)));
+          if (Window.size() >= 8)
+            DrainOne();
+        }
+      while (!Window.empty())
+        DrainOne();
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  Svc.waitIdle();
+
+  StreamResult R;
+  R.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  for (size_t C = 0; C != PerClient.size(); ++C) {
+    R.Requests += Rounds * PerClient[C].size();
+    R.Mismatches += Mismatch[C];
+    R.Failed += Failures[C];
+  }
+  OffloadServiceStats After = Svc.stats();
+  R.MakespanNs = simMakespan(After, Before);
+  R.ResidentHits = After.Device.ResidentHits - Before.Device.ResidentHits;
+  return R;
+}
+
+struct PlacementPhase {
+  StreamResult LeastLoaded;
+  StreamResult CostModel;
+  double speedup() const {
+    return CostModel.MakespanNs > 0
+               ? LeastLoaded.MakespanNs / CostModel.MakespanNs
+               : 0.0;
+  }
+};
+
+PlacementPhase runPlacementPhase(Setup &B) {
+  // 4 clients x 2 buffers of 16k floats through one shared index
+  // array. Eight distinct data buffers fit the per-slot residency
+  // cache even if one worker ends up serving every client.
+  constexpr size_t Clients = 4, Buffers = 2, Elems = 16 * 1024;
+  constexpr unsigned Rounds = 6;
+  RtValue Idx = makeIndexArray(B.types(), Elems);
+  std::vector<std::vector<RtValue>> Inputs(Clients);
+  std::vector<std::vector<ExecResult>> Expected(Clients);
+  for (size_t C = 0; C != Clients; ++C)
+    for (size_t I = 0; I != Buffers; ++I) {
+      Inputs[C].push_back(
+          makeFloatArray(B.types(), Elems, 1.0f + 2.0f * C + I));
+      Expected[C].push_back(
+          directResult(B, B.Gather, {Idx, Inputs[C].back()}));
+    }
+
+  PlacementPhase P;
+  for (bool Cost : {false, true}) {
+    ServiceConfig SC;
+    SC.Devices = {"gtx580", "gtx8800"};
+    SC.Policy =
+        Cost ? SchedulerPolicy::CostModel : SchedulerPolicy::LeastLoaded;
+    OffloadService Svc(B.Prog, B.types(), SC);
+    if (!Svc.ok()) {
+      std::fprintf(stderr, "bench_sched: service config error: %s\n",
+                   Svc.configError().c_str());
+      std::exit(1);
+    }
+    // One untimed warm-up round absorbs compiles and first-touch
+    // transfers for both policies alike.
+    runStream(Svc, B, Idx, Inputs, Expected, 1);
+    StreamResult R = runStream(Svc, B, Idx, Inputs, Expected, Rounds);
+    (Cost ? P.CostModel : P.LeastLoaded) = R;
+  }
+  return P;
+}
+
+struct ShardPhase {
+  StreamResult Sharded;
+  StreamResult BestSingle;
+  std::string BestSingleDevice;
+  double speedup() const {
+    return Sharded.MakespanNs > 0
+               ? BestSingle.MakespanNs / Sharded.MakespanNs
+               : 0.0;
+  }
+};
+
+/// One synchronous request at a time — sharding's win is
+/// intra-request parallelism across the pool's simulated devices, so
+/// the stream must not hide a single device's latency by pipelining.
+StreamResult runSerial(OffloadService &Svc, Setup &B, MethodDecl *W,
+                       const std::vector<RtValue> &Inputs,
+                       const std::vector<ExecResult> &Expected,
+                       unsigned Rounds) {
+  OffloadServiceStats Before = Svc.stats();
+  StreamResult R;
+  auto T0 = std::chrono::steady_clock::now();
+  for (unsigned Round = 0; Round != Rounds; ++Round)
+    for (size_t I = 0; I != Inputs.size(); ++I) {
+      OffloadRequest Req;
+      Req.Worker = W;
+      Req.Args.push_back(Inputs[I]);
+      ExecResult E = Svc.invoke(std::move(Req));
+      ++R.Requests;
+      if (!E.ok())
+        ++R.Failed;
+      else if (!E.Value.equals(Expected[I].Value))
+        ++R.Mismatches;
+    }
+  Svc.waitIdle();
+  R.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  R.MakespanNs = simMakespan(Svc.stats(), Before);
+  return R;
+}
+
+ShardPhase runShardPhase(Setup &B) {
+  constexpr size_t Elems = 96 * 1024;
+  constexpr unsigned Rounds = 3;
+  std::vector<RtValue> Inputs = {makeFloatArray(B.types(), Elems, 0.5f),
+                                 makeFloatArray(B.types(), Elems, 2.5f)};
+  std::vector<ExecResult> Expected;
+  for (const RtValue &X : Inputs)
+    Expected.push_back(directResult(B, B.Crunch, {X}));
+
+  ShardPhase P;
+  for (const char *Device : {"gtx580", "gtx8800"}) {
+    ServiceConfig SC;
+    SC.Devices = {Device};
+    OffloadService Svc(B.Prog, B.types(), SC);
+    runSerial(Svc, B, B.Crunch, Inputs, Expected, 1); // warm
+    StreamResult R = runSerial(Svc, B, B.Crunch, Inputs, Expected, Rounds);
+    if (P.BestSingleDevice.empty() ||
+        R.MakespanNs < P.BestSingle.MakespanNs) {
+      P.BestSingle = R;
+      P.BestSingleDevice = Device;
+    }
+  }
+
+  ServiceConfig SC;
+  SC.Devices.assign(4, "gtx580");
+  SC.Policy = SchedulerPolicy::Shard;
+  SC.Shard.MaxShards = 4;
+  SC.Shard.MinShardElems = 1024;
+  OffloadService Svc(B.Prog, B.types(), SC);
+  runSerial(Svc, B, B.Crunch, Inputs, Expected, 1); // warm
+  P.Sharded = runSerial(Svc, B, B.Crunch, Inputs, Expected, Rounds);
+  return P;
+}
+
+/// TSAN stress: several submitters against a stealing-enabled pool
+/// whose cold-build charge is zeroed so the verdict actually moves
+/// work. Correctness-checked, not timed.
+int runStealBurst(Setup &B) {
+  ServiceConfig SC;
+  SC.Devices = {"gtx580", "gtx580"};
+  SC.Policy = SchedulerPolicy::CostModel;
+  SC.WorkStealing = true;
+  SC.Cost.ColdBuildNs = 0.0;
+  OffloadService Svc(B.Prog, B.types(), SC);
+  if (!Svc.ok()) {
+    std::fprintf(stderr, "bench_sched: service config error: %s\n",
+                 Svc.configError().c_str());
+    return 1;
+  }
+
+  constexpr size_t Threads = 4, PerThread = 64, Kinds = 8;
+  RtValue Idx = makeIndexArray(B.types(), 2048);
+  std::vector<RtValue> Inputs;
+  std::vector<ExecResult> Expected;
+  for (size_t I = 0; I != Kinds; ++I) {
+    Inputs.push_back(makeFloatArray(B.types(), 2048, 1.0f + I));
+    Expected.push_back(directResult(B, B.Gather, {Idx, Inputs.back()}));
+  }
+
+  std::vector<uint64_t> Bad(Threads, 0);
+  std::vector<std::thread> Workers;
+  for (size_t T = 0; T != Threads; ++T) {
+    Workers.emplace_back([&, T] {
+      std::vector<std::pair<size_t, std::future<ExecResult>>> Futs;
+      for (size_t I = 0; I != PerThread; ++I) {
+        size_t Pick = (T * PerThread + I) % Kinds;
+        OffloadRequest Req;
+        Req.Worker = B.Gather;
+        Req.Args.push_back(Idx);
+        Req.Args.push_back(Inputs[Pick]);
+        Req.Options.ClientId = "burst" + std::to_string(T);
+        Futs.emplace_back(Pick, Svc.submit(std::move(Req)));
+      }
+      for (auto &[Pick, Fut] : Futs) {
+        ExecResult E = Fut.get();
+        if (!E.ok() || !E.Value.equals(Expected[Pick].Value))
+          ++Bad[T];
+      }
+    });
+  }
+  for (std::thread &T : Workers)
+    T.join();
+  Svc.waitIdle();
+
+  uint64_t BadTotal = 0;
+  for (uint64_t N : Bad)
+    BadTotal += N;
+  OffloadServiceStats S = Svc.stats();
+  std::printf("steal burst: %zu requests, %llu steals (%llu refused), "
+              "%llu bad results\n",
+              Threads * PerThread,
+              static_cast<unsigned long long>(S.Sched.Steals),
+              static_cast<unsigned long long>(S.Sched.StealRefusals),
+              static_cast<unsigned long long>(BadTotal));
+  return BadTotal ? 1 : 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Gate = true, StealBurst = false;
+  std::string JsonPath = "BENCH_sched.json";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--no-gate") == 0) {
+      Gate = false;
+    } else if (std::strcmp(argv[I], "--steal-burst") == 0) {
+      StealBurst = true;
+    } else if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc) {
+      JsonPath = argv[++I];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_sched [--steal-burst] [--json PATH] "
+                   "[--no-gate]\n");
+      return 2;
+    }
+  }
+
+  Setup B;
+  if (!B.build())
+    return 1;
+
+  if (StealBurst) {
+    int Rc = runStealBurst(B);
+    return Gate ? Rc : 0;
+  }
+
+  std::printf("data-aware scheduler benchmark (DESIGN.md §13); speedups "
+              "in simulated device time\n\n");
+
+  PlacementPhase Place = runPlacementPhase(B);
+  std::printf("placement | least-loaded %.2f ms, cost-model %.2f ms "
+              "(%llu resident-input hits, wall %0.f vs %0.f req/s) "
+              "-> %.2fx\n",
+              Place.LeastLoaded.MakespanNs / 1e6,
+              Place.CostModel.MakespanNs / 1e6,
+              static_cast<unsigned long long>(Place.CostModel.ResidentHits),
+              Place.LeastLoaded.throughput(), Place.CostModel.throughput(),
+              Place.speedup());
+
+  ShardPhase Shard = runShardPhase(B);
+  std::printf("shard     | best single device (%s) %.2f ms, 4-way shard "
+              "%.2f ms -> %.2fx\n",
+              Shard.BestSingleDevice.c_str(),
+              Shard.BestSingle.MakespanNs / 1e6,
+              Shard.Sharded.MakespanNs / 1e6, Shard.speedup());
+
+  uint64_t Mismatches = Place.LeastLoaded.Mismatches +
+                        Place.CostModel.Mismatches +
+                        Shard.BestSingle.Mismatches + Shard.Sharded.Mismatches;
+  uint64_t Failed = Place.LeastLoaded.Failed + Place.CostModel.Failed +
+                    Shard.BestSingle.Failed + Shard.Sharded.Failed;
+
+  bool PlaceOk = Place.speedup() >= 1.2;
+  bool ShardOk = Shard.speedup() >= 1.3;
+  bool ExactOk = Mismatches == 0 && Failed == 0;
+  std::printf("\ngates: placement %.2fx (need >= 1.20x) %s, shard %.2fx "
+              "(need >= 1.30x) %s, bit-identical %s (%llu mismatches, "
+              "%llu failed)\n",
+              Place.speedup(), PlaceOk ? "PASS" : "FAIL", Shard.speedup(),
+              ShardOk ? "PASS" : "FAIL", ExactOk ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(Mismatches),
+              static_cast<unsigned long long>(Failed));
+
+  std::ofstream Json(JsonPath, std::ios::trunc);
+  if (Json) {
+    Json << "{\n  \"schema\": \"limec-bench-sched-v1\",\n"
+         << "  \"placement\": {\n"
+         << "    \"least_loaded_makespan_ns\": " << Place.LeastLoaded.MakespanNs
+         << ",\n    \"cost_model_makespan_ns\": " << Place.CostModel.MakespanNs
+         << ",\n    \"least_loaded_wall_qps\": "
+         << Place.LeastLoaded.throughput()
+         << ",\n    \"cost_model_wall_qps\": " << Place.CostModel.throughput()
+         << ",\n    \"resident_hits\": " << Place.CostModel.ResidentHits
+         << ",\n    \"speedup\": " << Place.speedup() << "\n  },\n"
+         << "  \"shard\": {\n"
+         << "    \"best_single_device\": \"" << Shard.BestSingleDevice
+         << "\",\n    \"best_single_makespan_ns\": "
+         << Shard.BestSingle.MakespanNs
+         << ",\n    \"sharded_makespan_ns\": " << Shard.Sharded.MakespanNs
+         << ",\n    \"speedup\": " << Shard.speedup() << "\n  },\n"
+         << "  \"gates\": {\n"
+         << "    \"placement_speedup\": {\"value\": " << Place.speedup()
+         << ", \"min\": 1.2, \"pass\": " << (PlaceOk ? "true" : "false")
+         << "},\n"
+         << "    \"shard_speedup\": {\"value\": " << Shard.speedup()
+         << ", \"min\": 1.3, \"pass\": " << (ShardOk ? "true" : "false")
+         << "},\n"
+         << "    \"bit_identical\": {\"mismatches\": " << Mismatches
+         << ", \"failed\": " << Failed
+         << ", \"pass\": " << (ExactOk ? "true" : "false") << "}\n  }\n}\n";
+    std::printf("wrote %s\n", JsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "bench_sched: cannot write %s\n", JsonPath.c_str());
+  }
+
+  if (!Gate)
+    return 0;
+  return PlaceOk && ShardOk && ExactOk ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+# Golden-diff for the limec-service-stats-v1 JSON schema: run a
+# service-mode limec with --stats-format json and compare the *set of
+# keys* in the emitted document against the checked-in list. Values
+# (counts, timings) vary run to run and are not compared; the contract
+# under test is the schema — within v1, keys are only ever added, and
+# an addition must update the golden deliberately.
+#
+# Refresh after an intentional schema change:
+#
+#   limec examples/lime/dotproduct.lime --run Dot.main --offload \
+#     --service-threads 2 --sched-policy cost --stats-format json \
+#     | grep -o '"[a-z_0-9]*":' | sort -u \
+#     > tests/golden/service-stats-keys.txt
+#
+# Invoked as:
+#   cmake -DLIMEC=<path> -DSRC=<repo root> -DGOLDEN=<path> \
+#     -P cmake/CompareStatsSchema.cmake
+
+if(NOT DEFINED LIMEC OR NOT DEFINED SRC OR NOT DEFINED GOLDEN)
+  message(FATAL_ERROR
+    "CompareStatsSchema.cmake needs -DLIMEC=..., -DSRC=..., -DGOLDEN=...")
+endif()
+
+execute_process(
+  COMMAND "${LIMEC}" "${SRC}/examples/lime/dotproduct.lime"
+          --run Dot.main --offload --service-threads 2
+          --sched-policy cost --stats-format json
+  OUTPUT_VARIABLE ACTUAL
+  RESULT_VARIABLE RC
+)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "limec service stats run exited with ${RC}")
+endif()
+
+# The run prints the program's own output before the stats document;
+# keys are unambiguous because only the JSON section contains them.
+string(REGEX MATCHALL "\"[a-z_0-9]+\":" RAW_KEYS "${ACTUAL}")
+list(REMOVE_DUPLICATES RAW_KEYS)
+list(SORT RAW_KEYS)
+string(JOIN "\n" ACTUAL_KEYS ${RAW_KEYS})
+set(ACTUAL_KEYS "${ACTUAL_KEYS}\n")
+
+file(READ "${GOLDEN}" EXPECTED_KEYS)
+
+if(NOT ACTUAL_KEYS STREQUAL EXPECTED_KEYS)
+  file(WRITE "${CMAKE_BINARY_DIR}/service-stats-keys-actual.txt"
+       "${ACTUAL_KEYS}")
+  message(FATAL_ERROR
+    "limec-service-stats-v1 keys drifted from ${GOLDEN}\n"
+    "actual keys saved to service-stats-keys-actual.txt; if the schema "
+    "change is intentional, regenerate the golden (see the header of "
+    "cmake/CompareStatsSchema.cmake)")
+endif()

@@ -33,6 +33,13 @@ class RtValue;
 struct RtArray {
   const Type *ElementType = nullptr;
   bool Immutable = false;
+  /// Stable identity for device-residency tracking, assigned lazily
+  /// by rt::bufferIdOf (0 = unassigned). Only meaningful for
+  /// Immutable arrays: a frozen array's bits never change, so a
+  /// device-side copy tagged with this id stays valid forever.
+  /// Copies of the array share the id (they are bit-identical at copy
+  /// time and frozen thereafter).
+  uint64_t BufferId = 0;
   std::vector<RtValue> Elems;
 };
 

@@ -398,6 +398,31 @@ ExecResult OffloadedFilter::invoke(const std::vector<RtValue> &Args) {
     if (WP < 0)
       return Fail("offload invoke: array parameter not bound");
     const RtValue &V = Args[static_cast<size_t>(WP)];
+
+    // Residency fast path: an immutable array whose device copy
+    // survives from an earlier invoke of this filter skips marshal
+    // and PCIe entirely — the kernel reads the resident copy.
+    uint64_t BufId = Config.ReuseResidentInputs ? bufferIdOf(V) : 0;
+    if (BufId) {
+      bool Hit = false;
+      for (DeviceArray::Resident &Res : DA.Cache) {
+        if (Res.Id != BufId)
+          continue;
+        Res.Tick = ++ResidentTick;
+        DA.Buffer = Res.Buffer;
+        DA.Bytes = Res.Bytes;
+        DA.ImageIndex = Res.ImageIndex;
+        Lengths.push_back(
+            static_cast<int32_t>(V.array()->Elems.size()));
+        ++Stats.ResidentHits;
+        Stats.ResidentBytesSkipped += Res.Bytes;
+        Hit = true;
+        break;
+      }
+      if (Hit)
+        continue;
+    }
+
     std::vector<uint8_t> Bytes = Wire.serialize(V, Stats.Marshal);
     Lengths.push_back(static_cast<int32_t>(
         V.isArray() ? V.array()->Elems.size() : 0));
@@ -405,30 +430,62 @@ ExecResult OffloadedFilter::invoke(const std::vector<RtValue> &Args) {
     switch (A.Space) {
     case MemSpace::Image: {
       ocl::SimImage Img = imageFromBytes(Bytes);
-      if (DA.ImageIndex < 0)
+      if (BufId) {
+        // Identity-tracked arguments get their own image: reusing the
+        // scratch slot would clobber a resident sibling.
         DA.ImageIndex = Ctx->createImage(std::move(Img));
-      else
-        Ctx->updateImage(DA.ImageIndex, std::move(Img));
+      } else {
+        if (DA.ScratchImage < 0)
+          DA.ScratchImage = Ctx->createImage(std::move(Img));
+        else
+          Ctx->updateImage(DA.ScratchImage, std::move(Img));
+        DA.ImageIndex = DA.ScratchImage;
+      }
       Ctx->chargeHostToDevice(Bytes.size());
       break;
     }
-    case MemSpace::Constant: {
-      if (DA.Bytes < Bytes.size()) {
-        DA.Buffer = Ctx->createBuffer(Bytes.size(), AddrSpace::Constant);
-        DA.Bytes = Bytes.size();
-      }
-      Ctx->enqueueWrite(DA.Buffer, Bytes.data(), Bytes.size());
-      break;
-    }
+    case MemSpace::Constant:
     case MemSpace::Global:
     case MemSpace::LocalTiled: {
-      if (DA.Bytes < Bytes.size()) {
-        DA.Buffer = Ctx->createBuffer(Bytes.size(), AddrSpace::Global);
+      AddrSpace AS = A.Space == MemSpace::Constant ? AddrSpace::Constant
+                                                   : AddrSpace::Global;
+      if (BufId) {
+        // Dedicated buffer per tracked array, so it can stay resident
+        // across launches that bind other arrays to this slot.
+        DA.Buffer = Ctx->createBuffer(Bytes.size(), AS);
         DA.Bytes = Bytes.size();
+      } else {
+        if (DA.ScratchBytes < Bytes.size()) {
+          DA.Scratch = Ctx->createBuffer(Bytes.size(), AS);
+          DA.ScratchBytes = Bytes.size();
+        }
+        DA.Buffer = DA.Scratch;
+        DA.Bytes = DA.ScratchBytes;
       }
       Ctx->enqueueWrite(DA.Buffer, Bytes.data(), Bytes.size());
       break;
     }
+    }
+
+    if (BufId) {
+      DeviceArray::Resident Res;
+      Res.Id = BufId;
+      Res.Buffer = DA.Buffer;
+      Res.ImageIndex = DA.ImageIndex;
+      Res.Bytes = static_cast<uint64_t>(Bytes.size());
+      Res.Tick = ++ResidentTick;
+      if (DA.Cache.size() >= ResidentSlotCap) {
+        // Evict the least recently bound copy (the simulator never
+        // frees device memory, so the cap bounds live tracking, not
+        // the sim heap — matching a real driver's allocator slack).
+        size_t Victim = 0;
+        for (size_t I = 1; I != DA.Cache.size(); ++I)
+          if (DA.Cache[I].Tick < DA.Cache[Victim].Tick)
+            Victim = I;
+        DA.Cache[Victim] = std::move(Res);
+      } else {
+        DA.Cache.push_back(std::move(Res));
+      }
     }
   }
 

@@ -11,6 +11,7 @@
 #include "support/FaultInjection.h"
 
 #include <cstring>
+#include <mutex>
 
 using namespace lime;
 using namespace lime::rt;
@@ -320,4 +321,25 @@ WireFormat::deserializeChecked(const std::vector<uint8_t> &Bytes,
 RtValue WireFormat::deserialize(const std::vector<uint8_t> &Bytes,
                                 const Type *T, MarshalCost &Cost) const {
   return deserializeChecked(Bytes, T, Cost).Value;
+}
+
+uint64_t lime::rt::bufferIdOf(const RtValue &V) {
+  if (!V.isArray() || !V.array() || !V.array()->Immutable)
+    return 0;
+  RtArray &A = *V.array();
+  // Racing submitters may name the same array concurrently; one
+  // global lock keeps ids unique and the assignment atomic. The array
+  // is frozen, so only BufferId itself ever mutates here.
+  static std::mutex IdMu;
+  static uint64_t NextId = 1;
+  std::lock_guard<std::mutex> Lock(IdMu);
+  if (!A.BufferId)
+    A.BufferId = NextId++;
+  return A.BufferId;
+}
+
+uint64_t lime::rt::wireByteSize(const RtValue &V) {
+  if (!V.isArray() || !V.array())
+    return 0;
+  return flatByteSize(V);
 }

@@ -79,6 +79,19 @@ struct WireDecodeResult {
   bool ok() const { return Error.empty(); }
 };
 
+/// Stable buffer identity of \p V for device-residency tracking.
+/// Returns the array's id, assigning a fresh process-unique one on
+/// first query; returns 0 (no identity) for non-arrays and for
+/// mutable arrays, whose bits may change between launches and so can
+/// never be trusted as already-resident. Thread-safe: concurrent
+/// submitters may race to name the same array.
+uint64_t bufferIdOf(const RtValue &V);
+
+/// Estimated wire size of \p V in bytes (scalar payload only) — the
+/// scheduler's transfer-cost input. Cheaper than serializing: counts
+/// scalar slots and multiplies by the flat element size.
+uint64_t wireByteSize(const RtValue &V);
+
 class WireFormat {
 public:
   explicit WireFormat(bool UseSpecialized = true,

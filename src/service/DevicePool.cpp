@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 using namespace lime;
 using namespace lime::service;
@@ -29,6 +30,11 @@ const char *lime::service::breakerStateName(BreakerState S) {
 /// argument other than the map source is bit-identical: the merged
 /// launch forwards one set of scalars/bound arrays to the kernel.
 static bool mergeable(const PendingInvoke &A, const PendingInvoke &B) {
+  // Interpreter-peer invocations share Instance == nullptr across
+  // *different* kernels, and a shard must launch exactly its slice —
+  // neither may merge.
+  if (!A.Instance || !B.Instance || A.Group || B.Group)
+    return false;
   if (A.Instance != B.Instance || A.SourceParam < 0 || B.SourceParam < 0)
     return false;
   if (A.Args.size() != B.Args.size())
@@ -48,6 +54,11 @@ static bool mergeable(const PendingInvoke &A, const PendingInvoke &B) {
 /// retries too — identical inputs give identical outputs regardless
 /// of kernel shape.
 static bool identicalInvoke(const PendingInvoke &A, const PendingInvoke &B) {
+  // Same null-Instance / shard caveats as mergeable(): an interp
+  // invocation's identity is not its Instance pointer, and a shard's
+  // result belongs to its group alone.
+  if (!A.Instance || !B.Instance || A.Group || B.Group)
+    return false;
   if (A.Instance != B.Instance || A.Args.size() != B.Args.size())
     return false;
   for (size_t I = 0; I != A.Args.size(); ++I)
@@ -118,6 +129,28 @@ double DevicePool::weightOf(const std::string &Client) const {
   return W > 0.05 ? W : 0.05;
 }
 
+size_t DevicePool::effBacklogLocked(const Worker &W,
+                                    const std::string &Client) const {
+  size_t Own = 0;
+  auto It = W.ByClient.find(Client);
+  if (It != W.ByClient.end())
+    Own = It->second->Q.size();
+  double Wc = weightOf(Client);
+  size_t Ahead = W.InFlight + Own;
+  // A new arrival is request Own+1 of its client; until DRR serves
+  // it, every other backlogged client j is granted at most
+  // ceil((Own + 1) * w_j / w_c) dequeues — or its whole queue, if
+  // shorter.
+  for (const ClientQueue &CQ : W.Active) {
+    if (CQ.Client == Client)
+      continue;
+    double Share = std::ceil(static_cast<double>(Own + 1) *
+                             weightOf(CQ.Client) / Wc);
+    Ahead += std::min(CQ.Q.size(), static_cast<size_t>(Share));
+  }
+  return Ahead;
+}
+
 bool DevicePool::eligibleLocked(Worker &W,
                                 std::chrono::steady_clock::time_point Now)
     const {
@@ -139,7 +172,7 @@ int DevicePool::pickWorker(const std::string &DeviceName,
                            const std::vector<unsigned> &Preferred,
                            size_t AffinityBias,
                            const std::vector<unsigned> &Exclude,
-                           bool AddIfMissing) {
+                           bool AddIfMissing, const std::string *ClientId) {
   std::lock_guard<std::mutex> Lock(Mu);
   auto Now = std::chrono::steady_clock::now();
   Worker *Best = nullptr, *BestPreferred = nullptr, *Probe = nullptr;
@@ -162,7 +195,12 @@ int DevicePool::pickWorker(const std::string &DeviceName,
       // trial it could never be re-admitted.
       if (W->Breaker != BreakerState::Closed && !Probe)
         Probe = W.get();
-      Load = W->Queued + W->InFlight;
+      // Total depth undercounts what *this client* would wait behind
+      // on a worker busy with another tenant's burst, which let the
+      // affinity bias defeat DRR fairness: the client-aware estimate
+      // is what the AffinityBias comparison below must weigh.
+      Load = ClientId ? effBacklogLocked(*W, *ClientId)
+                      : W->Queued + W->InFlight;
     }
     if (!Best || Load < BestLoad) {
       Best = W.get();
@@ -196,6 +234,80 @@ int DevicePool::pickWorker(const std::string &DeviceName,
     }
   }
   return static_cast<int>(Best->Id);
+}
+
+std::vector<CandidateLoad>
+DevicePool::candidates(const std::string &ClientId,
+                       const std::vector<unsigned> &Exclude) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto Now = std::chrono::steady_clock::now();
+  std::vector<CandidateLoad> Out;
+  Out.reserve(Workers.size());
+  for (const auto &W : Workers) {
+    if (std::find(Exclude.begin(), Exclude.end(), W->Id) != Exclude.end())
+      continue;
+    std::lock_guard<std::mutex> WL(W->Mu);
+    if (W->Stop || !eligibleLocked(*W, Now))
+      continue;
+    CandidateLoad C;
+    C.Id = W->Id;
+    C.DeviceName = W->DeviceName;
+    C.EffBacklog = effBacklogLocked(*W, ClientId);
+    C.Queued = W->Queued;
+    C.NeedsProbe = W->Breaker != BreakerState::Closed;
+    Out.push_back(std::move(C));
+  }
+  return Out;
+}
+
+unsigned DevicePool::ensureWorker(const std::string &DeviceName) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &W : Workers)
+    if (W->DeviceName == DeviceName)
+      return W->Id;
+  return addWorkerLocked(DeviceName).Id;
+}
+
+bool DevicePool::admitWorker(unsigned Id) {
+  Worker *W = workerById(Id);
+  std::lock_guard<std::mutex> WL(W->Mu);
+  if (W->Stop || !eligibleLocked(*W, std::chrono::steady_clock::now()))
+    return false;
+  if (W->Breaker == BreakerState::Open) {
+    W->Breaker = BreakerState::Probation;
+    W->ProbationInFlight = true;
+  } else if (W->Breaker == BreakerState::Probation) {
+    W->ProbationInFlight = true;
+  }
+  return true;
+}
+
+bool DevicePool::stealOne(unsigned VictimId, size_t MinDepth,
+                          PendingInvoke &Out) {
+  Worker *W = workerById(VictimId);
+  std::lock_guard<std::mutex> WL(W->Mu);
+  if (W->Stop || W->Queued < MinDepth || !W->Queued)
+    return false;
+  // Take the *tail* of the deepest sub-queue: the request the victim
+  // would serve last, so the theft never reorders anyone's EDF/FIFO
+  // position and moves the work with the most wait left to save.
+  auto Deepest = W->Active.end();
+  for (auto It = W->Active.begin(); It != W->Active.end(); ++It)
+    if (Deepest == W->Active.end() || It->Q.size() > Deepest->Q.size())
+      Deepest = It;
+  if (Deepest == W->Active.end() || Deepest->Q.empty())
+    return false;
+  Out = std::move(Deepest->Q.back());
+  Deepest->Q.pop_back();
+  --W->Queued;
+  if (Deepest->Q.empty()) {
+    if (W->Cursor == Deepest)
+      ++W->Cursor;
+    W->ByClient.erase(Deepest->Client);
+    W->Active.erase(Deepest);
+  }
+  W->NotFull.notify_one();
+  return true;
 }
 
 std::vector<std::string> DevicePool::modelNames() const {
@@ -452,7 +564,21 @@ void DevicePool::workerLoop(Worker &W) {
     std::vector<PendingInvoke> Batch;
     {
       std::unique_lock<std::mutex> WL(W.Mu);
-      W.NotEmpty.wait(WL, [&] { return W.Stop || W.Queued; });
+      if (Cfg.OnIdle) {
+        // Work stealing: an idle worker asks the service for work
+        // (hook runs unlocked — it calls back into the pool) and
+        // falls back to a short timed wait when none was found, so a
+        // victim that backs up later still gets relieved.
+        while (!W.Stop && !W.Queued) {
+          WL.unlock();
+          bool Got = Cfg.OnIdle(W.Id);
+          WL.lock();
+          if (!Got && !W.Stop && !W.Queued)
+            W.NotEmpty.wait_for(WL, std::chrono::milliseconds(2));
+        }
+      } else {
+        W.NotEmpty.wait(WL, [&] { return W.Stop || W.Queued; });
+      }
       if (!W.Queued)
         return; // Stop and drained
       Batch.push_back(popLocked(W));

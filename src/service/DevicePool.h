@@ -60,10 +60,21 @@
 namespace lime::service {
 
 struct FilterInstance; // owned by OffloadService
+struct ShardGroup;     // owned by its shard invokes (OffloadService.h)
 
 /// One queued filter invocation, fulfilled on a device worker thread.
 struct PendingInvoke {
   FilterInstance *Instance = nullptr;
+  /// Serve this invocation through the Lime interpreter (the CPU
+  /// peer's queue); Instance is null and the executor routes to the
+  /// interpreter instead of a device.
+  bool RunOnInterp = false;
+  /// Non-null for one shard of a split data-parallel map: the result
+  /// routes into the group's stitch buffer (ShardIndex'th slot)
+  /// instead of resolving Promise, and the last shard to land
+  /// resolves the parent. Shards retry/fall back independently.
+  std::shared_ptr<ShardGroup> Group;
+  unsigned ShardIndex = 0;
   /// Index of the worker parameter carrying the map source when this
   /// invocation may merge with others of the same instance; -1 when
   /// it must launch alone (reduce kernels, multi-array filters,
@@ -160,6 +171,28 @@ struct PoolConfig {
   /// backlogged. Immutable once the pool is running.
   std::map<std::string, double> ClientWeights;
   BreakerConfig Breaker;
+  /// Work-stealing hook: called by a worker thread that finds its
+  /// queue empty (no locks held), with the idle worker's id. Returns
+  /// true when it moved work onto that worker's queue. An idle worker
+  /// without the hook blocks on its queue as before; with it, the
+  /// worker polls the hook between short waits.
+  std::function<bool(unsigned)> OnIdle;
+};
+
+/// One worker's load as the scheduler sees it: a consistent snapshot
+/// taken under the worker's lock (racy across workers, like any load
+/// estimate).
+struct CandidateLoad {
+  unsigned Id = 0;
+  std::string DeviceName;
+  /// Requests the DRR scheduler would serve before a new arrival from
+  /// the snapshot's client, in-flight work included (the same
+  /// fairness-aware estimate pickWorker minimizes).
+  size_t EffBacklog = 0;
+  /// Raw queued requests (steal-victim depth, client-blind).
+  size_t Queued = 0;
+  /// Quarantined past cooldown: must win placement to be re-admitted.
+  bool NeedsProbe = false;
 };
 
 class DevicePool {
@@ -202,11 +235,43 @@ public:
   /// than \p AffinityBias tasks deeper than the least-loaded
   /// candidate — affinity saves a per-worker program build, but not
   /// at the price of an idle device.
+  /// With \p ClientId set, "load" means the *effective backlog ahead
+  /// of that client* under weighted DRR, not total queue depth — so
+  /// instance affinity cannot park a tenant behind another tenant's
+  /// burst that fair queueing would serve around. Null keeps the
+  /// legacy total-depth comparison.
   int pickWorker(const std::string &DeviceName,
                  const std::vector<unsigned> &Preferred = {},
                  size_t AffinityBias = 4,
                  const std::vector<unsigned> &Exclude = {},
-                 bool AddIfMissing = true);
+                 bool AddIfMissing = true,
+                 const std::string *ClientId = nullptr);
+
+  /// Load snapshot of every dispatchable worker (any model) from
+  /// \p ClientId's point of view, minus \p Exclude and stopped or
+  /// still-quarantined workers. Workers needing a probation trial are
+  /// included with NeedsProbe set. Feeds Scheduler::choose.
+  std::vector<CandidateLoad>
+  candidates(const std::string &ClientId,
+             const std::vector<unsigned> &Exclude = {}) const;
+
+  /// Worker id of some worker simulating \p DeviceName, adding one if
+  /// the model has none yet (the scheduler's way to make every
+  /// registered model a candidate before any request has run on it).
+  unsigned ensureWorker(const std::string &DeviceName);
+
+  /// Admission for a scheduler-pinned pick: re-checks eligibility and
+  /// performs the same Open -> Probation flip pickWorker would.
+  /// False when the worker stopped or re-entered quarantine since the
+  /// candidate snapshot (caller should re-plan).
+  bool admitWorker(unsigned Id);
+
+  /// Steals the newest queued request from \p VictimId's deepest
+  /// client sub-queue into \p Out, only when at least \p MinDepth
+  /// requests are queued there. False (Out untouched) otherwise.
+  /// Never steals in-flight work, shard members' twins, or from a
+  /// stopping worker.
+  bool stealOne(unsigned VictimId, size_t MinDepth, PendingInvoke &Out);
 
   /// Device-model names with at least one worker, in worker order
   /// (used for cross-model requeue candidates).
@@ -305,6 +370,12 @@ private:
                       std::chrono::steady_clock::time_point Now) const;
   Worker *workerById(unsigned Id) const;
   double weightOf(const std::string &Client) const;
+  /// Requests DRR would serve on \p W before a new arrival from
+  /// \p Client (under W.Mu): in-flight work, the client's own queue,
+  /// and for every other active client j, min(depth_j, the share
+  /// ceil((own_depth + 1) * w_j / w_c) DRR grants j per own-queue
+  /// drain). Collapses to Queued + InFlight in the single-client case.
+  size_t effBacklogLocked(const Worker &W, const std::string &Client) const;
   /// EDF-inserts \p Inv into its client's sub-queue (under W.Mu).
   void enqueueLocked(Worker &W, PendingInvoke Inv);
   /// Weighted-DRR dequeue of the next request (under W.Mu; Queued>0).

@@ -9,6 +9,7 @@
 
 #include "lime/ast/ASTPrinter.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <filesystem>
@@ -170,6 +171,7 @@ KernelCache::getOrCompile(const KernelKey &Key,
     Lru.erase(It->second);
     Index.erase(It);
     Bundles.erase(Key.Hash);
+    Resident.erase(Key.Hash);
     ++Stats.Evictions;
   }
   ++Stats.Misses;
@@ -192,6 +194,7 @@ KernelCache::getOrCompile(const KernelKey &Key,
   while (Lru.size() > Capacity) {
     Index.erase(Lru.back().first);
     Bundles.erase(Lru.back().first);
+    Resident.erase(Lru.back().first);
     Lru.pop_back();
     ++Stats.Evictions;
   }
@@ -215,10 +218,32 @@ KernelCache::bundleSlot(const KernelKey &Key) {
   return Slot;
 }
 
+void KernelCache::tagResident(const KernelKey &Key, unsigned WorkerId) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  // Tags are only meaningful for live entries; a tag for an evicted
+  // (or never-compiled) kernel would claim a build that is gone.
+  auto It = Index.find(Key.Hash);
+  if (It == Index.end() || It->second->second.Canonical != Key.Canonical)
+    return;
+  auto &Ids = Resident[Key.Hash];
+  if (std::find(Ids.begin(), Ids.end(), WorkerId) == Ids.end())
+    Ids.push_back(WorkerId);
+}
+
+bool KernelCache::isResident(const KernelKey &Key, unsigned WorkerId) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Resident.find(Key.Hash);
+  if (It == Resident.end())
+    return false;
+  return std::find(It->second.begin(), It->second.end(), WorkerId) !=
+         It->second.end();
+}
+
 void KernelCache::clear() {
   std::lock_guard<std::mutex> Lock(Mu);
   Lru.clear();
   Index.clear();
   Bundles.clear();
+  Resident.clear();
   Stats = KernelCacheStats();
 }

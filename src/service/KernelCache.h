@@ -116,6 +116,13 @@ public:
   /// when their kernel entry is evicted.
   std::shared_ptr<rt::SharedProgramSlot> bundleSlot(const KernelKey &Key);
 
+  /// Per-device residency tags: records that pool worker \p WorkerId
+  /// holds a live native instance built from this entry, so placement
+  /// charges the cold-build cost only where it is real. Tags ride the
+  /// entry: eviction (or clear) drops them with the kernel.
+  void tagResident(const KernelKey &Key, unsigned WorkerId);
+  bool isResident(const KernelKey &Key, unsigned WorkerId) const;
+
   KernelCacheStats stats() const;
   void clear();
 
@@ -135,6 +142,7 @@ private:
   std::unordered_map<uint64_t, LruList::iterator> Index;
   std::unordered_map<uint64_t, std::shared_ptr<rt::SharedProgramSlot>>
       Bundles;
+  std::unordered_map<uint64_t, std::vector<unsigned>> Resident;
   KernelCacheStats Stats;
   std::string DiskDir;
 };

@@ -11,6 +11,7 @@
 #include "analysis/Verification.h"
 #include "lime/ast/ASTPrinter.h"
 #include "ocl/DeviceModel.h"
+#include "runtime/Serializer.h"
 #include "support/FaultInjection.h"
 
 #include <algorithm>
@@ -85,7 +86,8 @@ ServiceRejectKind lime::service::classifyServiceError(const ExecResult &R) {
 OffloadService::OffloadService(Program *P, TypeContext &Types,
                                ServiceConfig Config)
     : Prog(P), Types(Types), Config(std::move(Config)),
-      Cache(this->Config.CacheCapacity) {
+      Cache(this->Config.CacheCapacity),
+      Sched(this->Config.Cost, this->Config.Hooks) {
   Cache.setDiskDir(this->Config.DiskCacheDir);
   // Unknown model names would abort deep in the device layer. Reject
   // the whole configuration here, with the registry's names in the
@@ -108,6 +110,11 @@ OffloadService::OffloadService(Program *P, TypeContext &Types,
   }
   if (Names.empty())
     Names.push_back("gtx580");
+  // The interpreter peer is a pool worker like any other; its queue
+  // just executes through the Lime interpreter instead of a device.
+  // Added after registry validation — "interp" is not a device model.
+  if (this->Config.CpuPeer)
+    Names.push_back(interpDeviceName());
   PoolConfig PC;
   PC.QueueDepth = this->Config.QueueDepth;
   PC.MaxBatch = this->Config.EnableBatching ? this->Config.MaxBatch : 1;
@@ -116,11 +123,19 @@ OffloadService::OffloadService(Program *P, TypeContext &Types,
     PC.ClientWeights[Name] = Policy.Weight;
   PC.Breaker.Threshold = this->Config.BreakerThreshold;
   PC.Breaker.CooldownMs = this->Config.BreakerCooldownMs;
+  if (this->Config.WorkStealing &&
+      this->Config.Policy != SchedulerPolicy::LeastLoaded)
+    PC.OnIdle = [this](unsigned Id) { return tryStealFor(Id); };
   Pool = std::make_unique<DevicePool>(
       std::move(Names), std::move(PC),
       [this](std::vector<PendingInvoke> &Batch, unsigned Id) {
         return execute(Batch, Id);
       });
+  // Worker threads are already running inside the DevicePool
+  // constructor, so an idle worker can call the OnIdle hook before
+  // make_unique's result is assigned to Pool. The hook spins on this
+  // flag instead of touching a half-constructed service.
+  Ready.store(true, std::memory_order_release);
 }
 
 OffloadService::~OffloadService() {
@@ -253,12 +268,33 @@ std::string OffloadService::shedVerdict(const rt::OffloadConfig &Canon,
 }
 
 std::future<ExecResult> OffloadService::submit(OffloadRequest Request) {
+  // Resolve the consolidated submit surface first: Options wins, and
+  // the deprecated flat ClientId/DeadlineMs fields fill any gap (the
+  // one-release compatibility shim for pre-SubmitOptions call sites).
+  SubmitOptions O = std::move(Request.Options);
+  if (O.ClientId.empty())
+    O.ClientId = std::move(Request.ClientId);
+  if (O.DeadlineMs <= 0)
+    O.DeadlineMs = Request.DeadlineMs;
+  if (!O.PolicySet)
+    O.withPolicy(Config.Policy);
+  // Per-request shard fields left at their defaults inherit the
+  // service-wide plan.
+  if (!O.Shard.MaxShards)
+    O.Shard.MaxShards = Config.Shard.MaxShards;
+  if (O.Shard.MinShardElems == ShardOptions().MinShardElems)
+    O.Shard.MinShardElems = Config.Shard.MinShardElems;
+  if (O.Shard.HaloParam < 0) {
+    O.Shard.HaloParam = Config.Shard.HaloParam;
+    O.Shard.HaloRadius = Config.Shard.HaloRadius;
+  }
+
   std::promise<ExecResult> Promise;
   std::future<ExecResult> Future = Promise.get_future();
   {
     std::lock_guard<std::mutex> Lock(StatsMu);
     ++Submitted;
-    ++clientLocked(Request.ClientId).Submitted;
+    ++clientLocked(O.ClientId).Submitted;
   }
 
   std::string VErr = ConfigError;
@@ -270,7 +306,7 @@ std::future<ExecResult> OffloadService::submit(OffloadRequest Request) {
     VErr = "offload service: unknown device '" + Request.Config.DeviceName +
            "'";
   if (!VErr.empty()) {
-    countRejected(Request.ClientId, ServiceRejectKind::None);
+    countRejected(O.ClientId, ServiceRejectKind::None);
     Promise.set_value(trapped(VErr));
     return Future;
   }
@@ -280,13 +316,17 @@ std::future<ExecResult> OffloadService::submit(OffloadRequest Request) {
   // quota rejection must not disturb the kernel cache (hit/miss
   // stats, LRU order, negative entries).
   std::string QuotaWhy;
-  if (!admitQuota(Request.ClientId, QuotaWhy)) {
-    countRejected(Request.ClientId, ServiceRejectKind::QuotaExceeded);
+  if (!admitQuota(O.ClientId, QuotaWhy)) {
+    countRejected(O.ClientId, ServiceRejectKind::QuotaExceeded);
     Promise.set_value(trapped(QuotaWhy));
     return Future;
   }
 
   rt::OffloadConfig Canon = rt::canonicalOffloadConfig(Request.Config);
+  // Under scheduler placement the launch path may keep immutable
+  // inputs resident per device (the transfer term the cost model
+  // optimizes for). Not part of the kernel cache key.
+  Canon.ReuseResidentInputs = O.Policy != SchedulerPolicy::LeastLoaded;
 
   // Deterministic overload for tests: an injected QueueFull fault on
   // this device's domain rejects exactly as a saturated queue would,
@@ -294,7 +334,7 @@ std::future<ExecResult> OffloadService::submit(OffloadRequest Request) {
   if (support::FaultInjector::instance().enabled() &&
       support::FaultInjector::instance().shouldFire(
           Canon.DeviceName, support::FaultKind::QueueFull)) {
-    countRejected(Request.ClientId, ServiceRejectKind::QueueFull);
+    countRejected(O.ClientId, ServiceRejectKind::QueueFull);
     Promise.set_value(
         trapped("offload service: rejected[queue-full]: injected overload on "
                 "device '" +
@@ -313,17 +353,17 @@ std::future<ExecResult> OffloadService::submit(OffloadRequest Request) {
     // to learn the filter is not offloadable. A negatively cached
     // compile failure takes precedence over shedding: it is the more
     // actionable error, and it costs nothing to report.
-    countFailed(Request.ClientId);
+    countFailed(O.ClientId);
     Promise.set_value(
         trapped("offload service: compilation failed: " + Kernel->Error));
     return Future;
   }
 
   // Proactive shedding: refuse now what would only time out in queue.
-  double BudgetMs = deadlineBudgetMs(Request.DeadlineMs);
+  double BudgetMs = deadlineBudgetMs(O.DeadlineMs);
   std::string ShedWhy = shedVerdict(Canon, BudgetMs, WasMiss);
   if (!ShedWhy.empty()) {
-    countRejected(Request.ClientId, ServiceRejectKind::DeadlineInfeasible);
+    countRejected(O.ClientId, ServiceRejectKind::DeadlineInfeasible);
     Promise.set_value(trapped(ShedWhy));
     return Future;
   }
@@ -333,10 +373,19 @@ std::future<ExecResult> OffloadService::submit(OffloadRequest Request) {
   Inv.Config = Canon;
   Inv.Args = std::move(Request.Args);
   Inv.Promise = std::move(Promise);
-  Inv.ClientId = std::move(Request.ClientId);
-  Inv.DeadlineMs = Request.DeadlineMs;
+  Inv.ClientId = std::move(O.ClientId);
+  Inv.DeadlineMs = O.DeadlineMs;
   refreshDeadline(Inv);
-  switch (place(Inv, /*IsRequeue=*/false)) {
+
+  // Shard-eligible large maps split across the pool; everything else
+  // goes through cost-model (or legacy least-loaded) placement whole.
+  if (O.Policy == SchedulerPolicy::Shard && trySubmitSharded(Inv, O.Shard))
+    return Future;
+
+  PlaceResult Placed = O.Policy == SchedulerPolicy::LeastLoaded
+                           ? place(Inv, /*IsRequeue=*/false)
+                           : placeCost(Inv, O.PlacementHint);
+  switch (Placed) {
   case PlaceResult::Placed:
     break;
   case PlaceResult::Full: {
@@ -455,7 +504,8 @@ std::string OffloadService::instanceKey(MethodDecl *Worker,
   K << static_cast<const void *>(Worker) << '|'
     << static_cast<const void *>(Kernel) << "|ls" << Canon.LocalSize << "|mg"
     << Canon.MaxGroups << "|sm" << Canon.UseSpecializedMarshal << "|dm"
-    << Canon.DirectMarshal << "|ov" << Canon.OverlapPipelining;
+    << Canon.DirectMarshal << "|ov" << Canon.OverlapPipelining << "|rr"
+    << Canon.ReuseResidentInputs;
   return K.str();
 }
 
@@ -491,8 +541,8 @@ OffloadService::instanceFor(const std::string &Key, MethodDecl *Worker,
   // Native-artifact sharing: all workers of one cache entry build
   // through the same slot, so the bytecode + JIT code is compiled
   // once and adopted by every later context.
-  Inst->Filter->setSharedProgram(
-      Cache.bundleSlot(KernelKey::make(Worker, Canon, &classTextFor(Worker))));
+  KernelKey CK = KernelKey::make(Worker, Canon, &classTextFor(Worker));
+  Inst->Filter->setSharedProgram(Cache.bundleSlot(CK));
   // Keep the cached kernel alive as long as the instance references
   // its plan-derived state (the filter holds its own copy, but the
   // instance key embeds the cache pointer).
@@ -525,11 +575,16 @@ OffloadService::instanceFor(const std::string &Key, MethodDecl *Worker,
 
   FilterInstance *Raw = Inst.get();
   PerWorker[WorkerId] = std::move(Inst);
+  Cache.tagResident(CK, WorkerId);
   return Raw;
 }
 
 double OffloadService::execute(std::vector<PendingInvoke> &Batch,
                                unsigned WorkerId) {
+  // The CPU peer's queue executes through the interpreter; everything
+  // below is device-only (merging, residency, Fig. 9 accounting).
+  if (!Batch.empty() && Batch.front().RunOnInterp)
+    return executeInterp(Batch, WorkerId);
   const char *QueueExpired =
       "offload service: launch deadline expired in queue";
   // Deadline enforcement, part 1: a request that expired while queued
@@ -654,6 +709,29 @@ double OffloadService::execute(std::vector<PendingInvoke> &Batch,
     return SimNs;
   }
 
+  // Scheduler learning: the observed sim time refines the per-(kernel
+  // x device) compute EWMA, and — when the launch path caches inputs
+  // on the device — the argument arrays are now resident here.
+  {
+    const PendingInvoke &Lead = Batch.front();
+    uint64_t Elems = 1;
+    if (SP >= 0 && Args[SP].isArray() && Args[SP].array())
+      Elems = Args[SP].array()->Elems.size();
+    else if (!Args.empty() && Args[0].isArray() && Args[0].array())
+      Elems = Args[0].array()->Elems.size();
+    Sched.noteExecution(Lead.Worker->qualifiedName(),
+                        Pool->deviceNameOf(WorkerId), WorkerId, Elems, SimNs);
+    if (Lead.Config.ReuseResidentInputs)
+      for (size_t I = 0; I != Args.size(); ++I) {
+        // A merged launch's concatenated source is a throwaway array;
+        // its residency would never be hit again.
+        if (Merged && static_cast<int>(I) == SP)
+          continue;
+        if (uint64_t BufId = rt::bufferIdOf(Args[I]))
+          Sched.noteResident(WorkerId, BufId, rt::wireByteSize(Args[I]));
+      }
+  }
+
   // Feed the shed estimator with the realized per-request wall cost.
   {
     double PerReq = elapsedMs(LaunchT0) / static_cast<double>(Group);
@@ -698,13 +776,11 @@ double OffloadService::execute(std::vector<PendingInvoke> &Batch,
     for (PendingInvoke &T : Member.Twins) {
       if (T.hasDeadline() && DoneT > T.Deadline) {
         countTimedOut(T.ClientId);
-        countFailed(T.ClientId);
-        T.Promise.set_value(
-            trapped("offload service: timed-out[coalesced]: deadline expired "
-                    "while the coalesced launch was in flight"));
+        deliver(T,
+                trapped("offload service: timed-out[coalesced]: deadline "
+                        "expired while the coalesced launch was in flight"));
       } else {
-        T.Promise.set_value(copyResult(Res));
-        countCompleted(T.ClientId, /*AsTwin=*/true);
+        deliver(T, copyResult(Res), /*AsTwin=*/true);
       }
     }
   };
@@ -712,8 +788,7 @@ double OffloadService::execute(std::vector<PendingInvoke> &Batch,
   if (!Merged) {
     PendingInvoke &M = Batch.front();
     DeliverTwins(M, R);
-    countCompleted(M.ClientId);
-    M.Promise.set_value(std::move(R));
+    deliver(M, std::move(R));
     return SimNs;
   }
 
@@ -739,8 +814,7 @@ double OffloadService::execute(std::vector<PendingInvoke> &Batch,
     ExecResult RR;
     RR.Value = RtValue::makeArray(std::move(Part));
     DeliverTwins(Batch[I], RR);
-    countCompleted(Batch[I].ClientId);
-    Batch[I].Promise.set_value(std::move(RR));
+    deliver(Batch[I], std::move(RR));
   }
   return SimNs;
 }
@@ -753,8 +827,12 @@ OffloadService::PlaceResult OffloadService::place(PendingInvoke &Inv,
   std::vector<std::string> Models{Inv.Config.DeviceName};
   if (IsRequeue)
     for (const std::string &M : Pool->modelNames())
-      if (M != Inv.Config.DeviceName)
+      // The interpreter peer is not a registry model (deviceByName
+      // would abort); the interpreter is reached through
+      // fallbackOrFail when every model fails.
+      if (M != Inv.Config.DeviceName && M != interpDeviceName())
         Models.push_back(M);
+  Inv.RunOnInterp = false; // re-placement binds to a real device
 
   bool SawFull = false;
   for (const std::string &M : Models) {
@@ -772,7 +850,7 @@ OffloadService::PlaceResult OffloadService::place(PendingInvoke &Inv,
     // requeue candidates are whatever the pool already runs.
     int Id = Pool->pickWorker(Canon.DeviceName, instanceWorkers(IKey),
                               /*AffinityBias=*/4, Inv.FailedWorkers,
-                              /*AddIfMissing=*/!IsRequeue);
+                              /*AddIfMissing=*/!IsRequeue, &Inv.ClientId);
     if (Id < 0)
       continue;
     std::string IErr;
@@ -878,8 +956,7 @@ void OffloadService::reroute(std::vector<PendingInvoke> &Drained,
 void OffloadService::fallbackOrFail(PendingInvoke Inv,
                                     const std::string &Reason) {
   if (!Config.FallbackToInterpreter) {
-    countFailed(Inv.ClientId);
-    Inv.Promise.set_value(trapped(Reason));
+    deliver(Inv, trapped(Reason));
     return;
   }
   // Graceful degradation: the interpreter is the language's reference
@@ -897,11 +974,466 @@ void OffloadService::fallbackOrFail(PendingInvoke Inv,
     Interp I(Prog, Types);
     R = I.callMethod(Inv.Worker, nullptr, std::move(Inv.Args));
   }
+  deliver(Inv, std::move(R));
+}
+
+void OffloadService::deliver(PendingInvoke &Inv, ExecResult R, bool AsTwin) {
+  if (Inv.Group) {
+    finishShard(Inv, std::move(R));
+    return;
+  }
   if (R.Trapped)
     countFailed(Inv.ClientId);
   else
-    countCompleted(Inv.ClientId);
+    countCompleted(Inv.ClientId, AsTwin);
   Inv.Promise.set_value(std::move(R));
+}
+
+void OffloadService::finishShard(PendingInvoke &Inv, ExecResult R) {
+  std::shared_ptr<ShardGroup> G = std::move(Inv.Group);
+  std::vector<ExecResult> Parts;
+  {
+    std::lock_guard<std::mutex> Lock(G->Mu);
+    G->Parts[Inv.ShardIndex] = std::move(R);
+    if (--G->Remaining)
+      return;
+    Parts = std::move(G->Parts);
+  }
+  // Last shard in: stitch in shard-index order, which reproduces the
+  // unsplit launch bit for bit (shardRanges covers the index space
+  // contiguously and map outputs are per-element). Any trapped part
+  // fails the parent with the lowest-indexed trap, deterministically.
+  ExecResult Final;
+  for (ExecResult &P : Parts)
+    if (P.Trapped) {
+      Final = std::move(P);
+      break;
+    }
+  if (!Final.Trapped) {
+    auto Stitched = std::make_shared<RtArray>();
+    bool Ok = true;
+    for (size_t I = 0; I != Parts.size(); ++I) {
+      const std::shared_ptr<RtArray> &A =
+          Parts[I].Value.isArray() ? Parts[I].Value.array() : nullptr;
+      if (!A) {
+        Ok = false;
+        break;
+      }
+      if (I == 0) {
+        Stitched->ElementType = A->ElementType;
+        Stitched->Immutable = A->Immutable;
+      }
+      Stitched->Elems.insert(Stitched->Elems.end(), A->Elems.begin(),
+                             A->Elems.end());
+    }
+    if (Ok)
+      Final.Value = RtValue::makeArray(std::move(Stitched));
+    else
+      Final = trapped("offload service: shard produced a non-array result");
+  }
+  // The parent counts exactly once, here; shards never touched the
+  // Submitted/Completed ledgers on their own.
+  if (Final.Trapped)
+    countFailed(G->ClientId);
+  else
+    countCompleted(G->ClientId);
+  G->Promise.set_value(std::move(Final));
+}
+
+PlacementRequest
+OffloadService::placementRequestFor(const PendingInvoke &Inv) const {
+  PlacementRequest Req;
+  Req.KernelId = Inv.Worker->qualifiedName();
+  // Stream input first (the OffloadRequest contract): its length
+  // drives the NDRange, so it anchors the compute estimate.
+  if (!Inv.Args.empty() && Inv.Args[0].isArray() && Inv.Args[0].array())
+    Req.Elems = Inv.Args[0].array()->Elems.size();
+  for (const RtValue &V : Inv.Args)
+    if (V.isArray() && V.array())
+      Req.ArgBuffers.emplace_back(rt::bufferIdOf(V), rt::wireByteSize(V));
+  return Req;
+}
+
+double OffloadService::executeInterp(std::vector<PendingInvoke> &Batch,
+                                     unsigned WorkerId) {
+  // Interp invocations never merge or coalesce (the pool predicates
+  // bail on a null Instance), but keep the batch shape for safety.
+  double SimNs = 0.0;
+  for (PendingInvoke &B : Batch) {
+    auto T0 = std::chrono::steady_clock::now();
+    ExecResult R;
+    {
+      std::lock_guard<std::mutex> Lock(CompileMu);
+      Interp I(Prog, Types);
+      std::vector<RtValue> Args = B.Args; // keep B intact for counters
+      R = I.callMethod(B.Worker, nullptr, std::move(Args));
+    }
+    double Ns = elapsedMs(T0) * 1.0e6;
+    SimNs += Ns;
+    uint64_t Elems = 1;
+    if (!B.Args.empty() && B.Args[0].isArray() && B.Args[0].array())
+      Elems = B.Args[0].array()->Elems.size();
+    Sched.noteExecution(B.Worker->qualifiedName(), interpDeviceName(),
+                        WorkerId, Elems, Ns);
+    // An interpreter trap is the reference semantics speaking: a
+    // semantic failure, not a worker fault — no retry, no breaker.
+    deliver(B, std::move(R));
+  }
+  Pool->recordSuccess(WorkerId);
+  return SimNs;
+}
+
+OffloadService::PlaceResult
+OffloadService::placeCost(PendingInvoke &Inv, const std::string &Hint,
+                          std::vector<unsigned> *Spread) {
+  // Parity with legacy placement: the request's own model gets a
+  // worker on first use, and the interpreter peer exists when
+  // enabled — both are candidates from the first request on.
+  Pool->ensureWorker(Inv.Config.DeviceName);
+  if (Config.CpuPeer)
+    Pool->ensureWorker(interpDeviceName());
+
+  // Bind a compiled kernel to every candidate's device model through
+  // the cache; models that cannot compile the kernel drop out.
+  struct Bound {
+    rt::OffloadConfig Canon;
+    std::shared_ptr<const CompiledKernel> Kernel;
+    std::string IKey;
+  };
+  std::vector<WorkerCandidate> Cands;
+  std::vector<Bound> Binds;
+  for (CandidateLoad &L : Pool->candidates(Inv.ClientId, Inv.FailedWorkers)) {
+    WorkerCandidate C;
+    C.Id = L.Id;
+    C.Device = L.DeviceName;
+    C.Backlog = L.EffBacklog;
+    C.NeedsProbe = L.NeedsProbe;
+    Bound B;
+    if (L.DeviceName == interpDeviceName()) {
+      C.IsInterp = true;
+      C.HasInstance = true; // nothing to build
+    } else {
+      rt::OffloadConfig Cfg = Inv.Config;
+      Cfg.DeviceName = L.DeviceName;
+      B.Canon = rt::canonicalOffloadConfig(Cfg);
+      KernelKey Key =
+          KernelKey::make(Inv.Worker, B.Canon, &classTextFor(Inv.Worker));
+      B.Kernel = Cache.getOrCompile(
+          Key, [&] { return compileVerified(Inv.Worker, B.Canon); });
+      if (!B.Kernel->Ok)
+        continue;
+      B.IKey = instanceKey(Inv.Worker, B.Kernel.get(), B.Canon);
+      std::vector<unsigned> Holders = instanceWorkers(B.IKey);
+      // Warm if the exact instance exists on this worker, or the cache
+      // tags the worker as holding any build of this kernel (the shared
+      // program bundle makes a re-instantiation there near-free).
+      C.HasInstance =
+          std::find(Holders.begin(), Holders.end(), L.Id) != Holders.end() ||
+          Cache.isResident(Key, L.Id);
+    }
+    Cands.push_back(std::move(C));
+    Binds.push_back(std::move(B));
+  }
+  // Gang-spreading for shard siblings: drop workers that already
+  // hold one, as long as a fresh worker remains. A split only beats
+  // a whole launch when its parts overlap in time, so an otherwise
+  // cheaper (warm, shorter-queued) worker must not collect them all.
+  if (Spread && !Spread->empty()) {
+    bool AnyFresh = false;
+    for (const WorkerCandidate &C : Cands)
+      AnyFresh = AnyFresh || std::find(Spread->begin(), Spread->end(),
+                                       C.Id) == Spread->end();
+    if (AnyFresh)
+      for (size_t I = Cands.size(); I-- != 0;)
+        if (std::find(Spread->begin(), Spread->end(), Cands[I].Id) !=
+            Spread->end()) {
+          Cands.erase(Cands.begin() + static_cast<ptrdiff_t>(I));
+          Binds.erase(Binds.begin() + static_cast<ptrdiff_t>(I));
+        }
+  }
+  // A placement hint narrows the field to its device model when any
+  // such worker is eligible; with none, every candidate stays in play.
+  if (!Hint.empty()) {
+    bool Any = false;
+    for (const WorkerCandidate &C : Cands)
+      Any = Any || C.Device == Hint;
+    if (Any)
+      for (size_t I = Cands.size(); I-- != 0;)
+        if (Cands[I].Device != Hint) {
+          Cands.erase(Cands.begin() + static_cast<ptrdiff_t>(I));
+          Binds.erase(Binds.begin() + static_cast<ptrdiff_t>(I));
+        }
+  }
+
+  PlacementRequest Req = placementRequestFor(Inv);
+  bool SawFull = false;
+  bool Block = Config.ShedPolicy == ServiceConfig::Shedding::Block;
+  while (!Cands.empty()) {
+    PlacementDecision D = Sched.choose(Req, Cands);
+    if (D.Index < 0)
+      break;
+    size_t I = static_cast<size_t>(D.Index);
+    WorkerCandidate C = Cands[I];
+    Bound B = std::move(Binds[I]);
+    Cands.erase(Cands.begin() + static_cast<ptrdiff_t>(I));
+    Binds.erase(Binds.begin() + static_cast<ptrdiff_t>(I));
+    if (!Pool->admitWorker(C.Id))
+      continue; // raced into quarantine since the snapshot
+    if (C.IsInterp) {
+      Inv.Instance = nullptr;
+      Inv.RunOnInterp = true;
+      Inv.SourceParam = -1;
+    } else {
+      std::string IErr;
+      FilterInstance *Inst =
+          instanceFor(B.IKey, Inv.Worker, B.Kernel, C.Id, B.Canon, IErr);
+      if (!Inst) {
+        Pool->recordSkipped(C.Id);
+        continue;
+      }
+      Inv.Instance = Inst;
+      Inv.RunOnInterp = false;
+      Inv.Config = B.Canon; // retries re-plan from the placed model
+      Inv.SourceParam = -1;
+      if (Config.EnableBatching && !Inv.Group && Inst->SourceParam >= 0 &&
+          Inst->SourceParam < static_cast<int>(Inv.Args.size()) &&
+          Inv.Args[Inst->SourceParam].isArray())
+        Inv.SourceParam = Inst->SourceParam;
+    }
+    switch (Pool->submitTo(C.Id, Inv, /*Force=*/false, Block)) {
+    case DevicePool::SubmitOutcome::Accepted:
+      Sched.countCostPlaced(C.IsInterp);
+      if (Spread)
+        Spread->push_back(C.Id);
+      return PlaceResult::Placed;
+    case DevicePool::SubmitOutcome::Full:
+      SawFull = true;
+      break;
+    case DevicePool::SubmitOutcome::Stopping:
+      break;
+    }
+    Pool->recordSkipped(C.Id);
+  }
+  return SawFull ? PlaceResult::Full : PlaceResult::NoWorker;
+}
+
+bool OffloadService::trySubmitSharded(PendingInvoke &Inv,
+                                      const ShardOptions &SO) {
+  // Shard eligibility is a property of the kernel plan: a map whose
+  // source is a worker parameter, with no other input arrays (one
+  // extra is admitted for the declared halo argument). Per-element
+  // independence then makes contiguous splits exact.
+  KernelKey Key =
+      KernelKey::make(Inv.Worker, Inv.Config, &classTextFor(Inv.Worker));
+  std::shared_ptr<const CompiledKernel> Kernel = Cache.getOrCompile(
+      Key, [&] { return compileVerified(Inv.Worker, Inv.Config); });
+  if (!Kernel->Ok || Kernel->Plan.Kind != KernelKind::Map)
+    return false;
+  int SP = -1;
+  {
+    const KernelPlan &Plan = Kernel->Plan;
+    const KernelArray *Src = Plan.mapSource();
+    size_t NonOutputArrays = 0;
+    for (const KernelArray &A : Plan.Arrays)
+      if (!A.IsOutput)
+        ++NonOutputArrays;
+    size_t Allowed = SO.HaloParam >= 0 ? 2 : 1;
+    if (Src && Src->WorkerParam && NonOutputArrays <= Allowed) {
+      const auto &Params = Inv.Worker->params();
+      for (size_t I = 0; I != Params.size(); ++I)
+        if (Params[I] == Src->WorkerParam)
+          SP = static_cast<int>(I);
+    }
+  }
+  if (SP < 0 || SP >= static_cast<int>(Inv.Args.size()) ||
+      !Inv.Args[SP].isArray() || !Inv.Args[SP].array())
+    return false;
+  const RtArray &Src = *Inv.Args[SP].array();
+  size_t N = Src.Elems.size();
+  if (N < 2 * std::max<size_t>(SO.MinShardElems, 1))
+    return false;
+  unsigned MaxK =
+      SO.MaxShards ? SO.MaxShards : static_cast<unsigned>(Pool->workerCount());
+  size_t ByMin = N / std::max<size_t>(SO.MinShardElems, 1);
+  unsigned K =
+      static_cast<unsigned>(std::min<size_t>(MaxK, std::max<size_t>(ByMin, 1)));
+  if (K < 2)
+    return false;
+
+  // Halo exchange needs the stencil data argument and integer source
+  // indices to rebase; anything else ships the bound arrays whole
+  // (more transfer, same bits).
+  int HP = SO.HaloParam;
+  if (HP >= 0 &&
+      (HP == SP || HP >= static_cast<int>(Inv.Args.size()) ||
+       !Inv.Args[HP].isArray() || !Inv.Args[HP].array()))
+    HP = -1;
+  if (HP >= 0)
+    for (const RtValue &V : Src.Elems)
+      if (V.kind() != RtValue::Kind::Int) {
+        HP = -1;
+        break;
+      }
+
+  std::vector<std::pair<size_t, size_t>> Ranges = Scheduler::shardRanges(N, K);
+  auto G = std::make_shared<ShardGroup>();
+  G->Promise = std::move(Inv.Promise);
+  G->ClientId = Inv.ClientId;
+  G->Parts.resize(Ranges.size());
+  G->Remaining = Ranges.size();
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++ShardedParentsC;
+    ShardLaunchesC += Ranges.size();
+  }
+  std::vector<unsigned> ShardWorkers; // gang-spread state, see placeCost
+  for (size_t I = 0; I != Ranges.size(); ++I) {
+    size_t Lo = Ranges[I].first, Hi = Ranges[I].second;
+    PendingInvoke C;
+    C.Worker = Inv.Worker;
+    C.Config = Inv.Config;
+    C.ClientId = Inv.ClientId;
+    C.DeadlineMs = Inv.DeadlineMs;
+    C.Deadline = Inv.Deadline; // the parent deadline binds every shard
+    C.Group = G;
+    C.ShardIndex = static_cast<unsigned>(I);
+    C.Args = Inv.Args; // bound arrays shared across shards (residency)
+    auto Slice = std::make_shared<RtArray>();
+    Slice->ElementType = Src.ElementType;
+    Slice->Immutable = Src.Immutable;
+    Slice->Elems.assign(Src.Elems.begin() + static_cast<ptrdiff_t>(Lo),
+                        Src.Elems.begin() + static_cast<ptrdiff_t>(Hi));
+    if (HP >= 0 && !Slice->Elems.empty()) {
+      // Halo window: [min(idx) - R, max(idx) + R + 1) of the stencil
+      // data, clamped; indices rebase into it. The declared radius is
+      // trusted like an --assume fact — an under-declared radius makes
+      // the window too small, which the VM's bounds checks trap
+      // loudly, never a silently wrong result (DESIGN.md §13).
+      int64_t MinV = Slice->Elems.front().asIntegral();
+      int64_t MaxV = MinV;
+      for (const RtValue &V : Slice->Elems) {
+        MinV = std::min(MinV, V.asIntegral());
+        MaxV = std::max(MaxV, V.asIntegral());
+      }
+      const RtArray &Data = *Inv.Args[HP].array();
+      int64_t R = static_cast<int64_t>(SO.HaloRadius);
+      int64_t WLo = std::max<int64_t>(0, MinV - R);
+      int64_t WHi = std::min<int64_t>(
+          static_cast<int64_t>(Data.Elems.size()), MaxV + R + 1);
+      if (WLo < WHi) {
+        auto Window = std::make_shared<RtArray>();
+        Window->ElementType = Data.ElementType;
+        Window->Immutable = Data.Immutable;
+        Window->Elems.assign(Data.Elems.begin() + static_cast<ptrdiff_t>(WLo),
+                             Data.Elems.begin() + static_cast<ptrdiff_t>(WHi));
+        for (RtValue &V : Slice->Elems)
+          V = RtValue::makeInt(static_cast<int32_t>(V.asIntegral() - WLo));
+        C.Args[HP] = RtValue::makeArray(std::move(Window));
+      }
+    }
+    C.Args[SP] = RtValue::makeArray(std::move(Slice));
+    // Shards place like any request except for gang-spreading: a
+    // worker takes a second sibling only once every worker holds one.
+    if (placeCost(C, "", &ShardWorkers) != PlaceResult::Placed)
+      fallbackOrFail(std::move(C),
+                     "offload service: no worker available for shard");
+  }
+  return true;
+}
+
+bool OffloadService::tryStealFor(unsigned ThiefId) {
+  // Workers start inside the DevicePool constructor, before the
+  // service finishes constructing; no stealing until it has.
+  if (!Ready.load(std::memory_order_acquire))
+    return false;
+  // Victim: the deepest raw backlog among other workers (client-blind
+  // — stealing relieves the queue as a whole). Two queued requests
+  // minimum: stealing a victim's only pending item just moves the
+  // wait, plus a transfer.
+  std::vector<CandidateLoad> Loads = Pool->candidates("", {});
+  const CandidateLoad *Victim = nullptr, *Thief = nullptr;
+  for (const CandidateLoad &L : Loads) {
+    if (L.Id == ThiefId) {
+      Thief = &L;
+      continue;
+    }
+    if (L.Queued >= 2 && (!Victim || L.Queued > Victim->Queued))
+      Victim = &L;
+  }
+  if (!Victim || !Thief)
+    return false;
+  PendingInvoke Inv;
+  if (!Pool->stealOne(Victim->Id, 2, Inv))
+    return false;
+
+  // Rebind plan for the thief's model (the verdict needs to know
+  // whether a cold build would be owed there).
+  bool ThiefIsInterp = Thief->DeviceName == interpDeviceName();
+  rt::OffloadConfig ThiefCanon;
+  std::shared_ptr<const CompiledKernel> ThiefKernel;
+  std::string ThiefIKey;
+  bool CanRun = true;
+  bool HasInstance = true;
+  if (!ThiefIsInterp) {
+    rt::OffloadConfig Cfg = Inv.Config;
+    Cfg.DeviceName = Thief->DeviceName;
+    ThiefCanon = rt::canonicalOffloadConfig(Cfg);
+    KernelKey Key =
+        KernelKey::make(Inv.Worker, ThiefCanon, &classTextFor(Inv.Worker));
+    ThiefKernel = Cache.getOrCompile(
+        Key, [&] { return compileVerified(Inv.Worker, ThiefCanon); });
+    CanRun = ThiefKernel->Ok;
+    if (CanRun) {
+      ThiefIKey = instanceKey(Inv.Worker, ThiefKernel.get(), ThiefCanon);
+      std::vector<unsigned> Holders = instanceWorkers(ThiefIKey);
+      HasInstance =
+          std::find(Holders.begin(), Holders.end(), ThiefId) != Holders.end();
+    }
+  }
+
+  PlacementRequest Req = placementRequestFor(Inv);
+  WorkerCandidate V;
+  V.Id = Victim->Id;
+  V.Device = Victim->DeviceName;
+  V.HasInstance = true; // it was queued there, so the victim has one
+  V.IsInterp = Victim->DeviceName == interpDeviceName();
+  WorkerCandidate T;
+  T.Id = ThiefId;
+  T.Device = Thief->DeviceName;
+  T.HasInstance = HasInstance;
+  T.IsInterp = ThiefIsInterp;
+
+  double GainNs = 0.0;
+  bool Steal =
+      CanRun && Sched.shouldSteal(Req, V, Victim->Queued, T, &GainNs);
+  if (!Steal) {
+    // Transfer (or a cold build) dominates the wait saved: put the
+    // request back where its data and instance already are.
+    Sched.countSteal(/*Refused=*/true);
+    Pool->submitTo(Victim->Id, Inv, /*Force=*/true);
+    return false;
+  }
+  if (ThiefIsInterp) {
+    Inv.Instance = nullptr;
+    Inv.RunOnInterp = true;
+    Inv.SourceParam = -1;
+  } else {
+    std::string IErr;
+    FilterInstance *Inst = instanceFor(ThiefIKey, Inv.Worker, ThiefKernel,
+                                       ThiefId, ThiefCanon, IErr);
+    if (!Inst) {
+      Sched.countSteal(/*Refused=*/true);
+      Pool->submitTo(Victim->Id, Inv, /*Force=*/true);
+      return false;
+    }
+    Inv.Instance = Inst;
+    Inv.RunOnInterp = false;
+    Inv.Config = ThiefCanon;
+    Inv.SourceParam = -1; // stolen work launches alone
+  }
+  Sched.countSteal(/*Refused=*/false);
+  Pool->submitTo(ThiefId, Inv, /*Force=*/true);
+  return true;
 }
 
 void OffloadService::accumulate(const rt::OffloadStats &Before,
@@ -915,6 +1447,9 @@ void OffloadService::accumulate(const rt::OffloadStats &Before,
   DeviceStats.PcieNs += After.PcieNs - Before.PcieNs;
   DeviceStats.KernelNs += After.KernelNs - Before.KernelNs;
   DeviceStats.Invocations += After.Invocations - Before.Invocations;
+  DeviceStats.ResidentHits += After.ResidentHits - Before.ResidentHits;
+  DeviceStats.ResidentBytesSkipped +=
+      After.ResidentBytesSkipped - Before.ResidentBytesSkipped;
 }
 
 void OffloadService::waitIdle() { Pool->waitIdle(); }
@@ -936,11 +1471,15 @@ OffloadServiceStats OffloadService::stats() const {
     S.QueueFullRejected = QueueFullRejectedC;
     S.Shed = ShedC;
     S.Coalesced = CoalescedC;
+    S.ShardedParents = ShardedParentsC;
+    S.ShardLaunches = ShardLaunchesC;
     S.Device = DeviceStats;
     S.Clients.reserve(PerClient.size());
     for (const auto &[Name, Row] : PerClient)
       S.Clients.push_back(Row); // map order = sorted by client id
   }
+  S.Policy = Config.Policy;
+  S.Sched = Sched.counters();
   S.Cache = Cache.stats();
   S.Devices = Pool->stats();
   return S;

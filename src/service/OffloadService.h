@@ -46,7 +46,9 @@
 #include "runtime/Offload.h"
 #include "service/DevicePool.h"
 #include "service/KernelCache.h"
+#include "service/Scheduler.h"
 
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <future>
@@ -137,6 +139,27 @@ struct ServiceConfig {
   /// bit-identical for the kernels the GPU path supports — instead
   /// of failing the future. Counted in stats as FellBack.
   bool FallbackToInterpreter = true;
+
+  // --- Data-aware scheduling (DESIGN.md §13) ----------------------
+  /// Default placement policy for requests that do not set one via
+  /// SubmitOptions. LeastLoaded is the pre-scheduler behavior.
+  SchedulerPolicy Policy = SchedulerPolicy::LeastLoaded;
+  /// Host the CPU interpreter as a first-class pool peer: an "interp"
+  /// worker whose queue executes through the Lime interpreter, scored
+  /// by the cost model like any device (no transfer term, slow
+  /// compute prior). Distinct from FallbackToInterpreter, which is a
+  /// last-resort path after placement already failed.
+  bool CpuPeer = false;
+  /// Idle workers steal queued work from the deepest backlog when the
+  /// cost model says the move pays for its transfers. Active only
+  /// when Policy != LeastLoaded.
+  bool WorkStealing = false;
+  /// Default shard plan for SchedulerPolicy::Shard (per-request
+  /// SubmitOptions::Shard fields at their defaults inherit these).
+  ShardOptions Shard;
+  CostModelParams Cost;
+  /// Test seam: injectable cost terms (see CostHooks).
+  CostHooks Hooks;
 };
 
 /// One request to run a filter on a device.
@@ -144,12 +167,29 @@ struct OffloadRequest {
   MethodDecl *Worker = nullptr;
   std::vector<RtValue> Args; // worker parameter order, stream input first
   rt::OffloadConfig Config;
-  /// Tenant identity for quotas, fair queueing, and per-client stats.
-  /// "" is a valid anonymous client with its own share.
+  /// The consolidated per-request submit surface (client identity,
+  /// deadline, placement policy, shard plan) — see SubmitOptions.
+  SubmitOptions Options;
+
+  // Deprecated (one-release shim): pre-SubmitOptions call sites set
+  // these directly. They are honored only when the corresponding
+  // Options field is unset; new code should populate Options.
   std::string ClientId;
-  /// Per-request deadline budget in ms; 0 uses the service config's
-  /// LaunchDeadlineMs.
   double DeadlineMs = 0.0;
+};
+
+/// Fan-out state of one sharded data-parallel map. Each shard is an
+/// independent PendingInvoke (placed, retried, and fallen back on its
+/// own); results land in Parts[ShardIndex], and the last delivery
+/// stitches them in shard order — bit-identical to the unsplit launch
+/// — and resolves the parent promise. The parent counts once, at
+/// stitch time; shards never touch Submitted/Completed themselves.
+struct ShardGroup {
+  std::promise<ExecResult> Promise;
+  std::string ClientId;
+  std::mutex Mu;
+  std::vector<ExecResult> Parts;
+  size_t Remaining = 0;
 };
 
 /// Machine-readable classification of a service-level trap. Overload
@@ -208,6 +248,11 @@ struct OffloadServiceStats {
   uint64_t QueueFullRejected = 0;
   uint64_t Shed = 0;      // deadline-infeasible rejections
   uint64_t Coalesced = 0; // requests served as coalesced twins
+  // Scheduler counters (placement, stealing, sharding).
+  SchedulerPolicy Policy = SchedulerPolicy::LeastLoaded; // service default
+  Scheduler::Counters Sched;
+  uint64_t ShardedParents = 0; ///< requests split across devices
+  uint64_t ShardLaunches = 0;  ///< shards those splits produced
   KernelCacheStats Cache;
   /// Figure-9 style per-stage decomposition summed over every launch.
   rt::OffloadStats Device;
@@ -303,7 +348,44 @@ private:
   /// fulfils every promise — coalesced twins included. Returns
   /// simulated device ns consumed.
   double execute(std::vector<PendingInvoke> &Batch, unsigned WorkerId);
+  /// The CPU peer's executor: runs each batch member through the Lime
+  /// interpreter (under the compile mutex) and delivers. Returns the
+  /// wall ns spent interpreting, which doubles as the peer's "sim"
+  /// time for the scheduler's EWMA.
+  double executeInterp(std::vector<PendingInvoke> &Batch, unsigned WorkerId);
   void accumulate(const rt::OffloadStats &Before, const rt::OffloadStats &After);
+
+  // --- Data-aware scheduling --------------------------------------
+  enum class PlaceResult : uint8_t { Placed, Full, NoWorker };
+  /// The single promise-fulfillment funnel: shard members route their
+  /// result into their group (stitching on the last one), everything
+  /// else counts Completed/Failed and resolves its own promise.
+  /// EVERY final resolution of a placed invoke must go through here —
+  /// a set_value elsewhere would drop shard results on the floor.
+  /// Consumes Inv's promise/group but leaves the struct in place (the
+  /// worker loop still reads the batch for its counters).
+  void deliver(PendingInvoke &Inv, ExecResult R, bool AsTwin = false);
+  /// Shard leg of deliver(): park the result in the group, stitch and
+  /// resolve the parent on the last one.
+  void finishShard(PendingInvoke &Inv, ExecResult R);
+  /// Cost terms' view of one request (kernel identity, source elems,
+  /// argument buffer ids/bytes).
+  PlacementRequest placementRequestFor(const PendingInvoke &Inv) const;
+  /// Cost-model placement across every eligible worker — all pool
+  /// device models plus the interpreter peer — per DESIGN.md §13.
+  /// \p Spread, when non-null, gang-spreads a shard group: workers
+  /// already listed are passed over while an unlisted one is
+  /// eligible (siblings only pay off when they run concurrently, so
+  /// a queue-cost tie must not pile them onto one worker), and the
+  /// chosen worker is appended on success.
+  PlaceResult placeCost(PendingInvoke &Inv, const std::string &Hint,
+                        std::vector<unsigned> *Spread = nullptr);
+  /// Splits a large map across the pool per the shard plan; false
+  /// when the request is not shard-eligible (caller places it whole).
+  bool trySubmitSharded(PendingInvoke &Inv, const ShardOptions &SO);
+  /// DevicePool OnIdle hook: steal one queued request for \p ThiefId
+  /// when the cost model approves the move.
+  bool tryStealFor(unsigned ThiefId);
 
   // --- Overload control -------------------------------------------
   /// Takes one token from \p Client's bucket. False — with \p Why set
@@ -320,7 +402,6 @@ private:
   }
 
   // --- Fault tolerance --------------------------------------------
-  enum class PlaceResult : uint8_t { Placed, Full, NoWorker };
   /// Binds \p Inv to a worker and queues it. Tries the request's own
   /// device model first; on a requeue every other model in the pool
   /// is a candidate too (recompiling through the kernel cache), with
@@ -351,6 +432,12 @@ private:
   std::string ConfigError;
 
   KernelCache Cache;
+  Scheduler Sched;
+  /// Set at the end of construction. Worker threads start inside the
+  /// DevicePool constructor and may call the OnIdle (steal) hook
+  /// before the Pool member is even assigned; the hook no-ops until
+  /// this flips.
+  std::atomic<bool> Ready{false};
   /// Serializes every code path that touches GpuCompiler / the shared
   /// TypeContext: cache-miss compiles and first-invoke preparation
   /// (whose constant-capacity fallback can recompile).
@@ -385,6 +472,8 @@ private:
   uint64_t QueueFullRejectedC = 0;
   uint64_t ShedC = 0;
   uint64_t CoalescedC = 0;
+  uint64_t ShardedParentsC = 0;
+  uint64_t ShardLaunchesC = 0;
   std::map<std::string, ClientStatsSnapshot> PerClient;
   /// Per-client token buckets (guarded by StatsMu; quota state and
   /// quota counters move together).

@@ -1,0 +1,245 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Scheduler.h"
+
+#include "ocl/DeviceModel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lime;
+using namespace lime::service;
+
+const char *lime::service::schedulerPolicyName(SchedulerPolicy P) {
+  switch (P) {
+  case SchedulerPolicy::LeastLoaded:
+    return "least-loaded";
+  case SchedulerPolicy::CostModel:
+    return "cost";
+  case SchedulerPolicy::Shard:
+    return "shard";
+  }
+  return "?";
+}
+
+bool lime::service::parseSchedulerPolicy(const std::string &Text,
+                                         SchedulerPolicy &Out) {
+  if (Text == "least-loaded") {
+    Out = SchedulerPolicy::LeastLoaded;
+    return true;
+  }
+  if (Text == "cost") {
+    Out = SchedulerPolicy::CostModel;
+    return true;
+  }
+  if (Text == "shard") {
+    Out = SchedulerPolicy::Shard;
+    return true;
+  }
+  return false;
+}
+
+Scheduler::Scheduler(CostModelParams Params, CostHooks Hooks)
+    : Params(Params), Hooks(std::move(Hooks)) {}
+
+double Scheduler::transferNs(const std::string &Device,
+                             uint64_t Bytes) const {
+  if (Hooks.TransferNs)
+    return Hooks.TransferNs(Device, Bytes);
+  if (!Bytes)
+    return 0.0;
+  if (Device == interpDeviceName())
+    return 0.0; // the interpreter reads host values in place
+  const ocl::DeviceModel &M = ocl::deviceByName(Device);
+  if (M.Kind == ocl::DeviceKind::Cpu)
+    // Fig. 9(a): a CPU OpenCL device shares host memory; "transfer"
+    // is a cache-speed copy with no bus latency.
+    return static_cast<double>(Bytes) / Params.CpuCopyGBs;
+  return Params.PciLatencyNs + Params.ApiCallOverheadNs +
+         static_cast<double>(Bytes) / Params.PciBandwidthGBs;
+}
+
+double Scheduler::computeNs(const PlacementRequest &Req,
+                            const std::string &Device) const {
+  if (Hooks.ComputeNs)
+    return Hooks.ComputeNs(Req.KernelId, Device, Req.Elems);
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = ComputeEwma.find({Req.KernelId, Device});
+    if (It != ComputeEwma.end())
+      return It->second * static_cast<double>(Req.Elems ? Req.Elems : 1);
+  }
+  double Elems = static_cast<double>(Req.Elems ? Req.Elems : 1);
+  if (Device == interpDeviceName())
+    return Elems * Params.InterpNsPerElem;
+  // Roofline-flavored prior: assume OpsPerElemPrior FP ops per source
+  // element over the device's peak SP throughput. Crude, but it only
+  // has to rank devices until the first observation lands in the EWMA.
+  const ocl::DeviceModel &M = ocl::deviceByName(Device);
+  double LanesGHz = static_cast<double>(M.NumSMs) *
+                    static_cast<double>(M.FpUnitsPerSM) * M.ClockGHz *
+                    (M.Kind == ocl::DeviceKind::Cpu ? M.SmtFactor : 1.0);
+  if (LanesGHz <= 0.0)
+    LanesGHz = 1.0;
+  return Elems * Params.OpsPerElemPrior / LanesGHz;
+}
+
+double Scheduler::queueNs(const WorkerCandidate &W) const {
+  if (!W.Backlog)
+    return 0.0;
+  double PerLaunch;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = ServiceEwma.find(W.Id);
+    PerLaunch = It == ServiceEwma.end() ? 0.0 : It->second;
+  }
+  if (PerLaunch <= 0.0)
+    // No history: charge one API call per queued request so a deep
+    // queue still loses ties against an idle worker.
+    PerLaunch = Params.ApiCallOverheadNs;
+  return PerLaunch * static_cast<double>(W.Backlog);
+}
+
+uint64_t Scheduler::nonResidentBytes(const PlacementRequest &Req,
+                                     unsigned WorkerId) const {
+  uint64_t Bytes = 0;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Residency.find(WorkerId);
+  for (const auto &[Id, Sz] : Req.ArgBuffers) {
+    if (Id && It != Residency.end() &&
+        It->second.find(Id) != It->second.end())
+      continue;
+    Bytes += Sz;
+  }
+  return Bytes;
+}
+
+PlacementDecision
+Scheduler::choose(const PlacementRequest &Req,
+                  const std::vector<WorkerCandidate> &Cands) const {
+  PlacementDecision Best;
+  for (size_t I = 0; I != Cands.size(); ++I) {
+    const WorkerCandidate &W = Cands[I];
+    if (W.NeedsProbe) {
+      // Probation overrides cost: a quarantined worker past its
+      // cooldown can only be re-admitted by receiving a trial.
+      Best.Index = static_cast<int>(I);
+      Best.ComputeNs = computeNs(Req, W.Device);
+      Best.TransferNs =
+          transferNs(W.Device, nonResidentBytes(Req, W.Id));
+      Best.QueueNs = queueNs(W);
+      Best.CostNs = Best.ComputeNs + Best.TransferNs + Best.QueueNs;
+      return Best;
+    }
+    double Compute = computeNs(Req, W.Device);
+    double Transfer = transferNs(W.Device, nonResidentBytes(Req, W.Id));
+    double Queue = queueNs(W);
+    double Cost = Compute + Transfer + Queue;
+    if (!W.HasInstance && !W.IsInterp)
+      Cost += Params.ColdBuildNs;
+    if (Best.Index < 0 || Cost < Best.CostNs) {
+      Best.Index = static_cast<int>(I);
+      Best.CostNs = Cost;
+      Best.ComputeNs = Compute;
+      Best.TransferNs = Transfer;
+      Best.QueueNs = Queue;
+    }
+  }
+  return Best;
+}
+
+bool Scheduler::shouldSteal(const PlacementRequest &Req,
+                            const WorkerCandidate &Victim, size_t QueueAhead,
+                            const WorkerCandidate &Thief,
+                            double *GainNs) const {
+  WorkerCandidate V = Victim;
+  V.Backlog = QueueAhead;
+  double StayNs = queueNs(V) + computeNs(Req, Victim.Device);
+  double MoveComputeNs = computeNs(Req, Thief.Device);
+  double MoveTransferNs =
+      transferNs(Thief.Device, nonResidentBytes(Req, Thief.Id));
+  if (!Thief.HasInstance && !Thief.IsInterp)
+    MoveTransferNs += Params.ColdBuildNs;
+  double Gain = (StayNs - MoveComputeNs) - MoveTransferNs;
+  if (GainNs)
+    *GainNs = Gain;
+  return Gain > 0.0;
+}
+
+void Scheduler::noteExecution(const std::string &KernelId,
+                              const std::string &Device, unsigned WorkerId,
+                              uint64_t Elems, double SimNs) {
+  if (SimNs < 0.0)
+    return;
+  double PerElem = SimNs / static_cast<double>(Elems ? Elems : 1);
+  std::lock_guard<std::mutex> Lock(Mu);
+  double &E = ComputeEwma[{KernelId, Device}];
+  E = E <= 0.0 ? PerElem : (1.0 - Params.Alpha) * E + Params.Alpha * PerElem;
+  double &S = ServiceEwma[WorkerId];
+  S = S <= 0.0 ? SimNs : (1.0 - Params.Alpha) * S + Params.Alpha * SimNs;
+}
+
+void Scheduler::noteResident(unsigned WorkerId, uint64_t BufferId,
+                             uint64_t Bytes) {
+  if (!BufferId)
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto &Map = Residency[WorkerId];
+  ResidentEntry &E = Map[BufferId];
+  E.Bytes = Bytes;
+  E.Tick = ++Tick;
+  while (Map.size() > Params.ResidencyCap) {
+    auto Victim = Map.begin();
+    for (auto It = Map.begin(); It != Map.end(); ++It)
+      if (It->second.Tick < Victim->second.Tick)
+        Victim = It;
+    Map.erase(Victim);
+  }
+}
+
+void Scheduler::dropResidency(unsigned WorkerId) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Residency.erase(WorkerId);
+}
+
+std::vector<std::pair<size_t, size_t>>
+Scheduler::shardRanges(size_t N, unsigned ShardCount) {
+  std::vector<std::pair<size_t, size_t>> Ranges;
+  if (!ShardCount)
+    return Ranges;
+  size_t K = std::min<size_t>(ShardCount, N ? N : 1);
+  size_t Base = N / K, Extra = N % K;
+  size_t At = 0;
+  for (size_t I = 0; I != K; ++I) {
+    size_t Len = Base + (I < Extra ? 1 : 0);
+    Ranges.emplace_back(At, At + Len);
+    At += Len;
+  }
+  assert(At == N && "shard ranges must cover the index space");
+  return Ranges;
+}
+
+Scheduler::Counters Scheduler::counters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}
+
+void Scheduler::countCostPlaced(bool OnInterp) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Stats.CostPlaced;
+  if (OnInterp)
+    ++Stats.InterpPlaced;
+}
+
+void Scheduler::countSteal(bool Refused) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Refused)
+    ++Stats.StealRefusals;
+  else
+    ++Stats.Steals;
+}

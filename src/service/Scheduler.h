@@ -1,0 +1,282 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data-aware placement layer between OffloadService::submit and
+/// the DevicePool (StarPU-style heterogeneous scheduling, see
+/// DESIGN.md §13). Every eligible worker — all registered GPU device
+/// models plus the CPU interpreter as a first-class peer device — is
+/// scored as
+///
+///   estimated compute   (per-device prior, refined by an observed
+///                        EWMA per kernel x device model)
+/// + transfer cost       (the paper's Fig. 9 communication model,
+///                        applied to argument bytes NOT already
+///                        resident on that worker)
+/// + queue wait          (effective per-client backlog x the worker's
+///                        observed per-request service time)
+///
+/// and the cheapest candidate wins. Residency per (buffer-id x
+/// worker) lives in the ResidencyMap, fed by the service after each
+/// successful launch, so repeated launches over the same frozen
+/// arrays prefer the device that already holds them. The same
+/// cost terms answer the work-stealing question (steal only when
+/// compute_gain > transfer_cost) and size the shard plan for
+/// splitting one large data-parallel map across several devices.
+///
+/// The scheduler holds no pool or service references: callers pass
+/// plain candidate/request structs, which is what makes the cost
+/// model mockable in unit tests (CostHooks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_SERVICE_SCHEDULER_H
+#define LIMECC_SERVICE_SCHEDULER_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lime::service {
+
+/// How the service places a submitted request.
+enum class SchedulerPolicy : uint8_t {
+  LeastLoaded, ///< pre-scheduler behavior: least-loaded worker of the
+               ///< request's own device model (the default)
+  CostModel,   ///< cost-model placement across every eligible worker
+  Shard,       ///< CostModel, plus large maps split across devices
+};
+
+const char *schedulerPolicyName(SchedulerPolicy P);
+/// Parses "least-loaded" | "cost" | "shard"; false on anything else.
+bool parseSchedulerPolicy(const std::string &Text, SchedulerPolicy &Out);
+
+/// Shard-policy knobs (SchedulerPolicy::Shard).
+struct ShardOptions {
+  /// Upper bound on shards per request; 0 = one per pool worker.
+  unsigned MaxShards = 0;
+  /// Minimum source elements per shard — below 2x this, a request
+  /// launches whole (splitting tiny maps only adds launch overhead).
+  size_t MinShardElems = 1024;
+  /// Halo exchange for stencil-shaped filters: the worker-parameter
+  /// index of the bound data array that the kernel indexes at
+  /// source-element positions, and the declared access radius around
+  /// each position. -1 = no halo argument (plain map). The radius is
+  /// trusted like an --assume fact; an understated radius makes a
+  /// shard's window too small, which the VM's bounds checks trap
+  /// loudly (never a silently wrong result — see DESIGN.md §13).
+  int HaloParam = -1;
+  unsigned HaloRadius = 0;
+};
+
+/// The consolidated per-request submit surface. PR-3/8 accreted
+/// ClientId/DeadlineMs directly onto OffloadRequest; new code sets
+/// this struct instead (the old fields remain as a one-release
+/// deprecation shim).
+struct SubmitOptions {
+  /// Tenant identity for quotas, fair queueing, and per-client stats.
+  /// "" is a valid anonymous client with its own share.
+  std::string ClientId;
+  /// Per-request deadline budget in ms; 0 uses the service config's
+  /// LaunchDeadlineMs.
+  double DeadlineMs = 0.0;
+  /// Placement policy for this request; unset inherits the service
+  /// config's default.
+  SchedulerPolicy Policy = SchedulerPolicy::LeastLoaded;
+  bool PolicySet = false;
+  /// Non-"" restricts cost-model placement to workers of this device
+  /// model when any is eligible (falls back to all candidates when
+  /// none is).
+  std::string PlacementHint;
+  /// Shard plan for this request; fields at defaults inherit the
+  /// service config's.
+  ShardOptions Shard;
+
+  SubmitOptions &withPolicy(SchedulerPolicy P) {
+    Policy = P;
+    PolicySet = true;
+    return *this;
+  }
+};
+
+/// Cost-model constants. Transfer prices are the paper's Fig. 9
+/// communication model (ClContext's PCIe parameters); compute priors
+/// are roofline-flavored fallbacks used until the per-(kernel x
+/// device) EWMA has observations.
+struct CostModelParams {
+  double PciBandwidthGBs = 6.0; // PCIe 2.0 x16 effective (Fig. 9)
+  double PciLatencyNs = 4000.0;
+  double ApiCallOverheadNs = 2500.0;
+  /// CPU-kind OpenCL devices share host memory (Fig. 9(a)): transfer
+  /// is a cache-speed copy, no PCIe latency.
+  double CpuCopyGBs = 12.0;
+  /// The interpreter peer reads host values in place: no transfer.
+  /// Its compute prior, per source element, until the EWMA learns.
+  double InterpNsPerElem = 25000.0;
+  /// Prior FP ops per source element for the device compute prior
+  /// (elems x OpsPerElem / (SMs x lanes x clock)).
+  double OpsPerElemPrior = 16.0;
+  /// Charge for a worker that has not yet built this kernel's program
+  /// (per-worker OpenCL build + JIT adoption).
+  double ColdBuildNs = 2.0e6;
+  /// EWMA smoothing for observed compute / service times.
+  double Alpha = 0.25;
+  /// Residency entries tracked per worker (mirrors the filter-level
+  /// per-slot cap; an over-estimate only mispredicts cost, never
+  /// correctness).
+  size_t ResidencyCap = 32;
+};
+
+/// Test seam: injectable cost terms. When set, they replace the
+/// corresponding model term so unit tests can shape placement and
+/// steal decisions exactly.
+struct CostHooks {
+  /// (kernel id, device model, source elems) -> estimated compute ns.
+  std::function<double(const std::string &, const std::string &, uint64_t)>
+      ComputeNs;
+  /// (device model, non-resident bytes) -> estimated transfer ns.
+  std::function<double(const std::string &, uint64_t)> TransferNs;
+};
+
+/// The device model name the CPU-interpreter peer worker runs under.
+/// Not a registry device: the pool hosts it like any worker, but the
+/// service executes its queue through the Lime interpreter.
+inline const char *interpDeviceName() { return "interp"; }
+
+/// One worker the scheduler may place on. Built by the service from
+/// the pool's candidate snapshot.
+struct WorkerCandidate {
+  unsigned Id = 0;
+  std::string Device; ///< model name, or interpDeviceName()
+  /// Effective backlog ahead of the submitting client on this worker
+  /// (DRR-aware, see DevicePool::candidates), plus in-flight work.
+  size_t Backlog = 0;
+  /// Worker already built this kernel's program (no cold-build owed).
+  bool HasInstance = false;
+  /// Quarantined worker past its cooldown: the pool's probation
+  /// contract says it must win the pick so it can be re-admitted.
+  bool NeedsProbe = false;
+  bool IsInterp = false;
+};
+
+/// Everything about one request the cost terms need.
+struct PlacementRequest {
+  /// Stable kernel identity for the EWMA tables (the service passes
+  /// the worker method's qualified name).
+  std::string KernelId;
+  /// Source elements driving the NDRange (0 when unknown).
+  uint64_t Elems = 0;
+  /// Argument arrays as (stable buffer id, wire bytes); id 0 means
+  /// no identity — always charged as a transfer.
+  std::vector<std::pair<uint64_t, uint64_t>> ArgBuffers;
+};
+
+struct PlacementDecision {
+  int Index = -1; ///< into the candidate vector; -1 = none eligible
+  double CostNs = 0.0;
+  double ComputeNs = 0.0;
+  double TransferNs = 0.0;
+  double QueueNs = 0.0;
+};
+
+class Scheduler {
+public:
+  explicit Scheduler(CostModelParams Params = CostModelParams(),
+                     CostHooks Hooks = CostHooks());
+
+  const CostModelParams &params() const { return Params; }
+
+  /// Scores every candidate and returns the cheapest (probation
+  /// candidates win unconditionally, preserving the pool's breaker
+  /// re-admission contract). Index -1 when Cands is empty.
+  PlacementDecision choose(const PlacementRequest &Req,
+                           const std::vector<WorkerCandidate> &Cands) const;
+
+  /// The steal verdict for moving \p Req (queued on \p Victim behind
+  /// \p QueueAhead requests) onto idle \p Thief: steal only when the
+  /// compute+wait saved exceeds the transfer the move costs, i.e.
+  ///   (queue wait on victim + compute on victim) - compute on thief
+  ///     > transfer to thief (non-resident bytes only).
+  /// \p GainNs, when given, receives the margin (positive = steal).
+  bool shouldSteal(const PlacementRequest &Req, const WorkerCandidate &Victim,
+                   size_t QueueAhead, const WorkerCandidate &Thief,
+                   double *GainNs = nullptr) const;
+
+  /// Feeds the per-(kernel x device) compute EWMA and the per-worker
+  /// service-time EWMA with one observed launch: \p SimNs of device
+  /// (or interpreter) time over \p Elems source elements.
+  void noteExecution(const std::string &KernelId, const std::string &Device,
+                     unsigned WorkerId, uint64_t Elems, double SimNs);
+
+  /// Records that \p WorkerId now holds a device copy of the array
+  /// identified by \p BufferId (\p Bytes wire bytes), LRU-bounded by
+  /// CostModelParams::ResidencyCap.
+  void noteResident(unsigned WorkerId, uint64_t BufferId, uint64_t Bytes);
+
+  /// Forgets one worker's residency (its filter instances were torn
+  /// down, or the worker was quarantined and its queue drained).
+  void dropResidency(unsigned WorkerId);
+
+  /// Bytes of \p Req's arguments NOT resident on \p WorkerId (what a
+  /// launch there would have to move).
+  uint64_t nonResidentBytes(const PlacementRequest &Req,
+                            unsigned WorkerId) const;
+
+  /// The compute term for \p Req on \p Device: the observed EWMA when
+  /// present, else the model prior (roofline for registry devices,
+  /// InterpNsPerElem for the interpreter peer).
+  double computeNs(const PlacementRequest &Req,
+                   const std::string &Device) const;
+
+  /// The Fig. 9 transfer term for moving \p Bytes to \p Device.
+  double transferNs(const std::string &Device, uint64_t Bytes) const;
+
+  /// Splits \p N source elements into \p ShardCount contiguous
+  /// [begin, end) ranges, first ranges one element longer when N does
+  /// not divide evenly. Deterministic — the stitch order contract.
+  static std::vector<std::pair<size_t, size_t>> shardRanges(size_t N,
+                                                            unsigned ShardCount);
+
+  /// Counters for the stats schema.
+  struct Counters {
+    uint64_t CostPlaced = 0;   ///< requests placed by the cost model
+    uint64_t InterpPlaced = 0; ///< of those, onto the interpreter peer
+    uint64_t Steals = 0;
+    uint64_t StealRefusals = 0; ///< transfer dominated; left on victim
+  };
+  Counters counters() const;
+  void countCostPlaced(bool OnInterp);
+  void countSteal(bool Refused);
+
+private:
+  double queueNs(const WorkerCandidate &W) const;
+
+  CostModelParams Params;
+  CostHooks Hooks;
+
+  mutable std::mutex Mu;
+  /// (kernel id, device model) -> EWMA of sim ns per source element.
+  std::map<std::pair<std::string, std::string>, double> ComputeEwma;
+  /// worker id -> EWMA of sim ns per launch (the queue-wait unit).
+  std::map<unsigned, double> ServiceEwma;
+  /// worker id -> LRU list of (buffer id -> bytes).
+  struct ResidentEntry {
+    uint64_t Bytes = 0;
+    uint64_t Tick = 0;
+  };
+  std::map<unsigned, std::map<uint64_t, ResidentEntry>> Residency;
+  uint64_t Tick = 0;
+  Counters Stats;
+};
+
+} // namespace lime::service
+
+#endif // LIMECC_SERVICE_SCHEDULER_H

@@ -1,0 +1,208 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/StatsJson.h"
+
+#include "service/OffloadService.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace lime::service {
+
+namespace {
+
+/// Minimal JSON string escaping: the only strings we emit are device
+/// models, client ids, and enum names, but a client id is caller
+/// input and may contain anything.
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// Emits `"key": value` pairs with bookkeeping for the separating
+/// comma, so adding a field to a section is a one-line change.
+class ObjectWriter {
+public:
+  ObjectWriter(std::ostringstream &OS, int Indent) : OS(OS), Indent(Indent) {}
+
+  void field(const char *Key, uint64_t V) { prefix(Key) << V; }
+  void field(const char *Key, double V) { prefix(Key) << V; }
+  void field(const char *Key, const std::string &V) {
+    prefix(Key) << '"' << jsonEscape(V) << '"';
+  }
+  /// Starts a nested value (object or array) the caller writes itself.
+  std::ostringstream &raw(const char *Key) { return prefix(Key); }
+
+private:
+  std::ostringstream &prefix(const char *Key) {
+    if (!First)
+      OS << ',';
+    First = false;
+    OS << '\n';
+    for (int I = 0; I != Indent; ++I)
+      OS << ' ';
+    OS << '"' << Key << "\": ";
+    return OS;
+  }
+
+  std::ostringstream &OS;
+  int Indent;
+  bool First = true;
+};
+
+} // namespace
+
+std::string renderServiceStatsJson(const OffloadServiceStats &S) {
+  std::ostringstream OS;
+  OS.precision(17); // doubles round-trip
+  OS << '{';
+  ObjectWriter Top(OS, 2);
+  Top.field("schema", std::string("limec-service-stats-v1"));
+
+  Top.raw("aggregate") << '{';
+  {
+    ObjectWriter A(OS, 4);
+    A.field("submitted", S.Submitted);
+    A.field("completed", S.Completed);
+    A.field("failed", S.Failed);
+    A.field("rejected", S.Rejected);
+    A.field("retried", S.Retried);
+    A.field("timed_out", S.TimedOut);
+    A.field("quarantined", S.Quarantined);
+    A.field("fell_back", S.FellBack);
+    A.field("quota_rejected", S.QuotaRejected);
+    A.field("queue_full_rejected", S.QueueFullRejected);
+    A.field("shed", S.Shed);
+    A.field("coalesced", S.Coalesced);
+    A.field("launches", S.launches());
+    A.field("batched_requests", S.batchedRequests());
+    A.field("coalesced_requests", S.coalescedRequests());
+  }
+  OS << "\n  }";
+
+  Top.raw("scheduler") << '{';
+  {
+    ObjectWriter Sc(OS, 4);
+    Sc.field("policy", std::string(schedulerPolicyName(S.Policy)));
+    Sc.field("cost_placed", S.Sched.CostPlaced);
+    Sc.field("interp_placed", S.Sched.InterpPlaced);
+    Sc.field("steals", S.Sched.Steals);
+    Sc.field("steal_refusals", S.Sched.StealRefusals);
+    Sc.field("sharded_parents", S.ShardedParents);
+    Sc.field("shard_launches", S.ShardLaunches);
+    Sc.field("resident_hits", S.Device.ResidentHits);
+    Sc.field("resident_bytes_skipped", S.Device.ResidentBytesSkipped);
+  }
+  OS << "\n  }";
+
+  Top.raw("cache") << '{';
+  {
+    ObjectWriter C(OS, 4);
+    C.field("hits", S.Cache.Hits);
+    C.field("misses", S.Cache.Misses);
+    C.field("evictions", S.Cache.Evictions);
+    C.field("disk_hits", S.Cache.DiskHits);
+    C.field("entries", static_cast<uint64_t>(S.Cache.Entries));
+    C.field("hit_rate", S.Cache.hitRate());
+  }
+  OS << "\n  }";
+
+  Top.raw("device_time") << '{';
+  {
+    ObjectWriter D(OS, 4);
+    D.field("marshal_java_ns", S.Device.Marshal.JavaNs);
+    D.field("marshal_native_ns", S.Device.Marshal.NativeNs);
+    D.field("marshal_bytes", S.Device.Marshal.Bytes);
+    D.field("api_ns", S.Device.ApiNs);
+    D.field("pcie_ns", S.Device.PcieNs);
+    D.field("kernel_ns", S.Device.KernelNs);
+    D.field("comm_ns", S.Device.commNs());
+    D.field("total_ns", S.Device.totalNs());
+    D.field("invocations", S.Device.Invocations);
+  }
+  OS << "\n  }";
+
+  Top.raw("workers") << '[';
+  for (size_t I = 0; I != S.Devices.size(); ++I) {
+    const DeviceStatsSnapshot &W = S.Devices[I];
+    OS << (I ? ",\n    {" : "\n    {");
+    ObjectWriter R(OS, 6);
+    R.field("id", static_cast<uint64_t>(W.Id));
+    R.field("device", W.DeviceName);
+    R.field("executed", W.Executed);
+    R.field("launches", W.Launches);
+    R.field("batched_requests", W.BatchedRequests);
+    R.field("coalesced_requests", W.CoalescedRequests);
+    R.field("queue_depth", static_cast<uint64_t>(W.QueueDepth));
+    R.field("queue_high_water", static_cast<uint64_t>(W.QueueHighWater));
+    R.field("active_clients", static_cast<uint64_t>(W.ActiveClients));
+    R.field("sim_busy_ns", W.SimBusyNs);
+    R.field("failures", W.Failures);
+    R.field("consecutive_failures",
+            static_cast<uint64_t>(W.ConsecutiveFailures));
+    R.field("times_quarantined", W.TimesQuarantined);
+    R.field("breaker", std::string(breakerStateName(W.Breaker)));
+    OS << "\n    }";
+  }
+  OS << (S.Devices.empty() ? "]" : "\n  ]");
+
+  Top.raw("clients") << '[';
+  for (size_t I = 0; I != S.Clients.size(); ++I) {
+    const ClientStatsSnapshot &C = S.Clients[I];
+    OS << (I ? ",\n    {" : "\n    {");
+    ObjectWriter R(OS, 6);
+    R.field("client", C.Client);
+    R.field("submitted", C.Submitted);
+    R.field("completed", C.Completed);
+    R.field("failed", C.Failed);
+    R.field("rejected", C.Rejected);
+    R.field("quota_rejected", C.QuotaRejected);
+    R.field("queue_full_rejected", C.QueueFullRejected);
+    R.field("shed", C.Shed);
+    R.field("timed_out", C.TimedOut);
+    R.field("coalesced", C.Coalesced);
+    R.field("retried", C.Retried);
+    R.field("fell_back", C.FellBack);
+    OS << "\n    }";
+  }
+  OS << (S.Clients.empty() ? "]" : "\n  ]");
+
+  OS << "\n}\n";
+  return OS.str();
+}
+
+} // namespace lime::service

@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable rendering of an OffloadServiceStats snapshot.
+///
+/// The output is a single JSON object carrying a `schema` marker
+/// ("limec-service-stats-v1"). The schema is a compatibility contract:
+/// keys are only ever added, never renamed or removed, within one
+/// version — CI golden-diffs the key set against
+/// tests/golden/service-stats-keys.txt so an accidental rename fails
+/// the build instead of silently breaking downstream scrapers.
+/// Values are intentionally NOT golden-diffed (timings and queue
+/// depths vary run to run); only the shape is pinned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMECC_SERVICE_STATSJSON_H
+#define LIMECC_SERVICE_STATSJSON_H
+
+#include <string>
+
+namespace lime::service {
+
+struct OffloadServiceStats;
+
+/// Renders \p S as a `limec-service-stats-v1` JSON document
+/// (pretty-printed, trailing newline), suitable for
+/// `limec --stats-format=json`.
+std::string renderServiceStatsJson(const OffloadServiceStats &S);
+
+} // namespace lime::service
+
+#endif // LIMECC_SERVICE_STATSJSON_H

@@ -147,7 +147,23 @@ const char *lime::driver::usageText() {
       "                      or also shed deadline-infeasible requests\n"
       "  --coalesce-window N collapse up to N bit-identical queued\n"
       "                      requests into one launch (default 16;\n"
-      "                      1 disables)\n";
+      "                      1 disables)\n"
+      "scheduling (service mode only; see DESIGN.md §13):\n"
+      "  --sched-policy <least-loaded|cost|shard>\n"
+      "                      placement: pick the shortest queue\n"
+      "                      (default), minimize estimated compute +\n"
+      "                      transfer + wait via the cost model, or\n"
+      "                      also split large maps across devices\n"
+      "  --cpu-peer          add the interpreter as a schedulable\n"
+      "                      peer the cost model may place work on\n"
+      "  --work-stealing     let idle workers steal queued requests\n"
+      "                      when the cost model approves the move\n"
+      "  --max-shards N      cap shards per request under --sched-policy\n"
+      "                      shard (default: one per pool worker)\n"
+      "  --stats-format <text|json>\n"
+      "                      service-stats dump after --run: the\n"
+      "                      human-readable block (default) or the\n"
+      "                      limec-service-stats-v1 JSON document\n";
 }
 
 namespace {
@@ -454,6 +470,44 @@ ParseResult lime::driver::parseDriverOptions(int argc, char **argv,
           static_cast<unsigned>(std::atoi(N));
       if (Out.FirstPolicyFlag.empty())
         Out.FirstPolicyFlag = Arg;
+    } else if (Arg == "--sched-policy") {
+      const char *P = Next();
+      if (!P || !service::parseSchedulerPolicy(P, Out.ServicePolicy.Policy))
+        return fail("limec: --sched-policy must be least-loaded, cost, or "
+                    "shard" +
+                        (P ? ", got '" + std::string(P) + "'"
+                           : std::string()),
+                    !P);
+      if (Out.FirstPolicyFlag.empty())
+        Out.FirstPolicyFlag = Arg;
+    } else if (Arg == "--cpu-peer") {
+      Out.ServicePolicy.CpuPeer = true;
+      if (Out.FirstPolicyFlag.empty())
+        Out.FirstPolicyFlag = Arg;
+    } else if (Arg == "--work-stealing") {
+      Out.ServicePolicy.WorkStealing = true;
+      if (Out.FirstPolicyFlag.empty())
+        Out.FirstPolicyFlag = Arg;
+    } else if (Arg == "--max-shards") {
+      const char *N = Next();
+      if (!N || std::atoi(N) <= 0)
+        return fail("limec: --max-shards needs a count > 0", true);
+      Out.ServicePolicy.Shard.MaxShards = static_cast<unsigned>(std::atoi(N));
+      if (Out.FirstPolicyFlag.empty())
+        Out.FirstPolicyFlag = Arg;
+    } else if (Arg == "--stats-format") {
+      const char *F = Next();
+      if (!F)
+        return fail("limec: --stats-format needs text or json", true);
+      if (std::strcmp(F, "text") == 0)
+        Out.StatsFmt = StatsFormat::Text;
+      else if (std::strcmp(F, "json") == 0)
+        Out.StatsFmt = StatsFormat::Json;
+      else
+        return fail("limec: --stats-format must be text or json, got '" +
+                        std::string(F) + "'",
+                    false);
+      Out.StatsFormatSet = true;
     } else if (Arg[0] == '-') {
       return fail("limec: unknown option '" + Arg + "'", true);
     } else {
@@ -513,6 +567,20 @@ ParseResult lime::driver::validateDriverOptions(const DriverOptions &O) {
   if (!O.FirstPolicyFlag.empty() && O.ServiceThreads == 0)
     return fail("limec: " + O.FirstPolicyFlag +
                     " is a service-mode flag; add --service-threads N",
+                false);
+  if (O.StatsFormatSet && O.ServiceThreads == 0)
+    return fail("limec: --stats-format applies to the service-stats dump; "
+                "add --service-threads N",
+                false);
+  if (O.ServicePolicy.CpuPeer &&
+      O.ServicePolicy.Policy == service::SchedulerPolicy::LeastLoaded)
+    return fail("limec: --cpu-peer needs a cost-aware placement policy "
+                "(--sched-policy cost or shard)",
+                false);
+  if (O.ServicePolicy.WorkStealing &&
+      O.ServicePolicy.Policy == service::SchedulerPolicy::LeastLoaded)
+    return fail("limec: --work-stealing needs a cost-aware placement policy "
+                "(--sched-policy cost or shard)",
                 false);
   if (O.AnalyzeStrict && !IsAnalyze)
     return fail("limec: --analyze-strict only applies to --analyze and "

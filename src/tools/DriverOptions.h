@@ -54,6 +54,12 @@ enum class FindingsFormat : uint8_t {
   Json, // the limec-findings-v1 document (docs/findings-schema.md)
 };
 
+/// How the service-stats dump after --run is presented.
+enum class StatsFormat : uint8_t {
+  Text, // the human-readable "offload service:" block
+  Json, // the limec-service-stats-v1 document (src/service/StatsJson.h)
+};
+
 /// Everything the limec invocation specified, defaults applied.
 struct DriverOptions {
   Command Cmd = Command::Check;
@@ -90,7 +96,14 @@ struct DriverOptions {
 
   int ServiceThreads = 0;
   std::string KernelCacheDir;
+  /// Every service policy knob lands here — scheduling included — so
+  /// the service sees one coherent config. Scheduling flags
+  /// (--sched-policy, --cpu-peer, --work-stealing, --max-shards) fill
+  /// Policy/CpuPeer/WorkStealing/Shard and share the FirstPolicyFlag
+  /// conflict diagnostic with the fault-tolerance flags.
   service::ServiceConfig ServicePolicy;
+  StatsFormat StatsFmt = StatsFormat::Text;
+  bool StatsFormatSet = false; // --stats-format appeared
   /// First fault-tolerance flag seen (for the conflict diagnostic
   /// when no service mode was requested); empty when none appeared.
   std::string FirstPolicyFlag;
@@ -126,6 +139,8 @@ ParseResult parseDriverOptions(int argc, char **argv, DriverOptions &Out);
 ///   - --bc-analyze outside the analyze commands
 ///   - --bc-verdicts without --bc-analyze
 ///   - --no-bc-proofs outside the kernel-executing commands
+///   - --stats-format outside service mode
+///   - --cpu-peer / --work-stealing without a cost-aware --sched-policy
 ParseResult validateDriverOptions(const DriverOptions &O);
 
 /// The full usage text (shared by --help and error paths).

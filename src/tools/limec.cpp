@@ -43,6 +43,7 @@
 #include "runtime/AutoTuner.h"
 #include "runtime/TaskGraph.h"
 #include "service/OffloadService.h"
+#include "service/StatsJson.h"
 #include "support/Random.h"
 #include "tools/DriverOptions.h"
 #include "workloads/Workloads.h"
@@ -573,7 +574,7 @@ int main(int argc, char **argv) {
         Req.Worker = Worker;
         Req.Args = Args;
         Req.Config = OC;
-        Req.ClientId = "cli";
+        Req.Options.ClientId = "cli";
         Out = Service->invoke(std::move(Req));
         return true;
       };
@@ -598,7 +599,11 @@ int main(int argc, char **argv) {
         std::printf("  %-26s host:   %.3f ms\n", N.Name.c_str(),
                     N.HostNs / 1e6);
     }
-    if (Service) {
+    if (Service && O.StatsFmt == driver::StatsFormat::Json) {
+      Service->waitIdle();
+      service::OffloadServiceStats S = Service->stats();
+      std::fputs(service::renderServiceStatsJson(S).c_str(), stdout);
+    } else if (Service) {
       Service->waitIdle();
       service::OffloadServiceStats S = Service->stats();
       std::printf("offload service: %llu submitted, %llu completed, "
@@ -625,6 +630,17 @@ int main(int argc, char **argv) {
                     static_cast<unsigned long long>(S.FellBack),
                     static_cast<unsigned long long>(S.Failed),
                     static_cast<unsigned long long>(S.Rejected));
+      if (S.Sched.CostPlaced || S.Sched.Steals || S.ShardedParents)
+        std::printf("  scheduler (%s): %llu cost-placed (%llu on the "
+                    "interpreter peer), %llu steals (%llu refused), "
+                    "%llu requests sharded into %llu launches\n",
+                    service::schedulerPolicyName(S.Policy),
+                    static_cast<unsigned long long>(S.Sched.CostPlaced),
+                    static_cast<unsigned long long>(S.Sched.InterpPlaced),
+                    static_cast<unsigned long long>(S.Sched.Steals),
+                    static_cast<unsigned long long>(S.Sched.StealRefusals),
+                    static_cast<unsigned long long>(S.ShardedParents),
+                    static_cast<unsigned long long>(S.ShardLaunches));
       std::printf("  kernel cache: %llu hits / %llu misses (%.0f%% hit "
                   "rate), %llu disk hits, %zu entries\n",
                   static_cast<unsigned long long>(S.Cache.Hits),

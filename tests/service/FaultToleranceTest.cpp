@@ -570,4 +570,42 @@ TEST(FaultTolerance, OverloadFaultMatrixResolvesEveryRequestTyped) {
   EXPECT_EQ(ClientSubmitted, S.Submitted);
 }
 
+TEST(FaultTolerance, ShardWorkerDeathRequeuesWithoutDisturbingSiblings) {
+  FtFixture F;
+  ASSERT_COMPILES(F.CP);
+  FaultGuard FG;
+  RtValue X = makeFloatArray(F.types(), 2048, 1.25f);
+
+  rt::OffloadedFilter Direct(F.CP.Prog, F.types(), F.Squares,
+                             rt::OffloadConfig());
+  ASSERT_TRUE(Direct.ok());
+  ExecResult Expected = Direct.invoke({X});
+  ASSERT_TRUE(Expected.ok());
+
+  // Split across two workers, then kill every launch on worker 0:
+  // its shard must retry / re-route without disturbing its sibling,
+  // and the stitched parent must still match the direct path.
+  ServiceConfig SC = testPolicy();
+  SC.Devices = {"gtx580", "gtx580"};
+  SC.Policy = SchedulerPolicy::Shard;
+  SC.Shard.MaxShards = 2;
+  SC.Shard.MinShardElems = 64;
+  FaultInjector::instance().setPermanent("w0:gtx580", FaultKind::LaunchFail,
+                                         true);
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+  ASSERT_TRUE(Svc.ok()) << Svc.configError();
+
+  ExecResult R = Svc.invoke(makeRequest(F.Squares, {X}));
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_TRUE(R.Value.equals(Expected.Value));
+
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.ShardedParents, 1u);
+  EXPECT_EQ(S.ShardLaunches, 2u);
+  EXPECT_GE(S.Retried, 1u); // the dead worker's shard moved
+  EXPECT_EQ(S.Failed, 0u);
+  EXPECT_GT(FaultInjector::instance().firedCount(FaultKind::LaunchFail), 0u);
+}
+
 } // namespace

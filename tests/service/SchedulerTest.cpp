@@ -1,0 +1,618 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of limecc, a C++ reproduction of the Lime GPU compiler (PLDI 2012).
+// Distributed under the MIT license; see LICENSE for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data-aware scheduler (DESIGN.md §13): cost-model placement
+/// with mocked cost hooks, residency steering, the steal verdict,
+/// shard-range arithmetic, and end-to-end service runs under the
+/// CostModel / Shard policies — sharded and halo-sharded results must
+/// be bit-identical to the direct rt::OffloadedFilter path, the
+/// interpreter peer must win placement when the hooks say so, and
+/// work stealing must move work (and refuse to, when transfer
+/// dominates) under load.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "runtime/Offload.h"
+#include "service/DevicePool.h"
+#include "service/OffloadService.h"
+#include "service/Scheduler.h"
+#include "service/StatsJson.h"
+#include "support/FaultInjection.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+
+using namespace lime;
+using namespace lime::service;
+using namespace lime::test;
+
+namespace {
+
+const char *SchedSource = R"(
+  class Sch {
+    static local float sq(float x) { return x * x; }
+    static local float[[]] squares(float[[]] xs) { return sq @ xs; }
+
+    static local float blur(int i, float[[]] data) {
+      return 0.25f * data[i - 1] + 0.5f * data[i] + 0.25f * data[i + 1];
+    }
+    static local float[[]] blurAll(int[[]] idx, float[[]] data) {
+      return blur(data) @ idx;
+    }
+  }
+)";
+
+RtValue makeFloatArray(TypeContext &Types, size_t N, float Seed) {
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = Types.floatType();
+  Arr->Immutable = true;
+  for (size_t I = 0; I != N; ++I)
+    Arr->Elems.push_back(
+        RtValue::makeFloat(Seed + 0.375f * static_cast<float>(I % 89)));
+  return RtValue::makeArray(std::move(Arr));
+}
+
+RtValue makeIndexArray(TypeContext &Types, size_t N, int32_t First) {
+  auto Arr = std::make_shared<RtArray>();
+  Arr->ElementType = Types.intType();
+  Arr->Immutable = true;
+  for (size_t I = 0; I != N; ++I)
+    Arr->Elems.push_back(RtValue::makeInt(First + static_cast<int32_t>(I)));
+  return RtValue::makeArray(std::move(Arr));
+}
+
+struct SchedFixture {
+  CompiledProgram CP;
+  MethodDecl *Squares = nullptr;
+  MethodDecl *BlurAll = nullptr;
+
+  SchedFixture() : CP(compileLime(SchedSource)) {
+    if (!CP.Ok)
+      return;
+    ClassDecl *C = CP.Prog->findClass("Sch");
+    Squares = C->findMethod("squares");
+    BlurAll = C->findMethod("blurAll");
+  }
+  TypeContext &types() { return CP.Ctx->types(); }
+};
+
+OffloadRequest makeRequest(MethodDecl *W, std::vector<RtValue> Args) {
+  OffloadRequest R;
+  R.Worker = W;
+  R.Args = std::move(Args);
+  return R;
+}
+
+WorkerCandidate device(unsigned Id, const std::string &Model,
+                       size_t Backlog = 0, bool HasInstance = true) {
+  WorkerCandidate C;
+  C.Id = Id;
+  C.Device = Model;
+  C.Backlog = Backlog;
+  C.HasInstance = HasInstance;
+  return C;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Scheduler unit tests (mocked cost model)
+//===----------------------------------------------------------------------===//
+
+TEST(Scheduler, ChoosesMinimumCostUnderMockedHooks) {
+  CostHooks Hooks;
+  Hooks.ComputeNs = [](const std::string &, const std::string &Model,
+                       uint64_t) {
+    return Model == "gtx8800" ? 10.0 : 100.0;
+  };
+  Hooks.TransferNs = [](const std::string &, uint64_t) { return 0.0; };
+  Scheduler S(CostModelParams(), Hooks);
+
+  PlacementRequest Req;
+  Req.KernelId = "Sch.squares";
+  Req.Elems = 1024;
+  std::vector<WorkerCandidate> Cands = {device(0, "gtx580"),
+                                        device(1, "gtx8800")};
+  PlacementDecision D = S.choose(Req, Cands);
+  EXPECT_EQ(D.Index, 1);
+  EXPECT_DOUBLE_EQ(D.ComputeNs, 10.0);
+
+  // Backlog flips the choice once the queue term dominates (the
+  // decision reports the *winner's* terms, whose queue is empty).
+  Cands[1].Backlog = 1000;
+  D = S.choose(Req, Cands);
+  EXPECT_EQ(D.Index, 0);
+  EXPECT_DOUBLE_EQ(D.QueueNs, 0.0);
+}
+
+TEST(Scheduler, ProbationCandidateWinsUnconditionally) {
+  CostHooks Hooks;
+  Hooks.ComputeNs = [](const std::string &, const std::string &, uint64_t) {
+    return 1.0e12; // everything else free by comparison
+  };
+  Scheduler S(CostModelParams(), Hooks);
+  std::vector<WorkerCandidate> Cands = {device(0, "gtx580"),
+                                        device(1, "gtx580")};
+  Cands[1].NeedsProbe = true;
+  PlacementDecision D = S.choose(PlacementRequest(), Cands);
+  EXPECT_EQ(D.Index, 1); // breaker re-admission contract
+}
+
+TEST(Scheduler, ResidencySteersPlacement) {
+  Scheduler S; // real transfer model, no hooks
+  PlacementRequest Req;
+  Req.KernelId = "k";
+  Req.Elems = 1 << 18;
+  Req.ArgBuffers = {{42, 1u << 20}}; // 1 MiB behind stable buffer 42
+
+  std::vector<WorkerCandidate> Cands = {device(0, "gtx580"),
+                                        device(1, "gtx580")};
+  EXPECT_EQ(S.nonResidentBytes(Req, 0), 1u << 20);
+
+  S.noteResident(1, 42, 1u << 20);
+  EXPECT_EQ(S.nonResidentBytes(Req, 1), 0u);
+  PlacementDecision D = S.choose(Req, Cands);
+  EXPECT_EQ(D.Index, 1); // the resident copy saves the whole transfer
+  EXPECT_DOUBLE_EQ(D.TransferNs, 0.0);
+
+  S.dropResidency(1);
+  EXPECT_EQ(S.nonResidentBytes(Req, 1), 1u << 20);
+}
+
+TEST(Scheduler, ResidencyIsLruBounded) {
+  CostModelParams P;
+  P.ResidencyCap = 2;
+  Scheduler S(P);
+  PlacementRequest Req;
+  Req.ArgBuffers = {{1, 100}};
+  S.noteResident(0, 1, 100);
+  S.noteResident(0, 2, 100);
+  S.noteResident(0, 3, 100); // evicts buffer 1 (oldest)
+  EXPECT_EQ(S.nonResidentBytes(Req, 0), 100u);
+  Req.ArgBuffers = {{3, 100}};
+  EXPECT_EQ(S.nonResidentBytes(Req, 0), 0u);
+}
+
+TEST(Scheduler, StealVerdictComparesGainAgainstTransfer) {
+  CostHooks Cheap;
+  Cheap.ComputeNs = [](const std::string &, const std::string &, uint64_t) {
+    return 0.0;
+  };
+  Cheap.TransferNs = [](const std::string &, uint64_t) { return 0.0; };
+  Scheduler S(CostModelParams(), Cheap);
+
+  PlacementRequest Req;
+  Req.KernelId = "k";
+  WorkerCandidate Victim = device(0, "gtx580");
+  WorkerCandidate Thief = device(1, "gtx580");
+
+  // Five requests queued ahead, free move: the wait saved is pure gain.
+  double Gain = 0.0;
+  EXPECT_TRUE(S.shouldSteal(Req, Victim, 5, Thief, &Gain));
+  EXPECT_GT(Gain, 0.0);
+
+  // Same queue, but the move would ship data the victim already has.
+  CostHooks Expensive = Cheap;
+  Expensive.TransferNs = [](const std::string &, uint64_t) { return 1.0e12; };
+  Scheduler S2(CostModelParams(), Expensive);
+  EXPECT_FALSE(S2.shouldSteal(Req, Victim, 5, Thief, &Gain));
+  EXPECT_LT(Gain, 0.0);
+}
+
+TEST(Scheduler, ShardRangesCoverContiguously) {
+  auto Ranges = Scheduler::shardRanges(10, 4);
+  ASSERT_EQ(Ranges.size(), 4u);
+  EXPECT_EQ(Ranges[0], (std::pair<size_t, size_t>{0, 3}));
+  EXPECT_EQ(Ranges[1], (std::pair<size_t, size_t>{3, 6}));
+  EXPECT_EQ(Ranges[2], (std::pair<size_t, size_t>{6, 8}));
+  EXPECT_EQ(Ranges[3], (std::pair<size_t, size_t>{8, 10}));
+
+  // More shards than elements: clamps to one element per shard.
+  Ranges = Scheduler::shardRanges(3, 8);
+  ASSERT_EQ(Ranges.size(), 3u);
+  size_t Covered = 0;
+  for (auto &[B, E] : Ranges)
+    Covered += E - B;
+  EXPECT_EQ(Covered, 3u);
+}
+
+TEST(Scheduler, ComputeEwmaLearnsFromObservations) {
+  Scheduler S;
+  PlacementRequest Req;
+  Req.KernelId = "k";
+  Req.Elems = 1000;
+  double Prior = S.computeNs(Req, "gtx580");
+  // Observed: 2 ns per element over 1000 elements.
+  S.noteExecution("k", "gtx580", 0, 1000, 2000.0);
+  EXPECT_NE(S.computeNs(Req, "gtx580"), Prior);
+  // Repeated identical observations converge onto 2 ns/elem.
+  for (int I = 0; I != 50; ++I)
+    S.noteExecution("k", "gtx580", 0, 1000, 2000.0);
+  EXPECT_NEAR(S.computeNs(Req, "gtx580"), 2000.0, 200.0);
+}
+
+//===----------------------------------------------------------------------===//
+// DevicePool: affinity vs fairness, steal mechanics
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A pool whose executor blocks until released, so queue depths are
+/// under test control.
+struct GatedPool {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Released = false;
+  std::atomic<int> Entered{0};
+  std::unique_ptr<DevicePool> Pool;
+
+  explicit GatedPool(std::vector<std::string> Names,
+                     PoolConfig PC = PoolConfig()) {
+    Pool = std::make_unique<DevicePool>(
+        std::move(Names), std::move(PC),
+        [this](std::vector<PendingInvoke> &, unsigned) {
+          ++Entered;
+          std::unique_lock<std::mutex> L(Mu);
+          Cv.wait(L, [this] { return Released; });
+          return 0.0;
+        });
+  }
+  ~GatedPool() {
+    release();
+    Pool.reset();
+  }
+  void release() {
+    std::lock_guard<std::mutex> L(Mu);
+    Released = true;
+    Cv.notify_all();
+  }
+  void enqueue(unsigned Id, const std::string &Client) {
+    PendingInvoke Inv;
+    Inv.ClientId = Client;
+    ASSERT_EQ(Pool->submitTo(Id, Inv, /*Force=*/true),
+              DevicePool::SubmitOutcome::Accepted);
+  }
+  void awaitDepth(unsigned Id, size_t Depth) {
+    for (int I = 0; I != 2000; ++I) {
+      for (const DeviceStatsSnapshot &W : Pool->stats())
+        if (W.Id == Id && W.QueueDepth == Depth)
+          return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    FAIL() << "worker " << Id << " never reached depth " << Depth;
+  }
+  /// Waits until \p N batches are blocked inside the executor, so
+  /// "queued" vs "in flight" splits are deterministic.
+  void awaitEntered(int N) {
+    for (int I = 0; I != 2000 && Entered.load() < N; ++I)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_GE(Entered.load(), N);
+  }
+};
+
+} // namespace
+
+TEST(DevicePoolScheduling, AffinityCannotDefeatClientFairness) {
+  GatedPool G({"gtx580", "gtx580"});
+  // Client "a" has 7 requests on worker 0 (1 in flight + 6 queued);
+  // client "b" has 5 on worker 1 (1 in flight + 4 queued).
+  for (int I = 0; I != 7; ++I)
+    G.enqueue(0, "a");
+  for (int I = 0; I != 5; ++I)
+    G.enqueue(1, "b");
+  G.awaitDepth(0, 7);
+  G.awaitDepth(1, 5);
+
+  // Total-depth comparison (legacy, client-blind): worker 0's depth 7
+  // is within AffinityBias=4 of worker 1's 5, so affinity holds.
+  int Legacy = G.Pool->pickWorker("gtx580", /*Preferred=*/{0}, 4);
+  EXPECT_EQ(Legacy, 0);
+
+  // Client "a"'s *effective* backlog: 7 ahead of it on worker 0, but
+  // only ~2 on worker 1 (one in flight + its DRR share past "b"'s
+  // queue). The gap exceeds the bias, so affinity must yield — "b"'s
+  // burst no longer hides behind the instance-affinity preference.
+  std::string ClientA = "a";
+  int Fair = G.Pool->pickWorker("gtx580", /*Preferred=*/{0}, 4, {}, true,
+                                &ClientA);
+  EXPECT_EQ(Fair, 1);
+  G.release();
+}
+
+TEST(DevicePoolScheduling, StealOneTakesTailAboveMinDepth) {
+  GatedPool G({"gtx580", "gtx580"});
+  for (int I = 0; I != 4; ++I)
+    G.enqueue(0, "a"); // 1 in flight + 3 queued
+  G.awaitDepth(0, 4);
+  G.awaitEntered(1);
+
+  PendingInvoke Stolen;
+  EXPECT_TRUE(G.Pool->stealOne(0, 2, Stolen));
+  EXPECT_EQ(Stolen.ClientId, "a");
+  // Depth 2 remains queued; MinDepth 2 still allows one more steal,
+  // then the last queued request is protected.
+  EXPECT_TRUE(G.Pool->stealOne(0, 2, Stolen));
+  EXPECT_FALSE(G.Pool->stealOne(0, 2, Stolen));
+  G.release();
+}
+
+//===----------------------------------------------------------------------===//
+// Service end-to-end under the new policies
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ServiceConfig costPolicy(std::vector<std::string> Devices) {
+  ServiceConfig SC;
+  SC.Devices = std::move(Devices);
+  SC.Policy = SchedulerPolicy::CostModel;
+  return SC;
+}
+
+ExecResult directResult(SchedFixture &F, MethodDecl *W,
+                        std::vector<RtValue> Args) {
+  rt::OffloadedFilter Direct(F.CP.Prog, F.types(), W, rt::OffloadConfig());
+  EXPECT_TRUE(Direct.ok()) << Direct.error();
+  ExecResult R = Direct.invoke(std::move(Args));
+  EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  return R;
+}
+
+} // namespace
+
+TEST(SchedulerService, CostModelPlacementMatchesDirectPath) {
+  SchedFixture F;
+  ASSERT_COMPILES(F.CP);
+  RtValue X = makeFloatArray(F.types(), 512, 1.0f);
+  ExecResult Expected = directResult(F, F.Squares, {X});
+
+  OffloadService Svc(F.CP.Prog, F.types(),
+                     costPolicy({"gtx580", "gtx8800"}));
+  ASSERT_TRUE(Svc.ok()) << Svc.configError();
+  ExecResult R = Svc.invoke(makeRequest(F.Squares, {X}));
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_TRUE(R.Value.equals(Expected.Value));
+
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Sched.CostPlaced, 1u);
+  EXPECT_EQ(S.Policy, SchedulerPolicy::CostModel);
+}
+
+TEST(SchedulerService, InterpPeerWinsWhenHooksFavorIt) {
+  SchedFixture F;
+  ASSERT_COMPILES(F.CP);
+  RtValue X = makeFloatArray(F.types(), 64, 2.0f);
+  ExecResult Expected = directResult(F, F.Squares, {X});
+
+  ServiceConfig SC = costPolicy({"gtx580"});
+  SC.CpuPeer = true;
+  SC.Hooks.ComputeNs = [](const std::string &, const std::string &Model,
+                          uint64_t) {
+    return Model == interpDeviceName() ? 1.0 : 1.0e12;
+  };
+  SC.Hooks.TransferNs = [](const std::string &, uint64_t) { return 0.0; };
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+  ASSERT_TRUE(Svc.ok()) << Svc.configError();
+
+  ExecResult R = Svc.invoke(makeRequest(F.Squares, {X}));
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  // The interpreter is the reference semantics: bit-identical.
+  EXPECT_TRUE(R.Value.equals(Expected.Value));
+
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_GE(S.Sched.InterpPlaced, 1u);
+}
+
+TEST(SchedulerService, ShardedMapBitIdenticalAcrossWidths) {
+  SchedFixture F;
+  ASSERT_COMPILES(F.CP);
+  RtValue X = makeFloatArray(F.types(), 4096, 0.5f);
+  ExecResult Expected = directResult(F, F.Squares, {X});
+
+  for (unsigned Shards : {1u, 2u, 4u}) {
+    ServiceConfig SC = costPolicy({"gtx580", "gtx580", "gtx580", "gtx580"});
+    SC.Policy = SchedulerPolicy::Shard;
+    SC.Shard.MaxShards = Shards;
+    SC.Shard.MinShardElems = 64;
+    OffloadService Svc(F.CP.Prog, F.types(), SC);
+    ASSERT_TRUE(Svc.ok()) << Svc.configError();
+
+    ExecResult R = Svc.invoke(makeRequest(F.Squares, {X}));
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    EXPECT_TRUE(R.Value.equals(Expected.Value))
+        << "shard width " << Shards << " changed the bits";
+
+    Svc.waitIdle();
+    OffloadServiceStats S = Svc.stats();
+    if (Shards >= 2) {
+      EXPECT_EQ(S.ShardedParents, 1u) << "width " << Shards;
+      EXPECT_EQ(S.ShardLaunches, static_cast<uint64_t>(Shards));
+    } else {
+      // A 1-way "split" is not a split: launches whole.
+      EXPECT_EQ(S.ShardedParents, 0u);
+    }
+  }
+}
+
+TEST(SchedulerService, HaloShardedStencilBitIdentical) {
+  SchedFixture F;
+  ASSERT_COMPILES(F.CP);
+  const size_t N = 2048;
+  // idx = 1..N over data[N+2]: every access i-1..i+1 stays in bounds.
+  RtValue Idx = makeIndexArray(F.types(), N, 1);
+  RtValue Data = makeFloatArray(F.types(), N + 2, 3.0f);
+  ExecResult Expected = directResult(F, F.BlurAll, {Idx, Data});
+
+  ServiceConfig SC = costPolicy({"gtx580", "gtx580"});
+  SC.Policy = SchedulerPolicy::Shard;
+  SC.Shard.MaxShards = 2;
+  SC.Shard.MinShardElems = 64;
+  SC.Shard.HaloParam = 1; // blur's bound data array
+  SC.Shard.HaloRadius = 1;
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+  ASSERT_TRUE(Svc.ok()) << Svc.configError();
+
+  ExecResult R = Svc.invoke(makeRequest(F.BlurAll, {Idx, Data}));
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_TRUE(R.Value.equals(Expected.Value));
+
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.ShardedParents, 1u);
+  EXPECT_EQ(S.ShardLaunches, 2u);
+}
+
+TEST(SchedulerService, StealsUnderLoadWhenTransferIsFree) {
+  SchedFixture F;
+  ASSERT_COMPILES(F.CP);
+  using lime::support::FaultInjector;
+  using lime::support::FaultKind;
+  FaultInjector::instance().reset();
+
+  ServiceConfig SC = costPolicy({"gtx580", "gtx580"});
+  SC.WorkStealing = true;
+  SC.Hooks.TransferNs = [](const std::string &, uint64_t) { return 0.0; };
+  // Moving work is free in this scenario: no transfer, no cold-build
+  // charge. (With the default 2ms build charge this tiny stream would
+  // — correctly — never justify warming a second worker.)
+  SC.Cost.ColdBuildNs = 0.0;
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+  ASSERT_TRUE(Svc.ok()) << Svc.configError();
+
+  // Pre-warm both workers so each holds an instance and a learned
+  // service EWMA — the steal verdict must not be skewed by cold-build
+  // charges once the imbalance starts.
+  std::vector<std::future<ExecResult>> Warm;
+  for (int I = 0; I != 8; ++I)
+    Warm.push_back(Svc.submit(makeRequest(F.Squares,
+                                          {makeFloatArray(F.types(), 256,
+                                                          100.0f + I)})));
+  for (auto &Fut : Warm)
+    ASSERT_TRUE(Fut.get().ok());
+  Svc.waitIdle();
+
+  // Hang worker 0's launches so its queue backs up while worker 1
+  // idles — the steal hook must relieve it. Every request carries
+  // distinct args so the pool cannot coalesce the stream into a
+  // single launch (a coalesced queue never reaches steal depth).
+  FaultInjector::instance().setHangMillis(10);
+  FaultInjector::instance().setPermanent("w0:gtx580", FaultKind::Hang, true);
+
+  std::vector<RtValue> Inputs;
+  std::vector<ExecResult> Expected;
+  for (int I = 0; I != 24; ++I) {
+    Inputs.push_back(makeFloatArray(F.types(), 256, 1.0f + I));
+    Expected.push_back(directResult(F, F.Squares, {Inputs.back()}));
+  }
+  std::vector<std::future<ExecResult>> Futures;
+  for (int I = 0; I != 24; ++I)
+    Futures.push_back(Svc.submit(makeRequest(F.Squares, {Inputs[I]})));
+  for (size_t I = 0; I != Futures.size(); ++I) {
+    ExecResult R = Futures[I].get();
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    EXPECT_TRUE(R.Value.equals(Expected[I].Value));
+  }
+
+  Svc.waitIdle();
+  FaultInjector::instance().reset();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_GE(S.Sched.Steals, 1u)
+      << "refusals=" << S.Sched.StealRefusals
+      << " cost_placed=" << S.Sched.CostPlaced
+      << " coalesced=" << S.Coalesced;
+}
+
+TEST(SchedulerService, StealRefusedWhenTransferDominates) {
+  SchedFixture F;
+  ASSERT_COMPILES(F.CP);
+  using lime::support::FaultInjector;
+  using lime::support::FaultKind;
+  FaultInjector::instance().reset();
+
+  ServiceConfig SC = costPolicy({"gtx580", "gtx580"});
+  SC.WorkStealing = true;
+  // Moving any request costs more than any possible wait: every steal
+  // attempt must put the work back where its data lives.
+  SC.Hooks.TransferNs = [](const std::string &, uint64_t) { return 1.0e15; };
+  OffloadService Svc(F.CP.Prog, F.types(), SC);
+  ASSERT_TRUE(Svc.ok()) << Svc.configError();
+
+  FaultInjector::instance().setHangMillis(10);
+  FaultInjector::instance().setPermanent("w0:gtx580", FaultKind::Hang, true);
+
+  RtValue X = makeFloatArray(F.types(), 256, 1.5f);
+  ExecResult Expected = directResult(F, F.Squares, {X});
+  std::vector<std::future<ExecResult>> Futures;
+  for (int I = 0; I != 16; ++I)
+    Futures.push_back(Svc.submit(makeRequest(F.Squares, {X})));
+  for (auto &Fut : Futures) {
+    ExecResult R = Fut.get();
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    EXPECT_TRUE(R.Value.equals(Expected.Value));
+  }
+
+  Svc.waitIdle();
+  FaultInjector::instance().reset();
+  OffloadServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Sched.Steals, 0u);
+}
+
+TEST(SchedulerService, SubmitOptionsShimKeepsDeprecatedFieldsWorking) {
+  SchedFixture F;
+  ASSERT_COMPILES(F.CP);
+  RtValue X = makeFloatArray(F.types(), 128, 1.0f);
+
+  OffloadService Svc(F.CP.Prog, F.types(), costPolicy({"gtx580"}));
+  ASSERT_TRUE(Svc.ok()) << Svc.configError();
+
+  // Old surface: client id on the request struct itself.
+  OffloadRequest Old = makeRequest(F.Squares, {X});
+  Old.ClientId = "legacy";
+  ASSERT_TRUE(Svc.invoke(std::move(Old)).ok());
+
+  // New surface: SubmitOptions, with a per-request policy override
+  // back to least-loaded.
+  OffloadRequest New = makeRequest(F.Squares, {X});
+  New.Options.ClientId = "modern";
+  New.Options.withPolicy(SchedulerPolicy::LeastLoaded);
+  ASSERT_TRUE(Svc.invoke(std::move(New)).ok());
+
+  Svc.waitIdle();
+  OffloadServiceStats S = Svc.stats();
+  ASSERT_EQ(S.Clients.size(), 2u);
+  EXPECT_EQ(S.Clients[0].Client, "legacy");
+  EXPECT_EQ(S.Clients[1].Client, "modern");
+  // The override skipped the cost model for the second request.
+  EXPECT_EQ(S.Sched.CostPlaced, 1u);
+}
+
+TEST(SchedulerService, StatsJsonCarriesSchemaAndSchedulerSection) {
+  SchedFixture F;
+  ASSERT_COMPILES(F.CP);
+  RtValue X = makeFloatArray(F.types(), 128, 1.0f);
+  OffloadService Svc(F.CP.Prog, F.types(), costPolicy({"gtx580"}));
+  ASSERT_TRUE(Svc.ok()) << Svc.configError();
+  ASSERT_TRUE(Svc.invoke(makeRequest(F.Squares, {X})).ok());
+  Svc.waitIdle();
+
+  std::string J = renderServiceStatsJson(Svc.stats());
+  EXPECT_NE(J.find("\"schema\": \"limec-service-stats-v1\""),
+            std::string::npos);
+  EXPECT_NE(J.find("\"scheduler\""), std::string::npos);
+  EXPECT_NE(J.find("\"policy\": \"cost\""), std::string::npos);
+  EXPECT_NE(J.find("\"cost_placed\": 1"), std::string::npos);
+  EXPECT_NE(J.find("\"workers\""), std::string::npos);
+  EXPECT_NE(J.find("\"clients\""), std::string::npos);
+}
